@@ -1,0 +1,53 @@
+//===- bench/ablation_granularity.cpp - Line-size sweep (Section 4.1) -----===//
+//
+// Sweeps the approximate-storage granularity: the paper's evaluation
+// assumes 64-byte cache lines and notes that "a finer granularity of
+// approximate memory storage would mitigate or eliminate the resulting
+// loss of approximation". This harness measures the approximate-DRAM
+// fraction and total energy of every application at 16/64/256-byte
+// lines (Medium level).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/app.h"
+#include "bench_common.h"
+#include "energy/model.h"
+
+#include <cstdio>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+int main() {
+  const uint64_t LineSizes[] = {16, 64, 256};
+  std::printf("Section 4.1 granularity sweep: approximate DRAM fraction "
+              "and normalized energy\nby cache-line size (Medium "
+              "configuration)\n\n");
+  std::printf("%-14s | %8s %8s %8s | %8s %8s %8s\n", "", "DRAM%", "DRAM%",
+              "DRAM%", "energy", "energy", "energy");
+  std::printf("%-14s | %7luB %7luB %7luB | %7luB %7luB %7luB\n",
+              "Application", LineSizes[0], LineSizes[1], LineSizes[2],
+              LineSizes[0], LineSizes[1], LineSizes[2]);
+  bench::printRule(78);
+
+  for (const Application *App : allApplications()) {
+    double DramFraction[3], Energy[3];
+    for (int Column = 0; Column < 3; ++Column) {
+      FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+      Config.CacheLineBytes = LineSizes[Column];
+      AppRun Run = runApproximate(*App, Config, /*WorkloadSeed=*/1);
+      DramFraction[Column] = Run.Stats.Storage.dramApproxFraction() * 100;
+      Energy[Column] = computeEnergy(Run.Stats, Config).TotalFactor;
+    }
+    std::printf("%-14s | %7.1f%% %7.1f%% %7.1f%% | %8.3f %8.3f %8.3f\n",
+                App->name(), DramFraction[0], DramFraction[1],
+                DramFraction[2], Energy[0], Energy[1], Energy[2]);
+  }
+
+  std::printf("\nExpected shape (paper): the impact of the 64-byte "
+              "constraint is small because\nmost approximate data sits in "
+              "large arrays whose interior lines are already\n"
+              "approximate; coarser lines strand more data in the precise "
+              "header line.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- bench/ablation_layout.cpp - Section 4.1 layout-granularity study ---===//
+//
+// How much declared-approximate data actually lands in approximate
+// storage under the cache-line-granularity layout of Section 4.1, across
+// object shapes and line sizes. The paper notes the 64-byte-line
+// constraint costs little because most approximate data sits in large
+// arrays, and that finer granularity would recover the rest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/layout.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace enerj;
+
+namespace {
+
+struct Shape {
+  const char *Name;
+  std::vector<FieldDecl> Fields;
+};
+
+std::vector<FieldDecl> mixedFields(int PreciseCount, int ApproxCount,
+                                   uint64_t Bytes) {
+  std::vector<FieldDecl> Fields;
+  for (int I = 0; I < PreciseCount; ++I)
+    Fields.push_back({"p" + std::to_string(I), Bytes, false});
+  for (int I = 0; I < ApproxCount; ++I)
+    Fields.push_back({"a" + std::to_string(I), Bytes, true});
+  return Fields;
+}
+
+} // namespace
+
+int main() {
+  const std::vector<Shape> Shapes = {
+      {"tiny (2p+2a x4B)", mixedFields(2, 2, 4)},
+      {"small (2p+6a x8B)", mixedFields(2, 6, 8)},
+      {"medium (4p+28a x8B)", mixedFields(4, 28, 8)},
+      {"large (4p+124a x8B)", mixedFields(4, 124, 8)},
+      {"approx-only (16a x8B)", mixedFields(0, 16, 8)},
+  };
+  const std::vector<uint64_t> LineSizes = {16, 32, 64, 128};
+
+  std::printf("Section 4.1 layout study: fraction of declared-approximate "
+              "bytes stored\napproximately, by object shape and cache-line "
+              "size\n\n");
+  std::printf("%-24s", "Object shape");
+  for (uint64_t Line : LineSizes)
+    std::printf(" %7lluB", static_cast<unsigned long long>(Line));
+  std::printf("\n");
+  for (int I = 0; I < 60; ++I)
+    std::putchar('-');
+  std::printf("\n");
+
+  for (const Shape &S : Shapes) {
+    std::printf("%-24s", S.Name);
+    for (uint64_t Line : LineSizes) {
+      LayoutResult Result = layoutObject(S.Fields, Line);
+      uint64_t DeclaredApprox = 0;
+      for (const FieldDecl &F : S.Fields)
+        if (F.Approx)
+          DeclaredApprox += F.Bytes;
+      double Fraction =
+          DeclaredApprox
+              ? static_cast<double>(Result.ApproxBytes) / DeclaredApprox
+              : 0.0;
+      std::printf(" %7.0f%%", Fraction * 100.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nArrays of approximate primitives (first line precise, "
+              "rest approximate):\n\n%-24s", "Array length (8B elems)");
+  for (uint64_t Line : LineSizes)
+    std::printf(" %7lluB", static_cast<unsigned long long>(Line));
+  std::printf("\n");
+  for (int I = 0; I < 60; ++I)
+    std::putchar('-');
+  std::printf("\n");
+  for (uint64_t Count : {8u, 64u, 1024u, 65536u}) {
+    std::printf("%-24llu", static_cast<unsigned long long>(Count));
+    for (uint64_t Line : LineSizes) {
+      LayoutResult Result = layoutArray(Count, 8, true, Line);
+      double Fraction =
+          static_cast<double>(Result.ApproxBytes) / (Count * 8);
+      std::printf(" %7.0f%%", Fraction * 100.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nExpected shape (paper): the 64-byte constraint barely "
+              "hurts large arrays\n(their data dominates), while small "
+              "mixed objects lose approximate coverage;\nfiner lines "
+              "recover it.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- bench/fig5_qos.cpp - Reproduce Figure 5 ----------------------------===//
+//
+// Output error (application-specific QoS metric, 0 = identical to the
+// precise run, 1 = meaningless) for the three approximation levels
+// varied together; each number is the mean over 20 runs, exactly as in
+// Figure 5.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/app.h"
+#include "bench_common.h"
+
+#include <cstdio>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+int main() {
+  constexpr int Runs = 20;
+  std::printf("Figure 5: output error at the three approximation levels "
+              "(mean of %d runs)\n\n", Runs);
+  std::printf("%-14s %10s %10s %10s\n", "Application", "mild", "medium",
+              "aggressive");
+  bench::printRule(48);
+
+  for (const Application *App : allApplications()) {
+    double Error[3];
+    for (size_t Level = 0; Level < bench::EvalLevels.size(); ++Level)
+      Error[Level] = bench::meanQos(
+          *App, FaultConfig::preset(bench::EvalLevels[Level]), Runs);
+    std::printf("%-14s %10.4f %10.4f %10.4f\n", App->name(), Error[0],
+                Error[1], Error[2]);
+  }
+
+  std::printf("\nExpected shape (paper): negligible error for every app "
+              "at Mild; sensitivity\nvaries widely at Medium/Aggressive — "
+              "FFT and SOR degrade most, while\nMonteCarlo, SparseMatMult, "
+              "the ImageJ stand-in, and Raytracer stay close to\ntheir "
+              "precise outputs. Every run produces an output (no "
+              "crashes).\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+//===- bench/isa_pipeline.cpp - Compiled kernels on the ISA machine -------===//
+//
+// The Section 4 pipeline as an experiment: FEnerJ kernels are compiled
+// to the approximation-aware ISA, verified, and executed at every level.
+// For each kernel the harness reports the result error against the
+// fault-free run and the machine-level energy estimate — the ISA-level
+// analogue of Figures 4/5, demonstrating that one binary spans the whole
+// accuracy/energy trade-off space.
+//
+//===----------------------------------------------------------------------===//
+
+#include "energy/model.h"
+#include "fenerj/codegen.h"
+#include "fenerj/fenerj.h"
+#include "isa/assembler.h"
+#include "isa/machine.h"
+#include "isa/verifier.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace enerj;
+using namespace enerj::fenerj;
+
+namespace {
+
+struct Kernel {
+  const char *Name;
+  const char *Source;
+};
+
+const Kernel Kernels[] = {
+    {"vec-scale",
+     R"({
+       let @approx float[] v = new @approx float[96];
+       let int i = 0;
+       while (i < v.length) { v[i] := cast<@approx float>(i) * 0.25; i = i + 1; };
+       let @approx float sum = 0.0;
+       i = 0;
+       while (i < v.length) { sum = sum + v[i] * 1.5; i = i + 1; };
+       endorse(sum);
+     })"},
+    {"smooth",
+     R"({
+       let @approx float[] g = new @approx float[64];
+       let int i = 0;
+       while (i < g.length) { g[i] := cast<@approx float>(i % 9); i = i + 1; };
+       let int sweep = 0;
+       while (sweep < 4) {
+         i = 1;
+         while (i < g.length - 1) {
+           g[i] := (g[i - 1] + g[i] + g[i + 1]) / 3.0;
+           i = i + 1;
+         };
+         sweep = sweep + 1;
+       };
+       let @approx float total = 0.0;
+       i = 0;
+       while (i < g.length) { total = total + g[i]; i = i + 1; };
+       endorse(total);
+     })"},
+    {"int-acc",
+     R"({
+       let @approx int acc = 0;
+       let int i = 0;
+       while (i < 500) { acc = acc + i % 17; i = i + 1; };
+       let int out = endorse(acc);
+       0.0 + cast<float>(out);
+     })"},
+};
+
+} // namespace
+
+int main() {
+  std::printf("Section 4 pipeline: FEnerJ kernels compiled to the "
+              "approximate ISA, one binary\nper kernel, executed at every "
+              "level (result error vs the fault-free run;\nmachine-level "
+              "energy estimate)\n\n");
+  std::printf("%-11s %-11s %14s %12s %10s %8s\n", "kernel", "level",
+              "f1 (last)", "mean err", "energy", "terrs");
+  for (int I = 0; I < 72; ++I)
+    std::putchar('-');
+  std::printf("\n");
+
+  for (const Kernel &K : Kernels) {
+    DiagnosticEngine Diags;
+    ClassTable Table;
+    std::optional<Program> Prog = compile(K.Source, Table, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "%s: %s\n", K.Name, Diags.str().c_str());
+      return 1;
+    }
+    CodegenResult Code = compileToIsa(*Prog);
+    if (!Code.Ok) {
+      std::fprintf(stderr, "%s: %s\n", K.Name, Code.Error.c_str());
+      return 1;
+    }
+    std::vector<std::string> AsmErrors;
+    std::optional<enerj::isa::IsaProgram> Binary =
+        enerj::isa::assemble(Code.Assembly, AsmErrors);
+    if (!Binary || !enerj::isa::verify(*Binary).empty()) {
+      std::fprintf(stderr, "%s: assembly/verification failed\n", K.Name);
+      return 1;
+    }
+
+    constexpr int Runs = 10;
+    double Reference = 0.0;
+    for (ApproxLevel Level : {ApproxLevel::None, ApproxLevel::Mild,
+                              ApproxLevel::Medium,
+                              ApproxLevel::Aggressive}) {
+      // Mean relative error over several fault seeds, like Figure 5.
+      double ErrorSum = 0.0;
+      double LastValue = 0.0;
+      uint64_t TimingErrors = 0;
+      EnergyReport Energy;
+      bool Trapped = false;
+      for (int Seed = 1; Seed <= Runs; ++Seed) {
+        FaultConfig Config = FaultConfig::preset(Level);
+        Config.Seed = static_cast<uint64_t>(Seed) * 7919;
+        enerj::isa::Machine M(*Binary, Config);
+        enerj::isa::MachineResult Result = M.run(50'000'000);
+        if (Result.Trapped) {
+          Trapped = true;
+          break;
+        }
+        LastValue = M.fpReg(1);
+        if (Level == ApproxLevel::None)
+          Reference = LastValue;
+        double RelError =
+            Reference != 0.0
+                ? std::fabs(LastValue - Reference) / std::fabs(Reference)
+                : std::fabs(LastValue - Reference);
+        if (!std::isfinite(RelError) || RelError > 1.0)
+          RelError = 1.0;
+        ErrorSum += RelError;
+        TimingErrors += M.stats().Ops.TimingErrors;
+        Energy = computeEnergy(M.stats(), Config);
+      }
+      if (Trapped) {
+        std::printf("%-11s %-11s trap\n", K.Name, approxLevelName(Level));
+        continue;
+      }
+      std::printf("%-11s %-11s %14.6g %12.2e %10.3f %8.1f\n", K.Name,
+                  approxLevelName(Level), LastValue, ErrorSum / Runs,
+                  Energy.TotalFactor,
+                  static_cast<double>(TimingErrors) / Runs);
+    }
+  }
+
+  std::printf("\nExpected shape: exact at level None (the `.a` hints are "
+              "ignored by a precise\nmicroarchitecture); energy falls and "
+              "error grows with aggressiveness, matching\nthe "
+              "library-level Figures 4/5.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+//===- bench/micro_simulator.cpp - Simulator overhead microbenchmarks -----===//
+//
+// google-benchmark microbenchmarks of the simulator's hot paths: the
+// per-operation cost of approximate arithmetic, storage fault injection,
+// and the ledger. These bound how large a workload the table/figure
+// harnesses can afford.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/enerj.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace enerj;
+
+namespace {
+
+void BM_PlainDoubleAdd(benchmark::State &State) {
+  double Acc = 0.0;
+  double Step = 1.0000001;
+  for (auto _ : State) {
+    Acc += Step;
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_PlainDoubleAdd);
+
+void BM_ApproxAddNoSimulator(benchmark::State &State) {
+  Approx<double> Acc = 0.0;
+  Approx<double> Step = 1.0000001;
+  for (auto _ : State) {
+    Acc += Step;
+    benchmark::DoNotOptimize(&Acc);
+  }
+}
+BENCHMARK(BM_ApproxAddNoSimulator);
+
+void BM_ApproxAddUnderSimulator(benchmark::State &State) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  SimulatorScope Scope(Sim);
+  Approx<double> Acc = 0.0;
+  Approx<double> Step = 1.0000001;
+  for (auto _ : State) {
+    Acc += Step;
+    benchmark::DoNotOptimize(&Acc);
+  }
+}
+BENCHMARK(BM_ApproxAddUnderSimulator);
+
+void BM_ApproxIntAddUnderSimulator(benchmark::State &State) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  SimulatorScope Scope(Sim);
+  Approx<int32_t> Acc = 0;
+  Approx<int32_t> Step = 3;
+  for (auto _ : State) {
+    Acc += Step;
+    benchmark::DoNotOptimize(&Acc);
+  }
+}
+BENCHMARK(BM_ApproxIntAddUnderSimulator);
+
+void BM_PreciseCountedAdd(benchmark::State &State) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  SimulatorScope Scope(Sim);
+  Precise<int32_t> Acc = 0;
+  for (auto _ : State) {
+    Acc += 1;
+    benchmark::DoNotOptimize(&Acc);
+  }
+}
+BENCHMARK(BM_PreciseCountedAdd);
+
+void BM_ApproxArrayReadWrite(benchmark::State &State) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  SimulatorScope Scope(Sim);
+  ApproxArray<double> Data(1024, 1.0);
+  size_t Index = 0;
+  for (auto _ : State) {
+    Data.set(Index, Data.get(Index) + Approx<double>(0.5));
+    Index = (Index + 7) & 1023;
+  }
+}
+BENCHMARK(BM_ApproxArrayReadWrite);
+
+void BM_SramFaultInjection(benchmark::State &State) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Aggressive));
+  uint64_t Value = 0xDEADBEEF;
+  for (auto _ : State) {
+    Value = Sim.sramRead(Value);
+    benchmark::DoNotOptimize(Value);
+  }
+}
+BENCHMARK(BM_SramFaultInjection);
+
+void BM_LedgerLeaseRelease(benchmark::State &State) {
+  MemoryLedger Ledger;
+  for (auto _ : State) {
+    LeaseHandle Handle = Ledger.lease(Region::Sram, 8, 0);
+    Ledger.tick();
+    Ledger.release(Handle);
+  }
+}
+BENCHMARK(BM_LedgerLeaseRelease);
+
+void BM_EnergyModel(benchmark::State &State) {
+  RunStats Stats;
+  Stats.Ops.PreciseInt = 1000;
+  Stats.Ops.ApproxFp = 5000;
+  Stats.Storage.DramApprox = 1e6;
+  Stats.Storage.SramPrecise = 1e5;
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+  for (auto _ : State) {
+    EnergyReport Report = computeEnergy(Stats, Config);
+    benchmark::DoNotOptimize(Report);
+  }
+}
+BENCHMARK(BM_EnergyModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+//===- bench/table2_strategies.cpp - Reproduce Table 2 --------------------===//
+//
+// Prints the approximation-strategy configuration table (Table 2): the
+// per-level error probabilities / widths and the energy saved by each
+// strategy, exactly as the simulator consumes them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/config.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace enerj;
+
+int main() {
+  FaultConfig Mild = FaultConfig::preset(ApproxLevel::Mild);
+  FaultConfig Medium = FaultConfig::preset(ApproxLevel::Medium);
+  FaultConfig Aggressive = FaultConfig::preset(ApproxLevel::Aggressive);
+
+  std::printf("Table 2: approximation strategies simulated in the "
+              "evaluation\n");
+  std::printf("(paper values; * marks the authors' educated guesses)\n\n");
+  std::printf("%-46s %12s %12s %12s\n", "", "Mild", "Medium", "Aggressive");
+  std::printf("%-46s %12.0e %12.0e %12.0e\n",
+              "DRAM refresh: per-second bit flip probability",
+              Mild.dramFlipPerSecond(), Medium.dramFlipPerSecond(),
+              Aggressive.dramFlipPerSecond());
+  std::printf("%-46s %11.0f%% %11.0f%% %11.0f%%\n", "  Memory power saved",
+              Mild.dramPowerSaved() * 100, Medium.dramPowerSaved() * 100,
+              Aggressive.dramPowerSaved() * 100);
+  std::printf("%-46s %12.1e %12.1e %12.1e\n",
+              "SRAM read upset probability", Mild.sramReadUpset(),
+              Medium.sramReadUpset(), Aggressive.sramReadUpset());
+  std::printf("%-46s %12.1e %12.1e %12.1e\n",
+              "SRAM write failure probability", Mild.sramWriteFailure(),
+              Medium.sramWriteFailure(), Aggressive.sramWriteFailure());
+  std::printf("%-46s %11.0f%% %11.0f%% %11.0f%%\n", "  Supply power saved",
+              Mild.sramPowerSaved() * 100, Medium.sramPowerSaved() * 100,
+              Aggressive.sramPowerSaved() * 100);
+  std::printf("%-46s %12u %12u %12u\n", "float mantissa bits",
+              Mild.floatMantissaBits(), Medium.floatMantissaBits(),
+              Aggressive.floatMantissaBits());
+  std::printf("%-46s %12u %12u %12u\n", "double mantissa bits",
+              Mild.doubleMantissaBits(), Medium.doubleMantissaBits(),
+              Aggressive.doubleMantissaBits());
+  std::printf("%-46s %11.0f%% %11.0f%% %11.0f%%\n",
+              "  Energy saved per FP operation",
+              Mild.fpEnergySaved() * 100, Medium.fpEnergySaved() * 100,
+              Aggressive.fpEnergySaved() * 100);
+  std::printf("%-46s %12.0e %12.0e %12.0e\n",
+              "Arithmetic timing error probability",
+              Mild.timingErrorProbability(),
+              Medium.timingErrorProbability(),
+              Aggressive.timingErrorProbability());
+  std::printf("%-46s %11.0f%% %11.0f%% %11.0f%%\n",
+              "  Energy saved per int operation",
+              Mild.aluEnergySaved() * 100, Medium.aluEnergySaved() * 100,
+              Aggressive.aluEnergySaved() * 100);
+  return 0;
+}

@@ -1,0 +1,45 @@
+//===- bench/table3_annotations.cpp - Reproduce Table 3 -------------------===//
+//
+// Prints the per-application table of Section 6 (Table 3): the QoS
+// metric, lines of code, the dynamically measured proportion of FP
+// arithmetic, declaration counts, the fraction annotated, and the number
+// of endorsement sites. "Proportion FP" is measured by running each
+// application once on the simulator; the annotation columns are
+// hand-counted over this reproduction's sources (see apps/*.cpp).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/app.h"
+#include "bench_common.h"
+
+#include <cstdio>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+int main() {
+  std::printf("Table 3: applications, QoS metrics, and annotation "
+              "density\n\n");
+  std::printf("%-14s %-42s %6s %7s %7s %6s %9s\n", "Application",
+              "Error metric", "LoC", "FP%", "Decls", "Ann%", "Endorse");
+  bench::printRule(98);
+
+  for (const Application *App : allApplications()) {
+    // Measure the FP proportion with the Medium configuration; the
+    // dynamic op mix barely depends on the level.
+    AppRun Run = runApproximate(
+        *App, FaultConfig::preset(ApproxLevel::Medium), /*WorkloadSeed=*/1);
+    AnnotationStats Ann = App->annotations();
+    std::printf("%-14s %-42s %6d %6.1f%% %7d %5.0f%% %9d\n", App->name(),
+                App->qosMetricName(), Ann.LinesOfCode,
+                Run.Stats.Ops.fpProportion() * 100, Ann.TotalDecls,
+                Ann.annotatedFraction() * 100, Ann.Endorsements);
+  }
+
+  std::printf("\nPaper reference (Java apps): annotations touch at most "
+              "34%% of declarations;\nendorsements are rare except for "
+              "ZXing (247 sites, frequent approximate\nconditions on "
+              "pixel values) — the barcode stand-in shows the same "
+              "pattern at\nits smaller scale.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+//===- examples/benchmark_cli.cpp - Run any evaluation app from the CLI ---===//
+//
+// A command-line front end over the nine Section 6 applications:
+//
+//   benchmark_cli list
+//   benchmark_cli run <app> [--level mild|medium|aggressive|none]
+//                           [--mode random|bitflip|lastvalue]
+//                           [--seeds N] [--line-bytes B]
+//                           [--no-dram] [--no-sram] [--no-fp] [--no-timing]
+//
+// Prints the QoS error (mean over seeds), the operation/storage mix, and
+// the energy estimate for the chosen configuration — a convenient way to
+// explore the trade-off space beyond the fixed tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/app.h"
+#include "energy/model.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+int listApps() {
+  std::printf("%-14s %s\n", "name", "description");
+  for (const Application *App : allApplications())
+    std::printf("%-14s %s\n", App->name(), App->description());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: benchmark_cli list\n"
+               "       benchmark_cli run <app> [--level L] [--mode M]\n"
+               "              [--seeds N] [--line-bytes B] [--seed S]\n"
+               "              [--no-dram] [--no-sram] [--no-fp] "
+               "[--no-timing]\n"
+               "              [--timing-prob P] [--sram-read-prob P]\n"
+               "              [--sram-write-prob P] "
+               "[--dram-flip-per-sec P]\n"
+               "              [--float-mantissa N] [--double-mantissa N]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::strcmp(Argv[1], "list") == 0)
+    return listApps();
+  if (Argc < 3 || std::strcmp(Argv[1], "run") != 0)
+    return usage();
+
+  const Application *App = findApplication(Argv[2]);
+  if (!App) {
+    std::fprintf(stderr, "unknown application '%s' (try 'list')\n",
+                 Argv[2]);
+    return 1;
+  }
+
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+  int Seeds = 5;
+  for (int Arg = 3; Arg < Argc; ++Arg) {
+    std::string Flag = Argv[Arg];
+    auto NextValue = [&]() -> const char * {
+      if (Arg + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag.c_str());
+        std::exit(2);
+      }
+      return Argv[++Arg];
+    };
+    if (Flag == "--level") {
+      std::string Level = NextValue();
+      if (Level == "none")
+        Config.Level = ApproxLevel::None;
+      else if (Level == "mild")
+        Config.Level = ApproxLevel::Mild;
+      else if (Level == "medium")
+        Config.Level = ApproxLevel::Medium;
+      else if (Level == "aggressive")
+        Config.Level = ApproxLevel::Aggressive;
+      else
+        return usage();
+    } else if (Flag == "--mode") {
+      std::string Mode = NextValue();
+      if (Mode == "random")
+        Config.Mode = ErrorMode::RandomValue;
+      else if (Mode == "bitflip")
+        Config.Mode = ErrorMode::SingleBitFlip;
+      else if (Mode == "lastvalue")
+        Config.Mode = ErrorMode::LastValue;
+      else
+        return usage();
+    } else if (Flag == "--seeds") {
+      Seeds = std::atoi(NextValue());
+      if (Seeds < 1)
+        return usage();
+    } else if (Flag == "--line-bytes") {
+      Config.CacheLineBytes =
+          static_cast<uint64_t>(std::atoll(NextValue()));
+      if (Config.CacheLineBytes == 0)
+        return usage();
+    } else if (Flag == "--no-dram") {
+      Config.EnableDram = false;
+    } else if (Flag == "--no-sram") {
+      Config.EnableSram = false;
+    } else if (Flag == "--no-fp") {
+      Config.EnableFpWidth = false;
+    } else if (Flag == "--no-timing") {
+      Config.EnableTiming = false;
+    } else if (Flag == "--timing-prob") {
+      Config.TimingErrorOverride = std::atof(NextValue());
+    } else if (Flag == "--sram-read-prob") {
+      Config.SramReadUpsetOverride = std::atof(NextValue());
+    } else if (Flag == "--sram-write-prob") {
+      Config.SramWriteFailureOverride = std::atof(NextValue());
+    } else if (Flag == "--dram-flip-per-sec") {
+      Config.DramFlipPerSecondOverride = std::atof(NextValue());
+    } else if (Flag == "--float-mantissa") {
+      Config.FloatMantissaOverride = std::atoi(NextValue());
+    } else if (Flag == "--double-mantissa") {
+      Config.DoubleMantissaOverride = std::atoi(NextValue());
+    } else if (Flag == "--seed") {
+      Config.Seed = static_cast<uint64_t>(std::atoll(NextValue()));
+    } else {
+      return usage();
+    }
+  }
+
+  std::printf("%s — %s\nconfig: %s, %d seed(s), %llu-byte lines\n\n",
+              App->name(), App->description(), Config.describe().c_str(),
+              Seeds,
+              static_cast<unsigned long long>(Config.CacheLineBytes));
+
+  double ErrorSum = 0.0;
+  RunStats LastStats;
+  for (int Seed = 1; Seed <= Seeds; ++Seed) {
+    AppOutput Reference = runPrecise(*App, static_cast<uint64_t>(Seed));
+    AppRun Run =
+        runApproximate(*App, Config, static_cast<uint64_t>(Seed));
+    ErrorSum += App->qosError(Reference, Run.Output);
+    LastStats = Run.Stats;
+  }
+  EnergyReport Energy = computeEnergy(LastStats, Config);
+
+  std::printf("QoS error (%s): %.4f (mean of %d)\n", App->qosMetricName(),
+              ErrorSum / Seeds, Seeds);
+  std::printf("operations: %llu int (%.1f%% approx), %llu FP (%.1f%% "
+              "approx)\n",
+              static_cast<unsigned long long>(LastStats.Ops.totalInt()),
+              LastStats.Ops.approxIntFraction() * 100,
+              static_cast<unsigned long long>(LastStats.Ops.totalFp()),
+              LastStats.Ops.approxFpFraction() * 100);
+  std::printf("storage: DRAM %.1f%% approx, SRAM %.1f%% approx "
+              "(byte-seconds)\n",
+              LastStats.Storage.dramApproxFraction() * 100,
+              LastStats.Storage.sramApproxFraction() * 100);
+  std::printf("energy: %.3f of baseline (saves %.1f%%)\n",
+              Energy.TotalFactor, Energy.saved() * 100);
+  return 0;
+}

@@ -1,0 +1,240 @@
+//===- examples/fenerj_tool.cpp - FEnerJ checker / interpreter CLI --------===//
+//
+// A command-line driver for the FEnerJ formal language:
+//
+//   fenerj_tool check <file.fej>       type-check only
+//   fenerj_tool run <file.fej>         check, then evaluate precisely
+//   fenerj_tool fuzz <file.fej> [n]    check, then evaluate under n random
+//                                      perturbation seeds and report
+//                                      whether the precise projection is
+//                                      invariant (non-interference)
+//   fenerj_tool demo                   run a built-in demo program
+//
+//===----------------------------------------------------------------------===//
+
+#include "fenerj/codegen.h"
+#include "fenerj/fenerj.h"
+#include "isa/assembler.h"
+#include "isa/machine.h"
+#include "isa/verifier.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+const char *DemoProgram = R"(// The paper's IntPair (Section 2.5.1), runnable.
+class IntPair {
+  @context int x;
+  @context int y;
+  @approx int numAdditions;
+  int addToBoth(@context int amount) {
+    this.x := this.x + amount;
+    this.y := this.y + amount;
+    this.numAdditions := this.numAdditions + 1;
+    0;
+  }
+}
+{
+  let @precise IntPair p = new @precise IntPair();
+  let @approx IntPair a = new @approx IntPair();
+  let int i = 0;
+  while (i < 5) {
+    p.addToBoth(i);
+    a.addToBoth(i);
+    i = i + 1;
+  };
+  p.x + p.y;   // Precise: always 20.
+}
+)";
+
+int check(const std::string &Source, bool Quiet = false) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (!Quiet)
+    std::printf("ok: program is well typed (%zu class(es))\n",
+                Prog->Classes.size());
+  return 0;
+}
+
+int run(const std::string &Source) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  Interpreter Interp(*Prog, Table, {});
+  EvalResult Result = Interp.run();
+  if (Result.Trapped) {
+    std::fprintf(stderr, "trap: %s\n", Result.TrapMessage.c_str());
+    return 1;
+  }
+  std::printf("result: %s\n", Result.Result.str().c_str());
+  std::printf("-- precise projection --\n%s",
+              Interp.preciseProjection(Result).c_str());
+  return 0;
+}
+
+int fuzz(const std::string &Source, int Rounds) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  Interpreter Ref(*Prog, Table, {});
+  EvalResult RefResult = Ref.run();
+  if (RefResult.Trapped) {
+    std::fprintf(stderr, "trap (precise run): %s\n",
+                 RefResult.TrapMessage.c_str());
+    return 1;
+  }
+  std::string RefProjection = Ref.preciseProjection(RefResult);
+  int Violations = 0;
+  for (int Round = 1; Round <= Rounds; ++Round) {
+    RandomPerturber Perturb(static_cast<uint64_t>(Round), 1.0);
+    InterpOptions Options;
+    Options.Perturb = &Perturb;
+    Interpreter Interp(*Prog, Table, Options);
+    EvalResult Result = Interp.run();
+    if (Result.Trapped) {
+      std::printf("round %d: TRAP: %s\n", Round,
+                  Result.TrapMessage.c_str());
+      ++Violations;
+      continue;
+    }
+    if (Interp.preciseProjection(Result) != RefProjection) {
+      std::printf("round %d: PRECISE STATE CHANGED\n", Round);
+      ++Violations;
+    }
+  }
+  if (Violations == 0) {
+    std::printf("non-interference held across %d fully-perturbed runs\n",
+                Rounds);
+    return 0;
+  }
+  std::printf("%d violation(s) — if the program is endorse-free this is "
+              "a checker bug\n", Violations);
+  return 1;
+}
+
+int compileIsa(const std::string &Source, bool Execute) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  CodegenResult Code = compileToIsa(*Prog);
+  if (!Code.Ok) {
+    std::fprintf(stderr, "codegen error: %s\n", Code.Error.c_str());
+    return 1;
+  }
+  std::vector<std::string> AsmErrors;
+  std::optional<enerj::isa::IsaProgram> Binary =
+      enerj::isa::assemble(Code.Assembly, AsmErrors);
+  if (!Binary) {
+    for (const std::string &E : AsmErrors)
+      std::fprintf(stderr, "%s\n", E.c_str());
+    return 1;
+  }
+  std::vector<enerj::isa::VerifyError> Violations =
+      enerj::isa::verify(*Binary);
+  for (const enerj::isa::VerifyError &E : Violations)
+    std::fprintf(stderr, "verifier: %s\n", E.str().c_str());
+  if (!Violations.empty())
+    return 1;
+  if (!Execute) {
+    std::fputs(Code.Assembly.c_str(), stdout);
+    return 0;
+  }
+  for (enerj::ApproxLevel Level :
+       {enerj::ApproxLevel::None, enerj::ApproxLevel::Mild,
+        enerj::ApproxLevel::Medium, enerj::ApproxLevel::Aggressive}) {
+    enerj::isa::Machine M(*Binary, enerj::FaultConfig::preset(Level));
+    enerj::isa::MachineResult Result = M.run();
+    if (Result.Trapped) {
+      std::printf("%-10s trap: %s\n", enerj::approxLevelName(Level),
+                  Result.TrapMessage.c_str());
+      continue;
+    }
+    std::printf("%-10s r1 = %lld   f1 = %.9g   (%llu instructions)\n",
+                enerj::approxLevelName(Level),
+                static_cast<long long>(M.intReg(1)), M.fpReg(1),
+                static_cast<unsigned long long>(
+                    Result.InstructionsExecuted));
+  }
+  return 0;
+}
+
+std::string readFile(const char *Path, bool &Ok) {
+  std::ifstream In(Path);
+  if (!In) {
+    Ok = false;
+    return {};
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Ok = true;
+  return Buffer.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fenerj_tool check <file.fej>\n"
+               "       fenerj_tool run <file.fej>\n"
+               "       fenerj_tool fuzz <file.fej> [rounds]\n"
+               "       fenerj_tool compile <file.fej>   (emit ISA asm)\n"
+               "       fenerj_tool exec <file.fej>      (compile + run at "
+               "all levels)\n"
+               "       fenerj_tool demo\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::string(Argv[1]) == "demo") {
+    std::printf("--- demo program ---\n%s--- check ---\n", DemoProgram);
+    if (check(DemoProgram))
+      return 1;
+    std::printf("--- run ---\n");
+    if (run(DemoProgram))
+      return 1;
+    std::printf("--- fuzz ---\n");
+    return fuzz(DemoProgram, 10);
+  }
+  if (Argc < 3)
+    return usage();
+  bool Ok = true;
+  std::string Source = readFile(Argv[2], Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Argv[2]);
+    return 1;
+  }
+  std::string Mode = Argv[1];
+  if (Mode == "check")
+    return check(Source);
+  if (Mode == "run")
+    return run(Source);
+  if (Mode == "fuzz")
+    return fuzz(Source, Argc >= 4 ? std::atoi(Argv[3]) : 20);
+  if (Mode == "compile")
+    return compileIsa(Source, /*Execute=*/false);
+  if (Mode == "exec")
+    return compileIsa(Source, /*Execute=*/true);
+  return usage();
+}

@@ -1,0 +1,73 @@
+//===- examples/raytracer_demo.cpp - Render at every quality level --------===//
+//
+// Renders the Raytracer benchmark's scene at every approximation level
+// and prints each frame as ASCII art next to its measured QoS error and
+// energy estimate — the paper's "gradual degradation of perceptible
+// output quality" (Section 6.2), visible in a terminal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/app.h"
+#include "core/enerj.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+/// Maps a [0,1] luminance to an ASCII shade.
+char shadeChar(double Value) {
+  static const char Ramp[] = " .:-=+*#%@";
+  if (Value < 0)
+    Value = 0;
+  if (Value > 1)
+    Value = 1;
+  return Ramp[static_cast<size_t>(Value * 9.0 + 0.5)];
+}
+
+void printFrame(const std::vector<double> &Pixels, int Side) {
+  // Terminal cells are ~2x taller than wide: sample every other row.
+  for (int Y = 0; Y < Side; Y += 2) {
+    for (int X = 0; X < Side; ++X)
+      std::putchar(shadeChar(Pixels[static_cast<size_t>(Y * Side + X)]));
+    std::putchar('\n');
+  }
+}
+
+} // namespace
+
+int main() {
+  const Application *Raytracer = findApplication("raytracer");
+  if (!Raytracer) {
+    std::fprintf(stderr, "raytracer app not registered\n");
+    return 1;
+  }
+  constexpr uint64_t Seed = 3;
+  AppOutput Reference = runPrecise(*Raytracer, Seed);
+  int Side = 40; // The app renders 40x40.
+
+  std::printf("=== precise render ===\n");
+  printFrame(Reference.Numeric, Side);
+
+  for (ApproxLevel Level : {ApproxLevel::Mild, ApproxLevel::Medium,
+                            ApproxLevel::Aggressive}) {
+    FaultConfig Config = FaultConfig::preset(Level);
+    AppRun Run = runApproximate(*Raytracer, Config, Seed);
+    double Error = Raytracer->qosError(Reference, Run.Output);
+    EnergyReport Energy = computeEnergy(Run.Stats, Config);
+    std::printf("\n=== %s render ===  (QoS error %.4f, energy %.3f, "
+                "saves %.1f%%)\n",
+                approxLevelName(Level), Error, Energy.TotalFactor,
+                Energy.saved() * 100);
+    printFrame(Run.Output.Numeric, Side);
+  }
+
+  std::printf("\nUnder Mild approximation the image is indistinguishable "
+              "from the precise one;\nnoise grows with aggressiveness "
+              "while the program never crashes (Section 6.2).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- apps/app.h - Benchmark application interface -------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface shared by the nine evaluation applications of Section 6
+/// (Table 3): the five SciMark2 kernels (FFT, SOR, MonteCarlo,
+/// SparseMatMult, LU) and stand-ins for ZXing (barcode), jMonkeyEngine
+/// (trikernel), ImageJ (floodfill), and Raytracer.
+///
+/// Each application is written against the EnerJ public API with the
+/// annotation pattern the paper describes for it, produces a
+/// deterministic output for a given workload seed, and defines its own
+/// QoS metric. Running with no simulator installed executes all
+/// annotations precisely — that run is the QoS reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_APPS_APP_H
+#define ENERJ_APPS_APP_H
+
+#include "arch/stats.h"
+#include "fault/config.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace apps {
+
+/// Hand-counted annotation statistics over the application's C++ source,
+/// the analogue of Table 3's annotation-density columns.
+struct AnnotationStats {
+  int LinesOfCode = 0;   ///< Lines of the application implementation.
+  int TotalDecls = 0;    ///< Declarations that could carry a qualifier.
+  int AnnotatedDecls = 0; ///< Declarations with an approximate type.
+  int Endorsements = 0;  ///< Static endorse() call sites.
+
+  double annotatedFraction() const {
+    return TotalDecls ? static_cast<double>(AnnotatedDecls) / TotalDecls
+                      : 0.0;
+  }
+};
+
+/// Whatever an application produces; unused parts stay empty.
+struct AppOutput {
+  std::vector<double> Numeric;    ///< Numeric entries / pixel values.
+  std::string Text;               ///< Decoded text (barcode).
+  std::vector<uint8_t> Decisions; ///< Boolean decisions (trikernel).
+};
+
+/// One evaluation application.
+class Application {
+public:
+  virtual ~Application() = default;
+
+  virtual const char *name() const = 0;
+  virtual const char *description() const = 0;
+  /// The Table 3 QoS metric name (e.g. "mean entry difference").
+  virtual const char *qosMetricName() const = 0;
+  virtual AnnotationStats annotations() const = 0;
+
+  /// Runs the annotated application on the workload derived from
+  /// \p WorkloadSeed, under whatever simulator is currently installed
+  /// (none = precise execution).
+  virtual AppOutput run(uint64_t WorkloadSeed) const = 0;
+
+  /// Output error in [0, 1]: 0 = identical to the precise run.
+  virtual double qosError(const AppOutput &Precise,
+                          const AppOutput &Degraded) const = 0;
+};
+
+/// The registry of all nine applications, in Table 3 order.
+const std::vector<const Application *> &allApplications();
+
+/// Looks an application up by name; null if unknown.
+const Application *findApplication(const std::string &Name);
+
+/// --- Measurement helpers used by the benches and tests. ---
+
+struct AppRun {
+  AppOutput Output;
+  RunStats Stats;
+};
+
+/// Runs \p App precisely (no simulator): the QoS reference output.
+AppOutput runPrecise(const Application &App, uint64_t WorkloadSeed);
+
+/// Runs \p App on a fresh simulator with \p Config, returning the
+/// (possibly degraded) output and the measured statistics.
+AppRun runApproximate(const Application &App, const FaultConfig &Config,
+                      uint64_t WorkloadSeed);
+
+/// Convenience: QoS error of one approximate run against the precise
+/// reference for the same workload.
+double qosUnder(const Application &App, const FaultConfig &Config,
+                uint64_t WorkloadSeed);
+
+} // namespace apps
+} // namespace enerj
+
+#endif // ENERJ_APPS_APP_H

@@ -1,0 +1,35 @@
+//===- apps/apps_internal.h - Per-application factories ---------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factories returning the singleton instance of each evaluation
+/// application. Private to the apps library; external code goes through
+/// allApplications()/findApplication().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_APPS_APPS_INTERNAL_H
+#define ENERJ_APPS_APPS_INTERNAL_H
+
+#include "apps/app.h"
+
+namespace enerj {
+namespace apps {
+
+const Application *fftApp();
+const Application *sorApp();
+const Application *monteCarloApp();
+const Application *sparseMatMultApp();
+const Application *luApp();
+const Application *barcodeApp();
+const Application *triKernelApp();
+const Application *floodFillApp();
+const Application *raytracerApp();
+
+} // namespace apps
+} // namespace enerj
+
+#endif // ENERJ_APPS_APPS_INTERNAL_H

@@ -1,0 +1,166 @@
+//===- apps/barcode.cpp - ZXing stand-in: 2-D barcode decoder -------------===//
+//
+// A QR-style two-dimensional code decoder, standing in for the paper's
+// ZXing workload. A payload is encoded into a module grid with per-byte
+// parity, rendered to a grayscale image (the "camera" adds shot noise and
+// uneven illumination), and decoded back. Following the paper's ZXing
+// port: the luminance data is approximate, control flow frequently
+// depends on whether a pixel is black, so endorsements are frequent; the
+// final parity/checksum phase is precise. The QoS metric is binary:
+// 1 if the decoded payload is wrong, 0 if correct.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/apps_internal.h"
+
+#include "core/enerj.h"
+#include "qos/metrics.h"
+#include "support/rng.h"
+
+#include <string>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+constexpr size_t PayloadBytes = 12;
+constexpr size_t ModulesPerSide = 32; // (12 payload + parity) * 8 < 32*32.
+constexpr size_t PixelsPerModule = 2; // 64x64 image.
+constexpr size_t ImageSide = ModulesPerSide * PixelsPerModule;
+
+/// Deterministic payload text for a workload seed.
+std::string makePayload(Rng &Workload) {
+  static const char Alphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string Payload;
+  for (size_t I = 0; I < PayloadBytes; ++I)
+    Payload += Alphabet[Workload.nextBelow(sizeof(Alphabet) - 1)];
+  return Payload;
+}
+
+class BarcodeApp : public Application {
+public:
+  const char *name() const override { return "barcode"; }
+  const char *description() const override {
+    return "2-D barcode decoder with parity (ZXing stand-in)";
+  }
+  const char *qosMetricName() const override {
+    return "1 if incorrect, 0 if correct";
+  }
+  AnnotationStats annotations() const override {
+    return {/*LinesOfCode=*/150, /*TotalDecls=*/30, /*AnnotatedDecls=*/4,
+            /*Endorsements=*/3};
+  }
+
+  AppOutput run(uint64_t WorkloadSeed) const override {
+    Rng Workload(WorkloadSeed);
+    std::string Payload = makePayload(Workload);
+
+    // --- Encode: payload bits + one parity bit per byte, row-major. ---
+    std::vector<bool> Modules(ModulesPerSide * ModulesPerSide, false);
+    size_t Bit = 0;
+    auto PushBit = [&](bool Value) { Modules[Bit++] = Value; };
+    for (char C : Payload) {
+      unsigned Byte = static_cast<unsigned char>(C);
+      unsigned Parity = 0;
+      for (int B = 7; B >= 0; --B) {
+        bool On = (Byte >> B) & 1;
+        Parity ^= On;
+        PushBit(On);
+      }
+      PushBit(Parity != 0);
+    }
+
+    // --- Render to luminance: @Approx int[] image. The camera adds
+    // --- illumination gradient and per-pixel noise.
+    ApproxArray<int32_t> Image(ImageSide * ImageSide);
+    const int32_t Side = static_cast<int32_t>(ImageSide);
+    for (Precise<int32_t> Y = 0; Y < Side; ++Y) {
+      for (Precise<int32_t> X = 0; X < Side; ++X) {
+        // Module addressing is precise; the luminance math is pixel data
+        // and runs approximately.
+        Precise<int32_t> Module =
+            (Y / static_cast<int32_t>(PixelsPerModule)) *
+                static_cast<int32_t>(ModulesPerSide) +
+            X / static_cast<int32_t>(PixelsPerModule);
+        Approx<int32_t> Luma =
+            Modules[static_cast<size_t>(Module.get())] ? 40 : 215;
+        Luma = Luma +
+               Approx<int32_t>(
+                   static_cast<int32_t>(Workload.nextInRange(-25, 25)));
+        Luma = Luma + Approx<int32_t>((X.get() + Y.get()) / 8);
+        Precise<int32_t> Index = Y * Side + X;
+        Image[static_cast<size_t>(Index.get())] = Luma;
+      }
+    }
+
+    // --- Decode. Threshold estimation over the approximate pixels (the
+    // --- midpoint of the luminance range, robust to the illumination
+    // --- tilt); the estimate is endorsed once — the ZXing pattern of a
+    // --- resilient phase followed by a precise reduction.
+    Approx<int32_t> MinLuma = 255, MaxLuma = 0;
+    for (size_t I = 0; I < Image.size(); ++I) {
+      Approx<int32_t> Pixel = Image.get(I);
+      MinLuma = enerj::min(MinLuma, Pixel);
+      MaxLuma = enerj::max(MaxLuma, Pixel);
+    }
+    int32_t Threshold =
+        endorse((MinLuma + MaxLuma) / Approx<int32_t>(2));
+    // Endorsement discipline (Section 2.2): the programmer certifies the
+    // approximate estimate before it steers the whole decode. A fault in
+    // the scan shows up as an out-of-range threshold; fall back to the
+    // nominal midpoint of the 8-bit luminance range.
+    if (Threshold < 10 || Threshold > 245)
+      Threshold = 128;
+
+    // Per-module majority vote over its pixels. "Is this pixel black?"
+    // is an approximate comparison endorsed at each use — the reason
+    // ZXing's endorsement count is an outlier in Table 3.
+    std::string Decoded;
+    size_t ReadBit = 0;
+    bool ParityOk = true;
+    for (size_t Byte = 0; Byte < PayloadBytes; ++Byte) {
+      unsigned Value = 0;
+      unsigned Parity = 0;
+      for (int B = 0; B < 9; ++B) {
+        size_t Module = ReadBit++;
+        size_t BaseY = (Module / ModulesPerSide) * PixelsPerModule;
+        size_t BaseX = (Module % ModulesPerSide) * PixelsPerModule;
+        Precise<int32_t> DarkVotes = 0;
+        for (size_t Dy = 0; Dy < PixelsPerModule; ++Dy)
+          for (size_t Dx = 0; Dx < PixelsPerModule; ++Dx) {
+            Approx<int32_t> Pixel =
+                Image.get((BaseY + Dy) * ImageSide + BaseX + Dx);
+            if (endorse(Pixel < Approx<int32_t>(Threshold)))
+              DarkVotes += 1;
+          }
+        bool IsDark =
+            DarkVotes.get() * 2 >
+            static_cast<int32_t>(PixelsPerModule * PixelsPerModule);
+        if (B < 8) {
+          Value = (Value << 1) | (IsDark ? 1u : 0u);
+          Parity ^= IsDark ? 1u : 0u;
+        } else if ((Parity != 0) != IsDark) {
+          ParityOk = false;
+        }
+      }
+      Decoded += static_cast<char>(Value);
+    }
+
+    AppOutput Output;
+    Output.Text = ParityOk ? Decoded : "DECODE_FAILED";
+    return Output;
+  }
+
+  double qosError(const AppOutput &Precise,
+                  const AppOutput &Degraded) const override {
+    return qos::binaryCorrectness(Precise.Text, Degraded.Text);
+  }
+};
+
+} // namespace
+
+const Application *enerj::apps::barcodeApp() {
+  static BarcodeApp App;
+  return &App;
+}

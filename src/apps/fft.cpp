@@ -1,0 +1,117 @@
+//===- apps/fft.cpp - SciMark2 FFT under EnerJ annotations ----------------===//
+//
+// Radix-2 complex FFT. The annotation pattern mirrors the paper's port:
+// the signal data (large heap arrays) is approximate; twiddle-factor
+// computation, bit-reversal index logic, and loop control stay precise.
+// The output phase endorses the spectrum entries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/apps_internal.h"
+
+#include "core/enerj.h"
+#include "qos/metrics.h"
+#include "support/rng.h"
+
+#include <cmath>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+constexpr size_t SignalSize = 512; // Power of two.
+
+class FftApp : public Application {
+public:
+  const char *name() const override { return "fft"; }
+  const char *description() const override {
+    return "SciMark2 radix-2 complex FFT (scientific kernel)";
+  }
+  const char *qosMetricName() const override {
+    return "mean entry difference";
+  }
+  AnnotationStats annotations() const override {
+    return {/*LinesOfCode=*/118, /*TotalDecls=*/34, /*AnnotatedDecls=*/11,
+            /*Endorsements=*/2};
+  }
+
+  AppOutput run(uint64_t WorkloadSeed) const override {
+    Rng Workload(WorkloadSeed);
+    // @Approx double[] re, im — the signal lives in approximate DRAM.
+    ApproxArray<double> Re(SignalSize), Im(SignalSize);
+    for (size_t I = 0; I < SignalSize; ++I) {
+      Re[I] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
+      Im[I] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
+    }
+
+    // Bit-reversal permutation: indices are precise (Section 2.6).
+    for (size_t I = 1, J = 0; I < SignalSize; ++I) {
+      size_t Bit = SignalSize >> 1;
+      for (; J & Bit; Bit >>= 1)
+        J ^= Bit;
+      J ^= Bit;
+      if (I < J) {
+        Approx<double> TmpRe = Re.get(I);
+        Re.set(I, Re.get(J));
+        Re.set(J, TmpRe);
+        Approx<double> TmpIm = Im.get(I);
+        Im.set(I, Im.get(J));
+        Im.set(J, TmpIm);
+      }
+    }
+
+    // Danielson-Lanczos butterflies: data math approximate, twiddle
+    // recurrence precise.
+    for (size_t Len = 2; Len <= SignalSize; Len <<= 1) {
+      double Angle = -2.0 * M_PI / static_cast<double>(Len);
+      Precise<double> StepRe = std::cos(Angle);
+      Precise<double> StepIm = std::sin(Angle);
+      for (size_t Base = 0; Base < SignalSize; Base += Len) {
+        Precise<double> TwidRe = 1.0, TwidIm = 0.0;
+        // Butterfly indexing is precise integer work, instrumented like
+        // the rest of the data path.
+        Precise<int32_t> Half = static_cast<int32_t>(Len / 2);
+        for (Precise<int32_t> J = 0; J < Half; ++J) {
+          Precise<int32_t> EvenIdx = static_cast<int32_t>(Base) + J;
+          Precise<int32_t> OddIdx = EvenIdx + Half;
+          size_t Even = static_cast<size_t>(EvenIdx.get());
+          size_t Odd = static_cast<size_t>(OddIdx.get());
+          Approx<double> URe = Re.get(Even), UIm = Im.get(Even);
+          Approx<double> VRe =
+              Re.get(Odd) * TwidRe - Im.get(Odd) * TwidIm;
+          Approx<double> VIm =
+              Re.get(Odd) * TwidIm + Im.get(Odd) * TwidRe;
+          Re.set(Even, URe + VRe);
+          Im.set(Even, UIm + VIm);
+          Re.set(Odd, URe - VRe);
+          Im.set(Odd, UIm - VIm);
+          Precise<double> NextRe = TwidRe * StepRe - TwidIm * StepIm;
+          TwidIm = TwidRe * StepIm + TwidIm * StepRe;
+          TwidRe = NextRe;
+        }
+      }
+    }
+
+    // Output phase: the spectrum crosses into precise storage (endorsed).
+    AppOutput Output;
+    Output.Numeric.reserve(2 * SignalSize);
+    for (size_t I = 0; I < SignalSize; ++I)
+      Output.Numeric.push_back(endorse(Re.get(I)));
+    for (size_t I = 0; I < SignalSize; ++I)
+      Output.Numeric.push_back(endorse(Im.get(I)));
+    return Output;
+  }
+
+  double qosError(const AppOutput &Precise,
+                  const AppOutput &Degraded) const override {
+    return qos::meanEntryDifference(Precise.Numeric, Degraded.Numeric);
+  }
+};
+
+} // namespace
+
+const Application *enerj::apps::fftApp() {
+  static FftApp App;
+  return &App;
+}

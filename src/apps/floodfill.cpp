@@ -1,0 +1,121 @@
+//===- apps/floodfill.cpp - ImageJ stand-in: flood fill -------------------===//
+//
+// Flood fill over an integer raster, the paper's ImageJ workload: an
+// error-resilient, integer-dominated algorithm. Matching the paper's
+// "extremely aggressive" annotation, even the pixel *coordinates* are
+// approximate and get endorsed right at the array subscripts, with
+// explicit bounds clamping standing in for ImageJ's extensive safety
+// precautions. The QoS metric is mean pixel difference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/apps_internal.h"
+
+#include "core/enerj.h"
+#include "qos/metrics.h"
+#include "support/rng.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+constexpr int32_t Side = 64;
+
+class FloodFillApp : public Application {
+public:
+  const char *name() const override { return "floodfill"; }
+  const char *description() const override {
+    return "raster flood fill (ImageJ stand-in)";
+  }
+  const char *qosMetricName() const override {
+    return "mean pixel difference";
+  }
+  AnnotationStats annotations() const override {
+    return {/*LinesOfCode=*/118, /*TotalDecls=*/24, /*AnnotatedDecls=*/8,
+            /*Endorsements=*/5};
+  }
+
+  AppOutput run(uint64_t WorkloadSeed) const override {
+    Rng Workload(WorkloadSeed);
+
+    // @Approx int[] pixels: a two-tone image of random blobs.
+    ApproxArray<int32_t> Pixels(Side * Side);
+    for (int32_t Y = 0; Y < Side; ++Y)
+      for (int32_t X = 0; X < Side; ++X)
+        Pixels[static_cast<size_t>(Y * Side + X)] = Approx<int32_t>(50);
+    for (int Blob = 0; Blob < 12; ++Blob) {
+      int32_t CenterX = static_cast<int32_t>(Workload.nextBelow(Side));
+      int32_t CenterY = static_cast<int32_t>(Workload.nextBelow(Side));
+      int32_t Radius = 3 + static_cast<int32_t>(Workload.nextBelow(8));
+      for (int32_t Y = std::max(0, CenterY - Radius);
+           Y < std::min(Side, CenterY + Radius); ++Y)
+        for (int32_t X = std::max(0, CenterX - Radius);
+             X < std::min(Side, CenterX + Radius); ++X)
+          Pixels[static_cast<size_t>(Y * Side + X)] = Approx<int32_t>(200);
+    }
+
+    // Flood fill from the center with a tolerance band. The work queue
+    // holds approximate coordinates, endorsed and clamped at each use.
+    const int32_t FillValue = 255;
+    const Approx<int32_t> Target = Pixels.get(
+        static_cast<size_t>((Side / 2) * Side + Side / 2));
+    int32_t TargetValue = endorse(Target);
+
+    std::vector<std::pair<Approx<int32_t>, Approx<int32_t>>> Queue;
+    Queue.emplace_back(Approx<int32_t>(Side / 2), Approx<int32_t>(Side / 2));
+    std::vector<bool> Visited(Side * Side, false);
+    // Bounded work: the paper's annotated apps never do *more* work than
+    // the pristine version; the visited bitmap (precise) guarantees that.
+    while (!Queue.empty()) {
+      auto [AX, AY] = Queue.back();
+      Queue.pop_back();
+      // Coordinates are approximate: endorse at the subscript and clamp,
+      // the ImageJ pattern from Section 6.3. The raster addressing that
+      // follows is precise integer work.
+      int32_t X = std::clamp(endorse(AX), 0, Side - 1);
+      int32_t Y = std::clamp(endorse(AY), 0, Side - 1);
+      Precise<int32_t> Address = Precise<int32_t>(Y) * Side + X;
+      size_t Index = static_cast<size_t>(Address.get());
+      if (Visited[Index])
+        continue;
+      Visited[Index] = true;
+      Approx<int32_t> Pixel = Pixels.get(Index);
+      Approx<int32_t> Delta = Pixel - Approx<int32_t>(TargetValue);
+      if (!endorse((Delta < Approx<int32_t>(30)) &
+                   (Delta > Approx<int32_t>(-30))))
+        continue;
+      Pixels.set(Index, Approx<int32_t>(FillValue));
+      if (X > 0)
+        Queue.emplace_back(Approx<int32_t>(X - 1), Approx<int32_t>(Y));
+      if (X < Side - 1)
+        Queue.emplace_back(Approx<int32_t>(X + 1), Approx<int32_t>(Y));
+      if (Y > 0)
+        Queue.emplace_back(Approx<int32_t>(X), Approx<int32_t>(Y - 1));
+      if (Y < Side - 1)
+        Queue.emplace_back(Approx<int32_t>(X), Approx<int32_t>(Y + 1));
+    }
+
+    AppOutput Output;
+    Output.Numeric.reserve(Pixels.size());
+    for (size_t I = 0; I < Pixels.size(); ++I)
+      Output.Numeric.push_back(endorse(Pixels.get(I)));
+    return Output;
+  }
+
+  double qosError(const AppOutput &Precise,
+                  const AppOutput &Degraded) const override {
+    return qos::meanPixelDifference(Precise.Numeric, Degraded.Numeric,
+                                    255.0);
+  }
+};
+
+} // namespace
+
+const Application *enerj::apps::floodFillApp() {
+  static FloodFillApp App;
+  return &App;
+}

@@ -1,0 +1,81 @@
+//===- apps/montecarlo.cpp - SciMark2 MonteCarlo under EnerJ --------------===//
+//
+// Monte-Carlo estimation of pi. Sample coordinates are generated
+// precisely (they drive control flow indirectly); the distance
+// computation is approximate; the inside-the-circle test is an
+// approximate comparison that must be endorsed — the paper counts exactly
+// one endorsement for this kernel. The accumulator stays on the stack
+// (SRAM), which is why MonteCarlo shows almost no approximate DRAM in
+// Figure 3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/apps_internal.h"
+
+#include "core/enerj.h"
+#include "qos/metrics.h"
+#include "support/rng.h"
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+constexpr int SampleCount = 20000;
+
+class MonteCarloApp : public Application {
+public:
+  const char *name() const override { return "montecarlo"; }
+  const char *description() const override {
+    return "SciMark2 Monte-Carlo pi estimation (scientific kernel)";
+  }
+  const char *qosMetricName() const override {
+    return "normalized difference";
+  }
+  AnnotationStats annotations() const override {
+    return {/*LinesOfCode=*/52, /*TotalDecls=*/12, /*AnnotatedDecls=*/3,
+            /*Endorsements=*/1};
+  }
+
+  AppOutput run(uint64_t WorkloadSeed) const override {
+    // SciMark generates its samples with an in-language integer LCG; its
+    // state must stay precise (it effectively drives the whole kernel),
+    // which is where MonteCarlo's precise integer work comes from.
+    Precise<int64_t> LcgState =
+        static_cast<int64_t>(WorkloadSeed % 2147483647ULL) | 1;
+    auto NextUniform = [&LcgState]() {
+      LcgState = (LcgState * int64_t{48271}) % int64_t{2147483647};
+      return static_cast<double>(LcgState.get()) / 2147483647.0;
+    };
+    Precise<int32_t> UnderCurve = 0;
+    for (Precise<int32_t> Sample = 0; Sample < SampleCount; ++Sample) {
+      // @Approx double x, y — the sample coordinates tolerate error.
+      Approx<double> X = NextUniform();
+      Approx<double> Y = NextUniform();
+      Approx<double> DistanceSq = X * X + Y * Y;
+      // The hit test is approximate; crossing into the precise counter
+      // requires the endorsement.
+      if (endorse(DistanceSq <= Approx<double>(1.0)))
+        UnderCurve += 1;
+    }
+    AppOutput Output;
+    Output.Numeric.push_back(4.0 * static_cast<double>(UnderCurve.get()) /
+                             SampleCount);
+    return Output;
+  }
+
+  double qosError(const AppOutput &Precise,
+                  const AppOutput &Degraded) const override {
+    if (Precise.Numeric.size() != 1 || Degraded.Numeric.size() != 1)
+      return 1.0;
+    return qos::normalizedDifference(Precise.Numeric[0],
+                                     Degraded.Numeric[0]);
+  }
+};
+
+} // namespace
+
+const Application *enerj::apps::monteCarloApp() {
+  static MonteCarloApp App;
+  return &App;
+}

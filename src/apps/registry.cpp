@@ -1,0 +1,56 @@
+//===- apps/registry.cpp - Application registry and runners ---------------===//
+
+#include "apps/app.h"
+
+#include "apps/apps_internal.h"
+#include "core/enerj.h"
+
+using namespace enerj;
+using namespace enerj::apps;
+
+const std::vector<const Application *> &enerj::apps::allApplications() {
+  static const std::vector<const Application *> Apps = {
+      fftApp(),     sorApp(),       monteCarloApp(),
+      sparseMatMultApp(), luApp(),  barcodeApp(),
+      triKernelApp(), floodFillApp(), raytracerApp()};
+  return Apps;
+}
+
+const Application *enerj::apps::findApplication(const std::string &Name) {
+  for (const Application *App : allApplications())
+    if (Name == App->name())
+      return App;
+  return nullptr;
+}
+
+AppOutput enerj::apps::runPrecise(const Application &App,
+                                  uint64_t WorkloadSeed) {
+  // No simulator installed: every annotation executes precisely
+  // (the paper's plain-Java execution).
+  return App.run(WorkloadSeed);
+}
+
+AppRun enerj::apps::runApproximate(const Application &App,
+                                   const FaultConfig &Config,
+                                   uint64_t WorkloadSeed) {
+  FaultConfig RunConfig = Config;
+  // Decorrelate fault randomness across workloads while keeping each
+  // (config, workload) pair reproducible.
+  RunConfig.Seed = Config.Seed ^ (WorkloadSeed * 0x9E3779B97F4A7C15ULL + 1);
+  Simulator Sim(RunConfig);
+  AppRun Run;
+  {
+    SimulatorScope Scope(Sim);
+    Run.Output = App.run(WorkloadSeed);
+  }
+  Run.Stats = Sim.stats();
+  return Run;
+}
+
+double enerj::apps::qosUnder(const Application &App,
+                             const FaultConfig &Config,
+                             uint64_t WorkloadSeed) {
+  AppOutput Reference = runPrecise(App, WorkloadSeed);
+  AppRun Run = runApproximate(App, Config, WorkloadSeed);
+  return App.qosError(Reference, Run.Output);
+}

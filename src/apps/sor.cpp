@@ -1,0 +1,83 @@
+//===- apps/sor.cpp - SciMark2 SOR under EnerJ annotations ----------------===//
+//
+// Jacobi successive over-relaxation on a 2-D grid. The grid is a large
+// approximate heap array; the five-point stencil arithmetic runs on
+// approximate FP units; loop bounds and indexing stay precise. The final
+// grid is endorsed on output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/apps_internal.h"
+
+#include "core/enerj.h"
+#include "qos/metrics.h"
+#include "support/rng.h"
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+constexpr size_t GridSize = 64;
+constexpr int Sweeps = 10;
+
+class SorApp : public Application {
+public:
+  const char *name() const override { return "sor"; }
+  const char *description() const override {
+    return "SciMark2 Jacobi successive over-relaxation (scientific kernel)";
+  }
+  const char *qosMetricName() const override {
+    return "mean entry difference";
+  }
+  AnnotationStats annotations() const override {
+    return {/*LinesOfCode=*/64, /*TotalDecls=*/16, /*AnnotatedDecls=*/5,
+            /*Endorsements=*/1};
+  }
+
+  AppOutput run(uint64_t WorkloadSeed) const override {
+    Rng Workload(WorkloadSeed);
+    // @Approx double[] grid.
+    ApproxArray<double> Grid(GridSize * GridSize);
+    for (size_t I = 0; I < Grid.size(); ++I)
+      Grid[I] = Approx<double>(Workload.nextDouble());
+
+    const Approx<double> Omega = 1.25;
+    const Approx<double> OneMinusOmega = 1.0 - 1.25;
+    const Approx<double> Quarter = 0.25;
+
+    const int32_t Side = static_cast<int32_t>(GridSize);
+    for (int Sweep = 0; Sweep < Sweeps; ++Sweep) {
+      for (Precise<int32_t> Row = 1; Row + 1 < Side; ++Row) {
+        for (Precise<int32_t> Col = 1; Col + 1 < Side; ++Col) {
+          // Stencil addressing: precise integer arithmetic.
+          Precise<int32_t> Center = Row * Side + Col;
+          size_t Here = static_cast<size_t>(Center.get());
+          Approx<double> Neighbors =
+              Grid.get(Here - GridSize) + Grid.get(Here + GridSize) +
+              Grid.get(Here - 1) + Grid.get(Here + 1);
+          Grid.set(Here, Omega * Quarter * Neighbors +
+                             OneMinusOmega * Grid.get(Here));
+        }
+      }
+    }
+
+    AppOutput Output;
+    Output.Numeric.reserve(Grid.size());
+    for (size_t I = 0; I < Grid.size(); ++I)
+      Output.Numeric.push_back(endorse(Grid.get(I)));
+    return Output;
+  }
+
+  double qosError(const AppOutput &Precise,
+                  const AppOutput &Degraded) const override {
+    return qos::meanEntryDifference(Precise.Numeric, Degraded.Numeric);
+  }
+};
+
+} // namespace
+
+const Application *enerj::apps::sorApp() {
+  static SorApp App;
+  return &App;
+}

@@ -1,0 +1,98 @@
+//===- apps/sparsematmult.cpp - SciMark2 SparseMatMult under EnerJ --------===//
+//
+// Sparse matrix-vector multiplication in compressed-row (CRS) form. The
+// matrix values and vectors are approximate heap data; the row-pointer
+// and column-index arrays MUST stay precise — they feed array subscripts,
+// which EnerJ requires to be precise (Section 2.6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/apps_internal.h"
+
+#include "core/enerj.h"
+#include "qos/metrics.h"
+#include "support/rng.h"
+
+#include <algorithm>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+constexpr size_t Rows = 400;
+constexpr size_t NonzerosPerRow = 8;
+constexpr int Iterations = 4;
+
+class SparseMatMultApp : public Application {
+public:
+  const char *name() const override { return "sparsematmult"; }
+  const char *description() const override {
+    return "SciMark2 sparse matrix-vector multiply, CRS (scientific "
+           "kernel)";
+  }
+  const char *qosMetricName() const override {
+    return "mean normalized difference";
+  }
+  AnnotationStats annotations() const override {
+    return {/*LinesOfCode=*/72, /*TotalDecls=*/18, /*AnnotatedDecls=*/3,
+            /*Endorsements=*/1};
+  }
+
+  AppOutput run(uint64_t WorkloadSeed) const override {
+    Rng Workload(WorkloadSeed);
+    const size_t Nonzeros = Rows * NonzerosPerRow;
+
+    // @Approx double[] values, x, y; int[] colIdx, rowPtr (precise!).
+    ApproxArray<double> Values(Nonzeros);
+    PreciseArray<int32_t> ColIdx(Nonzeros);
+    PreciseArray<int32_t> RowPtr(Rows + 1);
+    ApproxArray<double> X(Rows);
+    ApproxArray<double> Y(Rows);
+
+    for (size_t Row = 0; Row <= Rows; ++Row)
+      RowPtr[Row] = static_cast<int32_t>(Row * NonzerosPerRow);
+    for (size_t Entry = 0; Entry < Nonzeros; ++Entry) {
+      Values[Entry] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
+      ColIdx[Entry] =
+          static_cast<int32_t>(Workload.nextBelow(Rows));
+    }
+    for (size_t Row = 0; Row < Rows; ++Row)
+      X[Row] = Approx<double>(Workload.nextDouble());
+
+    // SciMark repeats the same multiply; there is no feedback, so a
+    // corrupted operation perturbs exactly one output entry — the reason
+    // the paper sees very little degradation for this kernel.
+    for (int Iter = 0; Iter < Iterations; ++Iter) {
+      for (size_t Row = 0; Row < Rows; ++Row) {
+        Approx<double> Sum = 0.0;
+        int32_t Begin = RowPtr[Row], End = RowPtr[Row + 1];
+        for (Precise<int32_t> Entry = Begin; Entry < End; ++Entry) {
+          size_t Index = static_cast<size_t>(Entry.get());
+          Sum += Values.get(Index) *
+                 X.get(static_cast<size_t>(ColIdx[Index]));
+        }
+        Y.set(Row, Sum);
+      }
+    }
+
+    AppOutput Output;
+    Output.Numeric.reserve(Rows);
+    for (size_t Row = 0; Row < Rows; ++Row)
+      Output.Numeric.push_back(endorse(Y.get(Row)));
+    return Output;
+  }
+
+  double qosError(const AppOutput &Precise,
+                  const AppOutput &Degraded) const override {
+    return qos::meanNormalizedDifference(Precise.Numeric,
+                                         Degraded.Numeric);
+  }
+};
+
+} // namespace
+
+const Application *enerj::apps::sparseMatMultApp() {
+  static SparseMatMultApp App;
+  return &App;
+}

@@ -1,0 +1,129 @@
+//===- apps/trikernel.cpp - jMonkeyEngine stand-in: triangle tests --------===//
+//
+// A batch of ray-triangle intersection queries (Moeller-Trumbore), the
+// collision-detection kernel the paper runs on jMonkeyEngine. Following
+// that port, essentially every float declaration is approximate; the
+// boolean hit/miss decision is endorsed at the end of each query; all
+// geometry lives in stack-resident vectors, which is why jMonkeyEngine
+// shows almost no approximate DRAM in Figure 3. The QoS metric is the
+// fraction of correct decisions normalized to 0.5 (chance).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/apps_internal.h"
+
+#include "core/enerj.h"
+#include "qos/metrics.h"
+#include "support/rng.h"
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+constexpr int QueryCount = 2500;
+
+/// An approximable 3-vector, the paper's Vector3f (Section 6.3 marks it
+/// @Approximable). Used here at Precision::Approx throughout.
+template <Precision P> struct Vec3 : Approximable<P> {
+  Context<P, float> X{0.0f}, Y{0.0f}, Z{0.0f};
+};
+
+using AVec3 = Vec3<Precision::Approx>;
+
+Approx<float> dot(const AVec3 &A, const AVec3 &B) {
+  return A.X * B.X + A.Y * B.Y + A.Z * B.Z;
+}
+
+AVec3 cross(const AVec3 &A, const AVec3 &B) {
+  AVec3 Result;
+  Result.X = A.Y * B.Z - A.Z * B.Y;
+  Result.Y = A.Z * B.X - A.X * B.Z;
+  Result.Z = A.X * B.Y - A.Y * B.X;
+  return Result;
+}
+
+AVec3 sub(const AVec3 &A, const AVec3 &B) {
+  AVec3 Result;
+  Result.X = A.X - B.X;
+  Result.Y = A.Y - B.Y;
+  Result.Z = A.Z - B.Z;
+  return Result;
+}
+
+class TriKernelApp : public Application {
+public:
+  const char *name() const override { return "trikernel"; }
+  const char *description() const override {
+    return "ray-triangle intersection batch (jMonkeyEngine stand-in)";
+  }
+  const char *qosMetricName() const override {
+    return "fraction of correct decisions normalized to 0.5";
+  }
+  AnnotationStats annotations() const override {
+    return {/*LinesOfCode=*/138, /*TotalDecls=*/36, /*AnnotatedDecls=*/19,
+            /*Endorsements=*/4};
+  }
+
+  AppOutput run(uint64_t WorkloadSeed) const override {
+    Rng Workload(WorkloadSeed);
+    AppOutput Output;
+    Output.Decisions.reserve(QueryCount);
+
+    auto RandomCoord = [&]() {
+      return static_cast<float>(Workload.nextDouble() * 2.0 - 1.0);
+    };
+
+    for (Precise<int32_t> Query = 0; Query < QueryCount; ++Query) {
+      // Random triangle and ray; all coordinates approximate.
+      AVec3 V0, V1, V2, Origin, Direction;
+      V0.X = RandomCoord(); V0.Y = RandomCoord(); V0.Z = RandomCoord();
+      V1.X = RandomCoord(); V1.Y = RandomCoord(); V1.Z = RandomCoord();
+      V2.X = RandomCoord(); V2.Y = RandomCoord(); V2.Z = RandomCoord();
+      Origin.X = RandomCoord();
+      Origin.Y = RandomCoord();
+      Origin.Z = static_cast<float>(-2.0 - Workload.nextDouble());
+      Direction.X = RandomCoord() * Approx<float>(0.2f);
+      Direction.Y = RandomCoord() * Approx<float>(0.2f);
+      Direction.Z = 1.0f;
+
+      // Moeller-Trumbore.
+      AVec3 Edge1 = sub(V1, V0);
+      AVec3 Edge2 = sub(V2, V0);
+      AVec3 PVec = cross(Direction, Edge2);
+      Approx<float> Det = dot(Edge1, PVec);
+
+      bool Hit;
+      // Degenerate determinant: the ray is parallel to the triangle.
+      if (endorse(enerj::abs(Det) < Approx<float>(1e-7f))) {
+        Hit = false;
+      } else {
+        Approx<float> InvDet = Approx<float>(1.0f) / Det;
+        AVec3 TVec = sub(Origin, V0);
+        Approx<float> U = dot(TVec, PVec) * InvDet;
+        AVec3 QVec = cross(TVec, Edge1);
+        Approx<float> V = dot(Direction, QVec) * InvDet;
+        Approx<float> T = dot(Edge2, QVec) * InvDet;
+        ApproxBool Inside = (U >= Approx<float>(0.0f)) &
+                            (V >= Approx<float>(0.0f)) &
+                            (U + V <= Approx<float>(1.0f)) &
+                            (T > Approx<float>(0.0f));
+        Hit = endorse(Inside);
+      }
+      Output.Decisions.push_back(Hit ? 1 : 0);
+    }
+    return Output;
+  }
+
+  double qosError(const AppOutput &Precise,
+                  const AppOutput &Degraded) const override {
+    return qos::decisionError(Precise.Decisions, Degraded.Decisions);
+  }
+};
+
+} // namespace
+
+const Application *enerj::apps::triKernelApp() {
+  static TriKernelApp App;
+  return &App;
+}

@@ -1,0 +1,88 @@
+//===- arch/layout.cpp - Cache-line-granularity data layout --------------===//
+
+#include "arch/layout.h"
+
+#include <cassert>
+
+using namespace enerj;
+
+/// Bytes of array header (length + type information), always precise.
+static constexpr uint64_t ArrayHeaderBytes = 16;
+
+static uint64_t ceilDiv(uint64_t A, uint64_t B) { return (A + B - 1) / B; }
+
+LayoutResult enerj::layoutObject(const std::vector<FieldDecl> &Fields,
+                                 uint64_t LineBytes, uint64_t HeaderBytes) {
+  assert(LineBytes > 0 && "line size must be positive");
+  LayoutResult Result;
+  Result.LineBytes = LineBytes;
+
+  // Phase 1: header, then precise fields, contiguously and in declaration
+  // order (superclass fields first; the caller passes them first).
+  uint64_t Offset = HeaderBytes;
+  for (const FieldDecl &F : Fields) {
+    if (F.Approx)
+      continue;
+    Result.Fields.push_back({F.Name, Offset, F.Bytes, false, false});
+    Offset += F.Bytes;
+  }
+  uint64_t PreciseEnd = Offset;
+  // Every line containing at least one precise byte is a precise line.
+  uint64_t PreciseLines = ceilDiv(PreciseEnd, LineBytes);
+  uint64_t PreciseRegionEnd = PreciseLines * LineBytes;
+
+  // Phase 2: approximate fields after the precise data. Bytes that land in
+  // the trailing precise line stay precise (wasting space to push them to
+  // an approximate line would use more memory and thus more energy).
+  for (const FieldDecl &F : Fields) {
+    if (!F.Approx)
+      continue;
+    bool StoredApprox = Offset >= PreciseRegionEnd;
+    Result.Fields.push_back({F.Name, Offset, F.Bytes, true, StoredApprox});
+    Offset += F.Bytes;
+  }
+  Result.TotalBytes = Offset;
+
+  // Per-byte accounting: bytes in lines < PreciseLines are precise.
+  uint64_t BoundaryInObject =
+      PreciseRegionEnd < Offset ? PreciseRegionEnd : Offset;
+  Result.PreciseBytes = BoundaryInObject;
+  Result.ApproxBytes = Offset - BoundaryInObject;
+
+  // Fix up placements that straddle the boundary: a field is stored
+  // approximately only if all its bytes live in approximate lines.
+  for (FieldPlacement &P : Result.Fields)
+    if (P.DeclaredApprox)
+      P.StoredApprox = P.Offset >= PreciseRegionEnd;
+
+  uint64_t Lines = ceilDiv(Offset, LineBytes);
+  Result.LineIsApprox.assign(Lines, false);
+  for (uint64_t L = PreciseLines; L < Lines; ++L)
+    Result.LineIsApprox[L] = true;
+  return Result;
+}
+
+LayoutResult enerj::layoutArray(uint64_t Count, uint64_t ElementBytes,
+                                bool ElementsApprox, uint64_t LineBytes) {
+  assert(LineBytes > 0 && "line size must be positive");
+  LayoutResult Result;
+  Result.LineBytes = LineBytes;
+  uint64_t Occupied = ArrayHeaderBytes + Count * ElementBytes;
+  Result.TotalBytes = Occupied;
+  uint64_t Lines = ceilDiv(Occupied, LineBytes);
+  Result.LineIsApprox.assign(Lines, false);
+
+  if (!ElementsApprox) {
+    Result.PreciseBytes = Occupied;
+    Result.ApproxBytes = 0;
+    return Result;
+  }
+
+  // First line (length + type information) precise; the rest approximate.
+  uint64_t FirstLineEnd = LineBytes < Occupied ? LineBytes : Occupied;
+  Result.PreciseBytes = FirstLineEnd;
+  Result.ApproxBytes = Occupied - FirstLineEnd;
+  for (uint64_t L = 1; L < Lines; ++L)
+    Result.LineIsApprox[L] = true;
+  return Result;
+}

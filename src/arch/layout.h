@@ -1,0 +1,93 @@
+//===- arch/layout.h - Cache-line-granularity data layout ------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The object and array layout scheme of Section 4.1. Approximation is
+/// supported at cache-line granularity: a line is either precise or
+/// approximate, and the runtime must segregate data accordingly.
+///
+/// Objects: the precise portion (including the vtable pointer / header) is
+/// laid out first, contiguously; every line containing at least one precise
+/// byte is a precise line. Approximate fields are then appended: those that
+/// fall in the trailing precise line stay precise (and save no memory
+/// energy); the remainder go to approximate lines. Field order is
+/// superclass-first and may not be rearranged in subclasses.
+///
+/// Arrays of approximate primitives: the first line (length + type
+/// information) is precise; all remaining lines are approximate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ARCH_LAYOUT_H
+#define ENERJ_ARCH_LAYOUT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enerj {
+
+/// Default line size assumed throughout the paper's evaluation.
+inline constexpr uint64_t DefaultCacheLineBytes = 64;
+
+/// Size in bytes of the object header (vtable pointer), always precise.
+inline constexpr uint64_t ObjectHeaderBytes = 8;
+
+/// One declared field of a class, in declaration order.
+struct FieldDecl {
+  std::string Name;
+  uint64_t Bytes = 0;
+  bool Approx = false;
+};
+
+/// Where one field ended up.
+struct FieldPlacement {
+  std::string Name;
+  uint64_t Offset = 0;   ///< Byte offset within the object.
+  uint64_t Bytes = 0;
+  bool DeclaredApprox = false;
+  bool StoredApprox = false; ///< False for approx fields stuck on a precise line.
+};
+
+/// The result of laying out one object or array.
+struct LayoutResult {
+  uint64_t LineBytes = DefaultCacheLineBytes;
+  uint64_t TotalBytes = 0;       ///< Object size, padded to whole lines.
+  uint64_t PreciseBytes = 0;     ///< Bytes living in precise lines.
+  uint64_t ApproxBytes = 0;      ///< Bytes living in approximate lines.
+  std::vector<bool> LineIsApprox; ///< Per-line approximation bit (the bitmap).
+  std::vector<FieldPlacement> Fields;
+
+  uint64_t lineCount() const { return LineIsApprox.size(); }
+
+  /// Fraction of the object's lines that could be made approximate.
+  double approxLineFraction() const {
+    if (LineIsApprox.empty())
+      return 0.0;
+    uint64_t Approx = 0;
+    for (bool B : LineIsApprox)
+      Approx += B;
+    return static_cast<double>(Approx) / LineIsApprox.size();
+  }
+};
+
+/// Lays out an object with the given fields (in declaration order,
+/// superclass fields first) per Section 4.1. \p HeaderBytes precise bytes
+/// (vtable pointer etc.) always come first.
+LayoutResult layoutObject(const std::vector<FieldDecl> &Fields,
+                          uint64_t LineBytes = DefaultCacheLineBytes,
+                          uint64_t HeaderBytes = ObjectHeaderBytes);
+
+/// Lays out an array of \p Count elements of \p ElementBytes each. When
+/// \p ElementsApprox, the first line (length/type header) is precise and
+/// all remaining lines are approximate; otherwise everything is precise.
+LayoutResult layoutArray(uint64_t Count, uint64_t ElementBytes,
+                         bool ElementsApprox,
+                         uint64_t LineBytes = DefaultCacheLineBytes);
+
+} // namespace enerj
+
+#endif // ENERJ_ARCH_LAYOUT_H

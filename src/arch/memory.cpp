@@ -1,0 +1,63 @@
+//===- arch/memory.cpp - Storage accounting and logical clock ------------===//
+
+#include "arch/memory.h"
+
+#include <cassert>
+
+using namespace enerj;
+
+LeaseHandle MemoryLedger::lease(Region R, uint64_t PreciseBytes,
+                                uint64_t ApproxBytes) {
+  uint32_t Index;
+  if (!FreeList.empty()) {
+    Index = FreeList.back();
+    FreeList.pop_back();
+  } else {
+    Index = static_cast<uint32_t>(Records.size());
+    Records.emplace_back();
+  }
+  LeaseRecord &Rec = Records[Index];
+  Rec.Reg = R;
+  Rec.PreciseBytes = PreciseBytes;
+  Rec.ApproxBytes = ApproxBytes;
+  Rec.Start = Now;
+  Rec.Active = true;
+  ++Live;
+  return {Index};
+}
+
+void MemoryLedger::accumulate(StorageStats &Into, const LeaseRecord &Rec,
+                              uint64_t End) const {
+  assert(End >= Rec.Start && "lease ends before it starts");
+  double Duration = static_cast<double>(End - Rec.Start);
+  double PreciseBC = Duration * static_cast<double>(Rec.PreciseBytes);
+  double ApproxBC = Duration * static_cast<double>(Rec.ApproxBytes);
+  if (Rec.Reg == Region::Sram) {
+    Into.SramPrecise += PreciseBC;
+    Into.SramApprox += ApproxBC;
+  } else {
+    Into.DramPrecise += PreciseBC;
+    Into.DramApprox += ApproxBC;
+  }
+}
+
+void MemoryLedger::release(LeaseHandle Handle) {
+  if (!Handle.valid())
+    return;
+  assert(Handle.Index < Records.size() && "bad lease handle");
+  LeaseRecord &Rec = Records[Handle.Index];
+  assert(Rec.Active && "double release of a storage lease");
+  accumulate(Finished, Rec, Now);
+  Rec.Active = false;
+  FreeList.push_back(Handle.Index);
+  assert(Live > 0);
+  --Live;
+}
+
+StorageStats MemoryLedger::snapshot() const {
+  StorageStats Stats = Finished;
+  for (const LeaseRecord &Rec : Records)
+    if (Rec.Active)
+      accumulate(Stats, Rec, Now);
+  return Stats;
+}

@@ -1,0 +1,81 @@
+//===- arch/memory.h - Storage accounting and logical clock ----*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage side of the hardware model: a logical cycle clock and a
+/// byte-second ledger. The simulator ticks the clock once per dynamic
+/// operation; every tracked allocation (an Approx<T> scalar on the stack,
+/// an ApproxArray<T> on the heap, or an app-registered precise buffer)
+/// leases bytes from a region for its lifetime, and the ledger accumulates
+/// bytes x cycles into the four StorageStats buckets. DRAM decay timing is
+/// the data's own concern (ApproxArray keeps per-element last-access
+/// cycles); this class only does bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ARCH_MEMORY_H
+#define ENERJ_ARCH_MEMORY_H
+
+#include "arch/stats.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace enerj {
+
+/// Handle to a live storage lease. Obtained from MemoryLedger::lease.
+struct LeaseHandle {
+  uint32_t Index = ~0u;
+  bool valid() const { return Index != ~0u; }
+};
+
+/// The logical clock plus the byte-second ledger.
+class MemoryLedger {
+public:
+  /// Advances the clock by \p Cycles (default: one operation).
+  void tick(uint64_t Cycles = 1) { Now += Cycles; }
+
+  /// Current logical time in cycles.
+  uint64_t now() const { return Now; }
+
+  /// Starts a lease of \p PreciseBytes + \p ApproxBytes in \p R at the
+  /// current time. The split normally comes from a LayoutResult, so the
+  /// approximate bytes are post-layout (line-granular) approximate bytes.
+  LeaseHandle lease(Region R, uint64_t PreciseBytes, uint64_t ApproxBytes);
+
+  /// Ends a lease, accumulating its byte-cycles into the stats.
+  void release(LeaseHandle Handle);
+
+  /// Byte-cycle totals including all still-live leases up to now().
+  /// Does not end any lease.
+  StorageStats snapshot() const;
+
+  /// Number of live leases (for tests).
+  size_t liveLeases() const { return Live; }
+
+private:
+  struct LeaseRecord {
+    Region Reg = Region::Sram;
+    uint64_t PreciseBytes = 0;
+    uint64_t ApproxBytes = 0;
+    uint64_t Start = 0;
+    bool Active = false;
+  };
+
+  void accumulate(StorageStats &Into, const LeaseRecord &Rec,
+                  uint64_t End) const;
+
+  uint64_t Now = 0;
+  StorageStats Finished;
+  std::vector<LeaseRecord> Records;
+  std::vector<uint32_t> FreeList;
+  size_t Live = 0;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_ARCH_MEMORY_H

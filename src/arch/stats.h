@@ -1,0 +1,111 @@
+//===- arch/stats.h - Operation and storage statistics ---------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statistics the paper's simulator records (Section 5.2): dynamic
+/// arithmetic operations split by precision and by integer/floating-point,
+/// and storage footprint in byte-seconds split by precision and by
+/// SRAM (registers + cache, i.e. stack data) vs DRAM (heap data).
+/// Figures 3 and 4 are computed from exactly these numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ARCH_STATS_H
+#define ENERJ_ARCH_STATS_H
+
+#include <cstdint>
+
+namespace enerj {
+
+/// Which storage technology holds a piece of data. The paper's rough
+/// approximation (Section 5.3): heap data is DRAM, stack data is SRAM.
+enum class Region { Sram, Dram };
+
+/// Dynamic operation counters.
+struct OperationStats {
+  uint64_t PreciseInt = 0;
+  uint64_t ApproxInt = 0;
+  uint64_t PreciseFp = 0;
+  uint64_t ApproxFp = 0;
+  uint64_t TimingErrors = 0; ///< Timing faults actually injected.
+
+  uint64_t totalInt() const { return PreciseInt + ApproxInt; }
+  uint64_t totalFp() const { return PreciseFp + ApproxFp; }
+  uint64_t total() const { return totalInt() + totalFp(); }
+
+  /// Fraction of dynamic integer operations executed approximately
+  /// (0 when none were executed).
+  double approxIntFraction() const {
+    uint64_t Total = totalInt();
+    return Total ? static_cast<double>(ApproxInt) / Total : 0.0;
+  }
+
+  /// Fraction of dynamic FP operations executed approximately.
+  double approxFpFraction() const {
+    uint64_t Total = totalFp();
+    return Total ? static_cast<double>(ApproxFp) / Total : 0.0;
+  }
+
+  /// Proportion of arithmetic that is floating point (Table 3's
+  /// "Proportion FP" column).
+  double fpProportion() const {
+    uint64_t Total = total();
+    return Total ? static_cast<double>(totalFp()) / Total : 0.0;
+  }
+
+  OperationStats &operator+=(const OperationStats &Other) {
+    PreciseInt += Other.PreciseInt;
+    ApproxInt += Other.ApproxInt;
+    PreciseFp += Other.PreciseFp;
+    ApproxFp += Other.ApproxFp;
+    TimingErrors += Other.TimingErrors;
+    return *this;
+  }
+};
+
+/// Storage footprint in byte-cycles (converted to byte-seconds by the
+/// energy model via the configured clock rate). Approximate bytes are the
+/// bytes that actually landed in approximate cache lines / DRAM rows after
+/// the Section 4.1 layout, not merely the bytes with approximate type.
+struct StorageStats {
+  double SramPrecise = 0;
+  double SramApprox = 0;
+  double DramPrecise = 0;
+  double DramApprox = 0;
+
+  double sramTotal() const { return SramPrecise + SramApprox; }
+  double dramTotal() const { return DramPrecise + DramApprox; }
+
+  /// Fraction of SRAM byte-seconds holding approximate data (Figure 3).
+  double sramApproxFraction() const {
+    double Total = sramTotal();
+    return Total > 0 ? SramApprox / Total : 0.0;
+  }
+
+  /// Fraction of DRAM byte-seconds holding approximate data (Figure 3).
+  double dramApproxFraction() const {
+    double Total = dramTotal();
+    return Total > 0 ? DramApprox / Total : 0.0;
+  }
+
+  StorageStats &operator+=(const StorageStats &Other) {
+    SramPrecise += Other.SramPrecise;
+    SramApprox += Other.SramApprox;
+    DramPrecise += Other.DramPrecise;
+    DramApprox += Other.DramApprox;
+    return *this;
+  }
+};
+
+/// Everything the simulator measured during one run.
+struct RunStats {
+  OperationStats Ops;
+  StorageStats Storage;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_ARCH_STATS_H

@@ -1,0 +1,284 @@
+//===- core/approx.h - The @Approx type qualifier --------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Approx<T> is the C++ encoding of EnerJ's @Approx qualifier on a primitive
+/// type (Section 2.1). The static isolation guarantees of the paper's type
+/// system are enforced by C++'s own conversion rules:
+///
+///  * precise-to-approximate flow is allowed (implicit constructor — the
+///    subtyping rule "precise P <: approx P" for primitives);
+///  * approximate-to-precise flow is a compile error (there is no
+///    conversion operator to T); the only way out is endorse() (Section 2.2);
+///  * approximate conditions are a compile error (Approx<bool> does not
+///    convert to bool), reproducing the implicit-flow rule of Section 2.4;
+///  * approximate array subscripts are a compile error (Section 2.6).
+///
+/// Dynamically, an Approx<T> is an approximate register/stack slot: reads
+/// suffer SRAM read upsets, writes suffer SRAM write failures, and all
+/// arithmetic routes through the approximate functional units of the
+/// current Simulator (operand mantissa narrowing plus timing errors).
+/// With no simulator installed, every operation is exact — executing the
+/// annotations as plain code is a valid execution (Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_CORE_APPROX_H
+#define ENERJ_CORE_APPROX_H
+
+#include "runtime/simulator.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace enerj {
+
+namespace detail {
+
+/// Computes one approximate binary operation: narrows FP operands, applies
+/// the host operation, and passes the result through the timing model.
+/// \p Op receives the (possibly narrowed) operands.
+template <typename T, typename ResultT, typename OpFn>
+ResultT approxBinary(T Lhs, T Rhs, OpFn Op) {
+  Simulator *Sim = Simulator::current();
+  if (!Sim)
+    return Op(Lhs, Rhs);
+  T NarrowL = Sim->narrowOperand(Lhs);
+  T NarrowR = Sim->narrowOperand(Rhs);
+  ResultT Correct = Op(NarrowL, NarrowR);
+  return Sim->opResult(Correct, /*IsFp=*/std::is_floating_point_v<T>);
+}
+
+} // namespace detail
+
+/// An approximate value of primitive type \p T. See the file comment for
+/// the static rules it enforces.
+template <typename T> class Approx {
+  static_assert(std::is_arithmetic_v<T>,
+                "@Approx qualifies primitive types; use Approximable classes "
+                "for objects (Section 2.5)");
+
+public:
+  /// Precise-to-approximate flow via subtyping (Section 2.1): implicit.
+  /// Initialization is a fresh register definition, not a store into
+  /// existing approximate storage, so it injects no write failure —
+  /// mirroring the paper's instrumentation, which faults variable/field
+  /// accesses but not operand-stack temporaries.
+  Approx(T Value = T()) { init(Value); }
+
+  Approx(const Approx &Other) { init(Other.load()); }
+
+  /// Assignment overwrites existing approximate storage: the write goes
+  /// through the SRAM write-failure path.
+  Approx &operator=(const Approx &Other) {
+    assign(Other.load());
+    return *this;
+  }
+
+  Approx &operator=(T Value) {
+    assign(Value);
+    return *this;
+  }
+
+  ~Approx() {
+    if (Lease.valid() && Simulator::current() == Owner && Owner)
+      Owner->ledger().release(Lease);
+  }
+
+  /// Reads the stored value through the approximate read path (SRAM read
+  /// upset). Used by endorse() and the operator implementations.
+  T load() const {
+    Simulator *Sim = Simulator::current();
+    if (Sim && Sim == Owner)
+      return Sim->sramRead(Storage);
+    return Storage;
+  }
+
+  /// Reads the stored bits without injecting faults or recording anything.
+  /// For test assertions and debugging only — real programs use endorse().
+  T peek() const { return Storage; }
+
+  /// Explicit precision conversion, e.g. Approx<float> -> Approx<double>.
+  /// The conversion itself is an approximate FP/int operation.
+  template <typename U> Approx<U> convert() const {
+    T Value = load();
+    return Approx<U>(detail::approxBinary<T, U>(
+        Value, Value, [](T A, T) { return static_cast<U>(A); }));
+  }
+
+  /// --- Approximate arithmetic (Section 2.3). Hidden friends so that
+  /// --- mixed precise/approximate expressions promote the precise operand,
+  /// --- mirroring EnerJ's overloading + bidirectional typing: the result
+  /// --- is approximate, so the approximate operator is selected.
+
+  // Integer arithmetic wraps (approximate values are arbitrary bit
+  // patterns); FP arithmetic follows IEEE.
+  friend Approx operator+(const Approx &Lhs, const Approx &Rhs) {
+    return Approx(detail::approxBinary<T, T>(
+        Lhs.load(), Rhs.load(), [](T A, T B) {
+          if constexpr (std::is_integral_v<T>)
+            return wrapAdd(A, B);
+          else
+            return static_cast<T>(A + B);
+        }));
+  }
+
+  friend Approx operator-(const Approx &Lhs, const Approx &Rhs) {
+    return Approx(detail::approxBinary<T, T>(
+        Lhs.load(), Rhs.load(), [](T A, T B) {
+          if constexpr (std::is_integral_v<T>)
+            return wrapSub(A, B);
+          else
+            return static_cast<T>(A - B);
+        }));
+  }
+
+  friend Approx operator*(const Approx &Lhs, const Approx &Rhs) {
+    return Approx(detail::approxBinary<T, T>(
+        Lhs.load(), Rhs.load(), [](T A, T B) {
+          if constexpr (std::is_integral_v<T>)
+            return wrapMul(A, B);
+          else
+            return static_cast<T>(A * B);
+        }));
+  }
+
+  /// Approximate division never traps (Section 5.2): integer division by
+  /// zero yields zero, FP division by zero yields NaN.
+  friend Approx operator/(const Approx &Lhs, const Approx &Rhs) {
+    return Approx(detail::approxBinary<T, T>(
+        Lhs.load(), Rhs.load(), [](T A, T B) {
+          if constexpr (std::is_integral_v<T>) {
+            if (B == 0)
+              return static_cast<T>(0);
+            return wrapDiv(A, B);
+          } else {
+            if (B == T(0))
+              return std::numeric_limits<T>::quiet_NaN();
+            return static_cast<T>(A / B);
+          }
+        }));
+  }
+
+  friend Approx operator%(const Approx &Lhs, const Approx &Rhs)
+    requires std::is_integral_v<T>
+  {
+    return Approx(detail::approxBinary<T, T>(
+        Lhs.load(), Rhs.load(),
+        [](T A, T B) { return B == 0 ? static_cast<T>(0)
+                                     : wrapRem(A, B); }));
+  }
+
+  friend Approx operator-(const Approx &Value) {
+    return Approx(detail::approxBinary<T, T>(
+        Value.load(), Value.load(), [](T A, T) {
+          if constexpr (std::is_integral_v<T>)
+            return wrapNeg(A);
+          else
+            return static_cast<T>(-A);
+        }));
+  }
+
+  Approx &operator+=(const Approx &Rhs) { return *this = *this + Rhs; }
+  Approx &operator-=(const Approx &Rhs) { return *this = *this - Rhs; }
+  Approx &operator*=(const Approx &Rhs) { return *this = *this * Rhs; }
+  Approx &operator/=(const Approx &Rhs) { return *this = *this / Rhs; }
+
+  Approx &operator++() { return *this += Approx(T(1)); }
+  Approx &operator--() { return *this -= Approx(T(1)); }
+
+  /// --- Approximate comparisons. The result has approximate type, so it
+  /// --- cannot steer control flow without an endorsement (Section 2.4).
+
+  friend Approx<bool> operator==(const Approx &Lhs, const Approx &Rhs) {
+    return Approx<bool>(detail::approxBinary<T, bool>(
+        Lhs.load(), Rhs.load(), [](T A, T B) { return A == B; }));
+  }
+  friend Approx<bool> operator!=(const Approx &Lhs, const Approx &Rhs) {
+    return Approx<bool>(detail::approxBinary<T, bool>(
+        Lhs.load(), Rhs.load(), [](T A, T B) { return A != B; }));
+  }
+  friend Approx<bool> operator<(const Approx &Lhs, const Approx &Rhs) {
+    return Approx<bool>(detail::approxBinary<T, bool>(
+        Lhs.load(), Rhs.load(), [](T A, T B) { return A < B; }));
+  }
+  friend Approx<bool> operator<=(const Approx &Lhs, const Approx &Rhs) {
+    return Approx<bool>(detail::approxBinary<T, bool>(
+        Lhs.load(), Rhs.load(), [](T A, T B) { return A <= B; }));
+  }
+  friend Approx<bool> operator>(const Approx &Lhs, const Approx &Rhs) {
+    return Approx<bool>(detail::approxBinary<T, bool>(
+        Lhs.load(), Rhs.load(), [](T A, T B) { return A > B; }));
+  }
+  friend Approx<bool> operator>=(const Approx &Lhs, const Approx &Rhs) {
+    return Approx<bool>(detail::approxBinary<T, bool>(
+        Lhs.load(), Rhs.load(), [](T A, T B) { return A >= B; }));
+  }
+
+  /// --- Approximate logical connectives on Approx<bool> (non-short-
+  /// --- circuiting, like Java's & and | on booleans).
+
+  friend Approx operator&(const Approx &Lhs, const Approx &Rhs)
+    requires std::is_same_v<T, bool>
+  {
+    return Approx(detail::approxBinary<T, bool>(
+        Lhs.load(), Rhs.load(), [](bool A, bool B) { return A && B; }));
+  }
+  friend Approx operator|(const Approx &Lhs, const Approx &Rhs)
+    requires std::is_same_v<T, bool>
+  {
+    return Approx(detail::approxBinary<T, bool>(
+        Lhs.load(), Rhs.load(), [](bool A, bool B) { return A || B; }));
+  }
+  friend Approx operator!(const Approx &Value)
+    requires std::is_same_v<T, bool>
+  {
+    return Approx(detail::approxBinary<T, bool>(
+        Value.load(), Value.load(), [](bool A, bool) { return !A; }));
+  }
+
+private:
+  /// First definition of the slot: leases SRAM, stores raw.
+  void init(T Value) {
+    Storage = Value;
+    Simulator *Sim = Simulator::current();
+    if (!Sim)
+      return;
+    Owner = Sim;
+    Lease = Sim->ledger().lease(Region::Sram, 0, sizeof(T));
+  }
+
+  /// Overwrite of existing approximate storage: write-failure path.
+  void assign(T Value) {
+    Simulator *Sim = Simulator::current();
+    if (!Sim) {
+      Storage = Value;
+      return;
+    }
+    if (!Lease.valid()) {
+      Owner = Sim;
+      Lease = Sim->ledger().lease(Region::Sram, 0, sizeof(T));
+    }
+    Storage = Sim == Owner ? Sim->sramWrite(Value) : Value;
+  }
+
+  T Storage = T();
+  LeaseHandle Lease;
+  Simulator *Owner = nullptr;
+};
+
+/// Convenient aliases matching the paper's examples.
+using ApproxInt = Approx<int32_t>;
+using ApproxLong = Approx<int64_t>;
+using ApproxFloat = Approx<float>;
+using ApproxDouble = Approx<double>;
+using ApproxBool = Approx<bool>;
+
+} // namespace enerj
+
+#endif // ENERJ_CORE_APPROX_H

@@ -1,0 +1,74 @@
+//===- core/approximable.h - @Approximable classes & @Context --*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Qualifier polymorphism for classes (Section 2.5). In EnerJ, an
+/// @Approximable class can have precise and approximate *instances*, and
+/// @Context-qualified members take their precision from the instance's
+/// qualifier. In C++ we encode the instance qualifier as a non-type
+/// template parameter:
+///
+/// \code
+///   template <Precision P> class IntPair : public Approximable<P> {
+///     Context<P, int> X;           // @Context int x;
+///     Context<P, int> Y;           // @Context int y;
+///     Approx<int> NumAdditions;    // @Approx int numAdditions;
+///   public:
+///     void addToBoth(Context<P, int> Amount) { ... }
+///   };
+///   IntPair<Precision::Approx> A;  // fields X, Y approximate
+///   IntPair<Precision::Precise> B; // fields X, Y precise
+/// \endcode
+///
+/// Algorithmic approximation (Section 2.5.2) — the _APPROX method naming
+/// convention — becomes a constrained overload: declare the precise body
+/// with `requires (P == Precision::Precise)` and the approximate body with
+/// `requires (P == Precision::Approx)` under the *same name*; the compiler
+/// selects the implementation from the receiver's qualifier, exactly like
+/// EnerJ's receiver-based dispatch. Because precise class types are not
+/// subtypes of their approximate counterparts (Section 2.5), IntPair<Approx>
+/// and IntPair<Precise> are unrelated types — the same unsoundness the
+/// paper avoids is ruled out for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_CORE_APPROXIMABLE_H
+#define ENERJ_CORE_APPROXIMABLE_H
+
+#include "core/approx.h"
+#include "core/array.h"
+#include "core/precise.h"
+
+namespace enerj {
+
+/// The precision qualifier of an approximable-class instance.
+enum class Precision { Precise, Approx };
+
+/// True when the enclosing instance is approximate; handy in
+/// `if constexpr` bodies and requires-clauses.
+template <Precision P>
+inline constexpr bool IsApprox = (P == Precision::Approx);
+
+/// @Context T: precise members on precise instances, approximate members
+/// on approximate instances (Section 2.5.1).
+template <Precision P, typename T>
+using Context = std::conditional_t<IsApprox<P>, Approx<T>, Precise<T>>;
+
+/// @Context T[]: the array counterpart.
+template <Precision P, typename T>
+using ContextArray = std::conditional_t<IsApprox<P>, ApproxArray<T>,
+                                        PreciseArray<T>>;
+
+/// Marker base for approximable classes (the @Approximable annotation).
+/// Carries no state; it documents intent and lets generic code constrain
+/// on "is an approximable class".
+template <Precision P> struct Approximable {
+  static constexpr Precision InstancePrecision = P;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_CORE_APPROXIMABLE_H

@@ -1,0 +1,203 @@
+//===- core/array.h - Approximate and precise array types ------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arrays under EnerJ's rules (Section 2.6):
+///
+///  * ApproxArray<T> has approximate elements but an always-precise length
+///    (memory safety), and its subscripts must be precise — indexing with
+///    an Approx<U> is a compile error; endorse the index first.
+///  * PreciseArray<T> is the instrumented precise counterpart: no faults,
+///    but its footprint is charged as precise DRAM byte-seconds.
+///
+/// Both live on the heap, which the simulator's rough model (Section 5.3)
+/// maps to DRAM. An ApproxArray's storage follows the Section 4.1 layout:
+/// the first cache line (length + type information) is precise; the rest
+/// are approximate and decay with time since their last access under the
+/// reduced refresh rate. Each element records its last-access cycle; a
+/// read or write refreshes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_CORE_ARRAY_H
+#define ENERJ_CORE_ARRAY_H
+
+#include "arch/layout.h"
+#include "core/approx.h"
+#include "core/precise.h"
+#include "runtime/simulator.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace enerj {
+
+/// An array of approximate primitive elements with a precise length.
+template <typename T> class ApproxArray {
+  static_assert(std::is_arithmetic_v<T>,
+                "ApproxArray elements are primitives");
+
+public:
+  explicit ApproxArray(size_t Count, T Fill = T())
+      : Data(Count, Fill), LastAccess(Count, 0) {
+    Simulator *Sim = Simulator::current();
+    if (!Sim)
+      return;
+    Owner = Sim;
+    LayoutResult Layout = layoutArray(Count, sizeof(T), /*ElementsApprox=*/true,
+                                      Sim->config().CacheLineBytes);
+    Lease = Sim->ledger().lease(Region::Dram, Layout.PreciseBytes,
+                                Layout.ApproxBytes);
+    uint64_t Now = Sim->now();
+    for (uint64_t &Cycle : LastAccess)
+      Cycle = Now;
+  }
+
+  ApproxArray(const ApproxArray &) = delete;
+  ApproxArray &operator=(const ApproxArray &) = delete;
+  ApproxArray(ApproxArray &&Other) noexcept
+      : Data(std::move(Other.Data)), LastAccess(std::move(Other.LastAccess)),
+        Lease(Other.Lease), Owner(Other.Owner) {
+    Other.Lease = LeaseHandle();
+    Other.Owner = nullptr;
+  }
+
+  ~ApproxArray() {
+    if (Lease.valid() && Simulator::current() == Owner && Owner)
+      Owner->ledger().release(Lease);
+  }
+
+  /// The length is always precise (Section 2.6).
+  size_t size() const { return Data.size(); }
+
+  /// Reads element \p Index through the approximate DRAM path. The read
+  /// refreshes the element. The index must be precise.
+  Approx<T> get(size_t Index) const {
+    assert(Index < Data.size() && "array index out of bounds");
+    Simulator *Sim = Simulator::current();
+    if (!Sim || Sim != Owner)
+      return Approx<T>(Data[Index]);
+    T Decayed = Sim->dramAccess(Data[Index], LastAccess[Index]);
+    Data[Index] = Decayed; // Decay is physical: the cell changed.
+    LastAccess[Index] = Sim->now();
+    return Approx<T>(Decayed);
+  }
+
+  /// Stores into element \p Index (refreshing it). The value may be
+  /// approximate or precise (subtyping); the index must be precise.
+  void set(size_t Index, const Approx<T> &Value) {
+    assert(Index < Data.size() && "array index out of bounds");
+    Simulator *Sim = Simulator::current();
+    Data[Index] = Value.load();
+    if (Sim && Sim == Owner) {
+      LastAccess[Index] = Sim->now();
+      Sim->ledger().tick(); // A store is a memory operation.
+    }
+  }
+
+  /// Approximate indices are illegal (Section 2.6): endorse them first.
+  template <typename U> Approx<T> get(const Approx<U> &) const = delete;
+  template <typename U>
+  void set(const Approx<U> &, const Approx<T> &) = delete;
+
+  /// Proxy enabling natural a[i] syntax for both loads and stores.
+  class ElementRef {
+  public:
+    ElementRef(ApproxArray &Array, size_t Index)
+        : Array(Array), Index(Index) {}
+    operator Approx<T>() const { return Array.get(Index); }
+    ElementRef &operator=(const Approx<T> &Value) {
+      Array.set(Index, Value);
+      return *this;
+    }
+    ElementRef &operator+=(const Approx<T> &Value) {
+      return *this = Array.get(Index) + Value;
+    }
+    ElementRef &operator-=(const Approx<T> &Value) {
+      return *this = Array.get(Index) - Value;
+    }
+    ElementRef &operator*=(const Approx<T> &Value) {
+      return *this = Array.get(Index) * Value;
+    }
+    ElementRef &operator/=(const Approx<T> &Value) {
+      return *this = Array.get(Index) / Value;
+    }
+
+  private:
+    ApproxArray &Array;
+    size_t Index;
+  };
+
+  ElementRef operator[](size_t Index) { return ElementRef(*this, Index); }
+  Approx<T> operator[](size_t Index) const { return get(Index); }
+
+  template <typename U> ElementRef operator[](const Approx<U> &) = delete;
+
+  /// Faithful bit-level view for QoS comparison after the run; does not
+  /// model a load (no decay, no refresh, no counting).
+  const std::vector<T> &peek() const { return Data; }
+
+private:
+  mutable std::vector<T> Data;
+  mutable std::vector<uint64_t> LastAccess;
+  LeaseHandle Lease;
+  Simulator *Owner = nullptr;
+};
+
+/// A heap array of precise elements: no faults, footprint charged as
+/// precise DRAM byte-seconds.
+template <typename T> class PreciseArray {
+public:
+  explicit PreciseArray(size_t Count, T Fill = T()) : Data(Count, Fill) {
+    Simulator *Sim = Simulator::current();
+    if (!Sim)
+      return;
+    Owner = Sim;
+    LayoutResult Layout = layoutArray(Count, sizeof(T),
+                                      /*ElementsApprox=*/false,
+                                      Sim->config().CacheLineBytes);
+    Lease = Sim->ledger().lease(Region::Dram, Layout.PreciseBytes,
+                                Layout.ApproxBytes);
+  }
+
+  PreciseArray(const PreciseArray &) = delete;
+  PreciseArray &operator=(const PreciseArray &) = delete;
+  PreciseArray(PreciseArray &&Other) noexcept
+      : Data(std::move(Other.Data)), Lease(Other.Lease), Owner(Other.Owner) {
+    Other.Lease = LeaseHandle();
+    Other.Owner = nullptr;
+  }
+
+  ~PreciseArray() {
+    if (Lease.valid() && Simulator::current() == Owner && Owner)
+      Owner->ledger().release(Lease);
+  }
+
+  size_t size() const { return Data.size(); }
+
+  T &operator[](size_t Index) {
+    assert(Index < Data.size() && "array index out of bounds");
+    return Data[Index];
+  }
+  const T &operator[](size_t Index) const {
+    assert(Index < Data.size() && "array index out of bounds");
+    return Data[Index];
+  }
+
+  template <typename U> T &operator[](const Approx<U> &) = delete;
+
+  const std::vector<T> &peek() const { return Data; }
+
+private:
+  std::vector<T> Data;
+  LeaseHandle Lease;
+  Simulator *Owner = nullptr;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_CORE_ARRAY_H

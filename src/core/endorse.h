@@ -1,0 +1,48 @@
+//===- core/endorse.h - Explicit approximate-to-precise flow ---*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// endorse() (Section 2.2): the one sanctioned gate from approximate to
+/// precise. By writing an endorsement the programmer certifies that the
+/// approximate data is handled intelligently — typically after a resilient
+/// computation phase, before a fault-sensitive reduction or output phase.
+///
+/// The endorsement has a runtime effect, as the paper allows: it reads the
+/// value through the approximate read path one final time (the copy from
+/// approximate to precise storage), after which the result carries precise
+/// guarantees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_CORE_ENDORSE_H
+#define ENERJ_CORE_ENDORSE_H
+
+#include "core/approx.h"
+#include "core/precise.h"
+
+namespace enerj {
+
+/// Casts an approximate value to its precise equivalent (Section 2.2).
+template <typename T> T endorse(const Approx<T> &Value) {
+  return Value.load();
+}
+
+/// Endorsing a precise value is the identity; permitted so that generic
+/// code can endorse a Context-qualified value of either precision.
+template <typename T> T endorse(T Value)
+  requires std::is_arithmetic_v<T>
+{
+  return Value;
+}
+
+/// Identity endorsement of an instrumented precise value.
+template <typename T> T endorse(const Precise<T> &Value) {
+  return Value.get();
+}
+
+} // namespace enerj
+
+#endif // ENERJ_CORE_ENDORSE_H

@@ -1,0 +1,36 @@
+//===- core/enerj.h - EnerJ public API umbrella -----------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header for the EnerJ programming model. Include this to get
+/// the full public API:
+///
+///   Approx<T>, Precise<T>, Top<T>   — the type qualifiers (Section 2.1)
+///   endorse()                        — approximate-to-precise flow (2.2)
+///   operator overloads, enerj::sqrt — approximate operations (2.3)
+///   Precision, Context, Approximable — approximable classes (2.5)
+///   ApproxArray<T>, PreciseArray<T> — array rules (2.6)
+///   Simulator, SimulatorScope       — the execution substrate (Section 4)
+///   FaultConfig, ApproxLevel        — approximation strategies (Table 2)
+///   computeEnergy                   — the energy model (Section 5.4)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_CORE_ENERJ_H
+#define ENERJ_CORE_ENERJ_H
+
+#include "core/approx.h"
+#include "core/approximable.h"
+#include "core/array.h"
+#include "core/endorse.h"
+#include "core/math.h"
+#include "core/object.h"
+#include "core/precise.h"
+#include "core/top.h"
+#include "energy/model.h"
+#include "runtime/simulator.h"
+
+#endif // ENERJ_CORE_ENERJ_H

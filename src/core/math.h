@@ -1,0 +1,83 @@
+//===- core/math.h - Approximate math intrinsics ----------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Approximate counterparts of the math intrinsics the evaluation
+/// applications need (sqrt, trigonometry, abs, ...). Each is one dynamic
+/// approximate FP operation on the current simulator: the operand is
+/// narrowed to the configured mantissa width and the result passes through
+/// the FP unit's timing model. These correspond to the approximate
+/// versions of Java's Math.* that the paper's instrumented runtime
+/// provides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_CORE_MATH_H
+#define ENERJ_CORE_MATH_H
+
+#include "core/approx.h"
+
+#include <cmath>
+
+namespace enerj {
+
+namespace detail {
+
+template <typename T, typename Fn> Approx<T> approxUnaryMath(T Value, Fn Op) {
+  static_assert(std::is_floating_point_v<T>,
+                "approximate math intrinsics are FP operations");
+  return Approx<T>(approxBinary<T, T>(Value, Value,
+                                      [&Op](T A, T) { return Op(A); }));
+}
+
+} // namespace detail
+
+template <typename T> Approx<T> sqrt(const Approx<T> &V) {
+  return detail::approxUnaryMath<T>(V.load(),
+                                    [](T A) { return std::sqrt(A); });
+}
+
+template <typename T> Approx<T> sin(const Approx<T> &V) {
+  return detail::approxUnaryMath<T>(V.load(), [](T A) { return std::sin(A); });
+}
+
+template <typename T> Approx<T> cos(const Approx<T> &V) {
+  return detail::approxUnaryMath<T>(V.load(), [](T A) { return std::cos(A); });
+}
+
+template <typename T> Approx<T> exp(const Approx<T> &V) {
+  return detail::approxUnaryMath<T>(V.load(), [](T A) { return std::exp(A); });
+}
+
+template <typename T> Approx<T> log(const Approx<T> &V) {
+  return detail::approxUnaryMath<T>(V.load(), [](T A) { return std::log(A); });
+}
+
+template <typename T> Approx<T> abs(const Approx<T> &V) {
+  return detail::approxUnaryMath<T>(V.load(),
+                                    [](T A) { return std::fabs(A); });
+}
+
+template <typename T> Approx<T> floor(const Approx<T> &V) {
+  return detail::approxUnaryMath<T>(V.load(),
+                                    [](T A) { return std::floor(A); });
+}
+
+/// Approximate fused select: min/max as data operations (no control flow,
+/// so no endorsement needed).
+template <typename T> Approx<T> min(const Approx<T> &A, const Approx<T> &B) {
+  return Approx<T>(detail::approxBinary<T, T>(
+      A.load(), B.load(), [](T X, T Y) { return X < Y ? X : Y; }));
+}
+
+template <typename T> Approx<T> max(const Approx<T> &A, const Approx<T> &B) {
+  return Approx<T>(detail::approxBinary<T, T>(
+      A.load(), B.load(), [](T X, T Y) { return X < Y ? Y : X; }));
+}
+
+} // namespace enerj
+
+#endif // ENERJ_CORE_MATH_H

@@ -1,0 +1,109 @@
+//===- core/object.h - Heap-object storage under Section 4.1 ----*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage accounting for *heap-allocated* approximable objects. C++ has
+/// no field reflection, so a class describes its own fields once (name,
+/// size, approximate?) and an ObjectLease charges the object's bytes to
+/// DRAM according to the cache-line layout of Section 4.1: precise fields
+/// (and the header) first, every line containing a precise byte priced
+/// precise, approximate fields after — those stuck on the trailing
+/// precise line stay precise and save nothing.
+///
+/// Stack instances need no lease: their Context<P, T> members are
+/// Approx<T>/Precise<T> values that already lease SRAM individually.
+///
+/// \code
+///   template <Precision P> class Particle : public Approximable<P> {
+///   public:
+///     static std::vector<FieldDecl> layoutFields() {
+///       bool A = IsApprox<P>;
+///       return {{"x", 4, A}, {"y", 4, A}, {"mass", 4, false}};
+///     }
+///     ...
+///   };
+///   HeapObject<Particle<Precision::Approx>> Obj;  // leases DRAM
+///   Obj->setX(...);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_CORE_OBJECT_H
+#define ENERJ_CORE_OBJECT_H
+
+#include "arch/layout.h"
+#include "runtime/simulator.h"
+
+#include <utility>
+#include <vector>
+
+namespace enerj {
+
+/// RAII lease charging one object's bytes to DRAM per the Section 4.1
+/// layout. Usable directly, or via HeapObject below.
+class ObjectLease {
+public:
+  /// Computes the layout of \p Fields (declaration order, superclass
+  /// fields first) at the current simulator's line size and leases the
+  /// resulting precise/approximate byte split. With no simulator
+  /// installed, the lease is a no-op.
+  explicit ObjectLease(const std::vector<FieldDecl> &Fields) {
+    Simulator *Sim = Simulator::current();
+    if (!Sim)
+      return;
+    Owner = Sim;
+    Layout = layoutObject(Fields, Sim->config().CacheLineBytes);
+    Lease = Sim->ledger().lease(Region::Dram, Layout.PreciseBytes,
+                                Layout.ApproxBytes);
+  }
+
+  ObjectLease(const ObjectLease &) = delete;
+  ObjectLease &operator=(const ObjectLease &) = delete;
+  ObjectLease(ObjectLease &&Other) noexcept
+      : Layout(std::move(Other.Layout)), Lease(Other.Lease),
+        Owner(Other.Owner) {
+    Other.Lease = LeaseHandle();
+    Other.Owner = nullptr;
+  }
+
+  ~ObjectLease() {
+    if (Lease.valid() && Simulator::current() == Owner && Owner)
+      Owner->ledger().release(Lease);
+  }
+
+  /// The computed layout (empty when no simulator was installed).
+  const LayoutResult &layout() const { return Layout; }
+
+private:
+  LayoutResult Layout;
+  LeaseHandle Lease;
+  Simulator *Owner = nullptr;
+};
+
+/// A heap-allocated approximable object with Section 4.1 storage
+/// accounting. \p T must provide `static std::vector<FieldDecl>
+/// layoutFields()`.
+template <typename T> class HeapObject {
+public:
+  template <typename... Args>
+  explicit HeapObject(Args &&...A)
+      : Storage(T::layoutFields()), Value(std::forward<Args>(A)...) {}
+
+  T *operator->() { return &Value; }
+  const T *operator->() const { return &Value; }
+  T &operator*() { return Value; }
+  const T &operator*() const { return Value; }
+
+  const LayoutResult &layout() const { return Storage.layout(); }
+
+private:
+  ObjectLease Storage;
+  T Value;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_CORE_OBJECT_H

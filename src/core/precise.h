@@ -1,0 +1,182 @@
+//===- core/precise.h - The @Precise (default) qualifier -------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precise<T> is an *instrumented* precise value. Semantically it is just a
+/// T — EnerJ's default qualifier — and it converts implicitly in both
+/// directions. Its only job is measurement: every arithmetic operation is
+/// counted as a precise dynamic operation and its storage is counted as
+/// precise SRAM byte-seconds, which the paper's JVM instrumentation did for
+/// all code. Applications use Precise<T> for the precise side of their data
+/// path (loop counters, indices, checksums) so that Figure 3's "fraction of
+/// operations executed approximately" has the right denominator.
+///
+/// Precise<T> never experiences faults: it carries the traditional
+/// correctness guarantees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_CORE_PRECISE_H
+#define ENERJ_CORE_PRECISE_H
+
+#include "core/approx.h"
+#include "runtime/simulator.h"
+
+#include <type_traits>
+
+namespace enerj {
+
+namespace detail {
+
+/// Counts one precise dynamic operation on the current simulator.
+template <typename T> inline void countPrecise() {
+  Simulator *Sim = Simulator::current();
+  if (!Sim)
+    return;
+  if constexpr (std::is_floating_point_v<T>)
+    Sim->countPreciseFp();
+  else
+    Sim->countPreciseInt();
+}
+
+} // namespace detail
+
+/// A counted precise value. See the file comment.
+template <typename T> class Precise {
+  static_assert(std::is_arithmetic_v<T>,
+                "@Precise qualifies primitive types");
+
+public:
+  Precise(T V = T()) : Value(V) { acquire(); }
+
+  Precise(const Precise &Other) : Value(Other.Value) { acquire(); }
+
+  Precise &operator=(const Precise &Other) {
+    Value = Other.Value;
+    return *this;
+  }
+
+  ~Precise() {
+    if (Lease.valid() && Simulator::current() == Owner && Owner)
+      Owner->ledger().release(Lease);
+  }
+
+  /// Precise values flow freely into precise contexts.
+  operator T() const { return Value; }
+
+  /// Precise-to-approximate flow via subtyping (Section 2.1).
+  operator Approx<T>() const { return Approx<T>(Value); }
+
+  /// The underlying value, for when the implicit conversion is awkward.
+  T get() const { return Value; }
+
+  // Arithmetic and comparison operators are provided for Precise/Precise
+  // and both Precise/T mixes. The explicit mixed overloads exist to avoid
+  // ambiguity with the built-in operators reachable through operator T().
+#define ENERJ_PRECISE_ARITH(OP)                                              \
+  friend Precise operator OP(const Precise &L, const Precise &R) {          \
+    detail::countPrecise<T>();                                               \
+    return Precise(static_cast<T>(L.Value OP R.Value), NoCount{});           \
+  }                                                                          \
+  friend Precise operator OP(const Precise &L, T R) {                       \
+    detail::countPrecise<T>();                                               \
+    return Precise(static_cast<T>(L.Value OP R), NoCount{});                 \
+  }                                                                          \
+  friend Precise operator OP(T L, const Precise &R) {                       \
+    detail::countPrecise<T>();                                               \
+    return Precise(static_cast<T>(L OP R.Value), NoCount{});                 \
+  }
+
+  ENERJ_PRECISE_ARITH(+)
+  ENERJ_PRECISE_ARITH(-)
+  ENERJ_PRECISE_ARITH(*)
+  ENERJ_PRECISE_ARITH(/)
+#undef ENERJ_PRECISE_ARITH
+
+  friend Precise operator%(const Precise &L, const Precise &R)
+    requires std::is_integral_v<T>
+  {
+    detail::countPrecise<T>();
+    return Precise(static_cast<T>(L.Value % R.Value), NoCount{});
+  }
+  friend Precise operator%(const Precise &L, T R)
+    requires std::is_integral_v<T>
+  {
+    detail::countPrecise<T>();
+    return Precise(static_cast<T>(L.Value % R), NoCount{});
+  }
+  friend Precise operator%(T L, const Precise &R)
+    requires std::is_integral_v<T>
+  {
+    detail::countPrecise<T>();
+    return Precise(static_cast<T>(L % R.Value), NoCount{});
+  }
+
+  friend Precise operator-(const Precise &V) {
+    detail::countPrecise<T>();
+    return Precise(static_cast<T>(-V.Value), NoCount{});
+  }
+
+  Precise &operator+=(const Precise &R) { return *this = *this + R; }
+  Precise &operator-=(const Precise &R) { return *this = *this - R; }
+  Precise &operator*=(const Precise &R) { return *this = *this * R; }
+  Precise &operator/=(const Precise &R) { return *this = *this / R; }
+
+  Precise &operator++() { return *this += Precise(T(1), NoCount{}); }
+  Precise operator++(int) {
+    Precise Old = *this;
+    ++*this;
+    return Old;
+  }
+  Precise &operator--() { return *this -= Precise(T(1), NoCount{}); }
+
+#define ENERJ_PRECISE_CMP(OP)                                                \
+  friend bool operator OP(const Precise &L, const Precise &R) {             \
+    detail::countPrecise<T>();                                               \
+    return L.Value OP R.Value;                                               \
+  }                                                                          \
+  friend bool operator OP(const Precise &L, T R) {                          \
+    detail::countPrecise<T>();                                               \
+    return L.Value OP R;                                                     \
+  }                                                                          \
+  friend bool operator OP(T L, const Precise &R) {                          \
+    detail::countPrecise<T>();                                               \
+    return L OP R.Value;                                                     \
+  }
+
+  ENERJ_PRECISE_CMP(==)
+  ENERJ_PRECISE_CMP(!=)
+  ENERJ_PRECISE_CMP(<)
+  ENERJ_PRECISE_CMP(<=)
+  ENERJ_PRECISE_CMP(>)
+  ENERJ_PRECISE_CMP(>=)
+#undef ENERJ_PRECISE_CMP
+
+private:
+  struct NoCount {};
+  Precise(T V, NoCount) : Value(V) { acquire(); }
+
+  void acquire() {
+    Simulator *Sim = Simulator::current();
+    if (!Sim)
+      return;
+    Owner = Sim;
+    Lease = Sim->ledger().lease(Region::Sram, sizeof(T), 0);
+  }
+
+  T Value;
+  LeaseHandle Lease;
+  Simulator *Owner = nullptr;
+};
+
+using PreciseInt = Precise<int32_t>;
+using PreciseLong = Precise<int64_t>;
+using PreciseFloat = Precise<float>;
+using PreciseDouble = Precise<double>;
+
+} // namespace enerj
+
+#endif // ENERJ_CORE_PRECISE_H

@@ -1,0 +1,61 @@
+//===- core/top.h - The @Top qualifier --------------------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Top<T> is the common supertype of @Approx T and @Precise T
+/// (Section 2.1). Both flow into it implicitly; nothing flows out without
+/// an explicit, checked downcast. Mirroring the formal semantics, reading a
+/// Top value whose dynamic qualifier is unknown-to-be-precise as precise is
+/// a programmer assertion (it traps if wrong), while extracting it as
+/// approximate is always allowed — approx makes no guarantees anyway, and
+/// in the qualifier ordering information can only be lost, never invented.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_CORE_TOP_H
+#define ENERJ_CORE_TOP_H
+
+#include "core/approx.h"
+#include "core/endorse.h"
+#include "core/precise.h"
+
+#include <cassert>
+
+namespace enerj {
+
+/// A value whose precision qualifier is statically unknown.
+template <typename T> class Top {
+public:
+  /// @Precise T <: @Top T.
+  Top(T Value) : Value(Value), DynApprox(false) {}
+  Top(const Precise<T> &Value) : Value(Value.get()), DynApprox(false) {}
+
+  /// @Approx T <: @Top T. The read happens through the approximate path.
+  Top(const Approx<T> &Value) : Value(Value.load()), DynApprox(true) {}
+
+  /// Whether the stored value came from the approximate world.
+  bool isApprox() const { return DynApprox; }
+
+  /// Checked downcast to the precise type: asserts the dynamic qualifier
+  /// really is precise. (The static system would reject this entirely;
+  /// a dynamic tag is the honest runtime analogue.)
+  T asPrecise() const {
+    assert(!DynApprox && "downcasting an approximate Top value to precise; "
+                         "use asApprox() + endorse() instead");
+    return Value;
+  }
+
+  /// Downcast to the approximate type; always allowed.
+  Approx<T> asApprox() const { return Approx<T>(Value); }
+
+private:
+  T Value;
+  bool DynApprox;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_CORE_TOP_H

@@ -1,0 +1,74 @@
+//===- energy/model.cpp - Section 5.4 energy model -----------------------===//
+
+#include "energy/model.h"
+
+#include <cassert>
+
+using namespace enerj;
+
+double enerj::instructionEnergyFactor(bool IsFp, bool IsApprox,
+                                      const FaultConfig &Config,
+                                      const EnergyConstants &Constants) {
+  double Total = IsFp ? Constants.FpOpUnits : Constants.IntOpUnits;
+  if (!IsApprox)
+    return 1.0;
+  double Execute = Total - Constants.FetchDecodeUnits;
+  assert(Execute > 0 && "fetch/decode exceeds instruction cost");
+  double Saved = IsFp ? Config.fpEnergySaved() : Config.aluEnergySaved();
+  return (Constants.FetchDecodeUnits + Execute * (1.0 - Saved)) / Total;
+}
+
+EnergyReport enerj::computeEnergy(const RunStats &Stats,
+                                  const FaultConfig &Config,
+                                  PowerSetting Setting,
+                                  const EnergyConstants &Constants) {
+  EnergyReport Report;
+  const OperationStats &Ops = Stats.Ops;
+  const StorageStats &Storage = Stats.Storage;
+
+  // Instruction execution: price every dynamic op at its per-op factor.
+  double PreciseUnits =
+      static_cast<double>(Ops.totalInt()) * Constants.IntOpUnits +
+      static_cast<double>(Ops.totalFp()) * Constants.FpOpUnits;
+  if (PreciseUnits > 0) {
+    double ApproxUnits =
+        static_cast<double>(Ops.PreciseInt) * Constants.IntOpUnits +
+        static_cast<double>(Ops.ApproxInt) * Constants.IntOpUnits *
+            instructionEnergyFactor(false, true, Config, Constants) +
+        static_cast<double>(Ops.PreciseFp) * Constants.FpOpUnits +
+        static_cast<double>(Ops.ApproxFp) * Constants.FpOpUnits *
+            instructionEnergyFactor(true, true, Config, Constants);
+    Report.InstructionFactor = ApproxUnits / PreciseUnits;
+  }
+
+  // SRAM: approximate byte-seconds save the supply-voltage fraction.
+  if (Storage.sramTotal() > 0)
+    Report.SramFactor =
+        1.0 - Config.sramPowerSaved() * Storage.sramApproxFraction();
+
+  // DRAM: approximate byte-seconds save the refresh-reduction fraction.
+  if (Storage.dramTotal() > 0)
+    Report.DramFactor =
+        1.0 - Config.dramPowerSaved() * Storage.dramApproxFraction();
+
+  Report.CpuFactor = (1.0 - Constants.SramShareOfCpu) *
+                         Report.InstructionFactor +
+                     Constants.SramShareOfCpu * Report.SramFactor;
+
+  double CpuShare = 0.55, DramShare = 0.45;
+  switch (Setting) {
+  case PowerSetting::Server:
+    CpuShare = 0.55;
+    DramShare = 0.45;
+    break;
+  case PowerSetting::Mobile:
+    // "In a mobile setting, memory consumes only 25% of power so power
+    // savings in the CPU will be more important" (Section 5.4).
+    CpuShare = 0.75;
+    DramShare = 0.25;
+    break;
+  }
+  Report.TotalFactor =
+      CpuShare * Report.CpuFactor + DramShare * Report.DramFactor;
+  return Report;
+}

@@ -1,0 +1,78 @@
+//===- energy/model.h - Section 5.4 energy model ---------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's CPU/memory-system energy model (Section 5.4):
+///
+///  * Instruction execution: an integer operation costs 37 abstract units
+///    and an FP operation 40; of each, 22 units go to fetch/decode and are
+///    not reducible by approximation. Approximate integer ops scale the
+///    execute component by the voltage-scaling savings; approximate FP ops
+///    scale it by the mantissa-width savings (Table 2).
+///  * The microarchitecture splits 65% instruction-execution logic / 35%
+///    SRAM (registers + caches). Approximate SRAM byte-seconds save the
+///    supply-voltage fraction.
+///  * The system splits CPU vs DRAM; in a server, DRAM is 45% of power and
+///    the CPU 55% (in a mobile device, memory is ~25%). Approximate DRAM
+///    byte-seconds save the refresh-reduction fraction.
+///
+/// The model deliberately omits mode-switching overheads, matching the
+/// paper ("our results can be considered optimistic").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ENERGY_MODEL_H
+#define ENERJ_ENERGY_MODEL_H
+
+#include "arch/stats.h"
+#include "fault/config.h"
+
+namespace enerj {
+
+/// Abstract energy-unit constants from Section 5.4.
+struct EnergyConstants {
+  double IntOpUnits = 37.0;
+  double FpOpUnits = 40.0;
+  double FetchDecodeUnits = 22.0; ///< Not reducible by approximation.
+  double SramShareOfCpu = 0.35;   ///< Instruction logic gets the rest.
+};
+
+/// How CPU and DRAM share total system power.
+enum class PowerSetting {
+  Server, ///< CPU 55% / DRAM 45% (Fan et al.).
+  Mobile, ///< CPU dominant, memory ~25% of the CPU+memory subsystem.
+};
+
+/// Per-component energy factors (1.0 = no savings) plus the combined total.
+struct EnergyReport {
+  double InstructionFactor = 1.0; ///< Approx/precise instruction energy.
+  double SramFactor = 1.0;        ///< Approx/precise SRAM storage energy.
+  double DramFactor = 1.0;        ///< Approx/precise DRAM storage energy.
+  double CpuFactor = 1.0;         ///< 0.65 * instruction + 0.35 * SRAM.
+  double TotalFactor = 1.0;       ///< CPU and DRAM combined.
+
+  /// Fraction of total CPU+memory energy saved (0.0 at level None).
+  double saved() const { return 1.0 - TotalFactor; }
+};
+
+/// Computes the normalized energy for one run's statistics under the given
+/// hardware configuration. A RunStats measured at any level can be priced
+/// at any config: the op/storage mix barely depends on the injected faults,
+/// so benches measure once and price per level, like the paper's Figure 4.
+EnergyReport computeEnergy(const RunStats &Stats, const FaultConfig &Config,
+                           PowerSetting Setting = PowerSetting::Server,
+                           const EnergyConstants &Constants = {});
+
+/// Energy of one instruction under \p Config, normalized to its precise
+/// cost. \p IsFp selects FP vs integer; \p IsApprox selects whether the
+/// instruction was an approximate one.
+double instructionEnergyFactor(bool IsFp, bool IsApprox,
+                               const FaultConfig &Config,
+                               const EnergyConstants &Constants = {});
+
+} // namespace enerj
+
+#endif // ENERJ_ENERGY_MODEL_H

@@ -1,0 +1,154 @@
+//===- fault/config.cpp - Approximation strategy configuration -----------===//
+
+#include "fault/config.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace enerj;
+
+const char *enerj::approxLevelName(ApproxLevel Level) {
+  switch (Level) {
+  case ApproxLevel::None:
+    return "none";
+  case ApproxLevel::Mild:
+    return "mild";
+  case ApproxLevel::Medium:
+    return "medium";
+  case ApproxLevel::Aggressive:
+    return "aggressive";
+  }
+  assert(false && "unknown approximation level");
+  return "?";
+}
+
+const char *enerj::errorModeName(ErrorMode Mode) {
+  switch (Mode) {
+  case ErrorMode::RandomValue:
+    return "random";
+  case ErrorMode::SingleBitFlip:
+    return "bitflip";
+  case ErrorMode::LastValue:
+    return "lastvalue";
+  }
+  assert(false && "unknown error mode");
+  return "?";
+}
+
+double StrategyRow::at(ApproxLevel Level, double NoneValue) const {
+  switch (Level) {
+  case ApproxLevel::None:
+    return NoneValue;
+  case ApproxLevel::Mild:
+    return Mild;
+  case ApproxLevel::Medium:
+    return Medium;
+  case ApproxLevel::Aggressive:
+    return Aggressive;
+  }
+  assert(false && "unknown approximation level");
+  return NoneValue;
+}
+
+// Table 2 of the paper, row by row. Values marked * there are the authors'
+// educated guesses; all Medium values come from the cited literature.
+namespace {
+const StrategyRow DramFlipRow = {1e-9, 1e-5, 1e-3};
+const StrategyRow DramSavedRow = {0.17, 0.22, 0.24};
+const StrategyRow SramReadRow = {std::pow(10.0, -16.7), std::pow(10.0, -7.4),
+                                 1e-3};
+const StrategyRow SramWriteRow = {std::pow(10.0, -5.59), std::pow(10.0, -4.94),
+                                  1e-3};
+const StrategyRow SramSavedRow = {0.70, 0.80, 0.90};
+const StrategyRow FloatBitsRow = {16, 8, 4};
+const StrategyRow DoubleBitsRow = {32, 16, 8};
+const StrategyRow FpSavedRow = {0.32, 0.78, 0.85};
+const StrategyRow TimingRow = {1e-6, 1e-4, 1e-2};
+const StrategyRow AluSavedRow = {0.12, 0.22, 0.30};
+} // namespace
+
+double FaultConfig::dramFlipPerSecond() const {
+  if (!EnableDram)
+    return 0.0;
+  return DramFlipPerSecondOverride >= 0.0 ? DramFlipPerSecondOverride
+                                          : DramFlipRow.at(Level);
+}
+
+double FaultConfig::sramReadUpset() const {
+  if (!EnableSram)
+    return 0.0;
+  return SramReadUpsetOverride >= 0.0 ? SramReadUpsetOverride
+                                      : SramReadRow.at(Level);
+}
+
+double FaultConfig::sramWriteFailure() const {
+  if (!EnableSram)
+    return 0.0;
+  return SramWriteFailureOverride >= 0.0 ? SramWriteFailureOverride
+                                         : SramWriteRow.at(Level);
+}
+
+unsigned FaultConfig::floatMantissaBits() const {
+  if (!EnableFpWidth)
+    return 23;
+  if (FloatMantissaOverride >= 0)
+    return static_cast<unsigned>(FloatMantissaOverride);
+  if (Level == ApproxLevel::None)
+    return 23;
+  return static_cast<unsigned>(FloatBitsRow.at(Level, 23));
+}
+
+unsigned FaultConfig::doubleMantissaBits() const {
+  if (!EnableFpWidth)
+    return 52;
+  if (DoubleMantissaOverride >= 0)
+    return static_cast<unsigned>(DoubleMantissaOverride);
+  if (Level == ApproxLevel::None)
+    return 52;
+  return static_cast<unsigned>(DoubleBitsRow.at(Level, 52));
+}
+
+double FaultConfig::timingErrorProbability() const {
+  if (!EnableTiming)
+    return 0.0;
+  return TimingErrorOverride >= 0.0 ? TimingErrorOverride
+                                    : TimingRow.at(Level);
+}
+
+double FaultConfig::dramPowerSaved() const {
+  return EnableDram ? DramSavedRow.at(Level) : 0.0;
+}
+
+double FaultConfig::sramPowerSaved() const {
+  return EnableSram ? SramSavedRow.at(Level) : 0.0;
+}
+
+double FaultConfig::fpEnergySaved() const {
+  return EnableFpWidth ? FpSavedRow.at(Level) : 0.0;
+}
+
+double FaultConfig::aluEnergySaved() const {
+  return EnableTiming ? AluSavedRow.at(Level) : 0.0;
+}
+
+std::string FaultConfig::describe() const {
+  std::string Out = approxLevelName(Level);
+  Out += '/';
+  Out += errorModeName(Mode);
+  if (!EnableDram || !EnableSram || !EnableFpWidth || !EnableTiming) {
+    Out += " [";
+    Out += EnableDram ? "D" : "-";
+    Out += EnableSram ? "S" : "-";
+    Out += EnableFpWidth ? "F" : "-";
+    Out += EnableTiming ? "T" : "-";
+    Out += ']';
+  }
+  return Out;
+}
+
+FaultConfig FaultConfig::preset(ApproxLevel Level, ErrorMode Mode) {
+  FaultConfig Config;
+  Config.Level = Level;
+  Config.Mode = Mode;
+  return Config;
+}

@@ -1,0 +1,125 @@
+//===- fault/config.h - Approximation strategy configuration ---*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the approximation strategies from Table 2 of the paper:
+/// per-level error probabilities and the energy saved by each strategy.
+/// A FaultConfig bundles all the knobs the simulator consults; the three
+/// preset levels (Mild / Medium / Aggressive) carry the paper's constants,
+/// and individual strategies can be toggled for the Section 6.2 ablations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FAULT_CONFIG_H
+#define ENERJ_FAULT_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace enerj {
+
+/// Aggressiveness of the approximate hardware, per Table 2. None means the
+/// hardware executes approximate instructions precisely and saves no energy
+/// (the paper's backward-compatibility guarantee).
+enum class ApproxLevel { None, Mild, Medium, Aggressive };
+
+/// What an approximate functional unit produces when a timing error fires
+/// (Section 4.2). The paper evaluates all three and reports random-value as
+/// the most realistic (and most damaging) model.
+enum class ErrorMode { RandomValue, SingleBitFlip, LastValue };
+
+/// Returns a human-readable name ("mild", "medium", ...) for a level.
+const char *approxLevelName(ApproxLevel Level);
+
+/// Returns a human-readable name for an error mode.
+const char *errorModeName(ErrorMode Mode);
+
+/// One strategy's Table 2 row: its per-level error probability (or width)
+/// and the fraction of the affected component's energy it saves.
+struct StrategyRow {
+  double Mild;
+  double Medium;
+  double Aggressive;
+
+  /// Selects the value for \p Level; None maps to "no error / no savings",
+  /// which the caller encodes as \p NoneValue.
+  double at(ApproxLevel Level, double NoneValue = 0.0) const;
+};
+
+/// All knobs the simulator consults. Default-constructed configs carry the
+/// paper's Table 2 constants at the requested level with every strategy
+/// enabled; ablations flip the Enable* bits.
+struct FaultConfig {
+  ApproxLevel Level = ApproxLevel::Medium;
+  ErrorMode Mode = ErrorMode::RandomValue;
+
+  bool EnableDram = true;    ///< DRAM refresh-rate reduction.
+  bool EnableSram = true;    ///< SRAM supply-voltage reduction.
+  bool EnableFpWidth = true; ///< FP mantissa width reduction.
+  bool EnableTiming = true;  ///< Functional-unit voltage scaling.
+
+  /// Logical simulator cycles per modeled second, used to convert the
+  /// clock into wall time for DRAM decay. The paper's simulator ran on
+  /// the JVM wall clock; we use one cycle per simulated operation and a
+  /// configurable rate so that DRAM decay for a ~1e7-op benchmark lands
+  /// in the same "nearly negligible" regime the paper reports.
+  double CyclesPerSecond = 1.0e8;
+
+  /// Granularity of approximate storage (Section 4.1). The evaluation
+  /// assumes 64-byte cache lines; the paper notes finer granularity
+  /// would recover the approximate data stuck in precise lines. The
+  /// ablation_granularity bench sweeps this.
+  uint64_t CacheLineBytes = 64;
+
+  uint64_t Seed = 0x0EA7BEEF;
+
+  /// --- Fine-grained tuning (the paper's future-work knob: "a separate
+  /// --- system could tune the frequency and intensity of errors").
+  /// --- A negative override keeps the Table 2 value for the level;
+  /// --- a non-negative one replaces it. Mantissa overrides use < 0 for
+  /// --- "no override" as well.
+  double DramFlipPerSecondOverride = -1.0;
+  double SramReadUpsetOverride = -1.0;
+  double SramWriteFailureOverride = -1.0;
+  double TimingErrorOverride = -1.0;
+  int FloatMantissaOverride = -1;
+  int DoubleMantissaOverride = -1;
+
+  /// --- Derived Table 2 values at the configured level. ---
+
+  /// Per-second, per-bit DRAM flip probability at 1 Hz refresh.
+  double dramFlipPerSecond() const;
+  /// Per-bit probability that an SRAM read flips the bit it returns.
+  double sramReadUpset() const;
+  /// Per-bit probability that an SRAM write stores the wrong bit.
+  double sramWriteFailure() const;
+  /// Stored mantissa bits used for approximate float operations.
+  unsigned floatMantissaBits() const;
+  /// Stored mantissa bits used for approximate double operations.
+  unsigned doubleMantissaBits() const;
+  /// Probability an approximate ALU/FPU operation suffers a timing error.
+  double timingErrorProbability() const;
+
+  /// --- Table 2 energy-savings fractions at the configured level. ---
+  /// Each is the fraction of the affected component's energy that the
+  /// strategy saves; disabled strategies save nothing.
+
+  double dramPowerSaved() const;   ///< Of approximate DRAM byte-seconds.
+  double sramPowerSaved() const;   ///< Of approximate SRAM byte-seconds.
+  double fpEnergySaved() const;    ///< Of an approximate FP op's execute energy.
+  double aluEnergySaved() const;   ///< Of an approximate int op's execute energy.
+
+  /// Short description such as "medium/random" for report headers.
+  std::string describe() const;
+
+  /// Convenience preset: all strategies enabled at \p Level.
+  static FaultConfig preset(ApproxLevel Level,
+                            ErrorMode Mode = ErrorMode::RandomValue);
+};
+
+} // namespace enerj
+
+#endif // ENERJ_FAULT_CONFIG_H

@@ -1,0 +1,100 @@
+//===- fault/models.cpp - Table 2 fault-injection models -----------------===//
+
+#include "fault/models.h"
+
+#include "support/bits.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace enerj;
+
+/// Flips \p Count distinct bits of \p Bits chosen uniformly among the low
+/// \p Width positions.
+static uint64_t flipRandomBits(uint64_t Bits, unsigned Width, uint64_t Count,
+                               Rng &R) {
+  assert(Width >= 1 && Width <= 64 && "unsupported bit width");
+  if (Count >= Width) {
+    uint64_t Mask = Width == 64 ? ~0ULL : ((1ULL << Width) - 1);
+    return Bits ^ Mask;
+  }
+  uint64_t FlipMask = 0;
+  for (uint64_t I = 0; I < Count; ++I) {
+    unsigned Bit;
+    do {
+      Bit = static_cast<unsigned>(R.nextBelow(Width));
+    } while (FlipMask & (1ULL << Bit));
+    FlipMask |= 1ULL << Bit;
+  }
+  return Bits ^ FlipMask;
+}
+
+/// Flips each of the low \p Width bits of \p Bits independently with
+/// probability \p P, by drawing the number of flips from Binomial(Width, P)
+/// and placing them uniformly.
+static uint64_t flipEachBit(uint64_t Bits, unsigned Width, double P, Rng &R) {
+  if (P <= 0.0)
+    return Bits;
+  uint64_t Count = R.nextBinomial(Width, P);
+  if (Count == 0)
+    return Bits;
+  return flipRandomBits(Bits, Width, Count, R);
+}
+
+uint64_t SramModel::onRead(uint64_t Bits, unsigned Width, Rng &R) const {
+  return flipEachBit(Bits, Width, Config.sramReadUpset(), R);
+}
+
+uint64_t SramModel::onWrite(uint64_t Bits, unsigned Width, Rng &R) const {
+  return flipEachBit(Bits, Width, Config.sramWriteFailure(), R);
+}
+
+double DramModel::flipProbability(uint64_t ElapsedCycles) const {
+  double PerSecond = Config.dramFlipPerSecond();
+  if (PerSecond <= 0.0 || ElapsedCycles == 0)
+    return 0.0;
+  double Seconds =
+      static_cast<double>(ElapsedCycles) / Config.CyclesPerSecond;
+  // Independent per-second flips compose as 1-(1-p)^t; a second flip of an
+  // already-flipped bit would flip it back, but at these probabilities the
+  // difference is far below the noise floor, as in the paper's simulator.
+  return -std::expm1(Seconds * std::log1p(-PerSecond));
+}
+
+uint64_t DramModel::onAccess(uint64_t Bits, unsigned Width,
+                             uint64_t ElapsedCycles, Rng &R) const {
+  return flipEachBit(Bits, Width, flipProbability(ElapsedCycles), R);
+}
+
+float FpWidthModel::narrow(float Value) const {
+  uint32_t Bits = static_cast<uint32_t>(toBits(Value));
+  return fromBits<float>(
+      truncateFloatMantissa(Bits, Config.floatMantissaBits()));
+}
+
+double FpWidthModel::narrow(double Value) const {
+  return fromBits<double>(
+      truncateDoubleMantissa(toBits(Value), Config.doubleMantissaBits()));
+}
+
+uint64_t TimingModel::onResult(uint64_t CorrectBits, unsigned Width, Rng &R) {
+  assert(Width >= 1 && Width <= 64 && "unsupported bit width");
+  uint64_t Mask = Width == 64 ? ~0ULL : ((1ULL << Width) - 1);
+  uint64_t Produced = CorrectBits & Mask;
+  if (R.nextBernoulli(Config.timingErrorProbability())) {
+    ++Errors;
+    switch (Config.Mode) {
+    case ErrorMode::RandomValue:
+      Produced = R.next() & Mask;
+      break;
+    case ErrorMode::SingleBitFlip:
+      Produced = flipBit(Produced, static_cast<unsigned>(R.nextBelow(Width)));
+      break;
+    case ErrorMode::LastValue:
+      Produced = LastValue & Mask;
+      break;
+    }
+  }
+  LastValue = Produced;
+  return Produced;
+}

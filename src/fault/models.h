@@ -1,0 +1,108 @@
+//===- fault/models.h - Table 2 fault-injection models ---------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four approximation strategies of Section 4.2, as executable fault
+/// models operating on raw bit patterns:
+///
+///  * SramModel      — read upsets and write failures in registers/caches
+///                     under reduced supply voltage.
+///  * DramModel      — per-bit decay proportional to time since the last
+///                     access, under a reduced (1 Hz) refresh rate.
+///  * FpWidthModel   — mantissa truncation of FP operands for narrow
+///                     multipliers/adders.
+///  * TimingModel    — wholesale result corruption from voltage-scaled
+///                     functional units, with the paper's three error modes.
+///
+/// Each model is a pure function of (bits, config, rng) so fault injection
+/// is exactly reproducible given a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FAULT_MODELS_H
+#define ENERJ_FAULT_MODELS_H
+
+#include "fault/config.h"
+#include "support/rng.h"
+
+#include <cstdint>
+
+namespace enerj {
+
+/// SRAM supply-voltage reduction (Section 4.2, "SRAM supply voltage").
+/// Each bit read flips with probability sramReadUpset(); each bit written
+/// stores the wrong value with probability sramWriteFailure().
+class SramModel {
+public:
+  explicit SramModel(const FaultConfig &Config) : Config(Config) {}
+
+  /// Applies read upsets to \p Bits (a value of \p Width bits).
+  uint64_t onRead(uint64_t Bits, unsigned Width, Rng &R) const;
+
+  /// Applies write failures to \p Bits (a value of \p Width bits).
+  uint64_t onWrite(uint64_t Bits, unsigned Width, Rng &R) const;
+
+private:
+  const FaultConfig &Config;
+};
+
+/// DRAM refresh-rate reduction (Section 4.2, "DRAM refresh rate").
+/// Every bit flips independently with a probability proportional to the
+/// time since it was last accessed (each access effectively refreshes the
+/// line it touches).
+class DramModel {
+public:
+  explicit DramModel(const FaultConfig &Config) : Config(Config) {}
+
+  /// Applies decay to \p Bits given \p ElapsedCycles since the last access.
+  uint64_t onAccess(uint64_t Bits, unsigned Width, uint64_t ElapsedCycles,
+                    Rng &R) const;
+
+  /// Probability that one bit flips over \p ElapsedCycles.
+  double flipProbability(uint64_t ElapsedCycles) const;
+
+private:
+  const FaultConfig &Config;
+};
+
+/// FP bit-width reduction (Section 4.2, "Width reduction in floating point
+/// operations"). Truncates operand mantissas to Table 2's widths; applied
+/// to operands before the operation, as a narrow functional unit would.
+class FpWidthModel {
+public:
+  explicit FpWidthModel(const FaultConfig &Config) : Config(Config) {}
+
+  float narrow(float Value) const;
+  double narrow(double Value) const;
+
+private:
+  const FaultConfig &Config;
+};
+
+/// Aggressive voltage scaling in logic (Section 4.2, "Voltage scaling in
+/// logic circuits"). With the configured probability, an operation's result
+/// is corrupted according to the error mode. The model keeps the last value
+/// produced per unit to implement ErrorMode::LastValue.
+class TimingModel {
+public:
+  explicit TimingModel(const FaultConfig &Config) : Config(Config) {}
+
+  /// Possibly corrupts \p CorrectBits (a \p Width-bit result). Updates the
+  /// unit's last-value latch either way.
+  uint64_t onResult(uint64_t CorrectBits, unsigned Width, Rng &R);
+
+  /// Number of timing errors injected so far (for tests/statistics).
+  uint64_t errorCount() const { return Errors; }
+
+private:
+  const FaultConfig &Config;
+  uint64_t LastValue = 0;
+  uint64_t Errors = 0;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_FAULT_MODELS_H

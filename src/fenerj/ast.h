@@ -1,0 +1,288 @@
+//===- fenerj/ast.h - FEnerJ abstract syntax --------------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax of FEnerJ (Figure 1), extended with the constructs
+/// needed to write the Section 6 style programs: blocks with local
+/// variables, local assignment, while loops, arrays, and endorse. Nodes
+/// are tagged with an ExprKind; consumers switch on the kind and
+/// static_cast (the codebase does not use RTTI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_AST_H
+#define ENERJ_FENERJ_AST_H
+
+#include "fenerj/diag.h"
+#include "fenerj/types.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace fenerj {
+
+enum class ExprKind {
+  NullLit,
+  IntLit,
+  FloatLit,
+  BoolLit,
+  VarRef, // Includes 'this'.
+  New,
+  NewArray,
+  FieldRead,
+  FieldWrite,
+  ArrayRead,
+  ArrayWrite,
+  ArrayLength,
+  MethodCall,
+  Cast,
+  Endorse,
+  Binary,
+  Unary,
+  If,
+  While,
+  Block,
+  AssignLocal,
+};
+
+enum class BinaryOp { Add, Sub, Mul, Div, Mod, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
+enum class UnaryOp { Neg, Not };
+
+/// Base of all expression nodes.
+struct Expr {
+  explicit Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct NullLitExpr : Expr {
+  explicit NullLitExpr(SourceLoc Loc) : Expr(ExprKind::NullLit, Loc) {}
+};
+
+struct IntLitExpr : Expr {
+  IntLitExpr(SourceLoc Loc, int64_t Value)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  int64_t Value;
+};
+
+struct FloatLitExpr : Expr {
+  FloatLitExpr(SourceLoc Loc, double Value)
+      : Expr(ExprKind::FloatLit, Loc), Value(Value) {}
+  double Value;
+};
+
+struct BoolLitExpr : Expr {
+  BoolLitExpr(SourceLoc Loc, bool Value)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+  bool Value;
+};
+
+struct VarRefExpr : Expr {
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+  std::string Name;
+};
+
+/// new q C()
+struct NewExpr : Expr {
+  NewExpr(SourceLoc Loc, Qual Q, std::string ClassName)
+      : Expr(ExprKind::New, Loc), Q(Q), ClassName(std::move(ClassName)) {}
+  Qual Q;
+  std::string ClassName;
+};
+
+/// new q P[length]
+struct NewArrayExpr : Expr {
+  NewArrayExpr(SourceLoc Loc, Qual ElemQual, BaseKind Elem, ExprPtr Length)
+      : Expr(ExprKind::NewArray, Loc), ElemQual(ElemQual), Elem(Elem),
+        Length(std::move(Length)) {}
+  Qual ElemQual;
+  BaseKind Elem;
+  ExprPtr Length;
+};
+
+struct FieldReadExpr : Expr {
+  FieldReadExpr(SourceLoc Loc, ExprPtr Receiver, std::string Field)
+      : Expr(ExprKind::FieldRead, Loc), Receiver(std::move(Receiver)),
+        Field(std::move(Field)) {}
+  ExprPtr Receiver;
+  std::string Field;
+};
+
+/// e.f := e
+struct FieldWriteExpr : Expr {
+  FieldWriteExpr(SourceLoc Loc, ExprPtr Receiver, std::string Field,
+                 ExprPtr Value)
+      : Expr(ExprKind::FieldWrite, Loc), Receiver(std::move(Receiver)),
+        Field(std::move(Field)), Value(std::move(Value)) {}
+  ExprPtr Receiver;
+  std::string Field;
+  ExprPtr Value;
+};
+
+struct ArrayReadExpr : Expr {
+  ArrayReadExpr(SourceLoc Loc, ExprPtr Array, ExprPtr Index)
+      : Expr(ExprKind::ArrayRead, Loc), Array(std::move(Array)),
+        Index(std::move(Index)) {}
+  ExprPtr Array;
+  ExprPtr Index;
+};
+
+/// a[i] := e
+struct ArrayWriteExpr : Expr {
+  ArrayWriteExpr(SourceLoc Loc, ExprPtr Array, ExprPtr Index, ExprPtr Value)
+      : Expr(ExprKind::ArrayWrite, Loc), Array(std::move(Array)),
+        Index(std::move(Index)), Value(std::move(Value)) {}
+  ExprPtr Array;
+  ExprPtr Index;
+  ExprPtr Value;
+};
+
+struct ArrayLengthExpr : Expr {
+  ArrayLengthExpr(SourceLoc Loc, ExprPtr Array)
+      : Expr(ExprKind::ArrayLength, Loc), Array(std::move(Array)) {}
+  ExprPtr Array;
+};
+
+struct MethodCallExpr : Expr {
+  MethodCallExpr(SourceLoc Loc, ExprPtr Receiver, std::string Method,
+                 std::vector<ExprPtr> Args)
+      : Expr(ExprKind::MethodCall, Loc), Receiver(std::move(Receiver)),
+        Method(std::move(Method)), Args(std::move(Args)) {}
+  ExprPtr Receiver;
+  std::string Method;
+  std::vector<ExprPtr> Args;
+};
+
+/// cast<T>(e)
+struct CastExpr : Expr {
+  CastExpr(SourceLoc Loc, Type Target, ExprPtr Value)
+      : Expr(ExprKind::Cast, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  Type Target;
+  ExprPtr Value;
+};
+
+struct EndorseExpr : Expr {
+  EndorseExpr(SourceLoc Loc, ExprPtr Value)
+      : Expr(ExprKind::Endorse, Loc), Value(std::move(Value)) {}
+  ExprPtr Value;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(SourceLoc Loc, UnaryOp Op, ExprPtr Value)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Value(std::move(Value)) {}
+  UnaryOp Op;
+  ExprPtr Value;
+};
+
+struct IfExpr : Expr {
+  IfExpr(SourceLoc Loc, ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : Expr(ExprKind::If, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  ExprPtr Cond;
+  ExprPtr Then;
+  ExprPtr Else;
+};
+
+/// while (cond) { body }; evaluates to precise int 0.
+struct WhileExpr : Expr {
+  WhileExpr(SourceLoc Loc, ExprPtr Cond, ExprPtr Body)
+      : Expr(ExprKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  ExprPtr Cond;
+  ExprPtr Body;
+};
+
+/// { let T x = e; e2; e3 } — lets bind for the remainder of the block;
+/// the block's value is its last element's value.
+struct BlockExpr : Expr {
+  struct Item {
+    bool IsLet = false;
+    Type LetType;        ///< For lets.
+    std::string LetName; ///< For lets.
+    ExprPtr Value;       ///< Initializer (for lets) or the expression.
+  };
+
+  BlockExpr(SourceLoc Loc, std::vector<Item> Items)
+      : Expr(ExprKind::Block, Loc), Items(std::move(Items)) {}
+  std::vector<Item> Items;
+};
+
+/// x = e (assignment to a local variable; evaluates to the new value).
+struct AssignLocalExpr : Expr {
+  AssignLocalExpr(SourceLoc Loc, std::string Name, ExprPtr Value)
+      : Expr(ExprKind::AssignLocal, Loc), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+  std::string Name;
+  ExprPtr Value;
+};
+
+/// --- Declarations. ---
+
+struct FieldDeclAst {
+  Type DeclaredType;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+struct ParamDecl {
+  Type DeclaredType;
+  std::string Name;
+};
+
+struct MethodDecl {
+  Type ReturnType;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  /// Receiver precision (the paper's method precision qualifier q):
+  /// Context for unmarked methods — polymorphic over the instance
+  /// qualifier, checked with `this : @context C`; Precise or Approx for
+  /// the explicitly marked variants of Section 2.5.2, checked with `this`
+  /// at that precision and selected by the receiver's qualifier.
+  Qual ReceiverPrecision = Qual::Context;
+  ExprPtr Body;
+  SourceLoc Loc;
+};
+
+struct ClassDecl {
+  std::string Name;
+  std::string SuperName = "Object";
+  std::vector<FieldDeclAst> Fields;
+  std::vector<MethodDecl> Methods;
+  SourceLoc Loc;
+};
+
+/// A whole program: classes plus the main expression.
+struct Program {
+  std::vector<ClassDecl> Classes;
+  ExprPtr Main;
+};
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_AST_H

@@ -1,0 +1,899 @@
+//===- fenerj/codegen.cpp - FEnerJ-to-approximate-ISA compiler ------------===//
+
+#include "fenerj/codegen.h"
+
+#include "isa/isa.h"
+
+#include <cassert>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+using namespace enerj;
+using namespace enerj::fenerj;
+
+namespace {
+
+/// The static facts codegen tracks per value: unit and precision.
+struct TypeInfo {
+  bool IsFp = false;
+  bool Approx = false;
+};
+
+/// Where a local lives.
+struct SlotInfo {
+  uint64_t Slot = 0; ///< Word index within its region.
+  bool IsFp = false;
+  bool Approx = false;
+  bool IsArray = false;
+  int64_t Length = 0;
+};
+
+/// A value held in a register during expression evaluation.
+struct RegValue {
+  unsigned Reg = 0;
+  bool IsFp = false;
+  bool Approx = false;
+};
+
+/// Unwinds codegen on an unsupported construct; converted to
+/// CodegenResult::Error at the boundary. (Codegen is a driver-level tool;
+/// the exception keeps ~30 bail-out sites readable.)
+struct Unsupported {
+  std::string Message;
+};
+
+class Codegen {
+public:
+  CodegenResult run(const Program &Prog);
+
+private:
+  /// Register pools: precise r4..r15 / f4..f15, approximate r16..r27 /
+  /// f16..f27, managed as per-pool LIFO stacks. r0 stays 0; r1/f1 carry
+  /// the final result; r2,r3/f2,f3 are precise scratch; r28/f28 park
+  /// if-branch values of approximate precision.
+  static constexpr unsigned PrecisePoolBase = 4;
+  static constexpr unsigned PrecisePoolSize = 12;
+  static constexpr unsigned ApproxPoolBase = isa::FirstApproxReg;
+  static constexpr unsigned ApproxPoolSize = 12;
+
+  unsigned allocReg(bool IsFp, bool Approx) {
+    unsigned &Depth = Depths[IsFp][Approx];
+    unsigned Size = Approx ? ApproxPoolSize : PrecisePoolSize;
+    if (Depth >= Size)
+      throw Unsupported{"expression too deep for the register pools"};
+    unsigned Base = Approx ? ApproxPoolBase : PrecisePoolBase;
+    return Base + Depth++;
+  }
+  RegValue allocValue(bool IsFp, bool Approx) {
+    return {allocReg(IsFp, Approx), IsFp, Approx};
+  }
+  void freeReg(const RegValue &Value) {
+    unsigned &Depth = Depths[Value.IsFp][Value.Approx];
+    assert(Depth > 0 && "register pool underflow");
+    --Depth;
+    assert(Value.Reg ==
+               (Value.Approx ? ApproxPoolBase : PrecisePoolBase) + Depth &&
+           "non-LIFO register release");
+  }
+
+  void emit(const std::string &Text) {
+    Body += "  ";
+    Body += Text;
+    Body += '\n';
+  }
+  static std::string rn(bool IsFp, unsigned Index) {
+    return (IsFp ? "f" : "r") + std::to_string(Index);
+  }
+  std::string reg(const RegValue &V) { return rn(V.IsFp, V.Reg); }
+  std::string freshLabel() { return "L" + std::to_string(LabelCounter++); }
+  void placeLabel(const std::string &Label) { Body += Label + ":\n"; }
+  void emitMove(bool IsFp, const std::string &Dst, const std::string &Src) {
+    if (Dst != Src)
+      emit(std::string(IsFp ? "fmv" : "mv") + " " + Dst + ", " + Src);
+  }
+
+  /// Frees \p Operand (the top allocation) and \p Below (the one under
+  /// it), then re-allocates a register of \p Operand's shape for the
+  /// value physically sitting in \p Operand's old register, moving it if
+  /// the fresh register differs. This is how a computed value "sinks"
+  /// past a consumed operand while keeping the pools LIFO.
+  RegValue normalize(RegValue Operand, RegValue Below) {
+    unsigned Phys = Operand.Reg;
+    bool IsFp = Operand.IsFp, Approx = Operand.Approx;
+    freeReg(Operand);
+    freeReg(Below);
+    RegValue Out = allocValue(IsFp, Approx);
+    emitMove(IsFp, reg(Out), rn(IsFp, Phys));
+    return Out;
+  }
+
+  SlotInfo &lookup(const std::string &Name, SourceLoc Loc) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    throw Unsupported{"unbound variable '" + Name + "' at " + Loc.str()};
+  }
+
+  uint64_t allocWords(bool Approx, uint64_t Count) {
+    uint64_t &Counter = Approx ? ApproxWords : PreciseWords;
+    uint64_t Slot = Counter;
+    Counter += Count;
+    return Slot;
+  }
+
+  /// Absolute address of a slot: the approximate region starts after the
+  /// (reserved) precise region.
+  std::string addressImm(const SlotInfo &Info) const {
+    uint64_t Base = Info.Approx ? PreciseReserve + Info.Slot : Info.Slot;
+    return std::to_string(Base);
+  }
+
+  TypeInfo infer(const Expr &E);
+  RegValue genExpr(const Expr &E);
+  void genCondition(const Expr &E, const std::string &FalseLabel);
+  void genComparison(const BinaryExpr &Bin, bool EndorseOperands,
+                     const std::string &FalseLabel);
+
+  RegValue loadSlot(const SlotInfo &Info, const RegValue *IndexReg) {
+    RegValue Out = allocValue(Info.IsFp, Info.Approx);
+    std::string Op =
+        std::string(Info.IsFp ? "flw" : "lw") + (Info.Approx ? ".a" : "");
+    emit(Op + " " + reg(Out) + ", " + (IndexReg ? reg(*IndexReg) : "r0") +
+         ", " + addressImm(Info));
+    return Out;
+  }
+
+  /// Emits the store; does not free \p Value. The checker guarantees
+  /// base types match and approximate values never reach precise slots,
+  /// so no conversion is ever needed here.
+  void emitStore(const SlotInfo &Info, const RegValue *IndexReg,
+                 const RegValue &Value) {
+    assert(Value.IsFp == Info.IsFp && "base type mismatch survived checking");
+    assert((!Value.Approx || Info.Approx) &&
+           "approximate value reached a precise slot");
+    std::string Op =
+        std::string(Info.IsFp ? "fsw" : "sw") + (Info.Approx ? ".a" : "");
+    emit(Op + " " + reg(Value) + ", " + (IndexReg ? reg(*IndexReg) : "r0") +
+         ", " + addressImm(Info));
+  }
+
+  /// Widens \p Value to (IsFp, Approx); frees the input register and
+  /// allocates the output (which must be requested in the same breath —
+  /// the value must be the top of its pool).
+  RegValue coerce(RegValue Value, bool IsFp, bool Approx) {
+    if (Value.IsFp == IsFp && Value.Approx == Approx)
+      return Value;
+    if (Value.Approx && !Approx)
+      throw Unsupported{"internal: implicit approx-to-precise coercion"};
+    unsigned Phys = Value.Reg;
+    bool SrcFp = Value.IsFp;
+    freeReg(Value);
+    RegValue Out = allocValue(IsFp, Approx);
+    if (SrcFp == IsFp) {
+      // Plain precision widening: a precise source moving into an
+      // approximate register is always legal.
+      emitMove(IsFp, reg(Out), rn(IsFp, Phys));
+      return Out;
+    }
+    std::string Suffix = Approx ? ".a" : "";
+    emit(std::string(IsFp ? "cvt" : "cvti") + Suffix + " " + reg(Out) +
+         ", " + rn(SrcFp, Phys));
+    return Out;
+  }
+
+  std::string Body;
+  std::vector<std::unordered_map<std::string, SlotInfo>> Scopes;
+  unsigned Depths[2][2] = {{0, 0}, {0, 0}};
+  uint64_t PreciseWords = 0;
+  uint64_t ApproxWords = 0;
+  int LabelCounter = 0;
+
+  /// The precise region is reserved up front so approximate addresses
+  /// are known while emitting.
+  static constexpr uint64_t PreciseReserve = 4096;
+};
+
+TypeInfo Codegen::infer(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::ArrayLength:
+  case ExprKind::While:
+    return {false, false};
+  case ExprKind::FloatLit:
+    return {true, false};
+  case ExprKind::VarRef: {
+    const auto &Var = static_cast<const VarRefExpr &>(E);
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Var.Name);
+      if (Found != It->end())
+        return {Found->second.IsFp, Found->second.Approx};
+    }
+    return {false, false};
+  }
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    TypeInfo L = infer(*Bin.Lhs);
+    TypeInfo R = infer(*Bin.Rhs);
+    switch (Bin.Op) {
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      return {false, L.Approx || R.Approx}; // Booleans live in int regs.
+    default:
+      return {L.IsFp || R.IsFp, L.Approx || R.Approx};
+    }
+  }
+  case ExprKind::Unary:
+    return infer(*static_cast<const UnaryExpr &>(E).Value);
+  case ExprKind::Endorse: {
+    TypeInfo Inner = infer(*static_cast<const EndorseExpr &>(E).Value);
+    return {Inner.IsFp, false};
+  }
+  case ExprKind::Cast: {
+    const auto &Cast = static_cast<const CastExpr &>(E);
+    TypeInfo Inner = infer(*Cast.Value);
+    return {Cast.Target.Base == BaseKind::Float,
+            Cast.Target.Q == Qual::Approx || Inner.Approx};
+  }
+  case ExprKind::ArrayRead: {
+    const auto &Read = static_cast<const ArrayReadExpr &>(E);
+    return infer(*Read.Array);
+  }
+  case ExprKind::AssignLocal: {
+    const auto &Assign = static_cast<const AssignLocalExpr &>(E);
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Assign.Name);
+      if (Found != It->end())
+        return {Found->second.IsFp, Found->second.Approx};
+    }
+    return {false, false};
+  }
+  case ExprKind::ArrayWrite:
+    return infer(*static_cast<const ArrayWriteExpr &>(E).Value);
+  case ExprKind::If: {
+    const auto &If = static_cast<const IfExpr &>(E);
+    TypeInfo T = infer(*If.Then);
+    TypeInfo F = infer(*If.Else);
+    return {T.IsFp || F.IsFp, T.Approx || F.Approx};
+  }
+  case ExprKind::Block: {
+    const auto &Block = static_cast<const BlockExpr &>(E);
+    if (Block.Items.empty())
+      return {false, false};
+    // Walk the block with a shadow scope so lets resolve correctly; the
+    // dummy slots carry only type facts and are popped before codegen.
+    Scopes.emplace_back();
+    TypeInfo Last{false, false};
+    for (const BlockExpr::Item &Item : Block.Items) {
+      Last = infer(*Item.Value);
+      if (Item.IsLet) {
+        SlotInfo Dummy;
+        Dummy.IsFp = (Item.LetType.isArray() ? Item.LetType.Elem
+                                             : Item.LetType.Base) ==
+                     BaseKind::Float;
+        Dummy.Approx = (Item.LetType.isArray() ? Item.LetType.ElemQual
+                                               : Item.LetType.Q) ==
+                       Qual::Approx;
+        Dummy.IsArray = Item.LetType.isArray();
+        Scopes.back()[Item.LetName] = Dummy;
+        Last = {Dummy.IsFp, Dummy.Approx};
+      }
+    }
+    Scopes.pop_back();
+    return Last;
+  }
+  default:
+    throw Unsupported{"construct not supported by the ISA code generator"};
+  }
+}
+
+void Codegen::genComparison(const BinaryExpr &Bin, bool EndorseOperands,
+                            const std::string &FalseLabel) {
+  RegValue L = genExpr(*Bin.Lhs);
+  RegValue R = genExpr(*Bin.Rhs);
+  bool IsFp = L.IsFp || R.IsFp; // Checker guarantees they agree.
+  if ((L.Approx || R.Approx) && !EndorseOperands)
+    throw Unsupported{"internal: approximate condition reached codegen"};
+  // Endorse approximate operands into the precise scratch registers —
+  // branch operands must be precise (Section 2.4 at the ISA level).
+  std::string Lhs = reg(L), Rhs = reg(R);
+  if (L.Approx) {
+    emit(std::string(IsFp ? "fendorse " : "endorse ") + rn(IsFp, 2) +
+         ", " + Lhs);
+    Lhs = rn(IsFp, 2);
+  }
+  if (R.Approx) {
+    emit(std::string(IsFp ? "fendorse " : "endorse ") + rn(IsFp, 3) +
+         ", " + Rhs);
+    Rhs = rn(IsFp, 3);
+  }
+  if (!IsFp) {
+    // Integers: branch on the negation to FalseLabel; fall through when
+    // true.
+    switch (Bin.Op) {
+    case BinaryOp::Eq:
+      emit("bne " + Lhs + ", " + Rhs + ", " + FalseLabel);
+      break;
+    case BinaryOp::Ne:
+      emit("beq " + Lhs + ", " + Rhs + ", " + FalseLabel);
+      break;
+    case BinaryOp::Lt:
+      emit("ble " + Rhs + ", " + Lhs + ", " + FalseLabel);
+      break;
+    case BinaryOp::Le:
+      emit("blt " + Rhs + ", " + Lhs + ", " + FalseLabel);
+      break;
+    case BinaryOp::Gt:
+      emit("ble " + Lhs + ", " + Rhs + ", " + FalseLabel);
+      break;
+    case BinaryOp::Ge:
+      emit("blt " + Lhs + ", " + Rhs + ", " + FalseLabel);
+      break;
+    default:
+      assert(false && "not a comparison");
+    }
+  } else {
+    // Floats: negated FP comparisons mishandle NaN (!(a < b) must be
+    // TRUE on NaN), so branch on the *positive* condition instead.
+    std::string TrueLabel = freshLabel();
+    switch (Bin.Op) {
+    case BinaryOp::Eq:
+      emit("fbeq " + Lhs + ", " + Rhs + ", " + TrueLabel);
+      break;
+    case BinaryOp::Ne:
+      emit("fbne " + Lhs + ", " + Rhs + ", " + TrueLabel);
+      break;
+    case BinaryOp::Lt:
+      emit("fblt " + Lhs + ", " + Rhs + ", " + TrueLabel);
+      break;
+    case BinaryOp::Le:
+      emit("fble " + Lhs + ", " + Rhs + ", " + TrueLabel);
+      break;
+    case BinaryOp::Gt:
+      emit("fblt " + Rhs + ", " + Lhs + ", " + TrueLabel);
+      break;
+    case BinaryOp::Ge:
+      emit("fble " + Rhs + ", " + Lhs + ", " + TrueLabel);
+      break;
+    default:
+      assert(false && "not a comparison");
+    }
+    emit("jmp " + FalseLabel);
+    placeLabel(TrueLabel);
+  }
+  freeReg(R);
+  freeReg(L);
+}
+
+void Codegen::genCondition(const Expr &E, const std::string &FalseLabel) {
+  switch (E.kind()) {
+  case ExprKind::BoolLit:
+    if (!static_cast<const BoolLitExpr &>(E).Value)
+      emit("jmp " + FalseLabel);
+    return;
+
+  case ExprKind::If: {
+    // A conditional *as* a condition: branch into whichever arm applies
+    // and treat that arm as the condition.
+    const auto &If = static_cast<const IfExpr &>(E);
+    std::string ElseLabel = freshLabel();
+    std::string TrueLabel = freshLabel();
+    genCondition(*If.Cond, ElseLabel);
+    genCondition(*If.Then, FalseLabel);
+    emit("jmp " + TrueLabel);
+    placeLabel(ElseLabel);
+    genCondition(*If.Else, FalseLabel);
+    placeLabel(TrueLabel);
+    return;
+  }
+
+  case ExprKind::Block: {
+    // { e1; ...; cond }: evaluate the prefix for effect, condition on
+    // the last item. (Lets of boolean conditions are not supported.)
+    const auto &Block = static_cast<const BlockExpr &>(E);
+    if (Block.Items.empty() || Block.Items.back().IsLet)
+      break;
+    Scopes.emplace_back();
+    for (size_t Item = 0; Item + 1 < Block.Items.size(); ++Item) {
+      if (Block.Items[Item].IsLet)
+        throw Unsupported{"let inside a condition block is not supported "
+                          "by the ISA code generator"};
+      freeReg(genExpr(*Block.Items[Item].Value));
+    }
+    genCondition(*Block.Items.back().Value, FalseLabel);
+    Scopes.pop_back();
+    return;
+  }
+
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(E);
+    if (Un.Op != UnaryOp::Not)
+      break;
+    std::string TrueLabel = freshLabel();
+    genCondition(*Un.Value, TrueLabel); // Falls through when C true...
+    emit("jmp " + FalseLabel);          // ...so !C is false: bail.
+    placeLabel(TrueLabel);
+    return;
+  }
+
+  case ExprKind::Endorse: {
+    // endorse(x < y): the ISA's branches are precise, so the operands
+    // are endorsed right before the compare.
+    const auto &End = static_cast<const EndorseExpr &>(E);
+    if (End.Value->kind() == ExprKind::Binary) {
+      const auto &Bin = static_cast<const BinaryExpr &>(*End.Value);
+      switch (Bin.Op) {
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        genComparison(Bin, /*EndorseOperands=*/true, FalseLabel);
+        return;
+      default:
+        break;
+      }
+    }
+    break;
+  }
+
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    switch (Bin.Op) {
+    case BinaryOp::And:
+      genCondition(*Bin.Lhs, FalseLabel);
+      genCondition(*Bin.Rhs, FalseLabel);
+      return;
+    case BinaryOp::Or: {
+      std::string TrueLabel = freshLabel();
+      std::string TryRhs = freshLabel();
+      genCondition(*Bin.Lhs, TryRhs);
+      emit("jmp " + TrueLabel);
+      placeLabel(TryRhs);
+      genCondition(*Bin.Rhs, FalseLabel);
+      placeLabel(TrueLabel);
+      return;
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      genComparison(Bin, /*EndorseOperands=*/false, FalseLabel);
+      return;
+    default:
+      break;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  // General fallback: materialize the boolean value (0/1 in an integer
+  // register; the checker guarantees conditions are precise, and
+  // genExpr(Endorse) already lowers endorsements) and compare with zero.
+  {
+    RegValue Value = genExpr(E);
+    if (Value.IsFp || Value.Approx)
+      throw Unsupported{"internal: non-precise condition value at " +
+                        E.loc().str()};
+    emit("beq " + reg(Value) + ", r0, " + FalseLabel);
+    freeReg(Value);
+  }
+}
+
+RegValue Codegen::genExpr(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::IntLit: {
+    RegValue Out = allocValue(false, false);
+    emit("li " + reg(Out) + ", " +
+         std::to_string(static_cast<const IntLitExpr &>(E).Value));
+    return Out;
+  }
+  case ExprKind::FloatLit: {
+    RegValue Out = allocValue(true, false);
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g",
+                  static_cast<const FloatLitExpr &>(E).Value);
+    emit("lfi " + reg(Out) + ", " + std::string(Buffer));
+    return Out;
+  }
+  case ExprKind::BoolLit: {
+    RegValue Out = allocValue(false, false);
+    emit("li " + reg(Out) + ", " +
+         (static_cast<const BoolLitExpr &>(E).Value ? "1" : "0"));
+    return Out;
+  }
+
+  case ExprKind::VarRef: {
+    SlotInfo &Info =
+        lookup(static_cast<const VarRefExpr &>(E).Name, E.loc());
+    if (Info.IsArray)
+      throw Unsupported{"array references as values are not supported by "
+                        "the ISA code generator"};
+    return loadSlot(Info, nullptr);
+  }
+
+  case ExprKind::ArrayRead: {
+    const auto &Read = static_cast<const ArrayReadExpr &>(E);
+    if (Read.Array->kind() != ExprKind::VarRef)
+      throw Unsupported{"computed array expressions are not supported"};
+    SlotInfo Info = lookup(
+        static_cast<const VarRefExpr &>(*Read.Array).Name, E.loc());
+    RegValue Index = genExpr(*Read.Index);
+    RegValue Value = loadSlot(Info, &Index);
+    return normalize(Value, Index);
+  }
+
+  case ExprKind::ArrayWrite: {
+    const auto &Write = static_cast<const ArrayWriteExpr &>(E);
+    if (Write.Array->kind() != ExprKind::VarRef)
+      throw Unsupported{"computed array expressions are not supported"};
+    SlotInfo Info = lookup(
+        static_cast<const VarRefExpr &>(*Write.Array).Name, E.loc());
+    RegValue Index = genExpr(*Write.Index);
+    RegValue Value = genExpr(*Write.Value);
+    emitStore(Info, &Index, Value);
+    // The expression's value is the stored value; sink it past Index.
+    return normalize(Value, Index);
+  }
+
+  case ExprKind::ArrayLength: {
+    const auto &Len = static_cast<const ArrayLengthExpr &>(E);
+    if (Len.Array->kind() != ExprKind::VarRef)
+      throw Unsupported{"computed array expressions are not supported"};
+    SlotInfo &Info =
+        lookup(static_cast<const VarRefExpr &>(*Len.Array).Name, E.loc());
+    RegValue Out = allocValue(false, false);
+    emit("li " + reg(Out) + ", " + std::to_string(Info.Length));
+    return Out;
+  }
+
+  case ExprKind::Endorse: {
+    RegValue Inner = genExpr(*static_cast<const EndorseExpr &>(E).Value);
+    if (!Inner.Approx)
+      return Inner; // Identity on precise data.
+    unsigned Phys = Inner.Reg;
+    bool IsFp = Inner.IsFp;
+    freeReg(Inner);
+    RegValue Out = allocValue(IsFp, false);
+    emit(std::string(IsFp ? "fendorse" : "endorse") + " " + reg(Out) +
+         ", " + rn(IsFp, Phys));
+    return Out;
+  }
+
+  case ExprKind::Cast: {
+    const auto &Cast = static_cast<const CastExpr &>(E);
+    RegValue Inner = genExpr(*Cast.Value);
+    bool WantFp = Cast.Target.Base == BaseKind::Float;
+    bool WantApprox = Cast.Target.Q == Qual::Approx || Inner.Approx;
+    return coerce(Inner, WantFp, WantApprox);
+  }
+
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(E);
+    if (Un.Op != UnaryOp::Not && Un.Op != UnaryOp::Neg)
+      break;
+    if (Un.Op == UnaryOp::Not) {
+      RegValue Inner = genExpr(*Un.Value);
+      std::string Op = Inner.Approx ? "seq.a" : "seq";
+      unsigned Phys = Inner.Reg;
+      bool Approx = Inner.Approx;
+      freeReg(Inner);
+      RegValue Out = allocValue(false, Approx);
+      emit(Op + " " + reg(Out) + ", r" + std::to_string(Phys) + ", r0");
+      return Out;
+    }
+    RegValue Inner = genExpr(*Un.Value);
+    // 0 - x, computed into a register allocated above Inner, then sunk.
+    RegValue Zero = allocValue(Inner.IsFp, Inner.Approx);
+    emit(Inner.IsFp ? ("lfi " + reg(Zero) + ", 0.0")
+                    : ("li " + reg(Zero) + ", 0"));
+    std::string Suffix = Inner.Approx ? ".a" : "";
+    emit(std::string(Inner.IsFp ? "fsub" : "sub") + Suffix + " " +
+         reg(Zero) + ", " + reg(Zero) + ", " + reg(Inner));
+    return normalize(Zero, Inner);
+  }
+
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    switch (Bin.Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      break;
+    case BinaryOp::And:
+    case BinaryOp::Or: {
+      // Boolean values are 0/1 integers; non-short-circuiting, like the
+      // interpreter.
+      RegValue L = genExpr(*Bin.Lhs);
+      RegValue R = genExpr(*Bin.Rhs);
+      bool Approx = L.Approx || R.Approx;
+      std::string Lhs = reg(L), Rhs = reg(R);
+      freeReg(R);
+      freeReg(L);
+      RegValue Out = allocValue(false, Approx);
+      emit(std::string(Bin.Op == BinaryOp::And ? "and" : "or") +
+           (Approx ? ".a " : " ") + reg(Out) + ", " + Lhs + ", " + Rhs);
+      return Out;
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge: {
+      RegValue L = genExpr(*Bin.Lhs);
+      RegValue R = genExpr(*Bin.Rhs);
+      bool Approx = L.Approx || R.Approx;
+      if (L.IsFp || R.IsFp) {
+        // No FP set-instructions: materialize through an FP branch, which
+        // requires precise operands. (An approximate FP comparison value
+        // would need a compiler-inserted endorsement — refused: only the
+        // programmer may pierce the isolation.)
+        if (Approx)
+          throw Unsupported{
+              "approximate floating-point comparisons as values are not "
+              "supported by the ISA code generator; endorse them in a "
+              "condition instead"};
+        std::string Lhs = reg(L), Rhs = reg(R);
+        freeReg(R);
+        freeReg(L);
+        RegValue Out = allocValue(false, false);
+        std::string DoneLabel = freshLabel();
+        emit("li " + reg(Out) + ", 1");
+        switch (Bin.Op) {
+        case BinaryOp::Eq:
+          emit("fbeq " + Lhs + ", " + Rhs + ", " + DoneLabel);
+          break;
+        case BinaryOp::Ne:
+          emit("fbne " + Lhs + ", " + Rhs + ", " + DoneLabel);
+          break;
+        case BinaryOp::Lt:
+          emit("fblt " + Lhs + ", " + Rhs + ", " + DoneLabel);
+          break;
+        case BinaryOp::Le:
+          emit("fble " + Lhs + ", " + Rhs + ", " + DoneLabel);
+          break;
+        case BinaryOp::Gt:
+          emit("fblt " + Rhs + ", " + Lhs + ", " + DoneLabel);
+          break;
+        default:
+          emit("fble " + Rhs + ", " + Lhs + ", " + DoneLabel);
+          break;
+        }
+        emit("li " + reg(Out) + ", 0");
+        placeLabel(DoneLabel);
+        return Out;
+      }
+      // Integer comparisons materialize with the set instructions; an
+      // approximate comparison stays on the approximate unit (data path
+      // only — no control flow involved).
+      std::string Op;
+      std::string Lhs = reg(L), Rhs = reg(R);
+      bool Swap = false;
+      switch (Bin.Op) {
+      case BinaryOp::Eq:
+        Op = "seq";
+        break;
+      case BinaryOp::Ne:
+        Op = "sne";
+        break;
+      case BinaryOp::Lt:
+        Op = "slt";
+        break;
+      case BinaryOp::Le:
+        Op = "sle";
+        break;
+      case BinaryOp::Gt:
+        Op = "slt";
+        Swap = true;
+        break;
+      default:
+        Op = "sle";
+        Swap = true;
+        break;
+      }
+      if (Swap)
+        std::swap(Lhs, Rhs);
+      if (Approx)
+        Op += ".a";
+      freeReg(R);
+      freeReg(L);
+      RegValue Out = allocValue(false, Approx);
+      emit(Op + " " + reg(Out) + ", " + Lhs + ", " + Rhs);
+      return Out;
+    }
+    }
+    RegValue L = genExpr(*Bin.Lhs);
+    RegValue R = genExpr(*Bin.Rhs);
+    bool IsFp = L.IsFp || R.IsFp; // Checker guarantees they agree.
+    bool Approx = L.Approx || R.Approx;
+    std::string Op;
+    switch (Bin.Op) {
+    case BinaryOp::Add:
+      Op = IsFp ? "fadd" : "add";
+      break;
+    case BinaryOp::Sub:
+      Op = IsFp ? "fsub" : "sub";
+      break;
+    case BinaryOp::Mul:
+      Op = IsFp ? "fmul" : "mul";
+      break;
+    case BinaryOp::Div:
+      Op = IsFp ? "fdiv" : "div";
+      break;
+    case BinaryOp::Mod:
+      Op = "rem";
+      break;
+    default:
+      break;
+    }
+    if (Approx)
+      Op += ".a";
+    // The result register: free both operands (R is above L per pool),
+    // then allocate the destination; the operand registers still hold
+    // their values for the single instruction emitted next. An `.a`
+    // destination is approximate by construction; a precise op only ever
+    // sees precise operands (checker) — the verifier stays happy.
+    std::string Lhs = reg(L), Rhs = reg(R);
+    freeReg(R);
+    freeReg(L);
+    RegValue Out = allocValue(IsFp, Approx);
+    emit(Op + " " + reg(Out) + ", " + Lhs + ", " + Rhs);
+    return Out;
+  }
+
+  case ExprKind::If: {
+    const auto &If = static_cast<const IfExpr &>(E);
+    TypeInfo Result = infer(E);
+    std::string Park = rn(Result.IsFp, Result.Approx ? 28u : 2u);
+    std::string ElseLabel = freshLabel();
+    std::string EndLabel = freshLabel();
+    genCondition(*If.Cond, ElseLabel);
+    RegValue Then = coerce(genExpr(*If.Then), Result.IsFp, Result.Approx);
+    emitMove(Result.IsFp, Park, reg(Then));
+    freeReg(Then);
+    emit("jmp " + EndLabel);
+    placeLabel(ElseLabel);
+    RegValue Else = coerce(genExpr(*If.Else), Result.IsFp, Result.Approx);
+    emitMove(Result.IsFp, Park, reg(Else));
+    freeReg(Else);
+    placeLabel(EndLabel);
+    RegValue Out = allocValue(Result.IsFp, Result.Approx);
+    emitMove(Result.IsFp, reg(Out), Park);
+    return Out;
+  }
+
+  case ExprKind::While: {
+    const auto &While = static_cast<const WhileExpr &>(E);
+    std::string Head = freshLabel();
+    std::string Exit = freshLabel();
+    placeLabel(Head);
+    genCondition(*While.Cond, Exit);
+    freeReg(genExpr(*While.Body));
+    emit("jmp " + Head);
+    placeLabel(Exit);
+    RegValue Out = allocValue(false, false);
+    emit("li " + reg(Out) + ", 0");
+    return Out;
+  }
+
+  case ExprKind::Block: {
+    const auto &Block = static_cast<const BlockExpr &>(E);
+    Scopes.emplace_back();
+    RegValue Last = allocValue(false, false);
+    emit("li " + reg(Last) + ", 0");
+    for (const BlockExpr::Item &Item : Block.Items) {
+      freeReg(Last);
+      if (!Item.IsLet) {
+        Last = genExpr(*Item.Value);
+        continue;
+      }
+      if (Item.LetType.isClass())
+        throw Unsupported{
+            "classes are not supported by the ISA code generator"};
+      BaseKind Base =
+          Item.LetType.isArray() ? Item.LetType.Elem : Item.LetType.Base;
+      SlotInfo Info;
+      Info.IsFp = Base == BaseKind::Float; // Bools live in integer words.
+      Info.Approx = (Item.LetType.isArray() ? Item.LetType.ElemQual
+                                            : Item.LetType.Q) ==
+                    Qual::Approx;
+      if (Item.LetType.isArray()) {
+        if (Item.Value->kind() != ExprKind::NewArray)
+          throw Unsupported{"array lets must be initialized with a "
+                            "new ...[] expression"};
+        const auto &New = static_cast<const NewArrayExpr &>(*Item.Value);
+        if (New.Length->kind() != ExprKind::IntLit)
+          throw Unsupported{"array lengths must be integer literals for "
+                            "the ISA code generator"};
+        Info.IsArray = true;
+        Info.Length = static_cast<const IntLitExpr &>(*New.Length).Value;
+        if (Info.Length < 0)
+          throw Unsupported{"negative array length"};
+        Info.Slot =
+            allocWords(Info.Approx, static_cast<uint64_t>(Info.Length));
+        Scopes.back()[Item.LetName] = Info;
+        Last = allocValue(false, false);
+        emit("li " + reg(Last) + ", 0");
+        continue;
+      }
+      Info.Slot = allocWords(Info.Approx, 1);
+      Scopes.back()[Item.LetName] = Info;
+      RegValue Init = genExpr(*Item.Value);
+      emitStore(Info, nullptr, Init);
+      freeReg(Init);
+      Last = loadSlot(Info, nullptr);
+    }
+    Scopes.pop_back();
+    return Last;
+  }
+
+  case ExprKind::AssignLocal: {
+    const auto &Assign = static_cast<const AssignLocalExpr &>(E);
+    SlotInfo Info = lookup(Assign.Name, E.loc());
+    if (Info.IsArray)
+      throw Unsupported{"reassigning arrays is not supported"};
+    RegValue Value = genExpr(*Assign.Value);
+    emitStore(Info, nullptr, Value);
+    return Value;
+  }
+
+  default:
+    break;
+  }
+  throw Unsupported{
+      "construct not supported by the ISA code generator at " +
+      E.loc().str()};
+}
+
+CodegenResult Codegen::run(const Program &Prog) {
+  CodegenResult Result;
+  if (!Prog.Classes.empty()) {
+    Result.Error =
+        "the ISA code generator supports class-free programs only";
+    return Result;
+  }
+  try {
+    Scopes.emplace_back();
+    RegValue Final = genExpr(*Prog.Main);
+    // Driver convention: the result lands, endorsed, in r1/f1.
+    if (Final.Approx)
+      emit(std::string(Final.IsFp ? "fendorse" : "endorse") + " " +
+           rn(Final.IsFp, 1) + ", " + reg(Final));
+    else
+      emitMove(Final.IsFp, rn(Final.IsFp, 1), reg(Final));
+    freeReg(Final);
+    emit("halt");
+    if (PreciseWords > PreciseReserve)
+      throw Unsupported{"precise data exceeds the reserved region (" +
+                        std::to_string(PreciseWords) + " words)"};
+  } catch (const Unsupported &U) {
+    Result.Error = U.Message;
+    return Result;
+  }
+  Result.Assembly = ".data " + std::to_string(PreciseReserve) + "\n" +
+                    ".adata " + std::to_string(ApproxWords) + "\n" + Body;
+  Result.Ok = true;
+  return Result;
+}
+
+} // namespace
+
+CodegenResult enerj::fenerj::compileToIsa(const Program &Prog) {
+  return Codegen().run(Prog);
+}

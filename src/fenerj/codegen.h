@@ -1,0 +1,64 @@
+//===- fenerj/codegen.h - FEnerJ-to-approximate-ISA compiler ----*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A code generator from a FEnerJ subset to the Section 4 ISA — the
+/// paper's complete story in one pipeline: the programmer annotates
+/// types, the checker guarantees isolation, and "the system
+/// automatically maps approximate variables to low-power storage [and]
+/// uses low-power operations":
+///
+///  * precise locals/arrays are placed in the precise data region and
+///    manipulated with precise instructions and registers;
+///  * approximate locals/arrays go to the reduced-refresh region, their
+///    arithmetic is emitted as `.a` instructions targeting approximate
+///    (low-voltage) registers;
+///  * endorse() compiles to the explicit `endorse`/`fendorse`
+///    instructions — the only approx-to-precise moves in the output;
+///  * conditions compile to branches (integer and FP forms), whose
+///    operands the ISA requires to be precise — endorsed approximate
+///    comparisons endorse their operands right before the compare; FP
+///    comparisons branch on the positive condition so NaN semantics
+///    match the interpreter.
+///
+/// Supported subset: a main expression (no classes/methods) over int and
+/// float locals and constant-length arrays, arithmetic, comparisons and
+/// logical operators in conditions, if/while, assignments, casts, and
+/// endorse. The generated assembly always passes the ISA Verifier — a
+/// property the tests check — and running it on a fault-free machine
+/// agrees with the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_CODEGEN_H
+#define ENERJ_FENERJ_CODEGEN_H
+
+#include "fenerj/ast.h"
+#include "fenerj/program.h"
+
+#include <optional>
+#include <string>
+
+namespace enerj {
+namespace fenerj {
+
+/// Result of compilation: assembly text for the ISA assembler, or an
+/// error describing the unsupported construct.
+struct CodegenResult {
+  bool Ok = false;
+  std::string Assembly;
+  std::string Error;
+};
+
+/// Compiles \p Prog (which must already be type-checked). The final
+/// value of the main expression, if it is an int or float, is left in
+/// r1 / f1.
+CodegenResult compileToIsa(const Program &Prog);
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_CODEGEN_H

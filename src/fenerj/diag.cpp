@@ -1,0 +1,87 @@
+//===- fenerj/diag.cpp - Source locations and diagnostics ----------------===//
+
+#include "fenerj/diag.h"
+
+#include <cassert>
+
+using namespace enerj::fenerj;
+
+const char *enerj::fenerj::diagCodeName(DiagCode Code) {
+  switch (Code) {
+  case DiagCode::UnexpectedChar:
+    return "UnexpectedChar";
+  case DiagCode::UnterminatedLiteral:
+    return "UnterminatedLiteral";
+  case DiagCode::ExpectedToken:
+    return "ExpectedToken";
+  case DiagCode::DuplicateClass:
+    return "DuplicateClass";
+  case DiagCode::DuplicateMember:
+    return "DuplicateMember";
+  case DiagCode::UnknownClass:
+    return "UnknownClass";
+  case DiagCode::UnknownField:
+    return "UnknownField";
+  case DiagCode::UnknownMethod:
+    return "UnknownMethod";
+  case DiagCode::UnknownVariable:
+    return "UnknownVariable";
+  case DiagCode::CyclicInheritance:
+    return "CyclicInheritance";
+  case DiagCode::ImplicitFlow:
+    return "ImplicitFlow";
+  case DiagCode::ApproxCondition:
+    return "ApproxCondition";
+  case DiagCode::ApproxIndex:
+    return "ApproxIndex";
+  case DiagCode::ApproxArrayLength:
+    return "ApproxArrayLength";
+  case DiagCode::LostAssignment:
+    return "LostAssignment";
+  case DiagCode::BadEndorse:
+    return "BadEndorse";
+  case DiagCode::BadOperand:
+    return "BadOperand";
+  case DiagCode::BadArgument:
+    return "BadArgument";
+  case DiagCode::ArityMismatch:
+    return "ArityMismatch";
+  case DiagCode::BadCast:
+    return "BadCast";
+  case DiagCode::BadReceiver:
+    return "BadReceiver";
+  case DiagCode::ContextOutsideClass:
+    return "ContextOutsideClass";
+  case DiagCode::ReturnMismatch:
+    return "ReturnMismatch";
+  case DiagCode::RuntimeTrap:
+    return "RuntimeTrap";
+  }
+  assert(false && "unknown diagnostic code");
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = Loc.valid() ? Loc.str() + ": " : std::string();
+  Out += "error [";
+  Out += diagCodeName(Code);
+  Out += "]: ";
+  Out += Message;
+  return Out;
+}
+
+bool DiagnosticEngine::has(DiagCode Code) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Code == Code)
+      return true;
+  return false;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,101 @@
+//===- fenerj/diag.h - Source locations and diagnostics ---------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and the diagnostic sink shared by the FEnerJ lexer,
+/// parser, and type checker. Each diagnostic carries a stable code so
+/// tests can assert *which* rule rejected a program, not just that one did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_DIAG_H
+#define ENERJ_FENERJ_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace fenerj {
+
+/// A position in the source text (1-based line and column).
+struct SourceLoc {
+  int Line = 0;
+  int Column = 0;
+
+  bool valid() const { return Line > 0; }
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// Stable identifiers for every rule that can reject a program.
+enum class DiagCode {
+  // Lexing / parsing.
+  UnexpectedChar,
+  UnterminatedLiteral,
+  ExpectedToken,
+  DuplicateClass,
+  DuplicateMember,
+  // Name resolution.
+  UnknownClass,
+  UnknownField,
+  UnknownMethod,
+  UnknownVariable,
+  CyclicInheritance,
+  // The type system (Section 2 / Section 3 rules).
+  ImplicitFlow,      ///< approx value flowing into a precise context.
+  ApproxCondition,   ///< approximate value steering control flow (2.4).
+  ApproxIndex,       ///< approximate array subscript (2.6).
+  ApproxArrayLength, ///< array length must be precise (2.6).
+  LostAssignment,    ///< writing a field whose adapted type lost context.
+  BadEndorse,        ///< endorsing a non-approximate or non-primitive value.
+  BadOperand,        ///< operator applied to incompatible types.
+  BadArgument,       ///< call argument incompatible with parameter.
+  ArityMismatch,     ///< wrong number of call arguments.
+  BadCast,           ///< cast not permitted by the qualifier lattice.
+  BadReceiver,       ///< member access on a non-class value.
+  ContextOutsideClass, ///< @context used outside a class body.
+  ReturnMismatch,    ///< method body incompatible with declared return.
+  // Runtime (checked semantics).
+  RuntimeTrap,
+};
+
+/// Human-readable name of a code ("ImplicitFlow" etc.).
+const char *diagCodeName(DiagCode Code);
+
+/// One reported problem.
+struct Diagnostic {
+  DiagCode Code;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics; never throws.
+class DiagnosticEngine {
+public:
+  void report(DiagCode Code, SourceLoc Loc, std::string Message) {
+    Diags.push_back({Code, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// True when some diagnostic carries \p Code (for tests).
+  bool has(DiagCode Code) const;
+
+  /// All diagnostics joined by newlines.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_DIAG_H

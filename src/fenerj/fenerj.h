@@ -1,0 +1,29 @@
+//===- fenerj/fenerj.h - FEnerJ umbrella header -----------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header for the FEnerJ formal-language implementation: lexer,
+/// parser, qualifier lattice, type checker (Section 3.1), big-step
+/// interpreter with checked semantics and pluggable approximation
+/// (Section 3.2), and the random well-typed program generator used by the
+/// soundness / non-interference property tests (Section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_FENERJ_H
+#define ENERJ_FENERJ_FENERJ_H
+
+#include "fenerj/ast.h"
+#include "fenerj/diag.h"
+#include "fenerj/generator.h"
+#include "fenerj/interp.h"
+#include "fenerj/lexer.h"
+#include "fenerj/parser.h"
+#include "fenerj/program.h"
+#include "fenerj/typecheck.h"
+#include "fenerj/types.h"
+
+#endif // ENERJ_FENERJ_FENERJ_H

@@ -1,0 +1,445 @@
+//===- fenerj/generator.cpp - Random well-typed program generator ---------===//
+
+#include "fenerj/generator.h"
+
+#include "support/rng.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace enerj;
+using namespace enerj::fenerj;
+
+namespace {
+
+enum class GBase { Int, Float, Bool };
+enum class GQual { Precise, Approx, Context };
+
+const char *baseName(GBase B) {
+  switch (B) {
+  case GBase::Int:
+    return "int";
+  case GBase::Float:
+    return "float";
+  case GBase::Bool:
+    return "bool";
+  }
+  return "?";
+}
+
+const char *qualAnnotation(GQual Q) {
+  switch (Q) {
+  case GQual::Precise:
+    return "@precise";
+  case GQual::Approx:
+    return "@approx";
+  case GQual::Context:
+    return "@context";
+  }
+  return "?";
+}
+
+struct GField {
+  GQual Q;
+  GBase B;
+  std::string Name;
+};
+
+struct GMethod {
+  GQual ParamQ;
+  GBase ParamB;
+  GQual RetQ; // Precise or Approx only.
+  GBase RetB;
+  std::string Name;
+  bool HasApproxVariant;
+};
+
+struct GClass {
+  std::string Name;
+  std::vector<GField> Fields;
+  std::vector<GMethod> Methods;
+};
+
+struct GLocal {
+  std::string Name;
+  GQual Q; // Precise or Approx.
+  GBase B;
+};
+
+struct GObject {
+  std::string Name;
+  int ClassIndex;
+  bool ApproxInstance;
+};
+
+/// Generates expressions of a requested (qualifier, base) pair, well typed
+/// by construction. Inside method bodies, Context-qualified slots are
+/// usable wherever the target is Approx *or* Context; precise values flow
+/// anywhere (primitive subtyping).
+class ProgramGen {
+public:
+  explicit ProgramGen(const GeneratorOptions &Options)
+      : Options(Options), R(Options.Seed) {}
+
+  std::string run();
+
+private:
+  std::string freshName(const char *Prefix) {
+    return std::string(Prefix) + std::to_string(Counter++);
+  }
+
+  GBase randomBase() {
+    switch (R.nextBelow(Options.AllowBools ? 3 : 2)) {
+    case 0:
+      return GBase::Int;
+    case 1:
+      return GBase::Float;
+    default:
+      return GBase::Bool;
+    }
+  }
+
+  GQual randomFieldQual() {
+    switch (R.nextBelow(3)) {
+    case 0:
+      return GQual::Precise;
+    case 1:
+      return GQual::Approx;
+    default:
+      return GQual::Context;
+    }
+  }
+
+  std::string literal(GBase B) {
+    switch (B) {
+    case GBase::Int:
+      return std::to_string(R.nextInRange(-20, 20));
+    case GBase::Float: {
+      char Buffer[32];
+      std::snprintf(Buffer, sizeof(Buffer), "%d.%02d",
+                    static_cast<int>(R.nextInRange(-9, 9)),
+                    static_cast<int>(R.nextBelow(100)));
+      return Buffer;
+    }
+    case GBase::Bool:
+      return R.nextBernoulli(0.5) ? "true" : "false";
+    }
+    return "0";
+  }
+
+  /// Whether a value of (Q, B) may flow into a target of (TQ, B).
+  /// Precise flows anywhere; approx flows to approx; context flows to
+  /// context (and, inside a method body, to approx is NOT allowed since
+  /// the instance may be precise — but context-to-approx *is* legal
+  /// by subsumption? No: context is not <= approx in the lattice).
+  static bool flowsInto(GQual Q, GQual Target) {
+    if (Q == GQual::Precise)
+      return true;
+    return Q == Target;
+  }
+
+  /// An expression of exactly-compatible type for (Q, B). \p InMethod
+  /// enables 'this' field access and the method parameter.
+  std::string expr(GQual Q, GBase B, int Depth, const GClass *InMethod,
+                   const GMethod *Param);
+
+  /// A terminal (depth-0) expression.
+  std::string terminal(GQual Q, GBase B, const GClass *InMethod,
+                       const GMethod *Param);
+
+  std::string binaryOf(GQual Q, GBase B, int Depth, const GClass *InMethod,
+                       const GMethod *Param);
+
+  const GeneratorOptions Options;
+  Rng R;
+  int Counter = 0;
+  std::vector<GClass> Classes;
+  std::vector<GLocal> MainLocals;   ///< Locals in the main block.
+  std::vector<GObject> MainObjects; ///< Objects in the main block.
+};
+
+std::string ProgramGen::terminal(GQual Q, GBase B, const GClass *InMethod,
+                                 const GMethod *Param) {
+  // Collect candidate atoms.
+  std::vector<std::string> Atoms;
+  Atoms.push_back(literal(B)); // Precise literal: flows anywhere.
+  if (InMethod) {
+    if (Param && Param->ParamB == B && flowsInto(Param->ParamQ, Q))
+      Atoms.push_back("p");
+    for (const GField &F : InMethod->Fields)
+      if (F.B == B && flowsInto(F.Q, Q))
+        Atoms.push_back("this." + F.Name);
+  } else {
+    for (const GLocal &L : MainLocals)
+      if (L.B == B && flowsInto(L.Q, Q))
+        Atoms.push_back(L.Name);
+    // Field reads on main-block objects: the adapted qualifier of a
+    // @context field is the instance's qualifier.
+    for (const GObject &Obj : MainObjects) {
+      for (const GField &F : Classes[Obj.ClassIndex].Fields) {
+        if (F.B != B)
+          continue;
+        GQual Adapted = F.Q == GQual::Context
+                            ? (Obj.ApproxInstance ? GQual::Approx
+                                                  : GQual::Precise)
+                            : F.Q;
+        if (flowsInto(Adapted, Q))
+          Atoms.push_back(Obj.Name + "." + F.Name);
+      }
+    }
+  }
+  return Atoms[R.nextBelow(Atoms.size())];
+}
+
+std::string ProgramGen::binaryOf(GQual Q, GBase B, int Depth,
+                                 const GClass *InMethod,
+                                 const GMethod *Param) {
+  // Operand qualifiers must combine to at most Q: target precise needs
+  // precise operands; target approx/context may mix in precise ones.
+  auto OperandQual = [&]() {
+    if (Q == GQual::Precise)
+      return GQual::Precise;
+    return R.nextBernoulli(0.5) ? GQual::Precise : Q;
+  };
+  // Ensure at least one operand carries Q so the result is representative
+  // (precise operands alone would still be a legal subtype).
+  GQual LQ = OperandQual(), RQ = OperandQual();
+  if (B == GBase::Bool) {
+    // Half the boolean expressions are comparisons over numeric operands
+    // (the comparison result carries the combined operand qualifier, so
+    // operands follow the same rule as the connectives). Approximate
+    // comparisons stay on integers: approximate *float* comparisons as
+    // values are outside the ISA code generator's subset.
+    if (R.nextBernoulli(0.5)) {
+      GBase Operand = Q != GQual::Precise || R.nextBernoulli(0.5)
+                          ? GBase::Int
+                          : GBase::Float;
+      const char *Cmps[] = {"<", "<=", ">", ">=", "==", "!="};
+      return "(" + expr(LQ, Operand, Depth - 1, InMethod, Param) + " " +
+             Cmps[R.nextBelow(6)] + " " +
+             expr(RQ, Operand, Depth - 1, InMethod, Param) + ")";
+    }
+    const char *Ops[] = {"&&", "||"};
+    return "(" + expr(LQ, GBase::Bool, Depth - 1, InMethod, Param) + " " +
+           Ops[R.nextBelow(2)] + " " +
+           expr(RQ, GBase::Bool, Depth - 1, InMethod, Param) + ")";
+  }
+  const char *Ops[] = {"+", "-", "*"};
+  return "(" + expr(LQ, B, Depth - 1, InMethod, Param) + " " +
+         Ops[R.nextBelow(3)] + " " +
+         expr(RQ, B, Depth - 1, InMethod, Param) + ")";
+}
+
+std::string ProgramGen::expr(GQual Q, GBase B, int Depth,
+                             const GClass *InMethod, const GMethod *Param) {
+  if (Depth <= 0)
+    return terminal(Q, B, InMethod, Param);
+  // Endorsement: the only approximate-to-precise gate. Only generated
+  // when the options allow it (it voids non-interference).
+  if (Options.AllowEndorse && Q == GQual::Precise && R.nextBernoulli(0.2))
+    return "endorse(" + expr(GQual::Approx, B, Depth - 1, InMethod, Param) +
+           ")";
+  switch (R.nextBelow(InMethod ? 4 : 5)) {
+  case 0:
+    return terminal(Q, B, InMethod, Param);
+  case 1:
+  case 2:
+    return binaryOf(Q, B, Depth, InMethod, Param);
+  case 3: {
+    // Conditional: the condition must be precise — either natively or
+    // through an explicit endorsement of an approximate comparison.
+    std::string Cond;
+    if (Options.AllowEndorse && R.nextBernoulli(0.3))
+      Cond = "endorse(" +
+             expr(GQual::Approx, GBase::Bool, Depth - 1, InMethod, Param) +
+             ")";
+    else
+      Cond = expr(GQual::Precise, GBase::Bool, Depth - 1, InMethod, Param);
+    std::string Then = expr(Q, B, Depth - 1, InMethod, Param);
+    std::string Else = expr(Q, B, Depth - 1, InMethod, Param);
+    return "if (" + Cond + ") { " + Then + " } else { " + Else + " }";
+  }
+  default: {
+    // Method call on a main-block object whose (adapted) return type
+    // flows into the target.
+    std::vector<std::string> Calls;
+    for (const GObject &Obj : MainObjects) {
+      for (const GMethod &M : Classes[Obj.ClassIndex].Methods) {
+        if (M.RetB != B || !flowsInto(M.RetQ, Q))
+          continue;
+        GQual ArgTarget = M.ParamQ == GQual::Context
+                              ? (Obj.ApproxInstance ? GQual::Approx
+                                                    : GQual::Precise)
+                              : M.ParamQ;
+        Calls.push_back(Obj.Name + "." + M.Name + "(" +
+                        expr(ArgTarget, M.ParamB, Depth - 1, nullptr,
+                             nullptr) +
+                        ")");
+      }
+    }
+    if (Calls.empty())
+      return binaryOf(Q, B, Depth, InMethod, Param);
+    return Calls[R.nextBelow(Calls.size())];
+  }
+  }
+}
+
+std::string ProgramGen::run() {
+  std::string Out;
+
+  // --- Classes. ---
+  for (int C = 0; C != Options.NumClasses; ++C) {
+    GClass Cls;
+    Cls.Name = "C" + std::to_string(C);
+    int NumFields = 1 + static_cast<int>(R.nextBelow(Options.FieldsPerClass));
+    for (int F = 0; F != NumFields; ++F)
+      Cls.Fields.push_back(
+          {randomFieldQual(), randomBase(), "f" + std::to_string(F)});
+    int NumMethods =
+        1 + static_cast<int>(R.nextBelow(Options.MethodsPerClass));
+    for (int M = 0; M != NumMethods; ++M) {
+      GMethod Method;
+      Method.Name = "m" + std::to_string(M);
+      Method.ParamQ = randomFieldQual();
+      Method.ParamB = randomBase();
+      Method.RetQ = R.nextBernoulli(0.5) ? GQual::Precise : GQual::Approx;
+      Method.RetB = randomBase();
+      Method.HasApproxVariant = R.nextBernoulli(0.3);
+      Cls.Methods.push_back(Method);
+    }
+    Classes.push_back(std::move(Cls));
+  }
+
+  for (const GClass &Cls : Classes) {
+    Out += "class " + Cls.Name + " {\n";
+    for (const GField &F : Cls.Fields)
+      Out += std::string("  ") + qualAnnotation(F.Q) + " " + baseName(F.B) +
+             " " + F.Name + ";\n";
+    for (const GMethod &M : Cls.Methods) {
+      auto EmitBody = [&](bool ApproxVariant) {
+        // The body: write one compatible field, then return a value of
+        // the declared return type. Field writes must respect the
+        // adapted slot type; inside a body the receiver is 'context', so
+        // @context fields accept context-compatible values only. To stay
+        // well typed for *any* instantiation we write precise data into
+        // context fields and matching data otherwise.
+        Out += " {\n";
+        for (const GField &F : Cls.Fields) {
+          if (!R.nextBernoulli(0.5))
+            continue;
+          GQual ValueQ = F.Q == GQual::Approx && R.nextBernoulli(0.5)
+                             ? GQual::Approx
+                             : GQual::Precise;
+          Out += "    this." + F.Name + " := " +
+                 expr(ValueQ, F.B, 1, &Cls, &M) + ";\n";
+        }
+        // A variant marker so the two overloads differ observably in
+        // approximate state only.
+        (void)ApproxVariant;
+        GQual BodyQ = M.RetQ;
+        Out += "    " + expr(BodyQ, M.RetB, Options.MaxDepth, &Cls, &M) +
+               ";\n  }\n";
+      };
+      std::string Sig = std::string("  ") +
+                        (M.RetQ == GQual::Approx ? "@approx " : "") +
+                        baseName(M.RetB) + " " + M.Name + "(" +
+                        qualAnnotation(M.ParamQ) + " " + baseName(M.ParamB) +
+                        " p)";
+      Out += Sig;
+      EmitBody(false);
+      if (M.HasApproxVariant) {
+        Out += Sig + " approx";
+        EmitBody(true);
+      }
+    }
+    Out += "}\n\n";
+  }
+
+  // --- Main block. ---
+  Out += "{\n";
+  // Create a few objects, both precise and approximate instances.
+  int NumObjects =
+      Classes.empty() ? 0 : 2 + static_cast<int>(R.nextBelow(3));
+  for (int Obj = 0; Obj != NumObjects; ++Obj) {
+    GObject Object;
+    Object.Name = freshName("o");
+    Object.ClassIndex = static_cast<int>(R.nextBelow(Classes.size()));
+    Object.ApproxInstance = R.nextBernoulli(0.5);
+    Out += "  let " +
+           std::string(Object.ApproxInstance ? "@approx " : "@precise ") +
+           Classes[Object.ClassIndex].Name + " " + Object.Name + " = new " +
+           (Object.ApproxInstance ? "@approx " : "@precise ") +
+           Classes[Object.ClassIndex].Name + "();\n";
+    MainObjects.push_back(Object);
+  }
+  // A few locals of both precisions.
+  for (int L = 0; L != 3; ++L) {
+    GLocal Local;
+    Local.Name = freshName("v");
+    Local.B = randomBase();
+    Local.Q = R.nextBernoulli(0.5) ? GQual::Precise : GQual::Approx;
+    Out += "  let " +
+           std::string(Local.Q == GQual::Approx ? "@approx " : "") +
+           baseName(Local.B) + " " + Local.Name + " = " +
+           expr(Local.Q, Local.B, 2, nullptr, nullptr) + ";\n";
+    MainLocals.push_back(Local);
+  }
+  // Statements: field writes, local assignments, a bounded loop.
+  for (int S = 0; S != Options.MainStatements; ++S) {
+    switch (R.nextBelow(MainObjects.empty() ? 2 : 3) +
+            (MainObjects.empty() ? 1 : 0)) {
+    case 0: {
+      const GObject &Obj = MainObjects[R.nextBelow(MainObjects.size())];
+      const GClass &Cls = Classes[Obj.ClassIndex];
+      const GField &F = Cls.Fields[R.nextBelow(Cls.Fields.size())];
+      GQual Adapted = F.Q == GQual::Context
+                          ? (Obj.ApproxInstance ? GQual::Approx
+                                                : GQual::Precise)
+                          : F.Q;
+      GQual ValueQ =
+          Adapted == GQual::Precise || R.nextBernoulli(0.4) ? GQual::Precise
+                                                            : Adapted;
+      Out += "  " + Obj.Name + "." + F.Name + " := " +
+             expr(ValueQ, F.B, Options.MaxDepth, nullptr, nullptr) + ";\n";
+      break;
+    }
+    case 1: {
+      const GLocal &L = MainLocals[R.nextBelow(MainLocals.size())];
+      GQual ValueQ = L.Q == GQual::Precise || R.nextBernoulli(0.4)
+                         ? GQual::Precise
+                         : L.Q;
+      Out += "  " + L.Name + " = " +
+             expr(ValueQ, L.B, Options.MaxDepth, nullptr, nullptr) + ";\n";
+      break;
+    }
+    default: {
+      // A bounded loop over a fresh precise counter.
+      std::string Counter = freshName("i");
+      int Bound = 1 + static_cast<int>(R.nextBelow(4));
+      Out += "  let int " + Counter + " = 0;\n";
+      Out += "  while (" + Counter + " < " + std::to_string(Bound) +
+             ") {\n    " + Counter + " = " + Counter + " + 1;\n";
+      if (!MainLocals.empty()) {
+        const GLocal &L = MainLocals[R.nextBelow(MainLocals.size())];
+        GQual ValueQ = L.Q == GQual::Precise ? GQual::Precise : L.Q;
+        Out += "    " + L.Name + " = " + expr(ValueQ, L.B, 1, nullptr,
+                                              nullptr) + ";\n";
+      }
+      Out += "  };\n";
+      break;
+    }
+    }
+  }
+  // The final, precise result.
+  Out += "  " + expr(GQual::Precise, GBase::Int, Options.MaxDepth, nullptr,
+                     nullptr) +
+         ";\n}\n";
+  return Out;
+}
+
+} // namespace
+
+std::string enerj::fenerj::generateProgram(const GeneratorOptions &Options) {
+  return ProgramGen(Options).run();
+}

@@ -1,0 +1,57 @@
+//===- fenerj/generator.h - Random well-typed program generator -*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generator of random *well-typed*, *endorse-free*, *terminating*
+/// FEnerJ programs, used by the property tests:
+///
+///  * type soundness — every generated program must pass the checker, and
+///    evaluating it under the checked semantics must never trap;
+///  * non-interference — evaluating it under two different perturbers must
+///    produce identical precise projections.
+///
+/// Generated programs mix precise and approximate computation through
+/// fields (including @context fields on both precise and approximate
+/// instances), method calls (including approx-receiver overloads), arrays,
+/// bounded while loops, and conditionals — but never endorse, so the
+/// theorem of Section 3.3 applies in full.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_GENERATOR_H
+#define ENERJ_FENERJ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace enerj {
+namespace fenerj {
+
+struct GeneratorOptions {
+  uint64_t Seed = 1;
+  int NumClasses = 2;      ///< Classes to generate (>= 1).
+  int FieldsPerClass = 3;  ///< Upper bound on fields per class.
+  int MethodsPerClass = 2; ///< Upper bound on methods per class.
+  int MainStatements = 8;  ///< Statements in the main block.
+  int MaxDepth = 3;        ///< Expression recursion depth.
+  /// Allow endorse() in generated programs (including endorsed
+  /// approximate conditions). Endorsement pierces the isolation, so the
+  /// non-interference property no longer applies — endorse-ful programs
+  /// are used for the type-soundness corpus only.
+  bool AllowEndorse = false;
+  /// Generate bool-typed locals and fields. The ISA code generator's
+  /// differential corpus turns this off (booleans exist only in
+  /// conditions there).
+  bool AllowBools = true;
+};
+
+/// Produces the source text of a random program.
+std::string generateProgram(const GeneratorOptions &Options);
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_GENERATOR_H

@@ -1,0 +1,730 @@
+//===- fenerj/interp.cpp - FEnerJ big-step interpreter --------------------===//
+
+#include "fenerj/interp.h"
+
+#include "support/bits.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+using namespace enerj;
+using namespace enerj::fenerj;
+
+std::string Value::str() const {
+  char Buffer[64];
+  switch (K) {
+  case Kind::Null:
+    return "null";
+  case Kind::Int:
+    std::snprintf(Buffer, sizeof(Buffer), "%" PRId64, I);
+    break;
+  case Kind::Float:
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g", F);
+    break;
+  case Kind::Bool:
+    return B ? "true" : "false";
+  case Kind::Ref:
+    std::snprintf(Buffer, sizeof(Buffer), "ref:%u", Ref);
+    break;
+  }
+  return Buffer;
+}
+
+int64_t RandomPerturber::perturbInt(int64_t V) {
+  if (!R.nextBernoulli(Probability))
+    return V;
+  return static_cast<int64_t>(R.next());
+}
+
+double RandomPerturber::perturbFloat(double V) {
+  if (!R.nextBernoulli(Probability))
+    return V;
+  // A random finite double drawn from a wide range.
+  return (R.nextDouble() * 2.0 - 1.0) * 1e6;
+}
+
+bool RandomPerturber::perturbBool(bool V) {
+  if (!R.nextBernoulli(Probability))
+    return V;
+  return R.nextBernoulli(0.5);
+}
+
+namespace {
+
+/// Slot kinds for checked stores.
+enum SlotKind : uint8_t { SlotPrecise = 0, SlotApprox = 1, SlotDynamic = 2 };
+
+SlotKind resolveSlot(Qual Declared, bool InstanceApprox) {
+  switch (Declared) {
+  case Qual::Precise:
+    return SlotPrecise;
+  case Qual::Approx:
+    return SlotApprox;
+  case Qual::Context:
+    return InstanceApprox ? SlotApprox : SlotPrecise;
+  case Qual::Top:
+  case Qual::Lost:
+    return SlotDynamic;
+  }
+  assert(false && "unknown qualifier");
+  return SlotDynamic;
+}
+
+struct Binding {
+  Value V;
+  SlotKind Slot = SlotDynamic;
+};
+
+class RuntimeEnv {
+public:
+  void push() { Scopes.emplace_back(); }
+  void pop() { Scopes.pop_back(); }
+  void bind(const std::string &Name, Binding B) {
+    Scopes.back()[Name] = std::move(B);
+  }
+  Binding *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+private:
+  std::vector<std::unordered_map<std::string, Binding>> Scopes;
+};
+
+} // namespace
+
+namespace enerj {
+namespace fenerj {
+
+class EvalVisitor {
+public:
+  EvalVisitor(Interpreter &I) : I(I), Fuel(I.Options.Fuel) {}
+
+  EvalResult runMain() {
+    RuntimeEnv Env;
+    Env.push();
+    Value Result = eval(*I.Prog.Main, Env, /*InstanceApprox=*/false);
+    EvalResult Out;
+    Out.Trapped = Trapped;
+    Out.TrapMessage = TrapMessage;
+    Out.Result = Result;
+    return Out;
+  }
+
+private:
+  Value trap(SourceLoc Loc, std::string Message) {
+    if (!Trapped) {
+      Trapped = true;
+      TrapMessage = Loc.valid() ? Loc.str() + ": " + Message
+                                : std::move(Message);
+    }
+    return Value::makeNull();
+  }
+
+  /// Applies the perturber to an approximate value (the approximate-
+  /// execution rule: any approximate value may become any other value of
+  /// its type).
+  Value perturb(Value V) {
+    if (!V.Approx || !I.Options.Perturb)
+      return V;
+    switch (V.K) {
+    case Value::Kind::Int:
+      V.I = I.Options.Perturb->perturbInt(V.I);
+      break;
+    case Value::Kind::Float:
+      V.F = I.Options.Perturb->perturbFloat(V.F);
+      break;
+    case Value::Kind::Bool:
+      V.B = I.Options.Perturb->perturbBool(V.B);
+      break;
+    case Value::Kind::Null:
+    case Value::Kind::Ref:
+      break; // References are never approximate.
+    }
+    return V;
+  }
+
+  /// Tags a value on its way into a storage slot, enforcing the checked
+  /// semantics: precise slots accept only precise-tagged values.
+  Value storeInto(SlotKind Slot, Value V, SourceLoc Loc, const char *What) {
+    switch (Slot) {
+    case SlotPrecise:
+      if (I.Options.Checked && V.Approx)
+        return trap(Loc, std::string("checked-semantics violation: "
+                                     "approximate value reached precise ") +
+                             What);
+      V.Approx = false;
+      return V;
+    case SlotApprox:
+      if (V.K != Value::Kind::Null && V.K != Value::Kind::Ref)
+        V.Approx = true; // Subsumption: precise data becomes approximate.
+      return V;
+    case SlotDynamic:
+      return V;
+    }
+    assert(false && "unknown slot kind");
+    return V;
+  }
+
+  Value eval(const Expr &E, RuntimeEnv &Env, bool InstanceApprox);
+
+  Interpreter &I;
+  uint64_t Fuel;
+  uint32_t CallDepth = 0;
+  bool Trapped = false;
+  std::string TrapMessage;
+
+  friend class ::enerj::fenerj::Interpreter;
+};
+
+Value EvalVisitor::eval(const Expr &E, RuntimeEnv &Env, bool InstanceApprox) {
+  if (Trapped)
+    return Value::makeNull();
+  if (Fuel == 0)
+    return trap(E.loc(), "evaluation fuel exhausted (infinite loop?)");
+  --Fuel;
+
+  switch (E.kind()) {
+  case ExprKind::NullLit:
+    return Value::makeNull();
+  case ExprKind::IntLit:
+    return Value::makeInt(static_cast<const IntLitExpr &>(E).Value, false);
+  case ExprKind::FloatLit:
+    return Value::makeFloat(static_cast<const FloatLitExpr &>(E).Value,
+                            false);
+  case ExprKind::BoolLit:
+    return Value::makeBool(static_cast<const BoolLitExpr &>(E).Value, false);
+
+  case ExprKind::VarRef: {
+    const auto &Var = static_cast<const VarRefExpr &>(E);
+    Binding *B = Env.lookup(Var.Name);
+    if (!B)
+      return trap(E.loc(), "unbound variable '" + Var.Name + "'");
+    // Reading an approximate local goes through approximate storage.
+    return perturb(B->V);
+  }
+
+  case ExprKind::New: {
+    const auto &New = static_cast<const NewExpr &>(E);
+    HeapCell Cell;
+    Cell.ClassName = New.ClassName;
+    Cell.InstanceApprox = New.Q == Qual::Approx ||
+                          (New.Q == Qual::Context && InstanceApprox);
+    for (const FieldDeclAst *Field : I.Table.allFields(New.ClassName)) {
+      SlotKind Slot =
+          resolveSlot(Field->DeclaredType.Q, Cell.InstanceApprox);
+      Cell.FieldSlotKind[Field->Name] = Slot;
+      Value Default;
+      switch (Field->DeclaredType.Base) {
+      case BaseKind::Int:
+        Default = Value::makeInt(0, Slot == SlotApprox);
+        break;
+      case BaseKind::Float:
+        Default = Value::makeFloat(0.0, Slot == SlotApprox);
+        break;
+      case BaseKind::Bool:
+        Default = Value::makeBool(false, Slot == SlotApprox);
+        break;
+      case BaseKind::Class:
+      case BaseKind::Array:
+      case BaseKind::Null:
+        Default = Value::makeNull();
+        break;
+      }
+      Cell.Fields[Field->Name] = Default;
+    }
+    I.Heap.push_back(std::move(Cell));
+    return Value::makeRef(static_cast<uint32_t>(I.Heap.size() - 1));
+  }
+
+  case ExprKind::NewArray: {
+    const auto &New = static_cast<const NewArrayExpr &>(E);
+    Value Len = eval(*New.Length, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    if (Len.K != Value::Kind::Int)
+      return trap(E.loc(), "array length is not an int");
+    if (I.Options.Checked && Len.Approx)
+      return trap(E.loc(), "checked-semantics violation: approximate array "
+                           "length");
+    if (Len.I < 0)
+      return trap(E.loc(), "negative array length");
+    HeapCell Cell;
+    Cell.IsArray = true;
+    Cell.Elem = New.Elem;
+    Cell.ElemApprox = New.ElemQual == Qual::Approx ||
+                      (New.ElemQual == Qual::Context && InstanceApprox);
+    Value Default;
+    switch (New.Elem) {
+    case BaseKind::Int:
+      Default = Value::makeInt(0, Cell.ElemApprox);
+      break;
+    case BaseKind::Float:
+      Default = Value::makeFloat(0.0, Cell.ElemApprox);
+      break;
+    default:
+      Default = Value::makeBool(false, Cell.ElemApprox);
+      break;
+    }
+    Cell.Elements.assign(static_cast<size_t>(Len.I), Default);
+    I.Heap.push_back(std::move(Cell));
+    return Value::makeRef(static_cast<uint32_t>(I.Heap.size() - 1));
+  }
+
+  case ExprKind::FieldRead: {
+    const auto &Read = static_cast<const FieldReadExpr &>(E);
+    Value Recv = eval(*Read.Receiver, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    if (Recv.K != Value::Kind::Ref)
+      return trap(E.loc(), "field read on " + Recv.str());
+    HeapCell &Cell = I.Heap[Recv.Ref];
+    auto It = Cell.Fields.find(Read.Field);
+    if (It == Cell.Fields.end())
+      return trap(E.loc(), "object has no field '" + Read.Field + "'");
+    return perturb(It->second);
+  }
+
+  case ExprKind::FieldWrite: {
+    const auto &Write = static_cast<const FieldWriteExpr &>(E);
+    Value Recv = eval(*Write.Receiver, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    if (Recv.K != Value::Kind::Ref)
+      return trap(E.loc(), "field write on " + Recv.str());
+    Value V = eval(*Write.Value, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    HeapCell &Cell = I.Heap[Recv.Ref];
+    auto It = Cell.Fields.find(Write.Field);
+    if (It == Cell.Fields.end())
+      return trap(E.loc(), "object has no field '" + Write.Field + "'");
+    SlotKind Slot = static_cast<SlotKind>(Cell.FieldSlotKind[Write.Field]);
+    Value Stored = storeInto(Slot, V, E.loc(), "field");
+    if (Trapped)
+      return Value::makeNull();
+    It->second = Stored;
+    return V;
+  }
+
+  case ExprKind::ArrayRead: {
+    const auto &Read = static_cast<const ArrayReadExpr &>(E);
+    Value Arr = eval(*Read.Array, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    Value Idx = eval(*Read.Index, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    if (Arr.K != Value::Kind::Ref || !I.Heap[Arr.Ref].IsArray)
+      return trap(E.loc(), "subscript on " + Arr.str());
+    if (I.Options.Checked && Idx.Approx)
+      return trap(E.loc(),
+                  "checked-semantics violation: approximate array index");
+    HeapCell &Cell = I.Heap[Arr.Ref];
+    if (Idx.I < 0 || static_cast<size_t>(Idx.I) >= Cell.Elements.size())
+      return trap(E.loc(), "array index out of bounds");
+    return perturb(Cell.Elements[static_cast<size_t>(Idx.I)]);
+  }
+
+  case ExprKind::ArrayWrite: {
+    const auto &Write = static_cast<const ArrayWriteExpr &>(E);
+    Value Arr = eval(*Write.Array, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    Value Idx = eval(*Write.Index, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    Value V = eval(*Write.Value, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    if (Arr.K != Value::Kind::Ref || !I.Heap[Arr.Ref].IsArray)
+      return trap(E.loc(), "subscript on " + Arr.str());
+    if (I.Options.Checked && Idx.Approx)
+      return trap(E.loc(),
+                  "checked-semantics violation: approximate array index");
+    HeapCell &Cell = I.Heap[Arr.Ref];
+    if (Idx.I < 0 || static_cast<size_t>(Idx.I) >= Cell.Elements.size())
+      return trap(E.loc(), "array index out of bounds");
+    Value Stored = storeInto(Cell.ElemApprox ? SlotApprox : SlotPrecise, V,
+                             E.loc(), "array element");
+    if (Trapped)
+      return Value::makeNull();
+    Cell.Elements[static_cast<size_t>(Idx.I)] = Stored;
+    return V;
+  }
+
+  case ExprKind::ArrayLength: {
+    const auto &Len = static_cast<const ArrayLengthExpr &>(E);
+    Value Arr = eval(*Len.Array, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    if (Arr.K != Value::Kind::Ref || !I.Heap[Arr.Ref].IsArray)
+      return trap(E.loc(), ".length on " + Arr.str());
+    return Value::makeInt(
+        static_cast<int64_t>(I.Heap[Arr.Ref].Elements.size()), false);
+  }
+
+  case ExprKind::MethodCall: {
+    const auto &Call = static_cast<const MethodCallExpr &>(E);
+    Value Recv = eval(*Call.Receiver, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    if (Recv.K != Value::Kind::Ref || I.Heap[Recv.Ref].IsArray)
+      return trap(E.loc(), "method call on " + Recv.str());
+    // Dispatch on the instance's dynamic qualifier (Section 2.5.2): an
+    // approximate instance prefers the approx variant.
+    bool RecvApprox = I.Heap[Recv.Ref].InstanceApprox;
+    const MethodDecl *Method = I.Table.lookupMethod(
+        I.Heap[Recv.Ref].ClassName, Call.Method,
+        RecvApprox ? Qual::Approx : Qual::Precise);
+    if (!Method)
+      return trap(E.loc(), "no method '" + Call.Method + "' on class '" +
+                               I.Heap[Recv.Ref].ClassName + "'");
+    if (Method->Params.size() != Call.Args.size())
+      return trap(E.loc(), "wrong argument count for '" + Call.Method + "'");
+    // The evaluator recurses on the host stack; bound it before the
+    // fuel counter would catch a runaway recursion.
+    if (CallDepth >= I.Options.MaxCallDepth)
+      return trap(E.loc(), "method-call depth limit exceeded");
+    RuntimeEnv Callee;
+    Callee.push();
+    Callee.bind("this", {Recv, SlotPrecise});
+    for (size_t Idx = 0; Idx != Call.Args.size(); ++Idx) {
+      Value Arg = eval(*Call.Args[Idx], Env, InstanceApprox);
+      if (Trapped)
+        return Value::makeNull();
+      SlotKind Slot =
+          resolveSlot(Method->Params[Idx].DeclaredType.Q, RecvApprox);
+      Value Stored = storeInto(Slot, Arg, Call.Args[Idx]->loc(), "parameter");
+      if (Trapped)
+        return Value::makeNull();
+      Callee.bind(Method->Params[Idx].Name, {Stored, Slot});
+    }
+    ++CallDepth;
+    Value Returned = eval(*Method->Body, Callee, RecvApprox);
+    --CallDepth;
+    return Returned;
+  }
+
+  case ExprKind::Cast: {
+    const auto &Cast = static_cast<const CastExpr &>(E);
+    Value V = eval(*Cast.Value, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    const Type &To = Cast.Target;
+    if (To.isClass()) {
+      if (V.K == Value::Kind::Null)
+        return V;
+      if (V.K != Value::Kind::Ref || I.Heap[V.Ref].IsArray ||
+          !I.Table.isSubclassOf(I.Heap[V.Ref].ClassName, To.ClassName))
+        return trap(E.loc(), "bad class cast");
+      return V;
+    }
+    if (To.isPrimitive()) {
+      // Numeric conversion if needed, then re-tag per the target qualifier
+      // (the checker guarantees the qualifier transition is legal).
+      Value Out = V;
+      if (To.Base == BaseKind::Int && V.K == Value::Kind::Float)
+        Out = Value::makeInt(static_cast<int64_t>(V.F), V.Approx);
+      else if (To.Base == BaseKind::Float && V.K == Value::Kind::Int)
+        Out = Value::makeFloat(static_cast<double>(V.I), V.Approx);
+      if (To.Q == Qual::Approx)
+        Out.Approx = true;
+      return Out;
+    }
+    return V;
+  }
+
+  case ExprKind::Endorse: {
+    const auto &End = static_cast<const EndorseExpr &>(E);
+    Value V = eval(*End.Value, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    V.Approx = false; // The programmer-sanctioned gate (Section 2.2).
+    return V;
+  }
+
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    Value L = eval(*Bin.Lhs, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    // Both operands always evaluate: && and || do not short-circuit, so
+    // an approximate operand can never decide whether effects happen.
+    Value R = eval(*Bin.Rhs, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    // Bidirectional typing (Section 2.3): ops in an approximate context
+    // run on the approximate unit even with precise operands.
+    bool Approx = L.Approx || R.Approx ||
+                  (I.Options.ContextApproxOps &&
+                   I.Options.ContextApproxOps->count(&E));
+
+    // Reference equality.
+    if ((Bin.Op == BinaryOp::Eq || Bin.Op == BinaryOp::Ne) &&
+        (L.K == Value::Kind::Ref || L.K == Value::Kind::Null) &&
+        (R.K == Value::Kind::Ref || R.K == Value::Kind::Null)) {
+      bool Same = L.K == R.K && (L.K != Value::Kind::Ref || L.Ref == R.Ref);
+      return Value::makeBool(Bin.Op == BinaryOp::Eq ? Same : !Same, false);
+    }
+
+    // Operation accounting, by operand unit and selected precision.
+    if (L.K == Value::Kind::Float)
+      (Approx ? I.Ops.ApproxFp : I.Ops.PreciseFp) += 1;
+    else
+      (Approx ? I.Ops.ApproxInt : I.Ops.PreciseInt) += 1;
+
+    switch (Bin.Op) {
+    case BinaryOp::And:
+      return perturb(Value::makeBool(L.B && R.B, Approx));
+    case BinaryOp::Or:
+      return perturb(Value::makeBool(L.B || R.B, Approx));
+    default:
+      break;
+    }
+
+    if (L.K == Value::Kind::Int && R.K == Value::Kind::Int) {
+      // Integer arithmetic wraps (Java-style two's complement): perturbed
+      // approximate operands can be arbitrary bit patterns.
+      int64_t A = L.I, B = R.I;
+      switch (Bin.Op) {
+      case BinaryOp::Add:
+        return perturb(Value::makeInt(wrapAdd(A, B), Approx));
+      case BinaryOp::Sub:
+        return perturb(Value::makeInt(wrapSub(A, B), Approx));
+      case BinaryOp::Mul:
+        return perturb(Value::makeInt(wrapMul(A, B), Approx));
+      case BinaryOp::Div:
+        if (B == 0)
+          // Approximate division never traps (Section 5.2); precise
+          // division by zero is a genuine error.
+          return Approx ? perturb(Value::makeInt(0, true))
+                        : trap(E.loc(), "division by zero");
+        return perturb(Value::makeInt(wrapDiv(A, B), Approx));
+      case BinaryOp::Mod:
+        if (B == 0)
+          return Approx ? perturb(Value::makeInt(0, true))
+                        : trap(E.loc(), "modulo by zero");
+        return perturb(Value::makeInt(wrapRem(A, B), Approx));
+      case BinaryOp::Eq:
+        return perturb(Value::makeBool(A == B, Approx));
+      case BinaryOp::Ne:
+        return perturb(Value::makeBool(A != B, Approx));
+      case BinaryOp::Lt:
+        return perturb(Value::makeBool(A < B, Approx));
+      case BinaryOp::Le:
+        return perturb(Value::makeBool(A <= B, Approx));
+      case BinaryOp::Gt:
+        return perturb(Value::makeBool(A > B, Approx));
+      case BinaryOp::Ge:
+        return perturb(Value::makeBool(A >= B, Approx));
+      default:
+        break;
+      }
+    }
+    if (L.K == Value::Kind::Float && R.K == Value::Kind::Float) {
+      double A = L.F, B = R.F;
+      switch (Bin.Op) {
+      case BinaryOp::Add:
+        return perturb(Value::makeFloat(A + B, Approx));
+      case BinaryOp::Sub:
+        return perturb(Value::makeFloat(A - B, Approx));
+      case BinaryOp::Mul:
+        return perturb(Value::makeFloat(A * B, Approx));
+      case BinaryOp::Div:
+        if (B == 0.0 && Approx)
+          return perturb(Value::makeFloat(
+              std::numeric_limits<double>::quiet_NaN(), true));
+        return perturb(Value::makeFloat(A / B, Approx));
+      case BinaryOp::Eq:
+        return perturb(Value::makeBool(A == B, Approx));
+      case BinaryOp::Ne:
+        return perturb(Value::makeBool(A != B, Approx));
+      case BinaryOp::Lt:
+        return perturb(Value::makeBool(A < B, Approx));
+      case BinaryOp::Le:
+        return perturb(Value::makeBool(A <= B, Approx));
+      case BinaryOp::Gt:
+        return perturb(Value::makeBool(A > B, Approx));
+      case BinaryOp::Ge:
+        return perturb(Value::makeBool(A >= B, Approx));
+      default:
+        break;
+      }
+    }
+    return trap(E.loc(), "bad operands " + L.str() + ", " + R.str());
+  }
+
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(E);
+    Value V = eval(*Un.Value, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    bool Approx = V.Approx || (I.Options.ContextApproxOps &&
+                               I.Options.ContextApproxOps->count(&E));
+    if (V.K == Value::Kind::Float)
+      (Approx ? I.Ops.ApproxFp : I.Ops.PreciseFp) += 1;
+    else
+      (Approx ? I.Ops.ApproxInt : I.Ops.PreciseInt) += 1;
+    if (Un.Op == UnaryOp::Neg) {
+      if (V.K == Value::Kind::Int)
+        return perturb(Value::makeInt(wrapNeg(V.I), Approx));
+      if (V.K == Value::Kind::Float)
+        return perturb(Value::makeFloat(-V.F, Approx));
+      return trap(E.loc(), "bad operand for '-': " + V.str());
+    }
+    if (V.K != Value::Kind::Bool)
+      return trap(E.loc(), "bad operand for '!': " + V.str());
+    return perturb(Value::makeBool(!V.B, Approx));
+  }
+
+  case ExprKind::If: {
+    const auto &If = static_cast<const IfExpr &>(E);
+    Value Cond = eval(*If.Cond, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    if (Cond.K != Value::Kind::Bool)
+      return trap(E.loc(), "condition is not a boolean");
+    if (I.Options.Checked && Cond.Approx)
+      return trap(E.loc(),
+                  "checked-semantics violation: approximate condition");
+    return eval(Cond.B ? *If.Then : *If.Else, Env, InstanceApprox);
+  }
+
+  case ExprKind::While: {
+    const auto &While = static_cast<const WhileExpr &>(E);
+    for (;;) {
+      Value Cond = eval(*While.Cond, Env, InstanceApprox);
+      if (Trapped)
+        return Value::makeNull();
+      if (Cond.K != Value::Kind::Bool)
+        return trap(E.loc(), "loop condition is not a boolean");
+      if (I.Options.Checked && Cond.Approx)
+        return trap(E.loc(),
+                    "checked-semantics violation: approximate condition");
+      if (!Cond.B)
+        return Value::makeInt(0, false);
+      eval(*While.Body, Env, InstanceApprox);
+      if (Trapped)
+        return Value::makeNull();
+    }
+  }
+
+  case ExprKind::Block: {
+    const auto &Block = static_cast<const BlockExpr &>(E);
+    Env.push();
+    Value Last = Value::makeInt(0, false);
+    for (const BlockExpr::Item &Item : Block.Items) {
+      Value V = eval(*Item.Value, Env, InstanceApprox);
+      if (Trapped) {
+        Env.pop();
+        return Value::makeNull();
+      }
+      if (Item.IsLet) {
+        SlotKind Slot = resolveSlot(Item.LetType.Q, InstanceApprox);
+        // Reference types keep dynamic slots (their tags are precise).
+        if (!Item.LetType.isPrimitive())
+          Slot = SlotDynamic;
+        Value Stored = storeInto(Slot, V, Item.Value->loc(), "local");
+        if (Trapped) {
+          Env.pop();
+          return Value::makeNull();
+        }
+        Env.bind(Item.LetName, {Stored, Slot});
+        Last = Stored;
+      } else {
+        Last = V;
+      }
+    }
+    Env.pop();
+    return Last;
+  }
+
+  case ExprKind::AssignLocal: {
+    const auto &Assign = static_cast<const AssignLocalExpr &>(E);
+    Value V = eval(*Assign.Value, Env, InstanceApprox);
+    if (Trapped)
+      return Value::makeNull();
+    Binding *B = Env.lookup(Assign.Name);
+    if (!B)
+      return trap(E.loc(), "unbound variable '" + Assign.Name + "'");
+    Value Stored = storeInto(B->Slot, V, E.loc(), "local");
+    if (Trapped)
+      return Value::makeNull();
+    B->V = Stored;
+    return Stored;
+  }
+  }
+  assert(false && "unknown expression kind");
+  return Value::makeNull();
+}
+
+} // namespace fenerj
+} // namespace enerj
+
+EvalResult Interpreter::run() {
+  Heap.clear();
+  Ops = OperationStats();
+  if (!Prog.Main) {
+    EvalResult Out;
+    Out.Trapped = true;
+    Out.TrapMessage = "program has no main expression";
+    return Out;
+  }
+  EvalVisitor Visitor(*this);
+  return Visitor.runMain();
+}
+
+std::string Interpreter::preciseProjection(const EvalResult &Result) const {
+  std::string Out;
+  if (Result.Trapped) {
+    Out += "trap:";
+    Out += Result.TrapMessage;
+    Out += '\n';
+    return Out;
+  }
+  if (!Result.Result.Approx) {
+    Out += "result=";
+    Out += Result.Result.str();
+    Out += '\n';
+  }
+  for (size_t Index = 0; Index != Heap.size(); ++Index) {
+    const HeapCell &Cell = Heap[Index];
+    Out += '#';
+    Out += std::to_string(Index);
+    Out += ' ';
+    if (Cell.IsArray) {
+      Out += "array len=";
+      Out += std::to_string(Cell.Elements.size());
+      if (!Cell.ElemApprox)
+        for (const Value &V : Cell.Elements) {
+          Out += ' ';
+          Out += V.str();
+        }
+      Out += '\n';
+      continue;
+    }
+    Out += Cell.ClassName;
+    Out += Cell.InstanceApprox ? "(approx)" : "(precise)";
+    // Deterministic order: walk declared fields, superclass-first.
+    for (const FieldDeclAst *Field : Table.allFields(Cell.ClassName)) {
+      auto Slot = Cell.FieldSlotKind.find(Field->Name);
+      if (Slot == Cell.FieldSlotKind.end() || Slot->second != SlotPrecise)
+        continue;
+      auto V = Cell.Fields.find(Field->Name);
+      Out += ' ';
+      Out += Field->Name;
+      Out += '=';
+      Out += V == Cell.Fields.end() ? "?" : V->second.str();
+    }
+    Out += '\n';
+  }
+  return Out;
+}

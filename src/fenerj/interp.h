@@ -1,0 +1,192 @@
+//===- fenerj/interp.h - FEnerJ big-step interpreter ------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operational semantics of Section 3.2, executable:
+///
+///  * a big-step evaluator over the (type-checked) AST with a heap of
+///    objects and arrays;
+///  * the *approximate* rule — "any approximate value may be replaced by
+///    any other value of the same type" — realized as a pluggable
+///    Perturber invoked wherever an approximate value is produced or read;
+///  * the *checked* semantics used in the TR's non-interference proof:
+///    every runtime value carries a dynamic precise/approx tag, and the
+///    interpreter verifies at each step that approximate values never
+///    reach precise storage, conditions, or array subscripts. On a
+///    well-typed program these checks can never fire (type soundness);
+///    the test suite exercises exactly that.
+///
+/// Non-interference is then testable: evaluating an endorse-free program
+/// under two different perturbers must yield identical *precise
+/// projections* (the final result if precise, plus every precise slot of
+/// the heap in allocation order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_INTERP_H
+#define ENERJ_FENERJ_INTERP_H
+
+#include "arch/stats.h"
+#include "fenerj/ast.h"
+#include "fenerj/program.h"
+#include "support/rng.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace enerj {
+namespace fenerj {
+
+/// A runtime value with its dynamic precision tag.
+struct Value {
+  enum class Kind { Null, Int, Float, Bool, Ref };
+  Kind K = Kind::Null;
+  int64_t I = 0;
+  double F = 0.0;
+  bool B = false;
+  uint32_t Ref = 0;   ///< Heap index for Kind::Ref (objects and arrays).
+  bool Approx = false; ///< Dynamic qualifier tag (references stay precise).
+
+  static Value makeNull() { return {}; }
+  static Value makeInt(int64_t V, bool Approx) {
+    Value Result;
+    Result.K = Kind::Int;
+    Result.I = V;
+    Result.Approx = Approx;
+    return Result;
+  }
+  static Value makeFloat(double V, bool Approx) {
+    Value Result;
+    Result.K = Kind::Float;
+    Result.F = V;
+    Result.Approx = Approx;
+    return Result;
+  }
+  static Value makeBool(bool V, bool Approx) {
+    Value Result;
+    Result.K = Kind::Bool;
+    Result.B = V;
+    Result.Approx = Approx;
+    return Result;
+  }
+  static Value makeRef(uint32_t Index) {
+    Value Result;
+    Result.K = Kind::Ref;
+    Result.Ref = Index;
+    return Result;
+  }
+
+  std::string str() const;
+};
+
+/// Replaces approximate values as the approximate-execution rule permits.
+/// The default implementation is the identity (fully precise execution).
+class Perturber {
+public:
+  virtual ~Perturber() = default;
+  virtual int64_t perturbInt(int64_t V) { return V; }
+  virtual double perturbFloat(double V) { return V; }
+  virtual bool perturbBool(bool V) { return V; }
+};
+
+/// A seeded random perturber: with the given probability, an approximate
+/// value is replaced by a random value of its type.
+class RandomPerturber : public Perturber {
+public:
+  RandomPerturber(uint64_t Seed, double Probability)
+      : R(Seed), Probability(Probability) {}
+
+  int64_t perturbInt(int64_t V) override;
+  double perturbFloat(double V) override;
+  bool perturbBool(bool V) override;
+
+private:
+  Rng R;
+  double Probability;
+};
+
+/// One heap cell: an object (class instance) or a primitive array.
+struct HeapCell {
+  bool IsArray = false;
+  // Objects.
+  std::string ClassName;
+  bool InstanceApprox = false; ///< The instance's resolved qualifier.
+  std::unordered_map<std::string, Value> Fields;
+  /// Resolved per-field slot kind (context already substituted):
+  /// 0 = precise, 1 = approx, 2 = dynamic (@top — keeps the value's tag).
+  std::unordered_map<std::string, uint8_t> FieldSlotKind;
+  // Arrays.
+  BaseKind Elem = BaseKind::Int;
+  bool ElemApprox = false;
+  std::vector<Value> Elements;
+};
+
+/// Evaluation outcome.
+struct EvalResult {
+  bool Trapped = false;
+  std::string TrapMessage;
+  Value Result;
+};
+
+/// Interpreter options.
+struct InterpOptions {
+  Perturber *Perturb = nullptr; ///< Null: fully precise execution.
+  uint64_t Fuel = 50'000'000;   ///< Evaluation-step budget (traps at 0).
+  /// Method-call nesting limit (traps when exceeded). The evaluator
+  /// recurses on the host stack, so this stays conservative enough for
+  /// sanitizer builds with large frames.
+  uint32_t MaxCallDepth = 256;
+  bool Checked = true;          ///< Enforce the checked semantics.
+  /// The bidirectional-typing side table from typeCheckEx (Section 2.3):
+  /// Binary/Unary nodes listed here execute on the approximate unit even
+  /// when their operands are precise. Null disables the optimization.
+  const std::unordered_set<const Expr *> *ContextApproxOps = nullptr;
+};
+
+/// Evaluates a program. The program must already be type-checked when
+/// Options.Checked is set — checked-semantics violations on well-typed
+/// programs indicate an interpreter or checker bug and trap loudly.
+class Interpreter {
+public:
+  Interpreter(const Program &Prog, const ClassTable &Table,
+              InterpOptions Options)
+      : Prog(Prog), Table(Table), Options(Options) {}
+
+  /// Runs the main expression.
+  EvalResult run();
+
+  /// The heap after the run (for inspection and non-interference tests).
+  const std::vector<HeapCell> &heap() const { return Heap; }
+
+  /// Dynamic operation counts from the last run, split by precision and
+  /// unit exactly like the hardware simulator's statistics — this is the
+  /// bridge from FEnerJ programs to the Section 5.4 energy model.
+  const OperationStats &opStats() const { return Ops; }
+
+  /// Serializes the precise observables of the final state: the result (if
+  /// its tag is precise) plus every precise slot of every heap cell, in
+  /// allocation order. Two runs of an endorse-free well-typed program must
+  /// agree on this string whatever their perturbers do — the
+  /// non-interference property.
+  std::string preciseProjection(const EvalResult &Result) const;
+
+private:
+  friend class EvalVisitor;
+
+  const Program &Prog;
+  const ClassTable &Table;
+  InterpOptions Options;
+  std::vector<HeapCell> Heap;
+  OperationStats Ops;
+};
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_INTERP_H

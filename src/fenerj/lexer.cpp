@@ -1,0 +1,415 @@
+//===- fenerj/lexer.cpp - FEnerJ lexer ------------------------------------===//
+
+#include "fenerj/lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace enerj::fenerj;
+
+const char *enerj::fenerj::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwExtends:
+    return "'extends'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwThis:
+    return "'this'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwEndorse:
+    return "'endorse'";
+  case TokenKind::KwCast:
+    return "'cast'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwLength:
+    return "'length'";
+  case TokenKind::KwApprox:
+    return "'@approx'";
+  case TokenKind::KwPrecise:
+    return "'@precise'";
+  case TokenKind::KwTop:
+    return "'@top'";
+  case TokenKind::KwContext:
+    return "'@context'";
+  case TokenKind::KwApproxRecv:
+    return "'approx'";
+  case TokenKind::KwPreciseRecv:
+    return "'precise'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::FieldAssign:
+    return "':='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::LessColon:
+    return "'<:'";
+  }
+  assert(false && "unknown token kind");
+  return "?";
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+  bool atEnd() const { return Pos >= Source.size(); }
+
+  SourceLoc here() const { return {Line, Column}; }
+
+  void push(TokenKind Kind, SourceLoc Loc, std::string Text = {}) {
+    Token T;
+    T.Kind = Kind;
+    T.Loc = Loc;
+    T.Text = std::move(Text);
+    Tokens.push_back(std::move(T));
+  }
+
+  void lexNumber(SourceLoc Loc);
+  void lexWord(SourceLoc Loc);
+  void lexAnnotation(SourceLoc Loc);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Column = 1;
+  std::vector<Token> Tokens;
+};
+
+const std::unordered_map<std::string_view, TokenKind> Keywords = {
+    {"class", TokenKind::KwClass},     {"extends", TokenKind::KwExtends},
+    {"new", TokenKind::KwNew},         {"this", TokenKind::KwThis},
+    {"null", TokenKind::KwNull},       {"true", TokenKind::KwTrue},
+    {"false", TokenKind::KwFalse},     {"if", TokenKind::KwIf},
+    {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+    {"let", TokenKind::KwLet},         {"in", TokenKind::KwIn},
+    {"endorse", TokenKind::KwEndorse}, {"cast", TokenKind::KwCast},
+    {"int", TokenKind::KwInt},         {"float", TokenKind::KwFloat},
+    {"bool", TokenKind::KwBool},       {"length", TokenKind::KwLength},
+    {"approx", TokenKind::KwApproxRecv},
+    {"precise", TokenKind::KwPreciseRecv},
+};
+
+void LexerImpl::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsFloat = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      IsFloat = true;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      Pos = Save; // Not an exponent after all.
+    }
+  }
+  std::string Text(Source.substr(Start, Pos - Start));
+  Token T;
+  T.Loc = Loc;
+  T.Text = Text;
+  if (IsFloat) {
+    T.Kind = TokenKind::FloatLiteral;
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+  } else {
+    T.Kind = TokenKind::IntLiteral;
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  }
+  Tokens.push_back(std::move(T));
+}
+
+void LexerImpl::lexWord(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string_view Word = Source.substr(Start, Pos - Start);
+  auto It = Keywords.find(Word);
+  if (It != Keywords.end()) {
+    push(It->second, Loc);
+    return;
+  }
+  push(TokenKind::Identifier, Loc, std::string(Word));
+}
+
+void LexerImpl::lexAnnotation(SourceLoc Loc) {
+  // '@' already consumed. Annotations are @approx/@precise/@top/@context.
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())))
+    advance();
+  std::string_view Word = Source.substr(Start, Pos - Start);
+  if (Word == "approx" || Word == "Approx")
+    return push(TokenKind::KwApprox, Loc);
+  if (Word == "precise" || Word == "Precise")
+    return push(TokenKind::KwPrecise, Loc);
+  if (Word == "top" || Word == "Top")
+    return push(TokenKind::KwTop, Loc);
+  if (Word == "context" || Word == "Context")
+    return push(TokenKind::KwContext, Loc);
+  Diags.report(DiagCode::UnexpectedChar, Loc,
+               "unknown annotation '@" + std::string(Word) + "'");
+}
+
+std::vector<Token> LexerImpl::run() {
+  while (!atEnd()) {
+    SourceLoc Loc = here();
+    char C = advance();
+    switch (C) {
+    case ' ':
+    case '\t':
+    case '\r':
+    case '\n':
+      continue;
+    case '/':
+      if (peek() == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (peek() == '*') {
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (atEnd()) {
+          Diags.report(DiagCode::UnterminatedLiteral, Loc,
+                       "unterminated block comment");
+        } else {
+          advance();
+          advance();
+        }
+        continue;
+      }
+      push(TokenKind::Slash, Loc);
+      continue;
+    case '@':
+      lexAnnotation(Loc);
+      continue;
+    case '{':
+      push(TokenKind::LBrace, Loc);
+      continue;
+    case '}':
+      push(TokenKind::RBrace, Loc);
+      continue;
+    case '(':
+      push(TokenKind::LParen, Loc);
+      continue;
+    case ')':
+      push(TokenKind::RParen, Loc);
+      continue;
+    case '[':
+      push(TokenKind::LBracket, Loc);
+      continue;
+    case ']':
+      push(TokenKind::RBracket, Loc);
+      continue;
+    case ';':
+      push(TokenKind::Semicolon, Loc);
+      continue;
+    case ',':
+      push(TokenKind::Comma, Loc);
+      continue;
+    case '.':
+      push(TokenKind::Dot, Loc);
+      continue;
+    case '+':
+      push(TokenKind::Plus, Loc);
+      continue;
+    case '-':
+      push(TokenKind::Minus, Loc);
+      continue;
+    case '*':
+      push(TokenKind::Star, Loc);
+      continue;
+    case '%':
+      push(TokenKind::Percent, Loc);
+      continue;
+    case '=':
+      if (peek() == '=') {
+        advance();
+        push(TokenKind::EqEq, Loc);
+      } else {
+        push(TokenKind::Assign, Loc);
+      }
+      continue;
+    case ':':
+      if (peek() == '=') {
+        advance();
+        push(TokenKind::FieldAssign, Loc);
+      } else {
+        Diags.report(DiagCode::UnexpectedChar, Loc, "stray ':'");
+      }
+      continue;
+    case '!':
+      if (peek() == '=') {
+        advance();
+        push(TokenKind::BangEq, Loc);
+      } else {
+        push(TokenKind::Bang, Loc);
+      }
+      continue;
+    case '<':
+      if (peek() == '=') {
+        advance();
+        push(TokenKind::LessEq, Loc);
+      } else if (peek() == ':') {
+        advance();
+        push(TokenKind::LessColon, Loc);
+      } else {
+        push(TokenKind::Less, Loc);
+      }
+      continue;
+    case '>':
+      if (peek() == '=') {
+        advance();
+        push(TokenKind::GreaterEq, Loc);
+      } else {
+        push(TokenKind::Greater, Loc);
+      }
+      continue;
+    case '&':
+      if (peek() == '&') {
+        advance();
+        push(TokenKind::AmpAmp, Loc);
+      } else {
+        Diags.report(DiagCode::UnexpectedChar, Loc, "stray '&'");
+      }
+      continue;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        push(TokenKind::PipePipe, Loc);
+      } else {
+        Diags.report(DiagCode::UnexpectedChar, Loc, "stray '|'");
+      }
+      continue;
+    default:
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        --Pos; // Re-lex the digit in lexNumber.
+        --Column;
+        lexNumber(Loc);
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        --Pos;
+        --Column;
+        lexWord(Loc);
+        continue;
+      }
+      Diags.report(DiagCode::UnexpectedChar, Loc,
+                   std::string("unexpected character '") + C + "'");
+    }
+  }
+  push(TokenKind::Eof, here());
+  return std::move(Tokens);
+}
+
+} // namespace
+
+std::vector<Token> enerj::fenerj::lex(std::string_view Source,
+                                      DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

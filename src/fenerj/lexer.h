@@ -1,0 +1,33 @@
+//===- fenerj/lexer.h - FEnerJ lexer ----------------------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for FEnerJ. Produces the whole token stream up
+/// front; errors go to the DiagnosticEngine and lexing continues so the
+/// parser can still report its own problems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_LEXER_H
+#define ENERJ_FENERJ_LEXER_H
+
+#include "fenerj/diag.h"
+#include "fenerj/token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace enerj {
+namespace fenerj {
+
+/// Lexes \p Source completely. The returned vector always ends with an
+/// Eof token.
+std::vector<Token> lex(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_LEXER_H

@@ -1,0 +1,641 @@
+//===- fenerj/parser.cpp - FEnerJ parser ----------------------------------===//
+
+#include "fenerj/parser.h"
+
+#include "fenerj/lexer.h"
+
+#include <cassert>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::optional<Program> run();
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t Index = Pos + Ahead;
+    if (Index >= Tokens.size())
+      Index = Tokens.size() - 1; // Eof.
+    return Tokens[Index];
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool match(TokenKind Kind) {
+    if (!check(Kind))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokenKind Kind) {
+    if (match(Kind))
+      return true;
+    Diags.report(DiagCode::ExpectedToken, peek().Loc,
+                 std::string("expected ") + tokenKindName(Kind) +
+                     " but found " + tokenKindName(peek().Kind));
+    Failed = true;
+    return false;
+  }
+
+  std::optional<Type> parseType();
+  std::optional<ClassDecl> parseClass();
+  bool parseMember(ClassDecl &Cls);
+
+  ExprPtr parseExpr();
+  ExprPtr parseAssign();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr parseBlock();
+
+  ExprPtr fail(std::string Message) {
+    Diags.report(DiagCode::ExpectedToken, peek().Loc, std::move(Message));
+    Failed = true;
+    return nullptr;
+  }
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+std::optional<Type> Parser::parseType() {
+  Qual Q = Qual::Precise;
+  bool HadQual = false;
+  switch (peek().Kind) {
+  case TokenKind::KwApprox:
+    Q = Qual::Approx;
+    HadQual = true;
+    advance();
+    break;
+  case TokenKind::KwPrecise:
+    Q = Qual::Precise;
+    HadQual = true;
+    advance();
+    break;
+  case TokenKind::KwTop:
+    Q = Qual::Top;
+    HadQual = true;
+    advance();
+    break;
+  case TokenKind::KwContext:
+    Q = Qual::Context;
+    HadQual = true;
+    advance();
+    break;
+  default:
+    break;
+  }
+  (void)HadQual;
+
+  BaseKind Base;
+  std::string ClassName;
+  switch (peek().Kind) {
+  case TokenKind::KwInt:
+    Base = BaseKind::Int;
+    advance();
+    break;
+  case TokenKind::KwFloat:
+    Base = BaseKind::Float;
+    advance();
+    break;
+  case TokenKind::KwBool:
+    Base = BaseKind::Bool;
+    advance();
+    break;
+  case TokenKind::Identifier:
+    Base = BaseKind::Class;
+    ClassName = advance().Text;
+    break;
+  default:
+    Diags.report(DiagCode::ExpectedToken, peek().Loc,
+                 std::string("expected a type but found ") +
+                     tokenKindName(peek().Kind));
+    Failed = true;
+    return std::nullopt;
+  }
+
+  if (check(TokenKind::LBracket) && peek(1).is(TokenKind::RBracket)) {
+    advance();
+    advance();
+    if (Base == BaseKind::Class) {
+      Diags.report(DiagCode::ExpectedToken, peek().Loc,
+                   "arrays of class type are not supported; use arrays of "
+                   "primitives");
+      Failed = true;
+      return std::nullopt;
+    }
+    return Type::makeArray(Q, Base);
+  }
+
+  if (Base == BaseKind::Class)
+    return Type::makeClass(Q, std::move(ClassName));
+  return Type::makePrim(Q, Base);
+}
+
+std::optional<ClassDecl> Parser::parseClass() {
+  ClassDecl Cls;
+  Cls.Loc = peek().Loc;
+  expect(TokenKind::KwClass);
+  if (!check(TokenKind::Identifier)) {
+    expect(TokenKind::Identifier);
+    return std::nullopt;
+  }
+  Cls.Name = advance().Text;
+  if (match(TokenKind::KwExtends)) {
+    if (!check(TokenKind::Identifier)) {
+      expect(TokenKind::Identifier);
+      return std::nullopt;
+    }
+    Cls.SuperName = advance().Text;
+  }
+  if (!expect(TokenKind::LBrace))
+    return std::nullopt;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof))
+    if (!parseMember(Cls))
+      return std::nullopt;
+  expect(TokenKind::RBrace);
+  return Cls;
+}
+
+bool Parser::parseMember(ClassDecl &Cls) {
+  SourceLoc Loc = peek().Loc;
+  std::optional<Type> DeclType = parseType();
+  if (!DeclType)
+    return false;
+  if (!check(TokenKind::Identifier)) {
+    expect(TokenKind::Identifier);
+    return false;
+  }
+  std::string Name = advance().Text;
+
+  if (match(TokenKind::Semicolon)) {
+    Cls.Fields.push_back({std::move(*DeclType), std::move(Name), Loc});
+    return true;
+  }
+
+  // Method.
+  MethodDecl Method;
+  Method.Loc = Loc;
+  Method.ReturnType = std::move(*DeclType);
+  Method.Name = std::move(Name);
+  if (!expect(TokenKind::LParen))
+    return false;
+  if (!check(TokenKind::RParen)) {
+    do {
+      std::optional<Type> ParamType = parseType();
+      if (!ParamType)
+        return false;
+      if (!check(TokenKind::Identifier)) {
+        expect(TokenKind::Identifier);
+        return false;
+      }
+      Method.Params.push_back({std::move(*ParamType), advance().Text});
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen))
+    return false;
+  if (match(TokenKind::KwApproxRecv))
+    Method.ReceiverPrecision = Qual::Approx;
+  else if (match(TokenKind::KwPreciseRecv))
+    Method.ReceiverPrecision = Qual::Precise;
+  Method.Body = parseBlock();
+  if (!Method.Body)
+    return false;
+  Cls.Methods.push_back(std::move(Method));
+  return true;
+}
+
+ExprPtr Parser::parseBlock() {
+  SourceLoc Loc = peek().Loc;
+  if (!expect(TokenKind::LBrace))
+    return nullptr;
+  std::vector<BlockExpr::Item> Items;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    BlockExpr::Item Item;
+    if (match(TokenKind::KwLet)) {
+      Item.IsLet = true;
+      std::optional<Type> LetType = parseType();
+      if (!LetType)
+        return nullptr;
+      Item.LetType = std::move(*LetType);
+      if (!check(TokenKind::Identifier)) {
+        expect(TokenKind::Identifier);
+        return nullptr;
+      }
+      Item.LetName = advance().Text;
+      if (!expect(TokenKind::Assign))
+        return nullptr;
+      Item.Value = parseExpr();
+    } else {
+      Item.Value = parseExpr();
+    }
+    if (!Item.Value)
+      return nullptr;
+    Items.push_back(std::move(Item));
+    if (!check(TokenKind::RBrace) && !expect(TokenKind::Semicolon))
+      return nullptr;
+    // A trailing semicolon before '}' is fine.
+  }
+  if (!expect(TokenKind::RBrace))
+    return nullptr;
+  return std::make_unique<BlockExpr>(Loc, std::move(Items));
+}
+
+ExprPtr Parser::parseExpr() { return parseAssign(); }
+
+ExprPtr Parser::parseAssign() {
+  if (check(TokenKind::Identifier) && peek(1).is(TokenKind::Assign)) {
+    SourceLoc Loc = peek().Loc;
+    std::string Name = advance().Text;
+    advance(); // '='
+    ExprPtr Value = parseAssign();
+    if (!Value)
+      return nullptr;
+    return std::make_unique<AssignLocalExpr>(Loc, std::move(Name),
+                                             std::move(Value));
+  }
+  return parseOr();
+}
+
+ExprPtr Parser::parseOr() {
+  ExprPtr Lhs = parseAnd();
+  while (Lhs && check(TokenKind::PipePipe)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseAnd();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, BinaryOp::Or, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr Lhs = parseEquality();
+  while (Lhs && check(TokenKind::AmpAmp)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseEquality();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, BinaryOp::And, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr Lhs = parseRelational();
+  while (Lhs && (check(TokenKind::EqEq) || check(TokenKind::BangEq))) {
+    BinaryOp Op = check(TokenKind::EqEq) ? BinaryOp::Eq : BinaryOp::Ne;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseRelational();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr Lhs = parseAdditive();
+  for (;;) {
+    if (!Lhs)
+      return nullptr;
+    BinaryOp Op;
+    if (check(TokenKind::Less))
+      Op = BinaryOp::Lt;
+    else if (check(TokenKind::LessEq))
+      Op = BinaryOp::Le;
+    else if (check(TokenKind::Greater))
+      Op = BinaryOp::Gt;
+    else if (check(TokenKind::GreaterEq))
+      Op = BinaryOp::Ge;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseAdditive();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr Lhs = parseMultiplicative();
+  for (;;) {
+    if (!Lhs)
+      return nullptr;
+    BinaryOp Op;
+    if (check(TokenKind::Plus))
+      Op = BinaryOp::Add;
+    else if (check(TokenKind::Minus))
+      Op = BinaryOp::Sub;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseMultiplicative();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr Lhs = parseUnary();
+  for (;;) {
+    if (!Lhs)
+      return nullptr;
+    BinaryOp Op;
+    if (check(TokenKind::Star))
+      Op = BinaryOp::Mul;
+    else if (check(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (check(TokenKind::Percent))
+      Op = BinaryOp::Mod;
+    else
+      return Lhs;
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Value = parseUnary();
+    if (!Value)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Neg, std::move(Value));
+  }
+  if (check(TokenKind::Bang)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Value = parseUnary();
+    if (!Value)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Not, std::move(Value));
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr Node = parsePrimary();
+  for (;;) {
+    if (!Node)
+      return nullptr;
+    if (match(TokenKind::Dot)) {
+      if (match(TokenKind::KwLength)) {
+        Node = std::make_unique<ArrayLengthExpr>(peek().Loc, std::move(Node));
+        continue;
+      }
+      if (!check(TokenKind::Identifier))
+        return fail("expected a member name after '.'");
+      SourceLoc Loc = peek().Loc;
+      std::string Name = advance().Text;
+      if (match(TokenKind::LParen)) {
+        std::vector<ExprPtr> Args;
+        if (!check(TokenKind::RParen)) {
+          do {
+            ExprPtr Arg = parseExpr();
+            if (!Arg)
+              return nullptr;
+            Args.push_back(std::move(Arg));
+          } while (match(TokenKind::Comma));
+        }
+        if (!expect(TokenKind::RParen))
+          return nullptr;
+        Node = std::make_unique<MethodCallExpr>(Loc, std::move(Node),
+                                                std::move(Name),
+                                                std::move(Args));
+        continue;
+      }
+      if (match(TokenKind::FieldAssign)) {
+        ExprPtr Value = parseExpr();
+        if (!Value)
+          return nullptr;
+        Node = std::make_unique<FieldWriteExpr>(Loc, std::move(Node),
+                                                std::move(Name),
+                                                std::move(Value));
+        continue;
+      }
+      Node = std::make_unique<FieldReadExpr>(Loc, std::move(Node),
+                                             std::move(Name));
+      continue;
+    }
+    if (check(TokenKind::LBracket)) {
+      SourceLoc Loc = advance().Loc;
+      ExprPtr Index = parseExpr();
+      if (!Index || !expect(TokenKind::RBracket))
+        return nullptr;
+      if (match(TokenKind::FieldAssign)) {
+        ExprPtr Value = parseExpr();
+        if (!Value)
+          return nullptr;
+        Node = std::make_unique<ArrayWriteExpr>(Loc, std::move(Node),
+                                                std::move(Index),
+                                                std::move(Value));
+        continue;
+      }
+      Node = std::make_unique<ArrayReadExpr>(Loc, std::move(Node),
+                                             std::move(Index));
+      continue;
+    }
+    return Node;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  switch (peek().Kind) {
+  case TokenKind::KwNull:
+    advance();
+    return std::make_unique<NullLitExpr>(Loc);
+  case TokenKind::IntLiteral: {
+    int64_t Value = advance().IntValue;
+    return std::make_unique<IntLitExpr>(Loc, Value);
+  }
+  case TokenKind::FloatLiteral: {
+    double Value = advance().FloatValue;
+    return std::make_unique<FloatLitExpr>(Loc, Value);
+  }
+  case TokenKind::KwTrue:
+    advance();
+    return std::make_unique<BoolLitExpr>(Loc, true);
+  case TokenKind::KwFalse:
+    advance();
+    return std::make_unique<BoolLitExpr>(Loc, false);
+  case TokenKind::KwThis:
+    advance();
+    return std::make_unique<VarRefExpr>(Loc, "this");
+  case TokenKind::Identifier:
+    return std::make_unique<VarRefExpr>(Loc, advance().Text);
+  case TokenKind::KwNew: {
+    advance();
+    Qual Q = Qual::Precise;
+    if (match(TokenKind::KwApprox))
+      Q = Qual::Approx;
+    else if (match(TokenKind::KwPrecise))
+      Q = Qual::Precise;
+    else if (match(TokenKind::KwContext))
+      Q = Qual::Context;
+    // new q P[len]
+    BaseKind Elem;
+    bool IsPrimArray = true;
+    switch (peek().Kind) {
+    case TokenKind::KwInt:
+      Elem = BaseKind::Int;
+      break;
+    case TokenKind::KwFloat:
+      Elem = BaseKind::Float;
+      break;
+    case TokenKind::KwBool:
+      Elem = BaseKind::Bool;
+      break;
+    default:
+      IsPrimArray = false;
+      Elem = BaseKind::Int;
+      break;
+    }
+    if (IsPrimArray) {
+      advance();
+      if (!expect(TokenKind::LBracket))
+        return nullptr;
+      ExprPtr Length = parseExpr();
+      if (!Length || !expect(TokenKind::RBracket))
+        return nullptr;
+      return std::make_unique<NewArrayExpr>(Loc, Q, Elem, std::move(Length));
+    }
+    if (!check(TokenKind::Identifier))
+      return fail("expected a class name or primitive type after 'new'");
+    std::string ClassName = advance().Text;
+    if (!expect(TokenKind::LParen) || !expect(TokenKind::RParen))
+      return nullptr;
+    return std::make_unique<NewExpr>(Loc, Q, std::move(ClassName));
+  }
+  case TokenKind::KwEndorse: {
+    advance();
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    ExprPtr Value = parseExpr();
+    if (!Value || !expect(TokenKind::RParen))
+      return nullptr;
+    return std::make_unique<EndorseExpr>(Loc, std::move(Value));
+  }
+  case TokenKind::KwCast: {
+    advance();
+    if (!expect(TokenKind::Less))
+      return nullptr;
+    std::optional<Type> Target = parseType();
+    if (!Target || !expect(TokenKind::Greater))
+      return nullptr;
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    ExprPtr Value = parseExpr();
+    if (!Value || !expect(TokenKind::RParen))
+      return nullptr;
+    return std::make_unique<CastExpr>(Loc, std::move(*Target),
+                                      std::move(Value));
+  }
+  case TokenKind::KwIf: {
+    advance();
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::RParen))
+      return nullptr;
+    ExprPtr Then = parseBlock();
+    if (!Then || !expect(TokenKind::KwElse))
+      return nullptr;
+    ExprPtr Else = parseBlock();
+    if (!Else)
+      return nullptr;
+    return std::make_unique<IfExpr>(Loc, std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+  case TokenKind::KwWhile: {
+    advance();
+    if (!expect(TokenKind::LParen))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::RParen))
+      return nullptr;
+    ExprPtr Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<WhileExpr>(Loc, std::move(Cond),
+                                       std::move(Body));
+  }
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::LParen: {
+    advance();
+    ExprPtr Inner = parseExpr();
+    if (!Inner || !expect(TokenKind::RParen))
+      return nullptr;
+    return Inner;
+  }
+  default:
+    return fail(std::string("expected an expression but found ") +
+                tokenKindName(peek().Kind));
+  }
+}
+
+std::optional<Program> Parser::run() {
+  Program Prog;
+  while (check(TokenKind::KwClass)) {
+    std::optional<ClassDecl> Cls = parseClass();
+    if (!Cls)
+      return std::nullopt;
+    Prog.Classes.push_back(std::move(*Cls));
+  }
+  if (check(TokenKind::Eof)) {
+    Diags.report(DiagCode::ExpectedToken, peek().Loc,
+                 "expected a main expression after the class declarations");
+    return std::nullopt;
+  }
+  Prog.Main = parseExpr();
+  if (!Prog.Main || Failed)
+    return std::nullopt;
+  if (!check(TokenKind::Eof)) {
+    Diags.report(DiagCode::ExpectedToken, peek().Loc,
+                 std::string("unexpected trailing ") +
+                     tokenKindName(peek().Kind) +
+                     " after the main expression");
+    return std::nullopt;
+  }
+  return Prog;
+}
+
+} // namespace
+
+std::optional<Program>
+enerj::fenerj::parseProgram(std::string_view Source, DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = lex(Source, Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Parser(std::move(Tokens), Diags).run();
+}

@@ -1,0 +1,46 @@
+//===- fenerj/parser.h - FEnerJ parser --------------------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for FEnerJ. The concrete grammar (see
+/// ast.h and the DESIGN.md inventory):
+///
+///   program   := classDecl* expr
+///   classDecl := "class" ID ("extends" ID)? "{" member* "}"
+///   member    := type ID ";"
+///              | type ID "(" (type ID ("," type ID)*)? ")"
+///                ("approx" | "precise")? block
+///   type      := ("@approx"|"@precise"|"@top"|"@context")?
+///                ("int"|"float"|"bool"|ID) ("[" "]")?
+///   block     := "{" (("let" type ID "=" expr | expr) ";")* "}"
+///
+/// plus the usual C-style expression grammar with: field write `e.f := e`,
+/// array write `a[i] := e`, `endorse(e)`, `cast<T>(e)`, `new @q C()`,
+/// `new @q int[n]`, `a.length`, if/else and while with block bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_PARSER_H
+#define ENERJ_FENERJ_PARSER_H
+
+#include "fenerj/ast.h"
+#include "fenerj/diag.h"
+
+#include <optional>
+#include <string_view>
+
+namespace enerj {
+namespace fenerj {
+
+/// Parses a complete program. Returns nullopt (with diagnostics) on any
+/// syntax error.
+std::optional<Program> parseProgram(std::string_view Source,
+                                    DiagnosticEngine &Diags);
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_PARSER_H

@@ -1,0 +1,265 @@
+//===- fenerj/printer.cpp - FEnerJ pretty printer -------------------------===//
+
+#include "fenerj/printer.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+const char *binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  assert(false && "unknown binary operator");
+  return "?";
+}
+
+std::string printQualPrefix(Qual Q) {
+  switch (Q) {
+  case Qual::Precise:
+    return "@precise ";
+  case Qual::Approx:
+    return "@approx ";
+  case Qual::Top:
+    return "@top ";
+  case Qual::Context:
+    return "@context ";
+  case Qual::Lost:
+    assert(false && "'lost' never appears in source");
+    return "/*lost*/ ";
+  }
+  return "";
+}
+
+const char *primName(BaseKind Base) {
+  switch (Base) {
+  case BaseKind::Int:
+    return "int";
+  case BaseKind::Float:
+    return "float";
+  case BaseKind::Bool:
+    return "bool";
+  default:
+    assert(false && "not a primitive");
+    return "?";
+  }
+}
+
+class PrinterImpl {
+public:
+  std::string expr(const Expr &E);
+  std::string block(const Expr &E, int Indent);
+
+private:
+  std::string indentOf(int Indent) { return std::string(Indent * 2, ' '); }
+};
+
+std::string PrinterImpl::block(const Expr &E, int Indent) {
+  // Bodies of methods / if / while are always rendered as blocks.
+  if (E.kind() != ExprKind::Block)
+    return "{ " + expr(E) + "; }";
+  const auto &Block = static_cast<const BlockExpr &>(E);
+  std::string Out = "{\n";
+  for (const BlockExpr::Item &Item : Block.Items) {
+    Out += indentOf(Indent + 1);
+    if (Item.IsLet)
+      Out += "let " + printType(Item.LetType) + " " + Item.LetName + " = ";
+    Out += expr(*Item.Value);
+    Out += ";\n";
+  }
+  Out += indentOf(Indent) + "}";
+  return Out;
+}
+
+std::string PrinterImpl::expr(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::NullLit:
+    return "null";
+  case ExprKind::IntLit: {
+    int64_t Value = static_cast<const IntLitExpr &>(E).Value;
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%" PRId64, Value);
+    // Negative literals re-parse as unary minus over a positive literal;
+    // parenthesize so the shape stays locally unambiguous.
+    if (Value < 0)
+      return std::string("(") + Buffer + ")";
+    return Buffer;
+  }
+  case ExprKind::FloatLit: {
+    char Buffer[64];
+    double Value = static_cast<const FloatLitExpr &>(E).Value;
+    // %g may print integers without a decimal point, which would re-lex
+    // as an int literal; force a fractional form.
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+    std::string Text = Buffer;
+    if (Text.find('.') == std::string::npos &&
+        Text.find('e') == std::string::npos &&
+        Text.find("inf") == std::string::npos &&
+        Text.find("nan") == std::string::npos)
+      Text += ".0";
+    if (Value < 0)
+      return "(" + Text + ")";
+    return Text;
+  }
+  case ExprKind::BoolLit:
+    return static_cast<const BoolLitExpr &>(E).Value ? "true" : "false";
+  case ExprKind::VarRef:
+    return static_cast<const VarRefExpr &>(E).Name;
+  case ExprKind::New: {
+    const auto &New = static_cast<const NewExpr &>(E);
+    return "new " + printQualPrefix(New.Q) + New.ClassName + "()";
+  }
+  case ExprKind::NewArray: {
+    const auto &New = static_cast<const NewArrayExpr &>(E);
+    return "new " + printQualPrefix(New.ElemQual) + primName(New.Elem) +
+           "[" + expr(*New.Length) + "]";
+  }
+  case ExprKind::FieldRead: {
+    const auto &Read = static_cast<const FieldReadExpr &>(E);
+    return expr(*Read.Receiver) + "." + Read.Field;
+  }
+  case ExprKind::FieldWrite: {
+    const auto &Write = static_cast<const FieldWriteExpr &>(E);
+    return "(" + expr(*Write.Receiver) + "." + Write.Field + " := " +
+           expr(*Write.Value) + ")";
+  }
+  case ExprKind::ArrayRead: {
+    const auto &Read = static_cast<const ArrayReadExpr &>(E);
+    return expr(*Read.Array) + "[" + expr(*Read.Index) + "]";
+  }
+  case ExprKind::ArrayWrite: {
+    const auto &Write = static_cast<const ArrayWriteExpr &>(E);
+    return "(" + expr(*Write.Array) + "[" + expr(*Write.Index) + "] := " +
+           expr(*Write.Value) + ")";
+  }
+  case ExprKind::ArrayLength:
+    return expr(*static_cast<const ArrayLengthExpr &>(E).Array) + ".length";
+  case ExprKind::MethodCall: {
+    const auto &Call = static_cast<const MethodCallExpr &>(E);
+    std::string Out = expr(*Call.Receiver) + "." + Call.Method + "(";
+    for (size_t I = 0; I < Call.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += expr(*Call.Args[I]);
+    }
+    return Out + ")";
+  }
+  case ExprKind::Cast: {
+    const auto &Cast = static_cast<const CastExpr &>(E);
+    return "cast<" + printType(Cast.Target) + ">(" + expr(*Cast.Value) +
+           ")";
+  }
+  case ExprKind::Endorse:
+    return "endorse(" +
+           expr(*static_cast<const EndorseExpr &>(E).Value) + ")";
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    return "(" + expr(*Bin.Lhs) + " " + binaryOpSpelling(Bin.Op) + " " +
+           expr(*Bin.Rhs) + ")";
+  }
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(E);
+    return std::string(Un.Op == UnaryOp::Neg ? "(-" : "(!") +
+           expr(*Un.Value) + ")";
+  }
+  case ExprKind::If: {
+    const auto &If = static_cast<const IfExpr &>(E);
+    return "if (" + expr(*If.Cond) + ") " + block(*If.Then, 0) + " else " +
+           block(*If.Else, 0);
+  }
+  case ExprKind::While: {
+    const auto &While = static_cast<const WhileExpr &>(E);
+    return "while (" + expr(*While.Cond) + ") " + block(*While.Body, 0);
+  }
+  case ExprKind::Block:
+    return block(E, 0);
+  case ExprKind::AssignLocal: {
+    const auto &Assign = static_cast<const AssignLocalExpr &>(E);
+    // Parenthesized assignments would not re-parse (assignment is only
+    // recognized at statement level), so print bare; blocks put each
+    // item in statement position anyway.
+    return Assign.Name + " = " + expr(*Assign.Value);
+  }
+  }
+  assert(false && "unknown expression kind");
+  return "?";
+}
+
+} // namespace
+
+std::string enerj::fenerj::printType(const Type &T) {
+  if (T.isArray())
+    return printQualPrefix(T.ElemQual) + std::string(primName(T.Elem)) +
+           "[]";
+  if (T.isClass())
+    return printQualPrefix(T.Q) + T.ClassName;
+  if (T.isNull())
+    return "null";
+  return printQualPrefix(T.Q) + primName(T.Base);
+}
+
+std::string enerj::fenerj::printExpr(const Expr &E) {
+  return PrinterImpl().expr(E);
+}
+
+std::string enerj::fenerj::printProgram(const Program &Prog) {
+  PrinterImpl Printer;
+  std::string Out;
+  for (const ClassDecl &Cls : Prog.Classes) {
+    Out += "class " + Cls.Name;
+    if (Cls.SuperName != "Object")
+      Out += " extends " + Cls.SuperName;
+    Out += " {\n";
+    for (const FieldDeclAst &Field : Cls.Fields)
+      Out += "  " + printType(Field.DeclaredType) + " " + Field.Name +
+             ";\n";
+    for (const MethodDecl &Method : Cls.Methods) {
+      Out += "  " + printType(Method.ReturnType) + " " + Method.Name + "(";
+      for (size_t I = 0; I < Method.Params.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += printType(Method.Params[I].DeclaredType) + " " +
+               Method.Params[I].Name;
+      }
+      Out += ")";
+      if (Method.ReceiverPrecision == Qual::Approx)
+        Out += " approx";
+      else if (Method.ReceiverPrecision == Qual::Precise)
+        Out += " precise";
+      Out += " " + Printer.block(*Method.Body, 1) + "\n";
+    }
+    Out += "}\n\n";
+  }
+  Out += Printer.block(*Prog.Main, 0);
+  Out += "\n";
+  return Out;
+}

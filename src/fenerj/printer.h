@@ -1,0 +1,38 @@
+//===- fenerj/printer.h - FEnerJ pretty printer -----------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back to parseable FEnerJ source. The printer
+/// parenthesizes fully, so print-then-parse is semantics-preserving:
+/// the property tests check that printing a program and re-parsing it
+/// yields a program that type-checks identically and evaluates to the
+/// same precise projection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_PRINTER_H
+#define ENERJ_FENERJ_PRINTER_H
+
+#include "fenerj/ast.h"
+
+#include <string>
+
+namespace enerj {
+namespace fenerj {
+
+/// Renders one expression.
+std::string printExpr(const Expr &E);
+
+/// Renders a whole program (classes then main expression).
+std::string printProgram(const Program &Prog);
+
+/// Renders a type (e.g. "@approx float[]").
+std::string printType(const Type &T);
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_PRINTER_H

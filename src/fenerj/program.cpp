@@ -1,0 +1,154 @@
+//===- fenerj/program.cpp - Class table and member lookup -----------------===//
+
+#include "fenerj/program.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace enerj::fenerj;
+
+bool ClassTable::build(const Program &Prog, DiagnosticEngine &Diags) {
+  bool Ok = true;
+  Classes.clear();
+  for (const ClassDecl &Cls : Prog.Classes) {
+    if (Cls.Name == "Object" || Classes.count(Cls.Name)) {
+      Diags.report(DiagCode::DuplicateClass, Cls.Loc,
+                   "duplicate class '" + Cls.Name + "'");
+      Ok = false;
+      continue;
+    }
+    Classes[Cls.Name] = {&Cls};
+  }
+
+  for (const ClassDecl &Cls : Prog.Classes) {
+    if (Cls.SuperName != "Object" && !Classes.count(Cls.SuperName)) {
+      Diags.report(DiagCode::UnknownClass, Cls.Loc,
+                   "class '" + Cls.Name + "' extends unknown class '" +
+                       Cls.SuperName + "'");
+      Ok = false;
+    }
+    // Duplicate members within one class. Methods may share a name only
+    // when their receiver precisions differ (the _APPROX overload).
+    std::unordered_set<std::string> FieldNames;
+    for (const FieldDeclAst &Field : Cls.Fields)
+      if (!FieldNames.insert(Field.Name).second) {
+        Diags.report(DiagCode::DuplicateMember, Field.Loc,
+                     "duplicate field '" + Field.Name + "' in class '" +
+                         Cls.Name + "'");
+        Ok = false;
+      }
+    std::unordered_set<std::string> MethodKeys;
+    for (const MethodDecl &Method : Cls.Methods) {
+      std::string Key = Method.Name;
+      switch (Method.ReceiverPrecision) {
+      case Qual::Approx:
+        Key += "#approx";
+        break;
+      case Qual::Precise:
+        Key += "#precise";
+        break;
+      default:
+        Key += "#context";
+        break;
+      }
+      if (!MethodKeys.insert(Key).second) {
+        Diags.report(DiagCode::DuplicateMember, Method.Loc,
+                     "duplicate method '" + Method.Name + "' in class '" +
+                         Cls.Name + "'");
+        Ok = false;
+      }
+    }
+  }
+  if (!Ok)
+    return false;
+
+  // Cycle detection over the superclass relation.
+  for (const ClassDecl &Cls : Prog.Classes) {
+    std::unordered_set<std::string> Seen;
+    const ClassDecl *Walk = &Cls;
+    while (Walk) {
+      if (!Seen.insert(Walk->Name).second) {
+        Diags.report(DiagCode::CyclicInheritance, Cls.Loc,
+                     "cyclic inheritance involving class '" + Cls.Name + "'");
+        return false;
+      }
+      Walk = lookup(Walk->SuperName);
+    }
+  }
+  return true;
+}
+
+const ClassDecl *ClassTable::lookup(const std::string &Name) const {
+  auto It = Classes.find(Name);
+  return It == Classes.end() ? nullptr : It->second.Decl;
+}
+
+bool ClassTable::isSubclassOf(const std::string &Sub,
+                              const std::string &Super) const {
+  if (Super == "Object")
+    return true;
+  const ClassDecl *Walk = lookup(Sub);
+  std::string Name = Sub;
+  while (true) {
+    if (Name == Super)
+      return true;
+    if (!Walk)
+      return false;
+    Name = Walk->SuperName;
+    Walk = lookup(Name);
+    if (Name == "Object")
+      return Super == "Object";
+  }
+}
+
+std::optional<Type> ClassTable::fieldType(const std::string &ClassName,
+                                          const std::string &Field) const {
+  const ClassDecl *Walk = lookup(ClassName);
+  while (Walk) {
+    for (const FieldDeclAst &F : Walk->Fields)
+      if (F.Name == Field)
+        return F.DeclaredType;
+    Walk = lookup(Walk->SuperName);
+  }
+  return std::nullopt;
+}
+
+std::vector<const FieldDeclAst *>
+ClassTable::allFields(const std::string &ClassName) const {
+  // Collect the chain root-first so superclass fields come first.
+  std::vector<const ClassDecl *> Chain;
+  const ClassDecl *Walk = lookup(ClassName);
+  while (Walk) {
+    Chain.push_back(Walk);
+    Walk = lookup(Walk->SuperName);
+  }
+  std::vector<const FieldDeclAst *> Fields;
+  for (auto It = Chain.rbegin(), E = Chain.rend(); It != E; ++It)
+    for (const FieldDeclAst &F : (*It)->Fields)
+      Fields.push_back(&F);
+  return Fields;
+}
+
+const MethodDecl *ClassTable::lookupMethod(const std::string &ClassName,
+                                           const std::string &Method,
+                                           Qual ReceiverQual) const {
+  const ClassDecl *Walk = lookup(ClassName);
+  while (Walk) {
+    const MethodDecl *Exact = nullptr;
+    const MethodDecl *Polymorphic = nullptr;
+    for (const MethodDecl &M : Walk->Methods) {
+      if (M.Name != Method)
+        continue;
+      if (M.ReceiverPrecision == Qual::Context)
+        Polymorphic = &M;
+      else if (M.ReceiverPrecision == ReceiverQual)
+        Exact = &M;
+    }
+    if (Exact)
+      return Exact;
+    if (Polymorphic)
+      return Polymorphic;
+    Walk = lookup(Walk->SuperName);
+  }
+  return nullptr;
+}

@@ -1,0 +1,82 @@
+//===- fenerj/program.h - Class table and member lookup ---------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The class table: name resolution over a parsed Program. It validates
+/// the class hierarchy (unknown superclasses, cycles, duplicate members),
+/// answers subclassing queries for the subtype relation, and performs the
+/// FType / MSig lookups of Section 3.1 — walking the superclass chain and
+/// selecting the receiver-precision overload (the _APPROX convention of
+/// Section 2.5.2) for method calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_PROGRAM_H
+#define ENERJ_FENERJ_PROGRAM_H
+
+#include "fenerj/ast.h"
+#include "fenerj/diag.h"
+#include "fenerj/types.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace enerj {
+namespace fenerj {
+
+/// Resolved member lookups over a Program. The table borrows the Program;
+/// the Program must outlive it.
+class ClassTable : public SubclassOracle {
+public:
+  /// Builds the table, reporting hierarchy problems. Returns false when
+  /// the table is unusable (duplicate/unknown classes, cycles).
+  bool build(const Program &Prog, DiagnosticEngine &Diags);
+
+  /// The declaration of \p Name, or null for unknown classes / "Object".
+  const ClassDecl *lookup(const std::string &Name) const;
+
+  bool isKnownClass(const std::string &Name) const {
+    return Name == "Object" || lookup(Name) != nullptr;
+  }
+
+  bool isSubclassOf(const std::string &Sub,
+                    const std::string &Super) const override;
+
+  /// Declared (unadapted) type of field \p Field of \p ClassName, walking
+  /// the superclass chain.
+  std::optional<Type> fieldType(const std::string &ClassName,
+                                const std::string &Field) const;
+
+  /// All fields of \p ClassName including inherited ones, superclass
+  /// fields first (the layout order of Section 4.1).
+  std::vector<const FieldDeclAst *>
+  allFields(const std::string &ClassName) const;
+
+  /// Resolves a method for a receiver with qualifier \p ReceiverQual,
+  /// walking the chain from \p ClassName upward. Within each class, a
+  /// precise receiver selects the 'precise' variant, an approximate
+  /// receiver the 'approx' variant, each falling back to the unmarked
+  /// (context-polymorphic) variant; context/top/lost receivers use only
+  /// the polymorphic variant. Returns null when no callable variant
+  /// exists — a variant checked for the other precision is not callable,
+  /// which is what keeps the non-interference guarantee airtight.
+  const MethodDecl *lookupMethod(const std::string &ClassName,
+                                 const std::string &Method,
+                                 Qual ReceiverQual) const;
+
+private:
+  struct ClassInfo {
+    const ClassDecl *Decl = nullptr;
+  };
+  std::unordered_map<std::string, ClassInfo> Classes;
+};
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_PROGRAM_H

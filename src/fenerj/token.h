@@ -1,0 +1,102 @@
+//===- fenerj/token.h - FEnerJ token definitions ----------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of the FEnerJ surface syntax (Figure 1, extended with blocks,
+/// local variables, while loops, arrays, endorse, and casts so that the
+/// evaluation programs of Section 6 can be expressed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_TOKEN_H
+#define ENERJ_FENERJ_TOKEN_H
+
+#include "fenerj/diag.h"
+
+#include <cstdint>
+#include <string>
+
+namespace enerj {
+namespace fenerj {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwClass,
+  KwExtends,
+  KwNew,
+  KwThis,
+  KwNull,
+  KwTrue,
+  KwFalse,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwLet,
+  KwIn,
+  KwEndorse,
+  KwCast,
+  KwInt,
+  KwFloat,
+  KwBool,
+  KwLength,
+  // Qualifiers (the paper's annotations).
+  KwApprox,   // @approx
+  KwPrecise,  // @precise
+  KwTop,      // @top
+  KwContext,  // @context
+  // Method receiver-precision markers (the _APPROX naming convention).
+  KwApproxRecv,  // approx (bare, after the parameter list)
+  KwPreciseRecv, // precise (bare, after the parameter list)
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Assign,      // =
+  FieldAssign, // :=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  BangEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  LessColon, // reserved
+};
+
+/// Name for error messages ("'while'", "identifier", ...).
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;    ///< Identifier spelling.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_TOKEN_H

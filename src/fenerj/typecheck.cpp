@@ -1,0 +1,632 @@
+//===- fenerj/typecheck.cpp - The FEnerJ type checker ---------------------===//
+
+#include "fenerj/typecheck.h"
+
+#include "fenerj/parser.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+/// Lexically scoped local-variable environment.
+class Env {
+public:
+  void push() { Scopes.emplace_back(); }
+  void pop() {
+    assert(!Scopes.empty());
+    Scopes.pop_back();
+  }
+  void bind(const std::string &Name, Type T) {
+    assert(!Scopes.empty());
+    Scopes.back()[Name] = std::move(T);
+  }
+  const Type *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+private:
+  std::vector<std::unordered_map<std::string, Type>> Scopes;
+};
+
+class Checker {
+public:
+  Checker(const ClassTable &Table, DiagnosticEngine &Diags,
+          const CheckOptions &Options)
+      : Table(Table), Diags(Diags), Options(Options) {}
+
+  bool checkProgram(const Program &Prog);
+
+  std::unordered_set<const Expr *> takeContextApproxOps() {
+    return std::move(ContextApproxOps);
+  }
+
+private:
+  /// Combines operand qualifiers for a primitive operation: any approx
+  /// operand makes the operation approximate (the overloading rule of
+  /// Section 2.3); context stays polymorphic; top/lost cannot compute.
+  std::optional<Qual> combineOperands(Qual A, Qual B) {
+    if (A == Qual::Top || A == Qual::Lost || B == Qual::Top ||
+        B == Qual::Lost)
+      return std::nullopt;
+    if (A == Qual::Approx || B == Qual::Approx)
+      return Qual::Approx;
+    if (A == Qual::Context || B == Qual::Context)
+      return Qual::Context;
+    return Qual::Precise;
+  }
+
+  void error(DiagCode Code, SourceLoc Loc, std::string Message) {
+    Diags.report(Code, Loc, std::move(Message));
+    Ok = false;
+  }
+
+  /// Checks value flow \p From -> \p To. Distinguishes the qualifier-only
+  /// failure (an illegal approximate-to-precise flow, the paper's headline
+  /// error) from a base-type mismatch.
+  bool checkAssignable(const Type &From, const Type &To, SourceLoc Loc,
+                       const char *What) {
+    if (isSubtype(From, To, Table))
+      return true;
+    bool SameShape =
+        (From.isPrimitive() && To.isPrimitive() && From.Base == To.Base) ||
+        (From.isClass() && To.isClass() &&
+         Table.isSubclassOf(From.ClassName, To.ClassName)) ||
+        (From.isArray() && To.isArray() && From.Elem == To.Elem);
+    if (SameShape)
+      error(DiagCode::ImplicitFlow, Loc,
+            std::string(What) + ": illegal flow from " + From.str() +
+                " to " + To.str() + "; use endorse(...) to cross from "
+                "approximate to precise");
+    else
+      error(DiagCode::BadOperand, Loc,
+            std::string(What) + ": incompatible types " + From.str() +
+                " and " + To.str());
+    return false;
+  }
+
+  /// Validates a declared type (fields, params, locals, returns):
+  /// @context is only meaningful inside a class body; 'lost' never
+  /// appears in source; class names must exist.
+  void checkDeclaredType(const Type &T, SourceLoc Loc) {
+    if (!InClassBody && T.mentionsContext())
+      error(DiagCode::ContextOutsideClass, Loc,
+            "@context is only meaningful inside a class body");
+    if (T.isClass() && !Table.isKnownClass(T.ClassName))
+      error(DiagCode::UnknownClass, Loc,
+            "unknown class '" + T.ClassName + "'");
+  }
+
+  /// \p ApproxContext is true when the expression's expected type is
+  /// approximate (bidirectional typing, Section 2.3): arithmetic under it
+  /// is recorded for approximate-operator selection.
+  std::optional<Type> typeOf(const Expr &E, Env &Locals,
+                             bool ApproxContext = false);
+
+  const ClassTable &Table;
+  DiagnosticEngine &Diags;
+  CheckOptions Options;
+  std::unordered_set<const Expr *> ContextApproxOps;
+  bool Ok = true;
+  bool InClassBody = false;
+};
+
+std::optional<Type> Checker::typeOf(const Expr &E, Env &Locals,
+                                    bool ApproxContext) {
+  if (!Options.Bidirectional)
+    ApproxContext = false;
+  switch (E.kind()) {
+  case ExprKind::NullLit:
+    return Type::makeNull();
+  case ExprKind::IntLit:
+    return Type::makePrim(Qual::Precise, BaseKind::Int);
+  case ExprKind::FloatLit:
+    return Type::makePrim(Qual::Precise, BaseKind::Float);
+  case ExprKind::BoolLit:
+    return Type::makePrim(Qual::Precise, BaseKind::Bool);
+
+  case ExprKind::VarRef: {
+    const auto &Var = static_cast<const VarRefExpr &>(E);
+    if (const Type *T = Locals.lookup(Var.Name))
+      return *T;
+    error(DiagCode::UnknownVariable, E.loc(),
+          "unknown variable '" + Var.Name + "'");
+    return std::nullopt;
+  }
+
+  case ExprKind::New: {
+    const auto &New = static_cast<const NewExpr &>(E);
+    if (!Table.isKnownClass(New.ClassName)) {
+      error(DiagCode::UnknownClass, E.loc(),
+            "unknown class '" + New.ClassName + "'");
+      return std::nullopt;
+    }
+    if (New.Q == Qual::Context && !InClassBody) {
+      error(DiagCode::ContextOutsideClass, E.loc(),
+            "'new @context' is only meaningful inside a class body");
+      return std::nullopt;
+    }
+    return Type::makeClass(New.Q, New.ClassName);
+  }
+
+  case ExprKind::NewArray: {
+    const auto &New = static_cast<const NewArrayExpr &>(E);
+    if (New.ElemQual == Qual::Context && !InClassBody)
+      error(DiagCode::ContextOutsideClass, E.loc(),
+            "'new @context ...[]' is only meaningful inside a class body");
+    std::optional<Type> LenType = typeOf(*New.Length, Locals);
+    if (LenType) {
+      if (!(LenType->Base == BaseKind::Int && LenType->Q == Qual::Precise))
+        error(DiagCode::ApproxArrayLength, New.Length->loc(),
+              "array length must be a precise int (Section 2.6), got " +
+                  LenType->str());
+    }
+    return Type::makeArray(New.ElemQual, New.Elem);
+  }
+
+  case ExprKind::FieldRead: {
+    const auto &Read = static_cast<const FieldReadExpr &>(E);
+    std::optional<Type> RecvType = typeOf(*Read.Receiver, Locals);
+    if (!RecvType)
+      return std::nullopt;
+    if (!RecvType->isClass()) {
+      error(DiagCode::BadReceiver, E.loc(),
+            "field access on non-class value of type " + RecvType->str());
+      return std::nullopt;
+    }
+    std::optional<Type> Declared =
+        Table.fieldType(RecvType->ClassName, Read.Field);
+    if (!Declared) {
+      error(DiagCode::UnknownField, E.loc(),
+            "class '" + RecvType->ClassName + "' has no field '" +
+                Read.Field + "'");
+      return std::nullopt;
+    }
+    // FType with context adaptation (Section 3.1). Reading a field with
+    // lost precision information is allowed.
+    return adaptType(RecvType->Q, *Declared);
+  }
+
+  case ExprKind::FieldWrite: {
+    const auto &Write = static_cast<const FieldWriteExpr &>(E);
+    std::optional<Type> RecvType = typeOf(*Write.Receiver, Locals);
+    if (!RecvType)
+      return std::nullopt;
+    if (!RecvType->isClass()) {
+      error(DiagCode::BadReceiver, E.loc(),
+            "field write on non-class value of type " + RecvType->str());
+      return std::nullopt;
+    }
+    std::optional<Type> Declared =
+        Table.fieldType(RecvType->ClassName, Write.Field);
+    if (!Declared) {
+      error(DiagCode::UnknownField, E.loc(),
+            "class '" + RecvType->ClassName + "' has no field '" +
+                Write.Field + "'");
+      return std::nullopt;
+    }
+    Type Adapted = adaptType(RecvType->Q, *Declared);
+    // The field-write rule requires lost-free adapted types: updating a
+    // field whose context information was lost would be unsound.
+    if (Adapted.mentionsLost())
+      error(DiagCode::LostAssignment, E.loc(),
+            "cannot write field '" + Write.Field +
+                "' through a receiver of type " + RecvType->str() +
+                ": its adapted type " + Adapted.str() +
+                " lost precision information");
+    std::optional<Type> ValueType =
+        typeOf(*Write.Value, Locals,
+               Adapted.isPrimitive() && Adapted.Q == Qual::Approx);
+    if (!ValueType)
+      return std::nullopt;
+    checkAssignable(*ValueType, Adapted, E.loc(), "field write");
+    return ValueType;
+  }
+
+  case ExprKind::ArrayRead: {
+    const auto &Read = static_cast<const ArrayReadExpr &>(E);
+    std::optional<Type> ArrType = typeOf(*Read.Array, Locals);
+    std::optional<Type> IdxType = typeOf(*Read.Index, Locals);
+    if (IdxType &&
+        !(IdxType->Base == BaseKind::Int && IdxType->Q == Qual::Precise))
+      error(DiagCode::ApproxIndex, Read.Index->loc(),
+            "array subscripts must be precise ints (Section 2.6), got " +
+                IdxType->str() + "; endorse the index first");
+    if (!ArrType)
+      return std::nullopt;
+    if (!ArrType->isArray()) {
+      error(DiagCode::BadReceiver, E.loc(),
+            "subscript on non-array value of type " + ArrType->str());
+      return std::nullopt;
+    }
+    return Type::makePrim(ArrType->ElemQual, ArrType->Elem);
+  }
+
+  case ExprKind::ArrayWrite: {
+    const auto &Write = static_cast<const ArrayWriteExpr &>(E);
+    std::optional<Type> ArrType = typeOf(*Write.Array, Locals);
+    std::optional<Type> IdxType = typeOf(*Write.Index, Locals);
+    if (IdxType &&
+        !(IdxType->Base == BaseKind::Int && IdxType->Q == Qual::Precise))
+      error(DiagCode::ApproxIndex, Write.Index->loc(),
+            "array subscripts must be precise ints (Section 2.6), got " +
+                IdxType->str() + "; endorse the index first");
+    std::optional<Type> ArrTypeCopy = ArrType;
+    bool ElemApproxCtx = ArrTypeCopy && ArrTypeCopy->isArray() &&
+                         ArrTypeCopy->ElemQual == Qual::Approx;
+    std::optional<Type> ValueType =
+        typeOf(*Write.Value, Locals, ElemApproxCtx);
+    if (!ArrType)
+      return std::nullopt;
+    if (!ArrType->isArray()) {
+      error(DiagCode::BadReceiver, E.loc(),
+            "subscript on non-array value of type " + ArrType->str());
+      return std::nullopt;
+    }
+    Type ElemType = Type::makePrim(ArrType->ElemQual, ArrType->Elem);
+    if (ElemType.mentionsLost())
+      error(DiagCode::LostAssignment, E.loc(),
+            "cannot write through an array whose element precision "
+            "information was lost");
+    if (ValueType)
+      checkAssignable(*ValueType, ElemType, E.loc(), "array store");
+    return ValueType;
+  }
+
+  case ExprKind::ArrayLength: {
+    const auto &Len = static_cast<const ArrayLengthExpr &>(E);
+    std::optional<Type> ArrType = typeOf(*Len.Array, Locals);
+    if (ArrType && !ArrType->isArray()) {
+      error(DiagCode::BadReceiver, E.loc(),
+            ".length on non-array value of type " + ArrType->str());
+      return std::nullopt;
+    }
+    // The length is always precise (Section 2.6).
+    return Type::makePrim(Qual::Precise, BaseKind::Int);
+  }
+
+  case ExprKind::MethodCall: {
+    const auto &Call = static_cast<const MethodCallExpr &>(E);
+    std::optional<Type> RecvType = typeOf(*Call.Receiver, Locals);
+    if (!RecvType)
+      return std::nullopt;
+    if (!RecvType->isClass()) {
+      error(DiagCode::BadReceiver, E.loc(),
+            "method call on non-class value of type " + RecvType->str());
+      return std::nullopt;
+    }
+    const MethodDecl *Method =
+        Table.lookupMethod(RecvType->ClassName, Call.Method, RecvType->Q);
+    if (!Method) {
+      error(DiagCode::UnknownMethod, E.loc(),
+            "class '" + RecvType->ClassName + "' has no method '" +
+                Call.Method + "' callable on a " + qualName(RecvType->Q) +
+                " receiver");
+      return std::nullopt;
+    }
+    if (Call.Args.size() != Method->Params.size()) {
+      error(DiagCode::ArityMismatch, E.loc(),
+            "method '" + Call.Method + "' expects " +
+                std::to_string(Method->Params.size()) + " argument(s), got " +
+                std::to_string(Call.Args.size()));
+      return std::nullopt;
+    }
+    for (size_t I = 0; I != Call.Args.size(); ++I) {
+      Type Adapted = adaptType(RecvType->Q, Method->Params[I].DeclaredType);
+      std::optional<Type> ArgType =
+          typeOf(*Call.Args[I], Locals,
+                 Adapted.isPrimitive() && Adapted.Q == Qual::Approx);
+      if (!ArgType)
+        continue;
+      // MSig rule: adapted parameter types must not lose information.
+      if (Adapted.mentionsLost()) {
+        error(DiagCode::LostAssignment, Call.Args[I]->loc(),
+              "cannot pass an argument whose adapted parameter type lost "
+              "precision information");
+        continue;
+      }
+      checkAssignable(*ArgType, Adapted, Call.Args[I]->loc(), "argument");
+    }
+    return adaptType(RecvType->Q, Method->ReturnType);
+  }
+
+  case ExprKind::Cast: {
+    const auto &Cast = static_cast<const CastExpr &>(E);
+    checkDeclaredType(Cast.Target, E.loc());
+    std::optional<Type> ValueType = typeOf(*Cast.Value, Locals);
+    if (!ValueType)
+      return std::nullopt;
+    const Type &From = *ValueType;
+    const Type &To = Cast.Target;
+    // Qualifier rules: upcasts along the lattice are free; casting *to*
+    // approx is always allowed (approx makes no guarantees); casting to
+    // precise requires a provably precise source — endorse() is the only
+    // sanctioned approximate-to-precise gate.
+    auto QualCastOk = [&](Qual FromQ, Qual ToQ) {
+      if (subQual(FromQ, ToQ) || FromQ == Qual::Precise)
+        return true;
+      if (ToQ == Qual::Approx)
+        return true;
+      return false;
+    };
+    bool ShapeOk = false;
+    if (From.isPrimitive() && To.isPrimitive())
+      ShapeOk = From.Base == To.Base || (From.isNumeric() && To.isNumeric());
+    else if (From.isClass() && To.isClass())
+      ShapeOk = Table.isSubclassOf(From.ClassName, To.ClassName) ||
+                Table.isSubclassOf(To.ClassName, From.ClassName);
+    else if (From.isNull() && (To.isClass() || To.isArray()))
+      ShapeOk = true;
+    if (!ShapeOk || !QualCastOk(From.Q, To.Q)) {
+      error(DiagCode::BadCast, E.loc(),
+            "cannot cast " + From.str() + " to " + To.str() +
+                (From.isPrimitive() && To.Q == Qual::Precise
+                     ? "; use endorse(...)"
+                     : ""));
+      return std::nullopt;
+    }
+    return To;
+  }
+
+  case ExprKind::Endorse: {
+    const auto &End = static_cast<const EndorseExpr &>(E);
+    std::optional<Type> ValueType = typeOf(*End.Value, Locals);
+    if (!ValueType)
+      return std::nullopt;
+    if (!ValueType->isPrimitive()) {
+      error(DiagCode::BadEndorse, E.loc(),
+            "endorse() applies to primitive values, got " +
+                ValueType->str());
+      return std::nullopt;
+    }
+    // endorse casts any approximate type to its precise equivalent
+    // (Section 2.2); endorsing precise data is a harmless identity.
+    return Type::makePrim(Qual::Precise, ValueType->Base);
+  }
+
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    // Bidirectional typing (Section 2.3): an approximate expected type
+    // flows into the operands, so whole arithmetic trees select
+    // approximate operators.
+    std::optional<Type> L = typeOf(*Bin.Lhs, Locals, ApproxContext);
+    std::optional<Type> R = typeOf(*Bin.Rhs, Locals, ApproxContext);
+    if (!L || !R)
+      return std::nullopt;
+
+    // Reference equality on class/null values is always precise.
+    if ((Bin.Op == BinaryOp::Eq || Bin.Op == BinaryOp::Ne) &&
+        (L->isClass() || L->isNull()) && (R->isClass() || R->isNull()))
+      return Type::makePrim(Qual::Precise, BaseKind::Bool);
+
+    bool IsLogical = Bin.Op == BinaryOp::And || Bin.Op == BinaryOp::Or;
+    bool IsComparison = Bin.Op == BinaryOp::Eq || Bin.Op == BinaryOp::Ne ||
+                        Bin.Op == BinaryOp::Lt || Bin.Op == BinaryOp::Le ||
+                        Bin.Op == BinaryOp::Gt || Bin.Op == BinaryOp::Ge;
+
+    if (IsLogical) {
+      if (L->Base != BaseKind::Bool || R->Base != BaseKind::Bool ||
+          !L->isPrimitive() || !R->isPrimitive()) {
+        error(DiagCode::BadOperand, E.loc(),
+              "logical operator requires booleans, got " + L->str() +
+                  " and " + R->str());
+        return std::nullopt;
+      }
+    } else {
+      if (!L->isNumeric() || !R->isNumeric() || L->Base != R->Base) {
+        error(DiagCode::BadOperand, E.loc(),
+              "arithmetic requires numeric operands of the same base type, "
+              "got " + L->str() + " and " + R->str());
+        return std::nullopt;
+      }
+      if (Bin.Op == BinaryOp::Mod && L->Base != BaseKind::Int) {
+        error(DiagCode::BadOperand, E.loc(), "'%' requires int operands");
+        return std::nullopt;
+      }
+    }
+
+    std::optional<Qual> Q = combineOperands(L->Q, R->Q);
+    if (!Q) {
+      error(DiagCode::BadOperand, E.loc(),
+            "cannot compute on @top/lost-qualified operands (" + L->str() +
+                ", " + R->str() + ")");
+      return std::nullopt;
+    }
+    if (ApproxContext && *Q == Qual::Precise) {
+      // Precise operands in an approximate context: run on the
+      // approximate unit; the result was only going to approximate
+      // storage anyway.
+      ContextApproxOps.insert(&E);
+      Q = Qual::Approx;
+    }
+    if (IsComparison || IsLogical)
+      return Type::makePrim(*Q, BaseKind::Bool);
+    return Type::makePrim(*Q, L->Base);
+  }
+
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(E);
+    std::optional<Type> V = typeOf(*Un.Value, Locals, ApproxContext);
+    if (!V)
+      return std::nullopt;
+    if (ApproxContext && V->isPrimitive() && V->Q == Qual::Precise) {
+      ContextApproxOps.insert(&E);
+      V->Q = Qual::Approx;
+    }
+    if (Un.Op == UnaryOp::Neg) {
+      if (!V->isNumeric()) {
+        error(DiagCode::BadOperand, E.loc(),
+              "unary '-' requires a numeric operand, got " + V->str());
+        return std::nullopt;
+      }
+      return *V;
+    }
+    if (V->Base != BaseKind::Bool || !V->isPrimitive()) {
+      error(DiagCode::BadOperand, E.loc(),
+            "'!' requires a boolean operand, got " + V->str());
+      return std::nullopt;
+    }
+    return *V;
+  }
+
+  case ExprKind::If: {
+    const auto &If = static_cast<const IfExpr &>(E);
+    std::optional<Type> CondType = typeOf(*If.Cond, Locals);
+    if (CondType && !(CondType->Base == BaseKind::Bool &&
+                      CondType->isPrimitive() &&
+                      CondType->Q == Qual::Precise))
+      error(DiagCode::ApproxCondition, If.Cond->loc(),
+            "conditions must be precise booleans (Section 2.4), got " +
+                CondType->str() + "; wrap the condition in endorse(...)");
+    std::optional<Type> ThenType = typeOf(*If.Then, Locals);
+    std::optional<Type> ElseType = typeOf(*If.Else, Locals);
+    if (!ThenType || !ElseType)
+      return std::nullopt;
+    // A common type for the branches (the conditional rule of Section 3.1).
+    if (isSubtype(*ThenType, *ElseType, Table))
+      return ElseType;
+    if (isSubtype(*ElseType, *ThenType, Table))
+      return ThenType;
+    error(DiagCode::BadOperand, E.loc(),
+          "branches have incompatible types " + ThenType->str() + " and " +
+              ElseType->str());
+    return std::nullopt;
+  }
+
+  case ExprKind::While: {
+    const auto &While = static_cast<const WhileExpr &>(E);
+    std::optional<Type> CondType = typeOf(*While.Cond, Locals);
+    if (CondType && !(CondType->Base == BaseKind::Bool &&
+                      CondType->isPrimitive() &&
+                      CondType->Q == Qual::Precise))
+      error(DiagCode::ApproxCondition, While.Cond->loc(),
+            "loop conditions must be precise booleans (Section 2.4), got " +
+                CondType->str() + "; wrap the condition in endorse(...)");
+    typeOf(*While.Body, Locals);
+    return Type::makePrim(Qual::Precise, BaseKind::Int);
+  }
+
+  case ExprKind::Block: {
+    const auto &Block = static_cast<const BlockExpr &>(E);
+    Locals.push();
+    std::optional<Type> Last = Type::makePrim(Qual::Precise, BaseKind::Int);
+    for (const BlockExpr::Item &Item : Block.Items) {
+      bool LetApproxCtx = Item.IsLet && Item.LetType.isPrimitive() &&
+                          Item.LetType.Q == Qual::Approx;
+      std::optional<Type> ValueType =
+          typeOf(*Item.Value, Locals, LetApproxCtx);
+      if (Item.IsLet) {
+        checkDeclaredType(Item.LetType, Item.Value->loc());
+        if (ValueType)
+          checkAssignable(*ValueType, Item.LetType, Item.Value->loc(),
+                          "initialization");
+        Locals.bind(Item.LetName, Item.LetType);
+        Last = Item.LetType;
+      } else {
+        Last = ValueType;
+      }
+    }
+    Locals.pop();
+    return Last;
+  }
+
+  case ExprKind::AssignLocal: {
+    const auto &Assign = static_cast<const AssignLocalExpr &>(E);
+    const Type *VarType = Locals.lookup(Assign.Name);
+    if (!VarType) {
+      error(DiagCode::UnknownVariable, E.loc(),
+            "unknown variable '" + Assign.Name + "'");
+      return std::nullopt;
+    }
+    Type Target = *VarType; // Copy: typeOf below may grow scopes.
+    std::optional<Type> ValueType =
+        typeOf(*Assign.Value, Locals,
+               Target.isPrimitive() && Target.Q == Qual::Approx);
+    if (ValueType)
+      checkAssignable(*ValueType, Target, E.loc(), "assignment");
+    return Target;
+  }
+  }
+  assert(false && "unknown expression kind");
+  return std::nullopt;
+}
+
+bool Checker::checkProgram(const Program &Prog) {
+  for (const ClassDecl &Cls : Prog.Classes) {
+    InClassBody = true;
+    for (const FieldDeclAst &Field : Cls.Fields)
+      checkDeclaredType(Field.DeclaredType, Field.Loc);
+    for (const MethodDecl &Method : Cls.Methods) {
+      checkDeclaredType(Method.ReturnType, Method.Loc);
+      Env Locals;
+      Locals.push();
+      // 'this' carries the method's receiver precision: @context for
+      // unmarked (polymorphic) methods — Section 3.1 — and the marked
+      // precision for the Section 2.5.2 overload variants. Parameter and
+      // return types adapt accordingly, so a 'precise'-variant body may
+      // treat @context members as precise data and an 'approx'-variant
+      // body sees them as approximate.
+      Qual ThisQual = Method.ReceiverPrecision;
+      Locals.bind("this", Type::makeClass(ThisQual, Cls.Name));
+      for (const ParamDecl &Param : Method.Params) {
+        checkDeclaredType(Param.DeclaredType, Method.Loc);
+        Locals.bind(Param.Name, adaptType(ThisQual, Param.DeclaredType));
+      }
+      Type ReturnType = adaptType(ThisQual, Method.ReturnType);
+      std::optional<Type> BodyType = typeOf(*Method.Body, Locals);
+      if (BodyType && !isSubtype(*BodyType, ReturnType, Table))
+        error(DiagCode::ReturnMismatch, Method.Loc,
+              "method '" + Method.Name + "' declares return type " +
+                  ReturnType.str() + " but its body has type " +
+                  BodyType->str());
+      Locals.pop();
+    }
+    InClassBody = false;
+  }
+
+  Env Locals;
+  Locals.push();
+  typeOf(*Prog.Main, Locals);
+  Locals.pop();
+  return Ok;
+}
+
+} // namespace
+
+bool enerj::fenerj::typeCheck(const Program &Prog, const ClassTable &Table,
+                              DiagnosticEngine &Diags) {
+  CheckOptions Options;
+  return Checker(Table, Diags, Options).checkProgram(Prog);
+}
+
+CheckResult enerj::fenerj::typeCheckEx(const Program &Prog,
+                                       const ClassTable &Table,
+                                       DiagnosticEngine &Diags,
+                                       const CheckOptions &Options) {
+  Checker Check(Table, Diags, Options);
+  CheckResult Result;
+  Result.Ok = Check.checkProgram(Prog);
+  Result.ContextApproxOps = Check.takeContextApproxOps();
+  return Result;
+}
+
+std::optional<Program> enerj::fenerj::compile(std::string_view Source,
+                                              ClassTable &Table,
+                                              DiagnosticEngine &Diags) {
+  std::optional<Program> Prog = parseProgram(Source, Diags);
+  if (!Prog)
+    return std::nullopt;
+  if (!Table.build(*Prog, Diags))
+    return std::nullopt;
+  if (!typeCheck(*Prog, Table, Diags))
+    return std::nullopt;
+  return Prog;
+}

@@ -1,0 +1,77 @@
+//===- fenerj/typecheck.h - The FEnerJ type checker -------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static checker enforcing the rules of Sections 2 and 3:
+///
+///  * no implicit approximate-to-precise data flow (assignments, field and
+///    array writes, arguments, returns) — only endorse() crosses;
+///  * precise-to-approximate flow via primitive subtyping;
+///  * conditions (if/while) must be precise booleans — no implicit flows
+///    through control flow (Section 2.4);
+///  * array lengths and subscripts must be precise (Section 2.6);
+///  * field reads/writes and method signatures undergo context adaptation
+///    (Section 3.1), and a field whose adapted type mentions 'lost' may be
+///    read but not written;
+///  * @context may appear only inside class bodies;
+///  * method dispatch selects the receiver-precision overload.
+///
+/// The checker walks every method body of every class plus the main
+/// expression, reporting all violations (it does not stop at the first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_TYPECHECK_H
+#define ENERJ_FENERJ_TYPECHECK_H
+
+#include "fenerj/ast.h"
+#include "fenerj/diag.h"
+#include "fenerj/program.h"
+
+#include <optional>
+#include <unordered_set>
+
+namespace enerj {
+namespace fenerj {
+
+/// Checker options.
+struct CheckOptions {
+  /// Section 2.3's bidirectional typing: when the expected type of an
+  /// expression is approximate (right-hand sides of assignments, lets,
+  /// field/array writes, and method arguments), arithmetic on precise
+  /// operands selects the *approximate* operator anyway — the result is
+  /// only used approximately, so the precise unit would waste energy.
+  bool Bidirectional = true;
+};
+
+/// The checker's verdict plus the operator-selection side table.
+struct CheckResult {
+  bool Ok = false;
+  /// Binary/Unary nodes whose operands are precise but which execute on
+  /// the approximate unit because their context is approximate (empty
+  /// unless CheckOptions::Bidirectional). The interpreter perturbs and
+  /// counts these as approximate operations.
+  std::unordered_set<const Expr *> ContextApproxOps;
+};
+
+/// Type-checks \p Prog against \p Table. Returns true when the program is
+/// well typed; all violations are reported to \p Diags.
+bool typeCheck(const Program &Prog, const ClassTable &Table,
+               DiagnosticEngine &Diags);
+
+/// Full-control variant returning the bidirectional-typing side table.
+CheckResult typeCheckEx(const Program &Prog, const ClassTable &Table,
+                        DiagnosticEngine &Diags, const CheckOptions &Options);
+
+/// Parses and type-checks \p Source in one step; on success returns the
+/// program (and fills \p Table). This is the library's "compiler driver".
+std::optional<Program> compile(std::string_view Source, ClassTable &Table,
+                               DiagnosticEngine &Diags);
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_TYPECHECK_H

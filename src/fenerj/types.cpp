@@ -1,0 +1,136 @@
+//===- fenerj/types.cpp - Precision qualifiers and types ------------------===//
+
+#include "fenerj/types.h"
+
+#include <cassert>
+
+using namespace enerj::fenerj;
+
+const char *enerj::fenerj::qualName(Qual Q) {
+  switch (Q) {
+  case Qual::Precise:
+    return "@precise";
+  case Qual::Approx:
+    return "@approx";
+  case Qual::Top:
+    return "@top";
+  case Qual::Context:
+    return "@context";
+  case Qual::Lost:
+    return "lost";
+  }
+  assert(false && "unknown qualifier");
+  return "?";
+}
+
+bool enerj::fenerj::subQual(Qual Sub, Qual Super) {
+  if (Sub == Super)
+    return true;
+  if (Super == Qual::Top)
+    return true;
+  if (Super == Qual::Lost)
+    return Sub != Qual::Top;
+  return false;
+}
+
+Qual enerj::fenerj::adaptQual(Qual Receiver, Qual Declared) {
+  if (Declared != Qual::Context)
+    return Declared;
+  switch (Receiver) {
+  case Qual::Precise:
+  case Qual::Approx:
+  case Qual::Context:
+    return Receiver;
+  case Qual::Top:
+  case Qual::Lost:
+    return Qual::Lost; // The context is not expressible here.
+  }
+  assert(false && "unknown qualifier");
+  return Qual::Lost;
+}
+
+Type enerj::fenerj::adaptType(Qual Receiver, const Type &Declared) {
+  Type Result = Declared;
+  Result.Q = adaptQual(Receiver, Declared.Q);
+  if (Declared.isArray())
+    Result.ElemQual = adaptQual(Receiver, Declared.ElemQual);
+  return Result;
+}
+
+std::string Type::str() const {
+  std::string Out = qualName(Q);
+  Out += ' ';
+  switch (Base) {
+  case BaseKind::Int:
+    Out += "int";
+    break;
+  case BaseKind::Float:
+    Out += "float";
+    break;
+  case BaseKind::Bool:
+    Out += "bool";
+    break;
+  case BaseKind::Class:
+    Out += ClassName;
+    break;
+  case BaseKind::Null:
+    return "null";
+  case BaseKind::Array: {
+    Out = qualName(ElemQual);
+    Out += ' ';
+    switch (Elem) {
+    case BaseKind::Int:
+      Out += "int";
+      break;
+    case BaseKind::Float:
+      Out += "float";
+      break;
+    case BaseKind::Bool:
+      Out += "bool";
+      break;
+    default:
+      Out += "?";
+      break;
+    }
+    Out += "[]";
+    break;
+  }
+  }
+  return Out;
+}
+
+bool enerj::fenerj::isSubtype(const Type &Sub, const Type &Super,
+                              const SubclassOracle &Classes) {
+  // null <: any class or array type.
+  if (Sub.isNull())
+    return Super.isClass() || Super.isArray() || Super.isNull();
+
+  if (Sub.isPrimitive() && Super.isPrimitive()) {
+    if (Sub.Base != Super.Base)
+      return false;
+    if (subQual(Sub.Q, Super.Q))
+      return true;
+    // The primitive-only subtyping rule of Section 2.1: precise P is a
+    // subtype of approx P. We extend it to every qualifier (including
+    // context): a precise primitive value can safely flow into storage of
+    // any precision, because whichever qualifier context resolves to, the
+    // value carries at least the guarantees required.
+    if (Sub.Q == Qual::Precise)
+      return true;
+    return false;
+  }
+
+  if (Sub.isClass() && Super.isClass()) {
+    // Reference types: qualifier ordering only (precise C is NOT a subtype
+    // of approx C — unsound for mutable references, Section 2.1).
+    return subQual(Sub.Q, Super.Q) &&
+           Classes.isSubclassOf(Sub.ClassName, Super.ClassName);
+  }
+
+  if (Sub.isArray() && Super.isArray()) {
+    // Arrays are invariant in the element type (mutable containers).
+    return Sub.Elem == Super.Elem && Sub.ElemQual == Super.ElemQual;
+  }
+
+  return false;
+}

@@ -1,0 +1,140 @@
+//===- fenerj/types.h - Precision qualifiers and types ----------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The precision-qualifier lattice and type representation of Section 3:
+///
+///   ordering:   q <: q    q <: top    q <: lost (q != top)
+///   (precise, approx, and context are mutually unrelated)
+///
+///   context adaptation (q |> q'): replaces 'context' with the receiver's
+///   qualifier when reading a field or calling a method; when the receiver
+///   qualifier is top or lost, the information is not expressible and
+///   adapts to 'lost'.
+///
+/// Types are a qualifier plus a base: a primitive (int/float/bool), a
+/// class, an array of a qualified primitive, or null. Subtyping combines
+/// qualifier ordering with subclassing, plus the primitive-only rule
+/// "precise P <: approx P" (Section 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FENERJ_TYPES_H
+#define ENERJ_FENERJ_TYPES_H
+
+#include <string>
+
+namespace enerj {
+namespace fenerj {
+
+/// The five precision qualifiers. Lost is internal: it appears only as the
+/// result of adaptation, never in source.
+enum class Qual { Precise, Approx, Top, Context, Lost };
+
+const char *qualName(Qual Q);
+
+/// The qualifier ordering <:q of Section 3.1.
+bool subQual(Qual Sub, Qual Super);
+
+/// Context adaptation q |> q' (Section 3.1).
+Qual adaptQual(Qual Receiver, Qual Declared);
+
+/// Base types.
+enum class BaseKind { Int, Float, Bool, Class, Array, Null };
+
+/// A qualified type. Arrays are one-dimensional arrays of qualified
+/// primitives: Elem holds the element base kind and ElemQual its
+/// qualifier; the array reference itself (its length, its identity) is
+/// always precise (Section 2.6).
+struct Type {
+  Qual Q = Qual::Precise;
+  BaseKind Base = BaseKind::Int;
+  std::string ClassName;        ///< For BaseKind::Class.
+  BaseKind Elem = BaseKind::Int; ///< For BaseKind::Array.
+  Qual ElemQual = Qual::Precise; ///< For BaseKind::Array.
+
+  bool isPrimitive() const {
+    return Base == BaseKind::Int || Base == BaseKind::Float ||
+           Base == BaseKind::Bool;
+  }
+  bool isNumeric() const {
+    return Base == BaseKind::Int || Base == BaseKind::Float;
+  }
+  bool isClass() const { return Base == BaseKind::Class; }
+  bool isArray() const { return Base == BaseKind::Array; }
+  bool isNull() const { return Base == BaseKind::Null; }
+
+  /// True when 'lost' occurs anywhere in the type (the field-write rule
+  /// requires lost-free adapted types).
+  bool mentionsLost() const {
+    return Q == Qual::Lost || (isArray() && ElemQual == Qual::Lost);
+  }
+
+  /// True when 'context' occurs anywhere in the type.
+  bool mentionsContext() const {
+    return Q == Qual::Context || (isArray() && ElemQual == Qual::Context);
+  }
+
+  std::string str() const;
+
+  bool operator==(const Type &Other) const {
+    return Q == Other.Q && Base == Other.Base &&
+           ClassName == Other.ClassName && Elem == Other.Elem &&
+           ElemQual == Other.ElemQual;
+  }
+
+  static Type makePrim(Qual Q, BaseKind Base) {
+    Type T;
+    T.Q = Q;
+    T.Base = Base;
+    return T;
+  }
+  static Type makeClass(Qual Q, std::string Name) {
+    Type T;
+    T.Q = Q;
+    T.Base = BaseKind::Class;
+    T.ClassName = std::move(Name);
+    return T;
+  }
+  static Type makeArray(Qual ElemQual, BaseKind Elem) {
+    Type T;
+    T.Q = Qual::Precise; // The reference/length is precise.
+    T.Base = BaseKind::Array;
+    T.Elem = Elem;
+    T.ElemQual = ElemQual;
+    return T;
+  }
+  static Type makeNull() {
+    Type T;
+    T.Base = BaseKind::Null;
+    return T;
+  }
+};
+
+/// Adapts every qualifier in \p Declared by the receiver qualifier
+/// (extends adaptQual over whole types, like the paper's |> on types).
+Type adaptType(Qual Receiver, const Type &Declared);
+
+/// Resolves subclassing queries for subtype checks.
+class SubclassOracle {
+public:
+  virtual ~SubclassOracle() = default;
+  /// True when \p Sub is \p Super or a (transitive) subclass.
+  virtual bool isSubclassOf(const std::string &Sub,
+                            const std::string &Super) const = 0;
+};
+
+/// Full subtyping judgment (Section 3.1): qualifier ordering and
+/// subclassing for class types; qualifier ordering plus the special
+/// precise<:approx rule for primitives; null is a subtype of every class
+/// and array type; array types are invariant in their element type.
+bool isSubtype(const Type &Sub, const Type &Super,
+               const SubclassOracle &Classes);
+
+} // namespace fenerj
+} // namespace enerj
+
+#endif // ENERJ_FENERJ_TYPES_H

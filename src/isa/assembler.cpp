@@ -1,0 +1,513 @@
+//===- isa/assembler.cpp - Assembler for the approximate ISA --------------===//
+
+#include "isa/assembler.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace enerj::isa;
+
+const char *enerj::isa::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Li:
+    return "li";
+  case Opcode::Lfi:
+    return "lfi";
+  case Opcode::Mv:
+    return "mv";
+  case Opcode::Fmv:
+    return "fmv";
+  case Opcode::Endorse:
+    return "endorse";
+  case Opcode::Fendorse:
+    return "fendorse";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Addi:
+    return "addi";
+  case Opcode::Seq:
+    return "seq";
+  case Opcode::Sne:
+    return "sne";
+  case Opcode::Slt:
+    return "slt";
+  case Opcode::Sle:
+    return "sle";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Fadd:
+    return "fadd";
+  case Opcode::Fsub:
+    return "fsub";
+  case Opcode::Fmul:
+    return "fmul";
+  case Opcode::Fdiv:
+    return "fdiv";
+  case Opcode::Cvt:
+    return "cvt";
+  case Opcode::Cvti:
+    return "cvti";
+  case Opcode::Lw:
+    return "lw";
+  case Opcode::Sw:
+    return "sw";
+  case Opcode::Flw:
+    return "flw";
+  case Opcode::Fsw:
+    return "fsw";
+  case Opcode::Beq:
+    return "beq";
+  case Opcode::Bne:
+    return "bne";
+  case Opcode::Blt:
+    return "blt";
+  case Opcode::Ble:
+    return "ble";
+  case Opcode::Fbeq:
+    return "fbeq";
+  case Opcode::Fbne:
+    return "fbne";
+  case Opcode::Fblt:
+    return "fblt";
+  case Opcode::Fble:
+    return "fble";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Halt:
+    return "halt";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+std::string Instruction::str() const {
+  std::string Out = opcodeName(Op);
+  if (Approx)
+    Out += ".a";
+  return Out;
+}
+
+namespace {
+
+struct Mnemonic {
+  Opcode Op;
+  /// Operand shape: each char is 'r' (int reg), 'f' (FP reg), 'i' (int
+  /// immediate), 'd' (FP immediate), 'l' (label).
+  const char *Shape;
+  bool AllowApprox;
+};
+
+const std::unordered_map<std::string, Mnemonic> Mnemonics = {
+    {"li", {Opcode::Li, "ri", false}},
+    {"lfi", {Opcode::Lfi, "fd", false}},
+    {"mv", {Opcode::Mv, "rr", false}},
+    {"fmv", {Opcode::Fmv, "ff", false}},
+    {"endorse", {Opcode::Endorse, "rr", false}},
+    {"fendorse", {Opcode::Fendorse, "ff", false}},
+    {"add", {Opcode::Add, "rrr", true}},
+    {"sub", {Opcode::Sub, "rrr", true}},
+    {"mul", {Opcode::Mul, "rrr", true}},
+    {"div", {Opcode::Div, "rrr", true}},
+    {"rem", {Opcode::Rem, "rrr", true}},
+    {"addi", {Opcode::Addi, "rri", true}},
+    {"seq", {Opcode::Seq, "rrr", true}},
+    {"sne", {Opcode::Sne, "rrr", true}},
+    {"slt", {Opcode::Slt, "rrr", true}},
+    {"sle", {Opcode::Sle, "rrr", true}},
+    {"and", {Opcode::And, "rrr", true}},
+    {"or", {Opcode::Or, "rrr", true}},
+    {"fadd", {Opcode::Fadd, "fff", true}},
+    {"fsub", {Opcode::Fsub, "fff", true}},
+    {"fmul", {Opcode::Fmul, "fff", true}},
+    {"fdiv", {Opcode::Fdiv, "fff", true}},
+    {"cvt", {Opcode::Cvt, "fr", true}},
+    {"cvti", {Opcode::Cvti, "rf", true}},
+    {"lw", {Opcode::Lw, "rri", true}},
+    {"sw", {Opcode::Sw, "rri", true}},
+    {"flw", {Opcode::Flw, "fri", true}},
+    {"fsw", {Opcode::Fsw, "fri", true}},
+    {"beq", {Opcode::Beq, "rrl", false}},
+    {"bne", {Opcode::Bne, "rrl", false}},
+    {"blt", {Opcode::Blt, "rrl", false}},
+    {"ble", {Opcode::Ble, "rrl", false}},
+    {"fbeq", {Opcode::Fbeq, "ffl", false}},
+    {"fbne", {Opcode::Fbne, "ffl", false}},
+    {"fblt", {Opcode::Fblt, "ffl", false}},
+    {"fble", {Opcode::Fble, "ffl", false}},
+    {"jmp", {Opcode::Jmp, "l", false}},
+    {"halt", {Opcode::Halt, "", false}},
+};
+
+struct PendingLabel {
+  size_t InstrIndex;
+  std::string Label;
+  int Line;
+};
+
+class Assembler {
+public:
+  Assembler(std::string_view Source, std::vector<std::string> &Errors)
+      : Source(Source), Errors(Errors) {}
+
+  std::optional<IsaProgram> run();
+
+private:
+  void error(int Line, std::string Message) {
+    Errors.push_back("line " + std::to_string(Line) + ": " +
+                     std::move(Message));
+  }
+
+  /// Splits one line into whitespace/comma separated tokens, stripping
+  /// comments.
+  static std::vector<std::string> tokenize(std::string_view Line);
+
+  bool parseReg(const std::string &Token, char Kind, unsigned &Out,
+                int Line);
+
+  std::string_view Source;
+  std::vector<std::string> &Errors;
+};
+
+std::vector<std::string> Assembler::tokenize(std::string_view Line) {
+  std::vector<std::string> Tokens;
+  std::string Current;
+  for (char C : Line) {
+    if (C == ';' || C == '#')
+      break;
+    if (std::isspace(static_cast<unsigned char>(C)) || C == ',') {
+      if (!Current.empty()) {
+        Tokens.push_back(Current);
+        Current.clear();
+      }
+      continue;
+    }
+    Current += C;
+  }
+  if (!Current.empty())
+    Tokens.push_back(Current);
+  return Tokens;
+}
+
+bool Assembler::parseReg(const std::string &Token, char Kind, unsigned &Out,
+                         int Line) {
+  char Prefix = Kind == 'r' ? 'r' : 'f';
+  unsigned Limit = Kind == 'r' ? NumIntRegs : NumFpRegs;
+  if (Token.size() < 2 || Token[0] != Prefix) {
+    error(Line, "expected " + std::string(Kind == 'r' ? "an integer"
+                                                      : "an FP") +
+                    " register, got '" + Token + "'");
+    return false;
+  }
+  char *End = nullptr;
+  unsigned long Index = std::strtoul(Token.c_str() + 1, &End, 10);
+  if (*End != '\0' || Index >= Limit) {
+    error(Line, "bad register '" + Token + "'");
+    return false;
+  }
+  Out = static_cast<unsigned>(Index);
+  return true;
+}
+
+std::optional<IsaProgram> Assembler::run() {
+  IsaProgram Program;
+  std::unordered_map<std::string, int64_t> Labels;
+  std::vector<PendingLabel> Pending;
+
+  int Line = 0;
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Source.size();
+    std::string_view Text = Source.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++Line;
+    std::vector<std::string> Tokens = tokenize(Text);
+    if (Tokens.empty()) {
+      if (End == Source.size())
+        break;
+      continue;
+    }
+
+    // Labels: "name:" possibly followed by an instruction on the line.
+    while (!Tokens.empty() && Tokens[0].back() == ':') {
+      std::string Label = Tokens[0].substr(0, Tokens[0].size() - 1);
+      if (Label.empty()) {
+        error(Line, "empty label");
+        return std::nullopt;
+      }
+      if (!Labels.emplace(Label,
+                          static_cast<int64_t>(Program.Instructions.size()))
+               .second) {
+        error(Line, "duplicate label '" + Label + "'");
+        return std::nullopt;
+      }
+      Tokens.erase(Tokens.begin());
+    }
+    if (Tokens.empty()) {
+      if (End == Source.size())
+        break;
+      continue;
+    }
+
+    // Directives.
+    if (Tokens[0] == ".data" || Tokens[0] == ".adata") {
+      if (Tokens.size() != 2) {
+        error(Line, Tokens[0] + " takes one operand");
+        return std::nullopt;
+      }
+      char *EndPtr = nullptr;
+      long long Words = std::strtoll(Tokens[1].c_str(), &EndPtr, 10);
+      if (*EndPtr != '\0' || Words < 0) {
+        error(Line, "bad word count '" + Tokens[1] + "'");
+        return std::nullopt;
+      }
+      (Tokens[0] == ".data" ? Program.PreciseWords : Program.ApproxWords) =
+          static_cast<uint64_t>(Words);
+      if (End == Source.size())
+        break;
+      continue;
+    }
+
+    // Instruction: mnemonic possibly suffixed with ".a".
+    std::string Name = Tokens[0];
+    bool Approx = false;
+    if (Name.size() > 2 && Name.substr(Name.size() - 2) == ".a") {
+      Approx = true;
+      Name = Name.substr(0, Name.size() - 2);
+    }
+    auto It = Mnemonics.find(Name);
+    if (It == Mnemonics.end()) {
+      error(Line, "unknown instruction '" + Tokens[0] + "'");
+      return std::nullopt;
+    }
+    const Mnemonic &M = It->second;
+    if (Approx && !M.AllowApprox) {
+      error(Line, "'" + Name + "' has no approximate variant");
+      return std::nullopt;
+    }
+    std::string Shape = M.Shape;
+    if (Tokens.size() - 1 != Shape.size()) {
+      error(Line, "'" + Tokens[0] + "' expects " +
+                      std::to_string(Shape.size()) + " operand(s), got " +
+                      std::to_string(Tokens.size() - 1));
+      return std::nullopt;
+    }
+
+    Instruction Instr;
+    Instr.Op = M.Op;
+    Instr.Approx = Approx;
+    Instr.Line = Line;
+    unsigned RegSlot = 0; // 0 -> Rd, 1 -> Ra, 2 -> Rb.
+    bool FailedOperand = false;
+    for (size_t OpIdx = 0; OpIdx < Shape.size(); ++OpIdx) {
+      const std::string &Token = Tokens[OpIdx + 1];
+      switch (Shape[OpIdx]) {
+      case 'r':
+      case 'f': {
+        unsigned Reg = 0;
+        if (!parseReg(Token, Shape[OpIdx], Reg, Line)) {
+          FailedOperand = true;
+          break;
+        }
+        if (RegSlot == 0)
+          Instr.Rd = Reg;
+        else if (RegSlot == 1)
+          Instr.Ra = Reg;
+        else
+          Instr.Rb = Reg;
+        ++RegSlot;
+        break;
+      }
+      case 'i': {
+        char *EndPtr = nullptr;
+        Instr.Imm = std::strtoll(Token.c_str(), &EndPtr, 0);
+        if (*EndPtr != '\0') {
+          error(Line, "bad immediate '" + Token + "'");
+          FailedOperand = true;
+        }
+        break;
+      }
+      case 'd': {
+        char *EndPtr = nullptr;
+        Instr.FpImm = std::strtod(Token.c_str(), &EndPtr);
+        if (*EndPtr != '\0') {
+          error(Line, "bad FP immediate '" + Token + "'");
+          FailedOperand = true;
+        }
+        break;
+      }
+      case 'l':
+        Pending.push_back({Program.Instructions.size(), Token, Line});
+        break;
+      default:
+        assert(false && "bad shape character");
+      }
+      if (FailedOperand)
+        break;
+    }
+    if (FailedOperand)
+      return std::nullopt;
+    Program.Instructions.push_back(Instr);
+    if (End == Source.size())
+      break;
+  }
+
+  // Resolve branch targets.
+  for (const PendingLabel &P : Pending) {
+    auto It = Labels.find(P.Label);
+    if (It == Labels.end()) {
+      error(P.Line, "undefined label '" + P.Label + "'");
+      return std::nullopt;
+    }
+    Program.Instructions[P.InstrIndex].Imm = It->second;
+  }
+  if (!Errors.empty())
+    return std::nullopt;
+  return Program;
+}
+
+} // namespace
+
+std::optional<IsaProgram>
+enerj::isa::assemble(std::string_view Source,
+                     std::vector<std::string> &Errors) {
+  return Assembler(Source, Errors).run();
+}
+
+std::string enerj::isa::disassemble(const IsaProgram &Program) {
+  // Collect branch targets so they can be labeled.
+  std::unordered_map<size_t, std::string> LabelAt;
+  for (const Instruction &I : Program.Instructions) {
+    bool IsBranch = false;
+    switch (I.Op) {
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Ble:
+    case Opcode::Fbeq:
+    case Opcode::Fbne:
+    case Opcode::Fblt:
+    case Opcode::Fble:
+    case Opcode::Jmp:
+      IsBranch = true;
+      break;
+    default:
+      break;
+    }
+    if (IsBranch) {
+      size_t Target = static_cast<size_t>(I.Imm);
+      if (!LabelAt.count(Target))
+        LabelAt[Target] = "L" + std::to_string(LabelAt.size());
+    }
+  }
+
+  std::string Out;
+  Out += ".data " + std::to_string(Program.PreciseWords) + "\n";
+  Out += ".adata " + std::to_string(Program.ApproxWords) + "\n";
+  auto IntReg = [](unsigned Index) { return "r" + std::to_string(Index); };
+  auto FpReg = [](unsigned Index) { return "f" + std::to_string(Index); };
+
+  for (size_t Index = 0; Index <= Program.Instructions.size(); ++Index) {
+    auto Label = LabelAt.find(Index);
+    if (Label != LabelAt.end())
+      Out += Label->second + ":\n";
+    if (Index == Program.Instructions.size())
+      break;
+    const Instruction &I = Program.Instructions[Index];
+    Out += "  " + I.str();
+    switch (I.Op) {
+    case Opcode::Li:
+      Out += " " + IntReg(I.Rd) + ", " + std::to_string(I.Imm);
+      break;
+    case Opcode::Lfi: {
+      char Buffer[64];
+      std::snprintf(Buffer, sizeof(Buffer), " %s, %.17g",
+                    FpReg(I.Rd).c_str(), I.FpImm);
+      Out += Buffer;
+      break;
+    }
+    case Opcode::Mv:
+    case Opcode::Endorse:
+      Out += " " + IntReg(I.Rd) + ", " + IntReg(I.Ra);
+      break;
+    case Opcode::Fmv:
+    case Opcode::Fendorse:
+      Out += " " + FpReg(I.Rd) + ", " + FpReg(I.Ra);
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Seq:
+    case Opcode::Sne:
+    case Opcode::Slt:
+    case Opcode::Sle:
+    case Opcode::And:
+    case Opcode::Or:
+      Out += " " + IntReg(I.Rd) + ", " + IntReg(I.Ra) + ", " +
+             IntReg(I.Rb);
+      break;
+    case Opcode::Addi:
+      Out += " " + IntReg(I.Rd) + ", " + IntReg(I.Ra) + ", " +
+             std::to_string(I.Imm);
+      break;
+    case Opcode::Fadd:
+    case Opcode::Fsub:
+    case Opcode::Fmul:
+    case Opcode::Fdiv:
+      Out += " " + FpReg(I.Rd) + ", " + FpReg(I.Ra) + ", " + FpReg(I.Rb);
+      break;
+    case Opcode::Cvt:
+      Out += " " + FpReg(I.Rd) + ", " + IntReg(I.Ra);
+      break;
+    case Opcode::Cvti:
+      Out += " " + IntReg(I.Rd) + ", " + FpReg(I.Ra);
+      break;
+    case Opcode::Lw:
+    case Opcode::Sw:
+      Out += " " + IntReg(I.Rd) + ", " + IntReg(I.Ra) + ", " +
+             std::to_string(I.Imm);
+      break;
+    case Opcode::Flw:
+    case Opcode::Fsw:
+      Out += " " + FpReg(I.Rd) + ", " + IntReg(I.Ra) + ", " +
+             std::to_string(I.Imm);
+      break;
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Ble:
+      Out += " " + IntReg(I.Rd) + ", " + IntReg(I.Ra) + ", " +
+             LabelAt[static_cast<size_t>(I.Imm)];
+      break;
+    case Opcode::Fbeq:
+    case Opcode::Fbne:
+    case Opcode::Fblt:
+    case Opcode::Fble:
+      Out += " " + FpReg(I.Rd) + ", " + FpReg(I.Ra) + ", " +
+             LabelAt[static_cast<size_t>(I.Imm)];
+      break;
+    case Opcode::Jmp:
+      Out += " " + LabelAt[static_cast<size_t>(I.Imm)];
+      break;
+    case Opcode::Halt:
+      break;
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===- isa/assembler.h - Assembler for the approximate ISA ------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass assembler for the Section 4.1 ISA. Syntax:
+///
+/// \code
+///   .data  16          ; precise data words
+///   .adata 64          ; approximate data words (reduced refresh)
+///   li   r1, 0
+///   loop:
+///   flw  f16, r1, 16   ; load from the approximate region
+///   fmul.a f17, f16, f16
+///   fsw  f17, r1, 16
+///   addi r1, r1, 1
+///   blt  r1, r2, loop
+///   halt
+/// \endcode
+///
+/// Comments run from ';' or '#' to end of line. Registers are rN (int)
+/// and fN (FP); `.a` on an opcode marks the approximate variant. Branch
+/// targets are labels. Errors carry line numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ISA_ASSEMBLER_H
+#define ENERJ_ISA_ASSEMBLER_H
+
+#include "isa/isa.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace enerj {
+namespace isa {
+
+/// Assembles \p Source. On failure returns nullopt and fills \p Errors
+/// with "line N: message" strings.
+std::optional<IsaProgram> assemble(std::string_view Source,
+                                   std::vector<std::string> &Errors);
+
+/// Renders \p Program back to assembly text (directives, instructions,
+/// and synthetic labels at branch targets). Re-assembling the output
+/// yields an equivalent program; useful for dumping compiler output.
+std::string disassemble(const IsaProgram &Program);
+
+} // namespace isa
+} // namespace enerj
+
+#endif // ENERJ_ISA_ASSEMBLER_H

@@ -1,0 +1,135 @@
+//===- isa/isa.h - Approximation-aware ISA definitions ----------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The approximation-aware ISA of Section 4.1, concretely: a small RISC
+/// machine where
+///
+///  * approximate and precise *registers* are distinguished by register
+///    number (r16-r31 / f16-f31 are approximate: they live in
+///    low-voltage SRAM and may suffer read upsets / write failures);
+///  * approximate *instructions* carry an `.a` suffix — a hint that the
+///    functional unit may apply energy-saving approximations (operand
+///    narrowing, timing errors). A processor supporting no
+///    approximations (ApproxLevel::None) executes them precisely, so a
+///    single binary benefits from whatever the microarchitecture offers;
+///  * approximate *memory* is distinguished by address: the data segment
+///    has a precise region and an approximate region (reduced refresh —
+///    cells decay with time since last access). Loads/stores also carry
+///    the `.a` hint and the machine checks it against the region.
+///
+/// The EnerJ discipline at this level is enforced by the Verifier
+/// (see verifier.h): no approximate register may reach a branch, an
+/// address, or a precise destination except through the explicit
+/// `endorse` instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ISA_ISA_H
+#define ENERJ_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace isa {
+
+/// Register file geometry. Registers with index >= FirstApproxReg are
+/// approximate (by number, per Section 4.1).
+inline constexpr unsigned NumIntRegs = 32;
+inline constexpr unsigned NumFpRegs = 32;
+inline constexpr unsigned FirstApproxReg = 16;
+
+/// True when integer/FP register \p Index is an approximate register.
+inline bool isApproxReg(unsigned Index) { return Index >= FirstApproxReg; }
+
+enum class Opcode {
+  // Immediates and moves.
+  Li,   ///< li  rD, imm       — load integer immediate.
+  Lfi,  ///< lfi fD, imm       — load FP immediate.
+  Mv,   ///< mv  rD, rA
+  Fmv,  ///< fmv fD, fA
+  // The explicit approximate-to-precise gates.
+  Endorse,  ///< endorse  rD, rA  (rA approximate, rD precise)
+  Fendorse, ///< fendorse fD, fA
+  // Integer ALU (each has an approximate variant selected by Approx).
+  Add,
+  Sub,
+  Mul,
+  Div, ///< Precise div-by-zero traps; approximate returns 0 (Section 5.2).
+  Rem,
+  Addi, ///< addi rD, rA, imm
+  // Materialized comparisons and logical ops (results are 0/1), used by
+  // the compiler for boolean *values*; conditions still use branches.
+  Seq, ///< seq rD, rA, rB — rD = (rA == rB)
+  Sne,
+  Slt,
+  Sle,
+  And, ///< Bitwise and/or (0/1 operands make them logical).
+  Or,
+  // FP unit.
+  Fadd,
+  Fsub,
+  Fmul,
+  Fdiv, ///< Approximate FP div-by-zero yields NaN.
+  // Conversions.
+  Cvt,  ///< cvt  fD, rA — int to FP.
+  Cvti, ///< cvti rD, fA — FP to int (truncating).
+  // Memory (64-bit cells; address = rA + imm, rA precise).
+  Lw,  ///< lw  rD, rA, imm
+  Sw,  ///< sw  rS, rA, imm
+  Flw, ///< flw fD, rA, imm
+  Fsw, ///< fsw fS, rA, imm
+  // Control flow (operands must be precise).
+  Beq,
+  Bne,
+  Blt,
+  Ble,
+  // FP branches (precise FP operands; not taken on NaN, like Java/C++).
+  Fbeq,
+  Fbne,
+  Fblt,
+  Fble,
+  Jmp,
+  Halt,
+};
+
+const char *opcodeName(Opcode Op);
+
+/// One decoded instruction. Fields are used per opcode; unused ones are
+/// zero. Rd/Ra/Rb index the integer or FP file depending on the opcode.
+struct Instruction {
+  Opcode Op = Opcode::Halt;
+  bool Approx = false; ///< The `.a` hint.
+  unsigned Rd = 0;
+  unsigned Ra = 0;
+  unsigned Rb = 0;
+  int64_t Imm = 0;     ///< Immediate / branch target (instruction index).
+  double FpImm = 0.0;
+  int Line = 0;        ///< Source line, for diagnostics.
+
+  std::string str() const;
+};
+
+/// An assembled program: instructions plus the data-segment geometry.
+/// Memory cells [0, PreciseWords) are precise; cells
+/// [PreciseWords, PreciseWords + ApproxWords) are approximate.
+struct IsaProgram {
+  std::vector<Instruction> Instructions;
+  uint64_t PreciseWords = 0;
+  uint64_t ApproxWords = 0;
+
+  uint64_t memoryWords() const { return PreciseWords + ApproxWords; }
+  bool isApproxAddress(uint64_t Address) const {
+    return Address >= PreciseWords && Address < memoryWords();
+  }
+};
+
+} // namespace isa
+} // namespace enerj
+
+#endif // ENERJ_ISA_ISA_H

@@ -1,0 +1,411 @@
+//===- isa/machine.cpp - Approximation-aware machine executor -------------===//
+
+#include "isa/machine.h"
+
+#include "support/bits.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace enerj;
+using namespace enerj::isa;
+
+Machine::Machine(const IsaProgram &Program, const FaultConfig &Config)
+    : Program(Program), Config(Config), R(Config.Seed), Sram(this->Config),
+      Dram(this->Config), FpWidth(this->Config), IntTiming(this->Config),
+      FpTiming(this->Config), IntRegs(NumIntRegs, 0), FpRegs(NumFpRegs, 0.0),
+      Memory(Program.memoryWords(), 0),
+      LastAccess(Program.memoryWords(), 0) {
+  // Storage footprint: half of each register file is approximate SRAM;
+  // the data segment splits per the program's directives.
+  Ledger.lease(Region::Sram, FirstApproxReg * 8 * 2,
+               (NumIntRegs - FirstApproxReg) * 8 +
+                   (NumFpRegs - FirstApproxReg) * 8);
+  Ledger.lease(Region::Dram, Program.PreciseWords * 8,
+               Program.ApproxWords * 8);
+}
+
+void Machine::pokeMemInt(uint64_t Address, int64_t Value) {
+  assert(Address < Memory.size());
+  Memory[Address] = toBits(Value);
+}
+
+void Machine::pokeMemFp(uint64_t Address, double Value) {
+  assert(Address < Memory.size());
+  Memory[Address] = toBits(Value);
+}
+
+int64_t Machine::peekMemInt(uint64_t Address) const {
+  assert(Address < Memory.size());
+  return fromBits<int64_t>(Memory[Address]);
+}
+
+double Machine::peekMemFp(uint64_t Address) const {
+  assert(Address < Memory.size());
+  return fromBits<double>(Memory[Address]);
+}
+
+RunStats Machine::stats() const {
+  RunStats Stats;
+  Stats.Ops = Ops;
+  Stats.Ops.TimingErrors = IntTiming.errorCount() + FpTiming.errorCount();
+  Stats.Storage = Ledger.snapshot();
+  return Stats;
+}
+
+template <typename T> T Machine::readIntLike(unsigned Index) {
+  int64_t Raw = IntRegs[Index];
+  if (isApproxReg(Index))
+    Raw = Sram.onRead(toBits(Raw), 64, R);
+  return static_cast<T>(Raw);
+}
+
+template <typename T> void Machine::writeIntLike(unsigned Index, T Value) {
+  int64_t Raw = static_cast<int64_t>(Value);
+  if (isApproxReg(Index))
+    Raw = fromBits<int64_t>(Sram.onWrite(toBits(Raw), 64, R));
+  IntRegs[Index] = Raw;
+}
+
+double Machine::readFp(unsigned Index) {
+  double Raw = FpRegs[Index];
+  if (isApproxReg(Index))
+    Raw = fromBits<double>(Sram.onRead(toBits(Raw), 64, R));
+  return Raw;
+}
+
+void Machine::writeFp(unsigned Index, double Value) {
+  double Raw = Value;
+  if (isApproxReg(Index))
+    Raw = fromBits<double>(Sram.onWrite(toBits(Raw), 64, R));
+  FpRegs[Index] = Raw;
+}
+
+bool Machine::memAccess(uint64_t Address, bool ApproxHint, bool IsStore,
+                        uint64_t &Bits, std::string &TrapMessage) {
+  if (Address >= Memory.size()) {
+    TrapMessage = "memory access out of range (address " +
+                  std::to_string(Address) + ")";
+    return false;
+  }
+  bool ApproxRegion = Program.isApproxAddress(Address);
+  // Dynamic discipline: precise accesses must touch the precise region;
+  // an approximate *store* must touch the approximate region (a precise
+  // cell must never hold unguaranteed data). An approximate *load* from
+  // the precise region is harmless (precise <: approx).
+  if (!ApproxHint && ApproxRegion) {
+    TrapMessage = "precise access to approximate memory";
+    return false;
+  }
+  if (ApproxHint && IsStore && !ApproxRegion) {
+    TrapMessage = "approximate store to precise memory";
+    return false;
+  }
+  if (ApproxRegion) {
+    // Reduced refresh: decay since the last touch, then refresh.
+    if (!IsStore)
+      Memory[Address] =
+          Dram.onAccess(Memory[Address], 64,
+                        Ledger.now() - LastAccess[Address], R);
+    LastAccess[Address] = Ledger.now();
+  }
+  if (IsStore)
+    Memory[Address] = Bits;
+  else
+    Bits = Memory[Address];
+  Ledger.tick(); // A memory access advances time.
+  return true;
+}
+
+MachineResult Machine::run(uint64_t MaxInstructions) {
+  MachineResult Result;
+  uint64_t Pc = 0;
+
+  auto Trap = [&](std::string Message, int Line) {
+    Result.Trapped = true;
+    Result.TrapMessage =
+        "line " + std::to_string(Line) + ": " + std::move(Message);
+  };
+
+  while (Result.InstructionsExecuted < MaxInstructions) {
+    if (Pc >= Program.Instructions.size())
+      return Result; // Falling off the end is a clean halt.
+    const Instruction &I = Program.Instructions[Pc];
+    ++Result.InstructionsExecuted;
+    ++Pc;
+
+    /// Finishes an integer ALU result: counting, timing errors.
+    auto IntResult = [&](int64_t Correct) {
+      if (!I.Approx) {
+        ++Ops.PreciseInt;
+        Ledger.tick();
+        return Correct;
+      }
+      ++Ops.ApproxInt;
+      Ledger.tick();
+      return fromBits<int64_t>(IntTiming.onResult(toBits(Correct), 64, R));
+    };
+    /// Finishes an FP result; operands were already narrowed.
+    auto FpResult = [&](double Correct) {
+      if (!I.Approx) {
+        ++Ops.PreciseFp;
+        Ledger.tick();
+        return Correct;
+      }
+      ++Ops.ApproxFp;
+      Ledger.tick();
+      return fromBits<double>(FpTiming.onResult(toBits(Correct), 64, R));
+    };
+    auto NarrowIf = [&](double Value) {
+      return I.Approx ? FpWidth.narrow(Value) : Value;
+    };
+
+    switch (I.Op) {
+    case Opcode::Li:
+      writeIntLike<int64_t>(I.Rd, I.Imm);
+      Ledger.tick();
+      break;
+    case Opcode::Lfi:
+      writeFp(I.Rd, I.FpImm);
+      Ledger.tick();
+      break;
+    case Opcode::Mv:
+      writeIntLike<int64_t>(I.Rd, readIntLike<int64_t>(I.Ra));
+      Ledger.tick();
+      break;
+    case Opcode::Fmv:
+      writeFp(I.Rd, readFp(I.Ra));
+      Ledger.tick();
+      break;
+    case Opcode::Endorse:
+      // One final read through the approximate path (Section 2.2).
+      writeIntLike<int64_t>(I.Rd, readIntLike<int64_t>(I.Ra));
+      Ledger.tick();
+      break;
+    case Opcode::Fendorse:
+      writeFp(I.Rd, readFp(I.Ra));
+      Ledger.tick();
+      break;
+
+    // Integer arithmetic wraps (two's complement): approximate register
+    // contents can be arbitrary bit patterns.
+    case Opcode::Add:
+      writeIntLike<int64_t>(
+          I.Rd, IntResult(wrapAdd(readIntLike<int64_t>(I.Ra),
+                                  readIntLike<int64_t>(I.Rb))));
+      break;
+    case Opcode::Sub:
+      writeIntLike<int64_t>(
+          I.Rd, IntResult(wrapSub(readIntLike<int64_t>(I.Ra),
+                                  readIntLike<int64_t>(I.Rb))));
+      break;
+    case Opcode::Mul:
+      writeIntLike<int64_t>(
+          I.Rd, IntResult(wrapMul(readIntLike<int64_t>(I.Ra),
+                                  readIntLike<int64_t>(I.Rb))));
+      break;
+    case Opcode::Div: {
+      int64_t Divisor = readIntLike<int64_t>(I.Rb);
+      int64_t Dividend = readIntLike<int64_t>(I.Ra);
+      if (Divisor == 0) {
+        // Approximate units never raise divide-by-zero (Section 5.2).
+        if (!I.Approx)
+          return Trap("integer division by zero", I.Line), Result;
+        writeIntLike<int64_t>(I.Rd, IntResult(0));
+        break;
+      }
+      writeIntLike<int64_t>(I.Rd, IntResult(wrapDiv(Dividend, Divisor)));
+      break;
+    }
+    case Opcode::Rem: {
+      int64_t Divisor = readIntLike<int64_t>(I.Rb);
+      int64_t Dividend = readIntLike<int64_t>(I.Ra);
+      if (Divisor == 0) {
+        if (!I.Approx)
+          return Trap("integer remainder by zero", I.Line), Result;
+        writeIntLike<int64_t>(I.Rd, IntResult(0));
+        break;
+      }
+      writeIntLike<int64_t>(I.Rd, IntResult(wrapRem(Dividend, Divisor)));
+      break;
+    }
+    case Opcode::Addi:
+      writeIntLike<int64_t>(
+          I.Rd, IntResult(wrapAdd(readIntLike<int64_t>(I.Ra), I.Imm)));
+      break;
+
+    case Opcode::Seq:
+    case Opcode::Sne:
+    case Opcode::Slt:
+    case Opcode::Sle:
+    case Opcode::And:
+    case Opcode::Or: {
+      int64_t Lhs = readIntLike<int64_t>(I.Ra);
+      int64_t Rhs = readIntLike<int64_t>(I.Rb);
+      int64_t Value = 0;
+      switch (I.Op) {
+      case Opcode::Seq:
+        Value = Lhs == Rhs ? 1 : 0;
+        break;
+      case Opcode::Sne:
+        Value = Lhs != Rhs ? 1 : 0;
+        break;
+      case Opcode::Slt:
+        Value = Lhs < Rhs ? 1 : 0;
+        break;
+      case Opcode::Sle:
+        Value = Lhs <= Rhs ? 1 : 0;
+        break;
+      case Opcode::And:
+        Value = Lhs & Rhs;
+        break;
+      default:
+        Value = Lhs | Rhs;
+        break;
+      }
+      writeIntLike<int64_t>(I.Rd, IntResult(Value));
+      break;
+    }
+
+    case Opcode::Fadd:
+      writeFp(I.Rd, FpResult(NarrowIf(readFp(I.Ra)) +
+                             NarrowIf(readFp(I.Rb))));
+      break;
+    case Opcode::Fsub:
+      writeFp(I.Rd, FpResult(NarrowIf(readFp(I.Ra)) -
+                             NarrowIf(readFp(I.Rb))));
+      break;
+    case Opcode::Fmul:
+      writeFp(I.Rd, FpResult(NarrowIf(readFp(I.Ra)) *
+                             NarrowIf(readFp(I.Rb))));
+      break;
+    case Opcode::Fdiv: {
+      double Divisor = NarrowIf(readFp(I.Rb));
+      double Dividend = NarrowIf(readFp(I.Ra));
+      if (Divisor == 0.0 && I.Approx) {
+        writeFp(I.Rd,
+                FpResult(std::numeric_limits<double>::quiet_NaN()));
+        break;
+      }
+      writeFp(I.Rd, FpResult(Dividend / Divisor));
+      break;
+    }
+
+    case Opcode::Cvt:
+      writeFp(I.Rd, FpResult(static_cast<double>(
+                        readIntLike<int64_t>(I.Ra))));
+      break;
+    case Opcode::Cvti: {
+      double Value = NarrowIf(readFp(I.Ra));
+      // Out-of-range conversions are undefined in C++; clamp like a
+      // saturating hardware converter (NaN yields 0).
+      int64_t Truncated = 0;
+      if (std::isfinite(Value)) {
+        if (Value >= 9.2233720368547758e18)
+          Truncated = INT64_MAX;
+        else if (Value <= -9.2233720368547758e18)
+          Truncated = INT64_MIN;
+        else
+          Truncated = static_cast<int64_t>(Value);
+      }
+      writeIntLike<int64_t>(I.Rd, IntResult(Truncated));
+      break;
+    }
+
+    case Opcode::Lw:
+    case Opcode::Flw: {
+      int64_t Base = readIntLike<int64_t>(I.Ra);
+      uint64_t Address =
+          static_cast<uint64_t>(Base) + static_cast<uint64_t>(I.Imm);
+      uint64_t Bits = 0;
+      std::string Message;
+      if (!memAccess(Address, I.Approx, /*IsStore=*/false, Bits, Message))
+        return Trap(std::move(Message), I.Line), Result;
+      if (I.Op == Opcode::Lw)
+        writeIntLike<int64_t>(I.Rd, fromBits<int64_t>(Bits));
+      else
+        writeFp(I.Rd, fromBits<double>(Bits));
+      break;
+    }
+    case Opcode::Sw:
+    case Opcode::Fsw: {
+      int64_t Base = readIntLike<int64_t>(I.Ra);
+      uint64_t Address =
+          static_cast<uint64_t>(Base) + static_cast<uint64_t>(I.Imm);
+      uint64_t Bits = I.Op == Opcode::Sw
+                          ? toBits(readIntLike<int64_t>(I.Rd))
+                          : toBits(readFp(I.Rd));
+      std::string Message;
+      if (!memAccess(Address, I.Approx, /*IsStore=*/true, Bits, Message))
+        return Trap(std::move(Message), I.Line), Result;
+      break;
+    }
+
+    case Opcode::Fbeq:
+    case Opcode::Fbne:
+    case Opcode::Fblt:
+    case Opcode::Fble: {
+      double Lhs = readFp(I.Rd);
+      double Rhs = readFp(I.Ra);
+      ++Ops.PreciseFp; // The comparison.
+      Ledger.tick();
+      bool Taken = false;
+      switch (I.Op) {
+      case Opcode::Fbeq:
+        Taken = Lhs == Rhs;
+        break;
+      case Opcode::Fbne:
+        Taken = Lhs != Rhs;
+        break;
+      case Opcode::Fblt:
+        Taken = Lhs < Rhs;
+        break;
+      default:
+        Taken = Lhs <= Rhs;
+        break;
+      }
+      if (Taken)
+        Pc = static_cast<uint64_t>(I.Imm);
+      break;
+    }
+
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Ble: {
+      int64_t Lhs = readIntLike<int64_t>(I.Rd);
+      int64_t Rhs = readIntLike<int64_t>(I.Ra);
+      ++Ops.PreciseInt; // The comparison.
+      Ledger.tick();
+      bool Taken = false;
+      switch (I.Op) {
+      case Opcode::Beq:
+        Taken = Lhs == Rhs;
+        break;
+      case Opcode::Bne:
+        Taken = Lhs != Rhs;
+        break;
+      case Opcode::Blt:
+        Taken = Lhs < Rhs;
+        break;
+      default:
+        Taken = Lhs <= Rhs;
+        break;
+      }
+      if (Taken)
+        Pc = static_cast<uint64_t>(I.Imm);
+      break;
+    }
+    case Opcode::Jmp:
+      Pc = static_cast<uint64_t>(I.Imm);
+      Ledger.tick();
+      break;
+    case Opcode::Halt:
+      return Result;
+    }
+  }
+  Result.Trapped = true;
+  Result.TrapMessage = "instruction budget exhausted (runaway loop?)";
+  return Result;
+}

@@ -1,0 +1,99 @@
+//===- isa/machine.h - Approximation-aware machine executor -----*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a verified IsaProgram on the Section 4 hardware model:
+/// approximate registers suffer SRAM read upsets / write failures, `.a`
+/// functional-unit instructions narrow FP operands and may take timing
+/// errors, and the approximate memory region decays with time since last
+/// access (reduced refresh). At ApproxLevel::None every instruction —
+/// including the `.a` ones — executes precisely, demonstrating the
+/// paper's single-binary portability claim.
+///
+/// The machine also enforces the dynamic half of the discipline (the
+/// ISA-level checked semantics): a precise (non-`.a`) load or store must
+/// touch the precise region, an `.a` store must touch the approximate
+/// region, and addresses must be in range; violations trap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ISA_MACHINE_H
+#define ENERJ_ISA_MACHINE_H
+
+#include "arch/memory.h"
+#include "arch/stats.h"
+#include "fault/config.h"
+#include "fault/models.h"
+#include "isa/isa.h"
+#include "support/rng.h"
+
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace isa {
+
+/// Outcome of a run.
+struct MachineResult {
+  bool Trapped = false;
+  std::string TrapMessage;
+  uint64_t InstructionsExecuted = 0;
+};
+
+/// One machine instance bound to a program and a hardware configuration.
+class Machine {
+public:
+  Machine(const IsaProgram &Program, const FaultConfig &Config);
+
+  /// Runs from instruction 0 until halt, a trap, or \p MaxInstructions.
+  MachineResult run(uint64_t MaxInstructions = 10'000'000);
+
+  /// --- Test/driver access (no faults, nothing recorded). ---
+  int64_t intReg(unsigned Index) const { return IntRegs[Index]; }
+  double fpReg(unsigned Index) const { return FpRegs[Index]; }
+  void setIntReg(unsigned Index, int64_t Value) { IntRegs[Index] = Value; }
+  void setFpReg(unsigned Index, double Value) { FpRegs[Index] = Value; }
+  /// Raw bits of memory cell \p Address.
+  uint64_t memBits(uint64_t Address) const { return Memory[Address]; }
+  void pokeMemInt(uint64_t Address, int64_t Value);
+  void pokeMemFp(uint64_t Address, double Value);
+  int64_t peekMemInt(uint64_t Address) const;
+  double peekMemFp(uint64_t Address) const;
+
+  /// Statistics in the same shape as the library simulator's.
+  RunStats stats() const;
+
+private:
+  template <typename T> T readIntLike(unsigned Index);
+  template <typename T> void writeIntLike(unsigned Index, T Value);
+  double readFp(unsigned Index);
+  void writeFp(unsigned Index, double Value);
+
+  /// Memory access with decay/refresh and the region-vs-hint check.
+  bool memAccess(uint64_t Address, bool ApproxHint, bool IsStore,
+                 uint64_t &Bits, std::string &TrapMessage);
+
+  const IsaProgram &Program;
+  FaultConfig Config;
+  Rng R;
+  SramModel Sram;
+  DramModel Dram;
+  FpWidthModel FpWidth;
+  TimingModel IntTiming;
+  TimingModel FpTiming;
+  MemoryLedger Ledger;
+  OperationStats Ops;
+
+  std::vector<int64_t> IntRegs;
+  std::vector<double> FpRegs;
+  std::vector<uint64_t> Memory;     ///< Raw 64-bit cells.
+  std::vector<uint64_t> LastAccess; ///< Refresh timestamps (approx region).
+};
+
+} // namespace isa
+} // namespace enerj
+
+#endif // ENERJ_ISA_MACHINE_H

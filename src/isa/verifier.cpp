@@ -1,0 +1,150 @@
+//===- isa/verifier.cpp - Static EnerJ discipline at the ISA level --------===//
+
+#include "isa/verifier.h"
+
+using namespace enerj::isa;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const IsaProgram &Program) : Program(Program) {}
+
+  std::vector<VerifyError> run();
+
+private:
+  void error(size_t Index, std::string Message) {
+    Errors.push_back(
+        {Index, Program.Instructions[Index].Line, std::move(Message)});
+  }
+
+  /// Flow rule for non-gate instructions: an approximate source may not
+  /// reach a precise destination.
+  void checkFlow(size_t Index, std::initializer_list<unsigned> Sources,
+                 unsigned Dest) {
+    if (isApproxReg(Dest))
+      return;
+    for (unsigned Src : Sources)
+      if (isApproxReg(Src)) {
+        error(Index, "approximate register flows into precise destination; "
+                     "use endorse");
+        return;
+      }
+  }
+
+  void requireApproxDest(size_t Index, unsigned Dest) {
+    if (!isApproxReg(Dest))
+      error(Index, "approximate instruction must target an approximate "
+                   "register");
+  }
+
+  void requirePrecise(size_t Index, unsigned Reg, const char *What) {
+    if (isApproxReg(Reg))
+      error(Index, std::string(What) + " must be a precise register");
+  }
+
+  const IsaProgram &Program;
+  std::vector<VerifyError> Errors;
+};
+
+std::vector<VerifyError> VerifierImpl::run() {
+  for (size_t Index = 0; Index < Program.Instructions.size(); ++Index) {
+    const Instruction &I = Program.Instructions[Index];
+    switch (I.Op) {
+    case Opcode::Li:
+    case Opcode::Lfi:
+      break; // Immediates are precise data; any destination is fine.
+
+    case Opcode::Mv:
+    case Opcode::Fmv:
+      checkFlow(Index, {I.Ra}, I.Rd);
+      break;
+
+    case Opcode::Endorse:
+    case Opcode::Fendorse:
+      // The explicit gate: approximate in, precise out.
+      if (!isApproxReg(I.Ra))
+        error(Index, "endorse source must be an approximate register");
+      if (isApproxReg(I.Rd))
+        error(Index, "endorse destination must be a precise register");
+      break;
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Seq:
+    case Opcode::Sne:
+    case Opcode::Slt:
+    case Opcode::Sle:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Fadd:
+    case Opcode::Fsub:
+    case Opcode::Fmul:
+    case Opcode::Fdiv:
+      if (I.Approx)
+        requireApproxDest(Index, I.Rd);
+      else
+        checkFlow(Index, {I.Ra, I.Rb}, I.Rd);
+      break;
+
+    case Opcode::Addi:
+    case Opcode::Cvt:
+    case Opcode::Cvti:
+      if (I.Approx)
+        requireApproxDest(Index, I.Rd);
+      else
+        checkFlow(Index, {I.Ra}, I.Rd);
+      break;
+
+    case Opcode::Lw:
+    case Opcode::Flw:
+      // Addresses must be precise (memory safety, Section 2.6).
+      requirePrecise(Index, I.Ra, "address register");
+      if (I.Approx)
+        requireApproxDest(Index, I.Rd);
+      // A precise load's destination may be approximate (subtyping).
+      break;
+
+    case Opcode::Sw:
+    case Opcode::Fsw:
+      requirePrecise(Index, I.Ra, "address register");
+      // A precise store writes the precise region: the stored register
+      // must carry precise guarantees. An `.a` store (to the
+      // approximate region) accepts anything.
+      if (!I.Approx)
+        requirePrecise(Index, I.Rd, "stored register (precise store)");
+      break;
+
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Ble:
+    case Opcode::Fbeq:
+    case Opcode::Fbne:
+    case Opcode::Fblt:
+    case Opcode::Fble:
+      // No implicit control-flow leaks (Section 2.4).
+      requirePrecise(Index, I.Rd, "branch operand");
+      requirePrecise(Index, I.Ra, "branch operand");
+      [[fallthrough]];
+    case Opcode::Jmp:
+      if (I.Imm < 0 ||
+          static_cast<size_t>(I.Imm) > Program.Instructions.size())
+        error(Index, "branch target out of range");
+      break;
+
+    case Opcode::Halt:
+      break;
+    }
+  }
+  return std::move(Errors);
+}
+
+} // namespace
+
+std::vector<VerifyError> enerj::isa::verify(const IsaProgram &Program) {
+  return VerifierImpl(Program).run();
+}

@@ -1,0 +1,54 @@
+//===- isa/verifier.h - Static EnerJ discipline at the ISA level -*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary-level analogue of EnerJ's type checker: a static pass over
+/// an assembled program that enforces the information-flow discipline a
+/// compiler for the Section 4 architecture must maintain:
+///
+///  * no instruction moves an approximate register into a precise one —
+///    the explicit `endorse`/`fendorse` instructions are the only gates;
+///  * `.a` (approximate) instructions must target approximate registers
+///    (their results carry no guarantees);
+///  * branch operands and memory-address registers must be precise
+///    (control flow and memory safety, Sections 2.4/2.6);
+///  * precise loads must name precise destinations or go through
+///    endorse; `.a` loads must target approximate registers; precise
+///    stores must store precise registers (the machine additionally
+///    checks region/hint agreement dynamically);
+///  * branch targets are in range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ISA_VERIFIER_H
+#define ENERJ_ISA_VERIFIER_H
+
+#include "isa/isa.h"
+
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace isa {
+
+/// One discipline violation.
+struct VerifyError {
+  size_t InstrIndex = 0;
+  int Line = 0;
+  std::string Message;
+
+  std::string str() const {
+    return "line " + std::to_string(Line) + ": " + Message;
+  }
+};
+
+/// Checks \p Program; returns all violations (empty = verified).
+std::vector<VerifyError> verify(const IsaProgram &Program);
+
+} // namespace isa
+} // namespace enerj
+
+#endif // ENERJ_ISA_VERIFIER_H

@@ -1,0 +1,81 @@
+//===- qos/metrics.cpp - Application QoS metrics --------------------------===//
+
+#include "qos/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace enerj;
+
+double qos::clampError(double Error) {
+  if (std::isnan(Error))
+    return 1.0;
+  return std::clamp(Error, 0.0, 1.0);
+}
+
+double qos::meanEntryDifference(std::span<const double> Precise,
+                                std::span<const double> Degraded) {
+  if (Precise.size() != Degraded.size())
+    return 1.0;
+  if (Precise.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (size_t I = 0, E = Precise.size(); I != E; ++I) {
+    double Diff = std::fabs(Precise[I] - Degraded[I]);
+    // A NaN or infinite entry contributes an error of 1 (Section 6).
+    Sum += std::isfinite(Diff) ? std::min(Diff, 1.0) : 1.0;
+  }
+  return clampError(Sum / static_cast<double>(Precise.size()));
+}
+
+double qos::normalizedDifference(double Precise, double Degraded) {
+  double Diff = std::fabs(Precise - Degraded);
+  if (!std::isfinite(Diff))
+    return 1.0;
+  double Scale = std::max(std::fabs(Precise), 1e-12);
+  return clampError(Diff / Scale);
+}
+
+double qos::meanNormalizedDifference(std::span<const double> Precise,
+                                     std::span<const double> Degraded) {
+  if (Precise.size() != Degraded.size())
+    return 1.0;
+  if (Precise.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (size_t I = 0, E = Precise.size(); I != E; ++I)
+    Sum += normalizedDifference(Precise[I], Degraded[I]);
+  return clampError(Sum / static_cast<double>(Precise.size()));
+}
+
+double qos::binaryCorrectness(const std::string &Precise,
+                              const std::string &Degraded) {
+  return Precise == Degraded ? 0.0 : 1.0;
+}
+
+double qos::decisionError(std::span<const uint8_t> Precise,
+                          std::span<const uint8_t> Degraded) {
+  if (Precise.size() != Degraded.size() || Precise.empty())
+    return 1.0;
+  size_t Correct = 0;
+  for (size_t I = 0, E = Precise.size(); I != E; ++I)
+    Correct += (Precise[I] == Degraded[I]);
+  double Fraction = static_cast<double>(Correct) / Precise.size();
+  // 100% correct -> 0 error; 50% (chance for a binary decision) -> 1.
+  return clampError((1.0 - Fraction) / 0.5);
+}
+
+double qos::meanPixelDifference(std::span<const double> Precise,
+                                std::span<const double> Degraded,
+                                double ChannelRange) {
+  if (Precise.size() != Degraded.size() || ChannelRange <= 0.0)
+    return 1.0;
+  if (Precise.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (size_t I = 0, E = Precise.size(); I != E; ++I) {
+    double Diff = std::fabs(Precise[I] - Degraded[I]) / ChannelRange;
+    Sum += std::isfinite(Diff) ? std::min(Diff, 1.0) : 1.0;
+  }
+  return clampError(Sum / static_cast<double>(Precise.size()));
+}

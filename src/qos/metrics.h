@@ -1,0 +1,69 @@
+//===- qos/metrics.h - Application QoS metrics ------------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application-specific quality-of-service metrics of Section 6
+/// (Table 3, third column). Every metric maps a (precise output,
+/// degraded output) pair to an error in [0, 1]: 0 means identical to the
+/// precise run, 1 means completely meaningless output.
+///
+///  * Mean entry difference       — FFT, SOR, LU (numeric vectors; each
+///    entry's difference is capped at 1; a NaN entry contributes 1).
+///  * Normalized difference       — MonteCarlo (one number).
+///  * Mean normalized difference  — SparseMatMult.
+///  * Binary correctness          — ZXing-style decoders (0 or 1).
+///  * Decision-fraction error     — jMonkeyEngine (fraction of correct
+///    boolean decisions, normalized so 50% correct — chance — is error 1).
+///  * Mean pixel difference       — ImageJ, Raytracer (per-channel
+///    differences scaled by the channel range).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_QOS_METRICS_H
+#define ENERJ_QOS_METRICS_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace qos {
+
+/// Clamps \p Error into the legal [0, 1] range; NaN becomes 1.
+double clampError(double Error);
+
+/// Mean entry-wise |a-b|, each entry's contribution capped at 1; NaN or
+/// infinite entries contribute 1. Mismatched lengths score 1.
+double meanEntryDifference(std::span<const double> Precise,
+                           std::span<const double> Degraded);
+
+/// |a-b| / max(|a|, epsilon), capped at 1; NaN scores 1.
+double normalizedDifference(double Precise, double Degraded);
+
+/// Mean of per-entry normalized differences.
+double meanNormalizedDifference(std::span<const double> Precise,
+                                std::span<const double> Degraded);
+
+/// 0 if the outputs are identical, 1 otherwise (ZXing's metric).
+double binaryCorrectness(const std::string &Precise,
+                         const std::string &Degraded);
+
+/// Error from the fraction of boolean decisions that match the precise
+/// run, normalized to 0.5: all correct = 0, chance (50%) or worse = 1.
+double decisionError(std::span<const uint8_t> Precise,
+                     std::span<const uint8_t> Degraded);
+
+/// Mean per-pixel difference scaled by \p ChannelRange (e.g. 255 for 8-bit
+/// channels). Mismatched sizes score 1.
+double meanPixelDifference(std::span<const double> Precise,
+                           std::span<const double> Degraded,
+                           double ChannelRange);
+
+} // namespace qos
+} // namespace enerj
+
+#endif // ENERJ_QOS_METRICS_H

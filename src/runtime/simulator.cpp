@@ -1,0 +1,7 @@
+//===- runtime/simulator.cpp - Approximation-aware machine ---------------===//
+
+#include "runtime/simulator.h"
+
+namespace enerj {
+thread_local Simulator *Simulator::Current = nullptr;
+} // namespace enerj

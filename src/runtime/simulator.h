@@ -1,0 +1,169 @@
+//===- runtime/simulator.h - Approximation-aware machine -------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate of Section 4, as a library: a Simulator owns the
+/// logical clock, the byte-second ledger, the Table 2 fault models, and the
+/// operation counters. The enerj:: data types (Approx<T>, ApproxArray<T>,
+/// Precise<T>) route every load, store and arithmetic operation through the
+/// active simulator, which injects faults and records statistics.
+///
+/// A thread-local "current simulator" mirrors the paper's ambient-hardware
+/// model: code written against the EnerJ API runs unchanged under any
+/// simulator, and with no simulator installed it executes precisely — the
+/// paper's observation that ignoring all annotations is a valid execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_RUNTIME_SIMULATOR_H
+#define ENERJ_RUNTIME_SIMULATOR_H
+
+#include "arch/memory.h"
+#include "arch/stats.h"
+#include "fault/config.h"
+#include "fault/models.h"
+#include "support/bits.h"
+#include "support/rng.h"
+
+#include <type_traits>
+
+namespace enerj {
+
+/// One approximation-aware machine. Not thread-safe; use one per thread.
+class Simulator {
+public:
+  explicit Simulator(const FaultConfig &Config)
+      : Config(Config), R(Config.Seed), Sram(this->Config),
+        Dram(this->Config), FpWidth(this->Config), IntTiming(this->Config),
+        FpTiming(this->Config) {}
+
+  Simulator(const Simulator &) = delete;
+  Simulator &operator=(const Simulator &) = delete;
+
+  const FaultConfig &config() const { return Config; }
+  Rng &rng() { return R; }
+  MemoryLedger &ledger() { return Ledger; }
+  uint64_t now() const { return Ledger.now(); }
+
+  /// --- Arithmetic operations. Each counts one dynamic op and advances
+  /// --- the clock by one cycle.
+
+  /// Records a precise integer operation (no fault injection).
+  void countPreciseInt() {
+    ++Ops.PreciseInt;
+    Ledger.tick();
+  }
+
+  /// Records a precise FP operation (no fault injection).
+  void countPreciseFp() {
+    ++Ops.PreciseFp;
+    Ledger.tick();
+  }
+
+  /// Finishes an approximate operation producing \p Correct: counts one
+  /// dynamic op on the integer or FP unit (per \p IsFp — chosen by the
+  /// *operand* type, so an FP comparison is an FP op even though its result
+  /// is a bool) and possibly corrupts the result via that unit's timing
+  /// model. Operand narrowing is done separately (narrowOperand) before
+  /// the host computes \p Correct.
+  template <typename ResultT> ResultT opResult(ResultT Correct, bool IsFp) {
+    if (IsFp)
+      ++Ops.ApproxFp;
+    else
+      ++Ops.ApproxInt;
+    Ledger.tick();
+    TimingModel &Unit = IsFp ? FpTiming : IntTiming;
+    return fromBits<ResultT>(
+        Unit.onResult(toBits(Correct), bitWidth<ResultT>(), R));
+  }
+
+  /// Finishes an approximate integer operation.
+  template <typename T> T intResult(T Correct) {
+    static_assert(std::is_integral_v<T>, "intResult takes integers");
+    return opResult(Correct, /*IsFp=*/false);
+  }
+
+  /// Finishes an approximate FP operation.
+  template <typename T> T fpResult(T Correct) {
+    static_assert(std::is_floating_point_v<T>, "fpResult takes FP values");
+    return opResult(Correct, /*IsFp=*/true);
+  }
+
+  /// Narrows one FP operand to the configured mantissa width.
+  float narrowOperand(float Value) { return FpWidth.narrow(Value); }
+  double narrowOperand(double Value) { return FpWidth.narrow(Value); }
+  /// Integer operands pass through unchanged (width reduction is FP-only).
+  template <typename T>
+  std::enable_if_t<std::is_integral_v<T>, T> narrowOperand(T Value) {
+    return Value;
+  }
+
+  /// --- Approximate storage. SRAM models registers and cached stack data;
+  /// --- DRAM models heap data decaying since its last access.
+
+  template <typename T> T sramRead(T Stored) {
+    return fromBits<T>(Sram.onRead(toBits(Stored), bitWidth<T>(), R));
+  }
+
+  template <typename T> T sramWrite(T Value) {
+    return fromBits<T>(Sram.onWrite(toBits(Value), bitWidth<T>(), R));
+  }
+
+  /// Applies DRAM decay to \p Stored given the cycle of its last access,
+  /// then advances the clock (an access is a memory operation).
+  template <typename T> T dramAccess(T Stored, uint64_t LastAccessCycle) {
+    uint64_t Elapsed = now() - LastAccessCycle;
+    T Result =
+        fromBits<T>(Dram.onAccess(toBits(Stored), bitWidth<T>(), Elapsed, R));
+    Ledger.tick();
+    return Result;
+  }
+
+  /// Statistics snapshot, including live storage leases priced to now().
+  RunStats stats() const {
+    RunStats Result;
+    Result.Ops = Ops;
+    Result.Ops.TimingErrors = IntTiming.errorCount() + FpTiming.errorCount();
+    Result.Storage = Ledger.snapshot();
+    return Result;
+  }
+
+  /// The simulator the enerj:: types currently route through (may be null:
+  /// then all annotated code executes precisely and nothing is recorded).
+  static Simulator *current() { return Current; }
+
+private:
+  friend class SimulatorScope;
+  static thread_local Simulator *Current;
+
+  FaultConfig Config;
+  Rng R;
+  MemoryLedger Ledger;
+  OperationStats Ops;
+  SramModel Sram;
+  DramModel Dram;
+  FpWidthModel FpWidth;
+  TimingModel IntTiming;
+  TimingModel FpTiming;
+};
+
+/// RAII installer for the thread-local current simulator.
+class SimulatorScope {
+public:
+  explicit SimulatorScope(Simulator &Sim) : Saved(Simulator::Current) {
+    Simulator::Current = &Sim;
+  }
+  ~SimulatorScope() { Simulator::Current = Saved; }
+  SimulatorScope(const SimulatorScope &) = delete;
+  SimulatorScope &operator=(const SimulatorScope &) = delete;
+
+private:
+  Simulator *Saved;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_RUNTIME_SIMULATOR_H

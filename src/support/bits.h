@@ -1,0 +1,146 @@
+//===- support/bits.h - Bit-level reinterpretation helpers -----*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-pattern helpers used by the fault models. Approximate storage and
+/// approximate functional units operate on raw bit patterns (a flipped bit
+/// in a double is a flipped bit, whatever it does to the value), so every
+/// fault model round-trips values through these helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_SUPPORT_BITS_H
+#define ENERJ_SUPPORT_BITS_H
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace enerj {
+
+/// Reinterprets an arithmetic value as its raw bit pattern, zero-extended
+/// into 64 bits.
+template <typename T> uint64_t toBits(T Value) {
+  static_assert(std::is_arithmetic_v<T> && sizeof(T) <= 8,
+                "toBits supports arithmetic types up to 64 bits");
+  using Unsigned =
+      std::conditional_t<sizeof(T) == 1, uint8_t,
+      std::conditional_t<sizeof(T) == 2, uint16_t,
+      std::conditional_t<sizeof(T) == 4, uint32_t, uint64_t>>>;
+  Unsigned Raw;
+  std::memcpy(&Raw, &Value, sizeof(T));
+  return static_cast<uint64_t>(Raw);
+}
+
+/// Reinterprets the low bits of \p Bits as a value of type \p T.
+/// Booleans are semantically one bit: any corrupted pattern normalizes
+/// to its low bit (writing other bits back into a C++ bool would be
+/// undefined behavior).
+template <typename T> T fromBits(uint64_t Bits) {
+  static_assert(std::is_arithmetic_v<T> && sizeof(T) <= 8,
+                "fromBits supports arithmetic types up to 64 bits");
+  if constexpr (std::is_same_v<T, bool>)
+    return (Bits & 1) != 0;
+  else {
+    using Unsigned =
+        std::conditional_t<sizeof(T) == 1, uint8_t,
+        std::conditional_t<sizeof(T) == 2, uint16_t,
+        std::conditional_t<sizeof(T) == 4, uint32_t, uint64_t>>>;
+    Unsigned Raw = static_cast<Unsigned>(Bits);
+    T Value;
+    std::memcpy(&Value, &Raw, sizeof(T));
+    return Value;
+  }
+}
+
+/// Number of value bits in T when stored in approximate memory.
+/// A bool carries one meaningful bit; faults in its padding bits would
+/// be invisible, so the models flip only the bit that matters.
+template <typename T> constexpr unsigned bitWidth() {
+  if constexpr (std::is_same_v<T, bool>)
+    return 1;
+  else
+    return static_cast<unsigned>(sizeof(T)) * 8;
+}
+
+/// Flips bit \p Index (0 = least significant) of \p Bits.
+inline uint64_t flipBit(uint64_t Bits, unsigned Index) {
+  return Bits ^ (1ULL << Index);
+}
+
+/// --- Wrapping integer arithmetic. Approximate values can be arbitrary
+/// --- bit patterns, so the simulated semantics is two's-complement
+/// --- wraparound (as in Java); these helpers make that explicit instead
+/// --- of relying on signed overflow, which C++ leaves undefined.
+
+template <typename T> T wrapAdd(T A, T B) {
+  static_assert(std::is_integral_v<T>);
+  using U = std::make_unsigned_t<T>;
+  return static_cast<T>(static_cast<U>(A) + static_cast<U>(B));
+}
+
+template <typename T> T wrapSub(T A, T B) {
+  static_assert(std::is_integral_v<T>);
+  using U = std::make_unsigned_t<T>;
+  return static_cast<T>(static_cast<U>(A) - static_cast<U>(B));
+}
+
+template <typename T> T wrapMul(T A, T B) {
+  static_assert(std::is_integral_v<T>);
+  using U = std::make_unsigned_t<T>;
+  return static_cast<T>(static_cast<U>(A) * static_cast<U>(B));
+}
+
+template <typename T> T wrapNeg(T A) {
+  static_assert(std::is_integral_v<T>);
+  using U = std::make_unsigned_t<T>;
+  return static_cast<T>(U(0) - static_cast<U>(A));
+}
+
+/// Two's-complement division: MIN / -1 wraps to MIN (Java semantics)
+/// instead of the undefined signed overflow. Callers handle B == 0.
+template <typename T> T wrapDiv(T A, T B) {
+  static_assert(std::is_integral_v<T>);
+  if constexpr (std::is_signed_v<T>) {
+    if (B == T(-1))
+      return wrapNeg(A);
+  }
+  return static_cast<T>(A / B);
+}
+
+/// Remainder partner of wrapDiv: MIN % -1 is 0.
+template <typename T> T wrapRem(T A, T B) {
+  static_assert(std::is_integral_v<T>);
+  if constexpr (std::is_signed_v<T>) {
+    if (B == T(-1))
+      return T(0);
+  }
+  return static_cast<T>(A % B);
+}
+
+/// Truncates the mantissa of a float bit pattern to \p MantissaBits
+/// (of the 23 stored bits), rounding toward zero, as a narrow FP multiplier
+/// would. Exponent and sign are untouched; the paper's width-reduction
+/// strategy only drops low-order mantissa bits.
+inline uint32_t truncateFloatMantissa(uint32_t Bits, unsigned MantissaBits) {
+  if (MantissaBits >= 23)
+    return Bits;
+  uint32_t Mask = ~((1U << (23 - MantissaBits)) - 1U);
+  return Bits & (0xFF800000U | Mask);
+}
+
+/// Truncates the mantissa of a double bit pattern to \p MantissaBits
+/// (of the 52 stored bits), rounding toward zero.
+inline uint64_t truncateDoubleMantissa(uint64_t Bits, unsigned MantissaBits) {
+  if (MantissaBits >= 52)
+    return Bits;
+  uint64_t Mask = ~((1ULL << (52 - MantissaBits)) - 1ULL);
+  return Bits & (0xFFF0000000000000ULL | Mask);
+}
+
+} // namespace enerj
+
+#endif // ENERJ_SUPPORT_BITS_H

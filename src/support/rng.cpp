@@ -1,0 +1,130 @@
+//===- support/rng.cpp - Deterministic pseudo-random numbers -------------===//
+
+#include "support/rng.h"
+
+#include <cmath>
+
+using namespace enerj;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+static inline uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &W : State)
+    W = splitMix64(S);
+  // xoshiro must not start in the all-zero state.
+  if (!(State[0] | State[1] | State[2] | State[3]))
+    State[0] = 0x9E3779B97F4A7C15ULL;
+  HasSpareGaussian = false;
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  // Rejection sampling over the largest multiple of Bound below 2^64.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+double Rng::nextDouble() {
+  // 53 high bits give a uniform dyadic rational in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBernoulli(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return static_cast<int64_t>(static_cast<uint64_t>(Lo) + nextBelow(Span));
+}
+
+uint64_t Rng::nextBinomial(uint64_t N, double P) {
+  if (N == 0 || P <= 0.0)
+    return 0;
+  if (P >= 1.0)
+    return N;
+  double Mean = static_cast<double>(N) * P;
+  // For tiny means, count geometric inter-arrival gaps: far fewer draws
+  // than N trials. This is the common case for fault injection, where
+  // P is 1e-5-ish and N is the number of bits touched.
+  if (Mean < 16.0) {
+    double LogQ = std::log1p(-P);
+    uint64_t Successes = 0;
+    double Position = 0.0;
+    for (;;) {
+      // Skip ahead by a geometric gap.
+      Position += std::floor(std::log1p(-nextDouble()) / LogQ) + 1.0;
+      if (Position > static_cast<double>(N))
+        return Successes;
+      ++Successes;
+    }
+  }
+  // Gaussian approximation for large means; clamped and rounded. The fault
+  // models only reach this regime under extreme configurations where the
+  // exact per-trial distribution no longer matters.
+  double Sigma = std::sqrt(Mean * (1.0 - P));
+  double Draw = Mean + Sigma * nextGaussian();
+  if (Draw < 0.0)
+    return 0;
+  if (Draw > static_cast<double>(N))
+    return N;
+  return static_cast<uint64_t>(Draw + 0.5);
+}
+
+double Rng::nextGaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  double U, V, S;
+  do {
+    U = 2.0 * nextDouble() - 1.0;
+    V = 2.0 * nextDouble() - 1.0;
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  double Scale = std::sqrt(-2.0 * std::log(S) / S);
+  SpareGaussian = V * Scale;
+  HasSpareGaussian = true;
+  return U * Scale;
+}
+
+Rng Rng::split(uint64_t Salt) {
+  // Derive a child seed from fresh output mixed with the salt; SplitMix64
+  // inside the child constructor finishes the decorrelation.
+  uint64_t Seed = next() ^ (Salt * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL);
+  return Rng(Seed);
+}

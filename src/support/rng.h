@@ -1,0 +1,72 @@
+//===- support/rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256**) used everywhere in the
+/// simulator and the workload generators. Fault injection must be exactly
+/// reproducible given a seed, so we avoid std::mt19937 (whose distributions
+/// are not portable across standard library implementations) and implement
+/// both the generator and the distributions we need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_SUPPORT_RNG_H
+#define ENERJ_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace enerj {
+
+/// Deterministic xoshiro256** generator with SplitMix64 seeding.
+///
+/// All simulator randomness flows through one of these. The sequence is a
+/// pure function of the seed on every platform.
+class Rng {
+public:
+  /// Seeds the four 64-bit words of state from \p Seed via SplitMix64.
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling, so the result is exactly uniform.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBernoulli(double P);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] (inclusive).
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Draws from Binomial(N, P) — the number of successes in \p N independent
+  /// trials of probability \p P. Uses a direct-waiting-time algorithm for
+  /// small N*P and per-trial sampling otherwise; exact in distribution.
+  uint64_t nextBinomial(uint64_t N, double P);
+
+  /// Draws a standard-normal variate (Marsaglia polar method).
+  double nextGaussian();
+
+  /// Splits off an independently seeded child generator. Children of the
+  /// same parent with different \p Salt values are decorrelated.
+  Rng split(uint64_t Salt);
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_SUPPORT_RNG_H

@@ -1,0 +1,306 @@
+//===- tests/approx_test.cpp - Approx<T>/Precise<T>/endorse tests ---------===//
+
+#include "core/enerj.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace enerj;
+
+TEST(Approx, ExactWithoutSimulator) {
+  // "One valid execution is to ignore all annotations" (Section 4).
+  Approx<int32_t> A = 20;
+  Approx<int32_t> B = 22;
+  EXPECT_EQ(endorse(A + B), 42);
+  Approx<double> X = 1.5, Y = 2.5;
+  EXPECT_EQ(endorse(X * Y), 3.75);
+}
+
+TEST(Approx, PreciseToApproxFlowIsImplicit) {
+  int P = 7;
+  Approx<int32_t> A = P; // Subtyping: precise int <: approx int.
+  EXPECT_EQ(A.peek(), 7);
+  A = 9;
+  EXPECT_EQ(A.peek(), 9);
+}
+
+TEST(Approx, MixedOperandsPromoteToApprox) {
+  Approx<int32_t> A = 5;
+  Approx<int32_t> Sum = A + 3;   // approx + precise literal.
+  Approx<int32_t> Sum2 = 3 + A;  // precise literal + approx.
+  EXPECT_EQ(endorse(Sum), 8);
+  EXPECT_EQ(endorse(Sum2), 8);
+}
+
+TEST(Approx, PreciseWrapperInterop) {
+  Precise<int32_t> P = 4;
+  Approx<int32_t> A = 10;
+  // Precise<T> converts to Approx<T> (precise-to-approx subtyping).
+  Approx<int32_t> Sum = A + P;
+  EXPECT_EQ(endorse(Sum), 14);
+}
+
+TEST(Approx, ArithmeticOperators) {
+  Approx<int32_t> A = 12, B = 5;
+  EXPECT_EQ(endorse(A - B), 7);
+  EXPECT_EQ(endorse(A * B), 60);
+  EXPECT_EQ(endorse(A / B), 2);
+  EXPECT_EQ(endorse(A % B), 2);
+  EXPECT_EQ(endorse(-A), -12);
+  A += B;
+  EXPECT_EQ(endorse(A), 17);
+  A -= Approx<int32_t>(2);
+  EXPECT_EQ(endorse(A), 15);
+  A *= Approx<int32_t>(2);
+  EXPECT_EQ(endorse(A), 30);
+  A /= Approx<int32_t>(3);
+  EXPECT_EQ(endorse(A), 10);
+  ++A;
+  EXPECT_EQ(endorse(A), 11);
+  --A;
+  EXPECT_EQ(endorse(A), 10);
+}
+
+TEST(Approx, DivisionNeverTraps) {
+  // Section 5.2: approximate int division by zero returns zero;
+  // approximate FP division by zero returns NaN.
+  Approx<int32_t> A = 5, Zero = 0;
+  EXPECT_EQ(endorse(A / Zero), 0);
+  EXPECT_EQ(endorse(A % Zero), 0);
+  Approx<double> X = 5.0, FZero = 0.0;
+  EXPECT_TRUE(std::isnan(endorse(X / FZero)));
+}
+
+TEST(Approx, ComparisonsYieldApproxBool) {
+  Approx<int32_t> A = 5, B = 5;
+  ApproxBool Eq = (A == B);
+  EXPECT_TRUE(endorse(Eq));
+  EXPECT_FALSE(endorse(A != B));
+  EXPECT_TRUE(endorse(A <= B));
+  EXPECT_FALSE(endorse(A < B));
+  EXPECT_TRUE(endorse(A >= B));
+  EXPECT_FALSE(endorse(A > B));
+}
+
+TEST(Approx, ApproxBoolConnectives) {
+  ApproxBool T = true, F = false;
+  EXPECT_TRUE(endorse(T | F));
+  EXPECT_FALSE(endorse(T & F));
+  EXPECT_TRUE(endorse(!F));
+}
+
+TEST(Approx, ConvertBetweenWidths) {
+  Approx<float> F = 2.5f;
+  Approx<double> D = F.convert<double>();
+  EXPECT_EQ(endorse(D), 2.5);
+  Approx<int32_t> I = D.convert<int32_t>();
+  EXPECT_EQ(endorse(I), 2);
+}
+
+TEST(Approx, CountsOpsOnSimulator) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  {
+    SimulatorScope Scope(Sim);
+    Approx<int32_t> A = 1, B = 2;
+    Approx<int32_t> C = A + B;
+    Approx<double> X = 1.0, Y = 2.0;
+    Approx<double> Z = X * Y;
+    (void)C;
+    (void)Z;
+    Precise<int32_t> P = 1, Q = 2;
+    Precise<int32_t> R = P + Q;
+    (void)R;
+  }
+  RunStats Stats = Sim.stats();
+  EXPECT_EQ(Stats.Ops.ApproxInt, 1u);
+  EXPECT_EQ(Stats.Ops.ApproxFp, 1u);
+  EXPECT_EQ(Stats.Ops.PreciseInt, 1u);
+}
+
+TEST(Approx, FpComparisonCountsAsFpOp) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  {
+    SimulatorScope Scope(Sim);
+    Approx<double> X = 1.0, Y = 2.0;
+    (void)(X < Y);
+  }
+  EXPECT_EQ(Sim.stats().Ops.ApproxFp, 1u);
+  EXPECT_EQ(Sim.stats().Ops.ApproxInt, 0u);
+}
+
+TEST(Approx, StorageLeasedAsApproxSram) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  {
+    SimulatorScope Scope(Sim);
+    Approx<double> X = 1.0;
+    Sim.ledger().tick(10);
+    (void)X;
+    RunStats Mid = Sim.stats();
+    EXPECT_DOUBLE_EQ(Mid.Storage.SramApprox, 80.0); // 8 bytes x 10 cycles.
+  }
+}
+
+TEST(Approx, PreciseStorageLeasedAsPreciseSram) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  {
+    SimulatorScope Scope(Sim);
+    Precise<int32_t> P = 3;
+    Sim.ledger().tick(5);
+    (void)P;
+    EXPECT_DOUBLE_EQ(Sim.stats().Storage.SramPrecise, 20.0);
+  }
+}
+
+TEST(Approx, MantissaNarrowingVisibleAtAggressive) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.EnableTiming = false; // Isolate the width reduction.
+  C.EnableSram = false;
+  Simulator Sim(C);
+  SimulatorScope Scope(Sim);
+  Approx<double> X = 1.0 + 1e-6; // Needs more than 8 mantissa bits.
+  Approx<double> One = 1.0;
+  double Product = endorse(X * One);
+  EXPECT_NE(Product, 1.0 + 1e-6);
+  EXPECT_NEAR(Product, 1.0, 0.01);
+}
+
+TEST(Approx, TimingErrorsPerturbResults) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.EnableSram = false;
+  C.EnableFpWidth = false;
+  Simulator Sim(C);
+  SimulatorScope Scope(Sim);
+  int Wrong = 0;
+  for (int32_t I = 0; I < 20000; ++I) {
+    Approx<int32_t> A = I, B = 1;
+    if (endorse(A + B) != I + 1)
+      ++Wrong;
+  }
+  EXPECT_GT(Wrong, 50);   // ~1% of 20k ops.
+  EXPECT_LT(Wrong, 2000);
+}
+
+TEST(Approx, EndorseOnPlainValuesIsIdentity) {
+  EXPECT_EQ(endorse(5), 5);
+  EXPECT_EQ(endorse(2.5), 2.5);
+  Precise<int32_t> P = 9;
+  EXPECT_EQ(endorse(P), 9);
+}
+
+TEST(Approx, EnergyPipelineEndToEnd) {
+  // Run a small annotated kernel and price it: savings must appear at
+  // Medium and be absent at None.
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium);
+  Simulator Sim(C);
+  {
+    SimulatorScope Scope(Sim);
+    Approx<double> Acc = 0.0;
+    for (Precise<int32_t> I = 0; I < 1000; ++I)
+      Acc += Approx<double>(0.5);
+    (void)Acc;
+  }
+  RunStats Stats = Sim.stats();
+  EXPECT_GT(Stats.Ops.ApproxFp, 900u);
+  EnergyReport Medium = computeEnergy(Stats, C);
+  EnergyReport None =
+      computeEnergy(Stats, FaultConfig::preset(ApproxLevel::None));
+  EXPECT_GT(Medium.saved(), 0.05);
+  EXPECT_DOUBLE_EQ(None.saved(), 0.0);
+}
+
+TEST(Approx, Top) {
+  Approx<int32_t> A = 3;
+  Top<int32_t> FromApprox(A);
+  Top<int32_t> FromPrecise(4);
+  EXPECT_TRUE(FromApprox.isApprox());
+  EXPECT_FALSE(FromPrecise.isApprox());
+  EXPECT_EQ(FromPrecise.asPrecise(), 4);
+  EXPECT_EQ(endorse(FromApprox.asApprox()), 3);
+  Precise<int32_t> P = 5;
+  Top<int32_t> FromWrapper(P);
+  EXPECT_EQ(FromWrapper.asPrecise(), 5);
+}
+
+TEST(Approx, MathIntrinsics) {
+  Approx<double> X = 4.0;
+  EXPECT_DOUBLE_EQ(endorse(enerj::sqrt(X)), 2.0);
+  EXPECT_NEAR(endorse(enerj::sin(Approx<double>(0.0))), 0.0, 1e-12);
+  EXPECT_NEAR(endorse(enerj::cos(Approx<double>(0.0))), 1.0, 1e-12);
+  EXPECT_NEAR(endorse(enerj::exp(Approx<double>(1.0))), 2.718281828, 1e-6);
+  EXPECT_NEAR(endorse(enerj::log(Approx<double>(1.0))), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(endorse(enerj::abs(Approx<double>(-3.0))), 3.0);
+  EXPECT_DOUBLE_EQ(endorse(enerj::floor(Approx<double>(2.7))), 2.0);
+  EXPECT_DOUBLE_EQ(
+      endorse(enerj::min(Approx<double>(1.0), Approx<double>(2.0))), 1.0);
+  EXPECT_DOUBLE_EQ(
+      endorse(enerj::max(Approx<double>(1.0), Approx<double>(2.0))), 2.0);
+}
+
+TEST(Approx, MathIntrinsicsCountAsFpOps) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  {
+    SimulatorScope Scope(Sim);
+    Approx<double> X = 2.0;
+    (void)enerj::sqrt(X);
+    (void)enerj::sin(X);
+  }
+  EXPECT_EQ(Sim.stats().Ops.ApproxFp, 2u);
+}
+
+TEST(Approx, ValuesFromAnotherSimulatorBehavePrecisely) {
+  // A slot leased under simulator A neither faults nor double-releases
+  // when touched under simulator B (or none): cross-simulator use
+  // degrades to precise behavior instead of corrupting state.
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  Simulator A(C), B(C);
+  Approx<int32_t> Slot = 0;
+  {
+    SimulatorScope ScopeA(A);
+    Slot = 42; // Leases from A on first simulated store.
+  }
+  {
+    SimulatorScope ScopeB(B);
+    for (int I = 0; I < 1000; ++I)
+      EXPECT_EQ(Slot.peek(), 42); // No faults from B's models.
+  }
+  EXPECT_EQ(endorse(Slot), 42); // And none outside any scope.
+}
+
+TEST(Approx, NestedScopesAttributeWorkCorrectly) {
+  Simulator Outer(FaultConfig::preset(ApproxLevel::None));
+  Simulator Inner(FaultConfig::preset(ApproxLevel::None));
+  SimulatorScope OuterScope(Outer);
+  Approx<int32_t> X = 1;
+  (void)(X + X); // Outer: 1 approx int op.
+  {
+    SimulatorScope InnerScope(Inner);
+    Approx<int32_t> Y = 2;
+    (void)(Y + Y); // Inner: 1 approx int op.
+  }
+  (void)(X + X); // Outer again.
+  EXPECT_EQ(Outer.stats().Ops.ApproxInt, 2u);
+  EXPECT_EQ(Inner.stats().Ops.ApproxInt, 1u);
+}
+
+TEST(Approx, ConvertCountsOneOp) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  SimulatorScope Scope(Sim);
+  Approx<float> F = 1.5f;
+  (void)F.convert<double>(); // FP-typed conversion: one FP op.
+  EXPECT_EQ(Sim.stats().Ops.ApproxFp, 1u);
+  Approx<int32_t> I = 3;
+  (void)I.convert<int64_t>(); // Integer conversion: one int op.
+  EXPECT_EQ(Sim.stats().Ops.ApproxInt, 1u);
+}
+
+TEST(Approx, BoolOpsCountAsIntOps) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  SimulatorScope Scope(Sim);
+  ApproxBool A = true, B = false;
+  (void)(A & B);
+  (void)(A | B);
+  (void)!A;
+  EXPECT_EQ(Sim.stats().Ops.ApproxInt, 3u);
+  EXPECT_EQ(Sim.stats().Ops.ApproxFp, 0u);
+}

@@ -1,0 +1,151 @@
+//===- tests/approximable_test.cpp - @Approximable / @Context tests -------===//
+
+#include "core/enerj.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+
+namespace {
+
+/// The paper's IntPair example (Section 2.5.1): x and y take the
+/// instance's precision; numAdditions is approximate on every instance.
+template <Precision P> class IntPair : public Approximable<P> {
+public:
+  Context<P, int32_t> X{0};
+  Context<P, int32_t> Y{0};
+  Approx<int32_t> NumAdditions{0};
+
+  void addToBoth(Context<P, int32_t> Amount) {
+    X += Amount;
+    Y += Amount;
+    ++NumAdditions;
+  }
+};
+
+/// The paper's FloatSet example (Section 2.5.2): mean() has a precise
+/// implementation and a cheaper approximate one (mean_APPROX) that
+/// averages only half the elements; the compiler picks by receiver
+/// precision, exactly like EnerJ's receiver-based overloading.
+template <Precision P> class FloatSet : public Approximable<P> {
+public:
+  explicit FloatSet(size_t N) : Nums(N) {}
+
+  void set(size_t I, float V) { Nums[I] = V; }
+
+  float mean() const
+    requires(!IsApprox<P>)
+  {
+    Precise<float> Total = 0.0f;
+    for (size_t I = 0; I < Nums.size(); ++I)
+      Total += Nums[I];
+    return Total.get() / Nums.size();
+  }
+
+  Approx<float> mean() const
+    requires(IsApprox<P>)
+  {
+    Approx<float> Total = 0.0f;
+    for (size_t I = 0; I < Nums.size(); I += 2)
+      Total += Nums[I];
+    return Approx<float>(2.0f) * Total / Approx<float>(float(Nums.size()));
+  }
+
+private:
+  ContextArray<P, float> Nums;
+};
+
+} // namespace
+
+TEST(Approximable, ContextFieldsFollowInstancePrecision) {
+  // On a precise instance, X/Y are Precise<int32_t>; on an approximate
+  // one they are Approx<int32_t>. Verified statically:
+  static_assert(std::is_same_v<decltype(IntPair<Precision::Precise>::X),
+                               Precise<int32_t>>);
+  static_assert(std::is_same_v<decltype(IntPair<Precision::Approx>::X),
+                               Approx<int32_t>>);
+  // numAdditions is @Approx regardless of the instance.
+  static_assert(
+      std::is_same_v<decltype(IntPair<Precision::Precise>::NumAdditions),
+                     Approx<int32_t>>);
+}
+
+TEST(Approximable, IntPairBehavior) {
+  IntPair<Precision::Precise> P;
+  P.addToBoth(5);
+  P.addToBoth(3);
+  EXPECT_EQ(P.X.get(), 8);
+  EXPECT_EQ(P.Y.get(), 8);
+  EXPECT_EQ(endorse(P.NumAdditions), 2);
+
+  IntPair<Precision::Approx> A;
+  A.addToBoth(Approx<int32_t>(4));
+  EXPECT_EQ(endorse(A.X), 4);
+  EXPECT_EQ(endorse(A.NumAdditions), 1);
+}
+
+TEST(Approximable, PreciseInstanceRequiresPreciseArgument) {
+  // p.addToBoth() takes a precise argument; a.addToBoth() an approximate
+  // one (Section 2.5.1). The approximate-instance parameter accepts
+  // precise data via subtyping.
+  IntPair<Precision::Approx> A;
+  A.addToBoth(7); // precise literal flows in.
+  EXPECT_EQ(endorse(A.X), 7);
+  // And statically: Approx<int32_t> does NOT convert to Precise<int32_t>.
+  static_assert(
+      !std::is_convertible_v<Approx<int32_t>, Precise<int32_t>>);
+}
+
+TEST(Approximable, AlgorithmicApproximationDispatch) {
+  FloatSet<Precision::Precise> PreciseSet(8);
+  FloatSet<Precision::Approx> ApproxSet(8);
+  for (size_t I = 0; I < 8; ++I) {
+    PreciseSet.set(I, static_cast<float>(I));
+    ApproxSet.set(I, static_cast<float>(I));
+  }
+  // Precise receiver: the exact mean of 0..7.
+  EXPECT_FLOAT_EQ(PreciseSet.mean(), 3.5f);
+  // Approximate receiver: averages only even indices {0,2,4,6} -> 3.0.
+  EXPECT_FLOAT_EQ(endorse(ApproxSet.mean()), 3.0f);
+}
+
+TEST(Approximable, ApproxVariantDoesLessWork) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  SimulatorScope Scope(Sim);
+  FloatSet<Precision::Approx> ApproxSet(64);
+  uint64_t Before = Sim.stats().Ops.total();
+  (void)ApproxSet.mean();
+  uint64_t ApproxOps = Sim.stats().Ops.total() - Before;
+
+  FloatSet<Precision::Precise> PreciseSet(64);
+  Before = Sim.stats().Ops.total();
+  (void)PreciseSet.mean();
+  uint64_t PreciseOps = Sim.stats().Ops.total() - Before;
+
+  // The paper's point: algorithmic approximation skips work entirely.
+  EXPECT_LT(ApproxOps, PreciseOps);
+}
+
+TEST(Approximable, InstancePrecisionConstant) {
+  EXPECT_EQ(IntPair<Precision::Approx>::InstancePrecision, Precision::Approx);
+  EXPECT_EQ(IntPair<Precision::Precise>::InstancePrecision,
+            Precision::Precise);
+  static_assert(IsApprox<Precision::Approx>);
+  static_assert(!IsApprox<Precision::Precise>);
+}
+
+TEST(Approximable, ContextArraySelectsArrayKind) {
+  static_assert(std::is_same_v<ContextArray<Precision::Approx, float>,
+                               ApproxArray<float>>);
+  static_assert(std::is_same_v<ContextArray<Precision::Precise, float>,
+                               PreciseArray<float>>);
+}
+
+TEST(Approximable, DistinctInstantiationsAreUnrelatedTypes) {
+  // Precise class types are not subtypes of their approximate
+  // counterparts (Section 2.5) — here they are simply different types.
+  static_assert(!std::is_convertible_v<IntPair<Precision::Precise>,
+                                       IntPair<Precision::Approx>>);
+  static_assert(!std::is_convertible_v<IntPair<Precision::Approx>,
+                                       IntPair<Precision::Precise>>);
+}

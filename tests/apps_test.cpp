@@ -1,0 +1,294 @@
+//===- tests/apps_test.cpp - Evaluation-application integration tests -----===//
+//
+// End-to-end tests over the nine Section 6 applications: determinism,
+// the no-simulator == precise-reference identity, the paper's
+// "never fail catastrophically" property under aggressive approximation,
+// sane statistics, and the Figure 3 / Figure 5 shapes as regressions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/app.h"
+
+#include "energy/model.h"
+#include "support/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace enerj;
+using namespace enerj::apps;
+
+namespace {
+
+class PerApp : public ::testing::TestWithParam<const Application *> {};
+
+std::string appName(const ::testing::TestParamInfo<const Application *> &I) {
+  return I.param->name();
+}
+
+/// Bitwise vector equality: degraded outputs legitimately contain NaNs,
+/// and NaN != NaN under operator==.
+bool bitIdentical(const std::vector<double> &A,
+                  const std::vector<double> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (toBits(A[I]) != toBits(B[I]))
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(AppRegistry, HasAllNineApplications) {
+  const auto &Apps = allApplications();
+  ASSERT_EQ(Apps.size(), 9u);
+  std::set<std::string> Names;
+  for (const Application *App : Apps)
+    Names.insert(App->name());
+  EXPECT_EQ(Names.size(), 9u);
+  for (const char *Expected :
+       {"fft", "sor", "montecarlo", "sparsematmult", "lu", "barcode",
+        "trikernel", "floodfill", "raytracer"})
+    EXPECT_TRUE(Names.count(Expected)) << Expected;
+}
+
+TEST(AppRegistry, FindApplication) {
+  EXPECT_NE(findApplication("fft"), nullptr);
+  EXPECT_STREQ(findApplication("raytracer")->name(), "raytracer");
+  EXPECT_EQ(findApplication("nope"), nullptr);
+}
+
+TEST_P(PerApp, PreciseRunIsDeterministic) {
+  const Application &App = *GetParam();
+  AppOutput A = runPrecise(App, 1);
+  AppOutput B = runPrecise(App, 1);
+  EXPECT_EQ(A.Numeric, B.Numeric);
+  EXPECT_EQ(A.Text, B.Text);
+  EXPECT_EQ(A.Decisions, B.Decisions);
+  EXPECT_DOUBLE_EQ(App.qosError(A, B), 0.0);
+}
+
+TEST_P(PerApp, WorkloadsVaryWithSeed) {
+  const Application &App = *GetParam();
+  AppOutput A = runPrecise(App, 1);
+  AppOutput B = runPrecise(App, 2);
+  bool Different = A.Numeric != B.Numeric || A.Text != B.Text ||
+                   A.Decisions != B.Decisions;
+  EXPECT_TRUE(Different) << "workload ignores its seed";
+}
+
+TEST_P(PerApp, NoneLevelMatchesPreciseReference) {
+  // At level None, the hardware executes approximate instructions
+  // precisely: output must be bit-identical to the plain run.
+  const Application &App = *GetParam();
+  AppOutput Reference = runPrecise(App, 3);
+  AppRun Run = runApproximate(App, FaultConfig::preset(ApproxLevel::None), 3);
+  EXPECT_DOUBLE_EQ(App.qosError(Reference, Run.Output), 0.0);
+  EXPECT_EQ(Reference.Numeric, Run.Output.Numeric);
+  EXPECT_EQ(Reference.Text, Run.Output.Text);
+}
+
+TEST_P(PerApp, NeverFailsCatastrophically) {
+  // The paper's annotation policy: every run produces an output, at
+  // every level (Section 6, "each benchmark produces an output on every
+  // run").
+  const Application &App = *GetParam();
+  for (ApproxLevel Level : {ApproxLevel::Mild, ApproxLevel::Medium,
+                            ApproxLevel::Aggressive}) {
+    for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+      AppRun Run = runApproximate(App, FaultConfig::preset(Level), Seed);
+      bool HasOutput = !Run.Output.Numeric.empty() ||
+                       !Run.Output.Text.empty() ||
+                       !Run.Output.Decisions.empty();
+      EXPECT_TRUE(HasOutput)
+          << App.name() << " at " << approxLevelName(Level);
+    }
+  }
+}
+
+TEST_P(PerApp, QosErrorAlwaysInUnitInterval) {
+  const Application &App = *GetParam();
+  AppOutput Reference = runPrecise(App, 1);
+  for (ApproxLevel Level : {ApproxLevel::Mild, ApproxLevel::Aggressive}) {
+    AppRun Run = runApproximate(App, FaultConfig::preset(Level), 1);
+    double Error = App.qosError(Reference, Run.Output);
+    EXPECT_GE(Error, 0.0);
+    EXPECT_LE(Error, 1.0);
+  }
+}
+
+TEST_P(PerApp, MildErrorIsSmall) {
+  // Figure 5: "most applications show negligible error for the Mild
+  // level of approximation".
+  const Application &App = *GetParam();
+  double Sum = 0;
+  const int Runs = 5;
+  for (uint64_t Seed = 1; Seed <= Runs; ++Seed)
+    Sum += qosUnder(App, FaultConfig::preset(ApproxLevel::Mild), Seed);
+  EXPECT_LT(Sum / Runs, 0.15) << App.name();
+}
+
+TEST_P(PerApp, StatisticsArePopulated) {
+  const Application &App = *GetParam();
+  AppRun Run = runApproximate(App, FaultConfig::preset(ApproxLevel::Medium), 1);
+  const RunStats &Stats = Run.Stats;
+  EXPECT_GT(Stats.Ops.total(), 100u) << "suspiciously few dynamic ops";
+  EXPECT_GT(Stats.Ops.ApproxInt + Stats.Ops.ApproxFp, 0u)
+      << "no approximate work at all";
+  EXPECT_GT(Stats.Storage.sramTotal() + Stats.Storage.dramTotal(), 0.0);
+}
+
+TEST_P(PerApp, ApproximateRunsAreReproducible) {
+  const Application &App = *GetParam();
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Aggressive);
+  AppRun A = runApproximate(App, Config, 5);
+  AppRun B = runApproximate(App, Config, 5);
+  EXPECT_TRUE(bitIdentical(A.Output.Numeric, B.Output.Numeric));
+  EXPECT_EQ(A.Output.Text, B.Output.Text);
+  EXPECT_EQ(A.Output.Decisions, B.Output.Decisions);
+  EXPECT_EQ(A.Stats.Ops.total(), B.Stats.Ops.total());
+}
+
+TEST_P(PerApp, EnergySavingsInPaperBand) {
+  // Figure 4: savings between roughly 9% and 48% across apps/levels.
+  const Application &App = *GetParam();
+  for (ApproxLevel Level : {ApproxLevel::Mild, ApproxLevel::Medium,
+                            ApproxLevel::Aggressive}) {
+    FaultConfig Config = FaultConfig::preset(Level);
+    AppRun Run = runApproximate(App, Config, 1);
+    double Saved = computeEnergy(Run.Stats, Config).saved();
+    EXPECT_GT(Saved, 0.05) << App.name() << " at " << approxLevelName(Level);
+    EXPECT_LT(Saved, 0.55) << App.name() << " at " << approxLevelName(Level);
+  }
+}
+
+TEST_P(PerApp, AnnotationStatsSane) {
+  AnnotationStats Ann = GetParam()->annotations();
+  EXPECT_GT(Ann.LinesOfCode, 0);
+  EXPECT_GT(Ann.TotalDecls, 0);
+  EXPECT_GE(Ann.AnnotatedDecls, 0);
+  EXPECT_LE(Ann.AnnotatedDecls, Ann.TotalDecls);
+  EXPECT_GE(Ann.Endorsements, 0);
+  // The paper: at most ~34% of declarations annotated for most apps;
+  // allow the FP-saturated ones more headroom.
+  EXPECT_LE(Ann.annotatedFraction(), 0.70);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PerApp,
+                         ::testing::ValuesIn(allApplications()), appName);
+
+// --- Figure 3 shape regressions. ---
+
+TEST(AppShapes, StackResidentAppsHaveNoApproxDram) {
+  // MonteCarlo and the jMonkeyEngine stand-in keep their principal data
+  // in local variables; their approximate-DRAM fraction is ~zero.
+  for (const char *Name : {"montecarlo", "trikernel"}) {
+    AppRun Run = runApproximate(*findApplication(Name),
+                                FaultConfig::preset(ApproxLevel::Medium), 1);
+    EXPECT_LT(Run.Stats.Storage.dramApproxFraction(), 0.05) << Name;
+  }
+}
+
+TEST(AppShapes, ArrayHeavyAppsHaveHighApproxDram) {
+  for (const char *Name : {"fft", "sor", "lu", "barcode", "floodfill"}) {
+    AppRun Run = runApproximate(*findApplication(Name),
+                                FaultConfig::preset(ApproxLevel::Medium), 1);
+    EXPECT_GT(Run.Stats.Storage.dramApproxFraction(), 0.80) << Name;
+  }
+}
+
+TEST(AppShapes, FpAppsApproximateAllFpOps) {
+  for (const char *Name : {"sor", "montecarlo", "lu", "raytracer"}) {
+    AppRun Run = runApproximate(*findApplication(Name),
+                                FaultConfig::preset(ApproxLevel::Medium), 1);
+    EXPECT_GT(Run.Stats.Ops.approxFpFraction(), 0.95) << Name;
+  }
+}
+
+TEST(AppShapes, IntegerAppsHaveNoFpWork) {
+  for (const char *Name : {"barcode", "floodfill"}) {
+    AppRun Run = runApproximate(*findApplication(Name),
+                                FaultConfig::preset(ApproxLevel::Medium), 1);
+    EXPECT_LT(Run.Stats.Ops.fpProportion(), 0.05) << Name;
+  }
+}
+
+TEST(AppShapes, ControlCodeLimitsIntegerApproximation) {
+  // FP-centric apps approximate almost none of their integer work
+  // (loop induction variables and indexing dominate it).
+  for (const char *Name : {"fft", "sor", "lu", "raytracer"}) {
+    AppRun Run = runApproximate(*findApplication(Name),
+                                FaultConfig::preset(ApproxLevel::Medium), 1);
+    EXPECT_LT(Run.Stats.Ops.approxIntFraction(), 0.10) << Name;
+  }
+}
+
+TEST(AppShapes, ImageJStandInApproximatesIntegers) {
+  // The paper: "ImageJ is the only exception with a significant fraction
+  // of integer approximation; it uses integers for pixel values."
+  AppRun Run = runApproximate(*findApplication("floodfill"),
+                              FaultConfig::preset(ApproxLevel::Medium), 1);
+  EXPECT_GT(Run.Stats.Ops.approxIntFraction(), 0.20);
+}
+
+TEST(AppShapes, FftAndSorDegradeMostAtMedium) {
+  // Figure 5: FFT and SOR lose significant fidelity at Medium while
+  // MonteCarlo / SparseMatMult / floodfill / raytracer stay near zero.
+  FaultConfig Medium = FaultConfig::preset(ApproxLevel::Medium);
+  double Fragile = 0, Robust = 0;
+  for (const char *Name : {"fft", "sor"})
+    Fragile += qosUnder(*findApplication(Name), Medium, 1);
+  for (const char *Name :
+       {"montecarlo", "sparsematmult", "floodfill", "raytracer"})
+    Robust += qosUnder(*findApplication(Name), Medium, 1);
+  EXPECT_GT(Fragile / 2.0, Robust / 4.0 + 0.05);
+}
+
+TEST(AppShapes, ErrorGrowsWithLevelOnAverage) {
+  double Mean[3] = {0, 0, 0};
+  const ApproxLevel Levels[3] = {ApproxLevel::Mild, ApproxLevel::Medium,
+                                 ApproxLevel::Aggressive};
+  for (const Application *App : allApplications())
+    for (int L = 0; L < 3; ++L)
+      Mean[L] += qosUnder(*App, FaultConfig::preset(Levels[L]), 2);
+  EXPECT_LT(Mean[0], Mean[1]);
+  EXPECT_LT(Mean[1], Mean[2]);
+}
+
+TEST(AppShapes, DramDecayAloneIsNearlyNegligible) {
+  // Section 6.2: "DRAM errors have a nearly negligible impact on
+  // application output."
+  FaultConfig DramOnly = FaultConfig::preset(ApproxLevel::Aggressive);
+  DramOnly.EnableSram = false;
+  DramOnly.EnableFpWidth = false;
+  DramOnly.EnableTiming = false;
+  for (const Application *App : allApplications())
+    EXPECT_LT(qosUnder(*App, DramOnly, 1), 0.02) << App->name();
+}
+
+TEST(AppShapes, SramWritesHurtMoreThanReadsAtTable2Rates) {
+  // Section 6.2: "SRAM write errors are much more detrimental to output
+  // quality than read upsets." At the Table 2 Medium rates — read upsets
+  // 10^-7.4, write failures 10^-4.94; writes both far more probable and
+  // persistent — effectively all SRAM-induced QoS loss comes from the
+  // write failures.
+  FaultConfig WritesOnly = FaultConfig::preset(ApproxLevel::Medium);
+  WritesOnly.EnableDram = false;
+  WritesOnly.EnableFpWidth = false;
+  WritesOnly.EnableTiming = false;
+  WritesOnly.SramReadUpsetOverride = 0.0; // Table 2 write rate stays.
+  FaultConfig ReadsOnly = WritesOnly;
+  ReadsOnly.SramReadUpsetOverride = -1.0; // Table 2 read rate.
+  ReadsOnly.SramWriteFailureOverride = 0.0;
+
+  double WriteError = 0, ReadError = 0;
+  for (const Application *App : allApplications())
+    for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+      WriteError += qosUnder(*App, WritesOnly, Seed);
+      ReadError += qosUnder(*App, ReadsOnly, Seed);
+    }
+  EXPECT_GT(WriteError, ReadError);
+  EXPECT_LT(ReadError / 27.0, 0.005) << "reads alone should be negligible";
+}

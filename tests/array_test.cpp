@@ -1,0 +1,180 @@
+//===- tests/array_test.cpp - ApproxArray/PreciseArray tests --------------===//
+
+#include "core/array.h"
+#include "core/endorse.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+
+TEST(ApproxArray, BasicReadWriteWithoutSimulator) {
+  ApproxArray<double> A(10);
+  EXPECT_EQ(A.size(), 10u);
+  A[3] = Approx<double>(2.5);
+  EXPECT_EQ(endorse(Approx<double>(A[3])), 2.5);
+  Approx<double> V = A.get(3);
+  EXPECT_EQ(endorse(V), 2.5);
+}
+
+TEST(ApproxArray, FillValue) {
+  ApproxArray<int32_t> A(5, 7);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(endorse(A.get(I)), 7);
+}
+
+TEST(ApproxArray, LengthIsAlwaysPrecise) {
+  // size() returns a plain size_t: usable in conditions and as bounds,
+  // per Section 2.6's "length is kept precise for memory safety".
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Aggressive));
+  SimulatorScope Scope(Sim);
+  ApproxArray<double> A(128);
+  for (int Round = 0; Round < 100; ++Round)
+    EXPECT_EQ(A.size(), 128u);
+}
+
+TEST(ApproxArray, CompoundAssignment) {
+  ApproxArray<double> A(4, 1.0);
+  A[0] += Approx<double>(2.0);
+  A[1] -= Approx<double>(0.5);
+  A[2] *= Approx<double>(3.0);
+  A[3] /= Approx<double>(2.0);
+  EXPECT_EQ(endorse(A.get(0)), 3.0);
+  EXPECT_EQ(endorse(A.get(1)), 0.5);
+  EXPECT_EQ(endorse(A.get(2)), 3.0);
+  EXPECT_EQ(endorse(A.get(3)), 0.5);
+}
+
+TEST(ApproxArray, LeasesDramWithPreciseHeaderLine) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  {
+    SimulatorScope Scope(Sim);
+    ApproxArray<double> A(1000); // 16B header + 8000B data.
+    Sim.ledger().tick(10);
+    RunStats Stats = Sim.stats();
+    // First 64-byte line precise, rest approximate.
+    EXPECT_DOUBLE_EQ(Stats.Storage.DramPrecise, 64.0 * 10);
+    EXPECT_DOUBLE_EQ(Stats.Storage.DramApprox, (8016.0 - 64.0) * 10);
+    (void)A;
+  }
+}
+
+TEST(ApproxArray, ElementAccessTicksClock) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  SimulatorScope Scope(Sim);
+  ApproxArray<int32_t> A(8);
+  uint64_t Before = Sim.now();
+  (void)A.get(0);
+  A.set(1, Approx<int32_t>(5));
+  EXPECT_GT(Sim.now(), Before);
+}
+
+TEST(ApproxArray, DecayAfterLongIdle) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.EnableSram = false;
+  C.EnableTiming = false;
+  C.CyclesPerSecond = 1e3;
+  Simulator Sim(C);
+  SimulatorScope Scope(Sim);
+  ApproxArray<int32_t> A(256, 0);
+  Sim.ledger().tick(1000000); // 1000 modeled seconds idle.
+  int Flipped = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Flipped += (endorse(A.get(I)) != 0);
+  // 1000 s at 1e-3 per-bit/s: virtually every 32-bit word decays.
+  EXPECT_GT(Flipped, 200);
+}
+
+TEST(ApproxArray, AccessRefreshes) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.EnableSram = false;
+  C.EnableTiming = false;
+  C.CyclesPerSecond = 1e3;
+  Simulator Sim(C);
+  SimulatorScope Scope(Sim);
+  ApproxArray<int32_t> A(16, 3);
+  Sim.ledger().tick(1000000);
+  (void)A.get(0);       // Refresh (and possibly decay) element 0 ...
+  int32_t Now = endorse(A.get(0)); // ... then re-read immediately:
+  EXPECT_EQ(endorse(A.get(0)), Now); // no time passed, no further decay.
+}
+
+TEST(ApproxArray, NoDecayAtNone) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::None);
+  C.CyclesPerSecond = 1.0; // Even with huge elapsed "time".
+  Simulator Sim(C);
+  SimulatorScope Scope(Sim);
+  ApproxArray<int32_t> A(64, 42);
+  Sim.ledger().tick(1000000);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(endorse(A.get(I)), 42);
+}
+
+TEST(ApproxArray, MoveTransfersLease) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  SimulatorScope Scope(Sim);
+  ApproxArray<double> A(100);
+  size_t LiveBefore = Sim.ledger().liveLeases();
+  ApproxArray<double> B = std::move(A);
+  EXPECT_EQ(Sim.ledger().liveLeases(), LiveBefore); // No double lease.
+  EXPECT_EQ(B.size(), 100u);
+}
+
+TEST(PreciseArray, BasicUse) {
+  PreciseArray<int32_t> A(10, 1);
+  A[5] = 99;
+  EXPECT_EQ(A[5], 99);
+  EXPECT_EQ(A[0], 1);
+  EXPECT_EQ(A.size(), 10u);
+}
+
+TEST(PreciseArray, LeasesPreciseDram) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  {
+    SimulatorScope Scope(Sim);
+    PreciseArray<double> A(100);
+    Sim.ledger().tick(10);
+    RunStats Stats = Sim.stats();
+    EXPECT_DOUBLE_EQ(Stats.Storage.DramApprox, 0.0);
+    EXPECT_GT(Stats.Storage.DramPrecise, 0.0);
+    (void)A;
+  }
+}
+
+TEST(PreciseArray, NeverFaults) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Aggressive));
+  SimulatorScope Scope(Sim);
+  PreciseArray<int32_t> A(1024, 7);
+  Sim.ledger().tick(100000000);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I], 7);
+}
+
+TEST(ApproxArray, PeekBypassesFaults) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Aggressive));
+  SimulatorScope Scope(Sim);
+  ApproxArray<int32_t> A(4, 9);
+  uint64_t OpsBefore = Sim.stats().Ops.total();
+  const std::vector<int32_t> &Raw = A.peek();
+  EXPECT_EQ(Raw.size(), 4u);
+  EXPECT_EQ(Sim.stats().Ops.total(), OpsBefore); // peek() records nothing.
+}
+
+TEST(ApproxArray, FinerLinesRecoverApproximateBytes) {
+  // Section 4.1: finer approximate-storage granularity strands fewer
+  // approximate bytes on the precise header line.
+  auto FractionAt = [](uint64_t LineBytes) {
+    FaultConfig C = FaultConfig::preset(ApproxLevel::Medium);
+    C.CacheLineBytes = LineBytes;
+    Simulator Sim(C);
+    SimulatorScope Scope(Sim);
+    ApproxArray<double> A(64);
+    Sim.ledger().tick(10);
+    (void)A;
+    return Sim.stats().Storage.dramApproxFraction();
+  };
+  double Fine = FractionAt(16);
+  double Default = FractionAt(64);
+  double Coarse = FractionAt(256);
+  EXPECT_GT(Fine, Default);
+  EXPECT_GT(Default, Coarse);
+}

@@ -1,0 +1,102 @@
+//===- tests/bits_test.cpp - Bit-reinterpretation helper tests ------------===//
+
+#include "support/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+using namespace enerj;
+
+TEST(Bits, RoundTripIntegers) {
+  for (int32_t V : {0, 1, -1, 42, -123456, INT32_MAX, INT32_MIN})
+    EXPECT_EQ(fromBits<int32_t>(toBits(V)), V);
+  for (int64_t V :
+       {int64_t(0), int64_t(-1), INT64_MAX, INT64_MIN, int64_t(1) << 40})
+    EXPECT_EQ(fromBits<int64_t>(toBits(V)), V);
+}
+
+TEST(Bits, RoundTripFloats) {
+  for (float V : {0.0f, -0.0f, 1.5f, -3.25e10f,
+                  std::numeric_limits<float>::infinity()})
+    EXPECT_EQ(fromBits<float>(toBits(V)), V);
+  for (double V : {0.0, 1e300, -2.5, std::numeric_limits<double>::epsilon()})
+    EXPECT_EQ(fromBits<double>(toBits(V)), V);
+}
+
+TEST(Bits, RoundTripBool) {
+  EXPECT_EQ(fromBits<bool>(toBits(true)), true);
+  EXPECT_EQ(fromBits<bool>(toBits(false)), false);
+}
+
+TEST(Bits, ToBitsZeroExtends) {
+  EXPECT_EQ(toBits(int8_t(-1)), 0xFFull);
+  EXPECT_EQ(toBits(int16_t(-1)), 0xFFFFull);
+  EXPECT_EQ(toBits(int32_t(-1)), 0xFFFFFFFFull);
+}
+
+TEST(Bits, BitWidth) {
+  EXPECT_EQ(bitWidth<int32_t>(), 32u);
+  EXPECT_EQ(bitWidth<double>(), 64u);
+  EXPECT_EQ(bitWidth<float>(), 32u);
+  EXPECT_EQ(bitWidth<bool>(), 1u); // One meaningful bit.
+}
+
+TEST(Bits, FlipBit) {
+  EXPECT_EQ(flipBit(0, 0), 1ull);
+  EXPECT_EQ(flipBit(1, 0), 0ull);
+  EXPECT_EQ(flipBit(0, 63), 1ull << 63);
+  // Flipping twice is the identity.
+  uint64_t V = 0xDEADBEEF;
+  EXPECT_EQ(flipBit(flipBit(V, 17), 17), V);
+}
+
+TEST(Bits, FloatMantissaTruncationPreservesSignExponent) {
+  float V = -1234.5678f;
+  for (unsigned Bits : {0u, 4u, 8u, 16u, 23u}) {
+    float Narrow = fromBits<float>(
+        truncateFloatMantissa(static_cast<uint32_t>(toBits(V)), Bits));
+    EXPECT_LT(Narrow, 0.0f) << "sign preserved at " << Bits;
+    // Truncation toward zero: |narrow| <= |v|.
+    EXPECT_LE(std::fabs(Narrow), std::fabs(V));
+    // And within the width's relative-error bound of the original.
+    if (Bits >= 4) {
+      EXPECT_GT(std::fabs(Narrow), std::fabs(V) * 0.9f);
+    }
+  }
+}
+
+TEST(Bits, FloatMantissaFullWidthIsIdentity) {
+  float V = 6.02214076e23f;
+  EXPECT_EQ(fromBits<float>(truncateFloatMantissa(
+                static_cast<uint32_t>(toBits(V)), 23)),
+            V);
+  EXPECT_EQ(fromBits<float>(truncateFloatMantissa(
+                static_cast<uint32_t>(toBits(V)), 99)),
+            V);
+}
+
+TEST(Bits, DoubleMantissaTruncation) {
+  double V = 3.141592653589793;
+  double Prev = V;
+  // Error grows monotonically as the mantissa narrows.
+  for (unsigned Bits : {52u, 32u, 16u, 8u}) {
+    double Narrow = fromBits<double>(truncateDoubleMantissa(toBits(V), Bits));
+    EXPECT_LE(Narrow, V);
+    EXPECT_LE(Narrow, Prev + 1e-18);
+    EXPECT_GT(Narrow, 3.0);
+    Prev = Narrow;
+  }
+  EXPECT_EQ(fromBits<double>(truncateDoubleMantissa(toBits(V), 52)), V);
+}
+
+TEST(Bits, MantissaTruncationErrorBound) {
+  // With k mantissa bits kept, the relative error is below 2^-k.
+  double V = 1.999999999;
+  for (unsigned Bits : {8u, 16u, 32u}) {
+    double Narrow = fromBits<double>(truncateDoubleMantissa(toBits(V), Bits));
+    EXPECT_LT(std::fabs(V - Narrow) / V, std::pow(2.0, -double(Bits)));
+  }
+}

@@ -1,0 +1,172 @@
+//===- tests/energy_test.cpp - Section 5.4 energy-model tests -------------===//
+
+#include "energy/model.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+
+namespace {
+
+/// A representative FP-heavy workload: ~40% approximate FP, mostly
+/// approximate DRAM, half-approximate SRAM.
+RunStats fpHeavyStats() {
+  RunStats Stats;
+  Stats.Ops.PreciseInt = 40000;
+  Stats.Ops.ApproxInt = 2000;
+  Stats.Ops.PreciseFp = 8000;
+  Stats.Ops.ApproxFp = 50000;
+  Stats.Storage.SramPrecise = 5e6;
+  Stats.Storage.SramApprox = 5e6;
+  Stats.Storage.DramPrecise = 2e7;
+  Stats.Storage.DramApprox = 8e7;
+  return Stats;
+}
+
+} // namespace
+
+TEST(EnergyModel, BaselineAtNoneIsOne) {
+  RunStats Stats = fpHeavyStats();
+  EnergyReport Report =
+      computeEnergy(Stats, FaultConfig::preset(ApproxLevel::None));
+  EXPECT_DOUBLE_EQ(Report.InstructionFactor, 1.0);
+  EXPECT_DOUBLE_EQ(Report.SramFactor, 1.0);
+  EXPECT_DOUBLE_EQ(Report.DramFactor, 1.0);
+  EXPECT_DOUBLE_EQ(Report.TotalFactor, 1.0);
+  EXPECT_DOUBLE_EQ(Report.saved(), 0.0);
+}
+
+TEST(EnergyModel, SavingsGrowWithLevel) {
+  RunStats Stats = fpHeavyStats();
+  double Prev = 0.0;
+  for (ApproxLevel Level :
+       {ApproxLevel::Mild, ApproxLevel::Medium, ApproxLevel::Aggressive}) {
+    EnergyReport Report =
+        computeEnergy(Stats, FaultConfig::preset(Level));
+    EXPECT_GT(Report.saved(), Prev) << approxLevelName(Level);
+    Prev = Report.saved();
+  }
+}
+
+TEST(EnergyModel, SavingsInPaperRange) {
+  // The paper reports 9%-48% total savings across apps and levels; an
+  // FP-heavy, highly-approximate app at Aggressive sits near the top.
+  RunStats Stats = fpHeavyStats();
+  EnergyReport Mild =
+      computeEnergy(Stats, FaultConfig::preset(ApproxLevel::Mild));
+  EnergyReport Aggr =
+      computeEnergy(Stats, FaultConfig::preset(ApproxLevel::Aggressive));
+  EXPECT_GT(Mild.saved(), 0.05);
+  EXPECT_LT(Aggr.saved(), 0.60);
+  EXPECT_GT(Aggr.saved(), 0.20);
+}
+
+TEST(EnergyModel, NoApproximationNoSavings) {
+  RunStats Stats;
+  Stats.Ops.PreciseInt = 100000;
+  Stats.Ops.PreciseFp = 100000;
+  Stats.Storage.SramPrecise = 1e6;
+  Stats.Storage.DramPrecise = 1e6;
+  EnergyReport Report =
+      computeEnergy(Stats, FaultConfig::preset(ApproxLevel::Aggressive));
+  EXPECT_DOUBLE_EQ(Report.TotalFactor, 1.0);
+}
+
+TEST(EnergyModel, InstructionFactorFormula) {
+  // One approximate integer op at Medium: 22 fetch/decode + 15 * (1-0.22)
+  // execute = 33.7 of 37 units.
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium);
+  EXPECT_NEAR(instructionEnergyFactor(false, true, C),
+              (22.0 + 15.0 * 0.78) / 37.0, 1e-12);
+  // One approximate FP op at Medium: 22 + 18 * (1-0.78) of 40.
+  EXPECT_NEAR(instructionEnergyFactor(true, true, C),
+              (22.0 + 18.0 * 0.22) / 40.0, 1e-12);
+  // Precise ops never save.
+  EXPECT_DOUBLE_EQ(instructionEnergyFactor(false, false, C), 1.0);
+  EXPECT_DOUBLE_EQ(instructionEnergyFactor(true, false, C), 1.0);
+}
+
+TEST(EnergyModel, FetchDecodeBoundsInstructionSavings) {
+  // Even at 100% execute savings, fetch/decode (22 units) remains:
+  // savings per int op can never exceed 15/37.
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  EXPECT_GT(instructionEnergyFactor(false, true, C), 22.0 / 37.0);
+  EXPECT_GT(instructionEnergyFactor(true, true, C), 22.0 / 40.0);
+}
+
+TEST(EnergyModel, SramFactorScalesWithApproxFraction) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium); // 80% saved.
+  RunStats Stats;
+  Stats.Ops.PreciseInt = 1;
+  Stats.Storage.SramPrecise = 1e6;
+  Stats.Storage.SramApprox = 3e6; // 75% approximate.
+  EnergyReport Report = computeEnergy(Stats, C);
+  EXPECT_NEAR(Report.SramFactor, 1.0 - 0.80 * 0.75, 1e-12);
+}
+
+TEST(EnergyModel, DramFactorScalesWithApproxFraction) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive); // 24% saved.
+  RunStats Stats;
+  Stats.Ops.PreciseInt = 1;
+  Stats.Storage.DramPrecise = 1e6;
+  Stats.Storage.DramApprox = 1e6; // 50% approximate.
+  EnergyReport Report = computeEnergy(Stats, C);
+  EXPECT_NEAR(Report.DramFactor, 1.0 - 0.24 * 0.5, 1e-12);
+}
+
+TEST(EnergyModel, CpuCombinesInstructionAndSram) {
+  RunStats Stats = fpHeavyStats();
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium);
+  EnergyReport Report = computeEnergy(Stats, C);
+  EXPECT_NEAR(Report.CpuFactor,
+              0.65 * Report.InstructionFactor + 0.35 * Report.SramFactor,
+              1e-12);
+  EXPECT_NEAR(Report.TotalFactor,
+              0.55 * Report.CpuFactor + 0.45 * Report.DramFactor, 1e-12);
+}
+
+TEST(EnergyModel, MobileSettingWeighsCpuMore) {
+  // Section 5.4: mobile memory is only ~25% of power, so DRAM-side
+  // savings matter less and CPU-side savings more than in a server.
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium);
+
+  RunStats DramBound;
+  DramBound.Ops.PreciseInt = 1;
+  DramBound.Storage.DramApprox = 1e6; // 100% approximate DRAM.
+  EXPECT_LT(computeEnergy(DramBound, C, PowerSetting::Mobile).saved(),
+            computeEnergy(DramBound, C, PowerSetting::Server).saved());
+
+  RunStats CpuBound;
+  CpuBound.Ops.ApproxFp = 1000; // All savings on the CPU side.
+  CpuBound.Storage.SramApprox = 1e6;
+  EXPECT_GT(computeEnergy(CpuBound, C, PowerSetting::Mobile).saved(),
+            computeEnergy(CpuBound, C, PowerSetting::Server).saved());
+}
+
+TEST(EnergyModel, EmptyStatsAreBaseline) {
+  RunStats Stats;
+  EnergyReport Report =
+      computeEnergy(Stats, FaultConfig::preset(ApproxLevel::Aggressive));
+  EXPECT_DOUBLE_EQ(Report.TotalFactor, 1.0);
+}
+
+TEST(EnergyModel, FpApproximationSavesMoreThanIntApproximation) {
+  // Table 2: FP width reduction saves up to 85% of execute energy vs 30%
+  // for integer voltage scaling — the paper's observation that FP-heavy
+  // apps have more headroom.
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  double FpSaved = 1.0 - instructionEnergyFactor(true, true, C);
+  double IntSaved = 1.0 - instructionEnergyFactor(false, true, C);
+  EXPECT_GT(FpSaved, IntSaved);
+}
+
+TEST(EnergyModel, DisabledStrategiesContributeNothing) {
+  RunStats Stats = fpHeavyStats();
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.EnableSram = false;
+  C.EnableDram = false;
+  C.EnableFpWidth = false;
+  C.EnableTiming = false;
+  EnergyReport Report = computeEnergy(Stats, C);
+  EXPECT_DOUBLE_EQ(Report.TotalFactor, 1.0);
+}

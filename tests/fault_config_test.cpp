@@ -1,0 +1,126 @@
+//===- tests/fault_config_test.cpp - Table 2 configuration tests ----------===//
+
+#include "fault/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace enerj;
+
+TEST(FaultConfig, Table2MediumValues) {
+  // All Medium-level values come straight from the literature (Table 2).
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium);
+  EXPECT_DOUBLE_EQ(C.dramFlipPerSecond(), 1e-5);
+  EXPECT_NEAR(C.sramReadUpset(), std::pow(10.0, -7.4), 1e-12);
+  EXPECT_NEAR(C.sramWriteFailure(), std::pow(10.0, -4.94), 1e-10);
+  EXPECT_EQ(C.floatMantissaBits(), 8u);
+  EXPECT_EQ(C.doubleMantissaBits(), 16u);
+  EXPECT_DOUBLE_EQ(C.timingErrorProbability(), 1e-4);
+  EXPECT_DOUBLE_EQ(C.dramPowerSaved(), 0.22);
+  EXPECT_DOUBLE_EQ(C.sramPowerSaved(), 0.80);
+  EXPECT_DOUBLE_EQ(C.fpEnergySaved(), 0.78);
+  EXPECT_DOUBLE_EQ(C.aluEnergySaved(), 0.22);
+}
+
+TEST(FaultConfig, Table2MildAndAggressive) {
+  FaultConfig Mild = FaultConfig::preset(ApproxLevel::Mild);
+  FaultConfig Aggr = FaultConfig::preset(ApproxLevel::Aggressive);
+  EXPECT_DOUBLE_EQ(Mild.dramFlipPerSecond(), 1e-9);
+  EXPECT_DOUBLE_EQ(Aggr.dramFlipPerSecond(), 1e-3);
+  EXPECT_EQ(Mild.floatMantissaBits(), 16u);
+  EXPECT_EQ(Aggr.floatMantissaBits(), 4u);
+  EXPECT_EQ(Mild.doubleMantissaBits(), 32u);
+  EXPECT_EQ(Aggr.doubleMantissaBits(), 8u);
+  EXPECT_DOUBLE_EQ(Mild.timingErrorProbability(), 1e-6);
+  EXPECT_DOUBLE_EQ(Aggr.timingErrorProbability(), 1e-2);
+  EXPECT_DOUBLE_EQ(Mild.sramPowerSaved(), 0.70);
+  EXPECT_DOUBLE_EQ(Aggr.sramPowerSaved(), 0.90);
+}
+
+TEST(FaultConfig, NoneLevelIsFullyPrecise) {
+  // Level None: the hardware executes approximate instructions precisely
+  // and saves no energy (the paper's backward-compatibility execution).
+  FaultConfig C = FaultConfig::preset(ApproxLevel::None);
+  EXPECT_EQ(C.dramFlipPerSecond(), 0.0);
+  EXPECT_EQ(C.sramReadUpset(), 0.0);
+  EXPECT_EQ(C.sramWriteFailure(), 0.0);
+  EXPECT_EQ(C.floatMantissaBits(), 23u);
+  EXPECT_EQ(C.doubleMantissaBits(), 52u);
+  EXPECT_EQ(C.timingErrorProbability(), 0.0);
+  EXPECT_EQ(C.dramPowerSaved(), 0.0);
+  EXPECT_EQ(C.sramPowerSaved(), 0.0);
+  EXPECT_EQ(C.fpEnergySaved(), 0.0);
+  EXPECT_EQ(C.aluEnergySaved(), 0.0);
+}
+
+TEST(FaultConfig, DisablingAStrategyZeroesItsEffects) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.EnableDram = false;
+  EXPECT_EQ(C.dramFlipPerSecond(), 0.0);
+  EXPECT_EQ(C.dramPowerSaved(), 0.0);
+  EXPECT_GT(C.sramReadUpset(), 0.0);
+
+  C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.EnableSram = false;
+  EXPECT_EQ(C.sramReadUpset(), 0.0);
+  EXPECT_EQ(C.sramWriteFailure(), 0.0);
+  EXPECT_EQ(C.sramPowerSaved(), 0.0);
+
+  C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.EnableFpWidth = false;
+  EXPECT_EQ(C.floatMantissaBits(), 23u);
+  EXPECT_EQ(C.doubleMantissaBits(), 52u);
+  EXPECT_EQ(C.fpEnergySaved(), 0.0);
+
+  C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.EnableTiming = false;
+  EXPECT_EQ(C.timingErrorProbability(), 0.0);
+  EXPECT_EQ(C.aluEnergySaved(), 0.0);
+}
+
+TEST(FaultConfig, ErrorRatesGrowWithAggressiveness) {
+  FaultConfig Mild = FaultConfig::preset(ApproxLevel::Mild);
+  FaultConfig Med = FaultConfig::preset(ApproxLevel::Medium);
+  FaultConfig Aggr = FaultConfig::preset(ApproxLevel::Aggressive);
+  EXPECT_LT(Mild.dramFlipPerSecond(), Med.dramFlipPerSecond());
+  EXPECT_LT(Med.dramFlipPerSecond(), Aggr.dramFlipPerSecond());
+  EXPECT_LT(Mild.sramReadUpset(), Med.sramReadUpset());
+  EXPECT_LT(Med.sramReadUpset(), Aggr.sramReadUpset());
+  EXPECT_LT(Mild.timingErrorProbability(), Med.timingErrorProbability());
+  EXPECT_LT(Med.timingErrorProbability(), Aggr.timingErrorProbability());
+  EXPECT_GT(Mild.floatMantissaBits(), Med.floatMantissaBits());
+  EXPECT_GT(Med.floatMantissaBits(), Aggr.floatMantissaBits());
+}
+
+TEST(FaultConfig, SavingsGrowWithAggressiveness) {
+  FaultConfig Mild = FaultConfig::preset(ApproxLevel::Mild);
+  FaultConfig Med = FaultConfig::preset(ApproxLevel::Medium);
+  FaultConfig Aggr = FaultConfig::preset(ApproxLevel::Aggressive);
+  EXPECT_LT(Mild.dramPowerSaved(), Med.dramPowerSaved());
+  EXPECT_LT(Med.dramPowerSaved(), Aggr.dramPowerSaved());
+  EXPECT_LT(Mild.sramPowerSaved(), Med.sramPowerSaved());
+  EXPECT_LT(Med.sramPowerSaved(), Aggr.sramPowerSaved());
+  EXPECT_LT(Mild.fpEnergySaved(), Med.fpEnergySaved());
+  EXPECT_LT(Med.fpEnergySaved(), Aggr.fpEnergySaved());
+  EXPECT_LT(Mild.aluEnergySaved(), Med.aluEnergySaved());
+  EXPECT_LT(Med.aluEnergySaved(), Aggr.aluEnergySaved());
+}
+
+TEST(FaultConfig, Describe) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium);
+  EXPECT_EQ(C.describe(), "medium/random");
+  C.Mode = ErrorMode::SingleBitFlip;
+  C.EnableDram = false;
+  EXPECT_EQ(C.describe(), "medium/bitflip [-SFT]");
+}
+
+TEST(FaultConfig, Names) {
+  EXPECT_STREQ(approxLevelName(ApproxLevel::None), "none");
+  EXPECT_STREQ(approxLevelName(ApproxLevel::Mild), "mild");
+  EXPECT_STREQ(approxLevelName(ApproxLevel::Medium), "medium");
+  EXPECT_STREQ(approxLevelName(ApproxLevel::Aggressive), "aggressive");
+  EXPECT_STREQ(errorModeName(ErrorMode::RandomValue), "random");
+  EXPECT_STREQ(errorModeName(ErrorMode::SingleBitFlip), "bitflip");
+  EXPECT_STREQ(errorModeName(ErrorMode::LastValue), "lastvalue");
+}

@@ -1,0 +1,226 @@
+//===- tests/fault_models_test.cpp - Fault-injection model tests ----------===//
+
+#include "fault/models.h"
+
+#include "support/bits.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+using namespace enerj;
+
+namespace {
+
+FaultConfig aggressive() {
+  return FaultConfig::preset(ApproxLevel::Aggressive);
+}
+
+/// Counts differing bits between two words.
+unsigned hamming(uint64_t A, uint64_t B) {
+  return static_cast<unsigned>(std::popcount(A ^ B));
+}
+
+} // namespace
+
+TEST(SramModel, NoneLevelNeverFlips) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::None);
+  SramModel Model(C);
+  Rng R(1);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.next();
+    EXPECT_EQ(Model.onRead(V, 64, R), V);
+    EXPECT_EQ(Model.onWrite(V, 64, R), V);
+  }
+}
+
+TEST(SramModel, AggressiveReadUpsetRateIsApprox1eMinus3) {
+  FaultConfig C = aggressive();
+  SramModel Model(C);
+  Rng R(2);
+  uint64_t FlippedBits = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    uint64_t V = R.next();
+    FlippedBits += hamming(Model.onRead(V, 64, R), V);
+  }
+  double Rate = static_cast<double>(FlippedBits) / (64.0 * N);
+  EXPECT_NEAR(Rate, 1e-3, 2e-4);
+}
+
+TEST(SramModel, WriteFailureRateMedium) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium);
+  SramModel Model(C);
+  Rng R(3);
+  uint64_t FlippedBits = 0;
+  const int N = 400000;
+  for (int I = 0; I < N; ++I) {
+    uint64_t V = R.next();
+    FlippedBits += hamming(Model.onWrite(V, 64, R), V);
+  }
+  double Rate = static_cast<double>(FlippedBits) / (64.0 * N);
+  double Expected = std::pow(10.0, -4.94);
+  EXPECT_NEAR(Rate, Expected, Expected * 0.3);
+}
+
+TEST(SramModel, FlipsStayWithinWidth) {
+  FaultConfig C = aggressive();
+  SramModel Model(C);
+  Rng R(4);
+  for (int I = 0; I < 50000; ++I) {
+    uint64_t Result = Model.onRead(0, 8, R);
+    EXPECT_EQ(Result & ~0xFFull, 0u) << "flip outside the 8-bit value";
+  }
+}
+
+TEST(DramModel, NoDecayAtZeroElapsed) {
+  FaultConfig C = aggressive();
+  DramModel Model(C);
+  Rng R(5);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.next();
+    EXPECT_EQ(Model.onAccess(V, 64, 0, R), V);
+  }
+}
+
+TEST(DramModel, FlipProbabilityMonotoneInTime) {
+  FaultConfig C = aggressive();
+  DramModel Model(C);
+  double Prev = 0.0;
+  for (uint64_t Cycles : {1ull << 10, 1ull << 20, 1ull << 30, 1ull << 40}) {
+    double P = Model.flipProbability(Cycles);
+    EXPECT_GE(P, Prev);
+    EXPECT_LE(P, 1.0);
+    Prev = P;
+  }
+}
+
+TEST(DramModel, FlipProbabilityMatchesRateForShortTimes) {
+  // For t << 1/rate, P ~= rate * t.
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium);
+  C.CyclesPerSecond = 1e6;
+  DramModel Model(C);
+  double P = Model.flipProbability(1000); // 1 ms.
+  EXPECT_NEAR(P, 1e-5 * 1e-3, 1e-10);
+}
+
+TEST(DramModel, ObservedDecayRate) {
+  FaultConfig C = aggressive(); // 1e-3 per second per bit.
+  C.CyclesPerSecond = 1e6;
+  DramModel Model(C);
+  Rng R(6);
+  uint64_t Flipped = 0;
+  const int N = 20000;
+  // One full second since last access.
+  for (int I = 0; I < N; ++I) {
+    uint64_t V = R.next();
+    Flipped += std::popcount(Model.onAccess(V, 64, 1000000, R) ^ V);
+  }
+  double Rate = static_cast<double>(Flipped) / (64.0 * N);
+  EXPECT_NEAR(Rate, 1e-3, 2e-4);
+}
+
+TEST(FpWidthModel, NarrowFloatKeepsValueApproximately) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Medium); // 8 bits.
+  FpWidthModel Model(C);
+  float V = 123.456f;
+  float Narrow = Model.narrow(V);
+  EXPECT_NEAR(Narrow, V, V * std::pow(2.0f, -8.0f));
+  EXPECT_LE(Narrow, V); // Truncation toward zero for positive values.
+}
+
+TEST(FpWidthModel, NarrowDoubleAggressive) {
+  FaultConfig C = aggressive(); // 8 mantissa bits for double.
+  FpWidthModel Model(C);
+  double V = 9876.54321;
+  double Narrow = Model.narrow(V);
+  EXPECT_NEAR(Narrow, V, V * std::pow(2.0, -8.0));
+  EXPECT_NE(Narrow, V); // 8 bits cannot represent this exactly.
+}
+
+TEST(FpWidthModel, NoneLevelIsIdentity) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::None);
+  FpWidthModel Model(C);
+  EXPECT_EQ(Model.narrow(3.14159f), 3.14159f);
+  EXPECT_EQ(Model.narrow(2.718281828459045), 2.718281828459045);
+}
+
+TEST(FpWidthModel, SpecialValuesSurvive) {
+  FaultConfig C = aggressive();
+  FpWidthModel Model(C);
+  EXPECT_EQ(Model.narrow(0.0f), 0.0f);
+  EXPECT_EQ(Model.narrow(-0.0), -0.0);
+  EXPECT_TRUE(std::isinf(Model.narrow(
+      std::numeric_limits<float>::infinity())));
+  EXPECT_TRUE(std::isnan(Model.narrow(
+      std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(TimingModel, ErrorRateAggressive) {
+  FaultConfig C = aggressive(); // 1e-2.
+  TimingModel Model(C);
+  Rng R(7);
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Model.onResult(R.next(), 64, R);
+  EXPECT_NEAR(static_cast<double>(Model.errorCount()) / N, 1e-2, 2e-3);
+}
+
+TEST(TimingModel, SingleBitFlipModeFlipsExactlyOneBit) {
+  FaultConfig C = aggressive();
+  C.Mode = ErrorMode::SingleBitFlip;
+  C.EnableTiming = true;
+  TimingModel Model(C);
+  Rng R(8);
+  for (int I = 0; I < 100000; ++I) {
+    uint64_t Correct = R.next();
+    uint64_t Before = Model.errorCount();
+    uint64_t Produced = Model.onResult(Correct, 64, R);
+    if (Model.errorCount() != Before)
+      EXPECT_EQ(hamming(Produced, Correct), 1u);
+    else
+      EXPECT_EQ(Produced, Correct);
+  }
+  EXPECT_GT(Model.errorCount(), 0u);
+}
+
+TEST(TimingModel, LastValueModeReturnsPreviousResult) {
+  FaultConfig C = aggressive();
+  C.Mode = ErrorMode::LastValue;
+  TimingModel Model(C);
+  Rng R(9);
+  uint64_t Last = 0;
+  bool SawError = false;
+  for (int I = 0; I < 100000; ++I) {
+    uint64_t Correct = R.next() & 0xFFFFFFFF;
+    uint64_t Before = Model.errorCount();
+    uint64_t Produced = Model.onResult(Correct, 32, R);
+    if (Model.errorCount() != Before) {
+      EXPECT_EQ(Produced, Last);
+      SawError = true;
+    }
+    Last = Produced;
+  }
+  EXPECT_TRUE(SawError);
+}
+
+TEST(TimingModel, ResultsMaskedToWidth) {
+  FaultConfig C = aggressive();
+  TimingModel Model(C);
+  Rng R(10);
+  for (int I = 0; I < 100000; ++I)
+    EXPECT_EQ(Model.onResult(R.next(), 16, R) & ~0xFFFFull, 0u);
+}
+
+TEST(TimingModel, NoErrorsAtNone) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::None);
+  TimingModel Model(C);
+  Rng R(11);
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t V = R.next();
+    EXPECT_EQ(Model.onResult(V, 64, R), V);
+  }
+  EXPECT_EQ(Model.errorCount(), 0u);
+}

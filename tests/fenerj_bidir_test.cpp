@@ -1,0 +1,221 @@
+//===- tests/fenerj_bidir_test.cpp - Bidirectional typing (Section 2.3) ---===//
+//
+// EnerJ applies approximate arithmetic operators when the *result* type
+// is approximate — on the right-hand side of assignments and in method
+// arguments — even if both operands are precise. These tests verify the
+// checker's side table, the interpreter's operator selection (counted
+// and perturbable), and that the optimization cannot break
+// non-interference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fenerj/fenerj.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::fenerj;
+
+namespace {
+
+struct Compiled {
+  Program Prog;
+  ClassTable Table;
+  CheckResult Check;
+};
+
+Compiled compileWith(std::string_view Source, bool Bidirectional) {
+  DiagnosticEngine Diags;
+  Compiled Out;
+  std::optional<Program> Prog = parseProgram(Source, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  if (!Prog)
+    return Out;
+  Out.Prog = std::move(*Prog);
+  EXPECT_TRUE(Out.Table.build(Out.Prog, Diags)) << Diags.str();
+  CheckOptions Options;
+  Options.Bidirectional = Bidirectional;
+  Out.Check = typeCheckEx(Out.Prog, Out.Table, Diags, Options);
+  EXPECT_TRUE(Out.Check.Ok) << Diags.str();
+  return Out;
+}
+
+OperationStats opsOf(const Compiled &C, Perturber *Perturb = nullptr) {
+  InterpOptions Options;
+  Options.ContextApproxOps = &C.Check.ContextApproxOps;
+  Options.Perturb = Perturb;
+  Interpreter Interp(C.Prog, C.Table, Options);
+  EvalResult Result = Interp.run();
+  EXPECT_FALSE(Result.Trapped) << Result.TrapMessage;
+  return Interp.opStats();
+}
+
+} // namespace
+
+TEST(Bidirectional, PaperExample) {
+  // "Consider a = b + c where a is approximate but b and c are precise":
+  // the addition runs approximately without any extra annotation.
+  const char *Source = R"({
+    let int b = 2;
+    let int c = 3;
+    let @approx int a = 0;
+    a = b + c;
+  })";
+  Compiled With = compileWith(Source, true);
+  EXPECT_EQ(With.Check.ContextApproxOps.size(), 1u);
+  Compiled Without = compileWith(Source, false);
+  EXPECT_TRUE(Without.Check.ContextApproxOps.empty());
+
+  OperationStats WithOps = opsOf(With);
+  EXPECT_EQ(WithOps.ApproxInt, 1u);
+  OperationStats WithoutOps = opsOf(Without);
+  EXPECT_EQ(WithoutOps.ApproxInt, 0u);
+  EXPECT_EQ(WithoutOps.PreciseInt, WithOps.PreciseInt + 1);
+}
+
+TEST(Bidirectional, WholeExpressionTreeSelected) {
+  // The approximate expectation flows into nested arithmetic.
+  Compiled C = compileWith(R"({
+    let @approx float x = 1.0 * 2.0 + 3.0 * 4.0;
+    x;
+  })",
+                           true);
+  // The two multiplies are recorded; the add then sees approximate
+  // operand *types*, so the ordinary overloading rule already selects
+  // the approximate operator for it — dynamically all three ops run
+  // approximately.
+  EXPECT_EQ(C.Check.ContextApproxOps.size(), 2u);
+  EXPECT_EQ(opsOf(C).ApproxFp, 3u);
+}
+
+TEST(Bidirectional, InitializersAssignsWritesAndArgs) {
+  Compiled C = compileWith(R"(
+    class Box {
+      @approx float v;
+      int put(@approx float x) { this.v := x; 0; }
+    }
+    {
+      let Box b = new Box();
+      b.put(1.0 + 2.0);          // argument context
+      b.v := 3.0 * 4.0;          // field-write context
+      let @approx float[] a = new @approx float[2];
+      a[0] := 5.0 - 6.0;         // array-store context
+      let @approx float l = 7.0 / 8.0; // initializer context
+      l = 9.0 + 1.0;             // assignment context
+    }
+  )",
+                           true);
+  EXPECT_EQ(C.Check.ContextApproxOps.size(), 5u);
+}
+
+TEST(Bidirectional, PreciseContextsUntouched) {
+  Compiled C = compileWith(R"({
+    let int p = 1 + 2;           // precise initializer
+    let @approx int a = 0;
+    if (p > 2) { a = 1 + 1; } else { a = 2 + 2; };  // only these two
+    p;
+  })",
+                           true);
+  // The condition and the precise initializer stay precise.
+  EXPECT_EQ(C.Check.ContextApproxOps.size(), 2u);
+  OperationStats Ops = opsOf(C);
+  EXPECT_EQ(Ops.ApproxInt, 1u); // One branch executes.
+}
+
+TEST(Bidirectional, AlreadyApproxOperandsNotDoubleCounted) {
+  Compiled C = compileWith(R"({
+    let @approx int a = 1;
+    let @approx int b = 0;
+    b = a + 1;  // operand already approximate: normal overloading rule
+  })",
+                           true);
+  EXPECT_TRUE(C.Check.ContextApproxOps.empty());
+  EXPECT_EQ(opsOf(C).ApproxInt, 1u);
+}
+
+TEST(Bidirectional, SelectedOpsArePerturbable) {
+  // The selected operations really run on the approximate unit: a
+  // full-strength perturber changes their results...
+  const char *Source = R"({
+    let @approx int a = 0;
+    a = 10 + 20;
+    endorse(a);
+  })";
+  Compiled C = compileWith(Source, true);
+  RandomPerturber Perturb(3, 1.0);
+  InterpOptions Options;
+  Options.ContextApproxOps = &C.Check.ContextApproxOps;
+  Options.Perturb = &Perturb;
+  Interpreter Interp(C.Prog, C.Table, Options);
+  EvalResult Result = Interp.run();
+  ASSERT_FALSE(Result.Trapped);
+  EXPECT_NE(Result.Result.I, 30);
+
+  // ...while without the side table the addition itself executes
+  // precisely (the value still lands in approximate storage, so reads of
+  // 'a' remain perturbable — but the op count proves which unit ran it).
+  Compiled Plain = compileWith(Source, false);
+  RandomPerturber Perturb2(3, 1.0);
+  InterpOptions PlainOptions;
+  PlainOptions.ContextApproxOps = &Plain.Check.ContextApproxOps;
+  PlainOptions.Perturb = &Perturb2;
+  Interpreter PlainInterp(Plain.Prog, Plain.Table, PlainOptions);
+  EvalResult PlainResult = PlainInterp.run();
+  ASSERT_FALSE(PlainResult.Trapped);
+  EXPECT_EQ(PlainInterp.opStats().ApproxInt, 0u);
+  EXPECT_EQ(PlainInterp.opStats().PreciseInt, Interp.opStats().PreciseInt + 1);
+}
+
+TEST(Bidirectional, NonInterferenceStillHolds) {
+  // The optimization only reclassifies ops whose results flow to
+  // approximate storage, so the precise projection stays invariant.
+  for (uint64_t Seed = 100; Seed < 120; ++Seed) {
+    GeneratorOptions GenOptions;
+    GenOptions.Seed = Seed;
+    std::string Source = generateProgram(GenOptions);
+    DiagnosticEngine Diags;
+    ClassTable Table;
+    std::optional<Program> Prog = parseProgram(Source, Diags);
+    ASSERT_TRUE(Prog.has_value());
+    ASSERT_TRUE(Table.build(*Prog, Diags));
+    CheckOptions Options;
+    Options.Bidirectional = true;
+    CheckResult Check = typeCheckEx(*Prog, Table, Diags, Options);
+    ASSERT_TRUE(Check.Ok) << Diags.str();
+
+    Interpreter Ref(*Prog, Table, {});
+    EvalResult RefResult = Ref.run();
+    ASSERT_FALSE(RefResult.Trapped);
+
+    RandomPerturber Perturb(Seed, 1.0);
+    InterpOptions RunOptions;
+    RunOptions.ContextApproxOps = &Check.ContextApproxOps;
+    RunOptions.Perturb = &Perturb;
+    Interpreter Run(*Prog, Table, RunOptions);
+    EvalResult Result = Run.run();
+    ASSERT_FALSE(Result.Trapped) << Result.TrapMessage;
+    EXPECT_EQ(Run.preciseProjection(Result),
+              Ref.preciseProjection(RefResult))
+        << "seed " << Seed;
+  }
+}
+
+TEST(Bidirectional, OpStatsFeedTheEnergyModel) {
+  // The FEnerJ-to-energy bridge: more approximate ops, more savings.
+  const char *Source = R"({
+    let @approx float acc = 0.0;
+    let int i = 0;
+    while (i < 100) {
+      acc = acc + 1.5 * 2.5;
+      i = i + 1;
+    };
+    endorse(acc);
+  })";
+  Compiled With = compileWith(Source, true);
+  Compiled Without = compileWith(Source, false);
+  OperationStats WithOps = opsOf(With);
+  OperationStats WithoutOps = opsOf(Without);
+  EXPECT_GT(WithOps.ApproxFp, WithoutOps.ApproxFp);
+  EXPECT_EQ(WithOps.total(), WithoutOps.total());
+  EXPECT_GT(WithOps.approxFpFraction(), WithoutOps.approxFpFraction());
+}

@@ -1,0 +1,416 @@
+//===- tests/fenerj_codegen_test.cpp - FEnerJ -> ISA compiler tests -------===//
+//
+// The full pipeline of the paper, differentially tested: every corpus
+// program is (1) type-checked, (2) evaluated by the FEnerJ interpreter,
+// (3) compiled to the approximate ISA, where the output must pass the
+// ISA Verifier — the compiler maps approximate variables to approximate
+// storage/instructions *and* preserves the discipline — and (4) executed
+// on a fault-free Machine, whose r1/f1 result must equal the
+// interpreter's.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fenerj/codegen.h"
+
+#include "energy/model.h"
+#include "fenerj/fenerj.h"
+#include "isa/assembler.h"
+#include "isa/machine.h"
+#include "isa/verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::fenerj;
+
+namespace {
+
+struct Pipeline {
+  Value Interpreted;
+  isa::IsaProgram Binary;
+  std::string Assembly;
+};
+
+Pipeline compileAndRun(std::string_view Source) {
+  Pipeline Out;
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  if (!Prog)
+    return Out;
+
+  Interpreter Interp(*Prog, Table, {});
+  EvalResult Result = Interp.run();
+  EXPECT_FALSE(Result.Trapped) << Result.TrapMessage;
+  Out.Interpreted = Result.Result;
+
+  CodegenResult Code = compileToIsa(*Prog);
+  EXPECT_TRUE(Code.Ok) << Code.Error;
+  if (!Code.Ok)
+    return Out;
+  Out.Assembly = Code.Assembly;
+
+  std::vector<std::string> AsmErrors;
+  std::optional<isa::IsaProgram> Binary =
+      isa::assemble(Code.Assembly, AsmErrors);
+  EXPECT_TRUE(Binary.has_value());
+  for (const std::string &E : AsmErrors)
+    ADD_FAILURE() << E << "\n--- assembly ---\n" << Code.Assembly;
+  if (!Binary)
+    return Out;
+
+  // The compiler must emit discipline-clean code.
+  for (const isa::VerifyError &E : isa::verify(*Binary))
+    ADD_FAILURE() << E.str() << "\n--- assembly ---\n" << Code.Assembly;
+
+  Out.Binary = std::move(*Binary);
+  return Out;
+}
+
+/// Runs the compiled binary precisely and checks the int result.
+void expectCompiledInt(std::string_view Source, int64_t Expected) {
+  Pipeline P = compileAndRun(Source);
+  ASSERT_EQ(P.Interpreted.K, Value::Kind::Int);
+  EXPECT_EQ(P.Interpreted.I, Expected) << "interpreter disagrees";
+  isa::Machine M(P.Binary, FaultConfig::preset(ApproxLevel::None));
+  isa::MachineResult Result = M.run();
+  ASSERT_FALSE(Result.Trapped)
+      << Result.TrapMessage << "\n--- assembly ---\n" << P.Assembly;
+  EXPECT_EQ(M.intReg(1), Expected) << "--- assembly ---\n" << P.Assembly;
+}
+
+void expectCompiledFloat(std::string_view Source, double Expected) {
+  Pipeline P = compileAndRun(Source);
+  ASSERT_EQ(P.Interpreted.K, Value::Kind::Float);
+  EXPECT_DOUBLE_EQ(P.Interpreted.F, Expected);
+  isa::Machine M(P.Binary, FaultConfig::preset(ApproxLevel::None));
+  isa::MachineResult Result = M.run();
+  ASSERT_FALSE(Result.Trapped)
+      << Result.TrapMessage << "\n--- assembly ---\n" << P.Assembly;
+  EXPECT_DOUBLE_EQ(M.fpReg(1), Expected)
+      << "--- assembly ---\n" << P.Assembly;
+}
+
+void expectUnsupported(std::string_view Source, const char *Fragment) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.str();
+  CodegenResult Code = compileToIsa(*Prog);
+  EXPECT_FALSE(Code.Ok);
+  EXPECT_NE(Code.Error.find(Fragment), std::string::npos) << Code.Error;
+}
+
+} // namespace
+
+TEST(FenerjCodegen, Arithmetic) {
+  expectCompiledInt("1 + 2 * 3", 7);
+  expectCompiledInt("(10 - 4) / 2", 3);
+  expectCompiledInt("17 % 5", 2);
+  expectCompiledInt("-7 + 2", -5);
+  expectCompiledFloat("1.5 * 2.0 + 0.25", 3.25);
+  expectCompiledFloat("7.0 / 2.0", 3.5);
+  expectCompiledFloat("-1.5 - 0.5", -2.0);
+}
+
+TEST(FenerjCodegen, LocalsAndAssignment) {
+  expectCompiledInt("{ let int x = 5; x = x + 1; x * 2; }", 12);
+  expectCompiledFloat("{ let float f = 0.5; let float g = f + f; g; }",
+                      1.0);
+}
+
+TEST(FenerjCodegen, Casts) {
+  expectCompiledFloat("cast<float>(3)", 3.0);
+  expectCompiledInt("cast<int>(3.9)", 3);
+}
+
+TEST(FenerjCodegen, ControlFlow) {
+  expectCompiledInt("if (1 < 2) { 10; } else { 20; }", 10);
+  expectCompiledInt("if (2 < 1) { 10; } else { 20; }", 20);
+  expectCompiledInt("if (1 < 2 && 3 < 2) { 1; } else { 0; }", 0);
+  expectCompiledInt("if (1 < 2 || 3 < 2) { 1; } else { 0; }", 1);
+  expectCompiledInt("if (!(1 == 2)) { 1; } else { 0; }", 1);
+  expectCompiledInt(R"({
+    let int i = 0;
+    let int sum = 0;
+    while (i < 10) { sum = sum + i; i = i + 1; };
+    sum;
+  })",
+                    45);
+}
+
+TEST(FenerjCodegen, NestedIfInExpression) {
+  expectCompiledInt("1 + if (true) { 10; } else { 20; } + 100", 111);
+  expectCompiledInt(R"({
+    let int a = if (1 < 2) { if (2 < 3) { 1; } else { 2; } } else { 3; };
+    a;
+  })",
+                    1);
+}
+
+TEST(FenerjCodegen, Arrays) {
+  expectCompiledInt(R"({
+    let int[] a = new int[8];
+    let int i = 0;
+    while (i < a.length) { a[i] := i * i; i = i + 1; };
+    a[0] + a[3] + a[7];
+  })",
+                    0 + 9 + 49);
+}
+
+TEST(FenerjCodegen, ApproxDataCompilesToApproxInstructions) {
+  const char *Source = R"({
+    let @approx float[] v = new @approx float[16];
+    let int i = 0;
+    while (i < v.length) {
+      v[i] := cast<@approx float>(i) * 0.5;
+      i = i + 1;
+    };
+    let @approx float sum = 0.0;
+    i = 0;
+    while (i < v.length) { sum = sum + v[i]; i = i + 1; };
+    endorse(sum);
+  })";
+  // Semantics first (fault-free): sum of 0.5*i for i in 0..15 = 60.
+  expectCompiledFloat(Source, 60.0);
+
+  // The annotations reached the hardware: approximate FP instructions,
+  // approximate DRAM, and measurable energy savings.
+  Pipeline P = compileAndRun(Source);
+  FaultConfig Medium = FaultConfig::preset(ApproxLevel::Medium);
+  isa::Machine M(P.Binary, Medium);
+  ASSERT_FALSE(M.run().Trapped);
+  RunStats Stats = M.stats();
+  EXPECT_GT(Stats.Ops.ApproxFp, 16u);
+  EXPECT_GT(Stats.Storage.dramApproxFraction(), 0.0);
+  EXPECT_GT(computeEnergy(Stats, Medium).saved(), 0.0);
+  // And the assembly really contains `.a` forms and approximate stores.
+  EXPECT_NE(P.Assembly.find("fadd.a"), std::string::npos);
+  EXPECT_NE(P.Assembly.find("fsw.a"), std::string::npos);
+  EXPECT_NE(P.Assembly.find("fendorse"), std::string::npos);
+}
+
+TEST(FenerjCodegen, EndorsedConditions) {
+  expectCompiledInt(R"({
+    let @approx int v = 5;
+    if (endorse(v == 5)) { 1; } else { 0; };
+  })",
+                    1);
+  expectCompiledInt(R"({
+    let @approx int v = 3;
+    let int count = 0;
+    while (endorse(v > 0)) { count = count + 1; v = v - 1; };
+    count;
+  })",
+                    3);
+}
+
+TEST(FenerjCodegen, PreciseAndApproxCoexist) {
+  // The paper's pattern: approximate accumulation, precise control,
+  // endorsed boundary — all visible in one binary.
+  expectCompiledInt(R"({
+    let @approx int acc = 0;
+    let int i = 0;
+    while (i < 20) { acc = acc + i; i = i + 1; };
+    let int out = endorse(acc);
+    out;
+  })",
+                    190);
+}
+
+TEST(FenerjCodegen, FaultFreeMachineMatchesInterpreterOnKernels) {
+  // A small SOR-style smoothing kernel, checked end to end.
+  const char *Kernel = R"({
+    let @approx float[] g = new @approx float[32];
+    let int i = 0;
+    while (i < g.length) { g[i] := cast<@approx float>(i % 7); i = i + 1; };
+    let int sweep = 0;
+    while (sweep < 3) {
+      i = 1;
+      while (i < g.length - 1) {
+        g[i] := (g[i - 1] + g[i] + g[i + 1]) / 3.0;
+        i = i + 1;
+      };
+      sweep = sweep + 1;
+    };
+    let @approx float total = 0.0;
+    i = 0;
+    while (i < g.length) { total = total + g[i]; i = i + 1; };
+    endorse(total);
+  })";
+  Pipeline P = compileAndRun(Kernel);
+  ASSERT_EQ(P.Interpreted.K, Value::Kind::Float);
+  isa::Machine M(P.Binary, FaultConfig::preset(ApproxLevel::None));
+  isa::MachineResult Result = M.run();
+  ASSERT_FALSE(Result.Trapped) << Result.TrapMessage;
+  EXPECT_NEAR(M.fpReg(1), P.Interpreted.F, 1e-9);
+}
+
+TEST(FenerjCodegen, GeneratedBinaryDegradesGracefully) {
+  const char *Kernel = R"({
+    let @approx float acc = 0.0;
+    let int i = 0;
+    while (i < 200) { acc = acc + 0.5; i = i + 1; };
+    endorse(acc);
+  })";
+  Pipeline P = compileAndRun(Kernel);
+  // Precise machine: exact.
+  isa::Machine None(P.Binary, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(None.run().Trapped);
+  EXPECT_DOUBLE_EQ(None.fpReg(1), 100.0);
+  // Aggressive machine: still completes (never crashes), possibly wrong.
+  isa::Machine Aggr(P.Binary, FaultConfig::preset(ApproxLevel::Aggressive));
+  ASSERT_FALSE(Aggr.run().Trapped);
+}
+
+TEST(FenerjCodegen, UnsupportedConstructsReportErrors) {
+  expectUnsupported("class C { int f; } { 0; }", "class-free");
+  expectUnsupported("{ let int n = 4; let int[] a = new int[n]; 0; }",
+                    "integer literals");
+  // Materializing an approximate FP comparison would require a
+  // compiler-inserted endorsement; refused by design.
+  expectUnsupported(R"({
+    let @approx float x = 1.0;
+    let @approx bool b = x < 2.0;
+    0;
+  })",
+                    "approximate floating-point comparisons");
+}
+
+TEST(FenerjCodegen, BooleanValues) {
+  // Booleans are first-class values (0/1 integer words), matching the
+  // interpreter through the set/logic instructions.
+  expectCompiledInt(R"({
+    let bool t = 1 < 2;
+    let bool f = 2.5 < 1.5;
+    let bool mix = t && !f || false;
+    if (mix) { 7; } else { 8; };
+  })",
+                    7);
+  expectCompiledInt(R"({
+    let bool flag = false;
+    let int i = 0;
+    while (i < 10) { flag = !flag; i = i + 1; };
+    if (flag) { 1; } else { 0; };
+  })",
+                    0);
+}
+
+TEST(FenerjCodegen, ApproxBooleanDataPath) {
+  // Approximate integer comparisons as *values* stay on the approximate
+  // unit (set-instruction data path); endorsing the stored flag later is
+  // the only gate back.
+  const char *Source = R"({
+    let @approx int x = 5;
+    let @approx bool near = x > 3;
+    let @approx bool sure = near && x < 9;
+    if (endorse(sure)) { 1; } else { 0; };
+  })";
+  expectCompiledInt(Source, 1);
+  Pipeline P = compileAndRun(Source);
+  EXPECT_NE(P.Assembly.find("slt.a"), std::string::npos);
+  EXPECT_NE(P.Assembly.find("and.a"), std::string::npos);
+}
+
+TEST(FenerjCodegen, FloatConditions) {
+  expectCompiledInt("if (1.5 < 2.5) { 1; } else { 0; }", 1);
+  expectCompiledInt("if (2.5 <= 1.5) { 1; } else { 0; }", 0);
+  expectCompiledInt("if (1.5 == 1.5) { 1; } else { 0; }", 1);
+  expectCompiledInt("if (1.5 != 1.5) { 1; } else { 0; }", 0);
+  expectCompiledInt("if (3.5 > 2.5 && 2.5 >= 2.5) { 1; } else { 0; }", 1);
+  // Endorsed approximate FP comparisons endorse their operands and
+  // branch precisely.
+  expectCompiledInt(R"({
+    let @approx float x = 1.5;
+    if (endorse(x < 2.0)) { 1; } else { 0; };
+  })",
+                    1);
+  // NaN semantics match the interpreter: comparisons with NaN are false.
+  expectCompiledInt(R"({
+    let @approx float nan = 0.0;
+    nan = 1.0 / 0.0 - 1.0 / 0.0;  // inf - inf = NaN, approximately
+    if (endorse(nan < 1.0) || endorse(nan >= 1.0)) { 1; } else { 0; };
+  })",
+                    0);
+  // A float-controlled loop.
+  expectCompiledInt(R"({
+    let float t = 0.0;
+    let int steps = 0;
+    while (t < 1.0) { t = t + 0.25; steps = steps + 1; };
+    steps;
+  })",
+                    4);
+}
+
+TEST(FenerjCodegen, DeterministicOutput) {
+  const char *Source = "{ let int x = 1; x + 2; }";
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  ASSERT_TRUE(Prog.has_value());
+  EXPECT_EQ(compileToIsa(*Prog).Assembly, compileToIsa(*Prog).Assembly);
+}
+
+namespace {
+
+class CodegenDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(CodegenDifferential, CompiledBinaryMatchesInterpreter) {
+  // Random class-free, bool-free, endorse-free programs: compile, verify,
+  // and execute fault-free; r1 must equal the interpreter's (precise int)
+  // result. A disagreement is a miscompile; a verifier hit is a
+  // discipline leak.
+  GeneratorOptions Options;
+  Options.Seed = GetParam();
+  Options.NumClasses = 0;
+  // Bools are now first-class in the code generator; only approximate
+  // *float* comparisons as values remain out of the subset, which the
+  // generator never produces (its comparisons inherit their operands'
+  // qualifiers only in integer contexts... it can, so keep bools on and
+  // skip the rare unsupported programs below).
+  Options.AllowBools = true;
+  std::string Source = generateProgram(Options);
+
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  ASSERT_TRUE(Prog.has_value())
+      << Diags.str() << "\n--- source ---\n" << Source;
+
+  Interpreter Interp(*Prog, Table, {});
+  EvalResult Reference = Interp.run();
+  ASSERT_FALSE(Reference.Trapped) << Reference.TrapMessage;
+  ASSERT_EQ(Reference.Result.K, Value::Kind::Int);
+  // (The generator's main expression always has precise int type.)
+
+  CodegenResult Code = compileToIsa(*Prog);
+  if (!Code.Ok &&
+      Code.Error.find("approximate floating-point comparisons") !=
+          std::string::npos)
+    GTEST_SKIP() << "generator hit the documented FP-comparison gap";
+  ASSERT_TRUE(Code.Ok) << Code.Error << "\n--- source ---\n" << Source;
+  std::vector<std::string> AsmErrors;
+  std::optional<isa::IsaProgram> Binary =
+      isa::assemble(Code.Assembly, AsmErrors);
+  ASSERT_TRUE(Binary.has_value())
+      << (AsmErrors.empty() ? "" : AsmErrors[0]) << "\n--- assembly ---\n"
+      << Code.Assembly;
+  std::vector<isa::VerifyError> Violations = isa::verify(*Binary);
+  for (const isa::VerifyError &E : Violations)
+    ADD_FAILURE() << E.str() << "\n--- assembly ---\n" << Code.Assembly;
+
+  isa::Machine M(*Binary, FaultConfig::preset(ApproxLevel::None));
+  isa::MachineResult Result = M.run(50'000'000);
+  ASSERT_FALSE(Result.Trapped)
+      << Result.TrapMessage << "\n--- source ---\n" << Source
+      << "\n--- assembly ---\n" << Code.Assembly;
+  EXPECT_EQ(M.intReg(1), Reference.Result.I)
+      << "--- source ---\n" << Source << "\n--- assembly ---\n"
+      << Code.Assembly;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodegenDifferential,
+                         ::testing::Range<uint64_t>(500, 590));

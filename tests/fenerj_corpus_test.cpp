@@ -1,0 +1,239 @@
+//===- tests/fenerj_corpus_test.cpp - Larger FEnerJ programs --------------===//
+//
+// End-to-end FEnerJ programs exercising combinations the unit tests
+// don't: recursion, object graphs, the paper's running examples as whole
+// programs, and mixed precise/approximate pipelines with endorsed
+// boundaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fenerj/fenerj.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+struct RunOutcome {
+  EvalResult Result;
+  std::string Projection;
+};
+
+RunOutcome runProgram(std::string_view Source, Perturber *Perturb = nullptr) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  RunOutcome Out;
+  if (!Prog)
+    return Out;
+  InterpOptions Options;
+  Options.Perturb = Perturb;
+  Interpreter Interp(*Prog, Table, Options);
+  Out.Result = Interp.run();
+  Out.Projection = Interp.preciseProjection(Out.Result);
+  return Out;
+}
+
+int64_t runInt(std::string_view Source) {
+  RunOutcome Out = runProgram(Source);
+  EXPECT_FALSE(Out.Result.Trapped) << Out.Result.TrapMessage;
+  EXPECT_EQ(Out.Result.Result.K, Value::Kind::Int);
+  return Out.Result.Result.I;
+}
+
+} // namespace
+
+TEST(FenerjCorpus, RecursiveFactorial) {
+  EXPECT_EQ(runInt(R"(
+    class Math {
+      int fact(int n) {
+        if (n <= 1) { 1; } else { n * this.fact(n - 1); };
+      }
+    }
+    { let Math m = new Math(); m.fact(10); }
+  )"),
+            3628800);
+}
+
+TEST(FenerjCorpus, MutualRecursionEvenOdd) {
+  EXPECT_EQ(runInt(R"(
+    class Parity {
+      int isEven(int n) {
+        if (n == 0) { 1; } else { this.isOdd(n - 1); };
+      }
+      int isOdd(int n) {
+        if (n == 0) { 0; } else { this.isEven(n - 1); };
+      }
+    }
+    { let Parity p = new Parity(); p.isEven(41) * 10 + p.isOdd(41); }
+  )"),
+            1); // 41 is odd: isEven=0, isOdd=1.
+}
+
+TEST(FenerjCorpus, LinkedChainOfObjects) {
+  EXPECT_EQ(runInt(R"(
+    class Node {
+      Node next;
+      @approx int weight;
+      int depth() {
+        if (this.next == null) { 1; } else { 1 + this.next.depth(); };
+      }
+    }
+    {
+      let Node head = new Node();
+      let Node a = new Node();
+      let Node b = new Node();
+      head.next := a;
+      a.next := b;
+      head.weight := 10;
+      a.weight := 20;
+      b.weight := 30;
+      let @approx int total = head.weight + a.weight + b.weight;
+      head.depth() * 100 + endorse(total);
+    }
+  )"),
+            360); // depth 3 -> 300, total 60.
+}
+
+TEST(FenerjCorpus, FloatSetPaperExampleBothInstances) {
+  // Section 2.5.2's FloatSet, complete: the approximate instance averages
+  // only half the elements via the approx overload.
+  const char *Source = R"(
+    class FloatSet {
+      @context float[] nums;
+      int init(int n) {
+        this.nums := new @context float[n];
+        let int i = 0;
+        while (i < n) { this.nums[i] := cast<@context float>(i); i = i + 1; };
+        0;
+      }
+      float mean() precise {
+        let float total = 0.0;
+        let int i = 0;
+        while (i < this.nums.length) { total = total + this.nums[i]; i = i + 1; };
+        total / cast<float>(this.nums.length);
+      }
+      @approx float mean() approx {
+        let @approx float total = 0.0;
+        let int i = 0;
+        while (i < this.nums.length) { total = total + this.nums[i]; i = i + 2; };
+        2.0 * total / cast<@approx float>(this.nums.length);
+      }
+    }
+    {
+      let @precise FloatSet p = new @precise FloatSet();
+      let @approx FloatSet a = new @approx FloatSet();
+      p.init(8);
+      a.init(8);
+      let float pm = p.mean();
+      let @approx float am = a.mean();
+      cast<int>(pm * 10.0) * 100 + cast<int>(endorse(am) * 10.0);
+    }
+  )";
+  // Precise mean of 0..7 = 3.5 -> 35; approx mean over {0,2,4,6} = 3.0
+  // -> 30.
+  EXPECT_EQ(runInt(Source), 3530);
+}
+
+TEST(FenerjCorpus, ResilientPhaseThenPreciseChecksum) {
+  // The paper's application pattern (Section 2.2) in FEnerJ: blur an
+  // approximate buffer, endorse it once, checksum precisely. Under full
+  // perturbation the checksum input changes but the checksum *logic*
+  // stays intact (no trap, integer result).
+  const char *Source = R"({
+    let @approx int[] img = new @approx int[32];
+    let int i = 0;
+    while (i < img.length) { img[i] := i * 7 % 50; i = i + 1; };
+    i = 1;
+    while (i < img.length - 1) {
+      img[i] := (img[i - 1] + img[i] + img[i + 1]) / 3;
+      i = i + 1;
+    };
+    let int sum = 0;
+    i = 0;
+    while (i < img.length) {
+      let int pixel = endorse(img[i]);
+      sum = (sum + pixel) % 65521;
+      i = i + 1;
+    };
+    sum;
+  })";
+  RunOutcome Precise = runProgram(Source);
+  ASSERT_FALSE(Precise.Result.Trapped);
+  RandomPerturber Perturb(5, 1.0);
+  RunOutcome Perturbed = runProgram(Source, &Perturb);
+  ASSERT_FALSE(Perturbed.Result.Trapped) << Perturbed.Result.TrapMessage;
+  // Both runs complete with an int checksum; the values differ because
+  // the *image* was endorsed after degradation.
+  EXPECT_EQ(Perturbed.Result.Result.K, Value::Kind::Int);
+}
+
+TEST(FenerjCorpus, SubclassOverridesAndFieldShadowingFree) {
+  EXPECT_EQ(runInt(R"(
+    class Shape {
+      int area() { 0; }
+    }
+    class Square extends Shape {
+      int side;
+      int area() { this.side * this.side; }
+    }
+    class DoubleSquare extends Square {
+      int area() { this.side * this.side * 2; }
+    }
+    {
+      let Shape s = new DoubleSquare();
+      cast<DoubleSquare>(s).side := 5;
+      s.area();
+    }
+  )"),
+            50);
+}
+
+TEST(FenerjCorpus, ApproxInstanceGraphKeepsPreciseSpine) {
+  // An object graph where the *references* stay precise while payloads
+  // are context-dependent: perturbation cannot change the structure.
+  const char *Source = R"(
+    class Tree {
+      @approx Tree left;
+      @approx Tree right;
+      @context int value;
+      int size() {
+        let int l = if (this.left == null) { 0; } else { this.left.size(); };
+        let int r = if (this.right == null) { 0; } else { this.right.size(); };
+        1 + l + r;
+      }
+    }
+    {
+      let @approx Tree root = new @approx Tree();
+      root.left := new @approx Tree();
+      root.right := new @approx Tree();
+      root.left.left := new @approx Tree();
+      root.value := 1;
+      root.left.value := 2;
+      root.size();
+    }
+  )";
+  EXPECT_EQ(runInt(Source), 4);
+  RandomPerturber Perturb(11, 1.0);
+  RunOutcome Perturbed = runProgram(Source, &Perturb);
+  ASSERT_FALSE(Perturbed.Result.Trapped) << Perturbed.Result.TrapMessage;
+  EXPECT_EQ(Perturbed.Result.Result.I, 4); // Structure is precise.
+}
+
+TEST(FenerjCorpus, FuelProtectsAgainstRunawayRecursion) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(R"(
+    class Loop { int go(int n) { this.go(n + 1); } }
+    { let Loop l = new Loop(); l.go(0); }
+  )",
+                                        Table, Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.str();
+  InterpOptions Options;
+  Options.Fuel = 100000;
+  Interpreter Interp(*Prog, Table, Options);
+  EvalResult Result = Interp.run();
+  EXPECT_TRUE(Result.Trapped);
+}

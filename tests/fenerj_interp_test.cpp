@@ -1,0 +1,328 @@
+//===- tests/fenerj_interp_test.cpp - Interpreter tests -------------------===//
+
+#include "fenerj/interp.h"
+#include "fenerj/typecheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+struct Compiled {
+  Program Prog;
+  ClassTable Table;
+};
+
+Compiled compileOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Compiled Out;
+  std::optional<Program> Prog = compile(Source, Out.Table, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  if (Prog)
+    Out.Prog = std::move(*Prog);
+  return Out;
+}
+
+EvalResult runOk(const Compiled &C, InterpOptions Options = {}) {
+  Interpreter Interp(C.Prog, C.Table, Options);
+  EvalResult Result = Interp.run();
+  EXPECT_FALSE(Result.Trapped) << Result.TrapMessage;
+  return Result;
+}
+
+int64_t evalInt(std::string_view Source) {
+  Compiled C = compileOk(Source);
+  EvalResult R = runOk(C);
+  EXPECT_EQ(R.Result.K, Value::Kind::Int);
+  return R.Result.I;
+}
+
+double evalFloat(std::string_view Source) {
+  Compiled C = compileOk(Source);
+  EvalResult R = runOk(C);
+  EXPECT_EQ(R.Result.K, Value::Kind::Float);
+  return R.Result.F;
+}
+
+} // namespace
+
+TEST(FenerjInterp, Arithmetic) {
+  EXPECT_EQ(evalInt("1 + 2 * 3"), 7);
+  EXPECT_EQ(evalInt("(1 + 2) * 3"), 9);
+  EXPECT_EQ(evalInt("10 / 3"), 3);
+  EXPECT_EQ(evalInt("10 % 3"), 1);
+  EXPECT_EQ(evalInt("-5 + 2"), -3);
+  EXPECT_DOUBLE_EQ(evalFloat("1.5 * 2.0"), 3.0);
+  EXPECT_DOUBLE_EQ(evalFloat("7.0 / 2.0"), 3.5);
+}
+
+TEST(FenerjInterp, Booleans) {
+  EXPECT_EQ(evalInt("if (1 < 2 && 2 < 3) { 1; } else { 0; }"), 1);
+  EXPECT_EQ(evalInt("if (false || true) { 1; } else { 0; }"), 1);
+  EXPECT_EQ(evalInt("if (!(1 == 2)) { 1; } else { 0; }"), 1);
+}
+
+TEST(FenerjInterp, LetAndAssign) {
+  EXPECT_EQ(evalInt("{ let int x = 5; x = x + 1; x * 2; }"), 12);
+}
+
+TEST(FenerjInterp, WhileLoop) {
+  EXPECT_EQ(evalInt(R"({
+    let int i = 0;
+    let int sum = 0;
+    while (i < 10) { sum = sum + i; i = i + 1; };
+    sum;
+  })"),
+            45);
+}
+
+TEST(FenerjInterp, ObjectsAndFields) {
+  EXPECT_EQ(evalInt(R"(
+    class Counter {
+      int count;
+      int inc() { this.count := this.count + 1; }
+    }
+    {
+      let Counter c = new Counter();
+      c.inc();
+      c.inc();
+      c.inc();
+      c.count;
+    }
+  )"),
+            3);
+}
+
+TEST(FenerjInterp, InheritanceAndFieldDefaults) {
+  EXPECT_EQ(evalInt(R"(
+    class A { int x; }
+    class B extends A { int y; }
+    {
+      let B b = new B();
+      b.x := 4;
+      b.y := 5;
+      b.x + b.y;
+    }
+  )"),
+            9);
+}
+
+TEST(FenerjInterp, MethodDispatchByInstancePrecision) {
+  // The FloatSet pattern: the approx variant computes a cheaper mean.
+  const char *Source = R"(
+    class S {
+      @context float v;
+      float get() precise { this.v + 100.0; }
+      @approx float get() approx { this.v + 200.0; }
+    }
+    {
+      let @precise S p = new @precise S();
+      let @approx S a = new @approx S();
+      PROBE;
+    }
+  )";
+  std::string PreciseProbe = Source;
+  PreciseProbe.replace(PreciseProbe.find("PROBE"), 5, "p.get()");
+  EXPECT_DOUBLE_EQ(evalFloat(PreciseProbe), 100.0);
+
+  std::string ApproxProbe = Source;
+  ApproxProbe.replace(ApproxProbe.find("PROBE"), 5, "endorse(a.get())");
+  EXPECT_DOUBLE_EQ(evalFloat(ApproxProbe), 200.0);
+}
+
+TEST(FenerjInterp, Arrays) {
+  EXPECT_EQ(evalInt(R"({
+    let int[] a = new int[5];
+    let int i = 0;
+    while (i < a.length) { a[i] := i * i; i = i + 1; };
+    a[0] + a[1] + a[2] + a[3] + a[4];
+  })"),
+            30);
+}
+
+TEST(FenerjInterp, ApproxArraysWithEndorse) {
+  EXPECT_EQ(evalInt(R"({
+    let @approx int[] a = new @approx int[3];
+    a[0] := 7;
+    a[1] := 8;
+    endorse(a[0] + a[1]);
+  })"),
+            15);
+}
+
+TEST(FenerjInterp, EndorsedComparisonControlsFlow) {
+  EXPECT_EQ(evalInt(R"({
+    let @approx int v = 5;
+    if (endorse(v == 5)) { 1; } else { 0; };
+  })"),
+            1);
+}
+
+TEST(FenerjInterp, CastsAtRuntime) {
+  EXPECT_DOUBLE_EQ(evalFloat("cast<float>(3)"), 3.0);
+  EXPECT_EQ(evalInt("cast<int>(3.9)"), 3);
+  EXPECT_EQ(evalInt(R"(
+    class A { int f; }
+    class B extends A { int g; }
+    {
+      let A a = new B();
+      let B b = cast<B>(a);
+      b.g := 5;
+      b.g;
+    }
+  )"),
+            5);
+}
+
+TEST(FenerjInterp, BadDowncastTraps) {
+  Compiled C = compileOk(R"(
+    class A { int f; }
+    class B extends A { int g; }
+    {
+      let A a = new A();
+      cast<B>(a);
+    }
+  )");
+  Interpreter Interp(C.Prog, C.Table, {});
+  EvalResult R = Interp.run();
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(FenerjInterp, PreciseDivisionByZeroTraps) {
+  Compiled C = compileOk("{ 1 / 0; }");
+  Interpreter Interp(C.Prog, C.Table, {});
+  EXPECT_TRUE(Interp.run().Trapped);
+}
+
+TEST(FenerjInterp, ApproxDivisionByZeroYieldsZero) {
+  // Section 5.2: approximate functional units never raise divide-by-zero.
+  EXPECT_EQ(evalInt(R"({
+    let @approx int a = 5;
+    let @approx int z = 0;
+    endorse(a / z);
+  })"),
+            0);
+}
+
+TEST(FenerjInterp, ArrayBoundsTrap) {
+  Compiled C = compileOk("{ let int[] a = new int[2]; a[5]; }");
+  Interpreter Interp(C.Prog, C.Table, {});
+  EXPECT_TRUE(Interp.run().Trapped);
+}
+
+TEST(FenerjInterp, FuelBoundsInfiniteLoops) {
+  Compiled C = compileOk("{ while (true) { 1; }; }");
+  InterpOptions Options;
+  Options.Fuel = 10000;
+  Interpreter Interp(C.Prog, C.Table, Options);
+  EvalResult R = Interp.run();
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("fuel"), std::string::npos);
+}
+
+TEST(FenerjInterp, PerturberChangesOnlyApproxValues) {
+  Compiled C = compileOk(R"({
+    let @approx float noisy = 1.0;
+    let float clean = 2.0;
+    let @approx float sum = noisy + noisy;
+    clean;
+  })");
+  RandomPerturber Perturb(7, 1.0); // Perturb every approximate value.
+  InterpOptions Options;
+  Options.Perturb = &Perturb;
+  Interpreter Interp(C.Prog, C.Table, Options);
+  EvalResult R = Interp.run();
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  // The precise result is untouched even under total perturbation.
+  EXPECT_DOUBLE_EQ(R.Result.F, 2.0);
+}
+
+TEST(FenerjInterp, PerturberVisiblyCorruptsApproxResults) {
+  Compiled C = compileOk(R"({
+    let @approx float noisy = 1.0;
+    endorse(noisy + noisy);
+  })");
+  RandomPerturber Perturb(7, 1.0);
+  InterpOptions Options;
+  Options.Perturb = &Perturb;
+  Interpreter Interp(C.Prog, C.Table, Options);
+  EvalResult R = Interp.run();
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_NE(R.Result.F, 2.0); // With P=1 the sum is certainly perturbed.
+}
+
+TEST(FenerjInterp, PreciseProjectionListsPreciseState) {
+  Compiled C = compileOk(R"(
+    class P {
+      int visible;
+      @approx int hidden;
+    }
+    {
+      let P p = new P();
+      p.visible := 42;
+      p.hidden := 99;
+      7;
+    }
+  )");
+  Interpreter Interp(C.Prog, C.Table, {});
+  EvalResult R = Interp.run();
+  std::string Projection = Interp.preciseProjection(R);
+  EXPECT_NE(Projection.find("result=7"), std::string::npos);
+  EXPECT_NE(Projection.find("visible=42"), std::string::npos);
+  EXPECT_EQ(Projection.find("hidden"), std::string::npos);
+}
+
+TEST(FenerjInterp, ContextFieldsResolveByInstance) {
+  // A @context field is part of the precise projection only on precise
+  // instances.
+  Compiled C = compileOk(R"(
+    class P { @context int x; }
+    {
+      let @precise P p = new @precise P();
+      let @approx P a = new @approx P();
+      p.x := 1;
+      a.x := 2;
+      0;
+    }
+  )");
+  Interpreter Interp(C.Prog, C.Table, {});
+  EvalResult R = Interp.run();
+  std::string Projection = Interp.preciseProjection(R);
+  EXPECT_NE(Projection.find("P(precise) x=1"), std::string::npos);
+  EXPECT_NE(Projection.find("P(approx)\n"), std::string::npos);
+}
+
+TEST(FenerjInterp, CheckedSemanticsAcceptsWellTypedPrograms) {
+  // A program exercising most constructs runs cleanly under the checked
+  // semantics with full perturbation: the checker really did isolate the
+  // approximate part.
+  Compiled C = compileOk(R"(
+    class Acc {
+      @context float total;
+      int add(@context float v) { this.total := this.total + v; 0; }
+      float get() precise { this.total; }
+      @approx float get() approx { this.total; }
+    }
+    {
+      let @precise Acc p = new @precise Acc();
+      let @approx Acc a = new @approx Acc();
+      let int i = 0;
+      while (i < 50) {
+        p.add(1.5);
+        a.add(cast<@approx float>(2.5));
+        i = i + 1;
+      };
+      let float total = p.get();
+      let @approx float atotal = a.get();
+      if (total > 70.0) { 1; } else { 0; };
+    }
+  )");
+  RandomPerturber Perturb(99, 1.0);
+  InterpOptions Options;
+  Options.Perturb = &Perturb;
+  Interpreter Interp(C.Prog, C.Table, Options);
+  EvalResult R = Interp.run();
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  EXPECT_EQ(R.Result.I, 1); // 50 * 1.5 = 75 > 70, precisely.
+}

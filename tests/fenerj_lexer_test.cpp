@@ -1,0 +1,139 @@
+//===- tests/fenerj_lexer_test.cpp - FEnerJ lexer tests -------------------===//
+
+#include "fenerj/lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+std::vector<Token> lexOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Tokens = lex(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(FenerjLexer, EmptyInput) {
+  std::vector<Token> Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Eof));
+}
+
+TEST(FenerjLexer, Keywords) {
+  std::vector<Token> Tokens = lexOk(
+      "class extends new this null true false if else while let in "
+      "endorse cast int float bool length approx precise");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwClass,   TokenKind::KwExtends, TokenKind::KwNew,
+      TokenKind::KwThis,    TokenKind::KwNull,    TokenKind::KwTrue,
+      TokenKind::KwFalse,   TokenKind::KwIf,      TokenKind::KwElse,
+      TokenKind::KwWhile,   TokenKind::KwLet,     TokenKind::KwIn,
+      TokenKind::KwEndorse, TokenKind::KwCast,    TokenKind::KwInt,
+      TokenKind::KwFloat,   TokenKind::KwBool,    TokenKind::KwLength,
+      TokenKind::KwApproxRecv, TokenKind::KwPreciseRecv, TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(FenerjLexer, Annotations) {
+  std::vector<Token> Tokens = lexOk("@approx @precise @top @context");
+  std::vector<TokenKind> Expected = {TokenKind::KwApprox, TokenKind::KwPrecise,
+                                     TokenKind::KwTop, TokenKind::KwContext,
+                                     TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+  // The paper's capitalized spelling also works.
+  Tokens = lexOk("@Approx @Precise @Top @Context");
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(FenerjLexer, UnknownAnnotationIsError) {
+  DiagnosticEngine Diags;
+  lex("@wat", Diags);
+  EXPECT_TRUE(Diags.has(DiagCode::UnexpectedChar));
+}
+
+TEST(FenerjLexer, IntAndFloatLiterals) {
+  std::vector<Token> Tokens = lexOk("42 0 3.5 1e3 2.5e-2 7");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].IntValue, 0);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 3.5);
+  EXPECT_DOUBLE_EQ(Tokens[3].FloatValue, 1000.0);
+  EXPECT_DOUBLE_EQ(Tokens[4].FloatValue, 0.025);
+  EXPECT_EQ(Tokens[5].IntValue, 7);
+}
+
+TEST(FenerjLexer, DotAfterIntIsNotFloat) {
+  // "a.length" style postfix after an integer: `3.foo` lexes 3 then '.'.
+  std::vector<Token> Tokens = lexOk("3.x");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Dot);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+}
+
+TEST(FenerjLexer, Operators) {
+  std::vector<Token> Tokens =
+      lexOk("+ - * / % == != < <= > >= && || ! = := <:");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,      TokenKind::Minus,   TokenKind::Star,
+      TokenKind::Slash,     TokenKind::Percent, TokenKind::EqEq,
+      TokenKind::BangEq,    TokenKind::Less,    TokenKind::LessEq,
+      TokenKind::Greater,   TokenKind::GreaterEq, TokenKind::AmpAmp,
+      TokenKind::PipePipe,  TokenKind::Bang,    TokenKind::Assign,
+      TokenKind::FieldAssign, TokenKind::LessColon, TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(FenerjLexer, Comments) {
+  std::vector<Token> Tokens = lexOk(
+      "a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(FenerjLexer, UnterminatedBlockComment) {
+  DiagnosticEngine Diags;
+  lex("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.has(DiagCode::UnterminatedLiteral));
+}
+
+TEST(FenerjLexer, SourceLocations) {
+  std::vector<Token> Tokens = lexOk("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3);
+}
+
+TEST(FenerjLexer, StrayCharactersReported) {
+  DiagnosticEngine Diags;
+  lex("a $ b", Diags);
+  EXPECT_TRUE(Diags.has(DiagCode::UnexpectedChar));
+  Diags = DiagnosticEngine();
+  lex("a & b", Diags);
+  EXPECT_TRUE(Diags.has(DiagCode::UnexpectedChar));
+  Diags = DiagnosticEngine();
+  lex("a : b", Diags);
+  EXPECT_TRUE(Diags.has(DiagCode::UnexpectedChar));
+}
+
+TEST(FenerjLexer, IdentifiersWithUnderscores) {
+  std::vector<Token> Tokens = lexOk("mean_APPROX _private x1");
+  EXPECT_EQ(Tokens[0].Text, "mean_APPROX");
+  EXPECT_EQ(Tokens[1].Text, "_private");
+  EXPECT_EQ(Tokens[2].Text, "x1");
+}

@@ -1,0 +1,202 @@
+//===- tests/fenerj_parser_test.cpp - FEnerJ parser tests -----------------===//
+
+#include "fenerj/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+Program parseOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = parseProgram(Source, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  return Prog ? std::move(*Prog) : Program{};
+}
+
+void parseFails(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = parseProgram(Source, Diags);
+  EXPECT_FALSE(Prog.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace
+
+TEST(FenerjParser, MinimalProgram) {
+  Program Prog = parseOk("42");
+  ASSERT_TRUE(Prog.Main);
+  EXPECT_EQ(Prog.Main->kind(), ExprKind::IntLit);
+  EXPECT_TRUE(Prog.Classes.empty());
+}
+
+TEST(FenerjParser, ClassWithFieldsAndMethods) {
+  Program Prog = parseOk(R"(
+    class IntPair {
+      @context int x;
+      @context int y;
+      @approx int numAdditions;
+      int addToBoth(@context int amount) {
+        this.x := this.x + amount;
+        this.y := this.y + amount;
+        this.numAdditions := this.numAdditions + 1;
+        0;
+      }
+    }
+    { let IntPair p = new IntPair(); p.addToBoth(3); }
+  )");
+  ASSERT_EQ(Prog.Classes.size(), 1u);
+  const ClassDecl &Cls = Prog.Classes[0];
+  EXPECT_EQ(Cls.Name, "IntPair");
+  EXPECT_EQ(Cls.SuperName, "Object");
+  ASSERT_EQ(Cls.Fields.size(), 3u);
+  EXPECT_EQ(Cls.Fields[0].DeclaredType.Q, Qual::Context);
+  EXPECT_EQ(Cls.Fields[2].DeclaredType.Q, Qual::Approx);
+  ASSERT_EQ(Cls.Methods.size(), 1u);
+  EXPECT_EQ(Cls.Methods[0].Params.size(), 1u);
+  EXPECT_EQ(Cls.Methods[0].ReceiverPrecision, Qual::Context);
+}
+
+TEST(FenerjParser, ApproxReceiverMethod) {
+  // The _APPROX convention: a second overload marked 'approx' after the
+  // parameter list is selected on approximate receivers.
+  Program Prog = parseOk(R"(
+    class FloatSet {
+      @context float total;
+      @context float get() { this.total; }
+      float mean() precise { this.total; }
+      @approx float mean() approx { this.total; }
+    }
+    { 0; }
+  )");
+  ASSERT_EQ(Prog.Classes[0].Methods.size(), 3u);
+  // Unmarked methods are context-polymorphic; marked ones carry their
+  // receiver precision.
+  EXPECT_EQ(Prog.Classes[0].Methods[0].ReceiverPrecision, Qual::Context);
+  EXPECT_EQ(Prog.Classes[0].Methods[1].ReceiverPrecision, Qual::Precise);
+  EXPECT_EQ(Prog.Classes[0].Methods[2].ReceiverPrecision, Qual::Approx);
+}
+
+TEST(FenerjParser, Inheritance) {
+  Program Prog = parseOk(R"(
+    class A { int f; }
+    class B extends A { @approx int g; }
+    { 0; }
+  )");
+  EXPECT_EQ(Prog.Classes[1].SuperName, "A");
+}
+
+TEST(FenerjParser, ExpressionPrecedence) {
+  Program Prog = parseOk("1 + 2 * 3");
+  const auto &Add = static_cast<const BinaryExpr &>(*Prog.Main);
+  EXPECT_EQ(Add.Op, BinaryOp::Add);
+  const auto &Mul = static_cast<const BinaryExpr &>(*Add.Rhs);
+  EXPECT_EQ(Mul.Op, BinaryOp::Mul);
+}
+
+TEST(FenerjParser, ComparisonAndLogical) {
+  Program Prog = parseOk("1 < 2 && 3 >= 2 || false");
+  EXPECT_EQ(static_cast<const BinaryExpr &>(*Prog.Main).Op, BinaryOp::Or);
+}
+
+TEST(FenerjParser, UnaryOperators) {
+  Program Prog = parseOk("-5 + !true");
+  const auto &Add = static_cast<const BinaryExpr &>(*Prog.Main);
+  EXPECT_EQ(Add.Lhs->kind(), ExprKind::Unary);
+  EXPECT_EQ(Add.Rhs->kind(), ExprKind::Unary);
+}
+
+TEST(FenerjParser, NewArrayAndSubscripts) {
+  Program Prog = parseOk(R"({
+    let @approx float[] a = new @approx float[100];
+    a[0] := 1.5;
+    a[1] := a[0] + 2.0;
+    a.length;
+  })");
+  const auto &Block = static_cast<const BlockExpr &>(*Prog.Main);
+  ASSERT_EQ(Block.Items.size(), 4u);
+  EXPECT_TRUE(Block.Items[0].IsLet);
+  EXPECT_TRUE(Block.Items[0].LetType.isArray());
+  EXPECT_EQ(Block.Items[0].LetType.ElemQual, Qual::Approx);
+  EXPECT_EQ(Block.Items[1].Value->kind(), ExprKind::ArrayWrite);
+  EXPECT_EQ(Block.Items[3].Value->kind(), ExprKind::ArrayLength);
+}
+
+TEST(FenerjParser, EndorseAndCast) {
+  Program Prog = parseOk(R"({
+    let @approx int a = 5;
+    let int p = endorse(a);
+    cast<@approx float>(1.5);
+  })");
+  const auto &Block = static_cast<const BlockExpr &>(*Prog.Main);
+  EXPECT_EQ(Block.Items[1].Value->kind(), ExprKind::Endorse);
+  EXPECT_EQ(Block.Items[2].Value->kind(), ExprKind::Cast);
+}
+
+TEST(FenerjParser, IfWhile) {
+  Program Prog = parseOk(R"({
+    let int i = 0;
+    while (i < 10) { i = i + 1; };
+    if (i == 10) { 1; } else { 0; };
+  })");
+  const auto &Block = static_cast<const BlockExpr &>(*Prog.Main);
+  EXPECT_EQ(Block.Items[1].Value->kind(), ExprKind::While);
+  EXPECT_EQ(Block.Items[2].Value->kind(), ExprKind::If);
+}
+
+TEST(FenerjParser, FieldChain) {
+  Program Prog = parseOk(R"(
+    class A { @approx int v; }
+    class Holder { A inner; }
+    { let Holder h = new Holder(); h.inner.v; }
+  )");
+  const auto &Block = static_cast<const BlockExpr &>(*Prog.Main);
+  EXPECT_EQ(Block.Items[1].Value->kind(), ExprKind::FieldRead);
+}
+
+TEST(FenerjParser, MethodCallWithArgs) {
+  Program Prog = parseOk(R"(
+    class M { int f(int a, @approx float b) { a; } }
+    { let M m = new M(); m.f(1, 2.5); }
+  )");
+  const auto &Block = static_cast<const BlockExpr &>(*Prog.Main);
+  const auto &Call = static_cast<const MethodCallExpr &>(*Block.Items[1].Value);
+  EXPECT_EQ(Call.Args.size(), 2u);
+}
+
+TEST(FenerjParser, NewWithQualifier) {
+  Program Prog = parseOk(R"(
+    class C { int f; }
+    { new @approx C(); new @precise C(); new C(); }
+  )");
+  const auto &Block = static_cast<const BlockExpr &>(*Prog.Main);
+  EXPECT_EQ(static_cast<const NewExpr &>(*Block.Items[0].Value).Q,
+            Qual::Approx);
+  EXPECT_EQ(static_cast<const NewExpr &>(*Block.Items[1].Value).Q,
+            Qual::Precise);
+  EXPECT_EQ(static_cast<const NewExpr &>(*Block.Items[2].Value).Q,
+            Qual::Precise);
+}
+
+TEST(FenerjParser, SyntaxErrors) {
+  parseFails("");                       // No main expression.
+  parseFails("class {}");               // Missing class name.
+  parseFails("class C { int }");        // Missing field name.
+  parseFails("{ let int = 5; 0; }");    // Missing variable name.
+  parseFails("1 +");                    // Dangling operator.
+  parseFails("if (1) { 2 }");           // if without else, missing main.
+  parseFails("{ 1; } trailing");        // Trailing tokens.
+  parseFails("new @approx Foo[10]");    // Class arrays unsupported.
+  parseFails("{ let @approx Foo[] a = null; 0; }");
+}
+
+TEST(FenerjParser, TrailingSemicolonOptional) {
+  parseOk("{ 1; 2 }");
+  parseOk("{ 1; 2; }");
+}
+
+TEST(FenerjParser, LocationsAttached) {
+  Program Prog = parseOk("\n  41 + 1");
+  EXPECT_EQ(Prog.Main->loc().Line, 2);
+}

@@ -1,0 +1,144 @@
+//===- tests/fenerj_printer_test.cpp - Pretty-printer round trips ---------===//
+
+#include "fenerj/fenerj.h"
+#include "fenerj/printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+/// Parses, prints, re-parses, and checks that both programs type-check
+/// and evaluate to the same precise projection.
+void roundTrip(std::string_view Source) {
+  DiagnosticEngine Diags1;
+  ClassTable Table1;
+  std::optional<Program> First = compile(Source, Table1, Diags1);
+  ASSERT_TRUE(First.has_value()) << Diags1.str();
+
+  std::string Printed = printProgram(*First);
+  DiagnosticEngine Diags2;
+  ClassTable Table2;
+  std::optional<Program> Second = compile(Printed, Table2, Diags2);
+  ASSERT_TRUE(Second.has_value())
+      << "printed program does not re-compile:\n" << Diags2.str()
+      << "\n--- printed ---\n" << Printed;
+
+  Interpreter RunFirst(*First, Table1, {});
+  Interpreter RunSecond(*Second, Table2, {});
+  EvalResult ResultFirst = RunFirst.run();
+  EvalResult ResultSecond = RunSecond.run();
+  EXPECT_EQ(ResultFirst.Trapped, ResultSecond.Trapped);
+  EXPECT_EQ(RunFirst.preciseProjection(ResultFirst),
+            RunSecond.preciseProjection(ResultSecond))
+      << "--- printed ---\n" << Printed;
+
+  // Printing is a fixed point after one round (normal form).
+  EXPECT_EQ(printProgram(*Second), Printed);
+}
+
+} // namespace
+
+TEST(FenerjPrinter, Types) {
+  EXPECT_EQ(printType(Type::makePrim(Qual::Approx, BaseKind::Int)),
+            "@approx int");
+  EXPECT_EQ(printType(Type::makePrim(Qual::Precise, BaseKind::Float)),
+            "@precise float");
+  EXPECT_EQ(printType(Type::makeArray(Qual::Context, BaseKind::Bool)),
+            "@context bool[]");
+  EXPECT_EQ(printType(Type::makeClass(Qual::Top, "Vec")), "@top Vec");
+}
+
+TEST(FenerjPrinter, SimpleExpressions) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = parseProgram("1 + 2 * 3", Diags);
+  ASSERT_TRUE(Prog.has_value());
+  EXPECT_EQ(printExpr(*Prog->Main), "(1 + (2 * 3))");
+}
+
+TEST(FenerjPrinter, RoundTripArithmetic) {
+  roundTrip("{ let int x = 1 + 2 * 3 - 4 / 2; x % 3; }");
+  roundTrip("{ 1.5 * 2.0 + 0.25; }");
+  roundTrip("{ let float f = 1.0; f; }"); // Integral-valued float literal.
+  roundTrip("{ -5 + (-3); }");
+}
+
+TEST(FenerjPrinter, RoundTripControlFlow) {
+  roundTrip(R"({
+    let int i = 0;
+    let int sum = 0;
+    while (i < 10) { sum = sum + i; i = i + 1; };
+    if (sum > 20) { sum; } else { 0 - sum; };
+  })");
+}
+
+TEST(FenerjPrinter, RoundTripClasses) {
+  roundTrip(R"(
+    class IntPair {
+      @context int x;
+      @context int y;
+      @approx int numAdditions;
+      int addToBoth(@context int amount) {
+        this.x := this.x + amount;
+        this.y := this.y + amount;
+        this.numAdditions := this.numAdditions + 1;
+        0;
+      }
+    }
+    {
+      let @precise IntPair p = new @precise IntPair();
+      p.addToBoth(3);
+      p.x + p.y;
+    }
+  )");
+}
+
+TEST(FenerjPrinter, RoundTripOverloads) {
+  roundTrip(R"(
+    class S {
+      @context float v;
+      float get() precise { this.v; }
+      @approx float get() approx { this.v; }
+    }
+    {
+      let @precise S s = new @precise S();
+      s.get();
+    }
+  )");
+}
+
+TEST(FenerjPrinter, RoundTripArraysEndorseCast) {
+  roundTrip(R"({
+    let @approx float[] a = new @approx float[8];
+    let int i = 0;
+    while (i < a.length) { a[i] := 0.5; i = i + 1; };
+    let @approx float sum = a[0] + a[7];
+    let float out = endorse(sum);
+    cast<int>(out);
+  })");
+}
+
+TEST(FenerjPrinter, RoundTripInheritanceAndNull) {
+  roundTrip(R"(
+    class A { int f; }
+    class B extends A { @approx int g; }
+    {
+      let A a = new B();
+      let B b = cast<B>(a);
+      let A zero = null;
+      if (zero == null) { b.f; } else { 1; };
+    }
+  )");
+}
+
+TEST(FenerjPrinter, RoundTripGeneratedPrograms) {
+  // Every random well-typed program round-trips.
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    GeneratorOptions Options;
+    Options.Seed = Seed;
+    std::string Source = generateProgram(Options);
+    SCOPED_TRACE("generator seed " + std::to_string(Seed));
+    roundTrip(Source);
+  }
+}

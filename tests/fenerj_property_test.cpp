@@ -1,0 +1,170 @@
+//===- tests/fenerj_property_test.cpp - Soundness & non-interference ------===//
+//
+// The two theorems of Section 3.3, as executable property tests over
+// randomly generated well-typed, endorse-free programs:
+//
+//  * Type soundness: every generated program passes the checker, and the
+//    checked semantics (which verifies the precise/approximate separation
+//    at every step) never traps while evaluating it.
+//  * Non-interference: evaluating the program under different perturbers
+//    (including total perturbation of every approximate value) yields the
+//    same precise projection — approximate data cannot affect precise
+//    state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fenerj/fenerj.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+struct Compiled {
+  Program Prog;
+  ClassTable Table;
+  bool Ok = false;
+};
+
+Compiled compileGenerated(uint64_t Seed) {
+  GeneratorOptions Options;
+  Options.Seed = Seed;
+  std::string Source = generateProgram(Options);
+  DiagnosticEngine Diags;
+  Compiled Out;
+  std::optional<Program> Prog = compile(Source, Out.Table, Diags);
+  EXPECT_TRUE(Prog.has_value())
+      << "generated program rejected (seed " << Seed << "):\n"
+      << Diags.str() << "\n--- source ---\n" << Source;
+  if (!Prog)
+    return Out;
+  Out.Prog = std::move(*Prog);
+  Out.Ok = true;
+  return Out;
+}
+
+class SoundnessProperty : public ::testing::TestWithParam<uint64_t> {};
+class NonInterferenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(SoundnessProperty, CheckedSemanticsNeverTraps) {
+  Compiled C = compileGenerated(GetParam());
+  ASSERT_TRUE(C.Ok);
+  // Run under the checked semantics with aggressive perturbation: any
+  // approximate value leaking into precise storage, a condition, or an
+  // index would trap with a checked-semantics violation.
+  RandomPerturber Perturb(GetParam() * 31 + 7, 1.0);
+  InterpOptions Options;
+  Options.Perturb = &Perturb;
+  Options.Checked = true;
+  Interpreter Interp(C.Prog, C.Table, Options);
+  EvalResult R = Interp.run();
+  EXPECT_FALSE(R.Trapped) << "seed " << GetParam() << ": "
+                          << R.TrapMessage;
+}
+
+TEST_P(NonInterferenceProperty, PreciseProjectionInvariant) {
+  Compiled C = compileGenerated(GetParam());
+  ASSERT_TRUE(C.Ok);
+
+  // Reference: fully precise execution (no perturbation).
+  Interpreter Ref(C.Prog, C.Table, {});
+  EvalResult RefResult = Ref.run();
+  ASSERT_FALSE(RefResult.Trapped) << RefResult.TrapMessage;
+  std::string RefProjection = Ref.preciseProjection(RefResult);
+
+  // The precise projection must survive any approximate behavior.
+  for (uint64_t PerturbSeed : {1ull, 2ull, 3ull}) {
+    RandomPerturber Perturb(PerturbSeed, 1.0);
+    InterpOptions Options;
+    Options.Perturb = &Perturb;
+    Interpreter Run(C.Prog, C.Table, Options);
+    EvalResult Result = Run.run();
+    ASSERT_FALSE(Result.Trapped) << Result.TrapMessage;
+    EXPECT_EQ(Run.preciseProjection(Result), RefProjection)
+        << "non-interference violated (program seed " << GetParam()
+        << ", perturb seed " << PerturbSeed << ")";
+  }
+}
+
+TEST_P(NonInterferenceProperty, MildPerturbationAlsoInvariant) {
+  Compiled C = compileGenerated(GetParam() + 1000);
+  ASSERT_TRUE(C.Ok);
+  Interpreter Ref(C.Prog, C.Table, {});
+  EvalResult RefResult = Ref.run();
+  ASSERT_FALSE(RefResult.Trapped);
+  RandomPerturber Perturb(17, 0.05);
+  InterpOptions Options;
+  Options.Perturb = &Perturb;
+  Interpreter Run(C.Prog, C.Table, Options);
+  EvalResult Result = Run.run();
+  ASSERT_FALSE(Result.Trapped);
+  EXPECT_EQ(Run.preciseProjection(Result),
+            Ref.preciseProjection(RefResult));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessProperty,
+                         ::testing::Range<uint64_t>(1, 101));
+INSTANTIATE_TEST_SUITE_P(Seeds, NonInterferenceProperty,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(FenerjProperty, GeneratorIsDeterministic) {
+  GeneratorOptions Options;
+  Options.Seed = 12345;
+  EXPECT_EQ(generateProgram(Options), generateProgram(Options));
+}
+
+TEST(FenerjProperty, GeneratorVariesWithSeed) {
+  GeneratorOptions A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  EXPECT_NE(generateProgram(A), generateProgram(B));
+}
+
+TEST(FenerjProperty, GeneratedProgramsAreEndorseFree) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    GeneratorOptions Options;
+    Options.Seed = Seed;
+    std::string Source = generateProgram(Options);
+    EXPECT_EQ(Source.find("endorse"), std::string::npos)
+        << "seed " << Seed;
+  }
+}
+
+namespace {
+
+class EndorsefulSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(EndorsefulSoundness, CheckedSemanticsNeverTrapsWithEndorse) {
+  // Endorsements pierce the isolation (non-interference no longer
+  // applies), but type soundness must still hold: the checked semantics
+  // never traps on a well-typed endorse-ful program, whatever the
+  // perturbations do.
+  GeneratorOptions Options;
+  Options.Seed = GetParam();
+  Options.AllowEndorse = true;
+  std::string Source = generateProgram(Options);
+  EXPECT_NE(Source.find("endorse"), std::string::npos)
+      << "endorse-ful generator produced no endorsement (seed "
+      << GetParam() << ")";
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  ASSERT_TRUE(Prog.has_value())
+      << Diags.str() << "\n--- source ---\n" << Source;
+  RandomPerturber Perturb(GetParam() * 17 + 3, 1.0);
+  InterpOptions RunOptions;
+  RunOptions.Perturb = &Perturb;
+  RunOptions.Checked = true;
+  Interpreter Interp(*Prog, Table, RunOptions);
+  EvalResult Result = Interp.run();
+  EXPECT_FALSE(Result.Trapped) << "seed " << GetParam() << ": "
+                               << Result.TrapMessage;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndorsefulSoundness,
+                         ::testing::Range<uint64_t>(200, 240));

@@ -1,0 +1,506 @@
+//===- tests/fenerj_typecheck_test.cpp - Type checker tests ---------------===//
+
+#include "fenerj/typecheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+void accepts(std::string_view Source) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+}
+
+void rejects(std::string_view Source, DiagCode Expected) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  EXPECT_FALSE(Prog.has_value())
+      << "expected rejection with " << diagCodeName(Expected);
+  EXPECT_TRUE(Diags.has(Expected))
+      << "expected " << diagCodeName(Expected) << ", got:\n" << Diags.str();
+}
+
+} // namespace
+
+TEST(FenerjCheck, PaperIntroExample) {
+  // The paper's first example: assigning approx to precise is illegal...
+  rejects(R"({
+    let @approx int a = 5;
+    let int p = 0;
+    p = a;
+  })",
+          DiagCode::ImplicitFlow);
+  // ...and becomes legal with an endorsement.
+  accepts(R"({
+    let @approx int a = 5;
+    let int p = 0;
+    p = endorse(a);
+  })");
+  // Precise-to-approx flow is fine (subtyping).
+  accepts(R"({
+    let @approx int a = 0;
+    let int p = 7;
+    a = p;
+  })");
+}
+
+TEST(FenerjCheck, ImplicitFlowThroughInitialization) {
+  rejects("{ let @approx float x = 1.5; let float y = x; }",
+          DiagCode::ImplicitFlow);
+}
+
+TEST(FenerjCheck, ImplicitFlowIntoField) {
+  rejects(R"(
+    class C { int p; }
+    {
+      let C c = new C();
+      let @approx int a = 1;
+      c.p := a;
+    }
+  )",
+          DiagCode::ImplicitFlow);
+}
+
+TEST(FenerjCheck, ApproxConditionRejected) {
+  // Section 2.4's example: an approximate comparison cannot steer a
+  // precise branch.
+  rejects(R"({
+    let @approx int val = 5;
+    let bool flag = false;
+    if (val == 5) { flag = true; } else { flag = false; };
+    0;
+  })",
+          DiagCode::ApproxCondition);
+  // The sanctioned workaround: if (endorse(val == 5)).
+  accepts(R"({
+    let @approx int val = 5;
+    let bool flag = false;
+    if (endorse(val == 5)) { flag = true; } else { flag = false; };
+    0;
+  })");
+}
+
+TEST(FenerjCheck, ApproxWhileConditionRejected) {
+  rejects(R"({
+    let @approx int i = 0;
+    while (i < 10) { i = i + 1; };
+  })",
+          DiagCode::ApproxCondition);
+}
+
+TEST(FenerjCheck, ApproxIndexRejected) {
+  rejects(R"({
+    let @approx float[] a = new @approx float[10];
+    let @approx int i = 3;
+    a[i];
+  })",
+          DiagCode::ApproxIndex);
+  accepts(R"({
+    let @approx float[] a = new @approx float[10];
+    let @approx int i = 3;
+    a[endorse(i)];
+  })");
+}
+
+TEST(FenerjCheck, ApproxArrayLengthRejected) {
+  rejects(R"({
+    let @approx int n = 10;
+    new @approx float[n];
+  })",
+          DiagCode::ApproxArrayLength);
+}
+
+TEST(FenerjCheck, ApproxArrayElementsAcceptPreciseStores) {
+  accepts(R"({
+    let @approx float[] a = new @approx float[4];
+    a[0] := 1.5;
+    a[1] := a[0] * 2.0;
+    0;
+  })");
+  // But approximate values cannot land in precise arrays.
+  rejects(R"({
+    let float[] p = new float[4];
+    let @approx float x = 1.0;
+    p[0] := x;
+  })",
+          DiagCode::ImplicitFlow);
+}
+
+TEST(FenerjCheck, ContextAdaptationOnFieldAccess) {
+  // Reading a @context field of an approx instance yields approx data;
+  // storing it into precise state must be rejected.
+  rejects(R"(
+    class Pair { @context int x; }
+    {
+      let @approx Pair a = new @approx Pair();
+      let int p = a.x;
+    }
+  )",
+          DiagCode::ImplicitFlow);
+  // On a precise instance the same read is precise.
+  accepts(R"(
+    class Pair { @context int x; }
+    {
+      let @precise Pair p = new @precise Pair();
+      let int v = p.x;
+    }
+  )");
+}
+
+TEST(FenerjCheck, ContextArgumentsAdapt) {
+  // The paper: the argument to p.addToBoth() must be precise; the
+  // argument to a.addToBoth() may be approximate.
+  const char *Classes = R"(
+    class IntPair {
+      @context int x;
+      int addToBoth(@context int amount) { this.x := this.x + amount; 0; }
+    }
+  )";
+  accepts(std::string(Classes) + R"({
+    let @approx IntPair a = new @approx IntPair();
+    let @approx int amt = 3;
+    a.addToBoth(amt);
+  })");
+  rejects(std::string(Classes) + R"({
+    let @precise IntPair p = new @precise IntPair();
+    let @approx int amt = 3;
+    p.addToBoth(amt);
+  })",
+          DiagCode::ImplicitFlow);
+}
+
+TEST(FenerjCheck, TopReceiverLosesContext) {
+  // Through a @top receiver, a @context field adapts to 'lost': reads are
+  // allowed, writes are not (the field-write rule of Section 3.1).
+  const char *Classes = R"(
+    class Pair { @context int x; }
+  )";
+  accepts(std::string(Classes) + R"({
+    let @top Pair t = new @precise Pair();
+    t.x;
+  })");
+  rejects(std::string(Classes) + R"({
+    let @top Pair t = new @precise Pair();
+    t.x := 3;
+  })",
+          DiagCode::LostAssignment);
+}
+
+TEST(FenerjCheck, ReferenceQualifiersInvariant) {
+  // precise C is not a subtype of approx C (Section 2.1).
+  rejects(R"(
+    class C { int f; }
+    {
+      let @approx C a = new @precise C();
+    }
+  )",
+          DiagCode::ImplicitFlow);
+}
+
+TEST(FenerjCheck, MethodOverloadingOnReceiver) {
+  // The FloatSet pattern (Section 2.5.2): the precise variant may treat
+  // @context members as precise because it is only callable on precise
+  // receivers; the approx variant sees them as approximate.
+  const char *Classes = R"(
+    class S {
+      @context float v;
+      float get() precise { this.v; }
+      @approx float get() approx { this.v; }
+    }
+  )";
+  // Precise receiver uses the precise variant: result flows to float.
+  accepts(std::string(Classes) + R"({
+    let @precise S s = new @precise S();
+    let float x = s.get();
+  })");
+  // Approximate receiver selects the approx variant: result is approx.
+  rejects(std::string(Classes) + R"({
+    let @approx S s = new @approx S();
+    let float x = s.get();
+  })",
+          DiagCode::ImplicitFlow);
+  accepts(std::string(Classes) + R"({
+    let @approx S s = new @approx S();
+    let @approx float x = s.get();
+  })");
+}
+
+TEST(FenerjCheck, ReturnTypeChecked) {
+  rejects(R"(
+    class C {
+      @approx int a;
+      int get() { this.a; }
+    }
+    { 0; }
+  )",
+          DiagCode::ReturnMismatch);
+}
+
+TEST(FenerjCheck, EndorseRequiresPrimitive) {
+  rejects(R"(
+    class C { int f; }
+    { let C c = new C(); endorse(c); }
+  )",
+          DiagCode::BadEndorse);
+}
+
+TEST(FenerjCheck, CastRules) {
+  // Upcast to top: fine.
+  accepts("{ let @approx int a = 1; cast<@top int>(a); }");
+  // Numeric conversion keeping approximation: fine.
+  accepts("{ let @approx int a = 1; let @approx float f = "
+          "cast<@approx float>(a); 0; }");
+  // Casting approx to precise is not a cast — that's endorse's job.
+  rejects("{ let @approx int a = 1; cast<int>(a); }", DiagCode::BadCast);
+  // Class downcast with stable qualifier: accepted statically.
+  accepts(R"(
+    class A { int f; }
+    class B extends A { int g; }
+    {
+      let A a = new B();
+      let B b = cast<B>(a);
+      0;
+    }
+  )");
+}
+
+TEST(FenerjCheck, ContextOutsideClassRejected) {
+  rejects("{ let @context int x = 0; }", DiagCode::ContextOutsideClass);
+  rejects("{ new @context float[3]; }", DiagCode::ContextOutsideClass);
+}
+
+TEST(FenerjCheck, NameResolutionErrors) {
+  rejects("{ x; }", DiagCode::UnknownVariable);
+  rejects("{ new C(); }", DiagCode::UnknownClass);
+  rejects(R"(
+    class C { int f; }
+    { let C c = new C(); c.g; }
+  )",
+          DiagCode::UnknownField);
+  rejects(R"(
+    class C { int f; }
+    { let C c = new C(); c.m(); }
+  )",
+          DiagCode::UnknownMethod);
+  rejects(R"(
+    class C { int m(int a) { a; } }
+    { let C c = new C(); c.m(); }
+  )",
+          DiagCode::ArityMismatch);
+}
+
+TEST(FenerjCheck, HierarchyErrors) {
+  rejects("class A {} class A {} { 0; }", DiagCode::DuplicateClass);
+  rejects("class A { int f; int f; } { 0; }", DiagCode::DuplicateMember);
+  rejects("class A extends B { int f; } { 0; }", DiagCode::UnknownClass);
+  rejects("class A extends B {} class B extends A {} { 0; }",
+          DiagCode::CyclicInheritance);
+}
+
+TEST(FenerjCheck, OperatorTypeErrors) {
+  rejects("{ 1 + 1.5; }", DiagCode::BadOperand);       // int + float.
+  rejects("{ true + false; }", DiagCode::BadOperand);  // bool arithmetic.
+  rejects("{ 1 && 2; }", DiagCode::BadOperand);        // int logical.
+  rejects("{ 1.5 % 2.0; }", DiagCode::BadOperand);     // float modulo.
+  rejects("{ !3; }", DiagCode::BadOperand);
+  rejects("{ -true; }", DiagCode::BadOperand);
+}
+
+TEST(FenerjCheck, MixedPrecisionArithmeticIsApprox) {
+  // precise + approx = approx (the overloading of Section 2.3): storing
+  // the result precisely must fail.
+  rejects(R"({
+    let @approx int a = 1;
+    let int p = 2;
+    let int r = p + a;
+  })",
+          DiagCode::ImplicitFlow);
+  accepts(R"({
+    let @approx int a = 1;
+    let int p = 2;
+    let @approx int r = p + a;
+    0;
+  })");
+}
+
+TEST(FenerjCheck, BranchTypesMustAgree) {
+  rejects("{ if (true) { 1; } else { 1.5; }; }", DiagCode::BadOperand);
+  // Branches of different precision join at the approximate supertype.
+  accepts(R"({
+    let @approx int a = 1;
+    let @approx int r = if (true) { 1; } else { a; };
+    0;
+  })");
+}
+
+TEST(FenerjCheck, InheritedFieldsAndMethods) {
+  accepts(R"(
+    class A { @approx int shared; }
+    class B extends A { int own; }
+    {
+      let B b = new B();
+      let @approx int x = b.shared;
+      b.own := 2;
+      0;
+    }
+  )");
+}
+
+TEST(FenerjCheck, WholeIntPairExampleChecks) {
+  // The complete Section 2.5.1 example, as a program.
+  accepts(R"(
+    class IntPair {
+      @context int x;
+      @context int y;
+      @approx int numAdditions;
+      int addToBoth(@context int amount) {
+        this.x := this.x + amount;
+        this.y := this.y + amount;
+        this.numAdditions := this.numAdditions + 1;
+        0;
+      }
+    }
+    {
+      let @approx IntPair a = new @approx IntPair();
+      let @precise IntPair p = new @precise IntPair();
+      a.addToBoth(3);
+      p.addToBoth(4);
+      let int sum = p.x + p.y;
+      let @approx int asum = a.x + a.y;
+      sum;
+    }
+  )");
+}
+
+TEST(FenerjCheck, ArrayElementContextAdaptsThroughReceivers) {
+  // A @context element array inside a class: reads through an approximate
+  // receiver yield approximate elements.
+  const char *Classes = R"(
+    class Buf {
+      @context float[] data;
+      int init() { this.data := new @context float[4]; 0; }
+    }
+  )";
+  rejects(std::string(Classes) + R"({
+    let @approx Buf b = new @approx Buf();
+    b.init();
+    let float x = b.data[0];
+  })",
+          DiagCode::ImplicitFlow);
+  accepts(std::string(Classes) + R"({
+    let @precise Buf b = new @precise Buf();
+    b.init();
+    let float x = b.data[0];
+    0;
+  })");
+}
+
+TEST(FenerjCheck, LostArrayElementsCannotBeWritten) {
+  // Through a @top receiver the element qualifier adapts to 'lost':
+  // reads are fine, writes are not.
+  const char *Classes = R"(
+    class Buf {
+      @context float[] data;
+      int init() { this.data := new @context float[4]; 0; }
+    }
+  )";
+  accepts(std::string(Classes) + R"({
+    let @top Buf t = new @precise Buf();
+    t.data[0];
+  })");
+  rejects(std::string(Classes) + R"({
+    let @top Buf t = new @precise Buf();
+    t.data[0] := 1.0;
+  })",
+          DiagCode::LostAssignment);
+}
+
+TEST(FenerjCheck, ApproxOnlyMethodsNotCallableOnPreciseReceivers) {
+  // A method with only an 'approx' variant is not callable on a precise
+  // receiver — the variant was checked assuming approximate context.
+  rejects(R"(
+    class S {
+      @approx int only() approx { 1; }
+    }
+    {
+      let @precise S s = new @precise S();
+      s.only();
+    }
+  )",
+          DiagCode::UnknownMethod);
+  accepts(R"(
+    class S {
+      @approx int only() approx { 1; }
+    }
+    {
+      let @approx S s = new @approx S();
+      let @approx int x = s.only();
+      0;
+    }
+  )");
+}
+
+TEST(FenerjCheck, PreciseVariantBodyMayUseContextAsPrecise) {
+  // Inside a 'precise'-marked variant, @context members are precise.
+  accepts(R"(
+    class S {
+      @context int v;
+      int sum() precise { this.v + 1; }
+    }
+    { let @precise S s = new @precise S(); s.sum(); }
+  )");
+  // But the symmetric claim fails in an unmarked (polymorphic) method.
+  rejects(R"(
+    class S {
+      @context int v;
+      int sum() { this.v + 1; }
+    }
+    { 0; }
+  )",
+          DiagCode::ReturnMismatch);
+}
+
+TEST(FenerjCheck, WhileResultIsPreciseInt) {
+  accepts("{ let int r = while (false) { 1; }; r; }");
+  rejects("{ let float r = while (false) { 1; }; r; }",
+          DiagCode::BadOperand);
+}
+
+TEST(FenerjCheck, EndorseInsideApproximateExpressionIsFine) {
+  // Endorsement results are precise and flow anywhere, including back
+  // into approximate arithmetic.
+  accepts(R"({
+    let @approx int a = 3;
+    let @approx int b = endorse(a) + a;
+    0;
+  })");
+}
+
+TEST(FenerjCheck, NullComparisonsArePreciseConditions) {
+  accepts(R"(
+    class C { int f; }
+    {
+      let C c = null;
+      if (c == null) { 1; } else { 0; };
+    }
+  )");
+}
+
+TEST(FenerjCheck, DeepInheritanceChains) {
+  accepts(R"(
+    class A { @approx int a; }
+    class B extends A { @context int b; }
+    class C extends B { int c; }
+    {
+      let @approx C obj = new @approx C();
+      let @approx int x = obj.a + obj.b;
+      obj.c := 3;
+      obj.c;
+    }
+  )");
+}

@@ -1,0 +1,201 @@
+//===- tests/fenerj_types_test.cpp - Qualifier lattice tests --------------===//
+
+#include "fenerj/types.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace enerj::fenerj;
+
+namespace {
+
+const std::vector<Qual> AllQuals = {Qual::Precise, Qual::Approx, Qual::Top,
+                                    Qual::Context, Qual::Lost};
+
+/// A trivial class hierarchy: B <: A <: Object, C <: Object.
+class TestOracle : public SubclassOracle {
+public:
+  bool isSubclassOf(const std::string &Sub,
+                    const std::string &Super) const override {
+    if (Sub == Super || Super == "Object")
+      return true;
+    if (Sub == "B" && Super == "A")
+      return true;
+    return false;
+  }
+};
+
+} // namespace
+
+TEST(QualLattice, Reflexive) {
+  for (Qual Q : AllQuals)
+    EXPECT_TRUE(subQual(Q, Q)) << qualName(Q);
+}
+
+TEST(QualLattice, TopIsTop) {
+  for (Qual Q : AllQuals)
+    EXPECT_TRUE(subQual(Q, Qual::Top)) << qualName(Q);
+  EXPECT_FALSE(subQual(Qual::Top, Qual::Precise));
+  EXPECT_FALSE(subQual(Qual::Top, Qual::Approx));
+  EXPECT_FALSE(subQual(Qual::Top, Qual::Lost));
+}
+
+TEST(QualLattice, EverythingButTopBelowLost) {
+  // "Every qualifier other than top is below lost" (Section 3.1).
+  EXPECT_TRUE(subQual(Qual::Precise, Qual::Lost));
+  EXPECT_TRUE(subQual(Qual::Approx, Qual::Lost));
+  EXPECT_TRUE(subQual(Qual::Context, Qual::Lost));
+  EXPECT_TRUE(subQual(Qual::Lost, Qual::Lost));
+  EXPECT_FALSE(subQual(Qual::Top, Qual::Lost));
+}
+
+TEST(QualLattice, PreciseAndApproxUnrelated) {
+  // "Note that the precise and approx qualifiers are not related."
+  EXPECT_FALSE(subQual(Qual::Precise, Qual::Approx));
+  EXPECT_FALSE(subQual(Qual::Approx, Qual::Precise));
+  EXPECT_FALSE(subQual(Qual::Context, Qual::Precise));
+  EXPECT_FALSE(subQual(Qual::Approx, Qual::Context));
+}
+
+TEST(QualLattice, Transitive) {
+  // Property: the ordering is transitive over all triples.
+  for (Qual A : AllQuals)
+    for (Qual B : AllQuals)
+      for (Qual C : AllQuals)
+        if (subQual(A, B) && subQual(B, C)) {
+          EXPECT_TRUE(subQual(A, C))
+              << qualName(A) << " <: " << qualName(B) << " <: "
+              << qualName(C);
+        }
+}
+
+TEST(QualLattice, Antisymmetric) {
+  for (Qual A : AllQuals)
+    for (Qual B : AllQuals)
+      if (subQual(A, B) && subQual(B, A)) {
+        EXPECT_EQ(A, B);
+      }
+}
+
+TEST(ContextAdaptation, NonContextUnchanged) {
+  // q |> q' = q' when q' != context.
+  for (Qual Receiver : AllQuals)
+    for (Qual Declared : {Qual::Precise, Qual::Approx, Qual::Top, Qual::Lost})
+      EXPECT_EQ(adaptQual(Receiver, Declared), Declared);
+}
+
+TEST(ContextAdaptation, ContextTakesReceiver) {
+  EXPECT_EQ(adaptQual(Qual::Precise, Qual::Context), Qual::Precise);
+  EXPECT_EQ(adaptQual(Qual::Approx, Qual::Context), Qual::Approx);
+  EXPECT_EQ(adaptQual(Qual::Context, Qual::Context), Qual::Context);
+}
+
+TEST(ContextAdaptation, TopAndLostLose) {
+  // "context adapts to lost when the left-hand-side qualifier is top
+  // because the appropriate qualifier cannot be determined."
+  EXPECT_EQ(adaptQual(Qual::Top, Qual::Context), Qual::Lost);
+  EXPECT_EQ(adaptQual(Qual::Lost, Qual::Context), Qual::Lost);
+}
+
+TEST(ContextAdaptation, AdaptTypeCoversArrays) {
+  Type Arr = Type::makeArray(Qual::Context, BaseKind::Float);
+  Type Adapted = adaptType(Qual::Approx, Arr);
+  EXPECT_EQ(Adapted.ElemQual, Qual::Approx);
+  EXPECT_EQ(Adapted.Q, Qual::Precise); // Array references stay precise.
+}
+
+TEST(Subtyping, PrimitivePreciseFlowsAnywhere) {
+  TestOracle Oracle;
+  for (Qual Super : AllQuals)
+    EXPECT_TRUE(isSubtype(Type::makePrim(Qual::Precise, BaseKind::Int),
+                          Type::makePrim(Super, BaseKind::Int), Oracle))
+        << qualName(Super);
+}
+
+TEST(Subtyping, ApproxPrimitiveNotBelowPrecise) {
+  TestOracle Oracle;
+  EXPECT_FALSE(isSubtype(Type::makePrim(Qual::Approx, BaseKind::Int),
+                         Type::makePrim(Qual::Precise, BaseKind::Int),
+                         Oracle));
+  EXPECT_FALSE(isSubtype(Type::makePrim(Qual::Top, BaseKind::Float),
+                         Type::makePrim(Qual::Approx, BaseKind::Float),
+                         Oracle));
+}
+
+TEST(Subtyping, BaseTypesDontMix) {
+  TestOracle Oracle;
+  EXPECT_FALSE(isSubtype(Type::makePrim(Qual::Precise, BaseKind::Int),
+                         Type::makePrim(Qual::Precise, BaseKind::Float),
+                         Oracle));
+}
+
+TEST(Subtyping, ClassSubtypingNeedsBothDimensions) {
+  TestOracle Oracle;
+  // B <: A with the same qualifier: ok.
+  EXPECT_TRUE(isSubtype(Type::makeClass(Qual::Approx, "B"),
+                        Type::makeClass(Qual::Approx, "A"), Oracle));
+  // Qualifier upcast to top: ok.
+  EXPECT_TRUE(isSubtype(Type::makeClass(Qual::Precise, "B"),
+                        Type::makeClass(Qual::Top, "A"), Oracle));
+  // precise C is NOT a subtype of approx C (mutable references,
+  // Section 2.1).
+  EXPECT_FALSE(isSubtype(Type::makeClass(Qual::Precise, "A"),
+                         Type::makeClass(Qual::Approx, "A"), Oracle));
+  // Wrong class direction.
+  EXPECT_FALSE(isSubtype(Type::makeClass(Qual::Approx, "A"),
+                         Type::makeClass(Qual::Approx, "B"), Oracle));
+}
+
+TEST(Subtyping, NullBelowReferences) {
+  TestOracle Oracle;
+  EXPECT_TRUE(isSubtype(Type::makeNull(),
+                        Type::makeClass(Qual::Approx, "A"), Oracle));
+  EXPECT_TRUE(isSubtype(Type::makeNull(),
+                        Type::makeArray(Qual::Approx, BaseKind::Int),
+                        Oracle));
+  EXPECT_FALSE(isSubtype(Type::makeNull(),
+                         Type::makePrim(Qual::Precise, BaseKind::Int),
+                         Oracle));
+}
+
+TEST(Subtyping, ArraysInvariant) {
+  TestOracle Oracle;
+  Type ApproxArr = Type::makeArray(Qual::Approx, BaseKind::Float);
+  Type PreciseArr = Type::makeArray(Qual::Precise, BaseKind::Float);
+  EXPECT_TRUE(isSubtype(ApproxArr, ApproxArr, Oracle));
+  EXPECT_FALSE(isSubtype(PreciseArr, ApproxArr, Oracle));
+  EXPECT_FALSE(isSubtype(ApproxArr, PreciseArr, Oracle));
+}
+
+TEST(Subtyping, TransitiveOverPrimitives) {
+  TestOracle Oracle;
+  std::vector<Type> Types;
+  for (Qual Q : AllQuals)
+    Types.push_back(Type::makePrim(Q, BaseKind::Int));
+  for (const Type &A : Types)
+    for (const Type &B : Types)
+      for (const Type &C : Types)
+        if (isSubtype(A, B, Oracle) && isSubtype(B, C, Oracle)) {
+          EXPECT_TRUE(isSubtype(A, C, Oracle))
+              << A.str() << " <: " << B.str() << " <: " << C.str();
+        }
+}
+
+TEST(Types, Printing) {
+  EXPECT_EQ(Type::makePrim(Qual::Approx, BaseKind::Int).str(),
+            "@approx int");
+  EXPECT_EQ(Type::makeClass(Qual::Context, "Vec").str(), "@context Vec");
+  EXPECT_EQ(Type::makeArray(Qual::Approx, BaseKind::Float).str(),
+            "@approx float[]");
+  EXPECT_EQ(Type::makeNull().str(), "null");
+}
+
+TEST(Types, MentionsLostAndContext) {
+  EXPECT_TRUE(Type::makePrim(Qual::Lost, BaseKind::Int).mentionsLost());
+  EXPECT_TRUE(Type::makeArray(Qual::Lost, BaseKind::Int).mentionsLost());
+  EXPECT_FALSE(Type::makePrim(Qual::Approx, BaseKind::Int).mentionsLost());
+  EXPECT_TRUE(Type::makePrim(Qual::Context, BaseKind::Int).mentionsContext());
+  EXPECT_TRUE(
+      Type::makeArray(Qual::Context, BaseKind::Int).mentionsContext());
+}

@@ -1,0 +1,633 @@
+//===- tests/isa_test.cpp - Approximation-aware ISA tests -----------------===//
+
+#include "isa/assembler.h"
+#include "isa/machine.h"
+#include "isa/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace enerj;
+using namespace enerj::isa;
+
+namespace {
+
+IsaProgram assembleOk(std::string_view Source) {
+  std::vector<std::string> Errors;
+  std::optional<IsaProgram> Program = assemble(Source, Errors);
+  EXPECT_TRUE(Program.has_value());
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << E;
+  return Program ? std::move(*Program) : IsaProgram{};
+}
+
+void assembleFails(std::string_view Source) {
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(assemble(Source, Errors).has_value());
+  EXPECT_FALSE(Errors.empty());
+}
+
+IsaProgram assembleVerified(std::string_view Source) {
+  IsaProgram Program = assembleOk(Source);
+  for (const VerifyError &E : verify(Program))
+    ADD_FAILURE() << E.str();
+  return Program;
+}
+
+void verifyRejects(std::string_view Source, const char *Fragment) {
+  IsaProgram Program = assembleOk(Source);
+  std::vector<VerifyError> Errors = verify(Program);
+  ASSERT_FALSE(Errors.empty()) << "expected a discipline violation";
+  bool Found = false;
+  for (const VerifyError &E : Errors)
+    Found |= E.Message.find(Fragment) != std::string::npos;
+  EXPECT_TRUE(Found) << "no error mentions '" << Fragment << "'; got: "
+                     << Errors[0].str();
+}
+
+} // namespace
+
+// --- Assembler. ---
+
+TEST(IsaAssembler, BasicProgram) {
+  IsaProgram P = assembleOk(R"(
+    .data 4
+    .adata 8
+    li r1, 42        ; a comment
+    addi r1, r1, -2  # another comment
+    halt
+  )");
+  EXPECT_EQ(P.PreciseWords, 4u);
+  EXPECT_EQ(P.ApproxWords, 8u);
+  ASSERT_EQ(P.Instructions.size(), 3u);
+  EXPECT_EQ(P.Instructions[0].Op, Opcode::Li);
+  EXPECT_EQ(P.Instructions[0].Imm, 42);
+  EXPECT_EQ(P.Instructions[1].Imm, -2);
+  EXPECT_FALSE(P.Instructions[1].Approx);
+}
+
+TEST(IsaAssembler, ApproxSuffix) {
+  IsaProgram P = assembleOk("fadd.a f16, f17, f18\nhalt\n");
+  EXPECT_TRUE(P.Instructions[0].Approx);
+  EXPECT_EQ(P.Instructions[0].str(), "fadd.a");
+}
+
+TEST(IsaAssembler, LabelsResolve) {
+  IsaProgram P = assembleOk(R"(
+    li r1, 0
+    loop: addi r1, r1, 1
+    blt r1, r2, loop
+    jmp end
+    li r1, 99
+    end: halt
+  )");
+  EXPECT_EQ(P.Instructions[2].Imm, 1); // loop: -> instruction 1.
+  EXPECT_EQ(P.Instructions[3].Imm, 5); // end: -> instruction 5.
+}
+
+TEST(IsaAssembler, Errors) {
+  assembleFails("bogus r1, r2\nhalt\n");            // Unknown mnemonic.
+  assembleFails("li r99, 1\nhalt\n");               // Bad register.
+  assembleFails("li f1, 1\nhalt\n");                // Wrong register file.
+  assembleFails("add r1, r2\nhalt\n");              // Arity.
+  assembleFails("jmp nowhere\nhalt\n");             // Undefined label.
+  assembleFails("x: halt\nx: halt\n");              // Duplicate label.
+  assembleFails("mv.a r16, r1\nhalt\n");            // No .a variant.
+  assembleFails("li r1, zzz\nhalt\n");              // Bad immediate.
+  assembleFails(".data -1\nhalt\n");                // Bad directive.
+}
+
+// --- Verifier: the EnerJ discipline at ISA level. ---
+
+TEST(IsaVerifier, AcceptsDisciplinedPrograms) {
+  assembleVerified(R"(
+    .data 2
+    .adata 4
+    li r1, 2          ; precise index math
+    li r16, 5         ; precise-to-approx: fine
+    add.a r17, r16, r16
+    endorse r2, r17   ; the gate
+    sw r2, r0, 0      ; precise store, precise region
+    lw.a r18, r0, 2   ; approximate load, approx region
+    fadd.a f16, f17, f18
+    fendorse f1, f16
+    halt
+  )");
+}
+
+TEST(IsaVerifier, NoImplicitApproxToPreciseFlow) {
+  verifyRejects("mv r1, r16\nhalt\n", "use endorse");
+  verifyRejects("add r1, r16, r2\nhalt\n", "use endorse");
+  verifyRejects("fmul f0, f16, f1\nhalt\n", "use endorse");
+  verifyRejects("cvti r1, f16\nhalt\n", "use endorse");
+}
+
+TEST(IsaVerifier, ApproxInstructionsNeedApproxDest) {
+  verifyRejects("add.a r1, r2, r3\nhalt\n", "approximate register");
+  verifyRejects("fadd.a f1, f2, f3\nhalt\n", "approximate register");
+  verifyRejects("lw.a r1, r0, 0\nhalt\n", "approximate register");
+}
+
+TEST(IsaVerifier, BranchesAndAddressesMustBePrecise) {
+  verifyRejects("x: beq r16, r1, x\nhalt\n", "branch operand");
+  verifyRejects("lw r1, r16, 0\nhalt\n", "address register");
+  verifyRejects("sw r1, r17, 0\nhalt\n", "address register");
+}
+
+TEST(IsaVerifier, PreciseStoreNeedsPreciseValue) {
+  verifyRejects(".data 1\nsw r16, r0, 0\nhalt\n", "stored register");
+}
+
+TEST(IsaVerifier, EndorseShape) {
+  verifyRejects("endorse r1, r2\nhalt\n", "endorse source");
+  verifyRejects("endorse r17, r16\nhalt\n", "endorse destination");
+}
+
+// --- Machine semantics. ---
+
+TEST(IsaMachine, ArithmeticAndControlFlowAtNone) {
+  // Sum 1..10 with a loop; everything precise.
+  IsaProgram P = assembleVerified(R"(
+    li r1, 0      ; i
+    li r2, 0      ; sum
+    li r3, 10
+    loop:
+    addi r1, r1, 1
+    add r2, r2, r1
+    blt r1, r3, loop
+    halt
+  )");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  MachineResult Result = M.run();
+  ASSERT_FALSE(Result.Trapped) << Result.TrapMessage;
+  EXPECT_EQ(M.intReg(2), 55);
+}
+
+TEST(IsaMachine, SingleBinaryRunsPreciselyAtNone) {
+  // The paper's portability claim: `.a` instructions on a processor with
+  // no approximation support behave exactly like precise ones.
+  IsaProgram P = assembleVerified(R"(
+    .adata 4
+    li r16, 21
+    add.a r17, r16, r16
+    endorse r1, r17
+    lfi f16, 1.5
+    fmul.a f17, f16, f16
+    fendorse f1, f17
+    halt
+  )");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  MachineResult Result = M.run();
+  ASSERT_FALSE(Result.Trapped);
+  EXPECT_EQ(M.intReg(1), 42);
+  EXPECT_DOUBLE_EQ(M.fpReg(1), 2.25);
+  // And they were *counted* as approximate instructions.
+  EXPECT_EQ(M.stats().Ops.ApproxInt, 1u);
+  EXPECT_EQ(M.stats().Ops.ApproxFp, 1u);
+  EXPECT_EQ(M.stats().Ops.TimingErrors, 0u);
+}
+
+TEST(IsaMachine, MemoryRoundTrip) {
+  IsaProgram P = assembleVerified(R"(
+    .data 2
+    .adata 2
+    li r1, 77
+    sw r1, r0, 0       ; precise store
+    lw r2, r0, 0       ; precise load
+    li r16, 88
+    sw.a r16, r0, 2    ; approximate store to approx region
+    lw.a r17, r0, 2
+    endorse r3, r17
+    halt
+  )");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  MachineResult Result = M.run();
+  ASSERT_FALSE(Result.Trapped) << Result.TrapMessage;
+  EXPECT_EQ(M.intReg(2), 77);
+  EXPECT_EQ(M.intReg(3), 88);
+}
+
+TEST(IsaMachine, RegionHintMismatchTraps) {
+  // Precise load touching the approximate region: dynamic discipline.
+  IsaProgram P = assembleVerified(".data 1\n.adata 1\nlw r1, r0, 1\nhalt\n");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  MachineResult Result = M.run();
+  EXPECT_TRUE(Result.Trapped);
+  EXPECT_NE(Result.TrapMessage.find("precise access"), std::string::npos);
+
+  // Approximate store touching the precise region.
+  IsaProgram P2 =
+      assembleVerified(".data 1\n.adata 1\nli r16, 1\nsw.a r16, r0, 0\nhalt\n");
+  Machine M2(P2, FaultConfig::preset(ApproxLevel::None));
+  EXPECT_TRUE(M2.run().Trapped);
+}
+
+TEST(IsaMachine, OutOfRangeAddressTraps) {
+  IsaProgram P = assembleVerified(".data 1\nlw r1, r0, 5\nhalt\n");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  EXPECT_TRUE(M.run().Trapped);
+}
+
+TEST(IsaMachine, PreciseDivByZeroTrapsApproxDoesNot) {
+  IsaProgram P = assembleVerified("li r1, 5\nli r2, 0\ndiv r3, r1, r2\nhalt\n");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  EXPECT_TRUE(M.run().Trapped);
+
+  IsaProgram P2 = assembleVerified(
+      "li r16, 5\nli r17, 0\ndiv.a r18, r16, r17\nendorse r1, r18\nhalt\n");
+  Machine M2(P2, FaultConfig::preset(ApproxLevel::None));
+  MachineResult Result = M2.run();
+  ASSERT_FALSE(Result.Trapped) << Result.TrapMessage;
+  EXPECT_EQ(M2.intReg(1), 0); // Section 5.2.
+}
+
+TEST(IsaMachine, RunawayLoopBounded) {
+  IsaProgram P = assembleVerified("x: jmp x\n");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  MachineResult Result = M.run(/*MaxInstructions=*/1000);
+  EXPECT_TRUE(Result.Trapped);
+  EXPECT_EQ(Result.InstructionsExecuted, 1000u);
+}
+
+TEST(IsaMachine, ApproxInstructionsFaultAtAggressive) {
+  // A long chain of approximate adds: at Aggressive (1e-2 timing
+  // errors), some results must be corrupted; the precise twin stays
+  // exact under the same machine.
+  std::string Source = ".adata 1\nli r16, 0\nli r1, 0\n";
+  for (int I = 0; I < 500; ++I) {
+    Source += "addi.a r16, r16, 1\n";
+    Source += "addi r1, r1, 1\n";
+  }
+  Source += "endorse r2, r16\nhalt\n";
+  IsaProgram P = assembleVerified(Source);
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Aggressive);
+  Config.EnableSram = false; // Isolate the timing model.
+  Machine M(P, Config);
+  MachineResult Result = M.run();
+  ASSERT_FALSE(Result.Trapped);
+  EXPECT_EQ(M.intReg(1), 500);   // The precise chain is exact...
+  EXPECT_NE(M.intReg(2), 500);   // ...the approximate one is not.
+  EXPECT_GT(M.stats().Ops.TimingErrors, 0u);
+}
+
+TEST(IsaMachine, ApproxRegistersFaultAtAggressive) {
+  // Park a value in an approximate register and accumulate 2000 reads:
+  // SRAM read upsets (transient, 1e-3/bit at Aggressive) corrupt ~6% of
+  // the reads, so the precise sum of endorsed values almost surely
+  // differs from the fault-free total.
+  IsaProgram P = assembleVerified(R"(
+    li r16, 12345
+    li r1, 0
+    li r2, 2000
+    li r4, 0
+    loop:
+    endorse r3, r16
+    add r4, r4, r3
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+  )");
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Aggressive);
+  Config.EnableTiming = false;
+  Machine M(P, Config);
+  MachineResult Result = M.run();
+  ASSERT_FALSE(Result.Trapped);
+  EXPECT_NE(M.intReg(4), 12345 * 2000);
+}
+
+TEST(IsaMachine, ApproxMemoryDecays) {
+  IsaProgram P = assembleVerified(R"(
+    .adata 1
+    li r16, 7
+    sw.a r16, r0, 0
+    li r1, 0
+    li r2, 100000
+    loop:                ; burn cycles so the cell ages
+    addi r1, r1, 1
+    blt r1, r2, loop
+    lw.a r17, r0, 0
+    endorse r3, r17
+    halt
+  )");
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Aggressive);
+  Config.EnableSram = false;
+  Config.EnableTiming = false;
+  Config.CyclesPerSecond = 100.0; // ~2000 modeled seconds of aging.
+  Machine M(P, Config);
+  MachineResult Result = M.run(10'000'000);
+  ASSERT_FALSE(Result.Trapped) << Result.TrapMessage;
+  EXPECT_NE(M.intReg(3), 7); // The cell decayed before the reload.
+}
+
+TEST(IsaMachine, PreciseMemoryNeverDecays) {
+  IsaProgram P = assembleVerified(R"(
+    .data 1
+    li r1, 7
+    sw r1, r0, 0
+    li r2, 0
+    li r3, 100000
+    loop:
+    addi r2, r2, 1
+    blt r2, r3, loop
+    lw r4, r0, 0
+    halt
+  )");
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Aggressive);
+  Config.CyclesPerSecond = 100.0;
+  Machine M(P, Config);
+  MachineResult Result = M.run(10'000'000);
+  ASSERT_FALSE(Result.Trapped);
+  EXPECT_EQ(M.intReg(4), 7);
+}
+
+TEST(IsaMachine, StatsFeedEnergyModel) {
+  IsaProgram P = assembleVerified(R"(
+    .adata 16
+    li r1, 0
+    li r2, 16
+    lfi f16, 1.125
+    loop:
+    fmul.a f17, f16, f16
+    fsw.a f17, r1, 0
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+  )");
+  Machine M(P, FaultConfig::preset(ApproxLevel::Medium));
+  MachineResult Result = M.run();
+  ASSERT_FALSE(Result.Trapped);
+  RunStats Stats = M.stats();
+  EXPECT_EQ(Stats.Ops.ApproxFp, 16u);
+  EXPECT_GT(Stats.Ops.PreciseInt, 16u); // addi + branch per iteration.
+  EXPECT_GT(Stats.Storage.dramApproxFraction(), 0.0);
+  EXPECT_GT(Stats.Storage.sramApproxFraction(), 0.4);
+}
+
+TEST(IsaMachine, DeterministicGivenSeed) {
+  std::string Source = ".adata 4\nli r16, 1\n";
+  for (int I = 0; I < 200; ++I)
+    Source += "addi.a r16, r16, 3\n";
+  Source += "endorse r1, r16\nhalt\n";
+  IsaProgram P = assembleVerified(Source);
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Aggressive);
+  Config.Seed = 777;
+  Machine A(P, Config), B(P, Config);
+  A.run();
+  B.run();
+  EXPECT_EQ(A.intReg(1), B.intReg(1));
+}
+
+TEST(IsaMachine, FpArithmeticCoverage) {
+  IsaProgram P = assembleVerified(R"(
+    lfi f1, 6.0
+    lfi f2, 1.5
+    fadd f3, f1, f2
+    fsub f4, f1, f2
+    fmul f5, f1, f2
+    fdiv f6, f1, f2
+    cvti r1, f6
+    cvt f7, r1
+    fmv f8, f7
+    halt
+  )");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(M.run().Trapped);
+  EXPECT_DOUBLE_EQ(M.fpReg(3), 7.5);
+  EXPECT_DOUBLE_EQ(M.fpReg(4), 4.5);
+  EXPECT_DOUBLE_EQ(M.fpReg(5), 9.0);
+  EXPECT_DOUBLE_EQ(M.fpReg(6), 4.0);
+  EXPECT_EQ(M.intReg(1), 4);
+  EXPECT_DOUBLE_EQ(M.fpReg(8), 4.0);
+}
+
+TEST(IsaMachine, PreciseFpDivByZeroIsIeee) {
+  // Precise FP division by zero is not an error (IEEE/Java semantics).
+  IsaProgram P =
+      assembleVerified("lfi f1, 1.0\nlfi f2, 0.0\nfdiv f3, f1, f2\nhalt\n");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(M.run().Trapped);
+  EXPECT_TRUE(std::isinf(M.fpReg(3)));
+}
+
+TEST(IsaMachine, ApproxFpDivByZeroIsNaN) {
+  IsaProgram P = assembleVerified(
+      "lfi f16, 1.0\nlfi f17, 0.0\nfdiv.a f18, f16, f17\nfendorse f1, "
+      "f18\nhalt\n");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(M.run().Trapped);
+  EXPECT_TRUE(std::isnan(M.fpReg(1)));
+}
+
+TEST(IsaMachine, MantissaNarrowingOnApproxFpOps) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive); // 8 bits.
+  C.EnableSram = false;
+  C.EnableTiming = false;
+  IsaProgram P = assembleVerified(R"(
+    lfi f16, 1.0009765625   ; needs more than 8 mantissa bits
+    lfi f17, 1.0
+    fmul.a f18, f16, f17
+    fendorse f1, f18
+    fmul f2, f1, f1         ; precise op on the endorsed value: no narrowing
+    halt
+  )");
+  Machine M(P, C);
+  ASSERT_FALSE(M.run().Trapped);
+  EXPECT_DOUBLE_EQ(M.fpReg(1), 1.0); // Operand narrowed to 8 bits.
+}
+
+TEST(IsaMachine, NegativeRemainderMatchesCpp) {
+  IsaProgram P = assembleVerified(
+      "li r1, -7\nli r2, 3\nrem r3, r1, r2\nhalt\n");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(M.run().Trapped);
+  EXPECT_EQ(M.intReg(3), -7 % 3);
+}
+
+TEST(IsaMachine, FallingOffTheEndHalts) {
+  IsaProgram P = assembleVerified("li r1, 9\n");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  MachineResult Result = M.run();
+  EXPECT_FALSE(Result.Trapped);
+  EXPECT_EQ(M.intReg(1), 9);
+}
+
+TEST(IsaMachine, InstructionMixCountsMatch) {
+  IsaProgram P = assembleVerified(R"(
+    li r1, 1
+    li r2, 2
+    add r3, r1, r2     ; precise int
+    add.a r16, r1, r2  ; approx int
+    lfi f1, 1.0
+    fadd f2, f1, f1    ; precise fp
+    fadd.a f16, f1, f1 ; approx fp (precise sources are fine)
+    halt
+  )");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(M.run().Trapped);
+  RunStats Stats = M.stats();
+  EXPECT_EQ(Stats.Ops.PreciseInt, 1u);
+  EXPECT_EQ(Stats.Ops.ApproxInt, 1u);
+  EXPECT_EQ(Stats.Ops.PreciseFp, 1u);
+  EXPECT_EQ(Stats.Ops.ApproxFp, 1u);
+}
+
+TEST(IsaVerifier, FpBranchOperandsMustBePrecise) {
+  verifyRejects("x: fbeq f16, f1, x\nhalt\n", "branch operand");
+  verifyRejects("x: fblt f1, f17, x\nhalt\n", "branch operand");
+}
+
+TEST(IsaMachine, FpBranches) {
+  IsaProgram P = assembleVerified(R"(
+    lfi f1, 1.5
+    lfi f2, 2.5
+    li r1, 0
+    fblt f1, f2, lt_taken
+    li r1, 100
+    lt_taken:
+    addi r1, r1, 1
+    fbeq f1, f2, eq_taken
+    addi r1, r1, 10
+    eq_taken:
+    fbne f1, f2, ne_taken
+    addi r1, r1, 100
+    ne_taken:
+    fble f2, f1, le_taken
+    addi r1, r1, 1000
+    le_taken:
+    halt
+  )");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(M.run().Trapped);
+  // fblt taken (skip +100), fbeq not taken (+10), fbne taken (skip
+  // +100), fble not taken (+1000): 1 + 10 + 1000.
+  EXPECT_EQ(M.intReg(1), 1011);
+}
+
+TEST(IsaMachine, FpBranchCountsAsPreciseFpOp) {
+  IsaProgram P = assembleVerified(
+      "lfi f1, 1.0\nlfi f2, 2.0\nx: fblt f2, f1, x\nhalt\n");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(M.run().Trapped);
+  EXPECT_EQ(M.stats().Ops.PreciseFp, 1u);
+}
+
+TEST(IsaDisassembler, RoundTripsEveryOpcode) {
+  const char *Source = R"(
+    .data 3
+    .adata 5
+    li r1, -42
+    lfi f1, 2.5
+    mv r2, r1
+    fmv f2, f1
+    li r16, 1
+    add.a r17, r16, r16
+    endorse r3, r17
+    lfi f16, 0.5
+    fmul.a f17, f16, f16
+    fendorse f3, f17
+    sub r4, r1, r2
+    mul r5, r1, r2
+    div r6, r1, r2
+    rem r7, r1, r2
+    addi r8, r1, 7
+    fadd f4, f1, f2
+    fsub f5, f1, f2
+    fmul f6, f1, f2
+    fdiv f7, f1, f2
+    cvt f8, r1
+    cvti r9, f1
+    sw r1, r0, 0
+    lw r10, r0, 0
+    sw.a r16, r0, 3
+    lw.a r18, r0, 3
+    fsw f1, r0, 1
+    flw f9, r0, 1
+    top:
+    beq r1, r2, top
+    bne r1, r2, top
+    blt r1, r2, top
+    ble r1, r2, top
+    fbeq f1, f2, top
+    fbne f1, f2, top
+    fblt f1, f2, top
+    fble f1, f2, top
+    jmp done
+    done:
+    halt
+  )";
+  IsaProgram Original = assembleOk(Source);
+  std::string Text = disassemble(Original);
+  std::vector<std::string> Errors;
+  std::optional<IsaProgram> Reassembled = assemble(Text, Errors);
+  ASSERT_TRUE(Reassembled.has_value())
+      << (Errors.empty() ? "" : Errors[0]) << "\n--- disassembly ---\n"
+      << Text;
+  ASSERT_EQ(Reassembled->Instructions.size(),
+            Original.Instructions.size());
+  EXPECT_EQ(Reassembled->PreciseWords, Original.PreciseWords);
+  EXPECT_EQ(Reassembled->ApproxWords, Original.ApproxWords);
+  for (size_t I = 0; I < Original.Instructions.size(); ++I) {
+    const Instruction &A = Original.Instructions[I];
+    const Instruction &B = Reassembled->Instructions[I];
+    EXPECT_EQ(A.Op, B.Op) << "instruction " << I;
+    EXPECT_EQ(A.Approx, B.Approx) << "instruction " << I;
+    EXPECT_EQ(A.Rd, B.Rd) << "instruction " << I;
+    EXPECT_EQ(A.Ra, B.Ra) << "instruction " << I;
+    EXPECT_EQ(A.Rb, B.Rb) << "instruction " << I;
+    EXPECT_EQ(A.Imm, B.Imm) << "instruction " << I;
+    EXPECT_DOUBLE_EQ(A.FpImm, B.FpImm) << "instruction " << I;
+  }
+}
+
+TEST(IsaDisassembler, MachineAgreesOnRoundTrippedBinary) {
+  IsaProgram P = assembleVerified(R"(
+    li r1, 0
+    li r2, 12
+    loop:
+    addi r1, r1, 3
+    blt r1, r2, loop
+    halt
+  )");
+  std::vector<std::string> Errors;
+  std::optional<IsaProgram> Q = assemble(disassemble(P), Errors);
+  ASSERT_TRUE(Q.has_value());
+  Machine A(P, FaultConfig::preset(ApproxLevel::None));
+  Machine B(*Q, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(A.run().Trapped);
+  ASSERT_FALSE(B.run().Trapped);
+  EXPECT_EQ(A.intReg(1), B.intReg(1));
+}
+
+TEST(IsaVerifier, SetAndLogicOpsFollowTheFlowRules) {
+  // Precise set ops reading approximate registers into precise
+  // destinations are illegal; `.a` variants must target approximate
+  // registers; precise-into-approx is fine.
+  verifyRejects("slt r1, r16, r2\nhalt\n", "use endorse");
+  verifyRejects("and r1, r2, r17\nhalt\n", "use endorse");
+  verifyRejects("seq.a r1, r2, r3\nhalt\n", "approximate register");
+  assembleVerified("slt r16, r1, r2\nsle.a r17, r16, r16\n"
+                   "or.a r18, r16, r17\nendorse r1, r18\nhalt\n");
+}
+
+TEST(IsaMachine, SetAndLogicSemantics) {
+  IsaProgram P = assembleVerified(R"(
+    li r1, 3
+    li r2, 5
+    seq r3, r1, r1
+    sne r4, r1, r2
+    slt r5, r1, r2
+    sle r6, r2, r1
+    and r7, r3, r4
+    or  r8, r6, r5
+    halt
+  )");
+  Machine M(P, FaultConfig::preset(ApproxLevel::None));
+  ASSERT_FALSE(M.run().Trapped);
+  EXPECT_EQ(M.intReg(3), 1);
+  EXPECT_EQ(M.intReg(4), 1);
+  EXPECT_EQ(M.intReg(5), 1);
+  EXPECT_EQ(M.intReg(6), 0);
+  EXPECT_EQ(M.intReg(7), 1);
+  EXPECT_EQ(M.intReg(8), 1);
+}

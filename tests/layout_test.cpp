@@ -1,0 +1,148 @@
+//===- tests/layout_test.cpp - Section 4.1 layout tests -------------------===//
+
+#include "arch/layout.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+
+TEST(Layout, AllPreciseObjectHasNoApproxBytes) {
+  std::vector<FieldDecl> Fields = {
+      {"a", 4, false}, {"b", 8, false}, {"c", 4, false}};
+  LayoutResult L = layoutObject(Fields);
+  EXPECT_EQ(L.ApproxBytes, 0u);
+  EXPECT_EQ(L.PreciseBytes, L.TotalBytes);
+  for (bool Approx : L.LineIsApprox)
+    EXPECT_FALSE(Approx);
+}
+
+TEST(Layout, PreciseFieldsComeFirst) {
+  std::vector<FieldDecl> Fields = {
+      {"x", 4, true}, {"i", 4, false}, {"y", 4, true}, {"j", 4, false}};
+  LayoutResult L = layoutObject(Fields);
+  // Precise fields (after the 8-byte header) precede approximate ones.
+  uint64_t MaxPreciseEnd = 0, MinApproxStart = UINT64_MAX;
+  for (const FieldPlacement &P : L.Fields) {
+    if (P.DeclaredApprox)
+      MinApproxStart = std::min(MinApproxStart, P.Offset);
+    else
+      MaxPreciseEnd = std::max(MaxPreciseEnd, P.Offset + P.Bytes);
+  }
+  EXPECT_LE(MaxPreciseEnd, MinApproxStart);
+}
+
+TEST(Layout, ApproxFieldsOnTrailingPreciseLineStayPrecise) {
+  // Header (8) + one precise int (4) occupy line 0; a small approx field
+  // lands on the same line and must be stored precisely.
+  std::vector<FieldDecl> Fields = {{"i", 4, false}, {"x", 4, true}};
+  LayoutResult L = layoutObject(Fields);
+  EXPECT_EQ(L.ApproxBytes, 0u);
+  ASSERT_EQ(L.Fields.size(), 2u);
+  for (const FieldPlacement &P : L.Fields)
+    if (P.DeclaredApprox) {
+      EXPECT_FALSE(P.StoredApprox);
+    }
+}
+
+TEST(Layout, LargeApproxFieldsSpillToApproxLines) {
+  // 8B header + 4B precise = 12B precise; 200B of approx data. Line 0
+  // (64B) is precise; the remaining bytes are approximate.
+  std::vector<FieldDecl> Fields;
+  Fields.push_back({"i", 4, false});
+  for (int I = 0; I < 25; ++I)
+    Fields.push_back({"a" + std::to_string(I), 8, true});
+  LayoutResult L = layoutObject(Fields);
+  EXPECT_EQ(L.TotalBytes, 8u + 4u + 200u);
+  EXPECT_EQ(L.PreciseBytes, 64u);
+  EXPECT_EQ(L.ApproxBytes, L.TotalBytes - 64u);
+  EXPECT_FALSE(L.LineIsApprox[0]);
+  for (size_t I = 1; I < L.LineIsApprox.size(); ++I)
+    EXPECT_TRUE(L.LineIsApprox[I]);
+}
+
+TEST(Layout, LineIsApproxIffNoPreciseBytes) {
+  // Property: a line is approximate iff it contains no precise byte.
+  std::vector<FieldDecl> Fields = {
+      {"p1", 8, false}, {"p2", 8, false}, {"a1", 64, true}, {"p3", 4, false},
+      {"a2", 32, true}, {"a3", 8, true}};
+  LayoutResult L = layoutObject(Fields);
+  uint64_t PreciseEnd = 0;
+  for (const FieldPlacement &P : L.Fields)
+    if (!P.DeclaredApprox)
+      PreciseEnd = std::max(PreciseEnd, P.Offset + P.Bytes);
+  for (size_t Line = 0; Line < L.LineIsApprox.size(); ++Line) {
+    bool ContainsPrecise = Line * L.LineBytes < PreciseEnd;
+    EXPECT_EQ(L.LineIsApprox[Line], !ContainsPrecise) << "line " << Line;
+  }
+}
+
+TEST(Layout, ByteAccountingSumsToTotal) {
+  std::vector<FieldDecl> Fields = {
+      {"a", 16, true}, {"b", 8, false}, {"c", 128, true}, {"d", 2, false}};
+  LayoutResult L = layoutObject(Fields);
+  EXPECT_EQ(L.PreciseBytes + L.ApproxBytes, L.TotalBytes);
+}
+
+TEST(Layout, StoredApproxConsistentWithByteCounts) {
+  std::vector<FieldDecl> Fields;
+  for (int I = 0; I < 10; ++I)
+    Fields.push_back({"f" + std::to_string(I), 8, I % 2 == 0});
+  LayoutResult L = layoutObject(Fields);
+  uint64_t ApproxFromFields = 0;
+  for (const FieldPlacement &P : L.Fields)
+    if (P.StoredApprox)
+      ApproxFromFields += P.Bytes;
+  // Fields stored approximately must all lie within approximate bytes.
+  EXPECT_LE(ApproxFromFields, L.ApproxBytes);
+}
+
+TEST(Layout, CustomLineSize) {
+  std::vector<FieldDecl> Fields = {{"i", 4, false}, {"a", 100, true}};
+  LayoutResult Small = layoutObject(Fields, /*LineBytes=*/16);
+  LayoutResult Large = layoutObject(Fields, /*LineBytes=*/256);
+  // Finer granularity puts more bytes in approximate lines.
+  EXPECT_GT(Small.ApproxBytes, 0u);
+  EXPECT_EQ(Large.ApproxBytes, 0u); // Everything fits in one precise line.
+  EXPECT_GE(Small.ApproxBytes, Large.ApproxBytes);
+}
+
+TEST(Layout, ApproxArrayFirstLinePrecise) {
+  LayoutResult L = layoutArray(/*Count=*/1000, /*ElementBytes=*/8,
+                               /*ElementsApprox=*/true);
+  EXPECT_FALSE(L.LineIsApprox[0]);
+  for (size_t I = 1; I < L.LineIsApprox.size(); ++I)
+    EXPECT_TRUE(L.LineIsApprox[I]);
+  EXPECT_EQ(L.PreciseBytes, 64u);
+  EXPECT_EQ(L.ApproxBytes, L.TotalBytes - 64u);
+}
+
+TEST(Layout, PreciseArrayFullyPrecise) {
+  LayoutResult L = layoutArray(1000, 8, /*ElementsApprox=*/false);
+  EXPECT_EQ(L.ApproxBytes, 0u);
+  for (bool Approx : L.LineIsApprox)
+    EXPECT_FALSE(Approx);
+}
+
+TEST(Layout, TinyApproxArrayFitsInPreciseLine) {
+  // Header (16) + 4 floats (16) = 32 bytes: all on the first, precise line.
+  LayoutResult L = layoutArray(4, 4, /*ElementsApprox=*/true);
+  EXPECT_EQ(L.ApproxBytes, 0u);
+  EXPECT_EQ(L.lineCount(), 1u);
+}
+
+TEST(Layout, EmptyArray) {
+  LayoutResult L = layoutArray(0, 8, true);
+  EXPECT_EQ(L.TotalBytes, 16u); // Just the header.
+  EXPECT_EQ(L.ApproxBytes, 0u);
+}
+
+TEST(Layout, ApproxFractionGrowsWithArraySize) {
+  double Prev = 0.0;
+  for (uint64_t Count : {8u, 64u, 512u, 4096u}) {
+    LayoutResult L = layoutArray(Count, 8, true);
+    double Fraction = static_cast<double>(L.ApproxBytes) / L.TotalBytes;
+    EXPECT_GE(Fraction, Prev);
+    Prev = Fraction;
+  }
+  EXPECT_GT(Prev, 0.95); // Large arrays are almost entirely approximate.
+}

@@ -1,0 +1,128 @@
+//===- tests/memory_test.cpp - Byte-second ledger tests -------------------===//
+
+#include "arch/memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+
+TEST(MemoryLedger, ClockStartsAtZeroAndTicks) {
+  MemoryLedger Ledger;
+  EXPECT_EQ(Ledger.now(), 0u);
+  Ledger.tick();
+  EXPECT_EQ(Ledger.now(), 1u);
+  Ledger.tick(41);
+  EXPECT_EQ(Ledger.now(), 42u);
+}
+
+TEST(MemoryLedger, LeaseAccumulatesByteCycles) {
+  MemoryLedger Ledger;
+  LeaseHandle H = Ledger.lease(Region::Sram, 4, 0);
+  Ledger.tick(10);
+  Ledger.release(H);
+  StorageStats S = Ledger.snapshot();
+  EXPECT_DOUBLE_EQ(S.SramPrecise, 40.0);
+  EXPECT_DOUBLE_EQ(S.SramApprox, 0.0);
+  EXPECT_DOUBLE_EQ(S.DramPrecise, 0.0);
+}
+
+TEST(MemoryLedger, MixedLeaseSplitsBuckets) {
+  MemoryLedger Ledger;
+  LeaseHandle H = Ledger.lease(Region::Dram, 64, 192);
+  Ledger.tick(100);
+  Ledger.release(H);
+  StorageStats S = Ledger.snapshot();
+  EXPECT_DOUBLE_EQ(S.DramPrecise, 6400.0);
+  EXPECT_DOUBLE_EQ(S.DramApprox, 19200.0);
+  EXPECT_DOUBLE_EQ(S.dramApproxFraction(), 0.75);
+}
+
+TEST(MemoryLedger, SnapshotIncludesLiveLeases) {
+  MemoryLedger Ledger;
+  Ledger.lease(Region::Sram, 0, 8);
+  Ledger.tick(5);
+  StorageStats S = Ledger.snapshot();
+  EXPECT_DOUBLE_EQ(S.SramApprox, 40.0);
+  // Snapshot does not end the lease; more time keeps accruing.
+  Ledger.tick(5);
+  EXPECT_DOUBLE_EQ(Ledger.snapshot().SramApprox, 80.0);
+}
+
+TEST(MemoryLedger, ZeroDurationLeaseContributesNothing) {
+  MemoryLedger Ledger;
+  LeaseHandle H = Ledger.lease(Region::Dram, 100, 100);
+  Ledger.release(H);
+  StorageStats S = Ledger.snapshot();
+  EXPECT_DOUBLE_EQ(S.dramTotal(), 0.0);
+}
+
+TEST(MemoryLedger, HandleReuseAfterRelease) {
+  MemoryLedger Ledger;
+  LeaseHandle A = Ledger.lease(Region::Sram, 4, 0);
+  Ledger.tick(2);
+  Ledger.release(A);
+  LeaseHandle B = Ledger.lease(Region::Dram, 0, 8);
+  Ledger.tick(3);
+  Ledger.release(B);
+  StorageStats S = Ledger.snapshot();
+  EXPECT_DOUBLE_EQ(S.SramPrecise, 8.0);
+  EXPECT_DOUBLE_EQ(S.DramApprox, 24.0);
+  EXPECT_EQ(Ledger.liveLeases(), 0u);
+}
+
+TEST(MemoryLedger, ManyLeases) {
+  MemoryLedger Ledger;
+  std::vector<LeaseHandle> Handles;
+  for (int I = 0; I < 100; ++I)
+    Handles.push_back(Ledger.lease(Region::Dram, 1, 1));
+  EXPECT_EQ(Ledger.liveLeases(), 100u);
+  Ledger.tick(1);
+  for (LeaseHandle H : Handles)
+    Ledger.release(H);
+  StorageStats S = Ledger.snapshot();
+  EXPECT_DOUBLE_EQ(S.DramPrecise, 100.0);
+  EXPECT_DOUBLE_EQ(S.DramApprox, 100.0);
+}
+
+TEST(MemoryLedger, InvalidHandleReleaseIsNoop) {
+  MemoryLedger Ledger;
+  Ledger.release(LeaseHandle());
+  EXPECT_EQ(Ledger.liveLeases(), 0u);
+}
+
+TEST(StorageStats, FractionsWithNoData) {
+  StorageStats S;
+  EXPECT_DOUBLE_EQ(S.sramApproxFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(S.dramApproxFraction(), 0.0);
+}
+
+TEST(OperationStats, Fractions) {
+  OperationStats Ops;
+  Ops.PreciseInt = 30;
+  Ops.ApproxInt = 10;
+  Ops.PreciseFp = 20;
+  Ops.ApproxFp = 60;
+  EXPECT_DOUBLE_EQ(Ops.approxIntFraction(), 0.25);
+  EXPECT_DOUBLE_EQ(Ops.approxFpFraction(), 0.75);
+  EXPECT_DOUBLE_EQ(Ops.fpProportion(), 80.0 / 120.0);
+  EXPECT_EQ(Ops.total(), 120u);
+}
+
+TEST(OperationStats, EmptyFractionsAreZero) {
+  OperationStats Ops;
+  EXPECT_DOUBLE_EQ(Ops.approxIntFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(Ops.approxFpFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(Ops.fpProportion(), 0.0);
+}
+
+TEST(OperationStats, Accumulation) {
+  OperationStats A, B;
+  A.PreciseInt = 1;
+  A.ApproxFp = 2;
+  B.PreciseInt = 10;
+  B.ApproxInt = 5;
+  A += B;
+  EXPECT_EQ(A.PreciseInt, 11u);
+  EXPECT_EQ(A.ApproxInt, 5u);
+  EXPECT_EQ(A.ApproxFp, 2u);
+}

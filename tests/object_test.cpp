@@ -1,0 +1,113 @@
+//===- tests/object_test.cpp - Heap-object storage lease tests ------------===//
+
+#include "core/enerj.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+
+namespace {
+
+/// A mixed-precision particle: position approximate (on approximate
+/// instances), mass and id always precise.
+template <Precision P> class Particle : public Approximable<P> {
+public:
+  static std::vector<FieldDecl> layoutFields() {
+    bool A = IsApprox<P>;
+    return {{"x", 8, A}, {"y", 8, A}, {"z", 8, A},
+            {"mass", 8, false}, {"id", 4, false}};
+  }
+
+  Context<P, double> X{0.0}, Y{0.0}, Z{0.0};
+  Precise<double> Mass{1.0};
+  Precise<int32_t> Id{0};
+};
+
+/// A large object whose approximate payload spills past the first line.
+struct BigBlob {
+  static std::vector<FieldDecl> layoutFields() {
+    std::vector<FieldDecl> Fields = {{"len", 8, false}};
+    for (int I = 0; I < 32; ++I)
+      Fields.push_back({"w" + std::to_string(I), 8, true});
+    return Fields;
+  }
+};
+
+} // namespace
+
+TEST(ObjectLease, NoSimulatorIsNoop) {
+  ObjectLease Lease(Particle<Precision::Approx>::layoutFields());
+  EXPECT_EQ(Lease.layout().TotalBytes, 0u); // Layout not even computed.
+}
+
+TEST(ObjectLease, ChargesDramPerLayout) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  {
+    SimulatorScope Scope(Sim);
+    ObjectLease Lease(BigBlob::layoutFields());
+    // Header 8 + len 8 = 16 precise bytes -> line 0 precise (64B);
+    // 256 approximate bytes follow, 208 of them on approximate lines.
+    EXPECT_EQ(Lease.layout().TotalBytes, 8u + 8u + 256u);
+    EXPECT_EQ(Lease.layout().PreciseBytes, 64u);
+    EXPECT_EQ(Lease.layout().ApproxBytes, 208u);
+    Sim.ledger().tick(10);
+    RunStats Stats = Sim.stats();
+    EXPECT_DOUBLE_EQ(Stats.Storage.DramPrecise, 640.0);
+    EXPECT_DOUBLE_EQ(Stats.Storage.DramApprox, 2080.0);
+  }
+}
+
+TEST(ObjectLease, ReleasedOnDestruction) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  SimulatorScope Scope(Sim);
+  {
+    ObjectLease Lease(BigBlob::layoutFields());
+    EXPECT_EQ(Sim.ledger().liveLeases(), 1u);
+  }
+  EXPECT_EQ(Sim.ledger().liveLeases(), 0u);
+}
+
+TEST(ObjectLease, MoveTransfersOwnership) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  SimulatorScope Scope(Sim);
+  ObjectLease A(BigBlob::layoutFields());
+  size_t Live = Sim.ledger().liveLeases();
+  ObjectLease B = std::move(A);
+  EXPECT_EQ(Sim.ledger().liveLeases(), Live);
+  EXPECT_GT(B.layout().TotalBytes, 0u);
+}
+
+TEST(HeapObject, PreciseInstanceIsFullyPrecise) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  SimulatorScope Scope(Sim);
+  HeapObject<Particle<Precision::Precise>> P;
+  EXPECT_EQ(P.layout().ApproxBytes, 0u);
+  P->X = 1.0;
+  EXPECT_DOUBLE_EQ(P->X.get(), 1.0);
+}
+
+TEST(HeapObject, ApproxInstanceLayoutSegregates) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  SimulatorScope Scope(Sim);
+  HeapObject<Particle<Precision::Approx>> P;
+  const LayoutResult &Layout = P.layout();
+  // With 64-byte lines: header(8) + mass(8) + id(4) = 20 precise bytes,
+  // then 24 approximate bytes that still fit on line 0 -> nothing is
+  // stored approximately (the paper's granularity loss).
+  EXPECT_EQ(Layout.ApproxBytes, 0u);
+  // At finer granularity the same object recovers approximate storage.
+  FaultConfig Fine = FaultConfig::preset(ApproxLevel::Medium);
+  Fine.CacheLineBytes = 16;
+  Simulator FineSim(Fine);
+  SimulatorScope FineScope(FineSim);
+  HeapObject<Particle<Precision::Approx>> Q;
+  EXPECT_GT(Q.layout().ApproxBytes, 0u);
+}
+
+TEST(HeapObject, FieldsStillEnforceStaticRules) {
+  HeapObject<Particle<Precision::Approx>> P;
+  P->X = 2.0;
+  // X is approximate on an approximate instance: no implicit flow out.
+  static_assert(!std::is_convertible_v<decltype(P->X), double>);
+  EXPECT_DOUBLE_EQ(endorse(P->X), 2.0);
+}

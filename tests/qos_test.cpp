@@ -1,0 +1,109 @@
+//===- tests/qos_test.cpp - QoS metric tests ------------------------------===//
+
+#include "qos/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+using namespace enerj;
+
+TEST(Qos, ClampError) {
+  EXPECT_DOUBLE_EQ(qos::clampError(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(qos::clampError(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(qos::clampError(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(qos::clampError(std::nan("")), 1.0);
+}
+
+TEST(Qos, MeanEntryDifferenceIdentical) {
+  std::vector<double> A = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(qos::meanEntryDifference(A, A), 0.0);
+}
+
+TEST(Qos, MeanEntryDifferenceCapsPerEntry) {
+  std::vector<double> A = {0.0, 0.0};
+  std::vector<double> B = {100.0, 0.0}; // Entry diff 100 caps at 1.
+  EXPECT_DOUBLE_EQ(qos::meanEntryDifference(A, B), 0.5);
+}
+
+TEST(Qos, MeanEntryDifferenceNaNCountsAsOne) {
+  std::vector<double> A = {1.0, 1.0};
+  std::vector<double> B = {1.0, std::nan("")};
+  EXPECT_DOUBLE_EQ(qos::meanEntryDifference(A, B), 0.5);
+}
+
+TEST(Qos, MeanEntryDifferenceMismatchedLengths) {
+  std::vector<double> A = {1.0};
+  std::vector<double> B = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(qos::meanEntryDifference(A, B), 1.0);
+}
+
+TEST(Qos, MeanEntryDifferenceEmpty) {
+  std::vector<double> Empty;
+  EXPECT_DOUBLE_EQ(qos::meanEntryDifference(Empty, Empty), 0.0);
+}
+
+TEST(Qos, NormalizedDifference) {
+  EXPECT_DOUBLE_EQ(qos::normalizedDifference(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(qos::normalizedDifference(10.0, 9.0), 0.1);
+  EXPECT_DOUBLE_EQ(qos::normalizedDifference(10.0, 100.0), 1.0); // Capped.
+  EXPECT_DOUBLE_EQ(qos::normalizedDifference(1.0, std::nan("")), 1.0);
+  // Tiny baseline does not divide by zero.
+  EXPECT_DOUBLE_EQ(qos::normalizedDifference(0.0, 0.0), 0.0);
+}
+
+TEST(Qos, MeanNormalizedDifference) {
+  std::vector<double> A = {10.0, 20.0};
+  std::vector<double> B = {9.0, 20.0};
+  EXPECT_DOUBLE_EQ(qos::meanNormalizedDifference(A, B), 0.05);
+}
+
+TEST(Qos, BinaryCorrectness) {
+  EXPECT_DOUBLE_EQ(qos::binaryCorrectness("HELLO", "HELLO"), 0.0);
+  EXPECT_DOUBLE_EQ(qos::binaryCorrectness("HELLO", "HELLO!"), 1.0);
+  EXPECT_DOUBLE_EQ(qos::binaryCorrectness("", ""), 0.0);
+}
+
+TEST(Qos, DecisionError) {
+  std::vector<uint8_t> P = {1, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(qos::decisionError(P, P), 0.0);
+  std::vector<uint8_t> Half = {1, 0, 1, 0}; // 75% correct -> 0.5 error.
+  EXPECT_DOUBLE_EQ(qos::decisionError(P, Half), 0.5);
+  std::vector<uint8_t> Chance = {0, 1, 0, 0}; // 25% correct -> capped 1.
+  EXPECT_DOUBLE_EQ(qos::decisionError(P, Chance), 1.0);
+  std::vector<uint8_t> Empty;
+  EXPECT_DOUBLE_EQ(qos::decisionError(Empty, Empty), 1.0);
+}
+
+TEST(Qos, MeanPixelDifference) {
+  std::vector<double> A = {0, 128, 255};
+  std::vector<double> B = {0, 128, 255};
+  EXPECT_DOUBLE_EQ(qos::meanPixelDifference(A, B, 255.0), 0.0);
+  std::vector<double> C = {255, 128, 255};
+  EXPECT_NEAR(qos::meanPixelDifference(A, C, 255.0), 1.0 / 3.0, 1e-12);
+  // Differences beyond the channel range cap at 1 per pixel.
+  std::vector<double> D = {-1000, 128, 255};
+  EXPECT_NEAR(qos::meanPixelDifference(A, D, 255.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Qos, MeanPixelDifferenceDegenerate) {
+  std::vector<double> A = {1.0};
+  std::vector<double> B = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(qos::meanPixelDifference(A, B, 255.0), 1.0);
+  EXPECT_DOUBLE_EQ(qos::meanPixelDifference(A, A, 0.0), 1.0);
+}
+
+TEST(Qos, AllMetricsBounded) {
+  // Property: whatever garbage goes in, the error is in [0, 1].
+  std::vector<double> A = {1e308, -1e308, std::nan(""), 0.0};
+  std::vector<double> B = {-1e308, 1e308, 5.0,
+                           std::numeric_limits<double>::infinity()};
+  for (double E :
+       {qos::meanEntryDifference(A, B), qos::meanNormalizedDifference(A, B),
+        qos::meanPixelDifference(A, B, 255.0)}) {
+    EXPECT_GE(E, 0.0);
+    EXPECT_LE(E, 1.0);
+  }
+}

@@ -1,0 +1,158 @@
+//===- tests/rng_test.cpp - Deterministic RNG tests -----------------------===//
+
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+using namespace enerj;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng A(0);
+  // Must not get stuck in the all-zero state.
+  uint64_t X = A.next(), Y = A.next();
+  EXPECT_TRUE(X != 0 || Y != 0);
+  EXPECT_NE(X, Y);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng R(3);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound) << "bound " << Bound;
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng R(5);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf) {
+  Rng R(13);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.nextDouble();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng R(17);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.nextBernoulli(0.0));
+    EXPECT_FALSE(R.nextBernoulli(-1.0));
+    EXPECT_TRUE(R.nextBernoulli(1.0));
+    EXPECT_TRUE(R.nextBernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng R(19);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextBernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.01);
+}
+
+TEST(Rng, NextInRangeBounds) {
+  Rng R(23);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(R.nextInRange(9, 9), 9);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng R(29);
+  EXPECT_EQ(R.nextBinomial(0, 0.5), 0u);
+  EXPECT_EQ(R.nextBinomial(100, 0.0), 0u);
+  EXPECT_EQ(R.nextBinomial(100, 1.0), 100u);
+}
+
+TEST(Rng, BinomialMeanSmallP) {
+  // The geometric-gap path: mean of Binomial(64, 1e-3) over many draws.
+  Rng R(31);
+  const int N = 200000;
+  uint64_t Total = 0;
+  for (int I = 0; I < N; ++I)
+    Total += R.nextBinomial(64, 1e-3);
+  double Mean = static_cast<double>(Total) / N;
+  EXPECT_NEAR(Mean, 64 * 1e-3, 0.002);
+}
+
+TEST(Rng, BinomialNeverExceedsN) {
+  Rng R(37);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LE(R.nextBinomial(8, 0.9), 8u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng R(41);
+  const int N = 200000;
+  double Sum = 0, SumSq = 0;
+  for (int I = 0; I < N; ++I) {
+    double G = R.nextGaussian();
+    Sum += G;
+    SumSq += G * G;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.02);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStreams) {
+  Rng Parent(43);
+  Rng A = Parent.split(1);
+  Rng B = Parent.split(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng P1(99), P2(99);
+  Rng A = P1.split(7);
+  Rng B = P2.split(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}

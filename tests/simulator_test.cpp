@@ -1,0 +1,141 @@
+//===- tests/simulator_test.cpp - Simulator runtime tests -----------------===//
+
+#include "runtime/simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+
+TEST(Simulator, NoCurrentSimulatorByDefault) {
+  EXPECT_EQ(Simulator::current(), nullptr);
+}
+
+TEST(Simulator, ScopeInstallsAndRestores) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  {
+    SimulatorScope Scope(Sim);
+    EXPECT_EQ(Simulator::current(), &Sim);
+    Simulator Inner(FaultConfig::preset(ApproxLevel::Mild));
+    {
+      SimulatorScope InnerScope(Inner);
+      EXPECT_EQ(Simulator::current(), &Inner);
+    }
+    EXPECT_EQ(Simulator::current(), &Sim);
+  }
+  EXPECT_EQ(Simulator::current(), nullptr);
+}
+
+TEST(Simulator, CountsPreciseOps) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  Sim.countPreciseInt();
+  Sim.countPreciseInt();
+  Sim.countPreciseFp();
+  RunStats Stats = Sim.stats();
+  EXPECT_EQ(Stats.Ops.PreciseInt, 2u);
+  EXPECT_EQ(Stats.Ops.PreciseFp, 1u);
+  EXPECT_EQ(Sim.now(), 3u); // One cycle per op.
+}
+
+TEST(Simulator, ApproxOpsCountedAndExactAtNone) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  EXPECT_EQ(Sim.intResult<int32_t>(41), 41);
+  EXPECT_EQ(Sim.fpResult(2.5), 2.5);
+  RunStats Stats = Sim.stats();
+  EXPECT_EQ(Stats.Ops.ApproxInt, 1u);
+  EXPECT_EQ(Stats.Ops.ApproxFp, 1u);
+  EXPECT_EQ(Stats.Ops.TimingErrors, 0u);
+}
+
+TEST(Simulator, TimingErrorsAccumulateAtAggressive) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Aggressive));
+  for (int I = 0; I < 100000; ++I)
+    Sim.intResult<int32_t>(I);
+  RunStats Stats = Sim.stats();
+  EXPECT_EQ(Stats.Ops.ApproxInt, 100000u);
+  // ~1e-2 error rate.
+  EXPECT_NEAR(static_cast<double>(Stats.Ops.TimingErrors) / 100000, 1e-2,
+              3e-3);
+}
+
+TEST(Simulator, NarrowOperandRespectsConfig) {
+  Simulator Medium(FaultConfig::preset(ApproxLevel::Medium));
+  float V = 123.456f;
+  float Narrow = Medium.narrowOperand(V);
+  EXPECT_NE(Narrow, V);
+  EXPECT_NEAR(Narrow, V, 1.0f);
+
+  Simulator None(FaultConfig::preset(ApproxLevel::None));
+  EXPECT_EQ(None.narrowOperand(V), V);
+  // Integer operands pass through at any level.
+  EXPECT_EQ(Medium.narrowOperand(int32_t(77)), 77);
+}
+
+TEST(Simulator, SramFaultFreeAtNone) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_EQ(Sim.sramRead(I), I);
+    EXPECT_EQ(Sim.sramWrite(I), I);
+  }
+}
+
+TEST(Simulator, SramReadUpsetsHappenAtAggressive) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Aggressive));
+  int Flips = 0;
+  for (int I = 0; I < 10000; ++I)
+    Flips += (Sim.sramRead<int32_t>(0) != 0);
+  EXPECT_GT(Flips, 0);
+  EXPECT_LT(Flips, 2000);
+}
+
+TEST(Simulator, DramDecayDependsOnElapsedTime) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.CyclesPerSecond = 1e3; // Make decay visible quickly.
+  Simulator Sim(C);
+  Sim.ledger().tick(100000); // 100 modeled seconds pass.
+  int Flips = 0;
+  for (int I = 0; I < 2000; ++I)
+    Flips += (Sim.dramAccess<int32_t>(0, 0) != 0);
+  // 100 s at 1e-3/s per bit: ~9.5% per bit, over 32 bits nearly certain.
+  EXPECT_GT(Flips, 1500);
+
+  // Freshly accessed data does not decay.
+  uint64_t Now = Sim.now();
+  EXPECT_EQ(Sim.dramAccess<int32_t>(7, Now), 7);
+}
+
+TEST(Simulator, DramAccessTicksClock) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::None));
+  uint64_t Before = Sim.now();
+  Sim.dramAccess<int32_t>(1, Before);
+  EXPECT_EQ(Sim.now(), Before + 1);
+}
+
+TEST(Simulator, StatsSnapshotIncludesStorage) {
+  Simulator Sim(FaultConfig::preset(ApproxLevel::Medium));
+  LeaseHandle H = Sim.ledger().lease(Region::Dram, 10, 90);
+  Sim.ledger().tick(100);
+  RunStats Stats = Sim.stats();
+  EXPECT_DOUBLE_EQ(Stats.Storage.DramPrecise, 1000.0);
+  EXPECT_DOUBLE_EQ(Stats.Storage.DramApprox, 9000.0);
+  Sim.ledger().release(H);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.Seed = 1234;
+  Simulator A(C), B(C);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_EQ(A.intResult<int32_t>(I), B.intResult<int32_t>(I));
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  FaultConfig C1 = FaultConfig::preset(ApproxLevel::Aggressive);
+  FaultConfig C2 = C1;
+  C1.Seed = 1;
+  C2.Seed = 2;
+  Simulator A(C1), B(C2);
+  int Diffs = 0;
+  for (int I = 0; I < 100000; ++I)
+    Diffs += (A.intResult<int32_t>(I) != B.intResult<int32_t>(I));
+  EXPECT_GT(Diffs, 0);
+}

@@ -1,0 +1,136 @@
+//===- tests/static_rules_test.cpp - Compile-time isolation rules ---------===//
+//
+// EnerJ's safety guarantees are *static*. In the C++ embedding they are
+// enforced by the type system itself, so the tests are static_asserts on
+// conversion/overload traits: if any of these starts passing, the library
+// has lost its isolation guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/enerj.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+using namespace enerj;
+
+namespace {
+
+/// Detects whether `if (Approx<bool>)` would compile.
+template <typename T, typename = void>
+struct UsableAsCondition : std::false_type {};
+template <typename T>
+struct UsableAsCondition<
+    T, std::void_t<decltype(static_cast<bool>(std::declval<T>()))>>
+    : std::true_type {};
+
+/// Detects whether an ApproxArray can be subscripted with an index type.
+template <typename Arr, typename Idx, typename = void>
+struct Subscriptable : std::false_type {};
+template <typename Arr, typename Idx>
+struct Subscriptable<Arr, Idx,
+                     std::void_t<decltype(std::declval<Arr &>()
+                                              [std::declval<Idx>()])>>
+    : std::true_type {};
+
+} // namespace
+
+TEST(StaticRules, NoImplicitApproxToPreciseFlow) {
+  // The paper's core rule (Section 2.1): approximate data cannot flow to
+  // precise variables without an endorsement.
+  static_assert(!std::is_convertible_v<Approx<int32_t>, int32_t>,
+                "approx -> precise must not be implicit");
+  static_assert(!std::is_convertible_v<Approx<double>, double>);
+  static_assert(!std::is_convertible_v<Approx<int32_t>, Precise<int32_t>>);
+  static_assert(!std::is_assignable_v<int32_t &, Approx<int32_t>>);
+  SUCCEED();
+}
+
+TEST(StaticRules, PreciseToApproxFlowIsImplicit) {
+  // Subtyping: precise primitives flow into approximate storage freely.
+  static_assert(std::is_convertible_v<int32_t, Approx<int32_t>>);
+  static_assert(std::is_convertible_v<double, Approx<double>>);
+  static_assert(std::is_convertible_v<Precise<int32_t>, Approx<int32_t>>);
+  SUCCEED();
+}
+
+TEST(StaticRules, ApproxConditionsDoNotCompile) {
+  // Section 2.4: no implicit flows through control flow. Approx<bool>
+  // is not contextually convertible to bool, so `if (a == b)` on
+  // approximate values is rejected at compile time.
+  static_assert(!UsableAsCondition<Approx<bool>>::value,
+                "approximate conditions must not compile");
+  static_assert(!std::is_convertible_v<Approx<bool>, bool>);
+  // The endorsed workaround from the paper compiles:
+  Approx<int32_t> Val = 5;
+  if (endorse(Val == Approx<int32_t>(5)))
+    SUCCEED();
+  else
+    FAIL();
+}
+
+TEST(StaticRules, ApproxArraySubscriptsDoNotCompile) {
+  // Section 2.6: subscripts must be precise.
+  static_assert(Subscriptable<ApproxArray<double>, size_t>::value);
+  static_assert(Subscriptable<ApproxArray<double>, int>::value);
+  static_assert(
+      !Subscriptable<ApproxArray<double>, Approx<int32_t>>::value,
+      "approximate subscripts must not compile");
+  static_assert(
+      !Subscriptable<ApproxArray<double>, Approx<size_t>>::value);
+  static_assert(
+      !Subscriptable<PreciseArray<double>, Approx<int32_t>>::value);
+  SUCCEED();
+}
+
+TEST(StaticRules, EndorsedIndexCompiles) {
+  ApproxArray<double> A(4, 1.0);
+  Approx<int32_t> I = 2;
+  // The sanctioned pattern: endorse the index, then subscript.
+  EXPECT_EQ(endorse(A.get(static_cast<size_t>(endorse(I)))), 1.0);
+}
+
+TEST(StaticRules, TopAcceptsBothPrecisions) {
+  static_assert(std::is_constructible_v<Top<int32_t>, int32_t>);
+  static_assert(std::is_constructible_v<Top<int32_t>, Approx<int32_t>>);
+  static_assert(std::is_constructible_v<Top<int32_t>, Precise<int32_t>>);
+  // But nothing flows out implicitly.
+  static_assert(!std::is_convertible_v<Top<int32_t>, int32_t>);
+  static_assert(!std::is_convertible_v<Top<int32_t>, Approx<int32_t>>);
+  SUCCEED();
+}
+
+TEST(StaticRules, ComparisonsReturnApproxBool) {
+  static_assert(
+      std::is_same_v<decltype(std::declval<Approx<int32_t>>() ==
+                              std::declval<Approx<int32_t>>()),
+                     Approx<bool>>);
+  static_assert(
+      std::is_same_v<decltype(std::declval<Approx<double>>() <
+                              std::declval<Approx<double>>()),
+                     Approx<bool>>);
+  SUCCEED();
+}
+
+TEST(StaticRules, ArithmeticClosesOverApprox) {
+  static_assert(
+      std::is_same_v<decltype(std::declval<Approx<int32_t>>() +
+                              std::declval<Approx<int32_t>>()),
+                     Approx<int32_t>>);
+  // Mixed precise/approx promotes to approx (Section 2.3's overloading).
+  static_assert(std::is_same_v<decltype(std::declval<Approx<double>>() *
+                                        std::declval<double>()),
+                               Approx<double>>);
+  SUCCEED();
+}
+
+TEST(StaticRules, ApproxOnlyQualifiesPrimitives) {
+  static_assert(std::is_constructible_v<Approx<int32_t>>);
+  static_assert(std::is_constructible_v<Approx<float>>);
+  static_assert(std::is_constructible_v<Approx<bool>>);
+  // Class types go through Approximable<P> instead — Approx<T> rejects
+  // non-arithmetic T at compile time (checked by its static_assert; not
+  // instantiable here without erroring, which is exactly the point).
+  SUCCEED();
+}

@@ -1,0 +1,142 @@
+//===- tests/torture_test.cpp - Failure injection at the extremes ---------===//
+//
+// The paper's future-work knob ("a separate system could tune the
+// frequency and intensity of errors") exists here as FaultConfig
+// overrides. These tests push every strategy to its extreme — error
+// probability 1.0, zero mantissa bits — and check the system's
+// guarantees still hold: precise data is exact, nothing crashes, every
+// run completes, statistics stay sane.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/app.h"
+#include "core/enerj.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace enerj;
+
+namespace {
+
+/// Everything fails, all the time.
+FaultConfig tortureConfig() {
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Aggressive);
+  Config.TimingErrorOverride = 1.0;
+  Config.SramReadUpsetOverride = 0.5;
+  Config.SramWriteFailureOverride = 0.5;
+  Config.DramFlipPerSecondOverride = 1.0;
+  Config.FloatMantissaOverride = 0;
+  Config.DoubleMantissaOverride = 0;
+  Config.CyclesPerSecond = 1.0;
+  return Config;
+}
+
+} // namespace
+
+TEST(Torture, OverridesAreHonored) {
+  FaultConfig Config = tortureConfig();
+  EXPECT_DOUBLE_EQ(Config.timingErrorProbability(), 1.0);
+  EXPECT_DOUBLE_EQ(Config.sramReadUpset(), 0.5);
+  EXPECT_DOUBLE_EQ(Config.sramWriteFailure(), 0.5);
+  EXPECT_DOUBLE_EQ(Config.dramFlipPerSecond(), 1.0);
+  EXPECT_EQ(Config.floatMantissaBits(), 0u);
+  EXPECT_EQ(Config.doubleMantissaBits(), 0u);
+  // Disabled strategies still win over overrides.
+  Config.EnableTiming = false;
+  EXPECT_DOUBLE_EQ(Config.timingErrorProbability(), 0.0);
+}
+
+TEST(Torture, OverridesApplyAtAnyLevel) {
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::None);
+  Config.TimingErrorOverride = 0.25;
+  EXPECT_DOUBLE_EQ(Config.timingErrorProbability(), 0.25);
+  Config.TimingErrorOverride = -1.0;
+  EXPECT_DOUBLE_EQ(Config.timingErrorProbability(), 0.0);
+}
+
+TEST(Torture, PreciseDataSurvivesTotalApproxFailure) {
+  // With every approximate mechanism failing constantly, Precise<T> and
+  // PreciseArray<T> remain bit-exact: the isolation guarantee.
+  Simulator Sim(tortureConfig());
+  SimulatorScope Scope(Sim);
+  Precise<int32_t> Counter = 0;
+  PreciseArray<double> Data(256);
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] = 1.0 + static_cast<double>(I);
+  for (int Round = 0; Round < 1000; ++Round)
+    Counter += 1;
+  Sim.ledger().tick(1000000);
+  EXPECT_EQ(Counter.get(), 1000);
+  for (size_t I = 0; I < Data.size(); ++I)
+    EXPECT_DOUBLE_EQ(Data[I], 1.0 + static_cast<double>(I));
+}
+
+TEST(Torture, ApproxComputationAlwaysCompletes) {
+  // Under total corruption the approximate side produces garbage but
+  // never traps, loops, or poisons control flow.
+  Simulator Sim(tortureConfig());
+  SimulatorScope Scope(Sim);
+  ApproxArray<double> Data(64, 1.0);
+  Approx<double> Acc = 0.0;
+  for (Precise<int32_t> I = 0; I < 64; ++I) {
+    size_t Index = static_cast<size_t>(I.get());
+    Acc += Data.get(Index) / Data.get((Index + 1) % 64);
+  }
+  double Result = endorse(Acc);
+  (void)Result; // Any value (including NaN/inf) is acceptable.
+  RunStats Stats = Sim.stats();
+  EXPECT_EQ(Stats.Ops.ApproxFp, 64u * 2u);
+  EXPECT_EQ(Stats.Ops.TimingErrors, 64u * 2u); // P = 1: every op fired.
+}
+
+TEST(Torture, ZeroMantissaStillProducesPowersOfTwo) {
+  // 0 mantissa bits leaves sign + exponent: operands collapse to powers
+  // of two (or zero/inf), never to arbitrary garbage.
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::None);
+  Config.FloatMantissaOverride = 0;
+  Config.DoubleMantissaOverride = 0;
+  Simulator Sim(Config);
+  SimulatorScope Scope(Sim);
+  Approx<double> A = 1.9, B = 1.0;
+  double Narrowed = endorse(A * B); // 1.9 -> 1.0 with an empty mantissa.
+  EXPECT_DOUBLE_EQ(Narrowed, 1.0);
+}
+
+TEST(Torture, AllAppsSurviveTortureConfig) {
+  // The Section 6 "never fail catastrophically" property at the extreme:
+  // all nine applications produce an output under total corruption.
+  FaultConfig Config = tortureConfig();
+  for (const apps::Application *App : apps::allApplications()) {
+    apps::AppRun Run = apps::runApproximate(*App, Config, /*Seed=*/1);
+    bool HasOutput = !Run.Output.Numeric.empty() ||
+                     !Run.Output.Text.empty() ||
+                     !Run.Output.Decisions.empty();
+    EXPECT_TRUE(HasOutput) << App->name();
+    apps::AppOutput Reference = apps::runPrecise(*App, 1);
+    double Error = App->qosError(Reference, Run.Output);
+    EXPECT_GE(Error, 0.0) << App->name();
+    EXPECT_LE(Error, 1.0) << App->name();
+  }
+}
+
+TEST(Torture, QosDegradesMonotonicallyInTimingProbability) {
+  // Sweep the new knob: more frequent timing errors, more output error
+  // (on average) for a fault-sensitive kernel.
+  const apps::Application *Fft = apps::findApplication("fft");
+  ASSERT_NE(Fft, nullptr);
+  double Previous = -1.0;
+  for (double Probability : {0.0, 1e-4, 1e-2, 1.0}) {
+    FaultConfig Config = FaultConfig::preset(ApproxLevel::None);
+    Config.EnableTiming = true;
+    Config.TimingErrorOverride = Probability;
+    double Sum = 0.0;
+    for (uint64_t Seed = 1; Seed <= 3; ++Seed)
+      Sum += apps::qosUnder(*Fft, Config, Seed);
+    double Error = Sum / 3.0;
+    EXPECT_GE(Error, Previous - 0.05) << "P = " << Probability;
+    Previous = Error;
+  }
+  EXPECT_GT(Previous, 0.9); // At P = 1 the output is meaningless.
+}
