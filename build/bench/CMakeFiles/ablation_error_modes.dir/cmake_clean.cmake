@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_error_modes.dir/ablation_error_modes.cpp.o"
+  "CMakeFiles/ablation_error_modes.dir/ablation_error_modes.cpp.o.d"
+  "ablation_error_modes"
+  "ablation_error_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_error_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_granularity.cpp" "bench/CMakeFiles/ablation_granularity.dir/ablation_granularity.cpp.o" "gcc" "bench/CMakeFiles/ablation_granularity.dir/ablation_granularity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/enerj_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/enerj_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/enerj_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/enerj_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/enerj_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/enerj_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/enerj_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_granularity.dir/ablation_granularity.cpp.o"
+  "CMakeFiles/ablation_granularity.dir/ablation_granularity.cpp.o.d"
+  "ablation_granularity"
+  "ablation_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

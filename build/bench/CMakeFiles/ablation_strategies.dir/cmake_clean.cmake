@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strategies.dir/ablation_strategies.cpp.o"
+  "CMakeFiles/ablation_strategies.dir/ablation_strategies.cpp.o.d"
+  "ablation_strategies"
+  "ablation_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

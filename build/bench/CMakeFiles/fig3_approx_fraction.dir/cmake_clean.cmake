@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_approx_fraction.dir/fig3_approx_fraction.cpp.o"
+  "CMakeFiles/fig3_approx_fraction.dir/fig3_approx_fraction.cpp.o.d"
+  "fig3_approx_fraction"
+  "fig3_approx_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_approx_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_energy.dir/fig4_energy.cpp.o"
+  "CMakeFiles/fig4_energy.dir/fig4_energy.cpp.o.d"
+  "fig4_energy"
+  "fig4_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_qos.dir/fig5_qos.cpp.o"
+  "CMakeFiles/fig5_qos.dir/fig5_qos.cpp.o.d"
+  "fig5_qos"
+  "fig5_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_pipeline.dir/isa_pipeline.cpp.o"
+  "CMakeFiles/isa_pipeline.dir/isa_pipeline.cpp.o.d"
+  "isa_pipeline"
+  "isa_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_strategies.dir/table2_strategies.cpp.o"
+  "CMakeFiles/table2_strategies.dir/table2_strategies.cpp.o.d"
+  "table2_strategies"
+  "table2_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

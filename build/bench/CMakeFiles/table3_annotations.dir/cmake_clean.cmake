@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_annotations.dir/table3_annotations.cpp.o"
+  "CMakeFiles/table3_annotations.dir/table3_annotations.cpp.o.d"
+  "table3_annotations"
+  "table3_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

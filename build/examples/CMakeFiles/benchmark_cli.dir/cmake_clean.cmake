@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_cli.dir/benchmark_cli.cpp.o"
+  "CMakeFiles/benchmark_cli.dir/benchmark_cli.cpp.o.d"
+  "benchmark_cli"
+  "benchmark_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

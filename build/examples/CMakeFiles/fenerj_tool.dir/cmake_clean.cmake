@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_tool.dir/fenerj_tool.cpp.o"
+  "CMakeFiles/fenerj_tool.dir/fenerj_tool.cpp.o.d"
+  "fenerj_tool"
+  "fenerj_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

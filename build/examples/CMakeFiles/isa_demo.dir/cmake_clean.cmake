@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_demo.dir/isa_demo.cpp.o"
+  "CMakeFiles/isa_demo.dir/isa_demo.cpp.o.d"
+  "isa_demo"
+  "isa_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

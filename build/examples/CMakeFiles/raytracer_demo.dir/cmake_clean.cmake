@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytracer_demo.dir/raytracer_demo.cpp.o"
+  "CMakeFiles/raytracer_demo.dir/raytracer_demo.cpp.o.d"
+  "raytracer_demo"
+  "raytracer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytracer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_image_pipeline "/root/repo/build/examples/image_pipeline")
+set_tests_properties(example_image_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fenerj_tool_demo "/root/repo/build/examples/fenerj_tool" "demo")
+set_tests_properties(example_fenerj_tool_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_raytracer_demo "/root/repo/build/examples/raytracer_demo")
+set_tests_properties(example_raytracer_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_isa_demo "/root/repo/build/examples/isa_demo")
+set_tests_properties(example_isa_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_benchmark_cli "/root/repo/build/examples/benchmark_cli" "list")
+set_tests_properties(example_benchmark_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_benchmark_cli_run "/root/repo/build/examples/benchmark_cli" "run" "montecarlo" "--level" "mild" "--seeds" "2")
+set_tests_properties(example_benchmark_cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(fej_intpair "/root/repo/build/examples/fenerj_tool" "run" "/root/repo/examples/fej/intpair.fej")
+set_tests_properties(fej_intpair PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(fej_floatset "/root/repo/build/examples/fenerj_tool" "run" "/root/repo/examples/fej/floatset.fej")
+set_tests_properties(fej_floatset PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(fej_intpair_fuzz "/root/repo/build/examples/fenerj_tool" "fuzz" "/root/repo/examples/fej/intpair.fej" "5")
+set_tests_properties(fej_intpair_fuzz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(fej_blur_exec "/root/repo/build/examples/fenerj_tool" "exec" "/root/repo/examples/fej/blur.fej")
+set_tests_properties(fej_blur_exec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(fej_axpy_exec "/root/repo/build/examples/fenerj_tool" "exec" "/root/repo/examples/fej/axpy.fej")
+set_tests_properties(fej_axpy_exec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("fault")
+subdirs("arch")
+subdirs("energy")
+subdirs("runtime")
+subdirs("core")
+subdirs("qos")
+subdirs("fenerj")
+subdirs("isa")
+subdirs("apps")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barcode.cpp" "src/apps/CMakeFiles/enerj_apps.dir/barcode.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/barcode.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/enerj_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/floodfill.cpp" "src/apps/CMakeFiles/enerj_apps.dir/floodfill.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/floodfill.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/enerj_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/montecarlo.cpp" "src/apps/CMakeFiles/enerj_apps.dir/montecarlo.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/apps/raytracer.cpp" "src/apps/CMakeFiles/enerj_apps.dir/raytracer.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/raytracer.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/enerj_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/sor.cpp" "src/apps/CMakeFiles/enerj_apps.dir/sor.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/sor.cpp.o.d"
+  "/root/repo/src/apps/sparsematmult.cpp" "src/apps/CMakeFiles/enerj_apps.dir/sparsematmult.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/sparsematmult.cpp.o.d"
+  "/root/repo/src/apps/trikernel.cpp" "src/apps/CMakeFiles/enerj_apps.dir/trikernel.cpp.o" "gcc" "src/apps/CMakeFiles/enerj_apps.dir/trikernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/enerj_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/enerj_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/enerj_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/enerj_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/enerj_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/enerj_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

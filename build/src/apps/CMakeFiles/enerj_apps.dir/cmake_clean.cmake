@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enerj_apps.dir/barcode.cpp.o"
+  "CMakeFiles/enerj_apps.dir/barcode.cpp.o.d"
+  "CMakeFiles/enerj_apps.dir/fft.cpp.o"
+  "CMakeFiles/enerj_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/enerj_apps.dir/floodfill.cpp.o"
+  "CMakeFiles/enerj_apps.dir/floodfill.cpp.o.d"
+  "CMakeFiles/enerj_apps.dir/lu.cpp.o"
+  "CMakeFiles/enerj_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/enerj_apps.dir/montecarlo.cpp.o"
+  "CMakeFiles/enerj_apps.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/enerj_apps.dir/raytracer.cpp.o"
+  "CMakeFiles/enerj_apps.dir/raytracer.cpp.o.d"
+  "CMakeFiles/enerj_apps.dir/registry.cpp.o"
+  "CMakeFiles/enerj_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/enerj_apps.dir/sor.cpp.o"
+  "CMakeFiles/enerj_apps.dir/sor.cpp.o.d"
+  "CMakeFiles/enerj_apps.dir/sparsematmult.cpp.o"
+  "CMakeFiles/enerj_apps.dir/sparsematmult.cpp.o.d"
+  "CMakeFiles/enerj_apps.dir/trikernel.cpp.o"
+  "CMakeFiles/enerj_apps.dir/trikernel.cpp.o.d"
+  "libenerj_apps.a"
+  "libenerj_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enerj_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

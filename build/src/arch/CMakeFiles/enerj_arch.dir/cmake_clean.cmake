@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enerj_arch.dir/layout.cpp.o"
+  "CMakeFiles/enerj_arch.dir/layout.cpp.o.d"
+  "CMakeFiles/enerj_arch.dir/memory.cpp.o"
+  "CMakeFiles/enerj_arch.dir/memory.cpp.o.d"
+  "libenerj_arch.a"
+  "libenerj_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enerj_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

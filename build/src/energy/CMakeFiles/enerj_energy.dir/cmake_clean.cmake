@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enerj_energy.dir/model.cpp.o"
+  "CMakeFiles/enerj_energy.dir/model.cpp.o.d"
+  "libenerj_energy.a"
+  "libenerj_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enerj_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/config.cpp" "src/fault/CMakeFiles/enerj_fault.dir/config.cpp.o" "gcc" "src/fault/CMakeFiles/enerj_fault.dir/config.cpp.o.d"
+  "/root/repo/src/fault/models.cpp" "src/fault/CMakeFiles/enerj_fault.dir/models.cpp.o" "gcc" "src/fault/CMakeFiles/enerj_fault.dir/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/enerj_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enerj_fault.dir/config.cpp.o"
+  "CMakeFiles/enerj_fault.dir/config.cpp.o.d"
+  "CMakeFiles/enerj_fault.dir/models.cpp.o"
+  "CMakeFiles/enerj_fault.dir/models.cpp.o.d"
+  "libenerj_fault.a"
+  "libenerj_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enerj_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

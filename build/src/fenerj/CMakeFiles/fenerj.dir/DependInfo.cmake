@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fenerj/codegen.cpp" "src/fenerj/CMakeFiles/fenerj.dir/codegen.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/codegen.cpp.o.d"
+  "/root/repo/src/fenerj/diag.cpp" "src/fenerj/CMakeFiles/fenerj.dir/diag.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/diag.cpp.o.d"
+  "/root/repo/src/fenerj/generator.cpp" "src/fenerj/CMakeFiles/fenerj.dir/generator.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/generator.cpp.o.d"
+  "/root/repo/src/fenerj/interp.cpp" "src/fenerj/CMakeFiles/fenerj.dir/interp.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/interp.cpp.o.d"
+  "/root/repo/src/fenerj/lexer.cpp" "src/fenerj/CMakeFiles/fenerj.dir/lexer.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/lexer.cpp.o.d"
+  "/root/repo/src/fenerj/parser.cpp" "src/fenerj/CMakeFiles/fenerj.dir/parser.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/parser.cpp.o.d"
+  "/root/repo/src/fenerj/printer.cpp" "src/fenerj/CMakeFiles/fenerj.dir/printer.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/printer.cpp.o.d"
+  "/root/repo/src/fenerj/program.cpp" "src/fenerj/CMakeFiles/fenerj.dir/program.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/program.cpp.o.d"
+  "/root/repo/src/fenerj/typecheck.cpp" "src/fenerj/CMakeFiles/fenerj.dir/typecheck.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/typecheck.cpp.o.d"
+  "/root/repo/src/fenerj/types.cpp" "src/fenerj/CMakeFiles/fenerj.dir/types.cpp.o" "gcc" "src/fenerj/CMakeFiles/fenerj.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/enerj_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/enerj_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/enerj_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/enerj_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj.dir/codegen.cpp.o"
+  "CMakeFiles/fenerj.dir/codegen.cpp.o.d"
+  "CMakeFiles/fenerj.dir/diag.cpp.o"
+  "CMakeFiles/fenerj.dir/diag.cpp.o.d"
+  "CMakeFiles/fenerj.dir/generator.cpp.o"
+  "CMakeFiles/fenerj.dir/generator.cpp.o.d"
+  "CMakeFiles/fenerj.dir/interp.cpp.o"
+  "CMakeFiles/fenerj.dir/interp.cpp.o.d"
+  "CMakeFiles/fenerj.dir/lexer.cpp.o"
+  "CMakeFiles/fenerj.dir/lexer.cpp.o.d"
+  "CMakeFiles/fenerj.dir/parser.cpp.o"
+  "CMakeFiles/fenerj.dir/parser.cpp.o.d"
+  "CMakeFiles/fenerj.dir/printer.cpp.o"
+  "CMakeFiles/fenerj.dir/printer.cpp.o.d"
+  "CMakeFiles/fenerj.dir/program.cpp.o"
+  "CMakeFiles/fenerj.dir/program.cpp.o.d"
+  "CMakeFiles/fenerj.dir/typecheck.cpp.o"
+  "CMakeFiles/fenerj.dir/typecheck.cpp.o.d"
+  "CMakeFiles/fenerj.dir/types.cpp.o"
+  "CMakeFiles/fenerj.dir/types.cpp.o.d"
+  "libfenerj.a"
+  "libfenerj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enerj_isa.dir/assembler.cpp.o"
+  "CMakeFiles/enerj_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/enerj_isa.dir/machine.cpp.o"
+  "CMakeFiles/enerj_isa.dir/machine.cpp.o.d"
+  "CMakeFiles/enerj_isa.dir/verifier.cpp.o"
+  "CMakeFiles/enerj_isa.dir/verifier.cpp.o.d"
+  "libenerj_isa.a"
+  "libenerj_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enerj_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enerj_qos.dir/metrics.cpp.o"
+  "CMakeFiles/enerj_qos.dir/metrics.cpp.o.d"
+  "libenerj_qos.a"
+  "libenerj_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enerj_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenerj_qos.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for enerj_qos.
+# This may be replaced when dependencies are built.

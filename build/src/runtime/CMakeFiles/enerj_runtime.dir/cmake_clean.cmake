@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enerj_runtime.dir/simulator.cpp.o"
+  "CMakeFiles/enerj_runtime.dir/simulator.cpp.o.d"
+  "libenerj_runtime.a"
+  "libenerj_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enerj_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enerj_support.dir/rng.cpp.o"
+  "CMakeFiles/enerj_support.dir/rng.cpp.o.d"
+  "libenerj_support.a"
+  "libenerj_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enerj_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

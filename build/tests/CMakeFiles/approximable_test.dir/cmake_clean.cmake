@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximable_test.dir/approximable_test.cpp.o"
+  "CMakeFiles/approximable_test.dir/approximable_test.cpp.o.d"
+  "approximable_test"
+  "approximable_test.pdb"
+  "approximable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_test.dir/array_test.cpp.o"
+  "CMakeFiles/array_test.dir/array_test.cpp.o.d"
+  "array_test"
+  "array_test.pdb"
+  "array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

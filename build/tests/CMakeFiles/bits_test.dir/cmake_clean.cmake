@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bits_test.dir/bits_test.cpp.o"
+  "CMakeFiles/bits_test.dir/bits_test.cpp.o.d"
+  "bits_test"
+  "bits_test.pdb"
+  "bits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_bidir_test.dir/fenerj_bidir_test.cpp.o"
+  "CMakeFiles/fenerj_bidir_test.dir/fenerj_bidir_test.cpp.o.d"
+  "fenerj_bidir_test"
+  "fenerj_bidir_test.pdb"
+  "fenerj_bidir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_bidir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_codegen_test.dir/fenerj_codegen_test.cpp.o"
+  "CMakeFiles/fenerj_codegen_test.dir/fenerj_codegen_test.cpp.o.d"
+  "fenerj_codegen_test"
+  "fenerj_codegen_test.pdb"
+  "fenerj_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_corpus_test.dir/fenerj_corpus_test.cpp.o"
+  "CMakeFiles/fenerj_corpus_test.dir/fenerj_corpus_test.cpp.o.d"
+  "fenerj_corpus_test"
+  "fenerj_corpus_test.pdb"
+  "fenerj_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

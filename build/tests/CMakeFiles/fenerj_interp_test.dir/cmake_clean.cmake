@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_interp_test.dir/fenerj_interp_test.cpp.o"
+  "CMakeFiles/fenerj_interp_test.dir/fenerj_interp_test.cpp.o.d"
+  "fenerj_interp_test"
+  "fenerj_interp_test.pdb"
+  "fenerj_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_lexer_test.dir/fenerj_lexer_test.cpp.o"
+  "CMakeFiles/fenerj_lexer_test.dir/fenerj_lexer_test.cpp.o.d"
+  "fenerj_lexer_test"
+  "fenerj_lexer_test.pdb"
+  "fenerj_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

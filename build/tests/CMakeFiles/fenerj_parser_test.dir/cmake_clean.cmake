@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_parser_test.dir/fenerj_parser_test.cpp.o"
+  "CMakeFiles/fenerj_parser_test.dir/fenerj_parser_test.cpp.o.d"
+  "fenerj_parser_test"
+  "fenerj_parser_test.pdb"
+  "fenerj_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

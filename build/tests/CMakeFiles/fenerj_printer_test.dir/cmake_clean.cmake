@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_printer_test.dir/fenerj_printer_test.cpp.o"
+  "CMakeFiles/fenerj_printer_test.dir/fenerj_printer_test.cpp.o.d"
+  "fenerj_printer_test"
+  "fenerj_printer_test.pdb"
+  "fenerj_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

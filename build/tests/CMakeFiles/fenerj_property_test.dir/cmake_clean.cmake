@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_property_test.dir/fenerj_property_test.cpp.o"
+  "CMakeFiles/fenerj_property_test.dir/fenerj_property_test.cpp.o.d"
+  "fenerj_property_test"
+  "fenerj_property_test.pdb"
+  "fenerj_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_typecheck_test.dir/fenerj_typecheck_test.cpp.o"
+  "CMakeFiles/fenerj_typecheck_test.dir/fenerj_typecheck_test.cpp.o.d"
+  "fenerj_typecheck_test"
+  "fenerj_typecheck_test.pdb"
+  "fenerj_typecheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_typecheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

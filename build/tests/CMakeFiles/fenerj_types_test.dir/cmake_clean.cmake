@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenerj_types_test.dir/fenerj_types_test.cpp.o"
+  "CMakeFiles/fenerj_types_test.dir/fenerj_types_test.cpp.o.d"
+  "fenerj_types_test"
+  "fenerj_types_test.pdb"
+  "fenerj_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenerj_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

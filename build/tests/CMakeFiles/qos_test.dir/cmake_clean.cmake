@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_test.dir/qos_test.cpp.o"
+  "CMakeFiles/qos_test.dir/qos_test.cpp.o.d"
+  "qos_test"
+  "qos_test.pdb"
+  "qos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

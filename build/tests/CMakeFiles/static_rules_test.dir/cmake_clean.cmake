@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_rules_test.dir/static_rules_test.cpp.o"
+  "CMakeFiles/static_rules_test.dir/static_rules_test.cpp.o.d"
+  "static_rules_test"
+  "static_rules_test.pdb"
+  "static_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/bits_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_config_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_models_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/approx_test[1]_include.cmake")
+include("/root/repo/build/tests/array_test[1]_include.cmake")
+include("/root/repo/build/tests/approximable_test[1]_include.cmake")
+include("/root/repo/build/tests/static_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/qos_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_types_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_typecheck_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_property_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_printer_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_bidir_test[1]_include.cmake")
+include("/root/repo/build/tests/object_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/fenerj_codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/torture_test[1]_include.cmake")
