@@ -8,10 +8,15 @@
 //                                      perturbation seeds and report
 //                                      whether the precise projection is
 //                                      invariant (non-interference)
+//   fenerj_tool lint <file.fej> [--json]
+//                                      check, then run the enerj-lint
+//                                      audits (endorsement, precision
+//                                      slack, dead values, isa-flow)
 //   fenerj_tool demo                   run a built-in demo program
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/lint.h"
 #include "fenerj/codegen.h"
 #include "fenerj/fenerj.h"
 #include "isa/assembler.h"
@@ -180,6 +185,25 @@ int compileIsa(const std::string &Source, bool Execute) {
   return 0;
 }
 
+int lint(const std::string &Source, const char *FileName, bool Json) {
+  DiagnosticEngine Diags;
+  ClassTable Table;
+  std::optional<Program> Prog = compile(Source, Table, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  enerj::analysis::LintResult Result =
+      enerj::analysis::runLint(*Prog, Table);
+  std::string Rendered =
+      Json ? enerj::analysis::renderLintJson(Result, FileName) + "\n"
+           : enerj::analysis::renderLintText(Result, FileName);
+  std::fputs(Rendered.c_str(), stdout);
+  // Warnings and suggestions are advisory; only hard errors (isa-flow
+  // discipline violations on an executable path) fail the run.
+  return Result.hasErrors() ? 1 : 0;
+}
+
 std::string readFile(const char *Path, bool &Ok) {
   std::ifstream In(Path);
   if (!In) {
@@ -200,6 +224,9 @@ int usage() {
                "       fenerj_tool compile <file.fej>   (emit ISA asm)\n"
                "       fenerj_tool exec <file.fej>      (compile + run at "
                "all levels)\n"
+               "       fenerj_tool lint <file.fej> [--json]\n"
+               "                      (endorsement / precision-slack / "
+               "dead-value / isa-flow audits)\n"
                "       fenerj_tool demo\n");
   return 2;
 }
@@ -236,5 +263,8 @@ int main(int Argc, char **Argv) {
     return compileIsa(Source, /*Execute=*/false);
   if (Mode == "exec")
     return compileIsa(Source, /*Execute=*/true);
+  if (Mode == "lint" || Mode == "--lint")
+    return lint(Source, Argv[2],
+                Argc >= 4 && std::string(Argv[3]) == "--json");
   return usage();
 }

@@ -1,0 +1,170 @@
+//===- analysis/dataflow.h - Generic worklist dataflow engine ---*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic iterative dataflow engine shared by every static analysis in
+/// the repository: the flow-sensitive ISA verifier, the enerj-lint passes
+/// over FEnerJ method bodies, and any future whole-program audit. The
+/// engine is deliberately small: a CFG-shaped graph, a direction, and a
+/// *domain* describing the lattice.
+///
+/// Graph concept (satisfied by IsaCfg and FenerjCfg):
+///
+/// \code
+///   unsigned blockCount() const;
+///   const std::vector<unsigned> &succs(unsigned Block) const;
+///   const std::vector<unsigned> &preds(unsigned Block) const;
+/// \endcode
+///
+/// Block 0 is the entry block. Blocks without successors are exits.
+///
+/// Domain concept:
+///
+/// \code
+///   using Value = ...;                         // lattice element, with ==
+///   Value init() const;                        // optimistic start value
+///   Value boundary() const;                    // entry (fwd) / exit (bwd)
+///   bool join(Value &Into, const Value &From); // accumulate; return changed
+///   Value transfer(unsigned Block, const Value &In) const;
+/// \endcode
+///
+/// For a forward analysis the result's In[b] is the value at block entry
+/// and Out[b] = transfer(b, In[b]) the value at block exit; a backward
+/// analysis mirrors this (Out[b] at block exit, In[b] = transfer(b,
+/// Out[b]) at block entry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_DATAFLOW_H
+#define ENERJ_ANALYSIS_DATAFLOW_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+/// A dynamically sized bit set used as the lattice element of the
+/// set-based analyses (liveness, maybe-uninitialized, reachability).
+class BitVec {
+public:
+  BitVec() = default;
+  explicit BitVec(unsigned Bits) : Bits(Bits), Words((Bits + 63) / 64, 0) {}
+
+  unsigned size() const { return Bits; }
+
+  void set(unsigned Index) { Words[Index >> 6] |= One << (Index & 63); }
+  void clear(unsigned Index) { Words[Index >> 6] &= ~(One << (Index & 63)); }
+  bool test(unsigned Index) const {
+    return (Words[Index >> 6] >> (Index & 63)) & 1;
+  }
+
+  void setAll() {
+    for (uint64_t &Word : Words)
+      Word = ~uint64_t(0);
+    trim();
+  }
+
+  /// Set-union; returns true when this changed.
+  bool uniteWith(const BitVec &Other) {
+    bool Changed = false;
+    for (size_t Word = 0; Word < Words.size(); ++Word) {
+      uint64_t Merged = Words[Word] | Other.Words[Word];
+      Changed |= Merged != Words[Word];
+      Words[Word] = Merged;
+    }
+    return Changed;
+  }
+
+  bool operator==(const BitVec &Other) const { return Words == Other.Words; }
+
+private:
+  static constexpr uint64_t One = 1;
+
+  void trim() {
+    if (Bits & 63)
+      Words.back() &= (One << (Bits & 63)) - 1;
+  }
+
+  unsigned Bits = 0;
+  std::vector<uint64_t> Words;
+};
+
+enum class Direction { Forward, Backward };
+
+template <typename Domain> struct DataflowResult {
+  /// Value at each block's entry.
+  std::vector<typename Domain::Value> In;
+  /// Value at each block's exit.
+  std::vector<typename Domain::Value> Out;
+};
+
+/// Runs \p Dom to fixpoint over \p Graph with a worklist. Terminates for
+/// any monotone domain over a finite-height lattice.
+template <typename Domain, typename Graph>
+DataflowResult<Domain> solveDataflow(const Graph &G, Direction Dir,
+                                     const Domain &Dom) {
+  unsigned NumBlocks = G.blockCount();
+  DataflowResult<Domain> Result;
+  Result.In.assign(NumBlocks, Dom.init());
+  Result.Out.assign(NumBlocks, Dom.init());
+  if (NumBlocks == 0)
+    return Result;
+
+  std::deque<unsigned> Work;
+  std::vector<bool> Queued(NumBlocks, true);
+  // Seed in roughly the processing order to converge quickly.
+  for (unsigned Block = 0; Block < NumBlocks; ++Block)
+    Work.push_back(Dir == Direction::Forward ? Block
+                                             : NumBlocks - 1 - Block);
+
+  while (!Work.empty()) {
+    unsigned Block = Work.front();
+    Work.pop_front();
+    Queued[Block] = false;
+
+    if (Dir == Direction::Forward) {
+      typename Domain::Value In =
+          Block == 0 ? Dom.boundary() : Dom.init();
+      for (unsigned Pred : G.preds(Block))
+        Dom.join(In, Result.Out[Pred]);
+      Result.In[Block] = std::move(In);
+      typename Domain::Value Out = Dom.transfer(Block, Result.In[Block]);
+      if (!(Out == Result.Out[Block])) {
+        Result.Out[Block] = std::move(Out);
+        for (unsigned Succ : G.succs(Block))
+          if (!Queued[Succ]) {
+            Queued[Succ] = true;
+            Work.push_back(Succ);
+          }
+      }
+    } else {
+      typename Domain::Value Out = G.succs(Block).empty()
+                                       ? Dom.boundary()
+                                       : Dom.init();
+      for (unsigned Succ : G.succs(Block))
+        Dom.join(Out, Result.In[Succ]);
+      Result.Out[Block] = std::move(Out);
+      typename Domain::Value In = Dom.transfer(Block, Result.Out[Block]);
+      if (!(In == Result.In[Block])) {
+        Result.In[Block] = std::move(In);
+        for (unsigned Pred : G.preds(Block))
+          if (!Queued[Pred]) {
+            Queued[Pred] = true;
+            Work.push_back(Pred);
+          }
+      }
+    }
+  }
+  return Result;
+}
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,217 @@
+//===- analysis/fenerj_cfg.cpp - CFG over FEnerJ method bodies ------------===//
+
+#include "analysis/fenerj_cfg.h"
+
+#include <unordered_map>
+
+using namespace enerj;
+using namespace enerj::analysis;
+using namespace enerj::fenerj;
+
+namespace enerj {
+namespace analysis {
+
+class FenerjCfgBuilder {
+public:
+  FenerjCfg run(const Expr &Body, const std::vector<ParamDecl> *Params) {
+    Cur = newBlock();
+    Scopes.emplace_back();
+    if (Params)
+      for (const ParamDecl &Param : *Params) {
+        unsigned Var = declare(Param.Name, Param.DeclaredType,
+                               /*Loc=*/{}, /*IsParam=*/true);
+        event({FjEvent::Kind::Def, nullptr, Var, {}});
+      }
+    lower(Body);
+    Scopes.pop_back();
+    return std::move(Cfg);
+  }
+
+private:
+  unsigned newBlock() {
+    Cfg.Blocks.emplace_back();
+    return static_cast<unsigned>(Cfg.Blocks.size() - 1);
+  }
+  void edge(unsigned From, unsigned To) {
+    Cfg.Blocks[From].Succs.push_back(To);
+    Cfg.Blocks[To].Preds.push_back(From);
+  }
+  void event(FjEvent E) { Cfg.Blocks[Cur].Events.push_back(std::move(E)); }
+
+  unsigned declare(const std::string &Name, const Type &DeclType,
+                   SourceLoc Loc, bool IsParam) {
+    unsigned Var = static_cast<unsigned>(Cfg.Vars.size());
+    Cfg.Vars.push_back({Name, DeclType, Loc, IsParam});
+    Scopes.back()[Name] = Var;
+    return Var;
+  }
+
+  /// Innermost binding of \p Name, or ~0u (e.g. 'this', or a name the
+  /// type checker already rejected).
+  unsigned resolve(const std::string &Name) const {
+    for (auto Scope = Scopes.rbegin(); Scope != Scopes.rend(); ++Scope) {
+      auto Found = Scope->find(Name);
+      if (Found != Scope->end())
+        return Found->second;
+    }
+    return ~0u;
+  }
+
+  void lower(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::NullLit:
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::BoolLit:
+    case ExprKind::New:
+      return; // Effect-free leaves add no events.
+
+    case ExprKind::VarRef: {
+      const auto &Var = static_cast<const VarRefExpr &>(E);
+      unsigned Index = resolve(Var.Name);
+      if (Index != ~0u)
+        event({FjEvent::Kind::Use, &E, Index, E.loc()});
+      return;
+    }
+
+    case ExprKind::AssignLocal: {
+      const auto &Assign = static_cast<const AssignLocalExpr &>(E);
+      lower(*Assign.Value);
+      unsigned Index = resolve(Assign.Name);
+      if (Index != ~0u)
+        event({FjEvent::Kind::Def, &E, Index, E.loc()});
+      else
+        event({FjEvent::Kind::Eval, &E, ~0u, E.loc()});
+      return;
+    }
+
+    case ExprKind::Endorse: {
+      const auto &End = static_cast<const EndorseExpr &>(E);
+      lower(*End.Value);
+      event({FjEvent::Kind::Endorse, &E, ~0u, E.loc()});
+      return;
+    }
+
+    case ExprKind::If: {
+      const auto &If = static_cast<const IfExpr &>(E);
+      lower(*If.Cond);
+      unsigned ThenBlock = newBlock();
+      unsigned ElseBlock = newBlock();
+      unsigned MergeBlock = newBlock();
+      edge(Cur, ThenBlock);
+      edge(Cur, ElseBlock);
+      Cur = ThenBlock;
+      lower(*If.Then);
+      edge(Cur, MergeBlock);
+      Cur = ElseBlock;
+      lower(*If.Else);
+      edge(Cur, MergeBlock);
+      Cur = MergeBlock;
+      return;
+    }
+
+    case ExprKind::While: {
+      const auto &While = static_cast<const WhileExpr &>(E);
+      unsigned CondBlock = newBlock();
+      edge(Cur, CondBlock);
+      Cur = CondBlock;
+      lower(*While.Cond);
+      // The condition may itself branch; the block where its evaluation
+      // ends is the loop's decision point.
+      unsigned BodyBlock = newBlock();
+      unsigned ExitBlock = newBlock();
+      edge(Cur, BodyBlock);
+      edge(Cur, ExitBlock);
+      Cur = BodyBlock;
+      lower(*While.Body);
+      edge(Cur, CondBlock);
+      Cur = ExitBlock;
+      return;
+    }
+
+    case ExprKind::Block: {
+      const auto &Block = static_cast<const BlockExpr &>(E);
+      Scopes.emplace_back();
+      for (const BlockExpr::Item &Item : Block.Items) {
+        lower(*Item.Value);
+        if (Item.IsLet) {
+          unsigned Var = declare(Item.LetName, Item.LetType,
+                                 Item.Value->loc(), /*IsParam=*/false);
+          event({FjEvent::Kind::Def, Item.Value.get(), Var,
+                 Item.Value->loc()});
+        }
+      }
+      Scopes.pop_back();
+      return;
+    }
+
+    case ExprKind::Unary:
+      lower(*static_cast<const UnaryExpr &>(E).Value);
+      return;
+    case ExprKind::Binary: {
+      const auto &Bin = static_cast<const BinaryExpr &>(E);
+      lower(*Bin.Lhs);
+      lower(*Bin.Rhs);
+      return;
+    }
+    case ExprKind::Cast:
+      lower(*static_cast<const CastExpr &>(E).Value);
+      return;
+    case ExprKind::NewArray:
+      lower(*static_cast<const NewArrayExpr &>(E).Length);
+      return;
+    case ExprKind::ArrayLength:
+      lower(*static_cast<const ArrayLengthExpr &>(E).Array);
+      return;
+
+    case ExprKind::FieldRead: {
+      const auto &Read = static_cast<const FieldReadExpr &>(E);
+      lower(*Read.Receiver);
+      event({FjEvent::Kind::Eval, &E, ~0u, E.loc()});
+      return;
+    }
+    case ExprKind::FieldWrite: {
+      const auto &Write = static_cast<const FieldWriteExpr &>(E);
+      lower(*Write.Receiver);
+      lower(*Write.Value);
+      event({FjEvent::Kind::Eval, &E, ~0u, E.loc()});
+      return;
+    }
+    case ExprKind::ArrayRead: {
+      const auto &Read = static_cast<const ArrayReadExpr &>(E);
+      lower(*Read.Array);
+      lower(*Read.Index);
+      event({FjEvent::Kind::Eval, &E, ~0u, E.loc()});
+      return;
+    }
+    case ExprKind::ArrayWrite: {
+      const auto &Write = static_cast<const ArrayWriteExpr &>(E);
+      lower(*Write.Array);
+      lower(*Write.Index);
+      lower(*Write.Value);
+      event({FjEvent::Kind::Eval, &E, ~0u, E.loc()});
+      return;
+    }
+    case ExprKind::MethodCall: {
+      const auto &Call = static_cast<const MethodCallExpr &>(E);
+      lower(*Call.Receiver);
+      for (const ExprPtr &Arg : Call.Args)
+        lower(*Arg);
+      event({FjEvent::Kind::Eval, &E, ~0u, E.loc()});
+      return;
+    }
+    }
+  }
+
+  FenerjCfg Cfg;
+  unsigned Cur = 0;
+  std::vector<std::unordered_map<std::string, unsigned>> Scopes;
+};
+
+} // namespace analysis
+} // namespace enerj
+
+FenerjCfg FenerjCfg::build(const Expr &Body,
+                           const std::vector<ParamDecl> *Params) {
+  return FenerjCfgBuilder().run(Body, Params);
+}

@@ -1,0 +1,91 @@
+//===- analysis/fenerj_cfg.h - CFG over FEnerJ method bodies ----*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic-block CFG construction over FEnerJ expression bodies (a method
+/// body or the main expression). FEnerJ is expression-oriented, so the
+/// CFG's "instructions" are *events* in evaluation order: definitions of
+/// and references to local variables, endorsements, and the remaining
+/// expression evaluations. `if` produces the usual diamond, `while` the
+/// usual loop with a back edge; `&&`/`||` evaluate both operands (FEnerJ
+/// is non-short-circuiting, matching the interpreter and code
+/// generator).
+///
+/// Variables are resolved to dense indices during construction, so
+/// shadowed names in nested blocks become distinct variables, and every
+/// Def/Use event names its variable by index — exactly what the
+/// set-based dataflow domains want.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_FENERJ_CFG_H
+#define ENERJ_ANALYSIS_FENERJ_CFG_H
+
+#include "fenerj/ast.h"
+
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+struct FjVariable {
+  std::string Name;
+  fenerj::Type DeclType;
+  fenerj::SourceLoc Loc; ///< Declaration site.
+  bool IsParam = false;
+};
+
+struct FjEvent {
+  enum class Kind {
+    Def,     ///< let initializer or assignment writing Var.
+    Use,     ///< read of Var.
+    Endorse, ///< an endorse() evaluation.
+    Eval,    ///< any other side-effecting evaluation.
+  };
+  Kind K = Kind::Eval;
+  const fenerj::Expr *E = nullptr;
+  unsigned Var = ~0u; ///< For Def/Use.
+  fenerj::SourceLoc Loc;
+};
+
+struct FjBlock {
+  std::vector<FjEvent> Events;
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+};
+
+/// The CFG of one FEnerJ body. Block 0 is the entry (it carries the
+/// parameter definitions); blocks without successors are exits.
+class FenerjCfg {
+public:
+  /// Builds the CFG of \p Body. \p Params (may be null) contribute Def
+  /// events in the entry block.
+  static FenerjCfg build(const fenerj::Expr &Body,
+                         const std::vector<fenerj::ParamDecl> *Params);
+
+  unsigned blockCount() const {
+    return static_cast<unsigned>(Blocks.size());
+  }
+  const FjBlock &block(unsigned Block) const { return Blocks[Block]; }
+  const std::vector<unsigned> &succs(unsigned Block) const {
+    return Blocks[Block].Succs;
+  }
+  const std::vector<unsigned> &preds(unsigned Block) const {
+    return Blocks[Block].Preds;
+  }
+  const std::vector<FjVariable> &vars() const { return Vars; }
+
+private:
+  friend class FenerjCfgBuilder;
+
+  std::vector<FjBlock> Blocks;
+  std::vector<FjVariable> Vars;
+};
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_FENERJ_CFG_H

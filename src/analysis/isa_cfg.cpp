@@ -1,0 +1,105 @@
+//===- analysis/isa_cfg.cpp - Basic-block CFG over ISA programs -----------===//
+
+#include "analysis/isa_cfg.h"
+
+#include <algorithm>
+
+using namespace enerj;
+using namespace enerj::analysis;
+
+bool enerj::analysis::isCondBranch(isa::Opcode Op) {
+  switch (Op) {
+  case isa::Opcode::Beq:
+  case isa::Opcode::Bne:
+  case isa::Opcode::Blt:
+  case isa::Opcode::Ble:
+  case isa::Opcode::Fbeq:
+  case isa::Opcode::Fbne:
+  case isa::Opcode::Fblt:
+  case isa::Opcode::Fble:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool enerj::analysis::endsBlock(isa::Opcode Op) {
+  return isCondBranch(Op) || Op == isa::Opcode::Jmp ||
+         Op == isa::Opcode::Halt;
+}
+
+void IsaCfg::addEdge(unsigned From, unsigned To) {
+  std::vector<unsigned> &Succs = Blocks[From].Succs;
+  if (std::find(Succs.begin(), Succs.end(), To) != Succs.end())
+    return; // A branch whose target is its own fallthrough.
+  Succs.push_back(To);
+  Blocks[To].Preds.push_back(From);
+}
+
+IsaCfg::IsaCfg(const isa::IsaProgram &Program) : Program(&Program) {
+  const std::vector<isa::Instruction> &Instrs = Program.Instructions;
+  size_t Size = Instrs.size();
+  BlockOf.assign(Size, 0);
+  if (Size == 0)
+    return;
+
+  // Pass 1: leaders.
+  std::vector<bool> Leader(Size, false);
+  Leader[0] = true;
+  for (size_t Index = 0; Index < Size; ++Index) {
+    const isa::Instruction &I = Instrs[Index];
+    if (!endsBlock(I.Op))
+      continue;
+    if (I.Op != isa::Opcode::Halt && I.Imm >= 0 &&
+        static_cast<uint64_t>(I.Imm) < Size)
+      Leader[static_cast<size_t>(I.Imm)] = true;
+    if (Index + 1 < Size)
+      Leader[Index + 1] = true;
+  }
+
+  // Pass 2: block ranges.
+  for (size_t Index = 0; Index < Size; ++Index) {
+    if (Leader[Index]) {
+      IsaBlock Block;
+      Block.Begin = Index;
+      Blocks.push_back(Block);
+    }
+    Blocks.back().End = Index + 1;
+    BlockOf[Index] = static_cast<unsigned>(Blocks.size() - 1);
+  }
+
+  // Pass 3: edges. A target of Instructions.size() is the architected
+  // clean-halt exit; invalid targets get no edge (the verifier rejects
+  // them as errors).
+  for (unsigned BlockIdx = 0; BlockIdx < Blocks.size(); ++BlockIdx) {
+    const isa::Instruction &Last = Instrs[Blocks[BlockIdx].End - 1];
+    bool FallsThrough = true;
+    if (isCondBranch(Last.Op) || Last.Op == isa::Opcode::Jmp) {
+      if (Last.Imm >= 0 && static_cast<uint64_t>(Last.Imm) < Size)
+        addEdge(BlockIdx, BlockOf[static_cast<size_t>(Last.Imm)]);
+      FallsThrough = isCondBranch(Last.Op);
+    } else if (Last.Op == isa::Opcode::Halt) {
+      FallsThrough = false;
+    }
+    if (FallsThrough && Blocks[BlockIdx].End < Size)
+      addEdge(BlockIdx, BlockOf[Blocks[BlockIdx].End]);
+  }
+}
+
+std::vector<bool> IsaCfg::reachableBlocks() const {
+  std::vector<bool> Reachable(Blocks.size(), false);
+  if (Blocks.empty())
+    return Reachable;
+  std::vector<unsigned> Stack{0};
+  Reachable[0] = true;
+  while (!Stack.empty()) {
+    unsigned Block = Stack.back();
+    Stack.pop_back();
+    for (unsigned Succ : Blocks[Block].Succs)
+      if (!Reachable[Succ]) {
+        Reachable[Succ] = true;
+        Stack.push_back(Succ);
+      }
+  }
+  return Reachable;
+}

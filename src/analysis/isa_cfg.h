@@ -1,0 +1,75 @@
+//===- analysis/isa_cfg.h - Basic-block CFG over ISA programs ---*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic-block control-flow-graph construction over an assembled
+/// IsaProgram, the substrate of the flow-sensitive verifier (isa_flow.h).
+/// Leaders are instruction 0, every in-range branch/jump target, and the
+/// instruction after any control transfer (branch, jump, halt). A branch
+/// target equal to Instructions.size() — one past the end — is the
+/// architected "fall off the end" exit and produces no edge; targets
+/// beyond that are invalid (rejected by the verifier) and also produce
+/// no edge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_ISA_CFG_H
+#define ENERJ_ANALYSIS_ISA_CFG_H
+
+#include "isa/isa.h"
+
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+/// True for conditional branches (two successors: target + fallthrough).
+bool isCondBranch(isa::Opcode Op);
+/// True for any instruction that transfers control (branch, jmp, halt).
+bool endsBlock(isa::Opcode Op);
+
+struct IsaBlock {
+  size_t Begin = 0; ///< First instruction index of the block.
+  size_t End = 0;   ///< One past the last instruction index.
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+};
+
+class IsaCfg {
+public:
+  explicit IsaCfg(const isa::IsaProgram &Program);
+
+  unsigned blockCount() const {
+    return static_cast<unsigned>(Blocks.size());
+  }
+  const IsaBlock &block(unsigned Block) const { return Blocks[Block]; }
+  const std::vector<unsigned> &succs(unsigned Block) const {
+    return Blocks[Block].Succs;
+  }
+  const std::vector<unsigned> &preds(unsigned Block) const {
+    return Blocks[Block].Preds;
+  }
+
+  /// Block containing instruction \p Instr.
+  unsigned blockContaining(size_t Instr) const { return BlockOf[Instr]; }
+
+  const isa::IsaProgram &program() const { return *Program; }
+
+  /// Blocks reachable from the entry block (index 0), as a bit per block.
+  std::vector<bool> reachableBlocks() const;
+
+private:
+  void addEdge(unsigned From, unsigned To);
+
+  const isa::IsaProgram *Program;
+  std::vector<IsaBlock> Blocks;
+  std::vector<unsigned> BlockOf;
+};
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_ISA_CFG_H

@@ -1,0 +1,288 @@
+//===- analysis/isa_flow.cpp - Flow-sensitive ISA verifier ----------------===//
+
+#include "analysis/isa_flow.h"
+
+#include "analysis/dataflow.h"
+#include "analysis/isa_cfg.h"
+
+#include <algorithm>
+
+using namespace enerj;
+using namespace enerj::analysis;
+
+const char *enerj::analysis::isaWarningKindName(IsaWarningKind Kind) {
+  switch (Kind) {
+  case IsaWarningKind::UnreachableCode:
+    return "unreachable-code";
+  case IsaWarningKind::UnreachableViolation:
+    return "unreachable-violation";
+  case IsaWarningKind::DeadStore:
+    return "dead-store";
+  case IsaWarningKind::UninitializedRead:
+    return "uninitialized-read";
+  }
+  return "unknown";
+}
+
+void enerj::analysis::registerOperands(const isa::Instruction &I,
+                                       std::optional<RegRef> &Def,
+                                       std::vector<RegRef> &Uses) {
+  Def.reset();
+  Uses.clear();
+  using isa::Opcode;
+  switch (I.Op) {
+  case Opcode::Li:
+    Def = RegRef{false, I.Rd};
+    break;
+  case Opcode::Lfi:
+    Def = RegRef{true, I.Rd};
+    break;
+  case Opcode::Mv:
+  case Opcode::Endorse:
+    Def = RegRef{false, I.Rd};
+    Uses.push_back({false, I.Ra});
+    break;
+  case Opcode::Fmv:
+  case Opcode::Fendorse:
+    Def = RegRef{true, I.Rd};
+    Uses.push_back({true, I.Ra});
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Seq:
+  case Opcode::Sne:
+  case Opcode::Slt:
+  case Opcode::Sle:
+  case Opcode::And:
+  case Opcode::Or:
+    Def = RegRef{false, I.Rd};
+    Uses.push_back({false, I.Ra});
+    Uses.push_back({false, I.Rb});
+    break;
+  case Opcode::Addi:
+    Def = RegRef{false, I.Rd};
+    Uses.push_back({false, I.Ra});
+    break;
+  case Opcode::Fadd:
+  case Opcode::Fsub:
+  case Opcode::Fmul:
+  case Opcode::Fdiv:
+    Def = RegRef{true, I.Rd};
+    Uses.push_back({true, I.Ra});
+    Uses.push_back({true, I.Rb});
+    break;
+  case Opcode::Cvt:
+    Def = RegRef{true, I.Rd};
+    Uses.push_back({false, I.Ra});
+    break;
+  case Opcode::Cvti:
+    Def = RegRef{false, I.Rd};
+    Uses.push_back({true, I.Ra});
+    break;
+  case Opcode::Lw:
+    Def = RegRef{false, I.Rd};
+    Uses.push_back({false, I.Ra});
+    break;
+  case Opcode::Flw:
+    Def = RegRef{true, I.Rd};
+    Uses.push_back({false, I.Ra});
+    break;
+  case Opcode::Sw:
+    Uses.push_back({false, I.Rd});
+    Uses.push_back({false, I.Ra});
+    break;
+  case Opcode::Fsw:
+    Uses.push_back({true, I.Rd});
+    Uses.push_back({false, I.Ra});
+    break;
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Ble:
+    Uses.push_back({false, I.Rd});
+    Uses.push_back({false, I.Ra});
+    break;
+  case Opcode::Fbeq:
+  case Opcode::Fbne:
+  case Opcode::Fblt:
+  case Opcode::Fble:
+    Uses.push_back({true, I.Rd});
+    Uses.push_back({true, I.Ra});
+    break;
+  case Opcode::Jmp:
+  case Opcode::Halt:
+    break;
+  }
+}
+
+namespace {
+
+constexpr unsigned NumFlatRegs = isa::NumIntRegs + isa::NumFpRegs;
+
+/// Backward liveness over registers. Boundary: every register is live at
+/// program exit (the machine state is observable — tests and the driver
+/// read arbitrary registers after halt).
+struct LivenessDomain {
+  using Value = BitVec;
+
+  const IsaCfg &Cfg;
+
+  Value init() const { return BitVec(NumFlatRegs); }
+  Value boundary() const {
+    BitVec All(NumFlatRegs);
+    All.setAll();
+    return All;
+  }
+  bool join(Value &Into, const Value &From) const {
+    return Into.uniteWith(From);
+  }
+  Value transfer(unsigned Block, const Value &LiveOut) const {
+    BitVec Live = LiveOut;
+    const IsaBlock &B = Cfg.block(Block);
+    std::optional<RegRef> Def;
+    std::vector<RegRef> Uses;
+    for (size_t Index = B.End; Index-- > B.Begin;) {
+      registerOperands(Cfg.program().Instructions[Index], Def, Uses);
+      if (Def)
+        Live.clear(Def->flat());
+      for (const RegRef &Use : Uses)
+        Live.set(Use.flat());
+    }
+    return Live;
+  }
+};
+
+/// Forward "maybe uninitialized" over registers: the set of registers
+/// that have no definition on some path from entry. r0/f0 start defined
+/// (conventional zero registers).
+struct MaybeUninitDomain {
+  using Value = BitVec;
+
+  const IsaCfg &Cfg;
+
+  Value init() const { return BitVec(NumFlatRegs); }
+  Value boundary() const {
+    BitVec Uninit(NumFlatRegs);
+    Uninit.setAll();
+    Uninit.clear(RegRef{false, 0}.flat());
+    Uninit.clear(RegRef{true, 0}.flat());
+    return Uninit;
+  }
+  bool join(Value &Into, const Value &From) const {
+    return Into.uniteWith(From);
+  }
+  Value transfer(unsigned Block, const Value &In) const {
+    BitVec Uninit = In;
+    const IsaBlock &B = Cfg.block(Block);
+    std::optional<RegRef> Def;
+    std::vector<RegRef> Uses;
+    for (size_t Index = B.Begin; Index < B.End; ++Index) {
+      registerOperands(Cfg.program().Instructions[Index], Def, Uses);
+      if (Def)
+        Uninit.clear(Def->flat());
+    }
+    return Uninit;
+  }
+};
+
+} // namespace
+
+IsaFlowResult enerj::analysis::verifyFlow(const isa::IsaProgram &Program) {
+  IsaFlowResult Result;
+  IsaCfg Cfg(Program);
+  std::vector<bool> Reachable = Cfg.reachableBlocks();
+
+  auto isReachableInstr = [&](size_t Index) {
+    return Index < Program.Instructions.size() &&
+           Reachable[Cfg.blockContaining(Index)];
+  };
+
+  // Instruction-local discipline rules; violations in unreachable code
+  // cannot execute and demote to warnings.
+  for (isa::VerifyError &Error : isa::verify(Program)) {
+    if (isReachableInstr(Error.InstrIndex)) {
+      Result.Errors.push_back(std::move(Error));
+    } else {
+      Result.Warnings.push_back({IsaWarningKind::UnreachableViolation,
+                                 Error.InstrIndex, Error.Line,
+                                 "in unreachable code: " + Error.Message});
+    }
+  }
+
+  // Unreachable blocks, one warning per block at its leader.
+  for (unsigned Block = 0; Block < Cfg.blockCount(); ++Block) {
+    if (Reachable[Block])
+      continue;
+    const isa::Instruction &Leader =
+        Program.Instructions[Cfg.block(Block).Begin];
+    Result.Warnings.push_back(
+        {IsaWarningKind::UnreachableCode, Cfg.block(Block).Begin,
+         Leader.Line,
+         "unreachable code (no path from the entry reaches it)"});
+  }
+
+  if (Cfg.blockCount() == 0)
+    return Result;
+
+  // Dead stores via backward liveness.
+  LivenessDomain Liveness{Cfg};
+  DataflowResult<LivenessDomain> Live =
+      solveDataflow(Cfg, Direction::Backward, Liveness);
+  std::optional<RegRef> Def;
+  std::vector<RegRef> Uses;
+  for (unsigned Block = 0; Block < Cfg.blockCount(); ++Block) {
+    if (!Reachable[Block])
+      continue;
+    BitVec LiveNow = Live.Out[Block];
+    const IsaBlock &B = Cfg.block(Block);
+    for (size_t Index = B.End; Index-- > B.Begin;) {
+      const isa::Instruction &I = Program.Instructions[Index];
+      registerOperands(I, Def, Uses);
+      if (Def) {
+        if (!LiveNow.test(Def->flat()))
+          Result.Warnings.push_back(
+              {IsaWarningKind::DeadStore, Index, I.Line,
+               "dead store: " + Def->str() + " written by " +
+                   std::string(isa::opcodeName(I.Op)) +
+                   " is overwritten before it is ever read"});
+        LiveNow.clear(Def->flat());
+      }
+      for (const RegRef &Use : Uses)
+        LiveNow.set(Use.flat());
+    }
+  }
+
+  // Maybe-uninitialized reads via forward may-analysis.
+  MaybeUninitDomain UninitDom{Cfg};
+  DataflowResult<MaybeUninitDomain> Uninit =
+      solveDataflow(Cfg, Direction::Forward, UninitDom);
+  for (unsigned Block = 0; Block < Cfg.blockCount(); ++Block) {
+    if (!Reachable[Block])
+      continue;
+    BitVec UninitNow = Uninit.In[Block];
+    const IsaBlock &B = Cfg.block(Block);
+    for (size_t Index = B.Begin; Index < B.End; ++Index) {
+      const isa::Instruction &I = Program.Instructions[Index];
+      registerOperands(I, Def, Uses);
+      for (const RegRef &Use : Uses)
+        if (UninitNow.test(Use.flat()))
+          Result.Warnings.push_back(
+              {IsaWarningKind::UninitializedRead, Index, I.Line,
+               Use.str() + " may be read before it is written"});
+      if (Def)
+        UninitNow.clear(Def->flat());
+    }
+  }
+
+  // Deterministic order: by instruction, then kind.
+  std::sort(Result.Warnings.begin(), Result.Warnings.end(),
+            [](const IsaFlowWarning &A, const IsaFlowWarning &B) {
+              if (A.InstrIndex != B.InstrIndex)
+                return A.InstrIndex < B.InstrIndex;
+              return static_cast<int>(A.Kind) < static_cast<int>(B.Kind);
+            });
+  return Result;
+}

@@ -1,0 +1,97 @@
+//===- analysis/isa_flow.h - Flow-sensitive ISA verifier --------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flow-sensitive rewrite of the ISA verifier. It layers CFG-based
+/// dataflow analyses on top of the instruction-local discipline rules of
+/// isa/verifier.h:
+///
+///  * **per-path reachability** — discipline violations inside provably
+///    unreachable code are demoted to warnings (they can never execute),
+///    and every unreachable block is itself reported;
+///  * **branch targets against block boundaries** — any in-range target
+///    is a block leader by construction; a target of exactly
+///    Instructions.size() is the architected fall-off-the-end clean halt
+///    (see docs/ISA.md); anything beyond stays a hard error;
+///  * **dead stores** — a register write whose value is overwritten on
+///    every path before being read (backward liveness; all registers are
+///    considered live at program exit because the machine state is
+///    observable there);
+///  * **maybe-uninitialized reads** — a register read before any write on
+///    some path from entry (forward may-analysis; r0/f0 are exempt, they
+///    are the conventional zero registers).
+///
+/// Errors reject a program; warnings are lint findings (the enerj-lint
+/// `isa-flow` pass surfaces both).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_ISA_FLOW_H
+#define ENERJ_ANALYSIS_ISA_FLOW_H
+
+#include "isa/isa.h"
+#include "isa/verifier.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+enum class IsaWarningKind {
+  UnreachableCode,
+  UnreachableViolation, ///< A local discipline violation in dead code.
+  DeadStore,
+  UninitializedRead,
+};
+
+const char *isaWarningKindName(IsaWarningKind Kind);
+
+struct IsaFlowWarning {
+  IsaWarningKind Kind;
+  size_t InstrIndex = 0;
+  int Line = 0; ///< Assembly line of the instruction.
+  std::string Message;
+
+  std::string str() const {
+    return "line " + std::to_string(Line) + ": " + Message;
+  }
+};
+
+struct IsaFlowResult {
+  /// Discipline violations on some executable path; non-empty = rejected.
+  std::vector<isa::VerifyError> Errors;
+  std::vector<IsaFlowWarning> Warnings;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// A register operand, in either file, flattened for bit-set analyses:
+/// integer registers are bits [0, 32), FP registers bits [32, 64).
+struct RegRef {
+  bool IsFp = false;
+  unsigned Index = 0;
+
+  unsigned flat() const { return (IsFp ? isa::NumIntRegs : 0) + Index; }
+  std::string str() const {
+    return (IsFp ? "f" : "r") + std::to_string(Index);
+  }
+};
+
+/// Decodes the register operands of \p I: which registers it reads
+/// (\p Uses, up to two) and which it writes (\p Def). Branches and
+/// stores read Rd; they define nothing.
+void registerOperands(const isa::Instruction &I, std::optional<RegRef> &Def,
+                      std::vector<RegRef> &Uses);
+
+/// Runs the full flow-sensitive verification of \p Program.
+IsaFlowResult verifyFlow(const isa::IsaProgram &Program);
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_ISA_FLOW_H

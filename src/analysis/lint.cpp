@@ -1,0 +1,850 @@
+//===- analysis/lint.cpp - The enerj-lint pass pipeline -------------------===//
+
+#include "analysis/lint.h"
+
+#include "analysis/dataflow.h"
+#include "analysis/fenerj_cfg.h"
+#include "analysis/isa_flow.h"
+#include "fenerj/codegen.h"
+#include "isa/assembler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace enerj {
+namespace analysis {
+
+using namespace enerj::fenerj;
+
+const char *lintPassName(LintPass Pass) {
+  switch (Pass) {
+  case LintPass::Endorsement:
+    return "endorsement";
+  case LintPass::PrecisionSlack:
+    return "precision-slack";
+  case LintPass::DeadValue:
+    return "dead-value";
+  case LintPass::IsaFlow:
+    return "isa-flow";
+  }
+  return "unknown";
+}
+
+const char *lintSeverityName(LintSeverity Severity) {
+  switch (Severity) {
+  case LintSeverity::Error:
+    return "error";
+  case LintSeverity::Warning:
+    return "warning";
+  case LintSeverity::Suggestion:
+    return "suggestion";
+  }
+  return "unknown";
+}
+
+unsigned LintResult::count(LintPass Pass) const {
+  unsigned N = 0;
+  for (const LintFinding &F : Findings)
+    if (F.Pass == Pass)
+      ++N;
+  return N;
+}
+
+unsigned LintResult::errorCount() const {
+  unsigned N = 0;
+  for (const LintFinding &F : Findings)
+    if (F.Severity == LintSeverity::Error)
+      ++N;
+  return N;
+}
+
+namespace {
+
+/// The qualifier that matters for "is this entity's data precise":
+/// the element qualifier for arrays, the top-level qualifier otherwise.
+Qual valueQual(const Type &T) { return T.isArray() ? T.ElemQual : T.Q; }
+
+/// Least upper bound good enough for the audits: the result is Precise
+/// exactly when both inputs are Precise (anything else is "not provably
+/// precise", which is all the endorsement audit distinguishes).
+Qual joinQual(Qual A, Qual B) {
+  if (A == B)
+    return A;
+  if (A == Qual::Approx || B == Qual::Approx)
+    return Qual::Approx;
+  if (A == Qual::Lost || B == Qual::Lost)
+    return Qual::Lost;
+  return Qual::Top;
+}
+
+Type preciseInt() { return Type::makePrim(Qual::Precise, BaseKind::Int); }
+
+//===----------------------------------------------------------------------===//
+// Demand analysis: endorsement audit + precision-slack inference.
+//===----------------------------------------------------------------------===//
+//
+// A flow-insensitive constraint analysis over *entities* — the places a
+// value can rest: locals, parameters, fields (keyed by declaring class,
+// so inherited fields share one entity), method results, plus anonymous
+// join/endorse temporaries. Arrays are conflated with their element
+// values. Entity 0 is the SINK: the precise world (conditions,
+// subscripts, the program result). A flow edge From -> To records that
+// From's value can flow into To; *demand* propagates backward over
+// edges (demanded(To) => demanded(From)), seeded at the SINK.
+//
+// endorse() is the one construct that does NOT propagate demand to its
+// operand — that is its whole job — so after propagation:
+//
+//  * an endorse whose own result entity is undemanded gated nothing;
+//  * a Precise-qualified local/param/field/return entity that is
+//    undemanded (but used) never needed precision: suggest @approx.
+//
+// The suggestions are consistent as a set: an undemanded entity's value
+// reaches only approximate contexts and other undemanded entities, so
+// relaxing all of them together preserves well-typedness.
+
+class DemandAnalysis {
+public:
+  DemandAnalysis(const Program &Prog, const ClassTable &Table)
+      : Prog(Prog), Table(Table) {}
+
+  void run(std::vector<LintFinding> &Out);
+
+private:
+  static constexpr unsigned NoEnt = ~0u;
+  static constexpr unsigned Sink = 0;
+
+  struct Entity {
+    enum class Kind { Sink, Local, Param, Field, Return, Temp, EndorseVal };
+    Kind K = Kind::Temp;
+    std::string Display; ///< e.g. "local 'x'", "field 'C.f'".
+    Type DeclType;
+    SourceLoc Loc;
+    unsigned Uses = 0;
+    bool Demanded = false;
+    /// The value was linked somewhere (only meaningful for EndorseVal:
+    /// distinguishes a discarded endorse from an unprofitable one).
+    bool Consumed = false;
+  };
+
+  /// An expression's value: its static type plus the entity that tracks
+  /// it, if any.
+  struct Flow {
+    Type Ty;
+    unsigned Ent = NoEnt;
+  };
+
+  struct EndorseSite {
+    SourceLoc Loc;
+    Qual SourceQ = Qual::Approx;
+    unsigned Ent = NoEnt;
+  };
+
+  struct LocalInfo {
+    unsigned Ent = NoEnt;
+    Type Ty;
+  };
+
+  unsigned makeEntity(Entity::Kind K, std::string Display, Type DeclType,
+                      SourceLoc Loc) {
+    Entities.push_back(
+        {K, std::move(Display), std::move(DeclType), Loc, 0, false, false});
+    Feeders.emplace_back();
+    return static_cast<unsigned>(Entities.size() - 1);
+  }
+
+  void addFlow(unsigned From, unsigned To) { Feeders[To].push_back(From); }
+
+  void link(const Flow &F, unsigned To) {
+    if (F.Ent == NoEnt)
+      return;
+    Entities[F.Ent].Consumed = true;
+    addFlow(F.Ent, To);
+  }
+  void consume(const Flow &F) {
+    if (F.Ent != NoEnt)
+      Entities[F.Ent].Consumed = true;
+  }
+
+  /// Merges two flows into one of type \p Ty (binary operands, if
+  /// branches). One tracked operand passes through; two get an anonymous
+  /// join entity fed by both.
+  Flow joinFlows(const Flow &A, const Flow &B, Type Ty, SourceLoc Loc) {
+    if (A.Ent == NoEnt && B.Ent == NoEnt)
+      return {std::move(Ty), NoEnt};
+    if (A.Ent != NoEnt && B.Ent == NoEnt)
+      return {std::move(Ty), A.Ent};
+    if (A.Ent == NoEnt && B.Ent != NoEnt)
+      return {std::move(Ty), B.Ent};
+    unsigned Join = makeEntity(Entity::Kind::Temp, "", Ty, Loc);
+    link(A, Join);
+    link(B, Join);
+    return {std::move(Ty), Join};
+  }
+
+  LocalInfo *resolve(const std::string &Name) {
+    for (auto Scope = Scopes.rbegin(); Scope != Scopes.rend(); ++Scope) {
+      auto Found = Scope->find(Name);
+      if (Found != Scope->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  /// The declaring class of \p Field on receivers of \p RecvTy (fields
+  /// are keyed by declaring class so inherited accesses share an
+  /// entity); NoEnt when unresolvable.
+  unsigned fieldEntity(const Type &RecvTy, const std::string &Field) const {
+    if (!RecvTy.isClass())
+      return NoEnt;
+    const ClassDecl *Decl = Table.lookup(RecvTy.ClassName);
+    while (Decl) {
+      for (const FieldDeclAst &F : Decl->Fields)
+        if (F.Name == Field) {
+          auto Found = FieldEnts.find(Decl->Name + "." + Field);
+          return Found == FieldEnts.end() ? NoEnt : Found->second;
+        }
+      Decl = Table.lookup(Decl->SuperName);
+    }
+    return NoEnt;
+  }
+
+  Type fieldTypeOf(const Type &RecvTy, const std::string &Field) const {
+    if (RecvTy.isClass())
+      if (auto FT = Table.fieldType(RecvTy.ClassName, Field))
+        return adaptType(RecvTy.Q, *FT);
+    return preciseInt();
+  }
+
+  Type binaryType(BinaryOp Op, const Type &L, const Type &R) const {
+    Qual Q = joinQual(L.Q, R.Q);
+    switch (Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      return Type::makePrim(Q, (L.Base == BaseKind::Float ||
+                                R.Base == BaseKind::Float)
+                                   ? BaseKind::Float
+                                   : BaseKind::Int);
+    default:
+      return Type::makePrim(Q, BaseKind::Bool);
+    }
+  }
+
+  Flow visit(const Expr &E);
+  void propagate();
+  void emitFindings(std::vector<LintFinding> &Out) const;
+
+  const Program &Prog;
+  const ClassTable &Table;
+
+  std::vector<Entity> Entities;
+  std::vector<std::vector<unsigned>> Feeders;
+  std::vector<EndorseSite> Sites;
+  std::unordered_map<std::string, unsigned> FieldEnts;
+  std::unordered_map<const MethodDecl *, unsigned> RetEnts;
+  std::unordered_map<const MethodDecl *, std::vector<unsigned>> ParamEnts;
+
+  std::vector<std::unordered_map<std::string, LocalInfo>> Scopes;
+  std::string CurClass;
+  Qual ThisQual = Qual::Context;
+};
+
+void DemandAnalysis::run(std::vector<LintFinding> &Out) {
+  makeEntity(Entity::Kind::Sink, "", preciseInt(), {});
+
+  // Entities for every field and method signature up front, so call and
+  // field-access sites in any body can refer to them. A non-precise,
+  // non-approx qualifier (context/top) means the precision depends on
+  // the receiver, so the entity is conservatively pre-demanded.
+  for (const ClassDecl &C : Prog.Classes) {
+    for (const FieldDeclAst &F : C.Fields) {
+      unsigned Ent =
+          makeEntity(Entity::Kind::Field,
+                     "field '" + C.Name + "." + F.Name + "'", F.DeclaredType,
+                     F.Loc);
+      FieldEnts[C.Name + "." + F.Name] = Ent;
+      Qual Q = valueQual(F.DeclaredType);
+      if (Q != Qual::Precise && Q != Qual::Approx)
+        addFlow(Ent, Sink);
+    }
+    for (const MethodDecl &M : C.Methods) {
+      std::string MName = "'" + C.Name + "." + M.Name + "'";
+      unsigned Ret = makeEntity(Entity::Kind::Return, "method " + MName,
+                                M.ReturnType, M.Loc);
+      RetEnts[&M] = Ret;
+      Qual RetQ = valueQual(M.ReturnType);
+      if (RetQ != Qual::Precise && RetQ != Qual::Approx)
+        addFlow(Ret, Sink);
+      std::vector<unsigned> Params;
+      for (const ParamDecl &P : M.Params) {
+        unsigned Ent = makeEntity(
+            Entity::Kind::Param, "parameter '" + P.Name + "' of " + MName,
+            P.DeclaredType, M.Loc);
+        Qual Q = valueQual(P.DeclaredType);
+        if (Q != Qual::Precise && Q != Qual::Approx)
+          addFlow(Ent, Sink);
+        Params.push_back(Ent);
+      }
+      ParamEnts[&M] = std::move(Params);
+    }
+  }
+
+  for (const ClassDecl &C : Prog.Classes)
+    for (const MethodDecl &M : C.Methods) {
+      CurClass = C.Name;
+      ThisQual = M.ReceiverPrecision;
+      Scopes.clear();
+      Scopes.emplace_back();
+      const std::vector<unsigned> &Params = ParamEnts[&M];
+      for (size_t I = 0; I < M.Params.size(); ++I)
+        Scopes.back()[M.Params[I].Name] = {Params[I],
+                                           M.Params[I].DeclaredType};
+      Flow Result = visit(*M.Body);
+      link(Result, RetEnts[&M]);
+    }
+
+  CurClass.clear();
+  ThisQual = Qual::Precise;
+  Scopes.clear();
+  Scopes.emplace_back();
+  // The program result is observed precisely (the driver prints it), so
+  // the main expression is a precise sink — this is what justifies the
+  // idiomatic final endorse.
+  Flow MainResult = visit(*Prog.Main);
+  link(MainResult, Sink);
+
+  propagate();
+  emitFindings(Out);
+}
+
+DemandAnalysis::Flow DemandAnalysis::visit(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::NullLit:
+    return {Type::makeNull(), NoEnt};
+  case ExprKind::IntLit:
+    return {preciseInt(), NoEnt};
+  case ExprKind::FloatLit:
+    return {Type::makePrim(Qual::Precise, BaseKind::Float), NoEnt};
+  case ExprKind::BoolLit:
+    return {Type::makePrim(Qual::Precise, BaseKind::Bool), NoEnt};
+
+  case ExprKind::VarRef: {
+    const auto &Var = static_cast<const VarRefExpr &>(E);
+    if (Var.Name == "this")
+      return {Type::makeClass(ThisQual, CurClass), NoEnt};
+    LocalInfo *Local = resolve(Var.Name);
+    if (!Local)
+      return {preciseInt(), NoEnt};
+    ++Entities[Local->Ent].Uses;
+    return {Local->Ty, Local->Ent};
+  }
+
+  case ExprKind::New: {
+    const auto &New = static_cast<const NewExpr &>(E);
+    return {Type::makeClass(New.Q, New.ClassName), NoEnt};
+  }
+  case ExprKind::NewArray: {
+    const auto &New = static_cast<const NewArrayExpr &>(E);
+    Flow Length = visit(*New.Length);
+    link(Length, Sink); // Lengths are precise.
+    return {Type::makeArray(New.ElemQual, New.Elem), NoEnt};
+  }
+
+  case ExprKind::FieldRead: {
+    const auto &Read = static_cast<const FieldReadExpr &>(E);
+    Flow Recv = visit(*Read.Receiver);
+    consume(Recv);
+    unsigned Ent = fieldEntity(Recv.Ty, Read.Field);
+    if (Ent != NoEnt)
+      ++Entities[Ent].Uses;
+    return {fieldTypeOf(Recv.Ty, Read.Field), Ent};
+  }
+  case ExprKind::FieldWrite: {
+    const auto &Write = static_cast<const FieldWriteExpr &>(E);
+    Flow Recv = visit(*Write.Receiver);
+    consume(Recv);
+    unsigned Ent = fieldEntity(Recv.Ty, Write.Field);
+    Flow Value = visit(*Write.Value);
+    if (Ent != NoEnt)
+      link(Value, Ent);
+    else
+      consume(Value);
+    // The write's own value has the field's type; route onward flow
+    // through the field entity so a precise use of the write expression
+    // keeps the field demanded.
+    return {fieldTypeOf(Recv.Ty, Write.Field), Ent};
+  }
+
+  case ExprKind::ArrayRead: {
+    const auto &Read = static_cast<const ArrayReadExpr &>(E);
+    Flow Array = visit(*Read.Array);
+    Flow Index = visit(*Read.Index);
+    link(Index, Sink); // Subscripts are precise.
+    Type Elem = Array.Ty.isArray()
+                    ? Type::makePrim(Array.Ty.ElemQual, Array.Ty.Elem)
+                    : preciseInt();
+    // Element values are tracked by the array's own entity.
+    return {Elem, Array.Ent};
+  }
+  case ExprKind::ArrayWrite: {
+    const auto &Write = static_cast<const ArrayWriteExpr &>(E);
+    Flow Array = visit(*Write.Array);
+    Flow Index = visit(*Write.Index);
+    link(Index, Sink);
+    Flow Value = visit(*Write.Value);
+    if (Array.Ent != NoEnt)
+      link(Value, Array.Ent);
+    else
+      consume(Value);
+    Type Elem = Array.Ty.isArray()
+                    ? Type::makePrim(Array.Ty.ElemQual, Array.Ty.Elem)
+                    : preciseInt();
+    return {Elem, Array.Ent};
+  }
+  case ExprKind::ArrayLength: {
+    // a.length reads no element, so it demands nothing of them — the
+    // length of an approximate-element array is still precise.
+    const auto &Len = static_cast<const ArrayLengthExpr &>(E);
+    visit(*Len.Array);
+    return {preciseInt(), NoEnt};
+  }
+
+  case ExprKind::MethodCall: {
+    const auto &Call = static_cast<const MethodCallExpr &>(E);
+    Flow Recv = visit(*Call.Receiver);
+    const MethodDecl *Method =
+        Recv.Ty.isClass()
+            ? Table.lookupMethod(Recv.Ty.ClassName, Call.Method, Recv.Ty.Q)
+            : nullptr;
+    const std::vector<unsigned> *Params = nullptr;
+    if (Method) {
+      auto Found = ParamEnts.find(Method);
+      if (Found != ParamEnts.end())
+        Params = &Found->second;
+    }
+    for (size_t I = 0; I < Call.Args.size(); ++I) {
+      Flow Arg = visit(*Call.Args[I]);
+      if (Params && I < Params->size())
+        link(Arg, (*Params)[I]);
+      else
+        consume(Arg);
+    }
+    if (!Method)
+      return {preciseInt(), NoEnt};
+    unsigned Ret = RetEnts.at(Method);
+    ++Entities[Ret].Uses;
+    return {adaptType(Recv.Ty.Q, Method->ReturnType), Ret};
+  }
+
+  case ExprKind::Cast: {
+    // Casts convert the base type but move the value unchanged; demand
+    // flows through them.
+    const auto &Cast = static_cast<const CastExpr &>(E);
+    Flow Value = visit(*Cast.Value);
+    return {Cast.Target, Value.Ent};
+  }
+
+  case ExprKind::Endorse: {
+    const auto &End = static_cast<const EndorseExpr &>(E);
+    Flow Value = visit(*End.Value);
+    // The gate: the operand is consumed but demand does NOT propagate
+    // into it. The result gets its own entity so we can later ask
+    // whether the endorsed value ever reached a precise use.
+    consume(Value);
+    Type Result = Value.Ty;
+    Result.Q = Qual::Precise;
+    unsigned Ent = makeEntity(Entity::Kind::EndorseVal, "", Result, E.loc());
+    Sites.push_back({E.loc(), Value.Ty.Q, Ent});
+    return {Result, Ent};
+  }
+
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    Flow Lhs = visit(*Bin.Lhs);
+    Flow Rhs = visit(*Bin.Rhs);
+    return joinFlows(Lhs, Rhs, binaryType(Bin.Op, Lhs.Ty, Rhs.Ty), E.loc());
+  }
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(E);
+    Flow Value = visit(*Un.Value);
+    Type Result = Un.Op == UnaryOp::Not
+                      ? Type::makePrim(Value.Ty.Q, BaseKind::Bool)
+                      : Value.Ty;
+    return {Result, Value.Ent};
+  }
+
+  case ExprKind::If: {
+    const auto &If = static_cast<const IfExpr &>(E);
+    Flow Cond = visit(*If.Cond);
+    link(Cond, Sink); // Conditions are precise.
+    Flow Then = visit(*If.Then);
+    Flow Else = visit(*If.Else);
+    Type Result = Then.Ty;
+    Result.Q = joinQual(Then.Ty.Q, Else.Ty.Q);
+    if (Result.isArray())
+      Result.ElemQual = joinQual(Then.Ty.ElemQual, Else.Ty.ElemQual);
+    return joinFlows(Then, Else, Result, E.loc());
+  }
+  case ExprKind::While: {
+    const auto &While = static_cast<const WhileExpr &>(E);
+    Flow Cond = visit(*While.Cond);
+    link(Cond, Sink);
+    visit(*While.Body); // The body's value is discarded.
+    return {preciseInt(), NoEnt};
+  }
+
+  case ExprKind::Block: {
+    const auto &Block = static_cast<const BlockExpr &>(E);
+    Scopes.emplace_back();
+    Flow Last = {preciseInt(), NoEnt};
+    for (const BlockExpr::Item &Item : Block.Items) {
+      Flow Value = visit(*Item.Value);
+      if (Item.IsLet) {
+        unsigned Ent =
+            makeEntity(Entity::Kind::Local, "local '" + Item.LetName + "'",
+                       Item.LetType, Item.Value->loc());
+        link(Value, Ent);
+        Scopes.back()[Item.LetName] = {Ent, Item.LetType};
+        Last = {Item.LetType, Ent};
+      } else {
+        Last = Value; // Non-final values are simply dropped.
+      }
+    }
+    Scopes.pop_back();
+    return Last;
+  }
+
+  case ExprKind::AssignLocal: {
+    const auto &Assign = static_cast<const AssignLocalExpr &>(E);
+    Flow Value = visit(*Assign.Value);
+    LocalInfo *Local = resolve(Assign.Name);
+    if (!Local) {
+      consume(Value);
+      return Value;
+    }
+    link(Value, Local->Ent);
+    // Like field writes: route the assignment's own value through the
+    // local's entity.
+    return {Local->Ty, Local->Ent};
+  }
+  }
+  return {preciseInt(), NoEnt};
+}
+
+void DemandAnalysis::propagate() {
+  std::vector<unsigned> Work{Sink};
+  Entities[Sink].Demanded = true;
+  while (!Work.empty()) {
+    unsigned To = Work.back();
+    Work.pop_back();
+    for (unsigned From : Feeders[To])
+      if (!Entities[From].Demanded) {
+        Entities[From].Demanded = true;
+        Work.push_back(From);
+      }
+  }
+}
+
+void DemandAnalysis::emitFindings(std::vector<LintFinding> &Out) const {
+  // Endorsement audit, in visitation order.
+  for (const EndorseSite &Site : Sites) {
+    const Entity &Ent = Entities[Site.Ent];
+    if (Site.SourceQ == Qual::Precise)
+      Out.push_back({LintPass::Endorsement, LintSeverity::Warning, Site.Loc,
+                     "endorse() of an already-precise value is redundant"});
+    else if (!Ent.Consumed)
+      Out.push_back({LintPass::Endorsement, LintSeverity::Warning, Site.Loc,
+                     "the result of endorse() is discarded; the endorsement "
+                     "gates nothing"});
+    else if (!Ent.Demanded)
+      Out.push_back({LintPass::Endorsement, LintSeverity::Warning, Site.Loc,
+                     "the endorsed value never reaches a precise use; the "
+                     "endorsement is unnecessary (its consumers can stay "
+                     "approximate)"});
+  }
+
+  // Precision slack, in entity-creation order. Only declared-precise
+  // data entities that are actually used qualify; undemanded means no
+  // value of theirs ever reaches the precise world.
+  for (const Entity &Ent : Entities) {
+    if (Ent.Demanded || Ent.Uses == 0)
+      continue;
+    if (Ent.K != Entity::Kind::Local && Ent.K != Entity::Kind::Param &&
+        Ent.K != Entity::Kind::Field && Ent.K != Entity::Kind::Return)
+      continue;
+    if (valueQual(Ent.DeclType) != Qual::Precise ||
+        !(Ent.DeclType.isPrimitive() || Ent.DeclType.isArray()))
+      continue;
+    std::string Message;
+    if (Ent.K == Entity::Kind::Return)
+      Message = "the result of " + Ent.Display +
+                " is never used precisely; the return type can be @approx";
+    else if (Ent.DeclType.isArray())
+      Message = "the elements of " + Ent.Display +
+                " never flow into a precise sink; the element type can be "
+                "@approx";
+    else
+      Message = "precise " + Ent.Display +
+                " never flows into a precise sink; it can be declared "
+                "@approx";
+    Out.push_back({LintPass::PrecisionSlack, LintSeverity::Suggestion,
+                   Ent.Loc, std::move(Message)});
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dead-value pass: liveness over the FEnerJ CFG.
+//===----------------------------------------------------------------------===//
+
+struct FjLivenessDomain {
+  using Value = BitVec;
+
+  const FenerjCfg &Cfg;
+
+  Value init() const { return BitVec(Cfg.vars().size()); }
+  Value boundary() const { return BitVec(Cfg.vars().size()); }
+  bool join(Value &Into, const Value &From) const {
+    return Into.uniteWith(From);
+  }
+  Value transfer(unsigned Block, const Value &LiveOut) const {
+    BitVec Live = LiveOut;
+    const std::vector<FjEvent> &Events = Cfg.block(Block).Events;
+    for (auto It = Events.rbegin(); It != Events.rend(); ++It) {
+      if (It->K == FjEvent::Kind::Def)
+        Live.clear(It->Var);
+      else if (It->K == FjEvent::Kind::Use)
+        Live.set(It->Var);
+    }
+    return Live;
+  }
+};
+
+void deadValueBody(const Expr &Body, const std::vector<ParamDecl> *Params,
+                   SourceLoc FallbackLoc, std::vector<LintFinding> &Out) {
+  FenerjCfg Cfg = FenerjCfg::build(Body, Params);
+  size_t NumVars = Cfg.vars().size();
+  if (NumVars == 0)
+    return;
+
+  std::vector<unsigned> UseCount(NumVars, 0);
+  for (unsigned Block = 0; Block < Cfg.blockCount(); ++Block)
+    for (const FjEvent &Event : Cfg.block(Block).Events)
+      if (Event.K == FjEvent::Kind::Use)
+        ++UseCount[Event.Var];
+
+  FjLivenessDomain Domain{Cfg};
+  DataflowResult<FjLivenessDomain> Live =
+      solveDataflow(Cfg, Direction::Backward, Domain);
+
+  auto locOf = [&](const FjEvent &Event, const FjVariable &Var) {
+    if (Event.Loc.Line != 0)
+      return Event.Loc;
+    if (Var.Loc.Line != 0)
+      return Var.Loc;
+    return FallbackLoc;
+  };
+
+  // A Def whose variable is dead immediately after it stores a value no
+  // path ever reads. Skipped for never-used variables, which get one
+  // finding at the declaration instead.
+  for (unsigned Block = 0; Block < Cfg.blockCount(); ++Block) {
+    BitVec LiveNow = Live.Out[Block];
+    const std::vector<FjEvent> &Events = Cfg.block(Block).Events;
+    for (auto It = Events.rbegin(); It != Events.rend(); ++It) {
+      if (It->K == FjEvent::Kind::Def) {
+        const FjVariable &Var = Cfg.vars()[It->Var];
+        if (!LiveNow.test(It->Var) && UseCount[It->Var] > 0)
+          Out.push_back(
+              {LintPass::DeadValue, LintSeverity::Warning, locOf(*It, Var),
+               Var.IsParam
+                   ? "the initial value of parameter '" + Var.Name +
+                         "' is always overwritten before it is read"
+                   : "the value assigned to '" + Var.Name +
+                         "' here is never read"});
+        LiveNow.clear(It->Var);
+      } else if (It->K == FjEvent::Kind::Use) {
+        LiveNow.set(It->Var);
+      }
+    }
+  }
+
+  for (size_t Index = 0; Index < NumVars; ++Index) {
+    if (UseCount[Index] != 0)
+      continue;
+    const FjVariable &Var = Cfg.vars()[Index];
+    SourceLoc Loc = Var.Loc.Line != 0 ? Var.Loc : FallbackLoc;
+    Out.push_back({LintPass::DeadValue, LintSeverity::Warning, Loc,
+                   (Var.IsParam ? "parameter '" : "local '") + Var.Name +
+                       "' is never used"});
+  }
+}
+
+void deadValuePass(const Program &Prog, std::vector<LintFinding> &Out) {
+  for (const ClassDecl &C : Prog.Classes)
+    for (const MethodDecl &M : C.Methods)
+      deadValueBody(*M.Body, &M.Params, M.Loc, Out);
+  deadValueBody(*Prog.Main, nullptr, {}, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// isa-flow pass: compile, assemble, run the flow-sensitive verifier.
+//===----------------------------------------------------------------------===//
+
+void isaPass(const Program &Prog, LintResult &Result) {
+  CodegenResult Generated = compileToIsa(Prog);
+  if (!Generated.Ok) {
+    Result.IsaChecked = false;
+    Result.IsaSkipReason = Generated.Error;
+    return;
+  }
+  Result.IsaChecked = true;
+  std::vector<std::string> AsmErrors;
+  std::optional<isa::IsaProgram> Program =
+      isa::assemble(Generated.Assembly, AsmErrors);
+  if (!Program) {
+    for (const std::string &Error : AsmErrors)
+      Result.Findings.push_back(
+          {LintPass::IsaFlow, LintSeverity::Error, {0, 0},
+           "generated assembly does not assemble: " + Error});
+    return;
+  }
+  IsaFlowResult Flow = verifyFlow(*Program);
+  for (const isa::VerifyError &Error : Flow.Errors)
+    Result.Findings.push_back({LintPass::IsaFlow, LintSeverity::Error,
+                               {Error.Line, 0}, Error.Message});
+  for (const IsaFlowWarning &Warning : Flow.Warnings)
+    Result.Findings.push_back({LintPass::IsaFlow, LintSeverity::Warning,
+                               {Warning.Line, 0}, Warning.Message});
+}
+
+void jsonEscape(std::string &Out, std::string_view Text) {
+  static const char Hex[] = "0123456789abcdef";
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+LintResult runLint(const Program &Prog, const ClassTable &Table,
+                   const LintOptions &Options) {
+  LintResult Result;
+  DemandAnalysis(Prog, Table).run(Result.Findings);
+  deadValuePass(Prog, Result.Findings);
+  if (Options.CheckIsa)
+    isaPass(Prog, Result);
+  else
+    Result.IsaSkipReason = "disabled";
+
+  std::stable_sort(Result.Findings.begin(), Result.Findings.end(),
+                   [](const LintFinding &A, const LintFinding &B) {
+                     if (A.Pass != B.Pass)
+                       return static_cast<int>(A.Pass) <
+                              static_cast<int>(B.Pass);
+                     if (A.Loc.Line != B.Loc.Line)
+                       return A.Loc.Line < B.Loc.Line;
+                     return A.Loc.Column < B.Loc.Column;
+                   });
+  return Result;
+}
+
+std::string renderLintText(const LintResult &Result,
+                           std::string_view FileName) {
+  std::string Out;
+  for (const LintFinding &F : Result.Findings) {
+    Out += FileName;
+    Out += ':' + std::to_string(F.Loc.Line) + ':' +
+           std::to_string(F.Loc.Column) + ": ";
+    Out += lintSeverityName(F.Severity);
+    Out += ": [";
+    Out += lintPassName(F.Pass);
+    Out += "] " + F.Message + '\n';
+  }
+  if (!Result.IsaChecked && !Result.IsaSkipReason.empty())
+    Out += "note: isa-flow pass skipped: " + Result.IsaSkipReason + '\n';
+  unsigned Errors = 0, Warnings = 0, Suggestions = 0;
+  for (const LintFinding &F : Result.Findings) {
+    if (F.Severity == LintSeverity::Error)
+      ++Errors;
+    else if (F.Severity == LintSeverity::Warning)
+      ++Warnings;
+    else
+      ++Suggestions;
+  }
+  Out += std::to_string(Result.Findings.size()) + " finding(s): " +
+         std::to_string(Errors) + " error(s), " + std::to_string(Warnings) +
+         " warning(s), " + std::to_string(Suggestions) + " suggestion(s)\n";
+  return Out;
+}
+
+std::string renderLintJson(const LintResult &Result,
+                           std::string_view FileName) {
+  std::string Json = "{\"tool\":\"enerj-lint\",\"version\":1,\"file\":\"";
+  jsonEscape(Json, FileName);
+  Json += "\",\"findings\":[";
+  bool First = true;
+  for (const LintFinding &F : Result.Findings) {
+    if (!First)
+      Json += ',';
+    First = false;
+    Json += "{\"pass\":\"";
+    Json += lintPassName(F.Pass);
+    Json += "\",\"severity\":\"";
+    Json += lintSeverityName(F.Severity);
+    Json += "\",\"line\":" + std::to_string(F.Loc.Line);
+    Json += ",\"column\":" + std::to_string(F.Loc.Column);
+    Json += ",\"message\":\"";
+    jsonEscape(Json, F.Message);
+    Json += "\"}";
+  }
+  Json += "],\"counts\":{";
+  const LintPass Passes[] = {LintPass::Endorsement, LintPass::PrecisionSlack,
+                             LintPass::DeadValue, LintPass::IsaFlow};
+  for (LintPass Pass : Passes) {
+    if (Pass != LintPass::Endorsement)
+      Json += ',';
+    Json += '"';
+    Json += lintPassName(Pass);
+    Json += "\":" + std::to_string(Result.count(Pass));
+  }
+  unsigned IsaErrors = 0;
+  for (const LintFinding &F : Result.Findings)
+    if (F.Pass == LintPass::IsaFlow && F.Severity == LintSeverity::Error)
+      ++IsaErrors;
+  Json += "},\"isa\":{\"checked\":";
+  Json += Result.IsaChecked ? "true" : "false";
+  Json += ",\"skipReason\":\"";
+  jsonEscape(Json, Result.IsaSkipReason);
+  Json += "\",\"errors\":" + std::to_string(IsaErrors) + "}}";
+  return Json;
+}
+
+} // namespace analysis
+} // namespace enerj

@@ -1,0 +1,103 @@
+//===- analysis/lint.h - The enerj-lint pass pipeline -----------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// enerj-lint: whole-program audits of how a well-typed FEnerJ program
+/// *uses* approximation. The type checker guarantees safety; these passes
+/// answer the paper's economy questions — where approximation is wasted,
+/// over-gated, or under-used (the Table 3 annotation-effort discussion):
+///
+///  * **endorsement** — endorse() calls that gate nothing: the operand is
+///    provably precise, the result is discarded, or the result never
+///    reaches a precise use;
+///  * **precision-slack** — precise locals, parameters, fields, and array
+///    element types whose values never flow into a precise sink
+///    (condition, subscript, precise store/argument/return). Each is a
+///    suggestion to relax to @approx; suggestions form one consistent
+///    set: applying all of them at once preserves well-typedness;
+///  * **dead-value** — never-used locals and assignments whose value is
+///    never read (liveness over the CFG of fenerj_cfg.h);
+///  * **isa-flow** — the program is compiled with fenerj/codegen.h and the
+///    binary is checked by the flow-sensitive ISA verifier (isa_flow.h);
+///    its errors and warnings are surfaced here. Line numbers of this
+///    pass refer to the generated assembly, not the FEnerJ source.
+///
+/// All passes run to completion and report everything they find; nothing
+/// mutates the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_LINT_H
+#define ENERJ_ANALYSIS_LINT_H
+
+#include "fenerj/ast.h"
+#include "fenerj/program.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+enum class LintPass { Endorsement, PrecisionSlack, DeadValue, IsaFlow };
+enum class LintSeverity { Error, Warning, Suggestion };
+
+/// Stable names used in both renderings ("endorsement", "precision-slack",
+/// "dead-value", "isa-flow" / "error", "warning", "suggestion").
+const char *lintPassName(LintPass Pass);
+const char *lintSeverityName(LintSeverity Severity);
+
+struct LintFinding {
+  LintPass Pass;
+  LintSeverity Severity;
+  /// FEnerJ source location; for the isa-flow pass, Line is the line of
+  /// the *generated assembly* and Column is 0.
+  fenerj::SourceLoc Loc;
+  std::string Message;
+};
+
+struct LintResult {
+  std::vector<LintFinding> Findings;
+  /// Whether the isa-flow pass ran (codegen handles class-free programs).
+  bool IsaChecked = false;
+  std::string IsaSkipReason;
+
+  unsigned count(LintPass Pass) const;
+  unsigned errorCount() const;
+  bool hasErrors() const { return errorCount() != 0; }
+};
+
+struct LintOptions {
+  bool CheckIsa = true;
+};
+
+/// Runs every lint pass over \p Prog (which must be well typed against
+/// \p Table). Findings are ordered by pass, then source position.
+LintResult runLint(const fenerj::Program &Prog,
+                   const fenerj::ClassTable &Table,
+                   const LintOptions &Options = {});
+
+/// Human-readable rendering, one finding per line:
+///   <file>:<line>:<col>: <severity>: [<pass>] <message>
+std::string renderLintText(const LintResult &Result,
+                           std::string_view FileName);
+
+/// Machine-readable rendering for CI. The schema is stable (asserted by
+/// tests/analysis_lint_test.cpp):
+///   {"tool":"enerj-lint","version":1,"file":...,
+///    "findings":[{"pass":...,"severity":...,"line":N,"column":N,
+///                 "message":...}, ...],
+///    "counts":{"endorsement":N,"precision-slack":N,"dead-value":N,
+///              "isa-flow":N},
+///    "isa":{"checked":B,"skipReason":...,"errors":N}}
+std::string renderLintJson(const LintResult &Result,
+                           std::string_view FileName);
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_LINT_H

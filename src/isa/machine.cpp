@@ -128,6 +128,20 @@ MachineResult Machine::run(uint64_t MaxInstructions) {
         "line " + std::to_string(Line) + ": " + std::move(Message);
   };
 
+  // Control transfers to [0, Instructions.size()] are architected; the
+  // boundary value is the explicit form of the fall-off-the-end clean
+  // halt (trailing labels assemble to it). Anything past that traps,
+  // mirroring the verifier's range rule (see docs/ISA.md).
+  auto BranchTo = [&](int64_t Target, int Line) {
+    if (Target < 0 ||
+        static_cast<size_t>(Target) > Program.Instructions.size()) {
+      Trap("branch target out of range", Line);
+      return false;
+    }
+    Pc = static_cast<uint64_t>(Target);
+    return true;
+  };
+
   while (Result.InstructionsExecuted < MaxInstructions) {
     if (Pc >= Program.Instructions.size())
       return Result; // Falling off the end is a clean halt.
@@ -365,8 +379,8 @@ MachineResult Machine::run(uint64_t MaxInstructions) {
         Taken = Lhs <= Rhs;
         break;
       }
-      if (Taken)
-        Pc = static_cast<uint64_t>(I.Imm);
+      if (Taken && !BranchTo(I.Imm, I.Line))
+        return Result;
       break;
     }
 
@@ -393,13 +407,14 @@ MachineResult Machine::run(uint64_t MaxInstructions) {
         Taken = Lhs <= Rhs;
         break;
       }
-      if (Taken)
-        Pc = static_cast<uint64_t>(I.Imm);
+      if (Taken && !BranchTo(I.Imm, I.Line))
+        return Result;
       break;
     }
     case Opcode::Jmp:
-      Pc = static_cast<uint64_t>(I.Imm);
       Ledger.tick();
+      if (!BranchTo(I.Imm, I.Line))
+        return Result;
       break;
     case Opcode::Halt:
       return Result;

@@ -131,6 +131,10 @@ std::vector<VerifyError> VerifierImpl::run() {
       requirePrecise(Index, I.Ra, "branch operand");
       [[fallthrough]];
     case Opcode::Jmp:
+      // Targets in [0, Instructions.size()] are legal: the boundary
+      // value is the architected fall-off-the-end clean halt (trailing
+      // labels assemble to it, and the machine halts cleanly there).
+      // Beyond it the machine traps, so the verifier rejects.
       if (I.Imm < 0 ||
           static_cast<size_t>(I.Imm) > Program.Instructions.size())
         error(Index, "branch target out of range");

@@ -1,0 +1,312 @@
+//===- tests/analysis_cfg_test.cpp - CFG + dataflow engine tests ----------===//
+
+#include "analysis/dataflow.h"
+#include "analysis/fenerj_cfg.h"
+#include "analysis/isa_cfg.h"
+#include "fenerj/fenerj.h"
+#include "isa/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace enerj;
+using namespace enerj::analysis;
+
+namespace {
+
+isa::IsaProgram assembleOk(std::string_view Source) {
+  std::vector<std::string> Errors;
+  std::optional<isa::IsaProgram> Program = isa::assemble(Source, Errors);
+  EXPECT_TRUE(Program.has_value());
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << E;
+  return Program ? std::move(*Program) : isa::IsaProgram{};
+}
+
+fenerj::Program compileOk(std::string_view Source) {
+  fenerj::DiagnosticEngine Diags;
+  fenerj::ClassTable Table;
+  std::optional<fenerj::Program> Prog =
+      fenerj::compile(Source, Table, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  return Prog ? std::move(*Prog) : fenerj::Program{};
+}
+
+} // namespace
+
+// --- BitVec. ---
+
+TEST(BitVec, SetTestClearAcrossWordBoundary) {
+  BitVec Bits(130);
+  EXPECT_FALSE(Bits.test(0));
+  Bits.set(0);
+  Bits.set(63);
+  Bits.set(64);
+  Bits.set(129);
+  EXPECT_TRUE(Bits.test(0));
+  EXPECT_TRUE(Bits.test(63));
+  EXPECT_TRUE(Bits.test(64));
+  EXPECT_TRUE(Bits.test(129));
+  EXPECT_FALSE(Bits.test(65));
+  Bits.clear(64);
+  EXPECT_FALSE(Bits.test(64));
+}
+
+TEST(BitVec, UniteReportsChange) {
+  BitVec A(10), B(10);
+  B.set(3);
+  EXPECT_TRUE(A.uniteWith(B));
+  EXPECT_FALSE(A.uniteWith(B)); // Already a superset.
+  EXPECT_TRUE(A.test(3));
+  EXPECT_TRUE(A == A);
+}
+
+TEST(BitVec, SetAllRespectsSize) {
+  BitVec Bits(70);
+  Bits.setAll();
+  EXPECT_TRUE(Bits.test(0));
+  EXPECT_TRUE(Bits.test(69));
+  BitVec Copy(70);
+  for (unsigned I = 0; I < 70; ++I)
+    Copy.set(I);
+  EXPECT_TRUE(Bits == Copy); // No stray bits past the end.
+}
+
+// --- The generic engine on a hand-built graph. ---
+
+namespace {
+
+struct HandGraph {
+  std::vector<std::vector<unsigned>> S, P;
+  unsigned blockCount() const { return static_cast<unsigned>(S.size()); }
+  const std::vector<unsigned> &succs(unsigned B) const { return S[B]; }
+  const std::vector<unsigned> &preds(unsigned B) const { return P[B]; }
+};
+
+HandGraph diamondWithLoop() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 1 (back edge), 3 -> 4.
+  HandGraph G;
+  G.S = {{1, 2}, {3}, {3}, {1, 4}, {}};
+  G.P = {{}, {0, 3}, {0}, {1, 2}, {3}};
+  return G;
+}
+
+/// Forward "which blocks can have executed before entry": each block
+/// generates its own bit.
+struct ReachingBlocksDomain {
+  using Value = BitVec;
+  unsigned N;
+  Value init() const { return BitVec(N); }
+  Value boundary() const { return BitVec(N); }
+  bool join(Value &Into, const Value &From) const {
+    return Into.uniteWith(From);
+  }
+  Value transfer(unsigned Block, const Value &In) const {
+    BitVec Out = In;
+    Out.set(Block);
+    return Out;
+  }
+};
+
+} // namespace
+
+TEST(DataflowEngine, ForwardFixpointWithBackEdge) {
+  HandGraph G = diamondWithLoop();
+  ReachingBlocksDomain Dom{G.blockCount()};
+  DataflowResult<ReachingBlocksDomain> R =
+      solveDataflow(G, Direction::Forward, Dom);
+  // Block 1 is reachable from 0 directly and around the loop through 3,
+  // so 2 and 3 must have flowed into its entry set.
+  EXPECT_TRUE(R.In[1].test(0));
+  EXPECT_TRUE(R.In[1].test(3));
+  EXPECT_TRUE(R.In[1].test(2));
+  EXPECT_FALSE(R.In[1].test(4));
+  // The exit has seen everything except itself.
+  for (unsigned B = 0; B < 4; ++B)
+    EXPECT_TRUE(R.In[4].test(B)) << B;
+  EXPECT_FALSE(R.In[4].test(4));
+}
+
+TEST(DataflowEngine, BackwardMirrorsForward) {
+  HandGraph G = diamondWithLoop();
+  ReachingBlocksDomain Dom{G.blockCount()};
+  DataflowResult<ReachingBlocksDomain> R =
+      solveDataflow(G, Direction::Backward, Dom);
+  // Backward: Out[B] collects blocks on paths from B to the exit.
+  EXPECT_TRUE(R.Out[0].test(1));
+  EXPECT_TRUE(R.Out[0].test(2));
+  EXPECT_TRUE(R.Out[0].test(3));
+  EXPECT_TRUE(R.Out[0].test(4));
+  EXPECT_FALSE(R.Out[4].test(3)); // Nothing follows the exit.
+}
+
+// --- ISA CFG construction. ---
+
+TEST(IsaCfg, StraightLineIsOneBlock) {
+  isa::IsaProgram P = assembleOk("li r1, 1\nadd r2, r1, r1\nhalt\n");
+  IsaCfg Cfg(P);
+  ASSERT_EQ(Cfg.blockCount(), 1u);
+  EXPECT_EQ(Cfg.block(0).Begin, 0u);
+  EXPECT_EQ(Cfg.block(0).End, 3u);
+  EXPECT_TRUE(Cfg.succs(0).empty());
+}
+
+TEST(IsaCfg, BranchMakesDiamond) {
+  isa::IsaProgram P = assembleOk(R"(
+    li r1, 1
+    beq r1, r0, other
+    li r2, 2
+    jmp end
+    other:
+    li r2, 3
+    end:
+    halt
+  )");
+  IsaCfg Cfg(P);
+  // Blocks: [li,beq] [li,jmp] [li] [halt].
+  ASSERT_EQ(Cfg.blockCount(), 4u);
+  EXPECT_EQ(Cfg.succs(0).size(), 2u);
+  EXPECT_EQ(Cfg.succs(1).size(), 1u);
+  EXPECT_EQ(Cfg.succs(2).size(), 1u);
+  EXPECT_TRUE(Cfg.succs(3).empty());
+  EXPECT_EQ(Cfg.preds(3).size(), 2u);
+  // Every instruction maps back into its block.
+  for (size_t I = 0; I < P.Instructions.size(); ++I) {
+    unsigned B = Cfg.blockContaining(I);
+    EXPECT_GE(I, Cfg.block(B).Begin);
+    EXPECT_LT(I, Cfg.block(B).End);
+  }
+}
+
+TEST(IsaCfg, LoopHasBackEdge) {
+  isa::IsaProgram P = assembleOk(R"(
+    li r1, 0
+    loop:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+  )");
+  IsaCfg Cfg(P);
+  ASSERT_EQ(Cfg.blockCount(), 3u);
+  const std::vector<unsigned> &LoopSuccs = Cfg.succs(1);
+  EXPECT_NE(std::find(LoopSuccs.begin(), LoopSuccs.end(), 1u),
+            LoopSuccs.end())
+      << "back edge missing";
+}
+
+TEST(IsaCfg, BranchToOnePastEndIsAnExit) {
+  // A transfer to Instructions.size() is the clean halt: no edge.
+  isa::IsaProgram P = assembleOk("li r1, 1\njmp end\nend:\n");
+  IsaCfg Cfg(P);
+  ASSERT_EQ(Cfg.blockCount(), 1u);
+  EXPECT_TRUE(Cfg.succs(0).empty());
+}
+
+TEST(IsaCfg, ReachabilityFindsDeadBlocks) {
+  isa::IsaProgram P = assembleOk(R"(
+    jmp end
+    li r1, 1
+    end:
+    halt
+  )");
+  IsaCfg Cfg(P);
+  std::vector<bool> Reachable = Cfg.reachableBlocks();
+  ASSERT_EQ(Reachable.size(), Cfg.blockCount());
+  EXPECT_TRUE(Reachable[Cfg.blockContaining(0)]);
+  EXPECT_FALSE(Reachable[Cfg.blockContaining(1)]);
+  EXPECT_TRUE(Reachable[Cfg.blockContaining(2)]);
+}
+
+TEST(IsaCfg, EmptyProgram) {
+  isa::IsaProgram P;
+  IsaCfg Cfg(P);
+  EXPECT_EQ(Cfg.blockCount(), 0u);
+  EXPECT_TRUE(Cfg.reachableBlocks().empty());
+}
+
+// --- FEnerJ CFG construction. ---
+
+TEST(FenerjCfg, StraightLineIsOneBlock) {
+  fenerj::Program Prog = compileOk("{ let int x = 1; x + 1; }");
+  FenerjCfg Cfg = FenerjCfg::build(*Prog.Main, nullptr);
+  ASSERT_EQ(Cfg.blockCount(), 1u);
+  ASSERT_EQ(Cfg.vars().size(), 1u);
+  EXPECT_EQ(Cfg.vars()[0].Name, "x");
+  // Events: Def(x), Use(x).
+  unsigned Defs = 0, Uses = 0;
+  for (const FjEvent &E : Cfg.block(0).Events) {
+    Defs += E.K == FjEvent::Kind::Def;
+    Uses += E.K == FjEvent::Kind::Use;
+  }
+  EXPECT_EQ(Defs, 1u);
+  EXPECT_EQ(Uses, 1u);
+}
+
+TEST(FenerjCfg, IfMakesDiamond) {
+  fenerj::Program Prog =
+      compileOk("{ let int x = 1; if (x < 2) { 1; } else { 2; }; x; }");
+  FenerjCfg Cfg = FenerjCfg::build(*Prog.Main, nullptr);
+  // Entry, then, else, merge.
+  ASSERT_EQ(Cfg.blockCount(), 4u);
+  EXPECT_EQ(Cfg.succs(0).size(), 2u);
+  EXPECT_EQ(Cfg.preds(3).size(), 2u);
+}
+
+TEST(FenerjCfg, WhileMakesLoop) {
+  fenerj::Program Prog =
+      compileOk("{ let int i = 0; while (i < 3) { i = i + 1; }; i; }");
+  FenerjCfg Cfg = FenerjCfg::build(*Prog.Main, nullptr);
+  // Entry, cond, body, exit; body loops back to cond.
+  ASSERT_EQ(Cfg.blockCount(), 4u);
+  const std::vector<unsigned> &BodySuccs = Cfg.succs(2);
+  ASSERT_EQ(BodySuccs.size(), 1u);
+  EXPECT_EQ(BodySuccs[0], 1u);
+  EXPECT_EQ(Cfg.preds(1).size(), 2u); // Entry + back edge.
+}
+
+TEST(FenerjCfg, ShadowedNamesAreDistinctVariables) {
+  fenerj::Program Prog =
+      compileOk("{ let int x = 1; { let int x = 2; x; }; x; }");
+  FenerjCfg Cfg = FenerjCfg::build(*Prog.Main, nullptr);
+  ASSERT_EQ(Cfg.vars().size(), 2u);
+  EXPECT_EQ(Cfg.vars()[0].Name, "x");
+  EXPECT_EQ(Cfg.vars()[1].Name, "x");
+  // Each Use resolves to its innermost binding.
+  std::vector<unsigned> UsedVars;
+  for (const FjEvent &E : Cfg.block(0).Events)
+    if (E.K == FjEvent::Kind::Use)
+      UsedVars.push_back(E.Var);
+  ASSERT_EQ(UsedVars.size(), 2u);
+  EXPECT_EQ(UsedVars[0], 1u); // Inner x first.
+  EXPECT_EQ(UsedVars[1], 0u);
+}
+
+TEST(FenerjCfg, ParamsDefineInEntryBlock) {
+  fenerj::Program Prog = compileOk(R"(
+    class C {
+      int m(int a, @approx int b) { a + 1; }
+    }
+    { let @precise C c = new @precise C(); c.m(1, 2); }
+  )");
+  ASSERT_EQ(Prog.Classes.size(), 1u);
+  const fenerj::MethodDecl &M = Prog.Classes[0].Methods[0];
+  FenerjCfg Cfg = FenerjCfg::build(*M.Body, &M.Params);
+  ASSERT_EQ(Cfg.vars().size(), 2u);
+  EXPECT_TRUE(Cfg.vars()[0].IsParam);
+  EXPECT_EQ(Cfg.vars()[1].Name, "b");
+  const std::vector<FjEvent> &Entry = Cfg.block(0).Events;
+  ASSERT_GE(Entry.size(), 2u);
+  EXPECT_EQ(Entry[0].K, FjEvent::Kind::Def);
+  EXPECT_EQ(Entry[1].K, FjEvent::Kind::Def);
+}
+
+TEST(FenerjCfg, EndorseEmitsEvent) {
+  fenerj::Program Prog =
+      compileOk("{ let @approx int x = 1; endorse(x); }");
+  FenerjCfg Cfg = FenerjCfg::build(*Prog.Main, nullptr);
+  bool SawEndorse = false;
+  for (const FjEvent &E : Cfg.block(0).Events)
+    SawEndorse |= E.K == FjEvent::Kind::Endorse;
+  EXPECT_TRUE(SawEndorse);
+}

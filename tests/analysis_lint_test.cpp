@@ -1,0 +1,277 @@
+//===- tests/analysis_lint_test.cpp - enerj-lint pass tests ---------------===//
+
+#include "analysis/lint.h"
+#include "fenerj/fenerj.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::analysis;
+
+namespace {
+
+LintResult lintSource(std::string_view Source, bool CheckIsa = true) {
+  fenerj::DiagnosticEngine Diags;
+  fenerj::ClassTable Table;
+  std::optional<fenerj::Program> Prog =
+      fenerj::compile(Source, Table, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  if (!Prog)
+    return {};
+  LintOptions Options;
+  Options.CheckIsa = CheckIsa;
+  return runLint(*Prog, Table, Options);
+}
+
+bool hasFinding(const LintResult &R, LintPass Pass, const char *Fragment) {
+  for (const LintFinding &F : R.Findings)
+    if (F.Pass == Pass && F.Message.find(Fragment) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::string dump(const LintResult &R) { return renderLintText(R, "test"); }
+
+} // namespace
+
+// --- Endorsement audit. ---
+
+TEST(LintEndorsement, RedundantWhenSourceIsPrecise) {
+  LintResult R = lintSource(
+      "{ let int x = 1; let int y = endorse(x); y; }", /*CheckIsa=*/false);
+  EXPECT_TRUE(hasFinding(R, LintPass::Endorsement, "redundant")) << dump(R);
+  EXPECT_EQ(R.count(LintPass::Endorsement), 1u) << dump(R);
+}
+
+TEST(LintEndorsement, JustifiedEndorseIsSilent) {
+  // The endorsed value is the program result, which is observed
+  // precisely: the canonical, correct use of endorse.
+  LintResult R = lintSource("{ let @approx int x = 1; endorse(x); }",
+                            /*CheckIsa=*/false);
+  EXPECT_EQ(R.count(LintPass::Endorsement), 0u) << dump(R);
+}
+
+TEST(LintEndorsement, DiscardedResult) {
+  LintResult R = lintSource("{ let @approx int x = 1; endorse(x); 0; }",
+                            /*CheckIsa=*/false);
+  EXPECT_TRUE(hasFinding(R, LintPass::Endorsement, "discarded")) << dump(R);
+}
+
+TEST(LintEndorsement, ResultNeverReachesAPreciseUse) {
+  // g is endorsed but then flows only back into approximate storage.
+  LintResult R = lintSource(
+      "{ let @approx int a = 1; let int g = endorse(a); a = g + 1; 0; }",
+      /*CheckIsa=*/false);
+  EXPECT_TRUE(
+      hasFinding(R, LintPass::Endorsement, "never reaches a precise use"))
+      << dump(R);
+}
+
+TEST(LintEndorsement, ConditionUseJustifiesEndorse) {
+  LintResult R = lintSource(
+      "{ let @approx int a = 7; if (endorse(a) < 9) { 1; } else { 2; }; }",
+      /*CheckIsa=*/false);
+  EXPECT_EQ(R.count(LintPass::Endorsement), 0u) << dump(R);
+}
+
+// --- Precision slack. ---
+
+TEST(LintSlack, PreciseLocalFeedingOnlyApproxData) {
+  LintResult R = lintSource(
+      "{ let @approx int[] b = new @approx int[4]; let int g = 3; "
+      "b[0] := g; endorse(b[0]); }",
+      /*CheckIsa=*/false);
+  EXPECT_TRUE(hasFinding(R, LintPass::PrecisionSlack, "local 'g'"))
+      << dump(R);
+  EXPECT_EQ(R.count(LintPass::PrecisionSlack), 1u) << dump(R);
+}
+
+TEST(LintSlack, LoopBoundStaysPrecise) {
+  LintResult R = lintSource(
+      "{ let int n = 4; let @approx int[] b = new @approx int[4]; "
+      "let int i = 0; while (i < n) { b[i] := i; i = i + 1; }; 0; }",
+      /*CheckIsa=*/false);
+  // n and i both reach conditions/subscripts: no slack anywhere.
+  EXPECT_EQ(R.count(LintPass::PrecisionSlack), 0u) << dump(R);
+}
+
+TEST(LintSlack, SuggestionsFormAConsistentSet) {
+  // Applying the suggestion must yield a program that still checks and
+  // has no remaining slack.
+  LintResult Relaxed = lintSource(
+      "{ let @approx int[] b = new @approx int[2]; let @approx int g = 3; "
+      "b[0] := g; endorse(b[0]); }",
+      /*CheckIsa=*/false);
+  EXPECT_EQ(Relaxed.count(LintPass::PrecisionSlack), 0u) << dump(Relaxed);
+}
+
+TEST(LintSlack, FieldReadOnlyApproximately) {
+  LintResult R = lintSource(R"(
+    class Acc {
+      int bias;
+      @approx int sum;
+      int step(@approx int v) {
+        this.sum := this.sum + v + this.bias;
+        0;
+      }
+    }
+    { let @precise Acc a = new @precise Acc(); a.bias := 3; a.step(5); 0; }
+  )");
+  EXPECT_TRUE(hasFinding(R, LintPass::PrecisionSlack, "field 'Acc.bias'"))
+      << dump(R);
+}
+
+TEST(LintSlack, ParameterFeedingOnlyApproxData) {
+  LintResult R = lintSource(R"(
+    class W {
+      @approx int acc;
+      int feed(int v) { this.acc := this.acc + v; 0; }
+    }
+    { let @precise W w = new @precise W(); w.feed(4); 0; }
+  )");
+  EXPECT_TRUE(
+      hasFinding(R, LintPass::PrecisionSlack, "parameter 'v' of 'W.feed'"))
+      << dump(R);
+}
+
+TEST(LintSlack, ContextFieldsAreNeverSuggested) {
+  // @context precision depends on the receiver; relaxing it is not a
+  // local decision, so the pass must stay away.
+  LintResult R = lintSource(R"(
+    class P {
+      @context int x;
+      int bump() { this.x := this.x + 1; 0; }
+    }
+    { let @approx P p = new @approx P(); p.bump(); 0; }
+  )");
+  EXPECT_FALSE(hasFinding(R, LintPass::PrecisionSlack, "'P.x'")) << dump(R);
+}
+
+// --- Dead values. ---
+
+TEST(LintDeadValue, OverwrittenBeforeRead) {
+  LintResult R = lintSource("{ let int x = 1; x = 2; x; }",
+                            /*CheckIsa=*/false);
+  EXPECT_TRUE(hasFinding(R, LintPass::DeadValue, "never read")) << dump(R);
+  EXPECT_EQ(R.count(LintPass::DeadValue), 1u) << dump(R);
+}
+
+TEST(LintDeadValue, StraightLineUseIsSilent) {
+  LintResult R = lintSource("{ let int x = 1; x; }", /*CheckIsa=*/false);
+  EXPECT_EQ(R.count(LintPass::DeadValue), 0u) << dump(R);
+}
+
+TEST(LintDeadValue, NeverUsedLocal) {
+  LintResult R = lintSource("{ let int unused = 1; 0; }",
+                            /*CheckIsa=*/false);
+  EXPECT_TRUE(hasFinding(R, LintPass::DeadValue, "'unused' is never used"))
+      << dump(R);
+}
+
+TEST(LintDeadValue, LoopCarriedAssignmentIsLive) {
+  LintResult R = lintSource(
+      "{ let int i = 0; while (i < 3) { i = i + 1; }; i; }",
+      /*CheckIsa=*/false);
+  EXPECT_EQ(R.count(LintPass::DeadValue), 0u) << dump(R);
+}
+
+TEST(LintDeadValue, NeverUsedParameter) {
+  LintResult R = lintSource(R"(
+    class C { int m(int unused) { 7; } }
+    { let @precise C c = new @precise C(); c.m(1); }
+  )");
+  EXPECT_TRUE(
+      hasFinding(R, LintPass::DeadValue, "parameter 'unused' is never used"))
+      << dump(R);
+}
+
+// --- The isa-flow bridge. ---
+
+TEST(LintIsa, SkipsClassfulPrograms) {
+  LintResult R = lintSource(R"(
+    class C { int m() { 1; } }
+    { let @precise C c = new @precise C(); c.m(); }
+  )");
+  EXPECT_FALSE(R.IsaChecked);
+  EXPECT_FALSE(R.IsaSkipReason.empty());
+  EXPECT_EQ(R.count(LintPass::IsaFlow), 0u);
+}
+
+TEST(LintIsa, ChecksClassFreePrograms) {
+  LintResult R = lintSource("{ let int x = 1; x; }");
+  EXPECT_TRUE(R.IsaChecked);
+  EXPECT_TRUE(R.IsaSkipReason.empty());
+  EXPECT_FALSE(R.hasErrors()) << dump(R);
+}
+
+TEST(LintIsa, OptionDisablesThePass) {
+  LintResult R = lintSource("{ let int x = 1; x; }", /*CheckIsa=*/false);
+  EXPECT_FALSE(R.IsaChecked);
+  EXPECT_EQ(R.IsaSkipReason, "disabled");
+  EXPECT_EQ(R.count(LintPass::IsaFlow), 0u);
+}
+
+// --- Rendering. ---
+
+TEST(LintRender, TextFormat) {
+  LintResult R = lintSource("{ let int x = 1; x = 2; x; }",
+                            /*CheckIsa=*/false);
+  std::string Text = renderLintText(R, "prog.fej");
+  EXPECT_NE(Text.find("prog.fej:"), std::string::npos);
+  EXPECT_NE(Text.find("warning: [dead-value]"), std::string::npos);
+  EXPECT_NE(Text.find("1 finding(s): 0 error(s), 1 warning(s), "
+                      "0 suggestion(s)"),
+            std::string::npos)
+      << Text;
+}
+
+TEST(LintRender, JsonSchemaIsStable) {
+  // The full JSON layout is part of the tool's contract with CI: key
+  // names, key order, counts for every pass, and the isa summary. Only
+  // the source position is interpolated.
+  LintResult R = lintSource("{ let int x = 1; x = 2; x; }",
+                            /*CheckIsa=*/false);
+  ASSERT_EQ(R.Findings.size(), 1u) << dump(R);
+  const LintFinding &F = R.Findings[0];
+  EXPECT_GT(F.Loc.Line, 0);
+  std::string Expected =
+      "{\"tool\":\"enerj-lint\",\"version\":1,\"file\":\"p.fej\","
+      "\"findings\":[{\"pass\":\"dead-value\",\"severity\":\"warning\","
+      "\"line\":" +
+      std::to_string(F.Loc.Line) +
+      ",\"column\":" + std::to_string(F.Loc.Column) +
+      ",\"message\":\"the value assigned to 'x' here is never read\"}],"
+      "\"counts\":{\"endorsement\":0,\"precision-slack\":0,"
+      "\"dead-value\":1,\"isa-flow\":0},"
+      "\"isa\":{\"checked\":false,\"skipReason\":\"disabled\","
+      "\"errors\":0}}";
+  EXPECT_EQ(renderLintJson(R, "p.fej"), Expected);
+}
+
+TEST(LintRender, JsonEscapesStrings) {
+  LintResult R;
+  R.Findings.push_back({LintPass::DeadValue, LintSeverity::Warning,
+                        {1, 1}, "a \"quoted\"\nmessage\\"});
+  std::string Json = renderLintJson(R, "dir\\file.fej");
+  EXPECT_NE(Json.find("dir\\\\file.fej"), std::string::npos);
+  EXPECT_NE(Json.find("a \\\"quoted\\\"\\nmessage\\\\"),
+            std::string::npos);
+}
+
+// --- Whole-corpus sanity: findings are ordered by pass, then line. ---
+
+TEST(LintResultOrder, PassMajorLineMinor) {
+  LintResult R = lintSource(
+      "{ let @approx int[] b = new @approx int[2]; let int g = 3; "
+      "let int dead = 4; dead = 5; b[0] := g; b[1] := dead; "
+      "endorse(b[0]); }",
+      /*CheckIsa=*/false);
+  ASSERT_GE(R.Findings.size(), 2u) << dump(R);
+  for (size_t I = 1; I < R.Findings.size(); ++I) {
+    const LintFinding &A = R.Findings[I - 1];
+    const LintFinding &B = R.Findings[I];
+    bool Ordered = static_cast<int>(A.Pass) < static_cast<int>(B.Pass) ||
+                   (A.Pass == B.Pass && A.Loc.Line <= B.Loc.Line);
+    EXPECT_TRUE(Ordered) << dump(R);
+  }
+}

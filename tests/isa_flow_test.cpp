@@ -1,0 +1,201 @@
+//===- tests/isa_flow_test.cpp - Flow-sensitive ISA verifier tests --------===//
+
+#include "analysis/isa_flow.h"
+#include "isa/assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::analysis;
+
+namespace {
+
+isa::IsaProgram assembleOk(std::string_view Source) {
+  std::vector<std::string> Errors;
+  std::optional<isa::IsaProgram> Program = isa::assemble(Source, Errors);
+  EXPECT_TRUE(Program.has_value());
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << E;
+  return Program ? std::move(*Program) : isa::IsaProgram{};
+}
+
+unsigned countKind(const IsaFlowResult &R, IsaWarningKind Kind) {
+  unsigned N = 0;
+  for (const IsaFlowWarning &W : R.Warnings)
+    N += W.Kind == Kind;
+  return N;
+}
+
+bool hasWarning(const IsaFlowResult &R, IsaWarningKind Kind,
+                const char *Fragment) {
+  for (const IsaFlowWarning &W : R.Warnings)
+    if (W.Kind == Kind && W.Message.find(Fragment) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(IsaFlow, CleanProgramHasNoDiagnostics) {
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    li r1, 0
+    li r2, 5
+    loop:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+  )"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.Warnings.empty())
+      << R.Warnings[0].str();
+}
+
+TEST(IsaFlow, ReachableViolationStaysAnError) {
+  IsaFlowResult R = verifyFlow(assembleOk("mv r1, r16\nhalt\n"));
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].Message.find("use endorse"), std::string::npos);
+}
+
+TEST(IsaFlow, UnreachableViolationDemotesToWarning) {
+  // The approx-to-precise move sits behind an unconditional jump: it can
+  // never execute, so the flow-sensitive verifier accepts the program
+  // but still reports both the dead code and the latent violation.
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    jmp end
+    mv r1, r16
+    end:
+    halt
+  )"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(countKind(R, IsaWarningKind::UnreachableCode), 1u);
+  EXPECT_TRUE(hasWarning(R, IsaWarningKind::UnreachableViolation,
+                         "use endorse"));
+}
+
+TEST(IsaFlow, UnreachableCodeReportedOncePerBlock) {
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    jmp end
+    li r1, 1
+    li r2, 2
+    li r3, 3
+    end:
+    halt
+  )"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(countKind(R, IsaWarningKind::UnreachableCode), 1u);
+}
+
+TEST(IsaFlow, DeadStoreDetected) {
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    li r1, 1
+    li r1, 2
+    halt
+  )"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(countKind(R, IsaWarningKind::DeadStore), 1u);
+  EXPECT_TRUE(hasWarning(R, IsaWarningKind::DeadStore, "r1"));
+}
+
+TEST(IsaFlow, StoreReadOnOnePathIsNotDead) {
+  // The first li survives along the branch path, so it is live.
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    .data 4
+    li r1, 1
+    beq r2, r0, skip
+    sw r1, r0, 0
+    skip:
+    li r1, 2
+    halt
+  )"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(countKind(R, IsaWarningKind::DeadStore), 0u);
+}
+
+TEST(IsaFlow, RegistersAreLiveAtExit) {
+  // Machine state is observable after halt (tests read registers), so a
+  // final write is never a dead store.
+  IsaFlowResult R = verifyFlow(assembleOk("li r1, 1\nhalt\n"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(countKind(R, IsaWarningKind::DeadStore), 0u);
+}
+
+TEST(IsaFlow, UninitializedReadDetected) {
+  IsaFlowResult R = verifyFlow(assembleOk("add r1, r2, r3\nhalt\n"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(countKind(R, IsaWarningKind::UninitializedRead), 2u);
+  EXPECT_TRUE(
+      hasWarning(R, IsaWarningKind::UninitializedRead, "r2"));
+}
+
+TEST(IsaFlow, ZeroRegistersAreAlwaysInitialized) {
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    add r1, r0, r0
+    fadd f1, f0, f0
+    halt
+  )"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(countKind(R, IsaWarningKind::UninitializedRead), 0u);
+}
+
+TEST(IsaFlow, DefinitionOnOnlyOnePathMayBeUninitialized) {
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    li r1, 1
+    beq r1, r0, skip
+    li r2, 7
+    skip:
+    add r3, r2, r1
+    halt
+  )"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(
+      hasWarning(R, IsaWarningKind::UninitializedRead, "r2"));
+}
+
+TEST(IsaFlow, DefinitionOnBothPathsIsInitialized) {
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    li r1, 1
+    beq r1, r0, other
+    li r2, 7
+    jmp join
+    other:
+    li r2, 9
+    join:
+    add r3, r2, r1
+    halt
+  )"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(countKind(R, IsaWarningKind::UninitializedRead), 0u);
+}
+
+TEST(IsaFlow, LoopCarriedValueIsLiveAndInitialized) {
+  // r1 is written before the loop and read around the back edge: neither
+  // a dead store nor an uninitialized read.
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    li r1, 0
+    li r2, 3
+    loop:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+  )"));
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.Warnings.empty());
+}
+
+TEST(IsaFlow, WarningsAreOrderedByInstruction) {
+  IsaFlowResult R = verifyFlow(assembleOk(R"(
+    add r1, r2, r3
+    li r4, 1
+    li r4, 2
+    halt
+  )"));
+  ASSERT_GE(R.Warnings.size(), 2u);
+  for (size_t I = 1; I < R.Warnings.size(); ++I)
+    EXPECT_LE(R.Warnings[I - 1].InstrIndex, R.Warnings[I].InstrIndex);
+}
+
+TEST(IsaFlow, EmptyProgramIsClean) {
+  IsaFlowResult R = verifyFlow(isa::IsaProgram{});
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.Warnings.empty());
+}
