@@ -10,6 +10,7 @@
 
 #include "apps/app.h"
 #include "bench_common.h"
+#include "harness/eval.h"
 
 #include <cstdio>
 
@@ -28,22 +29,26 @@ int main() {
   const std::vector<ErrorMode> Modes = {
       ErrorMode::SingleBitFlip, ErrorMode::LastValue,
       ErrorMode::RandomValue};
+  std::vector<FaultConfig> Configs;
+  for (ErrorMode Mode : Modes) {
+    FaultConfig Config = FaultConfig::preset(ApproxLevel::Aggressive, Mode);
+    Config.EnableDram = false;
+    Config.EnableSram = false;
+    Config.EnableFpWidth = false;
+    Configs.push_back(Config);
+  }
+
+  const std::vector<const Application *> &Apps = allApplications();
+  std::vector<std::vector<double>> Error =
+      harness::meanQosGrid(Apps, Configs, Runs);
   double Mean[3] = {0, 0, 0};
   int AppCount = 0;
-  for (const Application *App : allApplications()) {
-    double Error[3];
-    for (size_t Column = 0; Column < Modes.size(); ++Column) {
-      FaultConfig Config =
-          FaultConfig::preset(ApproxLevel::Aggressive, Modes[Column]);
-      Config.EnableDram = false;
-      Config.EnableSram = false;
-      Config.EnableFpWidth = false;
-      Error[Column] = bench::meanQos(*App, Config, Runs);
-      Mean[Column] += Error[Column];
-    }
+  for (size_t A = 0; A < Apps.size(); ++A) {
+    for (size_t Column = 0; Column < Modes.size(); ++Column)
+      Mean[Column] += Error[A][Column];
     ++AppCount;
-    std::printf("%-14s %10.4f %10.4f %10.4f\n", App->name(), Error[0],
-                Error[1], Error[2]);
+    std::printf("%-14s %10.4f %10.4f %10.4f\n", Apps[A]->name(),
+                Error[A][0], Error[A][1], Error[A][2]);
   }
   std::printf("%-14s %10.4f %10.4f %10.4f\n", "MEAN", Mean[0] / AppCount,
               Mean[1] / AppCount, Mean[2] / AppCount);

@@ -9,6 +9,7 @@
 
 #include "apps/app.h"
 #include "bench_common.h"
+#include "harness/eval.h"
 
 #include <cstdio>
 
@@ -45,16 +46,17 @@ int main() {
       onlyStrategy(true, true, true, true),
   };
 
+  const std::vector<const Application *> &Apps = allApplications();
+  std::vector<std::vector<double>> Error =
+      harness::meanQosGrid(Apps, Configs, Runs);
   int AppCount = 0;
-  for (const Application *App : allApplications()) {
-    double Error[5];
-    for (size_t Column = 0; Column < Configs.size(); ++Column) {
-      Error[Column] = bench::meanQos(*App, Configs[Column], Runs);
-      Mean[Column] += Error[Column];
-    }
+  for (size_t A = 0; A < Apps.size(); ++A) {
+    for (size_t Column = 0; Column < Configs.size(); ++Column)
+      Mean[Column] += Error[A][Column];
     ++AppCount;
-    std::printf("%-14s %10.4f %10.4f %10.4f %10.4f %10.4f\n", App->name(),
-                Error[0], Error[1], Error[2], Error[3], Error[4]);
+    std::printf("%-14s %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+                Apps[A]->name(), Error[A][0], Error[A][1], Error[A][2],
+                Error[A][3], Error[A][4]);
   }
   std::printf("%-14s %10.4f %10.4f %10.4f %10.4f %10.4f\n", "MEAN",
               Mean[0] / AppCount, Mean[1] / AppCount, Mean[2] / AppCount,

@@ -1,57 +1,29 @@
-//===- bench/bench_common.h - Shared harness helpers ------------*- C++ -*-===//
+//===- bench/bench_common.h - Shared table formatting -----------*- C++ -*-===//
 //
 // Part of the EnerJ reproduction. MIT licensed; see LICENSE.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Small shared helpers for the table/figure harnesses: fixed-width text
-/// tables and the standard measurement loops (mean QoS over seeds,
-/// stats-then-price energy measurement).
+/// Fixed-width text-table formatting shared by the figure/table
+/// harnesses. All measurement lives in src/harness (TrialRunner /
+/// runEval) — there is exactly one measurement code path.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ENERJ_BENCH_BENCH_COMMON_H
 #define ENERJ_BENCH_BENCH_COMMON_H
 
-#include "apps/app.h"
-#include "energy/model.h"
-
 #include <cstdio>
-#include <string>
-#include <vector>
 
 namespace enerj {
 namespace bench {
-
-/// The three approximation levels of the evaluation, in Table 2 order.
-inline const std::vector<ApproxLevel> EvalLevels = {
-    ApproxLevel::Mild, ApproxLevel::Medium, ApproxLevel::Aggressive};
 
 /// Prints a rule line sized for \p Width columns.
 inline void printRule(int Width) {
   for (int I = 0; I < Width; ++I)
     std::putchar('-');
   std::putchar('\n');
-}
-
-/// Mean QoS error of \p App under \p Config over workload seeds
-/// [1, Runs]; matches the paper's "mean error over 20 runs".
-inline double meanQos(const apps::Application &App, const FaultConfig &Config,
-                      int Runs) {
-  double Sum = 0.0;
-  for (int Seed = 1; Seed <= Runs; ++Seed)
-    Sum += apps::qosUnder(App, Config, static_cast<uint64_t>(Seed));
-  return Sum / Runs;
-}
-
-/// Runs \p App once under \p Config and prices the measured statistics
-/// with the same config (the Figure 4 pipeline).
-inline EnergyReport measureEnergy(const apps::Application &App,
-                                  const FaultConfig &Config,
-                                  uint64_t Seed = 1) {
-  apps::AppRun Run = apps::runApproximate(App, Config, Seed);
-  return computeEnergy(Run.Stats, Config);
 }
 
 } // namespace bench

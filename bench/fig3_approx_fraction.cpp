@@ -3,12 +3,13 @@
 // For each application, the fraction of approximate storage (DRAM and
 // SRAM byte-seconds) and the fraction of dynamic operations executed
 // approximately (integer and FP units) — the four bar groups of
-// Figure 3.
+// Figure 3. Measured by one Medium-level trial per app, fanned out over
+// the parallel trial runner.
 //
 //===----------------------------------------------------------------------===//
 
-#include "apps/app.h"
 #include "bench_common.h"
+#include "harness/eval.h"
 
 #include <cstdio>
 
@@ -24,14 +25,17 @@ int main() {
               "SRAM", "int ops", "FP ops");
   bench::printRule(60);
 
-  for (const Application *App : allApplications()) {
-    AppRun Run = runApproximate(
-        *App, FaultConfig::preset(ApproxLevel::Medium), /*WorkloadSeed=*/1);
-    const OperationStats &Ops = Run.Stats.Ops;
-    const StorageStats &Storage = Run.Stats.Storage;
+  harness::EvalOptions Options;
+  Options.Levels = {ApproxLevel::Medium};
+  Options.Seeds = 1;
+  harness::EvalResult Grid = harness::runEval(Options);
+
+  for (const harness::EvalCell &Cell : Grid.Cells) {
+    const OperationStats &Ops = Cell.Seed1.Stats.Ops;
+    const StorageStats &Storage = Cell.Seed1.Stats.Storage;
     auto Percent = [](double Fraction) { return Fraction * 100.0; };
-    std::printf("%-14s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", App->name(),
-                Percent(Storage.dramApproxFraction()),
+    std::printf("%-14s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+                Cell.App->name(), Percent(Storage.dramApproxFraction()),
                 Percent(Storage.sramApproxFraction()),
                 Percent(Ops.approxIntFraction()),
                 Percent(Ops.approxFpFraction()));

@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fault/config.h"
+#include "harness/eval.h"
 
 #include <cmath>
 #include <cstdio>
@@ -14,9 +15,12 @@
 using namespace enerj;
 
 int main() {
-  FaultConfig Mild = FaultConfig::preset(ApproxLevel::Mild);
-  FaultConfig Medium = FaultConfig::preset(ApproxLevel::Medium);
-  FaultConfig Aggressive = FaultConfig::preset(ApproxLevel::Aggressive);
+  // The same three levels the evaluation grid enumerates, in Table 2
+  // order (the single source of truth lives in the harness).
+  const std::vector<ApproxLevel> &Levels = harness::evalLevels();
+  FaultConfig Mild = FaultConfig::preset(Levels[0]);
+  FaultConfig Medium = FaultConfig::preset(Levels[1]);
+  FaultConfig Aggressive = FaultConfig::preset(Levels[2]);
 
   std::printf("Table 2: approximation strategies simulated in the "
               "evaluation\n");

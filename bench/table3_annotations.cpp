@@ -3,14 +3,14 @@
 // Prints the per-application table of Section 6 (Table 3): the QoS
 // metric, lines of code, the dynamically measured proportion of FP
 // arithmetic, declaration counts, the fraction annotated, and the number
-// of endorsement sites. "Proportion FP" is measured by running each
-// application once on the simulator; the annotation columns are
-// hand-counted over this reproduction's sources (see apps/*.cpp).
+// of endorsement sites. "Proportion FP" comes from each app's seed-1
+// trial on the parallel runner; the annotation columns are hand-counted
+// over this reproduction's sources (see apps/*.cpp).
 //
 //===----------------------------------------------------------------------===//
 
-#include "apps/app.h"
 #include "bench_common.h"
+#include "harness/eval.h"
 
 #include <cstdio>
 
@@ -24,15 +24,19 @@ int main() {
               "Error metric", "LoC", "FP%", "Decls", "Ann%", "Endorse");
   bench::printRule(98);
 
-  for (const Application *App : allApplications()) {
-    // Measure the FP proportion with the Medium configuration; the
-    // dynamic op mix barely depends on the level.
-    AppRun Run = runApproximate(
-        *App, FaultConfig::preset(ApproxLevel::Medium), /*WorkloadSeed=*/1);
-    AnnotationStats Ann = App->annotations();
-    std::printf("%-14s %-42s %6d %6.1f%% %7d %5.0f%% %9d\n", App->name(),
-                App->qosMetricName(), Ann.LinesOfCode,
-                Run.Stats.Ops.fpProportion() * 100, Ann.TotalDecls,
+  // Measure the FP proportion with the Medium configuration; the
+  // dynamic op mix barely depends on the level.
+  harness::EvalOptions Options;
+  Options.Levels = {ApproxLevel::Medium};
+  Options.Seeds = 1;
+  harness::EvalResult Grid = harness::runEval(Options);
+
+  for (const harness::EvalCell &Cell : Grid.Cells) {
+    AnnotationStats Ann = Cell.App->annotations();
+    std::printf("%-14s %-42s %6d %6.1f%% %7d %5.0f%% %9d\n",
+                Cell.App->name(), Cell.App->qosMetricName(),
+                Ann.LinesOfCode,
+                Cell.Seed1.Stats.Ops.fpProportion() * 100, Ann.TotalDecls,
                 Ann.annotatedFraction() * 100, Ann.Endorsements);
   }
 

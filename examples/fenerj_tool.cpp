@@ -12,6 +12,10 @@
 //                                      check, then run the enerj-lint
 //                                      audits (endorsement, precision
 //                                      slack, dead values, isa-flow)
+//   fenerj_tool eval [--apps a,b] [--levels l1,l2] [--seeds N]
+//                    [--threads N] [--json]
+//                                      run the Section 6 evaluation grid
+//                                      on the parallel trial runner
 //   fenerj_tool demo                   run a built-in demo program
 //
 //===----------------------------------------------------------------------===//
@@ -19,11 +23,13 @@
 #include "analysis/lint.h"
 #include "fenerj/codegen.h"
 #include "fenerj/fenerj.h"
+#include "harness/eval.h"
 #include "isa/assembler.h"
 #include "isa/machine.h"
 #include "isa/verifier.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -204,6 +210,88 @@ int lint(const std::string &Source, const char *FileName, bool Json) {
   return Result.hasErrors() ? 1 : 0;
 }
 
+/// Splits "a,b,c" on commas; empty segments are dropped.
+std::vector<std::string> splitList(const std::string &Value) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (Start <= Value.size()) {
+    size_t Comma = Value.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Value.size();
+    if (Comma > Start)
+      Parts.push_back(Value.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Parts;
+}
+
+int eval(int Argc, char **Argv) {
+  enerj::harness::EvalOptions Options;
+  bool Json = false;
+  for (int Arg = 2; Arg < Argc; ++Arg) {
+    std::string Flag = Argv[Arg];
+    auto NextValue = [&]() -> std::string {
+      if (Arg + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag.c_str());
+        std::exit(2);
+      }
+      return Argv[++Arg];
+    };
+    if (Flag == "--json") {
+      Json = true;
+    } else if (Flag == "--apps") {
+      for (const std::string &Name : splitList(NextValue())) {
+        const enerj::apps::Application *App =
+            enerj::apps::findApplication(Name);
+        if (!App) {
+          std::fprintf(stderr, "unknown application '%s'; known:",
+                       Name.c_str());
+          for (const enerj::apps::Application *Known :
+               enerj::apps::allApplications())
+            std::fprintf(stderr, " %s", Known->name());
+          std::fprintf(stderr, "\n");
+          return 2;
+        }
+        Options.Apps.push_back(App);
+      }
+    } else if (Flag == "--levels") {
+      for (const std::string &Name : splitList(NextValue())) {
+        bool Found = false;
+        for (enerj::ApproxLevel Level :
+             {enerj::ApproxLevel::None, enerj::ApproxLevel::Mild,
+              enerj::ApproxLevel::Medium, enerj::ApproxLevel::Aggressive})
+          if (Name == enerj::approxLevelName(Level)) {
+            Options.Levels.push_back(Level);
+            Found = true;
+          }
+        if (!Found) {
+          std::fprintf(stderr, "unknown level '%s' (none, mild, medium, "
+                               "aggressive)\n", Name.c_str());
+          return 2;
+        }
+      }
+    } else if (Flag == "--seeds") {
+      Options.Seeds = std::atoi(NextValue().c_str());
+      if (Options.Seeds < 1) {
+        std::fprintf(stderr, "--seeds needs a positive count\n");
+        return 2;
+      }
+    } else if (Flag == "--threads") {
+      Options.Threads =
+          static_cast<unsigned>(std::atoi(NextValue().c_str()));
+    } else {
+      std::fprintf(stderr, "unknown eval flag '%s'\n", Flag.c_str());
+      return 2;
+    }
+  }
+  enerj::harness::EvalResult Result = enerj::harness::runEval(Options);
+  std::string Rendered = Json
+                             ? enerj::harness::renderEvalJson(Result) + "\n"
+                             : enerj::harness::renderEvalText(Result);
+  std::fputs(Rendered.c_str(), stdout);
+  return 0;
+}
+
 std::string readFile(const char *Path, bool &Ok) {
   std::ifstream In(Path);
   if (!In) {
@@ -227,6 +315,10 @@ int usage() {
                "       fenerj_tool lint <file.fej> [--json]\n"
                "                      (endorsement / precision-slack / "
                "dead-value / isa-flow audits)\n"
+               "       fenerj_tool eval [--apps a,b] [--levels l1,l2] "
+               "[--seeds N] [--threads N] [--json]\n"
+               "                      (the Section 6 evaluation grid on "
+               "the parallel trial runner)\n"
                "       fenerj_tool demo\n");
   return 2;
 }
@@ -234,6 +326,8 @@ int usage() {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::string(Argv[1]) == "eval")
+    return eval(Argc, Argv);
   if (Argc >= 2 && std::string(Argv[1]) == "demo") {
     std::printf("--- demo program ---\n%s--- check ---\n", DemoProgram);
     if (check(DemoProgram))

@@ -4,6 +4,7 @@
 
 #include "apps/apps_internal.h"
 #include "core/enerj.h"
+#include "support/rng.h"
 
 using namespace enerj;
 using namespace enerj::apps;
@@ -36,7 +37,7 @@ AppRun enerj::apps::runApproximate(const Application &App,
   FaultConfig RunConfig = Config;
   // Decorrelate fault randomness across workloads while keeping each
   // (config, workload) pair reproducible.
-  RunConfig.Seed = Config.Seed ^ (WorkloadSeed * 0x9E3779B97F4A7C15ULL + 1);
+  RunConfig.Seed = mixSeed(Config.Seed, WorkloadSeed);
   Simulator Sim(RunConfig);
   AppRun Run;
   {

@@ -1,0 +1,91 @@
+//===- harness/eval.cpp - The Section 6 evaluation grid -------------------===//
+
+#include "harness/eval.h"
+
+using namespace enerj;
+using namespace enerj::harness;
+
+const std::vector<ApproxLevel> &enerj::harness::evalLevels() {
+  static const std::vector<ApproxLevel> Levels = {
+      ApproxLevel::Mild, ApproxLevel::Medium, ApproxLevel::Aggressive};
+  return Levels;
+}
+
+const EvalCell *EvalResult::cell(const apps::Application &App,
+                                 ApproxLevel Level) const {
+  for (const EvalCell &C : Cells)
+    if (C.App == &App && C.Level == Level)
+      return &C;
+  return nullptr;
+}
+
+std::vector<std::vector<double>> enerj::harness::meanQosGrid(
+    const std::vector<const apps::Application *> &Apps,
+    const std::vector<FaultConfig> &Configs, int Runs, unsigned Threads) {
+  std::vector<Trial> Trials;
+  Trials.reserve(Apps.size() * Configs.size() * Runs);
+  for (const apps::Application *App : Apps)
+    for (const FaultConfig &Config : Configs)
+      for (int Seed = 1; Seed <= Runs; ++Seed)
+        Trials.push_back({App, Config, static_cast<uint64_t>(Seed)});
+
+  std::vector<TrialResult> Results = TrialRunner(Threads).run(Trials);
+
+  std::vector<std::vector<double>> Means(Apps.size());
+  size_t Index = 0;
+  for (size_t A = 0; A < Apps.size(); ++A)
+    for (size_t C = 0; C < Configs.size(); ++C) {
+      std::vector<double> Qos;
+      Qos.reserve(Runs);
+      for (int Seed = 1; Seed <= Runs; ++Seed, ++Index)
+        Qos.push_back(Results[Index].QosError);
+      Means[A].push_back(TrialStats::over(Qos).Mean);
+    }
+  return Means;
+}
+
+EvalResult enerj::harness::runEval(const EvalOptions &Options) {
+  EvalResult Result;
+  Result.Apps = Options.Apps.empty()
+                    ? apps::allApplications()
+                    : Options.Apps;
+  Result.Levels = Options.Levels.empty() ? evalLevels() : Options.Levels;
+  Result.Seeds = Options.Seeds < 1 ? 1 : Options.Seeds;
+
+  // App-major, level-minor, seeds ascending: the same enumeration order
+  // the serial harnesses used, so per-cell slices are contiguous and
+  // in seed order.
+  std::vector<Trial> Trials;
+  Trials.reserve(Result.Apps.size() * Result.Levels.size() * Result.Seeds);
+  for (const apps::Application *App : Result.Apps)
+    for (ApproxLevel Level : Result.Levels) {
+      FaultConfig Config = FaultConfig::preset(Level);
+      for (int Seed = 1; Seed <= Result.Seeds; ++Seed)
+        Trials.push_back({App, Config, static_cast<uint64_t>(Seed)});
+    }
+
+  TrialRunner Runner(Options.Threads);
+  std::vector<TrialResult> TrialResults = Runner.run(Trials);
+
+  size_t Index = 0;
+  for (const apps::Application *App : Result.Apps)
+    for (ApproxLevel Level : Result.Levels) {
+      EvalCell Cell;
+      Cell.App = App;
+      Cell.Level = Level;
+      std::vector<double> Qos, Energy;
+      Qos.reserve(Result.Seeds);
+      Energy.reserve(Result.Seeds);
+      for (int Seed = 1; Seed <= Result.Seeds; ++Seed, ++Index) {
+        const TrialResult &T = TrialResults[Index];
+        Qos.push_back(T.QosError);
+        Energy.push_back(T.Energy.TotalFactor);
+        if (Seed == 1)
+          Cell.Seed1 = T;
+      }
+      Cell.Qos = TrialStats::over(Qos);
+      Cell.EnergyFactor = TrialStats::over(Energy);
+      Result.Cells.push_back(Cell);
+    }
+  return Result;
+}

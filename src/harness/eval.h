@@ -1,0 +1,89 @@
+//===- harness/eval.h - The Section 6 evaluation grid -----------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The (application x ApproxLevel x workload seed) grid that Figures 3-5
+/// and Tables 2-3 are sliced from. runEval enumerates the grid, fans the
+/// trials out through TrialRunner, and aggregates each (app, level) cell:
+/// TrialStats over seeds for QoS error and the total energy factor, plus
+/// the full seed-1 trial for the op/storage-mix columns that the paper
+/// measures from a single run.
+///
+/// Cell aggregation consumes results in seed order, so every aggregate is
+/// bitwise identical to the historical serial loops at any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_HARNESS_EVAL_H
+#define ENERJ_HARNESS_EVAL_H
+
+#include "harness/stats.h"
+#include "harness/trial.h"
+
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace harness {
+
+/// The three approximation levels of the evaluation, in Table 2 order.
+const std::vector<ApproxLevel> &evalLevels();
+
+/// What to enumerate. Empty Apps/Levels mean "all nine" / "the three
+/// Table 2 levels".
+struct EvalOptions {
+  std::vector<const apps::Application *> Apps;
+  std::vector<ApproxLevel> Levels;
+  int Seeds = 20;       ///< Workload seeds 1..Seeds per cell.
+  unsigned Threads = 0; ///< TrialRunner thread count (0 = hardware).
+};
+
+/// One (application, level) cell of the grid.
+struct EvalCell {
+  const apps::Application *App = nullptr;
+  ApproxLevel Level = ApproxLevel::None;
+  TrialStats Qos;          ///< QoS error over the cell's seeds.
+  TrialStats EnergyFactor; ///< Total energy factor over the cell's seeds.
+  TrialResult Seed1;       ///< The workload-seed-1 trial in full.
+};
+
+/// The whole grid, cells in app-major, level-minor order.
+struct EvalResult {
+  std::vector<const apps::Application *> Apps;
+  std::vector<ApproxLevel> Levels;
+  int Seeds = 0;
+  std::vector<EvalCell> Cells;
+
+  /// The cell for (\p App, \p Level); null if not in the grid.
+  const EvalCell *cell(const apps::Application &App, ApproxLevel Level) const;
+};
+
+/// Runs the grid described by \p Options.
+EvalResult runEval(const EvalOptions &Options);
+
+/// Mean QoS error over workload seeds [1, Runs] for every (app, config)
+/// pair — the ablation harnesses' shape, where the columns differ by
+/// more than the level. All trials fan out over one TrialRunner; the
+/// result is indexed [app][config] and, like every harness aggregate,
+/// is independent of the thread count.
+std::vector<std::vector<double>>
+meanQosGrid(const std::vector<const apps::Application *> &Apps,
+            const std::vector<FaultConfig> &Configs, int Runs,
+            unsigned Threads = 0);
+
+/// Renders \p Result as one line of stable JSON (schema pinned by
+/// harness_stats_test, versioned like the lint JSON). Thread count is
+/// deliberately absent: the JSON for a grid is identical at any
+/// parallelism.
+std::string renderEvalJson(const EvalResult &Result);
+
+/// Renders \p Result as a fixed-width text table.
+std::string renderEvalText(const EvalResult &Result);
+
+} // namespace harness
+} // namespace enerj
+
+#endif // ENERJ_HARNESS_EVAL_H

@@ -1,0 +1,133 @@
+//===- harness/report.cpp - Eval-grid renderers ---------------------------===//
+//
+// The JSON layout is part of the tool's contract with CI (like the lint
+// JSON): key names and key order are pinned by harness_stats_test and
+// only change with a version bump. Doubles render with %.17g so every
+// value round-trips exactly; the grid's JSON is identical at any thread
+// count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/eval.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace enerj;
+using namespace enerj::harness;
+
+namespace {
+
+void appendDouble(std::string &Out, double Value) {
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  Out += Buffer;
+}
+
+void appendU64(std::string &Out, uint64_t Value) {
+  char Buffer[24];
+  std::snprintf(Buffer, sizeof(Buffer), "%" PRIu64, Value);
+  Out += Buffer;
+}
+
+void appendStats(std::string &Out, const char *Key, const TrialStats &S) {
+  Out += '"';
+  Out += Key;
+  Out += "\":{\"count\":";
+  appendU64(Out, static_cast<uint64_t>(S.Count));
+  Out += ",\"mean\":";
+  appendDouble(Out, S.Mean);
+  Out += ",\"stddev\":";
+  appendDouble(Out, S.Stddev);
+  Out += ",\"min\":";
+  appendDouble(Out, S.Min);
+  Out += ",\"max\":";
+  appendDouble(Out, S.Max);
+  Out += ",\"ci95\":";
+  appendDouble(Out, S.Ci95Half);
+  Out += '}';
+}
+
+void appendCell(std::string &Out, const EvalCell &Cell) {
+  Out += "{\"level\":\"";
+  Out += approxLevelName(Cell.Level);
+  Out += "\",";
+  appendStats(Out, "qos", Cell.Qos);
+  Out += ',';
+  appendStats(Out, "energy", Cell.EnergyFactor);
+  const OperationStats &Ops = Cell.Seed1.Stats.Ops;
+  Out += ",\"ops\":{\"preciseInt\":";
+  appendU64(Out, Ops.PreciseInt);
+  Out += ",\"approxInt\":";
+  appendU64(Out, Ops.ApproxInt);
+  Out += ",\"preciseFp\":";
+  appendU64(Out, Ops.PreciseFp);
+  Out += ",\"approxFp\":";
+  appendU64(Out, Ops.ApproxFp);
+  Out += ",\"timingErrors\":";
+  appendU64(Out, Ops.TimingErrors);
+  const StorageStats &Storage = Cell.Seed1.Stats.Storage;
+  Out += "},\"storage\":{\"sramPrecise\":";
+  appendDouble(Out, Storage.SramPrecise);
+  Out += ",\"sramApprox\":";
+  appendDouble(Out, Storage.SramApprox);
+  Out += ",\"dramPrecise\":";
+  appendDouble(Out, Storage.DramPrecise);
+  Out += ",\"dramApprox\":";
+  appendDouble(Out, Storage.DramApprox);
+  Out += "}}";
+}
+
+} // namespace
+
+std::string enerj::harness::renderEvalJson(const EvalResult &Result) {
+  std::string Out = "{\"tool\":\"enerj-eval\",\"version\":1,\"seeds\":";
+  appendU64(Out, static_cast<uint64_t>(Result.Seeds));
+  Out += ",\"levels\":[";
+  for (size_t I = 0; I < Result.Levels.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += '"';
+    Out += approxLevelName(Result.Levels[I]);
+    Out += '"';
+  }
+  Out += "],\"apps\":[";
+  for (size_t A = 0; A < Result.Apps.size(); ++A) {
+    if (A)
+      Out += ',';
+    Out += "{\"name\":\"";
+    Out += Result.Apps[A]->name();
+    Out += "\",\"cells\":[";
+    for (size_t L = 0; L < Result.Levels.size(); ++L) {
+      if (L)
+        Out += ',';
+      appendCell(Out, Result.Cells[A * Result.Levels.size() + L]);
+    }
+    Out += "]}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string enerj::harness::renderEvalText(const EvalResult &Result) {
+  char Line[160];
+  std::snprintf(Line, sizeof(Line),
+                "Evaluation grid: %zu app(s) x %zu level(s) x %d seed(s)\n\n",
+                Result.Apps.size(), Result.Levels.size(), Result.Seeds);
+  std::string Out = Line;
+  std::snprintf(Line, sizeof(Line), "%-14s %-11s %10s %10s %10s %10s\n",
+                "Application", "level", "qos mean", "stddev", "+/-95%",
+                "energy");
+  Out += Line;
+  Out += std::string(70, '-');
+  Out += '\n';
+  for (const EvalCell &Cell : Result.Cells) {
+    std::snprintf(Line, sizeof(Line),
+                  "%-14s %-11s %10.4f %10.4f %10.4f %10.3f\n",
+                  Cell.App->name(), approxLevelName(Cell.Level),
+                  Cell.Qos.Mean, Cell.Qos.Stddev, Cell.Qos.Ci95Half,
+                  Cell.EnergyFactor.Mean);
+    Out += Line;
+  }
+  return Out;
+}

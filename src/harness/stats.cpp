@@ -1,0 +1,39 @@
+//===- harness/stats.cpp - Per-cell trial statistics ----------------------===//
+
+#include "harness/stats.h"
+
+#include <cmath>
+
+using namespace enerj;
+using namespace enerj::harness;
+
+TrialStats TrialStats::over(const std::vector<double> &Samples) {
+  TrialStats Result;
+  if (Samples.empty())
+    return Result;
+
+  Result.Count = static_cast<int>(Samples.size());
+  Result.Min = Samples[0];
+  Result.Max = Samples[0];
+  // Left-to-right sum: bitwise equal to the historical serial loops.
+  double Sum = 0.0;
+  for (double S : Samples) {
+    Sum += S;
+    if (S < Result.Min)
+      Result.Min = S;
+    if (S > Result.Max)
+      Result.Max = S;
+  }
+  Result.Mean = Sum / Result.Count;
+
+  if (Result.Count > 1) {
+    double SqDevSum = 0.0;
+    for (double S : Samples) {
+      double Dev = S - Result.Mean;
+      SqDevSum += Dev * Dev;
+    }
+    Result.Stddev = std::sqrt(SqDevSum / (Result.Count - 1));
+    Result.Ci95Half = 1.96 * Result.Stddev / std::sqrt(Result.Count);
+  }
+  return Result;
+}

@@ -1,0 +1,46 @@
+//===- harness/stats.h - Per-cell trial statistics --------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics over the workload seeds of one evaluation cell:
+/// mean, sample standard deviation, min/max, and a 95% confidence
+/// half-width. The paper reports per-cell means ("mean error over 20
+/// runs"); the harness additionally reports spread so a figure's noise
+/// floor is visible.
+///
+/// Determinism matters more than numerical elegance here: the mean is a
+/// plain left-to-right sum in sample order, so it is bitwise identical to
+/// the historical serial accumulation loops regardless of how the trials
+/// producing the samples were scheduled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_HARNESS_STATS_H
+#define ENERJ_HARNESS_STATS_H
+
+#include <vector>
+
+namespace enerj {
+namespace harness {
+
+/// Aggregate of one metric over the seeds of an evaluation cell.
+struct TrialStats {
+  int Count = 0;
+  double Mean = 0.0;
+  double Stddev = 0.0;  ///< Sample (n-1) standard deviation; 0 when n < 2.
+  double Min = 0.0;
+  double Max = 0.0;
+  double Ci95Half = 0.0; ///< 1.96 * Stddev / sqrt(n) (normal approximation).
+
+  /// Aggregates \p Samples in order. An empty input yields the
+  /// all-zero default; a single sample has zero spread.
+  static TrialStats over(const std::vector<double> &Samples);
+};
+
+} // namespace harness
+} // namespace enerj
+
+#endif // ENERJ_HARNESS_STATS_H

@@ -1,0 +1,65 @@
+//===- harness/trial.cpp - Parallel evaluation trial runner ---------------===//
+
+#include "harness/trial.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace enerj;
+using namespace enerj::harness;
+
+TrialRunner::TrialRunner(unsigned Threads) : Threads(Threads) {
+  if (this->Threads == 0) {
+    this->Threads = std::thread::hardware_concurrency();
+    if (this->Threads == 0)
+      this->Threads = 1;
+  }
+}
+
+TrialResult TrialRunner::runOne(const Trial &T) {
+  // Same sequence as the historical serial path (apps::qosUnder followed
+  // by energy pricing): precise reference first, then the approximate run
+  // on a fresh Simulator whose seed mixSeed derives from the trial alone.
+  apps::AppOutput Reference = apps::runPrecise(*T.App, T.WorkloadSeed);
+  apps::AppRun Run = apps::runApproximate(*T.App, T.Config, T.WorkloadSeed);
+  TrialResult Result;
+  Result.QosError = T.App->qosError(Reference, Run.Output);
+  Result.Stats = Run.Stats;
+  Result.Energy = computeEnergy(Run.Stats, T.Config);
+  return Result;
+}
+
+std::vector<TrialResult> TrialRunner::run(
+    const std::vector<Trial> &Trials) const {
+  std::vector<TrialResult> Results(Trials.size());
+  unsigned Workers = Threads;
+  if (Workers > Trials.size())
+    Workers = static_cast<unsigned>(Trials.size());
+
+  if (Workers <= 1) {
+    for (size_t I = 0; I < Trials.size(); ++I)
+      Results[I] = runOne(Trials[I]);
+    return Results;
+  }
+
+  // Lock-free work queue: one atomic ticket counter; each worker owns the
+  // disjoint result slots of the trials it claims, so no further
+  // synchronization is needed until join.
+  std::atomic<size_t> Next{0};
+  auto Worker = [&Trials, &Results, &Next]() {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Trials.size())
+        return;
+      Results[I] = runOne(Trials[I]);
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  return Results;
+}

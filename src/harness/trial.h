@@ -1,0 +1,81 @@
+//===- harness/trial.h - Parallel evaluation trial runner -------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement unit of the Section 6 evaluation: one *trial* runs one
+/// application once under one FaultConfig for one workload seed and
+/// records the QoS error, the operation/storage statistics, and the
+/// priced energy report. Every figure and table harness is a set of
+/// trials plus a per-cell aggregation.
+///
+/// TrialRunner fans a trial list out over a fixed-size pool of
+/// std::threads. The hot path is lock-free: workers claim trial indices
+/// from a single atomic counter and write results into preallocated,
+/// disjoint slots. Each trial constructs its own Simulator (installed
+/// thread-locally via SimulatorScope — the "one per thread" contract),
+/// and its fault stream is seeded purely from (config seed, workload
+/// seed) through support/rng's mixSeed, so the result of a trial depends
+/// only on the trial's identity. Consequently the runner's output is
+/// bitwise identical for any thread count and any scheduling — the
+/// determinism suite pins this for all nine apps at all three levels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_HARNESS_TRIAL_H
+#define ENERJ_HARNESS_TRIAL_H
+
+#include "apps/app.h"
+#include "energy/model.h"
+#include "fault/config.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace enerj {
+namespace harness {
+
+/// One (application, configuration, workload seed) measurement.
+struct Trial {
+  const apps::Application *App = nullptr;
+  FaultConfig Config;
+  uint64_t WorkloadSeed = 1;
+};
+
+/// Everything one trial measures.
+struct TrialResult {
+  /// QoS error against the precise run of the same workload.
+  double QosError = 0.0;
+  /// Operation and storage statistics of the approximate run.
+  RunStats Stats;
+  /// The statistics priced at the trial's own config (Server setting).
+  EnergyReport Energy;
+};
+
+/// Runs trial lists over a fixed-size thread pool.
+class TrialRunner {
+public:
+  /// \p Threads worker threads; 0 means hardware_concurrency() (at
+  /// least 1). A single-thread runner executes inline without spawning.
+  explicit TrialRunner(unsigned Threads = 0);
+
+  unsigned threads() const { return Threads; }
+
+  /// Runs one trial on the calling thread.
+  static TrialResult runOne(const Trial &T);
+
+  /// Runs all trials, returning results in trial order. The output is a
+  /// pure function of the trial list — thread count and scheduling do
+  /// not affect it.
+  std::vector<TrialResult> run(const std::vector<Trial> &Trials) const;
+
+private:
+  unsigned Threads;
+};
+
+} // namespace harness
+} // namespace enerj
+
+#endif // ENERJ_HARNESS_TRIAL_H

@@ -2,6 +2,20 @@
 
 #include "runtime/simulator.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace enerj {
+
 thread_local Simulator *Simulator::Current = nullptr;
+
+void Simulator::failCrossThreadInstall() const {
+  std::fprintf(stderr,
+               "enerj: fatal: Simulator installed on a second thread while "
+               "still installed on another\n"
+               "enerj: a Simulator is one-per-thread; give each worker its "
+               "own (see TrialRunner)\n");
+  std::abort();
+}
+
 } // namespace enerj

@@ -28,11 +28,22 @@
 #include "support/bits.h"
 #include "support/rng.h"
 
+#include <atomic>
+#include <cassert>
+#include <thread>
 #include <type_traits>
 
 namespace enerj {
 
 /// One approximation-aware machine. Not thread-safe; use one per thread.
+///
+/// The one-per-thread contract is enforced: installing a simulator
+/// (SimulatorScope) while it is installed on a *different* thread aborts
+/// with a diagnostic in every build mode, and debug builds additionally
+/// assert on every operation that the calling thread is the installing
+/// one. Sequential handoff — install, uninstall, then install on another
+/// thread — is allowed (the caller is responsible for the synchronization
+/// that makes the handoff itself safe).
 class Simulator {
 public:
   explicit Simulator(const FaultConfig &Config)
@@ -53,12 +64,14 @@ public:
 
   /// Records a precise integer operation (no fault injection).
   void countPreciseInt() {
+    checkOwner();
     ++Ops.PreciseInt;
     Ledger.tick();
   }
 
   /// Records a precise FP operation (no fault injection).
   void countPreciseFp() {
+    checkOwner();
     ++Ops.PreciseFp;
     Ledger.tick();
   }
@@ -70,6 +83,7 @@ public:
   /// model. Operand narrowing is done separately (narrowOperand) before
   /// the host computes \p Correct.
   template <typename ResultT> ResultT opResult(ResultT Correct, bool IsFp) {
+    checkOwner();
     if (IsFp)
       ++Ops.ApproxFp;
     else
@@ -105,16 +119,19 @@ public:
   /// --- DRAM models heap data decaying since its last access.
 
   template <typename T> T sramRead(T Stored) {
+    checkOwner();
     return fromBits<T>(Sram.onRead(toBits(Stored), bitWidth<T>(), R));
   }
 
   template <typename T> T sramWrite(T Value) {
+    checkOwner();
     return fromBits<T>(Sram.onWrite(toBits(Value), bitWidth<T>(), R));
   }
 
   /// Applies DRAM decay to \p Stored given the cycle of its last access,
   /// then advances the clock (an access is a memory operation).
   template <typename T> T dramAccess(T Stored, uint64_t LastAccessCycle) {
+    checkOwner();
     uint64_t Elapsed = now() - LastAccessCycle;
     T Result =
         fromBits<T>(Dram.onAccess(toBits(Stored), bitWidth<T>(), Elapsed, R));
@@ -139,6 +156,45 @@ private:
   friend class SimulatorScope;
   static thread_local Simulator *Current;
 
+  /// Claims this simulator for the calling thread. Aborts (all build
+  /// modes) if it is currently claimed by a different thread — that is a
+  /// concurrent cross-thread install, which would silently corrupt the
+  /// counters and the fault stream. Returns true if this call made the
+  /// claim (false for a nested scope on the same thread), so the
+  /// outermost scope releases it.
+  bool attachCurrentThread() {
+    std::thread::id Previous =
+        Owner.exchange(std::this_thread::get_id(), std::memory_order_acq_rel);
+    if (Previous == std::thread::id())
+      return true;
+    if (Previous != std::this_thread::get_id())
+      failCrossThreadInstall();
+    return false;
+  }
+
+  /// Releases the claim, allowing a (properly synchronized) sequential
+  /// handoff to another thread.
+  void detachCurrentThread() {
+    Owner.store(std::thread::id(), std::memory_order_release);
+  }
+
+  /// Debug-mode check that the calling thread installed this simulator.
+  /// An unclaimed simulator (direct use without a SimulatorScope, as in
+  /// unit tests) is exempt. Compiles to nothing under NDEBUG.
+  void checkOwner() const {
+#ifndef NDEBUG
+    std::thread::id O = Owner.load(std::memory_order_relaxed);
+    assert((O == std::thread::id() || O == std::this_thread::get_id()) &&
+           "Simulator used from a thread other than the installing one");
+#endif
+  }
+
+  /// Prints a diagnostic and aborts; out of line so the header stays
+  /// free of <cstdio>.
+  [[noreturn]] void failCrossThreadInstall() const;
+
+  std::atomic<std::thread::id> Owner{};
+
   FaultConfig Config;
   Rng R;
   MemoryLedger Ledger;
@@ -153,15 +209,23 @@ private:
 /// RAII installer for the thread-local current simulator.
 class SimulatorScope {
 public:
-  explicit SimulatorScope(Simulator &Sim) : Saved(Simulator::Current) {
+  explicit SimulatorScope(Simulator &Sim)
+      : Installed(&Sim), Saved(Simulator::Current),
+        Claimed(Sim.attachCurrentThread()) {
     Simulator::Current = &Sim;
   }
-  ~SimulatorScope() { Simulator::Current = Saved; }
+  ~SimulatorScope() {
+    Simulator::Current = Saved;
+    if (Claimed)
+      Installed->detachCurrentThread();
+  }
   SimulatorScope(const SimulatorScope &) = delete;
   SimulatorScope &operator=(const SimulatorScope &) = delete;
 
 private:
+  Simulator *Installed;
   Simulator *Saved;
+  bool Claimed;
 };
 
 } // namespace enerj

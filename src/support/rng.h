@@ -67,6 +67,17 @@ private:
   double SpareGaussian = 0.0;
 };
 
+/// Derives the seed of sub-stream \p Salt of \p Base as a pure function of
+/// its arguments (no generator state involved). Every per-trial fault
+/// stream in the evaluation is keyed this way: the same (base, salt) pair
+/// always yields the same stream, and different salts are decorrelated by
+/// the SplitMix64 seeding inside Rng. This is what makes parallel trial
+/// execution bitwise identical to serial execution — the seed depends only
+/// on the trial's identity, never on scheduling.
+inline uint64_t mixSeed(uint64_t Base, uint64_t Salt) {
+  return Base ^ (Salt * 0x9E3779B97F4A7C15ULL + 1);
+}
+
 } // namespace enerj
 
 #endif // ENERJ_SUPPORT_RNG_H

@@ -1,0 +1,134 @@
+//===- tests/harness_determinism_test.cpp - Serial vs parallel ------------===//
+//
+// The hard requirement of the trial runner: results are bitwise
+// identical at any thread count. For all nine apps at all three
+// evaluation levels, the suite compares --threads 1 (inline, no pool),
+// --threads 4, and --threads hardware_concurrency() down to the bit
+// pattern of every QoS double and every operation counter, and pins the
+// 1-thread runner against the historical serial loop shape
+// (apps::qosUnder called seed by seed).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/eval.h"
+#include "harness/trial.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace enerj;
+using namespace enerj::harness;
+
+namespace {
+
+constexpr int SeedsPerCell = 2;
+
+uint64_t bitsOf(double Value) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  return Bits;
+}
+
+/// The full nine-app, three-level trial list, seeds [1, SeedsPerCell].
+std::vector<Trial> fullGrid() {
+  std::vector<Trial> Trials;
+  for (const apps::Application *App : apps::allApplications())
+    for (ApproxLevel Level : evalLevels()) {
+      FaultConfig Config = FaultConfig::preset(Level);
+      for (int Seed = 1; Seed <= SeedsPerCell; ++Seed)
+        Trials.push_back({App, Config, static_cast<uint64_t>(Seed)});
+    }
+  return Trials;
+}
+
+void expectBitwiseEqual(const std::vector<TrialResult> &A,
+                        const std::vector<TrialResult> &B,
+                        const std::vector<Trial> &Trials) {
+  ASSERT_EQ(A.size(), B.size());
+  ASSERT_EQ(A.size(), Trials.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    SCOPED_TRACE(std::string(Trials[I].App->name()) + "/" +
+                 approxLevelName(Trials[I].Config.Level) + "/seed " +
+                 std::to_string(Trials[I].WorkloadSeed));
+    EXPECT_EQ(bitsOf(A[I].QosError), bitsOf(B[I].QosError));
+    EXPECT_EQ(A[I].Stats.Ops.PreciseInt, B[I].Stats.Ops.PreciseInt);
+    EXPECT_EQ(A[I].Stats.Ops.ApproxInt, B[I].Stats.Ops.ApproxInt);
+    EXPECT_EQ(A[I].Stats.Ops.PreciseFp, B[I].Stats.Ops.PreciseFp);
+    EXPECT_EQ(A[I].Stats.Ops.ApproxFp, B[I].Stats.Ops.ApproxFp);
+    EXPECT_EQ(A[I].Stats.Ops.TimingErrors, B[I].Stats.Ops.TimingErrors);
+    EXPECT_EQ(bitsOf(A[I].Stats.Storage.SramPrecise),
+              bitsOf(B[I].Stats.Storage.SramPrecise));
+    EXPECT_EQ(bitsOf(A[I].Stats.Storage.SramApprox),
+              bitsOf(B[I].Stats.Storage.SramApprox));
+    EXPECT_EQ(bitsOf(A[I].Stats.Storage.DramPrecise),
+              bitsOf(B[I].Stats.Storage.DramPrecise));
+    EXPECT_EQ(bitsOf(A[I].Stats.Storage.DramApprox),
+              bitsOf(B[I].Stats.Storage.DramApprox));
+    EXPECT_EQ(bitsOf(A[I].Energy.TotalFactor),
+              bitsOf(B[I].Energy.TotalFactor));
+  }
+}
+
+} // namespace
+
+TEST(TrialRunnerDeterminism, AllAppsAllLevelsAcrossThreadCounts) {
+  std::vector<Trial> Trials = fullGrid();
+
+  std::vector<TrialResult> OneThread = TrialRunner(1).run(Trials);
+  std::vector<TrialResult> FourThreads = TrialRunner(4).run(Trials);
+  expectBitwiseEqual(OneThread, FourThreads, Trials);
+
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  std::vector<TrialResult> HardwareThreads =
+      TrialRunner(Hardware).run(Trials);
+  expectBitwiseEqual(OneThread, HardwareThreads, Trials);
+}
+
+TEST(TrialRunnerDeterminism, MatchesTheSerialMeasurementPath) {
+  // The runner's per-trial QoS must be bit-for-bit what the historical
+  // serial loop computed with apps::qosUnder.
+  std::vector<Trial> Trials = fullGrid();
+  std::vector<TrialResult> Parallel = TrialRunner(4).run(Trials);
+  for (size_t I = 0; I < Trials.size(); ++I) {
+    SCOPED_TRACE(Trials[I].App->name());
+    double Serial = apps::qosUnder(*Trials[I].App, Trials[I].Config,
+                                   Trials[I].WorkloadSeed);
+    EXPECT_EQ(bitsOf(Serial), bitsOf(Parallel[I].QosError));
+  }
+}
+
+TEST(TrialRunnerDeterminism, RepeatedRunsAreBitwiseStable) {
+  // Same runner, same trials, twice: no hidden global state.
+  EvalOptions Options;
+  Options.Apps = {apps::findApplication("fft")};
+  Options.Seeds = 2;
+  Options.Threads = 4;
+  std::string First = renderEvalJson(runEval(Options));
+  std::string Second = renderEvalJson(runEval(Options));
+  EXPECT_EQ(First, Second);
+}
+
+TEST(TrialRunnerDeterminism, CellAggregationMatchesSerialMean) {
+  // The per-cell mean is the left-to-right sum over seeds — identical
+  // to "Sum += qosUnder(...); Sum / Runs".
+  const apps::Application *App = apps::findApplication("sor");
+  ASSERT_NE(App, nullptr);
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+
+  double Sum = 0.0;
+  for (int Seed = 1; Seed <= 3; ++Seed)
+    Sum += apps::qosUnder(*App, Config, static_cast<uint64_t>(Seed));
+
+  EvalOptions Options;
+  Options.Apps = {App};
+  Options.Levels = {ApproxLevel::Medium};
+  Options.Seeds = 3;
+  Options.Threads = 4;
+  EvalResult Grid = runEval(Options);
+  const EvalCell *Cell = Grid.cell(*App, ApproxLevel::Medium);
+  ASSERT_NE(Cell, nullptr);
+  EXPECT_EQ(bitsOf(Sum / 3), bitsOf(Cell->Qos.Mean));
+}

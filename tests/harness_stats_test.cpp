@@ -1,0 +1,143 @@
+//===- tests/harness_stats_test.cpp - TrialStats and eval JSON ------------===//
+//
+// Unit tests for the per-cell aggregation against hand-computed
+// fixtures, including the degenerate one-seed and all-identical-seed
+// cases, plus the pinned `eval --json` schema (the harness's contract
+// with CI, like the lint JSON).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/eval.h"
+#include "harness/stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::harness;
+
+TEST(TrialStats, EmptyInputIsAllZero) {
+  TrialStats S = TrialStats::over({});
+  EXPECT_EQ(S.Count, 0);
+  EXPECT_EQ(S.Mean, 0.0);
+  EXPECT_EQ(S.Stddev, 0.0);
+  EXPECT_EQ(S.Min, 0.0);
+  EXPECT_EQ(S.Max, 0.0);
+  EXPECT_EQ(S.Ci95Half, 0.0);
+}
+
+TEST(TrialStats, SingleSeedHasZeroSpread) {
+  TrialStats S = TrialStats::over({2.5});
+  EXPECT_EQ(S.Count, 1);
+  EXPECT_EQ(S.Mean, 2.5);
+  EXPECT_EQ(S.Stddev, 0.0);
+  EXPECT_EQ(S.Min, 2.5);
+  EXPECT_EQ(S.Max, 2.5);
+  EXPECT_EQ(S.Ci95Half, 0.0);
+}
+
+TEST(TrialStats, AllIdenticalSeedsHaveZeroSpread) {
+  TrialStats S = TrialStats::over({3.0, 3.0, 3.0, 3.0});
+  EXPECT_EQ(S.Count, 4);
+  EXPECT_EQ(S.Mean, 3.0);
+  EXPECT_EQ(S.Stddev, 0.0);
+  EXPECT_EQ(S.Min, 3.0);
+  EXPECT_EQ(S.Max, 3.0);
+  EXPECT_EQ(S.Ci95Half, 0.0);
+}
+
+TEST(TrialStats, HandComputedFixture) {
+  // Samples 1, 2, 3, 4: mean 2.5; squared deviations 2.25 + 0.25 +
+  // 0.25 + 2.25 = 5; sample variance 5/3.
+  TrialStats S = TrialStats::over({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(S.Count, 4);
+  EXPECT_DOUBLE_EQ(S.Mean, 2.5);
+  EXPECT_DOUBLE_EQ(S.Stddev, std::sqrt(5.0 / 3.0));
+  EXPECT_EQ(S.Min, 1.0);
+  EXPECT_EQ(S.Max, 4.0);
+  EXPECT_DOUBLE_EQ(S.Ci95Half, 1.96 * std::sqrt(5.0 / 3.0) / 2.0);
+}
+
+TEST(TrialStats, MeanMatchesSerialAccumulationOrder) {
+  // The mean must be the left-to-right sum divided by n — the bitwise
+  // contract with the historical serial loops.
+  std::vector<double> Samples = {0.1, 0.2, 0.3, 0.7, 0.05};
+  double Sum = 0.0;
+  for (double S : Samples)
+    Sum += S;
+  EXPECT_EQ(TrialStats::over(Samples).Mean, Sum / Samples.size());
+}
+
+namespace {
+
+/// A one-app, one-level, two-seed grid with clean (exactly
+/// representable) numbers, built by hand so the golden string below
+/// pins the schema rather than the simulator.
+EvalResult fixtureResult() {
+  const apps::Application *App = apps::findApplication("montecarlo");
+  EXPECT_NE(App, nullptr);
+  EvalResult Result;
+  Result.Apps = {App};
+  Result.Levels = {ApproxLevel::Mild};
+  Result.Seeds = 2;
+  EvalCell Cell;
+  Cell.App = App;
+  Cell.Level = ApproxLevel::Mild;
+  Cell.Qos = TrialStats::over({0.25, 0.75});
+  Cell.EnergyFactor = TrialStats::over({0.5, 0.5});
+  Cell.Seed1.QosError = 0.25;
+  Cell.Seed1.Stats.Ops.PreciseInt = 10;
+  Cell.Seed1.Stats.Ops.ApproxInt = 20;
+  Cell.Seed1.Stats.Ops.PreciseFp = 30;
+  Cell.Seed1.Stats.Ops.ApproxFp = 40;
+  Cell.Seed1.Stats.Ops.TimingErrors = 5;
+  Cell.Seed1.Stats.Storage.SramPrecise = 1.5;
+  Cell.Seed1.Stats.Storage.SramApprox = 2.5;
+  Cell.Seed1.Stats.Storage.DramPrecise = 3.5;
+  Cell.Seed1.Stats.Storage.DramApprox = 4.5;
+  Result.Cells.push_back(Cell);
+  return Result;
+}
+
+} // namespace
+
+TEST(EvalRender, JsonSchemaIsStable) {
+  // Key names, key order, and the nesting are the tool's contract with
+  // CI; only a version bump may change them. Samples 0.25/0.75: mean
+  // 0.5, stddev sqrt(0.125), ci95 = 1.96 * stddev / sqrt(2) (0.49 up
+  // to rounding).
+  std::string Expected =
+      "{\"tool\":\"enerj-eval\",\"version\":1,\"seeds\":2,"
+      "\"levels\":[\"mild\"],\"apps\":[{\"name\":\"montecarlo\","
+      "\"cells\":[{\"level\":\"mild\","
+      "\"qos\":{\"count\":2,\"mean\":0.5,"
+      "\"stddev\":0.35355339059327379,\"min\":0.25,\"max\":0.75,"
+      "\"ci95\":0.48999999999999994},"
+      "\"energy\":{\"count\":2,\"mean\":0.5,\"stddev\":0,\"min\":0.5,"
+      "\"max\":0.5,\"ci95\":0},"
+      "\"ops\":{\"preciseInt\":10,\"approxInt\":20,\"preciseFp\":30,"
+      "\"approxFp\":40,\"timingErrors\":5},"
+      "\"storage\":{\"sramPrecise\":1.5,\"sramApprox\":2.5,"
+      "\"dramPrecise\":3.5,\"dramApprox\":4.5}}]}]}";
+  EXPECT_EQ(renderEvalJson(fixtureResult()), Expected);
+}
+
+TEST(EvalRender, TextListsEveryCell) {
+  std::string Text = renderEvalText(fixtureResult());
+  EXPECT_NE(Text.find("1 app(s) x 1 level(s) x 2 seed(s)"),
+            std::string::npos);
+  EXPECT_NE(Text.find("montecarlo"), std::string::npos);
+  EXPECT_NE(Text.find("mild"), std::string::npos);
+}
+
+TEST(EvalRender, JsonIsIdenticalAtAnyThreadCount) {
+  EvalOptions Options;
+  Options.Apps = {apps::findApplication("montecarlo")};
+  Options.Levels = {ApproxLevel::Mild};
+  Options.Seeds = 2;
+  Options.Threads = 1;
+  std::string Serial = renderEvalJson(runEval(Options));
+  Options.Threads = 4;
+  std::string Parallel = renderEvalJson(runEval(Options));
+  EXPECT_EQ(Serial, Parallel);
+}

@@ -1,0 +1,103 @@
+//===- tests/simulator_thread_test.cpp - One-per-thread contract ----------===//
+//
+// The Simulator is one-per-thread by design (that is exactly what the
+// trial runner exploits). These tests pin the enforcement added for the
+// parallel harness: a concurrent cross-thread install dies loudly
+// instead of corrupting the counters and the fault stream, while the
+// legal patterns — nesting on one thread, sequential handoff, distinct
+// simulators on distinct threads — keep working.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/simulator.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace enerj;
+
+namespace {
+
+FaultConfig testConfig() {
+  return FaultConfig::preset(ApproxLevel::Medium);
+}
+
+} // namespace
+
+TEST(SimulatorThreadDeathTest, ConcurrentCrossThreadInstallAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Simulator Sim(testConfig());
+        std::atomic<bool> Installed{false};
+        std::atomic<bool> Release{false};
+        std::thread Holder([&] {
+          SimulatorScope Scope(Sim);
+          Installed.store(true);
+          while (!Release.load())
+            std::this_thread::yield();
+        });
+        while (!Installed.load())
+          std::this_thread::yield();
+        // Still installed on Holder's thread: this install must die.
+        SimulatorScope Second(Sim);
+        Release.store(true);
+        Holder.join();
+      },
+      "one-per-thread");
+}
+
+TEST(SimulatorThread, NestedScopesOnOneThreadAreFine) {
+  Simulator Sim(testConfig());
+  {
+    SimulatorScope Outer(Sim);
+    EXPECT_EQ(Simulator::current(), &Sim);
+    {
+      SimulatorScope Inner(Sim);
+      EXPECT_EQ(Simulator::current(), &Sim);
+      Sim.countPreciseInt();
+    }
+    EXPECT_EQ(Simulator::current(), &Sim);
+    Sim.countPreciseInt();
+  }
+  EXPECT_EQ(Simulator::current(), nullptr);
+  EXPECT_EQ(Sim.stats().Ops.PreciseInt, 2u);
+}
+
+TEST(SimulatorThread, SequentialHandoffIsAllowed) {
+  Simulator Sim(testConfig());
+  {
+    SimulatorScope Scope(Sim);
+    Sim.countPreciseFp();
+  }
+  // The join below synchronizes the handoff; the uninstalled simulator
+  // may legally move to another thread.
+  std::thread Other([&] {
+    SimulatorScope Scope(Sim);
+    Sim.countPreciseFp();
+  });
+  Other.join();
+  EXPECT_EQ(Sim.stats().Ops.PreciseFp, 2u);
+}
+
+TEST(SimulatorThread, DistinctSimulatorsOnDistinctThreads) {
+  // The trial-runner pattern: each worker owns its own simulator; all
+  // install concurrently without complaint and without cross-talk.
+  constexpr int Workers = 4;
+  constexpr int OpsPerWorker = 1000;
+  std::vector<std::thread> Pool;
+  std::vector<uint64_t> Counts(Workers);
+  for (int W = 0; W < Workers; ++W)
+    Pool.emplace_back([W, &Counts] {
+      Simulator Sim(testConfig());
+      SimulatorScope Scope(Sim);
+      for (int I = 0; I < OpsPerWorker; ++I)
+        Sim.countPreciseInt();
+      Counts[W] = Sim.stats().Ops.PreciseInt;
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  for (int W = 0; W < Workers; ++W)
+    EXPECT_EQ(Counts[W], static_cast<uint64_t>(OpsPerWorker));
+}
