@@ -13,9 +13,14 @@
 //                                      audits (endorsement, precision
 //                                      slack, dead values, isa-flow)
 //   fenerj_tool eval [--apps a,b] [--levels l1,l2] [--seeds N]
-//                    [--threads N] [--json]
+//                    [--threads N] [--slo E] [--max-retries N]
+//                    [--op-budget M] [--output-bound B] [--no-degrade]
+//                    [--json]
 //                                      run the Section 6 evaluation grid
-//                                      on the parallel trial runner
+//                                      on the parallel trial runner; the
+//                                      resilience flags arm the QoS SLO,
+//                                      the retry/degradation ladder, and
+//                                      the per-trial watchdog budget
 //   fenerj_tool demo                   run a built-in demo program
 //
 //===----------------------------------------------------------------------===//
@@ -28,6 +33,8 @@
 #include "isa/machine.h"
 #include "isa/verifier.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -225,6 +232,38 @@ std::vector<std::string> splitList(const std::string &Value) {
   return Parts;
 }
 
+/// Strict full-string integer parse: "5x", "abc", "" and out-of-range
+/// values are rejected, unlike atoi's silent truncation to 0 or a
+/// prefix. A grid silently shrunk by a typo is a wrong measurement.
+bool parseInt(const std::string &Value, long long &Out) {
+  if (Value.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoll(Value.c_str(), &End, 10);
+  return errno == 0 && End && *End == '\0';
+}
+
+bool parseUnsigned(const std::string &Value, unsigned long long &Out) {
+  if (Value.empty() || Value[0] == '-')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Value.c_str(), &End, 10);
+  return errno == 0 && End && *End == '\0';
+}
+
+/// Strict full-string double parse; rejects trailing junk and non-finite
+/// spellings like "nan"/"inf" (a NaN SLO would accept nothing).
+bool parseDouble(const std::string &Value, double &Out) {
+  if (Value.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtod(Value.c_str(), &End);
+  return errno == 0 && End && *End == '\0' && std::isfinite(Out);
+}
+
 int eval(int Argc, char **Argv) {
   enerj::harness::EvalOptions Options;
   bool Json = false;
@@ -240,7 +279,13 @@ int eval(int Argc, char **Argv) {
     if (Flag == "--json") {
       Json = true;
     } else if (Flag == "--apps") {
-      for (const std::string &Name : splitList(NextValue())) {
+      std::vector<std::string> Names = splitList(NextValue());
+      if (Names.empty()) {
+        std::fprintf(stderr,
+                     "--apps needs at least one application name\n");
+        return 2;
+      }
+      for (const std::string &Name : Names) {
         const enerj::apps::Application *App =
             enerj::apps::findApplication(Name);
         if (!App) {
@@ -255,7 +300,12 @@ int eval(int Argc, char **Argv) {
         Options.Apps.push_back(App);
       }
     } else if (Flag == "--levels") {
-      for (const std::string &Name : splitList(NextValue())) {
+      std::vector<std::string> Names = splitList(NextValue());
+      if (Names.empty()) {
+        std::fprintf(stderr, "--levels needs at least one level name\n");
+        return 2;
+      }
+      for (const std::string &Name : Names) {
         bool Found = false;
         for (enerj::ApproxLevel Level :
              {enerj::ApproxLevel::None, enerj::ApproxLevel::Mild,
@@ -271,14 +321,71 @@ int eval(int Argc, char **Argv) {
         }
       }
     } else if (Flag == "--seeds") {
-      Options.Seeds = std::atoi(NextValue().c_str());
-      if (Options.Seeds < 1) {
-        std::fprintf(stderr, "--seeds needs a positive count\n");
+      long long Seeds = 0;
+      if (!parseInt(NextValue(), Seeds) || Seeds < 1 ||
+          Seeds > 1000000) {
+        std::fprintf(stderr,
+                     "--seeds needs a positive integer (got '%s')\n",
+                     Argv[Arg]);
         return 2;
       }
+      Options.Seeds = static_cast<int>(Seeds);
     } else if (Flag == "--threads") {
-      Options.Threads =
-          static_cast<unsigned>(std::atoi(NextValue().c_str()));
+      unsigned long long Threads = 0;
+      if (!parseUnsigned(NextValue(), Threads) || Threads > 4096) {
+        std::fprintf(stderr,
+                     "--threads needs a non-negative integer (got '%s')\n",
+                     Argv[Arg]);
+        return 2;
+      }
+      Options.Threads = static_cast<unsigned>(Threads);
+    } else if (Flag == "--slo") {
+      double Slo = 0.0;
+      if (!parseDouble(NextValue(), Slo) || Slo < 0.0 || Slo > 1.0) {
+        std::fprintf(stderr,
+                     "--slo needs a QoS error bound in [0, 1] (got '%s')\n",
+                     Argv[Arg]);
+        return 2;
+      }
+      Options.Policy.Slo = Slo;
+      Options.Policy.Enabled = true;
+    } else if (Flag == "--output-bound") {
+      double Bound = 0.0;
+      if (!parseDouble(NextValue(), Bound) || Bound < 0.0) {
+        std::fprintf(stderr,
+                     "--output-bound needs a non-negative magnitude "
+                     "(got '%s')\n",
+                     Argv[Arg]);
+        return 2;
+      }
+      Options.Policy.OutputAbsBound = Bound;
+      Options.Policy.Enabled = true;
+    } else if (Flag == "--max-retries") {
+      long long Retries = 0;
+      if (!parseInt(NextValue(), Retries) || Retries < 0 ||
+          Retries > 1000) {
+        std::fprintf(stderr,
+                     "--max-retries needs a non-negative integer "
+                     "(got '%s')\n",
+                     Argv[Arg]);
+        return 2;
+      }
+      Options.Policy.MaxRetries = static_cast<int>(Retries);
+      Options.Policy.Enabled = true;
+    } else if (Flag == "--op-budget") {
+      unsigned long long Budget = 0;
+      if (!parseUnsigned(NextValue(), Budget) || Budget == 0) {
+        std::fprintf(stderr,
+                     "--op-budget needs a positive operation count "
+                     "(got '%s')\n",
+                     Argv[Arg]);
+        return 2;
+      }
+      Options.Policy.OpBudget = Budget;
+      Options.Policy.Enabled = true;
+    } else if (Flag == "--no-degrade") {
+      Options.Policy.Degrade = false;
+      Options.Policy.Enabled = true;
     } else {
       std::fprintf(stderr, "unknown eval flag '%s'\n", Flag.c_str());
       return 2;
@@ -316,9 +423,15 @@ int usage() {
                "                      (endorsement / precision-slack / "
                "dead-value / isa-flow audits)\n"
                "       fenerj_tool eval [--apps a,b] [--levels l1,l2] "
-               "[--seeds N] [--threads N] [--json]\n"
+               "[--seeds N] [--threads N]\n"
+               "                        [--slo E] [--max-retries N] "
+               "[--op-budget M]\n"
+               "                        [--output-bound B] [--no-degrade] "
+               "[--json]\n"
                "                      (the Section 6 evaluation grid on "
-               "the parallel trial runner)\n"
+               "the parallel trial runner;\n"
+               "                       --slo/--max-retries/--op-budget arm "
+               "the resilience policy)\n"
                "       fenerj_tool demo\n");
   return 2;
 }

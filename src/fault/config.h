@@ -76,6 +76,13 @@ struct FaultConfig {
 
   uint64_t Seed = 0x0EA7BEEF;
 
+  /// Watchdog: maximum simulator operations (clock ticks) one run may
+  /// execute before the simulator aborts it with resilience::TrialAbort.
+  /// 0 disables the watchdog. Fault injection under the RandomValue mode
+  /// can corrupt endorsed loop bounds into unbounded spins; the budget
+  /// contains that control-flow corruption at the trial boundary.
+  uint64_t OpBudgetOps = 0;
+
   /// --- Fine-grained tuning (the paper's future-work knob: "a separate
   /// --- system could tune the frequency and intensity of errors").
   /// --- A negative override keeps the Table 2 value for the level;

@@ -51,6 +51,7 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
                     : Options.Apps;
   Result.Levels = Options.Levels.empty() ? evalLevels() : Options.Levels;
   Result.Seeds = Options.Seeds < 1 ? 1 : Options.Seeds;
+  Result.Policy = Options.Policy;
 
   // App-major, level-minor, seeds ascending: the same enumeration order
   // the serial harnesses used, so per-cell slices are contiguous and
@@ -65,7 +66,7 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
     }
 
   TrialRunner Runner(Options.Threads);
-  std::vector<TrialResult> TrialResults = Runner.run(Trials);
+  std::vector<TrialResult> TrialResults = Runner.run(Trials, Options.Policy);
 
   size_t Index = 0;
   for (const apps::Application *App : Result.Apps)
@@ -73,18 +74,23 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
       EvalCell Cell;
       Cell.App = App;
       Cell.Level = Level;
-      std::vector<double> Qos, Energy;
+      std::vector<double> Qos, Energy, Effective;
       Qos.reserve(Result.Seeds);
       Energy.reserve(Result.Seeds);
+      Effective.reserve(Result.Seeds);
       for (int Seed = 1; Seed <= Result.Seeds; ++Seed, ++Index) {
         const TrialResult &T = TrialResults[Index];
         Qos.push_back(T.QosError);
         Energy.push_back(T.Energy.TotalFactor);
+        Effective.push_back(T.EffectiveEnergyFactor);
+        Cell.Outcomes.add(T.Outcome);
+        Cell.Retries += static_cast<uint64_t>(T.Attempts - 1);
         if (Seed == 1)
           Cell.Seed1 = T;
       }
       Cell.Qos = TrialStats::over(Qos);
       Cell.EnergyFactor = TrialStats::over(Energy);
+      Cell.EffectiveEnergy = TrialStats::over(Effective);
       Result.Cells.push_back(Cell);
     }
   return Result;

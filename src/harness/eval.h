@@ -39,6 +39,9 @@ struct EvalOptions {
   std::vector<ApproxLevel> Levels;
   int Seeds = 20;       ///< Workload seeds 1..Seeds per cell.
   unsigned Threads = 0; ///< TrialRunner thread count (0 = hardware).
+  /// Resilience contract every trial runs under; disabled by default,
+  /// which reproduces the historical measurements byte for byte.
+  resilience::ResiliencePolicy Policy;
 };
 
 /// One (application, level) cell of the grid.
@@ -47,6 +50,14 @@ struct EvalCell {
   ApproxLevel Level = ApproxLevel::None;
   TrialStats Qos;          ///< QoS error over the cell's seeds.
   TrialStats EnergyFactor; ///< Total energy factor over the cell's seeds.
+  /// Energy factor with re-execution charged (== EnergyFactor when no
+  /// trial in the cell was re-executed).
+  TrialStats EffectiveEnergy;
+  /// How the cell's trials concluded under the policy (all Ok when the
+  /// policy is disabled).
+  resilience::OutcomeCounts Outcomes;
+  /// Total re-executions charged across the cell's trials.
+  uint64_t Retries = 0;
   TrialResult Seed1;       ///< The workload-seed-1 trial in full.
 };
 
@@ -55,6 +66,7 @@ struct EvalResult {
   std::vector<const apps::Application *> Apps;
   std::vector<ApproxLevel> Levels;
   int Seeds = 0;
+  resilience::ResiliencePolicy Policy; ///< The policy the grid ran under.
   std::vector<EvalCell> Cells;
 
   /// The cell for (\p App, \p Level); null if not in the grid.
@@ -74,10 +86,12 @@ meanQosGrid(const std::vector<const apps::Application *> &Apps,
             const std::vector<FaultConfig> &Configs, int Runs,
             unsigned Threads = 0);
 
-/// Renders \p Result as one line of stable JSON (schema pinned by
-/// harness_stats_test, versioned like the lint JSON). Thread count is
-/// deliberately absent: the JSON for a grid is identical at any
-/// parallelism.
+/// Renders \p Result as one line of stable JSON (schema version 2,
+/// pinned by harness_stats_test, versioned like the lint JSON): the
+/// policy the grid ran under, and per cell the outcome counts, total
+/// retries, and the effective energy with re-execution charged. Thread
+/// count is deliberately absent: the JSON for a grid is identical at
+/// any parallelism.
 std::string renderEvalJson(const EvalResult &Result);
 
 /// Renders \p Result as a fixed-width text table.

@@ -2,9 +2,11 @@
 //
 // The JSON layout is part of the tool's contract with CI (like the lint
 // JSON): key names and key order are pinned by harness_stats_test and
-// only change with a version bump. Doubles render with %.17g so every
-// value round-trips exactly; the grid's JSON is identical at any thread
-// count.
+// only change with a version bump. Version 2 added the resilience layer:
+// the top-level "policy" object and the per-cell "effectiveEnergy"
+// (re-execution charged), "outcomes", and "retries" fields. Doubles
+// render with %.17g so every value round-trips exactly; the grid's JSON
+// is identical at any thread count.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +50,26 @@ void appendStats(std::string &Out, const char *Key, const TrialStats &S) {
   Out += '}';
 }
 
+void appendBool(std::string &Out, bool Value) {
+  Out += Value ? "true" : "false";
+}
+
+void appendPolicy(std::string &Out, const resilience::ResiliencePolicy &P) {
+  Out += "\"policy\":{\"enabled\":";
+  appendBool(Out, P.Enabled);
+  Out += ",\"slo\":";
+  appendDouble(Out, P.Slo);
+  Out += ",\"outputBound\":";
+  appendDouble(Out, P.OutputAbsBound);
+  Out += ",\"maxRetries\":";
+  appendU64(Out, static_cast<uint64_t>(P.MaxRetries));
+  Out += ",\"opBudget\":";
+  appendU64(Out, P.OpBudget);
+  Out += ",\"degrade\":";
+  appendBool(Out, P.Degrade);
+  Out += '}';
+}
+
 void appendCell(std::string &Out, const EvalCell &Cell) {
   Out += "{\"level\":\"";
   Out += approxLevelName(Cell.Level);
@@ -55,6 +77,20 @@ void appendCell(std::string &Out, const EvalCell &Cell) {
   appendStats(Out, "qos", Cell.Qos);
   Out += ',';
   appendStats(Out, "energy", Cell.EnergyFactor);
+  Out += ',';
+  appendStats(Out, "effectiveEnergy", Cell.EffectiveEnergy);
+  Out += ",\"outcomes\":{\"ok\":";
+  appendU64(Out, Cell.Outcomes.Ok);
+  Out += ",\"sloViolated\":";
+  appendU64(Out, Cell.Outcomes.SloViolated);
+  Out += ",\"aborted\":";
+  appendU64(Out, Cell.Outcomes.Aborted);
+  Out += ",\"retried\":";
+  appendU64(Out, Cell.Outcomes.Retried);
+  Out += ",\"degraded\":";
+  appendU64(Out, Cell.Outcomes.Degraded);
+  Out += "},\"retries\":";
+  appendU64(Out, Cell.Retries);
   const OperationStats &Ops = Cell.Seed1.Stats.Ops;
   Out += ",\"ops\":{\"preciseInt\":";
   appendU64(Out, Ops.PreciseInt);
@@ -81,8 +117,10 @@ void appendCell(std::string &Out, const EvalCell &Cell) {
 } // namespace
 
 std::string enerj::harness::renderEvalJson(const EvalResult &Result) {
-  std::string Out = "{\"tool\":\"enerj-eval\",\"version\":1,\"seeds\":";
+  std::string Out = "{\"tool\":\"enerj-eval\",\"version\":2,\"seeds\":";
   appendU64(Out, static_cast<uint64_t>(Result.Seeds));
+  Out += ',';
+  appendPolicy(Out, Result.Policy);
   Out += ",\"levels\":[";
   for (size_t I = 0; I < Result.Levels.size(); ++I) {
     if (I)
@@ -110,24 +148,51 @@ std::string enerj::harness::renderEvalJson(const EvalResult &Result) {
 }
 
 std::string enerj::harness::renderEvalText(const EvalResult &Result) {
-  char Line[160];
+  char Line[200];
   std::snprintf(Line, sizeof(Line),
                 "Evaluation grid: %zu app(s) x %zu level(s) x %d seed(s)\n\n",
                 Result.Apps.size(), Result.Levels.size(), Result.Seeds);
   std::string Out = Line;
-  std::snprintf(Line, sizeof(Line), "%-14s %-11s %10s %10s %10s %10s\n",
+  bool Resilient = Result.Policy.Enabled;
+  if (Resilient) {
+    std::snprintf(Line, sizeof(Line),
+                  "Resilience policy: slo %.4g, max retries %d, op budget "
+                  "%" PRIu64 ", degradation %s\n\n",
+                  Result.Policy.Slo, Result.Policy.MaxRetries,
+                  Result.Policy.OpBudget,
+                  Result.Policy.Degrade ? "on" : "off");
+    Out += Line;
+  }
+  std::snprintf(Line, sizeof(Line), "%-14s %-11s %10s %10s %10s %10s",
                 "Application", "level", "qos mean", "stddev", "+/-95%",
                 "energy");
   Out += Line;
-  Out += std::string(70, '-');
+  if (Resilient) {
+    std::snprintf(Line, sizeof(Line), " %10s %7s %-22s", "eff.energy",
+                  "retries", " outcomes ok/ret/deg/fail");
+    Out += Line;
+  }
+  Out += '\n';
+  Out += std::string(Resilient ? 113 : 70, '-');
   Out += '\n';
   for (const EvalCell &Cell : Result.Cells) {
     std::snprintf(Line, sizeof(Line),
-                  "%-14s %-11s %10.4f %10.4f %10.4f %10.3f\n",
+                  "%-14s %-11s %10.4f %10.4f %10.4f %10.3f",
                   Cell.App->name(), approxLevelName(Cell.Level),
                   Cell.Qos.Mean, Cell.Qos.Stddev, Cell.Qos.Ci95Half,
                   Cell.EnergyFactor.Mean);
     Out += Line;
+    if (Resilient) {
+      std::snprintf(Line, sizeof(Line),
+                    " %10.3f %7" PRIu64 "  %" PRIu64 "/%" PRIu64 "/%" PRIu64
+                    "/%" PRIu64,
+                    Cell.EffectiveEnergy.Mean, Cell.Retries,
+                    Cell.Outcomes.Ok, Cell.Outcomes.Retried,
+                    Cell.Outcomes.Degraded,
+                    Cell.Outcomes.SloViolated + Cell.Outcomes.Aborted);
+      Out += Line;
+    }
+    Out += '\n';
   }
   return Out;
 }

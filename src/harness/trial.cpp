@@ -2,7 +2,12 @@
 
 #include "harness/trial.h"
 
+#include "resilience/trial_abort.h"
+#include "runtime/simulator.h"
+#include "support/rng.h"
+
 #include <atomic>
+#include <exception>
 #include <thread>
 
 using namespace enerj;
@@ -26,11 +31,144 @@ TrialResult TrialRunner::runOne(const Trial &T) {
   Result.QosError = T.App->qosError(Reference, Run.Output);
   Result.Stats = Run.Stats;
   Result.Energy = computeEnergy(Run.Stats, T.Config);
+  Result.FinalLevel = T.Config.Level;
+  Result.EffectiveEnergyFactor = Result.Energy.TotalFactor;
+  return Result;
+}
+
+namespace {
+
+/// One guarded approximate execution: like apps::runApproximate, but the
+/// application runs inside a try block *while the simulator is still in
+/// scope*, so a watchdog abort (or any in-trial exception) still yields
+/// the partial statistics up to the abort point — aborted work is real
+/// work and is charged.
+struct Attempt {
+  apps::AppRun Run;
+  bool Aborted = false;
+  std::string Error;
+};
+
+Attempt runAttempt(const apps::Application &App, const FaultConfig &Config,
+                   uint64_t WorkloadSeed) {
+  FaultConfig RunConfig = Config;
+  // The same per-trial stream derivation as apps::runApproximate; retry
+  // attempts pre-mix the attempt number into Config.Seed.
+  RunConfig.Seed = mixSeed(Config.Seed, WorkloadSeed);
+  Simulator Sim(RunConfig);
+  Attempt A;
+  {
+    SimulatorScope Scope(Sim);
+    try {
+      A.Run.Output = App.run(WorkloadSeed);
+    } catch (const resilience::TrialAbort &Abort) {
+      A.Aborted = true;
+      A.Error = Abort.what();
+    } catch (const std::exception &E) {
+      A.Aborted = true;
+      A.Error = E.what();
+    }
+  }
+  A.Run.Stats = Sim.stats();
+  return A;
+}
+
+/// Containment at the trial boundary: whatever escapes a trial becomes a
+/// failed TrialResult instead of std::terminate tearing down the pool.
+TrialResult runContained(const Trial &T,
+                         const resilience::ResiliencePolicy &Policy) {
+  try {
+    return TrialRunner::runOne(T, Policy);
+  } catch (const std::exception &E) {
+    TrialResult Failed;
+    Failed.QosError = 1.0;
+    Failed.Outcome = resilience::TrialOutcome::Aborted;
+    Failed.FinalLevel = T.Config.Level;
+    Failed.EffectiveEnergyFactor = 0.0;
+    Failed.Error = E.what();
+    return Failed;
+  } catch (...) {
+    TrialResult Failed;
+    Failed.QosError = 1.0;
+    Failed.Outcome = resilience::TrialOutcome::Aborted;
+    Failed.FinalLevel = T.Config.Level;
+    Failed.EffectiveEnergyFactor = 0.0;
+    Failed.Error = "unknown exception escaped the trial";
+    return Failed;
+  }
+}
+
+} // namespace
+
+TrialResult TrialRunner::runOne(const Trial &T,
+                                const resilience::ResiliencePolicy &Policy) {
+  if (!Policy.Enabled)
+    return runOne(T);
+
+  apps::AppOutput Reference = apps::runPrecise(*T.App, T.WorkloadSeed);
+  FaultConfig Config = T.Config;
+  Config.OpBudgetOps = Policy.OpBudget;
+
+  TrialResult Result;
+  int LadderSteps = 0;
+  int Attempts = 0;
+  double EnergySum = 0.0;
+  for (;;) {
+    for (int Retry = 0; Retry <= Policy.MaxRetries; ++Retry) {
+      FaultConfig AttemptConfig = Config;
+      // Retry fault streams are pure functions of (config seed, attempt):
+      // runAttempt then folds in the workload seed, so the effective seed
+      // is mixSeed(mixSeed(config seed, attempt), workload seed). The
+      // first attempt keeps the unmixed seed — bit-identical to the
+      // no-policy path.
+      if (Retry > 0)
+        AttemptConfig.Seed =
+            mixSeed(Config.Seed, static_cast<uint64_t>(Retry));
+      Attempt A = runAttempt(*T.App, AttemptConfig, T.WorkloadSeed);
+      ++Attempts;
+      Result.Stats = A.Run.Stats;
+      Result.Energy = computeEnergy(A.Run.Stats, AttemptConfig);
+      Result.FinalLevel = AttemptConfig.Level;
+      Result.Error = A.Error;
+      EnergySum += Result.Energy.TotalFactor;
+
+      bool Sane = !A.Aborted && resilience::outputSane(
+                                    A.Run.Output.Numeric,
+                                    Policy.OutputAbsBound);
+      Result.QosError = (A.Aborted || !Sane)
+                            ? 1.0
+                            : T.App->qosError(Reference, A.Run.Output);
+      if (!A.Aborted && Sane && Result.QosError <= Policy.Slo) {
+        Result.Outcome = LadderSteps > 0
+                             ? resilience::TrialOutcome::Degraded
+                         : Attempts > 1 ? resilience::TrialOutcome::Retried
+                                        : resilience::TrialOutcome::Ok;
+        Result.Attempts = Attempts;
+        Result.EffectiveEnergyFactor = EnergySum;
+        return Result;
+      }
+      Result.Outcome = A.Aborted ? resilience::TrialOutcome::Aborted
+                                 : resilience::TrialOutcome::SloViolated;
+    }
+    if (!Policy.Degrade || Config.Level == ApproxLevel::None)
+      break;
+    Config = resilience::degradeConfig(Config);
+    ++LadderSteps;
+  }
+  // Every permitted attempt failed; Result holds the last attempt.
+  Result.Attempts = Attempts;
+  Result.EffectiveEnergyFactor = EnergySum;
   return Result;
 }
 
 std::vector<TrialResult> TrialRunner::run(
     const std::vector<Trial> &Trials) const {
+  return run(Trials, resilience::ResiliencePolicy{});
+}
+
+std::vector<TrialResult> TrialRunner::run(
+    const std::vector<Trial> &Trials,
+    const resilience::ResiliencePolicy &Policy) const {
   std::vector<TrialResult> Results(Trials.size());
   unsigned Workers = Threads;
   if (Workers > Trials.size())
@@ -38,7 +176,7 @@ std::vector<TrialResult> TrialRunner::run(
 
   if (Workers <= 1) {
     for (size_t I = 0; I < Trials.size(); ++I)
-      Results[I] = runOne(Trials[I]);
+      Results[I] = runContained(Trials[I], Policy);
     return Results;
   }
 
@@ -46,12 +184,12 @@ std::vector<TrialResult> TrialRunner::run(
   // disjoint result slots of the trials it claims, so no further
   // synchronization is needed until join.
   std::atomic<size_t> Next{0};
-  auto Worker = [&Trials, &Results, &Next]() {
+  auto Worker = [&Trials, &Results, &Next, &Policy]() {
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Trials.size())
         return;
-      Results[I] = runOne(Trials[I]);
+      Results[I] = runContained(Trials[I], Policy);
     }
   };
 

@@ -22,6 +22,20 @@
 /// bitwise identical for any thread count and any scheduling — the
 /// determinism suite pins this for all nine apps at all three levels.
 ///
+/// The runner is fault tolerant. Exceptions are caught at the trial
+/// boundary and reported as a failed trial (TrialOutcome::Aborted) —
+/// a throwing application can never tear down the pool. Under an active
+/// resilience::ResiliencePolicy a trial additionally becomes a recovery
+/// process: attempts that miss the QoS SLO, fail the output sanity
+/// check, or trip the simulator's op-budget watchdog are re-executed
+/// with retry fault streams keyed by mixSeed(config seed, attempt) —
+/// then mixSeed(·, workload seed) — and, when retries are exhausted,
+/// stepped down the deterministic degradation ladder. Every attempt is
+/// charged to EffectiveEnergyFactor, so re-execution honestly shrinks
+/// the claimed savings. Because the retry seeds are pure functions of
+/// the trial identity and the attempt number, the whole recovery process
+/// stays bitwise deterministic at any thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ENERJ_HARNESS_TRIAL_H
@@ -30,8 +44,10 @@
 #include "apps/app.h"
 #include "energy/model.h"
 #include "fault/config.h"
+#include "resilience/policy.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace enerj {
@@ -44,14 +60,31 @@ struct Trial {
   uint64_t WorkloadSeed = 1;
 };
 
-/// Everything one trial measures.
+/// Everything one trial measures. Stats/Energy/QosError describe the
+/// *recorded* run: the first accepted attempt under a policy, or the
+/// last attempt when every permitted attempt failed.
 struct TrialResult {
-  /// QoS error against the precise run of the same workload.
+  /// QoS error against the precise run of the same workload. An aborted
+  /// or insane (non-finite / out-of-bound) attempt scores 1.
   double QosError = 0.0;
-  /// Operation and storage statistics of the approximate run.
+  /// Operation and storage statistics of the recorded approximate run
+  /// (partial up to the abort point for aborted attempts).
   RunStats Stats;
-  /// The statistics priced at the trial's own config (Server setting).
+  /// The statistics priced at the recorded attempt's config (Server).
   EnergyReport Energy;
+
+  /// How the trial concluded (always Ok when no policy is active).
+  resilience::TrialOutcome Outcome = resilience::TrialOutcome::Ok;
+  /// Executions charged, >= 1 (1 = no re-execution).
+  int Attempts = 1;
+  /// Level of the recorded run — lower than the trial's configured level
+  /// when the degradation ladder was walked.
+  ApproxLevel FinalLevel = ApproxLevel::None;
+  /// Energy factor with re-execution charged: the sum of every attempt's
+  /// TotalFactor (== Energy.TotalFactor for a single-attempt trial).
+  double EffectiveEnergyFactor = 1.0;
+  /// Message of the contained exception, when one was caught.
+  std::string Error;
 };
 
 /// Runs trial lists over a fixed-size thread pool.
@@ -63,13 +96,26 @@ public:
 
   unsigned threads() const { return Threads; }
 
-  /// Runs one trial on the calling thread.
+  /// Runs one trial on the calling thread with no policy. May propagate
+  /// application exceptions; run() contains them at the trial boundary.
   static TrialResult runOne(const Trial &T);
+
+  /// Runs one trial under \p Policy: the SLO / sanity / watchdog checks
+  /// plus the retry-and-degrade recovery loop described in the header.
+  /// A disabled policy reduces to runOne(T), byte for byte.
+  static TrialResult runOne(const Trial &T,
+                            const resilience::ResiliencePolicy &Policy);
 
   /// Runs all trials, returning results in trial order. The output is a
   /// pure function of the trial list — thread count and scheduling do
-  /// not affect it.
+  /// not affect it. Exceptions escaping a trial are contained and
+  /// reported as TrialOutcome::Aborted; they never kill the process.
   std::vector<TrialResult> run(const std::vector<Trial> &Trials) const;
+
+  /// Same, with every trial executed under \p Policy.
+  std::vector<TrialResult>
+  run(const std::vector<Trial> &Trials,
+      const resilience::ResiliencePolicy &Policy) const;
 
 private:
   unsigned Threads;

@@ -1,0 +1,74 @@
+//===- resilience/policy.cpp - QoS-guarded resilience policy --------------===//
+
+#include "resilience/policy.h"
+
+#include <cmath>
+
+using namespace enerj;
+using namespace enerj::resilience;
+
+const char *enerj::resilience::trialOutcomeName(TrialOutcome Outcome) {
+  switch (Outcome) {
+  case TrialOutcome::Ok:
+    return "ok";
+  case TrialOutcome::SloViolated:
+    return "sloViolated";
+  case TrialOutcome::Aborted:
+    return "aborted";
+  case TrialOutcome::Retried:
+    return "retried";
+  case TrialOutcome::Degraded:
+    return "degraded";
+  }
+  return "unknown";
+}
+
+void OutcomeCounts::add(TrialOutcome Outcome) {
+  switch (Outcome) {
+  case TrialOutcome::Ok:
+    ++Ok;
+    return;
+  case TrialOutcome::SloViolated:
+    ++SloViolated;
+    return;
+  case TrialOutcome::Aborted:
+    ++Aborted;
+    return;
+  case TrialOutcome::Retried:
+    ++Retried;
+    return;
+  case TrialOutcome::Degraded:
+    ++Degraded;
+    return;
+  }
+}
+
+ApproxLevel enerj::resilience::degradeLevel(ApproxLevel Level) {
+  switch (Level) {
+  case ApproxLevel::Aggressive:
+    return ApproxLevel::Medium;
+  case ApproxLevel::Medium:
+    return ApproxLevel::Mild;
+  case ApproxLevel::Mild:
+  case ApproxLevel::None:
+    return ApproxLevel::None;
+  }
+  return ApproxLevel::None;
+}
+
+FaultConfig enerj::resilience::degradeConfig(const FaultConfig &Config) {
+  FaultConfig Degraded = Config;
+  Degraded.Level = degradeLevel(Config.Level);
+  return Degraded;
+}
+
+bool enerj::resilience::outputSane(std::span<const double> Numeric,
+                                   double AbsBound) {
+  for (double Value : Numeric) {
+    if (!std::isfinite(Value))
+      return false;
+    if (AbsBound > 0.0 && std::fabs(Value) > AbsBound)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,119 @@
+//===- resilience/policy.h - QoS-guarded resilience policy ------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime half of EnerJ's safety story. The type system statically
+/// isolates approximate data, but the evaluation still assumes every
+/// approximate run completes and produces a usable number — under the
+/// RandomValue error mode at Aggressive, corrupted data can drive runaway
+/// loops, non-finite outputs, and QoS collapse. Following the
+/// significance-aware runtimes of Vassiliadis et al. (arXiv:1412.5150) and
+/// the tolerance-contract view of Isenberg et al. (arXiv:1604.08784), a
+/// ResiliencePolicy turns the acceptable degradation into a checkable
+/// contract:
+///
+///  * a QoS SLO — the maximum acceptable output error of a trial;
+///  * an output sanity check — non-finite / out-of-range detection on the
+///    endorsed (observable) results;
+///  * a per-trial operation budget — a watchdog that aborts trials whose
+///    control flow was corrupted into a spin (resilience/trial_abort.h);
+///  * a deterministic degradation ladder — Aggressive -> Medium -> Mild ->
+///    None — walked when retries at the current level are exhausted.
+///
+/// Re-execution is honest: every attempt is charged, so the effective
+/// energy of a retried trial shrinks the claimed savings. Retry fault
+/// streams are pure functions of (config seed, workload seed, attempt), so
+/// the whole recovery process is bitwise deterministic at any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_RESILIENCE_POLICY_H
+#define ENERJ_RESILIENCE_POLICY_H
+
+#include "fault/config.h"
+
+#include <cstdint>
+#include <span>
+
+namespace enerj {
+namespace resilience {
+
+/// How one trial concluded under a resilience policy.
+enum class TrialOutcome {
+  Ok,          ///< First attempt met the contract (or no policy active).
+  SloViolated, ///< Every permitted attempt missed the SLO / sanity check.
+  Aborted,     ///< Last attempt hit the op budget or threw; none recovered.
+  Retried,     ///< Recovered by re-execution at the original level.
+  Degraded,    ///< Recovered by stepping down the degradation ladder.
+};
+
+/// Human-readable name ("ok", "sloViolated", ...) as used in the JSON.
+const char *trialOutcomeName(TrialOutcome Outcome);
+
+/// Per-cell outcome histogram (the JSON v2 "outcomes" object).
+struct OutcomeCounts {
+  uint64_t Ok = 0;
+  uint64_t SloViolated = 0;
+  uint64_t Aborted = 0;
+  uint64_t Retried = 0;
+  uint64_t Degraded = 0;
+
+  void add(TrialOutcome Outcome);
+  uint64_t total() const {
+    return Ok + SloViolated + Aborted + Retried + Degraded;
+  }
+  /// Trials that ended with an acceptable output (Ok/Retried/Degraded).
+  uint64_t accepted() const { return Ok + Retried + Degraded; }
+};
+
+/// The tolerance contract one evaluation enforces. Default-constructed
+/// policies are disabled: the harness then measures exactly as it always
+/// did, byte for byte.
+struct ResiliencePolicy {
+  /// Master switch; the CLI sets it when any resilience flag is given.
+  bool Enabled = false;
+
+  /// Maximum acceptable QoS error of an accepted trial, in [0, 1]. The
+  /// default accepts everything (all metrics are clamped to [0, 1]).
+  double Slo = 1.0;
+
+  /// Output sanity bound: an accepted trial's numeric outputs must all be
+  /// finite and, when this is positive, have magnitude <= the bound.
+  /// 0 means "finite is enough".
+  double OutputAbsBound = 0.0;
+
+  /// Re-executions permitted at each ladder level beyond the first
+  /// attempt. 0 means a failing attempt degrades (or gives up) at once.
+  int MaxRetries = 0;
+
+  /// Per-trial simulator operation budget (FaultConfig::OpBudgetOps);
+  /// 0 means no watchdog.
+  uint64_t OpBudget = 0;
+
+  /// Whether exhausting the retries at one level steps down the
+  /// degradation ladder. At ApproxLevel::None execution is precise, so a
+  /// full walk always terminates with an exact (zero-error) output.
+  bool Degrade = true;
+};
+
+/// One deterministic step down the ladder:
+/// Aggressive -> Medium -> Mild -> None; None stays None.
+ApproxLevel degradeLevel(ApproxLevel Level);
+
+/// \p Config with its level stepped down one rung; every other knob
+/// (error mode, strategy toggles, seed, overrides) is preserved. Note
+/// that absolute fine-grained overrides do not scale with the level.
+FaultConfig degradeConfig(const FaultConfig &Config);
+
+/// The output sanity check: true iff every entry of \p Numeric is finite
+/// and, when \p AbsBound > 0, has |entry| <= AbsBound. An empty span is
+/// vacuously sane (text/decision outputs are checked by their QoS metric).
+bool outputSane(std::span<const double> Numeric, double AbsBound);
+
+} // namespace resilience
+} // namespace enerj
+
+#endif // ENERJ_RESILIENCE_POLICY_H

@@ -1,0 +1,59 @@
+//===- resilience/trial_abort.h - Typed watchdog abort ----------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed exception the Simulator watchdog throws when a trial exceeds
+/// its operation budget (resilience/policy.h). Approximate faults under the
+/// RandomValue error mode can corrupt loop bounds and induction variables,
+/// turning a bounded kernel into an unbounded spin; the watchdog converts
+/// that control-flow corruption into a catchable, attributable event at the
+/// trial boundary instead of a hung worker thread.
+///
+/// Header-only so the runtime can throw it without linking the policy
+/// library (the runtime never consults a policy — it only enforces the
+/// budget it was configured with).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_RESILIENCE_TRIAL_ABORT_H
+#define ENERJ_RESILIENCE_TRIAL_ABORT_H
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace enerj {
+namespace resilience {
+
+/// Thrown by the Simulator when a trial's operation count exceeds its
+/// configured budget (FaultConfig::OpBudgetOps). The watchdog disarms
+/// itself before throwing, so operations executed during unwinding (or by
+/// code that catches and continues on the same simulator) never rethrow.
+class TrialAbort : public std::exception {
+public:
+  TrialAbort(uint64_t BudgetOps, uint64_t ExecutedOps)
+      : Budget(BudgetOps), Executed(ExecutedOps),
+        Message("trial exceeded its operation budget (" +
+                std::to_string(ExecutedOps) + " ops > budget of " +
+                std::to_string(BudgetOps) + ")") {}
+
+  const char *what() const noexcept override { return Message.c_str(); }
+
+  /// The budget that was exceeded.
+  uint64_t budget() const { return Budget; }
+  /// The operation count at the moment the watchdog fired.
+  uint64_t executed() const { return Executed; }
+
+private:
+  uint64_t Budget;
+  uint64_t Executed;
+  std::string Message;
+};
+
+} // namespace resilience
+} // namespace enerj
+
+#endif // ENERJ_RESILIENCE_TRIAL_ABORT_H

@@ -2,12 +2,22 @@
 
 #include "runtime/simulator.h"
 
+#include "resilience/trial_abort.h"
+
 #include <cstdio>
 #include <cstdlib>
 
 namespace enerj {
 
 thread_local Simulator *Simulator::Current = nullptr;
+
+void Simulator::overBudget() {
+  uint64_t Budget = OpBudget;
+  // Disarm first: operations executed while unwinding (or after a caller
+  // catches the abort to snapshot partial stats) must not rethrow.
+  OpBudget = 0;
+  throw resilience::TrialAbort(Budget, Ledger.now());
+}
 
 void Simulator::failCrossThreadInstall() const {
   std::fprintf(stderr,

@@ -49,7 +49,7 @@ public:
   explicit Simulator(const FaultConfig &Config)
       : Config(Config), R(Config.Seed), Sram(this->Config),
         Dram(this->Config), FpWidth(this->Config), IntTiming(this->Config),
-        FpTiming(this->Config) {}
+        FpTiming(this->Config), OpBudget(this->Config.OpBudgetOps) {}
 
   Simulator(const Simulator &) = delete;
   Simulator &operator=(const Simulator &) = delete;
@@ -67,6 +67,7 @@ public:
     checkOwner();
     ++Ops.PreciseInt;
     Ledger.tick();
+    watchdog();
   }
 
   /// Records a precise FP operation (no fault injection).
@@ -74,6 +75,7 @@ public:
     checkOwner();
     ++Ops.PreciseFp;
     Ledger.tick();
+    watchdog();
   }
 
   /// Finishes an approximate operation producing \p Correct: counts one
@@ -89,6 +91,7 @@ public:
     else
       ++Ops.ApproxInt;
     Ledger.tick();
+    watchdog();
     TimingModel &Unit = IsFp ? FpTiming : IntTiming;
     return fromBits<ResultT>(
         Unit.onResult(toBits(Correct), bitWidth<ResultT>(), R));
@@ -136,6 +139,7 @@ public:
     T Result =
         fromBits<T>(Dram.onAccess(toBits(Stored), bitWidth<T>(), Elapsed, R));
     Ledger.tick();
+    watchdog();
     return Result;
   }
 
@@ -193,6 +197,20 @@ private:
   /// free of <cstdio>.
   [[noreturn]] void failCrossThreadInstall() const;
 
+  /// Watchdog: aborts the run with resilience::TrialAbort once the clock
+  /// passes the configured operation budget (FaultConfig::OpBudgetOps;
+  /// 0 = unarmed). Called after every clock tick. Disarms itself before
+  /// throwing, so destructors running during unwinding — and any code
+  /// that catches the abort and keeps using this simulator, e.g. to
+  /// snapshot the partial stats — can tick freely without rethrowing.
+  void watchdog() {
+    if (OpBudget != 0 && Ledger.now() > OpBudget)
+      overBudget();
+  }
+
+  /// Out of line: disarms the watchdog and throws resilience::TrialAbort.
+  [[noreturn]] void overBudget();
+
   std::atomic<std::thread::id> Owner{};
 
   FaultConfig Config;
@@ -204,6 +222,7 @@ private:
   FpWidthModel FpWidth;
   TimingModel IntTiming;
   TimingModel FpTiming;
+  uint64_t OpBudget = 0;
 };
 
 /// RAII installer for the thread-local current simulator.

@@ -1,0 +1,120 @@
+//===- tests/cli_eval_test.cpp - fenerj_tool eval CLI contract ------------===//
+//
+// Black-box tests of the eval subcommand's argument validation: every
+// malformed or unknown argument must produce a clear diagnostic and a
+// nonzero exit, never a silent fallback (historically `--apps ""` ran
+// the full nine-app grid and `--seeds 5x` parsed as 5). The binary path
+// comes from CMake via ENERJ_FENERJ_TOOL.
+//
+//===----------------------------------------------------------------------===//
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+
+#ifndef ENERJ_FENERJ_TOOL
+#error "ENERJ_FENERJ_TOOL must point at the fenerj_tool binary"
+#endif
+
+namespace {
+
+/// Runs the tool with the given argument string; returns its exit code
+/// and captures combined stdout+stderr into Output.
+int runTool(const std::string &Args, std::string &Output) {
+  std::string Command =
+      std::string("\"") + ENERJ_FENERJ_TOOL + "\" " + Args + " 2>&1";
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  Output.clear();
+  std::array<char, 4096> Buffer;
+  size_t Read;
+  while ((Read = fread(Buffer.data(), 1, Buffer.size(), Pipe)) > 0)
+    Output.append(Buffer.data(), Read);
+  int Status = pclose(Pipe);
+  if (Status == -1)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+int runTool(const std::string &Args) {
+  std::string Discard;
+  return runTool(Args, Discard);
+}
+
+} // namespace
+
+TEST(CliEval, RejectsUnknownApp) {
+  std::string Output;
+  EXPECT_EQ(runTool("eval --apps nosuchapp --seeds 1", Output), 2);
+  EXPECT_NE(Output.find("nosuchapp"), std::string::npos);
+}
+
+TEST(CliEval, RejectsEmptyAppList) {
+  // Historically `--apps ""` fell through to the full grid.
+  std::string Output;
+  EXPECT_EQ(runTool("eval --apps \"\" --seeds 1", Output), 2);
+  EXPECT_NE(Output.find("--apps"), std::string::npos);
+}
+
+TEST(CliEval, RejectsUnknownLevel) {
+  std::string Output;
+  EXPECT_EQ(runTool("eval --levels extreme --seeds 1", Output), 2);
+  EXPECT_NE(Output.find("extreme"), std::string::npos);
+}
+
+TEST(CliEval, RejectsEmptyLevelList) {
+  EXPECT_EQ(runTool("eval --levels \"\" --seeds 1"), 2);
+}
+
+TEST(CliEval, RejectsMalformedSeeds) {
+  EXPECT_EQ(runTool("eval --seeds abc"), 2);
+  EXPECT_EQ(runTool("eval --seeds 5x"), 2); // strtol would accept this.
+  EXPECT_EQ(runTool("eval --seeds 0"), 2);
+  EXPECT_EQ(runTool("eval --seeds -3"), 2);
+  EXPECT_EQ(runTool("eval --seeds"), 2); // Missing value.
+}
+
+TEST(CliEval, RejectsMalformedThreads) {
+  EXPECT_EQ(runTool("eval --seeds 1 --threads x"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --threads -1"), 2);
+}
+
+TEST(CliEval, RejectsMalformedPolicyFlags) {
+  EXPECT_EQ(runTool("eval --seeds 1 --slo 1.5"), 2);  // Out of [0, 1].
+  EXPECT_EQ(runTool("eval --seeds 1 --slo abc"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --slo nan"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --max-retries -1"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --op-budget 0"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --op-budget -5"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --output-bound -1"), 2);
+}
+
+TEST(CliEval, RejectsUnknownFlag) {
+  std::string Output;
+  EXPECT_EQ(runTool("eval --frobnicate", Output), 2);
+  EXPECT_NE(Output.find("frobnicate"), std::string::npos);
+}
+
+TEST(CliEval, SmallGridSucceedsWithSchemaV2) {
+  std::string Output;
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 --json",
+                    Output),
+            0);
+  EXPECT_NE(Output.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(Output.find("\"enabled\":false"), std::string::npos);
+  EXPECT_NE(Output.find("\"outcomes\""), std::string::npos);
+}
+
+TEST(CliEval, PolicyFlagsReachTheReport) {
+  std::string Output;
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "
+                    "--slo 1.0 --max-retries 2 --op-budget 100000000 --json",
+                    Output),
+            0);
+  EXPECT_NE(Output.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(Output.find("\"maxRetries\":2"), std::string::npos);
+  EXPECT_NE(Output.find("\"opBudget\":100000000"), std::string::npos);
+}

@@ -67,6 +67,15 @@ void expectBitwiseEqual(const std::vector<TrialResult> &A,
               bitsOf(B[I].Stats.Storage.DramApprox));
     EXPECT_EQ(bitsOf(A[I].Energy.TotalFactor),
               bitsOf(B[I].Energy.TotalFactor));
+    // Resilience verdicts are part of the bitwise contract too: which
+    // attempt was accepted, after how many tries, at which ladder rung,
+    // and what the re-execution cost was.
+    EXPECT_EQ(A[I].Outcome, B[I].Outcome);
+    EXPECT_EQ(A[I].Attempts, B[I].Attempts);
+    EXPECT_EQ(A[I].FinalLevel, B[I].FinalLevel);
+    EXPECT_EQ(bitsOf(A[I].EffectiveEnergyFactor),
+              bitsOf(B[I].EffectiveEnergyFactor));
+    EXPECT_EQ(A[I].Error, B[I].Error);
   }
 }
 
@@ -109,6 +118,63 @@ TEST(TrialRunnerDeterminism, RepeatedRunsAreBitwiseStable) {
   std::string First = renderEvalJson(runEval(Options));
   std::string Second = renderEvalJson(runEval(Options));
   EXPECT_EQ(First, Second);
+}
+
+TEST(TrialRunnerDeterminism, ResilientRecoveryAcrossThreadCounts) {
+  // With an active policy, retry and degradation decisions depend only
+  // on the trial, never on scheduling: outcomes, attempt counts, final
+  // ladder levels, and retry-adjusted energy must be bitwise identical
+  // at any thread count. The tight SLO forces real interventions.
+  std::vector<Trial> Trials;
+  for (const char *Name : {"fft", "sor", "montecarlo"}) {
+    const apps::Application *App = apps::findApplication(Name);
+    ASSERT_NE(App, nullptr);
+    for (ApproxLevel Level : {ApproxLevel::Medium, ApproxLevel::Aggressive}) {
+      FaultConfig Config = FaultConfig::preset(Level);
+      for (int Seed = 1; Seed <= SeedsPerCell; ++Seed)
+        Trials.push_back({App, Config, static_cast<uint64_t>(Seed)});
+    }
+  }
+  resilience::ResiliencePolicy Policy;
+  Policy.Enabled = true;
+  Policy.Slo = 0.02;
+  Policy.MaxRetries = 1;
+  Policy.OpBudget = 500000000;
+
+  std::vector<TrialResult> OneThread = TrialRunner(1).run(Trials, Policy);
+  // Sanity: the policy must actually have intervened somewhere,
+  // otherwise this test degenerates to the plain-path one above.
+  bool Intervened = false;
+  for (const TrialResult &R : OneThread)
+    Intervened |= R.Outcome != resilience::TrialOutcome::Ok;
+  EXPECT_TRUE(Intervened);
+
+  std::vector<TrialResult> FourThreads = TrialRunner(4).run(Trials, Policy);
+  expectBitwiseEqual(OneThread, FourThreads, Trials);
+
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  std::vector<TrialResult> HardwareThreads =
+      TrialRunner(Hardware).run(Trials, Policy);
+  expectBitwiseEqual(OneThread, HardwareThreads, Trials);
+}
+
+TEST(TrialRunnerDeterminism, ResilientEvalJsonIdenticalAcrossThreads) {
+  // End to end through the aggregation and the renderer: a policy-armed
+  // eval serializes to the same bytes at any thread count.
+  EvalOptions Options;
+  Options.Apps = {apps::findApplication("fft")};
+  Options.Levels = {ApproxLevel::Aggressive};
+  Options.Seeds = 2;
+  Options.Policy.Enabled = true;
+  Options.Policy.Slo = 0.05;
+  Options.Policy.MaxRetries = 1;
+  Options.Threads = 1;
+  std::string Serial = renderEvalJson(runEval(Options));
+  Options.Threads = 4;
+  std::string Parallel = renderEvalJson(runEval(Options));
+  EXPECT_EQ(Serial, Parallel);
 }
 
 TEST(TrialRunnerDeterminism, CellAggregationMatchesSerialMean) {

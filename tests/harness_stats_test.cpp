@@ -80,11 +80,19 @@ EvalResult fixtureResult() {
   Result.Apps = {App};
   Result.Levels = {ApproxLevel::Mild};
   Result.Seeds = 2;
+  Result.Policy.Enabled = true;
+  Result.Policy.Slo = 0.25;
+  Result.Policy.MaxRetries = 2;
+  Result.Policy.OpBudget = 1000;
   EvalCell Cell;
   Cell.App = App;
   Cell.Level = ApproxLevel::Mild;
   Cell.Qos = TrialStats::over({0.25, 0.75});
   Cell.EnergyFactor = TrialStats::over({0.5, 0.5});
+  Cell.EffectiveEnergy = TrialStats::over({0.5, 0.5});
+  Cell.Outcomes.Ok = 1;
+  Cell.Outcomes.Retried = 1;
+  Cell.Retries = 1;
   Cell.Seed1.QosError = 0.25;
   Cell.Seed1.Stats.Ops.PreciseInt = 10;
   Cell.Seed1.Stats.Ops.ApproxInt = 20;
@@ -103,11 +111,15 @@ EvalResult fixtureResult() {
 
 TEST(EvalRender, JsonSchemaIsStable) {
   // Key names, key order, and the nesting are the tool's contract with
-  // CI; only a version bump may change them. Samples 0.25/0.75: mean
-  // 0.5, stddev sqrt(0.125), ci95 = 1.96 * stddev / sqrt(2) (0.49 up
-  // to rounding).
+  // CI; only a version bump may change them. Version 2 added the
+  // top-level "policy" object and the per-cell "effectiveEnergy",
+  // "outcomes", and "retries" fields. Samples 0.25/0.75: mean 0.5,
+  // stddev sqrt(0.125), ci95 = 1.96 * stddev / sqrt(2) (0.49 up to
+  // rounding).
   std::string Expected =
-      "{\"tool\":\"enerj-eval\",\"version\":1,\"seeds\":2,"
+      "{\"tool\":\"enerj-eval\",\"version\":2,\"seeds\":2,"
+      "\"policy\":{\"enabled\":true,\"slo\":0.25,\"outputBound\":0,"
+      "\"maxRetries\":2,\"opBudget\":1000,\"degrade\":true},"
       "\"levels\":[\"mild\"],\"apps\":[{\"name\":\"montecarlo\","
       "\"cells\":[{\"level\":\"mild\","
       "\"qos\":{\"count\":2,\"mean\":0.5,"
@@ -115,6 +127,10 @@ TEST(EvalRender, JsonSchemaIsStable) {
       "\"ci95\":0.48999999999999994},"
       "\"energy\":{\"count\":2,\"mean\":0.5,\"stddev\":0,\"min\":0.5,"
       "\"max\":0.5,\"ci95\":0},"
+      "\"effectiveEnergy\":{\"count\":2,\"mean\":0.5,\"stddev\":0,"
+      "\"min\":0.5,\"max\":0.5,\"ci95\":0},"
+      "\"outcomes\":{\"ok\":1,\"sloViolated\":0,\"aborted\":0,"
+      "\"retried\":1,\"degraded\":0},\"retries\":1,"
       "\"ops\":{\"preciseInt\":10,\"approxInt\":20,\"preciseFp\":30,"
       "\"approxFp\":40,\"timingErrors\":5},"
       "\"storage\":{\"sramPrecise\":1.5,\"sramApprox\":2.5,"

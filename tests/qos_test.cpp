@@ -95,6 +95,40 @@ TEST(Qos, MeanPixelDifferenceDegenerate) {
   EXPECT_DOUBLE_EQ(qos::meanPixelDifference(A, A, 0.0), 1.0);
 }
 
+TEST(Qos, NonFiniteEntriesClampWithoutPoisoningTheMean) {
+  // Each non-finite entry contributes exactly its worst case (1.0) to
+  // the mean — it must never NaN-poison the sum and drag finite
+  // entries' contributions along with it.
+  const double Inf = std::numeric_limits<double>::infinity();
+  std::vector<double> P = {0.0, 0.0, 0.0, 0.0};
+  std::vector<double> D = {0.0, std::nan(""), Inf, -Inf};
+  EXPECT_DOUBLE_EQ(qos::meanEntryDifference(P, D), 0.75);
+  EXPECT_DOUBLE_EQ(qos::meanNormalizedDifference(P, D), 0.75);
+  EXPECT_DOUBLE_EQ(qos::meanPixelDifference(P, D, 1.0), 0.75);
+}
+
+TEST(Qos, NonFiniteBaselineClampsTheSameWay) {
+  // A NaN on the *precise* side (a degenerate reference) is clamped
+  // identically — the difference is non-finite either way.
+  std::vector<double> P = {std::nan(""), 1.0};
+  std::vector<double> D = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(qos::meanEntryDifference(P, D), 0.5);
+  EXPECT_DOUBLE_EQ(qos::meanNormalizedDifference(P, D), 0.5);
+  EXPECT_DOUBLE_EQ(qos::meanPixelDifference(P, D, 1.0), 0.5);
+}
+
+TEST(Qos, AllNaNOutputIsExactlyWorstCase) {
+  // The degenerate case an aborted or wildly corrupted trial produces:
+  // every entry NaN. The metrics must report exactly 1.0, not NaN.
+  std::vector<double> P = {1.0, 2.0, 3.0};
+  std::vector<double> D(3, std::nan(""));
+  EXPECT_DOUBLE_EQ(qos::meanEntryDifference(P, D), 1.0);
+  EXPECT_DOUBLE_EQ(qos::meanNormalizedDifference(P, D), 1.0);
+  EXPECT_DOUBLE_EQ(qos::meanPixelDifference(P, D, 255.0), 1.0);
+  EXPECT_DOUBLE_EQ(qos::normalizedDifference(std::nan(""), std::nan("")),
+                   1.0);
+}
+
 TEST(Qos, AllMetricsBounded) {
   // Property: whatever garbage goes in, the error is in [0, 1].
   std::vector<double> A = {1e308, -1e308, std::nan(""), 0.0};

@@ -1,0 +1,372 @@
+//===- tests/resilience_test.cpp - Resilience runtime unit tests ----------===//
+//
+// The QoS-guarded recovery layer: policy primitives (degradation ladder,
+// output sanity, outcome accounting), the Simulator op-budget watchdog
+// (typed TrialAbort, partial stats, self-disarm), fault containment at
+// the trial boundary (the regression for the std::terminate bug: a
+// throwing application must report a failed trial, never kill the
+// process), and the retry / degradation semantics of the policy-aware
+// TrialRunner, including honest energy accounting for re-execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/trial.h"
+#include "resilience/policy.h"
+#include "resilience/trial_abort.h"
+#include "runtime/simulator.h"
+#include "support/rng.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
+#include <stdexcept>
+
+using namespace enerj;
+using namespace enerj::harness;
+using resilience::ResiliencePolicy;
+using resilience::TrialOutcome;
+
+namespace {
+
+/// Base test double: numeric output, mean-absolute-difference QoS.
+class FakeApp : public apps::Application {
+public:
+  const char *name() const override { return "fake"; }
+  const char *description() const override { return "test double"; }
+  const char *qosMetricName() const override {
+    return "mean entry difference";
+  }
+  apps::AnnotationStats annotations() const override { return {}; }
+  double qosError(const apps::AppOutput &Precise,
+                  const apps::AppOutput &Degraded) const override {
+    if (Precise.Numeric.size() != Degraded.Numeric.size())
+      return 1.0;
+    double Sum = 0.0;
+    for (size_t I = 0; I < Precise.Numeric.size(); ++I) {
+      double Diff = std::fabs(Precise.Numeric[I] - Degraded.Numeric[I]);
+      Sum += std::isfinite(Diff) ? std::min(Diff, 1.0) : 1.0;
+    }
+    return Precise.Numeric.empty() ? 0.0 : Sum / Precise.Numeric.size();
+  }
+};
+
+/// Throws from inside the trial whenever a simulator is installed (the
+/// precise reference run stays clean).
+class ThrowingApp : public FakeApp {
+public:
+  apps::AppOutput run(uint64_t) const override {
+    if (Simulator::current())
+      throw std::runtime_error("deliberate trial failure");
+    return {{1.0}, {}, {}};
+  }
+};
+
+/// Spins "forever" under a simulator — the control-flow-corruption
+/// stand-in the watchdog exists for. A safety cap keeps the test finite
+/// even if the watchdog were broken.
+class SpinApp : public FakeApp {
+public:
+  apps::AppOutput run(uint64_t) const override {
+    Simulator *Sim = Simulator::current();
+    if (!Sim)
+      return {{1.0}, {}, {}};
+    for (uint64_t I = 0; I < 100000000ULL; ++I)
+      Sim->countPreciseInt();
+    return {{-1.0}, {}, {}};
+  }
+};
+
+/// Produces a non-finite output at Aggressive only; finite (and exactly
+/// equal to the precise reference) at every lower ladder level.
+class LevelSensitiveApp : public FakeApp {
+public:
+  apps::AppOutput run(uint64_t) const override {
+    Simulator *Sim = Simulator::current();
+    if (Sim && Sim->config().Level == ApproxLevel::Aggressive)
+      return {{std::numeric_limits<double>::infinity()}, {}, {}};
+    return {{1.0}, {}, {}};
+  }
+};
+
+/// Produces NaN exactly when the simulator's fault stream is the one
+/// seeded for a specific attempt — lets a test force "first attempt
+/// fails, retry succeeds" deterministically.
+class SeedSensitiveApp : public FakeApp {
+public:
+  explicit SeedSensitiveApp(uint64_t BadSeed) : BadSeed(BadSeed) {}
+  apps::AppOutput run(uint64_t) const override {
+    Simulator *Sim = Simulator::current();
+    if (Sim && Sim->config().Seed == BadSeed)
+      return {{std::numeric_limits<double>::quiet_NaN()}, {}, {}};
+    return {{1.0}, {}, {}};
+  }
+
+private:
+  uint64_t BadSeed;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Policy primitives
+//===----------------------------------------------------------------------===//
+
+TEST(ResiliencePolicy, DegradationLadderIsDeterministic) {
+  EXPECT_EQ(resilience::degradeLevel(ApproxLevel::Aggressive),
+            ApproxLevel::Medium);
+  EXPECT_EQ(resilience::degradeLevel(ApproxLevel::Medium),
+            ApproxLevel::Mild);
+  EXPECT_EQ(resilience::degradeLevel(ApproxLevel::Mild), ApproxLevel::None);
+  EXPECT_EQ(resilience::degradeLevel(ApproxLevel::None), ApproxLevel::None);
+}
+
+TEST(ResiliencePolicy, DegradeConfigPreservesEverythingButTheLevel) {
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Aggressive,
+                                           ErrorMode::SingleBitFlip);
+  Config.Seed = 1234;
+  Config.EnableDram = false;
+  FaultConfig Degraded = resilience::degradeConfig(Config);
+  EXPECT_EQ(Degraded.Level, ApproxLevel::Medium);
+  EXPECT_EQ(Degraded.Mode, ErrorMode::SingleBitFlip);
+  EXPECT_EQ(Degraded.Seed, 1234u);
+  EXPECT_FALSE(Degraded.EnableDram);
+}
+
+TEST(ResiliencePolicy, OutputSanity) {
+  const double Inf = std::numeric_limits<double>::infinity();
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> Fine = {0.0, -3.5, 1e9};
+  std::vector<double> HasNaN = {0.0, NaN};
+  std::vector<double> HasInf = {0.0, -Inf};
+  EXPECT_TRUE(resilience::outputSane(Fine, 0.0));
+  EXPECT_FALSE(resilience::outputSane(HasNaN, 0.0));
+  EXPECT_FALSE(resilience::outputSane(HasInf, 0.0));
+  // A positive bound additionally rejects large-but-finite values.
+  EXPECT_FALSE(resilience::outputSane(Fine, 100.0));
+  EXPECT_TRUE(resilience::outputSane(Fine, 1e9));
+  // Empty output is vacuously sane.
+  EXPECT_TRUE(resilience::outputSane({}, 0.0));
+}
+
+TEST(ResiliencePolicy, OutcomeCountsAccounting) {
+  resilience::OutcomeCounts Counts;
+  Counts.add(TrialOutcome::Ok);
+  Counts.add(TrialOutcome::Ok);
+  Counts.add(TrialOutcome::Retried);
+  Counts.add(TrialOutcome::Degraded);
+  Counts.add(TrialOutcome::Aborted);
+  Counts.add(TrialOutcome::SloViolated);
+  EXPECT_EQ(Counts.Ok, 2u);
+  EXPECT_EQ(Counts.total(), 6u);
+  EXPECT_EQ(Counts.accepted(), 4u);
+  EXPECT_STREQ(resilience::trialOutcomeName(TrialOutcome::SloViolated),
+               "sloViolated");
+  EXPECT_STREQ(resilience::trialOutcomeName(TrialOutcome::Degraded),
+               "degraded");
+}
+
+//===----------------------------------------------------------------------===//
+// Simulator watchdog
+//===----------------------------------------------------------------------===//
+
+TEST(Watchdog, AbortsPastTheOpBudget) {
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+  Config.OpBudgetOps = 10;
+  Simulator Sim(Config);
+  for (int I = 0; I < 10; ++I)
+    Sim.countPreciseInt();
+  EXPECT_THROW(Sim.countPreciseInt(), resilience::TrialAbort);
+}
+
+TEST(Watchdog, CarriesBudgetAndOpCountAndDisarms) {
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+  Config.OpBudgetOps = 5;
+  Simulator Sim(Config);
+  try {
+    for (int I = 0; I < 100; ++I)
+      Sim.countPreciseFp();
+    FAIL() << "watchdog never fired";
+  } catch (const resilience::TrialAbort &Abort) {
+    EXPECT_EQ(Abort.budget(), 5u);
+    EXPECT_EQ(Abort.executed(), 6u);
+    EXPECT_NE(std::string(Abort.what()).find("budget"), std::string::npos);
+  }
+  // Partial statistics survive the abort — aborted work is charged.
+  EXPECT_EQ(Sim.stats().Ops.PreciseFp, 6u);
+  // The watchdog disarmed itself: post-abort operations (unwinding
+  // destructors, stats snapshots) never rethrow.
+  for (int I = 0; I < 100; ++I)
+    EXPECT_NO_THROW(Sim.countPreciseInt());
+}
+
+TEST(Watchdog, ZeroBudgetMeansUnlimited) {
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+  Simulator Sim(Config);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_NO_THROW(Sim.countPreciseInt());
+}
+
+//===----------------------------------------------------------------------===//
+// Fault containment at the trial boundary (the std::terminate regression)
+//===----------------------------------------------------------------------===//
+
+TEST(TrialContainment, ThrowingTrialNeverKillsThePool) {
+  ThrowingApp Bad;
+  const apps::Application *Good = apps::findApplication("montecarlo");
+  ASSERT_NE(Good, nullptr);
+  std::vector<Trial> Trials = {
+      {&Bad, FaultConfig::preset(ApproxLevel::Medium), 1},
+      {Good, FaultConfig::preset(ApproxLevel::Mild), 1},
+  };
+  // Parallel: before containment, the escaped exception called
+  // std::terminate from the worker thread body.
+  std::vector<TrialResult> Results = TrialRunner(2).run(Trials);
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_EQ(Results[0].Outcome, TrialOutcome::Aborted);
+  EXPECT_EQ(Results[0].QosError, 1.0);
+  EXPECT_NE(Results[0].Error.find("deliberate"), std::string::npos);
+  EXPECT_EQ(Results[1].Outcome, TrialOutcome::Ok);
+  EXPECT_TRUE(Results[1].Error.empty());
+
+  // Inline (single-thread) path contains identically.
+  std::vector<TrialResult> Serial = TrialRunner(1).run(Trials);
+  EXPECT_EQ(Serial[0].Outcome, TrialOutcome::Aborted);
+  EXPECT_EQ(Serial[1].Outcome, TrialOutcome::Ok);
+}
+
+TEST(TrialContainment, WatchdogAbortIsContainedWithoutAPolicy) {
+  // An op budget set directly on the trial's config (no policy layer at
+  // all) aborts the spin and is still contained at the boundary.
+  SpinApp Spinner;
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+  Config.OpBudgetOps = 1000;
+  std::vector<TrialResult> Results =
+      TrialRunner(1).run({{&Spinner, Config, 1}});
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_EQ(Results[0].Outcome, TrialOutcome::Aborted);
+  EXPECT_NE(Results[0].Error.find("budget"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Policy-aware execution: retry, degrade, honest energy
+//===----------------------------------------------------------------------===//
+
+TEST(ResilientRunner, DisabledPolicyIsByteIdenticalToThePlainPath) {
+  const apps::Application *App = apps::findApplication("fft");
+  ASSERT_NE(App, nullptr);
+  Trial T{App, FaultConfig::preset(ApproxLevel::Mild), 1};
+  TrialResult Plain = TrialRunner::runOne(T);
+  TrialResult UnderPolicy = TrialRunner::runOne(T, ResiliencePolicy{});
+  EXPECT_EQ(Plain.QosError, UnderPolicy.QosError);
+  EXPECT_EQ(Plain.Stats.Ops.ApproxFp, UnderPolicy.Stats.Ops.ApproxFp);
+  EXPECT_EQ(Plain.Energy.TotalFactor, UnderPolicy.Energy.TotalFactor);
+  EXPECT_EQ(UnderPolicy.Outcome, TrialOutcome::Ok);
+  EXPECT_EQ(UnderPolicy.Attempts, 1);
+}
+
+TEST(ResilientRunner, LaxEnabledPolicyMatchesThePlainMeasurement) {
+  // An enabled policy whose contract the first attempt satisfies must
+  // not perturb the measurement: same fault stream, same numbers.
+  // (montecarlo, not sor: sor's corrupted iterations genuinely diverge
+  // to non-finite values at Medium, so the sanity check intervenes.)
+  const apps::Application *App = apps::findApplication("montecarlo");
+  ASSERT_NE(App, nullptr);
+  Trial T{App, FaultConfig::preset(ApproxLevel::Medium), 2};
+  ResiliencePolicy Lax;
+  Lax.Enabled = true; // Slo 1.0 accepts everything finite.
+  TrialResult Plain = TrialRunner::runOne(T);
+  TrialResult UnderPolicy = TrialRunner::runOne(T, Lax);
+  EXPECT_EQ(Plain.QosError, UnderPolicy.QosError);
+  EXPECT_EQ(Plain.Stats.Ops.ApproxInt, UnderPolicy.Stats.Ops.ApproxInt);
+  EXPECT_EQ(Plain.Energy.TotalFactor, UnderPolicy.Energy.TotalFactor);
+  EXPECT_EQ(UnderPolicy.EffectiveEnergyFactor, Plain.Energy.TotalFactor);
+  EXPECT_EQ(UnderPolicy.Attempts, 1);
+  EXPECT_EQ(UnderPolicy.Outcome, TrialOutcome::Ok);
+}
+
+TEST(ResilientRunner, RetryRecoversWithADecorrelatedFaultStream) {
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+  Config.Seed = 99;
+  const uint64_t WorkloadSeed = 7;
+  // The first attempt's effective stream seed is mixSeed(config, workload);
+  // make exactly that attempt fail.
+  SeedSensitiveApp App(mixSeed(Config.Seed, WorkloadSeed));
+  ResiliencePolicy Policy;
+  Policy.Enabled = true;
+  Policy.MaxRetries = 1;
+  TrialResult Result =
+      TrialRunner::runOne({&App, Config, WorkloadSeed}, Policy);
+  EXPECT_EQ(Result.Outcome, TrialOutcome::Retried);
+  EXPECT_EQ(Result.Attempts, 2);
+  EXPECT_EQ(Result.FinalLevel, ApproxLevel::Medium);
+  EXPECT_EQ(Result.QosError, 0.0);
+  // Both attempts are charged: effective energy is the two-attempt sum,
+  // strictly more than the accepted run alone.
+  EXPECT_GT(Result.EffectiveEnergyFactor, Result.Energy.TotalFactor);
+}
+
+TEST(ResilientRunner, DegradationLadderRecoversNonFiniteOutput) {
+  LevelSensitiveApp App;
+  ResiliencePolicy Policy;
+  Policy.Enabled = true;
+  Policy.MaxRetries = 0;
+  TrialResult Result = TrialRunner::runOne(
+      {&App, FaultConfig::preset(ApproxLevel::Aggressive), 1}, Policy);
+  EXPECT_EQ(Result.Outcome, TrialOutcome::Degraded);
+  EXPECT_EQ(Result.Attempts, 2);
+  EXPECT_EQ(Result.FinalLevel, ApproxLevel::Medium);
+  EXPECT_EQ(Result.QosError, 0.0);
+  EXPECT_GT(Result.EffectiveEnergyFactor, Result.Energy.TotalFactor);
+}
+
+TEST(ResilientRunner, NoDegradeReportsTheViolation) {
+  LevelSensitiveApp App;
+  ResiliencePolicy Policy;
+  Policy.Enabled = true;
+  Policy.MaxRetries = 1;
+  Policy.Degrade = false;
+  TrialResult Result = TrialRunner::runOne(
+      {&App, FaultConfig::preset(ApproxLevel::Aggressive), 1}, Policy);
+  // Both permitted attempts produce Inf; without the ladder the trial
+  // ends as a recorded violation — worst-case error, never a crash.
+  EXPECT_EQ(Result.Outcome, TrialOutcome::SloViolated);
+  EXPECT_EQ(Result.Attempts, 2);
+  EXPECT_EQ(Result.QosError, 1.0);
+  EXPECT_EQ(Result.FinalLevel, ApproxLevel::Aggressive);
+}
+
+TEST(ResilientRunner, RunawayTrialAbortsAtEveryRungAndTerminates) {
+  SpinApp Spinner;
+  ResiliencePolicy Policy;
+  Policy.Enabled = true;
+  Policy.OpBudget = 1000;
+  TrialResult Result = TrialRunner::runOne(
+      {&Spinner, FaultConfig::preset(ApproxLevel::Aggressive), 1}, Policy);
+  // The spin trips the watchdog at Aggressive, Medium, Mild, and None:
+  // four bounded attempts, then a clean Aborted verdict.
+  EXPECT_EQ(Result.Outcome, TrialOutcome::Aborted);
+  EXPECT_EQ(Result.Attempts, 4);
+  EXPECT_EQ(Result.QosError, 1.0);
+  EXPECT_NE(Result.Error.find("budget"), std::string::npos);
+  // The aborted attempts' partial work is still charged.
+  EXPECT_GT(Result.EffectiveEnergyFactor, 0.0);
+  EXPECT_GT(Result.Stats.Ops.PreciseInt, 0u);
+}
+
+TEST(ResilientRunner, RealAppDegradesUnderATightSlo) {
+  // The acceptance scenario: a real Table 3 application at Aggressive
+  // with an SLO it cannot meet must recover down the ladder and
+  // complete — deterministically.
+  const apps::Application *App = apps::findApplication("fft");
+  ASSERT_NE(App, nullptr);
+  ResiliencePolicy Policy;
+  Policy.Enabled = true;
+  Policy.Slo = 1e-9;
+  TrialResult Result = TrialRunner::runOne(
+      {App, FaultConfig::preset(ApproxLevel::Aggressive), 1}, Policy);
+  EXPECT_EQ(Result.Outcome, TrialOutcome::Degraded);
+  EXPECT_LE(Result.QosError, 1e-9);
+  EXPECT_NE(Result.FinalLevel, ApproxLevel::Aggressive);
+  EXPECT_GT(Result.Attempts, 1);
+  EXPECT_GT(Result.EffectiveEnergyFactor, Result.Energy.TotalFactor);
+}

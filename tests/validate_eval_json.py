@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate `fenerj_tool eval --json` output against schema v2.
+
+Reads one JSON document from stdin and checks structure, key presence,
+key order, and basic invariants. Deliberately does NOT compare metric
+values: QoS numbers depend on libm (fft uses sin/cos), so value goldens
+would be platform-fragile. The exact byte-level golden lives in
+tests/harness_stats_test.cpp against a hand-built fixture; this script
+is the CI gate that real tool output still matches the documented
+schema (docs/EVALUATION.md).
+
+Usage: fenerj_tool eval ... --json | python3 tests/validate_eval_json.py
+Exits 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+STATS_KEYS = ["count", "mean", "stddev", "min", "max", "ci95"]
+POLICY_KEYS = ["enabled", "slo", "outputBound", "maxRetries", "opBudget",
+               "degrade"]
+OUTCOME_KEYS = ["ok", "sloViolated", "aborted", "retried", "degraded"]
+OPS_KEYS = ["preciseInt", "approxInt", "preciseFp", "approxFp",
+            "timingErrors"]
+STORAGE_KEYS = ["sramPrecise", "sramApprox", "dramPrecise", "dramApprox"]
+CELL_KEYS = ["level", "qos", "energy", "effectiveEnergy", "outcomes",
+             "retries", "ops", "storage"]
+TOP_KEYS = ["tool", "version", "seeds", "policy", "levels", "apps"]
+LEVELS = {"none", "mild", "medium", "aggressive"}
+
+
+def fail(message):
+    print(f"validate_eval_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect_keys(obj, keys, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected an object, got {type(obj).__name__}")
+    if list(obj.keys()) != keys:
+        fail(f"{where}: keys {list(obj.keys())} != expected {keys}")
+
+
+def expect_stats(obj, where):
+    expect_keys(obj, STATS_KEYS, where)
+    if not isinstance(obj["count"], int) or obj["count"] < 0:
+        fail(f"{where}.count: not a non-negative integer")
+    for key in STATS_KEYS[1:]:
+        if not isinstance(obj[key], (int, float)):
+            fail(f"{where}.{key}: not a number")
+
+
+def main():
+    try:
+        doc = json.load(sys.stdin)
+    except json.JSONDecodeError as err:
+        fail(f"not valid JSON: {err}")
+
+    expect_keys(doc, TOP_KEYS, "top level")
+    if doc["tool"] != "enerj-eval":
+        fail(f"tool is {doc['tool']!r}, expected 'enerj-eval'")
+    if doc["version"] != 2:
+        fail(f"version is {doc['version']!r}, expected 2")
+    if not isinstance(doc["seeds"], int) or doc["seeds"] < 1:
+        fail("seeds: not a positive integer")
+
+    expect_keys(doc["policy"], POLICY_KEYS, "policy")
+    if not isinstance(doc["policy"]["enabled"], bool):
+        fail("policy.enabled: not a bool")
+    if not isinstance(doc["policy"]["degrade"], bool):
+        fail("policy.degrade: not a bool")
+
+    if not doc["levels"] or not set(doc["levels"]) <= LEVELS:
+        fail(f"levels {doc['levels']!r}: unknown or empty")
+    if not isinstance(doc["apps"], list) or not doc["apps"]:
+        fail("apps: empty or not a list")
+
+    for app in doc["apps"]:
+        expect_keys(app, ["name", "cells"], "app")
+        where = f"app {app['name']!r}"
+        if len(app["cells"]) != len(doc["levels"]):
+            fail(f"{where}: {len(app['cells'])} cells for "
+                 f"{len(doc['levels'])} levels")
+        for cell in app["cells"]:
+            expect_keys(cell, CELL_KEYS, f"{where} cell")
+            cw = f"{where} cell {cell['level']!r}"
+            if cell["level"] not in doc["levels"]:
+                fail(f"{cw}: level not in the declared list")
+            for stats in ("qos", "energy", "effectiveEnergy"):
+                expect_stats(cell[stats], f"{cw}.{stats}")
+            expect_keys(cell["outcomes"], OUTCOME_KEYS, f"{cw}.outcomes")
+            total = sum(cell["outcomes"].values())
+            if total != doc["seeds"]:
+                fail(f"{cw}: outcomes sum to {total}, not seeds="
+                     f"{doc['seeds']}")
+            if not isinstance(cell["retries"], int) or cell["retries"] < 0:
+                fail(f"{cw}.retries: not a non-negative integer")
+            expect_keys(cell["ops"], OPS_KEYS, f"{cw}.ops")
+            expect_keys(cell["storage"], STORAGE_KEYS, f"{cw}.storage")
+
+    print(f"validate_eval_json: OK ({len(doc['apps'])} app(s) x "
+          f"{len(doc['levels'])} level(s), seeds={doc['seeds']}, "
+          f"policy {'on' if doc['policy']['enabled'] else 'off'})")
+
+
+if __name__ == "__main__":
+    main()
