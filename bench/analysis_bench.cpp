@@ -1,0 +1,142 @@
+//===- bench/analysis_bench.cpp - interprocedural analysis timing ---------===//
+//
+// Times the three stages of the whole-program analysis pipeline —
+// CallGraph::build, ConstraintSystem::build, and the demand + taint
+// solvers — on synthetic layered programs of growing size. Each layer
+// is a class whose context-polymorphic methods call into the next
+// layer, and main drives layer 0 through both a precise and an approx
+// instance, so every layer instantiates twice: a program with L layers
+// and M methods per layer yields ~2*L*M call-graph instances.
+//
+//   ./analysis_bench [max_layers]   (default 24; sizes double up to it)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/callgraph.h"
+#include "analysis/constraints.h"
+#include "fenerj/fenerj.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace enerj;
+using namespace enerj::analysis;
+
+namespace {
+
+/// One synthetic layer: METHODS context methods that mix an @approx
+/// field with a precise gain and forward to the same method one layer
+/// down. The last layer recurses once so the SCC machinery is on the
+/// timed path too.
+std::string makeProgram(unsigned Layers, unsigned Methods) {
+  std::string Src;
+  for (unsigned L = 0; L < Layers; ++L) {
+    std::string Cls = "L" + std::to_string(L);
+    std::string Next = "L" + std::to_string(L + 1);
+    Src += "class " + Cls + " {\n";
+    Src += "  @approx int acc;\n";
+    Src += "  int gain;\n";
+    if (L + 1 < Layers)
+      Src += "  @context " + Next + " next;\n";
+    Src += "  int setup() {\n";
+    Src += "    this.gain := " + std::to_string(L + 3) + ";\n";
+    if (L + 1 < Layers) {
+      Src += "    this.next := new @context " + Next + "();\n";
+      Src += "    this.next.setup();\n";
+    }
+    Src += "    0;\n  }\n";
+    for (unsigned M = 0; M < Methods; ++M) {
+      std::string Name = "m" + std::to_string(M);
+      Src += "  int " + Name + "(int v) {\n";
+      Src += "    this.acc := this.acc + v * this.gain;\n";
+      if (L + 1 < Layers)
+        Src += "    this.next." + Name + "(v + 1);\n";
+      else if (M == 0)
+        Src += "    if (v > 0) { this." + Name + "(v - 1); } else { 0; };\n";
+      Src += "    endorse(this.acc) % 7;\n  }\n";
+    }
+    Src += "}\n";
+  }
+  Src += "{\n  let @precise L0 p = new @precise L0();\n";
+  Src += "  let @approx L0 a = new @approx L0();\n";
+  Src += "  p.setup(); a.setup();\n  let int total = 0;\n";
+  for (unsigned M = 0; M < Methods; ++M) {
+    std::string Name = "m" + std::to_string(M);
+    Src += "  total = total + p." + Name + "(2) + a." + Name + "(2);\n";
+  }
+  Src += "  total;\n}\n";
+  return Src;
+}
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned MaxLayers = 24;
+  if (Argc > 1) {
+    long Parsed = std::strtol(Argv[1], nullptr, 10);
+    if (Parsed < 1 || Parsed > 512) {
+      std::fprintf(stderr, "usage: analysis_bench [max_layers 1..512]\n");
+      return 2;
+    }
+    MaxLayers = static_cast<unsigned>(Parsed);
+  }
+
+  std::printf("%8s %6s %10s %8s %8s %10s %10s %10s\n", "layers", "insts",
+              "slots", "edges", "build", "constr", "demand", "taint");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  const unsigned Methods = 4;
+  for (unsigned Layers = 3; Layers <= MaxLayers; Layers *= 2) {
+    std::string Source = makeProgram(Layers, Methods);
+    fenerj::DiagnosticEngine Diags;
+    fenerj::ClassTable Table;
+    std::optional<fenerj::Program> Prog =
+        fenerj::compile(Source, Table, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "generated program failed to compile:\n%s",
+                   Diags.str().c_str());
+      return 1;
+    }
+
+    auto T0 = std::chrono::steady_clock::now();
+    CallGraph Graph = CallGraph::build(*Prog, Table);
+    double BuildMs = millisSince(T0);
+
+    auto T1 = std::chrono::steady_clock::now();
+    ConstraintSystem CS = ConstraintSystem::build(*Prog, Table, Graph);
+    double ConstrMs = millisSince(T1);
+
+    auto T2 = std::chrono::steady_clock::now();
+    CS.solveDemand();
+    unsigned Relaxed = 0;
+    for (unsigned D = 0; D < CS.decls().size(); ++D)
+      if (CS.relaxable(D))
+        ++Relaxed;
+    double DemandMs = millisSince(T2);
+
+    auto T3 = std::chrono::steady_clock::now();
+    ConstraintSystem::TaintState Taint = CS.solveTaint();
+    double TaintMs = millisSince(T3);
+
+    // Keep the results alive so nothing is optimized away.
+    unsigned RawCount = 0;
+    for (unsigned S = 0; S < CS.slots().size(); ++S)
+      if (Taint.Raw[S])
+        ++RawCount;
+
+    std::printf("%8u %6u %10zu %8zu %7.2fms %8.2fms %8.2fms %8.2fms"
+                "   (relaxed %u, raw %u)\n",
+                Layers, Graph.instanceCount(), CS.slots().size(),
+                Graph.edges().size(), BuildMs, ConstrMs, DemandMs, TaintMs,
+                Relaxed, RawCount);
+  }
+  return 0;
+}

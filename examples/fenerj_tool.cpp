@@ -8,10 +8,18 @@
 //                                      perturbation seeds and report
 //                                      whether the precise projection is
 //                                      invariant (non-interference)
-//   fenerj_tool lint <file.fej> [--json]
+//   fenerj_tool lint <file.fej> [--json] [--Werror]
 //                                      check, then run the enerj-lint
 //                                      audits (endorsement, precision
-//                                      slack, dead values, isa-flow)
+//                                      slack, dead values, isa-flow,
+//                                      interproc-flow); --Werror promotes
+//                                      warnings to a failing exit status
+//   fenerj_tool infer <file.fej>... [--json] [--suggest-annotations]
+//                                      whole-program qualifier inference
+//                                      over the instantiated call graph:
+//                                      the maximal relaxation set with
+//                                      zero new endorsements, reported
+//                                      per app (Figure 3 style)
 //   fenerj_tool eval [--apps a,b] [--levels l1,l2] [--seeds N]
 //                    [--threads N] [--slo E] [--max-retries N]
 //                    [--op-budget M] [--output-bound B] [--no-degrade]
@@ -25,6 +33,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/infer.h"
 #include "analysis/lint.h"
 #include "fenerj/codegen.h"
 #include "fenerj/fenerj.h"
@@ -198,7 +207,10 @@ int compileIsa(const std::string &Source, bool Execute) {
   return 0;
 }
 
-int lint(const std::string &Source, const char *FileName, bool Json) {
+std::string readFile(const char *Path, bool &Ok);
+
+int lint(const std::string &Source, const char *FileName, bool Json,
+         bool Werror) {
   DiagnosticEngine Diags;
   ClassTable Table;
   std::optional<Program> Prog = compile(Source, Table, Diags);
@@ -212,9 +224,70 @@ int lint(const std::string &Source, const char *FileName, bool Json) {
       Json ? enerj::analysis::renderLintJson(Result, FileName) + "\n"
            : enerj::analysis::renderLintText(Result, FileName);
   std::fputs(Rendered.c_str(), stdout);
-  // Warnings and suggestions are advisory; only hard errors (isa-flow
-  // discipline violations on an executable path) fail the run.
-  return Result.hasErrors() ? 1 : 0;
+  // Warnings and suggestions are advisory; only hard errors fail the run
+  // — unless --Werror promotes warnings (suggestions stay advisory).
+  // isa-flow *warnings* are exempt: they describe the compiled artifact
+  // (scratch-register dead stores the codegen emits on nearly every
+  // program), not the source; real qualifier-flow violations in the ISA
+  // are errors and fail the run regardless.
+  if (Result.hasErrors())
+    return 1;
+  if (Werror)
+    for (const enerj::analysis::LintFinding &F : Result.Findings)
+      if (F.Severity == enerj::analysis::LintSeverity::Warning &&
+          F.Pass != enerj::analysis::LintPass::IsaFlow)
+        return 1;
+  return 0;
+}
+
+int infer(int Argc, char **Argv) {
+  bool Json = false;
+  bool Suggest = false;
+  std::vector<const char *> Files;
+  for (int Arg = 2; Arg < Argc; ++Arg) {
+    std::string Flag = Argv[Arg];
+    if (Flag == "--json")
+      Json = true;
+    else if (Flag == "--suggest-annotations")
+      Suggest = true;
+    else if (!Flag.empty() && Flag[0] == '-') {
+      std::fprintf(stderr, "unknown infer flag '%s'\n", Flag.c_str());
+      return 2;
+    } else
+      Files.push_back(Argv[Arg]);
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "infer needs at least one .fej file\n");
+    return 2;
+  }
+  std::vector<enerj::analysis::InferResult> Results;
+  for (const char *File : Files) {
+    bool Ok = true;
+    std::string Source = readFile(File, Ok);
+    if (!Ok) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", File);
+      return 1;
+    }
+    DiagnosticEngine Diags;
+    ClassTable Table;
+    std::optional<Program> Prog = compile(Source, Table, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    Results.push_back(enerj::analysis::inferProgram(*Prog, Table, File));
+  }
+  if (Json) {
+    std::fputs((enerj::analysis::renderInferJson(Results) + "\n").c_str(),
+               stdout);
+  } else {
+    std::fputs(enerj::analysis::renderInferTable(Results).c_str(), stdout);
+    if (Suggest)
+      for (const enerj::analysis::InferResult &R : Results)
+        std::fputs(enerj::analysis::renderInferSuggestions(R).c_str(),
+                   stdout);
+  }
+  return 0;
 }
 
 /// Splits "a,b,c" on commas; empty segments are dropped.
@@ -419,9 +492,17 @@ int usage() {
                "       fenerj_tool compile <file.fej>   (emit ISA asm)\n"
                "       fenerj_tool exec <file.fej>      (compile + run at "
                "all levels)\n"
-               "       fenerj_tool lint <file.fej> [--json]\n"
+               "       fenerj_tool lint <file.fej> [--json] [--Werror]\n"
                "                      (endorsement / precision-slack / "
-               "dead-value / isa-flow audits)\n"
+               "dead-value / isa-flow /\n"
+               "                       interproc-flow audits; --Werror "
+               "fails on warnings)\n"
+               "       fenerj_tool infer <file.fej>... [--json] "
+               "[--suggest-annotations]\n"
+               "                      (whole-program qualifier inference: "
+               "maximal @approx\n"
+               "                       relaxation with zero new "
+               "endorsements, per app)\n"
                "       fenerj_tool eval [--apps a,b] [--levels l1,l2] "
                "[--seeds N] [--threads N]\n"
                "                        [--slo E] [--max-retries N] "
@@ -441,6 +522,8 @@ int usage() {
 int main(int Argc, char **Argv) {
   if (Argc >= 2 && std::string(Argv[1]) == "eval")
     return eval(Argc, Argv);
+  if (Argc >= 2 && std::string(Argv[1]) == "infer")
+    return infer(Argc, Argv);
   if (Argc >= 2 && std::string(Argv[1]) == "demo") {
     std::printf("--- demo program ---\n%s--- check ---\n", DemoProgram);
     if (check(DemoProgram))
@@ -470,8 +553,20 @@ int main(int Argc, char **Argv) {
     return compileIsa(Source, /*Execute=*/false);
   if (Mode == "exec")
     return compileIsa(Source, /*Execute=*/true);
-  if (Mode == "lint" || Mode == "--lint")
-    return lint(Source, Argv[2],
-                Argc >= 4 && std::string(Argv[3]) == "--json");
+  if (Mode == "lint" || Mode == "--lint") {
+    bool Json = false, Werror = false;
+    for (int Arg = 3; Arg < Argc; ++Arg) {
+      std::string Flag = Argv[Arg];
+      if (Flag == "--json")
+        Json = true;
+      else if (Flag == "--Werror")
+        Werror = true;
+      else {
+        std::fprintf(stderr, "unknown lint flag '%s'\n", Flag.c_str());
+        return 2;
+      }
+    }
+    return lint(Source, Argv[2], Json, Werror);
+  }
   return usage();
 }

@@ -1,0 +1,460 @@
+//===- analysis/callgraph.cpp - FEnerJ whole-program call graph -----------===//
+
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace enerj {
+namespace analysis {
+
+using namespace enerj::fenerj;
+
+std::string MethodInstance::name() const {
+  if (isMain())
+    return "main";
+  // Always suffixed with the instantiation qualifier: the two `_APPROX`
+  // overload variants of one method share a source name, and a
+  // context-polymorphic method has two instances.
+  return Cls->Name + "." + Method->Name +
+         (Ctx == Qual::Approx ? "@approx" : "@precise");
+}
+
+std::string UnreachableMethod::name() const {
+  return Cls->Name + "." + Method->Name;
+}
+
+Qual CallGraph::substQual(Qual Q, Qual Ctx) {
+  return Q == Qual::Context ? Ctx : Q;
+}
+
+Type CallGraph::substType(Type T, Qual Ctx) {
+  T.Q = substQual(T.Q, Ctx);
+  if (T.isArray())
+    T.ElemQual = substQual(T.ElemQual, Ctx);
+  return T;
+}
+
+std::vector<Qual> CallGraph::calleeContexts(const MethodDecl &M,
+                                            Qual ReceiverQual) {
+  if (M.ReceiverPrecision != Qual::Context)
+    return {M.ReceiverPrecision};
+  if (ReceiverQual == Qual::Precise || ReceiverQual == Qual::Approx)
+    return {ReceiverQual};
+  // Top/lost receivers hide the instance qualifier: the polymorphic body
+  // may run on either kind of instance.
+  return {Qual::Precise, Qual::Approx};
+}
+
+namespace {
+
+/// The class that declares \p Method, found by walking the chain upward
+/// from \p ClassName (the lookup that resolved the method walked the same
+/// chain, so this always terminates at the right declaration).
+const ClassDecl *declaringClass(const ClassTable &Table,
+                                const std::string &ClassName,
+                                const MethodDecl *Method) {
+  const ClassDecl *Walk = Table.lookup(ClassName);
+  while (Walk) {
+    for (const MethodDecl &M : Walk->Methods)
+      if (&M == Method)
+        return Walk;
+    Walk = Table.lookup(Walk->SuperName);
+  }
+  return nullptr;
+}
+
+/// A light static-type evaluator over one method instance. All types it
+/// produces are context-free: 'context' is substituted by the
+/// instantiation qualifier at every declaration and adaptation point.
+/// Only as much typing as dispatch needs; the program is already well
+/// typed, so unresolvable corners simply degrade to precise int.
+class CallSiteWalker {
+public:
+  CallSiteWalker(const ClassTable &Table, const ClassDecl *Cls, Qual Ctx)
+      : Table(Table), Cls(Cls), Ctx(Ctx) {}
+
+  /// Called for every resolved call site with the substituted receiver
+  /// qualifier and the selected overload.
+  struct Resolved {
+    const MethodCallExpr *Site;
+    Qual ReceiverQual;
+    const MethodDecl *Callee;
+    const ClassDecl *CalleeClass;
+  };
+
+  template <typename Callback>
+  void walk(const Expr &Body, const std::vector<ParamDecl> *Params,
+            Callback &&OnCall) {
+    Scopes.clear();
+    Scopes.emplace_back();
+    if (Params)
+      for (const ParamDecl &P : *Params)
+        Scopes.back()[P.Name] = CallGraph::substType(P.DeclaredType, Ctx);
+    visit(Body, OnCall);
+  }
+
+private:
+  Type preciseInt() const {
+    return Type::makePrim(Qual::Precise, BaseKind::Int);
+  }
+
+  const Type *resolve(const std::string &Name) const {
+    for (auto Scope = Scopes.rbegin(); Scope != Scopes.rend(); ++Scope) {
+      auto Found = Scope->find(Name);
+      if (Found != Scope->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  static Qual joinQual(Qual A, Qual B) {
+    if (A == B)
+      return A;
+    if (A == Qual::Approx || B == Qual::Approx)
+      return Qual::Approx;
+    if (A == Qual::Lost || B == Qual::Lost)
+      return Qual::Lost;
+    return Qual::Top;
+  }
+
+  template <typename Callback> Type visit(const Expr &E, Callback &&OnCall) {
+    switch (E.kind()) {
+    case ExprKind::NullLit:
+      return Type::makeNull();
+    case ExprKind::IntLit:
+      return preciseInt();
+    case ExprKind::FloatLit:
+      return Type::makePrim(Qual::Precise, BaseKind::Float);
+    case ExprKind::BoolLit:
+      return Type::makePrim(Qual::Precise, BaseKind::Bool);
+
+    case ExprKind::VarRef: {
+      const auto &Var = static_cast<const VarRefExpr &>(E);
+      if (Var.Name == "this" && Cls)
+        return Type::makeClass(Ctx, Cls->Name);
+      if (const Type *T = resolve(Var.Name))
+        return *T;
+      return preciseInt();
+    }
+
+    case ExprKind::New: {
+      const auto &New = static_cast<const NewExpr &>(E);
+      return Type::makeClass(CallGraph::substQual(New.Q, Ctx),
+                             New.ClassName);
+    }
+    case ExprKind::NewArray: {
+      const auto &New = static_cast<const NewArrayExpr &>(E);
+      visit(*New.Length, OnCall);
+      return Type::makeArray(CallGraph::substQual(New.ElemQual, Ctx),
+                             New.Elem);
+    }
+
+    case ExprKind::FieldRead: {
+      const auto &Read = static_cast<const FieldReadExpr &>(E);
+      Type Recv = visit(*Read.Receiver, OnCall);
+      if (Recv.isClass())
+        if (auto FT = Table.fieldType(Recv.ClassName, Read.Field))
+          return adaptType(Recv.Q, *FT);
+      return preciseInt();
+    }
+    case ExprKind::FieldWrite: {
+      const auto &Write = static_cast<const FieldWriteExpr &>(E);
+      Type Recv = visit(*Write.Receiver, OnCall);
+      visit(*Write.Value, OnCall);
+      if (Recv.isClass())
+        if (auto FT = Table.fieldType(Recv.ClassName, Write.Field))
+          return adaptType(Recv.Q, *FT);
+      return preciseInt();
+    }
+
+    case ExprKind::ArrayRead: {
+      const auto &Read = static_cast<const ArrayReadExpr &>(E);
+      Type Array = visit(*Read.Array, OnCall);
+      visit(*Read.Index, OnCall);
+      return Array.isArray() ? Type::makePrim(Array.ElemQual, Array.Elem)
+                             : preciseInt();
+    }
+    case ExprKind::ArrayWrite: {
+      const auto &Write = static_cast<const ArrayWriteExpr &>(E);
+      Type Array = visit(*Write.Array, OnCall);
+      visit(*Write.Index, OnCall);
+      visit(*Write.Value, OnCall);
+      return Array.isArray() ? Type::makePrim(Array.ElemQual, Array.Elem)
+                             : preciseInt();
+    }
+    case ExprKind::ArrayLength: {
+      const auto &Len = static_cast<const ArrayLengthExpr &>(E);
+      visit(*Len.Array, OnCall);
+      return preciseInt();
+    }
+
+    case ExprKind::MethodCall: {
+      const auto &Call = static_cast<const MethodCallExpr &>(E);
+      Type Recv = visit(*Call.Receiver, OnCall);
+      for (const ExprPtr &Arg : Call.Args)
+        visit(*Arg, OnCall);
+      if (!Recv.isClass())
+        return preciseInt();
+      const MethodDecl *Callee =
+          Table.lookupMethod(Recv.ClassName, Call.Method, Recv.Q);
+      if (!Callee)
+        return preciseInt();
+      OnCall(Resolved{&Call, Recv.Q, Callee,
+                      declaringClass(Table, Recv.ClassName, Callee)});
+      return adaptType(Recv.Q, Callee->ReturnType);
+    }
+
+    case ExprKind::Cast: {
+      const auto &Cast = static_cast<const CastExpr &>(E);
+      visit(*Cast.Value, OnCall);
+      return CallGraph::substType(Cast.Target, Ctx);
+    }
+    case ExprKind::Endorse: {
+      const auto &End = static_cast<const EndorseExpr &>(E);
+      Type Value = visit(*End.Value, OnCall);
+      return Type::makePrim(Qual::Precise, Value.isPrimitive()
+                                               ? Value.Base
+                                               : BaseKind::Int);
+    }
+
+    case ExprKind::Binary: {
+      const auto &Bin = static_cast<const BinaryExpr &>(E);
+      Type L = visit(*Bin.Lhs, OnCall);
+      Type R = visit(*Bin.Rhs, OnCall);
+      Qual Q = joinQual(L.Q, R.Q);
+      switch (Bin.Op) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Mul:
+      case BinaryOp::Div:
+      case BinaryOp::Mod:
+        return Type::makePrim(Q, (L.Base == BaseKind::Float ||
+                                  R.Base == BaseKind::Float)
+                                     ? BaseKind::Float
+                                     : BaseKind::Int);
+      default:
+        return Type::makePrim(Q, BaseKind::Bool);
+      }
+    }
+    case ExprKind::Unary: {
+      const auto &Un = static_cast<const UnaryExpr &>(E);
+      Type Value = visit(*Un.Value, OnCall);
+      return Un.Op == UnaryOp::Not
+                 ? Type::makePrim(Value.Q, BaseKind::Bool)
+                 : Value;
+    }
+
+    case ExprKind::If: {
+      const auto &If = static_cast<const IfExpr &>(E);
+      visit(*If.Cond, OnCall);
+      Type Then = visit(*If.Then, OnCall);
+      Type Else = visit(*If.Else, OnCall);
+      Type Result = Then;
+      Result.Q = joinQual(Then.Q, Else.Q);
+      if (Result.isArray())
+        Result.ElemQual = joinQual(Then.ElemQual, Else.ElemQual);
+      return Result;
+    }
+    case ExprKind::While: {
+      const auto &While = static_cast<const WhileExpr &>(E);
+      visit(*While.Cond, OnCall);
+      visit(*While.Body, OnCall);
+      return preciseInt();
+    }
+
+    case ExprKind::Block: {
+      const auto &Block = static_cast<const BlockExpr &>(E);
+      Scopes.emplace_back();
+      Type Last = preciseInt();
+      for (const BlockExpr::Item &Item : Block.Items) {
+        Type Value = visit(*Item.Value, OnCall);
+        if (Item.IsLet) {
+          Type Declared = CallGraph::substType(Item.LetType, Ctx);
+          Scopes.back()[Item.LetName] = Declared;
+          Last = Declared;
+        } else {
+          Last = Value;
+        }
+      }
+      Scopes.pop_back();
+      return Last;
+    }
+
+    case ExprKind::AssignLocal: {
+      const auto &Assign = static_cast<const AssignLocalExpr &>(E);
+      visit(*Assign.Value, OnCall);
+      if (const Type *T = resolve(Assign.Name))
+        return *T;
+      return preciseInt();
+    }
+    }
+    return preciseInt();
+  }
+
+  const ClassTable &Table;
+  const ClassDecl *Cls;
+  Qual Ctx;
+  std::vector<std::map<std::string, Type>> Scopes;
+};
+
+/// Iterative Tarjan SCC over the instance graph. Components are numbered
+/// so that callees get lower numbers than their callers (Tarjan emits
+/// them in reverse topological order of the condensation).
+struct Tarjan {
+  const std::vector<std::vector<unsigned>> &Succs;
+  std::vector<unsigned> Index, LowLink, SccIndex;
+  std::vector<bool> OnStack;
+  std::vector<unsigned> Stack;
+  std::vector<std::vector<unsigned>> Sccs;
+  unsigned Next = 0;
+  static constexpr unsigned None = ~0u;
+
+  explicit Tarjan(const std::vector<std::vector<unsigned>> &Succs)
+      : Succs(Succs), Index(Succs.size(), None), LowLink(Succs.size(), 0),
+        SccIndex(Succs.size(), 0), OnStack(Succs.size(), false) {
+    for (unsigned Node = 0; Node < Succs.size(); ++Node)
+      if (Index[Node] == None)
+        run(Node);
+  }
+
+  void run(unsigned Root) {
+    // Explicit stack of (node, next-successor) frames.
+    std::vector<std::pair<unsigned, size_t>> Frames{{Root, 0}};
+    while (!Frames.empty()) {
+      auto &[Node, NextSucc] = Frames.back();
+      if (NextSucc == 0) {
+        Index[Node] = LowLink[Node] = Next++;
+        Stack.push_back(Node);
+        OnStack[Node] = true;
+      }
+      bool Descended = false;
+      while (NextSucc < Succs[Node].size()) {
+        unsigned Succ = Succs[Node][NextSucc++];
+        if (Index[Succ] == None) {
+          Frames.emplace_back(Succ, 0);
+          Descended = true;
+          break;
+        }
+        if (OnStack[Succ])
+          LowLink[Node] = std::min(LowLink[Node], Index[Succ]);
+      }
+      if (Descended)
+        continue;
+      if (LowLink[Node] == Index[Node]) {
+        std::vector<unsigned> Members;
+        unsigned Member;
+        do {
+          Member = Stack.back();
+          Stack.pop_back();
+          OnStack[Member] = false;
+          SccIndex[Member] = static_cast<unsigned>(Sccs.size());
+          Members.push_back(Member);
+        } while (Member != Node);
+        std::sort(Members.begin(), Members.end());
+        Sccs.push_back(std::move(Members));
+      }
+      unsigned Done = Node;
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        unsigned Parent = Frames.back().first;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[Done]);
+      }
+    }
+  }
+};
+
+} // namespace
+
+CallGraph CallGraph::build(const Program &Prog, const ClassTable &Table) {
+  CallGraph Graph;
+  std::map<std::pair<const MethodDecl *, int>, unsigned> InstanceIds;
+
+  auto getInstance = [&](const ClassDecl *Cls, const MethodDecl *Method,
+                         Qual Ctx, std::vector<unsigned> &Work) {
+    auto Key = std::make_pair(Method, static_cast<int>(Ctx));
+    auto Found = InstanceIds.find(Key);
+    if (Found != InstanceIds.end())
+      return Found->second;
+    unsigned Id = static_cast<unsigned>(Graph.Instances.size());
+    Graph.Instances.push_back({Cls, Method, Ctx});
+    Graph.OutEdges.emplace_back();
+    InstanceIds.emplace(Key, Id);
+    Work.push_back(Id);
+    return Id;
+  };
+
+  std::vector<unsigned> Work;
+  getInstance(nullptr, nullptr, Qual::Precise, Work); // main = instance 0
+
+  while (!Work.empty()) {
+    // FIFO discovery keeps instance numbering in breadth-first program
+    // order, which makes the graph (and everything built on it) stable.
+    unsigned Inst = Work.front();
+    Work.erase(Work.begin());
+    const MethodInstance &MI = Graph.Instances[Inst];
+    const Expr *Body = MI.isMain() ? Prog.Main.get() : MI.Method->Body.get();
+    if (!Body)
+      continue;
+    CallSiteWalker Walker(Table, MI.Cls, MI.Ctx);
+    Walker.walk(*Body, MI.isMain() ? nullptr : &MI.Method->Params,
+                [&](const CallSiteWalker::Resolved &Call) {
+                  if (!Call.CalleeClass)
+                    return;
+                  for (Qual Ctx :
+                       calleeContexts(*Call.Callee, Call.ReceiverQual)) {
+                    unsigned Callee = getInstance(Call.CalleeClass,
+                                                  Call.Callee, Ctx, Work);
+                    unsigned EdgeId =
+                        static_cast<unsigned>(Graph.Edges.size());
+                    Graph.Edges.push_back(
+                        {Inst, Callee, Call.Site, Call.ReceiverQual});
+                    Graph.OutEdges[Inst].push_back(EdgeId);
+                  }
+                });
+  }
+
+  // SCC condensation over instance successors.
+  std::vector<std::vector<unsigned>> Succs(Graph.Instances.size());
+  for (const CallEdge &E : Graph.Edges)
+    Succs[E.Caller].push_back(E.Callee);
+  Tarjan Scc(Succs);
+  Graph.SccIndex = std::move(Scc.SccIndex);
+  Graph.SccMembers = std::move(Scc.Sccs);
+
+  Graph.SccRecursive.assign(Graph.SccMembers.size(), false);
+  for (unsigned S = 0; S < Graph.SccMembers.size(); ++S)
+    Graph.SccRecursive[S] = Graph.SccMembers[S].size() > 1;
+  for (const CallEdge &E : Graph.Edges)
+    if (E.Caller == E.Callee)
+      Graph.SccRecursive[Graph.SccIndex[E.Caller]] = true;
+
+  // Tarjan numbers components callees-first already; expand to instances.
+  for (const std::vector<unsigned> &Members : Graph.SccMembers)
+    for (unsigned Inst : Members)
+      Graph.CalleeFirst.push_back(Inst);
+
+  // Unreachable methods: anything with no instantiation at all.
+  for (const ClassDecl &C : Prog.Classes)
+    for (const MethodDecl &M : C.Methods) {
+      bool Reached = false;
+      for (Qual Ctx : {Qual::Precise, Qual::Approx})
+        if (InstanceIds.count({&M, static_cast<int>(Ctx)}))
+          Reached = true;
+      if (!Reached)
+        Graph.Unreachable.push_back({&C, &M});
+    }
+
+  return Graph;
+}
+
+unsigned CallGraph::instanceId(const MethodDecl *Method, Qual Ctx) const {
+  for (unsigned Id = 0; Id < Instances.size(); ++Id)
+    if (Instances[Id].Method == Method && Instances[Id].Ctx == Ctx)
+      return Id;
+  return ~0u;
+}
+
+} // namespace analysis
+} // namespace enerj

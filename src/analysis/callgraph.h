@@ -1,0 +1,162 @@
+//===- analysis/callgraph.h - FEnerJ whole-program call graph ---*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A context-instantiated call graph for FEnerJ programs: the foundation
+/// of every interprocedural analysis in this repository (qualifier
+/// inference, interprocedural non-interference checking).
+///
+/// The paper's @Context qualifier makes a context-polymorphic method
+/// behave as *two* monomorphic methods — one checked with `this` precise,
+/// one with `this` approximate — and the `_APPROX` overloading convention
+/// (Section 2.5.2) dispatches to a different body depending on the
+/// receiver's qualifier. An analysis that conflates the two instantiations
+/// cannot see which body runs or what a @context field adapts to, which is
+/// exactly where the non-interference theorem does its real work. So a
+/// call-graph node is a MethodInstance: a method declaration *plus* the
+/// qualifier of `this` (Precise or Approx). Receiver-marked methods
+/// (`... precise { }` / `... approx { }`) have exactly one instantiation;
+/// context-polymorphic methods have up to two, discovered on demand.
+///
+/// Edges are resolved per instantiation: the receiver expression's static
+/// qualifier is first *substituted* (context := the caller's instantiation
+/// qualifier), then the `_APPROX` overload is selected exactly as the type
+/// checker and interpreter do (ClassTable::lookupMethod). Receivers whose
+/// substituted qualifier is top or lost dispatch only to the polymorphic
+/// variant, whose body must then be analyzed under *both* instantiations.
+///
+/// Recursion is summarized by Tarjan SCC condensation; the condensation's
+/// reverse topological order (callees before callers) is exposed for
+/// solvers that want a fast seeding order. Methods never instantiated are
+/// unreachable from main and are reported for pruning.
+///
+/// Everything about the graph is deterministic: instances are numbered in
+/// discovery order (a worklist seeded at main, visiting call sites in
+/// program order), and all containers are vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_CALLGRAPH_H
+#define ENERJ_ANALYSIS_CALLGRAPH_H
+
+#include "fenerj/ast.h"
+#include "fenerj/program.h"
+
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+/// One node of the call graph: a method body together with the qualifier
+/// of `this` it is analyzed under. Instance 0 is always the program's
+/// main expression (null Cls/Method, Ctx = Precise: main has no receiver
+/// and its result is observed precisely).
+struct MethodInstance {
+  const fenerj::ClassDecl *Cls = nullptr;
+  const fenerj::MethodDecl *Method = nullptr;
+  fenerj::Qual Ctx = fenerj::Qual::Precise; ///< Precise or Approx.
+
+  bool isMain() const { return Method == nullptr; }
+  /// "main", "FloatSet.mean@approx", ...
+  std::string name() const;
+};
+
+/// One resolved call edge. A single syntactic call site can produce two
+/// edges from one caller instance when the substituted receiver qualifier
+/// is top or lost (the callee body must be analyzed both ways).
+struct CallEdge {
+  unsigned Caller = 0;
+  unsigned Callee = 0;
+  const fenerj::MethodCallExpr *Site = nullptr;
+  /// The receiver's qualifier after context substitution — what dispatch
+  /// actually saw.
+  fenerj::Qual ReceiverQual = fenerj::Qual::Precise;
+};
+
+/// A method of the program that no instantiation reaches from main.
+struct UnreachableMethod {
+  const fenerj::ClassDecl *Cls = nullptr;
+  const fenerj::MethodDecl *Method = nullptr;
+  std::string name() const;
+};
+
+class CallGraph {
+public:
+  /// Builds the instantiated call graph of \p Prog, which must be well
+  /// typed against \p Table (run the type checker first; the builder is
+  /// tolerant of unresolvable calls but makes no promises about them).
+  static CallGraph build(const fenerj::Program &Prog,
+                         const fenerj::ClassTable &Table);
+
+  unsigned instanceCount() const {
+    return static_cast<unsigned>(Instances.size());
+  }
+  const MethodInstance &instance(unsigned Id) const { return Instances[Id]; }
+
+  /// The instance id of (\p Method, \p Ctx), or ~0u when that
+  /// instantiation is unreachable.
+  unsigned instanceId(const fenerj::MethodDecl *Method,
+                      fenerj::Qual Ctx) const;
+
+  const std::vector<CallEdge> &edges() const { return Edges; }
+  /// Outgoing edge indices of one instance, in call-site program order.
+  const std::vector<unsigned> &calleeEdges(unsigned Inst) const {
+    return OutEdges[Inst];
+  }
+
+  /// --- SCC condensation (recursion summary). ---
+
+  unsigned sccCount() const {
+    return static_cast<unsigned>(SccMembers.size());
+  }
+  unsigned sccOf(unsigned Inst) const { return SccIndex[Inst]; }
+  const std::vector<unsigned> &sccMembers(unsigned Scc) const {
+    return SccMembers[Scc];
+  }
+  /// True when the SCC contains a cycle (more than one member, or one
+  /// member with a self edge) — i.e. the methods in it recurse.
+  bool sccIsRecursive(unsigned Scc) const { return SccRecursive[Scc]; }
+  /// Instance ids ordered callees-first (reverse topological order of the
+  /// condensation): a fixpoint solver seeded in this order converges in
+  /// one pass on recursion-free programs.
+  const std::vector<unsigned> &calleeFirstOrder() const {
+    return CalleeFirst;
+  }
+
+  /// Methods with no reachable instantiation, in declaration order.
+  const std::vector<UnreachableMethod> &unreachable() const {
+    return Unreachable;
+  }
+
+  /// --- Shared qualifier machinery (used by the constraint builder so
+  /// --- dispatch and adaptation are decided in exactly one place). ---
+
+  /// Substitutes the instantiation qualifier for 'context'.
+  static fenerj::Qual substQual(fenerj::Qual Q, fenerj::Qual Ctx);
+  /// substQual over every qualifier in a type.
+  static fenerj::Type substType(fenerj::Type T, fenerj::Qual Ctx);
+  /// The instantiation qualifiers a callee body must be analyzed under
+  /// for a receiver of (substituted) qualifier \p ReceiverQual: one
+  /// concrete qualifier for precise/approx receivers, both for top/lost.
+  static std::vector<fenerj::Qual> calleeContexts(const fenerj::MethodDecl &M,
+                                                  fenerj::Qual ReceiverQual);
+
+private:
+  std::vector<MethodInstance> Instances;
+  std::vector<CallEdge> Edges;
+  std::vector<std::vector<unsigned>> OutEdges;
+  std::vector<unsigned> SccIndex;
+  std::vector<std::vector<unsigned>> SccMembers;
+  std::vector<bool> SccRecursive;
+  std::vector<unsigned> CalleeFirst;
+  std::vector<UnreachableMethod> Unreachable;
+};
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_CALLGRAPH_H

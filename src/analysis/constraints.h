@@ -1,0 +1,219 @@
+//===- analysis/constraints.h - Whole-program qualifier constraints -*-C++-*-=//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constraint system shared by qualifier inference (infer.h) and the
+/// interprocedural non-interference checker (interproc_flow.h). It is the
+/// interprocedural, context-instantiated successor of the flow-insensitive
+/// entity graph inside enerj-lint's demand analysis.
+///
+/// **Slots.** A slot is a place a value can rest, *per call-graph
+/// instantiation*: a field keyed by the qualifier of the instance it lives
+/// on, a parameter / return / local keyed by the MethodInstance that owns
+/// it, an array allocation site, an anonymous join temporary, the result
+/// of an endorse(), or a sink. Sinks are the places the paper's type
+/// system pins to @precise: conditions, array subscripts, allocation
+/// lengths (SinkControl — they steer execution) and precise casts plus the
+/// observed program result (SinkResult — they pin data, not control).
+///
+/// **Declarations.** Every slot of a declared entity points back at one
+/// Declaration — the source-level identity shared by all instantiations.
+/// Inference reports per declaration; a declaration is a *candidate* for
+/// relaxation when it is declared @precise and holds primitive or
+/// primitive-array data.
+///
+/// **Constraints.** Walking every reachable instance produces flow edges
+/// From -> To ("From's value can come to rest in To"), with calls resolved
+/// through the instantiated call graph — so `_APPROX` dispatch and
+/// @Context adaptation are modeled exactly, per instantiation. Two
+/// fixpoints are solved over the edge set:
+///
+///  * **Demand** ("must stay precise") propagates *backward* from sinks
+///    and from precise-pinned slots (declared-precise data that is not a
+///    candidate, e.g. a @context field on a precise instance). endorse()
+///    is the one construct that stops demand — that is its whole job.
+///    A candidate declaration none of whose slots is demanded can be
+///    relaxed to @approx with zero new endorse sites; because undemanded
+///    values reach only approximate contexts and other undemanded slots,
+///    the full relaxation set is consistent as a whole. Array element
+///    types are *invariant* in FEnerJ, so array-typed slots connected by
+///    flow form an equivalence group that must relax (or stay) together —
+///    allocation sites included.
+///
+///  * **Taint** ("may hold perturbed data") propagates *forward* from
+///    approximate storage. Raw taint reaching a sink or a precise-pinned
+///    slot without crossing an endorse() would be a non-interference
+///    violation — the type checker proves this cannot happen (Theorem 1),
+///    and the solver re-derives it as a machine-checked whole-program
+///    witness. Crossing an endorse() turns raw taint into *endorsed*
+///    taint; endorsed taint whose raw origin involved @context-adapted
+///    state on an approximate instance, reaching a SinkControl, is an
+///    adaptation-laundered flow — legal, but invisible to any per-method
+///    audit, and exactly the pattern interproc-flow warns about.
+///
+/// Determinism: slots, declarations, and edges are created in program
+/// order (instances in call-graph discovery order); every container is a
+/// vector; no iteration order depends on hashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_CONSTRAINTS_H
+#define ENERJ_ANALYSIS_CONSTRAINTS_H
+
+#include "analysis/callgraph.h"
+#include "fenerj/ast.h"
+#include "fenerj/program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+enum class SlotKind {
+  Field,   ///< A field, on precise or on approximate instances.
+  Param,   ///< A parameter of one method instance.
+  Return,  ///< The return value of one method instance.
+  Local,   ///< A let-bound local of one method instance.
+  Alloc,   ///< A `new P[n]` allocation site (element storage).
+  Temp,    ///< Anonymous join temporary.
+  Endorse, ///< The result of an endorse() — the gate.
+  SinkControl, ///< Condition / subscript / allocation length.
+  SinkResult,  ///< Precise cast operand / observed program result.
+};
+
+enum class DeclKind { Field, Param, Return, Local, Alloc };
+
+/// Source-level identity of a declared entity, shared by its
+/// per-instantiation slots.
+struct Declaration {
+  DeclKind K = DeclKind::Local;
+  std::string Name;           ///< "C.f", "C.m.x", "C.m:return", "main.x".
+  fenerj::Type DeclaredType;  ///< As written, before substitution.
+  fenerj::SourceLoc Loc;      ///< Declaration site.
+  /// Primitive/array data (what Figure 3 counts, and what can be relaxed).
+  bool InStats = false;
+  /// Declared @precise primitive/array data: eligible for relaxation.
+  bool Candidate = false;
+  std::vector<unsigned> Slots;
+  unsigned Uses = 0; ///< Reads, summed over slots.
+};
+
+struct Slot {
+  SlotKind K = SlotKind::Temp;
+  unsigned Decl = ~0u;  ///< Declaration id, for declared-entity slots.
+  unsigned Inst = ~0u;  ///< Owning MethodInstance (~0u for fields/sinks).
+  fenerj::Qual InstQ = fenerj::Qual::Precise; ///< For fields: instance qual.
+  fenerj::Type Ty;      ///< Substituted (context-free) type.
+  fenerj::SourceLoc Loc;
+  std::string Display;  ///< For findings: "condition", "field 'C.f'", ...
+  unsigned Uses = 0;
+};
+
+/// One recorded arithmetic/comparison operation, for the static energy
+/// estimate: which operands feed it and whether it is annotated
+/// approximate already.
+struct StaticOp {
+  bool IsFp = false;
+  bool AnnotatedApprox = false;
+  unsigned OperandSlots[2] = {~0u, ~0u};
+};
+
+class ConstraintSystem {
+public:
+  static constexpr unsigned NoSlot = ~0u;
+
+  /// Builds slots, declarations, and flow edges for every instance in
+  /// \p Graph. \p Prog must be well typed against \p Table.
+  static ConstraintSystem build(const fenerj::Program &Prog,
+                                const fenerj::ClassTable &Table,
+                                const CallGraph &Graph);
+
+  const std::vector<Declaration> &decls() const { return Decls; }
+  const std::vector<Slot> &slots() const { return Slots; }
+  const std::vector<StaticOp> &ops() const { return Ops; }
+  /// Feeders[To] = slots whose values flow into To.
+  const std::vector<std::vector<unsigned>> &feeders() const {
+    return Feeders;
+  }
+  unsigned edgeCount() const { return NumEdges; }
+
+  /// --- Demand fixpoint (inference). ---
+
+  /// Solves the must-stay-precise fixpoint and the array invariance
+  /// groups. Idempotent.
+  void solveDemand();
+  bool demanded(unsigned SlotId) const { return Demanded[SlotId]; }
+  /// True when the candidate declaration \p DeclId can be relaxed to
+  /// @approx with zero new endorse sites (requires solveDemand()).
+  bool relaxable(unsigned DeclId) const;
+  /// The representative of a slot's array-invariance group (slots that
+  /// must share one element qualifier); slots of non-array type are their
+  /// own group.
+  unsigned arrayGroup(unsigned SlotId) const;
+
+  /// The final per-slot qualifier picture once every relaxable
+  /// declaration is relaxed: true when the slot holds approximate data
+  /// (declared approximate, relaxed, or a temporary fed by one).
+  /// Requires solveDemand().
+  std::vector<bool> inferredApprox() const;
+
+  /// --- Taint fixpoint (non-interference). ---
+
+  struct TaintedEndorse {
+    unsigned Slot = NoSlot; ///< The Endorse slot.
+    /// The raw taint crossing it originated (at least in part) from
+    /// @context-adapted state on an approximate instance.
+    bool ContextOrigin = false;
+  };
+
+  struct TaintState {
+    /// Per slot: may hold un-endorsed approximate data.
+    std::vector<bool> Raw;
+    /// Per slot: the raw taint's origin includes @context-adapted state
+    /// on an approximate instance (adaptation taint).
+    std::vector<bool> RawContext;
+    /// Per slot: a witness feeder for the raw taint (the seed itself for
+    /// seeds), for rendering paths.
+    std::vector<unsigned> RawFrom;
+    /// Endorse slots whose operand carried raw taint, in slot id order.
+    std::vector<TaintedEndorse> TaintedEndorses;
+  };
+
+  /// Forward may-taint propagation; raw taint stops at endorse slots.
+  TaintState solveTaint() const;
+
+  /// Slots (in id order) reachable from \p From by forward flow,
+  /// excluding \p From itself. Used to trace one endorsement's reach.
+  std::vector<unsigned> reachableFrom(unsigned From) const;
+
+private:
+  friend class ConstraintBuilder;
+
+  std::vector<Declaration> Decls;
+  std::vector<Slot> Slots;
+  std::vector<std::vector<unsigned>> Feeders;
+  std::vector<std::vector<unsigned>> Consumers;
+  std::vector<StaticOp> Ops;
+  unsigned NumEdges = 0;
+
+  // Demand state.
+  bool DemandSolved = false;
+  std::vector<bool> Demanded;
+  /// Per declaration: relaxation decided (candidate, nothing demanded,
+  /// array-invariance cluster agrees).
+  std::vector<bool> RelaxOK;
+  mutable std::vector<unsigned> GroupParent; ///< Union-find over slots.
+
+  unsigned findGroup(unsigned SlotId) const;
+  void uniteGroups(unsigned A, unsigned B);
+};
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_CONSTRAINTS_H

@@ -1,0 +1,306 @@
+//===- analysis/infer.cpp - Whole-program qualifier inference -------------===//
+
+#include "analysis/infer.h"
+
+#include "analysis/callgraph.h"
+#include "analysis/constraints.h"
+#include "energy/model.h"
+#include "fault/config.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace enerj {
+namespace analysis {
+
+using namespace enerj::fenerj;
+
+namespace {
+
+Qual valueQual(const Type &T) { return T.isArray() ? T.ElemQual : T.Q; }
+
+const char *qualWord(Qual Q) {
+  switch (Q) {
+  case Qual::Precise:
+    return "precise";
+  case Qual::Approx:
+    return "approx";
+  case Qual::Top:
+    return "top";
+  case Qual::Context:
+    return "context";
+  case Qual::Lost:
+    return "lost";
+  }
+  return "unknown";
+}
+
+const char *kindWord(DeclKind K) {
+  switch (K) {
+  case DeclKind::Field:
+    return "field";
+  case DeclKind::Param:
+    return "param";
+  case DeclKind::Return:
+    return "return";
+  case DeclKind::Local:
+    return "local";
+  case DeclKind::Alloc:
+    return "alloc";
+  }
+  return "unknown";
+}
+
+std::string fixed(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.6f", Value);
+  return Buffer;
+}
+
+/// Static whole-system energy factor under the Section 5.4 split: the
+/// instruction mix is priced per recorded op; storage is priced by the
+/// fraction of storage declarations (fields, arrays, allocation sites)
+/// that hold approximate data. Mirrors computeEnergy()'s composition
+/// (65/35 logic/SRAM inside the CPU, 55/45 CPU/DRAM for a server) but
+/// over static counts — a planning estimate, not a measurement.
+double staticEnergyFactor(const ConstraintSystem &CS,
+                          const std::vector<bool> &SlotApprox,
+                          bool UseInferred, const FaultConfig &Config) {
+  EnergyConstants Constants;
+  double Units = 0.0, Energy = 0.0;
+  for (const StaticOp &Op : CS.ops()) {
+    bool Approx = Op.AnnotatedApprox;
+    if (UseInferred && !Approx)
+      for (unsigned S : Op.OperandSlots)
+        if (S != ConstraintSystem::NoSlot && SlotApprox[S])
+          Approx = true;
+    double OpUnits = Op.IsFp ? Constants.FpOpUnits : Constants.IntOpUnits;
+    Units += OpUnits;
+    Energy += OpUnits * instructionEnergyFactor(Op.IsFp, Approx, Config);
+  }
+  double InstrFactor = Units > 0.0 ? Energy / Units : 1.0;
+
+  unsigned Storage = 0, StorageApprox = 0;
+  for (const Declaration &D : CS.decls()) {
+    bool IsStorage = D.K == DeclKind::Field || D.K == DeclKind::Alloc ||
+                     D.DeclaredType.isArray();
+    if (!D.InStats || !IsStorage)
+      continue;
+    ++Storage;
+    bool Approx = false;
+    for (unsigned S : D.Slots)
+      if (UseInferred ? SlotApprox[S]
+                      : valueQual(CS.slots()[S].Ty) == Qual::Approx)
+        Approx = true;
+    if (Approx)
+      ++StorageApprox;
+  }
+  double Frac = Storage ? static_cast<double>(StorageApprox) / Storage : 0.0;
+  double SramFactor = 1.0 - Frac * Config.sramPowerSaved();
+  double DramFactor = 1.0 - Frac * Config.dramPowerSaved();
+  double CpuFactor = (1.0 - Constants.SramShareOfCpu) * InstrFactor +
+                     Constants.SramShareOfCpu * SramFactor;
+  return 0.55 * CpuFactor + 0.45 * DramFactor;
+}
+
+} // namespace
+
+InferResult inferProgram(const Program &Prog, const ClassTable &Table,
+                         std::string FileName) {
+  InferResult R;
+  R.File = std::move(FileName);
+
+  CallGraph Graph = CallGraph::build(Prog, Table);
+  ConstraintSystem CS = ConstraintSystem::build(Prog, Table, Graph);
+  CS.solveDemand();
+  std::vector<bool> SlotApprox = CS.inferredApprox();
+
+  R.Instances = Graph.instanceCount();
+  R.Edges = static_cast<unsigned>(Graph.edges().size());
+  R.Slots = static_cast<unsigned>(CS.slots().size());
+  R.Sccs = Graph.sccCount();
+  for (unsigned S = 0; S < Graph.sccCount(); ++S)
+    if (Graph.sccIsRecursive(S))
+      ++R.RecursiveSccs;
+  for (const UnreachableMethod &U : Graph.unreachable())
+    R.UnreachableMethods.push_back(U.name());
+
+  for (unsigned D = 0; D < CS.decls().size(); ++D) {
+    const Declaration &Decl = CS.decls()[D];
+    if (!Decl.InStats)
+      continue;
+    InferredDecl Out;
+    Out.Name = Decl.Name;
+    Out.Kind = kindWord(Decl.K);
+    Qual DeclaredQ = valueQual(Decl.DeclaredType);
+    Out.Declared = qualWord(DeclaredQ);
+    Out.Relaxed = CS.relaxable(D);
+    Out.Inferred = Out.Relaxed ? "approx" : Out.Declared;
+    Out.Loc = Decl.Loc;
+    Out.Uses = Decl.Uses;
+    ++R.TotalDecls;
+    // @context counts as annotated approximability: on approximate
+    // instances the data is approximate by the programmer's choice.
+    if (DeclaredQ == Qual::Approx || DeclaredQ == Qual::Context)
+      ++R.AnnotatedApprox;
+    if (DeclaredQ == Qual::Approx || DeclaredQ == Qual::Context ||
+        Out.Relaxed)
+      ++R.InferredApprox;
+    R.Decls.push_back(std::move(Out));
+  }
+  std::sort(R.Decls.begin(), R.Decls.end(),
+            [](const InferredDecl &A, const InferredDecl &B) {
+              if (A.Loc.Line != B.Loc.Line)
+                return A.Loc.Line < B.Loc.Line;
+              if (A.Loc.Column != B.Loc.Column)
+                return A.Loc.Column < B.Loc.Column;
+              return A.Name < B.Name;
+            });
+
+  if (R.TotalDecls) {
+    R.AnnotatedApproxPct = 100.0 * R.AnnotatedApprox / R.TotalDecls;
+    R.InferredApproxPct = 100.0 * R.InferredApprox / R.TotalDecls;
+  }
+
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+  R.AnnotatedEnergyFactor =
+      staticEnergyFactor(CS, SlotApprox, /*UseInferred=*/false, Config);
+  R.InferredEnergyFactor =
+      staticEnergyFactor(CS, SlotApprox, /*UseInferred=*/true, Config);
+  R.AnnotatedSavedPct = 100.0 * (1.0 - R.AnnotatedEnergyFactor);
+  R.InferredSavedPct = 100.0 * (1.0 - R.InferredEnergyFactor);
+  return R;
+}
+
+std::string renderInferTable(const std::vector<InferResult> &Results) {
+  std::string Out;
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "%-16s %6s %11s %11s %12s %12s\n", "app",
+                "decls", "annotated%", "inferred%", "saved%(ann)",
+                "saved%(inf)");
+  Out += Line;
+  Out += std::string(72, '-') + "\n";
+  for (const InferResult &R : Results) {
+    // Strip the directory for the row label.
+    std::string Name = R.File;
+    size_t Slash = Name.find_last_of('/');
+    if (Slash != std::string::npos)
+      Name = Name.substr(Slash + 1);
+    size_t Dot = Name.rfind(".fej");
+    if (Dot != std::string::npos)
+      Name = Name.substr(0, Dot);
+    std::snprintf(Line, sizeof(Line), "%-16s %6u %10.1f%% %10.1f%% %11.1f%% %11.1f%%\n",
+                  Name.c_str(), R.TotalDecls, R.AnnotatedApproxPct,
+                  R.InferredApproxPct, R.AnnotatedSavedPct, R.InferredSavedPct);
+    Out += Line;
+  }
+  return Out;
+}
+
+std::string renderInferSuggestions(const InferResult &Result) {
+  std::string Out;
+  for (const InferredDecl &D : Result.Decls) {
+    if (!D.Relaxed)
+      continue;
+    Out += Result.File + ":" + std::to_string(D.Loc.Line) + ":" +
+           std::to_string(D.Loc.Column) + ": relax " + D.Kind + " '" +
+           D.Name + "' from @precise to @approx (" +
+           std::to_string(D.Uses) + " use(s), no new endorsement needed)\n";
+  }
+  if (Out.empty())
+    Out = Result.File + ": no relaxable declarations\n";
+  return Out;
+}
+
+namespace {
+
+void jsonEscape(std::string &Out, const std::string &Text) {
+  static const char Hex[] = "0123456789abcdef";
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::string renderInferJson(const std::vector<InferResult> &Results) {
+  std::string Json = "{\"tool\":\"enerj-infer\",\"version\":1,\"apps\":[";
+  bool FirstApp = true;
+  for (const InferResult &R : Results) {
+    if (!FirstApp)
+      Json += ',';
+    FirstApp = false;
+    Json += "{\"file\":\"";
+    jsonEscape(Json, R.File);
+    Json += "\",\"decls\":{\"total\":" + std::to_string(R.TotalDecls);
+    Json += ",\"annotatedApprox\":" + std::to_string(R.AnnotatedApprox);
+    Json += ",\"inferredApprox\":" + std::to_string(R.InferredApprox);
+    Json += ",\"annotatedPct\":" + fixed(R.AnnotatedApproxPct);
+    Json += ",\"inferredPct\":" + fixed(R.InferredApproxPct);
+    Json += "},\"energy\":{\"annotatedFactor\":" +
+            fixed(R.AnnotatedEnergyFactor);
+    Json += ",\"inferredFactor\":" + fixed(R.InferredEnergyFactor);
+    Json += ",\"annotatedSavedPct\":" + fixed(R.AnnotatedSavedPct);
+    Json += ",\"inferredSavedPct\":" + fixed(R.InferredSavedPct);
+    Json += "},\"callGraph\":{\"instances\":" + std::to_string(R.Instances);
+    Json += ",\"edges\":" + std::to_string(R.Edges);
+    Json += ",\"slots\":" + std::to_string(R.Slots);
+    Json += ",\"sccs\":" + std::to_string(R.Sccs);
+    Json += ",\"recursiveSccs\":" + std::to_string(R.RecursiveSccs);
+    Json += ",\"unreachable\":[";
+    for (size_t I = 0; I < R.UnreachableMethods.size(); ++I) {
+      if (I)
+        Json += ',';
+      Json += '"';
+      jsonEscape(Json, R.UnreachableMethods[I]);
+      Json += '"';
+    }
+    Json += "]},\"declarations\":[";
+    bool FirstDecl = true;
+    for (const InferredDecl &D : R.Decls) {
+      if (!FirstDecl)
+        Json += ',';
+      FirstDecl = false;
+      Json += "{\"name\":\"";
+      jsonEscape(Json, D.Name);
+      Json += "\",\"kind\":\"" + D.Kind;
+      Json += "\",\"declared\":\"" + D.Declared;
+      Json += "\",\"inferred\":\"" + D.Inferred;
+      Json += "\",\"line\":" + std::to_string(D.Loc.Line);
+      Json += ",\"column\":" + std::to_string(D.Loc.Column);
+      Json += ",\"relaxed\":";
+      Json += D.Relaxed ? "true" : "false";
+      Json += ",\"uses\":" + std::to_string(D.Uses) + "}";
+    }
+    Json += "]}";
+  }
+  Json += "]}";
+  return Json;
+}
+
+} // namespace analysis
+} // namespace enerj

@@ -1,0 +1,115 @@
+//===- analysis/infer.h - Whole-program qualifier inference -----*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Qualifier inference: given a well-typed FEnerJ program, compute the
+/// maximal set of declared-@precise data declarations (fields, locals,
+/// parameters, returns, array allocation sites) that can be relaxed to
+/// @approx *without introducing a single new endorse()*, and estimate the
+/// energy the relaxation buys under the Section 5.4 model.
+///
+/// The engine is the constraint system of constraints.h solved over the
+/// instantiated call graph of callgraph.h: demand propagates backward
+/// from precise sinks through every call edge (with `_APPROX` dispatch
+/// and @Context adaptation resolved per instantiation), and a candidate
+/// relaxes when nothing it feeds demands precision. The answer is a
+/// consistent set — applying every suggestion at once preserves
+/// well-typedness — and is the tool-side counterpart of the paper's
+/// hand-annotation numbers (Figure 3): "inferred vs annotated"
+/// approximability per app.
+///
+/// Output is deterministic to the byte: declarations are reported in
+/// source order, numbers with fixed %.6f formatting, JSON with a fixed
+/// key order (schema version 1, validated by tests/validate_infer_json.py).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_INFER_H
+#define ENERJ_ANALYSIS_INFER_H
+
+#include "fenerj/ast.h"
+#include "fenerj/program.h"
+
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+/// One data declaration (primitive or primitive-array), with its declared
+/// and inferred qualifiers.
+struct InferredDecl {
+  std::string Name;     ///< "C.f", "C.m.x", "C.m:return", "main:new[l:c]".
+  std::string Kind;     ///< "field" | "param" | "return" | "local" | "alloc".
+  std::string Declared; ///< "precise" | "approx" | "context" | "top".
+  std::string Inferred; ///< Declared, or "approx" when relaxed.
+  fenerj::SourceLoc Loc;
+  bool Relaxed = false;
+  unsigned Uses = 0;
+};
+
+/// Whole-program inference result for one file.
+struct InferResult {
+  std::string File;
+
+  /// Data declarations in reachable code, source order (line, column,
+  /// name).
+  std::vector<InferredDecl> Decls;
+  unsigned TotalDecls = 0;
+  unsigned AnnotatedApprox = 0; ///< Declared @approx (or @context) already.
+  unsigned InferredApprox = 0;  ///< Approx after relaxation.
+  double AnnotatedApproxPct = 0.0;
+  double InferredApproxPct = 0.0;
+
+  /// Static energy estimate at ApproxLevel::Medium (Section 5.4):
+  /// normalized whole-system energy factor, annotated vs inferred, and
+  /// the saving each implies.
+  double AnnotatedEnergyFactor = 1.0;
+  double InferredEnergyFactor = 1.0;
+  double AnnotatedSavedPct = 0.0;
+  double InferredSavedPct = 0.0;
+
+  /// Call-graph shape, for reports and the bench.
+  unsigned Instances = 0;
+  unsigned Edges = 0;
+  unsigned Slots = 0;
+  unsigned Sccs = 0;
+  unsigned RecursiveSccs = 0;
+  std::vector<std::string> UnreachableMethods;
+};
+
+/// Runs inference over \p Prog, which must be well typed against
+/// \p Table.
+InferResult inferProgram(const fenerj::Program &Prog,
+                         const fenerj::ClassTable &Table,
+                         std::string FileName);
+
+/// The Figure-3-style table over several apps: one row per file with
+/// "% approximable" annotated vs inferred and the energy estimates.
+std::string renderInferTable(const std::vector<InferResult> &Results);
+
+/// Per-declaration relaxation suggestions for one file
+/// (--suggest-annotations): "file:line:col: relax ..." lines.
+std::string renderInferSuggestions(const InferResult &Result);
+
+/// Machine-readable rendering, schema version 1:
+///   {"tool":"enerj-infer","version":1,"apps":[
+///     {"file":...,"decls":{"total":N,"annotatedApprox":N,
+///       "inferredApprox":N,"annotatedPct":F,"inferredPct":F},
+///      "energy":{"annotatedFactor":F,"inferredFactor":F,
+///        "annotatedSavedPct":F,"inferredSavedPct":F},
+///      "callGraph":{"instances":N,"edges":N,"slots":N,"sccs":N,
+///        "recursiveSccs":N,"unreachable":[...]},
+///      "declarations":[{"name":...,"kind":...,"declared":...,
+///        "inferred":...,"line":N,"column":N,"relaxed":B,"uses":N},...]}
+///   ]}
+/// All floats use %.6f, so the output is bytewise deterministic.
+std::string renderInferJson(const std::vector<InferResult> &Results);
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_INFER_H

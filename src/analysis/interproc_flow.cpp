@@ -1,0 +1,95 @@
+//===- analysis/interproc_flow.cpp - Interproc non-interference audit -----===//
+
+#include "analysis/interproc_flow.h"
+
+#include "analysis/callgraph.h"
+#include "analysis/constraints.h"
+
+#include <string>
+
+namespace enerj {
+namespace analysis {
+
+using namespace enerj::fenerj;
+
+namespace {
+
+constexpr unsigned NoSlot = ConstraintSystem::NoSlot;
+
+/// Walks the raw-taint witness chain back to its seed.
+unsigned taintSeed(const ConstraintSystem::TaintState &T, unsigned SlotId) {
+  unsigned Guard = 0;
+  while (T.RawFrom[SlotId] != NoSlot && T.RawFrom[SlotId] != SlotId &&
+         Guard++ < 1u << 20)
+    SlotId = T.RawFrom[SlotId];
+  return SlotId;
+}
+
+Qual slotValueQual(const Slot &S) {
+  return S.Ty.isArray() ? S.Ty.ElemQual : S.Ty.Q;
+}
+
+} // namespace
+
+void interprocFlowPass(const Program &Prog, const ClassTable &Table,
+                       std::vector<LintFinding> &Out) {
+  CallGraph Graph = CallGraph::build(Prog, Table);
+  ConstraintSystem CS = ConstraintSystem::build(Prog, Table, Graph);
+  ConstraintSystem::TaintState Taint = CS.solveTaint();
+
+  const std::vector<Slot> &Slots = CS.slots();
+
+  // Errors: raw taint resting where only precise data may rest. For a
+  // well-typed program this loop finds nothing (Theorem 1); its silence
+  // is the whole-program witness.
+  for (unsigned S = 0; S < Slots.size(); ++S) {
+    if (!Taint.Raw[S])
+      continue;
+    const Slot &Sl = Slots[S];
+    bool IsSink = Sl.K == SlotKind::SinkControl || Sl.K == SlotKind::SinkResult;
+    bool IsPrecisePin =
+        (Sl.K == SlotKind::Field || Sl.K == SlotKind::Param ||
+         Sl.K == SlotKind::Return || Sl.K == SlotKind::Local) &&
+        (Sl.Ty.isPrimitive() || Sl.Ty.isArray()) &&
+        slotValueQual(Sl) == Qual::Precise;
+    if (!IsSink && !IsPrecisePin)
+      continue;
+    const Slot &Seed = Slots[taintSeed(Taint, S)];
+    Out.push_back({LintPass::InterprocFlow, LintSeverity::Error, Sl.Loc,
+                   "approximate data (from " + Seed.Display + " at " +
+                       Seed.Loc.str() + ") reaches " + Sl.Display +
+                       " without an endorsement: the non-interference "
+                       "guarantee is violated"});
+  }
+
+  // Warnings: adaptation-laundered control flows. An endorse whose raw
+  // taint includes @context-adapted state on an approximate instance,
+  // whose result then reaches a control sink. Only the instantiated call
+  // graph can see this; every method involved is locally clean.
+  for (const ConstraintSystem::TaintedEndorse &E : Taint.TaintedEndorses) {
+    if (!E.ContextOrigin)
+      continue;
+    const Slot *ControlSink = nullptr;
+    for (unsigned S : CS.reachableFrom(E.Slot))
+      if (Slots[S].K == SlotKind::SinkControl) {
+        ControlSink = &Slots[S];
+        break;
+      }
+    if (!ControlSink)
+      continue;
+    const Slot &Seed = Slots[taintSeed(Taint, CS.feeders()[E.Slot].empty()
+                                                  ? E.Slot
+                                                  : CS.feeders()[E.Slot][0])];
+    Out.push_back(
+        {LintPass::InterprocFlow, LintSeverity::Warning, Slots[E.Slot].Loc,
+         "this endorse() launders @context-adapted approximate state (" +
+             Seed.Display + " at " + Seed.Loc.str() +
+             ", approximate on @approx instances) into the " +
+             ControlSink->Display + " at " + ControlSink->Loc.str() +
+             "; no per-method audit can see this flow — verify the "
+             "control decision tolerates perturbed data"});
+  }
+}
+
+} // namespace analysis
+} // namespace enerj

@@ -1,0 +1,55 @@
+//===- analysis/interproc_flow.h - Interproc non-interference audit -*-C++-*-//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interproc-flow lint pass: a whole-program taint audit over the
+/// instantiated call graph (callgraph.h) and the constraint system
+/// (constraints.h). It reports two things the per-method passes cannot:
+///
+///  * **Errors** — un-endorsed approximate data reaching a precise sink
+///    (a condition, a subscript, an allocation length, a precise cast,
+///    the program result) or coming to rest in declared-precise storage.
+///    The type checker's non-interference guarantee (Theorem 1) says this
+///    set is empty for well-typed programs; the pass re-derives that
+///    emptiness as a machine-checked whole-program witness, so an error
+///    here means either a checker bug or a deliberately broken input.
+///
+///  * **Warnings** — endorse() calls whose operand's raw taint originates
+///    in @context-adapted state on an *approximate* instance and whose
+///    endorsed result then steers control flow (reaches a SinkControl).
+///    Each method involved type-checks in isolation: the field is
+///    @context, the endorse is local, the index is precise. Only the
+///    instantiated call graph shows that on an @approx receiver the
+///    adapted state is approximate, and the endorsement launders it into
+///    a control decision. Plain declared-@approx data that is endorsed
+///    before a branch — the paper's ordinary idiom — is deliberately NOT
+///    flagged; only adaptation-laundered flows are.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_INTERPROC_FLOW_H
+#define ENERJ_ANALYSIS_INTERPROC_FLOW_H
+
+#include "analysis/lint.h"
+#include "fenerj/ast.h"
+#include "fenerj/program.h"
+
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+/// Runs the interprocedural taint audit over \p Prog (well typed against
+/// \p Table) and appends its findings to \p Out. Findings are produced in
+/// a deterministic order; the caller re-sorts with lintFindingLess.
+void interprocFlowPass(const fenerj::Program &Prog,
+                       const fenerj::ClassTable &Table,
+                       std::vector<LintFinding> &Out);
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_INTERPROC_FLOW_H

@@ -4,6 +4,7 @@
 
 #include "analysis/dataflow.h"
 #include "analysis/fenerj_cfg.h"
+#include "analysis/interproc_flow.h"
 #include "analysis/isa_flow.h"
 #include "fenerj/codegen.h"
 #include "isa/assembler.h"
@@ -26,8 +27,22 @@ const char *lintPassName(LintPass Pass) {
     return "dead-value";
   case LintPass::IsaFlow:
     return "isa-flow";
+  case LintPass::InterprocFlow:
+    return "interproc-flow";
   }
   return "unknown";
+}
+
+bool lintFindingLess(const LintFinding &A, const LintFinding &B) {
+  if (A.Pass != B.Pass)
+    return static_cast<int>(A.Pass) < static_cast<int>(B.Pass);
+  if (A.Loc.Line != B.Loc.Line)
+    return A.Loc.Line < B.Loc.Line;
+  if (A.Loc.Column != B.Loc.Column)
+    return A.Loc.Column < B.Loc.Column;
+  if (A.Severity != B.Severity)
+    return static_cast<int>(A.Severity) < static_cast<int>(B.Severity);
+  return A.Message < B.Message;
 }
 
 const char *lintSeverityName(LintSeverity Severity) {
@@ -762,16 +777,10 @@ LintResult runLint(const Program &Prog, const ClassTable &Table,
     isaPass(Prog, Result);
   else
     Result.IsaSkipReason = "disabled";
+  interprocFlowPass(Prog, Table, Result.Findings);
 
   std::stable_sort(Result.Findings.begin(), Result.Findings.end(),
-                   [](const LintFinding &A, const LintFinding &B) {
-                     if (A.Pass != B.Pass)
-                       return static_cast<int>(A.Pass) <
-                              static_cast<int>(B.Pass);
-                     if (A.Loc.Line != B.Loc.Line)
-                       return A.Loc.Line < B.Loc.Line;
-                     return A.Loc.Column < B.Loc.Column;
-                   });
+                   lintFindingLess);
   return Result;
 }
 
@@ -826,7 +835,8 @@ std::string renderLintJson(const LintResult &Result,
   }
   Json += "],\"counts\":{";
   const LintPass Passes[] = {LintPass::Endorsement, LintPass::PrecisionSlack,
-                             LintPass::DeadValue, LintPass::IsaFlow};
+                             LintPass::DeadValue, LintPass::IsaFlow,
+                             LintPass::InterprocFlow};
   for (LintPass Pass : Passes) {
     if (Pass != LintPass::Endorsement)
       Json += ',';

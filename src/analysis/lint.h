@@ -23,7 +23,13 @@
 ///  * **isa-flow** — the program is compiled with fenerj/codegen.h and the
 ///    binary is checked by the flow-sensitive ISA verifier (isa_flow.h);
 ///    its errors and warnings are surfaced here. Line numbers of this
-///    pass refer to the generated assembly, not the FEnerJ source.
+///    pass refer to the generated assembly, not the FEnerJ source;
+///  * **interproc-flow** — the interprocedural taint audit of
+///    interproc_flow.h, run over the instantiated call graph: it
+///    re-derives the non-interference guarantee as a whole-program
+///    witness (errors) and flags endorse() calls that launder
+///    @context-adapted approximate state into control-flow decisions
+///    (warnings) — flows no per-method audit can see.
 ///
 /// All passes run to completion and report everything they find; nothing
 /// mutates the program.
@@ -43,11 +49,18 @@
 namespace enerj {
 namespace analysis {
 
-enum class LintPass { Endorsement, PrecisionSlack, DeadValue, IsaFlow };
+enum class LintPass {
+  Endorsement,
+  PrecisionSlack,
+  DeadValue,
+  IsaFlow,
+  InterprocFlow,
+};
 enum class LintSeverity { Error, Warning, Suggestion };
 
 /// Stable names used in both renderings ("endorsement", "precision-slack",
-/// "dead-value", "isa-flow" / "error", "warning", "suggestion").
+/// "dead-value", "isa-flow", "interproc-flow" / "error", "warning",
+/// "suggestion").
 const char *lintPassName(LintPass Pass);
 const char *lintSeverityName(LintSeverity Severity);
 
@@ -59,6 +72,12 @@ struct LintFinding {
   fenerj::SourceLoc Loc;
   std::string Message;
 };
+
+/// The total order findings are reported in: (pass, line, column,
+/// severity, message). The trailing severity/message tiebreak makes the
+/// order — and therefore the --json rendering — bytewise deterministic
+/// even when two findings share a source position.
+bool lintFindingLess(const LintFinding &A, const LintFinding &B);
 
 struct LintResult {
   std::vector<LintFinding> Findings;
@@ -92,7 +111,7 @@ std::string renderLintText(const LintResult &Result,
 ///    "findings":[{"pass":...,"severity":...,"line":N,"column":N,
 ///                 "message":...}, ...],
 ///    "counts":{"endorsement":N,"precision-slack":N,"dead-value":N,
-///              "isa-flow":N},
+///              "isa-flow":N,"interproc-flow":N},
 ///    "isa":{"checked":B,"skipReason":...,"errors":N}}
 std::string renderLintJson(const LintResult &Result,
                            std::string_view FileName);

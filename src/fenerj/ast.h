@@ -224,6 +224,7 @@ struct BlockExpr : Expr {
     bool IsLet = false;
     Type LetType;        ///< For lets.
     std::string LetName; ///< For lets.
+    SourceLoc LetLoc;    ///< Declaration site of the let (for lets).
     ExprPtr Value;       ///< Initializer (for lets) or the expression.
   };
 
@@ -252,6 +253,10 @@ struct FieldDeclAst {
 struct ParamDecl {
   Type DeclaredType;
   std::string Name;
+  /// Declaration site of the parameter itself (not the method). Gives
+  /// whole-program analyses a per-declaration anchor so two parameters of
+  /// one method never collapse onto the same location.
+  SourceLoc Loc;
 };
 
 struct MethodDecl {

@@ -200,6 +200,7 @@ bool Parser::parseMember(ClassDecl &Cls) {
     return false;
   if (!check(TokenKind::RParen)) {
     do {
+      SourceLoc ParamLoc = peek().Loc;
       std::optional<Type> ParamType = parseType();
       if (!ParamType)
         return false;
@@ -207,7 +208,8 @@ bool Parser::parseMember(ClassDecl &Cls) {
         expect(TokenKind::Identifier);
         return false;
       }
-      Method.Params.push_back({std::move(*ParamType), advance().Text});
+      Method.Params.push_back(
+          {std::move(*ParamType), advance().Text, ParamLoc});
     } while (match(TokenKind::Comma));
   }
   if (!expect(TokenKind::RParen))
@@ -232,6 +234,7 @@ ExprPtr Parser::parseBlock() {
     BlockExpr::Item Item;
     if (match(TokenKind::KwLet)) {
       Item.IsLet = true;
+      Item.LetLoc = peek().Loc;
       std::optional<Type> LetType = parseType();
       if (!LetType)
         return nullptr;

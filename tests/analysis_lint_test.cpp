@@ -3,7 +3,9 @@
 #include "analysis/lint.h"
 #include "fenerj/fenerj.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
+#include <vector>
 
 using namespace enerj;
 using namespace enerj::analysis;
@@ -242,7 +244,7 @@ TEST(LintRender, JsonSchemaIsStable) {
       ",\"column\":" + std::to_string(F.Loc.Column) +
       ",\"message\":\"the value assigned to 'x' here is never read\"}],"
       "\"counts\":{\"endorsement\":0,\"precision-slack\":0,"
-      "\"dead-value\":1,\"isa-flow\":0},"
+      "\"dead-value\":1,\"isa-flow\":0,\"interproc-flow\":0},"
       "\"isa\":{\"checked\":false,\"skipReason\":\"disabled\","
       "\"errors\":0}}";
   EXPECT_EQ(renderLintJson(R, "p.fej"), Expected);
@@ -256,6 +258,47 @@ TEST(LintRender, JsonEscapesStrings) {
   EXPECT_NE(Json.find("dir\\\\file.fej"), std::string::npos);
   EXPECT_NE(Json.find("a \\\"quoted\\\"\\nmessage\\\\"),
             std::string::npos);
+}
+
+// --- Finding order: (pass, line, column), total even on duplicates. ---
+
+TEST(LintOrder, ComparatorIsATotalOrder) {
+  LintFinding A{LintPass::DeadValue, LintSeverity::Warning, {3, 5}, "m1"};
+  LintFinding B{LintPass::DeadValue, LintSeverity::Warning, {3, 5}, "m2"};
+  // Column-equal duplicates tie-break on the message, so a sort never
+  // depends on discovery order.
+  EXPECT_TRUE(lintFindingLess(A, B));
+  EXPECT_FALSE(lintFindingLess(B, A));
+  EXPECT_FALSE(lintFindingLess(A, A));
+  LintFinding C{LintPass::DeadValue, LintSeverity::Warning, {3, 4}, "zz"};
+  EXPECT_TRUE(lintFindingLess(C, A)); // column beats message
+  LintFinding D{LintPass::Endorsement, LintSeverity::Warning, {9, 9}, "a"};
+  EXPECT_TRUE(lintFindingLess(D, C)); // pass beats location
+  LintFinding E{LintPass::DeadValue, LintSeverity::Error, {3, 5}, "m1"};
+  EXPECT_TRUE(lintFindingLess(E, A)); // severity beats message
+}
+
+TEST(LintOrder, JsonIsIndependentOfDiscoveryOrder) {
+  // Two results with the same findings in opposite insertion order must
+  // render to identical bytes once sorted — the --json contract.
+  std::vector<LintFinding> Findings = {
+      {LintPass::PrecisionSlack, LintSeverity::Suggestion, {2, 7}, "b"},
+      {LintPass::DeadValue, LintSeverity::Warning, {2, 7}, "a"},
+      {LintPass::DeadValue, LintSeverity::Warning, {2, 7}, "b"},
+      {LintPass::DeadValue, LintSeverity::Warning, {1, 9}, "c"},
+  };
+  LintResult Fwd, Rev;
+  Fwd.Findings = Findings;
+  Rev.Findings = std::vector<LintFinding>(Findings.rbegin(),
+                                          Findings.rend());
+  std::stable_sort(Fwd.Findings.begin(), Fwd.Findings.end(),
+                   lintFindingLess);
+  std::stable_sort(Rev.Findings.begin(), Rev.Findings.end(),
+                   lintFindingLess);
+  EXPECT_EQ(renderLintJson(Fwd, "p.fej"), renderLintJson(Rev, "p.fej"));
+  // Pass major (PrecisionSlack precedes DeadValue), then line within it.
+  EXPECT_EQ(Fwd.Findings[0].Pass, LintPass::PrecisionSlack);
+  EXPECT_EQ(Fwd.Findings[1].Message, "c");
 }
 
 // --- Whole-corpus sanity: findings are ordered by pass, then line. ---

@@ -1,0 +1,221 @@
+//===- tests/callgraph_test.cpp - instantiated call graph tests -----------===//
+//
+// The call graph is the substrate for every interprocedural pass, so its
+// contracts are pinned here: instance 0 is main, context-polymorphic
+// methods instantiate per receiver qualifier, `_APPROX` overloads
+// dispatch by instantiation, recursion lands in recursive SCCs, and
+// never-called methods are reported unreachable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/callgraph.h"
+#include "fenerj/fenerj.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::analysis;
+using fenerj::Qual;
+
+namespace {
+
+struct Compiled {
+  fenerj::ClassTable Table;
+  std::optional<fenerj::Program> Prog;
+};
+
+/// Compiles and typechecks; the graph builder requires a well-typed
+/// program.
+void compile(Compiled &C, std::string_view Source) {
+  fenerj::DiagnosticEngine Diags;
+  C.Prog = fenerj::compile(Source, C.Table, Diags);
+  ASSERT_TRUE(C.Prog.has_value()) << Diags.str();
+}
+
+/// The single method named \p Method of class \p Cls with receiver
+/// precision \p Recv (Context unless the source marks the overload).
+const fenerj::MethodDecl *method(const Compiled &C, const char *Cls,
+                                 const char *Method,
+                                 Qual Recv = Qual::Context) {
+  const fenerj::ClassDecl *Decl = C.Table.lookup(Cls);
+  if (!Decl)
+    return nullptr;
+  for (const fenerj::MethodDecl &M : Decl->Methods)
+    if (M.Name == Method && M.ReceiverPrecision == Recv)
+      return &M;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(CallGraph, InstanceZeroIsMain) {
+  Compiled C;
+  compile(C, "{ 1; }");
+  CallGraph G = CallGraph::build(*C.Prog, C.Table);
+  ASSERT_GE(G.instanceCount(), 1u);
+  EXPECT_TRUE(G.instance(0).isMain());
+  EXPECT_EQ(G.instance(0).name(), "main");
+  EXPECT_EQ(G.sccCount(), 1u);
+  EXPECT_FALSE(G.sccIsRecursive(G.sccOf(0)));
+}
+
+TEST(CallGraph, ContextMethodInstantiatesPerReceiver) {
+  Compiled C;
+  compile(C, R"(
+    class P { @context int x; int bump() { this.x := this.x + 1; 0; } }
+    {
+      let @precise P p = new @precise P();
+      let @approx P a = new @approx P();
+      p.bump(); a.bump(); 0;
+    }
+  )");
+  CallGraph G = CallGraph::build(*C.Prog, C.Table);
+  const fenerj::MethodDecl *Bump = method(C, "P", "bump");
+  ASSERT_NE(Bump, nullptr);
+  unsigned Pre = G.instanceId(Bump, Qual::Precise);
+  unsigned App = G.instanceId(Bump, Qual::Approx);
+  ASSERT_NE(Pre, ~0u);
+  ASSERT_NE(App, ~0u);
+  EXPECT_NE(Pre, App);
+  EXPECT_EQ(G.instance(Pre).name(), "P.bump@precise");
+  EXPECT_EQ(G.instance(App).name(), "P.bump@approx");
+  // main + both instantiations, one call edge each.
+  EXPECT_EQ(G.instanceCount(), 3u);
+  EXPECT_EQ(G.edges().size(), 2u);
+}
+
+TEST(CallGraph, ApproxOverloadDispatchesByInstantiation) {
+  Compiled C;
+  compile(C, R"(
+    class S {
+      @context float v;
+      float get() precise { this.v; }
+      @approx float get() approx { this.v * 2.0; }
+      float relay() precise { this.get(); }
+      @approx float relay() approx { this.get(); }
+    }
+    {
+      let @precise S p = new @precise S();
+      let @approx S a = new @approx S();
+      p.relay(); endorse(a.relay());
+    }
+  )");
+  CallGraph G = CallGraph::build(*C.Prog, C.Table);
+  const fenerj::MethodDecl *GetPre = method(C, "S", "get", Qual::Precise);
+  const fenerj::MethodDecl *GetApp = method(C, "S", "get", Qual::Approx);
+  ASSERT_NE(GetPre, nullptr);
+  ASSERT_NE(GetApp, nullptr);
+
+  // relay@precise must call the precise get variant, relay@approx the
+  // approx one — dispatch follows the substituted receiver qualifier.
+  unsigned RelayPre =
+      G.instanceId(method(C, "S", "relay", Qual::Precise), Qual::Precise);
+  unsigned RelayApp =
+      G.instanceId(method(C, "S", "relay", Qual::Approx), Qual::Approx);
+  ASSERT_NE(RelayPre, ~0u);
+  ASSERT_NE(RelayApp, ~0u);
+  ASSERT_EQ(G.calleeEdges(RelayPre).size(), 1u);
+  ASSERT_EQ(G.calleeEdges(RelayApp).size(), 1u);
+  const CallEdge &FromPre = G.edges()[G.calleeEdges(RelayPre)[0]];
+  const CallEdge &FromApp = G.edges()[G.calleeEdges(RelayApp)[0]];
+  EXPECT_EQ(G.instance(FromPre.Callee).Method, GetPre);
+  EXPECT_EQ(G.instance(FromApp.Callee).Method, GetApp);
+  EXPECT_EQ(FromPre.ReceiverQual, Qual::Precise);
+  EXPECT_EQ(FromApp.ReceiverQual, Qual::Approx);
+  // Marked overloads have exactly one instantiation each.
+  EXPECT_EQ(G.instanceId(GetPre, Qual::Approx), ~0u);
+  EXPECT_EQ(G.instanceId(GetApp, Qual::Precise), ~0u);
+}
+
+TEST(CallGraph, SelfRecursionFormsARecursiveScc) {
+  Compiled C;
+  compile(C, R"(
+    class R {
+      int count(int n) {
+        if (n <= 0) { 0; } else { 1 + this.count(n - 1); };
+      }
+    }
+    { let @precise R r = new @precise R(); r.count(4); }
+  )");
+  CallGraph G = CallGraph::build(*C.Prog, C.Table);
+  const fenerj::MethodDecl *Count = method(C, "R", "count");
+  ASSERT_NE(Count, nullptr);
+  unsigned Inst = G.instanceId(Count, Qual::Precise);
+  ASSERT_NE(Inst, ~0u);
+  EXPECT_TRUE(G.sccIsRecursive(G.sccOf(Inst)));
+  EXPECT_FALSE(G.sccIsRecursive(G.sccOf(0))); // main is not in the cycle
+  EXPECT_NE(G.sccOf(Inst), G.sccOf(0));
+}
+
+TEST(CallGraph, MutualRecursionSharesOneScc) {
+  Compiled C;
+  compile(C, R"(
+    class M {
+      int even(int n) { if (n == 0) { 1; } else { this.odd(n - 1); }; }
+      int odd(int n) { if (n == 0) { 0; } else { this.even(n - 1); }; }
+    }
+    { let @precise M m = new @precise M(); m.even(6); }
+  )");
+  CallGraph G = CallGraph::build(*C.Prog, C.Table);
+  unsigned Even = G.instanceId(method(C, "M", "even"), Qual::Precise);
+  unsigned Odd = G.instanceId(method(C, "M", "odd"), Qual::Precise);
+  ASSERT_NE(Even, ~0u);
+  ASSERT_NE(Odd, ~0u);
+  EXPECT_EQ(G.sccOf(Even), G.sccOf(Odd));
+  EXPECT_TRUE(G.sccIsRecursive(G.sccOf(Even)));
+  ASSERT_EQ(G.sccMembers(G.sccOf(Even)).size(), 2u);
+}
+
+TEST(CallGraph, CalleeFirstOrderPutsCalleesBeforeCallers) {
+  Compiled C;
+  compile(C, R"(
+    class T {
+      int leaf() { 1; }
+      int mid() { this.leaf() + 1; }
+      int top() { this.mid() + 1; }
+    }
+    { let @precise T t = new @precise T(); t.top(); }
+  )");
+  CallGraph G = CallGraph::build(*C.Prog, C.Table);
+  const std::vector<unsigned> &Order = G.calleeFirstOrder();
+  ASSERT_EQ(Order.size(), G.instanceCount());
+  std::vector<unsigned> Pos(G.instanceCount());
+  for (unsigned I = 0; I < Order.size(); ++I)
+    Pos[Order[I]] = I;
+  for (const CallEdge &E : G.edges())
+    EXPECT_LT(Pos[E.Callee], Pos[E.Caller]);
+}
+
+TEST(CallGraph, UncalledMethodsAreReportedUnreachable) {
+  Compiled C;
+  compile(C, R"(
+    class U {
+      int used() { 1; }
+      int dead() { 2; }
+      int alsoDead() { this.dead(); }
+    }
+    { let @precise U u = new @precise U(); u.used(); }
+  )");
+  CallGraph G = CallGraph::build(*C.Prog, C.Table);
+  ASSERT_EQ(G.unreachable().size(), 2u);
+  // Declaration order.
+  EXPECT_EQ(G.unreachable()[0].name(), "U.dead");
+  EXPECT_EQ(G.unreachable()[1].name(), "U.alsoDead");
+  EXPECT_EQ(G.instanceId(method(C, "U", "dead"), Qual::Precise), ~0u);
+  EXPECT_EQ(G.instanceId(method(C, "U", "dead"), Qual::Approx), ~0u);
+}
+
+TEST(CallGraph, OnlyInstantiatedContextsExist) {
+  // A context method called only on approximate receivers must not get a
+  // precise instantiation.
+  Compiled C;
+  compile(C, R"(
+    class O { @context int v; int poke() { this.v := this.v + 1; 0; } }
+    { let @approx O o = new @approx O(); o.poke(); 0; }
+  )");
+  CallGraph G = CallGraph::build(*C.Prog, C.Table);
+  const fenerj::MethodDecl *Poke = method(C, "O", "poke");
+  EXPECT_NE(G.instanceId(Poke, Qual::Approx), ~0u);
+  EXPECT_EQ(G.instanceId(Poke, Qual::Precise), ~0u);
+  EXPECT_TRUE(G.unreachable().empty());
+}

@@ -1,0 +1,130 @@
+//===- tests/cli_lint_test.cpp - fenerj_tool lint/infer CLI contract ------===//
+//
+// Black-box tests of the lint and infer subcommands: --Werror turns
+// warnings into exit 1 (suggestions stay advisory), flag order does not
+// matter, unknown flags are rejected, and infer --json is bytewise
+// stable run-to-run. Corpus files come from ENERJ_FEJ_DIR; the binary
+// path from ENERJ_FENERJ_TOOL.
+//
+//===----------------------------------------------------------------------===//
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+
+#ifndef ENERJ_FENERJ_TOOL
+#error "ENERJ_FENERJ_TOOL must point at the fenerj_tool binary"
+#endif
+#ifndef ENERJ_FEJ_DIR
+#error "ENERJ_FEJ_DIR must point at examples/fej"
+#endif
+
+namespace {
+
+int runTool(const std::string &Args, std::string &Output) {
+  std::string Command =
+      std::string("\"") + ENERJ_FENERJ_TOOL + "\" " + Args + " 2>&1";
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  Output.clear();
+  std::array<char, 4096> Buffer;
+  size_t Read;
+  while ((Read = fread(Buffer.data(), 1, Buffer.size(), Pipe)) > 0)
+    Output.append(Buffer.data(), Read);
+  int Status = pclose(Pipe);
+  if (Status == -1)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+int runTool(const std::string &Args) {
+  std::string Discard;
+  return runTool(Args, Discard);
+}
+
+std::string fej(const char *Name) {
+  return std::string(ENERJ_FEJ_DIR) + "/" + Name;
+}
+
+} // namespace
+
+TEST(CliLint, CleanProgramExitsZeroUnderWerror) {
+  // blur.fej is the paper's motivating example and must stay warning
+  // free; suggestions alone never fail the build.
+  EXPECT_EQ(runTool("lint " + fej("blur.fej") + " --Werror"), 0);
+  EXPECT_EQ(runTool("lint " + fej("overprecise.fej") + " --Werror"), 0);
+}
+
+TEST(CliLint, WerrorPromotesWarningsToFailure) {
+  // redundant_endorse.fej intentionally carries endorsement warnings.
+  std::string Output;
+  EXPECT_EQ(runTool("lint " + fej("redundant_endorse.fej"), Output), 0);
+  EXPECT_NE(Output.find("warning"), std::string::npos);
+  EXPECT_EQ(runTool("lint " + fej("redundant_endorse.fej") + " --Werror"), 1);
+}
+
+TEST(CliLint, WerrorFlagOrderDoesNotMatter) {
+  EXPECT_EQ(runTool("lint " + fej("redundant_endorse.fej") +
+                    " --Werror --json"),
+            1);
+  EXPECT_EQ(runTool("lint " + fej("redundant_endorse.fej") +
+                    " --json --Werror"),
+            1);
+}
+
+TEST(CliLint, RejectsUnknownFlag) {
+  std::string Output;
+  EXPECT_EQ(runTool("lint " + fej("blur.fej") + " --frobnicate", Output), 2);
+  EXPECT_NE(Output.find("frobnicate"), std::string::npos);
+}
+
+TEST(CliLint, ContextLaunderIsCaughtOnlyInterprocedurally) {
+  // The corpus program whose flaw no per-method audit can see: plain
+  // lint reports the interproc-flow warning and exits 0; --Werror gates.
+  std::string Output;
+  EXPECT_EQ(runTool("lint " + fej("context_launder.fej"), Output), 0);
+  EXPECT_NE(Output.find("interproc-flow"), std::string::npos);
+  EXPECT_NE(Output.find("launders"), std::string::npos);
+  EXPECT_EQ(runTool("lint " + fej("context_launder.fej") + " --Werror"), 1);
+}
+
+TEST(CliInfer, TableListsEveryApp) {
+  std::string Output;
+  EXPECT_EQ(runTool("infer " + fej("apps/sor.fej") + " " +
+                        fej("apps/montecarlo.fej"),
+                    Output),
+            0);
+  EXPECT_NE(Output.find("sor"), std::string::npos);
+  EXPECT_NE(Output.find("montecarlo"), std::string::npos);
+  EXPECT_NE(Output.find("inferred%"), std::string::npos);
+}
+
+TEST(CliInfer, SuggestionsNameTheRelaxableDecls) {
+  std::string Output;
+  EXPECT_EQ(runTool("infer " + fej("apps/sor.fej") +
+                        " --suggest-annotations",
+                    Output),
+            0);
+  EXPECT_NE(Output.find("relax field 'Sor.omega'"), std::string::npos);
+  EXPECT_NE(Output.find("@precise to @approx"), std::string::npos);
+}
+
+TEST(CliInfer, JsonIsBytewiseStableAcrossRuns) {
+  std::string First, Second;
+  std::string Args = "infer " + fej("apps/fft.fej") + " " +
+                     fej("apps/trikernel.fej") + " --json";
+  EXPECT_EQ(runTool(Args, First), 0);
+  EXPECT_EQ(runTool(Args, Second), 0);
+  EXPECT_EQ(First, Second);
+  EXPECT_NE(First.find("\"tool\":\"enerj-infer\""), std::string::npos);
+  EXPECT_NE(First.find("\"version\":1"), std::string::npos);
+}
+
+TEST(CliInfer, RejectsMissingFileAndUnknownFlag) {
+  EXPECT_EQ(runTool("infer"), 2);
+  EXPECT_EQ(runTool("infer /nonexistent/x.fej"), 1);
+  EXPECT_EQ(runTool("infer " + fej("apps/sor.fej") + " --bogus"), 2);
+}

@@ -1,0 +1,200 @@
+//===- tests/infer_test.cpp - qualifier inference tests -------------------===//
+//
+// Inference must (a) relax exactly the declarations whose precision buys
+// nothing — no new endorsement may ever be required, (b) keep everything
+// that steers control or indexes storage precise, and (c) render
+// bytewise-deterministic reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/infer.h"
+#include "fenerj/fenerj.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::analysis;
+
+namespace {
+
+InferResult infer(std::string_view Source) {
+  fenerj::DiagnosticEngine Diags;
+  fenerj::ClassTable Table;
+  std::optional<fenerj::Program> Prog =
+      fenerj::compile(Source, Table, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  if (!Prog)
+    return {};
+  return inferProgram(*Prog, Table, "t.fej");
+}
+
+const InferredDecl *find(const InferResult &R, const char *Name) {
+  for (const InferredDecl &D : R.Decls)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Infer, RelaxesALocalFeedingOnlyApproxStorage) {
+  InferResult R = infer(
+      "{ let @approx int[] b = new @approx int[4]; let int g = 3; "
+      "b[0] := g; endorse(b[0]); }");
+  const InferredDecl *G = find(R, "main.g");
+  ASSERT_NE(G, nullptr);
+  EXPECT_TRUE(G->Relaxed);
+  EXPECT_EQ(G->Declared, "precise");
+  EXPECT_EQ(G->Inferred, "approx");
+}
+
+TEST(Infer, KeepsLoopBoundsAndSubscriptsPrecise) {
+  InferResult R = infer(
+      "{ let int n = 4; let @approx int[] b = new @approx int[4]; "
+      "let int i = 0; while (i < n) { b[i] := i; i = i + 1; }; 0; }");
+  const InferredDecl *N = find(R, "main.n");
+  const InferredDecl *I = find(R, "main.i");
+  ASSERT_NE(N, nullptr);
+  ASSERT_NE(I, nullptr);
+  EXPECT_FALSE(N->Relaxed); // condition operand
+  EXPECT_FALSE(I->Relaxed); // subscript
+}
+
+TEST(Infer, NeverRelaxesThroughAnEndorseRequirement) {
+  // 'x' flows into a precise local via endorse; relaxing 'x' is free
+  // because the endorse is already there, but relaxing 'y' would force a
+  // NEW endorsement at 'y;' (the program result), so y must stay.
+  InferResult R = infer(
+      "{ let @approx int a = 1; let int y = endorse(a) + 1; y; }");
+  const InferredDecl *Y = find(R, "main.y");
+  ASSERT_NE(Y, nullptr);
+  EXPECT_FALSE(Y->Relaxed);
+}
+
+TEST(Infer, InterproceduralRelaxationThroughACall) {
+  // The parameter and the LCG-style field feed only approximate storage
+  // across a call boundary; an intraprocedural pass cannot see this.
+  InferResult R = infer(R"(
+    class W {
+      @approx int acc;
+      int mix;
+      int feed(int v) {
+        this.mix := this.mix * 3 + v;
+        this.acc := this.acc + this.mix;
+        0;
+      }
+    }
+    { let @precise W w = new @precise W(); w.feed(4); endorse(w.acc); }
+  )");
+  const InferredDecl *V = find(R, "W.feed.v");
+  const InferredDecl *Mix = find(R, "W.mix");
+  ASSERT_NE(V, nullptr);
+  ASSERT_NE(Mix, nullptr);
+  EXPECT_TRUE(V->Relaxed);
+  EXPECT_TRUE(Mix->Relaxed);
+  EXPECT_GT(R.InferredApprox, R.AnnotatedApprox);
+}
+
+TEST(Infer, ArrayAliasingRelaxesWholeClustersOrNothing) {
+  // The allocation flows into 'shared', which is indexed by a precise
+  // subscript but whose ELEMENTS only feed approx storage; both the
+  // alloc site and the local must relax together (element invariance).
+  InferResult R = infer(
+      "{ let int[] shared = new int[4]; let @approx int sink = 0; "
+      "let int i = 0; "
+      "while (i < 4) { shared[i] := i; sink = sink + shared[i]; "
+      "i = i + 1; }; endorse(sink); }");
+  const InferredDecl *Local = find(R, "main.shared");
+  ASSERT_NE(Local, nullptr);
+  bool AllocRelaxed = false, AllocSeen = false;
+  for (const InferredDecl &D : R.Decls)
+    if (D.Kind == "alloc") {
+      AllocSeen = true;
+      AllocRelaxed = D.Relaxed;
+    }
+  ASSERT_TRUE(AllocSeen);
+  EXPECT_EQ(Local->Relaxed, AllocRelaxed);
+}
+
+TEST(Infer, ContextCountsAsAnnotatedApprox) {
+  InferResult R = infer(R"(
+    class P { @context int x; int bump() { this.x := this.x + 1; 0; } }
+    { let @approx P p = new @approx P(); p.bump(); 0; }
+  )");
+  const InferredDecl *X = find(R, "P.x");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->Declared, "context");
+  EXPECT_GE(R.AnnotatedApprox, 1u);
+}
+
+TEST(Infer, EnergyEstimateImprovesOrHolds) {
+  InferResult R = infer(
+      "{ let @approx float[] b = new @approx float[8]; let float g = 1.5; "
+      "let int i = 0; while (i < 8) { b[i] := cast<@approx float>(i) * g; "
+      "i = i + 1; }; let @approx float s = 0.0; i = 0; "
+      "while (i < 8) { s = s + b[i]; i = i + 1; }; cast<int>(endorse(s)); }");
+  EXPECT_LE(R.InferredEnergyFactor, R.AnnotatedEnergyFactor);
+  EXPECT_GE(R.InferredSavedPct, R.AnnotatedSavedPct);
+  EXPECT_GT(R.AnnotatedSavedPct, 0.0);
+}
+
+TEST(Infer, UnreachableMethodsAreReported) {
+  InferResult R = infer(R"(
+    class U { int used() { 1; } int dead() { 2; } }
+    { let @precise U u = new @precise U(); u.used(); }
+  )");
+  ASSERT_EQ(R.UnreachableMethods.size(), 1u);
+  EXPECT_EQ(R.UnreachableMethods[0], "U.dead");
+}
+
+TEST(InferRender, JsonIsBytewiseDeterministic) {
+  const char *Source = R"(
+    class A {
+      @approx float[] buf;
+      float gain;
+      int init(int size, float g) {
+        this.gain := g;
+        this.buf := new @approx float[size];
+        let int i = 0;
+        while (i < size) {
+          this.buf[i] := cast<@approx float>(i) * this.gain;
+          i = i + 1;
+        };
+        0;
+      }
+    }
+    { let @precise A a = new @precise A(); a.init(6, 0.5);
+      cast<int>(endorse(a.buf[3])); }
+  )";
+  std::vector<InferResult> One{infer(Source)};
+  std::vector<InferResult> Two{infer(Source)};
+  std::string J1 = renderInferJson(One);
+  std::string J2 = renderInferJson(Two);
+  EXPECT_EQ(J1, J2);
+  EXPECT_NE(J1.find("\"tool\":\"enerj-infer\",\"version\":1"),
+            std::string::npos);
+  EXPECT_NE(J1.find("\"relaxed\":true"), std::string::npos);
+  EXPECT_EQ(renderInferTable(One), renderInferTable(Two));
+}
+
+TEST(InferRender, SuggestionsListOnlyRelaxedDecls) {
+  InferResult R = infer(
+      "{ let @approx int[] b = new @approx int[4]; let int g = 3; "
+      "b[0] := g; endorse(b[0]); }");
+  std::string S = renderInferSuggestions(R);
+  EXPECT_NE(S.find("relax local 'main.g'"), std::string::npos);
+  EXPECT_EQ(S.find("'main.b'"), std::string::npos); // already approx
+}
+
+TEST(InferRender, DeclsComeOutInSourceOrder) {
+  InferResult R = infer(
+      "{ let int a = 1; let @approx int b = 2; let int c = a + 1; "
+      "b = b + c; endorse(b); }");
+  for (size_t I = 1; I < R.Decls.size(); ++I) {
+    const InferredDecl &P = R.Decls[I - 1];
+    const InferredDecl &Q = R.Decls[I];
+    bool Ordered = P.Loc.Line < Q.Loc.Line ||
+                   (P.Loc.Line == Q.Loc.Line && P.Loc.Column <= Q.Loc.Column);
+    EXPECT_TRUE(Ordered);
+  }
+}

@@ -1,0 +1,153 @@
+//===- tests/interproc_flow_test.cpp - interprocedural flow audit ---------===//
+//
+// The interproc-flow pass is the whole-program counterpart of the type
+// system's non-interference theorem: on well-typed programs it reports
+// no errors, and its warnings single out endorsements that launder
+// @context-adapted state into control decisions — flows no per-method
+// audit can see.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/lint.h"
+#include "fenerj/fenerj.h"
+
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::analysis;
+
+namespace {
+
+LintResult lint(std::string_view Source) {
+  fenerj::DiagnosticEngine Diags;
+  fenerj::ClassTable Table;
+  std::optional<fenerj::Program> Prog =
+      fenerj::compile(Source, Table, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  if (!Prog)
+    return {};
+  LintOptions Options;
+  Options.CheckIsa = false;
+  return runLint(*Prog, Table, Options);
+}
+
+unsigned interprocErrors(const LintResult &R) {
+  unsigned N = 0;
+  for (const LintFinding &F : R.Findings)
+    if (F.Pass == LintPass::InterprocFlow &&
+        F.Severity == LintSeverity::Error)
+      ++N;
+  return N;
+}
+
+unsigned interprocWarnings(const LintResult &R) {
+  unsigned N = 0;
+  for (const LintFinding &F : R.Findings)
+    if (F.Pass == LintPass::InterprocFlow &&
+        F.Severity == LintSeverity::Warning)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(InterprocFlow, WellTypedProgramsHaveNoErrors) {
+  // Theorem 1, observed whole-program: approximate data never rests in a
+  // precise location without an endorsement.
+  LintResult R = lint(R"(
+    class Acc {
+      @approx int sum;
+      int add(@approx int v) { this.sum := this.sum + v; 0; }
+      int settle() { endorse(this.sum); }
+    }
+    { let @precise Acc a = new @precise Acc(); a.add(3); a.settle(); }
+  )");
+  EXPECT_EQ(interprocErrors(R), 0u) << renderLintText(R, "t");
+}
+
+TEST(InterprocFlow, PlainApproxEndorseIntoConditionIsNotLaundering) {
+  // The paper's own idiom — endorse an @approx value to branch on it —
+  // must stay silent: the programmer declared the data approximate right
+  // where the endorse is visible.
+  LintResult R = lint(
+      "{ let @approx int a = 7; if (endorse(a) < 9) { 1; } else { 2; }; }");
+  EXPECT_EQ(interprocWarnings(R), 0u) << renderLintText(R, "t");
+  EXPECT_EQ(interprocErrors(R), 0u);
+}
+
+TEST(InterprocFlow, ContextLaunderingIntoAConditionWarns) {
+  // Every method is locally clean; only the instantiated call graph sees
+  // that the endorsed @context field is approximate on this receiver and
+  // then steers a branch.
+  LintResult R = lint(R"(
+    class M {
+      @context int total;
+      int add(@context int v) { this.total := this.total + v; 0; }
+      int settle() { endorse(this.total); }
+    }
+    {
+      let @approx M m = new @approx M();
+      m.add(5);
+      if (m.settle() < 3) { 1; } else { 2; };
+    }
+  )");
+  EXPECT_EQ(interprocWarnings(R), 1u) << renderLintText(R, "t");
+  EXPECT_EQ(interprocErrors(R), 0u);
+  bool Explained = false;
+  for (const LintFinding &F : R.Findings)
+    if (F.Pass == LintPass::InterprocFlow &&
+        F.Message.find("launders @context-adapted") != std::string::npos)
+      Explained = true;
+  EXPECT_TRUE(Explained) << renderLintText(R, "t");
+}
+
+TEST(InterprocFlow, ContextLaunderingIntoAnIndexWarns) {
+  LintResult R = lint(R"(
+    class M {
+      @context int total;
+      int add(@context int v) { this.total := this.total + v; 0; }
+      int settle() { endorse(this.total); }
+    }
+    {
+      let @approx M m = new @approx M();
+      let int[] bins = new int[4];
+      bins[0] := 9;
+      m.add(5);
+      bins[m.settle() % 4];
+    }
+  )");
+  EXPECT_EQ(interprocWarnings(R), 1u) << renderLintText(R, "t");
+}
+
+TEST(InterprocFlow, SameCodeOnPreciseInstanceIsSilent) {
+  // Identical classes, precise receiver: the @context field adapts to
+  // precise, so there is nothing to launder.
+  LintResult R = lint(R"(
+    class M {
+      @context int total;
+      int add(@context int v) { this.total := this.total + v; 0; }
+      int settle() { endorse(this.total); }
+    }
+    {
+      let @precise M m = new @precise M();
+      m.add(5);
+      if (m.settle() < 3) { 1; } else { 2; };
+    }
+  )");
+  EXPECT_EQ(interprocWarnings(R), 0u) << renderLintText(R, "t");
+  EXPECT_EQ(interprocErrors(R), 0u);
+}
+
+TEST(InterprocFlow, ContextEndorseFeedingOnlyDataIsSilent) {
+  // Laundering needs a control sink; an endorsed @context value that
+  // only flows into the program result is an ordinary boundary endorse.
+  LintResult R = lint(R"(
+    class M {
+      @context int total;
+      int add(@context int v) { this.total := this.total + v; 0; }
+      int settle() { endorse(this.total); }
+    }
+    { let @approx M m = new @approx M(); m.add(5); m.settle(); }
+  )");
+  EXPECT_EQ(interprocWarnings(R), 0u) << renderLintText(R, "t");
+}

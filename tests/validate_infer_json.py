@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate `fenerj_tool infer --json` output against schema v1.
+
+Reads one JSON document from stdin and checks structure, key presence,
+key order, and the analysis invariants the renderer promises: inferred
+approximability never drops below annotated, percentages and counts are
+consistent, relaxed declarations start precise and end approx, and the
+call-graph shape numbers are sane. Deliberately does NOT pin metric
+values — those belong to the byte-level goldens in tests/infer_test.cpp.
+
+Usage: fenerj_tool infer ... --json | python3 tests/validate_infer_json.py
+Exits 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+TOP_KEYS = ["tool", "version", "apps"]
+APP_KEYS = ["file", "decls", "energy", "callGraph", "declarations"]
+DECLS_KEYS = ["total", "annotatedApprox", "inferredApprox", "annotatedPct",
+              "inferredPct"]
+ENERGY_KEYS = ["annotatedFactor", "inferredFactor", "annotatedSavedPct",
+               "inferredSavedPct"]
+GRAPH_KEYS = ["instances", "edges", "slots", "sccs", "recursiveSccs",
+              "unreachable"]
+DECL_KEYS = ["name", "kind", "declared", "inferred", "line", "column",
+             "relaxed", "uses"]
+KINDS = {"field", "param", "return", "local", "alloc"}
+QUALS = {"precise", "approx", "context", "top"}
+
+
+def fail(message):
+    print(f"validate_infer_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect_keys(obj, keys, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected an object, got {type(obj).__name__}")
+    if list(obj.keys()) != keys:
+        fail(f"{where}: keys {list(obj.keys())} != expected {keys}")
+
+
+def expect_count(obj, key, where):
+    if not isinstance(obj[key], int) or obj[key] < 0:
+        fail(f"{where}.{key}: not a non-negative integer")
+
+
+def main():
+    try:
+        doc = json.load(sys.stdin)
+    except json.JSONDecodeError as err:
+        fail(f"not valid JSON: {err}")
+
+    expect_keys(doc, TOP_KEYS, "top level")
+    if doc["tool"] != "enerj-infer":
+        fail(f"tool is {doc['tool']!r}, expected 'enerj-infer'")
+    if doc["version"] != 1:
+        fail(f"version is {doc['version']!r}, expected 1")
+    if not isinstance(doc["apps"], list) or not doc["apps"]:
+        fail("apps: empty or not a list")
+
+    for app in doc["apps"]:
+        expect_keys(app, APP_KEYS, "app")
+        where = f"app {app['file']!r}"
+
+        decls = app["decls"]
+        expect_keys(decls, DECLS_KEYS, f"{where}.decls")
+        for key in ("total", "annotatedApprox", "inferredApprox"):
+            expect_count(decls, key, f"{where}.decls")
+        if decls["inferredApprox"] < decls["annotatedApprox"]:
+            fail(f"{where}: inference lost annotated approximability")
+        if decls["inferredApprox"] > decls["total"]:
+            fail(f"{where}: more approx decls than decls")
+        for pct, count in (("annotatedPct", "annotatedApprox"),
+                           ("inferredPct", "inferredApprox")):
+            if not isinstance(decls[pct], (int, float)):
+                fail(f"{where}.decls.{pct}: not a number")
+            if decls["total"]:
+                want = 100.0 * decls[count] / decls["total"]
+                if abs(decls[pct] - want) > 0.001:
+                    fail(f"{where}.decls.{pct}: {decls[pct]} != {want:.6f}")
+
+        energy = app["energy"]
+        expect_keys(energy, ENERGY_KEYS, f"{where}.energy")
+        for key in ENERGY_KEYS:
+            if not isinstance(energy[key], (int, float)):
+                fail(f"{where}.energy.{key}: not a number")
+        if not 0.0 < energy["inferredFactor"] <= energy["annotatedFactor"] \
+                <= 1.0:
+            fail(f"{where}.energy: factors out of order: "
+                 f"{energy['inferredFactor']} / {energy['annotatedFactor']}")
+
+        graph = app["callGraph"]
+        expect_keys(graph, GRAPH_KEYS, f"{where}.callGraph")
+        for key in GRAPH_KEYS[:-1]:
+            expect_count(graph, key, f"{where}.callGraph")
+        if graph["instances"] < 1:
+            fail(f"{where}: no instances (main is always instance 0)")
+        if graph["sccs"] < 1 or graph["sccs"] > graph["instances"]:
+            fail(f"{where}: scc count {graph['sccs']} out of range")
+        if graph["recursiveSccs"] > graph["sccs"]:
+            fail(f"{where}: more recursive SCCs than SCCs")
+        if not isinstance(graph["unreachable"], list):
+            fail(f"{where}.callGraph.unreachable: not a list")
+
+        inferred = 0
+        last = (0, 0, "")
+        for decl in app["declarations"]:
+            expect_keys(decl, DECL_KEYS, f"{where} declaration")
+            dw = f"{where} decl {decl['name']!r}"
+            if decl["kind"] not in KINDS:
+                fail(f"{dw}: unknown kind {decl['kind']!r}")
+            if decl["declared"] not in QUALS or decl["inferred"] not in QUALS:
+                fail(f"{dw}: unknown qualifier")
+            if decl["relaxed"] and (decl["declared"] != "precise"
+                                    or decl["inferred"] != "approx"):
+                fail(f"{dw}: relaxed but {decl['declared']}->"
+                     f"{decl['inferred']}")
+            if not decl["relaxed"] and decl["inferred"] != decl["declared"]:
+                fail(f"{dw}: inferred changed without relaxed=true")
+            expect_count(decl, "line", dw)
+            expect_count(decl, "column", dw)
+            expect_count(decl, "uses", dw)
+            key = (decl["line"], decl["column"], decl["name"])
+            if key < last:
+                fail(f"{dw}: declarations not in source order")
+            last = key
+            if decl["inferred"] in ("approx", "context"):
+                inferred += 1
+        if len(app["declarations"]) != decls["total"]:
+            fail(f"{where}: {len(app['declarations'])} declarations vs "
+                 f"total={decls['total']}")
+        if inferred != decls["inferredApprox"]:
+            fail(f"{where}: {inferred} approx declarations vs "
+                 f"inferredApprox={decls['inferredApprox']}")
+
+    print(f"validate_infer_json: OK ({len(doc['apps'])} app(s), "
+          f"{sum(a['decls']['total'] for a in doc['apps'])} declaration(s))")
+
+
+if __name__ == "__main__":
+    main()
