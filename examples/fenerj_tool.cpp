@@ -23,12 +23,23 @@
 //   fenerj_tool eval [--apps a,b] [--levels l1,l2] [--seeds N]
 //                    [--threads N] [--slo E] [--max-retries N]
 //                    [--op-budget M] [--output-bound B] [--no-degrade]
-//                    [--json]
+//                    [--metrics] [--json]
 //                                      run the Section 6 evaluation grid
 //                                      on the parallel trial runner; the
 //                                      resilience flags arm the QoS SLO,
 //                                      the retry/degradation ladder, and
-//                                      the per-trial watchdog budget
+//                                      the per-trial watchdog budget;
+//                                      --metrics collects per-site
+//                                      telemetry (JSON schema v3)
+//   fenerj_tool profile <app> [--level L] [--seeds N] [--threads N]
+//                      [--top K] [--no-qos-delta] [--trace out.json]
+//                      [--json]
+//                                      per-site energy/fault attribution:
+//                                      which region/operation pays the
+//                                      energy bill and causes the QoS
+//                                      loss; --trace exports the seed-1
+//                                      timeline as Chrome/Perfetto
+//                                      trace_event JSON
 //   fenerj_tool demo                   run a built-in demo program
 //
 //===----------------------------------------------------------------------===//
@@ -41,6 +52,8 @@
 #include "isa/assembler.h"
 #include "isa/machine.h"
 #include "isa/verifier.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 #include <cerrno>
 #include <cmath>
@@ -337,6 +350,113 @@ bool parseDouble(const std::string &Value, double &Out) {
   return errno == 0 && End && *End == '\0' && std::isfinite(Out);
 }
 
+int profile(int Argc, char **Argv) {
+  if (Argc < 3 || Argv[2][0] == '-') {
+    std::fprintf(stderr, "profile needs an application name; known:");
+    for (const enerj::apps::Application *Known :
+         enerj::apps::allApplications())
+      std::fprintf(stderr, " %s", Known->name());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  enerj::obs::ProfileOptions Options;
+  Options.App = enerj::apps::findApplication(Argv[2]);
+  if (!Options.App) {
+    std::fprintf(stderr, "unknown application '%s'; known:", Argv[2]);
+    for (const enerj::apps::Application *Known :
+         enerj::apps::allApplications())
+      std::fprintf(stderr, " %s", Known->name());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  bool Json = false;
+  std::string TracePath;
+  for (int Arg = 3; Arg < Argc; ++Arg) {
+    std::string Flag = Argv[Arg];
+    auto NextValue = [&]() -> std::string {
+      if (Arg + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag.c_str());
+        std::exit(2);
+      }
+      return Argv[++Arg];
+    };
+    if (Flag == "--json") {
+      Json = true;
+    } else if (Flag == "--no-qos-delta") {
+      Options.QosDelta = false;
+    } else if (Flag == "--trace") {
+      TracePath = NextValue();
+      Options.Trace = true;
+    } else if (Flag == "--level") {
+      std::string Name = NextValue();
+      bool Found = false;
+      for (enerj::ApproxLevel Level :
+           {enerj::ApproxLevel::None, enerj::ApproxLevel::Mild,
+            enerj::ApproxLevel::Medium, enerj::ApproxLevel::Aggressive})
+        if (Name == enerj::approxLevelName(Level)) {
+          Options.Level = Level;
+          Found = true;
+        }
+      if (!Found) {
+        std::fprintf(stderr, "unknown level '%s' (none, mild, medium, "
+                             "aggressive)\n", Name.c_str());
+        return 2;
+      }
+    } else if (Flag == "--seeds") {
+      long long Seeds = 0;
+      if (!parseInt(NextValue(), Seeds) || Seeds < 1 || Seeds > 1000000) {
+        std::fprintf(stderr,
+                     "--seeds needs a positive integer (got '%s')\n",
+                     Argv[Arg]);
+        return 2;
+      }
+      Options.Seeds = static_cast<int>(Seeds);
+    } else if (Flag == "--threads") {
+      unsigned long long Threads = 0;
+      if (!parseUnsigned(NextValue(), Threads) || Threads > 4096) {
+        std::fprintf(stderr,
+                     "--threads needs a non-negative integer (got '%s')\n",
+                     Argv[Arg]);
+        return 2;
+      }
+      Options.Threads = static_cast<unsigned>(Threads);
+    } else if (Flag == "--top") {
+      long long Top = 0;
+      if (!parseInt(NextValue(), Top) || Top < 0 || Top > 10000) {
+        std::fprintf(stderr,
+                     "--top needs a non-negative integer (got '%s')\n",
+                     Argv[Arg]);
+        return 2;
+      }
+      Options.TopK = static_cast<int>(Top);
+    } else {
+      std::fprintf(stderr, "unknown profile flag '%s'\n", Flag.c_str());
+      return 2;
+    }
+  }
+  enerj::obs::ProfileResult Result = enerj::obs::runProfile(Options);
+  if (!TracePath.empty()) {
+    std::string Trace = enerj::obs::renderChromeTrace(
+        Result.Seed1.Trace, Result.Seed1.Metrics, Result.App->name());
+    std::ofstream Out(TracePath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", TracePath.c_str());
+      return 1;
+    }
+    Out << Trace << '\n';
+    if (!Out.flush()) {
+      std::fprintf(stderr, "error: failed writing '%s'\n",
+                   TracePath.c_str());
+      return 1;
+    }
+  }
+  std::string Rendered =
+      Json ? enerj::obs::renderProfileJson(Result) + "\n"
+           : enerj::obs::renderProfileText(Result);
+  std::fputs(Rendered.c_str(), stdout);
+  return 0;
+}
+
 int eval(int Argc, char **Argv) {
   enerj::harness::EvalOptions Options;
   bool Json = false;
@@ -459,6 +579,8 @@ int eval(int Argc, char **Argv) {
     } else if (Flag == "--no-degrade") {
       Options.Policy.Degrade = false;
       Options.Policy.Enabled = true;
+    } else if (Flag == "--metrics") {
+      Options.Metrics = true;
     } else {
       std::fprintf(stderr, "unknown eval flag '%s'\n", Flag.c_str());
       return 2;
@@ -508,11 +630,21 @@ int usage() {
                "                        [--slo E] [--max-retries N] "
                "[--op-budget M]\n"
                "                        [--output-bound B] [--no-degrade] "
-               "[--json]\n"
+               "[--metrics] [--json]\n"
                "                      (the Section 6 evaluation grid on "
                "the parallel trial runner;\n"
                "                       --slo/--max-retries/--op-budget arm "
-               "the resilience policy)\n"
+               "the resilience policy;\n"
+               "                       --metrics adds per-site telemetry, "
+               "JSON schema v3)\n"
+               "       fenerj_tool profile <app> [--level L] [--seeds N] "
+               "[--threads N] [--top K]\n"
+               "                           [--no-qos-delta] [--trace "
+               "out.json] [--json]\n"
+               "                      (per-site energy/fault attribution "
+               "with forced-precise QoS\n"
+               "                       deltas; --trace exports a "
+               "Chrome/Perfetto timeline)\n"
                "       fenerj_tool demo\n");
   return 2;
 }
@@ -522,6 +654,8 @@ int usage() {
 int main(int Argc, char **Argv) {
   if (Argc >= 2 && std::string(Argv[1]) == "eval")
     return eval(Argc, Argv);
+  if (Argc >= 2 && std::string(Argv[1]) == "profile")
+    return profile(Argc, Argv);
   if (Argc >= 2 && std::string(Argv[1]) == "infer")
     return infer(Argc, Argv);
   if (Argc >= 2 && std::string(Argv[1]) == "demo") {

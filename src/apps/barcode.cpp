@@ -14,6 +14,7 @@
 #include "apps/apps_internal.h"
 
 #include "core/enerj.h"
+#include "obs/region.h"
 #include "qos/metrics.h"
 #include "support/rng.h"
 
@@ -75,22 +76,25 @@ public:
     // --- illumination gradient and per-pixel noise.
     ApproxArray<int32_t> Image(ImageSide * ImageSide);
     const int32_t Side = static_cast<int32_t>(ImageSide);
-    for (Precise<int32_t> Y = 0; Y < Side; ++Y) {
-      for (Precise<int32_t> X = 0; X < Side; ++X) {
-        // Module addressing is precise; the luminance math is pixel data
-        // and runs approximately.
-        Precise<int32_t> Module =
-            (Y / static_cast<int32_t>(PixelsPerModule)) *
-                static_cast<int32_t>(ModulesPerSide) +
-            X / static_cast<int32_t>(PixelsPerModule);
-        Approx<int32_t> Luma =
-            Modules[static_cast<size_t>(Module.get())] ? 40 : 215;
-        Luma = Luma +
-               Approx<int32_t>(
-                   static_cast<int32_t>(Workload.nextInRange(-25, 25)));
-        Luma = Luma + Approx<int32_t>((X.get() + Y.get()) / 8);
-        Precise<int32_t> Index = Y * Side + X;
-        Image[static_cast<size_t>(Index.get())] = Luma;
+    {
+      obs::RegionScope Phase("render");
+      for (Precise<int32_t> Y = 0; Y < Side; ++Y) {
+        for (Precise<int32_t> X = 0; X < Side; ++X) {
+          // Module addressing is precise; the luminance math is pixel
+          // data and runs approximately.
+          Precise<int32_t> Module =
+              (Y / static_cast<int32_t>(PixelsPerModule)) *
+                  static_cast<int32_t>(ModulesPerSide) +
+              X / static_cast<int32_t>(PixelsPerModule);
+          Approx<int32_t> Luma =
+              Modules[static_cast<size_t>(Module.get())] ? 40 : 215;
+          Luma = Luma +
+                 Approx<int32_t>(
+                     static_cast<int32_t>(Workload.nextInRange(-25, 25)));
+          Luma = Luma + Approx<int32_t>((X.get() + Y.get()) / 8);
+          Precise<int32_t> Index = Y * Side + X;
+          Image[static_cast<size_t>(Index.get())] = Luma;
+        }
       }
     }
 
@@ -99,13 +103,16 @@ public:
     // --- tilt); the estimate is endorsed once — the ZXing pattern of a
     // --- resilient phase followed by a precise reduction.
     Approx<int32_t> MinLuma = 255, MaxLuma = 0;
-    for (size_t I = 0; I < Image.size(); ++I) {
-      Approx<int32_t> Pixel = Image.get(I);
-      MinLuma = enerj::min(MinLuma, Pixel);
-      MaxLuma = enerj::max(MaxLuma, Pixel);
+    int32_t Threshold;
+    {
+      obs::RegionScope Phase("threshold");
+      for (size_t I = 0; I < Image.size(); ++I) {
+        Approx<int32_t> Pixel = Image.get(I);
+        MinLuma = enerj::min(MinLuma, Pixel);
+        MaxLuma = enerj::max(MaxLuma, Pixel);
+      }
+      Threshold = endorse((MinLuma + MaxLuma) / Approx<int32_t>(2));
     }
-    int32_t Threshold =
-        endorse((MinLuma + MaxLuma) / Approx<int32_t>(2));
     // Endorsement discipline (Section 2.2): the programmer certifies the
     // approximate estimate before it steers the whole decode. A fault in
     // the scan shows up as an out-of-range threshold; fall back to the
@@ -119,32 +126,35 @@ public:
     std::string Decoded;
     size_t ReadBit = 0;
     bool ParityOk = true;
-    for (size_t Byte = 0; Byte < PayloadBytes; ++Byte) {
-      unsigned Value = 0;
-      unsigned Parity = 0;
-      for (int B = 0; B < 9; ++B) {
-        size_t Module = ReadBit++;
-        size_t BaseY = (Module / ModulesPerSide) * PixelsPerModule;
-        size_t BaseX = (Module % ModulesPerSide) * PixelsPerModule;
-        Precise<int32_t> DarkVotes = 0;
-        for (size_t Dy = 0; Dy < PixelsPerModule; ++Dy)
-          for (size_t Dx = 0; Dx < PixelsPerModule; ++Dx) {
-            Approx<int32_t> Pixel =
-                Image.get((BaseY + Dy) * ImageSide + BaseX + Dx);
-            if (endorse(Pixel < Approx<int32_t>(Threshold)))
-              DarkVotes += 1;
+    {
+      obs::RegionScope Phase("decode");
+      for (size_t Byte = 0; Byte < PayloadBytes; ++Byte) {
+        unsigned Value = 0;
+        unsigned Parity = 0;
+        for (int B = 0; B < 9; ++B) {
+          size_t Module = ReadBit++;
+          size_t BaseY = (Module / ModulesPerSide) * PixelsPerModule;
+          size_t BaseX = (Module % ModulesPerSide) * PixelsPerModule;
+          Precise<int32_t> DarkVotes = 0;
+          for (size_t Dy = 0; Dy < PixelsPerModule; ++Dy)
+            for (size_t Dx = 0; Dx < PixelsPerModule; ++Dx) {
+              Approx<int32_t> Pixel =
+                  Image.get((BaseY + Dy) * ImageSide + BaseX + Dx);
+              if (endorse(Pixel < Approx<int32_t>(Threshold)))
+                DarkVotes += 1;
+            }
+          bool IsDark =
+              DarkVotes.get() * 2 >
+              static_cast<int32_t>(PixelsPerModule * PixelsPerModule);
+          if (B < 8) {
+            Value = (Value << 1) | (IsDark ? 1u : 0u);
+            Parity ^= IsDark ? 1u : 0u;
+          } else if ((Parity != 0) != IsDark) {
+            ParityOk = false;
           }
-        bool IsDark =
-            DarkVotes.get() * 2 >
-            static_cast<int32_t>(PixelsPerModule * PixelsPerModule);
-        if (B < 8) {
-          Value = (Value << 1) | (IsDark ? 1u : 0u);
-          Parity ^= IsDark ? 1u : 0u;
-        } else if ((Parity != 0) != IsDark) {
-          ParityOk = false;
         }
+        Decoded += static_cast<char>(Value);
       }
-      Decoded += static_cast<char>(Value);
     }
 
     AppOutput Output;

@@ -10,6 +10,7 @@
 #include "apps/apps_internal.h"
 
 #include "core/enerj.h"
+#include "obs/region.h"
 #include "qos/metrics.h"
 #include "support/rng.h"
 
@@ -40,55 +41,64 @@ public:
     Rng Workload(WorkloadSeed);
     // @Approx double[] re, im — the signal lives in approximate DRAM.
     ApproxArray<double> Re(SignalSize), Im(SignalSize);
-    for (size_t I = 0; I < SignalSize; ++I) {
-      Re[I] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
-      Im[I] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
+    {
+      obs::RegionScope Phase("init");
+      for (size_t I = 0; I < SignalSize; ++I) {
+        Re[I] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
+        Im[I] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
+      }
     }
 
     // Bit-reversal permutation: indices are precise (Section 2.6).
-    for (size_t I = 1, J = 0; I < SignalSize; ++I) {
-      size_t Bit = SignalSize >> 1;
-      for (; J & Bit; Bit >>= 1)
+    {
+      obs::RegionScope Phase("bitrev");
+      for (size_t I = 1, J = 0; I < SignalSize; ++I) {
+        size_t Bit = SignalSize >> 1;
+        for (; J & Bit; Bit >>= 1)
+          J ^= Bit;
         J ^= Bit;
-      J ^= Bit;
-      if (I < J) {
-        Approx<double> TmpRe = Re.get(I);
-        Re.set(I, Re.get(J));
-        Re.set(J, TmpRe);
-        Approx<double> TmpIm = Im.get(I);
-        Im.set(I, Im.get(J));
-        Im.set(J, TmpIm);
+        if (I < J) {
+          Approx<double> TmpRe = Re.get(I);
+          Re.set(I, Re.get(J));
+          Re.set(J, TmpRe);
+          Approx<double> TmpIm = Im.get(I);
+          Im.set(I, Im.get(J));
+          Im.set(J, TmpIm);
+        }
       }
     }
 
     // Danielson-Lanczos butterflies: data math approximate, twiddle
     // recurrence precise.
-    for (size_t Len = 2; Len <= SignalSize; Len <<= 1) {
-      double Angle = -2.0 * M_PI / static_cast<double>(Len);
-      Precise<double> StepRe = std::cos(Angle);
-      Precise<double> StepIm = std::sin(Angle);
-      for (size_t Base = 0; Base < SignalSize; Base += Len) {
-        Precise<double> TwidRe = 1.0, TwidIm = 0.0;
-        // Butterfly indexing is precise integer work, instrumented like
-        // the rest of the data path.
-        Precise<int32_t> Half = static_cast<int32_t>(Len / 2);
-        for (Precise<int32_t> J = 0; J < Half; ++J) {
-          Precise<int32_t> EvenIdx = static_cast<int32_t>(Base) + J;
-          Precise<int32_t> OddIdx = EvenIdx + Half;
-          size_t Even = static_cast<size_t>(EvenIdx.get());
-          size_t Odd = static_cast<size_t>(OddIdx.get());
-          Approx<double> URe = Re.get(Even), UIm = Im.get(Even);
-          Approx<double> VRe =
-              Re.get(Odd) * TwidRe - Im.get(Odd) * TwidIm;
-          Approx<double> VIm =
-              Re.get(Odd) * TwidIm + Im.get(Odd) * TwidRe;
-          Re.set(Even, URe + VRe);
-          Im.set(Even, UIm + VIm);
-          Re.set(Odd, URe - VRe);
-          Im.set(Odd, UIm - VIm);
-          Precise<double> NextRe = TwidRe * StepRe - TwidIm * StepIm;
-          TwidIm = TwidRe * StepIm + TwidIm * StepRe;
-          TwidRe = NextRe;
+    {
+      obs::RegionScope Phase("butterflies");
+      for (size_t Len = 2; Len <= SignalSize; Len <<= 1) {
+        double Angle = -2.0 * M_PI / static_cast<double>(Len);
+        Precise<double> StepRe = std::cos(Angle);
+        Precise<double> StepIm = std::sin(Angle);
+        for (size_t Base = 0; Base < SignalSize; Base += Len) {
+          Precise<double> TwidRe = 1.0, TwidIm = 0.0;
+          // Butterfly indexing is precise integer work, instrumented like
+          // the rest of the data path.
+          Precise<int32_t> Half = static_cast<int32_t>(Len / 2);
+          for (Precise<int32_t> J = 0; J < Half; ++J) {
+            Precise<int32_t> EvenIdx = static_cast<int32_t>(Base) + J;
+            Precise<int32_t> OddIdx = EvenIdx + Half;
+            size_t Even = static_cast<size_t>(EvenIdx.get());
+            size_t Odd = static_cast<size_t>(OddIdx.get());
+            Approx<double> URe = Re.get(Even), UIm = Im.get(Even);
+            Approx<double> VRe =
+                Re.get(Odd) * TwidRe - Im.get(Odd) * TwidIm;
+            Approx<double> VIm =
+                Re.get(Odd) * TwidIm + Im.get(Odd) * TwidRe;
+            Re.set(Even, URe + VRe);
+            Im.set(Even, UIm + VIm);
+            Re.set(Odd, URe - VRe);
+            Im.set(Odd, UIm - VIm);
+            Precise<double> NextRe = TwidRe * StepRe - TwidIm * StepIm;
+            TwidIm = TwidRe * StepIm + TwidIm * StepRe;
+            TwidRe = NextRe;
+          }
         }
       }
     }
@@ -96,10 +106,13 @@ public:
     // Output phase: the spectrum crosses into precise storage (endorsed).
     AppOutput Output;
     Output.Numeric.reserve(2 * SignalSize);
-    for (size_t I = 0; I < SignalSize; ++I)
-      Output.Numeric.push_back(endorse(Re.get(I)));
-    for (size_t I = 0; I < SignalSize; ++I)
-      Output.Numeric.push_back(endorse(Im.get(I)));
+    {
+      obs::RegionScope Phase("output");
+      for (size_t I = 0; I < SignalSize; ++I)
+        Output.Numeric.push_back(endorse(Re.get(I)));
+      for (size_t I = 0; I < SignalSize; ++I)
+        Output.Numeric.push_back(endorse(Im.get(I)));
+    }
     return Output;
   }
 

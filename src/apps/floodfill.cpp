@@ -12,6 +12,7 @@
 #include "apps/apps_internal.h"
 
 #include "core/enerj.h"
+#include "obs/region.h"
 #include "qos/metrics.h"
 #include "support/rng.h"
 
@@ -44,18 +45,22 @@ public:
 
     // @Approx int[] pixels: a two-tone image of random blobs.
     ApproxArray<int32_t> Pixels(Side * Side);
-    for (int32_t Y = 0; Y < Side; ++Y)
-      for (int32_t X = 0; X < Side; ++X)
-        Pixels[static_cast<size_t>(Y * Side + X)] = Approx<int32_t>(50);
-    for (int Blob = 0; Blob < 12; ++Blob) {
-      int32_t CenterX = static_cast<int32_t>(Workload.nextBelow(Side));
-      int32_t CenterY = static_cast<int32_t>(Workload.nextBelow(Side));
-      int32_t Radius = 3 + static_cast<int32_t>(Workload.nextBelow(8));
-      for (int32_t Y = std::max(0, CenterY - Radius);
-           Y < std::min(Side, CenterY + Radius); ++Y)
-        for (int32_t X = std::max(0, CenterX - Radius);
-             X < std::min(Side, CenterX + Radius); ++X)
-          Pixels[static_cast<size_t>(Y * Side + X)] = Approx<int32_t>(200);
+    {
+      obs::RegionScope Phase("init");
+      for (int32_t Y = 0; Y < Side; ++Y)
+        for (int32_t X = 0; X < Side; ++X)
+          Pixels[static_cast<size_t>(Y * Side + X)] = Approx<int32_t>(50);
+      for (int Blob = 0; Blob < 12; ++Blob) {
+        int32_t CenterX = static_cast<int32_t>(Workload.nextBelow(Side));
+        int32_t CenterY = static_cast<int32_t>(Workload.nextBelow(Side));
+        int32_t Radius = 3 + static_cast<int32_t>(Workload.nextBelow(8));
+        for (int32_t Y = std::max(0, CenterY - Radius);
+             Y < std::min(Side, CenterY + Radius); ++Y)
+          for (int32_t X = std::max(0, CenterX - Radius);
+               X < std::min(Side, CenterX + Radius); ++X)
+            Pixels[static_cast<size_t>(Y * Side + X)] =
+                Approx<int32_t>(200);
+      }
     }
 
     // Flood fill from the center with a tolerance band. The work queue
@@ -70,39 +75,45 @@ public:
     std::vector<bool> Visited(Side * Side, false);
     // Bounded work: the paper's annotated apps never do *more* work than
     // the pristine version; the visited bitmap (precise) guarantees that.
-    while (!Queue.empty()) {
-      auto [AX, AY] = Queue.back();
-      Queue.pop_back();
-      // Coordinates are approximate: endorse at the subscript and clamp,
-      // the ImageJ pattern from Section 6.3. The raster addressing that
-      // follows is precise integer work.
-      int32_t X = std::clamp(endorse(AX), 0, Side - 1);
-      int32_t Y = std::clamp(endorse(AY), 0, Side - 1);
-      Precise<int32_t> Address = Precise<int32_t>(Y) * Side + X;
-      size_t Index = static_cast<size_t>(Address.get());
-      if (Visited[Index])
-        continue;
-      Visited[Index] = true;
-      Approx<int32_t> Pixel = Pixels.get(Index);
-      Approx<int32_t> Delta = Pixel - Approx<int32_t>(TargetValue);
-      if (!endorse((Delta < Approx<int32_t>(30)) &
-                   (Delta > Approx<int32_t>(-30))))
-        continue;
-      Pixels.set(Index, Approx<int32_t>(FillValue));
-      if (X > 0)
-        Queue.emplace_back(Approx<int32_t>(X - 1), Approx<int32_t>(Y));
-      if (X < Side - 1)
-        Queue.emplace_back(Approx<int32_t>(X + 1), Approx<int32_t>(Y));
-      if (Y > 0)
-        Queue.emplace_back(Approx<int32_t>(X), Approx<int32_t>(Y - 1));
-      if (Y < Side - 1)
-        Queue.emplace_back(Approx<int32_t>(X), Approx<int32_t>(Y + 1));
+    {
+      obs::RegionScope Phase("fill");
+      while (!Queue.empty()) {
+        auto [AX, AY] = Queue.back();
+        Queue.pop_back();
+        // Coordinates are approximate: endorse at the subscript and
+        // clamp, the ImageJ pattern from Section 6.3. The raster
+        // addressing that follows is precise integer work.
+        int32_t X = std::clamp(endorse(AX), 0, Side - 1);
+        int32_t Y = std::clamp(endorse(AY), 0, Side - 1);
+        Precise<int32_t> Address = Precise<int32_t>(Y) * Side + X;
+        size_t Index = static_cast<size_t>(Address.get());
+        if (Visited[Index])
+          continue;
+        Visited[Index] = true;
+        Approx<int32_t> Pixel = Pixels.get(Index);
+        Approx<int32_t> Delta = Pixel - Approx<int32_t>(TargetValue);
+        if (!endorse((Delta < Approx<int32_t>(30)) &
+                     (Delta > Approx<int32_t>(-30))))
+          continue;
+        Pixels.set(Index, Approx<int32_t>(FillValue));
+        if (X > 0)
+          Queue.emplace_back(Approx<int32_t>(X - 1), Approx<int32_t>(Y));
+        if (X < Side - 1)
+          Queue.emplace_back(Approx<int32_t>(X + 1), Approx<int32_t>(Y));
+        if (Y > 0)
+          Queue.emplace_back(Approx<int32_t>(X), Approx<int32_t>(Y - 1));
+        if (Y < Side - 1)
+          Queue.emplace_back(Approx<int32_t>(X), Approx<int32_t>(Y + 1));
+      }
     }
 
     AppOutput Output;
     Output.Numeric.reserve(Pixels.size());
-    for (size_t I = 0; I < Pixels.size(); ++I)
-      Output.Numeric.push_back(endorse(Pixels.get(I)));
+    {
+      obs::RegionScope Phase("output");
+      for (size_t I = 0; I < Pixels.size(); ++I)
+        Output.Numeric.push_back(endorse(Pixels.get(I)));
+    }
     return Output;
   }
 

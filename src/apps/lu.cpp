@@ -10,6 +10,7 @@
 #include "apps/apps_internal.h"
 
 #include "core/enerj.h"
+#include "obs/region.h"
 #include "qos/metrics.h"
 #include "support/rng.h"
 
@@ -39,57 +40,66 @@ public:
     Rng Workload(WorkloadSeed);
     // @Approx double[] a — the matrix, row-major, in approximate DRAM.
     ApproxArray<double> A(Dim * Dim);
-    for (size_t I = 0; I < A.size(); ++I)
-      A[I] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
+    {
+      obs::RegionScope Phase("init");
+      for (size_t I = 0; I < A.size(); ++I)
+        A[I] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
+    }
     PreciseArray<int32_t> Pivot(Dim);
 
-    for (size_t Col = 0; Col < Dim; ++Col) {
-      // Partial pivoting: magnitudes are approximate, so the comparison
-      // crosses into precise control flow via endorsements.
-      size_t Best = Col;
-      double BestMag = endorse(enerj::abs(A.get(Col * Dim + Col)));
-      for (size_t Row = Col + 1; Row < Dim; ++Row) {
-        double Mag = endorse(enerj::abs(A.get(Row * Dim + Col)));
-        if (Mag > BestMag) {
-          BestMag = Mag;
-          Best = Row;
+    {
+      obs::RegionScope Phase("factorize");
+      for (size_t Col = 0; Col < Dim; ++Col) {
+        // Partial pivoting: magnitudes are approximate, so the comparison
+        // crosses into precise control flow via endorsements.
+        size_t Best = Col;
+        double BestMag = endorse(enerj::abs(A.get(Col * Dim + Col)));
+        for (size_t Row = Col + 1; Row < Dim; ++Row) {
+          double Mag = endorse(enerj::abs(A.get(Row * Dim + Col)));
+          if (Mag > BestMag) {
+            BestMag = Mag;
+            Best = Row;
+          }
         }
-      }
-      Pivot[Col] = static_cast<int32_t>(Best);
-      if (Best != Col) {
-        for (size_t K = 0; K < Dim; ++K) {
-          Approx<double> Tmp = A.get(Col * Dim + K);
-          A.set(Col * Dim + K, A.get(Best * Dim + K));
-          A.set(Best * Dim + K, Tmp);
+        Pivot[Col] = static_cast<int32_t>(Best);
+        if (Best != Col) {
+          for (size_t K = 0; K < Dim; ++K) {
+            Approx<double> Tmp = A.get(Col * Dim + K);
+            A.set(Col * Dim + K, A.get(Best * Dim + K));
+            A.set(Best * Dim + K, Tmp);
+          }
         }
-      }
-      // Guard against a vanishing pivot: the precise version would
-      // divide by ~0 and poison the factorization.
-      if (endorse(enerj::abs(A.get(Col * Dim + Col)) <
-                  Approx<double>(1e-12)))
-        continue;
+        // Guard against a vanishing pivot: the precise version would
+        // divide by ~0 and poison the factorization.
+        if (endorse(enerj::abs(A.get(Col * Dim + Col)) <
+                    Approx<double>(1e-12)))
+          continue;
 
-      const int32_t N = static_cast<int32_t>(Dim);
-      for (size_t Row = Col + 1; Row < Dim; ++Row) {
-        Approx<double> Factor =
-            A.get(Row * Dim + Col) / A.get(Col * Dim + Col);
-        A.set(Row * Dim + Col, Factor);
-        // Elimination addressing: precise integer arithmetic.
-        Precise<int32_t> RowBase = static_cast<int32_t>(Row) * N;
-        Precise<int32_t> PivotBase = static_cast<int32_t>(Col) * N;
-        for (Precise<int32_t> K = static_cast<int32_t>(Col) + 1; K < N;
-             ++K) {
-          size_t Dst = static_cast<size_t>((RowBase + K).get());
-          size_t Src = static_cast<size_t>((PivotBase + K).get());
-          A.set(Dst, A.get(Dst) - Factor * A.get(Src));
+        const int32_t N = static_cast<int32_t>(Dim);
+        for (size_t Row = Col + 1; Row < Dim; ++Row) {
+          Approx<double> Factor =
+              A.get(Row * Dim + Col) / A.get(Col * Dim + Col);
+          A.set(Row * Dim + Col, Factor);
+          // Elimination addressing: precise integer arithmetic.
+          Precise<int32_t> RowBase = static_cast<int32_t>(Row) * N;
+          Precise<int32_t> PivotBase = static_cast<int32_t>(Col) * N;
+          for (Precise<int32_t> K = static_cast<int32_t>(Col) + 1; K < N;
+               ++K) {
+            size_t Dst = static_cast<size_t>((RowBase + K).get());
+            size_t Src = static_cast<size_t>((PivotBase + K).get());
+            A.set(Dst, A.get(Dst) - Factor * A.get(Src));
+          }
         }
       }
     }
 
     AppOutput Output;
     Output.Numeric.reserve(A.size());
-    for (size_t I = 0; I < A.size(); ++I)
-      Output.Numeric.push_back(endorse(A.get(I)));
+    {
+      obs::RegionScope Phase("output");
+      for (size_t I = 0; I < A.size(); ++I)
+        Output.Numeric.push_back(endorse(A.get(I)));
+    }
     return Output;
   }
 

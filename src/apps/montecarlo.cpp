@@ -13,6 +13,7 @@
 #include "apps/apps_internal.h"
 
 #include "core/enerj.h"
+#include "obs/region.h"
 #include "qos/metrics.h"
 #include "support/rng.h"
 
@@ -48,15 +49,18 @@ public:
       return static_cast<double>(LcgState.get()) / 2147483647.0;
     };
     Precise<int32_t> UnderCurve = 0;
-    for (Precise<int32_t> Sample = 0; Sample < SampleCount; ++Sample) {
-      // @Approx double x, y — the sample coordinates tolerate error.
-      Approx<double> X = NextUniform();
-      Approx<double> Y = NextUniform();
-      Approx<double> DistanceSq = X * X + Y * Y;
-      // The hit test is approximate; crossing into the precise counter
-      // requires the endorsement.
-      if (endorse(DistanceSq <= Approx<double>(1.0)))
-        UnderCurve += 1;
+    {
+      obs::RegionScope Phase("samples");
+      for (Precise<int32_t> Sample = 0; Sample < SampleCount; ++Sample) {
+        // @Approx double x, y — the sample coordinates tolerate error.
+        Approx<double> X = NextUniform();
+        Approx<double> Y = NextUniform();
+        Approx<double> DistanceSq = X * X + Y * Y;
+        // The hit test is approximate; crossing into the precise counter
+        // requires the endorsement.
+        if (endorse(DistanceSq <= Approx<double>(1.0)))
+          UnderCurve += 1;
+      }
     }
     AppOutput Output;
     Output.Numeric.push_back(4.0 * static_cast<double>(UnderCurve.get()) /

@@ -12,6 +12,7 @@
 #include "apps/apps_internal.h"
 
 #include "core/enerj.h"
+#include "obs/region.h"
 #include "qos/metrics.h"
 #include "support/rng.h"
 
@@ -47,65 +48,72 @@ public:
     // @Approx float[] framebuffer — the rendered image tolerates noise.
     ApproxArray<float> Frame(ImageSide * ImageSide);
 
-    for (Precise<int32_t> PixelY = 0; PixelY < ImageSide; ++PixelY) {
-      for (Precise<int32_t> PixelX = 0; PixelX < ImageSide; ++PixelX) {
-        // Camera ray through the pixel; everything approximate.
-        Approx<float> DirX =
-            (static_cast<float>(PixelX.get()) / ImageSide - 0.5f) * 2.0f;
-        Approx<float> DirY =
-            (static_cast<float>(PixelY.get()) / ImageSide - 0.5f) * -2.0f;
-        Approx<float> DirZ = 1.5f;
-        Approx<float> Norm = enerj::sqrt(DirX * DirX + DirY * DirY +
-                                         DirZ * DirZ);
-        DirX /= Norm;
-        DirY /= Norm;
-        DirZ /= Norm;
+    {
+      obs::RegionScope Phase("render");
+      for (Precise<int32_t> PixelY = 0; PixelY < ImageSide; ++PixelY) {
+        for (Precise<int32_t> PixelX = 0; PixelX < ImageSide; ++PixelX) {
+          // Camera ray through the pixel; everything approximate.
+          Approx<float> DirX =
+              (static_cast<float>(PixelX.get()) / ImageSide - 0.5f) * 2.0f;
+          Approx<float> DirY =
+              (static_cast<float>(PixelY.get()) / ImageSide - 0.5f) *
+              -2.0f;
+          Approx<float> DirZ = 1.5f;
+          Approx<float> Norm = enerj::sqrt(DirX * DirX + DirY * DirY +
+                                           DirZ * DirZ);
+          DirX /= Norm;
+          DirY /= Norm;
+          DirZ /= Norm;
 
-        // Ray-plane intersection with y = PlaneHeight: t = (h - oy)/dy.
-        Approx<float> Shade = 0.1f; // Sky.
-        // The sign test steers control flow, so it is endorsed.
-        if (endorse(DirY < Approx<float>(0.0f))) {
-          Approx<float> T = (Approx<float>(PlaneHeight) -
-                             Approx<float>(0.0f)) / DirY;
-          Approx<float> HitX = T * DirX;
-          Approx<float> HitZ = T * DirZ;
-          // Checkerboard: floor parity of the hit position.
-          Approx<float> CheckU = enerj::floor(HitX);
-          Approx<float> CheckV = enerj::floor(HitZ);
-          Approx<float> Parity =
-              CheckU + CheckV -
-              Approx<float>(2.0f) *
-                  enerj::floor((CheckU + CheckV) / Approx<float>(2.0f));
-          Approx<float> Base =
-              Parity * Approx<float>(0.6f) + Approx<float>(0.2f);
-          // Lambertian lighting toward the point light.
-          Approx<float> ToLightX = Approx<float>(LightX) - HitX;
-          Approx<float> ToLightY =
-              Approx<float>(LightY) - Approx<float>(PlaneHeight);
-          Approx<float> ToLightZ = Approx<float>(LightZ) - HitZ;
-          Approx<float> LightNorm =
-              enerj::sqrt(ToLightX * ToLightX + ToLightY * ToLightY +
-                          ToLightZ * ToLightZ);
-          // Plane normal is +Y, so the diffuse term is just the
-          // normalized Y component.
-          Approx<float> Diffuse = ToLightY / LightNorm;
-          Approx<float> Falloff =
-              Approx<float>(3.0f) / (LightNorm + Approx<float>(1.0f));
-          Shade = Base * Diffuse * Falloff + Approx<float>(0.05f);
+          // Ray-plane intersection with y = PlaneHeight: t = (h - oy)/dy.
+          Approx<float> Shade = 0.1f; // Sky.
+          // The sign test steers control flow, so it is endorsed.
+          if (endorse(DirY < Approx<float>(0.0f))) {
+            Approx<float> T = (Approx<float>(PlaneHeight) -
+                               Approx<float>(0.0f)) / DirY;
+            Approx<float> HitX = T * DirX;
+            Approx<float> HitZ = T * DirZ;
+            // Checkerboard: floor parity of the hit position.
+            Approx<float> CheckU = enerj::floor(HitX);
+            Approx<float> CheckV = enerj::floor(HitZ);
+            Approx<float> Parity =
+                CheckU + CheckV -
+                Approx<float>(2.0f) *
+                    enerj::floor((CheckU + CheckV) / Approx<float>(2.0f));
+            Approx<float> Base =
+                Parity * Approx<float>(0.6f) + Approx<float>(0.2f);
+            // Lambertian lighting toward the point light.
+            Approx<float> ToLightX = Approx<float>(LightX) - HitX;
+            Approx<float> ToLightY =
+                Approx<float>(LightY) - Approx<float>(PlaneHeight);
+            Approx<float> ToLightZ = Approx<float>(LightZ) - HitZ;
+            Approx<float> LightNorm =
+                enerj::sqrt(ToLightX * ToLightX + ToLightY * ToLightY +
+                            ToLightZ * ToLightZ);
+            // Plane normal is +Y, so the diffuse term is just the
+            // normalized Y component.
+            Approx<float> Diffuse = ToLightY / LightNorm;
+            Approx<float> Falloff =
+                Approx<float>(3.0f) / (LightNorm + Approx<float>(1.0f));
+            Shade = Base * Diffuse * Falloff + Approx<float>(0.05f);
+          }
+
+          // The clamped pixel stays approximate in the framebuffer.
+          Precise<int32_t> Index = PixelY * ImageSide + PixelX;
+          Frame[static_cast<size_t>(Index.get())] = enerj::max(
+              Approx<float>(0.0f), enerj::min(Approx<float>(1.0f), Shade));
         }
-
-        // The clamped pixel stays approximate in the framebuffer.
-        Precise<int32_t> Index = PixelY * ImageSide + PixelX;
-        Frame[static_cast<size_t>(Index.get())] = enerj::max(
-            Approx<float>(0.0f), enerj::min(Approx<float>(1.0f), Shade));
       }
     }
 
     // Output phase: the image crosses into precise storage (endorsed).
     AppOutput Output;
     Output.Numeric.reserve(Frame.size());
-    for (size_t I = 0; I < Frame.size(); ++I)
-      Output.Numeric.push_back(endorse(Frame.get(I)));
+    {
+      obs::RegionScope Phase("output");
+      for (size_t I = 0; I < Frame.size(); ++I)
+        Output.Numeric.push_back(endorse(Frame.get(I)));
+    }
     return Output;
   }
 

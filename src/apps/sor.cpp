@@ -10,6 +10,7 @@
 #include "apps/apps_internal.h"
 
 #include "core/enerj.h"
+#include "obs/region.h"
 #include "qos/metrics.h"
 #include "support/rng.h"
 
@@ -39,33 +40,42 @@ public:
     Rng Workload(WorkloadSeed);
     // @Approx double[] grid.
     ApproxArray<double> Grid(GridSize * GridSize);
-    for (size_t I = 0; I < Grid.size(); ++I)
-      Grid[I] = Approx<double>(Workload.nextDouble());
+    {
+      obs::RegionScope Phase("init");
+      for (size_t I = 0; I < Grid.size(); ++I)
+        Grid[I] = Approx<double>(Workload.nextDouble());
+    }
 
     const Approx<double> Omega = 1.25;
     const Approx<double> OneMinusOmega = 1.0 - 1.25;
     const Approx<double> Quarter = 0.25;
 
     const int32_t Side = static_cast<int32_t>(GridSize);
-    for (int Sweep = 0; Sweep < Sweeps; ++Sweep) {
-      for (Precise<int32_t> Row = 1; Row + 1 < Side; ++Row) {
-        for (Precise<int32_t> Col = 1; Col + 1 < Side; ++Col) {
-          // Stencil addressing: precise integer arithmetic.
-          Precise<int32_t> Center = Row * Side + Col;
-          size_t Here = static_cast<size_t>(Center.get());
-          Approx<double> Neighbors =
-              Grid.get(Here - GridSize) + Grid.get(Here + GridSize) +
-              Grid.get(Here - 1) + Grid.get(Here + 1);
-          Grid.set(Here, Omega * Quarter * Neighbors +
-                             OneMinusOmega * Grid.get(Here));
+    {
+      obs::RegionScope Phase("sweeps");
+      for (int Sweep = 0; Sweep < Sweeps; ++Sweep) {
+        for (Precise<int32_t> Row = 1; Row + 1 < Side; ++Row) {
+          for (Precise<int32_t> Col = 1; Col + 1 < Side; ++Col) {
+            // Stencil addressing: precise integer arithmetic.
+            Precise<int32_t> Center = Row * Side + Col;
+            size_t Here = static_cast<size_t>(Center.get());
+            Approx<double> Neighbors =
+                Grid.get(Here - GridSize) + Grid.get(Here + GridSize) +
+                Grid.get(Here - 1) + Grid.get(Here + 1);
+            Grid.set(Here, Omega * Quarter * Neighbors +
+                               OneMinusOmega * Grid.get(Here));
+          }
         }
       }
     }
 
     AppOutput Output;
     Output.Numeric.reserve(Grid.size());
-    for (size_t I = 0; I < Grid.size(); ++I)
-      Output.Numeric.push_back(endorse(Grid.get(I)));
+    {
+      obs::RegionScope Phase("output");
+      for (size_t I = 0; I < Grid.size(); ++I)
+        Output.Numeric.push_back(endorse(Grid.get(I)));
+    }
     return Output;
   }
 

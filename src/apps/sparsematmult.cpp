@@ -10,6 +10,7 @@
 #include "apps/apps_internal.h"
 
 #include "core/enerj.h"
+#include "obs/region.h"
 #include "qos/metrics.h"
 #include "support/rng.h"
 
@@ -50,36 +51,45 @@ public:
     ApproxArray<double> X(Rows);
     ApproxArray<double> Y(Rows);
 
-    for (size_t Row = 0; Row <= Rows; ++Row)
-      RowPtr[Row] = static_cast<int32_t>(Row * NonzerosPerRow);
-    for (size_t Entry = 0; Entry < Nonzeros; ++Entry) {
-      Values[Entry] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
-      ColIdx[Entry] =
-          static_cast<int32_t>(Workload.nextBelow(Rows));
+    {
+      obs::RegionScope Phase("init");
+      for (size_t Row = 0; Row <= Rows; ++Row)
+        RowPtr[Row] = static_cast<int32_t>(Row * NonzerosPerRow);
+      for (size_t Entry = 0; Entry < Nonzeros; ++Entry) {
+        Values[Entry] = Approx<double>(Workload.nextDouble() * 2.0 - 1.0);
+        ColIdx[Entry] =
+            static_cast<int32_t>(Workload.nextBelow(Rows));
+      }
+      for (size_t Row = 0; Row < Rows; ++Row)
+        X[Row] = Approx<double>(Workload.nextDouble());
     }
-    for (size_t Row = 0; Row < Rows; ++Row)
-      X[Row] = Approx<double>(Workload.nextDouble());
 
     // SciMark repeats the same multiply; there is no feedback, so a
     // corrupted operation perturbs exactly one output entry — the reason
     // the paper sees very little degradation for this kernel.
-    for (int Iter = 0; Iter < Iterations; ++Iter) {
-      for (size_t Row = 0; Row < Rows; ++Row) {
-        Approx<double> Sum = 0.0;
-        int32_t Begin = RowPtr[Row], End = RowPtr[Row + 1];
-        for (Precise<int32_t> Entry = Begin; Entry < End; ++Entry) {
-          size_t Index = static_cast<size_t>(Entry.get());
-          Sum += Values.get(Index) *
-                 X.get(static_cast<size_t>(ColIdx[Index]));
+    {
+      obs::RegionScope Phase("multiply");
+      for (int Iter = 0; Iter < Iterations; ++Iter) {
+        for (size_t Row = 0; Row < Rows; ++Row) {
+          Approx<double> Sum = 0.0;
+          int32_t Begin = RowPtr[Row], End = RowPtr[Row + 1];
+          for (Precise<int32_t> Entry = Begin; Entry < End; ++Entry) {
+            size_t Index = static_cast<size_t>(Entry.get());
+            Sum += Values.get(Index) *
+                   X.get(static_cast<size_t>(ColIdx[Index]));
+          }
+          Y.set(Row, Sum);
         }
-        Y.set(Row, Sum);
       }
     }
 
     AppOutput Output;
     Output.Numeric.reserve(Rows);
-    for (size_t Row = 0; Row < Rows; ++Row)
-      Output.Numeric.push_back(endorse(Y.get(Row)));
+    {
+      obs::RegionScope Phase("output");
+      for (size_t Row = 0; Row < Rows; ++Row)
+        Output.Numeric.push_back(endorse(Y.get(Row)));
+    }
     return Output;
   }
 

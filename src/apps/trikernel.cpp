@@ -13,6 +13,7 @@
 #include "apps/apps_internal.h"
 
 #include "core/enerj.h"
+#include "obs/region.h"
 #include "qos/metrics.h"
 #include "support/rng.h"
 
@@ -74,6 +75,7 @@ public:
       return static_cast<float>(Workload.nextDouble() * 2.0 - 1.0);
     };
 
+    obs::RegionScope Phase("queries");
     for (Precise<int32_t> Query = 0; Query < QueryCount; ++Query) {
       // Random triangle and ray; all coordinates approximate.
       AVec3 V0, V1, V2, Origin, Direction;

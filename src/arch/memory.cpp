@@ -7,7 +7,7 @@
 using namespace enerj;
 
 LeaseHandle MemoryLedger::lease(Region R, uint64_t PreciseBytes,
-                                uint64_t ApproxBytes) {
+                                uint64_t ApproxBytes, uint32_t Tag) {
   uint32_t Index;
   if (!FreeList.empty()) {
     Index = FreeList.back();
@@ -21,6 +21,7 @@ LeaseHandle MemoryLedger::lease(Region R, uint64_t PreciseBytes,
   Rec.PreciseBytes = PreciseBytes;
   Rec.ApproxBytes = ApproxBytes;
   Rec.Start = Now;
+  Rec.Tag = Tagging ? Tag : 0;
   Rec.Active = true;
   ++Live;
   return {Index};
@@ -48,6 +49,8 @@ void MemoryLedger::release(LeaseHandle Handle) {
   LeaseRecord &Rec = Records[Handle.Index];
   assert(Rec.Active && "double release of a storage lease");
   accumulate(Finished, Rec, Now);
+  if (Tagging)
+    accumulate(taggedBucket(Rec.Tag), Rec, Now);
   Rec.Active = false;
   FreeList.push_back(Handle.Index);
   assert(Live > 0);
@@ -59,5 +62,22 @@ StorageStats MemoryLedger::snapshot() const {
   for (const LeaseRecord &Rec : Records)
     if (Rec.Active)
       accumulate(Stats, Rec, Now);
+  return Stats;
+}
+
+StorageStats &MemoryLedger::taggedBucket(uint32_t Tag) {
+  if (Tag >= FinishedByTag.size())
+    FinishedByTag.resize(Tag + 1);
+  return FinishedByTag[Tag];
+}
+
+std::vector<StorageStats> MemoryLedger::snapshotTagged() const {
+  std::vector<StorageStats> Stats = FinishedByTag;
+  for (const LeaseRecord &Rec : Records)
+    if (Rec.Active) {
+      if (Rec.Tag >= Stats.size())
+        Stats.resize(Rec.Tag + 1);
+      accumulate(Stats[Rec.Tag], Rec, Now);
+    }
   return Stats;
 }

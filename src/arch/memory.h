@@ -45,7 +45,10 @@ public:
   /// Starts a lease of \p PreciseBytes + \p ApproxBytes in \p R at the
   /// current time. The split normally comes from a LayoutResult, so the
   /// approximate bytes are post-layout (line-granular) approximate bytes.
-  LeaseHandle lease(Region R, uint64_t PreciseBytes, uint64_t ApproxBytes);
+  /// \p Tag is an opaque attribution key (the telemetry layer passes the
+  /// active region id); it only matters when tagging is enabled.
+  LeaseHandle lease(Region R, uint64_t PreciseBytes, uint64_t ApproxBytes,
+                    uint32_t Tag = 0);
 
   /// Ends a lease, accumulating its byte-cycles into the stats.
   void release(LeaseHandle Handle);
@@ -53,6 +56,17 @@ public:
   /// Byte-cycle totals including all still-live leases up to now().
   /// Does not end any lease.
   StorageStats snapshot() const;
+
+  /// Opts into per-tag accounting. Off by default so the untelemetered
+  /// path does no extra work; the telemetry attach turns it on before any
+  /// lease is taken.
+  void enableTagging() { Tagging = true; }
+  bool taggingEnabled() const { return Tagging; }
+
+  /// Per-tag byte-cycle totals (index = tag), live leases included.
+  /// Element-wise it sums to snapshot() for leases taken after tagging
+  /// was enabled.
+  std::vector<StorageStats> snapshotTagged() const;
 
   /// Number of live leases (for tests).
   size_t liveLeases() const { return Live; }
@@ -63,17 +77,21 @@ private:
     uint64_t PreciseBytes = 0;
     uint64_t ApproxBytes = 0;
     uint64_t Start = 0;
+    uint32_t Tag = 0;
     bool Active = false;
   };
 
   void accumulate(StorageStats &Into, const LeaseRecord &Rec,
                   uint64_t End) const;
+  StorageStats &taggedBucket(uint32_t Tag);
 
   uint64_t Now = 0;
   StorageStats Finished;
+  std::vector<StorageStats> FinishedByTag;
   std::vector<LeaseRecord> Records;
   std::vector<uint32_t> FreeList;
   size_t Live = 0;
+  bool Tagging = false;
 };
 
 } // namespace enerj

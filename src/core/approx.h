@@ -250,7 +250,8 @@ private:
     if (!Sim)
       return;
     Owner = Sim;
-    Lease = Sim->ledger().lease(Region::Sram, 0, sizeof(T));
+    Lease = Sim->ledger().lease(Region::Sram, 0, sizeof(T),
+                                Sim->storageTag());
   }
 
   /// Overwrite of existing approximate storage: write-failure path.
@@ -262,7 +263,8 @@ private:
     }
     if (!Lease.valid()) {
       Owner = Sim;
-      Lease = Sim->ledger().lease(Region::Sram, 0, sizeof(T));
+      Lease = Sim->ledger().lease(Region::Sram, 0, sizeof(T),
+                                  Sim->storageTag());
     }
     Storage = Sim == Owner ? Sim->sramWrite(Value) : Value;
   }

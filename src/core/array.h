@@ -51,7 +51,7 @@ public:
     LayoutResult Layout = layoutArray(Count, sizeof(T), /*ElementsApprox=*/true,
                                       Sim->config().CacheLineBytes);
     Lease = Sim->ledger().lease(Region::Dram, Layout.PreciseBytes,
-                                Layout.ApproxBytes);
+                                Layout.ApproxBytes, Sim->storageTag());
     uint64_t Now = Sim->now();
     for (uint64_t &Cycle : LastAccess)
       Cycle = Now;
@@ -95,7 +95,7 @@ public:
     Data[Index] = Value.load();
     if (Sim && Sim == Owner) {
       LastAccess[Index] = Sim->now();
-      Sim->ledger().tick(); // A store is a memory operation.
+      Sim->dramStore();
     }
   }
 
@@ -161,7 +161,7 @@ public:
                                       /*ElementsApprox=*/false,
                                       Sim->config().CacheLineBytes);
     Lease = Sim->ledger().lease(Region::Dram, Layout.PreciseBytes,
-                                Layout.ApproxBytes);
+                                Layout.ApproxBytes, Sim->storageTag());
   }
 
   PreciseArray(const PreciseArray &) = delete;

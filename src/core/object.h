@@ -57,7 +57,7 @@ public:
     Owner = Sim;
     Layout = layoutObject(Fields, Sim->config().CacheLineBytes);
     Lease = Sim->ledger().lease(Region::Dram, Layout.PreciseBytes,
-                                Layout.ApproxBytes);
+                                Layout.ApproxBytes, Sim->storageTag());
   }
 
   ObjectLease(const ObjectLease &) = delete;

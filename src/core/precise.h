@@ -164,7 +164,8 @@ private:
     if (!Sim)
       return;
     Owner = Sim;
-    Lease = Sim->ledger().lease(Region::Sram, sizeof(T), 0);
+    Lease = Sim->ledger().lease(Region::Sram, sizeof(T), 0,
+                                Sim->storageTag());
   }
 
   T Value;

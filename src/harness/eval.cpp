@@ -52,6 +52,7 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
   Result.Levels = Options.Levels.empty() ? evalLevels() : Options.Levels;
   Result.Seeds = Options.Seeds < 1 ? 1 : Options.Seeds;
   Result.Policy = Options.Policy;
+  Result.MetricsCollected = Options.Metrics;
 
   // App-major, level-minor, seeds ascending: the same enumeration order
   // the serial harnesses used, so per-cell slices are contiguous and
@@ -61,8 +62,11 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
   for (const apps::Application *App : Result.Apps)
     for (ApproxLevel Level : Result.Levels) {
       FaultConfig Config = FaultConfig::preset(Level);
-      for (int Seed = 1; Seed <= Result.Seeds; ++Seed)
-        Trials.push_back({App, Config, static_cast<uint64_t>(Seed)});
+      for (int Seed = 1; Seed <= Result.Seeds; ++Seed) {
+        Trial T{App, Config, static_cast<uint64_t>(Seed)};
+        T.Obs.Metrics = Options.Metrics;
+        Trials.push_back(std::move(T));
+      }
     }
 
   TrialRunner Runner(Options.Threads);
@@ -85,6 +89,8 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
         Effective.push_back(T.EffectiveEnergyFactor);
         Cell.Outcomes.add(T.Outcome);
         Cell.Retries += static_cast<uint64_t>(T.Attempts - 1);
+        if (Options.Metrics)
+          Cell.Metrics.merge(T.Metrics);
         if (Seed == 1)
           Cell.Seed1 = T;
       }

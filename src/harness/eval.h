@@ -42,6 +42,11 @@ struct EvalOptions {
   /// Resilience contract every trial runs under; disabled by default,
   /// which reproduces the historical measurements byte for byte.
   resilience::ResiliencePolicy Policy;
+  /// Collect per-site metrics for every trial and merge them per cell.
+  /// Off by default: the default grid (and its version-2 JSON) stays
+  /// bitwise identical to the pre-telemetry harness. Turning it on bumps
+  /// the JSON to version 3 with a "metrics" block per cell.
+  bool Metrics = false;
 };
 
 /// One (application, level) cell of the grid.
@@ -59,6 +64,9 @@ struct EvalCell {
   /// Total re-executions charged across the cell's trials.
   uint64_t Retries = 0;
   TrialResult Seed1;       ///< The workload-seed-1 trial in full.
+  /// Per-site metrics merged over the cell's seeds, in seed order
+  /// (empty unless EvalOptions::Metrics).
+  obs::MetricsRegistry Metrics;
 };
 
 /// The whole grid, cells in app-major, level-minor order.
@@ -67,6 +75,7 @@ struct EvalResult {
   std::vector<ApproxLevel> Levels;
   int Seeds = 0;
   resilience::ResiliencePolicy Policy; ///< The policy the grid ran under.
+  bool MetricsCollected = false; ///< Grid ran with EvalOptions::Metrics.
   std::vector<EvalCell> Cells;
 
   /// The cell for (\p App, \p Level); null if not in the grid.
@@ -91,7 +100,9 @@ meanQosGrid(const std::vector<const apps::Application *> &Apps,
 /// policy the grid ran under, and per cell the outcome counts, total
 /// retries, and the effective energy with re-execution charged. Thread
 /// count is deliberately absent: the JSON for a grid is identical at
-/// any parallelism.
+/// any parallelism. A grid run with metrics collection renders as
+/// version 3, which appends a "metrics" object to every cell; without
+/// collection the output is byte-identical to the version-2 schema.
 std::string renderEvalJson(const EvalResult &Result);
 
 /// Renders \p Result as a fixed-width text table.

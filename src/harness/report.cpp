@@ -4,7 +4,10 @@
 // JSON): key names and key order are pinned by harness_stats_test and
 // only change with a version bump. Version 2 added the resilience layer:
 // the top-level "policy" object and the per-cell "effectiveEnergy"
-// (re-execution charged), "outcomes", and "retries" fields. Doubles
+// (re-execution charged), "outcomes", and "retries" fields. Version 3 is
+// emitted only when the grid ran with metrics collection (eval
+// --metrics) and appends a "metrics" object to every cell; a grid run
+// without collection still renders as version 2, byte for byte. Doubles
 // render with %.17g so every value round-trips exactly; the grid's JSON
 // is identical at any thread count.
 //
@@ -12,8 +15,10 @@
 
 #include "harness/eval.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <numeric>
 
 using namespace enerj;
 using namespace enerj::harness;
@@ -70,7 +75,55 @@ void appendPolicy(std::string &Out, const resilience::ResiliencePolicy &P) {
   Out += '}';
 }
 
-void appendCell(std::string &Out, const EvalCell &Cell) {
+void appendSite(std::string &Out, const obs::MetricsRegistry &M,
+                size_t Site) {
+  obs::SiteKey Key = M.siteKey(Site);
+  const obs::SiteCounters &C = M.site(Site);
+  Out += "{\"region\":\"";
+  Out += M.regionName(Key.Region);
+  Out += "\",\"kind\":\"";
+  Out += obs::opKindName(Key.Kind);
+  Out += "\",\"class\":\"";
+  Out += obs::storageClassName(obs::storageClassOf(Key.Kind));
+  Out += "\",\"count\":";
+  appendU64(Out, C.Count);
+  Out += ",\"faults\":";
+  appendU64(Out, C.Faults);
+  Out += ",\"flippedBits\":";
+  appendU64(Out, C.FlippedBits);
+  Out += '}';
+}
+
+void appendMetrics(std::string &Out, const obs::MetricsRegistry &M) {
+  Out += ",\"metrics\":{\"ticks\":";
+  appendU64(Out, M.totalTicks());
+  Out += ",\"ops\":";
+  appendU64(Out, M.totalOps());
+  Out += ",\"faults\":";
+  appendU64(Out, M.totalFaults());
+  // Sites sorted by (region name, kind) so the rendering never depends
+  // on interning or merge order.
+  std::vector<size_t> Order(M.siteCount());
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  std::sort(Order.begin(), Order.end(), [&M](size_t A, size_t B) {
+    obs::SiteKey KA = M.siteKey(A), KB = M.siteKey(B);
+    const std::string &NA = M.regionName(KA.Region);
+    const std::string &NB = M.regionName(KB.Region);
+    if (NA != NB)
+      return NA < NB;
+    return static_cast<unsigned>(KA.Kind) < static_cast<unsigned>(KB.Kind);
+  });
+  Out += ",\"sites\":[";
+  for (size_t I = 0; I < Order.size(); ++I) {
+    if (I)
+      Out += ',';
+    appendSite(Out, M, Order[I]);
+  }
+  Out += "]}";
+}
+
+void appendCell(std::string &Out, const EvalCell &Cell,
+                bool WithMetrics) {
   Out += "{\"level\":\"";
   Out += approxLevelName(Cell.Level);
   Out += "\",";
@@ -111,13 +164,18 @@ void appendCell(std::string &Out, const EvalCell &Cell) {
   appendDouble(Out, Storage.DramPrecise);
   Out += ",\"dramApprox\":";
   appendDouble(Out, Storage.DramApprox);
-  Out += "}}";
+  Out += '}';
+  if (WithMetrics)
+    appendMetrics(Out, Cell.Metrics);
+  Out += '}';
 }
 
 } // namespace
 
 std::string enerj::harness::renderEvalJson(const EvalResult &Result) {
-  std::string Out = "{\"tool\":\"enerj-eval\",\"version\":2,\"seeds\":";
+  std::string Out = "{\"tool\":\"enerj-eval\",\"version\":";
+  Out += Result.MetricsCollected ? '3' : '2';
+  Out += ",\"seeds\":";
   appendU64(Out, static_cast<uint64_t>(Result.Seeds));
   Out += ',';
   appendPolicy(Out, Result.Policy);
@@ -139,7 +197,8 @@ std::string enerj::harness::renderEvalJson(const EvalResult &Result) {
     for (size_t L = 0; L < Result.Levels.size(); ++L) {
       if (L)
         Out += ',';
-      appendCell(Out, Result.Cells[A * Result.Levels.size() + L]);
+      appendCell(Out, Result.Cells[A * Result.Levels.size() + L],
+                 Result.MetricsCollected);
     }
     Out += "]}";
   }

@@ -8,7 +8,9 @@
 
 #include <atomic>
 #include <exception>
+#include <optional>
 #include <thread>
+#include <utility>
 
 using namespace enerj;
 using namespace enerj::harness;
@@ -21,41 +23,37 @@ TrialRunner::TrialRunner(unsigned Threads) : Threads(Threads) {
   }
 }
 
-TrialResult TrialRunner::runOne(const Trial &T) {
-  // Same sequence as the historical serial path (apps::qosUnder followed
-  // by energy pricing): precise reference first, then the approximate run
-  // on a fresh Simulator whose seed mixSeed derives from the trial alone.
-  apps::AppOutput Reference = apps::runPrecise(*T.App, T.WorkloadSeed);
-  apps::AppRun Run = apps::runApproximate(*T.App, T.Config, T.WorkloadSeed);
-  TrialResult Result;
-  Result.QosError = T.App->qosError(Reference, Run.Output);
-  Result.Stats = Run.Stats;
-  Result.Energy = computeEnergy(Run.Stats, T.Config);
-  Result.FinalLevel = T.Config.Level;
-  Result.EffectiveEnergyFactor = Result.Energy.TotalFactor;
-  return Result;
-}
-
 namespace {
 
 /// One guarded approximate execution: like apps::runApproximate, but the
 /// application runs inside a try block *while the simulator is still in
 /// scope*, so a watchdog abort (or any in-trial exception) still yields
 /// the partial statistics up to the abort point — aborted work is real
-/// work and is charged.
+/// work and is charged. When the trial requests telemetry, a Telemetry
+/// bundle is attached for the attempt and harvested here.
 struct Attempt {
   apps::AppRun Run;
   bool Aborted = false;
   std::string Error;
+  uint64_t EndCycle = 0; ///< The simulator clock when the attempt ended.
+  obs::MetricsRegistry Metrics;
+  std::vector<obs::TraceEvent> Trace;
+  uint64_t TraceDropped = 0;
 };
 
 Attempt runAttempt(const apps::Application &App, const FaultConfig &Config,
-                   uint64_t WorkloadSeed) {
+                   uint64_t WorkloadSeed,
+                   const obs::TelemetryRequest &Obs) {
   FaultConfig RunConfig = Config;
   // The same per-trial stream derivation as apps::runApproximate; retry
   // attempts pre-mix the attempt number into Config.Seed.
   RunConfig.Seed = mixSeed(Config.Seed, WorkloadSeed);
   Simulator Sim(RunConfig);
+  std::optional<obs::Telemetry> Tel;
+  if (Obs.enabled()) {
+    Tel.emplace(Obs);
+    Sim.attachTelemetry(&*Tel);
+  }
   Attempt A;
   {
     SimulatorScope Scope(Sim);
@@ -70,6 +68,15 @@ Attempt runAttempt(const apps::Application &App, const FaultConfig &Config,
     }
   }
   A.Run.Stats = Sim.stats();
+  A.EndCycle = Sim.now();
+  if (Tel) {
+    Tel->Metrics.setRegionStorage(Sim.ledger().snapshotTagged());
+    if (Obs.Trace) {
+      A.Trace = Tel->Trace.drain();
+      A.TraceDropped = Tel->Trace.dropped();
+    }
+    A.Metrics = std::move(Tel->Metrics);
+  }
   return A;
 }
 
@@ -98,7 +105,69 @@ TrialResult runContained(const Trial &T,
   }
 }
 
+/// Appends one attempt's trace to the trial-level timeline, bracketed by
+/// harness markers. Region ids are used as-is: every attempt of a trial
+/// interns regions in execution order over the same application code, so
+/// ids agree across attempts (an aborted attempt's table is a prefix).
+void collectAttemptTrace(TrialResult &Result, const Attempt &A,
+                         int AttemptIndex, ApproxLevel Level,
+                         bool Accepted) {
+  Result.Trace.push_back(
+      {AttemptIndex,
+       {0, static_cast<uint64_t>(Level), obs::TraceEventKind::AttemptBegin,
+        obs::OpKind::PreciseInt, 0}});
+  for (const obs::TraceEvent &E : A.Trace)
+    Result.Trace.push_back({AttemptIndex, E});
+  if (A.Aborted)
+    Result.Trace.push_back({AttemptIndex,
+                            {A.EndCycle, A.EndCycle,
+                             obs::TraceEventKind::Abort,
+                             obs::OpKind::PreciseInt, 0}});
+  Result.Trace.push_back(
+      {AttemptIndex,
+       {A.EndCycle, Accepted ? 1u : 0u, obs::TraceEventKind::AttemptEnd,
+        obs::OpKind::PreciseInt, 0}});
+  Result.TraceDropped += A.TraceDropped;
+}
+
 } // namespace
+
+TrialResult TrialRunner::runOne(const Trial &T) {
+  // Same sequence as the historical serial path (apps::qosUnder followed
+  // by energy pricing): precise reference first, then the approximate run
+  // on a fresh Simulator whose seed mixSeed derives from the trial alone.
+  apps::AppOutput Reference = apps::runPrecise(*T.App, T.WorkloadSeed);
+  TrialResult Result;
+  Result.FinalLevel = T.Config.Level;
+  if (!T.Obs.enabled()) {
+    apps::AppRun Run = apps::runApproximate(*T.App, T.Config, T.WorkloadSeed);
+    Result.QosError = T.App->qosError(Reference, Run.Output);
+    Result.Stats = Run.Stats;
+    Result.Energy = computeEnergy(Run.Stats, T.Config);
+    Result.EffectiveEnergyFactor = Result.Energy.TotalFactor;
+    return Result;
+  }
+
+  // Instrumented path: the simulator executes the identical run
+  // (runAttempt derives the same seed), plus containment so a watchdog
+  // abort still yields the partial metrics up to the abort point.
+  Attempt A = runAttempt(*T.App, T.Config, T.WorkloadSeed, T.Obs);
+  Result.Stats = A.Run.Stats;
+  Result.Energy = computeEnergy(A.Run.Stats, T.Config);
+  Result.EffectiveEnergyFactor = Result.Energy.TotalFactor;
+  Result.Error = A.Error;
+  Result.ClockCycles = A.EndCycle;
+  if (A.Aborted) {
+    Result.QosError = 1.0;
+    Result.Outcome = resilience::TrialOutcome::Aborted;
+  } else {
+    Result.QosError = T.App->qosError(Reference, A.Run.Output);
+  }
+  if (T.Obs.Trace)
+    collectAttemptTrace(Result, A, 0, T.Config.Level, !A.Aborted);
+  Result.Metrics = std::move(A.Metrics);
+  return Result;
+}
 
 TrialResult TrialRunner::runOne(const Trial &T,
                                 const resilience::ResiliencePolicy &Policy) {
@@ -124,12 +193,18 @@ TrialResult TrialRunner::runOne(const Trial &T,
       if (Retry > 0)
         AttemptConfig.Seed =
             mixSeed(Config.Seed, static_cast<uint64_t>(Retry));
-      Attempt A = runAttempt(*T.App, AttemptConfig, T.WorkloadSeed);
+      if (Retry > 0 && T.Obs.Trace)
+        Result.Trace.push_back({Attempts,
+                                {0, static_cast<uint64_t>(Retry),
+                                 obs::TraceEventKind::Retry,
+                                 obs::OpKind::PreciseInt, 0}});
+      Attempt A = runAttempt(*T.App, AttemptConfig, T.WorkloadSeed, T.Obs);
       ++Attempts;
       Result.Stats = A.Run.Stats;
       Result.Energy = computeEnergy(A.Run.Stats, AttemptConfig);
       Result.FinalLevel = AttemptConfig.Level;
       Result.Error = A.Error;
+      Result.ClockCycles = A.EndCycle;
       EnergySum += Result.Energy.TotalFactor;
 
       bool Sane = !A.Aborted && resilience::outputSane(
@@ -138,7 +213,22 @@ TrialResult TrialRunner::runOne(const Trial &T,
       Result.QosError = (A.Aborted || !Sane)
                             ? 1.0
                             : T.App->qosError(Reference, A.Run.Output);
-      if (!A.Aborted && Sane && Result.QosError <= Policy.Slo) {
+      bool Accepted = !A.Aborted && Sane && Result.QosError <= Policy.Slo;
+      if (T.Obs.Trace)
+        collectAttemptTrace(Result, A, Attempts - 1, AttemptConfig.Level,
+                            Accepted);
+      if (T.Obs.enabled()) {
+        // The recorded attempt's registry replaces the previous one
+        // (parallel to Stats). Earlier attempts' region names are
+        // re-interned in id order so their trace events keep resolving —
+        // within a trial, every attempt interns regions in the same
+        // execution order, so each name lands back on its old id.
+        obs::MetricsRegistry Prev = std::move(Result.Metrics);
+        Result.Metrics = std::move(A.Metrics);
+        for (uint32_t R = 0; R < Prev.regionCount(); ++R)
+          Result.Metrics.internRegion(Prev.regionName(R));
+      }
+      if (Accepted) {
         Result.Outcome = LadderSteps > 0
                              ? resilience::TrialOutcome::Degraded
                          : Attempts > 1 ? resilience::TrialOutcome::Retried
@@ -152,6 +242,12 @@ TrialResult TrialRunner::runOne(const Trial &T,
     }
     if (!Policy.Degrade || Config.Level == ApproxLevel::None)
       break;
+    if (T.Obs.Trace)
+      Result.Trace.push_back(
+          {Attempts,
+           {0,
+            static_cast<uint64_t>(resilience::degradeConfig(Config).Level),
+            obs::TraceEventKind::Degrade, obs::OpKind::PreciseInt, 0}});
     Config = resilience::degradeConfig(Config);
     ++LadderSteps;
   }

@@ -44,6 +44,7 @@
 #include "apps/app.h"
 #include "energy/model.h"
 #include "fault/config.h"
+#include "obs/telemetry.h"
 #include "resilience/policy.h"
 
 #include <cstdint>
@@ -58,6 +59,10 @@ struct Trial {
   const apps::Application *App = nullptr;
   FaultConfig Config;
   uint64_t WorkloadSeed = 1;
+  /// What telemetry to collect (default: none — the zero-cost path,
+  /// byte-identical to the pre-telemetry harness). Collection never
+  /// perturbs the measured run; only ForceRegionPrecise does, by design.
+  obs::TelemetryRequest Obs;
 };
 
 /// Everything one trial measures. Stats/Energy/QosError describe the
@@ -85,6 +90,23 @@ struct TrialResult {
   double EffectiveEnergyFactor = 1.0;
   /// Message of the contained exception, when one was caught.
   std::string Error;
+
+  /// The simulator's logical clock when the recorded attempt ended
+  /// (MemoryLedger::now(): one tick per dynamic op / DRAM access). Only
+  /// filled on the instrumented path — 0 when no telemetry was
+  /// requested.
+  uint64_t ClockCycles = 0;
+  /// Per-site metrics of the *recorded* attempt (parallel to Stats).
+  /// Empty unless the trial's TelemetryRequest asked for metrics.
+  obs::MetricsRegistry Metrics;
+  /// Structured events across *all* attempts — the recovery timeline,
+  /// including the rejected attempts that Stats/Metrics do not cover —
+  /// with harness markers (attempt begin/end, retry, degrade, abort)
+  /// interleaved. Empty unless tracing was requested. Region ids refer
+  /// to Metrics.
+  std::vector<obs::TrialTraceEvent> Trace;
+  /// Events shed by the per-attempt ring buffers, summed.
+  uint64_t TraceDropped = 0;
 };
 
 /// Runs trial lists over a fixed-size thread pool.

@@ -1,0 +1,216 @@
+//===- obs/metrics.cpp - Site-level approximation metrics -----------------===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cassert>
+
+namespace enerj {
+namespace obs {
+
+const char *opKindName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::PreciseInt:
+    return "preciseInt";
+  case OpKind::ApproxInt:
+    return "approxInt";
+  case OpKind::PreciseFp:
+    return "preciseFp";
+  case OpKind::ApproxFp:
+    return "approxFp";
+  case OpKind::SramRead:
+    return "sramRead";
+  case OpKind::SramWrite:
+    return "sramWrite";
+  case OpKind::DramLoad:
+    return "dramLoad";
+  case OpKind::DramStore:
+    return "dramStore";
+  }
+  return "?";
+}
+
+const char *storageClassName(StorageClass Class) {
+  switch (Class) {
+  case StorageClass::Alu:
+    return "alu";
+  case StorageClass::Sram:
+    return "sram";
+  case StorageClass::Dram:
+    return "dram";
+  }
+  return "?";
+}
+
+StorageClass storageClassOf(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::PreciseInt:
+  case OpKind::ApproxInt:
+  case OpKind::PreciseFp:
+  case OpKind::ApproxFp:
+    return StorageClass::Alu;
+  case OpKind::SramRead:
+  case OpKind::SramWrite:
+    return StorageClass::Sram;
+  case OpKind::DramLoad:
+  case OpKind::DramStore:
+    return StorageClass::Dram;
+  }
+  return StorageClass::Alu;
+}
+
+bool opTicks(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::SramRead:
+  case OpKind::SramWrite:
+    return false;
+  default:
+    return true;
+  }
+}
+
+int FlipHistogram::bucketOf(unsigned Bits) {
+  assert(Bits >= 1 && "bucketOf takes a positive flip count");
+  // 1 -> 0, 2 -> 1, 3-4 -> 2, 5-8 -> 3, ..., 33-64 -> 6, >64 -> 7.
+  int Bucket = std::bit_width(Bits - 1u);
+  return Bucket < NumBuckets ? Bucket : NumBuckets - 1;
+}
+
+const char *FlipHistogram::bucketLabel(int Bucket) {
+  static const char *const Labels[NumBuckets] = {
+      "1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", ">64"};
+  return Labels[Bucket];
+}
+
+uint64_t FlipHistogram::total() const {
+  uint64_t Sum = 0;
+  for (uint64_t B : Buckets)
+    Sum += B;
+  return Sum;
+}
+
+FlipHistogram &FlipHistogram::operator+=(const FlipHistogram &Other) {
+  for (int I = 0; I < NumBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+  return *this;
+}
+
+int Log2Histogram::bucketOf(uint64_t Value) {
+  int Bucket = std::bit_width(Value);
+  return Bucket < NumBuckets ? Bucket : NumBuckets - 1;
+}
+
+uint64_t Log2Histogram::total() const {
+  uint64_t Sum = 0;
+  for (uint64_t B : Buckets)
+    Sum += B;
+  return Sum;
+}
+
+Log2Histogram &Log2Histogram::operator+=(const Log2Histogram &Other) {
+  for (int I = 0; I < NumBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+  return *this;
+}
+
+SiteCounters &SiteCounters::operator+=(const SiteCounters &Other) {
+  Count += Other.Count;
+  Faults += Other.Faults;
+  FlippedBits += Other.FlippedBits;
+  Flips += Other.Flips;
+  return *this;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  internRegion("main");
+  Stack.push_back(0);
+}
+
+uint32_t MetricsRegistry::internRegion(std::string_view Label) {
+  // Linear scan: region counts are small (a handful of kernels per app)
+  // and interning happens once per RegionScope entry, not per op.
+  for (uint32_t I = 0; I < RegionNames.size(); ++I)
+    if (RegionNames[I] == Label)
+      return I;
+  RegionNames.emplace_back(Label);
+  SiteIndex.emplace_back();
+  SiteIndex.back().fill(InvalidSite);
+  return static_cast<uint32_t>(RegionNames.size() - 1);
+}
+
+void MetricsRegistry::enterRegion(uint32_t Region) {
+  assert(Region < RegionNames.size() && "enterRegion of unknown region");
+  Stack.push_back(Region);
+}
+
+void MetricsRegistry::exitRegion() {
+  assert(Stack.size() > 1 && "exitRegion would pop the root region");
+  Stack.pop_back();
+}
+
+uint32_t MetricsRegistry::addSite(uint32_t Region, OpKind Kind) {
+  Sites.push_back(Site{Region, Kind, SiteCounters{}});
+  return static_cast<uint32_t>(Sites.size() - 1);
+}
+
+const SiteCounters *MetricsRegistry::find(uint32_t Region,
+                                          OpKind Kind) const {
+  if (Region >= SiteIndex.size())
+    return nullptr;
+  uint32_t Slot = SiteIndex[Region][static_cast<unsigned>(Kind)];
+  return Slot == InvalidSite ? nullptr : &Sites[Slot].Counters;
+}
+
+uint64_t MetricsRegistry::totalTicks() const {
+  uint64_t Sum = 0;
+  for (const Site &S : Sites)
+    if (opTicks(S.Kind))
+      Sum += S.Counters.Count;
+  return Sum;
+}
+
+uint64_t MetricsRegistry::totalOps() const {
+  uint64_t Sum = 0;
+  for (const Site &S : Sites)
+    Sum += S.Counters.Count;
+  return Sum;
+}
+
+uint64_t MetricsRegistry::totalFaults() const {
+  uint64_t Sum = 0;
+  for (const Site &S : Sites)
+    Sum += S.Counters.Faults;
+  return Sum;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  // Map the other registry's region ids into ours by name, creating any
+  // regions we have not seen. Done up front so the site loop is cheap.
+  std::vector<uint32_t> Remap(Other.RegionNames.size());
+  for (uint32_t I = 0; I < Other.RegionNames.size(); ++I)
+    Remap[I] = internRegion(Other.RegionNames[I]);
+
+  for (const Site &S : Other.Sites) {
+    uint32_t Region = Remap[S.Region];
+    uint32_t &Slot = SiteIndex[Region][static_cast<unsigned>(S.Kind)];
+    if (Slot == InvalidSite)
+      Slot = addSite(Region, S.Kind);
+    Sites[Slot].Counters += S.Counters;
+  }
+
+  DramGaps += Other.DramGaps;
+
+  if (!Other.RegionStorage.empty()) {
+    if (RegionStorage.size() < RegionNames.size())
+      RegionStorage.resize(RegionNames.size());
+    for (uint32_t I = 0; I < Other.RegionStorage.size(); ++I)
+      RegionStorage[Remap[I]] += Other.RegionStorage[I];
+  }
+}
+
+} // namespace obs
+} // namespace enerj

@@ -1,0 +1,228 @@
+//===- obs/metrics.h - Site-level approximation metrics --------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer: plain-struct counters and
+/// fixed-bucket histograms keyed by an interned *site*. A site is
+/// (region label, operation kind); the region label names the source
+/// kernel or phase the application is executing (obs::RegionScope), the
+/// operation kind names what the hardware did (an approximate FP op, an
+/// SRAM read, a DRAM array store, ...), and the storage class is derived
+/// from the kind. Every approximate load/store/ALU operation and every
+/// injected fault the Simulator performs is attributable to exactly one
+/// site, which is what turns the paper's aggregate Figure 4 numbers into
+/// a per-site engineering instrument.
+///
+/// One MetricsRegistry belongs to one Simulator (via obs::Telemetry) and
+/// is therefore single-threaded by construction — no locks anywhere, the
+/// hot path is two vector indexing operations and an increment. Trial
+/// boundaries merge registries *by region name* (merge()), so registries
+/// whose labels were interned in different orders (e.g. a degraded
+/// attempt that skipped a phase) combine correctly; merging is
+/// associative and commutative over the counter values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_OBS_METRICS_H
+#define ENERJ_OBS_METRICS_H
+
+#include "arch/stats.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace enerj {
+namespace obs {
+
+/// What one dynamic operation did, from the telemetry layer's point of
+/// view. The first four are the arithmetic kinds of OperationStats; the
+/// rest are the memory paths the Simulator instruments.
+enum class OpKind : uint8_t {
+  PreciseInt, ///< Precise integer ALU operation (ticks the clock).
+  ApproxInt,  ///< Approximate integer ALU operation (ticks).
+  PreciseFp,  ///< Precise FP operation (ticks).
+  ApproxFp,   ///< Approximate FP operation (ticks).
+  SramRead,   ///< Approximate SRAM (register/stack) read (no tick).
+  SramWrite,  ///< Approximate SRAM write (no tick).
+  DramLoad,   ///< Approximate DRAM (heap array) load with decay (ticks).
+  DramStore,  ///< Approximate DRAM store (ticks).
+};
+
+constexpr unsigned NumOpKinds = 8;
+
+/// Which hardware component a site's energy/faults belong to.
+enum class StorageClass : uint8_t { Alu, Sram, Dram };
+
+const char *opKindName(OpKind Kind);
+const char *storageClassName(StorageClass Class);
+StorageClass storageClassOf(OpKind Kind);
+
+/// Whether an operation of this kind advances the simulator's logical
+/// clock (MemoryLedger::tick). The op-ticking audit cross-checks the sum
+/// of ticking site counts against the ledger's clock.
+bool opTicks(OpKind Kind);
+
+/// Fixed-bucket histogram of corrupted bits per faulting operation.
+/// Bucket edges are powers of two: {1, 2, 3-4, 5-8, 9-16, 17-32, 33-64}.
+/// (A 65th bucket is unreachable for <= 64-bit values but kept so the
+/// bucket math has no special cases.)
+struct FlipHistogram {
+  static constexpr int NumBuckets = 8;
+  uint64_t Buckets[NumBuckets] = {};
+
+  /// The bucket index holding \p Bits flipped bits (Bits >= 1).
+  static int bucketOf(unsigned Bits);
+  /// Human-readable bucket label ("1", "2", "3-4", ...).
+  static const char *bucketLabel(int Bucket);
+
+  void record(unsigned Bits) { ++Buckets[bucketOf(Bits)]; }
+  uint64_t total() const;
+  FlipHistogram &operator+=(const FlipHistogram &Other);
+};
+
+/// Fixed-bucket log2 histogram of DRAM inter-access gaps in cycles:
+/// bucket b counts gaps in [2^(b-1), 2^b - 1] (bucket 0 counts zero-cycle
+/// gaps). Long gaps are where refresh-reduction decay actually bites, so
+/// this is the "which data sat cold" signal.
+struct Log2Histogram {
+  static constexpr int NumBuckets = 32;
+  uint64_t Buckets[NumBuckets] = {};
+
+  static int bucketOf(uint64_t Value);
+
+  void record(uint64_t Value) { ++Buckets[bucketOf(Value)]; }
+  uint64_t total() const;
+  Log2Histogram &operator+=(const Log2Histogram &Other);
+};
+
+/// The counters of one site.
+struct SiteCounters {
+  uint64_t Count = 0;       ///< Dynamic operations executed at this site.
+  uint64_t Faults = 0;      ///< Operations where >= 1 bit was corrupted.
+  uint64_t FlippedBits = 0; ///< Total corrupted bits across those faults.
+  FlipHistogram Flips;      ///< Corrupted bits per faulting operation.
+
+  SiteCounters &operator+=(const SiteCounters &Other);
+};
+
+/// A site's identity: the interned region plus the operation kind.
+struct SiteKey {
+  uint32_t Region = 0;
+  OpKind Kind = OpKind::PreciseInt;
+};
+
+/// Per-Simulator metrics store. See the file comment for the threading
+/// and merge model.
+class MetricsRegistry {
+public:
+  static constexpr uint32_t InvalidSite = ~0u;
+
+  /// Region 0 is always the implicit whole-program region "main".
+  MetricsRegistry();
+
+  /// --- Region labels (interning + the active-region stack). ---
+
+  /// Interns \p Label, returning its stable id. Ids are assigned in
+  /// first-use order, which is execution order and therefore
+  /// deterministic for a deterministic trial.
+  uint32_t internRegion(std::string_view Label);
+
+  const std::string &regionName(uint32_t Region) const {
+    return RegionNames[Region];
+  }
+  size_t regionCount() const { return RegionNames.size(); }
+
+  /// Pushes/pops the active region (RegionScope does this).
+  void enterRegion(uint32_t Region);
+  void exitRegion();
+  uint32_t currentRegion() const { return Stack.back(); }
+
+  /// --- The hot path. ---
+
+  /// Records one completed operation of \p Kind at the current region,
+  /// with \p FlippedBits corrupted bits (0 = the common faultless case).
+  void recordOp(OpKind Kind, unsigned FlippedBits) {
+    uint32_t &Slot = SiteIndex[Stack.back()][static_cast<unsigned>(Kind)];
+    if (Slot == InvalidSite)
+      Slot = addSite(Stack.back(), Kind);
+    SiteCounters &C = Sites[Slot].Counters;
+    ++C.Count;
+    if (FlippedBits != 0) {
+      ++C.Faults;
+      C.FlippedBits += FlippedBits;
+      C.Flips.record(FlippedBits);
+    }
+  }
+
+  /// Records one DRAM inter-access gap (cycles since the element's last
+  /// refresh) into the registry-level decay histogram.
+  void recordDramGap(uint64_t Cycles) { DramGaps.record(Cycles); }
+
+  /// --- Site access (reporting). ---
+
+  size_t siteCount() const { return Sites.size(); }
+  SiteKey siteKey(size_t Site) const {
+    return {Sites[Site].Region, Sites[Site].Kind};
+  }
+  const SiteCounters &site(size_t Site) const {
+    return Sites[Site].Counters;
+  }
+  /// The counters for (\p Region, \p Kind); null if never recorded.
+  const SiteCounters *find(uint32_t Region, OpKind Kind) const;
+
+  const Log2Histogram &dramGaps() const { return DramGaps; }
+
+  /// Sum of Count over the sites whose kind ticks the clock — must equal
+  /// MemoryLedger::now() for a completed (non-aborted) run.
+  uint64_t totalTicks() const;
+  /// Sum of Count over every site.
+  uint64_t totalOps() const;
+  /// Sum of Faults over every site.
+  uint64_t totalFaults() const;
+
+  /// --- Per-region storage byte-cycles (from MemoryLedger's tagged
+  /// --- snapshot; index = region id). ---
+
+  void setRegionStorage(std::vector<StorageStats> ByRegion) {
+    RegionStorage = std::move(ByRegion);
+  }
+  const std::vector<StorageStats> &regionStorage() const {
+    return RegionStorage;
+  }
+
+  /// --- Trial-boundary merge. ---
+
+  /// Folds \p Other into this registry, matching sites by (region *name*,
+  /// kind) so label interning order does not matter. Associative and
+  /// commutative over counter values (region id assignment depends on
+  /// merge order, which is why reports key on names, never raw ids).
+  void merge(const MetricsRegistry &Other);
+
+private:
+  struct Site {
+    uint32_t Region;
+    OpKind Kind;
+    SiteCounters Counters;
+  };
+
+  uint32_t addSite(uint32_t Region, OpKind Kind);
+
+  std::vector<std::string> RegionNames;
+  /// SiteIndex[region][kind] -> index into Sites (InvalidSite = none).
+  std::vector<std::array<uint32_t, NumOpKinds>> SiteIndex;
+  std::vector<uint32_t> Stack;
+  std::vector<Site> Sites;
+  std::vector<StorageStats> RegionStorage;
+  Log2Histogram DramGaps;
+};
+
+} // namespace obs
+} // namespace enerj
+
+#endif // ENERJ_OBS_METRICS_H

@@ -1,0 +1,452 @@
+//===- obs/profile.cpp - Per-site energy/fault attribution ----------------===//
+//
+// The attribution math: every component factor of the aggregate
+// EnergyReport is distributed over its sites proportionally to modeled
+// energy, so the shares of one component sum to exactly that component's
+// slice of TotalFactor and the grand total telescopes. Slices with no
+// sites to carry them (no arithmetic ops, no tagged storage) fall into
+// the "(unattributed)" residual row; the row is dropped when the
+// residual is zero to rounding (< 1e-12).
+//
+// The profile JSON is schema "enerj-profile" version 1, pinned like the
+// eval grid's JSON: key names and order only change with a version bump,
+// doubles render as %.17g, and the document is byte-identical at any
+// thread count (tests/validate_profile_json.py is the CI gate).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/profile.h"
+
+#include "energy/model.h"
+#include "harness/trial.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+using namespace enerj;
+using namespace enerj::obs;
+using harness::Trial;
+using harness::TrialResult;
+using harness::TrialRunner;
+using harness::TrialStats;
+
+namespace {
+
+// Server split (the harness's setting) and the default abstract-unit
+// constants — the profiler decomposes exactly what computeEnergy priced.
+constexpr double CpuShare = 0.55;
+constexpr double DramShare = 0.45;
+
+bool isAluKind(OpKind Kind) {
+  return storageClassOf(Kind) == StorageClass::Alu;
+}
+
+/// One ALU operation's modeled energy in abstract units under \p Config.
+double opUnits(OpKind Kind, const FaultConfig &Config,
+               const EnergyConstants &Constants) {
+  bool IsFp = Kind == OpKind::PreciseFp || Kind == OpKind::ApproxFp;
+  bool IsApprox = Kind == OpKind::ApproxInt || Kind == OpKind::ApproxFp;
+  double Unit = IsFp ? Constants.FpOpUnits : Constants.IntOpUnits;
+  return Unit * instructionEnergyFactor(IsFp, IsApprox, Config, Constants);
+}
+
+/// Distributes \p Pool (one component's slice of TotalFactor) over
+/// \p Rows proportionally to \p Weights. Returns the undistributed
+/// remainder: the whole pool when the weights sum to zero.
+double distribute(std::vector<ProfileRow *> &Rows,
+                  const std::vector<double> &Weights, double Pool) {
+  double Total = 0.0;
+  for (double W : Weights)
+    Total += W;
+  if (Total <= 0.0)
+    return Pool;
+  for (size_t I = 0; I < Rows.size(); ++I)
+    Rows[I]->EnergyShare = Pool * (Weights[I] / Total);
+  return 0.0;
+}
+
+void buildRows(ProfileResult &Result) {
+  const FaultConfig &Config = Result.Config;
+  const MetricsRegistry &M = Result.Metrics;
+  const EnergyConstants Constants;
+
+  std::vector<ProfileRow> Rows;
+
+  // Operation rows, one per registry site. Only ALU kinds carry
+  // instruction energy; the memory-op rows keep their fault counters but
+  // their energy lives in the storage rows below.
+  std::vector<size_t> AluRows;
+  std::vector<double> AluWeights;
+  for (size_t Site = 0; Site < M.siteCount(); ++Site) {
+    SiteKey Key = M.siteKey(Site);
+    const SiteCounters &C = M.site(Site);
+    ProfileRow Row;
+    Row.Region = M.regionName(Key.Region);
+    Row.Item = opKindName(Key.Kind);
+    Row.Class = storageClassOf(Key.Kind);
+    Row.Ops = C.Count;
+    Row.Faults = C.Faults;
+    Row.FlippedBits = C.FlippedBits;
+    if (isAluKind(Key.Kind)) {
+      AluRows.push_back(Rows.size());
+      AluWeights.push_back(static_cast<double>(C.Count) *
+                           opUnits(Key.Kind, Config, Constants));
+    }
+    Rows.push_back(std::move(Row));
+  }
+
+  // Storage rows, one per (region, technology) with a nonzero footprint.
+  // The weight is the savings-adjusted byte-cycles: approximate bytes
+  // that save power weigh less, exactly as in the component factor.
+  std::vector<size_t> SramRows, DramRows;
+  std::vector<double> SramWeights, DramWeights;
+  const std::vector<StorageStats> &ByRegion = M.regionStorage();
+  for (uint32_t Region = 0; Region < ByRegion.size(); ++Region) {
+    const StorageStats &S = ByRegion[Region];
+    if (S.sramTotal() > 0) {
+      ProfileRow Row;
+      Row.Region = M.regionName(Region);
+      Row.Item = "sramStorage";
+      Row.Class = StorageClass::Sram;
+      Row.IsStorage = true;
+      Row.PreciseByteCycles = S.SramPrecise;
+      Row.ApproxByteCycles = S.SramApprox;
+      SramRows.push_back(Rows.size());
+      SramWeights.push_back(S.SramPrecise +
+                            S.SramApprox * (1.0 - Config.sramPowerSaved()));
+      Rows.push_back(std::move(Row));
+    }
+    if (S.dramTotal() > 0) {
+      ProfileRow Row;
+      Row.Region = M.regionName(Region);
+      Row.Item = "dramStorage";
+      Row.Class = StorageClass::Dram;
+      Row.IsStorage = true;
+      Row.PreciseByteCycles = S.DramPrecise;
+      Row.ApproxByteCycles = S.DramApprox;
+      DramRows.push_back(Rows.size());
+      DramWeights.push_back(S.DramPrecise +
+                            S.DramApprox * (1.0 - Config.dramPowerSaved()));
+      Rows.push_back(std::move(Row));
+    }
+  }
+
+  // Distribute each component's slice of TotalFactor over its rows.
+  const EnergyReport &E = Result.Energy;
+  double InstructionShare = 0.0;
+  {
+    std::vector<ProfileRow *> Ptrs;
+    for (size_t I : AluRows)
+      Ptrs.push_back(&Rows[I]);
+    InstructionShare = distribute(
+        Ptrs, AluWeights,
+        CpuShare * (1.0 - Constants.SramShareOfCpu) * E.InstructionFactor);
+  }
+  double SramShare = 0.0;
+  {
+    std::vector<ProfileRow *> Ptrs;
+    for (size_t I : SramRows)
+      Ptrs.push_back(&Rows[I]);
+    SramShare = distribute(Ptrs, SramWeights,
+                           CpuShare * Constants.SramShareOfCpu * E.SramFactor);
+  }
+  double DramShare_ = 0.0;
+  {
+    std::vector<ProfileRow *> Ptrs;
+    for (size_t I : DramRows)
+      Ptrs.push_back(&Rows[I]);
+    DramShare_ = distribute(Ptrs, DramWeights, DramShare * E.DramFactor);
+  }
+
+  std::sort(Rows.begin(), Rows.end(),
+            [](const ProfileRow &A, const ProfileRow &B) {
+              if (A.EnergyShare != B.EnergyShare)
+                return A.EnergyShare > B.EnergyShare;
+              if (A.Region != B.Region)
+                return A.Region < B.Region;
+              return A.Item < B.Item;
+            });
+
+  double Residual = InstructionShare + SramShare + DramShare_;
+  if (Residual > 1e-12 || Residual < -1e-12) {
+    ProfileRow Row;
+    Row.Region = "(unattributed)";
+    Row.Item = "-";
+    Row.EnergyShare = Residual;
+    Rows.push_back(std::move(Row));
+  }
+
+  Result.ShareSum = 0.0;
+  for (const ProfileRow &Row : Rows)
+    Result.ShareSum += Row.EnergyShare;
+  Result.Rows = std::move(Rows);
+}
+
+/// Measures the forced-precise QoS delta for every distinct region among
+/// the top-K rows: all (region, seed) probe trials fan out through one
+/// runner, then per-region means aggregate in trial order.
+void measureQosDeltas(ProfileResult &Result, const ProfileOptions &Options) {
+  std::set<std::string> Seen{"main", "(unattributed)"};
+  std::vector<std::string> Regions;
+  size_t Top = std::min(Result.Rows.size(),
+                        static_cast<size_t>(std::max(Options.TopK, 0)));
+  for (size_t I = 0; I < Top; ++I)
+    if (Seen.insert(Result.Rows[I].Region).second)
+      Regions.push_back(Result.Rows[I].Region);
+  if (Regions.empty())
+    return;
+
+  std::vector<Trial> Trials;
+  Trials.reserve(Regions.size() * static_cast<size_t>(Result.Seeds));
+  for (const std::string &Region : Regions)
+    for (int Seed = 1; Seed <= Result.Seeds; ++Seed) {
+      Trial T;
+      T.App = Result.App;
+      T.Config = Result.Config;
+      T.WorkloadSeed = static_cast<uint64_t>(Seed);
+      T.Obs.ForceRegionPrecise = Region;
+      Trials.push_back(std::move(T));
+    }
+  TrialRunner Runner(Options.Threads);
+  std::vector<TrialResult> Forced = Runner.run(Trials);
+
+  for (size_t R = 0; R < Regions.size(); ++R) {
+    std::vector<double> Qos;
+    Qos.reserve(static_cast<size_t>(Result.Seeds));
+    for (int Seed = 0; Seed < Result.Seeds; ++Seed)
+      Qos.push_back(
+          Forced[R * static_cast<size_t>(Result.Seeds) +
+                 static_cast<size_t>(Seed)]
+              .QosError);
+    double Delta = Result.Qos.Mean - TrialStats::over(Qos).Mean;
+    for (size_t I = 0; I < Top; ++I)
+      if (Result.Rows[I].Region == Regions[R]) {
+        Result.Rows[I].HasQosDelta = true;
+        Result.Rows[I].QosDelta = Delta;
+      }
+  }
+}
+
+} // namespace
+
+ProfileResult enerj::obs::runProfile(const ProfileOptions &Options) {
+  ProfileResult Result;
+  Result.App = Options.App;
+  Result.Config = FaultConfig::preset(Options.Level);
+  Result.Seeds = Options.Seeds;
+  Result.TopK = Options.TopK;
+
+  std::vector<Trial> Trials;
+  Trials.reserve(static_cast<size_t>(Options.Seeds));
+  for (int Seed = 1; Seed <= Options.Seeds; ++Seed) {
+    Trial T;
+    T.App = Options.App;
+    T.Config = Result.Config;
+    T.WorkloadSeed = static_cast<uint64_t>(Seed);
+    T.Obs.Metrics = true;
+    T.Obs.Trace = Options.Trace && Seed == 1;
+    Trials.push_back(std::move(T));
+  }
+  TrialRunner Runner(Options.Threads);
+  std::vector<TrialResult> Results = Runner.run(Trials);
+
+  // Aggregate in seed order — bitwise identical at any thread count.
+  std::vector<double> Qos;
+  Qos.reserve(Results.size());
+  for (TrialResult &R : Results) {
+    Qos.push_back(R.QosError);
+    Result.Stats.Ops += R.Stats.Ops;
+    Result.Stats.Storage += R.Stats.Storage;
+    Result.Metrics.merge(R.Metrics);
+    Result.LedgerTicks += R.ClockCycles;
+  }
+  Result.Qos = TrialStats::over(Qos);
+  Result.Energy = computeEnergy(Result.Stats, Result.Config);
+  if (!Results.empty())
+    Result.Seed1 = std::move(Results.front());
+
+  buildRows(Result);
+  if (Options.QosDelta)
+    measureQosDeltas(Result, Options);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Renderers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendDouble(std::string &Out, double Value) {
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  Out += Buffer;
+}
+
+void appendU64(std::string &Out, uint64_t Value) {
+  char Buffer[24];
+  std::snprintf(Buffer, sizeof(Buffer), "%" PRIu64, Value);
+  Out += Buffer;
+}
+
+void appendStats(std::string &Out, const char *Key, const TrialStats &S) {
+  Out += '"';
+  Out += Key;
+  Out += "\":{\"count\":";
+  appendU64(Out, static_cast<uint64_t>(S.Count));
+  Out += ",\"mean\":";
+  appendDouble(Out, S.Mean);
+  Out += ",\"stddev\":";
+  appendDouble(Out, S.Stddev);
+  Out += ",\"min\":";
+  appendDouble(Out, S.Min);
+  Out += ",\"max\":";
+  appendDouble(Out, S.Max);
+  Out += ",\"ci95\":";
+  appendDouble(Out, S.Ci95Half);
+  Out += '}';
+}
+
+uint64_t totalFlippedBits(const MetricsRegistry &M) {
+  uint64_t Total = 0;
+  for (size_t Site = 0; Site < M.siteCount(); ++Site)
+    Total += M.site(Site).FlippedBits;
+  return Total;
+}
+
+} // namespace
+
+std::string enerj::obs::renderProfileJson(const ProfileResult &Result) {
+  std::string Out = "{\"tool\":\"enerj-profile\",\"version\":1,\"app\":\"";
+  Out += Result.App->name();
+  Out += "\",\"level\":\"";
+  Out += approxLevelName(Result.Config.Level);
+  Out += "\",\"seeds\":";
+  appendU64(Out, static_cast<uint64_t>(Result.Seeds));
+  Out += ",\"topK\":";
+  appendU64(Out, static_cast<uint64_t>(Result.TopK));
+  Out += ',';
+  appendStats(Out, "qos", Result.Qos);
+  const EnergyReport &E = Result.Energy;
+  Out += ",\"energy\":{\"instruction\":";
+  appendDouble(Out, E.InstructionFactor);
+  Out += ",\"sram\":";
+  appendDouble(Out, E.SramFactor);
+  Out += ",\"dram\":";
+  appendDouble(Out, E.DramFactor);
+  Out += ",\"cpu\":";
+  appendDouble(Out, E.CpuFactor);
+  Out += ",\"total\":";
+  appendDouble(Out, E.TotalFactor);
+  Out += "},\"shareSum\":";
+  appendDouble(Out, Result.ShareSum);
+  Out += ",\"ticks\":{\"ledger\":";
+  appendU64(Out, Result.LedgerTicks);
+  Out += ",\"registry\":";
+  appendU64(Out, Result.Metrics.totalTicks());
+  Out += "},\"ops\":";
+  appendU64(Out, Result.Metrics.totalOps());
+  Out += ",\"faults\":";
+  appendU64(Out, Result.Metrics.totalFaults());
+  Out += ",\"flippedBits\":";
+  appendU64(Out, totalFlippedBits(Result.Metrics));
+  Out += ",\"sites\":[";
+  for (size_t I = 0; I < Result.Rows.size(); ++I) {
+    const ProfileRow &Row = Result.Rows[I];
+    if (I)
+      Out += ',';
+    Out += "{\"region\":\"";
+    Out += Row.Region;
+    Out += "\",\"item\":\"";
+    Out += Row.Item;
+    Out += "\",\"class\":\"";
+    Out += storageClassName(Row.Class);
+    Out += "\",\"storage\":";
+    Out += Row.IsStorage ? "true" : "false";
+    Out += ",\"ops\":";
+    appendU64(Out, Row.Ops);
+    Out += ",\"faults\":";
+    appendU64(Out, Row.Faults);
+    Out += ",\"flippedBits\":";
+    appendU64(Out, Row.FlippedBits);
+    Out += ",\"preciseByteCycles\":";
+    appendDouble(Out, Row.PreciseByteCycles);
+    Out += ",\"approxByteCycles\":";
+    appendDouble(Out, Row.ApproxByteCycles);
+    Out += ",\"energyShare\":";
+    appendDouble(Out, Row.EnergyShare);
+    Out += ",\"qosDelta\":";
+    if (Row.HasQosDelta)
+      appendDouble(Out, Row.QosDelta);
+    else
+      Out += "null";
+    Out += '}';
+  }
+  Out += "],\"dramGaps\":[";
+  const Log2Histogram &Gaps = Result.Metrics.dramGaps();
+  for (int B = 0; B < Log2Histogram::NumBuckets; ++B) {
+    if (B)
+      Out += ',';
+    appendU64(Out, Gaps.Buckets[B]);
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string enerj::obs::renderProfileText(const ProfileResult &Result) {
+  char Line[256];
+  std::string Out;
+  std::snprintf(Line, sizeof(Line),
+                "Profile: %s at level %s, %d seed(s)\n",
+                Result.App->name(), approxLevelName(Result.Config.Level),
+                Result.Seeds);
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "QoS error: mean %.6f, stddev %.6f, min %.6f, max %.6f\n",
+                Result.Qos.Mean, Result.Qos.Stddev, Result.Qos.Min,
+                Result.Qos.Max);
+  Out += Line;
+  const EnergyReport &E = Result.Energy;
+  std::snprintf(Line, sizeof(Line),
+                "Energy factor: total %.4f (instruction %.4f, sram %.4f, "
+                "dram %.4f)\n",
+                E.TotalFactor, E.InstructionFactor, E.SramFactor,
+                E.DramFactor);
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "Clock: %" PRIu64 " ledger tick(s), %" PRIu64
+                " registry tick(s); %" PRIu64 " op(s), %" PRIu64
+                " fault(s), %" PRIu64 " flipped bit(s)\n\n",
+                Result.LedgerTicks, Result.Metrics.totalTicks(),
+                Result.Metrics.totalOps(), Result.Metrics.totalFaults(),
+                totalFlippedBits(Result.Metrics));
+  Out += Line;
+  std::snprintf(Line, sizeof(Line),
+                "%-16s %-12s %-5s %12s %9s %9s %8s %10s\n", "region", "item",
+                "class", "ops", "faults", "flipped", "share%", "qos-delta");
+  Out += Line;
+  Out += std::string(88, '-');
+  Out += '\n';
+  for (const ProfileRow &Row : Result.Rows) {
+    char Delta[16];
+    if (Row.HasQosDelta)
+      std::snprintf(Delta, sizeof(Delta), "%+10.6f", Row.QosDelta);
+    else
+      std::snprintf(Delta, sizeof(Delta), "%10s", "-");
+    std::snprintf(Line, sizeof(Line),
+                  "%-16s %-12s %-5s %12" PRIu64 " %9" PRIu64 " %9" PRIu64
+                  " %7.3f%% %s\n",
+                  Row.Region.c_str(), Row.Item.c_str(),
+                  storageClassName(Row.Class), Row.Ops, Row.Faults,
+                  Row.FlippedBits, Row.EnergyShare * 100.0, Delta);
+    Out += Line;
+  }
+  std::snprintf(Line, sizeof(Line),
+                "\nShare sum %.12f of total factor %.12f\n", Result.ShareSum,
+                E.TotalFactor);
+  Out += Line;
+  return Out;
+}

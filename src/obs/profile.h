@@ -1,0 +1,133 @@
+//===- obs/profile.h - Per-site energy/fault attribution --------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The attribution profiler behind `fenerj_tool profile`: it runs one
+/// application over a set of workload seeds with telemetry enabled,
+/// merges the per-seed metrics registries, and decomposes the Section
+/// 5.4 energy factor into per-site shares.
+///
+/// The decomposition is exact by construction. Each component factor of
+/// the aggregate EnergyReport (instruction, SRAM, DRAM) is distributed
+/// across the sites that produced it proportionally to their modeled
+/// energy:
+///
+///  * ALU sites get CpuShare * (1 - SramShareOfCpu) * InstructionFactor
+///    split by dynamic-op energy units (count x per-op units x per-op
+///    factor).
+///  * Each region's SRAM/DRAM storage rows get CpuShare * SramShareOfCpu
+///    * SramFactor (resp. DramShare * DramFactor) split by
+///    savings-weighted byte-cycles from the ledger's tagged snapshot.
+///  * Whatever slice has no attributable sites (e.g. no tagged storage)
+///    lands in a single "(unattributed)" residual row.
+///
+/// Consequently the shares sum to EnergyReport::TotalFactor to within
+/// floating-point rounding — the profiler's acceptance invariant (1e-9)
+/// and the reason the table can honestly be read as "this loop is X% of
+/// the energy bill".
+///
+/// Optionally, the profiler measures a *QoS delta* for the top-K sites:
+/// for each distinct region in the top rows it reruns all seeds with
+/// obs::TelemetryRequest::ForceRegionPrecise naming the region, and
+/// reports baseline mean QoS error minus forced mean QoS error. A large
+/// positive delta marks the site whose approximation is actually
+/// responsible for the output degradation — the "where do I add
+/// endorsements / precise types" signal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_OBS_PROFILE_H
+#define ENERJ_OBS_PROFILE_H
+
+#include "harness/eval.h"
+#include "obs/metrics.h"
+
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace obs {
+
+/// What to profile. Level/Seeds default to the Table 2 medium level over
+/// a handful of seeds — enough for a stable attribution, cheap enough
+/// for interactive use.
+struct ProfileOptions {
+  const apps::Application *App = nullptr;
+  ApproxLevel Level = ApproxLevel::Medium;
+  int Seeds = 5;        ///< Workload seeds 1..Seeds.
+  unsigned Threads = 0; ///< TrialRunner thread count (0 = hardware).
+  int TopK = 10;        ///< Rows eligible for the QoS-delta probe.
+  bool QosDelta = true; ///< Measure forced-precise QoS deltas for top-K.
+  bool Trace = false;   ///< Keep the seed-1 trial's structured trace.
+};
+
+/// One attribution row: either a (region, op kind) site or a region's
+/// storage footprint in one memory technology.
+struct ProfileRow {
+  std::string Region;
+  /// An opKindName for operation rows, "sramStorage"/"dramStorage" for
+  /// storage rows, "-" for the residual row.
+  std::string Item;
+  StorageClass Class = StorageClass::Alu;
+  bool IsStorage = false;
+
+  uint64_t Ops = 0;
+  uint64_t Faults = 0;
+  uint64_t FlippedBits = 0;
+  double PreciseByteCycles = 0.0; ///< Storage rows only.
+  double ApproxByteCycles = 0.0;  ///< Storage rows only.
+
+  /// This row's slice of EnergyReport::TotalFactor (precise run = 1.0).
+  double EnergyShare = 0.0;
+
+  bool HasQosDelta = false;
+  /// Baseline mean QoS error minus the mean QoS error with this row's
+  /// region forced precise. Positive = the region's approximation hurts.
+  double QosDelta = 0.0;
+};
+
+/// Everything one profile run produced.
+struct ProfileResult {
+  const apps::Application *App = nullptr;
+  FaultConfig Config;
+  int Seeds = 0;
+  int TopK = 0;
+
+  harness::TrialStats Qos; ///< Baseline QoS error over the seeds.
+  RunStats Stats;          ///< Summed over the seeds.
+  EnergyReport Energy;     ///< The summed stats priced at Config.
+  MetricsRegistry Metrics; ///< Merged over the seeds, in seed order.
+
+  /// Attribution rows sorted by EnergyShare descending, (region, item)
+  /// ascending as the tiebreak. The residual row, when present, is last.
+  std::vector<ProfileRow> Rows;
+  /// Sum of every row's EnergyShare — equals Energy.TotalFactor to
+  /// within 1e-9 (the attribution invariant; pinned by obs tests).
+  double ShareSum = 0.0;
+
+  /// Ledger clock ticks summed over the seeds; must equal
+  /// Metrics.totalTicks() for complete runs (the op-coverage audit).
+  uint64_t LedgerTicks = 0;
+
+  /// The full seed-1 trial — carries the structured trace (and its own
+  /// registry resolving the trace's region ids) when Options.Trace.
+  harness::TrialResult Seed1;
+};
+
+/// Runs the profile described by \p Options. Requires Options.App.
+ProfileResult runProfile(const ProfileOptions &Options);
+
+/// Renders \p Result as a fixed-width attribution table.
+std::string renderProfileText(const ProfileResult &Result);
+
+/// Renders \p Result as one line of stable JSON (enerj-profile schema
+/// version 1, golden-pinned like the eval grid's JSON).
+std::string renderProfileJson(const ProfileResult &Result);
+
+} // namespace obs
+} // namespace enerj
+
+#endif // ENERJ_OBS_PROFILE_H

@@ -1,0 +1,75 @@
+//===- obs/region.h - Region labels for attribution ------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RegionScope: the annotation an application drops around a kernel or
+/// phase so telemetry can attribute operations, faults, energy, and
+/// storage to it. With no simulator installed, or no telemetry attached
+/// to it, constructing a RegionScope does nothing (a null check and a
+/// branch) — apps carry their labels unconditionally.
+///
+///   void run(uint64_t Seed) {
+///     obs::RegionScope Phase("butterflies");
+///     ... approximate work attributed to "butterflies" ...
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_OBS_REGION_H
+#define ENERJ_OBS_REGION_H
+
+#include "obs/telemetry.h"
+#include "runtime/simulator.h"
+
+#include <string_view>
+
+namespace enerj {
+namespace obs {
+
+/// RAII region label. Nestable; the innermost scope owns attribution.
+class RegionScope {
+public:
+  explicit RegionScope(std::string_view Label) {
+    Simulator *Sim = Simulator::current();
+    if (!Sim || !Sim->telemetry())
+      return;
+    Tel = Sim->telemetry();
+    uint32_t Region = Tel->Metrics.internRegion(Label);
+    Tel->Metrics.enterRegion(Region);
+    Forced = !Tel->forcedRegion().empty() && Label == Tel->forcedRegion();
+    if (Forced)
+      Tel->pushForced();
+    if (Tel->traceEnabled())
+      Tel->Trace.push(TraceEvent{Sim->now(), 0, TraceEventKind::RegionEnter,
+                                 OpKind::PreciseInt, Region});
+    At = Sim;
+  }
+
+  ~RegionScope() {
+    if (!Tel)
+      return;
+    if (Tel->traceEnabled())
+      Tel->Trace.push(TraceEvent{At->now(), 0, TraceEventKind::RegionExit,
+                                 OpKind::PreciseInt,
+                                 Tel->Metrics.currentRegion()});
+    if (Forced)
+      Tel->popForced();
+    Tel->Metrics.exitRegion();
+  }
+
+  RegionScope(const RegionScope &) = delete;
+  RegionScope &operator=(const RegionScope &) = delete;
+
+private:
+  Telemetry *Tel = nullptr;
+  Simulator *At = nullptr;
+  bool Forced = false;
+};
+
+} // namespace obs
+} // namespace enerj
+
+#endif // ENERJ_OBS_REGION_H

@@ -1,0 +1,92 @@
+//===- obs/telemetry.h - Per-simulator telemetry bundle --------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bundle a Simulator reports into when telemetry is attached: one
+/// MetricsRegistry, an optional TraceBuffer, and the forced-precise
+/// control used by the profiler's QoS-delta measurement. Telemetry is
+/// attached by the harness (Trial::Obs); with none attached the
+/// simulator's hot paths test a single null pointer and do nothing else,
+/// which is the "zero cost when disabled" contract the overhead bench
+/// pins.
+///
+/// Crucially, *observing* never perturbs the *observed*: fault detection
+/// XOR-compares the pre/post bits of an operation (support/bits.h
+/// popcount) instead of consuming RNG draws, so a telemetry-enabled run
+/// executes the identical fault stream — and produces bit-identical
+/// results — to a disabled one. Only ForceRegionPrecise deliberately
+/// changes execution (that is its purpose).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_OBS_TELEMETRY_H
+#define ENERJ_OBS_TELEMETRY_H
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#include <string>
+
+namespace enerj {
+namespace obs {
+
+/// What the harness wants collected for a trial. Default-constructed =
+/// everything off = the zero-cost path.
+struct TelemetryRequest {
+  bool Metrics = false;       ///< Collect the per-site registry.
+  bool Trace = false;         ///< Record the event ring buffer.
+  size_t TraceCapacity = 4096;
+  /// When non-empty: execute every op inside regions with this label
+  /// precisely (the profiler's "what if this site were @Precise" probe).
+  std::string ForceRegionPrecise;
+
+  bool enabled() const {
+    return Metrics || Trace || !ForceRegionPrecise.empty();
+  }
+};
+
+/// The live collection state for one Simulator. Owned by the harness
+/// attempt, outliving the simulator it observes.
+class Telemetry {
+public:
+  explicit Telemetry(const TelemetryRequest &Request)
+      : Trace(Request.TraceCapacity), TraceEnabled(Request.Trace),
+        ForcedRegion(Request.ForceRegionPrecise) {}
+
+  MetricsRegistry Metrics;
+  TraceBuffer Trace;
+
+  bool traceEnabled() const { return TraceEnabled; }
+  const std::string &forcedRegion() const { return ForcedRegion; }
+
+  /// True while execution is inside (any nesting of) the forced-precise
+  /// region; the simulator's fault paths become pass-throughs.
+  bool forcedPrecise() const { return ForcedDepth > 0; }
+
+  /// RegionScope bookkeeping for the forced-precise nesting depth.
+  void pushForced() { ++ForcedDepth; }
+  void popForced() { --ForcedDepth; }
+
+  /// The one simulator entry point: records a completed op and, when the
+  /// op corrupted bits and tracing is on, a Fault event at logical time
+  /// \p Now.
+  void onOp(OpKind Kind, unsigned FlippedBits, uint64_t Now) {
+    Metrics.recordOp(Kind, FlippedBits);
+    if (FlippedBits != 0 && TraceEnabled)
+      Trace.push(TraceEvent{Now, FlippedBits, TraceEventKind::Fault, Kind,
+                            Metrics.currentRegion()});
+  }
+
+private:
+  bool TraceEnabled;
+  std::string ForcedRegion;
+  int ForcedDepth = 0;
+};
+
+} // namespace obs
+} // namespace enerj
+
+#endif // ENERJ_OBS_TELEMETRY_H

@@ -1,0 +1,159 @@
+//===- obs/trace.cpp - Chrome/Perfetto trace_event exporter ---------------===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+// The output is the Chrome trace_event JSON object format
+// ({"traceEvents":[...]}), loadable by chrome://tracing and Perfetto's
+// legacy importer. `ts` is the simulator's logical op index — microseconds
+// to the viewer, but really "dynamic operations since trial start" — so
+// the rendered timeline is bitwise reproducible. pid 1 is the trial;
+// each resilience attempt is a tid with its own named track.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace enerj {
+namespace obs {
+
+const char *traceEventKindName(TraceEventKind Kind) {
+  switch (Kind) {
+  case TraceEventKind::RegionEnter:
+    return "regionEnter";
+  case TraceEventKind::RegionExit:
+    return "regionExit";
+  case TraceEventKind::Fault:
+    return "fault";
+  case TraceEventKind::AttemptBegin:
+    return "attemptBegin";
+  case TraceEventKind::AttemptEnd:
+    return "attemptEnd";
+  case TraceEventKind::Retry:
+    return "retry";
+  case TraceEventKind::Degrade:
+    return "degrade";
+  case TraceEventKind::Abort:
+    return "abort";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceBuffer::drain() const {
+  std::vector<TraceEvent> Out;
+  Out.reserve(Ring.size());
+  for (size_t I = 0; I < Ring.size(); ++I)
+    Out.push_back(event(I));
+  return Out;
+}
+
+namespace {
+
+void appendU64(std::string &Out, uint64_t Value) {
+  char Buffer[24];
+  std::snprintf(Buffer, sizeof(Buffer), "%" PRIu64, Value);
+  Out += Buffer;
+}
+
+void appendEscaped(std::string &Out, const std::string &Text) {
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+}
+
+/// {"name":"...","ph":"?","ts":N,"pid":1,"tid":T — common event prefix.
+void beginEvent(std::string &Out, const char *Name, char Phase, uint64_t Ts,
+                int Tid) {
+  Out += "{\"name\":\"";
+  Out += Name;
+  Out += "\",\"ph\":\"";
+  Out += Phase;
+  Out += "\",\"ts\":";
+  appendU64(Out, Ts);
+  Out += ",\"pid\":1,\"tid\":";
+  appendU64(Out, static_cast<uint64_t>(Tid));
+}
+
+void appendMetadata(std::string &Out, const char *Name, int Tid,
+                    const std::string &Value) {
+  Out += "{\"name\":\"";
+  Out += Name;
+  Out += "\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+  appendU64(Out, static_cast<uint64_t>(Tid));
+  Out += ",\"args\":{\"name\":\"";
+  appendEscaped(Out, Value);
+  Out += "\"}}";
+}
+
+} // namespace
+
+std::string renderChromeTrace(const std::vector<TrialTraceEvent> &Events,
+                              const MetricsRegistry &Registry,
+                              const std::string &AppName) {
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  auto sep = [&] {
+    if (!First)
+      Out += ',';
+    First = false;
+  };
+
+  sep();
+  appendMetadata(Out, "process_name", 0, AppName);
+  int LastAttempt = -1;
+  for (const TrialTraceEvent &TE : Events) {
+    if (TE.Attempt != LastAttempt) {
+      LastAttempt = TE.Attempt;
+      char Track[32];
+      std::snprintf(Track, sizeof(Track), "attempt %d", TE.Attempt);
+      sep();
+      appendMetadata(Out, "thread_name", TE.Attempt, Track);
+    }
+    const TraceEvent &E = TE.Event;
+    switch (E.Kind) {
+    case TraceEventKind::RegionEnter:
+      sep();
+      beginEvent(Out, Registry.regionName(E.Region).c_str(), 'B', E.At,
+                 TE.Attempt);
+      Out += '}';
+      break;
+    case TraceEventKind::RegionExit:
+      sep();
+      beginEvent(Out, Registry.regionName(E.Region).c_str(), 'E', E.At,
+                 TE.Attempt);
+      Out += '}';
+      break;
+    case TraceEventKind::Fault:
+      sep();
+      beginEvent(Out, "fault", 'i', E.At, TE.Attempt);
+      Out += ",\"s\":\"t\",\"args\":{\"op\":\"";
+      Out += opKindName(E.Op);
+      Out += "\",\"region\":\"";
+      appendEscaped(Out, Registry.regionName(E.Region));
+      Out += "\",\"flippedBits\":";
+      appendU64(Out, E.Arg);
+      Out += "}}";
+      break;
+    case TraceEventKind::AttemptBegin:
+    case TraceEventKind::AttemptEnd:
+    case TraceEventKind::Retry:
+    case TraceEventKind::Degrade:
+    case TraceEventKind::Abort:
+      sep();
+      beginEvent(Out, traceEventKindName(E.Kind), 'i', E.At, TE.Attempt);
+      Out += ",\"s\":\"t\",\"args\":{\"value\":";
+      appendU64(Out, E.Arg);
+      Out += "}}";
+      break;
+    }
+  }
+  Out += "],\"displayTimeUnit\":\"ms\"}";
+  return Out;
+}
+
+} // namespace obs
+} // namespace enerj

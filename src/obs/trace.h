@@ -1,0 +1,114 @@
+//===- obs/trace.h - Deterministic structured-event ring buffer -*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace half of the observability layer: a fixed-capacity ring buffer
+/// of structured events stamped with the simulator's *logical* clock (the
+/// op index from MemoryLedger::now()) — never wall time. Because every
+/// trial is a pure function of its mixed seed, a trace of the same trial
+/// is bitwise identical at any thread count, exactly like the rest of the
+/// harness output. The exporter (trace.cpp) renders events as Chrome /
+/// Perfetto `trace_event` JSON: region enter/exit become B/E duration
+/// events, faults and harness interventions become instants, and each
+/// attempt of a resilient trial gets its own track.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_OBS_TRACE_H
+#define ENERJ_OBS_TRACE_H
+
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace obs {
+
+/// What happened. RegionEnter/Exit come from RegionScope; Fault from the
+/// simulator's corruption paths; the rest are harness interventions.
+enum class TraceEventKind : uint8_t {
+  RegionEnter,  ///< Entered region Region.
+  RegionExit,   ///< Left region Region.
+  Fault,        ///< Op of kind Op at Region corrupted Arg bits.
+  AttemptBegin, ///< Harness started an attempt (Arg = fault level).
+  AttemptEnd,   ///< Attempt finished (Arg = 1 accepted, 0 rejected).
+  Retry,        ///< Policy scheduled a retry (Arg = retry number).
+  Degrade,      ///< Policy stepped the ladder down (Arg = new level).
+  Abort,        ///< Watchdog/abort ended the attempt (Arg = clock).
+};
+
+const char *traceEventKindName(TraceEventKind Kind);
+
+/// One structured event. 32 bytes, plain data, no heap.
+struct TraceEvent {
+  uint64_t At = 0; ///< Logical timestamp: op index (ledger cycles).
+  uint64_t Arg = 0;
+  TraceEventKind Kind = TraceEventKind::RegionEnter;
+  OpKind Op = OpKind::PreciseInt; ///< Only meaningful for Fault.
+  uint32_t Region = 0;            ///< Region id in the owning registry.
+};
+
+/// A trace event tagged with the harness attempt that produced it; the
+/// harness concatenates per-attempt simulator traces into one timeline.
+struct TrialTraceEvent {
+  int Attempt = 0;
+  TraceEvent Event;
+};
+
+/// Ring buffer keeping the most recent `capacity()` events. Dropping the
+/// oldest (rather than refusing new ones) keeps the interesting tail — a
+/// fault burst right before an abort — at the cost of the warm-up, and
+/// the Dropped counter says exactly how much was shed.
+class TraceBuffer {
+public:
+  explicit TraceBuffer(size_t Capacity = 4096) : Cap(Capacity) {
+    Ring.reserve(Cap);
+  }
+
+  void push(const TraceEvent &E) {
+    if (Ring.size() < Cap) {
+      Ring.push_back(E);
+      return;
+    }
+    Ring[Head] = E;
+    Head = (Head + 1) % Cap;
+    ++NumDropped;
+  }
+
+  size_t size() const { return Ring.size(); }
+  size_t capacity() const { return Cap; }
+  uint64_t dropped() const { return NumDropped; }
+
+  /// The I-th surviving event in chronological order.
+  const TraceEvent &event(size_t I) const {
+    return Ring[(Head + I) % Ring.size()];
+  }
+
+  /// All surviving events, oldest first.
+  std::vector<TraceEvent> drain() const;
+
+private:
+  size_t Cap;
+  size_t Head = 0;
+  uint64_t NumDropped = 0;
+  std::vector<TraceEvent> Ring;
+};
+
+/// Renders a trial's concatenated trace as Chrome/Perfetto trace_event
+/// JSON ({"traceEvents":[...]}): metadata names the process after
+/// \p AppName and each attempt's track after its attempt number; region
+/// spans are B/E pairs, everything else an instant ("i") with args.
+/// \p Registry supplies region names. `ts` is the logical op index.
+std::string renderChromeTrace(const std::vector<TrialTraceEvent> &Events,
+                              const MetricsRegistry &Registry,
+                              const std::string &AppName);
+
+} // namespace obs
+} // namespace enerj
+
+#endif // ENERJ_OBS_TRACE_H

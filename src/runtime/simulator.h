@@ -25,6 +25,7 @@
 #include "arch/stats.h"
 #include "fault/config.h"
 #include "fault/models.h"
+#include "obs/telemetry.h"
 #include "support/bits.h"
 #include "support/rng.h"
 
@@ -59,6 +60,33 @@ public:
   MemoryLedger &ledger() { return Ledger; }
   uint64_t now() const { return Ledger.now(); }
 
+  /// --- Telemetry (src/obs). Null by default; the harness attaches one
+  /// --- per attempt. Every instrumented path below reports into it with
+  /// --- a single pointer test when disabled, and fault detection is a
+  /// --- bit comparison (no RNG), so attaching telemetry never changes
+  /// --- what the simulated machine computes.
+
+  /// Attaches \p T for the rest of this simulator's life (or nullptr to
+  /// detach). Enables per-region storage tagging in the ledger, so attach
+  /// before the first lease for complete attribution.
+  void attachTelemetry(obs::Telemetry *T) {
+    Tel = T;
+    if (T)
+      Ledger.enableTagging();
+  }
+  obs::Telemetry *telemetry() const { return Tel; }
+
+  /// The attribution tag for a storage lease taken now: the telemetry
+  /// layer's current region, or 0 (the root region) with none attached.
+  uint32_t storageTag() const {
+    return Tel ? Tel->Metrics.currentRegion() : 0;
+  }
+
+  /// True when telemetry's forced-precise probe is active for the current
+  /// region: every approximate path executes precisely (the profiler's
+  /// "what if this site were @Precise" measurement).
+  bool forcedPrecise() const { return Tel && Tel->forcedPrecise(); }
+
   /// --- Arithmetic operations. Each counts one dynamic op and advances
   /// --- the clock by one cycle.
 
@@ -68,6 +96,8 @@ public:
     ++Ops.PreciseInt;
     Ledger.tick();
     watchdog();
+    if (Tel)
+      Tel->onOp(obs::OpKind::PreciseInt, 0, Ledger.now());
   }
 
   /// Records a precise FP operation (no fault injection).
@@ -76,6 +106,8 @@ public:
     ++Ops.PreciseFp;
     Ledger.tick();
     watchdog();
+    if (Tel)
+      Tel->onOp(obs::OpKind::PreciseFp, 0, Ledger.now());
   }
 
   /// Finishes an approximate operation producing \p Correct: counts one
@@ -86,6 +118,19 @@ public:
   /// the host computes \p Correct.
   template <typename ResultT> ResultT opResult(ResultT Correct, bool IsFp) {
     checkOwner();
+    if (forcedPrecise()) {
+      // The probe executes this op on the precise unit: count it as
+      // precise, skip the timing model entirely (no RNG draw).
+      if (IsFp)
+        ++Ops.PreciseFp;
+      else
+        ++Ops.PreciseInt;
+      Ledger.tick();
+      watchdog();
+      Tel->onOp(IsFp ? obs::OpKind::PreciseFp : obs::OpKind::PreciseInt, 0,
+                Ledger.now());
+      return Correct;
+    }
     if (IsFp)
       ++Ops.ApproxFp;
     else
@@ -93,8 +138,14 @@ public:
     Ledger.tick();
     watchdog();
     TimingModel &Unit = IsFp ? FpTiming : IntTiming;
-    return fromBits<ResultT>(
-        Unit.onResult(toBits(Correct), bitWidth<ResultT>(), R));
+    uint64_t CorrectBits = toBits(Correct);
+    uint64_t ResultBits = Unit.onResult(CorrectBits, bitWidth<ResultT>(), R);
+    if (Tel)
+      Tel->onOp(IsFp ? obs::OpKind::ApproxFp : obs::OpKind::ApproxInt,
+                countFlippedBits(CorrectBits, ResultBits,
+                                 bitWidth<ResultT>()),
+                Ledger.now());
+    return fromBits<ResultT>(ResultBits);
   }
 
   /// Finishes an approximate integer operation.
@@ -110,8 +161,12 @@ public:
   }
 
   /// Narrows one FP operand to the configured mantissa width.
-  float narrowOperand(float Value) { return FpWidth.narrow(Value); }
-  double narrowOperand(double Value) { return FpWidth.narrow(Value); }
+  float narrowOperand(float Value) {
+    return forcedPrecise() ? Value : FpWidth.narrow(Value);
+  }
+  double narrowOperand(double Value) {
+    return forcedPrecise() ? Value : FpWidth.narrow(Value);
+  }
   /// Integer operands pass through unchanged (width reduction is FP-only).
   template <typename T>
   std::enable_if_t<std::is_integral_v<T>, T> narrowOperand(T Value) {
@@ -123,12 +178,32 @@ public:
 
   template <typename T> T sramRead(T Stored) {
     checkOwner();
-    return fromBits<T>(Sram.onRead(toBits(Stored), bitWidth<T>(), R));
+    if (forcedPrecise()) {
+      Tel->onOp(obs::OpKind::SramRead, 0, Ledger.now());
+      return Stored;
+    }
+    uint64_t StoredBits = toBits(Stored);
+    uint64_t ResultBits = Sram.onRead(StoredBits, bitWidth<T>(), R);
+    if (Tel)
+      Tel->onOp(obs::OpKind::SramRead,
+                countFlippedBits(StoredBits, ResultBits, bitWidth<T>()),
+                Ledger.now());
+    return fromBits<T>(ResultBits);
   }
 
   template <typename T> T sramWrite(T Value) {
     checkOwner();
-    return fromBits<T>(Sram.onWrite(toBits(Value), bitWidth<T>(), R));
+    if (forcedPrecise()) {
+      Tel->onOp(obs::OpKind::SramWrite, 0, Ledger.now());
+      return Value;
+    }
+    uint64_t ValueBits = toBits(Value);
+    uint64_t ResultBits = Sram.onWrite(ValueBits, bitWidth<T>(), R);
+    if (Tel)
+      Tel->onOp(obs::OpKind::SramWrite,
+                countFlippedBits(ValueBits, ResultBits, bitWidth<T>()),
+                Ledger.now());
+    return fromBits<T>(ResultBits);
   }
 
   /// Applies DRAM decay to \p Stored given the cycle of its last access,
@@ -136,11 +211,37 @@ public:
   template <typename T> T dramAccess(T Stored, uint64_t LastAccessCycle) {
     checkOwner();
     uint64_t Elapsed = now() - LastAccessCycle;
-    T Result =
-        fromBits<T>(Dram.onAccess(toBits(Stored), bitWidth<T>(), Elapsed, R));
+    if (forcedPrecise()) {
+      Ledger.tick();
+      watchdog();
+      Tel->onOp(obs::OpKind::DramLoad, 0, Ledger.now());
+      return Stored;
+    }
+    uint64_t StoredBits = toBits(Stored);
+    uint64_t ResultBits =
+        Dram.onAccess(StoredBits, bitWidth<T>(), Elapsed, R);
     Ledger.tick();
     watchdog();
-    return Result;
+    if (Tel) {
+      Tel->Metrics.recordDramGap(Elapsed);
+      Tel->onOp(obs::OpKind::DramLoad,
+                countFlippedBits(StoredBits, ResultBits, bitWidth<T>()),
+                Ledger.now());
+    }
+    return fromBits<T>(ResultBits);
+  }
+
+  /// Completes a DRAM store (ApproxArray::set): a memory operation that
+  /// advances the clock through the watchdog. Stores refresh rather than
+  /// corrupt, so there is no fault path — but the tick must go through
+  /// here, not straight into the ledger, or the op budget and telemetry
+  /// would miss it.
+  void dramStore() {
+    checkOwner();
+    Ledger.tick();
+    watchdog();
+    if (Tel)
+      Tel->onOp(obs::OpKind::DramStore, 0, Ledger.now());
   }
 
   /// Statistics snapshot, including live storage leases priced to now().
@@ -213,6 +314,7 @@ private:
 
   std::atomic<std::thread::id> Owner{};
 
+  obs::Telemetry *Tel = nullptr;
   FaultConfig Config;
   Rng R;
   MemoryLedger Ledger;

@@ -15,6 +15,7 @@
 #ifndef ENERJ_SUPPORT_BITS_H
 #define ENERJ_SUPPORT_BITS_H
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <type_traits>
@@ -69,6 +70,16 @@ template <typename T> constexpr unsigned bitWidth() {
 /// Flips bit \p Index (0 = least significant) of \p Bits.
 inline uint64_t flipBit(uint64_t Bits, unsigned Index) {
   return Bits ^ (1ULL << Index);
+}
+
+/// Number of bits that differ between two \p Width-bit patterns. This is
+/// how telemetry detects faults — comparing a model's output against its
+/// input instead of asking the model — so observation never touches the
+/// RNG stream.
+inline unsigned countFlippedBits(uint64_t Before, uint64_t After,
+                                 unsigned Width) {
+  uint64_t Mask = Width >= 64 ? ~0ULL : (1ULL << Width) - 1ULL;
+  return static_cast<unsigned>(std::popcount((Before ^ After) & Mask));
 }
 
 /// --- Wrapping integer arithmetic. Approximate values can be arbitrary

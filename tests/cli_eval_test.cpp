@@ -108,6 +108,25 @@ TEST(CliEval, SmallGridSucceedsWithSchemaV2) {
   EXPECT_NE(Output.find("\"outcomes\""), std::string::npos);
 }
 
+TEST(CliEval, MetricsFlagBumpsToSchemaV3) {
+  // --metrics opts into the per-cell telemetry block and the version
+  // bump; the default grid stays v2 with no "metrics" key anywhere.
+  std::string Output;
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "
+                    "--metrics --json",
+                    Output),
+            0);
+  EXPECT_NE(Output.find("\"version\":3"), std::string::npos);
+  EXPECT_NE(Output.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(Output.find("\"sites\":["), std::string::npos);
+
+  std::string Plain;
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 --json",
+                    Plain),
+            0);
+  EXPECT_EQ(Plain.find("\"metrics\""), std::string::npos);
+}
+
 TEST(CliEval, PolicyFlagsReachTheReport) {
   std::string Output;
   EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "

@@ -1,0 +1,121 @@
+//===- tests/cli_profile_test.cpp - fenerj_tool profile CLI contract ------===//
+//
+// Black-box tests of the profile subcommand, in the style of
+// cli_eval_test: malformed arguments produce a diagnostic and exit 2,
+// and the happy paths (text table, schema-v1 JSON, trace export) emit
+// what the documentation promises. The binary path comes from CMake via
+// ENERJ_FENERJ_TOOL.
+//
+//===----------------------------------------------------------------------===//
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+
+#ifndef ENERJ_FENERJ_TOOL
+#error "ENERJ_FENERJ_TOOL must point at the fenerj_tool binary"
+#endif
+
+namespace {
+
+int runTool(const std::string &Args, std::string &Output) {
+  std::string Command =
+      std::string("\"") + ENERJ_FENERJ_TOOL + "\" " + Args + " 2>&1";
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  Output.clear();
+  std::array<char, 4096> Buffer;
+  size_t Read;
+  while ((Read = fread(Buffer.data(), 1, Buffer.size(), Pipe)) > 0)
+    Output.append(Buffer.data(), Read);
+  int Status = pclose(Pipe);
+  if (Status == -1)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+int runTool(const std::string &Args) {
+  std::string Discard;
+  return runTool(Args, Discard);
+}
+
+/// The cheapest real profile invocation: one seed, no QoS-delta reruns.
+const char *const Quick = "profile montecarlo --seeds 1 --no-qos-delta";
+
+} // namespace
+
+TEST(CliProfile, RequiresAnApplicationName) {
+  std::string Output;
+  EXPECT_EQ(runTool("profile", Output), 2);
+  EXPECT_NE(Output.find("application"), std::string::npos);
+  // A flag is not an app name.
+  EXPECT_EQ(runTool("profile --json"), 2);
+}
+
+TEST(CliProfile, RejectsUnknownApp) {
+  std::string Output;
+  EXPECT_EQ(runTool("profile nosuchapp", Output), 2);
+  EXPECT_NE(Output.find("nosuchapp"), std::string::npos);
+  // The diagnostic lists the known apps.
+  EXPECT_NE(Output.find("montecarlo"), std::string::npos);
+}
+
+TEST(CliProfile, RejectsMalformedFlags) {
+  EXPECT_EQ(runTool("profile montecarlo --seeds abc"), 2);
+  EXPECT_EQ(runTool("profile montecarlo --seeds 0"), 2);
+  EXPECT_EQ(runTool("profile montecarlo --seeds"), 2);
+  EXPECT_EQ(runTool("profile montecarlo --threads -1"), 2);
+  EXPECT_EQ(runTool("profile montecarlo --top -2"), 2);
+  EXPECT_EQ(runTool("profile montecarlo --level extreme"), 2);
+  EXPECT_EQ(runTool("profile montecarlo --trace"), 2);
+  std::string Output;
+  EXPECT_EQ(runTool("profile montecarlo --frobnicate", Output), 2);
+  EXPECT_NE(Output.find("frobnicate"), std::string::npos);
+}
+
+TEST(CliProfile, TextTableSmoke) {
+  std::string Output;
+  EXPECT_EQ(runTool(Quick, Output), 0);
+  EXPECT_NE(Output.find("Profile: montecarlo"), std::string::npos);
+  EXPECT_NE(Output.find("region"), std::string::npos);
+  EXPECT_NE(Output.find("share%"), std::string::npos);
+  EXPECT_NE(Output.find("Share sum"), std::string::npos);
+}
+
+TEST(CliProfile, JsonSmoke) {
+  std::string Output;
+  EXPECT_EQ(runTool(std::string(Quick) + " --json", Output), 0);
+  EXPECT_EQ(Output.rfind("{\"tool\":\"enerj-profile\",\"version\":1,", 0),
+            0u);
+  EXPECT_NE(Output.find("\"app\":\"montecarlo\""), std::string::npos);
+  EXPECT_NE(Output.find("\"sites\":["), std::string::npos);
+}
+
+TEST(CliProfile, TraceExportWritesALoadableDocument) {
+  std::string Path = ::testing::TempDir() + "cli_profile_trace.json";
+  std::remove(Path.c_str());
+  std::string Output;
+  EXPECT_EQ(runTool(std::string(Quick) + " --trace \"" + Path + "\"",
+                    Output),
+            0);
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "trace file was not written: " << Path;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Trace = Buffer.str();
+  EXPECT_EQ(Trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"attemptBegin\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(CliProfile, UsageMentionsProfile) {
+  std::string Output;
+  runTool("", Output);
+  EXPECT_NE(Output.find("profile"), std::string::npos);
+}

@@ -12,6 +12,8 @@
 
 #include "harness/eval.h"
 #include "harness/trial.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 #include <cstring>
 #include <gtest/gtest.h>
@@ -37,7 +39,7 @@ std::vector<Trial> fullGrid() {
     for (ApproxLevel Level : evalLevels()) {
       FaultConfig Config = FaultConfig::preset(Level);
       for (int Seed = 1; Seed <= SeedsPerCell; ++Seed)
-        Trials.push_back({App, Config, static_cast<uint64_t>(Seed)});
+        Trials.push_back({App, Config, static_cast<uint64_t>(Seed), {}});
     }
   return Trials;
 }
@@ -132,7 +134,7 @@ TEST(TrialRunnerDeterminism, ResilientRecoveryAcrossThreadCounts) {
     for (ApproxLevel Level : {ApproxLevel::Medium, ApproxLevel::Aggressive}) {
       FaultConfig Config = FaultConfig::preset(Level);
       for (int Seed = 1; Seed <= SeedsPerCell; ++Seed)
-        Trials.push_back({App, Config, static_cast<uint64_t>(Seed)});
+        Trials.push_back({App, Config, static_cast<uint64_t>(Seed), {}});
     }
   }
   resilience::ResiliencePolicy Policy;
@@ -175,6 +177,69 @@ TEST(TrialRunnerDeterminism, ResilientEvalJsonIdenticalAcrossThreads) {
   Options.Threads = 4;
   std::string Parallel = renderEvalJson(runEval(Options));
   EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(TrialRunnerDeterminism, ProfileOutputIdenticalAcrossThreadCounts) {
+  // The profiler aggregates registries and traces on top of the runner;
+  // its rendered table, JSON document, and exported Chrome trace must
+  // all be byte-identical at any thread count.
+  auto Render = [](unsigned Threads) {
+    obs::ProfileOptions Options;
+    Options.App = apps::findApplication("montecarlo");
+    Options.Level = ApproxLevel::Medium;
+    Options.Seeds = 2;
+    Options.Threads = Threads;
+    Options.TopK = 3;
+    Options.Trace = true;
+    obs::ProfileResult Result = obs::runProfile(Options);
+    return renderProfileText(Result) + "\n" + renderProfileJson(Result) +
+           "\n" +
+           renderChromeTrace(Result.Seed1.Trace, Result.Seed1.Metrics,
+                             Result.App->name());
+  };
+
+  std::string OneThread = Render(1);
+  EXPECT_EQ(OneThread, Render(4));
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  EXPECT_EQ(OneThread, Render(Hardware));
+}
+
+TEST(TrialRunnerDeterminism, InstrumentedRunsAcrossThreadCounts) {
+  // Telemetry-carrying trials through the pool: the registries and
+  // traces land in the right result slots regardless of scheduling.
+  std::vector<Trial> Trials;
+  for (const char *Name : {"fft", "lu", "barcode"}) {
+    const apps::Application *App = apps::findApplication(Name);
+    ASSERT_NE(App, nullptr);
+    for (int Seed = 1; Seed <= SeedsPerCell; ++Seed) {
+      Trial T;
+      T.App = App;
+      T.Config = FaultConfig::preset(ApproxLevel::Medium);
+      T.WorkloadSeed = static_cast<uint64_t>(Seed);
+      T.Obs.Metrics = true;
+      T.Obs.Trace = true;
+      Trials.push_back(T);
+    }
+  }
+  std::vector<TrialResult> Serial = TrialRunner(1).run(Trials);
+  std::vector<TrialResult> Parallel = TrialRunner(4).run(Trials);
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    SCOPED_TRACE(std::string(Trials[I].App->name()) + "/seed " +
+                 std::to_string(Trials[I].WorkloadSeed));
+    EXPECT_EQ(bitsOf(Serial[I].QosError), bitsOf(Parallel[I].QosError));
+    EXPECT_EQ(Serial[I].ClockCycles, Parallel[I].ClockCycles);
+    EXPECT_EQ(Serial[I].Metrics.totalOps(), Parallel[I].Metrics.totalOps());
+    EXPECT_EQ(Serial[I].Metrics.totalFaults(),
+              Parallel[I].Metrics.totalFaults());
+    ASSERT_EQ(Serial[I].Trace.size(), Parallel[I].Trace.size());
+    EXPECT_EQ(renderChromeTrace(Serial[I].Trace, Serial[I].Metrics,
+                                Trials[I].App->name()),
+              renderChromeTrace(Parallel[I].Trace, Parallel[I].Metrics,
+                                Trials[I].App->name()));
+  }
 }
 
 TEST(TrialRunnerDeterminism, CellAggregationMatchesSerialMean) {

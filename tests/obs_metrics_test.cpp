@@ -1,0 +1,276 @@
+//===- tests/obs_metrics_test.cpp - Metrics registry unit tests -----------===//
+//
+// The registry is the foundation the profiler's attribution stands on,
+// so its algebra is pinned here: exact histogram bucket edges, stable
+// first-use-order interning, and a merge that is associative and
+// commutative over counter values even when the operands interned their
+// region labels in different orders (the degraded-attempt case).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+#include <string>
+#include <string_view>
+
+using namespace enerj;
+using namespace enerj::obs;
+
+namespace {
+
+/// Looks a region up by name; InvalidSite when the registry never
+/// interned it. Reports must key on names, so the tests do too.
+uint32_t regionByName(const MetricsRegistry &M, std::string_view Name) {
+  for (uint32_t I = 0; I < M.regionCount(); ++I)
+    if (M.regionName(I) == Name)
+      return I;
+  return MetricsRegistry::InvalidSite;
+}
+
+const SiteCounters *countersOf(const MetricsRegistry &M,
+                               std::string_view Region, OpKind Kind) {
+  uint32_t Id = regionByName(M, Region);
+  return Id == MetricsRegistry::InvalidSite ? nullptr : M.find(Id, Kind);
+}
+
+} // namespace
+
+TEST(ObsMetrics, FlipHistogramBucketEdges) {
+  // Documented edges: {1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, >64}.
+  EXPECT_EQ(FlipHistogram::bucketOf(1), 0);
+  EXPECT_EQ(FlipHistogram::bucketOf(2), 1);
+  EXPECT_EQ(FlipHistogram::bucketOf(3), 2);
+  EXPECT_EQ(FlipHistogram::bucketOf(4), 2);
+  EXPECT_EQ(FlipHistogram::bucketOf(5), 3);
+  EXPECT_EQ(FlipHistogram::bucketOf(8), 3);
+  EXPECT_EQ(FlipHistogram::bucketOf(9), 4);
+  EXPECT_EQ(FlipHistogram::bucketOf(16), 4);
+  EXPECT_EQ(FlipHistogram::bucketOf(17), 5);
+  EXPECT_EQ(FlipHistogram::bucketOf(32), 5);
+  EXPECT_EQ(FlipHistogram::bucketOf(33), 6);
+  EXPECT_EQ(FlipHistogram::bucketOf(64), 6);
+  // A 64-bit word cannot flip more than 64 bits, but the overflow
+  // bucket keeps the math total: everything larger lands in bucket 7.
+  EXPECT_EQ(FlipHistogram::bucketOf(65), 7);
+  EXPECT_EQ(FlipHistogram::bucketOf(1000), 7);
+
+  EXPECT_STREQ(FlipHistogram::bucketLabel(0), "1");
+  EXPECT_STREQ(FlipHistogram::bucketLabel(2), "3-4");
+  EXPECT_STREQ(FlipHistogram::bucketLabel(6), "33-64");
+  EXPECT_STREQ(FlipHistogram::bucketLabel(7), ">64");
+}
+
+TEST(ObsMetrics, FlipHistogramRecordAndSum) {
+  FlipHistogram H;
+  H.record(1);
+  H.record(1);
+  H.record(4);
+  H.record(64);
+  EXPECT_EQ(H.Buckets[0], 2u);
+  EXPECT_EQ(H.Buckets[2], 1u);
+  EXPECT_EQ(H.Buckets[6], 1u);
+  EXPECT_EQ(H.total(), 4u);
+
+  FlipHistogram Other;
+  Other.record(1);
+  H += Other;
+  EXPECT_EQ(H.Buckets[0], 3u);
+  EXPECT_EQ(H.total(), 5u);
+}
+
+TEST(ObsMetrics, Log2HistogramBucketEdges) {
+  // Bucket b counts values in [2^(b-1), 2^b - 1]; bucket 0 is zero.
+  EXPECT_EQ(Log2Histogram::bucketOf(0), 0);
+  EXPECT_EQ(Log2Histogram::bucketOf(1), 1);
+  EXPECT_EQ(Log2Histogram::bucketOf(2), 2);
+  EXPECT_EQ(Log2Histogram::bucketOf(3), 2);
+  EXPECT_EQ(Log2Histogram::bucketOf(4), 3);
+  EXPECT_EQ(Log2Histogram::bucketOf(7), 3);
+  EXPECT_EQ(Log2Histogram::bucketOf(1024), 11);
+  // Clamp: anything at or beyond 2^30 shares the last bucket.
+  EXPECT_EQ(Log2Histogram::bucketOf(uint64_t(1) << 40), 31);
+  EXPECT_EQ(Log2Histogram::bucketOf(~uint64_t(0)), 31);
+}
+
+TEST(ObsMetrics, OpKindClassification) {
+  EXPECT_EQ(storageClassOf(OpKind::PreciseInt), StorageClass::Alu);
+  EXPECT_EQ(storageClassOf(OpKind::ApproxFp), StorageClass::Alu);
+  EXPECT_EQ(storageClassOf(OpKind::SramRead), StorageClass::Sram);
+  EXPECT_EQ(storageClassOf(OpKind::SramWrite), StorageClass::Sram);
+  EXPECT_EQ(storageClassOf(OpKind::DramLoad), StorageClass::Dram);
+  EXPECT_EQ(storageClassOf(OpKind::DramStore), StorageClass::Dram);
+
+  // SRAM accesses ride along with the op that produced them; everything
+  // else advances the ledger clock. totalTicks depends on this split.
+  EXPECT_FALSE(opTicks(OpKind::SramRead));
+  EXPECT_FALSE(opTicks(OpKind::SramWrite));
+  EXPECT_TRUE(opTicks(OpKind::PreciseInt));
+  EXPECT_TRUE(opTicks(OpKind::ApproxFp));
+  EXPECT_TRUE(opTicks(OpKind::DramLoad));
+  EXPECT_TRUE(opTicks(OpKind::DramStore));
+
+  EXPECT_STREQ(opKindName(OpKind::ApproxFp), "approxFp");
+  EXPECT_STREQ(storageClassName(StorageClass::Dram), "dram");
+}
+
+TEST(ObsMetrics, InterningIsStableAndFirstUseOrdered) {
+  MetricsRegistry M;
+  // Region 0 is always the implicit whole-program region.
+  ASSERT_GE(M.regionCount(), 1u);
+  EXPECT_EQ(M.regionName(0), "main");
+  EXPECT_EQ(M.internRegion("main"), 0u);
+
+  uint32_t Init = M.internRegion("init");
+  uint32_t Solve = M.internRegion("solve");
+  EXPECT_EQ(Init, 1u);
+  EXPECT_EQ(Solve, 2u);
+  // Re-interning returns the existing id, never a new one.
+  EXPECT_EQ(M.internRegion("init"), Init);
+  EXPECT_EQ(M.regionCount(), 3u);
+}
+
+TEST(ObsMetrics, RecordOpAttributesToTheActiveRegion) {
+  MetricsRegistry M;
+  uint32_t Kernel = M.internRegion("kernel");
+
+  M.recordOp(OpKind::PreciseInt, 0);
+  M.enterRegion(Kernel);
+  EXPECT_EQ(M.currentRegion(), Kernel);
+  M.recordOp(OpKind::ApproxFp, 0);
+  M.recordOp(OpKind::ApproxFp, 3);
+  M.recordOp(OpKind::SramRead, 1);
+  M.exitRegion();
+  M.recordOp(OpKind::PreciseInt, 0);
+
+  const SiteCounters *Main = countersOf(M, "main", OpKind::PreciseInt);
+  ASSERT_NE(Main, nullptr);
+  EXPECT_EQ(Main->Count, 2u);
+  EXPECT_EQ(Main->Faults, 0u);
+
+  const SiteCounters *Fp = countersOf(M, "kernel", OpKind::ApproxFp);
+  ASSERT_NE(Fp, nullptr);
+  EXPECT_EQ(Fp->Count, 2u);
+  EXPECT_EQ(Fp->Faults, 1u);
+  EXPECT_EQ(Fp->FlippedBits, 3u);
+  EXPECT_EQ(Fp->Flips.Buckets[2], 1u); // 3 flips -> the "3-4" bucket.
+
+  // Nothing leaked across regions or kinds.
+  EXPECT_EQ(countersOf(M, "main", OpKind::ApproxFp), nullptr);
+  EXPECT_EQ(countersOf(M, "kernel", OpKind::PreciseInt), nullptr);
+
+  // SRAM reads count as ops and faults but not ticks.
+  EXPECT_EQ(M.totalOps(), 5u);
+  EXPECT_EQ(M.totalTicks(), 4u);
+  EXPECT_EQ(M.totalFaults(), 2u);
+}
+
+TEST(ObsMetrics, MergeMatchesSitesByRegionName) {
+  // The two registries intern the same labels in opposite orders, so
+  // their raw region ids disagree; merge must reconcile by name.
+  MetricsRegistry A;
+  uint32_t AInit = A.internRegion("init");
+  A.internRegion("solve");
+  A.enterRegion(AInit);
+  A.recordOp(OpKind::ApproxInt, 0);
+  A.recordOp(OpKind::ApproxInt, 2);
+  A.exitRegion();
+
+  MetricsRegistry B;
+  uint32_t BSolve = B.internRegion("solve");
+  uint32_t BInit = B.internRegion("init");
+  EXPECT_NE(AInit, BInit); // The premise of the test.
+  B.enterRegion(BInit);
+  B.recordOp(OpKind::ApproxInt, 0);
+  B.exitRegion();
+  B.enterRegion(BSolve);
+  B.recordOp(OpKind::DramLoad, 5);
+  B.exitRegion();
+
+  A.merge(B);
+  const SiteCounters *Init = countersOf(A, "init", OpKind::ApproxInt);
+  ASSERT_NE(Init, nullptr);
+  EXPECT_EQ(Init->Count, 3u);
+  EXPECT_EQ(Init->Faults, 1u);
+  EXPECT_EQ(Init->FlippedBits, 2u);
+  const SiteCounters *Solve = countersOf(A, "solve", OpKind::DramLoad);
+  ASSERT_NE(Solve, nullptr);
+  EXPECT_EQ(Solve->Count, 1u);
+  EXPECT_EQ(Solve->FlippedBits, 5u);
+}
+
+TEST(ObsMetrics, MergeIsCommutativeAndAssociativeOverCounters) {
+  auto Make = [](std::string_view First, std::string_view Second,
+                 unsigned Flips) {
+    MetricsRegistry M;
+    uint32_t FirstId = M.internRegion(First);
+    uint32_t SecondId = M.internRegion(Second);
+    M.enterRegion(FirstId);
+    M.recordOp(OpKind::ApproxFp, Flips);
+    M.exitRegion();
+    M.enterRegion(SecondId);
+    M.recordOp(OpKind::SramWrite, 0);
+    M.exitRegion();
+    M.recordDramGap(1 << Flips);
+    return M;
+  };
+
+  MetricsRegistry A = Make("x", "y", 1);
+  MetricsRegistry B = Make("y", "z", 2);
+  MetricsRegistry C = Make("z", "x", 4);
+
+  // (A + B) + C versus A + (B + C), and versus C + B + A.
+  MetricsRegistry Left = Make("x", "y", 1);
+  Left.merge(B);
+  Left.merge(C);
+
+  MetricsRegistry RightInner = Make("y", "z", 2);
+  RightInner.merge(C);
+  MetricsRegistry Right = Make("x", "y", 1);
+  Right.merge(RightInner);
+
+  MetricsRegistry Reversed = Make("z", "x", 4);
+  Reversed.merge(Make("y", "z", 2));
+  Reversed.merge(Make("x", "y", 1));
+
+  for (const MetricsRegistry *M : {&Left, &Right, &Reversed}) {
+    EXPECT_EQ(M->totalOps(), 6u);
+    EXPECT_EQ(M->totalFaults(), 3u);
+    for (std::string_view Region : {"x", "y", "z"}) {
+      const SiteCounters *Fp = countersOf(*M, Region, OpKind::ApproxFp);
+      ASSERT_NE(Fp, nullptr) << Region;
+      EXPECT_EQ(Fp->Count, 1u);
+      const SiteCounters *Sram = countersOf(*M, Region, OpKind::SramWrite);
+      ASSERT_NE(Sram, nullptr) << Region;
+      EXPECT_EQ(Sram->Count, 1u);
+    }
+    EXPECT_EQ(M->dramGaps().total(), 3u);
+    EXPECT_EQ(M->dramGaps().Buckets[2], 1u); // Gap 2 from Flips=1.
+    EXPECT_EQ(M->dramGaps().Buckets[3], 1u); // Gap 4.
+    EXPECT_EQ(M->dramGaps().Buckets[5], 1u); // Gap 16.
+  }
+}
+
+TEST(ObsMetrics, MergeRemapsRegionStorageByName) {
+  MetricsRegistry A;
+  A.internRegion("init"); // A: main=0, init=1.
+
+  MetricsRegistry B;
+  uint32_t BKernel = B.internRegion("kernel"); // B: main=0, kernel=1.
+  B.internRegion("init");                      // B: init=2.
+  std::vector<StorageStats> ByRegion(3);
+  ByRegion[BKernel].SramApprox = 64.0;
+  ByRegion[2].DramApprox = 128.0;
+  B.setRegionStorage(std::move(ByRegion));
+
+  A.merge(B);
+  // "kernel" was new to A and must have been interned during the merge;
+  // its storage must follow the *name*, not B's raw index.
+  uint32_t AKernel = regionByName(A, "kernel");
+  uint32_t AInit = regionByName(A, "init");
+  ASSERT_NE(AKernel, MetricsRegistry::InvalidSite);
+  ASSERT_LT(AKernel, A.regionStorage().size());
+  ASSERT_LT(AInit, A.regionStorage().size());
+  EXPECT_DOUBLE_EQ(A.regionStorage()[AKernel].SramApprox, 64.0);
+  EXPECT_DOUBLE_EQ(A.regionStorage()[AInit].DramApprox, 128.0);
+}

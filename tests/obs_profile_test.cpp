@@ -1,0 +1,155 @@
+//===- tests/obs_profile_test.cpp - Attribution profiler invariants -------===//
+//
+// The profiler's acceptance invariant: per-site energy shares are an
+// exact decomposition of EnergyReport::TotalFactor (within 1e-9), for
+// every application. Also pins row ordering, the ledger/registry tick
+// reconciliation through aggregation, the baseline's bitwise
+// equivalence to the plain measurement path, the QoS-delta probe, and
+// the stability of both renderers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/profile.h"
+
+#include "apps/app.h"
+#include "harness/trial.h"
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::obs;
+
+namespace {
+
+uint64_t bitsOf(double Value) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  return Bits;
+}
+
+ProfileOptions quickOptions(const char *App) {
+  ProfileOptions Options;
+  Options.App = apps::findApplication(App);
+  Options.Seeds = 2;
+  Options.Threads = 2;
+  Options.QosDelta = false;
+  return Options;
+}
+
+} // namespace
+
+TEST(ObsProfile, SharesSumToTheTotalFactorForEveryApp) {
+  for (const apps::Application *App : apps::allApplications()) {
+    SCOPED_TRACE(App->name());
+    ProfileOptions Options = quickOptions(App->name());
+    ASSERT_NE(Options.App, nullptr);
+    ProfileResult Result = runProfile(Options);
+
+    EXPECT_NEAR(Result.ShareSum, Result.Energy.TotalFactor, 1e-9);
+    double RowSum = 0.0;
+    for (const ProfileRow &Row : Result.Rows) {
+      EXPECT_GE(Row.EnergyShare, 0.0)
+          << Row.Region << "/" << Row.Item;
+      RowSum += Row.EnergyShare;
+    }
+    EXPECT_NEAR(RowSum, Result.Energy.TotalFactor, 1e-9);
+
+    // Aggregated coverage: merged registry ticks equal the summed
+    // ledger clocks, seed by seed.
+    EXPECT_EQ(Result.LedgerTicks, Result.Metrics.totalTicks());
+    EXPECT_GT(Result.LedgerTicks, 0u);
+  }
+}
+
+TEST(ObsProfile, RowsAreSortedByShareWithResidualLast) {
+  ProfileResult Result = runProfile(quickOptions("fft"));
+  ASSERT_FALSE(Result.Rows.empty());
+  size_t Regular = Result.Rows.size();
+  for (size_t I = 0; I < Result.Rows.size(); ++I)
+    if (Result.Rows[I].Item == "-") {
+      // At most one residual row, and nothing follows it.
+      EXPECT_EQ(I, Result.Rows.size() - 1);
+      Regular = I;
+    }
+  for (size_t I = 1; I < Regular; ++I)
+    EXPECT_GE(Result.Rows[I - 1].EnergyShare, Result.Rows[I].EnergyShare);
+}
+
+TEST(ObsProfile, BaselineMatchesThePlainMeasurementPath) {
+  // Profiling montecarlo must measure exactly what a plain eval trial
+  // measures: same QoS bits per seed (via the mean), same summed op
+  // counts — observation is passive.
+  ProfileOptions Options = quickOptions("montecarlo");
+  ProfileResult Result = runProfile(Options);
+
+  double Sum = 0.0;
+  RunStats Plain;
+  for (int Seed = 1; Seed <= Options.Seeds; ++Seed) {
+    harness::Trial T;
+    T.App = Options.App;
+    T.Config = FaultConfig::preset(Options.Level);
+    T.WorkloadSeed = static_cast<uint64_t>(Seed);
+    harness::TrialResult R = harness::TrialRunner::runOne(T);
+    Sum += R.QosError;
+    Plain.Ops += R.Stats.Ops;
+    Plain.Storage += R.Stats.Storage;
+  }
+  EXPECT_EQ(bitsOf(Result.Qos.Mean), bitsOf(Sum / Options.Seeds));
+  EXPECT_EQ(Result.Stats.Ops.ApproxFp, Plain.Ops.ApproxFp);
+  EXPECT_EQ(Result.Stats.Ops.PreciseInt, Plain.Ops.PreciseInt);
+  EXPECT_EQ(bitsOf(Result.Stats.Storage.DramApprox),
+            bitsOf(Plain.Storage.DramApprox));
+  EXPECT_EQ(bitsOf(Result.Energy.TotalFactor),
+            bitsOf(computeEnergy(Plain, Result.Config).TotalFactor));
+}
+
+TEST(ObsProfile, QosDeltaProbesTheTopSites) {
+  ProfileOptions Options = quickOptions("montecarlo");
+  Options.QosDelta = true;
+  Options.TopK = 5;
+  ProfileResult Result = runProfile(Options);
+
+  bool Probed = false;
+  for (size_t I = 0; I < Result.Rows.size(); ++I) {
+    const ProfileRow &Row = Result.Rows[I];
+    if (Row.HasQosDelta) {
+      Probed = true;
+      EXPECT_TRUE(std::isfinite(Row.QosDelta));
+      EXPECT_LT(static_cast<int>(I), Options.TopK);
+      // The probe never targets the implicit root or the residual.
+      EXPECT_NE(Row.Region, "main");
+      EXPECT_NE(Row.Region, "(unattributed)");
+    }
+  }
+  EXPECT_TRUE(Probed);
+
+  // Forcing montecarlo's one approximate region precise removes all
+  // degradation: the delta equals the baseline mean.
+  for (const ProfileRow &Row : Result.Rows) {
+    if (Row.HasQosDelta && Row.Region == "samples") {
+      EXPECT_DOUBLE_EQ(Row.QosDelta, Result.Qos.Mean);
+    }
+  }
+}
+
+TEST(ObsProfile, RenderersAreStable) {
+  ProfileOptions Options = quickOptions("sor");
+  ProfileResult Result = runProfile(Options);
+
+  std::string Text = renderProfileText(Result);
+  std::string Json = renderProfileJson(Result);
+  EXPECT_EQ(Text, renderProfileText(Result));
+  EXPECT_EQ(Json, renderProfileJson(Result));
+
+  // Schema anchors, version-pinned.
+  EXPECT_EQ(Json.rfind("{\"tool\":\"enerj-profile\",\"version\":1,", 0),
+            0u);
+  EXPECT_NE(Json.find("\"app\":\"sor\""), std::string::npos);
+  EXPECT_NE(Json.find("\"shareSum\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"sites\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"dramGaps\":["), std::string::npos);
+  EXPECT_NE(Text.find("Share sum"), std::string::npos);
+  EXPECT_NE(Text.find("region"), std::string::npos);
+}

@@ -1,0 +1,169 @@
+//===- tests/obs_trace_test.cpp - Trace ring buffer and exporter ----------===//
+//
+// Pins the TraceBuffer's ring semantics (keep the newest, count the
+// shed) and the Chrome/Perfetto trace_event exporter: a hand-built
+// event sequence renders to an exact golden string, and a real
+// pinned-seed trial produces a structurally sound, balanced, repeatable
+// document.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/trial.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+#include <string>
+
+using namespace enerj;
+using namespace enerj::obs;
+
+namespace {
+
+TraceEvent event(uint64_t At, TraceEventKind Kind, uint64_t Arg = 0,
+                 uint32_t Region = 0, OpKind Op = OpKind::PreciseInt) {
+  TraceEvent E;
+  E.At = At;
+  E.Arg = Arg;
+  E.Kind = Kind;
+  E.Op = Op;
+  E.Region = Region;
+  return E;
+}
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Haystack.find(Needle); Pos != std::string::npos;
+       Pos = Haystack.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+} // namespace
+
+TEST(ObsTrace, RingKeepsNewestAndCountsDropped) {
+  TraceBuffer Ring(4);
+  for (uint64_t I = 0; I < 4; ++I)
+    Ring.push(event(I, TraceEventKind::RegionEnter));
+  EXPECT_EQ(Ring.size(), 4u);
+  EXPECT_EQ(Ring.dropped(), 0u);
+  EXPECT_EQ(Ring.event(0).At, 0u);
+  EXPECT_EQ(Ring.event(3).At, 3u);
+
+  // Two more: the two oldest are shed, the tail survives in order.
+  Ring.push(event(4, TraceEventKind::Fault, 2));
+  Ring.push(event(5, TraceEventKind::RegionExit));
+  EXPECT_EQ(Ring.size(), 4u);
+  EXPECT_EQ(Ring.dropped(), 2u);
+  std::vector<TraceEvent> Events = Ring.drain();
+  ASSERT_EQ(Events.size(), 4u);
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].At, I + 2);
+  EXPECT_EQ(Events[2].Kind, TraceEventKind::Fault);
+}
+
+TEST(ObsTrace, KindNamesAreStable) {
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::RegionEnter),
+               "regionEnter");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::Fault), "fault");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::AttemptBegin),
+               "attemptBegin");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::Degrade), "degrade");
+  EXPECT_STREQ(traceEventKindName(TraceEventKind::Abort), "abort");
+}
+
+TEST(ObsTrace, ChromeTraceGolden) {
+  // A tiny two-attempt timeline, rendered byte for byte. This is the
+  // schema contract with chrome://tracing and Perfetto's legacy
+  // importer; extending the exporter must extend this golden.
+  MetricsRegistry Registry;
+  uint32_t Kernel = Registry.internRegion("kernel");
+
+  std::vector<TrialTraceEvent> Events;
+  Events.push_back({0, event(0, TraceEventKind::AttemptBegin, 2)});
+  Events.push_back({0, event(0, TraceEventKind::RegionEnter, 0, Kernel)});
+  Events.push_back(
+      {0, event(7, TraceEventKind::Fault, 3, Kernel, OpKind::ApproxFp)});
+  Events.push_back({0, event(9, TraceEventKind::RegionExit, 0, Kernel)});
+  Events.push_back({0, event(9, TraceEventKind::AttemptEnd, 0)});
+  Events.push_back({1, event(0, TraceEventKind::Retry, 1)});
+  Events.push_back({1, event(0, TraceEventKind::AttemptBegin, 2)});
+  Events.push_back({1, event(4, TraceEventKind::Abort, 4)});
+
+  std::string Json = renderChromeTrace(Events, Registry, "demo");
+  EXPECT_EQ(
+      Json,
+      "{\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"demo\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"attempt 0\"}},"
+      "{\"name\":\"attemptBegin\",\"ph\":\"i\",\"ts\":0,\"pid\":1,"
+      "\"tid\":0,\"s\":\"t\",\"args\":{\"value\":2}},"
+      "{\"name\":\"kernel\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"fault\",\"ph\":\"i\",\"ts\":7,\"pid\":1,\"tid\":0,"
+      "\"s\":\"t\",\"args\":{\"op\":\"approxFp\",\"region\":\"kernel\","
+      "\"flippedBits\":3}},"
+      "{\"name\":\"kernel\",\"ph\":\"E\",\"ts\":9,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"attemptEnd\",\"ph\":\"i\",\"ts\":9,\"pid\":1,"
+      "\"tid\":0,\"s\":\"t\",\"args\":{\"value\":0}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"attempt 1\"}},"
+      "{\"name\":\"retry\",\"ph\":\"i\",\"ts\":0,\"pid\":1,\"tid\":1,"
+      "\"s\":\"t\",\"args\":{\"value\":1}},"
+      "{\"name\":\"attemptBegin\",\"ph\":\"i\",\"ts\":0,\"pid\":1,"
+      "\"tid\":1,\"s\":\"t\",\"args\":{\"value\":2}},"
+      "{\"name\":\"abort\",\"ph\":\"i\",\"ts\":4,\"pid\":1,\"tid\":1,"
+      "\"s\":\"t\",\"args\":{\"value\":4}}"
+      "],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(ObsTrace, EscapesQuotesAndBackslashesInNames) {
+  // The two user-controlled strings that reach JSON string positions
+  // with escaping are the app name (process_name metadata) and the
+  // fault event's region argument.
+  MetricsRegistry Registry;
+  uint32_t Weird = Registry.internRegion("a\"b\\c");
+  std::vector<TrialTraceEvent> Events;
+  Events.push_back(
+      {0, event(3, TraceEventKind::Fault, 1, Weird, OpKind::ApproxInt)});
+  std::string Json = renderChromeTrace(Events, Registry, "app\"name");
+  EXPECT_NE(Json.find("\"args\":{\"name\":\"app\\\"name\"}"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"region\":\"a\\\"b\\\\c\""), std::string::npos);
+}
+
+TEST(ObsTrace, PinnedTrialRendersABalancedRepeatableDocument) {
+  // A real instrumented trial: region spans must balance per attempt,
+  // attempt markers must be present, and rendering twice from the same
+  // trial identity must give the same bytes.
+  harness::Trial T;
+  T.App = apps::findApplication("fft");
+  ASSERT_NE(T.App, nullptr);
+  T.Config = FaultConfig::preset(ApproxLevel::Medium);
+  T.WorkloadSeed = 1;
+  T.Obs.Metrics = true;
+  T.Obs.Trace = true;
+
+  harness::TrialResult First = harness::TrialRunner::runOne(T);
+  harness::TrialResult Second = harness::TrialRunner::runOne(T);
+  ASSERT_FALSE(First.Trace.empty());
+
+  std::string Json =
+      renderChromeTrace(First.Trace, First.Metrics, T.App->name());
+  EXPECT_EQ(Json, renderChromeTrace(Second.Trace, Second.Metrics,
+                                    T.App->name()));
+
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"attemptBegin\""), std::string::npos);
+  EXPECT_NE(Json.find("\"attemptEnd\""), std::string::npos);
+  // Every fft phase label shows up as a span, and B/E pair up.
+  for (const char *Region : {"init", "bitrev", "butterflies", "output"})
+    EXPECT_NE(Json.find(std::string("\"name\":\"") + Region + "\""),
+              std::string::npos)
+        << Region;
+  EXPECT_EQ(countOccurrences(Json, "\"ph\":\"B\""),
+            countOccurrences(Json, "\"ph\":\"E\""));
+  EXPECT_EQ(First.TraceDropped, 0u);
+}

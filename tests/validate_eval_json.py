@@ -1,5 +1,10 @@
 #!/usr/bin/env python3
-"""Validate `fenerj_tool eval --json` output against schema v2.
+"""Validate `fenerj_tool eval --json` output against schema v2 or v3.
+
+Version 2 is the default grid; version 3 is emitted by `eval --metrics`
+and appends a "metrics" object (tick/op/fault totals plus per-site
+counters) to every cell — the validator requires it exactly when the
+document declares version 3.
 
 Reads one JSON document from stdin and checks structure, key presence,
 key order, and basic invariants. Deliberately does NOT compare metric
@@ -25,6 +30,11 @@ OPS_KEYS = ["preciseInt", "approxInt", "preciseFp", "approxFp",
 STORAGE_KEYS = ["sramPrecise", "sramApprox", "dramPrecise", "dramApprox"]
 CELL_KEYS = ["level", "qos", "energy", "effectiveEnergy", "outcomes",
              "retries", "ops", "storage"]
+METRICS_KEYS = ["ticks", "ops", "faults", "sites"]
+SITE_KEYS = ["region", "kind", "class", "count", "faults", "flippedBits"]
+SITE_KINDS = {"preciseInt", "approxInt", "preciseFp", "approxFp",
+              "sramRead", "sramWrite", "dramLoad", "dramStore"}
+SITE_CLASSES = {"alu", "sram", "dram"}
 TOP_KEYS = ["tool", "version", "seeds", "policy", "levels", "apps"]
 LEVELS = {"none", "mild", "medium", "aggressive"}
 
@@ -50,6 +60,42 @@ def expect_stats(obj, where):
             fail(f"{where}.{key}: not a number")
 
 
+def expect_count(obj, key, where):
+    if not isinstance(obj[key], int) or obj[key] < 0:
+        fail(f"{where}.{key}: not a non-negative integer")
+
+
+def expect_metrics(metrics, where):
+    expect_keys(metrics, METRICS_KEYS, where)
+    for key in ("ticks", "ops", "faults"):
+        expect_count(metrics, key, where)
+    if not isinstance(metrics["sites"], list):
+        fail(f"{where}.sites: not a list")
+    total_ops = 0
+    total_faults = 0
+    for index, site in enumerate(metrics["sites"]):
+        sw = f"{where}.sites[{index}]"
+        expect_keys(site, SITE_KEYS, sw)
+        if site["kind"] not in SITE_KINDS:
+            fail(f"{sw}.kind: unknown kind {site['kind']!r}")
+        if site["class"] not in SITE_CLASSES:
+            fail(f"{sw}.class: unknown class {site['class']!r}")
+        for key in ("count", "faults", "flippedBits"):
+            expect_count(site, key, sw)
+        if site["faults"] > site["count"]:
+            fail(f"{sw}: faults exceed count")
+        total_ops += site["count"]
+        total_faults += site["faults"]
+    if total_ops != metrics["ops"]:
+        fail(f"{where}: site counts sum to {total_ops}, "
+             f"not ops={metrics['ops']}")
+    if total_faults != metrics["faults"]:
+        fail(f"{where}: site faults sum to {total_faults}, "
+             f"not faults={metrics['faults']}")
+    if metrics["ticks"] > metrics["ops"]:
+        fail(f"{where}: ticks exceed ops")
+
+
 def main():
     try:
         doc = json.load(sys.stdin)
@@ -59,8 +105,10 @@ def main():
     expect_keys(doc, TOP_KEYS, "top level")
     if doc["tool"] != "enerj-eval":
         fail(f"tool is {doc['tool']!r}, expected 'enerj-eval'")
-    if doc["version"] != 2:
-        fail(f"version is {doc['version']!r}, expected 2")
+    if doc["version"] not in (2, 3):
+        fail(f"version is {doc['version']!r}, expected 2 or 3")
+    with_metrics = doc["version"] == 3
+    cell_keys = CELL_KEYS + ["metrics"] if with_metrics else CELL_KEYS
     if not isinstance(doc["seeds"], int) or doc["seeds"] < 1:
         fail("seeds: not a positive integer")
 
@@ -82,7 +130,7 @@ def main():
             fail(f"{where}: {len(app['cells'])} cells for "
                  f"{len(doc['levels'])} levels")
         for cell in app["cells"]:
-            expect_keys(cell, CELL_KEYS, f"{where} cell")
+            expect_keys(cell, cell_keys, f"{where} cell")
             cw = f"{where} cell {cell['level']!r}"
             if cell["level"] not in doc["levels"]:
                 fail(f"{cw}: level not in the declared list")
@@ -97,8 +145,11 @@ def main():
                 fail(f"{cw}.retries: not a non-negative integer")
             expect_keys(cell["ops"], OPS_KEYS, f"{cw}.ops")
             expect_keys(cell["storage"], STORAGE_KEYS, f"{cw}.storage")
+            if with_metrics:
+                expect_metrics(cell["metrics"], f"{cw}.metrics")
 
-    print(f"validate_eval_json: OK ({len(doc['apps'])} app(s) x "
+    print(f"validate_eval_json: OK (v{doc['version']}, "
+          f"{len(doc['apps'])} app(s) x "
           f"{len(doc['levels'])} level(s), seeds={doc['seeds']}, "
           f"policy {'on' if doc['policy']['enabled'] else 'off'})")
 

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Validate `fenerj_tool profile --json` output (schema v1), and
+optionally a Chrome/Perfetto trace file written by `profile --trace`.
+
+Like validate_eval_json.py, this checks structure, key presence, key
+order, and cross-field invariants — including the attribution
+invariant: the per-site energy shares must sum to the total energy
+factor within 1e-9, and the ledger and registry tick counts must agree.
+It deliberately does NOT compare metric values against goldens (QoS
+numbers depend on libm); the byte-level contracts live in the C++ obs
+tests.
+
+Usage:
+  fenerj_tool profile app --json | python3 tests/validate_profile_json.py
+  python3 tests/validate_profile_json.py --trace out.json
+
+Exits 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+TOP_KEYS = ["tool", "version", "app", "level", "seeds", "topK", "qos",
+            "energy", "shareSum", "ticks", "ops", "faults", "flippedBits",
+            "sites", "dramGaps"]
+STATS_KEYS = ["count", "mean", "stddev", "min", "max", "ci95"]
+ENERGY_KEYS = ["instruction", "sram", "dram", "cpu", "total"]
+TICKS_KEYS = ["ledger", "registry"]
+SITE_KEYS = ["region", "item", "class", "storage", "ops", "faults",
+             "flippedBits", "preciseByteCycles", "approxByteCycles",
+             "energyShare", "qosDelta"]
+OP_ITEMS = {"preciseInt", "approxInt", "preciseFp", "approxFp",
+            "sramRead", "sramWrite", "dramLoad", "dramStore"}
+STORAGE_ITEMS = {"sramStorage", "dramStorage"}
+SITE_CLASSES = {"alu", "sram", "dram"}
+LEVELS = {"none", "mild", "medium", "aggressive"}
+DRAM_GAP_BUCKETS = 32
+SHARE_TOLERANCE = 1e-9
+
+
+def fail(message):
+    print(f"validate_profile_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect_keys(obj, keys, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected an object, got {type(obj).__name__}")
+    if list(obj.keys()) != keys:
+        fail(f"{where}: keys {list(obj.keys())} != expected {keys}")
+
+
+def expect_count(obj, key, where):
+    if not isinstance(obj[key], int) or isinstance(obj[key], bool) \
+            or obj[key] < 0:
+        fail(f"{where}.{key}: not a non-negative integer")
+
+
+def validate_profile(doc):
+    expect_keys(doc, TOP_KEYS, "top level")
+    if doc["tool"] != "enerj-profile":
+        fail(f"tool is {doc['tool']!r}, expected 'enerj-profile'")
+    if doc["version"] != 1:
+        fail(f"version is {doc['version']!r}, expected 1")
+    if doc["level"] not in LEVELS:
+        fail(f"level {doc['level']!r}: unknown")
+    for key in ("seeds", "ops", "faults", "flippedBits"):
+        expect_count(doc, key, "top level")
+    if doc["seeds"] < 1:
+        fail("seeds: must be positive")
+
+    expect_keys(doc["qos"], STATS_KEYS, "qos")
+    if doc["qos"]["count"] != doc["seeds"]:
+        fail(f"qos.count {doc['qos']['count']} != seeds {doc['seeds']}")
+
+    expect_keys(doc["energy"], ENERGY_KEYS, "energy")
+    for key in ENERGY_KEYS:
+        if not isinstance(doc["energy"][key], (int, float)):
+            fail(f"energy.{key}: not a number")
+
+    expect_keys(doc["ticks"], TICKS_KEYS, "ticks")
+    for key in TICKS_KEYS:
+        expect_count(doc["ticks"], key, "ticks")
+    if doc["ticks"]["ledger"] != doc["ticks"]["registry"]:
+        fail(f"tick mismatch: ledger {doc['ticks']['ledger']} != "
+             f"registry {doc['ticks']['registry']} — the op-coverage "
+             f"audit failed")
+    if doc["ticks"]["registry"] > doc["ops"]:
+        fail("ticks exceed total ops")
+
+    if not isinstance(doc["sites"], list) or not doc["sites"]:
+        fail("sites: empty or not a list")
+    share_sum = 0.0
+    op_sum = 0
+    fault_sum = 0
+    last_share = None
+    residual_seen = False
+    for index, site in enumerate(doc["sites"]):
+        where = f"sites[{index}]"
+        expect_keys(site, SITE_KEYS, where)
+        if site["class"] not in SITE_CLASSES:
+            fail(f"{where}.class: unknown class {site['class']!r}")
+        if not isinstance(site["storage"], bool):
+            fail(f"{where}.storage: not a bool")
+        if residual_seen:
+            fail(f"{where}: rows after the residual row")
+        if site["item"] == "-":
+            residual_seen = True
+        elif site["storage"]:
+            if site["item"] not in STORAGE_ITEMS:
+                fail(f"{where}.item: unknown storage item "
+                     f"{site['item']!r}")
+        elif site["item"] not in OP_ITEMS:
+            fail(f"{where}.item: unknown op kind {site['item']!r}")
+        for key in ("ops", "faults", "flippedBits"):
+            expect_count(site, key, where)
+        if site["faults"] > site["ops"]:
+            fail(f"{where}: faults exceed ops")
+        if not isinstance(site["energyShare"], (int, float)):
+            fail(f"{where}.energyShare: not a number")
+        if site["energyShare"] < 0:
+            fail(f"{where}.energyShare: negative")
+        if site["qosDelta"] is not None \
+                and not isinstance(site["qosDelta"], (int, float)):
+            fail(f"{where}.qosDelta: not a number or null")
+        # Sorted by share descending (the residual row exempt).
+        if last_share is not None and site["item"] != "-" \
+                and site["energyShare"] > last_share + SHARE_TOLERANCE:
+            fail(f"{where}: shares not sorted descending")
+        if site["item"] != "-":
+            last_share = site["energyShare"]
+        share_sum += site["energyShare"]
+        op_sum += site["ops"]
+        fault_sum += site["faults"]
+
+    # The attribution invariant.
+    if abs(share_sum - doc["energy"]["total"]) > SHARE_TOLERANCE:
+        fail(f"energy shares sum to {share_sum!r}, not total factor "
+             f"{doc['energy']['total']!r}")
+    if abs(doc["shareSum"] - doc["energy"]["total"]) > SHARE_TOLERANCE:
+        fail(f"shareSum {doc['shareSum']!r} != total factor "
+             f"{doc['energy']['total']!r}")
+    if op_sum != doc["ops"]:
+        fail(f"site ops sum to {op_sum}, not ops={doc['ops']}")
+    if fault_sum != doc["faults"]:
+        fail(f"site faults sum to {fault_sum}, not faults={doc['faults']}")
+
+    if not isinstance(doc["dramGaps"], list) \
+            or len(doc["dramGaps"]) != DRAM_GAP_BUCKETS:
+        fail(f"dramGaps: expected {DRAM_GAP_BUCKETS} buckets")
+    for bucket in doc["dramGaps"]:
+        if not isinstance(bucket, int) or bucket < 0:
+            fail("dramGaps: bucket not a non-negative integer")
+
+    print(f"validate_profile_json: OK (v1, app {doc['app']!r} at "
+          f"{doc['level']}, seeds={doc['seeds']}, "
+          f"{len(doc['sites'])} site(s))")
+
+
+def validate_trace(doc):
+    if list(doc.keys()) != ["traceEvents", "displayTimeUnit"]:
+        fail(f"trace: keys {list(doc.keys())}")
+    if doc["displayTimeUnit"] != "ms":
+        fail("trace: displayTimeUnit is not 'ms'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("trace: traceEvents empty or not a list")
+    open_spans = {}
+    seen_process_name = False
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase not in ("M", "B", "E", "i"):
+            fail(f"{where}: unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str):
+            fail(f"{where}: missing name")
+        if event.get("pid") != 1:
+            fail(f"{where}: pid is not 1")
+        if not isinstance(event.get("tid"), int):
+            fail(f"{where}: missing tid")
+        if phase == "M":
+            if event["name"] == "process_name":
+                seen_process_name = True
+            continue
+        if not isinstance(event.get("ts"), int) or event["ts"] < 0:
+            fail(f"{where}: ts not a non-negative integer")
+        if phase == "B":
+            open_spans.setdefault(event["tid"], []).append(event["name"])
+        elif phase == "E":
+            stack = open_spans.get(event["tid"])
+            if not stack:
+                fail(f"{where}: E without a matching B")
+            top = stack.pop()
+            if top != event["name"]:
+                fail(f"{where}: E {event['name']!r} closes B {top!r}")
+        elif event.get("s") != "t":
+            fail(f"{where}: instant without thread scope")
+    if not seen_process_name:
+        fail("trace: no process_name metadata")
+    dangling = sum(len(stack) for stack in open_spans.values())
+    if dangling:
+        fail(f"trace: {dangling} unclosed region span(s)")
+    print(f"validate_profile_json: trace OK ({len(events)} event(s))")
+
+
+def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--trace":
+        try:
+            with open(sys.argv[2]) as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            fail(f"cannot read trace: {err}")
+        validate_trace(doc)
+        return
+    if len(sys.argv) != 1:
+        fail(f"usage: validate_profile_json.py [--trace file] "
+             f"(got {sys.argv[1:]})")
+    try:
+        doc = json.load(sys.stdin)
+    except json.JSONDecodeError as err:
+        fail(f"not valid JSON: {err}")
+    validate_profile(doc)
+
+
+if __name__ == "__main__":
+    main()
