@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/opt/pipeline.h"
 #include "energy/model.h"
 #include "fenerj/codegen.h"
 #include "fenerj/fenerj.h"
@@ -18,6 +19,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 using namespace enerj;
 using namespace enerj::fenerj;
@@ -71,11 +73,24 @@ const Kernel Kernels[] = {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Optimize = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-O1") == 0) {
+      Optimize = true;
+    } else if (std::strcmp(Argv[I], "-O0") == 0) {
+      Optimize = false;
+    } else {
+      std::fprintf(stderr, "usage: isa_pipeline [-O0|-O1]\n");
+      return 2;
+    }
+  }
+
   std::printf("Section 4 pipeline: FEnerJ kernels compiled to the "
               "approximate ISA, one binary\nper kernel, executed at every "
               "level (result error vs the fault-free run;\nmachine-level "
-              "energy estimate)\n\n");
+              "energy estimate)%s\n\n",
+              Optimize ? " — optimizer at -O1" : "");
   std::printf("%-11s %-11s %14s %12s %10s %8s\n", "kernel", "level",
               "f1 (last)", "mean err", "energy", "terrs");
   for (int I = 0; I < 72; ++I)
@@ -98,9 +113,26 @@ int main() {
     std::vector<std::string> AsmErrors;
     std::optional<enerj::isa::IsaProgram> Binary =
         enerj::isa::assemble(Code.Assembly, AsmErrors);
-    if (!Binary || !enerj::isa::verify(*Binary).empty()) {
-      std::fprintf(stderr, "%s: assembly/verification failed\n", K.Name);
+    if (!Binary) {
+      for (const std::string &E : AsmErrors)
+        std::fprintf(stderr, "%s: assembler: %s\n", K.Name, E.c_str());
       return 1;
+    }
+    std::vector<enerj::isa::VerifyError> VerifyErrors =
+        enerj::isa::verify(*Binary);
+    if (!VerifyErrors.empty()) {
+      for (const enerj::isa::VerifyError &E : VerifyErrors)
+        std::fprintf(stderr, "%s: verifier: %s\n", K.Name, E.str().c_str());
+      return 1;
+    }
+    if (Optimize) {
+      namespace opt = enerj::analysis::opt;
+      opt::OptReport Report = opt::optimizeProgram(*Binary);
+      if (!Report.Ok) {
+        std::fprintf(stderr, "%s: optimizer: %s\n", K.Name,
+                     Report.Error.c_str());
+        return 1;
+      }
     }
 
     constexpr int Runs = 10;

@@ -46,6 +46,7 @@
 
 #include "analysis/infer.h"
 #include "analysis/lint.h"
+#include "analysis/opt/pipeline.h"
 #include "fenerj/codegen.h"
 #include "fenerj/fenerj.h"
 #include "harness/eval.h"
@@ -170,7 +171,7 @@ int fuzz(const std::string &Source, int Rounds) {
   return 1;
 }
 
-int compileIsa(const std::string &Source, bool Execute) {
+int compileIsa(const std::string &Source, bool Execute, bool Optimize) {
   DiagnosticEngine Diags;
   ClassTable Table;
   std::optional<Program> Prog = compile(Source, Table, Diags);
@@ -197,8 +198,23 @@ int compileIsa(const std::string &Source, bool Execute) {
     std::fprintf(stderr, "verifier: %s\n", E.str().c_str());
   if (!Violations.empty())
     return 1;
+  if (Optimize) {
+    enerj::analysis::opt::OptReport Report =
+        enerj::analysis::opt::optimizeProgram(*Binary);
+    if (!Report.Ok) {
+      std::fprintf(stderr, "opt: %s\n", Report.Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "opt: %zu -> %zu instructions (%u removed, "
+                         "%u rewritten)\n",
+                 Report.OpsBefore, Report.OpsAfter, Report.totalRemoved(),
+                 Report.totalRewritten());
+  }
   if (!Execute) {
-    std::fputs(Code.Assembly.c_str(), stdout);
+    if (Optimize)
+      std::fputs(enerj::isa::disassemble(*Binary).c_str(), stdout);
+    else
+      std::fputs(Code.Assembly.c_str(), stdout);
     return 0;
   }
   for (enerj::ApproxLevel Level :
@@ -251,6 +267,164 @@ int lint(const std::string &Source, const char *FileName, bool Json,
           F.Pass != enerj::analysis::LintPass::IsaFlow)
         return 1;
   return 0;
+}
+
+/// `fenerj_tool opt <file.fej|file.isa> [--passes a,b] [--level L]
+/// [--json] [--emit]` — assemble (compiling first for .fej inputs), run
+/// the validated pass pipeline, and report per-pass statistics. --emit
+/// prints the optimized assembly to stdout (the report moves to stderr).
+int optMode(int Argc, char **Argv) {
+  const char *File = Argv[2];
+  bool Json = false, Emit = false;
+  enerj::analysis::opt::OptOptions Options;
+  for (int Arg = 3; Arg < Argc; ++Arg) {
+    std::string Flag = Argv[Arg];
+    auto NextValue = [&]() -> std::string {
+      if (Arg + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag.c_str());
+        std::exit(2);
+      }
+      return Argv[++Arg];
+    };
+    if (Flag == "--json") {
+      Json = true;
+    } else if (Flag == "--emit") {
+      Emit = true;
+    } else if (Flag == "--passes") {
+      std::string Error;
+      if (!enerj::analysis::opt::parsePassList(NextValue(), Options.Passes,
+                                               Error)) {
+        std::fprintf(stderr, "%s (known: constprop, copyprop, cse, "
+                             "endorse-elim, dce)\n", Error.c_str());
+        return 2;
+      }
+    } else if (Flag == "--level") {
+      std::string Name = NextValue();
+      bool Found = false;
+      for (enerj::ApproxLevel Level :
+           {enerj::ApproxLevel::None, enerj::ApproxLevel::Mild,
+            enerj::ApproxLevel::Medium, enerj::ApproxLevel::Aggressive})
+        if (Name == enerj::approxLevelName(Level)) {
+          Options.EnergyLevel = Level;
+          Found = true;
+        }
+      if (!Found) {
+        std::fprintf(stderr, "unknown level '%s' (none, mild, medium, "
+                             "aggressive)\n", Name.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown opt flag '%s'\n", Flag.c_str());
+      return 2;
+    }
+  }
+
+  bool Ok = true;
+  std::string Source = readFile(File, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", File);
+    return 1;
+  }
+
+  std::string Assembly;
+  std::string Name = File;
+  if (Name.size() >= 4 && Name.substr(Name.size() - 4) == ".isa") {
+    Assembly = Source;
+  } else {
+    DiagnosticEngine Diags;
+    ClassTable Table;
+    std::optional<Program> Prog = compile(Source, Table, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    CodegenResult Code = compileToIsa(*Prog);
+    if (!Code.Ok) {
+      std::fprintf(stderr, "codegen error: %s\n", Code.Error.c_str());
+      return 1;
+    }
+    Assembly = Code.Assembly;
+  }
+  std::vector<std::string> AsmErrors;
+  std::optional<enerj::isa::IsaProgram> Binary =
+      enerj::isa::assemble(Assembly, AsmErrors);
+  if (!Binary) {
+    for (const std::string &E : AsmErrors)
+      std::fprintf(stderr, "%s\n", E.c_str());
+    return 1;
+  }
+
+  enerj::analysis::opt::OptReport Report =
+      enerj::analysis::opt::optimizeProgram(*Binary, Options);
+
+  std::string Rendered;
+  if (Json) {
+    std::ostringstream Out;
+    Out << "{\"tool\": \"fenerj-opt\", \"version\": 1, \"file\": \"" << File
+        << "\", \"ok\": " << (Report.Ok ? "true" : "false")
+        << ", \"error\": \"" << Report.Error << "\""
+        << ", \"level\": \"" << enerj::approxLevelName(Options.EnergyLevel)
+        << "\", \"opsBefore\": " << Report.OpsBefore
+        << ", \"opsAfter\": " << Report.OpsAfter
+        << ", \"removed\": " << Report.totalRemoved()
+        << ", \"rewritten\": " << Report.totalRewritten();
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.6f",
+                  Report.EnergyBefore.factor());
+    Out << ", \"energyFactorBefore\": " << Buffer;
+    std::snprintf(Buffer, sizeof(Buffer), "%.6f",
+                  Report.EnergyAfter.factor());
+    Out << ", \"energyFactorAfter\": " << Buffer << ", \"passes\": [";
+    for (size_t Index = 0; Index < Report.Passes.size(); ++Index) {
+      const enerj::analysis::opt::PassReport &Pass = Report.Passes[Index];
+      if (Index)
+        Out << ", ";
+      std::snprintf(Buffer, sizeof(Buffer), "%.6f",
+                    Pass.EnergyAfter.factor());
+      Out << "{\"pass\": \"" << enerj::analysis::opt::passName(Pass.Kind)
+          << "\", \"changed\": " << (Pass.Changed ? "true" : "false")
+          << ", \"accepted\": " << (Pass.Accepted ? "true" : "false")
+          << ", \"rewritten\": " << Pass.Rewritten
+          << ", \"removed\": " << Pass.Removed
+          << ", \"rejectReason\": \"" << Pass.RejectReason << "\""
+          << ", \"opsAfter\": " << Pass.OpsAfter
+          << ", \"energyFactor\": " << Buffer << "}";
+    }
+    Out << "]}\n";
+    Rendered = Out.str();
+  } else {
+    std::ostringstream Out;
+    Out << "== fenerj-opt: " << File << " ==\n";
+    if (!Report.Error.empty())
+      Out << "error: " << Report.Error << "\n";
+    char Line[160];
+    for (const enerj::analysis::opt::PassReport &Pass : Report.Passes) {
+      std::snprintf(Line, sizeof(Line),
+                    "  %-12s %-9s rewritten %3u  removed %3u  ops %4zu  "
+                    "energy %.4f\n",
+                    enerj::analysis::opt::passName(Pass.Kind),
+                    !Pass.Changed ? "no-op"
+                    : Pass.Accepted ? "validated"
+                                    : "REJECTED",
+                    Pass.Rewritten, Pass.Removed, Pass.OpsAfter,
+                    Pass.EnergyAfter.factor());
+      Out << Line;
+      if (!Pass.Accepted && !Pass.RejectReason.empty())
+        Out << "      reject: " << Pass.RejectReason << "\n";
+    }
+    std::snprintf(Line, sizeof(Line),
+                  "  total: %zu -> %zu instructions, energy factor "
+                  "%.4f -> %.4f (@%s)\n",
+                  Report.OpsBefore, Report.OpsAfter,
+                  Report.EnergyBefore.factor(), Report.EnergyAfter.factor(),
+                  enerj::approxLevelName(Options.EnergyLevel));
+    Out << Line;
+    Rendered = Out.str();
+  }
+  std::fputs(Rendered.c_str(), Emit ? stderr : stdout);
+  if (Emit && Report.Ok)
+    std::fputs(enerj::isa::disassemble(*Binary).c_str(), stdout);
+  return Report.Ok ? 0 : 1;
 }
 
 int infer(int Argc, char **Argv) {
@@ -611,9 +785,17 @@ int usage() {
                "usage: fenerj_tool check <file.fej>\n"
                "       fenerj_tool run <file.fej>\n"
                "       fenerj_tool fuzz <file.fej> [rounds]\n"
-               "       fenerj_tool compile <file.fej>   (emit ISA asm)\n"
-               "       fenerj_tool exec <file.fej>      (compile + run at "
-               "all levels)\n"
+               "       fenerj_tool compile <file.fej> [-O1]  (emit ISA "
+               "asm, optionally optimized)\n"
+               "       fenerj_tool exec <file.fej> [-O1]     (compile + "
+               "run at all levels)\n"
+               "       fenerj_tool opt <file.fej|file.isa> [--passes a,b] "
+               "[--level L]\n"
+               "                       [--json] [--emit]\n"
+               "                      (qualifier-aware optimizer with "
+               "per-pass translation\n"
+               "                       validation; --emit prints the "
+               "optimized assembly)\n"
                "       fenerj_tool lint <file.fej> [--json] [--Werror]\n"
                "                      (endorsement / precision-slack / "
                "dead-value / isa-flow /\n"
@@ -670,6 +852,8 @@ int main(int Argc, char **Argv) {
   }
   if (Argc < 3)
     return usage();
+  if (std::string(Argv[1]) == "opt")
+    return optMode(Argc, Argv);
   bool Ok = true;
   std::string Source = readFile(Argv[2], Ok);
   if (!Ok) {
@@ -683,10 +867,22 @@ int main(int Argc, char **Argv) {
     return run(Source);
   if (Mode == "fuzz")
     return fuzz(Source, Argc >= 4 ? std::atoi(Argv[3]) : 20);
-  if (Mode == "compile")
-    return compileIsa(Source, /*Execute=*/false);
-  if (Mode == "exec")
-    return compileIsa(Source, /*Execute=*/true);
+  if (Mode == "compile" || Mode == "exec") {
+    bool Optimize = false;
+    for (int Arg = 3; Arg < Argc; ++Arg) {
+      std::string Flag = Argv[Arg];
+      if (Flag == "-O1")
+        Optimize = true;
+      else if (Flag == "-O0")
+        Optimize = false;
+      else {
+        std::fprintf(stderr, "unknown %s flag '%s' (-O0 or -O1)\n",
+                     Mode.c_str(), Flag.c_str());
+        return 2;
+      }
+    }
+    return compileIsa(Source, /*Execute=*/Mode == "exec", Optimize);
+  }
   if (Mode == "lint" || Mode == "--lint") {
     bool Json = false, Werror = false;
     for (int Arg = 3; Arg < Argc; ++Arg) {

@@ -1,0 +1,170 @@
+//===- analysis/opt/ir.cpp - Block-structured optimizer IR ----------------===//
+
+#include "analysis/opt/ir.h"
+
+#include "analysis/isa_cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace enerj;
+using namespace enerj::analysis;
+using namespace enerj::analysis::opt;
+
+const std::vector<unsigned> OptProgram::Empty;
+
+size_t OptProgram::opCount() const {
+  size_t Count = 0;
+  for (const OptBlock &B : Blocks)
+    Count += B.Body.size() + (B.Term ? 1 : 0);
+  return Count;
+}
+
+void OptProgram::recomputePreds() {
+  for (OptBlock &B : Blocks)
+    B.Preds.clear();
+  ExitPreds.clear();
+  for (unsigned Id = 0; Id < Blocks.size(); ++Id)
+    for (unsigned Succ : Blocks[Id].Succs) {
+      if (Succ == exitId())
+        ExitPreds.push_back(Id);
+      else
+        Blocks[Succ].Preds.push_back(Id);
+    }
+}
+
+bool enerj::analysis::opt::isPureOp(const isa::Instruction &I) {
+  using isa::Opcode;
+  switch (I.Op) {
+  case Opcode::Li:
+  case Opcode::Lfi:
+  case Opcode::Mv:
+  case Opcode::Fmv:
+  case Opcode::Endorse:
+  case Opcode::Fendorse:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Addi:
+  case Opcode::Seq:
+  case Opcode::Sne:
+  case Opcode::Slt:
+  case Opcode::Sle:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Fadd:
+  case Opcode::Fsub:
+  case Opcode::Fmul:
+  case Opcode::Fdiv: // Precise FP division by zero is IEEE, not a trap.
+  case Opcode::Cvt:
+  case Opcode::Cvti:
+    return true;
+  case Opcode::Div:
+  case Opcode::Rem:
+    // The precise variants trap on a zero divisor; the approximate ones
+    // return 0 (Section 5.2) and are side-effect-free.
+    return I.Approx;
+  default:
+    return false;
+  }
+}
+
+bool enerj::analysis::opt::isFpDest(isa::Opcode Op) {
+  using isa::Opcode;
+  switch (Op) {
+  case Opcode::Lfi:
+  case Opcode::Fmv:
+  case Opcode::Fendorse:
+  case Opcode::Fadd:
+  case Opcode::Fsub:
+  case Opcode::Fmul:
+  case Opcode::Fdiv:
+  case Opcode::Cvt:
+  case Opcode::Flw:
+    return true;
+  default:
+    return false;
+  }
+}
+
+OptProgram enerj::analysis::opt::buildOptProgram(
+    const isa::IsaProgram &Program) {
+  OptProgram Out;
+  Out.PreciseWords = Program.PreciseWords;
+  Out.ApproxWords = Program.ApproxWords;
+
+  IsaCfg Cfg(Program);
+  size_t End = Program.Instructions.size();
+  Out.Blocks.resize(Cfg.blockCount());
+  unsigned Exit = Out.exitId();
+
+  auto TargetBlock = [&](int64_t Imm) -> unsigned {
+    assert(Imm >= 0 && static_cast<size_t>(Imm) <= End &&
+           "optimizer requires a verified program");
+    if (static_cast<size_t>(Imm) == End)
+      return Exit;
+    return Cfg.blockContaining(static_cast<size_t>(Imm));
+  };
+
+  for (unsigned Id = 0; Id < Cfg.blockCount(); ++Id) {
+    const IsaBlock &In = Cfg.block(Id);
+    OptBlock &B = Out.Blocks[Id];
+    size_t BodyEnd = In.End;
+    bool HasTerm =
+        In.End > In.Begin && endsBlock(Program.Instructions[In.End - 1].Op);
+    if (HasTerm)
+      --BodyEnd;
+    B.Body.assign(Program.Instructions.begin() + In.Begin,
+                  Program.Instructions.begin() + BodyEnd);
+
+    unsigned Fall = Id + 1 < Cfg.blockCount() ? Id + 1 : Exit;
+    if (!HasTerm) {
+      B.Succs.push_back(Fall);
+      continue;
+    }
+    const isa::Instruction &T = Program.Instructions[In.End - 1];
+    B.Term = T;
+    if (T.Op == isa::Opcode::Halt) {
+      B.Succs.push_back(Exit);
+    } else if (T.Op == isa::Opcode::Jmp) {
+      B.Target = TargetBlock(T.Imm);
+      B.Succs.push_back(B.Target);
+    } else { // Conditional branch: taken target, then fall-through.
+      B.Target = TargetBlock(T.Imm);
+      B.Succs.push_back(B.Target);
+      if (Fall != B.Target)
+        B.Succs.push_back(Fall);
+    }
+  }
+  Out.recomputePreds();
+  return Out;
+}
+
+isa::IsaProgram enerj::analysis::opt::emitProgram(const OptProgram &Program) {
+  isa::IsaProgram Out;
+  Out.PreciseWords = Program.PreciseWords;
+  Out.ApproxWords = Program.ApproxWords;
+
+  // First pass: block offsets in the linearized program.
+  std::vector<size_t> Offset(Program.Blocks.size() + 1, 0);
+  size_t Cursor = 0;
+  for (size_t Id = 0; Id < Program.Blocks.size(); ++Id) {
+    Offset[Id] = Cursor;
+    Cursor += Program.Blocks[Id].Body.size() +
+              (Program.Blocks[Id].Term ? 1 : 0);
+  }
+  Offset[Program.Blocks.size()] = Cursor; // The architected exit.
+
+  for (size_t Id = 0; Id < Program.Blocks.size(); ++Id) {
+    const OptBlock &B = Program.Blocks[Id];
+    Out.Instructions.insert(Out.Instructions.end(), B.Body.begin(),
+                            B.Body.end());
+    if (!B.Term)
+      continue;
+    isa::Instruction T = *B.Term;
+    if (T.Op != isa::Opcode::Halt)
+      T.Imm = static_cast<int64_t>(Offset[B.Target]);
+    Out.Instructions.push_back(T);
+  }
+  return Out;
+}

@@ -1,0 +1,108 @@
+//===- analysis/opt/ir.h - Block-structured optimizer IR -------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizer's program representation: the same instructions as an
+/// assembled IsaProgram, regrouped into basic blocks with explicit edges
+/// so passes can rewrite bodies without recomputing branch offsets. The
+/// CFG *skeleton* is immutable by design — every pass edits block bodies
+/// only, never splits, merges, or retargets blocks — which is what lets
+/// the translation validator (analysis/validate.h) pair original and
+/// optimized blocks one-to-one.
+///
+/// Branch targets are stored as block ids. The synthetic block id
+/// `exitId()` (== Blocks.size()) stands for the architected
+/// fall-off-the-end clean halt (a branch to Instructions.size(); see
+/// docs/ISA.md). The Graph concept of analysis/dataflow.h is satisfied
+/// with that synthetic exit as a real node, so backward analyses see a
+/// single all-registers-live exit boundary regardless of whether a block
+/// leaves via `halt`, a branch to the end, or plain fall-through.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_OPT_IR_H
+#define ENERJ_ANALYSIS_OPT_IR_H
+
+#include "isa/isa.h"
+
+#include <optional>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+namespace opt {
+
+struct OptBlock {
+  /// Straight-line instructions, terminator excluded.
+  std::vector<isa::Instruction> Body;
+  /// The control transfer ending the block, if any; a block without a
+  /// terminator falls through to the next block (or off the end).
+  std::optional<isa::Instruction> Term;
+  /// Branch/jump target as a block id (may equal exitId()); unused for
+  /// halt or fall-through blocks. The Imm of Term is rewritten from this
+  /// at emission time.
+  unsigned Target = 0;
+  /// Successor block ids, including the synthetic exit id. For a
+  /// conditional branch: taken target first, then fall-through.
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+};
+
+struct OptProgram {
+  uint64_t PreciseWords = 0;
+  uint64_t ApproxWords = 0;
+  std::vector<OptBlock> Blocks;
+
+  /// The synthetic exit node's id.
+  unsigned exitId() const { return static_cast<unsigned>(Blocks.size()); }
+
+  /// Total instruction count (bodies + terminators).
+  size_t opCount() const;
+
+  // --- Graph concept (analysis/dataflow.h); block 0 is the entry and
+  // --- the synthetic exit participates as node exitId().
+  unsigned blockCount() const {
+    return static_cast<unsigned>(Blocks.size()) + 1;
+  }
+  const std::vector<unsigned> &succs(unsigned Block) const {
+    return Block == exitId() ? Empty : Blocks[Block].Succs;
+  }
+  const std::vector<unsigned> &preds(unsigned Block) const {
+    return Block == exitId() ? ExitPreds : Blocks[Block].Preds;
+  }
+
+  /// Rebuilds Preds (and the exit node's pred list) from Succs.
+  void recomputePreds();
+
+  std::vector<unsigned> ExitPreds;
+
+private:
+  static const std::vector<unsigned> Empty;
+};
+
+/// Regroups \p Program into blocks. The program must already satisfy the
+/// verifier's branch-range rule (targets in [0, Instructions.size()]).
+OptProgram buildOptProgram(const isa::IsaProgram &Program);
+
+/// Re-linearizes \p Program, recomputing branch immediates from block
+/// offsets. Building then emitting without running any pass reproduces
+/// the input program exactly.
+isa::IsaProgram emitProgram(const OptProgram &Program);
+
+/// True when \p Op writes a register and has no other effect — no trap,
+/// no memory access, no control transfer. Precise div/rem can trap and
+/// are excluded; their approximate variants return 0 on a zero divisor
+/// and qualify.
+bool isPureOp(const isa::Instruction &I);
+
+/// True when the opcode's result register lives in the FP file.
+bool isFpDest(isa::Opcode Op);
+
+} // namespace opt
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_OPT_IR_H

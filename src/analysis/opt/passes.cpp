@@ -1,0 +1,531 @@
+//===- analysis/opt/passes.cpp - Qualifier-aware optimizer passes ---------===//
+
+#include "analysis/opt/passes.h"
+
+#include "analysis/opt/ssa.h"
+#include "support/bits.h"
+
+#include <cassert>
+#include <map>
+
+using namespace enerj;
+using namespace enerj::analysis;
+using namespace enerj::analysis::opt;
+using isa::Opcode;
+
+namespace {
+
+bool isPreciseFlat(unsigned Flat) {
+  return (Flat % isa::NumIntRegs) < isa::FirstApproxReg;
+}
+
+/// Writes register operand \p UseIdx of \p I (indexed as
+/// registerOperands() reports uses) to \p NewIndex.
+void setUseReg(isa::Instruction &I, size_t UseIdx, unsigned NewIndex) {
+  switch (I.Op) {
+  case Opcode::Sw:
+  case Opcode::Fsw:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Ble:
+  case Opcode::Fbeq:
+  case Opcode::Fbne:
+  case Opcode::Fblt:
+  case Opcode::Fble:
+    // These read Rd (value/left operand) then Ra.
+    (UseIdx == 0 ? I.Rd : I.Ra) = NewIndex;
+    break;
+  default:
+    (UseIdx == 0 ? I.Ra : I.Rb) = NewIndex;
+    break;
+  }
+}
+
+isa::Instruction makeMove(bool Fp, unsigned DestIndex, unsigned SrcIndex,
+                          int Line) {
+  isa::Instruction I;
+  I.Op = Fp ? Opcode::Fmv : Opcode::Mv;
+  I.Rd = DestIndex;
+  I.Ra = SrcIndex;
+  I.Line = Line;
+  return I;
+}
+
+struct SsaContext {
+  OptLiveness Live;
+  DomTree Tree;
+  SsaForm Ssa;
+
+  // Unpruned SSA: the passes' block-entry invariants describe *every*
+  // precise register, so EntryDef must be the true reaching definition
+  // even for registers dead at the block (see buildSsa).
+  explicit SsaContext(const OptProgram &P)
+      : Live(computeLiveness(P)), Tree(computeDomTree(P)),
+        Ssa(buildSsa(P, Tree, Live, /*Pruned=*/false)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Constant propagation (sparse, over the SSA overlay)
+//===----------------------------------------------------------------------===//
+
+struct Lat {
+  enum K : uint8_t { Top, Const, Nac } Kind = Top;
+  uint64_t Bits = 0;
+
+  static Lat nac() { return {Nac, 0}; }
+  static Lat constant(uint64_t Bits) { return {Const, Bits}; }
+  bool operator==(const Lat &O) const {
+    return Kind == O.Kind && (Kind != Const || Bits == O.Bits);
+  }
+};
+
+Lat join(Lat A, Lat B) {
+  if (A.Kind == Lat::Top)
+    return B;
+  if (B.Kind == Lat::Top)
+    return A;
+  if (A.Kind == Lat::Nac || B.Kind == Lat::Nac || A.Bits != B.Bits)
+    return Lat::nac();
+  return A;
+}
+
+PassOutcome runConstProp(OptProgram &P) {
+  PassOutcome Out;
+  SsaContext C(P);
+  const SsaForm &S = C.Ssa;
+
+  std::vector<Lat> Val(S.Defs.size());
+  // Entry defs: both files are zero-initialized, but only precise
+  // registers participate (tracking approximate values would tempt the
+  // pass into folding `.a` dataflow, which the policy forbids).
+  for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg)
+    Val[Reg] = isPreciseFlat(Reg) ? Lat::constant(0) : Lat::nac();
+
+  auto Eval = [&](unsigned Id) -> Lat {
+    const SsaForm::DefSite &Site = S.Defs[Id];
+    if (Site.K == SsaForm::DefSite::Phi) {
+      Lat Merged;
+      for (unsigned Arg : S.PhiArgs[Id])
+        if (Arg != InvalidId)
+          Merged = join(Merged, Val[Arg]);
+      return Merged;
+    }
+    assert(Site.K == SsaForm::DefSite::Instr);
+    const isa::Instruction &I = P.Blocks[Site.Block].Body[Site.Index];
+    if (I.Approx || !isPreciseFlat(Site.Reg))
+      return Lat::nac();
+    const std::array<unsigned, 2> &Uses = S.InstrUses[Site.Block][Site.Index];
+    auto Use = [&](unsigned Which) { return Val[Uses[Which]]; };
+    switch (I.Op) {
+    case Opcode::Li:
+      return Lat::constant(toBits(I.Imm));
+    case Opcode::Lfi:
+      return Lat::constant(toBits(I.FpImm));
+    case Opcode::Mv:
+    case Opcode::Fmv:
+      return Use(0);
+    case Opcode::Addi: {
+      Lat A = Use(0);
+      if (A.Kind != Lat::Const)
+        return A;
+      return Lat::constant(*foldPreciseOp(
+          Opcode::Add, {A.Bits, toBits(I.Imm)}));
+    }
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Seq:
+    case Opcode::Sne:
+    case Opcode::Slt:
+    case Opcode::Sle:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Fadd:
+    case Opcode::Fsub:
+    case Opcode::Fmul:
+    case Opcode::Fdiv: {
+      Lat A = Use(0), B = Use(1);
+      if (A.Kind == Lat::Nac || B.Kind == Lat::Nac)
+        return Lat::nac();
+      if (A.Kind == Lat::Top || B.Kind == Lat::Top)
+        return {};
+      auto Folded = foldPreciseOp(I.Op, {A.Bits, B.Bits});
+      return Folded ? Lat::constant(*Folded) : Lat::nac();
+    }
+    case Opcode::Cvt:
+    case Opcode::Cvti: {
+      Lat A = Use(0);
+      if (A.Kind != Lat::Const)
+        return A;
+      return Lat::constant(*foldPreciseOp(I.Op, {A.Bits}));
+    }
+    default: // Loads, endorsements of approximate values.
+      return Lat::nac();
+    }
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Id = NumFlatRegs; Id < S.Defs.size(); ++Id) {
+      Lat New = Eval(Id);
+      if (!(New == Val[Id])) {
+        Val[Id] = New;
+        Changed = true;
+      }
+    }
+  }
+
+  // Rewrite constant definitions to immediates and strength-reduce
+  // add/sub with one constant operand to addi.
+  for (unsigned Block = 0; Block < P.Blocks.size(); ++Block) {
+    if (!C.Tree.reachable(Block))
+      continue;
+    for (size_t Index = 0; Index < P.Blocks[Block].Body.size(); ++Index) {
+      unsigned Id = S.InstrDef[Block][Index];
+      if (Id == InvalidId)
+        continue;
+      isa::Instruction &I = P.Blocks[Block].Body[Index];
+      if (I.Op == Opcode::Lw || I.Op == Opcode::Flw)
+        continue; // Loads keep their trap obligation.
+      if (Val[Id].Kind == Lat::Const) {
+        uint64_t Bits = Val[Id].Bits;
+        if (isFpDest(I.Op)) {
+          if (I.Op == Opcode::Lfi && toBits(I.FpImm) == Bits)
+            continue;
+          isa::Instruction New;
+          New.Op = Opcode::Lfi;
+          New.Rd = I.Rd;
+          New.FpImm = fromBits<double>(Bits);
+          New.Line = I.Line;
+          I = New;
+        } else {
+          if (I.Op == Opcode::Li && toBits(I.Imm) == Bits)
+            continue;
+          isa::Instruction New;
+          New.Op = Opcode::Li;
+          New.Rd = I.Rd;
+          New.Imm = fromBits<int64_t>(Bits);
+          New.Line = I.Line;
+          I = New;
+        }
+        ++Out.Rewritten;
+        continue;
+      }
+      // Strength reduction (precise integer add/sub only).
+      if (I.Approx || (I.Op != Opcode::Add && I.Op != Opcode::Sub))
+        continue;
+      const std::array<unsigned, 2> &Uses = S.InstrUses[Block][Index];
+      Lat A = Val[Uses[0]], B = Val[Uses[1]];
+      if (I.Op == Opcode::Add && A.Kind == Lat::Const) {
+        I.Op = Opcode::Addi;
+        I.Ra = I.Rb;
+        I.Rb = 0;
+        I.Imm = fromBits<int64_t>(A.Bits);
+        ++Out.Rewritten;
+      } else if (B.Kind == Lat::Const) {
+        int64_t Imm = fromBits<int64_t>(B.Bits);
+        I.Imm = I.Op == Opcode::Sub ? wrapNeg(Imm) : Imm;
+        I.Op = Opcode::Addi;
+        I.Rb = 0;
+        ++Out.Rewritten;
+      }
+    }
+  }
+
+  // The invariants the rewrites relied on: every precise register that is
+  // a known constant at a reachable block's entry.
+  Out.Facts.resize(P.Blocks.size());
+  for (unsigned Block = 0; Block < P.Blocks.size(); ++Block) {
+    if (!C.Tree.reachable(Block))
+      continue;
+    for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg) {
+      if (!isPreciseFlat(Reg))
+        continue;
+      unsigned Id = S.EntryDef[Block][Reg];
+      if (Id != InvalidId && Val[Id].Kind == Lat::Const)
+        Out.Facts[Block].push_back({Reg, true, Val[Id].Bits, 0});
+    }
+  }
+  Out.Changed = Out.Rewritten > 0;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Copy propagation (precise mv/fmv chains)
+//===----------------------------------------------------------------------===//
+
+PassOutcome runCopyProp(OptProgram &P) {
+  PassOutcome Out;
+  SsaContext C(P);
+  const SsaForm &S = C.Ssa;
+
+  // Chase each def through precise same-file copies to its root value.
+  // A use's def id is always smaller than the using instruction's def id
+  // (definitions dominate uses), so one forward sweep suffices.
+  std::vector<unsigned> Root(S.Defs.size());
+  for (unsigned Id = 0; Id < S.Defs.size(); ++Id) {
+    Root[Id] = Id;
+    const SsaForm::DefSite &Site = S.Defs[Id];
+    if (Site.K != SsaForm::DefSite::Instr)
+      continue;
+    const isa::Instruction &I = P.Blocks[Site.Block].Body[Site.Index];
+    if ((I.Op != Opcode::Mv && I.Op != Opcode::Fmv) || I.Approx)
+      continue;
+    unsigned SrcFlat = (I.Op == Opcode::Fmv ? isa::NumIntRegs : 0) + I.Ra;
+    if (!isPreciseFlat(Site.Reg) || !isPreciseFlat(SrcFlat))
+      continue;
+    unsigned Src = S.InstrUses[Site.Block][Site.Index][0];
+    assert(Src < Id && "SSA use does not precede its def");
+    Root[Id] = Root[Src];
+  }
+
+  std::optional<RegRef> Def;
+  std::vector<RegRef> Uses;
+  for (unsigned Block = 0; Block < P.Blocks.size(); ++Block) {
+    if (!C.Tree.reachable(Block))
+      continue;
+    std::array<unsigned, NumFlatRegs> CurDef = S.EntryDef[Block];
+    auto RewriteUse = [&](isa::Instruction &I, size_t UseIdx, unsigned UseId,
+                          const RegRef &Use) {
+      unsigned RootId = Root[UseId];
+      if (RootId == UseId)
+        return;
+      unsigned Source = S.Defs[RootId].Reg;
+      if (!isPreciseFlat(Source) || !isPreciseFlat(Use.flat()))
+        return;
+      if ((Source >= isa::NumIntRegs) != Use.IsFp)
+        return;
+      if (Source == Use.flat() || CurDef[Source] != RootId)
+        return; // The root's register no longer holds the root value.
+      setUseReg(I, UseIdx, Source % isa::NumIntRegs);
+      ++Out.Rewritten;
+    };
+    OptBlock &B = P.Blocks[Block];
+    for (size_t Index = 0; Index < B.Body.size(); ++Index) {
+      registerOperands(B.Body[Index], Def, Uses);
+      for (size_t UseIdx = 0; UseIdx < Uses.size(); ++UseIdx)
+        RewriteUse(B.Body[Index], UseIdx,
+                   S.InstrUses[Block][Index][UseIdx], Uses[UseIdx]);
+      unsigned Id = S.InstrDef[Block][Index];
+      if (Id != InvalidId)
+        CurDef[S.Defs[Id].Reg] = Id;
+    }
+    if (B.Term) {
+      registerOperands(*B.Term, Def, Uses);
+      for (size_t UseIdx = 0; UseIdx < Uses.size(); ++UseIdx)
+        RewriteUse(*B.Term, UseIdx, S.TermUses[Block][UseIdx],
+                   Uses[UseIdx]);
+    }
+  }
+
+  // Invariants: precise registers whose block-entry defs share a root
+  // hold the same value there.
+  Out.Facts.resize(P.Blocks.size());
+  for (unsigned Block = 0; Block < P.Blocks.size(); ++Block) {
+    if (!C.Tree.reachable(Block))
+      continue;
+    std::map<unsigned, unsigned> Rep; // root id -> representative reg
+    for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg) {
+      if (!isPreciseFlat(Reg) || S.EntryDef[Block][Reg] == InvalidId)
+        continue;
+      unsigned RootId = Root[S.EntryDef[Block][Reg]];
+      auto [It, Inserted] = Rep.emplace(RootId, Reg);
+      if (!Inserted)
+        Out.Facts[Block].push_back({Reg, false, 0, It->second});
+    }
+  }
+  Out.Changed = Out.Rewritten > 0;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Local value numbering (CSE) and redundant-endorse elimination
+//===----------------------------------------------------------------------===//
+
+/// Shared local walk: per reachable block, executes the body through the
+/// validator's own symbolic semantics and replaces an instruction whose
+/// value some precise register already holds with a register move.
+/// \p EndorseOnly restricts the rewrite to endorse/fendorse (the
+/// redundant-endorse pass); otherwise any precise pure computation,
+/// precise load, or precise div/rem qualifies — for the trapping ones,
+/// the dropped obligation is a duplicate of the first occurrence's,
+/// which the validator's event matcher accepts.
+PassOutcome runLocalValueNumbering(OptProgram &P, bool EndorseOnly) {
+  PassOutcome Out;
+  DomTree Tree = computeDomTree(P);
+
+  for (unsigned Block = 0; Block < P.Blocks.size(); ++Block) {
+    if (!Tree.reachable(Block))
+      continue;
+    TermTable Terms;
+    SymState St;
+    for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg)
+      St.Reg[Reg] = Terms.mkVar();
+    St.PreciseMem = Terms.mkVar();
+    St.ApproxMem = Terms.mkVar();
+
+    std::map<unsigned, unsigned> Avail; // value term -> flat register
+    std::optional<RegRef> Def;
+    std::vector<RegRef> Uses;
+    for (isa::Instruction &I : P.Blocks[Block].Body) {
+      registerOperands(I, Def, Uses);
+      stepSymbolic(Terms, St, I, nullptr);
+      if (!Def || !isPreciseFlat(Def->flat()))
+        continue;
+      unsigned DestFlat = Def->flat();
+      unsigned Term = St.Reg[DestFlat];
+
+      bool IsEndorse = I.Op == Opcode::Endorse || I.Op == Opcode::Fendorse;
+      bool Eligible;
+      if (EndorseOnly) {
+        Eligible = IsEndorse;
+      } else {
+        bool Materialization = I.Op == Opcode::Li || I.Op == Opcode::Lfi ||
+                               I.Op == Opcode::Mv || I.Op == Opcode::Fmv;
+        // Endorsements are left to the dedicated redundant-endorse
+        // pass so the per-pass report attributes them correctly.
+        Eligible = !I.Approx && !Materialization && !IsEndorse &&
+                   (isPureOp(I) || I.Op == Opcode::Lw ||
+                    I.Op == Opcode::Flw || I.Op == Opcode::Div ||
+                    I.Op == Opcode::Rem);
+      }
+
+      auto It = Avail.find(Term);
+      bool Hit = It != Avail.end() && It->second != DestFlat &&
+                 St.Reg[It->second] == Term &&
+                 (It->second >= isa::NumIntRegs) == Def->IsFp;
+      if (Eligible && Hit) {
+        I = makeMove(Def->IsFp, DestFlat % isa::NumIntRegs,
+                     It->second % isa::NumIntRegs, I.Line);
+        ++Out.Rewritten;
+      } else if (It == Avail.end()) {
+        Avail.emplace(Term, DestFlat);
+      } else if (St.Reg[It->second] != Term) {
+        It->second = DestFlat; // Stale entry: this register is the live copy.
+      }
+    }
+  }
+  Out.Changed = Out.Rewritten > 0;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead-code elimination
+//===----------------------------------------------------------------------===//
+
+PassOutcome runDce(OptProgram &P) {
+  PassOutcome Out;
+  bool Any = true;
+  while (Any) {
+    Any = false;
+    OptLiveness Live = computeLiveness(P);
+    std::optional<RegRef> Def;
+    std::vector<RegRef> Uses;
+    for (unsigned Block = 0; Block < P.Blocks.size(); ++Block) {
+      OptBlock &B = P.Blocks[Block];
+      BitVec Live_ = Live.LiveOut[Block];
+      if (B.Term) {
+        registerOperands(*B.Term, Def, Uses);
+        for (const RegRef &Use : Uses)
+          Live_.set(Use.flat());
+      }
+      std::vector<bool> Keep(B.Body.size(), true);
+      unsigned RemovedHere = 0;
+      for (size_t Index = B.Body.size(); Index-- > 0;) {
+        registerOperands(B.Body[Index], Def, Uses);
+        if (Def && !Live_.test(Def->flat()) && isPureOp(B.Body[Index])) {
+          Keep[Index] = false;
+          ++RemovedHere;
+          ++Out.Removed;
+          Any = true;
+          continue; // Its uses generate no liveness.
+        }
+        if (Def)
+          Live_.clear(Def->flat());
+        for (const RegRef &Use : Uses)
+          Live_.set(Use.flat());
+      }
+      if (RemovedHere) {
+        std::vector<isa::Instruction> NewBody;
+        NewBody.reserve(B.Body.size());
+        for (size_t Index = 0; Index < B.Body.size(); ++Index)
+          if (Keep[Index])
+            NewBody.push_back(B.Body[Index]);
+        B.Body = std::move(NewBody);
+      }
+    }
+  }
+  Out.Changed = Out.Removed > 0;
+  return Out;
+}
+
+} // namespace
+
+const char *enerj::analysis::opt::passName(PassKind Kind) {
+  switch (Kind) {
+  case PassKind::ConstProp:
+    return "constprop";
+  case PassKind::CopyProp:
+    return "copyprop";
+  case PassKind::Cse:
+    return "cse";
+  case PassKind::EndorseElim:
+    return "endorse-elim";
+  case PassKind::Dce:
+    return "dce";
+  }
+  return "?";
+}
+
+std::vector<PassKind> enerj::analysis::opt::defaultPasses() {
+  return {PassKind::ConstProp, PassKind::CopyProp, PassKind::Cse,
+          PassKind::EndorseElim, PassKind::Dce};
+}
+
+bool enerj::analysis::opt::parsePassList(const std::string &Spec,
+                                         std::vector<PassKind> &Out,
+                                         std::string &Error) {
+  Out.clear();
+  size_t Begin = 0;
+  while (Begin <= Spec.size()) {
+    size_t End = Spec.find(',', Begin);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Name = Spec.substr(Begin, End - Begin);
+    bool Found = false;
+    for (PassKind Kind :
+         {PassKind::ConstProp, PassKind::CopyProp, PassKind::Cse,
+          PassKind::EndorseElim, PassKind::Dce})
+      if (Name == passName(Kind)) {
+        Out.push_back(Kind);
+        Found = true;
+      }
+    if (!Found) {
+      Error = "unknown pass '" + Name + "'";
+      return false;
+    }
+    Begin = End + 1;
+  }
+  return true;
+}
+
+PassOutcome enerj::analysis::opt::runPass(OptProgram &Program,
+                                          PassKind Kind) {
+  switch (Kind) {
+  case PassKind::ConstProp:
+    return runConstProp(Program);
+  case PassKind::CopyProp:
+    return runCopyProp(Program);
+  case PassKind::Cse:
+    return runLocalValueNumbering(Program, /*EndorseOnly=*/false);
+  case PassKind::EndorseElim:
+    return runLocalValueNumbering(Program, /*EndorseOnly=*/true);
+  case PassKind::Dce:
+    return runDce(Program);
+  }
+  return {};
+}

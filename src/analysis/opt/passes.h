@@ -1,0 +1,74 @@
+//===- analysis/opt/passes.h - Qualifier-aware optimizer passes -*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizer's pass catalog. Every pass edits block bodies in place —
+/// never the CFG skeleton — and returns the block-entry invariants it
+/// relied on, so the translation validator (analysis/validate.h) can
+/// re-prove the rewrite. The passes share one non-negotiable policy:
+///
+///  * an approximate (`.a`) operation is never folded, merged with
+///    another `.a` operation, or moved across an `endorse`/`fendorse` —
+///    the validator's uninterpreted-function modeling of `.a` ops would
+///    reject it anyway, but the passes don't try;
+///  * precise-state semantics at ApproxLevel::None are preserved
+///    exactly: no store is dropped or reordered and no trap obligation
+///    (precise div/rem, any load) disappears unless a duplicate already
+///    discharged it earlier in the same block.
+///
+/// See docs/OPTIMIZER.md for the full catalog and the per-pass
+/// soundness arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_OPT_PASSES_H
+#define ENERJ_ANALYSIS_OPT_PASSES_H
+
+#include "analysis/opt/ir.h"
+#include "analysis/validate.h"
+
+#include <string>
+
+namespace enerj {
+namespace analysis {
+namespace opt {
+
+enum class PassKind {
+  ConstProp,   ///< Sparse SSA constant propagation + strength reduction.
+  CopyProp,    ///< Precise copy propagation through mv/fmv chains.
+  Cse,         ///< Per-block value numbering over precise computations.
+  EndorseElim, ///< Duplicate endorsements of the same value become mv.
+  Dce,         ///< Dead pure instructions (global backward liveness).
+};
+
+const char *passName(PassKind Kind);
+
+/// Parses a comma-separated pass list ("constprop,dce"). Returns false
+/// and sets \p Error on an unknown name.
+bool parsePassList(const std::string &Spec, std::vector<PassKind> &Out,
+                   std::string &Error);
+
+/// The default pipeline, in order.
+std::vector<PassKind> defaultPasses();
+
+struct PassOutcome {
+  bool Changed = false;
+  unsigned Rewritten = 0; ///< Instructions replaced with cheaper forms.
+  unsigned Removed = 0;   ///< Instructions deleted outright.
+  /// Block-entry invariants the rewrite relied on (constants and
+  /// register equalities over precise registers only).
+  BlockFacts Facts;
+};
+
+/// Runs one pass over \p Program in place. The caller is responsible for
+/// validating the rewrite against a snapshot and reverting on failure.
+PassOutcome runPass(OptProgram &Program, PassKind Kind);
+
+} // namespace opt
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_OPT_PASSES_H

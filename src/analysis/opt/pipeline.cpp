@@ -1,0 +1,136 @@
+//===- analysis/opt/pipeline.cpp - Validated pass pipeline ----------------===//
+
+#include "analysis/opt/pipeline.h"
+
+#include "analysis/isa_flow.h"
+#include "energy/model.h"
+#include "isa/verifier.h"
+
+using namespace enerj;
+using namespace enerj::analysis;
+using namespace enerj::analysis::opt;
+using isa::Opcode;
+
+namespace {
+
+/// Whether \p Op ticks OperationStats when executed, and in which file.
+/// Branches tick one precise comparison; immediates, moves, endorsements
+/// and memory accesses tick nothing (they are priced into storage and
+/// fetch elsewhere in the model).
+bool countsAsOp(Opcode Op, bool &IsFp) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Addi:
+  case Opcode::Seq:
+  case Opcode::Sne:
+  case Opcode::Slt:
+  case Opcode::Sle:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Cvti:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Ble:
+    IsFp = false;
+    return true;
+  case Opcode::Fadd:
+  case Opcode::Fsub:
+  case Opcode::Fmul:
+  case Opcode::Fdiv:
+  case Opcode::Cvt:
+  case Opcode::Fbeq:
+  case Opcode::Fbne:
+  case Opcode::Fblt:
+  case Opcode::Fble:
+    IsFp = true;
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+StaticEnergyEstimate
+enerj::analysis::opt::staticEnergyEstimate(const isa::IsaProgram &Program,
+                                           const FaultConfig &Config) {
+  StaticEnergyEstimate Est;
+  EnergyConstants Constants;
+  for (const isa::Instruction &I : Program.Instructions) {
+    bool IsFp = false;
+    if (!countsAsOp(I.Op, IsFp))
+      continue;
+    ++Est.CountedOps;
+    double Units = IsFp ? Constants.FpOpUnits : Constants.IntOpUnits;
+    Est.PreciseUnits += Units;
+    Est.Units +=
+        Units * instructionEnergyFactor(IsFp, I.Approx, Config, Constants);
+  }
+  return Est;
+}
+
+OptReport enerj::analysis::opt::optimizeProgram(isa::IsaProgram &Program,
+                                                const OptOptions &Options) {
+  OptReport Report;
+  FaultConfig Config = FaultConfig::preset(Options.EnergyLevel);
+
+  if (!isa::verify(Program).empty()) {
+    Report.Error = "input rejected by the ISA verifier; not optimizing";
+    return Report;
+  }
+
+  OptProgram Current = buildOptProgram(Program);
+  Report.OpsBefore = Current.opCount();
+  Report.EnergyBefore = staticEnergyEstimate(Program, Config);
+
+  for (PassKind Kind : Options.Passes) {
+    PassReport PR;
+    PR.Kind = Kind;
+    OptProgram Snapshot = Current;
+    PassOutcome Outcome = runPass(Current, Kind);
+    PR.Changed = Outcome.Changed;
+    PR.Rewritten = Outcome.Rewritten;
+    PR.Removed = Outcome.Removed;
+    if (!Outcome.Changed) {
+      Current = std::move(Snapshot); // Discard any incidental churn.
+      PR.Accepted = true;
+    } else {
+      ValidationResult Result =
+          validateRewrite(Snapshot, Current, Outcome.Facts);
+      if (Result.Ok) {
+        PR.Accepted = true;
+      } else {
+        PR.Accepted = false;
+        PR.RejectReason = Result.Error;
+        PR.Rewritten = 0;
+        PR.Removed = 0;
+        Current = std::move(Snapshot);
+      }
+    }
+    PR.OpsAfter = Current.opCount();
+    PR.EnergyAfter = staticEnergyEstimate(emitProgram(Current), Config);
+    Report.Passes.push_back(std::move(PR));
+  }
+
+  isa::IsaProgram Optimized = emitProgram(Current);
+  // Belt and braces: the optimized output must still satisfy both the
+  // instruction-local discipline and the flow-sensitive verifier. Any
+  // failure here discards the entire optimization.
+  if (!isa::verify(Optimized).empty() || !verifyFlow(Optimized).ok()) {
+    Report.Error = "optimized program failed re-verification; discarded";
+    Report.OpsAfter = Report.OpsBefore;
+    Report.EnergyAfter = Report.EnergyBefore;
+    return Report;
+  }
+
+  Report.Ok = true;
+  Report.OpsAfter = Optimized.Instructions.size();
+  Report.EnergyAfter = staticEnergyEstimate(Optimized, Config);
+  Program = std::move(Optimized);
+  return Report;
+}

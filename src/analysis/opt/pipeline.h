@@ -1,0 +1,99 @@
+//===- analysis/opt/pipeline.h - Validated pass pipeline -------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizer driver: runs a pass list over an assembled program,
+/// translation-validating after *every* pass and reverting any rewrite
+/// the validator cannot prove (a buggy pass degrades to a no-op, never a
+/// miscompile). The final program is additionally re-checked by the
+/// instruction-local verifier (isa::verify) and the flow-sensitive
+/// verifier (analysis::verifyFlow); if either rejects, the whole
+/// optimization is discarded and the input program is left untouched.
+///
+/// Reports carry a static Table-2 energy estimate: each counted
+/// operation priced at its instructionEnergyFactor under the chosen
+/// level. It is a *static* proxy (instruction text, not dynamic
+/// counts) — the opt_pipeline bench measures the dynamic counterpart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_OPT_PIPELINE_H
+#define ENERJ_ANALYSIS_OPT_PIPELINE_H
+
+#include "analysis/opt/passes.h"
+#include "fault/config.h"
+
+namespace enerj {
+namespace analysis {
+namespace opt {
+
+struct OptOptions {
+  std::vector<PassKind> Passes = defaultPasses();
+  /// Hardware level used to price the static energy estimate.
+  ApproxLevel EnergyLevel = ApproxLevel::Medium;
+};
+
+/// A static Table-2 energy estimate of a program's text: every counted
+/// operation (ALU, FP, branch comparisons — the same set the machine
+/// ticks in OperationStats) priced at its per-op factor.
+struct StaticEnergyEstimate {
+  size_t CountedOps = 0;  ///< Instructions that tick OperationStats.
+  double Units = 0.0;     ///< Abstract energy units after approximation.
+  double PreciseUnits = 0.0; ///< The same text priced fully precisely.
+
+  /// Normalized factor (1.0 = no approximate savings in the text).
+  double factor() const {
+    return PreciseUnits > 0 ? Units / PreciseUnits : 1.0;
+  }
+};
+
+StaticEnergyEstimate staticEnergyEstimate(const isa::IsaProgram &Program,
+                                          const FaultConfig &Config);
+
+struct PassReport {
+  PassKind Kind = PassKind::Dce;
+  bool Changed = false;  ///< The pass rewrote something.
+  bool Accepted = false; ///< The validator proved it (vacuously if !Changed).
+  unsigned Rewritten = 0;
+  unsigned Removed = 0;
+  std::string RejectReason; ///< Validator message when !Accepted.
+  size_t OpsAfter = 0;      ///< Instruction count after this pass.
+  StaticEnergyEstimate EnergyAfter;
+};
+
+struct OptReport {
+  bool Ok = false;
+  std::string Error; ///< Set when the input was rejected up front.
+  size_t OpsBefore = 0, OpsAfter = 0;
+  StaticEnergyEstimate EnergyBefore, EnergyAfter;
+  std::vector<PassReport> Passes;
+
+  unsigned totalRewritten() const {
+    unsigned Count = 0;
+    for (const PassReport &Pass : Passes)
+      if (Pass.Accepted)
+        Count += Pass.Rewritten;
+    return Count;
+  }
+  unsigned totalRemoved() const {
+    unsigned Count = 0;
+    for (const PassReport &Pass : Passes)
+      if (Pass.Accepted)
+        Count += Pass.Removed;
+    return Count;
+  }
+};
+
+/// Optimizes \p Program in place (only when everything validates; on any
+/// front-door rejection the program is left exactly as it was).
+OptReport optimizeProgram(isa::IsaProgram &Program,
+                          const OptOptions &Options = {});
+
+} // namespace opt
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_OPT_PIPELINE_H

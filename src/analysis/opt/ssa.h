@@ -1,0 +1,244 @@
+//===- analysis/opt/ssa.h - Dominators, phi placement, SSA -----*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSA construction over block CFGs: an iterative dominator tree
+/// (Cooper/Harvey/Kennedy), dominance frontiers, liveness-pruned phi
+/// placement, and a renaming pass producing a use/def-indexed SSA view
+/// of an OptProgram. The dominator-tree and phi-placement pieces are
+/// templates over the Graph concept of analysis/dataflow.h, so they run
+/// unchanged on the existing IsaCfg (how the unit tests exercise them)
+/// and on the optimizer's OptProgram.
+///
+/// SSA here is an *analysis* overlay: phi nodes are never materialized
+/// as instructions. The sparse passes (constant and copy propagation)
+/// read the overlay and rewrite the underlying instructions in place.
+///
+/// Virtual entry definitions: the machine zero-initializes both register
+/// files, so every register has an entry definition whose value is an
+/// architected constant 0 — which is also why the conventional zero
+/// register r0 participates in constant propagation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_OPT_SSA_H
+#define ENERJ_ANALYSIS_OPT_SSA_H
+
+#include "analysis/dataflow.h"
+#include "analysis/isa_flow.h"
+#include "analysis/opt/ir.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+namespace opt {
+
+inline constexpr unsigned NumFlatRegs = isa::NumIntRegs + isa::NumFpRegs;
+inline constexpr unsigned InvalidId = std::numeric_limits<unsigned>::max();
+
+/// Immediate dominators over a Graph (entry = block 0). Unreachable
+/// blocks have Idom == InvalidId and are excluded from the tree.
+struct DomTree {
+  std::vector<unsigned> Idom;     ///< Idom[entry] == entry.
+  std::vector<unsigned> RpoIndex; ///< Reverse-postorder number.
+  std::vector<unsigned> RpoOrder; ///< Reachable blocks in RPO.
+  std::vector<std::vector<unsigned>> Children;
+
+  bool reachable(unsigned Block) const {
+    return Idom[Block] != InvalidId;
+  }
+  /// True when \p A dominates \p B (reflexive).
+  bool dominates(unsigned A, unsigned B) const {
+    while (B != A && B != Idom[B])
+      B = Idom[B];
+    return B == A;
+  }
+};
+
+template <typename Graph> DomTree computeDomTree(const Graph &G) {
+  unsigned N = G.blockCount();
+  DomTree T;
+  T.Idom.assign(N, InvalidId);
+  T.RpoIndex.assign(N, InvalidId);
+  T.Children.resize(N);
+  if (N == 0)
+    return T;
+
+  // Iterative DFS postorder from the entry, then reverse.
+  std::vector<unsigned> Post;
+  {
+    std::vector<uint8_t> State(N, 0);
+    std::vector<std::pair<unsigned, size_t>> Stack{{0u, 0}};
+    State[0] = 1;
+    while (!Stack.empty()) {
+      auto &[Block, Next] = Stack.back();
+      if (Next < G.succs(Block).size()) {
+        unsigned Succ = G.succs(Block)[Next++];
+        if (!State[Succ]) {
+          State[Succ] = 1;
+          Stack.push_back({Succ, 0});
+        }
+      } else {
+        Post.push_back(Block);
+        Stack.pop_back();
+      }
+    }
+  }
+  T.RpoOrder.assign(Post.rbegin(), Post.rend());
+  for (unsigned Index = 0; Index < T.RpoOrder.size(); ++Index)
+    T.RpoIndex[T.RpoOrder[Index]] = Index;
+
+  auto Intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (T.RpoIndex[A] > T.RpoIndex[B])
+        A = T.Idom[A];
+      while (T.RpoIndex[B] > T.RpoIndex[A])
+        B = T.Idom[B];
+    }
+    return A;
+  };
+
+  T.Idom[0] = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Block : T.RpoOrder) {
+      if (Block == 0)
+        continue;
+      unsigned NewIdom = InvalidId;
+      for (unsigned Pred : G.preds(Block)) {
+        if (T.Idom[Pred] == InvalidId)
+          continue; // Unreachable or not yet processed.
+        NewIdom = NewIdom == InvalidId ? Pred : Intersect(NewIdom, Pred);
+      }
+      if (NewIdom != InvalidId && T.Idom[Block] != NewIdom) {
+        T.Idom[Block] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  for (unsigned Block = 0; Block < N; ++Block)
+    if (Block != 0 && T.Idom[Block] != InvalidId)
+      T.Children[T.Idom[Block]].push_back(Block);
+  return T;
+}
+
+/// Dominance frontiers (Cooper/Harvey/Kennedy's runner walk).
+template <typename Graph>
+std::vector<std::vector<unsigned>> dominanceFrontiers(const Graph &G,
+                                                      const DomTree &T) {
+  std::vector<std::vector<unsigned>> Df(G.blockCount());
+  for (unsigned Block = 0; Block < G.blockCount(); ++Block) {
+    if (!T.reachable(Block) || G.preds(Block).size() < 2)
+      continue;
+    for (unsigned Pred : G.preds(Block)) {
+      if (!T.reachable(Pred))
+        continue;
+      unsigned Runner = Pred;
+      while (Runner != T.Idom[Block]) {
+        auto &Row = Df[Runner];
+        if (std::find(Row.begin(), Row.end(), Block) == Row.end())
+          Row.push_back(Block);
+        Runner = T.Idom[Runner];
+      }
+    }
+  }
+  return Df;
+}
+
+/// Pruned phi placement for one variable: blocks needing a phi given the
+/// variable's definition blocks and its block-entry liveness. \p LiveIn
+/// may be empty to request unpruned (minimal-SSA) placement.
+template <typename Graph>
+std::vector<unsigned>
+placePhis(const Graph &G, const DomTree &T,
+          const std::vector<std::vector<unsigned>> &Df,
+          std::vector<unsigned> DefBlocks,
+          const std::vector<bool> &LiveIn) {
+  std::vector<bool> HasPhi(G.blockCount(), false);
+  std::vector<bool> InWork(G.blockCount(), false);
+  std::vector<unsigned> Work;
+  for (unsigned Block : DefBlocks)
+    if (T.reachable(Block) && !InWork[Block]) {
+      InWork[Block] = true;
+      Work.push_back(Block);
+    }
+  std::vector<unsigned> Out;
+  while (!Work.empty()) {
+    unsigned Block = Work.back();
+    Work.pop_back();
+    for (unsigned Frontier : Df[Block]) {
+      if (HasPhi[Frontier])
+        continue;
+      if (!LiveIn.empty() && !LiveIn[Frontier])
+        continue; // Pruned: dead at the merge, no phi needed.
+      HasPhi[Frontier] = true;
+      Out.push_back(Frontier);
+      if (!InWork[Frontier]) {
+        InWork[Frontier] = true;
+        Work.push_back(Frontier);
+      }
+    }
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// Backward register liveness over an OptProgram (boundary: everything
+/// is live at the synthetic exit — the machine state is observable).
+struct OptLiveness {
+  std::vector<BitVec> LiveIn;  ///< At block entry.
+  std::vector<BitVec> LiveOut; ///< After the terminator.
+};
+
+OptLiveness computeLiveness(const OptProgram &Program);
+
+/// The SSA overlay of an OptProgram.
+struct SsaForm {
+  struct DefSite {
+    enum Kind { Entry, Instr, Phi } K = Entry;
+    unsigned Block = 0;
+    unsigned Index = 0; ///< Body index for Instr defs.
+    unsigned Reg = 0;   ///< Flattened register (RegRef::flat()).
+  };
+
+  std::vector<DefSite> Defs; ///< Ids 0..NumFlatRegs-1 are entry defs.
+  /// Per def id: phi arguments aligned with preds(Block); empty for
+  /// non-phi defs. An InvalidId argument marks an unreachable pred edge.
+  std::vector<std::vector<unsigned>> PhiArgs;
+  /// Per block: (flat reg, phi def id) pairs.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> BlockPhis;
+  /// Per block: reaching def per flat register at block entry, *after*
+  /// the block's phis. InvalidId in unreachable blocks.
+  std::vector<std::array<unsigned, NumFlatRegs>> EntryDef;
+  /// Per block, per body instruction: def id (InvalidId if no def).
+  std::vector<std::vector<unsigned>> InstrDef;
+  /// Per block, per body instruction: def ids of the uses, aligned with
+  /// registerOperands() order.
+  std::vector<std::vector<std::array<unsigned, 2>>> InstrUses;
+  /// Per block: def ids of the terminator's uses.
+  std::vector<std::array<unsigned, 2>> TermUses;
+};
+
+/// Builds the SSA overlay. With \p Pruned, phi placement is restricted
+/// to live-in registers (smaller, but EntryDef is only meaningful for
+/// live registers); unpruned (minimal) SSA makes EntryDef the true
+/// reaching definition of *every* register at *every* reachable block —
+/// which is what the optimizer passes need to emit correct block-entry
+/// invariants for the validator.
+SsaForm buildSsa(const OptProgram &Program, const DomTree &T,
+                 const OptLiveness &Live, bool Pruned = true);
+
+} // namespace opt
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_OPT_SSA_H

@@ -1,0 +1,541 @@
+//===- analysis/validate.cpp - Translation validation ---------------------===//
+
+#include "analysis/validate.h"
+
+#include "analysis/isa_cfg.h"
+#include "analysis/opt/ssa.h"
+#include "support/bits.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <queue>
+
+using namespace enerj;
+using namespace enerj::analysis;
+using namespace enerj::analysis::opt;
+
+namespace {
+
+using isa::Opcode;
+
+bool isCommutativeInt(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::Seq:
+  case Opcode::Sne:
+  case Opcode::And:
+  case Opcode::Or:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isFoldable(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Seq:
+  case Opcode::Sne:
+  case Opcode::Slt:
+  case Opcode::Sle:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Fadd:
+  case Opcode::Fsub:
+  case Opcode::Fmul:
+  case Opcode::Fdiv:
+  case Opcode::Cvt:
+  case Opcode::Cvti:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Mirrors Machine::run exactly for the precise (non-`.a`) semantics of
+/// the pure value ops. Arguments and result are raw bit patterns.
+uint64_t foldPrecise(Opcode Op, const std::vector<uint64_t> &A) {
+  auto I = [](uint64_t Bits) { return fromBits<int64_t>(Bits); };
+  auto F = [](uint64_t Bits) { return fromBits<double>(Bits); };
+  switch (Op) {
+  case Opcode::Add:
+    return toBits(wrapAdd(I(A[0]), I(A[1])));
+  case Opcode::Sub:
+    return toBits(wrapSub(I(A[0]), I(A[1])));
+  case Opcode::Mul:
+    return toBits(wrapMul(I(A[0]), I(A[1])));
+  case Opcode::Div:
+    return toBits(wrapDiv(I(A[0]), I(A[1]))); // Caller rules out 0.
+  case Opcode::Rem:
+    return toBits(wrapRem(I(A[0]), I(A[1])));
+  case Opcode::Seq:
+    return toBits<int64_t>(I(A[0]) == I(A[1]) ? 1 : 0);
+  case Opcode::Sne:
+    return toBits<int64_t>(I(A[0]) != I(A[1]) ? 1 : 0);
+  case Opcode::Slt:
+    return toBits<int64_t>(I(A[0]) < I(A[1]) ? 1 : 0);
+  case Opcode::Sle:
+    return toBits<int64_t>(I(A[0]) <= I(A[1]) ? 1 : 0);
+  case Opcode::And:
+    return toBits<int64_t>(I(A[0]) & I(A[1]));
+  case Opcode::Or:
+    return toBits<int64_t>(I(A[0]) | I(A[1]));
+  case Opcode::Fadd:
+    return toBits(F(A[0]) + F(A[1]));
+  case Opcode::Fsub:
+    return toBits(F(A[0]) - F(A[1]));
+  case Opcode::Fmul:
+    return toBits(F(A[0]) * F(A[1]));
+  case Opcode::Fdiv:
+    return toBits(F(A[0]) / F(A[1])); // Precise FP div-by-zero is IEEE.
+  case Opcode::Cvt:
+    return toBits(static_cast<double>(I(A[0])));
+  case Opcode::Cvti: {
+    // The machine's saturating converter (NaN yields 0).
+    double Value = F(A[0]);
+    int64_t Truncated = 0;
+    if (std::isfinite(Value)) {
+      if (Value >= 9.2233720368547758e18)
+        Truncated = INT64_MAX;
+      else if (Value <= -9.2233720368547758e18)
+        Truncated = INT64_MIN;
+      else
+        Truncated = static_cast<int64_t>(Value);
+    }
+    return toBits(Truncated);
+  }
+  default:
+    assert(false && "not foldable");
+    return 0;
+  }
+}
+
+} // namespace
+
+std::optional<uint64_t>
+enerj::analysis::foldPreciseOp(Opcode Op,
+                               const std::vector<uint64_t> &Args) {
+  if (!isFoldable(Op))
+    return std::nullopt;
+  if ((Op == Opcode::Div || Op == Opcode::Rem) && Args[1] == 0)
+    return std::nullopt; // Would trap; the instruction must stay.
+  return foldPrecise(Op, Args);
+}
+
+unsigned TermTable::intern(Node N) {
+  auto Key = std::make_tuple(N.Op, N.Approx, N.Bits, N.Args);
+  auto [It, Inserted] =
+      Interned.emplace(std::move(Key), static_cast<unsigned>(Nodes.size()));
+  if (Inserted)
+    Nodes.push_back(std::move(N));
+  return It->second;
+}
+
+unsigned TermTable::mkConst(uint64_t Bits) {
+  Node N;
+  N.K = Kind::Const;
+  N.Op = Opcode::Li; // Tag constants apart from ops in the intern key.
+  N.Bits = Bits;
+  return intern(std::move(N));
+}
+
+unsigned TermTable::mkVar() {
+  Node N;
+  N.K = Kind::Var;
+  N.Op = Opcode::Halt; // Tag.
+  N.Bits = NextVar++;
+  return intern(std::move(N));
+}
+
+unsigned TermTable::mkOp(Opcode Op, bool Approx,
+                         std::vector<unsigned> Args) {
+  // Commutative integer ops canonicalize operand order; sound even for
+  // `.a` variants (the timing-error model perturbs the *result*, which
+  // is operand-order independent).
+  if (isCommutativeInt(Op) && Args.size() == 2 && Args[0] > Args[1])
+    std::swap(Args[0], Args[1]);
+
+  // Precise subtraction of a constant normalizes to addition of its
+  // negation (exact in two's complement, including INT64_MIN), matching
+  // the Addi normalization so sub→addi strength reduction validates.
+  if (Op == Opcode::Sub && !Approx && Args.size() == 2) {
+    if (auto C = constBits(Args[1]))
+      return mkOp(Opcode::Add, false,
+                  {Args[0], mkConst(toBits(wrapNeg(fromBits<int64_t>(*C))))});
+  }
+
+  if (!Approx && isFoldable(Op)) {
+    bool AllConst = true;
+    std::vector<uint64_t> Bits;
+    for (unsigned Arg : Args) {
+      auto C = constBits(Arg);
+      if (!C) {
+        AllConst = false;
+        break;
+      }
+      Bits.push_back(*C);
+    }
+    bool TrapsOnZero = Op == Opcode::Div || Op == Opcode::Rem;
+    if (AllConst && !(TrapsOnZero && Bits[1] == 0))
+      return mkConst(foldPrecise(Op, Bits));
+  }
+  Node N;
+  N.K = Kind::Op;
+  N.Op = Op;
+  N.Approx = Approx;
+  N.Args = std::move(Args);
+  return intern(std::move(N));
+}
+
+void enerj::analysis::stepSymbolic(TermTable &Terms, SymState &State,
+                                   const isa::Instruction &I,
+                                   std::vector<SymEvent> *Events) {
+  auto Emit = [&](SymEvent E) {
+    if (Events)
+      Events->push_back(E);
+  };
+  auto IntC = [&](int64_t Value) { return Terms.mkConst(toBits(Value)); };
+  unsigned FpBase = isa::NumIntRegs;
+
+  switch (I.Op) {
+  case Opcode::Li:
+    State.Reg[I.Rd] = IntC(I.Imm);
+    break;
+  case Opcode::Lfi:
+    State.Reg[FpBase + I.Rd] = Terms.mkConst(toBits(I.FpImm));
+    break;
+  case Opcode::Mv:
+  case Opcode::Endorse:
+    // At level None an endorsement is a copy; the *discipline* around it
+    // is enforced by the UF modeling of `.a` ops plus re-verification.
+    State.Reg[I.Rd] = State.Reg[I.Ra];
+    break;
+  case Opcode::Fmv:
+  case Opcode::Fendorse:
+    State.Reg[FpBase + I.Rd] = State.Reg[FpBase + I.Ra];
+    break;
+
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Seq:
+  case Opcode::Sne:
+  case Opcode::Slt:
+  case Opcode::Sle:
+  case Opcode::And:
+  case Opcode::Or:
+    State.Reg[I.Rd] =
+        Terms.mkOp(I.Op, I.Approx, {State.Reg[I.Ra], State.Reg[I.Rb]});
+    break;
+  case Opcode::Addi:
+    // Normalized to Add with a constant operand, so strength-reduced
+    // forms compare equal.
+    State.Reg[I.Rd] =
+        Terms.mkOp(Opcode::Add, I.Approx, {State.Reg[I.Ra], IntC(I.Imm)});
+    break;
+  case Opcode::Div:
+  case Opcode::Rem: {
+    unsigned Divisor = State.Reg[I.Rb];
+    if (!I.Approx) {
+      auto C = Terms.constBits(Divisor);
+      bool ProvablySafe = C && *C != 0;
+      if (!ProvablySafe)
+        Emit({SymEvent::Type::TrapDiv, I.Op, false, 0, Divisor});
+    }
+    State.Reg[I.Rd] =
+        Terms.mkOp(I.Op, I.Approx, {State.Reg[I.Ra], Divisor});
+    break;
+  }
+
+  case Opcode::Fadd:
+  case Opcode::Fsub:
+  case Opcode::Fmul:
+  case Opcode::Fdiv:
+    State.Reg[FpBase + I.Rd] = Terms.mkOp(
+        I.Op, I.Approx,
+        {State.Reg[FpBase + I.Ra], State.Reg[FpBase + I.Rb]});
+    break;
+  case Opcode::Cvt:
+    State.Reg[FpBase + I.Rd] =
+        Terms.mkOp(I.Op, I.Approx, {State.Reg[I.Ra]});
+    break;
+  case Opcode::Cvti:
+    State.Reg[I.Rd] =
+        Terms.mkOp(I.Op, I.Approx, {State.Reg[FpBase + I.Ra]});
+    break;
+
+  case Opcode::Lw:
+  case Opcode::Flw: {
+    unsigned Addr =
+        Terms.mkOp(Opcode::Add, false, {State.Reg[I.Ra], IntC(I.Imm)});
+    // Loads trap identically regardless of destination file, so the
+    // obligation is canonicalized to Lw.
+    Emit({SymEvent::Type::TrapMem, Opcode::Lw, I.Approx, Addr, 0});
+    std::vector<unsigned> Args{Addr, State.PreciseMem};
+    if (I.Approx) // precise <: approx — `.a` loads may read either region.
+      Args.push_back(State.ApproxMem);
+    unsigned Value = Terms.mkOp(I.Op, I.Approx, std::move(Args));
+    if (I.Op == Opcode::Lw)
+      State.Reg[I.Rd] = Value;
+    else
+      State.Reg[FpBase + I.Rd] = Value;
+    break;
+  }
+  case Opcode::Sw:
+  case Opcode::Fsw: {
+    unsigned Addr =
+        Terms.mkOp(Opcode::Add, false, {State.Reg[I.Ra], IntC(I.Imm)});
+    unsigned Value = I.Op == Opcode::Sw ? State.Reg[I.Rd]
+                                        : State.Reg[FpBase + I.Rd];
+    Emit({SymEvent::Type::Store, I.Op, I.Approx, Addr, Value});
+    // A successful approximate store writes the approximate region only;
+    // a precise one the precise region.
+    if (I.Approx)
+      State.ApproxMem =
+          Terms.mkOp(I.Op, true, {State.ApproxMem, Addr, Value});
+    else
+      State.PreciseMem =
+          Terms.mkOp(I.Op, false, {State.PreciseMem, Addr, Value});
+    break;
+  }
+
+  default:
+    // Terminators never reach here (OptBlock keeps them out of Body).
+    assert(!endsBlock(I.Op) && "terminator in a block body");
+    break;
+  }
+}
+
+namespace {
+
+std::vector<bool> reachableFrom(const OptProgram &P) {
+  std::vector<bool> Seen(P.blockCount(), false);
+  std::queue<unsigned> Work;
+  Seen[0] = true;
+  Work.push(0);
+  while (!Work.empty()) {
+    unsigned Block = Work.front();
+    Work.pop();
+    for (unsigned Succ : P.succs(Block))
+      if (!Seen[Succ]) {
+        Seen[Succ] = true;
+        Work.push(Succ);
+      }
+  }
+  return Seen;
+}
+
+/// True iff the register (flattened) is in the precise half of its file.
+bool isPreciseFlat(unsigned Flat) {
+  return (Flat % isa::NumIntRegs) < isa::FirstApproxReg;
+}
+
+struct BlockExec {
+  SymState Exit;
+  std::vector<SymEvent> Events;
+};
+
+BlockExec execBlock(TermTable &Terms, const SymState &Entry,
+                    const OptBlock &B) {
+  BlockExec R;
+  R.Exit = Entry;
+  for (const isa::Instruction &I : B.Body)
+    stepSymbolic(Terms, R.Exit, I, &R.Events);
+  return R;
+}
+
+std::string blockTag(unsigned Block) {
+  return "block " + std::to_string(Block);
+}
+
+} // namespace
+
+ValidationResult
+enerj::analysis::validateRewrite(const OptProgram &Original,
+                                 const OptProgram &Optimized,
+                                 const BlockFacts &Facts) {
+  auto Fail = [](std::string Message) {
+    return ValidationResult{false, std::move(Message)};
+  };
+
+  // --- Structure: the CFG skeleton is immutable by contract.
+  if (Original.PreciseWords != Optimized.PreciseWords ||
+      Original.ApproxWords != Optimized.ApproxWords)
+    return Fail("data segment geometry changed");
+  if (Original.Blocks.size() != Optimized.Blocks.size())
+    return Fail("block count changed");
+  for (size_t Block = 0; Block < Original.Blocks.size(); ++Block) {
+    const OptBlock &A = Original.Blocks[Block];
+    const OptBlock &B = Optimized.Blocks[Block];
+    if (A.Term.has_value() != B.Term.has_value())
+      return Fail(blockTag(Block) + ": terminator added or removed");
+    if (A.Term &&
+        (A.Term->Op != B.Term->Op || A.Term->Approx != B.Term->Approx))
+      return Fail(blockTag(Block) + ": terminator opcode changed");
+    if (A.Term && A.Term->Op != Opcode::Halt && A.Target != B.Target)
+      return Fail(blockTag(Block) + ": branch target changed");
+    if (A.Succs != B.Succs)
+      return Fail(blockTag(Block) + ": successor edges changed");
+  }
+
+  std::vector<bool> Reachable = reachableFrom(Original);
+  OptLiveness LiveA = computeLiveness(Original);
+  OptLiveness LiveB = computeLiveness(Optimized);
+
+  // --- Per-block symbolic bisimulation from a shared entry state.
+  TermTable Terms;
+  unsigned N = static_cast<unsigned>(Original.Blocks.size());
+  std::vector<SymState> ExitA(N), ExitB(N);
+  std::vector<unsigned> EntryConst(NumFlatRegs);
+
+  for (unsigned Block = 0; Block < N; ++Block) {
+    // Entry state: fresh unknowns, refined by the pass's claimed facts
+    // (equal registers share one unknown; constant registers get the
+    // constant). The facts themselves are checked afterwards.
+    std::array<unsigned, NumFlatRegs> Group{};
+    for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg)
+      Group[Reg] = Reg;
+    auto Find = [&](unsigned Reg) {
+      while (Group[Reg] != Reg)
+        Reg = Group[Reg] = Group[Group[Reg]];
+      return Reg;
+    };
+    std::array<std::optional<uint64_t>, NumFlatRegs> Const{};
+    if (Block < Facts.size())
+      for (const EntryFact &Fact : Facts[Block]) {
+        if (!isPreciseFlat(Fact.Reg) ||
+            (!Fact.IsConst && !isPreciseFlat(Fact.Other)))
+          return Fail(blockTag(Block) +
+                      ": invariant names an approximate register");
+        if (Fact.IsConst) {
+          unsigned Root = Find(Fact.Reg);
+          if (Const[Root] && *Const[Root] != Fact.Bits)
+            return Fail(blockTag(Block) + ": contradictory invariants");
+          Const[Root] = Fact.Bits;
+        } else {
+          unsigned RootA = Find(Fact.Reg), RootB = Find(Fact.Other);
+          if (RootA == RootB)
+            continue;
+          if (Const[RootA] && Const[RootB] &&
+              *Const[RootA] != *Const[RootB])
+            return Fail(blockTag(Block) + ": contradictory invariants");
+          Group[RootA] = RootB;
+          if (Const[RootA] && !Const[RootB])
+            Const[RootB] = Const[RootA];
+        }
+      }
+    SymState Entry;
+    std::array<unsigned, NumFlatRegs> RootTerm{};
+    RootTerm.fill(InvalidId);
+    for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg) {
+      unsigned Root = Find(Reg);
+      if (RootTerm[Root] == InvalidId)
+        RootTerm[Root] =
+            Const[Root] ? Terms.mkConst(*Const[Root]) : Terms.mkVar();
+      Entry.Reg[Reg] = RootTerm[Root];
+    }
+    Entry.PreciseMem = Terms.mkVar();
+    Entry.ApproxMem = Terms.mkVar();
+
+    BlockExec A = execBlock(Terms, Entry, Original.Blocks[Block]);
+    BlockExec B = execBlock(Terms, Entry, Optimized.Blocks[Block]);
+    ExitA[Block] = A.Exit;
+    ExitB[Block] = B.Exit;
+
+    // Live-out register equality (union of both programs' liveness; the
+    // synthetic exit makes every register live at program exit).
+    for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg) {
+      bool Live = LiveA.LiveOut[Block].test(Reg) ||
+                  LiveB.LiveOut[Block].test(Reg);
+      if (Live && A.Exit.Reg[Reg] != B.Exit.Reg[Reg])
+        return Fail(blockTag(Block) + ": live-out register " +
+                    RegRef{Reg >= isa::NumIntRegs,
+                           Reg % isa::NumIntRegs}
+                        .str() +
+                    " diverges");
+    }
+    if (A.Exit.PreciseMem != B.Exit.PreciseMem ||
+        A.Exit.ApproxMem != B.Exit.ApproxMem)
+      return Fail(blockTag(Block) + ": memory state diverges");
+
+    // Terminator operands must read equal values.
+    if (Original.Blocks[Block].Term) {
+      std::optional<RegRef> Def;
+      std::vector<RegRef> UsesA, UsesB;
+      registerOperands(*Original.Blocks[Block].Term, Def, UsesA);
+      registerOperands(*Optimized.Blocks[Block].Term, Def, UsesB);
+      for (size_t Use = 0; Use < UsesA.size(); ++Use) {
+        unsigned FlatA = UsesA[Use].flat();
+        unsigned FlatB = UsesB[Use].flat();
+        if (A.Exit.Reg[FlatA] != B.Exit.Reg[FlatB])
+          return Fail(blockTag(Block) +
+                      ": terminator operand diverges");
+      }
+    }
+
+    // Stores and trap obligations: the optimized sequence must match the
+    // original's, except that the original may drop a trap obligation
+    // that is a duplicate of an earlier one in the same block (the
+    // earlier occurrence already trapped or proved it safe).
+    size_t Cursor = 0;
+    for (size_t Index = 0; Index < A.Events.size(); ++Index) {
+      const SymEvent &E = A.Events[Index];
+      if (Cursor < B.Events.size() && E == B.Events[Cursor]) {
+        ++Cursor;
+        continue;
+      }
+      bool Droppable = false;
+      if (E.T != SymEvent::Type::Store)
+        for (size_t Earlier = 0; Earlier < Index && !Droppable; ++Earlier)
+          Droppable = A.Events[Earlier] == E;
+      if (!Droppable)
+        return Fail(blockTag(Block) +
+                    (E.T == SymEvent::Type::Store
+                         ? ": store sequence diverges"
+                         : ": trap obligation dropped or reordered"));
+    }
+    if (Cursor != B.Events.size())
+      return Fail(blockTag(Block) +
+                  ": optimized code introduces stores or traps");
+  }
+
+  // --- The claimed entry invariants must actually hold: at the machine's
+  // --- zero-initialized entry, and at the exit of every reachable
+  // --- predecessor, in both programs.
+  for (unsigned Block = 0; Block < N && Block < Facts.size(); ++Block) {
+    if (Facts[Block].empty())
+      continue;
+    if (!Reachable[Block])
+      continue; // Never executes; the claim obligates nothing.
+    for (const EntryFact &Fact : Facts[Block]) {
+      if (Block == 0) {
+        // Entered with both register files zeroed.
+        if (Fact.IsConst && Fact.Bits != 0)
+          return Fail("entry block invariant contradicts zero-init");
+      }
+      for (unsigned Pred : Original.preds(Block)) {
+        if (!Reachable[Pred])
+          continue;
+        for (const SymState *Exit : {&ExitA[Pred], &ExitB[Pred]}) {
+          if (Fact.IsConst) {
+            if (Exit->Reg[Fact.Reg] != Terms.mkConst(Fact.Bits))
+              return Fail(blockTag(Block) +
+                          ": constant invariant unproven at pred " +
+                          std::to_string(Pred));
+          } else if (Exit->Reg[Fact.Reg] != Exit->Reg[Fact.Other]) {
+            return Fail(blockTag(Block) +
+                        ": equality invariant unproven at pred " +
+                        std::to_string(Pred));
+          }
+        }
+      }
+    }
+  }
+  return {};
+}

@@ -1,0 +1,183 @@
+//===- analysis/validate.h - Translation validation ------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translation validator for the ISA optimizer (analysis/opt/): a
+/// per-block symbolic bisimulation of the original and the optimized
+/// program, run after every pass. A rewrite is accepted only if the
+/// validator can *prove* it preserves the machine semantics at
+/// ApproxLevel::None and the approximate dataflow structure; any failure
+/// rejects the rewrite, so a buggy pass degrades to a no-op instead of a
+/// miscompile.
+///
+/// The proof obligation, per block pair (passes never change the CFG
+/// skeleton, so blocks pair one-to-one):
+///
+///  * starting from a shared symbolic entry state, both bodies must
+///    produce equal symbolic values for every register live out of the
+///    block (liveness is the union over both programs; every register is
+///    live at program exit);
+///  * the terminators must be identical and read equal symbolic values;
+///  * the sequences of memory stores must match exactly (address, value,
+///    and `.a` hint), and every potentially-trapping operation of the
+///    original (precise div/rem, loads, stores) must reappear in the
+///    optimized block unless it is provably trap-free — a constant
+///    nonzero divisor — or a duplicate of an earlier identical
+///    operation in the same block (which already trapped or didn't);
+///  * block-entry *invariants* claimed by a pass ("r5 holds constant 48
+///    here", "r4 and r5 are equal here") are themselves verified: each
+///    claim must hold in the symbolic exit state of every reachable
+///    predecessor, in both programs, and against the machine's
+///    zero-initialized registers at the entry block. This is what lets
+///    global (SSA-based) constant and copy propagation validate with a
+///    per-block checker.
+///
+/// Approximate operations are modeled as *uninterpreted functions*:
+/// they are never constant-folded, so any rewrite that alters the
+/// approximate dataflow graph — most importantly, moving an `.a` op
+/// across an `endorse` — changes a symbolic value and is rejected.
+/// `endorse` itself is a copy at level None; the qualifier discipline of
+/// optimized output is re-checked separately by isa::verify and
+/// analysis::verifyFlow in the pass pipeline.
+///
+/// What this does and does not prove: at ApproxLevel::None the accepted
+/// program is bisimilar to the original (same traps, same stores, same
+/// final register file and memory). Under approximation, deleting or
+/// deduplicating instructions legitimately changes how many RNG draws
+/// the fault models make, so *bit* identity cannot be promised — see
+/// docs/OPTIMIZER.md for the full argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_VALIDATE_H
+#define ENERJ_ANALYSIS_VALIDATE_H
+
+#include "analysis/opt/ir.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+
+/// A hash-consed term graph over instruction semantics. Precise pure
+/// ops with constant operands fold to constants using the exact machine
+/// semantics (wrapping integer arithmetic, IEEE doubles, the saturating
+/// cvti); approximate ops never fold. Commutative precise *integer* ops
+/// canonicalize their operand order (FP is left alone: NaN payload
+/// propagation is operand-order dependent on real hardware).
+class TermTable {
+public:
+  enum class Kind { Const, Var, Op };
+
+  struct Node {
+    Kind K = Kind::Var;
+    isa::Opcode Op = isa::Opcode::Halt;
+    bool Approx = false;
+    uint64_t Bits = 0; ///< Constant bits, or the variable's unique id.
+    std::vector<unsigned> Args;
+  };
+
+  unsigned mkConst(uint64_t Bits);
+  unsigned mkVar(); ///< A fresh, never-deduplicated unknown.
+  /// Builds (and possibly folds) an operation node. \p Imm is folded
+  /// into an extra constant argument for addi/memory offsets.
+  unsigned mkOp(isa::Opcode Op, bool Approx, std::vector<unsigned> Args);
+
+  const Node &node(unsigned Id) const { return Nodes[Id]; }
+  bool isConst(unsigned Id) const {
+    return Nodes[Id].K == Kind::Const;
+  }
+  std::optional<uint64_t> constBits(unsigned Id) const {
+    if (!isConst(Id))
+      return std::nullopt;
+    return Nodes[Id].Bits;
+  }
+
+private:
+  unsigned intern(Node N);
+
+  std::vector<Node> Nodes;
+  std::map<std::tuple<isa::Opcode, bool, uint64_t, std::vector<unsigned>>,
+           unsigned>
+      Interned;
+  uint64_t NextVar = 0;
+};
+
+/// Symbolic machine state: one term per flattened register plus the two
+/// memory versions (precise region, approximate region). Precise loads
+/// depend only on the precise version — a successful approximate store
+/// cannot touch the precise region — while approximate loads depend on
+/// both (precise <: approx lets them read either region).
+struct SymState {
+  std::array<unsigned, isa::NumIntRegs + isa::NumFpRegs> Reg{};
+  unsigned PreciseMem = 0;
+  unsigned ApproxMem = 0;
+};
+
+/// One observable event of a block body, in order: a store, or a trap
+/// obligation (an operation that can trap whose presence must be
+/// preserved).
+struct SymEvent {
+  enum class Type { Store, TrapDiv, TrapMem };
+  Type T = Type::Store;
+  isa::Opcode Op = isa::Opcode::Sw;
+  bool Approx = false;
+  unsigned Addr = 0;  ///< Address term (Store/TrapMem).
+  unsigned Value = 0; ///< Value term (Store) or divisor term (TrapDiv).
+
+  bool operator==(const SymEvent &O) const {
+    return T == O.T && Op == O.Op && Approx == O.Approx &&
+           Addr == O.Addr && Value == O.Value;
+  }
+};
+
+/// Folds one precise pure operation on constant bit patterns using the
+/// exact machine semantics (the same folder TermTable uses); nullopt
+/// when the op is not foldable or would trap (div/rem by zero). Shared
+/// with the constant-propagation pass so its lattice and the validator
+/// can never disagree about arithmetic.
+std::optional<uint64_t> foldPreciseOp(isa::Opcode Op,
+                                      const std::vector<uint64_t> &Args);
+
+/// Executes one non-terminator instruction symbolically, updating
+/// \p State and appending observable events. Shared by the validator
+/// and the local value-numbering passes (CSE, endorse elimination).
+void stepSymbolic(TermTable &Terms, SymState &State,
+                  const isa::Instruction &I, std::vector<SymEvent> *Events);
+
+/// A block-entry invariant claimed by a pass, in terms of the concrete
+/// machine state at block entry. Only precise registers may appear.
+struct EntryFact {
+  unsigned Reg = 0; ///< Flattened register.
+  bool IsConst = false;
+  uint64_t Bits = 0;  ///< Constant value (bit pattern) when IsConst.
+  unsigned Other = 0; ///< Flattened register this one equals otherwise.
+};
+
+/// Per-block invariant lists, indexed like OptProgram::Blocks.
+using BlockFacts = std::vector<std::vector<EntryFact>>;
+
+struct ValidationResult {
+  bool Ok = true;
+  std::string Error; ///< First obligation that failed, human-readable.
+};
+
+/// Checks that \p Optimized simulates \p Original (see file comment).
+/// \p Facts are the block-entry invariants the rewrite relied on; pass
+/// an empty BlockFacts when none were used.
+ValidationResult validateRewrite(const opt::OptProgram &Original,
+                                 const opt::OptProgram &Optimized,
+                                 const BlockFacts &Facts);
+
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_VALIDATE_H

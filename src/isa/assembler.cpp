@@ -242,19 +242,29 @@ std::optional<IsaProgram> Assembler::run() {
     }
 
     // Labels: "name:" possibly followed by an instruction on the line.
+    // Errors from here on record a diagnostic and skip to the next
+    // line, so one pass reports every offending token in the file.
+    bool BadLine = false;
     while (!Tokens.empty() && Tokens[0].back() == ':') {
       std::string Label = Tokens[0].substr(0, Tokens[0].size() - 1);
       if (Label.empty()) {
-        error(Line, "empty label");
-        return std::nullopt;
+        error(Line, "empty label name in ':'");
+        BadLine = true;
+        break;
       }
       if (!Labels.emplace(Label,
                           static_cast<int64_t>(Program.Instructions.size()))
                .second) {
         error(Line, "duplicate label '" + Label + "'");
-        return std::nullopt;
+        BadLine = true;
+        break;
       }
       Tokens.erase(Tokens.begin());
+    }
+    if (BadLine) {
+      if (End == Source.size())
+        break;
+      continue;
     }
     if (Tokens.empty()) {
       if (End == Source.size())
@@ -265,14 +275,20 @@ std::optional<IsaProgram> Assembler::run() {
     // Directives.
     if (Tokens[0] == ".data" || Tokens[0] == ".adata") {
       if (Tokens.size() != 2) {
-        error(Line, Tokens[0] + " takes one operand");
-        return std::nullopt;
+        error(Line, "'" + Tokens[0] + "' takes one operand, got " +
+                        std::to_string(Tokens.size() - 1));
+        if (End == Source.size())
+          break;
+        continue;
       }
       char *EndPtr = nullptr;
       long long Words = std::strtoll(Tokens[1].c_str(), &EndPtr, 10);
       if (*EndPtr != '\0' || Words < 0) {
-        error(Line, "bad word count '" + Tokens[1] + "'");
-        return std::nullopt;
+        error(Line, "bad word count '" + Tokens[1] + "' for '" +
+                        Tokens[0] + "'");
+        if (End == Source.size())
+          break;
+        continue;
       }
       (Tokens[0] == ".data" ? Program.PreciseWords : Program.ApproxWords) =
           static_cast<uint64_t>(Words);
@@ -291,19 +307,26 @@ std::optional<IsaProgram> Assembler::run() {
     auto It = Mnemonics.find(Name);
     if (It == Mnemonics.end()) {
       error(Line, "unknown instruction '" + Tokens[0] + "'");
-      return std::nullopt;
+      if (End == Source.size())
+        break;
+      continue;
     }
     const Mnemonic &M = It->second;
     if (Approx && !M.AllowApprox) {
-      error(Line, "'" + Name + "' has no approximate variant");
-      return std::nullopt;
+      error(Line, "'" + Name + "' has no approximate variant ('" +
+                      Tokens[0] + "')");
+      if (End == Source.size())
+        break;
+      continue;
     }
     std::string Shape = M.Shape;
     if (Tokens.size() - 1 != Shape.size()) {
       error(Line, "'" + Tokens[0] + "' expects " +
                       std::to_string(Shape.size()) + " operand(s), got " +
                       std::to_string(Tokens.size() - 1));
-      return std::nullopt;
+      if (End == Source.size())
+        break;
+      continue;
     }
 
     Instruction Instr;
@@ -358,8 +381,13 @@ std::optional<IsaProgram> Assembler::run() {
       if (FailedOperand)
         break;
     }
-    if (FailedOperand)
-      return std::nullopt;
+    if (FailedOperand) {
+      // The program can never assemble now, but keep scanning so every
+      // bad operand in the file gets a diagnostic in one pass.
+      if (End == Source.size())
+        break;
+      continue;
+    }
     Program.Instructions.push_back(Instr);
     if (End == Source.size())
       break;
@@ -370,7 +398,7 @@ std::optional<IsaProgram> Assembler::run() {
     auto It = Labels.find(P.Label);
     if (It == Labels.end()) {
       error(P.Line, "undefined label '" + P.Label + "'");
-      return std::nullopt;
+      continue;
     }
     Program.Instructions[P.InstrIndex].Imm = It->second;
   }

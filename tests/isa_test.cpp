@@ -98,6 +98,37 @@ TEST(IsaAssembler, Errors) {
   assembleFails(".data -1\nhalt\n");                // Bad directive.
 }
 
+TEST(IsaAssembler, DiagnosticsNameLineAndToken) {
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(assemble("halt\nbogus r1, r2\nhalt\n", Errors).has_value());
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("line 2"), std::string::npos) << Errors[0];
+  EXPECT_NE(Errors[0].find("'bogus'"), std::string::npos) << Errors[0];
+
+  Errors.clear();
+  EXPECT_FALSE(assemble("li r99, 1\nhalt\n", Errors).has_value());
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("line 1"), std::string::npos) << Errors[0];
+  EXPECT_NE(Errors[0].find("'r99'"), std::string::npos) << Errors[0];
+
+  Errors.clear();
+  EXPECT_FALSE(assemble("jmp nowhere\nhalt\n", Errors).has_value());
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("'nowhere'"), std::string::npos) << Errors[0];
+}
+
+TEST(IsaAssembler, ReportsEveryBadLineInOnePass) {
+  // One run should surface all three defects, not stop at the first.
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(
+      assemble("bogus r1\nli r99, 1\nadd r1, r2\nhalt\n", Errors)
+          .has_value());
+  ASSERT_EQ(Errors.size(), 3u);
+  EXPECT_NE(Errors[0].find("line 1"), std::string::npos) << Errors[0];
+  EXPECT_NE(Errors[1].find("line 2"), std::string::npos) << Errors[1];
+  EXPECT_NE(Errors[2].find("line 3"), std::string::npos) << Errors[2];
+}
+
 // --- Verifier: the EnerJ discipline at ISA level. ---
 
 TEST(IsaVerifier, AcceptsDisciplinedPrograms) {

@@ -1,0 +1,552 @@
+//===- tests/opt_test.cpp - Optimizer and translation validator ----------===//
+//
+// Unit coverage for src/analysis/opt/: dominator tree and phi placement
+// on hand-built graphs, each pass on small assembled programs, and the
+// translation validator — including the mutation test the pipeline's
+// safety story rests on: a rewrite that moves an `.a` operation across
+// an `endorse` must be rejected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/opt/ir.h"
+#include "analysis/opt/passes.h"
+#include "analysis/opt/pipeline.h"
+#include "analysis/opt/ssa.h"
+#include "analysis/validate.h"
+#include "isa/assembler.h"
+#include "isa/verifier.h"
+
+#include <cstdint>
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::analysis;
+using namespace enerj::analysis::opt;
+using enerj::isa::Instruction;
+using enerj::isa::Opcode;
+
+namespace {
+
+/// A bare adjacency-list graph satisfying the Graph concept the
+/// dominator-tree and phi-placement templates are written against.
+struct TestGraph {
+  std::vector<std::vector<unsigned>> S, P;
+
+  explicit TestGraph(std::initializer_list<std::pair<unsigned, unsigned>>
+                         Edges) {
+    unsigned N = 0;
+    for (auto [From, To] : Edges)
+      N = std::max(N, std::max(From, To) + 1);
+    S.resize(N);
+    P.resize(N);
+    for (auto [From, To] : Edges) {
+      S[From].push_back(To);
+      P[To].push_back(From);
+    }
+  }
+
+  unsigned blockCount() const { return static_cast<unsigned>(S.size()); }
+  const std::vector<unsigned> &succs(unsigned B) const { return S[B]; }
+  const std::vector<unsigned> &preds(unsigned B) const { return P[B]; }
+};
+
+isa::IsaProgram assembleOk(std::string_view Source) {
+  std::vector<std::string> Errors;
+  std::optional<isa::IsaProgram> Program = isa::assemble(Source, Errors);
+  EXPECT_TRUE(Program.has_value());
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << E;
+  return Program.value_or(isa::IsaProgram{});
+}
+
+/// Assembles, optimizes with the default pipeline, and returns the
+/// report; \p Program is left optimized.
+OptReport optimize(isa::IsaProgram &Program) {
+  OptReport Report = optimizeProgram(Program);
+  EXPECT_TRUE(Report.Ok) << Report.Error;
+  for (const PassReport &Pass : Report.Passes)
+    EXPECT_TRUE(Pass.Accepted)
+        << passName(Pass.Kind) << ": " << Pass.RejectReason;
+  return Report;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Dominator tree and frontiers
+//===----------------------------------------------------------------------===//
+
+TEST(DomTree, Diamond) {
+  // 0 -> {1,2} -> 3
+  TestGraph G{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  DomTree T = computeDomTree(G);
+  EXPECT_EQ(T.Idom[0], 0u);
+  EXPECT_EQ(T.Idom[1], 0u);
+  EXPECT_EQ(T.Idom[2], 0u);
+  EXPECT_EQ(T.Idom[3], 0u); // The merge is dominated by the fork only.
+  EXPECT_TRUE(T.dominates(0, 3));
+  EXPECT_FALSE(T.dominates(1, 3));
+  EXPECT_FALSE(T.dominates(2, 1));
+
+  std::vector<std::vector<unsigned>> Df = dominanceFrontiers(G, T);
+  EXPECT_EQ(Df[1], (std::vector<unsigned>{3}));
+  EXPECT_EQ(Df[2], (std::vector<unsigned>{3}));
+  EXPECT_TRUE(Df[0].empty());
+  EXPECT_TRUE(Df[3].empty());
+}
+
+TEST(DomTree, LoopWithUnreachableBlock) {
+  // 0 -> 1 <-> 2, 1 -> 3; block 4 is unreachable.
+  TestGraph G{{0, 1}, {1, 2}, {2, 1}, {1, 3}, {4, 3}};
+  DomTree T = computeDomTree(G);
+  EXPECT_EQ(T.Idom[2], 1u);
+  EXPECT_EQ(T.Idom[3], 1u);
+  EXPECT_FALSE(T.reachable(4));
+  EXPECT_TRUE(T.dominates(1, 2));
+  EXPECT_FALSE(T.dominates(2, 3));
+  // The loop header is in its own frontier (back edge).
+  std::vector<std::vector<unsigned>> Df = dominanceFrontiers(G, T);
+  EXPECT_EQ(Df[2], (std::vector<unsigned>{1}));
+}
+
+TEST(PhiPlacement, PrunedVsMinimal) {
+  // Diamond with a def of the variable in block 1 only.
+  TestGraph G{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  DomTree T = computeDomTree(G);
+  std::vector<std::vector<unsigned>> Df = dominanceFrontiers(G, T);
+
+  // Unpruned (empty LiveIn): the merge gets a phi.
+  std::vector<unsigned> Minimal = placePhis(G, T, Df, {0, 1}, {});
+  EXPECT_EQ(Minimal, (std::vector<unsigned>{3}));
+
+  // Pruned with the variable dead at the merge: no phi.
+  std::vector<bool> Dead(G.blockCount(), false);
+  EXPECT_TRUE(placePhis(G, T, Df, {0, 1}, Dead).empty());
+
+  // Pruned with it live at the merge: phi reappears.
+  std::vector<bool> Live(G.blockCount(), false);
+  Live[3] = true;
+  EXPECT_EQ(placePhis(G, T, Df, {0, 1}, Live),
+            (std::vector<unsigned>{3}));
+}
+
+//===----------------------------------------------------------------------===//
+// IR round trip
+//===----------------------------------------------------------------------===//
+
+TEST(OptIr, BuildEmitRoundTripIsIdentity) {
+  isa::IsaProgram P = assembleOk(R"(
+    .data 4
+    .adata 4
+    li r1, 0
+    li r2, 10
+  loop:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    sw r1, r0, 0
+    halt
+  )");
+  isa::IsaProgram Out = emitProgram(buildOptProgram(P));
+  ASSERT_EQ(Out.Instructions.size(), P.Instructions.size());
+  for (size_t I = 0; I < P.Instructions.size(); ++I) {
+    EXPECT_EQ(Out.Instructions[I].Op, P.Instructions[I].Op) << I;
+    EXPECT_EQ(Out.Instructions[I].Imm, P.Instructions[I].Imm) << I;
+  }
+  EXPECT_EQ(Out.PreciseWords, P.PreciseWords);
+  EXPECT_EQ(Out.ApproxWords, P.ApproxWords);
+}
+
+//===----------------------------------------------------------------------===//
+// Individual passes
+//===----------------------------------------------------------------------===//
+
+TEST(OptPasses, ConstPropFoldsPreciseChains) {
+  isa::IsaProgram P = assembleOk(R"(
+    .data 4
+    li r1, 6
+    li r2, 7
+    mul r3, r1, r2
+    sw r3, r0, 0
+    halt
+  )");
+  OptProgram Prog = buildOptProgram(P);
+  OptProgram Before = Prog;
+  PassOutcome Out = runPass(Prog, PassKind::ConstProp);
+  EXPECT_TRUE(Out.Changed);
+  ValidationResult R = validateRewrite(Before, Prog, Out.Facts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  // The multiply became li r3, 42.
+  const Instruction &Folded = Prog.Blocks[0].Body[2];
+  EXPECT_EQ(Folded.Op, Opcode::Li);
+  EXPECT_EQ(Folded.Imm, 42);
+}
+
+TEST(OptPasses, ConstPropNeverFoldsApproxOps) {
+  isa::IsaProgram P = assembleOk(R"(
+    .adata 4
+    li r16, 6
+    li r17, 7
+    mul.a r18, r16, r17
+    endorse r1, r18
+    sw r1, r0, 0
+    .data 4
+    halt
+  )");
+  OptProgram Prog = buildOptProgram(P);
+  PassOutcome Out = runPass(Prog, PassKind::ConstProp);
+  // Whatever else it does, the .a multiply must survive unfolded.
+  bool SawApproxMul = false;
+  for (const Instruction &I : Prog.Blocks[0].Body)
+    SawApproxMul |= I.Op == Opcode::Mul && I.Approx;
+  EXPECT_TRUE(SawApproxMul);
+  (void)Out;
+}
+
+TEST(OptPasses, CopyPropChasesMoveChains) {
+  isa::IsaProgram P = assembleOk(R"(
+    .data 4
+    li r1, 5
+    mv r2, r1
+    mv r3, r2
+    add r4, r3, r3
+    sw r4, r0, 0
+    halt
+  )");
+  OptProgram Prog = buildOptProgram(P);
+  OptProgram Before = Prog;
+  PassOutcome Out = runPass(Prog, PassKind::CopyProp);
+  EXPECT_TRUE(Out.Changed);
+  ValidationResult R = validateRewrite(Before, Prog, Out.Facts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  // The add now reads the chain's root.
+  const Instruction &Add = Prog.Blocks[0].Body[3];
+  EXPECT_EQ(Add.Ra, 1u);
+  EXPECT_EQ(Add.Rb, 1u);
+}
+
+TEST(OptPasses, CseMergesPreciseButNotApprox) {
+  isa::IsaProgram P = assembleOk(R"(
+    .data 4
+    .adata 4
+    li r1, 3
+    li r2, 4
+    add r3, r1, r2
+    add r4, r1, r2
+    sw r3, r0, 0
+    sw r4, r0, 1
+    add.a r18, r16, r17
+    add.a r19, r16, r17
+    fadd f3, f1, f2
+    fadd f4, f2, f1
+    halt
+  )");
+  OptProgram Prog = buildOptProgram(P);
+  OptProgram Before = Prog;
+  PassOutcome Out = runPass(Prog, PassKind::Cse);
+  EXPECT_TRUE(Out.Changed);
+  ValidationResult R = validateRewrite(Before, Prog, Out.Facts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  std::vector<Instruction> &Body = Prog.Blocks[0].Body;
+  // Second precise add became a move of the first.
+  EXPECT_EQ(Body[3].Op, Opcode::Mv);
+  EXPECT_EQ(Body[3].Ra, 3u);
+  // The .a pair is untouched: approximate ops never merge (each one is
+  // an independent fault site on real hardware).
+  EXPECT_EQ(Body[6].Op, Opcode::Add);
+  EXPECT_TRUE(Body[6].Approx);
+  EXPECT_EQ(Body[7].Op, Opcode::Add);
+  EXPECT_TRUE(Body[7].Approx);
+  // FP is not commutativity-canonicalized, so fadd f1,f2 != fadd f2,f1.
+  EXPECT_EQ(Body[8].Op, Opcode::Fadd);
+  EXPECT_EQ(Body[9].Op, Opcode::Fadd);
+}
+
+TEST(OptPasses, EndorseElimMergesDuplicateGates) {
+  isa::IsaProgram P = assembleOk(R"(
+    .data 4
+    .adata 4
+    add.a r18, r16, r17
+    endorse r1, r18
+    endorse r2, r18
+    sw r1, r0, 0
+    sw r2, r0, 1
+    halt
+  )");
+  OptProgram Prog = buildOptProgram(P);
+  OptProgram Before = Prog;
+  PassOutcome Out = runPass(Prog, PassKind::EndorseElim);
+  EXPECT_TRUE(Out.Changed);
+  EXPECT_EQ(Out.Rewritten, 1u);
+  ValidationResult R = validateRewrite(Before, Prog, Out.Facts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(Prog.Blocks[0].Body[2].Op, Opcode::Mv);
+  EXPECT_EQ(Prog.Blocks[0].Body[2].Ra, 1u);
+}
+
+TEST(OptPasses, EndorseElimRespectsInterveningApproxWrite) {
+  // The approximate value changes between the two endorsements: they
+  // gate different values and must both survive.
+  isa::IsaProgram P = assembleOk(R"(
+    .data 4
+    .adata 4
+    endorse r1, r18
+    add.a r18, r18, r16
+    endorse r2, r18
+    sw r1, r0, 0
+    sw r2, r0, 1
+    halt
+  )");
+  OptProgram Prog = buildOptProgram(P);
+  PassOutcome Out = runPass(Prog, PassKind::EndorseElim);
+  EXPECT_FALSE(Out.Changed);
+  EXPECT_EQ(Prog.Blocks[0].Body[0].Op, Opcode::Endorse);
+  EXPECT_EQ(Prog.Blocks[0].Body[2].Op, Opcode::Endorse);
+}
+
+TEST(OptPasses, DceRemovesDeadPureCodeOnly) {
+  isa::IsaProgram P = assembleOk(R"(
+    .data 4
+    li r1, 1
+    add r2, r1, r1
+    mul r3, r2, r2
+    lw r4, r0, 0
+    sw r1, r0, 1
+    halt
+  )");
+  // r2/r3 are dead (never stored, dead at halt only through the
+  // all-live exit boundary... they are live there, so nothing dies).
+  OptProgram Prog = buildOptProgram(P);
+  PassOutcome Out = runPass(Prog, PassKind::Dce);
+  // Every register is live at program exit (the machine state is
+  // observable), so straight-line code with no redefinitions keeps
+  // everything.
+  EXPECT_FALSE(Out.Changed);
+
+  // Redefine r2/r3 before the end and the first defs become dead; the
+  // load of r4 must still survive (removing it would drop a trap).
+  isa::IsaProgram P2 = assembleOk(R"(
+    .data 4
+    li r1, 1
+    add r2, r1, r1
+    mul r3, r2, r2
+    lw r4, r0, 0
+    li r2, 0
+    li r3, 0
+    li r4, 9
+    sw r1, r0, 1
+    halt
+  )");
+  OptProgram Prog2 = buildOptProgram(P2);
+  OptProgram Before2 = Prog2;
+  PassOutcome Out2 = runPass(Prog2, PassKind::Dce);
+  EXPECT_TRUE(Out2.Changed);
+  EXPECT_EQ(Out2.Removed, 2u); // add and mul die; lw stays.
+  ValidationResult R = validateRewrite(Before2, Prog2, Out2.Facts);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  bool SawLoad = false;
+  for (const Instruction &I : Prog2.Blocks[0].Body)
+    SawLoad |= I.Op == Opcode::Lw;
+  EXPECT_TRUE(SawLoad);
+}
+
+//===----------------------------------------------------------------------===//
+// Translation validator
+//===----------------------------------------------------------------------===//
+
+TEST(Validator, AcceptsTheIdentityRewrite) {
+  isa::IsaProgram P = assembleOk(R"(
+    .data 2
+    .adata 2
+    li r1, 1
+    add.a r17, r16, r16
+    endorse r2, r17
+    sw r2, r0, 0
+    halt
+  )");
+  OptProgram Prog = buildOptProgram(P);
+  ValidationResult R = validateRewrite(Prog, Prog, {});
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(Validator, RejectsMovingApproxOpAcrossEndorse) {
+  // The required mutation test: a "pass" that sinks an `.a` operation
+  // below the endorse that was supposed to gate its result. The
+  // endorsed (precise) value changes from f(x) to x, which the
+  // validator must detect as a live-out mismatch.
+  isa::IsaProgram Orig = assembleOk(R"(
+    .data 2
+    .adata 2
+    add.a r18, r16, r17
+    endorse r1, r18
+    sw r1, r0, 0
+    halt
+  )");
+  isa::IsaProgram Bad = assembleOk(R"(
+    .data 2
+    .adata 2
+    endorse r1, r18
+    add.a r18, r16, r17
+    sw r1, r0, 0
+    halt
+  )");
+  ValidationResult R =
+      validateRewrite(buildOptProgram(Orig), buildOptProgram(Bad), {});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+}
+
+TEST(Validator, ApproxMergeIsNoneSoundButPassesRefuseIt) {
+  // Division of labor: two textually identical `.a` ops denote the
+  // same *uninterpreted function* term, so merging them preserves the
+  // level-None semantics and the validator accepts the rewrite. But
+  // they are distinct fault sites under approximation, so the passes
+  // themselves never perform this merge (CSE skips `.a` defs), and
+  // that refusal is what this test pins down.
+  isa::IsaProgram Orig = assembleOk(R"(
+    .data 4
+    .adata 2
+    add.a r18, r16, r17
+    endorse r1, r18
+    add.a r19, r16, r17
+    endorse r2, r19
+    sw r1, r0, 0
+    sw r2, r0, 1
+    halt
+  )");
+  // Model the buggy CSE by hand: replace the second `.a` add with a
+  // move off the first one's destination ("they compute the same
+  // thing, reuse it").
+  OptProgram Merged = buildOptProgram(Orig);
+  Instruction &Second = Merged.Blocks[0].Body[2];
+  Second.Op = Opcode::Mv;
+  Second.Approx = false;
+  Second.Rd = 19;
+  Second.Ra = 18;
+  Second.Rb = 0;
+  ValidationResult R =
+      validateRewrite(buildOptProgram(Orig), Merged, {});
+  EXPECT_TRUE(R.Ok) << R.Error; // None-sound: same term graph.
+
+  // The optimizer never proposes it: CSE leaves both `.a` adds alone.
+  OptProgram Prog = buildOptProgram(Orig);
+  (void)runPass(Prog, PassKind::Cse);
+  EXPECT_EQ(Prog.Blocks[0].Body[2].Op, Opcode::Add);
+  EXPECT_TRUE(Prog.Blocks[0].Body[2].Approx);
+}
+
+TEST(Validator, RejectsDroppedStore) {
+  isa::IsaProgram Orig = assembleOk(R"(
+    .data 2
+    li r1, 7
+    sw r1, r0, 0
+    sw r1, r0, 1
+    halt
+  )");
+  OptProgram Broken = buildOptProgram(Orig);
+  Broken.Blocks[0].Body.pop_back(); // Drop the second store.
+  ValidationResult R =
+      validateRewrite(buildOptProgram(Orig), Broken, {});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Validator, RejectsUnprovenEntryFact) {
+  isa::IsaProgram Orig = assembleOk(R"(
+    .data 2
+    lw r1, r0, 0
+    sw r1, r0, 1
+    halt
+  )");
+  OptProgram Prog = buildOptProgram(Orig);
+  // Claim "r1 == 5 at block 0 entry" — false (r1 is zero-initialized),
+  // and unprovable.
+  BlockFacts Facts(Prog.Blocks.size());
+  Facts[0].push_back({/*Reg=*/1, /*IsConst=*/true, /*Bits=*/5, 0});
+  ValidationResult R = validateRewrite(Prog, Prog, Facts);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Validator, FoldPreciseOpMatchesMachineSemantics) {
+  auto Bits = [](int64_t V) { return static_cast<uint64_t>(V); };
+  // Wrapping add at the boundary.
+  auto Sum = foldPreciseOp(Opcode::Add,
+                           {Bits(INT64_MAX), Bits(1)});
+  ASSERT_TRUE(Sum.has_value());
+  EXPECT_EQ(static_cast<int64_t>(*Sum), INT64_MIN);
+  // Division by zero must not fold (it traps at run time).
+  EXPECT_FALSE(foldPreciseOp(Opcode::Div, {Bits(1), Bits(0)}).has_value());
+  EXPECT_FALSE(foldPreciseOp(Opcode::Rem, {Bits(1), Bits(0)}).has_value());
+  // Saturating cvti.
+  double Big = 1e300;
+  uint64_t BigBits;
+  static_assert(sizeof(BigBits) == sizeof(Big), "");
+  std::memcpy(&BigBits, &Big, sizeof(Big));
+  auto Sat = foldPreciseOp(Opcode::Cvti, {BigBits});
+  ASSERT_TRUE(Sat.has_value());
+  EXPECT_EQ(static_cast<int64_t>(*Sat), 9223372036854775807LL);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(OptPipeline, RejectsUnverifiableInput) {
+  // Approximate value flowing into a precise destination without an
+  // endorse: isa::verify refuses it, so the optimizer must too.
+  std::vector<std::string> Errors;
+  std::optional<isa::IsaProgram> P = isa::assemble(R"(
+    .data 2
+    .adata 2
+    mv r1, r16
+    halt
+  )",
+                                                   Errors);
+  ASSERT_TRUE(P.has_value());
+  OptReport Report = optimizeProgram(*P);
+  EXPECT_FALSE(Report.Ok);
+  EXPECT_FALSE(Report.Error.empty());
+}
+
+TEST(OptPipeline, EndToEndPreservesVerification) {
+  isa::IsaProgram P = assembleOk(R"(
+    .data 4
+    .adata 4
+    li r1, 0
+    li r2, 16
+    li r3, 3
+    li r4, 4
+    add r5, r3, r4
+    add r6, r3, r4
+    sw r5, r0, 0
+    sw r6, r0, 1
+    li r5, 0
+    li r6, 0
+  loop:
+    add.a r18, r16, r17
+    endorse r7, r18
+    addi r1, r1, 1
+    blt r1, r2, loop
+    sw r1, r0, 2
+    halt
+  )");
+  size_t Before = P.Instructions.size();
+  OptReport Report = optimize(P);
+  EXPECT_GT(Report.totalRewritten() + Report.totalRemoved(), 0u);
+  EXPECT_LE(P.Instructions.size(), Before);
+  // The optimized output still satisfies the qualifier discipline.
+  EXPECT_TRUE(isa::verify(P).empty());
+  // The report's energy factor never gets worse than the input's.
+  EXPECT_LE(Report.EnergyAfter.factor(),
+            Report.EnergyBefore.factor() + 1e-12);
+}
+
+TEST(OptPipeline, PassListParsing) {
+  std::vector<PassKind> Passes;
+  std::string Error;
+  EXPECT_TRUE(parsePassList("constprop,dce", Passes, Error)) << Error;
+  ASSERT_EQ(Passes.size(), 2u);
+  EXPECT_EQ(Passes[0], PassKind::ConstProp);
+  EXPECT_EQ(Passes[1], PassKind::Dce);
+  EXPECT_FALSE(parsePassList("constprop,nope", Passes, Error));
+  EXPECT_FALSE(Error.empty());
+}

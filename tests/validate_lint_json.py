@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate `fenerj_tool lint --json` output (schema v1).
+
+Like the eval/infer/profile validators, this checks structure, key
+presence, key order, and cross-field invariants — the per-pass counts
+must equal the number of findings attributed to that pass, severities
+and pass names must come from the documented sets, and the ISA section
+must be internally consistent (a skipped ISA check carries a reason and
+no errors; a clean check carries neither). It does NOT pin finding
+messages: wording belongs to the C++ lint tests.
+
+Usage:
+  fenerj_tool lint file.fej --json | python3 tests/validate_lint_json.py
+
+Exits 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+TOP_KEYS = ["tool", "version", "file", "findings", "counts", "isa"]
+FINDING_KEYS = ["pass", "severity", "line", "column", "message"]
+COUNT_KEYS = ["endorsement", "precision-slack", "dead-value", "isa-flow",
+              "interproc-flow"]
+ISA_KEYS = ["checked", "skipReason", "errors"]
+SEVERITIES = {"warning", "suggestion"}
+
+
+def fail(message):
+    print(f"validate_lint_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect_keys(obj, keys, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected an object, got {type(obj).__name__}")
+    if list(obj.keys()) != keys:
+        fail(f"{where}: keys {list(obj.keys())} != expected {keys}")
+
+
+def expect_count(obj, key, where):
+    if not isinstance(obj[key], int) or isinstance(obj[key], bool) \
+            or obj[key] < 0:
+        fail(f"{where}.{key}: not a non-negative integer")
+
+
+def validate_lint(doc):
+    expect_keys(doc, TOP_KEYS, "top level")
+    if doc["tool"] != "enerj-lint":
+        fail(f"tool: {doc['tool']!r} != 'enerj-lint'")
+    if doc["version"] != 1:
+        fail(f"version: {doc['version']!r} != 1")
+    if not isinstance(doc["file"], str) or not doc["file"]:
+        fail("file: not a non-empty string")
+
+    if not isinstance(doc["findings"], list):
+        fail("findings: not a list")
+    seen = {key: 0 for key in COUNT_KEYS}
+    for index, finding in enumerate(doc["findings"]):
+        where = f"findings[{index}]"
+        expect_keys(finding, FINDING_KEYS, where)
+        if finding["pass"] not in COUNT_KEYS:
+            fail(f"{where}.pass: unknown pass {finding['pass']!r}")
+        if finding["severity"] not in SEVERITIES:
+            fail(f"{where}.severity: {finding['severity']!r} not in "
+                 f"{sorted(SEVERITIES)}")
+        expect_count(finding, "line", where)
+        expect_count(finding, "column", where)
+        if not isinstance(finding["message"], str) or not finding["message"]:
+            fail(f"{where}.message: not a non-empty string")
+        seen[finding["pass"]] += 1
+
+    expect_keys(doc["counts"], COUNT_KEYS, "counts")
+    for key in COUNT_KEYS:
+        expect_count(doc["counts"], key, "counts")
+        if doc["counts"][key] != seen[key]:
+            fail(f"counts.{key}: {doc['counts'][key]} != "
+                 f"{seen[key]} findings attributed to that pass")
+
+    isa = doc["isa"]
+    expect_keys(isa, ISA_KEYS, "isa")
+    if not isinstance(isa["checked"], bool):
+        fail("isa.checked: not a boolean")
+    if not isinstance(isa["skipReason"], str):
+        fail("isa.skipReason: not a string")
+    expect_count(isa, "errors", "isa")
+    if isa["checked"] and isa["skipReason"]:
+        fail("isa: checked but carries a skipReason")
+    if not isa["checked"] and not isa["skipReason"]:
+        fail("isa: skipped without a skipReason")
+    if not isa["checked"] and isa["errors"]:
+        fail("isa: skipped but reports errors")
+
+
+def main():
+    try:
+        doc = json.load(sys.stdin)
+    except json.JSONDecodeError as error:
+        fail(f"not valid JSON: {error}")
+    validate_lint(doc)
+    print("validate_lint_json: OK")
+
+
+if __name__ == "__main__":
+    main()
