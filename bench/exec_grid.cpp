@@ -1,0 +1,99 @@
+//===- bench/exec_grid.cpp - Compiled vs interpreted eval throughput ------===//
+//
+// The headline number for the compiled execution path: the full
+// nine-app, three-level evaluation grid is run end to end through
+// harness::runEval twice — once on the classic interpreter path
+// (apps::qosUnder per trial) and once with --exec-mode compiled (one
+// FEnerJ -> ISA -> optimizer lowering per cell, batched fault
+// injection per trial) — and the bench reports trials per second for
+// both plus the speedup. CI gates the speedup against the committed
+// baseline (tests/check_bench_exec.py): it must stay >= 5x and within
+// 2x of the recorded value.
+//
+// Usage: exec_grid [seeds] [output.json]
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/eval.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+using namespace enerj;
+using namespace enerj::harness;
+
+namespace {
+
+/// Runs the full default grid in the given mode; returns wall seconds.
+double timeGrid(ExecMode Mode, int Seeds, int &TrialsOut) {
+  using Clock = std::chrono::steady_clock;
+  EvalOptions Options;
+  Options.Seeds = Seeds;
+  Options.Exec = Mode;
+  if (Mode == ExecMode::Compiled)
+    Options.KernelDir = std::string(ENERJ_FEJ_DIR) + "/isa";
+  Clock::time_point Start = Clock::now();
+  EvalResult Result = runEval(Options);
+  double Seconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  TrialsOut = static_cast<int>(Result.Cells.size()) * Seeds;
+  return Seconds;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Seeds = 10;
+  std::string OutPath = "BENCH_exec.json";
+  if (Argc > 1)
+    Seeds = std::max(1, std::atoi(Argv[1]));
+  if (Argc > 2)
+    OutPath = Argv[2];
+
+  std::printf("Eval grid throughput: interpreter vs compiled "
+              "(9 apps x 3 levels x %d seeds)\n\n",
+              Seeds);
+
+  int Trials = 0;
+  // Compiled first so its one-time per-cell lowering cost is inside its
+  // own measurement, not hidden behind a warm cache.
+  double CompiledSeconds = timeGrid(ExecMode::Compiled, Seeds, Trials);
+  double InterpSeconds = timeGrid(ExecMode::Interp, Seeds, Trials);
+  double InterpRate = Trials / InterpSeconds;
+  double CompiledRate = Trials / CompiledSeconds;
+  double Speedup = CompiledRate / InterpRate;
+
+  std::printf("%-10s %8s %12s\n", "mode", "seconds", "trials/sec");
+  std::printf("%-10s %8.3f %12.0f\n", "interp", InterpSeconds, InterpRate);
+  std::printf("%-10s %8.3f %12.0f\n", "compiled", CompiledSeconds,
+              CompiledRate);
+  std::printf("\nspeedup: %.1fx over %d trials per mode\n", Speedup, Trials);
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "exec_grid: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  char Buffer[512];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "{\n"
+                "  \"tool\": \"exec_grid\",\n"
+                "  \"version\": 1,\n"
+                "  \"seeds\": %d,\n"
+                "  \"trials\": %d,\n"
+                "  \"interpSeconds\": %.4f,\n"
+                "  \"compiledSeconds\": %.4f,\n"
+                "  \"interpTrialsPerSec\": %.1f,\n"
+                "  \"compiledTrialsPerSec\": %.1f,\n"
+                "  \"speedup\": %.2f\n"
+                "}\n",
+                Seeds, Trials, InterpSeconds, CompiledSeconds, InterpRate,
+                CompiledRate, Speedup);
+  Out << Buffer;
+  Out.close();
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}

@@ -755,12 +755,44 @@ int eval(int Argc, char **Argv) {
       Options.Policy.Enabled = true;
     } else if (Flag == "--metrics") {
       Options.Metrics = true;
+    } else if (Flag == "--exec-mode") {
+      std::string Mode = NextValue();
+      if (Mode == "interp") {
+        Options.Exec = enerj::harness::ExecMode::Interp;
+      } else if (Mode == "compiled") {
+        Options.Exec = enerj::harness::ExecMode::Compiled;
+      } else {
+        std::fprintf(stderr,
+                     "--exec-mode needs 'interp' or 'compiled' "
+                     "(got '%s')\n",
+                     Mode.c_str());
+        return 2;
+      }
+      // Echo the mode (JSON schema v4) whenever it was given explicitly,
+      // for either value; the flagless grid stays byte-identical to the
+      // historical v2/v3 output.
+      Options.EchoExecMode = true;
     } else {
       std::fprintf(stderr, "unknown eval flag '%s'\n", Flag.c_str());
       return 2;
     }
   }
-  enerj::harness::EvalResult Result = enerj::harness::runEval(Options);
+  if (Options.Exec == enerj::harness::ExecMode::Compiled &&
+      Options.Policy.Enabled) {
+    std::fprintf(stderr,
+                 "--exec-mode compiled does not support the resilience "
+                 "policy flags; use the interpreter for policy-armed "
+                 "grids\n");
+    return 2;
+  }
+  Options.KernelDir = std::string(ENERJ_FEJ_DIR) + "/isa";
+  enerj::harness::EvalResult Result;
+  try {
+    Result = enerj::harness::runEval(Options);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "eval failed: %s\n", E.what());
+    return 1;
+  }
   std::string Rendered = Json
                              ? enerj::harness::renderEvalJson(Result) + "\n"
                              : enerj::harness::renderEvalText(Result);
@@ -813,12 +845,17 @@ int usage() {
                "[--op-budget M]\n"
                "                        [--output-bound B] [--no-degrade] "
                "[--metrics] [--json]\n"
+               "                        [--exec-mode interp|compiled]\n"
                "                      (the Section 6 evaluation grid on "
                "the parallel trial runner;\n"
                "                       --slo/--max-retries/--op-budget arm "
                "the resilience policy;\n"
                "                       --metrics adds per-site telemetry, "
-               "JSON schema v3)\n"
+               "JSON schema v3;\n"
+               "                       --exec-mode compiled runs each "
+               "cell's cached ISA kernel\n"
+               "                       with batched fault injection, JSON "
+               "schema v4)\n"
                "       fenerj_tool profile <app> [--level L] [--seeds N] "
                "[--threads N] [--top K]\n"
                "                           [--no-qos-delta] [--trace "

@@ -1,0 +1,148 @@
+//===- exec/compiled.cpp - Compiled (app x level) trial kernels -----------===//
+
+#include "exec/compiled.h"
+
+#include "analysis/isa_flow.h"
+#include "analysis/opt/pipeline.h"
+#include "fenerj/codegen.h"
+#include "fenerj/diag.h"
+#include "fenerj/typecheck.h"
+#include "isa/assembler.h"
+#include "isa/verifier.h"
+#include "support/rng.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+using namespace enerj;
+using namespace enerj::exec;
+
+namespace {
+
+/// Bounded relative error in [0, 1]; exact equality short-circuits so a
+/// bitwise-precise run scores exactly 0.0.
+double boundedRelErr(double Reference, double Degraded) {
+  if (Reference == Degraded)
+    return 0.0;
+  if (!std::isfinite(Degraded))
+    return 1.0;
+  double Error = std::fabs(Degraded - Reference) /
+                 std::max(std::fabs(Reference), 1.0);
+  return Error < 1.0 ? Error : 1.0;
+}
+
+std::unique_ptr<CompiledKernel> compileKernel(const std::string &KernelDir,
+                                              const std::string &AppName,
+                                              ApproxLevel Level) {
+  std::string Path = KernelDir + "/" + AppName + ".fej";
+  std::ifstream In(Path);
+  if (!In.good())
+    throw std::runtime_error("exec: no ISA kernel for application '" +
+                             AppName + "' (" + Path + ")");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  fenerj::DiagnosticEngine Diags;
+  fenerj::ClassTable Table;
+  std::optional<fenerj::Program> Prog =
+      fenerj::compile(Source, Table, Diags);
+  if (!Prog)
+    throw std::runtime_error("exec: " + Path +
+                             " failed FEnerJ type checking");
+  fenerj::CodegenResult Code = fenerj::compileToIsa(*Prog);
+  if (!Code.Ok)
+    throw std::runtime_error("exec: " + Path + ": " + Code.Error);
+  std::vector<std::string> Errors;
+  std::optional<isa::IsaProgram> Binary =
+      isa::assemble(Code.Assembly, Errors);
+  if (!Binary)
+    throw std::runtime_error(
+        "exec: " + Path + " failed to assemble: " +
+        (Errors.empty() ? std::string("unknown error") : Errors.front()));
+  if (!isa::verify(*Binary).empty())
+    throw std::runtime_error("exec: " + Path +
+                             " failed ISA verification");
+  if (!analysis::verifyFlow(*Binary).ok())
+    throw std::runtime_error("exec: " + Path +
+                             " failed flow verification");
+
+  // The same validated pipeline the optimizer tooling runs; the static
+  // energy estimate is priced at the cell's level. A rejected pass is a
+  // proven no-op, so Ok is the only gate.
+  analysis::opt::OptOptions Options;
+  Options.EnergyLevel = Level;
+  analysis::opt::OptReport Report =
+      analysis::opt::optimizeProgram(*Binary, Options);
+  if (!Report.Ok)
+    throw std::runtime_error("exec: " + Path +
+                             " rejected by the optimizer: " + Report.Error);
+
+  auto Kernel = std::make_unique<CompiledKernel>();
+  Kernel->AppName = AppName;
+  Kernel->Level = Level;
+  Kernel->Binary = std::move(*Binary);
+
+  // The precise reference: the level-None run is seed-independent (no
+  // stream consumes randomness), so one execution at compile time
+  // serves every trial of the cell.
+  FastMachine Reference(Kernel->Binary,
+                        FaultConfig::preset(ApproxLevel::None));
+  FastResult Ref = Reference.run();
+  if (Ref.Trapped)
+    throw std::runtime_error("exec: " + Path +
+                             " traps under precise execution: " +
+                             Ref.TrapMessage);
+  Kernel->RefInt = Reference.intReg(1);
+  Kernel->RefFp = Reference.fpReg(1);
+  return Kernel;
+}
+
+} // namespace
+
+ProgramCache::ProgramCache(std::string KernelDir)
+    : KernelDir(std::move(KernelDir)) {}
+
+const CompiledKernel &ProgramCache::get(const std::string &AppName,
+                                        ApproxLevel Level) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto Key = std::make_pair(AppName, static_cast<int>(Level));
+  auto It = Cache.find(Key);
+  if (It == Cache.end())
+    It = Cache.emplace(Key, compileKernel(KernelDir, AppName, Level)).first;
+  return *It->second;
+}
+
+size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Cache.size();
+}
+
+CompiledTrialResult enerj::exec::runCompiledTrial(
+    const CompiledKernel &Kernel, const FaultConfig &Config,
+    uint64_t WorkloadSeed, bool CollectMetrics, BlockMode Mode) {
+  FaultConfig RunConfig = Config;
+  // The same per-trial stream derivation as the interpreter path.
+  RunConfig.Seed = mixSeed(Config.Seed, WorkloadSeed);
+
+  CompiledTrialResult Result;
+  FastMachine M(Kernel.Binary, RunConfig, Mode);
+  if (CollectMetrics)
+    M.attachMetrics(&Result.Metrics, Kernel.AppName);
+  FastResult Run = M.run();
+  Result.Stats = M.stats();
+  Result.Cycles = M.now();
+  if (Run.Trapped) {
+    Result.Trapped = true;
+    Result.Error = Run.TrapMessage;
+    Result.QosError = 1.0;
+    return Result;
+  }
+  Result.QosError =
+      0.5 * boundedRelErr(static_cast<double>(Kernel.RefInt),
+                          static_cast<double>(M.intReg(1))) +
+      0.5 * boundedRelErr(Kernel.RefFp, M.fpReg(1));
+  return Result;
+}

@@ -1,0 +1,113 @@
+//===- exec/compiled.h - Compiled (app x level) trial kernels ---*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled evaluation path's program store. Each of the nine
+/// evaluation applications has an ISA kernel in the `.fej` corpus
+/// (examples/fej/isa/<name>.fej); a ProgramCache lowers each
+/// (application, level) grid cell through the full pipeline exactly once
+/// —
+///
+///     fenerj::compile -> compileToIsa -> isa::assemble
+///       -> isa::verify + analysis::verifyFlow -> opt::optimizeProgram
+///
+/// — and hands out the resulting CompiledKernel to every seed of the
+/// cell. The cache key is (application name, level): the optimizer's
+/// static energy estimate is priced at the cell's level, and the
+/// regression suite pins that no cell is ever served another cell's
+/// binary. Compilation failures throw; a grid must never silently run a
+/// kernel that did not verify.
+///
+/// A CompiledKernel also carries the kernel's precise reference outputs
+/// (the level-None run of the verified binary, which is seed-independent
+/// and computed once at compile time), so per-trial QoS needs no second
+/// execution: a trial's QoS error is the bounded relative error of its
+/// degraded r1/f1 against the reference, averaged over the two result
+/// registers — 0 exactly when the run is bitwise precise, 1 for a
+/// trapped or non-finite run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_EXEC_COMPILED_H
+#define ENERJ_EXEC_COMPILED_H
+
+#include "exec/machine.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace enerj {
+namespace exec {
+
+/// One (application, level) cell's verified, optimized binary plus its
+/// precise reference outputs.
+struct CompiledKernel {
+  std::string AppName;
+  ApproxLevel Level = ApproxLevel::None;
+  isa::IsaProgram Binary;
+  /// The level-None run's result registers (r1 / f1) — the QoS reference.
+  int64_t RefInt = 0;
+  double RefFp = 0.0;
+};
+
+/// What one compiled trial measures; the harness maps this onto its
+/// TrialResult (pricing the stats through the energy model there, so
+/// this layer stays below the harness).
+struct CompiledTrialResult {
+  /// Bounded relative error of (r1, f1) against the kernel reference;
+  /// 1.0 for a trapped run.
+  double QosError = 0.0;
+  /// Operation and storage statistics (partial up to a trap).
+  RunStats Stats;
+  bool Trapped = false;
+  std::string Error; ///< The trap message, when Trapped.
+  /// The logical clock when the run ended.
+  uint64_t Cycles = 0;
+  /// Per-site metrics keyed by the kernel's ISA regions ("<app>" and
+  /// "<app>/approx"); empty unless requested.
+  obs::MetricsRegistry Metrics;
+};
+
+/// Thread-safe store of compiled kernels, keyed by (application name,
+/// level). Entries have stable addresses: a returned reference stays
+/// valid for the cache's lifetime, so trial lists can point into it.
+class ProgramCache {
+public:
+  /// \p KernelDir is the directory holding <app>.fej kernel sources.
+  explicit ProgramCache(std::string KernelDir);
+
+  /// Returns the kernel for (\p AppName, \p Level), compiling it on
+  /// first use. Throws std::runtime_error when the kernel source is
+  /// missing or any pipeline stage rejects it.
+  const CompiledKernel &get(const std::string &AppName, ApproxLevel Level);
+
+  /// Number of distinct (app, level) entries compiled so far.
+  size_t size() const;
+
+private:
+  std::string KernelDir;
+  mutable std::mutex Mutex;
+  std::map<std::pair<std::string, int>, std::unique_ptr<CompiledKernel>>
+      Cache;
+};
+
+/// Runs one trial of \p Kernel under \p Config for \p WorkloadSeed on a
+/// FastMachine. The effective fault seed is mixSeed(Config.Seed,
+/// WorkloadSeed) — the same per-trial derivation as the interpreter
+/// path — so the result is a pure function of the trial's identity.
+CompiledTrialResult runCompiledTrial(const CompiledKernel &Kernel,
+                                     const FaultConfig &Config,
+                                     uint64_t WorkloadSeed,
+                                     bool CollectMetrics = false,
+                                     BlockMode Mode = BlockMode::Batched);
+
+} // namespace exec
+} // namespace enerj
+
+#endif // ENERJ_EXEC_COMPILED_H

@@ -1,0 +1,509 @@
+//===- exec/machine.cpp - Batched-fault ISA fast executor -----------------===//
+
+#include "exec/machine.h"
+
+#include "support/bits.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+using namespace enerj;
+using namespace enerj::exec;
+
+namespace {
+
+/// Stream salts: each fault site class owns an independent sub-stream of
+/// the trial seed (support/rng mixSeed), so adding draws to one site
+/// never perturbs another.
+constexpr uint64_t SaltSramRead = 0xE1;
+constexpr uint64_t SaltSramWrite = 0xE2;
+constexpr uint64_t SaltIntTiming = 0xE3;
+constexpr uint64_t SaltFpTiming = 0xE4;
+constexpr uint64_t SaltPayload = 0xE5;
+
+} // namespace
+
+FastMachine::FastMachine(const isa::IsaProgram &Program,
+                         const FaultConfig &Config, BlockMode Mode)
+    : Program(Program), Config(Config), Mode(Mode),
+      SramRead(this->Config.sramReadUpset(),
+               mixSeed(this->Config.Seed, SaltSramRead), Mode),
+      SramWrite(this->Config.sramWriteFailure(),
+                mixSeed(this->Config.Seed, SaltSramWrite), Mode),
+      IntTiming(this->Config.timingErrorProbability(),
+                mixSeed(this->Config.Seed, SaltIntTiming), Mode),
+      FpTiming(this->Config.timingErrorProbability(),
+               mixSeed(this->Config.Seed, SaltFpTiming), Mode),
+      Payload(mixSeed(this->Config.Seed, SaltPayload)),
+      FpWidth(this->Config), Dram(this->Config),
+      IntRegs(isa::NumIntRegs, 0), FpRegs(isa::NumFpRegs, 0.0),
+      Memory(Program.memoryWords(), 0),
+      LastAccess(Program.memoryWords(), 0) {
+  // The same storage footprint as isa::Machine: half of each register
+  // file is approximate SRAM, the data segment splits per the program.
+  Ledger.lease(Region::Sram, isa::FirstApproxReg * 8 * 2,
+               (isa::NumIntRegs - isa::FirstApproxReg) * 8 +
+                   (isa::NumFpRegs - isa::FirstApproxReg) * 8);
+  Ledger.lease(Region::Dram, Program.PreciseWords * 8,
+               Program.ApproxWords * 8);
+}
+
+void FastMachine::attachMetrics(obs::MetricsRegistry *Registry,
+                                const std::string &Label) {
+  Metrics = Registry;
+  if (!Metrics)
+    return;
+  CoreRegion = Metrics->internRegion(Label);
+  ApproxRegion = Metrics->internRegion(Label + "/approx");
+  Metrics->enterRegion(CoreRegion);
+}
+
+RunStats FastMachine::stats() const {
+  RunStats Stats;
+  Stats.Ops = Ops;
+  Stats.Ops.TimingErrors = TimingErrors;
+  Stats.Storage = Ledger.snapshot();
+  return Stats;
+}
+
+void FastMachine::record(obs::OpKind Kind, unsigned Flipped,
+                         bool InApproxRegion) {
+  if (!Metrics)
+    return;
+  if (InApproxRegion) {
+    Metrics->enterRegion(ApproxRegion);
+    Metrics->recordOp(Kind, Flipped);
+    Metrics->exitRegion();
+    return;
+  }
+  Metrics->recordOp(Kind, Flipped);
+}
+
+int64_t FastMachine::readInt(unsigned Index) {
+  int64_t Raw = IntRegs[Index];
+  if (isa::isApproxReg(Index)) {
+    uint64_t Mask = SramRead.nextMask(64);
+    Raw = fromBits<int64_t>(toBits(Raw) ^ Mask);
+    record(obs::OpKind::SramRead,
+           static_cast<unsigned>(std::popcount(Mask)), false);
+  }
+  return Raw;
+}
+
+void FastMachine::writeInt(unsigned Index, int64_t Value) {
+  if (isa::isApproxReg(Index)) {
+    uint64_t Mask = SramWrite.nextMask(64);
+    Value = fromBits<int64_t>(toBits(Value) ^ Mask);
+    record(obs::OpKind::SramWrite,
+           static_cast<unsigned>(std::popcount(Mask)), false);
+  }
+  IntRegs[Index] = Value;
+}
+
+double FastMachine::readFp(unsigned Index) {
+  double Raw = FpRegs[Index];
+  if (isa::isApproxReg(Index)) {
+    uint64_t Mask = SramRead.nextMask(64);
+    Raw = fromBits<double>(toBits(Raw) ^ Mask);
+    record(obs::OpKind::SramRead,
+           static_cast<unsigned>(std::popcount(Mask)), false);
+  }
+  return Raw;
+}
+
+void FastMachine::writeFp(unsigned Index, double Value) {
+  if (isa::isApproxReg(Index)) {
+    uint64_t Mask = SramWrite.nextMask(64);
+    Value = fromBits<double>(toBits(Value) ^ Mask);
+    record(obs::OpKind::SramWrite,
+           static_cast<unsigned>(std::popcount(Mask)), false);
+  }
+  FpRegs[Index] = Value;
+}
+
+uint64_t FastMachine::dramDecay(uint64_t Bits, uint64_t ElapsedCycles) {
+  double P = Dram.flipProbability(ElapsedCycles);
+  if (P <= 0.0)
+    return Bits;
+  // Aggregate escape: all 64 per-bit Bernoulli(p) flips collapse into one
+  // "does anything flip" draw with probability 1-(1-p)^64; only a
+  // faulting word (rare at Table 2 rates) is expanded bit by bit, with
+  // the flip count drawn from Binomial(64, p) conditioned on >= 1.
+  double PAny = -std::expm1(64.0 * std::log1p(-P));
+  if (Payload.nextDouble() >= PAny)
+    return Bits;
+  uint64_t Count;
+  do {
+    Count = Payload.nextBinomial(64, P);
+  } while (Count == 0);
+  uint64_t Mask = 0;
+  if (Count >= 64) {
+    Mask = ~0ULL;
+  } else {
+    for (uint64_t I = 0; I < Count; ++I) {
+      unsigned Bit;
+      do {
+        Bit = static_cast<unsigned>(Payload.nextBelow(64));
+      } while (Mask & (1ULL << Bit));
+      Mask |= 1ULL << Bit;
+    }
+  }
+  return Bits ^ Mask;
+}
+
+bool FastMachine::memAccess(uint64_t Address, bool ApproxHint, bool IsStore,
+                            uint64_t &Bits, std::string &TrapMessage) {
+  if (Address >= Memory.size()) {
+    TrapMessage = "memory access out of range (address " +
+                  std::to_string(Address) + ")";
+    return false;
+  }
+  bool InApprox = Program.isApproxAddress(Address);
+  // The dynamic discipline, exactly as isa::Machine enforces it.
+  if (!ApproxHint && InApprox) {
+    TrapMessage = "precise access to approximate memory";
+    return false;
+  }
+  if (ApproxHint && IsStore && !InApprox) {
+    TrapMessage = "approximate store to precise memory";
+    return false;
+  }
+  if (InApprox) {
+    unsigned Flipped = 0;
+    if (!IsStore) {
+      uint64_t Before = Memory[Address];
+      Memory[Address] =
+          dramDecay(Before, Ledger.now() - LastAccess[Address]);
+      Flipped =
+          static_cast<unsigned>(std::popcount(Before ^ Memory[Address]));
+    }
+    LastAccess[Address] = Ledger.now();
+    record(IsStore ? obs::OpKind::DramStore : obs::OpKind::DramLoad,
+           Flipped, true);
+  }
+  if (IsStore)
+    Memory[Address] = Bits;
+  else
+    Bits = Memory[Address];
+  Ledger.tick(); // A memory access advances time.
+  return true;
+}
+
+uint64_t FastMachine::timingResult(uint64_t CorrectBits, bool Fp) {
+  uint64_t Produced = CorrectBits;
+  bool Fires = Fp ? FpTiming.fires() : IntTiming.fires();
+  if (Fires) {
+    ++TimingErrors;
+    switch (Config.Mode) {
+    case ErrorMode::RandomValue:
+      Produced = Payload.next();
+      break;
+    case ErrorMode::SingleBitFlip:
+      Produced = flipBit(Produced,
+                         static_cast<unsigned>(Payload.nextBelow(64)));
+      break;
+    case ErrorMode::LastValue:
+      Produced = Fp ? FpLast : IntLast;
+      break;
+    }
+  }
+  (Fp ? FpLast : IntLast) = Produced;
+  return Produced;
+}
+
+FastResult FastMachine::run(uint64_t MaxInstructions) {
+  FastResult Result;
+  uint64_t Pc = 0;
+
+  auto Trap = [&](std::string Message, int Line) {
+    Result.Trapped = true;
+    Result.TrapMessage =
+        "line " + std::to_string(Line) + ": " + std::move(Message);
+  };
+
+  auto BranchTo = [&](int64_t Target, int Line) {
+    if (Target < 0 ||
+        static_cast<size_t>(Target) > Program.Instructions.size()) {
+      Trap("branch target out of range", Line);
+      return false;
+    }
+    Pc = static_cast<uint64_t>(Target);
+    return true;
+  };
+
+  while (Result.InstructionsExecuted < MaxInstructions) {
+    if (Pc >= Program.Instructions.size())
+      return Result; // Falling off the end is a clean halt.
+    const isa::Instruction &I = Program.Instructions[Pc];
+    ++Result.InstructionsExecuted;
+    ++Pc;
+
+    auto IntResult = [&](int64_t Correct) {
+      Ledger.tick();
+      if (!I.Approx) {
+        ++Ops.PreciseInt;
+        record(obs::OpKind::PreciseInt, 0, false);
+        return Correct;
+      }
+      ++Ops.ApproxInt;
+      uint64_t Bits = timingResult(toBits(Correct), /*Fp=*/false);
+      record(obs::OpKind::ApproxInt,
+             static_cast<unsigned>(std::popcount(Bits ^ toBits(Correct))),
+             false);
+      return fromBits<int64_t>(Bits);
+    };
+    auto FpResult = [&](double Correct) {
+      Ledger.tick();
+      if (!I.Approx) {
+        ++Ops.PreciseFp;
+        record(obs::OpKind::PreciseFp, 0, false);
+        return Correct;
+      }
+      ++Ops.ApproxFp;
+      uint64_t Bits = timingResult(toBits(Correct), /*Fp=*/true);
+      record(obs::OpKind::ApproxFp,
+             static_cast<unsigned>(std::popcount(Bits ^ toBits(Correct))),
+             false);
+      return fromBits<double>(Bits);
+    };
+    auto NarrowIf = [&](double Value) {
+      return I.Approx ? FpWidth.narrow(Value) : Value;
+    };
+
+    switch (I.Op) {
+    case isa::Opcode::Li:
+      writeInt(I.Rd, I.Imm);
+      Ledger.tick();
+      break;
+    case isa::Opcode::Lfi:
+      writeFp(I.Rd, I.FpImm);
+      Ledger.tick();
+      break;
+    case isa::Opcode::Mv:
+      writeInt(I.Rd, readInt(I.Ra));
+      Ledger.tick();
+      break;
+    case isa::Opcode::Fmv:
+      writeFp(I.Rd, readFp(I.Ra));
+      Ledger.tick();
+      break;
+    case isa::Opcode::Endorse:
+      writeInt(I.Rd, readInt(I.Ra));
+      Ledger.tick();
+      break;
+    case isa::Opcode::Fendorse:
+      writeFp(I.Rd, readFp(I.Ra));
+      Ledger.tick();
+      break;
+
+    case isa::Opcode::Add:
+      writeInt(I.Rd, IntResult(wrapAdd(readInt(I.Ra), readInt(I.Rb))));
+      break;
+    case isa::Opcode::Sub:
+      writeInt(I.Rd, IntResult(wrapSub(readInt(I.Ra), readInt(I.Rb))));
+      break;
+    case isa::Opcode::Mul:
+      writeInt(I.Rd, IntResult(wrapMul(readInt(I.Ra), readInt(I.Rb))));
+      break;
+    case isa::Opcode::Div: {
+      int64_t Divisor = readInt(I.Rb);
+      int64_t Dividend = readInt(I.Ra);
+      if (Divisor == 0) {
+        if (!I.Approx)
+          return Trap("integer division by zero", I.Line), Result;
+        writeInt(I.Rd, IntResult(0));
+        break;
+      }
+      writeInt(I.Rd, IntResult(wrapDiv(Dividend, Divisor)));
+      break;
+    }
+    case isa::Opcode::Rem: {
+      int64_t Divisor = readInt(I.Rb);
+      int64_t Dividend = readInt(I.Ra);
+      if (Divisor == 0) {
+        if (!I.Approx)
+          return Trap("integer remainder by zero", I.Line), Result;
+        writeInt(I.Rd, IntResult(0));
+        break;
+      }
+      writeInt(I.Rd, IntResult(wrapRem(Dividend, Divisor)));
+      break;
+    }
+    case isa::Opcode::Addi:
+      writeInt(I.Rd, IntResult(wrapAdd(readInt(I.Ra), I.Imm)));
+      break;
+
+    case isa::Opcode::Seq:
+    case isa::Opcode::Sne:
+    case isa::Opcode::Slt:
+    case isa::Opcode::Sle:
+    case isa::Opcode::And:
+    case isa::Opcode::Or: {
+      int64_t Lhs = readInt(I.Ra);
+      int64_t Rhs = readInt(I.Rb);
+      int64_t Value = 0;
+      switch (I.Op) {
+      case isa::Opcode::Seq:
+        Value = Lhs == Rhs ? 1 : 0;
+        break;
+      case isa::Opcode::Sne:
+        Value = Lhs != Rhs ? 1 : 0;
+        break;
+      case isa::Opcode::Slt:
+        Value = Lhs < Rhs ? 1 : 0;
+        break;
+      case isa::Opcode::Sle:
+        Value = Lhs <= Rhs ? 1 : 0;
+        break;
+      case isa::Opcode::And:
+        Value = Lhs & Rhs;
+        break;
+      default:
+        Value = Lhs | Rhs;
+        break;
+      }
+      writeInt(I.Rd, IntResult(Value));
+      break;
+    }
+
+    case isa::Opcode::Fadd:
+      writeFp(I.Rd, FpResult(NarrowIf(readFp(I.Ra)) +
+                             NarrowIf(readFp(I.Rb))));
+      break;
+    case isa::Opcode::Fsub:
+      writeFp(I.Rd, FpResult(NarrowIf(readFp(I.Ra)) -
+                             NarrowIf(readFp(I.Rb))));
+      break;
+    case isa::Opcode::Fmul:
+      writeFp(I.Rd, FpResult(NarrowIf(readFp(I.Ra)) *
+                             NarrowIf(readFp(I.Rb))));
+      break;
+    case isa::Opcode::Fdiv: {
+      double Divisor = NarrowIf(readFp(I.Rb));
+      double Dividend = NarrowIf(readFp(I.Ra));
+      if (Divisor == 0.0 && I.Approx) {
+        writeFp(I.Rd,
+                FpResult(std::numeric_limits<double>::quiet_NaN()));
+        break;
+      }
+      writeFp(I.Rd, FpResult(Dividend / Divisor));
+      break;
+    }
+
+    case isa::Opcode::Cvt:
+      writeFp(I.Rd, FpResult(static_cast<double>(readInt(I.Ra))));
+      break;
+    case isa::Opcode::Cvti: {
+      double Value = NarrowIf(readFp(I.Ra));
+      int64_t Truncated = 0;
+      if (std::isfinite(Value)) {
+        if (Value >= 9.2233720368547758e18)
+          Truncated = INT64_MAX;
+        else if (Value <= -9.2233720368547758e18)
+          Truncated = INT64_MIN;
+        else
+          Truncated = static_cast<int64_t>(Value);
+      }
+      writeInt(I.Rd, IntResult(Truncated));
+      break;
+    }
+
+    case isa::Opcode::Lw:
+    case isa::Opcode::Flw: {
+      int64_t Base = readInt(I.Ra);
+      uint64_t Address =
+          static_cast<uint64_t>(Base) + static_cast<uint64_t>(I.Imm);
+      uint64_t Bits = 0;
+      std::string Message;
+      if (!memAccess(Address, I.Approx, /*IsStore=*/false, Bits, Message))
+        return Trap(std::move(Message), I.Line), Result;
+      if (I.Op == isa::Opcode::Lw)
+        writeInt(I.Rd, fromBits<int64_t>(Bits));
+      else
+        writeFp(I.Rd, fromBits<double>(Bits));
+      break;
+    }
+    case isa::Opcode::Sw:
+    case isa::Opcode::Fsw: {
+      int64_t Base = readInt(I.Ra);
+      uint64_t Address =
+          static_cast<uint64_t>(Base) + static_cast<uint64_t>(I.Imm);
+      uint64_t Bits = I.Op == isa::Opcode::Sw ? toBits(readInt(I.Rd))
+                                              : toBits(readFp(I.Rd));
+      std::string Message;
+      if (!memAccess(Address, I.Approx, /*IsStore=*/true, Bits, Message))
+        return Trap(std::move(Message), I.Line), Result;
+      break;
+    }
+
+    case isa::Opcode::Fbeq:
+    case isa::Opcode::Fbne:
+    case isa::Opcode::Fblt:
+    case isa::Opcode::Fble: {
+      double Lhs = readFp(I.Rd);
+      double Rhs = readFp(I.Ra);
+      ++Ops.PreciseFp; // The comparison.
+      Ledger.tick();
+      record(obs::OpKind::PreciseFp, 0, false);
+      bool Taken = false;
+      switch (I.Op) {
+      case isa::Opcode::Fbeq:
+        Taken = Lhs == Rhs;
+        break;
+      case isa::Opcode::Fbne:
+        Taken = Lhs != Rhs;
+        break;
+      case isa::Opcode::Fblt:
+        Taken = Lhs < Rhs;
+        break;
+      default:
+        Taken = Lhs <= Rhs;
+        break;
+      }
+      if (Taken && !BranchTo(I.Imm, I.Line))
+        return Result;
+      break;
+    }
+
+    case isa::Opcode::Beq:
+    case isa::Opcode::Bne:
+    case isa::Opcode::Blt:
+    case isa::Opcode::Ble: {
+      int64_t Lhs = readInt(I.Rd);
+      int64_t Rhs = readInt(I.Ra);
+      ++Ops.PreciseInt; // The comparison.
+      Ledger.tick();
+      record(obs::OpKind::PreciseInt, 0, false);
+      bool Taken = false;
+      switch (I.Op) {
+      case isa::Opcode::Beq:
+        Taken = Lhs == Rhs;
+        break;
+      case isa::Opcode::Bne:
+        Taken = Lhs != Rhs;
+        break;
+      case isa::Opcode::Blt:
+        Taken = Lhs < Rhs;
+        break;
+      default:
+        Taken = Lhs <= Rhs;
+        break;
+      }
+      if (Taken && !BranchTo(I.Imm, I.Line))
+        return Result;
+      break;
+    }
+    case isa::Opcode::Jmp:
+      Ledger.tick();
+      if (!BranchTo(I.Imm, I.Line))
+        return Result;
+      break;
+    case isa::Opcode::Halt:
+      return Result;
+    }
+  }
+  Result.Trapped = true;
+  Result.TrapMessage = "instruction budget exhausted (runaway loop?)";
+  return Result;
+}

@@ -1,0 +1,130 @@
+//===- exec/machine.h - Batched-fault ISA fast executor ---------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled eval path's execution engine: the same architected
+/// semantics as isa::Machine (same traps, same operation counting, same
+/// logical-clock ticks, same Section 4 fault models), but with the
+/// per-operation RNG draws replaced by fault/block.h upset streams:
+///
+///  * approximate register reads/writes consume 64 bits of a pre-drawn
+///    SRAM read/write UpsetStream and XOR the (almost always zero) flip
+///    mask into the value — the common path is one compare, no draw;
+///  * approximate ALU/FPU results consult an EventStream whose next
+///    faulty *operation index* is precomputed, so the timer-upset check
+///    is branch-free until an error actually fires;
+///  * approximate-region loads keep the elapsed-time-dependent DRAM
+///    decay model, collapsed to one aggregate word-level escape draw
+///    (64 independent per-bit flips fire together with probability
+///    1-(1-p)^64) with the rare faulting word expanded bit by bit.
+///
+/// Every stream is seeded as mixSeed(Config.Seed, site salt), so a trial
+/// remains a pure function of its identity — the compiled grid is
+/// bitwise deterministic at any thread count. At ApproxLevel::None no
+/// stream ever consumes randomness and the final machine state is
+/// bitwise identical to isa::Machine's (exec_differential_test pins
+/// this); under approximation the RNG consumption *order* differs from
+/// the classic per-op models, so the differential gate is statistical,
+/// exactly as for the validated optimizer (docs/OPTIMIZER.md).
+///
+/// The flip-mask aggregate counts (faults, flipped bits via popcount)
+/// feed an optional obs::MetricsRegistry keyed by the binary's ISA
+/// regions, so `eval --metrics` still sums exactly on the compiled path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_EXEC_MACHINE_H
+#define ENERJ_EXEC_MACHINE_H
+
+#include "arch/memory.h"
+#include "arch/stats.h"
+#include "fault/block.h"
+#include "fault/config.h"
+#include "fault/models.h"
+#include "isa/isa.h"
+#include "obs/metrics.h"
+
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace exec {
+
+/// Outcome of a fast run — the same shape as isa::MachineResult.
+struct FastResult {
+  bool Trapped = false;
+  std::string TrapMessage;
+  uint64_t InstructionsExecuted = 0;
+};
+
+/// One fast executor bound to a verified program and a configuration.
+class FastMachine {
+public:
+  /// \p Mode selects batched block refills (the default) or the scalar
+  /// reference draw order — the two are bitwise identical by the
+  /// fault/block.h contract, so tests can run either.
+  FastMachine(const isa::IsaProgram &Program, const FaultConfig &Config,
+              BlockMode Mode = BlockMode::Batched);
+
+  /// Attaches a metrics registry for the coming run. Sites are keyed by
+  /// the ISA region the operation touched: "<label>" for the functional
+  /// units and register file, "<label>/approx" for the reduced-refresh
+  /// data region. Must be called before run().
+  void attachMetrics(obs::MetricsRegistry *Registry,
+                     const std::string &Label);
+
+  /// Runs from instruction 0 until halt, a trap, or \p MaxInstructions.
+  FastResult run(uint64_t MaxInstructions = 10'000'000);
+
+  /// --- Observable state (no faults, nothing recorded). ---
+  int64_t intReg(unsigned Index) const { return IntRegs[Index]; }
+  double fpReg(unsigned Index) const { return FpRegs[Index]; }
+  uint64_t memBits(uint64_t Address) const { return Memory[Address]; }
+
+  /// Statistics in the same shape as isa::Machine::stats().
+  RunStats stats() const;
+
+  /// The logical clock after the run (one tick per dynamic op).
+  uint64_t now() const { return Ledger.now(); }
+
+private:
+  int64_t readInt(unsigned Index);
+  void writeInt(unsigned Index, int64_t Value);
+  double readFp(unsigned Index);
+  void writeFp(unsigned Index, double Value);
+  uint64_t dramDecay(uint64_t Bits, uint64_t ElapsedCycles);
+  bool memAccess(uint64_t Address, bool ApproxHint, bool IsStore,
+                 uint64_t &Bits, std::string &TrapMessage);
+  uint64_t timingResult(uint64_t CorrectBits, bool Fp);
+  void record(obs::OpKind Kind, unsigned Flipped, bool ApproxRegion);
+
+  const isa::IsaProgram &Program;
+  FaultConfig Config;
+  BlockMode Mode;
+  UpsetStream SramRead;
+  UpsetStream SramWrite;
+  EventStream IntTiming;
+  EventStream FpTiming;
+  Rng Payload; ///< Rare-path draws: corrupt values, flip positions, DRAM.
+  FpWidthModel FpWidth;
+  DramModel Dram; ///< Probability computation only; draws stay local.
+  uint64_t IntLast = 0, FpLast = 0; ///< ErrorMode::LastValue latches.
+  uint64_t TimingErrors = 0;
+  MemoryLedger Ledger;
+  OperationStats Ops;
+  obs::MetricsRegistry *Metrics = nullptr;
+  uint32_t CoreRegion = 0, ApproxRegion = 0;
+
+  std::vector<int64_t> IntRegs;
+  std::vector<double> FpRegs;
+  std::vector<uint64_t> Memory;
+  std::vector<uint64_t> LastAccess;
+};
+
+} // namespace exec
+} // namespace enerj
+
+#endif // ENERJ_EXEC_MACHINE_H

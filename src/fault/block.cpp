@@ -1,0 +1,80 @@
+//===- fault/block.cpp - Block-drawn upset streams ------------------------===//
+
+#include "fault/block.h"
+
+#include <cmath>
+
+using namespace enerj;
+
+UpsetStream::UpsetStream(double P, uint64_t Seed, BlockMode Mode,
+                         uint32_t BlockSize)
+    : P(P), R(Seed), Mode(Mode), BlockSize(BlockSize ? BlockSize : 1) {
+  if (P <= 0.0) {
+    // A zero-probability stream never faults and never touches the RNG;
+    // the property suite audits drawsConsumed() == 0.
+    NextFault = ~0ULL;
+    return;
+  }
+  if (P >= 1.0) {
+    // Every exposed bit upsets — deterministic, so no draws here either.
+    AlwaysFault = true;
+    NextFault = 0;
+    return;
+  }
+  InvLog1mP = 1.0 / std::log1p(-P);
+  NextFault = drawGap();
+}
+
+uint64_t UpsetStream::slowMask(uint64_t End) {
+  uint64_t Mask = 0;
+  while (NextFault < End) {
+    Mask |= 1ULL << (NextFault - Cursor);
+    ++Faults;
+    advance();
+  }
+  Cursor = End;
+  return Mask;
+}
+
+void UpsetStream::advance() {
+  if (AlwaysFault) {
+    ++NextFault;
+    return;
+  }
+  uint64_t Gap = drawGap();
+  // Saturate instead of wrapping: a gap this large means "never again"
+  // for any realistic stream length.
+  NextFault = NextFault + 1 + Gap < NextFault ? ~0ULL : NextFault + 1 + Gap;
+}
+
+uint64_t UpsetStream::drawGap() {
+  if (Mode == BlockMode::Batched) {
+    if (BlockPos == Block.size())
+      refill();
+    return Block[BlockPos++];
+  }
+  // Scalar reference mode: one lazy draw. Inverse-transform geometric:
+  // the count of sound bits before the next upset is
+  // floor(log1p(-U) / log1p(-P)) with U uniform in [0, 1).
+  double U = R.nextDouble();
+  ++Draws;
+  double Gap = std::log1p(-U) * InvLog1mP;
+  if (!(Gap < 9.2e18)) // Overflow (or NaN from U==0 at tiny P) saturates.
+    return ~0ULL >> 1;
+  return static_cast<uint64_t>(Gap);
+}
+
+void UpsetStream::refill() {
+  // Pre-draw a block of gaps with exactly the draws the scalar mode
+  // would make, in the same order — bitwise equivalence by construction.
+  Block.clear();
+  Block.reserve(BlockSize);
+  for (uint32_t I = 0; I < BlockSize; ++I) {
+    double U = R.nextDouble();
+    ++Draws;
+    double Gap = std::log1p(-U) * InvLog1mP;
+    Block.push_back(!(Gap < 9.2e18) ? (~0ULL >> 1)
+                                    : static_cast<uint64_t>(Gap));
+  }
+  BlockPos = 0;
+}

@@ -1,0 +1,135 @@
+//===- fault/block.h - Block-drawn upset streams ----------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched counterpart of the per-operation fault models in
+/// fault/models.h, built for the compiled execution path (src/exec).
+///
+/// The classic models draw from the trial RNG on *every* operation —
+/// a Binomial(64, p) per approximate register read/write and a Bernoulli
+/// per approximate ALU result — which dominates the fast machine's step
+/// loop even though faults themselves are rare. An UpsetStream inverts
+/// that cost structure: it views all the bits a site class ever exposes
+/// as one long Bernoulli(p) stream and samples only the *indices of the
+/// faulty bits*, via inverse-transform geometric gaps
+///
+///     gap = floor(log1p(-U) / log1p(-P)),  U ~ Uniform[0, 1),
+///
+/// so the common no-fault case costs one integer compare (is the next
+/// faulty bit index past this word?) and zero RNG draws. Each gap draw
+/// consumes exactly one Rng::nextDouble(), which gives the layer its
+/// differential-testing hook: BlockMode::Batched pre-draws gaps in
+/// fixed-size blocks ahead of use, BlockMode::Scalar draws them lazily
+/// one at a time, and because both consume the same draws in the same
+/// order the two modes produce bitwise-identical flip-mask sequences for
+/// the same (seed, probability) stream. fault_block_test pins that
+/// equivalence, including block boundaries and the zero-probability
+/// stream (which must consume no randomness at all).
+///
+/// The distribution matches the classic models in aggregate — every
+/// exposed bit flips independently with probability p — but the draw
+/// *order* differs, so bitwise parity with fault/models.h is only
+/// expected where no randomness is consumed (p == 0, i.e. level None).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FAULT_BLOCK_H
+#define ENERJ_FAULT_BLOCK_H
+
+#include "support/rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace enerj {
+
+/// How an UpsetStream obtains its geometric gaps.
+enum class BlockMode {
+  Batched, ///< Gaps pre-drawn in blocks (the fast-machine hot path).
+  Scalar,  ///< Gaps drawn lazily, one at a time (the reference mode).
+};
+
+/// One site class's Bernoulli(p)-per-bit fault process, sampled sparsely.
+/// Deterministic given (probability, seed): the flip masks are a pure
+/// function of the stream's identity and the sequence of widths asked of
+/// it, independent of the block size and the mode.
+class UpsetStream {
+public:
+  /// \p P is the per-bit upset probability; \p Seed keys the stream
+  /// (per-trial streams use support/rng's mixSeed with a per-site salt).
+  /// \p BlockSize only affects Batched refill granularity, never the
+  /// output sequence.
+  UpsetStream(double P, uint64_t Seed, BlockMode Mode,
+              uint32_t BlockSize = 256);
+
+  /// Advances the stream over the next \p Width exposed bits (1..64) and
+  /// returns their flip mask (bit i set = exposed bit i upset). The
+  /// common path is branch-predictable: one compare against the
+  /// precomputed next-fault index.
+  uint64_t nextMask(unsigned Width) {
+    uint64_t End = Cursor + Width;
+    if (NextFault >= End) { // No fault lands in this word (the hot path).
+      Cursor = End;
+      return 0;
+    }
+    return slowMask(End);
+  }
+
+  /// Index of the next exposed bit that will upset (~0 when p == 0).
+  uint64_t nextFaultIndex() const { return NextFault; }
+  /// Exposed bits consumed so far.
+  uint64_t bitsSeen() const { return Cursor; }
+  /// Total upset bits produced so far.
+  uint64_t faultsSeen() const { return Faults; }
+  /// Rng doubles consumed so far (the property tests' draw audit).
+  uint64_t drawsConsumed() const { return Draws; }
+
+private:
+  uint64_t slowMask(uint64_t End);
+  void advance(); ///< Moves NextFault past the current fault.
+  uint64_t drawGap();
+  void refill();
+
+  double P;
+  double InvLog1mP = 0.0; ///< 1 / log1p(-P), precomputed (P in (0, 1)).
+  bool AlwaysFault = false;
+  Rng R;
+  BlockMode Mode;
+  uint32_t BlockSize;
+  std::vector<uint64_t> Block; ///< Pre-drawn gaps (Batched only).
+  size_t BlockPos = 0;
+  uint64_t Cursor = 0;
+  uint64_t NextFault;
+  uint64_t Faults = 0;
+  uint64_t Draws = 0;
+};
+
+/// A per-operation error process sampled the same sparse way: each
+/// operation is one exposed "bit" of an UpsetStream, so the next faulty
+/// *operation index* is precomputed and the per-op check is branch-free
+/// in the common case. Used for the timing-error model, whose classic
+/// form draws a Bernoulli per approximate result.
+class EventStream {
+public:
+  EventStream(double P, uint64_t Seed, BlockMode Mode,
+              uint32_t BlockSize = 256)
+      : Stream(P, Seed, Mode, BlockSize) {}
+
+  /// True when the current operation takes the error; advances one op.
+  bool fires() { return Stream.nextMask(1) != 0; }
+
+  uint64_t opsSeen() const { return Stream.bitsSeen(); }
+  uint64_t eventsSeen() const { return Stream.faultsSeen(); }
+  uint64_t drawsConsumed() const { return Stream.drawsConsumed(); }
+
+private:
+  UpsetStream Stream;
+};
+
+} // namespace enerj
+
+#endif // ENERJ_FAULT_BLOCK_H

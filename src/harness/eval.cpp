@@ -2,6 +2,11 @@
 
 #include "harness/eval.h"
 
+#include "exec/compiled.h"
+
+#include <optional>
+#include <stdexcept>
+
 using namespace enerj;
 using namespace enerj::harness;
 
@@ -9,6 +14,10 @@ const std::vector<ApproxLevel> &enerj::harness::evalLevels() {
   static const std::vector<ApproxLevel> Levels = {
       ApproxLevel::Mild, ApproxLevel::Medium, ApproxLevel::Aggressive};
   return Levels;
+}
+
+const char *enerj::harness::execModeName(ExecMode Mode) {
+  return Mode == ExecMode::Compiled ? "compiled" : "interp";
 }
 
 const EvalCell *EvalResult::cell(const apps::Application &App,
@@ -53,6 +62,21 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
   Result.Seeds = Options.Seeds < 1 ? 1 : Options.Seeds;
   Result.Policy = Options.Policy;
   Result.MetricsCollected = Options.Metrics;
+  Result.Exec = Options.Exec;
+  Result.EchoExecMode = Options.EchoExecMode;
+
+  // The compiled path lowers each (app, level) cell exactly once before
+  // any trial runs; a cell whose kernel fails any pipeline stage aborts
+  // the whole grid (a silent fall-back to the interpreter would change
+  // what the numbers mean). The cache must outlive the trial list,
+  // which points into it.
+  std::optional<exec::ProgramCache> Kernels;
+  if (Options.Exec == ExecMode::Compiled) {
+    if (Options.Policy.Enabled)
+      throw std::runtime_error(
+          "compiled execution does not support a resilience policy");
+    Kernels.emplace(Options.KernelDir);
+  }
 
   // App-major, level-minor, seeds ascending: the same enumeration order
   // the serial harnesses used, so per-cell slices are contiguous and
@@ -62,9 +86,12 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
   for (const apps::Application *App : Result.Apps)
     for (ApproxLevel Level : Result.Levels) {
       FaultConfig Config = FaultConfig::preset(Level);
+      const exec::CompiledKernel *Kernel =
+          Kernels ? &Kernels->get(App->name(), Level) : nullptr;
       for (int Seed = 1; Seed <= Result.Seeds; ++Seed) {
         Trial T{App, Config, static_cast<uint64_t>(Seed)};
         T.Obs.Metrics = Options.Metrics;
+        T.Kernel = Kernel;
         Trials.push_back(std::move(T));
       }
     }

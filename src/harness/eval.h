@@ -32,6 +32,17 @@ namespace harness {
 /// The three approximation levels of the evaluation, in Table 2 order.
 const std::vector<ApproxLevel> &evalLevels();
 
+/// How the grid's trials execute. Interp is the historical authoritative
+/// path: the annotated C++ application runs under the Simulator.
+/// Compiled lowers each (app, level) cell's ISA kernel through the
+/// FEnerJ compiler + validated optimizer once, then dispatches every
+/// seed of the cell onto the cached binary with batched fault injection
+/// (exec::FastMachine).
+enum class ExecMode { Interp, Compiled };
+
+/// "interp" / "compiled", as echoed by the version-4 JSON.
+const char *execModeName(ExecMode Mode);
+
 /// What to enumerate. Empty Apps/Levels mean "all nine" / "the three
 /// Table 2 levels".
 struct EvalOptions {
@@ -47,6 +58,17 @@ struct EvalOptions {
   /// bitwise identical to the pre-telemetry harness. Turning it on bumps
   /// the JSON to version 3 with a "metrics" block per cell.
   bool Metrics = false;
+  /// Execution path for every trial of the grid. Compiled requires
+  /// KernelDir and a disabled Policy, and throws std::runtime_error if
+  /// any cell's kernel fails to compile or verify.
+  ExecMode Exec = ExecMode::Interp;
+  /// Echo the execution mode in the JSON (version 4, "execMode" after
+  /// "seeds"). Off by default so existing version-2/3 output stays byte
+  /// identical; the CLI sets it whenever --exec-mode is given
+  /// explicitly, for either mode.
+  bool EchoExecMode = false;
+  /// Directory of <app>.fej ISA kernels (Compiled only).
+  std::string KernelDir;
 };
 
 /// One (application, level) cell of the grid.
@@ -76,6 +98,8 @@ struct EvalResult {
   int Seeds = 0;
   resilience::ResiliencePolicy Policy; ///< The policy the grid ran under.
   bool MetricsCollected = false; ///< Grid ran with EvalOptions::Metrics.
+  ExecMode Exec = ExecMode::Interp; ///< How the trials executed.
+  bool EchoExecMode = false; ///< Render the mode (version-4 JSON).
   std::vector<EvalCell> Cells;
 
   /// The cell for (\p App, \p Level); null if not in the grid.
@@ -103,6 +127,9 @@ meanQosGrid(const std::vector<const apps::Application *> &Apps,
 /// any parallelism. A grid run with metrics collection renders as
 /// version 3, which appends a "metrics" object to every cell; without
 /// collection the output is byte-identical to the version-2 schema.
+/// A grid whose options asked to echo the execution mode renders as
+/// version 4, which inserts "execMode" after "seeds" (cells keep the
+/// version-3 metrics block when collected).
 std::string renderEvalJson(const EvalResult &Result);
 
 /// Renders \p Result as a fixed-width text table.

@@ -7,7 +7,12 @@
 // (re-execution charged), "outcomes", and "retries" fields. Version 3 is
 // emitted only when the grid ran with metrics collection (eval
 // --metrics) and appends a "metrics" object to every cell; a grid run
-// without collection still renders as version 2, byte for byte. Doubles
+// without collection still renders as version 2, byte for byte.
+// Version 4 is emitted only when the grid's options asked to echo the
+// execution mode (eval --exec-mode, either value): it inserts a
+// top-level "execMode" right after "seeds" and keeps the metrics block
+// when collected; without the flag the historical schemas are
+// byte-identical. Doubles
 // render with %.17g so every value round-trips exactly; the grid's JSON
 // is identical at any thread count.
 //
@@ -174,9 +179,14 @@ void appendCell(std::string &Out, const EvalCell &Cell,
 
 std::string enerj::harness::renderEvalJson(const EvalResult &Result) {
   std::string Out = "{\"tool\":\"enerj-eval\",\"version\":";
-  Out += Result.MetricsCollected ? '3' : '2';
+  Out += Result.EchoExecMode ? '4' : Result.MetricsCollected ? '3' : '2';
   Out += ",\"seeds\":";
   appendU64(Out, static_cast<uint64_t>(Result.Seeds));
+  if (Result.EchoExecMode) {
+    Out += ",\"execMode\":\"";
+    Out += execModeName(Result.Exec);
+    Out += '"';
+  }
   Out += ',';
   appendPolicy(Out, Result.Policy);
   Out += ",\"levels\":[";

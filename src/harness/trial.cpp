@@ -2,6 +2,7 @@
 
 #include "harness/trial.h"
 
+#include "exec/compiled.h"
 #include "resilience/trial_abort.h"
 #include "runtime/simulator.h"
 #include "support/rng.h"
@@ -130,9 +131,34 @@ void collectAttemptTrace(TrialResult &Result, const Attempt &A,
   Result.TraceDropped += A.TraceDropped;
 }
 
+/// The compiled path: the trial's verified kernel runs on a FastMachine
+/// with batched fault injection; QoS comes from the kernel's baked-in
+/// precise reference, so no second execution is needed. The stats are
+/// priced through the same energy model as the interpreter path.
+TrialResult runCompiled(const Trial &T) {
+  exec::CompiledTrialResult R = exec::runCompiledTrial(
+      *T.Kernel, T.Config, T.WorkloadSeed, T.Obs.Metrics);
+  TrialResult Result;
+  Result.FinalLevel = T.Config.Level;
+  Result.QosError = R.QosError;
+  Result.Stats = R.Stats;
+  Result.Energy = computeEnergy(R.Stats, T.Config);
+  Result.EffectiveEnergyFactor = Result.Energy.TotalFactor;
+  Result.ClockCycles = R.Cycles;
+  if (R.Trapped) {
+    Result.Outcome = resilience::TrialOutcome::Aborted;
+    Result.Error = R.Error;
+  }
+  if (T.Obs.Metrics)
+    Result.Metrics = std::move(R.Metrics);
+  return Result;
+}
+
 } // namespace
 
 TrialResult TrialRunner::runOne(const Trial &T) {
+  if (T.Kernel)
+    return runCompiled(T);
   // Same sequence as the historical serial path (apps::qosUnder followed
   // by energy pricing): precise reference first, then the approximate run
   // on a fresh Simulator whose seed mixSeed derives from the trial alone.
@@ -171,7 +197,9 @@ TrialResult TrialRunner::runOne(const Trial &T) {
 
 TrialResult TrialRunner::runOne(const Trial &T,
                                 const resilience::ResiliencePolicy &Policy) {
-  if (!Policy.Enabled)
+  // The compiled path has no recovery loop; callers arming a policy must
+  // stay on the interpreter (the CLI rejects the combination).
+  if (T.Kernel || !Policy.Enabled)
     return runOne(T);
 
   apps::AppOutput Reference = apps::runPrecise(*T.App, T.WorkloadSeed);

@@ -52,6 +52,11 @@
 #include <vector>
 
 namespace enerj {
+
+namespace exec {
+struct CompiledKernel;
+} // namespace exec
+
 namespace harness {
 
 /// One (application, configuration, workload seed) measurement.
@@ -63,6 +68,13 @@ struct Trial {
   /// byte-identical to the pre-telemetry harness). Collection never
   /// perturbs the measured run; only ForceRegionPrecise does, by design.
   obs::TelemetryRequest Obs;
+  /// Non-null selects the compiled execution path: the trial runs this
+  /// verified ISA kernel on the batched-fault FastMachine instead of
+  /// interpreting the application. The kernel must belong to the
+  /// trial's (app, level) cell and outlive the run; resilience policies
+  /// do not apply on this path (runEval's caller enforces the
+  /// exclusion).
+  const exec::CompiledKernel *Kernel = nullptr;
 };
 
 /// Everything one trial measures. Stats/Energy/QosError describe the

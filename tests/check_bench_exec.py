@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Gate the compiled-path speedup against the committed baseline.
+
+bench/exec_grid writes BENCH_exec.json with the measured trials/sec of
+the interpreter and compiled eval paths over the full grid. This script
+compares a fresh measurement against bench/BENCH_exec_baseline.json and
+fails if the compiled path has regressed:
+
+  * the speedup must stay >= 5x (the tentpole's absolute floor), and
+  * it must stay within 2x of the committed baseline — i.e. at least
+    baseline/2 — so a gradual slide is caught even while the absolute
+    floor still holds. CI machines are noisy; 2x slack absorbs that
+    without letting a 10x regression through.
+
+Usage: check_bench_exec.py <fresh.json> <baseline.json>
+Exits 0 on success, 1 with a diagnostic on regression.
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_bench_exec: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    for key in ("speedup", "interpTrialsPerSec", "compiledTrialsPerSec",
+                "trials"):
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+    return doc
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_bench_exec.py <fresh.json> <baseline.json>")
+    fresh = load(sys.argv[1])
+    baseline = load(sys.argv[2])
+
+    floor = max(5.0, baseline["speedup"] / 2.0)
+    if fresh["speedup"] < floor:
+        fail(f"compiled speedup {fresh['speedup']:.1f}x is below the gate "
+             f"{floor:.1f}x (baseline {baseline['speedup']:.1f}x, "
+             f"absolute floor 5x)")
+    if fresh["trials"] <= 0:
+        fail("fresh run measured zero trials")
+
+    print(f"check_bench_exec: OK (speedup {fresh['speedup']:.1f}x >= "
+          f"{floor:.1f}x; compiled {fresh['compiledTrialsPerSec']:.0f} "
+          f"trials/sec vs interp {fresh['interpTrialsPerSec']:.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -127,6 +127,81 @@ TEST(CliEval, MetricsFlagBumpsToSchemaV3) {
   EXPECT_EQ(Plain.find("\"metrics\""), std::string::npos);
 }
 
+TEST(CliEval, RejectsUnknownExecMode) {
+  std::string Output;
+  EXPECT_EQ(runTool("eval --seeds 1 --exec-mode turbo", Output), 2);
+  EXPECT_NE(Output.find("turbo"), std::string::npos);
+  EXPECT_EQ(runTool("eval --seeds 1 --exec-mode \"\""), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --exec-mode"), 2); // Missing value.
+}
+
+TEST(CliEval, RejectsCompiledModeWithPolicy) {
+  // The compiled path has no retry/degradation hooks; arming a policy
+  // alongside it must be a usage error, not a silent fallback.
+  std::string Output;
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "
+                    "--exec-mode compiled --slo 0.1",
+                    Output),
+            2);
+  EXPECT_NE(Output.find("exec-mode"), std::string::npos);
+}
+
+TEST(CliEval, ExecModeFlagBumpsToSchemaV4) {
+  // Either value of --exec-mode opts into the version-4 echo; the
+  // flagless grid stays v2 with no "execMode" key anywhere.
+  std::string Output;
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "
+                    "--exec-mode compiled --json",
+                    Output),
+            0);
+  EXPECT_NE(Output.find("\"version\":4"), std::string::npos);
+  EXPECT_NE(Output.find("\"execMode\":\"compiled\""), std::string::npos);
+
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "
+                    "--exec-mode interp --json",
+                    Output),
+            0);
+  EXPECT_NE(Output.find("\"version\":4"), std::string::npos);
+  EXPECT_NE(Output.find("\"execMode\":\"interp\""), std::string::npos);
+
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 --json",
+                    Output),
+            0);
+  EXPECT_EQ(Output.find("\"execMode\""), std::string::npos);
+}
+
+TEST(CliEval, CompiledCellsAreIndependentOfGridShape) {
+  // Per-cell program caching must never leak across (app, level) cells:
+  // each cell of a multi-cell compiled grid serializes exactly as it
+  // does when evaluated alone.
+  std::string Grid;
+  ASSERT_EQ(runTool("eval --apps montecarlo,fft --levels mild,aggressive "
+                    "--seeds 2 --exec-mode compiled --json",
+                    Grid),
+            0);
+  for (const char *Apps : {"montecarlo", "fft"}) {
+    for (const char *Level : {"mild", "aggressive"}) {
+      SCOPED_TRACE(std::string(Apps) + "/" + Level);
+      std::string Solo;
+      ASSERT_EQ(runTool(std::string("eval --apps ") + Apps + " --levels " +
+                            Level + " --seeds 2 --exec-mode compiled --json",
+                        Solo),
+                0);
+      // The solo cell body: everything inside {"level":...} for this
+      // level. Find the same cell in the grid document and compare.
+      std::string Key = std::string("{\"level\":\"") + Level + "\"";
+      size_t SoloAt = Solo.find(Key);
+      ASSERT_NE(SoloAt, std::string::npos);
+      size_t SoloEnd = Solo.find("}]}", SoloAt);
+      ASSERT_NE(SoloEnd, std::string::npos);
+      std::string CellBody = Solo.substr(SoloAt, SoloEnd - SoloAt);
+      size_t AppAt = Grid.find(std::string("\"name\":\"") + Apps + "\"");
+      ASSERT_NE(AppAt, std::string::npos);
+      EXPECT_NE(Grid.find(CellBody, AppAt), std::string::npos);
+    }
+  }
+}
+
 TEST(CliEval, PolicyFlagsReachTheReport) {
   std::string Output;
   EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "

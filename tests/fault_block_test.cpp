@@ -1,0 +1,152 @@
+//===- tests/fault_block_test.cpp - Block-drawn upset stream properties ---===//
+//
+// The contract of fault/block.h, pinned as properties:
+//
+//  * Batched and Scalar modes are *bitwise identical* for the same
+//    (seed, probability) stream and the same width sequence — for every
+//    probability, every block size (including 1, which forces a refill
+//    at every draw, i.e. maximal block-boundary coverage), and mixed
+//    widths;
+//  * the zero-probability stream never faults and never touches the
+//    RNG (drawsConsumed() == 0), which is what makes level None
+//    deterministic on the compiled path;
+//  * the certain stream (p >= 1) flips every exposed bit, also without
+//    consuming randomness;
+//  * streams are pure functions of their identity (same seed -> same
+//    masks; different seed -> different masks, overwhelmingly);
+//  * the long-run fault rate matches the configured probability.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/block.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+using namespace enerj;
+
+namespace {
+
+/// Drains \p Ops masks of the given width sequence from a fresh stream.
+std::vector<uint64_t> drain(double P, uint64_t Seed, BlockMode Mode,
+                            uint32_t BlockSize,
+                            const std::vector<unsigned> &Widths,
+                            size_t Ops) {
+  UpsetStream S(P, Seed, Mode, BlockSize);
+  std::vector<uint64_t> Masks;
+  Masks.reserve(Ops);
+  for (size_t I = 0; I < Ops; ++I)
+    Masks.push_back(S.nextMask(Widths[I % Widths.size()]));
+  return Masks;
+}
+
+const std::vector<unsigned> MixedWidths = {64, 1, 32, 64, 7, 64, 1};
+
+} // namespace
+
+TEST(UpsetStream, BatchedMatchesScalarBitwise) {
+  // The central differential property: same draws, same order, same
+  // masks — for every probability regime and every refill granularity
+  // (BlockSize 1 exercises a block boundary on every single draw).
+  for (double P : {1e-6, 1e-4, 0.01, 0.2, 0.5, 0.9}) {
+    for (uint32_t BlockSize : {1u, 7u, 64u, 256u, 4096u}) {
+      SCOPED_TRACE("p=" + std::to_string(P) +
+                   " block=" + std::to_string(BlockSize));
+      std::vector<uint64_t> Scalar =
+          drain(P, 0x1234, BlockMode::Scalar, 256, MixedWidths, 4000);
+      std::vector<uint64_t> Batched =
+          drain(P, 0x1234, BlockMode::Batched, BlockSize, MixedWidths, 4000);
+      EXPECT_EQ(Scalar, Batched);
+    }
+  }
+}
+
+TEST(UpsetStream, ZeroProbabilityConsumesNoRandomness) {
+  // Level None's determinism hinges on this: a p == 0 stream is not
+  // merely fault-free, it never draws, in either mode — including at a
+  // negative probability (disabled-strategy configs).
+  for (double P : {0.0, -1.0}) {
+    for (BlockMode Mode : {BlockMode::Batched, BlockMode::Scalar}) {
+      UpsetStream S(P, 0xBEEF, Mode);
+      for (int I = 0; I < 10000; ++I)
+        EXPECT_EQ(S.nextMask(64), 0u);
+      EXPECT_EQ(S.faultsSeen(), 0u);
+      EXPECT_EQ(S.drawsConsumed(), 0u);
+      EXPECT_EQ(S.bitsSeen(), 640000u);
+    }
+  }
+}
+
+TEST(UpsetStream, CertainProbabilityFlipsEveryBit) {
+  for (BlockMode Mode : {BlockMode::Batched, BlockMode::Scalar}) {
+    UpsetStream S(1.0, 0xBEEF, Mode);
+    EXPECT_EQ(S.nextMask(64), ~0ULL);
+    EXPECT_EQ(S.nextMask(1), 1u);
+    EXPECT_EQ(S.nextMask(7), 0x7Fu);
+    EXPECT_EQ(S.drawsConsumed(), 0u);
+    EXPECT_EQ(S.faultsSeen(), 72u);
+  }
+}
+
+TEST(UpsetStream, DeterministicGivenSeed) {
+  std::vector<uint64_t> A =
+      drain(0.01, 42, BlockMode::Batched, 256, MixedWidths, 2000);
+  std::vector<uint64_t> B =
+      drain(0.01, 42, BlockMode::Batched, 256, MixedWidths, 2000);
+  EXPECT_EQ(A, B);
+  std::vector<uint64_t> C =
+      drain(0.01, 43, BlockMode::Batched, 256, MixedWidths, 2000);
+  EXPECT_NE(A, C);
+}
+
+TEST(UpsetStream, LongRunFaultRateMatchesProbability) {
+  // 10^6 exposed bits at p = 0.01: expect ~10000 faults; 5 sigma is
+  // ~500, so [9000, 11000] is a comfortable deterministic band (the
+  // stream is seeded, so this never flakes).
+  UpsetStream S(0.01, 7, BlockMode::Batched);
+  uint64_t Words = 1000000 / 64;
+  for (uint64_t I = 0; I < Words; ++I)
+    S.nextMask(64);
+  double Rate = static_cast<double>(S.faultsSeen()) /
+                static_cast<double>(S.bitsSeen());
+  EXPECT_NEAR(Rate, 0.01, 0.001);
+}
+
+TEST(UpsetStream, HotPathSkipsRngEntirely) {
+  // At realistic Table 2 rates (1e-6 and below), almost every mask is
+  // zero and the stream consumes draws only when a fault actually
+  // lands: the draw count equals faults + 1 (the one precomputed
+  // next-gap), not the operation count.
+  UpsetStream S(1e-6, 11, BlockMode::Scalar);
+  for (int I = 0; I < 100000; ++I)
+    S.nextMask(64);
+  EXPECT_EQ(S.drawsConsumed(), S.faultsSeen() + 1);
+  EXPECT_LT(S.drawsConsumed(), 100u);
+}
+
+TEST(EventStream, MatchesItsUnderlyingUpsetStream) {
+  // An EventStream is an UpsetStream sampled one bit per operation; the
+  // firing pattern must equal the width-1 mask sequence bit for bit,
+  // and the two modes must agree here too.
+  UpsetStream Reference(0.05, 99, BlockMode::Scalar);
+  EventStream Batched(0.05, 99, BlockMode::Batched);
+  uint64_t Fired = 0;
+  for (int I = 0; I < 20000; ++I) {
+    bool Expect = Reference.nextMask(1) != 0;
+    bool Got = Batched.fires();
+    ASSERT_EQ(Expect, Got) << "op " << I;
+    Fired += Got;
+  }
+  EXPECT_EQ(Batched.eventsSeen(), Fired);
+  EXPECT_EQ(Batched.opsSeen(), 20000u);
+  // ~1000 expected at p = 0.05; wide deterministic band.
+  EXPECT_NEAR(static_cast<double>(Fired), 1000.0, 300.0);
+}
+
+TEST(EventStream, ZeroProbabilityNeverFires) {
+  EventStream S(0.0, 5, BlockMode::Batched);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_FALSE(S.fires());
+  EXPECT_EQ(S.drawsConsumed(), 0u);
+}

@@ -242,6 +242,35 @@ TEST(TrialRunnerDeterminism, InstrumentedRunsAcrossThreadCounts) {
   }
 }
 
+TEST(TrialRunnerDeterminism, CompiledEvalJsonIdenticalAcrossThreadCounts) {
+  // The compiled execution path inherits the full determinism contract:
+  // the rendered grid JSON — QoS doubles, energy factors, outcomes,
+  // metrics, and the echoed execMode — is byte-identical at any thread
+  // count, and repeated runs reuse the per-cell program cache without
+  // perturbing the bytes.
+  auto Render = [](unsigned Threads) {
+    EvalOptions Options;
+    Options.Seeds = SeedsPerCell;
+    Options.Threads = Threads;
+    Options.Exec = ExecMode::Compiled;
+    Options.EchoExecMode = true;
+    Options.KernelDir = std::string(ENERJ_FEJ_DIR) + "/isa";
+    Options.Metrics = true;
+    return renderEvalJson(runEval(Options));
+  };
+
+  std::string OneThread = Render(1);
+  EXPECT_NE(OneThread.find("\"execMode\":\"compiled\""), std::string::npos);
+  EXPECT_EQ(OneThread, Render(4));
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  EXPECT_EQ(OneThread, Render(Hardware));
+  // Same thread count twice: the cache warm-up run and the warm run
+  // must serialize identically.
+  EXPECT_EQ(Render(4), Render(4));
+}
+
 TEST(TrialRunnerDeterminism, CellAggregationMatchesSerialMean) {
   // The per-cell mean is the left-to-right sum over seeds — identical
   // to "Sum += qosUnder(...); Sum / Runs".

@@ -138,6 +138,26 @@ TEST(EvalRender, JsonSchemaIsStable) {
   EXPECT_EQ(renderEvalJson(fixtureResult()), Expected);
 }
 
+TEST(EvalRender, JsonVersion4EchoesExecMode) {
+  // --exec-mode bumps the document to version 4 and inserts "execMode"
+  // directly after "seeds"; everything else is byte-for-byte the
+  // version-2 layout, so flagless consumers never see a change.
+  EvalResult Result = fixtureResult();
+  Result.EchoExecMode = true;
+  Result.Exec = ExecMode::Compiled;
+  std::string Json = renderEvalJson(Result);
+  EXPECT_EQ(Json.rfind("{\"tool\":\"enerj-eval\",\"version\":4,\"seeds\":2,"
+                       "\"execMode\":\"compiled\",\"policy\":",
+                       0),
+            0u);
+  Result.Exec = ExecMode::Interp;
+  std::string Interp = renderEvalJson(Result);
+  EXPECT_NE(Interp.find("\"execMode\":\"interp\""), std::string::npos);
+  // Past the execMode field the two documents are identical.
+  EXPECT_EQ(Json.substr(Json.find("\"policy\"")),
+            Interp.substr(Interp.find("\"policy\"")));
+}
+
 TEST(EvalRender, TextListsEveryCell) {
   std::string Text = renderEvalText(fixtureResult());
   EXPECT_NE(Text.find("1 app(s) x 1 level(s) x 2 seed(s)"),

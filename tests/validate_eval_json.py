@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""Validate `fenerj_tool eval --json` output against schema v2 or v3.
+"""Validate `fenerj_tool eval --json` output against schema v2, v3 or v4.
 
 Version 2 is the default grid; version 3 is emitted by `eval --metrics`
 and appends a "metrics" object (tick/op/fault totals plus per-site
 counters) to every cell — the validator requires it exactly when the
-document declares version 3.
+document declares version 3. Version 4 is emitted whenever --exec-mode
+is given and inserts an "execMode" field ("interp" or "compiled")
+directly after "seeds"; its cells carry the metrics block exactly when
+--metrics was also passed, so the validator infers metrics presence
+from the first cell and then requires it uniformly.
 
 Reads one JSON document from stdin and checks structure, key presence,
 key order, and basic invariants. Deliberately does NOT compare metric
@@ -36,6 +40,9 @@ SITE_KINDS = {"preciseInt", "approxInt", "preciseFp", "approxFp",
               "sramRead", "sramWrite", "dramLoad", "dramStore"}
 SITE_CLASSES = {"alu", "sram", "dram"}
 TOP_KEYS = ["tool", "version", "seeds", "policy", "levels", "apps"]
+TOP_KEYS_V4 = ["tool", "version", "seeds", "execMode", "policy", "levels",
+               "apps"]
+EXEC_MODES = {"interp", "compiled"}
 LEVELS = {"none", "mild", "medium", "aggressive"}
 
 
@@ -102,12 +109,23 @@ def main():
     except json.JSONDecodeError as err:
         fail(f"not valid JSON: {err}")
 
-    expect_keys(doc, TOP_KEYS, "top level")
+    version = doc.get("version")
+    if version not in (2, 3, 4):
+        fail(f"version is {version!r}, expected 2, 3 or 4")
+    expect_keys(doc, TOP_KEYS_V4 if version == 4 else TOP_KEYS, "top level")
     if doc["tool"] != "enerj-eval":
         fail(f"tool is {doc['tool']!r}, expected 'enerj-eval'")
-    if doc["version"] not in (2, 3):
-        fail(f"version is {doc['version']!r}, expected 2 or 3")
-    with_metrics = doc["version"] == 3
+    if version == 4:
+        if doc["execMode"] not in EXEC_MODES:
+            fail(f"execMode is {doc['execMode']!r}, "
+                 f"expected one of {sorted(EXEC_MODES)}")
+        first = doc["apps"][0]["cells"][0] if (
+            isinstance(doc.get("apps"), list) and doc["apps"]
+            and isinstance(doc["apps"][0], dict)
+            and doc["apps"][0].get("cells")) else {}
+        with_metrics = "metrics" in first
+    else:
+        with_metrics = version == 3
     cell_keys = CELL_KEYS + ["metrics"] if with_metrics else CELL_KEYS
     if not isinstance(doc["seeds"], int) or doc["seeds"] < 1:
         fail("seeds: not a positive integer")
@@ -148,10 +166,11 @@ def main():
             if with_metrics:
                 expect_metrics(cell["metrics"], f"{cw}.metrics")
 
+    mode = f", exec={doc['execMode']}" if version == 4 else ""
     print(f"validate_eval_json: OK (v{doc['version']}, "
           f"{len(doc['apps'])} app(s) x "
           f"{len(doc['levels'])} level(s), seeds={doc['seeds']}, "
-          f"policy {'on' if doc['policy']['enabled'] else 'off'})")
+          f"policy {'on' if doc['policy']['enabled'] else 'off'}{mode})")
 
 
 if __name__ == "__main__":
