@@ -1,0 +1,181 @@
+//===- bench/power_trace.cpp - Survival under intermittent supply ---------===//
+//
+// The headline numbers for the power-environment subsystem: the full
+// nine-app, three-level evaluation grid is run end to end through
+// harness::runEval under a brownout and a harvesting supply trace, each
+// once without checkpointing and once with a periodic checkpoint
+// policy. For every (trace, checkpoint, level) the bench reports the
+// survival rate, the loss/checkpoint/re-execution counters, and the
+// retry-adjusted effective energy factor (re-execution energy charged
+// through PowerStats::overheadRatio). CI gates the committed baseline
+// (tests/check_bench_power.py): survival must not slide, and
+// checkpointing must keep paying for itself in re-executed ops.
+//
+// Usage: power_trace [seeds] [output.json]
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/config.h"
+#include "harness/eval.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace enerj;
+using namespace enerj::harness;
+
+namespace {
+
+struct LevelRow {
+  const char *Level = "";
+  uint64_t Trials = 0;
+  uint64_t Survived = 0;
+  uint64_t Losses = 0;
+  uint64_t Checkpoints = 0;
+  uint64_t ReExecutedOps = 0;
+  double EnergyMean = 0.0;
+  double EffectiveEnergyMean = 0.0;
+};
+
+struct ConfigRun {
+  std::string Trace;
+  std::string Checkpoint;
+  double Seconds = 0.0;
+  std::vector<LevelRow> Levels;
+};
+
+/// Runs the full grid under (trace preset, checkpoint spec) and folds
+/// the cells into one row per level, in evalLevels() order.
+ConfigRun runConfig(const std::string &Trace, const std::string &Checkpoint,
+                    int Seeds) {
+  using Clock = std::chrono::steady_clock;
+  EvalOptions Options;
+  Options.Seeds = Seeds;
+  std::string Error;
+  auto Spec = env::PowerTraceSpec::preset(Trace, &Error);
+  auto Policy = env::CheckpointPolicy::parse(Checkpoint, &Error);
+  if (!Spec || !Policy) {
+    std::fprintf(stderr, "power_trace: %s\n", Error.c_str());
+    std::exit(1);
+  }
+  Options.Power.Trace = *Spec;
+  Options.Power.Checkpoint = *Policy;
+  Options.PowerArmed = true;
+
+  Clock::time_point Start = Clock::now();
+  EvalResult Result = runEval(Options);
+  ConfigRun Run;
+  Run.Trace = Trace;
+  Run.Checkpoint = Checkpoint;
+  Run.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
+
+  for (ApproxLevel Level : Result.Levels) {
+    LevelRow Row;
+    Row.Level = approxLevelName(Level);
+    double EnergySum = 0.0, EffectiveSum = 0.0;
+    uint64_t Cells = 0;
+    for (const EvalCell &Cell : Result.Cells) {
+      if (Cell.Level != Level)
+        continue;
+      Row.Trials += static_cast<uint64_t>(Result.Seeds);
+      Row.Survived += Cell.PowerSurvived;
+      Row.Losses += Cell.PowerLosses;
+      Row.Checkpoints += Cell.PowerCheckpoints;
+      Row.ReExecutedOps += Cell.PowerReExecutedOps;
+      EnergySum += Cell.EnergyFactor.Mean;
+      EffectiveSum += Cell.EffectiveEnergy.Mean;
+      ++Cells;
+    }
+    Row.EnergyMean = Cells ? EnergySum / Cells : 0.0;
+    Row.EffectiveEnergyMean = Cells ? EffectiveSum / Cells : 0.0;
+    Run.Levels.push_back(Row);
+  }
+  return Run;
+}
+
+void printRun(const ConfigRun &Run) {
+  std::printf("trace %-9s checkpoint %-13s (%.2fs)\n", Run.Trace.c_str(),
+              Run.Checkpoint.c_str(), Run.Seconds);
+  std::printf("  %-10s %9s %8s %8s %12s %8s %8s\n", "level", "survival",
+              "losses", "ckpts", "reexecOps", "energy", "effEnergy");
+  for (const LevelRow &Row : Run.Levels)
+    std::printf("  %-10s %5llu/%-3llu %8llu %8llu %12llu %8.4f %8.4f\n",
+                Row.Level,
+                static_cast<unsigned long long>(Row.Survived),
+                static_cast<unsigned long long>(Row.Trials),
+                static_cast<unsigned long long>(Row.Losses),
+                static_cast<unsigned long long>(Row.Checkpoints),
+                static_cast<unsigned long long>(Row.ReExecutedOps),
+                Row.EnergyMean, Row.EffectiveEnergyMean);
+  std::printf("\n");
+}
+
+void appendRun(std::string &Out, const ConfigRun &Run) {
+  char Buffer[256];
+  Out += "    {\"trace\": \"" + Run.Trace + "\", \"checkpoint\": \"" +
+         Run.Checkpoint + "\",\n     \"levels\": [\n";
+  for (size_t I = 0; I < Run.Levels.size(); ++I) {
+    const LevelRow &Row = Run.Levels[I];
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "       {\"level\": \"%s\", \"trials\": %llu, "
+                  "\"survived\": %llu, \"losses\": %llu, "
+                  "\"checkpoints\": %llu, \"reExecutedOps\": %llu, "
+                  "\"energyMean\": %.6f, \"effectiveEnergyMean\": %.6f}%s\n",
+                  Row.Level, static_cast<unsigned long long>(Row.Trials),
+                  static_cast<unsigned long long>(Row.Survived),
+                  static_cast<unsigned long long>(Row.Losses),
+                  static_cast<unsigned long long>(Row.Checkpoints),
+                  static_cast<unsigned long long>(Row.ReExecutedOps),
+                  Row.EnergyMean, Row.EffectiveEnergyMean,
+                  I + 1 < Run.Levels.size() ? "," : "");
+    Out += Buffer;
+  }
+  std::snprintf(Buffer, sizeof(Buffer), "     ], \"seconds\": %.4f}",
+                Run.Seconds);
+  Out += Buffer;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Seeds = 10;
+  std::string OutPath = "BENCH_power.json";
+  if (Argc > 1)
+    Seeds = std::max(1, std::atoi(Argv[1]));
+  if (Argc > 2)
+    OutPath = Argv[2];
+
+  std::printf("Intermittent-supply survival: 9 apps x 3 levels x %d seeds\n\n",
+              Seeds);
+
+  const char *Traces[] = {"brownout", "harvest"};
+  const char *Checkpoints[] = {"none", "periodic:2000"};
+  std::vector<ConfigRun> Runs;
+  for (const char *Trace : Traces)
+    for (const char *Checkpoint : Checkpoints) {
+      Runs.push_back(runConfig(Trace, Checkpoint, Seeds));
+      printRun(Runs.back());
+    }
+
+  std::string Json = "{\n  \"tool\": \"power_trace\",\n  \"version\": 1,\n";
+  Json += "  \"seeds\": " + std::to_string(Seeds) + ",\n  \"configs\": [\n";
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    appendRun(Json, Runs[I]);
+    Json += I + 1 < Runs.size() ? ",\n" : "\n";
+  }
+  Json += "  ]\n}\n";
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "power_trace: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  Out << Json;
+  Out.close();
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}

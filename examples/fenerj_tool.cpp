@@ -23,14 +23,19 @@
 //   fenerj_tool eval [--apps a,b] [--levels l1,l2] [--seeds N]
 //                    [--threads N] [--slo E] [--max-retries N]
 //                    [--op-budget M] [--output-bound B] [--no-degrade]
-//                    [--metrics] [--json]
+//                    [--metrics] [--json] [--exec-mode interp|compiled]
+//                    [--power-trace file|preset] [--checkpoint policy]
 //                                      run the Section 6 evaluation grid
 //                                      on the parallel trial runner; the
 //                                      resilience flags arm the QoS SLO,
 //                                      the retry/degradation ladder, and
 //                                      the per-trial watchdog budget;
 //                                      --metrics collects per-site
-//                                      telemetry (JSON schema v3)
+//                                      telemetry (JSON schema v3);
+//                                      --power-trace meters every trial
+//                                      against an intermittent supply
+//                                      with checkpoint/restore accounting
+//                                      (JSON schema v5)
 //   fenerj_tool profile <app> [--level L] [--seeds N] [--threads N]
 //                      [--top K] [--no-qos-delta] [--trace out.json]
 //                      [--json]
@@ -634,6 +639,7 @@ int profile(int Argc, char **Argv) {
 int eval(int Argc, char **Argv) {
   enerj::harness::EvalOptions Options;
   bool Json = false;
+  bool SawCheckpoint = false;
   for (int Arg = 2; Arg < Argc; ++Arg) {
     std::string Flag = Argv[Arg];
     auto NextValue = [&]() -> std::string {
@@ -772,17 +778,42 @@ int eval(int Argc, char **Argv) {
       // for either value; the flagless grid stays byte-identical to the
       // historical v2/v3 output.
       Options.EchoExecMode = true;
+    } else if (Flag == "--power-trace") {
+      std::string Spec = NextValue();
+      std::string Error;
+      std::optional<enerj::env::PowerTraceSpec> Trace;
+      // A spec naming an existing file loads it; anything else must be a
+      // synthetic preset. The two parsers produce their own diagnostics.
+      if (std::ifstream(Spec).good())
+        Trace = enerj::env::PowerTraceSpec::fromFile(Spec, &Error);
+      else
+        Trace = enerj::env::PowerTraceSpec::preset(Spec, &Error);
+      if (!Trace) {
+        std::fprintf(stderr, "--power-trace: %s\n", Error.c_str());
+        return 2;
+      }
+      Options.Power.Trace = std::move(*Trace);
+      Options.PowerArmed = true;
+    } else if (Flag == "--checkpoint") {
+      std::string Spec = NextValue();
+      std::string Error;
+      std::optional<enerj::env::CheckpointPolicy> Policy =
+          enerj::env::CheckpointPolicy::parse(Spec, &Error);
+      if (!Policy) {
+        std::fprintf(stderr, "--checkpoint: %s\n", Error.c_str());
+        return 2;
+      }
+      Options.Power.Checkpoint = std::move(*Policy);
+      SawCheckpoint = true;
     } else {
       std::fprintf(stderr, "unknown eval flag '%s'\n", Flag.c_str());
       return 2;
     }
   }
-  if (Options.Exec == enerj::harness::ExecMode::Compiled &&
-      Options.Policy.Enabled) {
+  if (SawCheckpoint && !Options.PowerArmed) {
     std::fprintf(stderr,
-                 "--exec-mode compiled does not support the resilience "
-                 "policy flags; use the interpreter for policy-armed "
-                 "grids\n");
+                 "--checkpoint requires --power-trace (a checkpoint "
+                 "policy is part of a power environment)\n");
     return 2;
   }
   Options.KernelDir = std::string(ENERJ_FEJ_DIR) + "/isa";
@@ -846,16 +877,27 @@ int usage() {
                "                        [--output-bound B] [--no-degrade] "
                "[--metrics] [--json]\n"
                "                        [--exec-mode interp|compiled]\n"
+               "                        [--power-trace file|preset] "
+               "[--checkpoint policy]\n"
                "                      (the Section 6 evaluation grid on "
                "the parallel trial runner;\n"
                "                       --slo/--max-retries/--op-budget arm "
-               "the resilience policy;\n"
+               "the resilience policy,\n"
+               "                       on either exec mode;\n"
                "                       --metrics adds per-site telemetry, "
                "JSON schema v3;\n"
                "                       --exec-mode compiled runs each "
                "cell's cached ISA kernel\n"
                "                       with batched fault injection, JSON "
-               "schema v4)\n"
+               "schema v4;\n"
+               "                       --power-trace meters every trial "
+               "against an intermittent\n"
+               "                       supply (steady[:r], "
+               "brownout[:hi:lo], harvest[:seed], or a\n"
+               "                       trace file), JSON schema v5; "
+               "--checkpoint none|periodic:N|\n"
+               "                       preregion sets the checkpoint "
+               "policy)\n"
                "       fenerj_tool profile <app> [--level L] [--seeds N] "
                "[--threads N] [--top K]\n"
                "                           [--no-qos-delta] [--trace "

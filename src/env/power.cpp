@@ -1,0 +1,483 @@
+//===- env/power.cpp - Intermittent-supply power environments -------------===//
+
+#include "env/power.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace enerj;
+using namespace enerj::env;
+
+// A "forever" segment length: long past any trial (trials run millions of
+// ticks; this is ~9.2e18). Reloading on exhaustion keeps it truly endless.
+static constexpr uint64_t ForeverTicks = ~0ULL >> 1;
+
+//===----------------------------------------------------------------------===//
+// Spec parsing
+//===----------------------------------------------------------------------===//
+
+static bool parseDoubleField(std::string_view Text, double &Out) {
+  std::string Buf(Text);
+  char *End = nullptr;
+  double V = std::strtod(Buf.c_str(), &End);
+  if (End == Buf.c_str() || *End != '\0' || !std::isfinite(V))
+    return false;
+  Out = V;
+  return true;
+}
+
+static bool parseU64Field(std::string_view Text, uint64_t &Out) {
+  std::string Buf(Text);
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Buf.c_str(), &End, 10);
+  if (End == Buf.c_str() || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Splits "name:a:b" into the name and the knob fields.
+static std::vector<std::string_view> splitColons(std::string_view Text) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Colon = Text.find(':', Start);
+    if (Colon == std::string_view::npos) {
+      Parts.push_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Start, Colon - Start));
+    Start = Colon + 1;
+  }
+}
+
+std::optional<PowerTraceSpec> PowerTraceSpec::preset(std::string_view Text,
+                                                     std::string *Error) {
+  auto Fail = [&](const std::string &Message) -> std::optional<PowerTraceSpec> {
+    if (Error)
+      *Error = Message;
+    return std::nullopt;
+  };
+  std::vector<std::string_view> Parts = splitColons(Text);
+  PowerTraceSpec Spec;
+  Spec.Name = std::string(Text);
+  if (Parts[0] == "steady") {
+    Spec.Kind = TraceKind::Steady;
+    if (Parts.size() > 2)
+      return Fail("steady takes at most one knob: steady[:<rate>]");
+    if (Parts.size() == 2 &&
+        (!parseDoubleField(Parts[1], Spec.Rate) || Spec.Rate < 0.0))
+      return Fail("malformed steady rate '" + std::string(Parts[1]) + "'");
+    return Spec;
+  }
+  if (Parts[0] == "brownout") {
+    Spec.Kind = TraceKind::Brownout;
+    if (Parts.size() != 1 && Parts.size() != 3)
+      return Fail("brownout takes zero or two knobs: brownout[:<high>:<low>]");
+    if (Parts.size() == 3) {
+      if (!parseDoubleField(Parts[1], Spec.HighRate) || Spec.HighRate < 0.0)
+        return Fail("malformed brownout high rate '" + std::string(Parts[1]) +
+                    "'");
+      if (!parseDoubleField(Parts[2], Spec.LowRate) || Spec.LowRate < 0.0)
+        return Fail("malformed brownout low rate '" + std::string(Parts[2]) +
+                    "'");
+    }
+    return Spec;
+  }
+  if (Parts[0] == "harvest") {
+    Spec.Kind = TraceKind::Harvest;
+    if (Parts.size() > 2)
+      return Fail("harvest takes at most one knob: harvest[:<seed>]");
+    if (Parts.size() == 2 && !parseU64Field(Parts[1], Spec.Seed))
+      return Fail("malformed harvest seed '" + std::string(Parts[1]) + "'");
+    return Spec;
+  }
+  return Fail("unknown power trace preset '" + std::string(Parts[0]) +
+              "' (presets: steady[:<rate>], brownout[:<high>:<low>], "
+              "harvest[:<seed>]; or pass a trace file path)");
+}
+
+std::optional<PowerTraceSpec> PowerTraceSpec::fromFile(const std::string &Path,
+                                                       std::string *Error) {
+  auto Fail = [&](const std::string &Message) -> std::optional<PowerTraceSpec> {
+    if (Error)
+      *Error = Message;
+    return std::nullopt;
+  };
+  std::ifstream In(Path);
+  if (!In)
+    return Fail("cannot open power trace file '" + Path + "'");
+  PowerTraceSpec Spec;
+  Spec.Kind = TraceKind::File;
+  Spec.Name = Path;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Fields(Line);
+    std::string TicksText, RateText, Extra;
+    if (!(Fields >> TicksText))
+      continue; // Blank / comment-only line.
+    auto At = [&] { return Path + ":" + std::to_string(LineNo); };
+    if (!(Fields >> RateText) || (Fields >> Extra))
+      return Fail(At() + ": expected '<ticks> <rate>'");
+    TraceSegment Segment;
+    if (!parseU64Field(TicksText, Segment.Ticks) || Segment.Ticks == 0)
+      return Fail(At() + ": malformed tick count '" + TicksText +
+                  "' (need a positive integer)");
+    if (!parseDoubleField(RateText, Segment.Rate) || Segment.Rate < 0.0)
+      return Fail(At() + ": malformed rate '" + RateText +
+                  "' (need a finite non-negative number)");
+    Spec.Segments.push_back(Segment);
+  }
+  if (Spec.Segments.empty())
+    return Fail("power trace file '" + Path + "' contains no segments");
+  Spec.TailRate = Spec.Segments.back().Rate;
+  return Spec;
+}
+
+double PowerTraceSpec::meanRate(uint64_t Horizon) const {
+  if (Horizon == 0)
+    return 0.0;
+  PowerTrace Cursor(*this);
+  double Units = 0.0;
+  uint64_t Left = Horizon;
+  while (Left > 0) {
+    uint64_t Chunk = std::min(Left, Cursor.segmentRemaining());
+    Units += static_cast<double>(Chunk) * Cursor.rate();
+    Cursor.advance(Chunk);
+    Left -= Chunk;
+  }
+  return Units / static_cast<double>(Horizon);
+}
+
+//===----------------------------------------------------------------------===//
+// PowerTrace cursor
+//===----------------------------------------------------------------------===//
+
+void PowerTrace::load() {
+  switch (Spec.Kind) {
+  case TraceKind::Steady:
+    CurRate = Spec.Rate;
+    CurRemaining = ForeverTicks;
+    return;
+  case TraceKind::Brownout:
+    if (Index % 2 == 0) {
+      CurRate = Spec.HighRate;
+      CurRemaining = Spec.HighTicks ? Spec.HighTicks : 1;
+    } else {
+      CurRate = Spec.LowRate;
+      CurRemaining = Spec.LowTicks ? Spec.LowTicks : 1;
+    }
+    return;
+  case TraceKind::Harvest: {
+    // Window i is a pure function of (Seed, i): any cursor over the same
+    // spec yields the identical sequence, on any thread.
+    Rng G(mixSeed(Spec.Seed, Index));
+    uint64_t Span = Spec.MaxWindow > Spec.MinWindow
+                        ? Spec.MaxWindow - Spec.MinWindow + 1
+                        : 1;
+    CurRemaining = Spec.MinWindow + G.nextBelow(Span);
+    if (CurRemaining == 0)
+      CurRemaining = 1;
+    CurRate = G.nextDouble() * Spec.PeakRate;
+    return;
+  }
+  case TraceKind::File:
+    if (Index < Spec.Segments.size()) {
+      CurRate = Spec.Segments[Index].Rate;
+      CurRemaining = Spec.Segments[Index].Ticks;
+    } else {
+      CurRate = Spec.TailRate;
+      CurRemaining = ForeverTicks;
+    }
+    return;
+  }
+  CurRate = 0.0;
+  CurRemaining = ForeverTicks;
+}
+
+//===----------------------------------------------------------------------===//
+// CheckpointPolicy
+//===----------------------------------------------------------------------===//
+
+std::optional<CheckpointPolicy> CheckpointPolicy::parse(std::string_view Text,
+                                                        std::string *Error) {
+  auto Fail = [&](const std::string &Message) -> std::optional<CheckpointPolicy> {
+    if (Error)
+      *Error = Message;
+    return std::nullopt;
+  };
+  CheckpointPolicy Policy;
+  Policy.Spec = std::string(Text);
+  if (Text == "none") {
+    Policy.Kind = CheckpointKind::None;
+    return Policy;
+  }
+  if (Text == "preregion") {
+    Policy.Kind = CheckpointKind::PreRegion;
+    return Policy;
+  }
+  if (Text.rfind("periodic:", 0) == 0) {
+    Policy.Kind = CheckpointKind::PeriodicOps;
+    std::string_view Count = Text.substr(9);
+    if (!parseU64Field(Count, Policy.EveryOps) || Policy.EveryOps == 0)
+      return Fail("malformed checkpoint interval '" + std::string(Count) +
+                  "' (need a positive op count, e.g. periodic:20000)");
+    return Policy;
+  }
+  return Fail("unknown checkpoint policy '" + std::string(Text) +
+              "' (policies: none, periodic:<ops>, preregion)");
+}
+
+//===----------------------------------------------------------------------===//
+// PowerMeter
+//===----------------------------------------------------------------------===//
+
+double PowerMeter::opCost(PowerOpClass C, const FaultConfig &Config) {
+  EnergyConstants Constants;
+  switch (C) {
+  case PowerOpClass::PreciseInt:
+    return Constants.IntOpUnits;
+  case PowerOpClass::ApproxInt:
+    return Constants.IntOpUnits *
+           instructionEnergyFactor(/*IsFp=*/false, /*IsApprox=*/true, Config);
+  case PowerOpClass::PreciseFp:
+    return Constants.FpOpUnits;
+  case PowerOpClass::ApproxFp:
+    return Constants.FpOpUnits *
+           instructionEnergyFactor(/*IsFp=*/true, /*IsApprox=*/true, Config);
+  case PowerOpClass::Mem:
+    // Memory operations tick the clock without an ALU execute stage:
+    // price them at the non-reducible fetch/decode share.
+    return Constants.FetchDecodeUnits;
+  }
+  return Constants.IntOpUnits;
+}
+
+PowerMeter::PowerMeter(const PowerEnv &Env, const FaultConfig &Config)
+    : Env(Env), Trace(Env.Trace) {
+  for (unsigned I = 0; I < NumPowerOpClasses; ++I) {
+    Cost[I] = opCost(static_cast<PowerOpClass>(I), Config);
+    MaxCost = std::max(MaxCost, Cost[I]);
+  }
+  Buffer = Env.BufferCapacity;
+  // The boot threshold must cover the restore cost plus at least one op,
+  // or a restored machine would die before committing anything.
+  RestoreTarget =
+      std::min(Env.BufferCapacity,
+               std::max(Env.RestoreThresholdFrac * Env.BufferCapacity,
+                        Env.RestoreCostUnits + MaxCost + 1.0));
+}
+
+void PowerMeter::fail() {
+  Failed = true;
+  S.Survived = false;
+}
+
+void PowerMeter::step(PowerOpClass C) {
+  double OpCost = Cost[static_cast<unsigned>(C)];
+  ++ClassOps[static_cast<unsigned>(C)];
+  // One logical tick: harvest the supply (capped by the buffer), then
+  // spend the op.
+  Buffer = std::min(Env.BufferCapacity, Buffer + Trace.rate());
+  Trace.advance(1);
+  Buffer -= OpCost;
+  ++S.LiveOps;
+  S.LiveUnits += OpCost;
+  S.ChargedUnits += OpCost;
+  ++OpsSinceCkpt;
+  UnitsSinceCkpt += OpCost;
+  if (Buffer < 0.0) {
+    // The op that drained the buffer is lost with everything since the
+    // last checkpoint; its physical result stands as the (bitwise
+    // identical) final replay. Residual negative charge is forgiven.
+    Buffer = 0.0;
+    powerLoss();
+    return;
+  }
+  if (Env.Checkpoint.Kind == CheckpointKind::PeriodicOps &&
+      OpsSinceCkpt >= Env.Checkpoint.EveryOps)
+    checkpoint();
+}
+
+void PowerMeter::onRegionEnter() {
+  if (!Failed && Env.Checkpoint.Kind == CheckpointKind::PreRegion)
+    checkpoint();
+}
+
+void PowerMeter::checkpoint() {
+  ++S.Checkpoints;
+  if (Events)
+    Events(PowerEventKind::Checkpoint, S.LiveOps);
+  S.ChargedUnits += Env.CheckpointCostUnits;
+  Buffer -= Env.CheckpointCostUnits;
+  OpsSinceCkpt = 0;
+  UnitsSinceCkpt = 0.0;
+  if (Buffer < 0.0) {
+    // The checkpoint itself drained the supply — but it committed, so
+    // the subsequent loss replays nothing.
+    Buffer = 0.0;
+    powerLoss();
+  }
+}
+
+void PowerMeter::powerLoss() {
+  ++S.Losses;
+  if (Events)
+    Events(PowerEventKind::Loss, S.LiveOps);
+  if (++Restarts > Env.MaxRestarts) {
+    fail();
+    return;
+  }
+  offPeriod();
+  if (Failed)
+    return;
+  S.ChargedUnits += Env.RestoreCostUnits;
+  Buffer -= Env.RestoreCostUnits;
+  replay();
+  if (!Failed && Events)
+    Events(PowerEventKind::Restore, S.LiveOps);
+}
+
+/// Dark period: the machine is off while the supply recharges the buffer
+/// to the boot threshold. Stepped segment-by-segment in closed form.
+void PowerMeter::offPeriod() {
+  uint64_t Off = 0;
+  while (Buffer < RestoreTarget) {
+    double Rate = Trace.rate();
+    uint64_t Remaining = Trace.segmentRemaining();
+    if (Rate <= 0.0) {
+      // A dead segment: sleep through it entirely.
+      Off += Remaining;
+      Trace.advance(Remaining);
+    } else {
+      double Need = RestoreTarget - Buffer;
+      uint64_t Ticks = static_cast<uint64_t>(std::ceil(Need / Rate));
+      if (Ticks > Remaining)
+        Ticks = Remaining;
+      if (Ticks == 0)
+        Ticks = 1;
+      Buffer = std::min(Env.BufferCapacity,
+                        Buffer + static_cast<double>(Ticks) * Rate);
+      Off += Ticks;
+      Trace.advance(Ticks);
+    }
+    if (Off > Env.MaxOffTicks) {
+      S.OffTicks += Off;
+      fail();
+      return;
+    }
+  }
+  S.OffTicks += Off;
+}
+
+/// Re-executes the work lost at the last power loss. The replay is an
+/// aggregate model — the lost ops re-run at their average cost, metered
+/// against the trace segment by segment — because the physical machine
+/// restored from a bitwise-complete checkpoint and its one physical
+/// execution already carries the committed values. Replays can die and
+/// restart like live execution, and under the periodic policy they
+/// commit checkpoints of their own, so forward progress mirrors a real
+/// intermittent system.
+void PowerMeter::replay() {
+  uint64_t Remaining = OpsSinceCkpt;
+  if (Remaining == 0) {
+    OpsSinceCkpt = 0;
+    UnitsSinceCkpt = 0.0;
+    return;
+  }
+  double Avg = UnitsSinceCkpt / static_cast<double>(Remaining);
+  uint64_t SinceCkpt = 0;
+  while (Remaining > 0) {
+    double Rate = Trace.rate();
+    double Net = Rate - Avg;
+    uint64_t Chunk = std::min(Remaining, Trace.segmentRemaining());
+    if (Env.Checkpoint.Kind == CheckpointKind::PeriodicOps) {
+      uint64_t ToCkpt = Env.Checkpoint.EveryOps - SinceCkpt;
+      Chunk = std::min(Chunk, ToCkpt);
+    }
+    bool Dies = false;
+    if (Net < 0.0) {
+      uint64_t UntilDeath = static_cast<uint64_t>(Buffer / -Net);
+      if (UntilDeath < Chunk) {
+        Chunk = UntilDeath;
+        Dies = true;
+      }
+    }
+    if (Chunk > 0) {
+      Buffer = std::min(Env.BufferCapacity,
+                        Buffer + static_cast<double>(Chunk) * Net);
+      Trace.advance(Chunk);
+      S.ReExecutedOps += Chunk;
+      S.ChargedUnits += static_cast<double>(Chunk) * Avg;
+      Remaining -= Chunk;
+      SinceCkpt += Chunk;
+    }
+    if (Dies) {
+      Buffer = std::max(Buffer, 0.0);
+      ++S.Losses;
+      if (++Restarts > Env.MaxRestarts) {
+        fail();
+        return;
+      }
+      Remaining += SinceCkpt; // Uncommitted replay progress is lost again.
+      SinceCkpt = 0;
+      offPeriod();
+      if (Failed)
+        return;
+      S.ChargedUnits += Env.RestoreCostUnits;
+      Buffer -= Env.RestoreCostUnits;
+      continue;
+    }
+    if (Env.Checkpoint.Kind == CheckpointKind::PeriodicOps &&
+        SinceCkpt >= Env.Checkpoint.EveryOps && Remaining > 0) {
+      ++S.Checkpoints;
+      S.ChargedUnits += Env.CheckpointCostUnits;
+      Buffer -= Env.CheckpointCostUnits;
+      SinceCkpt = 0;
+      if (Buffer < 0.0) {
+        Buffer = 0.0;
+        ++S.Losses;
+        if (++Restarts > Env.MaxRestarts) {
+          fail();
+          return;
+        }
+        offPeriod();
+        if (Failed)
+          return;
+        S.ChargedUnits += Env.RestoreCostUnits;
+        Buffer -= Env.RestoreCostUnits;
+      }
+    }
+  }
+  // Live execution resumes with the replay's uncommitted tail as its
+  // ops-since-checkpoint.
+  OpsSinceCkpt = SinceCkpt;
+  UnitsSinceCkpt = static_cast<double>(SinceCkpt) * Avg;
+}
+
+bool PowerMeter::forecastSustainable(
+    const PowerEnv &Env, const FaultConfig &Config,
+    const std::array<uint64_t, NumPowerOpClasses> &Mix) {
+  uint64_t Total = 0;
+  double Units = 0.0;
+  for (unsigned I = 0; I < NumPowerOpClasses; ++I) {
+    Total += Mix[I];
+    Units += static_cast<double>(Mix[I]) *
+             opCost(static_cast<PowerOpClass>(I), Config);
+  }
+  if (Total == 0)
+    return true;
+  double AvgCost = Units / static_cast<double>(Total);
+  // Forecast over a horizon the size of the workload itself (at least one
+  // full brownout period's worth of ticks so short mixes still see the
+  // whole supply shape).
+  uint64_t Horizon = std::max<uint64_t>(Total, 1000000ULL);
+  return Env.Trace.meanRate(Horizon) >= AvgCost;
+}

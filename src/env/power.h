@@ -1,0 +1,287 @@
+//===- env/power.h - Intermittent-supply power environments ----*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The environment-level fault model: a trial no longer assumes an
+/// always-on supply. A PowerTraceSpec describes the supply — steady,
+/// square-wave brownout, harvesting-style windows (deterministic synthetic
+/// generators seeded via mixSeed), or a committed trace file — as a
+/// piecewise-constant rate of abstract energy units per logical tick. A
+/// PowerMeter runs beside an execution engine (the interpreter Simulator
+/// or the compiled FastMachine), charges every ticked operation against a
+/// capacitor-style energy buffer fed by the trace, and raises power-loss
+/// events when the buffer is exhausted.
+///
+/// Checkpoint/restore is modeled, not improvised: a checkpoint captures
+/// the complete machine state *including the fault-stream state*, so
+/// restore-then-replay is bitwise identical to uninterrupted execution.
+/// FastMachine::snapshot()/restore() implement exactly that capture and
+/// power_restore_test proves the property on all nine kernels; the meter
+/// therefore never re-runs work physically. Instead it accounts each
+/// power loss honestly: an off-period while the buffer recharges, a
+/// restore cost, and the re-execution of every operation since the last
+/// checkpoint (replay is itself metered against the trace and can die
+/// again). The physical run *is* the committed execution — measured QoS,
+/// op counts, and storage are never perturbed by the meter — while the
+/// checkpoint, restore, and re-execution energy all land in the trial's
+/// EffectiveEnergyFactor via overheadRatio(). A supply that can never
+/// complete an inter-checkpoint interval exhausts the restart cap and the
+/// trial ends as TrialOutcome::PowerFailed.
+///
+/// Everything here is a pure function of (trace spec, checkpoint policy,
+/// the op sequence): no wall clocks, no global state — power-armed grids
+/// stay byte-identical across thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ENV_POWER_H
+#define ENERJ_ENV_POWER_H
+
+#include "energy/model.h"
+#include "fault/config.h"
+#include "support/rng.h"
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace enerj {
+namespace env {
+
+/// One piece of a piecewise-constant supply: \p Ticks logical ticks at
+/// \p Rate abstract energy units per tick.
+struct TraceSegment {
+  uint64_t Ticks = 0;
+  double Rate = 0.0;
+};
+
+/// The supply shapes the environment knows how to generate.
+enum class TraceKind {
+  Steady,   ///< Constant rate forever (the always-on baseline).
+  Brownout, ///< Square wave: HighTicks at HighRate, LowTicks at LowRate.
+  Harvest,  ///< Harvesting-style random windows, seeded via mixSeed.
+  File,     ///< Segments loaded from a committed trace file.
+};
+
+/// Immutable description of a supply trace. Cheap to copy; a PowerTrace
+/// cursor instantiated over a spec yields the identical rate sequence
+/// every time (synthetic windows are a pure function of (Seed, index)).
+struct PowerTraceSpec {
+  TraceKind Kind = TraceKind::Steady;
+  std::string Name = "steady"; ///< Echoed in eval JSON v5 / text output.
+
+  double Rate = 48.0; ///< Steady: units per tick (>= any op cost).
+
+  double HighRate = 48.0; ///< Brownout: on-period supply.
+  double LowRate = 8.0;   ///< Brownout: brownout-period supply.
+  uint64_t HighTicks = 200000;
+  uint64_t LowTicks = 50000;
+
+  uint64_t Seed = 0x0EA7F00DULL; ///< Harvest: window-generator base seed.
+  double PeakRate = 64.0;        ///< Harvest: window rate in [0, Peak).
+  uint64_t MinWindow = 30000;    ///< Harvest: window length bounds.
+  uint64_t MaxWindow = 120000;
+
+  std::vector<TraceSegment> Segments; ///< File: the loaded segments.
+  double TailRate = 0.0; ///< File: rate forever after the last segment.
+
+  /// Parses a synthetic preset: "steady", "steady:<rate>", "brownout",
+  /// "brownout:<high>:<low>", "harvest", "harvest:<seed>". Returns
+  /// nullopt and fills \p Error on an unknown name or malformed knob.
+  static std::optional<PowerTraceSpec> preset(std::string_view Text,
+                                              std::string *Error);
+
+  /// Loads a trace file: one "<ticks> <rate>" segment per line, blank
+  /// lines and '#' comments ignored, the last segment's rate persisting
+  /// as the tail. Returns nullopt and fills \p Error on an unreadable
+  /// file, an empty trace, or a malformed/invalid segment.
+  static std::optional<PowerTraceSpec> fromFile(const std::string &Path,
+                                                std::string *Error);
+
+  /// Mean supply rate over the first \p Horizon ticks — the forecast the
+  /// power-aware resilience ladder compares against a rung's expected
+  /// per-op cost before spending an attempt on it.
+  double meanRate(uint64_t Horizon) const;
+};
+
+/// Deterministic cursor over a trace spec: the supply rate for
+/// consecutive logical ticks. One per meter; advancing is O(1) amortized
+/// (harvest windows are generated on demand from mixSeed(Seed, index)).
+class PowerTrace {
+public:
+  explicit PowerTrace(const PowerTraceSpec &Spec) : Spec(Spec) { load(); }
+
+  double rate() const { return CurRate; }
+  uint64_t segmentRemaining() const { return CurRemaining; }
+
+  /// Advances \p Ticks logical ticks; \p Ticks must not exceed
+  /// segmentRemaining() (step segment by segment for larger jumps).
+  void advance(uint64_t Ticks) {
+    CurRemaining -= Ticks;
+    if (CurRemaining == 0) {
+      ++Index;
+      load();
+    }
+  }
+
+private:
+  void load();
+
+  const PowerTraceSpec &Spec;
+  uint64_t Index = 0;
+  double CurRate = 0.0;
+  uint64_t CurRemaining = 0;
+};
+
+/// When the meter commits a checkpoint.
+enum class CheckpointKind {
+  None,        ///< Never: every loss replays from the trial start.
+  PeriodicOps, ///< Every EveryOps committed operations.
+  PreRegion,   ///< At RegionScope entry (the PR 5 annotation sites).
+};
+
+struct CheckpointPolicy {
+  CheckpointKind Kind = CheckpointKind::None;
+  uint64_t EveryOps = 0;     ///< PeriodicOps interval.
+  std::string Spec = "none"; ///< Echoed in eval JSON v5.
+
+  /// Parses "none", "periodic:<N>" (N >= 1), or "preregion". Returns
+  /// nullopt and fills \p Error otherwise.
+  static std::optional<CheckpointPolicy> parse(std::string_view Text,
+                                               std::string *Error);
+};
+
+/// A complete power environment: the supply, the checkpoint policy, and
+/// the platform constants of the buffered-power model. Shared read-only
+/// across all trials of a grid.
+struct PowerEnv {
+  PowerTraceSpec Trace;
+  CheckpointPolicy Checkpoint;
+
+  double BufferCapacity = 100000.0; ///< Capacitor buffer, energy units.
+  double RestoreThresholdFrac = 0.6; ///< Recharge-to fraction before boot.
+  double CheckpointCostUnits = 2000.0;
+  double RestoreCostUnits = 1000.0;
+  uint32_t MaxRestarts = 256;         ///< Restart cap => PowerFailed.
+  uint64_t MaxOffTicks = 50000000ULL; ///< Dead-supply cap => PowerFailed.
+};
+
+/// The operation classes the meter prices (chosen by the tick sites of
+/// both execution engines; register/SRAM traffic rides on the op cost).
+enum class PowerOpClass : uint8_t {
+  PreciseInt = 0,
+  ApproxInt = 1,
+  PreciseFp = 2,
+  ApproxFp = 3,
+  Mem = 4,
+};
+inline constexpr unsigned NumPowerOpClasses = 5;
+
+/// Per-attempt power accounting, surfaced per cell in eval JSON v5.
+struct PowerStats {
+  uint64_t Losses = 0;        ///< Power-loss events raised.
+  uint64_t Checkpoints = 0;   ///< Checkpoints committed (live + replay).
+  uint64_t ReExecutedOps = 0; ///< Ops re-executed across all replays.
+  uint64_t LiveOps = 0;       ///< Unique committed operations.
+  uint64_t OffTicks = 0;      ///< Ticks spent dark, recharging.
+  double LiveUnits = 0.0;     ///< Energy of the committed work alone.
+  double ChargedUnits = 0.0;  ///< Committed + replayed + ckpt/restore.
+  bool Survived = true;       ///< False once the restart/off cap trips.
+
+  /// The honest energy multiplier for EffectiveEnergyFactor: everything
+  /// the environment charged over what an always-on run would have.
+  double overheadRatio() const {
+    return LiveUnits > 0.0 ? ChargedUnits / LiveUnits : 1.0;
+  }
+};
+
+/// What the meter reports to an attached event sink (the harness maps
+/// these onto obs::TraceEventKind for the Perfetto export; env does not
+/// depend on obs).
+enum class PowerEventKind {
+  Loss,       ///< The buffer was exhausted; the machine went dark.
+  Checkpoint, ///< A live checkpoint committed.
+  Restore,    ///< The machine rebooted and (abstractly) replayed.
+};
+
+/// Meters one attempt's execution against a power environment. The
+/// engine calls onOp() at every ticked operation (and onRegionEnter() at
+/// RegionScope sites); the meter never perturbs the engine — it only
+/// accounts. After the attempt, stats() carries the loss/checkpoint/
+/// replay counters and failed() says whether the environment ever let
+/// the attempt complete.
+class PowerMeter {
+public:
+  PowerMeter(const PowerEnv &Env, const FaultConfig &Config);
+
+  /// Optional event sink, called with (kind, committed live ops at the
+  /// event). The harness uses it to emit power events into the trial's
+  /// Perfetto trace; null by default.
+  std::function<void(PowerEventKind, uint64_t)> Events;
+
+  /// Charges one operation of class \p C. Once failed, a no-op: the
+  /// physical run continues (its measurements are still valid) but no
+  /// further environment accounting happens.
+  void onOp(PowerOpClass C) {
+    if (Failed)
+      return;
+    step(C);
+  }
+
+  /// RegionScope entry: commits a checkpoint under the PreRegion policy.
+  void onRegionEnter();
+
+  const PowerStats &stats() const { return S; }
+  bool failed() const { return Failed; }
+  /// Ops observed per class — the mix the ladder's forecast re-prices.
+  const std::array<uint64_t, NumPowerOpClasses> &opMix() const {
+    return ClassOps;
+  }
+
+  /// The per-op cost of class \p C under \p Config: the Section 5.4 base
+  /// units scaled by instructionEnergyFactor (memory ops cost the
+  /// fetch/decode share). Exposed for the forecast and the tests.
+  static double opCost(PowerOpClass C, const FaultConfig &Config);
+
+  /// Forecast: with the op mix \p Mix re-priced at \p Config, can the
+  /// trace's long-run mean rate sustain the average op cost? The
+  /// power-aware ladder skips rungs this predicts will die (the last
+  /// reachable rung is always attempted — the forecast is a heuristic,
+  /// the meter is the truth).
+  static bool forecastSustainable(
+      const PowerEnv &Env, const FaultConfig &Config,
+      const std::array<uint64_t, NumPowerOpClasses> &Mix);
+
+private:
+  void step(PowerOpClass C);
+  void checkpoint();
+  void powerLoss();
+  void offPeriod();
+  void replay();
+  void fail();
+
+  const PowerEnv &Env;
+  PowerTrace Trace;
+  std::array<double, NumPowerOpClasses> Cost;
+  double MaxCost = 0.0;
+  double Buffer;          ///< Current charge, units.
+  double RestoreTarget;   ///< Recharge-to level before booting.
+  uint64_t OpsSinceCkpt = 0;
+  double UnitsSinceCkpt = 0.0;
+  uint32_t Restarts = 0;
+  bool Failed = false;
+  std::array<uint64_t, NumPowerOpClasses> ClassOps{};
+  PowerStats S;
+};
+
+} // namespace env
+} // namespace enerj
+
+#endif // ENERJ_ENV_POWER_H

@@ -122,7 +122,8 @@ size_t ProgramCache::size() const {
 
 CompiledTrialResult enerj::exec::runCompiledTrial(
     const CompiledKernel &Kernel, const FaultConfig &Config,
-    uint64_t WorkloadSeed, bool CollectMetrics, BlockMode Mode) {
+    uint64_t WorkloadSeed, bool CollectMetrics, BlockMode Mode,
+    env::PowerMeter *Power, uint64_t MaxOps) {
   FaultConfig RunConfig = Config;
   // The same per-trial stream derivation as the interpreter path.
   RunConfig.Seed = mixSeed(Config.Seed, WorkloadSeed);
@@ -131,7 +132,9 @@ CompiledTrialResult enerj::exec::runCompiledTrial(
   FastMachine M(Kernel.Binary, RunConfig, Mode);
   if (CollectMetrics)
     M.attachMetrics(&Result.Metrics, Kernel.AppName);
-  FastResult Run = M.run();
+  if (Power)
+    M.attachPower(Power);
+  FastResult Run = MaxOps ? M.run(MaxOps) : M.run();
   Result.Stats = M.stats();
   Result.Cycles = M.now();
   if (Run.Trapped) {

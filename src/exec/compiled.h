@@ -101,11 +101,17 @@ private:
 /// FastMachine. The effective fault seed is mixSeed(Config.Seed,
 /// WorkloadSeed) — the same per-trial derivation as the interpreter
 /// path — so the result is a pure function of the trial's identity.
+/// \p Power optionally meters the run against an intermittent supply
+/// (pure accounting: the measured result is unchanged); \p MaxOps caps
+/// the instruction budget (0 keeps the FastMachine default) so a
+/// resilience policy's op budget reaches the compiled path too.
 CompiledTrialResult runCompiledTrial(const CompiledKernel &Kernel,
                                      const FaultConfig &Config,
                                      uint64_t WorkloadSeed,
                                      bool CollectMetrics = false,
-                                     BlockMode Mode = BlockMode::Batched);
+                                     BlockMode Mode = BlockMode::Batched,
+                                     env::PowerMeter *Power = nullptr,
+                                     uint64_t MaxOps = 0);
 
 } // namespace exec
 } // namespace enerj

@@ -80,10 +80,26 @@ void FastMachine::record(obs::OpKind Kind, unsigned Flipped,
   Metrics->recordOp(Kind, Flipped);
 }
 
+uint64_t FastMachine::nextReadMask() {
+  if (ReadMaskPos == MaskLineWords) {
+    SramRead.nextMasks(MaskLineWords, ReadMasks.data());
+    ReadMaskPos = 0;
+  }
+  return ReadMasks[ReadMaskPos++];
+}
+
+uint64_t FastMachine::nextWriteMask() {
+  if (WriteMaskPos == MaskLineWords) {
+    SramWrite.nextMasks(MaskLineWords, WriteMasks.data());
+    WriteMaskPos = 0;
+  }
+  return WriteMasks[WriteMaskPos++];
+}
+
 int64_t FastMachine::readInt(unsigned Index) {
   int64_t Raw = IntRegs[Index];
   if (isa::isApproxReg(Index)) {
-    uint64_t Mask = SramRead.nextMask(64);
+    uint64_t Mask = nextReadMask();
     Raw = fromBits<int64_t>(toBits(Raw) ^ Mask);
     record(obs::OpKind::SramRead,
            static_cast<unsigned>(std::popcount(Mask)), false);
@@ -93,7 +109,7 @@ int64_t FastMachine::readInt(unsigned Index) {
 
 void FastMachine::writeInt(unsigned Index, int64_t Value) {
   if (isa::isApproxReg(Index)) {
-    uint64_t Mask = SramWrite.nextMask(64);
+    uint64_t Mask = nextWriteMask();
     Value = fromBits<int64_t>(toBits(Value) ^ Mask);
     record(obs::OpKind::SramWrite,
            static_cast<unsigned>(std::popcount(Mask)), false);
@@ -104,7 +120,7 @@ void FastMachine::writeInt(unsigned Index, int64_t Value) {
 double FastMachine::readFp(unsigned Index) {
   double Raw = FpRegs[Index];
   if (isa::isApproxReg(Index)) {
-    uint64_t Mask = SramRead.nextMask(64);
+    uint64_t Mask = nextReadMask();
     Raw = fromBits<double>(toBits(Raw) ^ Mask);
     record(obs::OpKind::SramRead,
            static_cast<unsigned>(std::popcount(Mask)), false);
@@ -114,12 +130,41 @@ double FastMachine::readFp(unsigned Index) {
 
 void FastMachine::writeFp(unsigned Index, double Value) {
   if (isa::isApproxReg(Index)) {
-    uint64_t Mask = SramWrite.nextMask(64);
+    uint64_t Mask = nextWriteMask();
     Value = fromBits<double>(toBits(Value) ^ Mask);
     record(obs::OpKind::SramWrite,
            static_cast<unsigned>(std::popcount(Mask)), false);
   }
   FpRegs[Index] = Value;
+}
+
+FastMachine::Snapshot FastMachine::snapshot() const {
+  return Snapshot{SramRead,     SramWrite,    IntTiming, FpTiming,
+                  Payload,      IntLast,      FpLast,    TimingErrors,
+                  Ledger,       Ops,          ReadMasks, WriteMasks,
+                  ReadMaskPos,  WriteMaskPos, IntRegs,   FpRegs,
+                  Memory,       LastAccess};
+}
+
+void FastMachine::restore(const Snapshot &Snap) {
+  SramRead = Snap.SramRead;
+  SramWrite = Snap.SramWrite;
+  IntTiming = Snap.IntTiming;
+  FpTiming = Snap.FpTiming;
+  Payload = Snap.Payload;
+  IntLast = Snap.IntLast;
+  FpLast = Snap.FpLast;
+  TimingErrors = Snap.TimingErrors;
+  Ledger = Snap.Ledger;
+  Ops = Snap.Ops;
+  ReadMasks = Snap.ReadMasks;
+  WriteMasks = Snap.WriteMasks;
+  ReadMaskPos = Snap.ReadMaskPos;
+  WriteMaskPos = Snap.WriteMaskPos;
+  IntRegs = Snap.IntRegs;
+  FpRegs = Snap.FpRegs;
+  Memory = Snap.Memory;
+  LastAccess = Snap.LastAccess;
 }
 
 uint64_t FastMachine::dramDecay(uint64_t Bits, uint64_t ElapsedCycles) {
@@ -187,6 +232,7 @@ bool FastMachine::memAccess(uint64_t Address, bool ApproxHint, bool IsStore,
   else
     Bits = Memory[Address];
   Ledger.tick(); // A memory access advances time.
+  powerTick(env::PowerOpClass::Mem);
   return true;
 }
 
@@ -213,8 +259,17 @@ uint64_t FastMachine::timingResult(uint64_t CorrectBits, bool Fp) {
 }
 
 FastResult FastMachine::run(uint64_t MaxInstructions) {
+  FastResult Result = resume(0, MaxInstructions);
+  if (!Result.Trapped && !Result.Halted) {
+    Result.Trapped = true;
+    Result.TrapMessage = "instruction budget exhausted (runaway loop?)";
+  }
+  return Result;
+}
+
+FastResult FastMachine::resume(uint64_t StartPc, uint64_t MaxInstructions) {
   FastResult Result;
-  uint64_t Pc = 0;
+  uint64_t Pc = StartPc;
 
   auto Trap = [&](std::string Message, int Line) {
     Result.Trapped = true;
@@ -233,8 +288,11 @@ FastResult FastMachine::run(uint64_t MaxInstructions) {
   };
 
   while (Result.InstructionsExecuted < MaxInstructions) {
-    if (Pc >= Program.Instructions.size())
-      return Result; // Falling off the end is a clean halt.
+    if (Pc >= Program.Instructions.size()) {
+      Result.Halted = true; // Falling off the end is a clean halt.
+      Result.NextPc = Pc;
+      return Result;
+    }
     const isa::Instruction &I = Program.Instructions[Pc];
     ++Result.InstructionsExecuted;
     ++Pc;
@@ -243,10 +301,12 @@ FastResult FastMachine::run(uint64_t MaxInstructions) {
       Ledger.tick();
       if (!I.Approx) {
         ++Ops.PreciseInt;
+        powerTick(env::PowerOpClass::PreciseInt);
         record(obs::OpKind::PreciseInt, 0, false);
         return Correct;
       }
       ++Ops.ApproxInt;
+      powerTick(env::PowerOpClass::ApproxInt);
       uint64_t Bits = timingResult(toBits(Correct), /*Fp=*/false);
       record(obs::OpKind::ApproxInt,
              static_cast<unsigned>(std::popcount(Bits ^ toBits(Correct))),
@@ -257,10 +317,12 @@ FastResult FastMachine::run(uint64_t MaxInstructions) {
       Ledger.tick();
       if (!I.Approx) {
         ++Ops.PreciseFp;
+        powerTick(env::PowerOpClass::PreciseFp);
         record(obs::OpKind::PreciseFp, 0, false);
         return Correct;
       }
       ++Ops.ApproxFp;
+      powerTick(env::PowerOpClass::ApproxFp);
       uint64_t Bits = timingResult(toBits(Correct), /*Fp=*/true);
       record(obs::OpKind::ApproxFp,
              static_cast<unsigned>(std::popcount(Bits ^ toBits(Correct))),
@@ -275,26 +337,32 @@ FastResult FastMachine::run(uint64_t MaxInstructions) {
     case isa::Opcode::Li:
       writeInt(I.Rd, I.Imm);
       Ledger.tick();
+      powerTick(env::PowerOpClass::Mem);
       break;
     case isa::Opcode::Lfi:
       writeFp(I.Rd, I.FpImm);
       Ledger.tick();
+      powerTick(env::PowerOpClass::Mem);
       break;
     case isa::Opcode::Mv:
       writeInt(I.Rd, readInt(I.Ra));
       Ledger.tick();
+      powerTick(env::PowerOpClass::Mem);
       break;
     case isa::Opcode::Fmv:
       writeFp(I.Rd, readFp(I.Ra));
       Ledger.tick();
+      powerTick(env::PowerOpClass::Mem);
       break;
     case isa::Opcode::Endorse:
       writeInt(I.Rd, readInt(I.Ra));
       Ledger.tick();
+      powerTick(env::PowerOpClass::Mem);
       break;
     case isa::Opcode::Fendorse:
       writeFp(I.Rd, readFp(I.Ra));
       Ledger.tick();
+      powerTick(env::PowerOpClass::Mem);
       break;
 
     case isa::Opcode::Add:
@@ -445,6 +513,7 @@ FastResult FastMachine::run(uint64_t MaxInstructions) {
       double Rhs = readFp(I.Ra);
       ++Ops.PreciseFp; // The comparison.
       Ledger.tick();
+      powerTick(env::PowerOpClass::PreciseFp);
       record(obs::OpKind::PreciseFp, 0, false);
       bool Taken = false;
       switch (I.Op) {
@@ -474,6 +543,7 @@ FastResult FastMachine::run(uint64_t MaxInstructions) {
       int64_t Rhs = readInt(I.Ra);
       ++Ops.PreciseInt; // The comparison.
       Ledger.tick();
+      powerTick(env::PowerOpClass::PreciseInt);
       record(obs::OpKind::PreciseInt, 0, false);
       bool Taken = false;
       switch (I.Op) {
@@ -496,14 +566,18 @@ FastResult FastMachine::run(uint64_t MaxInstructions) {
     }
     case isa::Opcode::Jmp:
       Ledger.tick();
+      powerTick(env::PowerOpClass::Mem);
       if (!BranchTo(I.Imm, I.Line))
         return Result;
       break;
     case isa::Opcode::Halt:
+      Result.Halted = true;
+      Result.NextPc = Pc;
       return Result;
     }
   }
-  Result.Trapped = true;
-  Result.TrapMessage = "instruction budget exhausted (runaway loop?)";
+  // Budget reached mid-program: not a trap at this layer — run() turns it
+  // into the classic runaway-loop trap, a checkpointing host resumes.
+  Result.NextPc = Pc;
   return Result;
 }

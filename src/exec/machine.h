@@ -41,23 +41,29 @@
 
 #include "arch/memory.h"
 #include "arch/stats.h"
+#include "env/power.h"
 #include "fault/block.h"
 #include "fault/config.h"
 #include "fault/models.h"
 #include "isa/isa.h"
 #include "obs/metrics.h"
 
+#include <array>
 #include <string>
 #include <vector>
 
 namespace enerj {
 namespace exec {
 
-/// Outcome of a fast run — the same shape as isa::MachineResult.
+/// Outcome of a fast run — the same shape as isa::MachineResult, plus
+/// the segmented-execution fields resume() needs.
 struct FastResult {
   bool Trapped = false;
   std::string TrapMessage;
-  uint64_t InstructionsExecuted = 0;
+  uint64_t InstructionsExecuted = 0; ///< This call's instructions only.
+  bool Halted = false;  ///< Clean halt (Halt or fell off the end).
+  uint64_t NextPc = 0;  ///< Where resume() should continue when neither
+                        ///< halted nor trapped (budget reached).
 };
 
 /// One fast executor bound to a verified program and a configuration.
@@ -76,8 +82,50 @@ public:
   void attachMetrics(obs::MetricsRegistry *Registry,
                      const std::string &Label);
 
-  /// Runs from instruction 0 until halt, a trap, or \p MaxInstructions.
+  /// Attaches a power meter for the coming run (or nullptr to detach):
+  /// every ticked operation is charged against the intermittent-supply
+  /// model in src/env. Pure accounting — never perturbs execution.
+  void attachPower(env::PowerMeter *Meter) { Power = Meter; }
+
+  /// Runs from instruction 0 until halt, a trap, or \p MaxInstructions
+  /// (exhausting the budget traps, preserving the classic contract).
   FastResult run(uint64_t MaxInstructions = 10'000'000);
+
+  /// Segmented execution: runs from \p StartPc for at most
+  /// \p MaxInstructions. Reaching the budget is NOT a trap here — the
+  /// result carries Halted=false and the NextPc to continue from, so a
+  /// checkpointing host can stop, snapshot, and resume. A sequence of
+  /// resume() calls is bitwise identical to one uninterrupted run.
+  FastResult resume(uint64_t StartPc, uint64_t MaxInstructions);
+
+  /// The complete restartable machine state: registers, memory, decay
+  /// timestamps, fault-stream and payload RNG state, prefetched mask
+  /// lines, latches, counters, and the storage ledger. Capturing it and
+  /// later restore()-ing replays the exact execution — snapshot() is the
+  /// checkpoint the power environment models, and power_restore_test
+  /// proves restore == uninterrupted bitwise on every kernel. (The
+  /// attached metrics registry and power meter are observers, not
+  /// machine state, and are not captured.)
+  struct Snapshot {
+    UpsetStream SramRead;
+    UpsetStream SramWrite;
+    EventStream IntTiming;
+    EventStream FpTiming;
+    Rng Payload;
+    uint64_t IntLast = 0, FpLast = 0;
+    uint64_t TimingErrors = 0;
+    MemoryLedger Ledger;
+    OperationStats Ops;
+    std::array<uint64_t, 8> ReadMasks{}, WriteMasks{};
+    unsigned ReadMaskPos = 0, WriteMaskPos = 0;
+    std::vector<int64_t> IntRegs;
+    std::vector<double> FpRegs;
+    std::vector<uint64_t> Memory;
+    std::vector<uint64_t> LastAccess;
+  };
+
+  Snapshot snapshot() const;
+  void restore(const Snapshot &S);
 
   /// --- Observable state (no faults, nothing recorded). ---
   int64_t intReg(unsigned Index) const { return IntRegs[Index]; }
@@ -95,6 +143,12 @@ private:
   void writeInt(unsigned Index, int64_t Value);
   double readFp(unsigned Index);
   void writeFp(unsigned Index, double Value);
+  uint64_t nextReadMask();
+  uint64_t nextWriteMask();
+  void powerTick(env::PowerOpClass C) {
+    if (Power)
+      Power->onOp(C);
+  }
   uint64_t dramDecay(uint64_t Bits, uint64_t ElapsedCycles);
   bool memAccess(uint64_t Address, bool ApproxHint, bool IsStore,
                  uint64_t &Bits, std::string &TrapMessage);
@@ -116,7 +170,15 @@ private:
   MemoryLedger Ledger;
   OperationStats Ops;
   obs::MetricsRegistry *Metrics = nullptr;
+  env::PowerMeter *Power = nullptr;
   uint32_t CoreRegion = 0, ApproxRegion = 0;
+
+  /// SRAM flip masks are drawn one cache line (8 words) at a time via
+  /// UpsetStream::nextMasks — the SIMD-wide hot path — and consumed
+  /// word by word, preserving the exact scalar mask sequence.
+  static constexpr unsigned MaskLineWords = 8;
+  std::array<uint64_t, MaskLineWords> ReadMasks{}, WriteMasks{};
+  unsigned ReadMaskPos = MaskLineWords, WriteMaskPos = MaskLineWords;
 
   std::vector<int64_t> IntRegs;
   std::vector<double> FpRegs;

@@ -79,6 +79,29 @@ public:
     return slowMask(End);
   }
 
+  /// Advances the stream over \p Words consecutive 64-bit words — one
+  /// cache line when \p Words == 8 — and writes their flip masks into
+  /// \p Masks. Produces exactly the sequence that \p Words successive
+  /// nextMask(64) calls would: the wide form only widens the hot path,
+  /// so a single compare against the next-fault index clears the whole
+  /// line and the zero-fill loop vectorizes. Bitwise-identical to the
+  /// Scalar reference mode across all probability regimes
+  /// (fault_block_test pins wide == narrow == Scalar).
+  void nextMasks(unsigned Words, uint64_t *Masks) {
+    uint64_t End = Cursor + 64ULL * Words;
+    if (NextFault >= End) { // No fault lands anywhere in the line.
+      Cursor = End;
+      for (unsigned I = 0; I < Words; ++I)
+        Masks[I] = 0;
+      return;
+    }
+    // A fault lands somewhere in the line: fall back to the word-wise
+    // path so the faulty word's draws happen in exactly the scalar
+    // order (most words still take the one-compare branch above).
+    for (unsigned I = 0; I < Words; ++I)
+      Masks[I] = nextMask(64);
+  }
+
   /// Index of the next exposed bit that will upset (~0 when p == 0).
   uint64_t nextFaultIndex() const { return NextFault; }
   /// Exposed bits consumed so far.

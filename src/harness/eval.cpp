@@ -64,18 +64,26 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
   Result.MetricsCollected = Options.Metrics;
   Result.Exec = Options.Exec;
   Result.EchoExecMode = Options.EchoExecMode;
+  Result.Power = Options.Power;
+  Result.PowerArmed = Options.PowerArmed;
 
   // The compiled path lowers each (app, level) cell exactly once before
   // any trial runs; a cell whose kernel fails any pipeline stage aborts
   // the whole grid (a silent fall-back to the interpreter would change
   // what the numbers mean). The cache must outlive the trial list,
-  // which points into it.
+  // which points into it. With a ladder-walking policy armed, every
+  // rung's kernel is compiled up front too, so a mid-grid rung can never
+  // fail compilation inside a worker (where the error would be contained
+  // as an aborted trial instead of aborting the grid).
   std::optional<exec::ProgramCache> Kernels;
   if (Options.Exec == ExecMode::Compiled) {
-    if (Options.Policy.Enabled)
-      throw std::runtime_error(
-          "compiled execution does not support a resilience policy");
     Kernels.emplace(Options.KernelDir);
+    if (Options.Policy.Enabled && Options.Policy.Degrade)
+      for (const apps::Application *App : Result.Apps)
+        for (ApproxLevel Rung :
+             {ApproxLevel::None, ApproxLevel::Mild, ApproxLevel::Medium,
+              ApproxLevel::Aggressive})
+          Kernels->get(App->name(), Rung);
   }
 
   // App-major, level-minor, seeds ascending: the same enumeration order
@@ -92,6 +100,8 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
         Trial T{App, Config, static_cast<uint64_t>(Seed)};
         T.Obs.Metrics = Options.Metrics;
         T.Kernel = Kernel;
+        T.Kernels = Kernels ? &*Kernels : nullptr;
+        T.Power = Result.PowerArmed ? &Result.Power : nullptr;
         Trials.push_back(std::move(T));
       }
     }
@@ -118,6 +128,13 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
         Cell.Retries += static_cast<uint64_t>(T.Attempts - 1);
         if (Options.Metrics)
           Cell.Metrics.merge(T.Metrics);
+        if (Result.PowerArmed) {
+          Cell.PowerLosses += T.Power.Losses;
+          Cell.PowerCheckpoints += T.Power.Checkpoints;
+          Cell.PowerReExecutedOps += T.Power.ReExecutedOps;
+          if (T.Outcome != resilience::TrialOutcome::PowerFailed)
+            ++Cell.PowerSurvived;
+        }
         if (Seed == 1)
           Cell.Seed1 = T;
       }

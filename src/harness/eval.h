@@ -59,8 +59,9 @@ struct EvalOptions {
   /// the JSON to version 3 with a "metrics" block per cell.
   bool Metrics = false;
   /// Execution path for every trial of the grid. Compiled requires
-  /// KernelDir and a disabled Policy, and throws std::runtime_error if
-  /// any cell's kernel fails to compile or verify.
+  /// KernelDir and throws std::runtime_error if any cell's kernel fails
+  /// to compile or verify. A policy on the compiled path dispatches the
+  /// recovery ladder onto cached per-level kernels.
   ExecMode Exec = ExecMode::Interp;
   /// Echo the execution mode in the JSON (version 4, "execMode" after
   /// "seeds"). Off by default so existing version-2/3 output stays byte
@@ -69,6 +70,12 @@ struct EvalOptions {
   bool EchoExecMode = false;
   /// Directory of <app>.fej ISA kernels (Compiled only).
   std::string KernelDir;
+  /// Intermittent-supply environment for every trial. Only consulted
+  /// when PowerArmed; the default (disarmed) grid is byte-identical to
+  /// the always-on harness. Arming bumps the JSON to version 5 with a
+  /// top-level "power" echo and per-cell power counters.
+  env::PowerEnv Power;
+  bool PowerArmed = false;
 };
 
 /// One (application, level) cell of the grid.
@@ -89,6 +96,13 @@ struct EvalCell {
   /// Per-site metrics merged over the cell's seeds, in seed order
   /// (empty unless EvalOptions::Metrics).
   obs::MetricsRegistry Metrics;
+  /// Power-environment counters summed over the cell's seeds (all
+  /// attempts); zero unless the grid ran power-armed.
+  uint64_t PowerLosses = 0;
+  uint64_t PowerCheckpoints = 0;
+  uint64_t PowerReExecutedOps = 0;
+  /// Seeds whose recorded trial the supply let complete.
+  uint64_t PowerSurvived = 0;
 };
 
 /// The whole grid, cells in app-major, level-minor order.
@@ -100,6 +114,8 @@ struct EvalResult {
   bool MetricsCollected = false; ///< Grid ran with EvalOptions::Metrics.
   ExecMode Exec = ExecMode::Interp; ///< How the trials executed.
   bool EchoExecMode = false; ///< Render the mode (version-4 JSON).
+  env::PowerEnv Power;       ///< The environment the grid ran under.
+  bool PowerArmed = false;   ///< Render the power blocks (version 5).
   std::vector<EvalCell> Cells;
 
   /// The cell for (\p App, \p Level); null if not in the grid.
@@ -129,7 +145,11 @@ meanQosGrid(const std::vector<const apps::Application *> &Apps,
 /// collection the output is byte-identical to the version-2 schema.
 /// A grid whose options asked to echo the execution mode renders as
 /// version 4, which inserts "execMode" after "seeds" (cells keep the
-/// version-3 metrics block when collected).
+/// version-3 metrics block when collected). A power-armed grid renders
+/// as version 5: a top-level "power" object (trace name, checkpoint
+/// spec) after "seeds"/"execMode", a per-cell "power" block (losses,
+/// checkpoints, re-executed ops, survival), and a "powerFailed" key in
+/// the outcome counts.
 std::string renderEvalJson(const EvalResult &Result);
 
 /// Renders \p Result as a fixed-width text table.

@@ -12,7 +12,11 @@
 // execution mode (eval --exec-mode, either value): it inserts a
 // top-level "execMode" right after "seeds" and keeps the metrics block
 // when collected; without the flag the historical schemas are
-// byte-identical. Doubles
+// byte-identical. Version 5 is emitted only for power-armed grids (eval
+// --power-trace): a top-level "power" echo (trace name, checkpoint spec)
+// after "seeds"/"execMode", a "powerFailed" key in every cell's outcome
+// counts, and a per-cell "power" block (losses, checkpoints, re-executed
+// ops, survival) after storage/metrics. Doubles
 // render with %.17g so every value round-trips exactly; the grid's JSON
 // is identical at any thread count.
 //
@@ -62,6 +66,14 @@ void appendStats(std::string &Out, const char *Key, const TrialStats &S) {
 
 void appendBool(std::string &Out, bool Value) {
   Out += Value ? "true" : "false";
+}
+
+void appendEscaped(std::string &Out, const std::string &Text) {
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
 }
 
 void appendPolicy(std::string &Out, const resilience::ResiliencePolicy &P) {
@@ -127,8 +139,8 @@ void appendMetrics(std::string &Out, const obs::MetricsRegistry &M) {
   Out += "]}";
 }
 
-void appendCell(std::string &Out, const EvalCell &Cell,
-                bool WithMetrics) {
+void appendCell(std::string &Out, const EvalCell &Cell, bool WithMetrics,
+                bool WithPower, int Seeds) {
   Out += "{\"level\":\"";
   Out += approxLevelName(Cell.Level);
   Out += "\",";
@@ -147,6 +159,10 @@ void appendCell(std::string &Out, const EvalCell &Cell,
   appendU64(Out, Cell.Outcomes.Retried);
   Out += ",\"degraded\":";
   appendU64(Out, Cell.Outcomes.Degraded);
+  if (WithPower) {
+    Out += ",\"powerFailed\":";
+    appendU64(Out, Cell.Outcomes.PowerFailed);
+  }
   Out += "},\"retries\":";
   appendU64(Out, Cell.Retries);
   const OperationStats &Ops = Cell.Seed1.Stats.Ops;
@@ -172,6 +188,21 @@ void appendCell(std::string &Out, const EvalCell &Cell,
   Out += '}';
   if (WithMetrics)
     appendMetrics(Out, Cell.Metrics);
+  if (WithPower) {
+    Out += ",\"power\":{\"losses\":";
+    appendU64(Out, Cell.PowerLosses);
+    Out += ",\"checkpoints\":";
+    appendU64(Out, Cell.PowerCheckpoints);
+    Out += ",\"reExecutedOps\":";
+    appendU64(Out, Cell.PowerReExecutedOps);
+    Out += ",\"survived\":";
+    appendU64(Out, Cell.PowerSurvived);
+    Out += ",\"survivalRate\":";
+    appendDouble(Out, Seeds > 0
+                          ? static_cast<double>(Cell.PowerSurvived) / Seeds
+                          : 1.0);
+    Out += '}';
+  }
   Out += '}';
 }
 
@@ -179,13 +210,23 @@ void appendCell(std::string &Out, const EvalCell &Cell,
 
 std::string enerj::harness::renderEvalJson(const EvalResult &Result) {
   std::string Out = "{\"tool\":\"enerj-eval\",\"version\":";
-  Out += Result.EchoExecMode ? '4' : Result.MetricsCollected ? '3' : '2';
+  Out += Result.PowerArmed          ? '5'
+         : Result.EchoExecMode      ? '4'
+         : Result.MetricsCollected  ? '3'
+                                    : '2';
   Out += ",\"seeds\":";
   appendU64(Out, static_cast<uint64_t>(Result.Seeds));
   if (Result.EchoExecMode) {
     Out += ",\"execMode\":\"";
     Out += execModeName(Result.Exec);
     Out += '"';
+  }
+  if (Result.PowerArmed) {
+    Out += ",\"power\":{\"trace\":\"";
+    appendEscaped(Out, Result.Power.Trace.Name);
+    Out += "\",\"checkpoint\":\"";
+    appendEscaped(Out, Result.Power.Checkpoint.Spec);
+    Out += "\"}";
   }
   Out += ',';
   appendPolicy(Out, Result.Policy);
@@ -208,7 +249,7 @@ std::string enerj::harness::renderEvalJson(const EvalResult &Result) {
       if (L)
         Out += ',';
       appendCell(Out, Result.Cells[A * Result.Levels.size() + L],
-                 Result.MetricsCollected);
+                 Result.MetricsCollected, Result.PowerArmed, Result.Seeds);
     }
     Out += "]}";
   }
@@ -232,6 +273,14 @@ std::string enerj::harness::renderEvalText(const EvalResult &Result) {
                   Result.Policy.Degrade ? "on" : "off");
     Out += Line;
   }
+  bool Powered = Result.PowerArmed;
+  if (Powered) {
+    std::snprintf(Line, sizeof(Line),
+                  "Power environment: trace %s, checkpoint %s\n\n",
+                  Result.Power.Trace.Name.c_str(),
+                  Result.Power.Checkpoint.Spec.c_str());
+    Out += Line;
+  }
   std::snprintf(Line, sizeof(Line), "%-14s %-11s %10s %10s %10s %10s",
                 "Application", "level", "qos mean", "stddev", "+/-95%",
                 "energy");
@@ -241,8 +290,13 @@ std::string enerj::harness::renderEvalText(const EvalResult &Result) {
                   "retries", " outcomes ok/ret/deg/fail");
     Out += Line;
   }
+  if (Powered) {
+    std::snprintf(Line, sizeof(Line), " %9s %7s %8s", "survival",
+                  "losses", "ckpts");
+    Out += Line;
+  }
   Out += '\n';
-  Out += std::string(Resilient ? 113 : 70, '-');
+  Out += std::string((Resilient ? 113 : 70) + (Powered ? 27 : 0), '-');
   Out += '\n';
   for (const EvalCell &Cell : Result.Cells) {
     std::snprintf(Line, sizeof(Line),
@@ -259,6 +313,13 @@ std::string enerj::harness::renderEvalText(const EvalResult &Result) {
                     Cell.Outcomes.Ok, Cell.Outcomes.Retried,
                     Cell.Outcomes.Degraded,
                     Cell.Outcomes.SloViolated + Cell.Outcomes.Aborted);
+      Out += Line;
+    }
+    if (Powered) {
+      std::snprintf(Line, sizeof(Line),
+                    " %5" PRIu64 "/%-3d %7" PRIu64 " %8" PRIu64,
+                    Cell.PowerSurvived, Result.Seeds, Cell.PowerLosses,
+                    Cell.PowerCheckpoints);
       Out += Line;
     }
     Out += '\n';

@@ -7,6 +7,7 @@
 #include "runtime/simulator.h"
 #include "support/rng.h"
 
+#include <array>
 #include <atomic>
 #include <exception>
 #include <optional>
@@ -40,11 +41,28 @@ struct Attempt {
   obs::MetricsRegistry Metrics;
   std::vector<obs::TraceEvent> Trace;
   uint64_t TraceDropped = 0;
+  env::PowerStats Power;    ///< Environment accounting (all-zero if off).
+  bool PowerFailed = false; ///< The supply never let the attempt finish.
+  std::array<uint64_t, env::NumPowerOpClasses> PowerMix{};
 };
 
+/// Folds one attempt's power accounting into the trial total: the event
+/// counters sum across attempts, Survived reflects the latest (recorded)
+/// attempt.
+void accumulatePower(env::PowerStats &Total, const env::PowerStats &A) {
+  Total.Losses += A.Losses;
+  Total.Checkpoints += A.Checkpoints;
+  Total.ReExecutedOps += A.ReExecutedOps;
+  Total.LiveOps += A.LiveOps;
+  Total.OffTicks += A.OffTicks;
+  Total.LiveUnits += A.LiveUnits;
+  Total.ChargedUnits += A.ChargedUnits;
+  Total.Survived = A.Survived;
+}
+
 Attempt runAttempt(const apps::Application &App, const FaultConfig &Config,
-                   uint64_t WorkloadSeed,
-                   const obs::TelemetryRequest &Obs) {
+                   uint64_t WorkloadSeed, const obs::TelemetryRequest &Obs,
+                   const env::PowerEnv *Power) {
   FaultConfig RunConfig = Config;
   // The same per-trial stream derivation as apps::runApproximate; retry
   // attempts pre-mix the attempt number into Config.Seed.
@@ -54,6 +72,20 @@ Attempt runAttempt(const apps::Application &App, const FaultConfig &Config,
   if (Obs.enabled()) {
     Tel.emplace(Obs);
     Sim.attachTelemetry(&*Tel);
+  }
+  std::optional<env::PowerMeter> Meter;
+  if (Power) {
+    Meter.emplace(*Power, RunConfig);
+    if (Tel && Obs.Trace)
+      Meter->Events = [&Tel](env::PowerEventKind Kind, uint64_t At) {
+        obs::TraceEventKind Mapped =
+            Kind == env::PowerEventKind::Loss ? obs::TraceEventKind::PowerLoss
+            : Kind == env::PowerEventKind::Checkpoint
+                ? obs::TraceEventKind::Checkpoint
+                : obs::TraceEventKind::Restore;
+        Tel->Trace.push({At, At, Mapped, obs::OpKind::PreciseInt, 0});
+      };
+    Sim.attachPowerMeter(&*Meter);
   }
   Attempt A;
   {
@@ -77,6 +109,11 @@ Attempt runAttempt(const apps::Application &App, const FaultConfig &Config,
       A.TraceDropped = Tel->Trace.dropped();
     }
     A.Metrics = std::move(Tel->Metrics);
+  }
+  if (Meter) {
+    A.Power = Meter->stats();
+    A.PowerFailed = Meter->failed();
+    A.PowerMix = Meter->opMix();
   }
   return A;
 }
@@ -136,8 +173,12 @@ void collectAttemptTrace(TrialResult &Result, const Attempt &A,
 /// precise reference, so no second execution is needed. The stats are
 /// priced through the same energy model as the interpreter path.
 TrialResult runCompiled(const Trial &T) {
+  std::optional<env::PowerMeter> Meter;
+  if (T.Power)
+    Meter.emplace(*T.Power, T.Config);
   exec::CompiledTrialResult R = exec::runCompiledTrial(
-      *T.Kernel, T.Config, T.WorkloadSeed, T.Obs.Metrics);
+      *T.Kernel, T.Config, T.WorkloadSeed, T.Obs.Metrics,
+      BlockMode::Batched, Meter ? &*Meter : nullptr);
   TrialResult Result;
   Result.FinalLevel = T.Config.Level;
   Result.QosError = R.QosError;
@@ -149,8 +190,147 @@ TrialResult runCompiled(const Trial &T) {
     Result.Outcome = resilience::TrialOutcome::Aborted;
     Result.Error = R.Error;
   }
+  if (Meter) {
+    Result.Power = Meter->stats();
+    Result.EffectiveEnergyFactor =
+        Result.Energy.TotalFactor * Result.Power.overheadRatio();
+    if (Meter->failed()) {
+      Result.Outcome = resilience::TrialOutcome::PowerFailed;
+      Result.QosError = 1.0;
+    }
+  }
   if (T.Obs.Metrics)
     Result.Metrics = std::move(R.Metrics);
+  return Result;
+}
+
+/// The program for one ladder rung on the compiled path: the trial's own
+/// kernel when the rung matches, otherwise a cache lookup (nullptr ends
+/// the ladder when no cache was provided).
+const exec::CompiledKernel *kernelForLevel(const Trial &T, ApproxLevel Level) {
+  if (T.Kernel && T.Kernel->Level == Level)
+    return T.Kernel;
+  if (!T.Kernels || !T.Kernel)
+    return nullptr;
+  return &T.Kernels->get(T.Kernel->AppName, Level);
+}
+
+/// Advances \p Config one ladder rung after a failed retry round, or
+/// returns false to end the recovery process. Always-on policies walk the
+/// classic degradation ladder (toward None: better QoS at more energy).
+/// With a power environment armed the ladder inverts into the survival
+/// direction: only a power-failed round escalates — toward Aggressive,
+/// where cheaper approximate ops fit the supply — and rungs the forecast
+/// prices as still unsustainable for the failed attempt's op mix are
+/// skipped. The last rung is always attempted: the forecast is a
+/// heuristic, the meter is the truth.
+bool advanceLadder(const Trial &T, const resilience::ResiliencePolicy &Policy,
+                   resilience::TrialOutcome LastOutcome,
+                   const std::array<uint64_t, env::NumPowerOpClasses> &Mix,
+                   FaultConfig &Config, int &LadderSteps, TrialResult &Result,
+                   int Attempts) {
+  if (!Policy.Degrade)
+    return false;
+  ApproxLevel NextLevel;
+  if (T.Power) {
+    if (LastOutcome != resilience::TrialOutcome::PowerFailed ||
+        Config.Level == ApproxLevel::Aggressive)
+      return false;
+    FaultConfig Next = resilience::escalateConfig(Config);
+    while (Next.Level != ApproxLevel::Aggressive &&
+           !env::PowerMeter::forecastSustainable(*T.Power, Next, Mix))
+      Next = resilience::escalateConfig(Next);
+    NextLevel = Next.Level;
+    Config = Next;
+  } else {
+    if (Config.Level == ApproxLevel::None)
+      return false;
+    Config = resilience::degradeConfig(Config);
+    NextLevel = Config.Level;
+  }
+  if (T.Obs.Trace)
+    Result.Trace.push_back({Attempts,
+                            {0, static_cast<uint64_t>(NextLevel),
+                             obs::TraceEventKind::Degrade,
+                             obs::OpKind::PreciseInt, 0}});
+  ++LadderSteps;
+  return true;
+}
+
+/// The compiled path's recovery loop: the same retry-seed derivation and
+/// acceptance shape as the interpreter loop, with attempts dispatched
+/// onto cached (app, level) kernels — each ladder rung runs the binary
+/// compiled for that rung. QoS comes from the kernel's baked-in precise
+/// reference; acceptance is !trapped && !power-failed && QoS <= SLO (the
+/// reference-relative QoS already covers output sanity).
+TrialResult runCompiledResilient(const Trial &T,
+                                 const resilience::ResiliencePolicy &Policy) {
+  FaultConfig Config = T.Config;
+  TrialResult Result;
+  Result.FinalLevel = Config.Level;
+  int LadderSteps = 0;
+  int Attempts = 0;
+  double EnergySum = 0.0;
+  std::array<uint64_t, env::NumPowerOpClasses> LastMix{};
+  for (;;) {
+    const exec::CompiledKernel *Kernel = kernelForLevel(T, Config.Level);
+    if (!Kernel)
+      break; // No program for this rung: keep the last attempt's verdict.
+    for (int Retry = 0; Retry <= Policy.MaxRetries; ++Retry) {
+      FaultConfig AttemptConfig = Config;
+      // Identical retry-stream derivation to the interpreter loop:
+      // mixSeed(config seed, attempt), with runCompiledTrial folding in
+      // the workload seed. Attempt 0 keeps the unmixed seed — bitwise
+      // identical to the no-policy compiled path.
+      if (Retry > 0)
+        AttemptConfig.Seed =
+            mixSeed(Config.Seed, static_cast<uint64_t>(Retry));
+      std::optional<env::PowerMeter> Meter;
+      if (T.Power)
+        Meter.emplace(*T.Power, AttemptConfig);
+      exec::CompiledTrialResult R = exec::runCompiledTrial(
+          *Kernel, AttemptConfig, T.WorkloadSeed, T.Obs.Metrics,
+          BlockMode::Batched, Meter ? &*Meter : nullptr, Policy.OpBudget);
+      ++Attempts;
+      Result.Stats = R.Stats;
+      Result.Energy = computeEnergy(R.Stats, AttemptConfig);
+      Result.FinalLevel = AttemptConfig.Level;
+      Result.Error = R.Error;
+      Result.ClockCycles = R.Cycles;
+      double Overhead = 1.0;
+      bool PowerDead = false;
+      if (Meter) {
+        accumulatePower(Result.Power, Meter->stats());
+        Overhead = Meter->stats().overheadRatio();
+        LastMix = Meter->opMix();
+        PowerDead = Meter->failed();
+      }
+      EnergySum += Result.Energy.TotalFactor * Overhead;
+      Result.QosError = (R.Trapped || PowerDead) ? 1.0 : R.QosError;
+      if (T.Obs.Metrics)
+        Result.Metrics = std::move(R.Metrics);
+      bool Accepted =
+          !R.Trapped && !PowerDead && Result.QosError <= Policy.Slo;
+      if (Accepted) {
+        Result.Outcome = LadderSteps > 0
+                             ? resilience::TrialOutcome::Degraded
+                         : Attempts > 1 ? resilience::TrialOutcome::Retried
+                                        : resilience::TrialOutcome::Ok;
+        Result.Attempts = Attempts;
+        Result.EffectiveEnergyFactor = EnergySum;
+        return Result;
+      }
+      Result.Outcome = PowerDead    ? resilience::TrialOutcome::PowerFailed
+                       : R.Trapped  ? resilience::TrialOutcome::Aborted
+                                    : resilience::TrialOutcome::SloViolated;
+    }
+    if (!advanceLadder(T, Policy, Result.Outcome, LastMix, Config,
+                       LadderSteps, Result, Attempts))
+      break;
+  }
+  // Every permitted attempt failed; Result holds the last attempt.
+  Result.Attempts = Attempts > 0 ? Attempts : 1;
+  Result.EffectiveEnergyFactor = EnergySum;
   return Result;
 }
 
@@ -165,7 +345,7 @@ TrialResult TrialRunner::runOne(const Trial &T) {
   apps::AppOutput Reference = apps::runPrecise(*T.App, T.WorkloadSeed);
   TrialResult Result;
   Result.FinalLevel = T.Config.Level;
-  if (!T.Obs.enabled()) {
+  if (!T.Obs.enabled() && !T.Power) {
     apps::AppRun Run = apps::runApproximate(*T.App, T.Config, T.WorkloadSeed);
     Result.QosError = T.App->qosError(Reference, Run.Output);
     Result.Stats = Run.Stats;
@@ -174,33 +354,40 @@ TrialResult TrialRunner::runOne(const Trial &T) {
     return Result;
   }
 
-  // Instrumented path: the simulator executes the identical run
-  // (runAttempt derives the same seed), plus containment so a watchdog
-  // abort still yields the partial metrics up to the abort point.
-  Attempt A = runAttempt(*T.App, T.Config, T.WorkloadSeed, T.Obs);
+  // Instrumented and/or power-metered path: the simulator executes the
+  // identical run (runAttempt derives the same seed), plus containment so
+  // a watchdog abort still yields the partial metrics up to the abort
+  // point.
+  Attempt A = runAttempt(*T.App, T.Config, T.WorkloadSeed, T.Obs, T.Power);
   Result.Stats = A.Run.Stats;
   Result.Energy = computeEnergy(A.Run.Stats, T.Config);
-  Result.EffectiveEnergyFactor = Result.Energy.TotalFactor;
+  Result.EffectiveEnergyFactor =
+      Result.Energy.TotalFactor * A.Power.overheadRatio();
   Result.Error = A.Error;
   Result.ClockCycles = A.EndCycle;
-  if (A.Aborted) {
+  Result.Power = A.Power;
+  if (A.PowerFailed) {
+    Result.QosError = 1.0;
+    Result.Outcome = resilience::TrialOutcome::PowerFailed;
+  } else if (A.Aborted) {
     Result.QosError = 1.0;
     Result.Outcome = resilience::TrialOutcome::Aborted;
   } else {
     Result.QosError = T.App->qosError(Reference, A.Run.Output);
   }
   if (T.Obs.Trace)
-    collectAttemptTrace(Result, A, 0, T.Config.Level, !A.Aborted);
+    collectAttemptTrace(Result, A, 0, T.Config.Level,
+                        !A.Aborted && !A.PowerFailed);
   Result.Metrics = std::move(A.Metrics);
   return Result;
 }
 
 TrialResult TrialRunner::runOne(const Trial &T,
                                 const resilience::ResiliencePolicy &Policy) {
-  // The compiled path has no recovery loop; callers arming a policy must
-  // stay on the interpreter (the CLI rejects the combination).
-  if (T.Kernel || !Policy.Enabled)
+  if (!Policy.Enabled)
     return runOne(T);
+  if (T.Kernel)
+    return runCompiledResilient(T, Policy);
 
   apps::AppOutput Reference = apps::runPrecise(*T.App, T.WorkloadSeed);
   FaultConfig Config = T.Config;
@@ -210,6 +397,7 @@ TrialResult TrialRunner::runOne(const Trial &T,
   int LadderSteps = 0;
   int Attempts = 0;
   double EnergySum = 0.0;
+  std::array<uint64_t, env::NumPowerOpClasses> LastMix{};
   for (;;) {
     for (int Retry = 0; Retry <= Policy.MaxRetries; ++Retry) {
       FaultConfig AttemptConfig = Config;
@@ -226,22 +414,26 @@ TrialResult TrialRunner::runOne(const Trial &T,
                                 {0, static_cast<uint64_t>(Retry),
                                  obs::TraceEventKind::Retry,
                                  obs::OpKind::PreciseInt, 0}});
-      Attempt A = runAttempt(*T.App, AttemptConfig, T.WorkloadSeed, T.Obs);
+      Attempt A =
+          runAttempt(*T.App, AttemptConfig, T.WorkloadSeed, T.Obs, T.Power);
       ++Attempts;
       Result.Stats = A.Run.Stats;
       Result.Energy = computeEnergy(A.Run.Stats, AttemptConfig);
       Result.FinalLevel = AttemptConfig.Level;
       Result.Error = A.Error;
       Result.ClockCycles = A.EndCycle;
-      EnergySum += Result.Energy.TotalFactor;
+      EnergySum += Result.Energy.TotalFactor * A.Power.overheadRatio();
+      accumulatePower(Result.Power, A.Power);
+      LastMix = A.PowerMix;
 
       bool Sane = !A.Aborted && resilience::outputSane(
                                     A.Run.Output.Numeric,
                                     Policy.OutputAbsBound);
-      Result.QosError = (A.Aborted || !Sane)
+      Result.QosError = (A.Aborted || A.PowerFailed || !Sane)
                             ? 1.0
                             : T.App->qosError(Reference, A.Run.Output);
-      bool Accepted = !A.Aborted && Sane && Result.QosError <= Policy.Slo;
+      bool Accepted = !A.Aborted && !A.PowerFailed && Sane &&
+                      Result.QosError <= Policy.Slo;
       if (T.Obs.Trace)
         collectAttemptTrace(Result, A, Attempts - 1, AttemptConfig.Level,
                             Accepted);
@@ -265,19 +457,13 @@ TrialResult TrialRunner::runOne(const Trial &T,
         Result.EffectiveEnergyFactor = EnergySum;
         return Result;
       }
-      Result.Outcome = A.Aborted ? resilience::TrialOutcome::Aborted
-                                 : resilience::TrialOutcome::SloViolated;
+      Result.Outcome = A.PowerFailed ? resilience::TrialOutcome::PowerFailed
+                       : A.Aborted   ? resilience::TrialOutcome::Aborted
+                                     : resilience::TrialOutcome::SloViolated;
     }
-    if (!Policy.Degrade || Config.Level == ApproxLevel::None)
+    if (!advanceLadder(T, Policy, Result.Outcome, LastMix, Config,
+                       LadderSteps, Result, Attempts))
       break;
-    if (T.Obs.Trace)
-      Result.Trace.push_back(
-          {Attempts,
-           {0,
-            static_cast<uint64_t>(resilience::degradeConfig(Config).Level),
-            obs::TraceEventKind::Degrade, obs::OpKind::PreciseInt, 0}});
-    Config = resilience::degradeConfig(Config);
-    ++LadderSteps;
   }
   // Every permitted attempt failed; Result holds the last attempt.
   Result.Attempts = Attempts;

@@ -43,6 +43,7 @@
 
 #include "apps/app.h"
 #include "energy/model.h"
+#include "env/power.h"
 #include "fault/config.h"
 #include "obs/telemetry.h"
 #include "resilience/policy.h"
@@ -55,6 +56,7 @@ namespace enerj {
 
 namespace exec {
 struct CompiledKernel;
+class ProgramCache;
 } // namespace exec
 
 namespace harness {
@@ -71,10 +73,18 @@ struct Trial {
   /// Non-null selects the compiled execution path: the trial runs this
   /// verified ISA kernel on the batched-fault FastMachine instead of
   /// interpreting the application. The kernel must belong to the
-  /// trial's (app, level) cell and outlive the run; resilience policies
-  /// do not apply on this path (runEval's caller enforces the
-  /// exclusion).
+  /// trial's (app, level) cell and outlive the run.
   const exec::CompiledKernel *Kernel = nullptr;
+  /// Non-null arms the intermittent-supply environment: every attempt is
+  /// metered against the trace, losses are charged (checkpoint/restore/
+  /// re-execution) into EffectiveEnergyFactor, and an attempt the supply
+  /// never lets complete becomes TrialOutcome::PowerFailed. Null keeps
+  /// the always-on behavior, byte for byte.
+  const env::PowerEnv *Power = nullptr;
+  /// Program store for the compiled recovery loop: a policy walking the
+  /// ladder on the compiled path fetches each rung's kernel from here.
+  /// Required when a policy with Degrade is armed on a compiled trial.
+  exec::ProgramCache *Kernels = nullptr;
 };
 
 /// Everything one trial measures. Stats/Energy/QosError describe the
@@ -119,6 +129,11 @@ struct TrialResult {
   std::vector<obs::TrialTraceEvent> Trace;
   /// Events shed by the per-attempt ring buffers, summed.
   uint64_t TraceDropped = 0;
+
+  /// Power-environment accounting summed over *all* attempts (losses,
+  /// checkpoints, re-executed ops, off ticks); Survived reflects the
+  /// recorded attempt. All-zero / true when no environment was armed.
+  env::PowerStats Power;
 };
 
 /// Runs trial lists over a fixed-size thread pool.

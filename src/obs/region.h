@@ -34,7 +34,13 @@ class RegionScope {
 public:
   explicit RegionScope(std::string_view Label) {
     Simulator *Sim = Simulator::current();
-    if (!Sim || !Sim->telemetry())
+    if (!Sim)
+      return;
+    // Pre-region checkpointing (env::CheckpointKind::PreRegion) hooks the
+    // same annotation sites, with or without telemetry attached.
+    if (env::PowerMeter *Power = Sim->powerMeter())
+      Power->onRegionEnter();
+    if (!Sim->telemetry())
       return;
     Tel = Sim->telemetry();
     uint32_t Region = Tel->Metrics.internRegion(Label);

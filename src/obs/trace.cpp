@@ -37,6 +37,12 @@ const char *traceEventKindName(TraceEventKind Kind) {
     return "degrade";
   case TraceEventKind::Abort:
     return "abort";
+  case TraceEventKind::PowerLoss:
+    return "powerLoss";
+  case TraceEventKind::Checkpoint:
+    return "checkpoint";
+  case TraceEventKind::Restore:
+    return "restore";
   }
   return "?";
 }
@@ -143,6 +149,9 @@ std::string renderChromeTrace(const std::vector<TrialTraceEvent> &Events,
     case TraceEventKind::Retry:
     case TraceEventKind::Degrade:
     case TraceEventKind::Abort:
+    case TraceEventKind::PowerLoss:
+    case TraceEventKind::Checkpoint:
+    case TraceEventKind::Restore:
       sep();
       beginEvent(Out, traceEventKindName(E.Kind), 'i', E.At, TE.Attempt);
       Out += ",\"s\":\"t\",\"args\":{\"value\":";

@@ -38,8 +38,11 @@ enum class TraceEventKind : uint8_t {
   AttemptBegin, ///< Harness started an attempt (Arg = fault level).
   AttemptEnd,   ///< Attempt finished (Arg = 1 accepted, 0 rejected).
   Retry,        ///< Policy scheduled a retry (Arg = retry number).
-  Degrade,      ///< Policy stepped the ladder down (Arg = new level).
+  Degrade,      ///< Policy stepped the ladder (Arg = new level).
   Abort,        ///< Watchdog/abort ended the attempt (Arg = clock).
+  PowerLoss,    ///< Supply buffer exhausted (Arg = committed ops).
+  Checkpoint,   ///< Power checkpoint committed (Arg = committed ops).
+  Restore,      ///< Rebooted and replayed after a loss (Arg = ops).
 };
 
 const char *traceEventKindName(TraceEventKind Kind);

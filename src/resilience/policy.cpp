@@ -19,6 +19,8 @@ const char *enerj::resilience::trialOutcomeName(TrialOutcome Outcome) {
     return "retried";
   case TrialOutcome::Degraded:
     return "degraded";
+  case TrialOutcome::PowerFailed:
+    return "powerFailed";
   }
   return "unknown";
 }
@@ -40,6 +42,9 @@ void OutcomeCounts::add(TrialOutcome Outcome) {
   case TrialOutcome::Degraded:
     ++Degraded;
     return;
+  case TrialOutcome::PowerFailed:
+    ++PowerFailed;
+    return;
   }
 }
 
@@ -60,6 +65,25 @@ FaultConfig enerj::resilience::degradeConfig(const FaultConfig &Config) {
   FaultConfig Degraded = Config;
   Degraded.Level = degradeLevel(Config.Level);
   return Degraded;
+}
+
+ApproxLevel enerj::resilience::escalateLevel(ApproxLevel Level) {
+  switch (Level) {
+  case ApproxLevel::None:
+    return ApproxLevel::Mild;
+  case ApproxLevel::Mild:
+    return ApproxLevel::Medium;
+  case ApproxLevel::Medium:
+  case ApproxLevel::Aggressive:
+    return ApproxLevel::Aggressive;
+  }
+  return ApproxLevel::Aggressive;
+}
+
+FaultConfig enerj::resilience::escalateConfig(const FaultConfig &Config) {
+  FaultConfig Escalated = Config;
+  Escalated.Level = escalateLevel(Config.Level);
+  return Escalated;
 }
 
 bool enerj::resilience::outputSane(std::span<const double> Numeric,

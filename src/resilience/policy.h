@@ -47,7 +47,8 @@ enum class TrialOutcome {
   SloViolated, ///< Every permitted attempt missed the SLO / sanity check.
   Aborted,     ///< Last attempt hit the op budget or threw; none recovered.
   Retried,     ///< Recovered by re-execution at the original level.
-  Degraded,    ///< Recovered by stepping down the degradation ladder.
+  Degraded,    ///< Recovered by stepping along the degradation ladder.
+  PowerFailed, ///< The power environment never let the trial complete.
 };
 
 /// Human-readable name ("ok", "sloViolated", ...) as used in the JSON.
@@ -60,10 +61,11 @@ struct OutcomeCounts {
   uint64_t Aborted = 0;
   uint64_t Retried = 0;
   uint64_t Degraded = 0;
+  uint64_t PowerFailed = 0;
 
   void add(TrialOutcome Outcome);
   uint64_t total() const {
-    return Ok + SloViolated + Aborted + Retried + Degraded;
+    return Ok + SloViolated + Aborted + Retried + Degraded + PowerFailed;
   }
   /// Trials that ended with an acceptable output (Ok/Retried/Degraded).
   uint64_t accepted() const { return Ok + Retried + Degraded; }
@@ -107,6 +109,19 @@ ApproxLevel degradeLevel(ApproxLevel Level);
 /// (error mode, strategy toggles, seed, overrides) is preserved. Note
 /// that absolute fine-grained overrides do not scale with the level.
 FaultConfig degradeConfig(const FaultConfig &Config);
+
+/// The ladder walked the other way — None -> Mild -> Medium ->
+/// Aggressive; Aggressive stays Aggressive. Under an intermittent power
+/// supply the failure being recovered from is *energy*, not QoS, so the
+/// policy trades output quality for per-op cost (the Vassiliadis et al.
+/// significance-degradation model at the environment level): each rung
+/// up makes every approximate op cheaper and the trial more likely to
+/// finish before the supply gives out.
+ApproxLevel escalateLevel(ApproxLevel Level);
+
+/// \p Config with its level stepped up one rung; every other knob is
+/// preserved (the counterpart of degradeConfig for power recovery).
+FaultConfig escalateConfig(const FaultConfig &Config);
 
 /// The output sanity check: true iff every entry of \p Numeric is finite
 /// and, when \p AbsBound > 0, has |entry| <= AbsBound. An empty span is

@@ -23,6 +23,7 @@
 
 #include "arch/memory.h"
 #include "arch/stats.h"
+#include "env/power.h"
 #include "fault/config.h"
 #include "fault/models.h"
 #include "obs/telemetry.h"
@@ -76,6 +77,15 @@ public:
   }
   obs::Telemetry *telemetry() const { return Tel; }
 
+  /// --- Power environment (src/env). Null by default; the harness
+  /// --- attaches one per attempt when a power trace is armed. The meter
+  /// --- only *accounts* — it draws no randomness and never changes what
+  /// --- the simulated machine computes — so a power-armed run's measured
+  /// --- results are bitwise identical to the always-on path.
+
+  void attachPowerMeter(env::PowerMeter *M) { Power = M; }
+  env::PowerMeter *powerMeter() const { return Power; }
+
   /// The attribution tag for a storage lease taken now: the telemetry
   /// layer's current region, or 0 (the root region) with none attached.
   uint32_t storageTag() const {
@@ -96,6 +106,7 @@ public:
     ++Ops.PreciseInt;
     Ledger.tick();
     watchdog();
+    powerTick(env::PowerOpClass::PreciseInt);
     if (Tel)
       Tel->onOp(obs::OpKind::PreciseInt, 0, Ledger.now());
   }
@@ -106,6 +117,7 @@ public:
     ++Ops.PreciseFp;
     Ledger.tick();
     watchdog();
+    powerTick(env::PowerOpClass::PreciseFp);
     if (Tel)
       Tel->onOp(obs::OpKind::PreciseFp, 0, Ledger.now());
   }
@@ -127,6 +139,8 @@ public:
         ++Ops.PreciseInt;
       Ledger.tick();
       watchdog();
+      powerTick(IsFp ? env::PowerOpClass::PreciseFp
+                     : env::PowerOpClass::PreciseInt);
       Tel->onOp(IsFp ? obs::OpKind::PreciseFp : obs::OpKind::PreciseInt, 0,
                 Ledger.now());
       return Correct;
@@ -137,6 +151,8 @@ public:
       ++Ops.ApproxInt;
     Ledger.tick();
     watchdog();
+    powerTick(IsFp ? env::PowerOpClass::ApproxFp
+                   : env::PowerOpClass::ApproxInt);
     TimingModel &Unit = IsFp ? FpTiming : IntTiming;
     uint64_t CorrectBits = toBits(Correct);
     uint64_t ResultBits = Unit.onResult(CorrectBits, bitWidth<ResultT>(), R);
@@ -214,6 +230,7 @@ public:
     if (forcedPrecise()) {
       Ledger.tick();
       watchdog();
+      powerTick(env::PowerOpClass::Mem);
       Tel->onOp(obs::OpKind::DramLoad, 0, Ledger.now());
       return Stored;
     }
@@ -222,6 +239,7 @@ public:
         Dram.onAccess(StoredBits, bitWidth<T>(), Elapsed, R);
     Ledger.tick();
     watchdog();
+    powerTick(env::PowerOpClass::Mem);
     if (Tel) {
       Tel->Metrics.recordDramGap(Elapsed);
       Tel->onOp(obs::OpKind::DramLoad,
@@ -240,6 +258,7 @@ public:
     checkOwner();
     Ledger.tick();
     watchdog();
+    powerTick(env::PowerOpClass::Mem);
     if (Tel)
       Tel->onOp(obs::OpKind::DramStore, 0, Ledger.now());
   }
@@ -312,8 +331,16 @@ private:
   /// Out of line: disarms the watchdog and throws resilience::TrialAbort.
   [[noreturn]] void overBudget();
 
+  /// Power-environment metering: one pointer test when disarmed, pure
+  /// accounting when armed (never perturbs the run).
+  void powerTick(env::PowerOpClass C) {
+    if (Power)
+      Power->onOp(C);
+  }
+
   std::atomic<std::thread::id> Owner{};
 
+  env::PowerMeter *Power = nullptr;
   obs::Telemetry *Tel = nullptr;
   FaultConfig Config;
   Rng R;

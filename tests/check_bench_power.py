@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Gate the intermittent-supply bench against the committed baseline.
+
+bench/power_trace writes BENCH_power.json: the full eval grid run under
+a brownout and a harvesting supply, each with and without periodic
+checkpointing, reporting per-level survival and the retry-adjusted
+effective energy factor. The grid is deterministic, so the counters
+should reproduce exactly; the gate allows a small slack for platform
+drift in the data-dependent apps and enforces the physics that must
+hold regardless:
+
+  * per (trace, level): checkpointing never lowers survival and, when
+    the bare trace loses power at all, strictly reduces re-executed ops;
+  * effective energy >= plain energy everywhere (re-execution is
+    charged, never refunded);
+  * per (config, level): survival must not slide more than 5 points
+    below the committed baseline, and the effective energy mean must
+    stay within 1.5x of it.
+
+Usage: check_bench_power.py <fresh.json> <baseline.json>
+Exits 0 on success, 1 with a diagnostic on regression.
+"""
+
+import json
+import sys
+
+LEVELS = ["mild", "medium", "aggressive"]
+CONFIGS = [("brownout", "none"), ("brownout", "periodic:2000"),
+           ("harvest", "none"), ("harvest", "periodic:2000")]
+
+
+def fail(message):
+    print(f"check_bench_power: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    if doc.get("tool") != "power_trace" or doc.get("version") != 1:
+        fail(f"{path}: not a power_trace v1 document")
+    configs = {}
+    for config in doc.get("configs", []):
+        key = (config.get("trace"), config.get("checkpoint"))
+        levels = {row["level"]: row for row in config.get("levels", [])}
+        if sorted(levels) != sorted(LEVELS):
+            fail(f"{path}: config {key} levels {sorted(levels)}")
+        configs[key] = levels
+    if sorted(configs) != sorted(CONFIGS):
+        fail(f"{path}: configs {sorted(configs)} != expected")
+    return configs
+
+
+def rate(row):
+    return row["survived"] / row["trials"] if row["trials"] else 0.0
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_bench_power.py <fresh.json> <baseline.json>")
+    fresh = load(sys.argv[1])
+    baseline = load(sys.argv[2])
+
+    for trace in ("brownout", "harvest"):
+        for level in LEVELS:
+            bare = fresh[(trace, "none")][level]
+            ckpt = fresh[(trace, "periodic:2000")][level]
+            where = f"{trace}/{level}"
+            if ckpt["survived"] < bare["survived"]:
+                fail(f"{where}: checkpointing lowered survival "
+                     f"({ckpt['survived']} < {bare['survived']})")
+            if bare["losses"] > 0 and \
+                    ckpt["reExecutedOps"] >= bare["reExecutedOps"]:
+                fail(f"{where}: checkpointing did not reduce re-executed "
+                     f"ops ({ckpt['reExecutedOps']} >= "
+                     f"{bare['reExecutedOps']})")
+
+    for key, levels in fresh.items():
+        for level, row in levels.items():
+            where = f"{key[0]}/{key[1]}/{level}"
+            if row["effectiveEnergyMean"] < row["energyMean"] - 1e-9:
+                fail(f"{where}: effective energy below plain energy")
+            base = baseline[key][level]
+            if rate(row) < rate(base) - 0.05:
+                fail(f"{where}: survival {rate(row):.3f} slid below "
+                     f"baseline {rate(base):.3f} - 0.05")
+            if base["effectiveEnergyMean"] > 0 and \
+                    row["effectiveEnergyMean"] > \
+                    1.5 * base["effectiveEnergyMean"]:
+                fail(f"{where}: effective energy "
+                     f"{row['effectiveEnergyMean']:.4f} exceeds 1.5x "
+                     f"baseline {base['effectiveEnergyMean']:.4f}")
+
+    survived = sum(r["survived"] for levels in fresh.values()
+                   for r in levels.values())
+    trials = sum(r["trials"] for levels in fresh.values()
+                 for r in levels.values())
+    print(f"check_bench_power: OK ({survived}/{trials} trials survived "
+          f"across {len(fresh)} supply configs)")
+
+
+if __name__ == "__main__":
+    main()

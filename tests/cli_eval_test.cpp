@@ -135,15 +135,17 @@ TEST(CliEval, RejectsUnknownExecMode) {
   EXPECT_EQ(runTool("eval --seeds 1 --exec-mode"), 2); // Missing value.
 }
 
-TEST(CliEval, RejectsCompiledModeWithPolicy) {
-  // The compiled path has no retry/degradation hooks; arming a policy
-  // alongside it must be a usage error, not a silent fallback.
+TEST(CliEval, AcceptsCompiledModeWithPolicy) {
+  // PR 8 lifted the historical usage error: the compiled path now runs
+  // the full retry/degradation recovery loop over cached kernels, so a
+  // policy-armed compiled eval is an ordinary grid.
   std::string Output;
   EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "
-                    "--exec-mode compiled --slo 0.1",
+                    "--exec-mode compiled --slo 0.1 --json",
                     Output),
-            2);
-  EXPECT_NE(Output.find("exec-mode"), std::string::npos);
+            0);
+  EXPECT_NE(Output.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(Output.find("\"execMode\":\"compiled\""), std::string::npos);
 }
 
 TEST(CliEval, ExecModeFlagBumpsToSchemaV4) {
@@ -200,6 +202,96 @@ TEST(CliEval, CompiledCellsAreIndependentOfGridShape) {
       EXPECT_NE(Grid.find(CellBody, AppAt), std::string::npos);
     }
   }
+}
+
+TEST(CliEval, RejectsMalformedPowerFlags) {
+  std::string Output;
+  EXPECT_EQ(runTool("eval --seeds 1 --power-trace nosuchpreset", Output), 2);
+  EXPECT_NE(Output.find("unknown power trace preset 'nosuchpreset'"),
+            std::string::npos);
+  EXPECT_EQ(runTool("eval --seeds 1 --power-trace steady:abc"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --power-trace brownout:48", Output), 2);
+  EXPECT_NE(Output.find("brownout takes zero or two knobs"),
+            std::string::npos);
+  EXPECT_EQ(runTool("eval --seeds 1 --power-trace"), 2); // Missing value.
+
+  EXPECT_EQ(runTool("eval --seeds 1 --power-trace steady "
+                    "--checkpoint periodic:0",
+                    Output),
+            2);
+  EXPECT_NE(Output.find("malformed checkpoint interval '0'"),
+            std::string::npos);
+  EXPECT_EQ(runTool("eval --seeds 1 --power-trace steady "
+                    "--checkpoint sometimes"),
+            2);
+  EXPECT_EQ(runTool("eval --seeds 1 --power-trace steady --checkpoint"), 2);
+}
+
+TEST(CliEval, RejectsMalformedTraceFile) {
+  // A path that exists but does not parse is a file error with the line
+  // number, never a silent preset fallback.
+  std::string Path = ::testing::TempDir() + "cli_eval_bad.trace";
+  {
+    FILE *Out = fopen(Path.c_str(), "w");
+    ASSERT_NE(Out, nullptr);
+    fputs("bogus 48\n", Out);
+    fclose(Out);
+  }
+  std::string Output;
+  EXPECT_EQ(runTool("eval --seeds 1 --power-trace " + Path, Output), 2);
+  EXPECT_NE(Output.find(":1: malformed tick count 'bogus'"),
+            std::string::npos);
+  remove(Path.c_str());
+}
+
+TEST(CliEval, RejectsCheckpointWithoutPowerTrace) {
+  // A checkpoint policy is part of a power environment; alone it would
+  // silently do nothing.
+  std::string Output;
+  EXPECT_EQ(runTool("eval --seeds 1 --checkpoint periodic:1000", Output), 2);
+  EXPECT_NE(Output.find("--checkpoint requires --power-trace"),
+            std::string::npos);
+}
+
+TEST(CliEval, PowerTraceFlagBumpsToSchemaV5) {
+  // --power-trace opts into the version-5 document: the "power" echo
+  // after "seeds", the "powerFailed" outcome, and the per-cell power
+  // block. The flagless grid stays v2 with no power key anywhere.
+  std::string Output;
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "
+                    "--power-trace steady --json",
+                    Output),
+            0);
+  EXPECT_NE(Output.find("\"version\":5"), std::string::npos);
+  EXPECT_NE(Output.find("\"power\":{\"trace\":\"steady\","
+                        "\"checkpoint\":\"none\"}"),
+            std::string::npos);
+  EXPECT_NE(Output.find("\"powerFailed\":0"), std::string::npos);
+  EXPECT_NE(Output.find("\"losses\":"), std::string::npos);
+  EXPECT_NE(Output.find("\"survivalRate\":"), std::string::npos);
+
+  std::string Plain;
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 --json",
+                    Plain),
+            0);
+  EXPECT_EQ(Plain.find("\"power\""), std::string::npos);
+  EXPECT_EQ(Plain.find("\"powerFailed\""), std::string::npos);
+}
+
+TEST(CliEval, PowerTraceAcceptsTheCommittedCorpus) {
+  // The committed trace files are first-class: passing a path loads the
+  // file and echoes it as the trace name.
+  std::string Path = std::string(ENERJ_POWER_DIR) + "/brownout.trace";
+  std::string Output;
+  EXPECT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 1 "
+                    "--power-trace " +
+                        Path + " --checkpoint periodic:2000 --json",
+                    Output),
+            0);
+  EXPECT_NE(Output.find("\"version\":5"), std::string::npos);
+  EXPECT_NE(Output.find(Path), std::string::npos);
+  EXPECT_NE(Output.find("\"checkpoint\":\"periodic:2000\""),
+            std::string::npos);
 }
 
 TEST(CliEval, PolicyFlagsReachTheReport) {

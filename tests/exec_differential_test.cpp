@@ -275,6 +275,130 @@ TEST(ExecDifferential, CompiledGridMatchesInterpreterAtLevelNone) {
   }
 }
 
+TEST(ExecDifferential, PolicyArmedCompiledMatchesInterpreterAtLevelNone) {
+  // PR 8 lifted the compiled+policy restriction; the recovery loop on
+  // the compiled path must agree with the interpreter loop wherever
+  // agreement is exact. At level None both paths are precise: attempt 0
+  // is accepted everywhere, so the shared cell fields — QoS, energy
+  // factors, effective energy (exactly one attempt charged), outcomes,
+  // and retries — agree bit for bit across the nine-app grid.
+  EvalOptions Interp;
+  Interp.Levels = {ApproxLevel::None};
+  Interp.Seeds = 2;
+  Interp.Policy.Enabled = true;
+  Interp.Policy.Slo = 0.1;
+  Interp.Policy.MaxRetries = 2;
+  EvalResult InterpGrid = runEval(Interp);
+
+  EvalOptions Compiled = Interp;
+  Compiled.Exec = ExecMode::Compiled;
+  Compiled.KernelDir = KernelDir;
+  EvalResult CompiledGrid = runEval(Compiled);
+
+  ASSERT_EQ(InterpGrid.Cells.size(), CompiledGrid.Cells.size());
+  for (size_t I = 0; I < InterpGrid.Cells.size(); ++I) {
+    const EvalCell &A = InterpGrid.Cells[I];
+    const EvalCell &B = CompiledGrid.Cells[I];
+    SCOPED_TRACE(A.App->name());
+    EXPECT_EQ(bitsOf(A.Qos.Mean), bitsOf(B.Qos.Mean));
+    EXPECT_EQ(bitsOf(A.EnergyFactor.Mean), bitsOf(B.EnergyFactor.Mean));
+    EXPECT_EQ(bitsOf(A.EffectiveEnergy.Mean),
+              bitsOf(B.EffectiveEnergy.Mean));
+    EXPECT_EQ(A.Outcomes.Ok, B.Outcomes.Ok);
+    EXPECT_EQ(A.Outcomes.Ok, 2u); // Precise: everything accepted as-is.
+    EXPECT_EQ(A.Outcomes.SloViolated, B.Outcomes.SloViolated);
+    EXPECT_EQ(A.Outcomes.Retried, B.Outcomes.Retried);
+    EXPECT_EQ(A.Outcomes.Degraded, B.Outcomes.Degraded);
+    EXPECT_EQ(A.Retries, B.Retries);
+    EXPECT_EQ(A.Retries, 0u);
+  }
+}
+
+TEST(ExecDifferential, AcceptAllPolicyLeavesTheCompiledMeasurementAlone) {
+  // Attempt 0 of the compiled recovery loop runs with the unmixed trial
+  // seed by construction, so a policy loose enough to accept every
+  // attempt (SLO = 1 bounds QosError from above) must leave every
+  // measured figure bitwise at the no-policy value, with exactly one
+  // attempt charged.
+  EvalOptions Plain;
+  Plain.Levels = {ApproxLevel::Medium, ApproxLevel::Aggressive};
+  Plain.Seeds = 2;
+  Plain.Exec = ExecMode::Compiled;
+  Plain.KernelDir = KernelDir;
+  EvalResult PlainGrid = runEval(Plain);
+
+  EvalOptions Loose = Plain;
+  Loose.Policy.Enabled = true;
+  Loose.Policy.Slo = 1.0;
+  Loose.Policy.MaxRetries = 2;
+  EvalResult LooseGrid = runEval(Loose);
+
+  ASSERT_EQ(PlainGrid.Cells.size(), LooseGrid.Cells.size());
+  for (size_t I = 0; I < PlainGrid.Cells.size(); ++I) {
+    const EvalCell &A = PlainGrid.Cells[I];
+    const EvalCell &B = LooseGrid.Cells[I];
+    SCOPED_TRACE(std::string(A.App->name()) + "/" +
+                 approxLevelName(A.Level));
+    EXPECT_EQ(bitsOf(A.Qos.Mean), bitsOf(B.Qos.Mean));
+    EXPECT_EQ(bitsOf(A.Qos.Stddev), bitsOf(B.Qos.Stddev));
+    EXPECT_EQ(bitsOf(A.EnergyFactor.Mean), bitsOf(B.EnergyFactor.Mean));
+    EXPECT_EQ(bitsOf(A.EffectiveEnergy.Mean),
+              bitsOf(B.EffectiveEnergy.Mean));
+    EXPECT_EQ(B.Retries, 0u);
+  }
+}
+
+TEST(ExecDifferential, RecoveryLoopEnforcesTheSameContractOnBothPaths) {
+  // Under approximation the two paths execute different artifacts (the
+  // ISA kernel vs the C++ application), so their accepted-QoS values
+  // are not directly comparable distributions. What must agree is the
+  // recovery *contract*, checked per cell on both paths at Medium:
+  //
+  //  * with degradation on, the ladder bottoms out at level None (which
+  //    is exact), so every trial is eventually accepted and the
+  //    recorded mean sits at or under the SLO;
+  //  * recovery never worsens a trial — a rejected attempt is only ever
+  //    replaced by one at or under the SLO, so the policy-armed mean is
+  //    sample-wise bounded by the no-policy mean of the same path.
+  auto Grid = [](ExecMode Exec, bool Policy) {
+    EvalOptions Options;
+    Options.Levels = {ApproxLevel::Medium};
+    Options.Seeds = 20;
+    Options.Exec = Exec;
+    if (Exec == ExecMode::Compiled)
+      Options.KernelDir = KernelDir;
+    if (Policy) {
+      Options.Policy.Enabled = true;
+      Options.Policy.Slo = 0.1;
+      Options.Policy.MaxRetries = 1;
+    }
+    return runEval(Options);
+  };
+
+  for (ExecMode Exec : {ExecMode::Interp, ExecMode::Compiled}) {
+    EvalResult Plain = Grid(Exec, false);
+    EvalResult Recovered = Grid(Exec, true);
+    ASSERT_EQ(Plain.Cells.size(), Recovered.Cells.size());
+    for (size_t I = 0; I < Plain.Cells.size(); ++I) {
+      const EvalCell &A = Plain.Cells[I];
+      const EvalCell &B = Recovered.Cells[I];
+      SCOPED_TRACE(std::string(Exec == ExecMode::Interp ? "interp/"
+                                                        : "compiled/") +
+                   A.App->name());
+      EXPECT_EQ(B.Outcomes.Aborted, 0u);
+      EXPECT_EQ(B.Outcomes.SloViolated, 0u);
+      EXPECT_LE(B.Qos.Mean, 0.1 + 1e-12);
+      EXPECT_LE(B.Qos.Mean, A.Qos.Mean + 1e-12)
+          << "plain mean " << A.Qos.Mean << ", recovered mean "
+          << B.Qos.Mean;
+      // A cell whose plain mean already beat the SLO should mostly be
+      // accepted as-is; one that did not must show interventions.
+      if (A.Qos.Min > 0.1)
+        EXPECT_GT(B.Outcomes.Retried + B.Outcomes.Degraded, 0u);
+    }
+  }
+}
+
 TEST(ExecDifferential, CompiledGridJsonIdenticalAcrossThreadCounts) {
   // Determinism contract, full grid at all three levels: the compiled
   // path's rendered JSON is byte-identical at 1, 4, and hardware

@@ -125,6 +125,68 @@ TEST(UpsetStream, HotPathSkipsRngEntirely) {
   EXPECT_LT(S.drawsConsumed(), 100u);
 }
 
+TEST(UpsetStream, WideMasksMatchScalarDrawOrderBitwise) {
+  // nextMasks(Words) — the SIMD-wide cache-line refill the FastMachine
+  // uses — must yield exactly the masks that Words consecutive
+  // nextMask(64) calls would, for every probability regime, both modes,
+  // and every refill granularity.
+  for (double P : {1e-6, 1e-4, 0.01, 0.2, 0.5, 0.9}) {
+    for (BlockMode Mode : {BlockMode::Batched, BlockMode::Scalar}) {
+      for (uint32_t BlockSize : {1u, 7u, 64u, 256u, 4096u}) {
+        SCOPED_TRACE("p=" + std::to_string(P) + " mode=" +
+                     (Mode == BlockMode::Batched ? "batched" : "scalar") +
+                     " block=" + std::to_string(BlockSize));
+        UpsetStream Scalar(P, 0x51DE, Mode, BlockSize);
+        UpsetStream Wide(P, 0x51DE, Mode, BlockSize);
+        uint64_t Line[8];
+        for (int Refill = 0; Refill < 500; ++Refill) {
+          Wide.nextMasks(8, Line);
+          for (unsigned W = 0; W < 8; ++W)
+            ASSERT_EQ(Scalar.nextMask(64), Line[W])
+                << "refill " << Refill << " word " << W;
+        }
+        EXPECT_EQ(Scalar.faultsSeen(), Wide.faultsSeen());
+        EXPECT_EQ(Scalar.bitsSeen(), Wide.bitsSeen());
+        EXPECT_EQ(Scalar.drawsConsumed(), Wide.drawsConsumed());
+      }
+    }
+  }
+}
+
+TEST(UpsetStream, WideMasksInterleaveWithScalarDraws) {
+  // A stream serving a mix of wide refills and plain nextMask calls (the
+  // FastMachine interleaves read-line refills with other draws) stays on
+  // the one canonical mask sequence.
+  for (double P : {1e-4, 0.2}) {
+    SCOPED_TRACE("p=" + std::to_string(P));
+    UpsetStream Reference(P, 0xCAFE, BlockMode::Scalar);
+    UpsetStream Mixed(P, 0xCAFE, BlockMode::Batched);
+    uint64_t Line[4];
+    for (int Round = 0; Round < 800; ++Round) {
+      Mixed.nextMasks(4, Line);
+      for (unsigned W = 0; W < 4; ++W)
+        ASSERT_EQ(Reference.nextMask(64), Line[W]) << "round " << Round;
+      ASSERT_EQ(Reference.nextMask(64), Mixed.nextMask(64));
+      ASSERT_EQ(Reference.nextMask(7), Mixed.nextMask(7));
+    }
+  }
+}
+
+TEST(UpsetStream, WideMasksAtZeroProbabilityNeverDraw) {
+  // The hot path of the hot path: a p == 0 wide refill is a zero-fill
+  // with no RNG traffic at all.
+  UpsetStream S(0.0, 0xFEED, BlockMode::Batched);
+  uint64_t Line[8];
+  for (int Refill = 0; Refill < 1000; ++Refill) {
+    S.nextMasks(8, Line);
+    for (unsigned W = 0; W < 8; ++W)
+      ASSERT_EQ(Line[W], 0u);
+  }
+  EXPECT_EQ(S.drawsConsumed(), 0u);
+  EXPECT_EQ(S.faultsSeen(), 0u);
+  EXPECT_EQ(S.bitsSeen(), 8u * 64u * 1000u);
+}
+
 TEST(EventStream, MatchesItsUnderlyingUpsetStream) {
   // An EventStream is an UpsetStream sampled one bit per operation; the
   // firing pattern must equal the width-1 mask sequence bit for bit,

@@ -271,6 +271,55 @@ TEST(TrialRunnerDeterminism, CompiledEvalJsonIdenticalAcrossThreadCounts) {
   EXPECT_EQ(Render(4), Render(4));
 }
 
+TEST(TrialRunnerDeterminism, PowerArmedEvalJsonIdenticalAcrossThreadCounts) {
+  // The intermittent-supply environment must not cost any determinism:
+  // a power-armed grid — losses, checkpoints, replays, survival counts,
+  // and the v5 JSON that carries them — is byte-identical at 1, 4, and
+  // hardware threads, on both execution paths, with the recovery ladder
+  // armed on top.
+  auto Render = [](unsigned Threads, ExecMode Exec, bool Policy) {
+    EvalOptions Options;
+    Options.Apps = {apps::findApplication("fft"),
+                    apps::findApplication("sor")};
+    Options.Levels = {ApproxLevel::Mild, ApproxLevel::Medium};
+    Options.Seeds = SeedsPerCell;
+    Options.Threads = Threads;
+    Options.Exec = Exec;
+    if (Exec == ExecMode::Compiled) {
+      Options.EchoExecMode = true;
+      Options.KernelDir = std::string(ENERJ_FEJ_DIR) + "/isa";
+    }
+    Options.PowerArmed = true;
+    Options.Power.Trace =
+        *env::PowerTraceSpec::preset("harvest", nullptr);
+    Options.Power.Checkpoint =
+        *env::CheckpointPolicy::parse("periodic:2000", nullptr);
+    if (Policy) {
+      Options.Policy.Enabled = true;
+      Options.Policy.Slo = 0.05;
+      Options.Policy.MaxRetries = 1;
+    }
+    return renderEvalJson(runEval(Options));
+  };
+
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  for (ExecMode Exec : {ExecMode::Interp, ExecMode::Compiled}) {
+    for (bool Policy : {false, true}) {
+      SCOPED_TRACE(std::string(Exec == ExecMode::Interp ? "interp"
+                                                        : "compiled") +
+                   (Policy ? "+policy" : ""));
+      std::string OneThread = Render(1, Exec, Policy);
+      EXPECT_NE(OneThread.find("\"version\":5"), std::string::npos);
+      EXPECT_NE(OneThread.find("\"power\":{\"trace\":\"harvest\""),
+                std::string::npos);
+      EXPECT_EQ(OneThread, Render(4, Exec, Policy));
+      EXPECT_EQ(OneThread, Render(Hardware, Exec, Policy));
+    }
+  }
+}
+
 TEST(TrialRunnerDeterminism, CellAggregationMatchesSerialMean) {
   // The per-cell mean is the left-to-right sum over seeds — identical
   // to "Sum += qosUnder(...); Sum / Runs".

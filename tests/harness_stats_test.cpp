@@ -158,6 +158,72 @@ TEST(EvalRender, JsonVersion4EchoesExecMode) {
             Interp.substr(Interp.find("\"policy\"")));
 }
 
+TEST(EvalRender, JsonVersion5AddsThePowerBlocks) {
+  // A power-armed grid is version 5: the top-level "power" echo (trace
+  // name, checkpoint spec) lands right after "seeds", every cell's
+  // outcome counts gain "powerFailed", and a per-cell "power" block
+  // (losses, checkpoints, re-executed ops, survival) follows storage.
+  // Everything else is byte-for-byte the version-2 layout.
+  EvalResult Result = fixtureResult();
+  Result.PowerArmed = true;
+  Result.Power.Trace.Name = "brownout";
+  Result.Power.Checkpoint.Spec = "periodic:2000";
+  Result.Cells[0].PowerLosses = 3;
+  Result.Cells[0].PowerCheckpoints = 7;
+  Result.Cells[0].PowerReExecutedOps = 450;
+  Result.Cells[0].PowerSurvived = 2;
+  std::string Expected =
+      "{\"tool\":\"enerj-eval\",\"version\":5,\"seeds\":2,"
+      "\"power\":{\"trace\":\"brownout\",\"checkpoint\":\"periodic:2000\"},"
+      "\"policy\":{\"enabled\":true,\"slo\":0.25,\"outputBound\":0,"
+      "\"maxRetries\":2,\"opBudget\":1000,\"degrade\":true},"
+      "\"levels\":[\"mild\"],\"apps\":[{\"name\":\"montecarlo\","
+      "\"cells\":[{\"level\":\"mild\","
+      "\"qos\":{\"count\":2,\"mean\":0.5,"
+      "\"stddev\":0.35355339059327379,\"min\":0.25,\"max\":0.75,"
+      "\"ci95\":0.48999999999999994},"
+      "\"energy\":{\"count\":2,\"mean\":0.5,\"stddev\":0,\"min\":0.5,"
+      "\"max\":0.5,\"ci95\":0},"
+      "\"effectiveEnergy\":{\"count\":2,\"mean\":0.5,\"stddev\":0,"
+      "\"min\":0.5,\"max\":0.5,\"ci95\":0},"
+      "\"outcomes\":{\"ok\":1,\"sloViolated\":0,\"aborted\":0,"
+      "\"retried\":1,\"degraded\":0,\"powerFailed\":0},\"retries\":1,"
+      "\"ops\":{\"preciseInt\":10,\"approxInt\":20,\"preciseFp\":30,"
+      "\"approxFp\":40,\"timingErrors\":5},"
+      "\"storage\":{\"sramPrecise\":1.5,\"sramApprox\":2.5,"
+      "\"dramPrecise\":3.5,\"dramApprox\":4.5},"
+      "\"power\":{\"losses\":3,\"checkpoints\":7,\"reExecutedOps\":450,"
+      "\"survived\":2,\"survivalRate\":1}}]}]}";
+  EXPECT_EQ(renderEvalJson(Result), Expected);
+
+  // Power composes with the exec-mode echo: still version 5, with
+  // "execMode" between "seeds" and "power".
+  Result.EchoExecMode = true;
+  Result.Exec = ExecMode::Compiled;
+  std::string Json = renderEvalJson(Result);
+  EXPECT_EQ(Json.rfind("{\"tool\":\"enerj-eval\",\"version\":5,\"seeds\":2,"
+                       "\"execMode\":\"compiled\",\"power\":{",
+                       0),
+            0u);
+}
+
+TEST(EvalRender, TextShowsThePowerColumns) {
+  EvalResult Result = fixtureResult();
+  Result.PowerArmed = true;
+  Result.Power.Trace.Name = "harvest";
+  Result.Power.Checkpoint.Spec = "preregion";
+  Result.Cells[0].PowerLosses = 5;
+  Result.Cells[0].PowerCheckpoints = 12;
+  Result.Cells[0].PowerSurvived = 2;
+  std::string Text = renderEvalText(Result);
+  EXPECT_NE(Text.find("Power environment: trace harvest, "
+                      "checkpoint preregion"),
+            std::string::npos);
+  EXPECT_NE(Text.find("survival"), std::string::npos);
+  EXPECT_NE(Text.find("losses"), std::string::npos);
+  EXPECT_NE(Text.find("2/2"), std::string::npos);
+}
+
 TEST(EvalRender, TextListsEveryCell) {
   std::string Text = renderEvalText(fixtureResult());
   EXPECT_NE(Text.find("1 app(s) x 1 level(s) x 2 seed(s)"),

@@ -1,0 +1,501 @@
+//===- tests/power_env_test.cpp - Power environment unit contract ---------===//
+//
+// The src/env layer's contract, pinned piece by piece:
+//
+//  * trace spec parsing — every preset shape ("steady", "steady:<rate>",
+//    "brownout[:<high>:<low>]", "harvest[:<seed>]") and the trace file
+//    format (comments, blank lines, tail persistence), with every
+//    malformed input rejected with the exact diagnostic the CLI
+//    surfaces;
+//  * the PowerTrace cursor — a pure function of its spec: two cursors
+//    over the same harvest spec replay the identical window sequence
+//    (the thread-count-determinism contract rests on this);
+//  * checkpoint policy parsing — none / periodic:<N> / preregion;
+//  * the PowerMeter — an adequate steady supply never loses power and
+//    charges exactly the live energy (overheadRatio == 1, which is why
+//    "steady + no checkpoints" is byte-identical to the no-trace path);
+//    a brownout supply loses power, replays honestly, and checkpointing
+//    strictly reduces the re-executed work; a dead supply exhausts the
+//    off-tick cap and fails the attempt; the forecast agrees with the
+//    arithmetic of (mean rate vs mean op cost).
+//
+//===----------------------------------------------------------------------===//
+
+#include "env/power.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+
+using namespace enerj;
+using namespace enerj::env;
+
+namespace {
+
+/// Writes \p Contents to a fresh temp file and returns its path.
+std::string writeTrace(const std::string &Contents) {
+  static int Counter = 0;
+  std::string Path = ::testing::TempDir() + "power_env_test_" +
+                     std::to_string(Counter++) + ".trace";
+  std::ofstream Out(Path);
+  Out << Contents;
+  return Path;
+}
+
+FaultConfig configFor(ApproxLevel Level) {
+  return FaultConfig::preset(Level);
+}
+
+/// Drives \p Ops operations of class \p C through a fresh meter.
+PowerStats drive(const PowerEnv &Env, const FaultConfig &Config,
+                 PowerOpClass C, uint64_t Ops) {
+  PowerMeter Meter(Env, Config);
+  for (uint64_t I = 0; I < Ops; ++I)
+    Meter.onOp(C);
+  return Meter.stats();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Preset parsing
+//===----------------------------------------------------------------------===//
+
+TEST(PowerTraceSpec, SteadyPresetDefaultsAndKnob) {
+  std::string Error;
+  auto Spec = PowerTraceSpec::preset("steady", &Error);
+  ASSERT_TRUE(Spec) << Error;
+  EXPECT_EQ(Spec->Kind, TraceKind::Steady);
+  EXPECT_EQ(Spec->Name, "steady");
+  EXPECT_EQ(Spec->Rate, 48.0);
+
+  auto Custom = PowerTraceSpec::preset("steady:12.5", &Error);
+  ASSERT_TRUE(Custom) << Error;
+  EXPECT_EQ(Custom->Rate, 12.5);
+  EXPECT_EQ(Custom->Name, "steady:12.5");
+}
+
+TEST(PowerTraceSpec, BrownoutPresetDefaultsAndKnobs) {
+  std::string Error;
+  auto Spec = PowerTraceSpec::preset("brownout", &Error);
+  ASSERT_TRUE(Spec) << Error;
+  EXPECT_EQ(Spec->Kind, TraceKind::Brownout);
+  EXPECT_EQ(Spec->HighRate, 48.0);
+  EXPECT_EQ(Spec->LowRate, 8.0);
+
+  auto Custom = PowerTraceSpec::preset("brownout:30:5", &Error);
+  ASSERT_TRUE(Custom) << Error;
+  EXPECT_EQ(Custom->HighRate, 30.0);
+  EXPECT_EQ(Custom->LowRate, 5.0);
+}
+
+TEST(PowerTraceSpec, HarvestPresetDefaultsAndSeedKnob) {
+  std::string Error;
+  auto Spec = PowerTraceSpec::preset("harvest", &Error);
+  ASSERT_TRUE(Spec) << Error;
+  EXPECT_EQ(Spec->Kind, TraceKind::Harvest);
+  EXPECT_EQ(Spec->Seed, 0x0EA7F00DULL);
+
+  auto Seeded = PowerTraceSpec::preset("harvest:99", &Error);
+  ASSERT_TRUE(Seeded) << Error;
+  EXPECT_EQ(Seeded->Seed, 99u);
+}
+
+TEST(PowerTraceSpec, RejectsMalformedPresets) {
+  std::string Error;
+  EXPECT_FALSE(PowerTraceSpec::preset("nosuchpreset", &Error));
+  EXPECT_NE(Error.find("unknown power trace preset 'nosuchpreset'"),
+            std::string::npos);
+  EXPECT_NE(Error.find("steady[:<rate>]"), std::string::npos);
+
+  EXPECT_FALSE(PowerTraceSpec::preset("steady:abc", &Error));
+  EXPECT_NE(Error.find("malformed steady rate 'abc'"), std::string::npos);
+  EXPECT_FALSE(PowerTraceSpec::preset("steady:-1", &Error));
+  EXPECT_FALSE(PowerTraceSpec::preset("steady:1:2", &Error));
+
+  EXPECT_FALSE(PowerTraceSpec::preset("brownout:48", &Error));
+  EXPECT_NE(Error.find("brownout takes zero or two knobs"),
+            std::string::npos);
+  EXPECT_FALSE(PowerTraceSpec::preset("brownout:x:8", &Error));
+  EXPECT_FALSE(PowerTraceSpec::preset("brownout:48:x", &Error));
+
+  EXPECT_FALSE(PowerTraceSpec::preset("harvest:notaseed", &Error));
+  EXPECT_NE(Error.find("malformed harvest seed 'notaseed'"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace file parsing
+//===----------------------------------------------------------------------===//
+
+TEST(PowerTraceSpec, LoadsFileWithCommentsAndTail) {
+  std::string Path = writeTrace("# a comment line\n"
+                                "\n"
+                                "1000 48.5   # trailing comment\n"
+                                "2000 6\n");
+  std::string Error;
+  auto Spec = PowerTraceSpec::fromFile(Path, &Error);
+  ASSERT_TRUE(Spec) << Error;
+  EXPECT_EQ(Spec->Kind, TraceKind::File);
+  ASSERT_EQ(Spec->Segments.size(), 2u);
+  EXPECT_EQ(Spec->Segments[0].Ticks, 1000u);
+  EXPECT_EQ(Spec->Segments[0].Rate, 48.5);
+  EXPECT_EQ(Spec->Segments[1].Ticks, 2000u);
+  EXPECT_EQ(Spec->Segments[1].Rate, 6.0);
+  // The last segment's rate persists forever past the file's end.
+  EXPECT_EQ(Spec->TailRate, 6.0);
+}
+
+TEST(PowerTraceSpec, RejectsBadFiles) {
+  std::string Error;
+  EXPECT_FALSE(
+      PowerTraceSpec::fromFile("/no/such/power_env_test.trace", &Error));
+  EXPECT_NE(Error.find("cannot open power trace file"), std::string::npos);
+
+  EXPECT_FALSE(
+      PowerTraceSpec::fromFile(writeTrace("# only comments\n"), &Error));
+  EXPECT_NE(Error.find("contains no segments"), std::string::npos);
+
+  EXPECT_FALSE(
+      PowerTraceSpec::fromFile(writeTrace("bogus 48\n"), &Error));
+  EXPECT_NE(Error.find(":1: malformed tick count 'bogus'"),
+            std::string::npos);
+
+  EXPECT_FALSE(PowerTraceSpec::fromFile(writeTrace("0 48\n"), &Error));
+  EXPECT_FALSE(PowerTraceSpec::fromFile(writeTrace("100 -3\n"), &Error));
+  EXPECT_NE(Error.find("malformed rate '-3'"), std::string::npos);
+
+  EXPECT_FALSE(
+      PowerTraceSpec::fromFile(writeTrace("100 48 extra\n"), &Error));
+  EXPECT_NE(Error.find("expected '<ticks> <rate>'"), std::string::npos);
+}
+
+TEST(PowerTraceSpec, CommittedCorpusFilesParse) {
+  // The three committed example traces must stay loadable: they are the
+  // documented entry point (`--power-trace examples/power/<f>.trace`)
+  // and the bench baseline inputs.
+  for (const char *Name : {"steady", "brownout", "harvest"}) {
+    std::string Path =
+        std::string(ENERJ_POWER_DIR) + "/" + Name + ".trace";
+    std::string Error;
+    auto Spec = PowerTraceSpec::fromFile(Path, &Error);
+    ASSERT_TRUE(Spec) << Path << ": " << Error;
+    EXPECT_FALSE(Spec->Segments.empty());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// PowerTrace cursor
+//===----------------------------------------------------------------------===//
+
+TEST(PowerTrace, SteadyMeanRateIsTheRate) {
+  auto Spec = PowerTraceSpec::preset("steady:10", nullptr);
+  ASSERT_TRUE(Spec);
+  EXPECT_DOUBLE_EQ(Spec->meanRate(100000), 10.0);
+}
+
+TEST(PowerTrace, BrownoutMeanRateIsTheDutyCycleAverage) {
+  PowerTraceSpec Spec;
+  Spec.Kind = TraceKind::Brownout;
+  Spec.HighRate = 40.0;
+  Spec.LowRate = 10.0;
+  Spec.HighTicks = 3000;
+  Spec.LowTicks = 1000;
+  // One full period: (3000*40 + 1000*10) / 4000 = 32.5.
+  EXPECT_DOUBLE_EQ(Spec.meanRate(4000), 32.5);
+}
+
+TEST(PowerTrace, CursorWalksSegmentsInOrder) {
+  std::string Path = writeTrace("10 5\n20 7\n");
+  auto Spec = PowerTraceSpec::fromFile(Path, nullptr);
+  ASSERT_TRUE(Spec);
+  PowerTrace Cursor(*Spec);
+  EXPECT_EQ(Cursor.rate(), 5.0);
+  EXPECT_EQ(Cursor.segmentRemaining(), 10u);
+  Cursor.advance(10);
+  EXPECT_EQ(Cursor.rate(), 7.0);
+  Cursor.advance(20);
+  // Past the last segment the tail rate persists.
+  EXPECT_EQ(Cursor.rate(), 7.0);
+  EXPECT_GT(Cursor.segmentRemaining(), 1000000000u);
+}
+
+TEST(PowerTrace, HarvestWindowsArePureFunctionsOfTheSpec) {
+  auto Spec = PowerTraceSpec::preset("harvest:7", nullptr);
+  ASSERT_TRUE(Spec);
+  PowerTrace A(*Spec), B(*Spec);
+  for (int Window = 0; Window < 50; ++Window) {
+    ASSERT_EQ(A.rate(), B.rate()) << "window " << Window;
+    ASSERT_EQ(A.segmentRemaining(), B.segmentRemaining());
+    EXPECT_GE(A.segmentRemaining(), Spec->MinWindow);
+    EXPECT_LE(A.segmentRemaining(), Spec->MaxWindow);
+    EXPECT_GE(A.rate(), 0.0);
+    EXPECT_LT(A.rate(), Spec->PeakRate);
+    uint64_t Len = A.segmentRemaining();
+    A.advance(Len);
+    B.advance(Len);
+  }
+  // A different seed yields a different window sequence.
+  auto Other = PowerTraceSpec::preset("harvest:8", nullptr);
+  ASSERT_TRUE(Other);
+  PowerTrace C(*Other);
+  EXPECT_TRUE(PowerTrace(*Spec).rate() != C.rate() ||
+              PowerTrace(*Spec).segmentRemaining() != C.segmentRemaining());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint policy parsing
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointPolicy, ParsesEveryKind) {
+  std::string Error;
+  auto None = CheckpointPolicy::parse("none", &Error);
+  ASSERT_TRUE(None) << Error;
+  EXPECT_EQ(None->Kind, CheckpointKind::None);
+
+  auto Periodic = CheckpointPolicy::parse("periodic:5000", &Error);
+  ASSERT_TRUE(Periodic) << Error;
+  EXPECT_EQ(Periodic->Kind, CheckpointKind::PeriodicOps);
+  EXPECT_EQ(Periodic->EveryOps, 5000u);
+  EXPECT_EQ(Periodic->Spec, "periodic:5000");
+
+  auto Region = CheckpointPolicy::parse("preregion", &Error);
+  ASSERT_TRUE(Region) << Error;
+  EXPECT_EQ(Region->Kind, CheckpointKind::PreRegion);
+}
+
+TEST(CheckpointPolicy, RejectsMalformedSpecs) {
+  std::string Error;
+  EXPECT_FALSE(CheckpointPolicy::parse("periodic:0", &Error));
+  EXPECT_NE(Error.find("malformed checkpoint interval '0'"),
+            std::string::npos);
+  EXPECT_FALSE(CheckpointPolicy::parse("periodic:abc", &Error));
+  EXPECT_FALSE(CheckpointPolicy::parse("periodic:", &Error));
+  EXPECT_FALSE(CheckpointPolicy::parse("sometimes", &Error));
+  EXPECT_NE(Error.find("unknown checkpoint policy 'sometimes'"),
+            std::string::npos);
+  EXPECT_NE(Error.find("periodic:<ops>"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// PowerMeter
+//===----------------------------------------------------------------------===//
+
+TEST(PowerMeter, OpCostsFollowTheEnergyModel) {
+  EnergyConstants Constants;
+  FaultConfig None = configFor(ApproxLevel::None);
+  EXPECT_EQ(PowerMeter::opCost(PowerOpClass::PreciseInt, None),
+            Constants.IntOpUnits);
+  EXPECT_EQ(PowerMeter::opCost(PowerOpClass::PreciseFp, None),
+            Constants.FpOpUnits);
+  EXPECT_EQ(PowerMeter::opCost(PowerOpClass::Mem, None),
+            Constants.FetchDecodeUnits);
+  // Approximate ops get cheaper as the level rises — the reason the
+  // power-aware ladder escalates *toward* approximation.
+  FaultConfig Medium = configFor(ApproxLevel::Medium);
+  EXPECT_LT(PowerMeter::opCost(PowerOpClass::ApproxFp, Medium),
+            PowerMeter::opCost(PowerOpClass::PreciseFp, Medium));
+  EXPECT_LT(PowerMeter::opCost(PowerOpClass::ApproxInt, Medium),
+            PowerMeter::opCost(PowerOpClass::PreciseInt, Medium));
+}
+
+TEST(PowerMeter, AdequateSteadySupplyNeverLosesAndChargesExactlyLive) {
+  // steady:48 covers the costliest op (precise FP, 40): no losses, no
+  // off ticks, ChargedUnits == LiveUnits — the arithmetic behind the
+  // "steady + no checkpoints == no trace" byte-identity.
+  PowerEnv Env;
+  Env.Trace = *PowerTraceSpec::preset("steady", nullptr);
+  PowerStats S =
+      drive(Env, configFor(ApproxLevel::Medium), PowerOpClass::PreciseFp,
+            200000);
+  EXPECT_EQ(S.Losses, 0u);
+  EXPECT_EQ(S.Checkpoints, 0u);
+  EXPECT_EQ(S.ReExecutedOps, 0u);
+  EXPECT_EQ(S.OffTicks, 0u);
+  EXPECT_EQ(S.LiveOps, 200000u);
+  EXPECT_TRUE(S.Survived);
+  EXPECT_EQ(S.ChargedUnits, S.LiveUnits);
+  EXPECT_DOUBLE_EQ(S.overheadRatio(), 1.0);
+}
+
+TEST(PowerMeter, FreshMeterOverheadIsOne) {
+  // No ops at all: the multiplier must be exactly 1, never 0/0.
+  PowerEnv Env;
+  PowerMeter Meter(Env, configFor(ApproxLevel::None));
+  EXPECT_DOUBLE_EQ(Meter.stats().overheadRatio(), 1.0);
+  EXPECT_FALSE(Meter.failed());
+}
+
+namespace {
+
+/// A fast square wave whose dead half cannot sustain any op: forces
+/// losses well inside a short driven sequence.
+PowerEnv brownoutEnv(const CheckpointPolicy &Checkpoint) {
+  PowerEnv Env;
+  Env.Trace.Kind = TraceKind::Brownout;
+  Env.Trace.Name = "test-brownout";
+  Env.Trace.HighRate = 48.0;
+  Env.Trace.LowRate = 0.0;
+  Env.Trace.HighTicks = 2000;
+  Env.Trace.LowTicks = 4000;
+  Env.Checkpoint = Checkpoint;
+  return Env;
+}
+
+} // namespace
+
+TEST(PowerMeter, BrownoutLosesPowerAndChargesTheReplay) {
+  PowerEnv Env = brownoutEnv(*CheckpointPolicy::parse("none", nullptr));
+  PowerStats S =
+      drive(Env, configFor(ApproxLevel::Mild), PowerOpClass::PreciseFp,
+            100000);
+  EXPECT_GT(S.Losses, 0u);
+  EXPECT_GT(S.OffTicks, 0u);
+  EXPECT_GT(S.ReExecutedOps, 0u);
+  // Replay + restore energy makes the environment strictly more
+  // expensive than the always-on run.
+  EXPECT_GT(S.ChargedUnits, S.LiveUnits);
+  EXPECT_GT(S.overheadRatio(), 1.0);
+  // With no checkpoints every loss replays from op 0, and this supply's
+  // high window can never fit the whole replay: the classic
+  // intermittent-computing death spiral, ended by the restart cap.
+  EXPECT_FALSE(S.Survived);
+}
+
+TEST(PowerMeter, CheckpointingReducesReExecution) {
+  // With no checkpoints every loss replays from op 0 (and on this
+  // supply eventually death-spirals); with a periodic policy the replay
+  // window is bounded by the interval and the run survives. Same
+  // supply, same op sequence: strictly less re-executed work.
+  FaultConfig Config = configFor(ApproxLevel::Mild);
+  PowerStats NoCkpt = drive(brownoutEnv(*CheckpointPolicy::parse("none",
+                                                                 nullptr)),
+                            Config, PowerOpClass::PreciseFp, 100000);
+  PowerStats Ckpt =
+      drive(brownoutEnv(*CheckpointPolicy::parse("periodic:500", nullptr)),
+            Config, PowerOpClass::PreciseFp, 100000);
+  ASSERT_GT(NoCkpt.Losses, 0u);
+  ASSERT_GT(Ckpt.Losses, 0u);
+  EXPECT_GT(Ckpt.Checkpoints, 0u);
+  EXPECT_LT(Ckpt.ReExecutedOps, NoCkpt.ReExecutedOps);
+  EXPECT_TRUE(Ckpt.Survived);
+  EXPECT_EQ(Ckpt.LiveOps, 100000u);
+}
+
+TEST(PowerMeter, PreRegionPolicyCheckpointsOnRegionEntry) {
+  PowerEnv Env;
+  Env.Trace = *PowerTraceSpec::preset("steady", nullptr);
+  Env.Checkpoint = *CheckpointPolicy::parse("preregion", nullptr);
+  PowerMeter Meter(Env, configFor(ApproxLevel::None));
+  for (int Region = 0; Region < 3; ++Region) {
+    Meter.onRegionEnter();
+    for (int I = 0; I < 100; ++I)
+      Meter.onOp(PowerOpClass::PreciseInt);
+  }
+  EXPECT_EQ(Meter.stats().Checkpoints, 3u);
+
+  // Region entries are inert under the other policies.
+  Env.Checkpoint = *CheckpointPolicy::parse("periodic:1000000", nullptr);
+  PowerMeter Periodic(Env, configFor(ApproxLevel::None));
+  Periodic.onRegionEnter();
+  EXPECT_EQ(Periodic.stats().Checkpoints, 0u);
+}
+
+TEST(PowerMeter, DeadSupplyExhaustsTheOffCapAndFails) {
+  // steady:0 can never recharge: the first loss sleeps past MaxOffTicks
+  // and the attempt is PowerFailed. Once failed, the meter is inert —
+  // the physical run continues but nothing more is charged.
+  PowerEnv Env;
+  Env.Trace = *PowerTraceSpec::preset("steady:0", nullptr);
+  PowerMeter Meter(Env, configFor(ApproxLevel::None));
+  for (int I = 0; I < 10000 && !Meter.failed(); ++I)
+    Meter.onOp(PowerOpClass::PreciseInt);
+  EXPECT_TRUE(Meter.failed());
+  EXPECT_FALSE(Meter.stats().Survived);
+  uint64_t LiveAtFailure = Meter.stats().LiveOps;
+  Meter.onOp(PowerOpClass::PreciseInt);
+  EXPECT_EQ(Meter.stats().LiveOps, LiveAtFailure);
+}
+
+TEST(PowerMeter, EventSinkSeesLossesCheckpointsAndRestores) {
+  PowerEnv Env = brownoutEnv(*CheckpointPolicy::parse("periodic:500",
+                                                      nullptr));
+  PowerMeter Meter(Env, configFor(ApproxLevel::Mild));
+  uint64_t Losses = 0, Checkpoints = 0, Restores = 0;
+  Meter.Events = [&](PowerEventKind Kind, uint64_t) {
+    switch (Kind) {
+    case PowerEventKind::Loss:
+      ++Losses;
+      break;
+    case PowerEventKind::Checkpoint:
+      ++Checkpoints;
+      break;
+    case PowerEventKind::Restore:
+      ++Restores;
+      break;
+    }
+  };
+  for (uint64_t I = 0; I < 100000; ++I)
+    Meter.onOp(PowerOpClass::PreciseFp);
+  EXPECT_GT(Losses, 0u);
+  EXPECT_GT(Checkpoints, 0u);
+  EXPECT_GT(Restores, 0u);
+  EXPECT_LE(Restores, Losses);
+}
+
+TEST(PowerMeter, MeteringIsAPureFunctionOfTheOpSequence) {
+  // Two meters over the same environment and sequence: identical stats,
+  // field by field. This is the unit of the grid's thread determinism.
+  PowerEnv Env = brownoutEnv(*CheckpointPolicy::parse("periodic:700",
+                                                      nullptr));
+  FaultConfig Config = configFor(ApproxLevel::Medium);
+  auto Run = [&] {
+    PowerMeter Meter(Env, Config);
+    for (uint64_t I = 0; I < 50000; ++I)
+      Meter.onOp(static_cast<PowerOpClass>(I % NumPowerOpClasses));
+    return Meter.stats();
+  };
+  PowerStats A = Run(), B = Run();
+  EXPECT_EQ(A.Losses, B.Losses);
+  EXPECT_EQ(A.Checkpoints, B.Checkpoints);
+  EXPECT_EQ(A.ReExecutedOps, B.ReExecutedOps);
+  EXPECT_EQ(A.LiveOps, B.LiveOps);
+  EXPECT_EQ(A.OffTicks, B.OffTicks);
+  EXPECT_EQ(A.LiveUnits, B.LiveUnits);
+  EXPECT_EQ(A.ChargedUnits, B.ChargedUnits);
+  EXPECT_EQ(A.Survived, B.Survived);
+}
+
+TEST(PowerMeter, ForecastMatchesTheRateArithmetic) {
+  // An all-precise-FP mix averages 40 units/op: steady:48 sustains it,
+  // steady:10 does not; the empty mix is vacuously sustainable.
+  std::array<uint64_t, NumPowerOpClasses> FpMix{};
+  FpMix[static_cast<unsigned>(PowerOpClass::PreciseFp)] = 1000;
+  FaultConfig Config = configFor(ApproxLevel::None);
+
+  PowerEnv Rich;
+  Rich.Trace = *PowerTraceSpec::preset("steady:48", nullptr);
+  EXPECT_TRUE(PowerMeter::forecastSustainable(Rich, Config, FpMix));
+
+  PowerEnv Poor;
+  Poor.Trace = *PowerTraceSpec::preset("steady:10", nullptr);
+  EXPECT_FALSE(PowerMeter::forecastSustainable(Poor, Config, FpMix));
+
+  std::array<uint64_t, NumPowerOpClasses> Empty{};
+  EXPECT_TRUE(PowerMeter::forecastSustainable(Poor, Config, Empty));
+
+  // The same mix that a poor supply cannot sustain at level None can
+  // become sustainable once approximation cheapens the ops — the
+  // escalation ladder's premise. ApproxFp at Aggressive is far below
+  // 22 units; a 30-unit supply covers it.
+  std::array<uint64_t, NumPowerOpClasses> ApproxMix{};
+  ApproxMix[static_cast<unsigned>(PowerOpClass::ApproxFp)] = 1000;
+  PowerEnv Mid;
+  Mid.Trace = *PowerTraceSpec::preset("steady:30", nullptr);
+  FaultConfig None = configFor(ApproxLevel::None);
+  FaultConfig Aggressive = configFor(ApproxLevel::Aggressive);
+  EXPECT_LT(PowerMeter::opCost(PowerOpClass::ApproxFp, Aggressive),
+            PowerMeter::opCost(PowerOpClass::ApproxFp, None));
+  EXPECT_TRUE(PowerMeter::forecastSustainable(Mid, Aggressive, ApproxMix));
+}

@@ -1,0 +1,282 @@
+//===- tests/power_restore_test.cpp - Checkpoint/restore properties -------===//
+//
+// The two properties the power environment's honesty rests on:
+//
+//  * restore == uninterrupted — FastMachine::snapshot() captures the
+//    *complete* restartable state (registers, memory, decay timestamps,
+//    fault-stream and payload RNG state, prefetched mask lines, latches,
+//    counters, ledger). Chopping an execution into resume() segments and
+//    round-tripping every boundary through snapshot() -> a *fresh*
+//    machine -> restore() must reproduce the uninterrupted run bit for
+//    bit: every register, every memory word, every counter — on all nine
+//    kernels, both at level None (no randomness) and at Medium (live
+//    fault streams whose positions must survive the checkpoint);
+//  * metering never perturbs — arming a PowerMeter (steady or lossy)
+//    changes nothing about the measured run, on either engine; with an
+//    adequate steady supply and no checkpoints the whole TrialResult is
+//    byte-identical to the no-trace path, including the energy figures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/compiled.h"
+#include "exec/machine.h"
+#include "harness/trial.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+#include <memory>
+
+using namespace enerj;
+using namespace enerj::harness;
+
+namespace {
+
+const char *KernelDir = ENERJ_FEJ_DIR "/isa";
+
+uint64_t bitsOf(double Value) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  return Bits;
+}
+
+exec::ProgramCache &cache() {
+  static exec::ProgramCache Cache(KernelDir);
+  return Cache;
+}
+
+/// Full machine state after a run, for bitwise comparison.
+struct State {
+  bool Trapped = false;
+  std::string TrapMessage;
+  bool Halted = false;
+  uint64_t Executed = 0;
+  std::vector<int64_t> IntRegs;
+  std::vector<uint64_t> FpBits;
+  std::vector<uint64_t> MemBits;
+  RunStats Stats;
+};
+
+State captureState(const exec::FastMachine &M, const isa::IsaProgram &P) {
+  State S;
+  for (unsigned I = 0; I < isa::NumIntRegs; ++I)
+    S.IntRegs.push_back(M.intReg(I));
+  for (unsigned I = 0; I < isa::NumFpRegs; ++I)
+    S.FpBits.push_back(bitsOf(M.fpReg(I)));
+  for (uint64_t A = 0; A < P.memoryWords(); ++A)
+    S.MemBits.push_back(M.memBits(A));
+  S.Stats = M.stats();
+  return S;
+}
+
+void expectStateEqual(const State &A, const State &B) {
+  EXPECT_EQ(A.Trapped, B.Trapped) << A.TrapMessage << " / " << B.TrapMessage;
+  EXPECT_EQ(A.TrapMessage, B.TrapMessage);
+  EXPECT_EQ(A.Halted, B.Halted);
+  EXPECT_EQ(A.Executed, B.Executed);
+  EXPECT_EQ(A.IntRegs, B.IntRegs);
+  EXPECT_EQ(A.FpBits, B.FpBits);
+  EXPECT_EQ(A.MemBits, B.MemBits);
+  EXPECT_EQ(A.Stats.Ops.PreciseInt, B.Stats.Ops.PreciseInt);
+  EXPECT_EQ(A.Stats.Ops.ApproxInt, B.Stats.Ops.ApproxInt);
+  EXPECT_EQ(A.Stats.Ops.PreciseFp, B.Stats.Ops.PreciseFp);
+  EXPECT_EQ(A.Stats.Ops.ApproxFp, B.Stats.Ops.ApproxFp);
+  EXPECT_EQ(A.Stats.Ops.TimingErrors, B.Stats.Ops.TimingErrors);
+  EXPECT_EQ(bitsOf(A.Stats.Storage.SramPrecise),
+            bitsOf(B.Stats.Storage.SramPrecise));
+  EXPECT_EQ(bitsOf(A.Stats.Storage.SramApprox),
+            bitsOf(B.Stats.Storage.SramApprox));
+  EXPECT_EQ(bitsOf(A.Stats.Storage.DramPrecise),
+            bitsOf(B.Stats.Storage.DramPrecise));
+  EXPECT_EQ(bitsOf(A.Stats.Storage.DramApprox),
+            bitsOf(B.Stats.Storage.DramApprox));
+}
+
+/// The uninterrupted reference: one resume() from instruction 0 with the
+/// default budget.
+State runUninterrupted(const isa::IsaProgram &P, const FaultConfig &Config) {
+  exec::FastMachine M(P, Config);
+  exec::FastResult R = M.resume(0, 10'000'000);
+  State S = captureState(M, P);
+  S.Trapped = R.Trapped;
+  S.TrapMessage = R.TrapMessage;
+  S.Halted = R.Halted;
+  S.Executed = R.InstructionsExecuted;
+  return S;
+}
+
+/// The intermittent run: execute in \p Chunk-instruction segments and
+/// force a full checkpoint/restore cycle at every boundary — snapshot the
+/// machine, throw it away, boot a *fresh* machine, restore, continue.
+State runSegmented(const isa::IsaProgram &P, const FaultConfig &Config,
+                   uint64_t Chunk) {
+  auto M = std::make_unique<exec::FastMachine>(P, Config);
+  uint64_t Pc = 0, Total = 0;
+  exec::FastResult R;
+  while (true) {
+    R = M->resume(Pc, Chunk);
+    Total += R.InstructionsExecuted;
+    if (R.Trapped || R.Halted || Total >= 10'000'000)
+      break;
+    Pc = R.NextPc;
+    exec::FastMachine::Snapshot Checkpoint = M->snapshot();
+    M = std::make_unique<exec::FastMachine>(P, Config);
+    M->restore(Checkpoint);
+  }
+  State S = captureState(*M, P);
+  S.Trapped = R.Trapped;
+  S.TrapMessage = R.TrapMessage;
+  S.Halted = R.Halted;
+  S.Executed = Total;
+  return S;
+}
+
+} // namespace
+
+TEST(PowerRestore, SegmentedRestoreMatchesUninterruptedAtLevelNone) {
+  // The p = 0 property: no stream ever draws, so this isolates the
+  // architected-state half of the snapshot (registers, memory, decay
+  // timestamps, counters) on every kernel.
+  FaultConfig None = FaultConfig::preset(ApproxLevel::None);
+  for (const apps::Application *App : apps::allApplications()) {
+    SCOPED_TRACE(App->name());
+    const exec::CompiledKernel &K = cache().get(App->name(),
+                                                ApproxLevel::None);
+    State Reference = runUninterrupted(K.Binary, None);
+    EXPECT_FALSE(Reference.Trapped) << Reference.TrapMessage;
+    expectStateEqual(Reference, runSegmented(K.Binary, None, 5000));
+  }
+}
+
+TEST(PowerRestore, SegmentedRestoreMatchesUninterruptedUnderFaults) {
+  // The hard half: at Medium the upset streams, timing-event streams,
+  // payload RNG, and prefetched mask lines are all live — a snapshot
+  // that missed any of them would diverge. Several chunk sizes shift the
+  // checkpoint boundaries across mask-line and block refill edges.
+  for (const apps::Application *App : apps::allApplications()) {
+    FaultConfig Config = FaultConfig::preset(ApproxLevel::Medium);
+    Config.Seed = mixSeed(Config.Seed, 1);
+    SCOPED_TRACE(App->name());
+    const exec::CompiledKernel &K = cache().get(App->name(),
+                                                ApproxLevel::Medium);
+    State Reference = runUninterrupted(K.Binary, Config);
+    for (uint64_t Chunk : {1000u, 4097u, 65536u}) {
+      SCOPED_TRACE("chunk " + std::to_string(Chunk));
+      expectStateEqual(Reference, runSegmented(K.Binary, Config, Chunk));
+    }
+  }
+}
+
+TEST(PowerRestore, ResumeReportsProgressHonestly) {
+  // The segmented API's bookkeeping: budget exhaustion is not a trap,
+  // instruction counts are per-call, and the final segment reports a
+  // clean halt.
+  const exec::CompiledKernel &K =
+      cache().get("montecarlo", ApproxLevel::None);
+  FaultConfig None = FaultConfig::preset(ApproxLevel::None);
+  exec::FastMachine M(K.Binary, None);
+  exec::FastResult First = M.resume(0, 100);
+  EXPECT_FALSE(First.Trapped);
+  EXPECT_FALSE(First.Halted);
+  EXPECT_EQ(First.InstructionsExecuted, 100u);
+  exec::FastResult Rest = M.resume(First.NextPc, 10'000'000);
+  EXPECT_FALSE(Rest.Trapped) << Rest.TrapMessage;
+  EXPECT_TRUE(Rest.Halted);
+  EXPECT_GT(Rest.InstructionsExecuted, 0u);
+}
+
+TEST(PowerRestore, MeteringNeverPerturbsTheCompiledRun) {
+  // A PowerMeter is an observer: with the meter attached — even one that
+  // loses power — the compiled trial's QoS, stats, and cycles are
+  // bitwise what they are without it; only the meter's own accounting
+  // differs between supplies.
+  const exec::CompiledKernel &K = cache().get("fft", ApproxLevel::Mild);
+  FaultConfig Config = FaultConfig::preset(ApproxLevel::Mild);
+  exec::CompiledTrialResult Plain = exec::runCompiledTrial(K, Config, 1);
+  ASSERT_FALSE(Plain.Trapped) << Plain.Error;
+
+  env::PowerEnv Steady;
+  Steady.Trace = *env::PowerTraceSpec::preset("steady", nullptr);
+  env::PowerMeter SteadyMeter(Steady, Config);
+  exec::CompiledTrialResult Metered = exec::runCompiledTrial(
+      K, Config, 1, /*CollectMetrics=*/false, BlockMode::Batched,
+      &SteadyMeter);
+  EXPECT_EQ(bitsOf(Plain.QosError), bitsOf(Metered.QosError));
+  EXPECT_EQ(Plain.Stats.Ops.ApproxFp, Metered.Stats.Ops.ApproxFp);
+  EXPECT_EQ(Plain.Cycles, Metered.Cycles);
+  EXPECT_EQ(SteadyMeter.stats().Losses, 0u);
+  EXPECT_DOUBLE_EQ(SteadyMeter.stats().overheadRatio(), 1.0);
+
+  // A starved platform (tiny buffer, supply below every op cost) whose
+  // checkpoints are cheap enough to keep it alive: guaranteed to
+  // interrupt even a short ISA kernel.
+  env::PowerEnv Starved;
+  Starved.Trace = *env::PowerTraceSpec::preset("steady:15", nullptr);
+  Starved.Checkpoint = *env::CheckpointPolicy::parse("periodic:50",
+                                                     nullptr);
+  Starved.BufferCapacity = 3000;
+  Starved.CheckpointCostUnits = 100;
+  Starved.RestoreCostUnits = 50;
+  env::PowerMeter StarvedMeter(Starved, Config);
+  exec::CompiledTrialResult Lossy = exec::runCompiledTrial(
+      K, Config, 1, /*CollectMetrics=*/false, BlockMode::Batched,
+      &StarvedMeter);
+  EXPECT_EQ(bitsOf(Plain.QosError), bitsOf(Lossy.QosError));
+  EXPECT_EQ(Plain.Cycles, Lossy.Cycles);
+  // The starved supply actually interrupts this kernel; the meter
+  // charges the losses without touching the measurement.
+  EXPECT_GT(StarvedMeter.stats().Losses, 0u);
+  EXPECT_GT(StarvedMeter.stats().ReExecutedOps, 0u);
+  EXPECT_GT(StarvedMeter.stats().overheadRatio(), 1.0);
+}
+
+TEST(PowerRestore, SteadyTraceWithoutCheckpointsIsByteIdenticalInterp) {
+  // The acceptance gate: arming the trace with checkpointing disabled
+  // must leave the interpreter trial byte-identical to the no-trace
+  // path — QoS, ops, storage, energy, and the effective energy factor
+  // (overheadRatio == 1 exactly). All nine apps at Medium.
+  env::PowerEnv Env;
+  Env.Trace = *env::PowerTraceSpec::preset("steady", nullptr);
+  for (const apps::Application *App : apps::allApplications()) {
+    SCOPED_TRACE(App->name());
+    Trial Plain{App, FaultConfig::preset(ApproxLevel::Medium), 1, {}};
+    Trial Powered = Plain;
+    Powered.Power = &Env;
+    TrialResult A = TrialRunner::runOne(Plain);
+    TrialResult B = TrialRunner::runOne(Powered);
+    EXPECT_EQ(bitsOf(A.QosError), bitsOf(B.QosError));
+    EXPECT_EQ(A.Stats.Ops.PreciseInt, B.Stats.Ops.PreciseInt);
+    EXPECT_EQ(A.Stats.Ops.ApproxInt, B.Stats.Ops.ApproxInt);
+    EXPECT_EQ(A.Stats.Ops.PreciseFp, B.Stats.Ops.PreciseFp);
+    EXPECT_EQ(A.Stats.Ops.ApproxFp, B.Stats.Ops.ApproxFp);
+    EXPECT_EQ(bitsOf(A.Energy.TotalFactor), bitsOf(B.Energy.TotalFactor));
+    EXPECT_EQ(bitsOf(A.EffectiveEnergyFactor),
+              bitsOf(B.EffectiveEnergyFactor));
+    EXPECT_EQ(A.Outcome, B.Outcome);
+    EXPECT_EQ(B.Power.Losses, 0u);
+    EXPECT_GT(B.Power.LiveOps, 0u);
+    EXPECT_TRUE(B.Power.Survived);
+  }
+}
+
+TEST(PowerRestore, DeadSupplyYieldsPowerFailedOutcome) {
+  // A supply that can never recharge fails the attempt: the trial ends
+  // as PowerFailed with QoS pinned to 1, on both engines.
+  env::PowerEnv Env;
+  Env.Trace = *env::PowerTraceSpec::preset("steady:0", nullptr);
+  const apps::Application *App = apps::findApplication("sor");
+  ASSERT_NE(App, nullptr);
+
+  Trial Interp{App, FaultConfig::preset(ApproxLevel::Mild), 1, {}};
+  Interp.Power = &Env;
+  TrialResult A = TrialRunner::runOne(Interp);
+  EXPECT_EQ(A.Outcome, resilience::TrialOutcome::PowerFailed);
+  EXPECT_EQ(A.QosError, 1.0);
+  EXPECT_FALSE(A.Power.Survived);
+
+  Trial Compiled = Interp;
+  Compiled.Kernel = &cache().get("sor", ApproxLevel::Mild);
+  TrialResult B = TrialRunner::runOne(Compiled);
+  EXPECT_EQ(B.Outcome, resilience::TrialOutcome::PowerFailed);
+  EXPECT_EQ(B.QosError, 1.0);
+  EXPECT_FALSE(B.Power.Survived);
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate `fenerj_tool eval --json` output against schema v2, v3 or v4.
+"""Validate `fenerj_tool eval --json` output against schema v2..v5.
 
 Version 2 is the default grid; version 3 is emitted by `eval --metrics`
 and appends a "metrics" object (tick/op/fault totals plus per-site
@@ -8,7 +8,14 @@ document declares version 3. Version 4 is emitted whenever --exec-mode
 is given and inserts an "execMode" field ("interp" or "compiled")
 directly after "seeds"; its cells carry the metrics block exactly when
 --metrics was also passed, so the validator infers metrics presence
-from the first cell and then requires it uniformly.
+from the first cell and then requires it uniformly. Version 5 is
+emitted whenever --power-trace is given: a top-level "power" echo
+(trace name, checkpoint spec) after "seeds"/"execMode", a
+"powerFailed" key in every cell's outcome counts, and a per-cell
+"power" block (losses, checkpoints, reExecutedOps, survived,
+survivalRate) after storage/metrics. "execMode" and "metrics" are both
+optional at v5, so their presence is inferred from the document and
+then required uniformly.
 
 Reads one JSON document from stdin and checks structure, key presence,
 key order, and basic invariants. Deliberately does NOT compare metric
@@ -29,6 +36,10 @@ STATS_KEYS = ["count", "mean", "stddev", "min", "max", "ci95"]
 POLICY_KEYS = ["enabled", "slo", "outputBound", "maxRetries", "opBudget",
                "degrade"]
 OUTCOME_KEYS = ["ok", "sloViolated", "aborted", "retried", "degraded"]
+OUTCOME_KEYS_V5 = OUTCOME_KEYS + ["powerFailed"]
+POWER_ECHO_KEYS = ["trace", "checkpoint"]
+CELL_POWER_KEYS = ["losses", "checkpoints", "reExecutedOps", "survived",
+                   "survivalRate"]
 OPS_KEYS = ["preciseInt", "approxInt", "preciseFp", "approxFp",
             "timingErrors"]
 STORAGE_KEYS = ["sramPrecise", "sramApprox", "dramPrecise", "dramApprox"]
@@ -42,6 +53,10 @@ SITE_CLASSES = {"alu", "sram", "dram"}
 TOP_KEYS = ["tool", "version", "seeds", "policy", "levels", "apps"]
 TOP_KEYS_V4 = ["tool", "version", "seeds", "execMode", "policy", "levels",
                "apps"]
+TOP_KEYS_V5 = ["tool", "version", "seeds", "power", "policy", "levels",
+               "apps"]
+TOP_KEYS_V5_EXEC = ["tool", "version", "seeds", "execMode", "power",
+                    "policy", "levels", "apps"]
 EXEC_MODES = {"interp", "compiled"}
 LEVELS = {"none", "mild", "medium", "aggressive"}
 
@@ -110,15 +125,22 @@ def main():
         fail(f"not valid JSON: {err}")
 
     version = doc.get("version")
-    if version not in (2, 3, 4):
-        fail(f"version is {version!r}, expected 2, 3 or 4")
-    expect_keys(doc, TOP_KEYS_V4 if version == 4 else TOP_KEYS, "top level")
+    if version not in (2, 3, 4, 5):
+        fail(f"version is {version!r}, expected 2, 3, 4 or 5")
+    if version == 5:
+        with_exec = "execMode" in doc
+        expect_keys(doc, TOP_KEYS_V5_EXEC if with_exec else TOP_KEYS_V5,
+                    "top level")
+    else:
+        with_exec = version == 4
+        expect_keys(doc, TOP_KEYS_V4 if with_exec else TOP_KEYS,
+                    "top level")
     if doc["tool"] != "enerj-eval":
         fail(f"tool is {doc['tool']!r}, expected 'enerj-eval'")
-    if version == 4:
-        if doc["execMode"] not in EXEC_MODES:
-            fail(f"execMode is {doc['execMode']!r}, "
-                 f"expected one of {sorted(EXEC_MODES)}")
+    if with_exec and doc["execMode"] not in EXEC_MODES:
+        fail(f"execMode is {doc['execMode']!r}, "
+             f"expected one of {sorted(EXEC_MODES)}")
+    if version >= 4:
         first = doc["apps"][0]["cells"][0] if (
             isinstance(doc.get("apps"), list) and doc["apps"]
             and isinstance(doc["apps"][0], dict)
@@ -126,7 +148,16 @@ def main():
         with_metrics = "metrics" in first
     else:
         with_metrics = version == 3
-    cell_keys = CELL_KEYS + ["metrics"] if with_metrics else CELL_KEYS
+    with_power = version == 5
+    if with_power:
+        expect_keys(doc["power"], POWER_ECHO_KEYS, "power")
+        for key in POWER_ECHO_KEYS:
+            if not isinstance(doc["power"][key], str) or not doc["power"][key]:
+                fail(f"power.{key}: not a non-empty string")
+    cell_keys = CELL_KEYS + ["metrics"] if with_metrics else list(CELL_KEYS)
+    if with_power:
+        cell_keys = cell_keys + ["power"]
+    outcome_keys = OUTCOME_KEYS_V5 if with_power else OUTCOME_KEYS
     if not isinstance(doc["seeds"], int) or doc["seeds"] < 1:
         fail("seeds: not a positive integer")
 
@@ -154,7 +185,7 @@ def main():
                 fail(f"{cw}: level not in the declared list")
             for stats in ("qos", "energy", "effectiveEnergy"):
                 expect_stats(cell[stats], f"{cw}.{stats}")
-            expect_keys(cell["outcomes"], OUTCOME_KEYS, f"{cw}.outcomes")
+            expect_keys(cell["outcomes"], outcome_keys, f"{cw}.outcomes")
             total = sum(cell["outcomes"].values())
             if total != doc["seeds"]:
                 fail(f"{cw}: outcomes sum to {total}, not seeds="
@@ -165,8 +196,27 @@ def main():
             expect_keys(cell["storage"], STORAGE_KEYS, f"{cw}.storage")
             if with_metrics:
                 expect_metrics(cell["metrics"], f"{cw}.metrics")
+            if with_power:
+                power = cell["power"]
+                pw = f"{cw}.power"
+                expect_keys(power, CELL_POWER_KEYS, pw)
+                for key in ("losses", "checkpoints", "reExecutedOps",
+                            "survived"):
+                    expect_count(power, key, pw)
+                if power["survived"] > doc["seeds"]:
+                    fail(f"{pw}: survived exceeds seeds")
+                if not isinstance(power["survivalRate"], (int, float)):
+                    fail(f"{pw}.survivalRate: not a number")
+                if not 0 <= power["survivalRate"] <= 1:
+                    fail(f"{pw}.survivalRate: outside [0, 1]")
+                if power["survived"] + cell["outcomes"]["powerFailed"] != \
+                        doc["seeds"]:
+                    fail(f"{pw}: survived + powerFailed != seeds")
 
-    mode = f", exec={doc['execMode']}" if version == 4 else ""
+    mode = f", exec={doc['execMode']}" if with_exec else ""
+    if with_power:
+        mode += (f", power={doc['power']['trace']}"
+                 f"/{doc['power']['checkpoint']}")
     print(f"validate_eval_json: OK (v{doc['version']}, "
           f"{len(doc['apps'])} app(s) x "
           f"{len(doc['levels'])} level(s), seeds={doc['seeds']}, "
