@@ -1,0 +1,100 @@
+//===- bench/reliability_bounds.cpp - Static bound vs Monte-Carlo cost ----===//
+//
+// The selling point of the reliability analysis is that one abstract
+// fixpoint replaces thousands of fault-injection trials. This benchmark
+// makes that trade concrete: for each ISA evaluation kernel it times
+// (a) one analyzeProgram call and (b) a Monte-Carlo estimate of the
+// exact-match rate at the same level, and prints the per-kernel bound,
+// the measured rate, and both costs side by side.
+//
+//   ./reliability_bounds [trials] [level]   (default 200 trials, medium)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/reliability/bounds.h"
+
+#include "exec/compiled.h"
+#include "fault/rates.h"
+#include "support/rng.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace enerj;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double millisSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Trials = Argc > 1 ? std::atoi(Argv[1]) : 200;
+  if (Trials < 1)
+    Trials = 200;
+  ApproxLevel Level = ApproxLevel::Medium;
+  if (Argc > 2) {
+    std::string Name = Argv[2];
+    bool Found = false;
+    for (ApproxLevel Candidate :
+         {ApproxLevel::None, ApproxLevel::Mild, ApproxLevel::Medium,
+          ApproxLevel::Aggressive})
+      if (Name == approxLevelName(Candidate)) {
+        Level = Candidate;
+        Found = true;
+      }
+    if (!Found) {
+      std::fprintf(stderr, "unknown level '%s'\n", Name.c_str());
+      return 2;
+    }
+  }
+
+  const char *KernelDir = std::getenv("ENERJ_FEJ_DIR");
+  std::string Dir =
+      (KernelDir ? std::string(KernelDir) : std::string("examples/fej")) +
+      "/isa";
+  exec::ProgramCache Cache(Dir);
+  FaultRates Rates = FaultRates::of(FaultConfig::preset(Level));
+
+  std::printf("reliability bounds vs Monte-Carlo @ %s, %d trials\n",
+              approxLevelName(Level), Trials);
+  std::printf("%-14s %12s %12s %12s %12s\n", "kernel", "bound",
+              "mc-rate", "static-ms", "mc-ms");
+  for (const char *Name :
+       {"barcode", "fft", "floodfill", "lu", "montecarlo", "raytracer",
+        "sor", "sparsematmult", "trikernel"}) {
+    const exec::CompiledKernel &Kernel = Cache.get(Name, Level);
+
+    Clock::time_point StaticStart = Clock::now();
+    analysis::reliability::ReliabilityReport Report =
+        analysis::reliability::analyzeProgram(Kernel.Binary, Rates);
+    double StaticMs = millisSince(StaticStart);
+
+    Clock::time_point McStart = Clock::now();
+    FaultConfig Base = FaultConfig::preset(Level);
+    int Exact = 0;
+    for (int Seed = 1; Seed <= Trials; ++Seed) {
+      FaultConfig Config = Base;
+      Config.Seed = mixSeed(Base.Seed, static_cast<uint64_t>(Seed));
+      exec::FastMachine M(Kernel.Binary, Config);
+      exec::FastResult Run = M.run();
+      if (!Run.Trapped && M.intReg(1) == Kernel.RefInt &&
+          std::bit_cast<uint64_t>(M.fpReg(1)) ==
+              std::bit_cast<uint64_t>(Kernel.RefFp))
+        ++Exact;
+    }
+    double McMs = millisSince(McStart);
+
+    std::printf("%-14s %12.6g %12.4f %12.3f %12.3f\n", Name,
+                Report.ProgramBound, static_cast<double>(Exact) / Trials,
+                StaticMs, McMs);
+  }
+  return 0;
+}

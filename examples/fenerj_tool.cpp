@@ -50,8 +50,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/infer.h"
+#include "analysis/isa_flow.h"
 #include "analysis/lint.h"
 #include "analysis/opt/pipeline.h"
+#include "analysis/reliability/bounds.h"
 #include "fenerj/codegen.h"
 #include "fenerj/fenerj.h"
 #include "harness/eval.h"
@@ -430,6 +432,187 @@ int optMode(int Argc, char **Argv) {
   if (Emit && Report.Ok)
     std::fputs(enerj::isa::disassemble(*Binary).c_str(), stdout);
   return Report.Ok ? 0 : 1;
+}
+
+/// `fenerj_tool bound <file.fej|file.isa> [--level L] [--json]
+/// [--per-site]` — run the static reliability analysis: lower bounds on
+/// the probability that each output is bitwise equal to the fault-free
+/// reference. The input goes through the same pipeline as a compiled
+/// evaluation cell (compile, assemble, verify, flow-check, optimize), so
+/// the reported bounds describe exactly the artifact the grid executes.
+int boundMode(int Argc, char **Argv) {
+  const char *File = Argv[2];
+  bool Json = false, PerSite = false;
+  enerj::ApproxLevel Level = enerj::ApproxLevel::Medium;
+  for (int Arg = 3; Arg < Argc; ++Arg) {
+    std::string Flag = Argv[Arg];
+    auto NextValue = [&]() -> std::string {
+      if (Arg + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag.c_str());
+        std::exit(2);
+      }
+      return Argv[++Arg];
+    };
+    if (Flag == "--json") {
+      Json = true;
+    } else if (Flag == "--per-site") {
+      PerSite = true;
+    } else if (Flag == "--level") {
+      std::string Name = NextValue();
+      bool Found = false;
+      for (enerj::ApproxLevel Candidate :
+           {enerj::ApproxLevel::None, enerj::ApproxLevel::Mild,
+            enerj::ApproxLevel::Medium, enerj::ApproxLevel::Aggressive})
+        if (Name == enerj::approxLevelName(Candidate)) {
+          Level = Candidate;
+          Found = true;
+        }
+      if (!Found) {
+        std::fprintf(stderr, "unknown level '%s' (none, mild, medium, "
+                             "aggressive)\n", Name.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown bound flag '%s'\n", Flag.c_str());
+      return 2;
+    }
+  }
+
+  bool Ok = true;
+  std::string Source = readFile(File, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", File);
+    return 1;
+  }
+
+  std::string Assembly;
+  std::string Name = File;
+  if (Name.size() >= 4 && Name.substr(Name.size() - 4) == ".isa") {
+    Assembly = Source;
+  } else {
+    DiagnosticEngine Diags;
+    ClassTable Table;
+    std::optional<Program> Prog = compile(Source, Table, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    CodegenResult Code = compileToIsa(*Prog);
+    if (!Code.Ok) {
+      std::fprintf(stderr, "codegen error: %s\n", Code.Error.c_str());
+      return 1;
+    }
+    Assembly = Code.Assembly;
+  }
+  std::vector<std::string> AsmErrors;
+  std::optional<enerj::isa::IsaProgram> Binary =
+      enerj::isa::assemble(Assembly, AsmErrors);
+  if (!Binary) {
+    for (const std::string &E : AsmErrors)
+      std::fprintf(stderr, "%s\n", E.c_str());
+    return 1;
+  }
+  std::vector<enerj::isa::VerifyError> Violations =
+      enerj::isa::verify(*Binary);
+  for (const enerj::isa::VerifyError &E : Violations)
+    std::fprintf(stderr, "verifier: %s\n", E.str().c_str());
+  if (!Violations.empty())
+    return 1;
+  enerj::analysis::IsaFlowResult Flow = enerj::analysis::verifyFlow(*Binary);
+  for (const enerj::isa::VerifyError &E : Flow.Errors)
+    std::fprintf(stderr, "flow: %s\n", E.str().c_str());
+  if (!Flow.ok())
+    return 1;
+  enerj::analysis::opt::OptOptions OptOptions;
+  OptOptions.EnergyLevel = Level;
+  enerj::analysis::opt::OptReport OptReport =
+      enerj::analysis::opt::optimizeProgram(*Binary, OptOptions);
+  if (!OptReport.Ok) {
+    std::fprintf(stderr, "opt: %s\n", OptReport.Error.c_str());
+    return 1;
+  }
+
+  enerj::FaultRates Rates =
+      enerj::FaultRates::of(enerj::FaultConfig::preset(Level));
+  enerj::analysis::reliability::ReliabilityReport Report =
+      enerj::analysis::reliability::analyzeProgram(*Binary, Rates);
+
+  auto Fmt = [](double Value) {
+    char Buffer[48];
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+    return std::string(Buffer);
+  };
+  if (Json) {
+    std::ostringstream Out;
+    Out << "{\"tool\": \"fenerj-bound\", \"version\": 1, \"file\": \""
+        << File << "\", \"level\": \"" << enerj::approxLevelName(Level)
+        << "\", \"conservative\": " << (Report.Conservative ? "true" : "false")
+        << ", \"pathBound\": " << Fmt(Report.PathBound)
+        << ", \"intOutputBound\": " << Fmt(Report.IntOutputBound)
+        << ", \"fpOutputBound\": " << Fmt(Report.FpOutputBound)
+        << ", \"programBound\": " << Fmt(Report.ProgramBound)
+        << ", \"preciseMemBound\": " << Fmt(Report.PreciseMemBound)
+        << ", \"approxMemBound\": " << Fmt(Report.ApproxMemBound)
+        << ", \"loops\": " << Report.LoopCount
+        << ", \"loopsUnrolled\": " << Report.LoopsUnrolled
+        << ", \"loopsWidened\": " << Report.LoopsWidened
+        << ", \"blockEvals\": " << Report.BlockEvals << ", \"sites\": [";
+    for (size_t Index = 0; Index < Report.Sites.size(); ++Index) {
+      const enerj::analysis::reliability::SiteBound &S = Report.Sites[Index];
+      if (Index)
+        Out << ", ";
+      Out << "{\"block\": " << S.Block << ", \"index\": " << S.Index
+          << ", \"line\": " << S.Line
+          << ", \"op\": \"" << (S.Fp ? "fendorse" : "endorse")
+          << "\", \"srcReg\": \"" << (S.Fp ? "f" : "r") << S.SrcReg
+          << "\", \"bound\": " << Fmt(S.Bound)
+          << ", \"visits\": " << S.Visits << "}";
+    }
+    Out << "]}\n";
+    std::fputs(Out.str().c_str(), stdout);
+    return 0;
+  }
+
+  std::ostringstream Out;
+  Out << "== fenerj-bound: " << File << " @ "
+      << enerj::approxLevelName(Level) << " ==\n";
+  if (Report.Conservative)
+    Out << "  (conservative fallback: irreducible control flow or "
+           "budget exhausted)\n";
+  char Line[160];
+  auto Row = [&](const char *Label, double Value) {
+    std::snprintf(Line, sizeof(Line), "  %-22s %.12g\n", Label, Value);
+    Out << Line;
+  };
+  Row("path bound", Report.PathBound);
+  Row("r1 (int output)", Report.IntOutputBound);
+  Row("f1 (fp output)", Report.FpOutputBound);
+  Row("program (QoS == 0)", Report.ProgramBound);
+  Row("precise memory", Report.PreciseMemBound);
+  Row("approx memory", Report.ApproxMemBound);
+  std::snprintf(Line, sizeof(Line),
+                "  loops: %u (%u unrolled, %u widened), %llu block "
+                "evaluation(s)\n",
+                Report.LoopCount, Report.LoopsUnrolled, Report.LoopsWidened,
+                static_cast<unsigned long long>(Report.BlockEvals));
+  Out << Line;
+  if (PerSite) {
+    if (Report.Sites.empty()) {
+      Out << "  no endorsement sites\n";
+    } else {
+      Out << "  endorsement sites (weakest guarantee endorsed):\n";
+      for (const enerj::analysis::reliability::SiteBound &S : Report.Sites) {
+        std::snprintf(Line, sizeof(Line),
+                      "    line %-4d %-8s %s%-3u bound %.12g  visits %llu\n",
+                      S.Line, S.Fp ? "fendorse" : "endorse",
+                      S.Fp ? "f" : "r", S.SrcReg, S.Bound,
+                      static_cast<unsigned long long>(S.Visits));
+        Out << Line;
+      }
+    }
+  }
+  std::fputs(Out.str().c_str(), stdout);
+  return 0;
 }
 
 int infer(int Argc, char **Argv) {
@@ -859,6 +1042,14 @@ int usage() {
                "per-pass translation\n"
                "                       validation; --emit prints the "
                "optimized assembly)\n"
+               "       fenerj_tool bound <file.fej|file.isa> [--level L] "
+               "[--json] [--per-site]\n"
+               "                      (static reliability bounds: P(output "
+               "bitwise-exact) lower\n"
+               "                       bounds for the optimized binary at "
+               "level L, default medium;\n"
+               "                       --per-site lists endorsement-site "
+               "bounds)\n"
                "       fenerj_tool lint <file.fej> [--json] [--Werror]\n"
                "                      (endorsement / precision-slack / "
                "dead-value / isa-flow /\n"
@@ -933,6 +1124,8 @@ int main(int Argc, char **Argv) {
     return usage();
   if (std::string(Argv[1]) == "opt")
     return optMode(Argc, Argv);
+  if (std::string(Argv[1]) == "bound")
+    return boundMode(Argc, Argv);
   bool Ok = true;
   std::string Source = readFile(Argv[2], Ok);
   if (!Ok) {

@@ -56,11 +56,11 @@ public:
   BitVec() = default;
   explicit BitVec(unsigned Bits) : Bits(Bits), Words((Bits + 63) / 64, 0) {}
 
-  unsigned size() const { return Bits; }
+  [[nodiscard]] unsigned size() const { return Bits; }
 
   void set(unsigned Index) { Words[Index >> 6] |= One << (Index & 63); }
   void clear(unsigned Index) { Words[Index >> 6] &= ~(One << (Index & 63)); }
-  bool test(unsigned Index) const {
+  [[nodiscard]] bool test(unsigned Index) const {
     return (Words[Index >> 6] >> (Index & 63)) & 1;
   }
 

@@ -57,7 +57,7 @@ struct IsaFlowWarning {
   int Line = 0; ///< Assembly line of the instruction.
   std::string Message;
 
-  std::string str() const {
+  [[nodiscard]] std::string str() const {
     return "line " + std::to_string(Line) + ": " + Message;
   }
 };
@@ -67,7 +67,7 @@ struct IsaFlowResult {
   std::vector<isa::VerifyError> Errors;
   std::vector<IsaFlowWarning> Warnings;
 
-  bool ok() const { return Errors.empty(); }
+  [[nodiscard]] bool ok() const { return Errors.empty(); }
 };
 
 /// A register operand, in either file, flattened for bit-set analyses:
@@ -76,8 +76,10 @@ struct RegRef {
   bool IsFp = false;
   unsigned Index = 0;
 
-  unsigned flat() const { return (IsFp ? isa::NumIntRegs : 0) + Index; }
-  std::string str() const {
+  [[nodiscard]] unsigned flat() const {
+    return (IsFp ? isa::NumIntRegs : 0) + Index;
+  }
+  [[nodiscard]] std::string str() const {
     return (IsFp ? "f" : "r") + std::to_string(Index);
   }
 };

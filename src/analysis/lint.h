@@ -85,9 +85,9 @@ struct LintResult {
   bool IsaChecked = false;
   std::string IsaSkipReason;
 
-  unsigned count(LintPass Pass) const;
-  unsigned errorCount() const;
-  bool hasErrors() const { return errorCount() != 0; }
+  [[nodiscard]] unsigned count(LintPass Pass) const;
+  [[nodiscard]] unsigned errorCount() const;
+  [[nodiscard]] bool hasErrors() const { return errorCount() != 0; }
 };
 
 struct LintOptions {

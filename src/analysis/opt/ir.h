@@ -57,20 +57,22 @@ struct OptProgram {
   std::vector<OptBlock> Blocks;
 
   /// The synthetic exit node's id.
-  unsigned exitId() const { return static_cast<unsigned>(Blocks.size()); }
+  [[nodiscard]] unsigned exitId() const {
+    return static_cast<unsigned>(Blocks.size());
+  }
 
   /// Total instruction count (bodies + terminators).
-  size_t opCount() const;
+  [[nodiscard]] size_t opCount() const;
 
   // --- Graph concept (analysis/dataflow.h); block 0 is the entry and
   // --- the synthetic exit participates as node exitId().
-  unsigned blockCount() const {
+  [[nodiscard]] unsigned blockCount() const {
     return static_cast<unsigned>(Blocks.size()) + 1;
   }
-  const std::vector<unsigned> &succs(unsigned Block) const {
+  [[nodiscard]] const std::vector<unsigned> &succs(unsigned Block) const {
     return Block == exitId() ? Empty : Blocks[Block].Succs;
   }
-  const std::vector<unsigned> &preds(unsigned Block) const {
+  [[nodiscard]] const std::vector<unsigned> &preds(unsigned Block) const {
     return Block == exitId() ? ExitPreds : Blocks[Block].Preds;
   }
 

@@ -45,7 +45,7 @@ struct StaticEnergyEstimate {
   double PreciseUnits = 0.0; ///< The same text priced fully precisely.
 
   /// Normalized factor (1.0 = no approximate savings in the text).
-  double factor() const {
+  [[nodiscard]] double factor() const {
     return PreciseUnits > 0 ? Units / PreciseUnits : 1.0;
   }
 };
@@ -71,14 +71,14 @@ struct OptReport {
   StaticEnergyEstimate EnergyBefore, EnergyAfter;
   std::vector<PassReport> Passes;
 
-  unsigned totalRewritten() const {
+  [[nodiscard]] unsigned totalRewritten() const {
     unsigned Count = 0;
     for (const PassReport &Pass : Passes)
       if (Pass.Accepted)
         Count += Pass.Rewritten;
     return Count;
   }
-  unsigned totalRemoved() const {
+  [[nodiscard]] unsigned totalRemoved() const {
     unsigned Count = 0;
     for (const PassReport &Pass : Passes)
       if (Pass.Accepted)

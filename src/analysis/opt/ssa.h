@@ -52,11 +52,11 @@ struct DomTree {
   std::vector<unsigned> RpoOrder; ///< Reachable blocks in RPO.
   std::vector<std::vector<unsigned>> Children;
 
-  bool reachable(unsigned Block) const {
+  [[nodiscard]] bool reachable(unsigned Block) const {
     return Idom[Block] != InvalidId;
   }
   /// True when \p A dominates \p B (reflexive).
-  bool dominates(unsigned A, unsigned B) const {
+  [[nodiscard]] bool dominates(unsigned A, unsigned B) const {
     while (B != A && B != Idom[B])
       B = Idom[B];
     return B == A;

@@ -1,0 +1,1098 @@
+//===- analysis/reliability/bounds.cpp - Static reliability bounds --------===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Abstract interpretation over the optimizer's block CFG. Soundness rests
+// on three facts, each local enough to check here:
+//
+//  1. Every fault event in the machine (SRAM read upset, SRAM write
+//     failure, ALU/FPU timing error, DRAM cell decay) is an independent
+//     Bernoulli draw. The probability that a set of events all come out
+//     clean is the product of their per-event clean probabilities, and a
+//     product over a *superset* of the events that actually matter — with
+//     double counting — can only be smaller. So multiplying a clean
+//     factor into a value's bound at every read/op/write along its
+//     dependence cone yields a lower bound on P(value bitwise-exact).
+//
+//  2. If every event on the reference path comes out clean, the execution
+//     *is* the reference execution (induction over instructions: same
+//     values in, same deterministic op, same values out). Divergence —
+//     including a corrupted loop counter spinning extra iterations — thus
+//     requires at least one unclean event already priced into Path or a
+//     value bound.
+//
+//  3. The dyadic window (v ∈ 2^Lo·Z and |v| ≤ 2^Hi; Lo > Hi encodes
+//     exactly {0}) describes the value in the *reference* execution, so
+//     it is unaffected by fault probabilities. Its one job: prove that
+//     mantissa truncation of an approximate FP op's operand is the
+//     identity, in which case narrowing cannot diverge the faulty run
+//     from the (never-narrowed) reference.
+//
+// Loops: a pass-per-iteration unrolling indexed by header entries. Each
+// pass's escape states are collected (min-joined), so exits after k
+// iterations are covered by pass k. Branches whose operands fold to
+// reference constants have a known reference direction and flow one way;
+// counted loops therefore terminate the unrolling concretely. Otherwise,
+// after a grace of WidenAfter passes, widening snaps every field that
+// changed between consecutive passes to its bottom (bound → 0, window →
+// Top, const → unknown) — the limit of geometric decay, since a
+// per-iteration factor < 1 compounds to 0 — and the loop exits through
+// the fixpoint check. The check demands covering equality per field, so
+// at level None (all factors exactly 1.0, bounds never change) every
+// bound survives widening at exactly 1.0 with no special casing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/reliability/bounds.h"
+
+#include "analysis/dataflow.h"
+#include "analysis/opt/ir.h"
+#include "analysis/opt/ssa.h"
+#include "support/bits.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+using namespace enerj;
+using namespace enerj::analysis;
+using namespace enerj::analysis::reliability;
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using opt::InvalidId;
+using opt::NumFlatRegs;
+
+/// Window encoding constants. A window with Lo > Hi contains only 0
+/// (the grid 2^Lo·Z meets |v| ≤ 2^Hi < 2^Lo only at 0); the canonical
+/// zero window uses sentinels far outside any reachable exponent so that
+/// it acts as the identity under (min Lo, max Hi) joins.
+constexpr int WZeroLo = 1100;
+constexpr int WZeroHi = -1100;
+/// FP windows outside ±2^900 degrade to Top: keeping |v| ≤ 2^901 well
+/// under the overflow threshold makes every magnitude argument below
+/// immune to rounding-to-infinity.
+constexpr int WRange = 900;
+
+/// The abstract value: a lower bound on P(bitwise-exact), plus the
+/// dyadic window / folded constant describing the reference value.
+/// Invariant for non-Top windows: v ∈ 2^Lo·Z and |v| ≤ 2^Hi.
+struct ValueInfo {
+  enum ConstKind : uint8_t { NotConst, ConstInt, ConstFp };
+  double Bound = 1.0;
+  bool Top = true; ///< Window unknown (constants may still be folded).
+  int Lo = 0;
+  int Hi = 0;
+  ConstKind Const = NotConst;
+  int64_t IVal = 0;
+  double FVal = 0.0;
+};
+
+void setZeroWindow(ValueInfo &V) {
+  V.Top = false;
+  V.Lo = WZeroLo;
+  V.Hi = WZeroHi;
+}
+
+/// Window of a nonzero integer: Lo = trailing zeros, Hi = bit length,
+/// so |X| ≤ 2^Hi (in fact < 2^Hi; ≤ is all the invariant needs).
+void setIntWindow(ValueInfo &V, int64_t X) {
+  if (X == 0) {
+    setZeroWindow(V);
+    return;
+  }
+  uint64_t U = X < 0 ? 0ULL - static_cast<uint64_t>(X)
+                     : static_cast<uint64_t>(X);
+  V.Top = false;
+  V.Lo = std::countr_zero(U);
+  V.Hi = 64 - std::countl_zero(U);
+}
+
+/// Window of a finite double: X = ±M·2^(E-53) with M an integer in
+/// [2^52, 2^53) (exact for subnormals too — scaling by a power of two
+/// up to integer range is exact), so Lo = (E-53) + trailing zeros of M
+/// and |X| < 2^E.
+void setFpWindow(ValueInfo &V, double X) {
+  if (X == 0.0) {
+    setZeroWindow(V);
+    return;
+  }
+  if (!std::isfinite(X)) {
+    V.Top = true;
+    return;
+  }
+  int E = 0;
+  std::frexp(X, &E);
+  auto M = static_cast<uint64_t>(std::ldexp(std::fabs(X), 53 - E));
+  V.Top = false;
+  V.Lo = (E - 53) + std::countr_zero(M);
+  V.Hi = E;
+  if (V.Lo < -WRange || V.Hi > WRange)
+    V.Top = true;
+}
+
+ValueInfo constIntVal(int64_t X) {
+  ValueInfo V;
+  V.Const = ValueInfo::ConstInt;
+  V.IVal = X;
+  setIntWindow(V, X);
+  return V;
+}
+
+ValueInfo constFpVal(double X) {
+  ValueInfo V;
+  V.Const = ValueInfo::ConstFp;
+  V.FVal = X;
+  setFpWindow(V, X);
+  return V;
+}
+
+/// Integer-result window; normalizes any empty (Lo > Hi) window to the
+/// canonical zero encoding so repeated arithmetic on zeros converges.
+ValueInfo winInt(int Lo, int Hi) {
+  ValueInfo V;
+  if (Lo > Hi) {
+    setZeroWindow(V);
+    return V;
+  }
+  V.Top = false;
+  V.Lo = Lo;
+  V.Hi = Hi;
+  return V;
+}
+
+/// FP-result window with the ±2^900 range guard.
+ValueInfo winFp(int Lo, int Hi) {
+  ValueInfo V;
+  if (Lo > Hi) {
+    setZeroWindow(V);
+    return V;
+  }
+  if (Lo < -WRange || Hi > WRange)
+    return V; // Top.
+  V.Top = false;
+  V.Lo = Lo;
+  V.Hi = Hi;
+  return V;
+}
+
+bool sameConst(const ValueInfo &A, const ValueInfo &B) {
+  if (A.Const != B.Const)
+    return false;
+  switch (A.Const) {
+  case ValueInfo::NotConst:
+    return true;
+  case ValueInfo::ConstInt:
+    return A.IVal == B.IVal;
+  case ValueInfo::ConstFp:
+    return toBits(A.FVal) == toBits(B.FVal); // NaN-safe.
+  }
+  return false;
+}
+
+bool sameWindow(const ValueInfo &A, const ValueInfo &B) {
+  if (A.Top != B.Top)
+    return false;
+  return A.Top || (A.Lo == B.Lo && A.Hi == B.Hi);
+}
+
+bool sameValue(const ValueInfo &A, const ValueInfo &B) {
+  return A.Bound == B.Bound && sameWindow(A, B) && sameConst(A, B);
+}
+
+/// Lattice join: weakest bound, union window, constants only if equal.
+ValueInfo joinValue(const ValueInfo &A, const ValueInfo &B) {
+  ValueInfo R;
+  R.Bound = std::min(A.Bound, B.Bound);
+  if (sameConst(A, B) && A.Const != ValueInfo::NotConst) {
+    R.Const = A.Const;
+    R.IVal = A.IVal;
+    R.FVal = A.FVal;
+  }
+  if (A.Top || B.Top)
+    return R; // Window Top.
+  R.Top = false;
+  R.Lo = std::min(A.Lo, B.Lo);
+  R.Hi = std::max(A.Hi, B.Hi);
+  return R;
+}
+
+/// Per-field widening: keep what reproduced itself, bottom what changed.
+/// Field granularity (bound separate from window/const) is what keeps a
+/// level-None analysis of a data-dependent loop at exactly 1.0: the
+/// windows churn and go Top, but the bounds never change and survive.
+ValueInfo widenValue(const ValueInfo &H, const ValueInfo &L) {
+  ValueInfo N = H;
+  if (H.Bound != L.Bound)
+    N.Bound = 0.0;
+  if (!sameWindow(H, L) || !sameConst(H, L)) {
+    N.Top = true;
+    N.Const = ValueInfo::NotConst;
+  }
+  return N;
+}
+
+/// True when |X| is exactly 2^K (division by it is an exact scaling).
+bool isPowerOfTwoAbs(double X, int &K) {
+  if (X == 0.0 || !std::isfinite(X))
+    return false;
+  int E = 0;
+  if (std::frexp(std::fabs(X), &E) != 0.5)
+    return false;
+  K = E - 1;
+  return true;
+}
+
+/// Integer transfer (window/const only; the caller composes bounds).
+/// Every fold replicates machine arithmetic exactly: wrapAdd & friends
+/// are the machine's own helpers, and the approximate div/rem by a
+/// constant zero folds to the machine's deterministic 0. A *precise*
+/// div/rem whose reference divisor is zero traps the reference run,
+/// making every bound vacuous (see bounds.h), so Top is fine there.
+ValueInfo intArith(Opcode Op, bool Approx, const ValueInfo &A,
+                   const ValueInfo &B) {
+  bool CA = A.Const == ValueInfo::ConstInt;
+  bool CB = B.Const == ValueInfo::ConstInt;
+  bool Win = !A.Top && !B.Top;
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Addi:
+    if (CA && CB)
+      return constIntVal(wrapAdd(A.IVal, B.IVal));
+    // |a+b| ≤ 2^(max+1); max+1 ≤ 62 rules out two's-complement wrap.
+    if (Win && std::max(A.Hi, B.Hi) + 1 <= 62)
+      return winInt(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi) + 1);
+    return {};
+  case Opcode::Sub:
+    if (CA && CB)
+      return constIntVal(wrapSub(A.IVal, B.IVal));
+    if (Win && std::max(A.Hi, B.Hi) + 1 <= 62)
+      return winInt(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi) + 1);
+    return {};
+  case Opcode::Mul:
+    if (CA && CB)
+      return constIntVal(wrapMul(A.IVal, B.IVal));
+    if (Win && A.Hi + B.Hi <= 62)
+      return winInt(A.Lo + B.Lo, A.Hi + B.Hi);
+    return {};
+  case Opcode::Div:
+    if (CB && B.IVal == 0)
+      return Approx ? constIntVal(0) : ValueInfo{};
+    if (CA && CB)
+      return constIntVal(wrapDiv(A.IVal, B.IVal));
+    // |a/b| ≤ |a| (wrapDiv's MIN/-1 → MIN included: Ha ≥ 64 then), and
+    // an approximate zero divisor yields 0, inside any (0, Hi) window.
+    if (!A.Top)
+      return winInt(0, A.Hi);
+    return {};
+  case Opcode::Rem:
+    if (CB && B.IVal == 0)
+      return Approx ? constIntVal(0) : ValueInfo{};
+    if (CA && CB)
+      return constIntVal(wrapRem(A.IVal, B.IVal));
+    if (!B.Top)
+      return winInt(0, B.Hi); // |a%b| < |b|; MIN%-1 is 0.
+    if (!A.Top)
+      return winInt(0, A.Hi);
+    return {};
+  case Opcode::Seq:
+    if (CA && CB)
+      return constIntVal(A.IVal == B.IVal ? 1 : 0);
+    return winInt(0, 1);
+  case Opcode::Sne:
+    if (CA && CB)
+      return constIntVal(A.IVal != B.IVal ? 1 : 0);
+    return winInt(0, 1);
+  case Opcode::Slt:
+    if (CA && CB)
+      return constIntVal(A.IVal < B.IVal ? 1 : 0);
+    return winInt(0, 1);
+  case Opcode::Sle:
+    if (CA && CB)
+      return constIntVal(A.IVal <= B.IVal ? 1 : 0);
+    return winInt(0, 1);
+  case Opcode::And:
+    if (CA && CB)
+      return constIntVal(A.IVal & B.IVal);
+    return {};
+  case Opcode::Or:
+    if (CA && CB)
+      return constIntVal(A.IVal | B.IVal);
+    return {};
+  default:
+    return {};
+  }
+}
+
+/// FP transfer. Constant folds are exact because the machine computes
+/// with the same C++ doubles (and a proven-harmless narrow is the
+/// identity). Window rules lean on two IEEE facts: rounding a value on
+/// grid 2^g·Z lands on 2^min(g, ulp-grid)·Z ⊆ 2^g'·Z for the claimed
+/// g' ≤ g, and monotone rounding keeps |round(x)| ≤ 2^Hi whenever
+/// |x| ≤ 2^Hi and 2^Hi is representable (guaranteed by WRange).
+ValueInfo fpArith(Opcode Op, bool Approx, const ValueInfo &A,
+                  const ValueInfo &B) {
+  bool CA = A.Const == ValueInfo::ConstFp;
+  bool CB = B.Const == ValueInfo::ConstFp;
+  bool Win = !A.Top && !B.Top;
+  switch (Op) {
+  case Opcode::Fadd:
+    if (CA && CB)
+      return constFpVal(A.FVal + B.FVal);
+    if (Win)
+      return winFp(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi) + 1);
+    return {};
+  case Opcode::Fsub:
+    if (CA && CB)
+      return constFpVal(A.FVal - B.FVal);
+    if (Win)
+      return winFp(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi) + 1);
+    return {};
+  case Opcode::Fmul:
+    if (CA && CB)
+      return constFpVal(A.FVal * B.FVal);
+    if (Win)
+      return winFp(A.Lo + B.Lo, A.Hi + B.Hi);
+    return {};
+  case Opcode::Fdiv: {
+    // The machine's approximate divide-by-zero is a deterministic NaN at
+    // every level (the check is on the instruction hint, not the level).
+    if (CB && B.FVal == 0.0 && Approx)
+      return constFpVal(std::numeric_limits<double>::quiet_NaN());
+    if (CA && CB)
+      return constFpVal(A.FVal / B.FVal);
+    int K = 0;
+    if (CB && isPowerOfTwoAbs(B.FVal, K) && !A.Top)
+      return winFp(A.Lo - K, A.Hi - K); // Exact scaling under the guard.
+    return {};
+  }
+  default:
+    return {};
+  }
+}
+
+/// The whole abstract machine state at one program point.
+struct AbsState {
+  bool Reach = false;
+  /// P(control flow has followed the reference path to this point).
+  double Path = 1.0;
+  std::array<ValueInfo, NumFlatRegs> Regs;
+  /// P(every cell of the region is bitwise-exact). The approximate
+  /// region starts below 1.0: the whole-run DRAM residency factor is
+  /// folded in once up front (the decay law composes multiplicatively
+  /// over access gaps, so per-load draws telescope under it).
+  double MemP = 1.0;
+  double MemA = 1.0;
+  /// Reference-value summaries of region contents, one per view type:
+  /// a store of the *other* type poisons a view (type-punned reloads
+  /// must not inherit a window). Bounds inside these are unused (pinned
+  /// to 1.0); MemP/MemA carry the probability mass.
+  ValueInfo PInt, PFp, AInt, AFp;
+};
+
+void joinState(AbsState &A, const AbsState &B) {
+  if (!B.Reach)
+    return;
+  if (!A.Reach) {
+    A = B;
+    return;
+  }
+  A.Path = std::min(A.Path, B.Path);
+  for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg)
+    A.Regs[Reg] = joinValue(A.Regs[Reg], B.Regs[Reg]);
+  A.MemP = std::min(A.MemP, B.MemP);
+  A.MemA = std::min(A.MemA, B.MemA);
+  A.PInt = joinValue(A.PInt, B.PInt);
+  A.PFp = joinValue(A.PFp, B.PFp);
+  A.AInt = joinValue(A.AInt, B.AInt);
+  A.AFp = joinValue(A.AFp, B.AFp);
+}
+
+struct Analyzer {
+  const FaultRates &R;
+  const BoundOptions &Opt;
+  opt::OptProgram P;
+  opt::DomTree Tree;
+  opt::OptLiveness Live; ///< PR-1 worklist engine under the hood.
+
+  /// One natural loop (latches merged per header).
+  struct LoopInfo {
+    unsigned Header = 0;
+    std::vector<uint8_t> Body; ///< Membership bitmap over blockCount().
+    unsigned Parent = InvalidId;
+    /// Blocks this loop evaluates directly, RPO-sorted: its own blocks
+    /// (header included) plus the headers of its immediate children.
+    std::vector<unsigned> Region;
+  };
+  std::vector<LoopInfo> Loops;
+  std::vector<unsigned> LoopOf; ///< Innermost loop per block.
+  std::vector<unsigned> TopRegion;
+  /// Final disposition per loop: 0 untouched, 1 unrolled, 2 widened.
+  std::vector<uint8_t> Disposition;
+
+  bool Irreducible = false;
+  bool Bail = false;
+  uint64_t Evals = 0;
+  std::map<std::pair<unsigned, unsigned>, SiteBound> SiteMap;
+
+  Analyzer(const isa::IsaProgram &Program, const FaultRates &Rates,
+           const BoundOptions &Options)
+      : R(Rates), Opt(Options), P(opt::buildOptProgram(Program)),
+        Tree(opt::computeDomTree(P)), Live(opt::computeLiveness(P)) {
+    discoverLoops();
+  }
+
+  // --- Structure discovery -----------------------------------------------
+
+  void discoverLoops() {
+    unsigned N = P.blockCount();
+    LoopOf.assign(N, InvalidId);
+
+    // Back edges; any retreating edge without header domination means an
+    // irreducible region, where iteration-indexed unrolling is unsound.
+    std::map<unsigned, std::vector<unsigned>> Latches;
+    for (unsigned U : Tree.RpoOrder)
+      for (unsigned S : P.succs(U))
+        if (Tree.RpoIndex[S] <= Tree.RpoIndex[U]) {
+          if (!Tree.dominates(S, U)) {
+            Irreducible = true;
+            return;
+          }
+          Latches[S].push_back(U);
+        }
+
+    for (const auto &[Header, Tails] : Latches) {
+      LoopInfo L;
+      L.Header = Header;
+      L.Body.assign(N, 0);
+      L.Body[Header] = 1;
+      std::vector<unsigned> Work;
+      for (unsigned Tail : Tails)
+        if (!L.Body[Tail]) {
+          L.Body[Tail] = 1;
+          Work.push_back(Tail);
+        }
+      while (!Work.empty()) {
+        unsigned Block = Work.back();
+        Work.pop_back();
+        for (unsigned Pred : P.preds(Block))
+          if (Tree.reachable(Pred) && !L.Body[Pred]) {
+            L.Body[Pred] = 1;
+            Work.push_back(Pred);
+          }
+      }
+      Loops.push_back(std::move(L));
+    }
+    Disposition.assign(Loops.size(), 0);
+
+    auto BodySize = [&](unsigned Id) {
+      return std::count(Loops[Id].Body.begin(), Loops[Id].Body.end(), 1);
+    };
+
+    // Innermost containing loop per block; loops nest properly in a
+    // reducible CFG, so "smallest containing body" is well defined.
+    for (unsigned Block : Tree.RpoOrder)
+      for (unsigned Id = 0; Id < Loops.size(); ++Id)
+        if (Loops[Id].Body[Block] &&
+            (LoopOf[Block] == InvalidId ||
+             BodySize(Id) < BodySize(LoopOf[Block])))
+          LoopOf[Block] = Id;
+
+    for (unsigned Id = 0; Id < Loops.size(); ++Id) {
+      unsigned Best = InvalidId;
+      for (unsigned Other = 0; Other < Loops.size(); ++Other)
+        if (Other != Id && Loops[Other].Body[Loops[Id].Header] &&
+            (Best == InvalidId || BodySize(Other) < BodySize(Best)))
+          Best = Other;
+      Loops[Id].Parent = Best;
+    }
+
+    // Region lists in RPO: the evaluation order within one unroll pass.
+    for (unsigned Block : Tree.RpoOrder) {
+      unsigned Inner = LoopOf[Block];
+      if (Inner == InvalidId) {
+        TopRegion.push_back(Block);
+        continue;
+      }
+      if (Loops[Inner].Header == Block) {
+        unsigned Up = Loops[Inner].Parent;
+        if (Up == InvalidId)
+          TopRegion.push_back(Block);
+        else
+          Loops[Up].Region.push_back(Block);
+      }
+      Loops[Inner].Region.push_back(Block);
+    }
+  }
+
+  // --- Per-value helpers -------------------------------------------------
+
+  ValueInfo useInt(const AbsState &S, unsigned Index) const {
+    ValueInfo V = S.Regs[Index];
+    if (isa::isApproxReg(Index))
+      V.Bound *= R.regReadExact();
+    return V;
+  }
+
+  ValueInfo useFp(const AbsState &S, unsigned Index) const {
+    ValueInfo V = S.Regs[isa::NumIntRegs + Index];
+    if (isa::isApproxReg(Index))
+      V.Bound *= R.regReadExact();
+    return V;
+  }
+
+  void defInt(AbsState &S, unsigned Index, ValueInfo V) const {
+    if (isa::isApproxReg(Index))
+      V.Bound *= R.regWriteExact();
+    S.Regs[Index] = V;
+  }
+
+  void defFp(AbsState &S, unsigned Index, ValueInfo V) const {
+    if (isa::isApproxReg(Index))
+      V.Bound *= R.regWriteExact();
+    S.Regs[isa::NumIntRegs + Index] = V;
+  }
+
+  /// P(mantissa truncation of an approximate op's operand is the
+  /// identity). Proven three ways: the folded constant survives the
+  /// actual truncation bit test; the value is exactly 0; or the window
+  /// needs at most the kept significand (Hi - Lo ≤ kept bits, with the
+  /// exponent ≥ -1022 so no significand bits hide below the subnormal
+  /// threshold). Anything unproven prices in a full divergence (0).
+  double narrowFactor(const ValueInfo &V) const {
+    if (!R.narrowsDouble())
+      return 1.0;
+    unsigned Kept = R.DoubleMantissaBits;
+    if (V.Const == ValueInfo::ConstFp) {
+      uint64_t Bits = toBits(V.FVal);
+      return truncateDoubleMantissa(Bits, Kept) == Bits ? 1.0 : 0.0;
+    }
+    if (V.Top)
+      return 0.0;
+    if (V.Lo > V.Hi)
+      return 1.0; // Exactly zero; truncation is the identity.
+    if (V.Hi - V.Lo <= static_cast<int>(Kept) && V.Lo >= -1022)
+      return 1.0;
+    return 0.0;
+  }
+
+  void noteSite(unsigned Block, unsigned Index, const Instruction &I,
+                double Bound, bool Fp) {
+    if (!Opt.PerSite)
+      return;
+    auto [It, New] = SiteMap.try_emplace({Block, Index});
+    SiteBound &Site = It->second;
+    if (New) {
+      Site.Block = Block;
+      Site.Index = Index;
+      Site.Line = I.Line;
+      Site.Fp = Fp;
+      Site.SrcReg = I.Ra;
+    }
+    Site.Bound = New ? Bound : std::min(Site.Bound, Bound);
+    ++Site.Visits;
+  }
+
+  // --- Instruction transfer ----------------------------------------------
+
+  void applyInstr(AbsState &S, const Instruction &I, unsigned Block,
+                  unsigned Index) {
+    double Alu = I.Approx ? R.aluExact() : 1.0;
+    switch (I.Op) {
+    case Opcode::Li:
+      defInt(S, I.Rd, constIntVal(I.Imm));
+      break;
+    case Opcode::Lfi:
+      defFp(S, I.Rd, constFpVal(I.FpImm));
+      break;
+    case Opcode::Mv:
+      defInt(S, I.Rd, useInt(S, I.Ra));
+      break;
+    case Opcode::Fmv:
+      defFp(S, I.Rd, useFp(S, I.Ra));
+      break;
+
+    case Opcode::Endorse: {
+      ValueInfo V = useInt(S, I.Ra);
+      noteSite(Block, Index, I, S.Path * V.Bound, /*Fp=*/false);
+      defInt(S, I.Rd, V);
+      break;
+    }
+    case Opcode::Fendorse: {
+      ValueInfo V = useFp(S, I.Ra);
+      noteSite(Block, Index, I, S.Path * V.Bound, /*Fp=*/true);
+      defFp(S, I.Rd, V);
+      break;
+    }
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Seq:
+    case Opcode::Sne:
+    case Opcode::Slt:
+    case Opcode::Sle:
+    case Opcode::And:
+    case Opcode::Or: {
+      ValueInfo A = useInt(S, I.Ra);
+      ValueInfo B = useInt(S, I.Rb);
+      ValueInfo V = intArith(I.Op, I.Approx, A, B);
+      V.Bound = A.Bound * B.Bound * Alu;
+      defInt(S, I.Rd, V);
+      break;
+    }
+    case Opcode::Addi: {
+      ValueInfo A = useInt(S, I.Ra);
+      ValueInfo V = intArith(I.Op, I.Approx, A, constIntVal(I.Imm));
+      V.Bound = A.Bound * Alu;
+      defInt(S, I.Rd, V);
+      break;
+    }
+
+    case Opcode::Fadd:
+    case Opcode::Fsub:
+    case Opcode::Fmul:
+    case Opcode::Fdiv: {
+      ValueInfo A = useFp(S, I.Ra);
+      ValueInfo B = useFp(S, I.Rb);
+      // Operand narrowing happens only on approximate FP ops; an
+      // unproven narrow is a divergence from the never-narrowed
+      // reference, priced here. Window/const math below still describes
+      // the reference (which does not narrow).
+      double Narrow = I.Approx ? narrowFactor(A) * narrowFactor(B) : 1.0;
+      ValueInfo V = fpArith(I.Op, I.Approx, A, B);
+      V.Bound = A.Bound * B.Bound * Narrow * Alu;
+      defFp(S, I.Rd, V);
+      break;
+    }
+
+    case Opcode::Cvt: {
+      ValueInfo A = useInt(S, I.Ra);
+      ValueInfo V;
+      if (A.Const == ValueInfo::ConstInt)
+        V = constFpVal(static_cast<double>(A.IVal));
+      else if (!A.Top)
+        V = winFp(A.Lo, A.Hi); // Rounding keeps grid and magnitude.
+      V.Bound = A.Bound * Alu;
+      defFp(S, I.Rd, V);
+      break;
+    }
+    case Opcode::Cvti: {
+      ValueInfo A = useFp(S, I.Ra);
+      double Narrow = I.Approx ? narrowFactor(A) : 1.0;
+      ValueInfo V;
+      if (A.Const == ValueInfo::ConstFp) {
+        // The machine's saturating conversion, replicated bit for bit.
+        double F = A.FVal;
+        int64_t T = 0;
+        if (std::isfinite(F)) {
+          if (F >= 9.2233720368547758e18)
+            T = std::numeric_limits<int64_t>::max();
+          else if (F <= -9.2233720368547758e18)
+            T = std::numeric_limits<int64_t>::min();
+          else
+            T = static_cast<int64_t>(F);
+        }
+        V = constIntVal(T);
+      } else if (!A.Top) {
+        if (A.Hi < 0)
+          V = constIntVal(0); // |v| ≤ 2^Hi < 1 truncates to 0.
+        else if (A.Hi <= 62)
+          V = winInt(0, A.Hi); // Under 2^63: no saturation, |r| ≤ |v|.
+      }
+      V.Bound = A.Bound * Narrow * Alu;
+      defInt(S, I.Rd, V);
+      break;
+    }
+
+    case Opcode::Lw:
+    case Opcode::Flw: {
+      ValueInfo Addr = useInt(S, I.Ra);
+      bool FpView = I.Op == Opcode::Flw;
+      ValueInfo V;
+      double Region = 0.0;
+      if (I.Approx) {
+        // An approximate load may legally hit either region.
+        Region = std::min(S.MemP, S.MemA);
+        V = FpView ? joinValue(S.PFp, S.AFp) : joinValue(S.PInt, S.AInt);
+      } else {
+        Region = S.MemP; // A precise load of the approximate region traps.
+        V = FpView ? S.PFp : S.PInt;
+      }
+      V.Bound = Region * Addr.Bound;
+      if (FpView)
+        defFp(S, I.Rd, V);
+      else
+        defInt(S, I.Rd, V);
+      break;
+    }
+    case Opcode::Sw:
+    case Opcode::Fsw: {
+      bool FpView = I.Op == Opcode::Fsw;
+      ValueInfo Val = FpView ? useFp(S, I.Rd) : useInt(S, I.Rd);
+      ValueInfo Addr = useInt(S, I.Ra);
+      // Region exactness now requires this store's value *and* address
+      // exact (a misdirected store clobbers some other cell).
+      double Factor = Val.Bound * Addr.Bound;
+      ValueInfo Stored = Val;
+      Stored.Bound = 1.0; // Summaries carry reference values only.
+      ValueInfo Poison;   // Top window, unknown const.
+      if (I.Approx) {     // Approximate stores land in the approximate
+        S.MemA *= Factor; // region or trap; never the precise one.
+        if (FpView) {
+          S.AFp = joinValue(S.AFp, Stored);
+          S.AInt = Poison;
+        } else {
+          S.AInt = joinValue(S.AInt, Stored);
+          S.AFp = Poison;
+        }
+      } else {
+        S.MemP *= Factor;
+        if (FpView) {
+          S.PFp = joinValue(S.PFp, Stored);
+          S.PInt = Poison;
+        } else {
+          S.PInt = joinValue(S.PInt, Stored);
+          S.PFp = Poison;
+        }
+      }
+      break;
+    }
+
+    default: // Branches/jumps/halt are terminators, never in a body.
+      break;
+    }
+  }
+
+  /// Reference direction of a conditional branch, when both operands
+  /// fold: 0 = taken (Succs[0]), 1 = fall-through, -1 = unknown. The
+  /// comparisons are the machine's own C++ operators (NaN included:
+  /// fbne on NaN *is* taken, exactly as the interpreter computes it).
+  static int branchDirection(Opcode Op, const ValueInfo &L,
+                             const ValueInfo &Rv) {
+    bool Taken = false;
+    switch (Op) {
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Ble: {
+      if (L.Const != ValueInfo::ConstInt || Rv.Const != ValueInfo::ConstInt)
+        return -1;
+      int64_t A = L.IVal, B = Rv.IVal;
+      Taken = Op == Opcode::Beq   ? A == B
+              : Op == Opcode::Bne ? A != B
+              : Op == Opcode::Blt ? A < B
+                                  : A <= B;
+      break;
+    }
+    default: {
+      if (L.Const != ValueInfo::ConstFp || Rv.Const != ValueInfo::ConstFp)
+        return -1;
+      double A = L.FVal, B = Rv.FVal;
+      Taken = Op == Opcode::Fbeq   ? A == B
+              : Op == Opcode::Fbne ? A != B
+              : Op == Opcode::Fblt ? A < B
+                                   : A <= B;
+      break;
+    }
+    }
+    return Taken ? 0 : 1;
+  }
+
+  /// Evaluates one block: body transfer, then the terminator's flows.
+  /// \p NonConst is set when a conditional branch could not be directed
+  /// (the enclosing loop is then not reference-counted).
+  std::vector<std::pair<unsigned, AbsState>>
+  transferBlock(unsigned Id, AbsState S, bool &NonConst) {
+    std::vector<std::pair<unsigned, AbsState>> Flows;
+    if (++Evals > Opt.EvalBudget) {
+      Bail = true;
+      return Flows;
+    }
+    const opt::OptBlock &B = P.Blocks[Id];
+    for (unsigned Index = 0; Index < B.Body.size(); ++Index) {
+      applyInstr(S, B.Body[Index], Id, Index);
+      if (Bail)
+        return Flows;
+    }
+    if (!B.Term || B.Term->Op == Opcode::Jmp || B.Term->Op == Opcode::Halt) {
+      Flows.emplace_back(B.Succs[0], std::move(S));
+      return Flows;
+    }
+    const Instruction &T = *B.Term;
+    bool Fp = T.Op == Opcode::Fbeq || T.Op == Opcode::Fbne ||
+              T.Op == Opcode::Fblt || T.Op == Opcode::Fble;
+    ValueInfo L = Fp ? useFp(S, T.Rd) : useInt(S, T.Rd);
+    ValueInfo Rv = Fp ? useFp(S, T.Ra) : useInt(S, T.Ra);
+    // Any divergence in a branch operand can steer off the reference
+    // path; from here on that mass lives in Path, not the value bounds.
+    S.Path *= L.Bound * Rv.Bound;
+    if (B.Succs.size() == 1) { // Taken target == fall-through.
+      Flows.emplace_back(B.Succs[0], std::move(S));
+      return Flows;
+    }
+    int Dir = branchDirection(T.Op, L, Rv);
+    if (Dir >= 0) {
+      Flows.emplace_back(B.Succs[Dir], std::move(S));
+      return Flows;
+    }
+    NonConst = true;
+    Flows.emplace_back(B.Succs[0], S);
+    Flows.emplace_back(B.Succs[1], std::move(S));
+    return Flows;
+  }
+
+  // --- Region evaluation -------------------------------------------------
+
+  /// Runs one pass over a region in RPO. \p Loop == InvalidId means the
+  /// top region (then \p ExitOut collects the program exit state and
+  /// \p Latch is unused). Flows to the region's own header go to
+  /// \p Latch; flows leaving the loop go to \p Escapes. Single-pass RPO
+  /// is sound here because in a reducible CFG every non-back edge runs
+  /// RPO-forward and every back edge targets a header — this loop's
+  /// (the latch) or an ancestor's (an escape).
+  void evalRegion(unsigned Loop, const AbsState &Entry,
+                  std::map<unsigned, AbsState> &Escapes, AbsState *Latch,
+                  bool &NonConst, AbsState *ExitOut) {
+    std::map<unsigned, AbsState> In;
+    unsigned Head = Loop == InvalidId ? 0 : Loops[Loop].Header;
+    In[Head] = Entry;
+
+    auto Route = [&](unsigned Target, AbsState &&S) {
+      if (Loop != InvalidId) {
+        if (Target == Loops[Loop].Header) {
+          joinState(*Latch, S);
+          return;
+        }
+        if (!Loops[Loop].Body[Target]) {
+          joinState(Escapes[Target], S);
+          return;
+        }
+      }
+      joinState(In[Target], S);
+    };
+
+    const std::vector<unsigned> &Region =
+        Loop == InvalidId ? TopRegion : Loops[Loop].Region;
+    for (unsigned Block : Region) {
+      if (Bail)
+        return;
+      auto It = In.find(Block);
+      if (It == In.end() || !It->second.Reach)
+        continue;
+      AbsState S = std::move(It->second);
+      if (Loop == InvalidId && Block == P.exitId()) {
+        joinState(*ExitOut, S);
+        continue;
+      }
+      unsigned Inner = LoopOf[Block];
+      if (Inner != Loop) {
+        // A child loop's header: run the child to its own fixpoint and
+        // route whatever escapes it.
+        std::map<unsigned, AbsState> ChildEscapes;
+        solveLoop(Inner, std::move(S), ChildEscapes);
+        for (auto &[Target, Escaped] : ChildEscapes)
+          Route(Target, std::move(Escaped));
+        continue;
+      }
+      for (auto &[Target, Flow] : transferBlock(Block, std::move(S), NonConst))
+        Route(Target, std::move(Flow));
+    }
+  }
+
+  /// Header-state equality, dead registers exempt: a register not
+  /// live-in at the header is redefined before every use and before the
+  /// exit (liveness treats all registers observable there), so its
+  /// value cannot affect anything downstream.
+  bool sameState(const AbsState &A, const AbsState &B,
+                 const BitVec &HeadLive) const {
+    if (A.Reach != B.Reach)
+      return false;
+    if (!A.Reach)
+      return true;
+    if (A.Path != B.Path || A.MemP != B.MemP || A.MemA != B.MemA)
+      return false;
+    if (!sameValue(A.PInt, B.PInt) || !sameValue(A.PFp, B.PFp) ||
+        !sameValue(A.AInt, B.AInt) || !sameValue(A.AFp, B.AFp))
+      return false;
+    for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg)
+      if (HeadLive.test(Reg) && !sameValue(A.Regs[Reg], B.Regs[Reg]))
+        return false;
+    return true;
+  }
+
+  AbsState widenState(const AbsState &H, const AbsState &L,
+                      const BitVec &HeadLive) const {
+    AbsState N = H;
+    if (H.Path != L.Path)
+      N.Path = 0.0;
+    if (H.MemP != L.MemP)
+      N.MemP = 0.0;
+    if (H.MemA != L.MemA)
+      N.MemA = 0.0;
+    N.PInt = widenValue(H.PInt, L.PInt);
+    N.PFp = widenValue(H.PFp, L.PFp);
+    N.AInt = widenValue(H.AInt, L.AInt);
+    N.AFp = widenValue(H.AFp, L.AFp);
+    for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg)
+      if (HeadLive.test(Reg))
+        N.Regs[Reg] = widenValue(H.Regs[Reg], L.Regs[Reg]);
+    return N;
+  }
+
+  /// Drives one loop to closure. Pass k's header state describes the
+  /// reference's k-th arrival at the header, and every pass's escapes
+  /// are min-joined into \p Escapes, so exits after any number of
+  /// iterations are covered. Termination: a reference-counted loop
+  /// exits concretely (latch unreachable), a converging loop hits the
+  /// per-field covering fixpoint, and everything else widens — each
+  /// non-final widening step bottoms at least one of the finitely many
+  /// fields.
+  void solveLoop(unsigned Id, AbsState Entry,
+                 std::map<unsigned, AbsState> &Escapes) {
+    const LoopInfo &L = Loops[Id];
+    const BitVec &HeadLive = Live.LiveIn[L.Header];
+    AbsState HeaderIn = std::move(Entry);
+    bool NonConst = false;
+    bool Widened = false;
+    for (unsigned Pass = 1; !Bail; ++Pass) {
+      AbsState Latch;
+      evalRegion(Id, HeaderIn, Escapes, &Latch, NonConst, nullptr);
+      if (Bail)
+        return;
+      if (!Latch.Reach) // Exited concretely on every abstract path.
+        break;
+      // Covering fixpoint: this pass ran from HeaderIn and its escapes
+      // are recorded, so all later iterations are already accounted.
+      if (sameState(HeaderIn, Latch, HeadLive))
+        break;
+      unsigned Cap = NonConst ? Opt.WidenAfter : Opt.UnrollCap;
+      if (!Widened && Pass < Cap) {
+        HeaderIn = std::move(Latch); // Concrete unroll: next iteration.
+        continue;
+      }
+      AbsState Next = widenState(HeaderIn, Latch, HeadLive);
+      if (sameState(Next, HeaderIn, HeadLive)) {
+        // Nothing left to bottom: every differing field already sits at
+        // bottom in HeaderIn, so HeaderIn covers Latch — a fixpoint.
+        Widened = true;
+        break;
+      }
+      HeaderIn = std::move(Next);
+      Widened = true;
+    }
+    Disposition[Id] = Widened ? 2 : 1;
+  }
+
+  // --- Entry, bail-out, and assembly -------------------------------------
+
+  AbsState entryState() const {
+    AbsState S;
+    S.Reach = true;
+    for (unsigned Reg = 0; Reg < isa::NumIntRegs; ++Reg)
+      S.Regs[Reg] = constIntVal(0); // The machine zero-fills both files.
+    for (unsigned Reg = 0; Reg < isa::NumFpRegs; ++Reg)
+      S.Regs[isa::NumIntRegs + Reg] = constFpVal(0.0);
+    S.MemA = R.dramResidencyExact(Opt.MaxInstructions, P.ApproxWords);
+    ValueInfo ZeroInt = constIntVal(0);
+    ValueInfo ZeroFp = constFpVal(0.0); // Same bit pattern either view.
+    S.PInt = ZeroInt;
+    S.AInt = ZeroInt;
+    S.PFp = ZeroFp;
+    S.AFp = ZeroFp;
+    return S;
+  }
+
+  ReliabilityReport conservative() const {
+    // The trivial sound answer. It is 1.0 exactly when no fault source
+    // is live at all (level None): then every run is the reference run.
+    bool AllExact =
+        R.regReadExact() == 1.0 && R.regWriteExact() == 1.0 &&
+        R.aluExact() == 1.0 && !R.narrowsDouble() &&
+        R.dramResidencyExact(Opt.MaxInstructions, P.ApproxWords) == 1.0;
+    double Bound = AllExact ? 1.0 : 0.0;
+    ReliabilityReport Report;
+    Report.Conservative = true;
+    Report.PathBound = Bound;
+    Report.IntOutputBound = Bound;
+    Report.FpOutputBound = Bound;
+    Report.ProgramBound = Bound;
+    Report.ExitRegBounds.fill(Bound);
+    Report.PreciseMemBound = Bound;
+    Report.ApproxMemBound = Bound;
+    Report.LoopCount = static_cast<unsigned>(Loops.size());
+    Report.BlockEvals = Evals;
+    return Report;
+  }
+
+  ReliabilityReport run() {
+    if (Irreducible)
+      return conservative();
+
+    AbsState Exit;
+    std::map<unsigned, AbsState> Escapes; // Stays empty at the top.
+    bool NonConst = false;
+    evalRegion(InvalidId, entryState(), Escapes, nullptr, NonConst, &Exit);
+    if (Bail)
+      return conservative();
+
+    ReliabilityReport Report;
+    Report.LoopCount = static_cast<unsigned>(Loops.size());
+    for (uint8_t D : Disposition) {
+      Report.LoopsUnrolled += D == 1;
+      Report.LoopsWidened += D == 2;
+    }
+    Report.BlockEvals = Evals;
+
+    if (!Exit.Reach) {
+      // The exit is unreachable: the reference never halts, so nothing
+      // positive can be promised about exit-state agreement.
+      Report.PathBound = 0.0;
+      Report.IntOutputBound = 0.0;
+      Report.FpOutputBound = 0.0;
+      Report.ProgramBound = 0.0;
+      Report.ExitRegBounds.fill(0.0);
+      Report.PreciseMemBound = 0.0;
+      Report.ApproxMemBound = 0.0;
+    } else {
+      double IntOut = Exit.Regs[1].Bound;              // r1.
+      double FpOut = Exit.Regs[isa::NumIntRegs + 1].Bound; // f1.
+      Report.PathBound = Exit.Path;
+      Report.IntOutputBound = Exit.Path * IntOut;
+      Report.FpOutputBound = Exit.Path * FpOut;
+      // Products of dependent lower bounds still lower-bound the joint:
+      // each factor only over-counts clean-event probabilities ≤ 1.
+      Report.ProgramBound = Exit.Path * IntOut * FpOut;
+      for (unsigned Reg = 0; Reg < NumFlatRegs; ++Reg)
+        Report.ExitRegBounds[Reg] = Exit.Regs[Reg].Bound;
+      Report.PreciseMemBound = Exit.MemP;
+      Report.ApproxMemBound = Exit.MemA;
+    }
+
+    Report.Sites.reserve(SiteMap.size());
+    for (const auto &[Key, Site] : SiteMap)
+      Report.Sites.push_back(Site); // Map order == (Block, Index) order.
+    return Report;
+  }
+};
+
+} // namespace
+
+ReliabilityReport
+reliability::analyzeProgram(const isa::IsaProgram &Program,
+                            const FaultRates &Rates,
+                            const BoundOptions &Options) {
+  Analyzer A(Program, Rates, Options);
+  return A.run();
+}

@@ -1,0 +1,151 @@
+//===- analysis/reliability/bounds.h - Static reliability bounds -*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static correctness-probability analysis over the ISA: for a verified
+/// program and a FaultRates table, derive a *lower bound* on the
+/// probability that each output register is bitwise equal to the
+/// fault-free (level None) reference execution. What Monte-Carlo fault
+/// injection measures over thousands of trials, this derives from one
+/// abstract-interpretation fixpoint — and `reliability_bound_test` holds
+/// the two against each other: the static bound must never exceed the
+/// measured exact-match rate.
+///
+/// The abstract state tracks, per flattened register (analysis/isa_flow
+/// RegRef numbering) and per memory region:
+///
+///  * **Bound** — a lower bound on P(value bitwise-exact), the product of
+///    per-event clean probabilities (SRAM read/write upsets, ALU/FPU
+///    timing errors, whole-run DRAM residency) over the value's
+///    dependence cone. Fault events are independent Bernoulli draws, so
+///    the product of clean probabilities over any superset of the cone's
+///    events — double counting included — lower-bounds the joint.
+///  * **a dyadic window** describing the *reference* value: membership in
+///    a grid 2^Lo · Z together with a magnitude cap |v| <= 2^Hi, plus
+///    exact constants where they fold. The window exists to prove FP
+///    operand narrowing harmless: mantissa truncation is deterministic
+///    (the None reference does not narrow), so an approximate FP op's
+///    operand survives it exactly when its window fits the kept mantissa
+///    (Hi - Lo <= kept bits); unproven narrowing is a divergence from the
+///    reference and drops the bound to 0.
+///  * **Path** — the probability that control flow followed the
+///    reference path so far: every conditional branch multiplies in its
+///    operands' bounds. Reported bounds are Path * value bound, so runs
+///    that leave the reference path (including corrupted loop counters
+///    spinning extra iterations) are excluded rather than mis-bounded.
+///
+/// Loops close via the reference-constant unrolling rule: a branch whose
+/// operands are exact reference constants has a *known* reference
+/// direction, so counted loops unroll pass by pass (up to a cap) exactly
+/// as the reference executes them; loops whose exit condition does not
+/// fold widen after a few passes with the sound limit of geometric decay
+/// — a per-iteration factor f < 1 compounds to 0 over unbounded trips,
+/// so the widened bound is 0 (and Top for windows). At level None every
+/// per-event factor is 1.0 and no component ever decreases, so every
+/// reported bound is exactly 1.0 with no special casing.
+///
+/// Reuses the PR 1 worklist engine (liveness via opt::computeLiveness)
+/// and the PR 6 dominator tree / block IR (natural-loop discovery over
+/// opt::buildOptProgram).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_ANALYSIS_RELIABILITY_BOUNDS_H
+#define ENERJ_ANALYSIS_RELIABILITY_BOUNDS_H
+
+#include "fault/rates.h"
+#include "isa/isa.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace analysis {
+namespace reliability {
+
+/// Analysis knobs. The defaults match the execution paths the soundness
+/// differential runs against.
+struct BoundOptions {
+  /// The run-length cap the DRAM whole-run residency factor assumes;
+  /// must be >= the instruction budget of the runs the bounds describe
+  /// (isa::Machine and exec::FastMachine default to 10'000'000).
+  uint64_t MaxInstructions = 10'000'000;
+  /// Most header evaluations a reference-counted loop may unroll; a
+  /// counted loop longer than this widens instead (still sound).
+  unsigned UnrollCap = 1u << 14;
+  /// Header passes granted to a loop whose exit does not fold before
+  /// the geometric-decay widening snaps decreasing components to 0.
+  unsigned WidenAfter = 4;
+  /// Global abstract block-evaluation budget; blowing it degrades the
+  /// whole result to the conservative bottom (Conservative = true).
+  uint64_t EvalBudget = 1u << 22;
+  /// Collect per-endorse-site bounds (the --per-site view).
+  bool PerSite = true;
+};
+
+/// One endorsement site: where an approximate value crossed into precise
+/// accounting, and the weakest bound that crossed there.
+struct SiteBound {
+  unsigned Block = 0; ///< OptProgram block id.
+  unsigned Index = 0; ///< Body index within the block.
+  int Line = 0;       ///< Assembly line, for display.
+  bool Fp = false;    ///< fendorse vs endorse.
+  unsigned SrcReg = 0;///< The endorsed (approximate) register number.
+  /// min over loop passes of Path * P(endorsed value exact): the
+  /// weakest guarantee any execution of this site endorses.
+  double Bound = 1.0;
+  /// Header passes that reached the site (its static trip multiplicity).
+  uint64_t Visits = 0;
+};
+
+/// The analysis result for one program at one FaultRates table.
+struct ReliabilityReport {
+  /// True when the analysis gave up (irreducible CFG or evaluation
+  /// budget blown) and every bound is the trivial sound one.
+  bool Conservative = false;
+
+  /// P(control flow followed the reference path to the exit).
+  double PathBound = 1.0;
+  /// Path * P(r1 exact) — the integer output's reliability bound.
+  double IntOutputBound = 1.0;
+  /// Path * P(f1 exact) — the FP output's reliability bound.
+  double FpOutputBound = 1.0;
+  /// Path * P(r1 exact) * P(f1 exact): a lower bound on the probability
+  /// that a run scores QosError == 0 on the compiled eval path (both
+  /// result registers bitwise equal to the reference).
+  double ProgramBound = 1.0;
+
+  /// Per flat register (RegRef::flat()): value bound at program exit,
+  /// Path excluded. Registers dead at exit still carry their bound.
+  std::array<double, 64> ExitRegBounds{};
+
+  /// Whole-region content bounds at exit (all cells exact).
+  double PreciseMemBound = 1.0;
+  double ApproxMemBound = 1.0;
+
+  std::vector<SiteBound> Sites; ///< Deterministic (Block, Index) order.
+
+  unsigned LoopCount = 0;   ///< Natural loops discovered.
+  unsigned LoopsUnrolled = 0; ///< Closed by reference-constant unrolling.
+  unsigned LoopsWidened = 0;  ///< Closed by geometric-decay widening.
+  uint64_t BlockEvals = 0;  ///< Abstract block evaluations performed.
+};
+
+/// Analyzes \p Program against \p Rates. The program must already pass
+/// the verifier and flow checker (analysis happens downstream of them in
+/// every tool path); the analysis itself performs no RNG draws and never
+/// executes the program.
+ReliabilityReport analyzeProgram(const isa::IsaProgram &Program,
+                                 const FaultRates &Rates,
+                                 const BoundOptions &Options = {});
+
+} // namespace reliability
+} // namespace analysis
+} // namespace enerj
+
+#endif // ENERJ_ANALYSIS_RELIABILITY_BOUNDS_H

@@ -2,6 +2,8 @@
 
 #include "energy/model.h"
 
+#include "fault/rates.h"
+
 #include <cassert>
 
 using namespace enerj;
@@ -14,7 +16,8 @@ double enerj::instructionEnergyFactor(bool IsFp, bool IsApprox,
     return 1.0;
   double Execute = Total - Constants.FetchDecodeUnits;
   assert(Execute > 0 && "fetch/decode exceeds instruction cost");
-  double Saved = IsFp ? Config.fpEnergySaved() : Config.aluEnergySaved();
+  FaultRates Rates = FaultRates::of(Config);
+  double Saved = IsFp ? Rates.FpSavedFraction : Rates.AluSavedFraction;
   return (Constants.FetchDecodeUnits + Execute * (1.0 - Saved)) / Total;
 }
 
@@ -41,15 +44,17 @@ EnergyReport enerj::computeEnergy(const RunStats &Stats,
     Report.InstructionFactor = ApproxUnits / PreciseUnits;
   }
 
+  FaultRates Rates = FaultRates::of(Config);
+
   // SRAM: approximate byte-seconds save the supply-voltage fraction.
   if (Storage.sramTotal() > 0)
     Report.SramFactor =
-        1.0 - Config.sramPowerSaved() * Storage.sramApproxFraction();
+        1.0 - Rates.SramSavedFraction * Storage.sramApproxFraction();
 
   // DRAM: approximate byte-seconds save the refresh-reduction fraction.
   if (Storage.dramTotal() > 0)
     Report.DramFactor =
-        1.0 - Config.dramPowerSaved() * Storage.dramApproxFraction();
+        1.0 - Rates.DramSavedFraction * Storage.dramApproxFraction();
 
   Report.CpuFactor = (1.0 - Constants.SramShareOfCpu) *
                          Report.InstructionFactor +

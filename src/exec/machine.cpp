@@ -26,17 +26,18 @@ constexpr uint64_t SaltPayload = 0xE5;
 
 FastMachine::FastMachine(const isa::IsaProgram &Program,
                          const FaultConfig &Config, BlockMode Mode)
-    : Program(Program), Config(Config), Mode(Mode),
-      SramRead(this->Config.sramReadUpset(),
+    : Program(Program), Config(Config), Rates(FaultRates::of(Config)),
+      Mode(Mode),
+      SramRead(Rates.SramReadUpsetPerBit,
                mixSeed(this->Config.Seed, SaltSramRead), Mode),
-      SramWrite(this->Config.sramWriteFailure(),
+      SramWrite(Rates.SramWriteFailurePerBit,
                 mixSeed(this->Config.Seed, SaltSramWrite), Mode),
-      IntTiming(this->Config.timingErrorProbability(),
+      IntTiming(Rates.TimingErrorPerOp,
                 mixSeed(this->Config.Seed, SaltIntTiming), Mode),
-      FpTiming(this->Config.timingErrorProbability(),
+      FpTiming(Rates.TimingErrorPerOp,
                mixSeed(this->Config.Seed, SaltFpTiming), Mode),
       Payload(mixSeed(this->Config.Seed, SaltPayload)),
-      FpWidth(this->Config), Dram(this->Config),
+      FpWidth(Rates), Dram(Rates),
       IntRegs(isa::NumIntRegs, 0), FpRegs(isa::NumFpRegs, 0.0),
       Memory(Program.memoryWords(), 0),
       LastAccess(Program.memoryWords(), 0) {

@@ -157,6 +157,7 @@ private:
 
   const isa::IsaProgram &Program;
   FaultConfig Config;
+  FaultRates Rates; ///< One snapshot feeds every stream and model below.
   BlockMode Mode;
   UpsetStream SramRead;
   UpsetStream SramWrite;

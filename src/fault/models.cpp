@@ -5,7 +5,6 @@
 #include "support/bits.h"
 
 #include <cassert>
-#include <cmath>
 
 using namespace enerj;
 
@@ -42,23 +41,11 @@ static uint64_t flipEachBit(uint64_t Bits, unsigned Width, double P, Rng &R) {
 }
 
 uint64_t SramModel::onRead(uint64_t Bits, unsigned Width, Rng &R) const {
-  return flipEachBit(Bits, Width, Config.sramReadUpset(), R);
+  return flipEachBit(Bits, Width, Rates.SramReadUpsetPerBit, R);
 }
 
 uint64_t SramModel::onWrite(uint64_t Bits, unsigned Width, Rng &R) const {
-  return flipEachBit(Bits, Width, Config.sramWriteFailure(), R);
-}
-
-double DramModel::flipProbability(uint64_t ElapsedCycles) const {
-  double PerSecond = Config.dramFlipPerSecond();
-  if (PerSecond <= 0.0 || ElapsedCycles == 0)
-    return 0.0;
-  double Seconds =
-      static_cast<double>(ElapsedCycles) / Config.CyclesPerSecond;
-  // Independent per-second flips compose as 1-(1-p)^t; a second flip of an
-  // already-flipped bit would flip it back, but at these probabilities the
-  // difference is far below the noise floor, as in the paper's simulator.
-  return -std::expm1(Seconds * std::log1p(-PerSecond));
+  return flipEachBit(Bits, Width, Rates.SramWriteFailurePerBit, R);
 }
 
 uint64_t DramModel::onAccess(uint64_t Bits, unsigned Width,
@@ -69,21 +56,21 @@ uint64_t DramModel::onAccess(uint64_t Bits, unsigned Width,
 float FpWidthModel::narrow(float Value) const {
   uint32_t Bits = static_cast<uint32_t>(toBits(Value));
   return fromBits<float>(
-      truncateFloatMantissa(Bits, Config.floatMantissaBits()));
+      truncateFloatMantissa(Bits, Rates.FloatMantissaBits));
 }
 
 double FpWidthModel::narrow(double Value) const {
   return fromBits<double>(
-      truncateDoubleMantissa(toBits(Value), Config.doubleMantissaBits()));
+      truncateDoubleMantissa(toBits(Value), Rates.DoubleMantissaBits));
 }
 
 uint64_t TimingModel::onResult(uint64_t CorrectBits, unsigned Width, Rng &R) {
   assert(Width >= 1 && Width <= 64 && "unsupported bit width");
   uint64_t Mask = Width == 64 ? ~0ULL : ((1ULL << Width) - 1);
   uint64_t Produced = CorrectBits & Mask;
-  if (R.nextBernoulli(Config.timingErrorProbability())) {
+  if (R.nextBernoulli(Rates.TimingErrorPerOp)) {
     ++Errors;
-    switch (Config.Mode) {
+    switch (Mode) {
     case ErrorMode::RandomValue:
       Produced = R.next() & Mask;
       break;

@@ -17,8 +17,11 @@
 ///  * TimingModel    — wholesale result corruption from voltage-scaled
 ///                     functional units, with the paper's three error modes.
 ///
-/// Each model is a pure function of (bits, config, rng) so fault injection
-/// is exactly reproducible given a seed.
+/// Each model is a pure function of (bits, rates, rng) so fault injection
+/// is exactly reproducible given a seed. Every model sources its
+/// probabilities from one FaultRates snapshot (fault/rates.h) — the same
+/// table the static reliability analysis and the energy model query — so
+/// there is exactly one place a level's numbers live.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +29,7 @@
 #define ENERJ_FAULT_MODELS_H
 
 #include "fault/config.h"
+#include "fault/rates.h"
 #include "support/rng.h"
 
 #include <cstdint>
@@ -37,7 +41,9 @@ namespace enerj {
 /// stores the wrong value with probability sramWriteFailure().
 class SramModel {
 public:
-  explicit SramModel(const FaultConfig &Config) : Config(Config) {}
+  explicit SramModel(const FaultConfig &Config)
+      : Rates(FaultRates::of(Config)) {}
+  explicit SramModel(const FaultRates &Rates) : Rates(Rates) {}
 
   /// Applies read upsets to \p Bits (a value of \p Width bits).
   uint64_t onRead(uint64_t Bits, unsigned Width, Rng &R) const;
@@ -46,7 +52,7 @@ public:
   uint64_t onWrite(uint64_t Bits, unsigned Width, Rng &R) const;
 
 private:
-  const FaultConfig &Config;
+  FaultRates Rates;
 };
 
 /// DRAM refresh-rate reduction (Section 4.2, "DRAM refresh rate").
@@ -55,17 +61,21 @@ private:
 /// line it touches).
 class DramModel {
 public:
-  explicit DramModel(const FaultConfig &Config) : Config(Config) {}
+  explicit DramModel(const FaultConfig &Config)
+      : Rates(FaultRates::of(Config)) {}
+  explicit DramModel(const FaultRates &Rates) : Rates(Rates) {}
 
   /// Applies decay to \p Bits given \p ElapsedCycles since the last access.
   uint64_t onAccess(uint64_t Bits, unsigned Width, uint64_t ElapsedCycles,
                     Rng &R) const;
 
   /// Probability that one bit flips over \p ElapsedCycles.
-  double flipProbability(uint64_t ElapsedCycles) const;
+  double flipProbability(uint64_t ElapsedCycles) const {
+    return Rates.dramFlipProbability(ElapsedCycles);
+  }
 
 private:
-  const FaultConfig &Config;
+  FaultRates Rates;
 };
 
 /// FP bit-width reduction (Section 4.2, "Width reduction in floating point
@@ -73,13 +83,15 @@ private:
 /// to operands before the operation, as a narrow functional unit would.
 class FpWidthModel {
 public:
-  explicit FpWidthModel(const FaultConfig &Config) : Config(Config) {}
+  explicit FpWidthModel(const FaultConfig &Config)
+      : Rates(FaultRates::of(Config)) {}
+  explicit FpWidthModel(const FaultRates &Rates) : Rates(Rates) {}
 
   float narrow(float Value) const;
   double narrow(double Value) const;
 
 private:
-  const FaultConfig &Config;
+  FaultRates Rates;
 };
 
 /// Aggressive voltage scaling in logic (Section 4.2, "Voltage scaling in
@@ -88,7 +100,10 @@ private:
 /// produced per unit to implement ErrorMode::LastValue.
 class TimingModel {
 public:
-  explicit TimingModel(const FaultConfig &Config) : Config(Config) {}
+  explicit TimingModel(const FaultConfig &Config)
+      : Rates(FaultRates::of(Config)), Mode(Config.Mode) {}
+  TimingModel(const FaultRates &Rates, ErrorMode Mode)
+      : Rates(Rates), Mode(Mode) {}
 
   /// Possibly corrupts \p CorrectBits (a \p Width-bit result). Updates the
   /// unit's last-value latch either way.
@@ -98,7 +113,8 @@ public:
   uint64_t errorCount() const { return Errors; }
 
 private:
-  const FaultConfig &Config;
+  FaultRates Rates;
+  ErrorMode Mode;
   uint64_t LastValue = 0;
   uint64_t Errors = 0;
 };

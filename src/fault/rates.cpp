@@ -1,0 +1,79 @@
+//===- fault/rates.cpp - Queryable per-op fault-rate table ---------------===//
+
+#include "fault/rates.h"
+
+#include <cmath>
+
+using namespace enerj;
+
+FaultRates FaultRates::of(const FaultConfig &Config) {
+  FaultRates R;
+  R.SramReadUpsetPerBit = Config.sramReadUpset();
+  R.SramWriteFailurePerBit = Config.sramWriteFailure();
+  R.DramFlipPerSecondPerBit = Config.dramFlipPerSecond();
+  R.TimingErrorPerOp = Config.timingErrorProbability();
+  R.CyclesPerSecond = Config.CyclesPerSecond;
+  R.FloatMantissaBits = Config.floatMantissaBits();
+  R.DoubleMantissaBits = Config.doubleMantissaBits();
+  R.DramSavedFraction = Config.dramPowerSaved();
+  R.SramSavedFraction = Config.sramPowerSaved();
+  R.FpSavedFraction = Config.fpEnergySaved();
+  R.AluSavedFraction = Config.aluEnergySaved();
+  return R;
+}
+
+double FaultRates::dramFlipProbability(uint64_t ElapsedCycles) const {
+  if (DramFlipPerSecondPerBit <= 0.0 || ElapsedCycles == 0)
+    return 0.0;
+  double Seconds = static_cast<double>(ElapsedCycles) / CyclesPerSecond;
+  // Independent per-second flips compose as 1-(1-p)^t; a second flip of an
+  // already-flipped bit would flip it back, but at these probabilities the
+  // difference is far below the noise floor, as in the paper's simulator.
+  return -std::expm1(Seconds * std::log1p(-DramFlipPerSecondPerBit));
+}
+
+namespace {
+
+/// (1-p)^n for a per-bit probability and a bit count, as a lower bound on
+/// "no flip among n independent per-bit draws". Exact-at-zero so level
+/// None yields precisely 1.0 with no rounding residue.
+double noFlipAcross(double PerBit, double Bits) {
+  if (PerBit <= 0.0)
+    return 1.0;
+  if (PerBit >= 1.0)
+    return 0.0;
+  return std::exp(Bits * std::log1p(-PerBit));
+}
+
+} // namespace
+
+double FaultRates::regReadExact() const {
+  return noFlipAcross(SramReadUpsetPerBit, 64.0);
+}
+
+double FaultRates::regWriteExact() const {
+  return noFlipAcross(SramWriteFailurePerBit, 64.0);
+}
+
+double FaultRates::aluExact() const {
+  if (TimingErrorPerOp <= 0.0)
+    return 1.0;
+  if (TimingErrorPerOp >= 1.0)
+    return 0.0;
+  return 1.0 - TimingErrorPerOp;
+}
+
+double FaultRates::dramWordExact(uint64_t ElapsedCycles) const {
+  return noFlipAcross(dramFlipProbability(ElapsedCycles), 64.0);
+}
+
+double FaultRates::dramResidencyExact(uint64_t MaxCycles,
+                                      uint64_t Words) const {
+  if (Words == 0)
+    return 1.0;
+  // Per bit, decay over disjoint access gaps composes exactly:
+  // (1-p(a))(1-p(b)) = 1-p(a+b) under the 1-(1-q)^t law, so bounding each
+  // bit's total exposure by the run length bounds the whole run's survival.
+  double PerBit = dramFlipProbability(MaxCycles);
+  return noFlipAcross(PerBit, 64.0 * static_cast<double>(Words));
+}

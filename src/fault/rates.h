@@ -1,0 +1,97 @@
+//===- fault/rates.h - Queryable per-op fault-rate table -------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FaultRates: the one queryable view of every per-op / per-bit upset
+/// probability a FaultConfig implies. Before this table existed the
+/// numbers lived as private calls scattered through the fault models
+/// (fault/models.cpp), the fast executor (exec/machine.cpp), and the
+/// energy model — the reliability-bound analysis (analysis/reliability)
+/// would have had to re-derive them. Now every consumer snapshots the
+/// same struct:
+///
+///  * the simulators (isa::Machine via the Table 2 models, the batched
+///    exec::FastMachine) draw faults at exactly these probabilities;
+///  * the static reliability analysis composes exactness lower bounds
+///    from them (`fenerj_tool bound`);
+///  * the energy model prices savings from the same Table 2 rows.
+///
+/// The snapshot is a pure function of the config — same numeric values
+/// as the FaultConfig accessors, so refactored call sites stay bitwise
+/// identical (fault_rates_test pins this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_FAULT_RATES_H
+#define ENERJ_FAULT_RATES_H
+
+#include "fault/config.h"
+
+#include <cstdint>
+
+namespace enerj {
+
+/// All fault probabilities and Table 2 savings fractions of one
+/// FaultConfig, flattened into plain fields.
+struct FaultRates {
+  // --- Per-bit / per-op upset probabilities. ---
+  double SramReadUpsetPerBit = 0.0;   ///< P(one bit flips per SRAM read).
+  double SramWriteFailurePerBit = 0.0;///< P(one bit stored wrong per write).
+  double DramFlipPerSecondPerBit = 0.0; ///< P(one bit decays per second).
+  double TimingErrorPerOp = 0.0;      ///< P(an approximate op's result upset).
+  double CyclesPerSecond = 1.0;       ///< Logical-clock to wall-time scale.
+
+  // --- FP operand narrowing widths (full width = no narrowing). ---
+  unsigned FloatMantissaBits = 23;
+  unsigned DoubleMantissaBits = 52;
+
+  // --- Table 2 energy-savings fractions (energy model view). ---
+  double DramSavedFraction = 0.0;
+  double SramSavedFraction = 0.0;
+  double FpSavedFraction = 0.0;
+  double AluSavedFraction = 0.0;
+
+  /// Snapshots \p Config. Numerically identical to the FaultConfig
+  /// accessors (overrides and ablation toggles included).
+  static FaultRates of(const FaultConfig &Config);
+
+  /// Probability that one DRAM bit flips over \p ElapsedCycles at the
+  /// reduced refresh rate (the DramModel decay law; independent
+  /// per-second flips compose as 1-(1-p)^t).
+  [[nodiscard]] double dramFlipProbability(uint64_t ElapsedCycles) const;
+
+  // --- Exactness lower bounds for the static reliability analysis.
+  // --- Each is P(no upset event in one operation of the given kind),
+  // --- i.e. the per-event factor the analysis multiplies through a
+  // --- value's dependence cone.
+
+  /// P(an approximate-register read returns all 64 bits unflipped).
+  [[nodiscard]] double regReadExact() const;
+  /// P(an approximate-register write stores all 64 bits correctly).
+  [[nodiscard]] double regWriteExact() const;
+  /// P(an approximate ALU/FPU op takes no timing error).
+  [[nodiscard]] double aluExact() const;
+  /// P(one 64-bit DRAM word survives \p ElapsedCycles without decay).
+  [[nodiscard]] double dramWordExact(uint64_t ElapsedCycles) const;
+  /// P(every bit of \p Words approximate words survives a whole run of
+  /// at most \p MaxCycles logical cycles). Each word's total decay
+  /// exposure is bounded by the run length, and the per-second law
+  /// composes multiplicatively over access gaps, so this one factor
+  /// soundly covers every decay event a run can draw.
+  [[nodiscard]] double dramResidencyExact(uint64_t MaxCycles,
+                                          uint64_t Words) const;
+
+  /// True when approximate FP ops truncate double operands (the
+  /// narrowing is deterministic, so a value survives it exactly when
+  /// its mantissa provably fits; see analysis/reliability).
+  [[nodiscard]] bool narrowsDouble() const { return DoubleMantissaBits < 52; }
+  /// Same for float-typed operands.
+  [[nodiscard]] bool narrowsFloat() const { return FloatMantissaBits < 23; }
+};
+
+} // namespace enerj
+
+#endif // ENERJ_FAULT_RATES_H

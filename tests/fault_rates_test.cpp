@@ -1,0 +1,163 @@
+//===- tests/fault_rates_test.cpp - Shared fault-rate table tests ---------===//
+//
+// FaultRates is the single source of the Table 2 probabilities: the
+// simulators draw at its values and the static reliability analysis
+// composes bounds from them. These tests pin (a) the snapshot is bitwise
+// equal to the FaultConfig accessors it replaced, (b) both model
+// construction paths (from a config, from a snapshot) draw identical
+// fault sequences, and (c) the derived exactness factors behave.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/rates.h"
+
+#include "fault/models.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace enerj;
+
+namespace {
+
+const ApproxLevel AllLevels[] = {ApproxLevel::None, ApproxLevel::Mild,
+                                 ApproxLevel::Medium, ApproxLevel::Aggressive};
+
+} // namespace
+
+TEST(FaultRates, SnapshotIsBitwiseEqualToConfigAccessors) {
+  for (ApproxLevel Level : AllLevels) {
+    FaultConfig C = FaultConfig::preset(Level);
+    FaultRates R = FaultRates::of(C);
+    EXPECT_EQ(R.SramReadUpsetPerBit, C.sramReadUpset());
+    EXPECT_EQ(R.SramWriteFailurePerBit, C.sramWriteFailure());
+    EXPECT_EQ(R.DramFlipPerSecondPerBit, C.dramFlipPerSecond());
+    EXPECT_EQ(R.TimingErrorPerOp, C.timingErrorProbability());
+    EXPECT_EQ(R.CyclesPerSecond, C.CyclesPerSecond);
+    EXPECT_EQ(R.FloatMantissaBits, C.floatMantissaBits());
+    EXPECT_EQ(R.DoubleMantissaBits, C.doubleMantissaBits());
+    EXPECT_EQ(R.DramSavedFraction, C.dramPowerSaved());
+    EXPECT_EQ(R.SramSavedFraction, C.sramPowerSaved());
+    EXPECT_EQ(R.FpSavedFraction, C.fpEnergySaved());
+    EXPECT_EQ(R.AluSavedFraction, C.aluEnergySaved());
+  }
+}
+
+TEST(FaultRates, SnapshotHonorsOverridesAndAblations) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::Aggressive);
+  C.TimingErrorOverride = 0.25;
+  C.SramReadUpsetOverride = 0.125;
+  C.DoubleMantissaOverride = 11;
+  C.EnableDram = false;
+  FaultRates R = FaultRates::of(C);
+  EXPECT_EQ(R.TimingErrorPerOp, 0.25);
+  EXPECT_EQ(R.SramReadUpsetPerBit, 0.125);
+  EXPECT_EQ(R.DoubleMantissaBits, 11u);
+  EXPECT_EQ(R.DramFlipPerSecondPerBit, 0.0);
+  EXPECT_EQ(R.DramSavedFraction, 0.0);
+}
+
+TEST(FaultRates, DramFlipProbabilityMatchesTheModelLaw) {
+  // The decay law moved verbatim from DramModel::flipProbability; both
+  // paths must agree bit for bit at every level and horizon.
+  for (ApproxLevel Level : AllLevels) {
+    FaultConfig C = FaultConfig::preset(Level);
+    FaultRates R = FaultRates::of(C);
+    DramModel M(C);
+    for (uint64_t Cycles :
+         {0ull, 1ull, 1000ull, 1ull << 20, 1ull << 40, 1ull << 60}) {
+      EXPECT_EQ(R.dramFlipProbability(Cycles), M.flipProbability(Cycles))
+          << approxLevelName(Level) << " @ " << Cycles;
+    }
+  }
+}
+
+TEST(FaultRates, ModelsDrawIdenticallyFromConfigAndSnapshot) {
+  // Regression pin for the refactor: a model built the old way (from a
+  // FaultConfig) and one built from the shared snapshot must consume the
+  // same draws and produce the same faults.
+  for (ApproxLevel Level : {ApproxLevel::Medium, ApproxLevel::Aggressive}) {
+    FaultConfig C = FaultConfig::preset(Level);
+    FaultRates Rates = FaultRates::of(C);
+    SramModel SramA(C), SramB(Rates);
+    TimingModel TimingA(C), TimingB(Rates, C.Mode);
+    DramModel DramA(C), DramB(Rates);
+    FpWidthModel FpA(C), FpB(Rates);
+    Rng RA(42), RB(42);
+    Rng Vals(7);
+    for (int I = 0; I < 50000; ++I) {
+      uint64_t V = Vals.next();
+      EXPECT_EQ(SramA.onRead(V, 64, RA), SramB.onRead(V, 64, RB));
+      EXPECT_EQ(SramA.onWrite(V, 64, RA), SramB.onWrite(V, 64, RB));
+      EXPECT_EQ(TimingA.onResult(V, 64, RA), TimingB.onResult(V, 64, RB));
+      EXPECT_EQ(DramA.onAccess(V, 64, 1 << 20, RA),
+                DramB.onAccess(V, 64, 1 << 20, RB));
+      double D = static_cast<double>(static_cast<int64_t>(V)) * 1e-6;
+      EXPECT_EQ(FpA.narrow(D), FpB.narrow(D));
+    }
+    EXPECT_EQ(TimingA.errorCount(), TimingB.errorCount());
+    EXPECT_EQ(RA.next(), RB.next()) << "draw counts diverged";
+  }
+}
+
+TEST(FaultRates, ExactnessFactorsAreExactlyOneAtNone) {
+  FaultRates R = FaultRates::of(FaultConfig::preset(ApproxLevel::None));
+  EXPECT_EQ(R.regReadExact(), 1.0);
+  EXPECT_EQ(R.regWriteExact(), 1.0);
+  EXPECT_EQ(R.aluExact(), 1.0);
+  EXPECT_EQ(R.dramWordExact(1ull << 40), 1.0);
+  EXPECT_EQ(R.dramResidencyExact(10'000'000, 4096), 1.0);
+  EXPECT_FALSE(R.narrowsDouble());
+  EXPECT_FALSE(R.narrowsFloat());
+}
+
+TEST(FaultRates, ExactnessFactorsDecreaseWithLevel) {
+  double PrevRead = 1.1, PrevAlu = 1.1, PrevDram = 1.1;
+  for (ApproxLevel Level : AllLevels) {
+    FaultRates R = FaultRates::of(FaultConfig::preset(Level));
+    EXPECT_LT(R.regReadExact(), PrevRead);
+    EXPECT_LE(R.aluExact(), PrevAlu);
+    EXPECT_LE(R.dramResidencyExact(10'000'000, 64), PrevDram);
+    EXPECT_GT(R.regReadExact(), 0.0);
+    EXPECT_GT(R.aluExact(), 0.0);
+    PrevRead = R.regReadExact();
+    PrevAlu = R.aluExact();
+    PrevDram = R.dramResidencyExact(10'000'000, 64);
+  }
+  FaultRates Aggr = FaultRates::of(FaultConfig::preset(ApproxLevel::Aggressive));
+  EXPECT_TRUE(Aggr.narrowsDouble());
+  EXPECT_TRUE(Aggr.narrowsFloat());
+}
+
+TEST(FaultRates, RegReadExactMatchesClosedForm) {
+  FaultRates R = FaultRates::of(FaultConfig::preset(ApproxLevel::Aggressive));
+  // (1-p)^64 with p = 1e-3.
+  EXPECT_NEAR(R.regReadExact(), std::pow(1.0 - 1e-3, 64.0), 1e-12);
+  EXPECT_NEAR(R.aluExact(), 1.0 - 1e-2, 0.0);
+}
+
+TEST(FaultRates, DramDecayComposesMultiplicativelyOverGaps) {
+  // The soundness of folding whole-run residency into one factor rests on
+  // (1-p(a))(1-p(b)) == 1-p(a+b) under the per-second law.
+  FaultRates R = FaultRates::of(FaultConfig::preset(ApproxLevel::Aggressive));
+  for (uint64_t A : {1000ull, 1ull << 20, 1ull << 30}) {
+    for (uint64_t B : {500ull, 1ull << 18, 1ull << 33}) {
+      double Split = (1.0 - R.dramFlipProbability(A)) *
+                     (1.0 - R.dramFlipProbability(B));
+      double Whole = 1.0 - R.dramFlipProbability(A + B);
+      EXPECT_NEAR(Split, Whole, 1e-15);
+    }
+  }
+}
+
+TEST(FaultRates, DegenerateProbabilitiesClampToZeroAndOne) {
+  FaultConfig C = FaultConfig::preset(ApproxLevel::None);
+  C.SramReadUpsetOverride = 1.0;
+  C.TimingErrorOverride = 1.0;
+  FaultRates R = FaultRates::of(C);
+  EXPECT_EQ(R.regReadExact(), 0.0);
+  EXPECT_EQ(R.aluExact(), 0.0);
+  EXPECT_EQ(R.dramResidencyExact(1ull << 30, 0), 1.0);
+}

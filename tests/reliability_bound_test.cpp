@@ -1,0 +1,213 @@
+//===- tests/reliability_bound_test.cpp - Static-vs-MC soundness gate -----===//
+//
+// The load-bearing contract of the reliability analysis: for every ISA
+// evaluation kernel and every approximation level, the static lower
+// bound on P(output bitwise-exact) must never exceed the exact-match
+// rate Monte-Carlo fault injection measures on the same compiled
+// artifact. The analysis sees only the binary and the FaultRates
+// snapshot; the machine draws real faults from the same snapshot — if
+// the analysis is optimistic anywhere (a fault event left out of a
+// dependence cone, an unsound loop closure, a narrowing misproof), this
+// differential catches it.
+//
+// Gates, per (kernel, level) cell:
+//  * bound <= measured rate + 95% CI slack (normal approximation plus a
+//    rule-of-three floor for the k=0/k=N boundary);
+//  * a bound of exactly 1.0 is a probability-one claim and admits no
+//    slack: every trial must match bitwise;
+//  * at level None every bound is exactly 1.0 (no special casing in the
+//    analysis — per-event factors are all 1.0 there) and every trial is
+//    bitwise exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/reliability/bounds.h"
+
+#include "exec/compiled.h"
+#include "fault/rates.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+using namespace enerj;
+
+namespace {
+
+const char *Kernels[] = {"barcode",    "fft",       "floodfill",
+                         "lu",         "montecarlo", "raytracer",
+                         "sor",        "sparsematmult", "trikernel"};
+
+const ApproxLevel Levels[] = {ApproxLevel::None, ApproxLevel::Mild,
+                              ApproxLevel::Medium, ApproxLevel::Aggressive};
+
+constexpr int NumSeeds = 400;
+
+/// Bitwise double equality (NaN-safe): the analysis bounds P(bitwise
+/// equal), so the measurement must compare representations, not values.
+bool sameBits(double A, double B) {
+  return std::bit_cast<uint64_t>(A) == std::bit_cast<uint64_t>(B);
+}
+
+/// One cell's measured exact-match rates over NumSeeds trials.
+struct MeasuredRates {
+  double IntExact = 0.0;  ///< r1 bitwise equal to the reference.
+  double FpExact = 0.0;   ///< f1 bitwise equal to the reference.
+  double BothExact = 0.0; ///< Both — the QosError == 0 event.
+  int Trapped = 0;
+};
+
+MeasuredRates measure(const exec::CompiledKernel &Kernel, ApproxLevel Level) {
+  MeasuredRates Rates;
+  int IntHits = 0, FpHits = 0, BothHits = 0;
+  FaultConfig Base = FaultConfig::preset(Level);
+  for (int Seed = 1; Seed <= NumSeeds; ++Seed) {
+    // The same per-trial stream derivation as runCompiledTrial, so these
+    // trials are the very executions the evaluation grid scores.
+    FaultConfig Config = Base;
+    Config.Seed = mixSeed(Base.Seed, static_cast<uint64_t>(Seed));
+    exec::FastMachine M(Kernel.Binary, Config);
+    exec::FastResult Run = M.run();
+    if (Run.Trapped) {
+      ++Rates.Trapped;
+      continue;
+    }
+    bool IntOk = M.intReg(1) == Kernel.RefInt;
+    bool FpOk = sameBits(M.fpReg(1), Kernel.RefFp);
+    IntHits += IntOk;
+    FpHits += FpOk;
+    BothHits += IntOk && FpOk;
+  }
+  Rates.IntExact = static_cast<double>(IntHits) / NumSeeds;
+  Rates.FpExact = static_cast<double>(FpHits) / NumSeeds;
+  Rates.BothExact = static_cast<double>(BothHits) / NumSeeds;
+  return Rates;
+}
+
+/// 95% upper slack on a measured rate: normal-approximation CI plus the
+/// rule-of-three floor (covers rate == 0 or 1, where the normal term
+/// vanishes but the true probability may sit up to ~3/N away).
+double slack(double Rate) {
+  return 1.96 * std::sqrt(Rate * (1.0 - Rate) / NumSeeds) + 3.0 / NumSeeds;
+}
+
+/// Asserts the soundness gate for one (bound, measured rate) pair.
+void expectSound(double Bound, double Rate, int ExactHits,
+                 const std::string &What) {
+  EXPECT_GE(Bound, 0.0) << What;
+  EXPECT_LE(Bound, 1.0) << What;
+  if (Bound == 1.0) {
+    // A probability-one claim: any single divergent trial refutes it.
+    EXPECT_EQ(ExactHits, NumSeeds) << What << ": bound 1.0 but a trial "
+                                   << "diverged from the reference";
+  } else {
+    EXPECT_LE(Bound, Rate + slack(Rate)) << What;
+  }
+}
+
+} // namespace
+
+TEST(ReliabilityBound, StaticBoundNeverExceedsMeasuredExactRate) {
+  exec::ProgramCache Cache(std::string(ENERJ_FEJ_DIR) + "/isa");
+  for (const char *Name : Kernels) {
+    for (ApproxLevel Level : Levels) {
+      const exec::CompiledKernel &Kernel = Cache.get(Name, Level);
+      FaultRates Rates = FaultRates::of(FaultConfig::preset(Level));
+      analysis::reliability::ReliabilityReport Report =
+          analysis::reliability::analyzeProgram(Kernel.Binary, Rates);
+      MeasuredRates Measured = measure(Kernel, Level);
+      std::string Cell =
+          std::string(Name) + " @ " + approxLevelName(Level);
+
+      // Structural invariants first: the program bound folds in both
+      // output bounds, so it can never exceed either.
+      EXPECT_LE(Report.ProgramBound, Report.IntOutputBound + 1e-15) << Cell;
+      EXPECT_LE(Report.ProgramBound, Report.FpOutputBound + 1e-15) << Cell;
+      EXPECT_LE(Report.IntOutputBound, Report.PathBound + 1e-15) << Cell;
+      EXPECT_LE(Report.FpOutputBound, Report.PathBound + 1e-15) << Cell;
+
+      expectSound(Report.IntOutputBound, Measured.IntExact,
+                  static_cast<int>(Measured.IntExact * NumSeeds + 0.5),
+                  Cell + " r1");
+      expectSound(Report.FpOutputBound, Measured.FpExact,
+                  static_cast<int>(Measured.FpExact * NumSeeds + 0.5),
+                  Cell + " f1");
+      expectSound(Report.ProgramBound, Measured.BothExact,
+                  static_cast<int>(Measured.BothExact * NumSeeds + 0.5),
+                  Cell + " program");
+
+      for (const analysis::reliability::SiteBound &S : Report.Sites) {
+        EXPECT_GE(S.Bound, 0.0) << Cell;
+        EXPECT_LE(S.Bound, 1.0) << Cell;
+      }
+
+      if (Level == ApproxLevel::None) {
+        EXPECT_FALSE(Report.Conservative) << Cell;
+        EXPECT_EQ(Report.PathBound, 1.0) << Cell;
+        EXPECT_EQ(Report.IntOutputBound, 1.0) << Cell;
+        EXPECT_EQ(Report.FpOutputBound, 1.0) << Cell;
+        EXPECT_EQ(Report.ProgramBound, 1.0) << Cell;
+        EXPECT_EQ(Report.PreciseMemBound, 1.0) << Cell;
+        EXPECT_EQ(Report.ApproxMemBound, 1.0) << Cell;
+        for (double Bound : Report.ExitRegBounds)
+          EXPECT_EQ(Bound, 1.0) << Cell;
+        for (const analysis::reliability::SiteBound &S : Report.Sites)
+          EXPECT_EQ(S.Bound, 1.0) << Cell;
+        EXPECT_EQ(Measured.Trapped, 0) << Cell;
+        EXPECT_EQ(Measured.BothExact, 1.0) << Cell;
+      }
+    }
+  }
+}
+
+TEST(ReliabilityBound, AnalysisIsDeterministic) {
+  exec::ProgramCache Cache(std::string(ENERJ_FEJ_DIR) + "/isa");
+  const exec::CompiledKernel &Kernel =
+      Cache.get("fft", ApproxLevel::Medium);
+  FaultRates Rates = FaultRates::of(FaultConfig::preset(ApproxLevel::Medium));
+  analysis::reliability::ReliabilityReport A =
+      analysis::reliability::analyzeProgram(Kernel.Binary, Rates);
+  analysis::reliability::ReliabilityReport B =
+      analysis::reliability::analyzeProgram(Kernel.Binary, Rates);
+  EXPECT_EQ(A.Conservative, B.Conservative);
+  EXPECT_TRUE(sameBits(A.PathBound, B.PathBound));
+  EXPECT_TRUE(sameBits(A.IntOutputBound, B.IntOutputBound));
+  EXPECT_TRUE(sameBits(A.FpOutputBound, B.FpOutputBound));
+  EXPECT_TRUE(sameBits(A.ProgramBound, B.ProgramBound));
+  EXPECT_EQ(A.BlockEvals, B.BlockEvals);
+  ASSERT_EQ(A.Sites.size(), B.Sites.size());
+  for (size_t Index = 0; Index < A.Sites.size(); ++Index) {
+    EXPECT_EQ(A.Sites[Index].Block, B.Sites[Index].Block);
+    EXPECT_EQ(A.Sites[Index].Index, B.Sites[Index].Index);
+    EXPECT_TRUE(sameBits(A.Sites[Index].Bound, B.Sites[Index].Bound));
+    EXPECT_EQ(A.Sites[Index].Visits, B.Sites[Index].Visits);
+  }
+}
+
+TEST(ReliabilityBound, BoundsDecreaseMonotonicallyWithLevel) {
+  // More aggressive levels only raise fault rates, so every sound bound
+  // can only fall (or stay) as the level climbs.
+  exec::ProgramCache Cache(std::string(ENERJ_FEJ_DIR) + "/isa");
+  for (const char *Name : {"fft", "sor", "lu"}) {
+    // One fixed binary analyzed under each rate table: the optimizer
+    // prices per level, so per-level binaries could differ and break the
+    // comparison for reasons unrelated to the analysis.
+    const exec::CompiledKernel &Kernel = Cache.get(Name, ApproxLevel::None);
+    double PrevInt = 1.0, PrevFp = 1.0, PrevProgram = 1.0;
+    for (ApproxLevel Level : Levels) {
+      FaultRates Rates = FaultRates::of(FaultConfig::preset(Level));
+      analysis::reliability::ReliabilityReport Report =
+          analysis::reliability::analyzeProgram(Kernel.Binary, Rates);
+      EXPECT_LE(Report.IntOutputBound, PrevInt + 1e-15) << Name;
+      EXPECT_LE(Report.FpOutputBound, PrevFp + 1e-15) << Name;
+      EXPECT_LE(Report.ProgramBound, PrevProgram + 1e-15) << Name;
+      PrevInt = Report.IntOutputBound;
+      PrevFp = Report.FpOutputBound;
+      PrevProgram = Report.ProgramBound;
+    }
+  }
+}

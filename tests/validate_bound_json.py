@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate `fenerj_tool bound --json` output (schema v1).
+
+Like the eval/infer/lint/profile validators, this checks structure, key
+presence, key order, and cross-field invariants — every bound is a
+probability in [0, 1], the program bound never exceeds either output
+bound (it folds both in), the loop disposition counts partition the
+loop count, and per-site entries name a real endorse opcode and
+register. It does NOT pin bound values: those belong to the golden in
+cli_bound_test and the Monte-Carlo gate in reliability_bound_test.
+
+Usage:
+  fenerj_tool bound file.fej --json | python3 tests/validate_bound_json.py
+
+Exits 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+TOP_KEYS = ["tool", "version", "file", "level", "conservative",
+            "pathBound", "intOutputBound", "fpOutputBound", "programBound",
+            "preciseMemBound", "approxMemBound", "loops", "loopsUnrolled",
+            "loopsWidened", "blockEvals", "sites"]
+SITE_KEYS = ["block", "index", "line", "op", "srcReg", "bound", "visits"]
+LEVELS = {"none", "mild", "medium", "aggressive"}
+BOUND_KEYS = ["pathBound", "intOutputBound", "fpOutputBound",
+              "programBound", "preciseMemBound", "approxMemBound"]
+
+
+def fail(message):
+    print(f"validate_bound_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect_keys(obj, keys, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected an object, got {type(obj).__name__}")
+    if list(obj.keys()) != keys:
+        fail(f"{where}: keys {list(obj.keys())} != expected {keys}")
+
+
+def expect_count(obj, key, where):
+    if not isinstance(obj[key], int) or isinstance(obj[key], bool) \
+            or obj[key] < 0:
+        fail(f"{where}.{key}: not a non-negative integer")
+
+
+def expect_probability(obj, key, where):
+    value = obj[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        fail(f"{where}.{key}: not a number")
+    if not 0.0 <= value <= 1.0:
+        fail(f"{where}.{key}: {value} outside [0, 1]")
+
+
+def validate_bound(doc):
+    expect_keys(doc, TOP_KEYS, "top level")
+    if doc["tool"] != "fenerj-bound":
+        fail(f"tool: {doc['tool']!r} != 'fenerj-bound'")
+    if doc["version"] != 1:
+        fail(f"version: {doc['version']!r} != 1")
+    if not isinstance(doc["file"], str) or not doc["file"]:
+        fail("file: not a non-empty string")
+    if doc["level"] not in LEVELS:
+        fail(f"level: {doc['level']!r} not in {sorted(LEVELS)}")
+    if not isinstance(doc["conservative"], bool):
+        fail("conservative: not a boolean")
+
+    for key in BOUND_KEYS:
+        expect_probability(doc, key, "top level")
+    # The program bound folds in both output bounds, so it can never
+    # exceed either; each output bound folds in the path bound.
+    eps = 1e-12
+    if doc["programBound"] > doc["intOutputBound"] + eps:
+        fail("programBound exceeds intOutputBound")
+    if doc["programBound"] > doc["fpOutputBound"] + eps:
+        fail("programBound exceeds fpOutputBound")
+    if doc["intOutputBound"] > doc["pathBound"] + eps:
+        fail("intOutputBound exceeds pathBound")
+    if doc["fpOutputBound"] > doc["pathBound"] + eps:
+        fail("fpOutputBound exceeds pathBound")
+    if doc["level"] == "none" and not doc["conservative"]:
+        for key in BOUND_KEYS:
+            if doc[key] != 1.0:
+                fail(f"{key}: {doc[key]} != 1.0 at level none")
+
+    for key in ("loops", "loopsUnrolled", "loopsWidened", "blockEvals"):
+        expect_count(doc, key, "top level")
+    if doc["loopsUnrolled"] + doc["loopsWidened"] > doc["loops"]:
+        fail("loop dispositions exceed the loop count")
+
+    if not isinstance(doc["sites"], list):
+        fail("sites: not a list")
+    previous = (-1, -1)
+    for index, site in enumerate(doc["sites"]):
+        where = f"sites[{index}]"
+        expect_keys(site, SITE_KEYS, where)
+        expect_count(site, "block", where)
+        expect_count(site, "index", where)
+        expect_count(site, "line", where)
+        expect_count(site, "visits", where)
+        expect_probability(site, "bound", where)
+        if site["op"] not in ("endorse", "fendorse"):
+            fail(f"{where}.op: {site['op']!r} not an endorse opcode")
+        reg = site["srcReg"]
+        want = "f" if site["op"] == "fendorse" else "r"
+        if not isinstance(reg, str) or not reg.startswith(want) \
+                or not reg[1:].isdigit() or not 0 <= int(reg[1:]) < 32:
+            fail(f"{where}.srcReg: {reg!r} not a valid {want}-register")
+        key = (site["block"], site["index"])
+        if key <= previous:
+            fail(f"{where}: sites not in (block, index) order")
+        previous = key
+
+
+def main():
+    try:
+        doc = json.load(sys.stdin)
+    except json.JSONDecodeError as error:
+        fail(f"not valid JSON: {error}")
+    validate_bound(doc)
+    print("validate_bound_json: OK")
+
+
+if __name__ == "__main__":
+    main()
