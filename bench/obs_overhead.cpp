@@ -1,21 +1,32 @@
 //===- bench/obs_overhead.cpp - Telemetry overhead measurement ------------===//
 //
-// Pins the observability layer's cost model: with telemetry disabled
-// the simulator's hot paths test one null pointer, so a disabled run
-// must cost essentially what the pre-telemetry harness cost; enabling
-// metrics (and metrics + trace) pays a bounded per-op increment. The
-// bench runs the same trial grid in all three modes and reports
-// wall-clock per mode, per-op cost, and the enabled/disabled ratio.
+// Pins the observability layer's cost model on BOTH engines: with
+// telemetry disabled the hot paths test one null pointer, so a disabled
+// run must cost essentially what the pre-telemetry harness cost;
+// enabling metrics (and metrics + trace) pays a bounded per-op
+// increment. The "journal" mode arms exactly the telemetry the flight
+// recorder rides on (the structured trace, no per-site metrics) — the
+// cost of `eval --journal-dir` relative to a plain eval — and CI gates
+// its ratio against the committed baseline (tests/check_bench_obs.py:
+// armed must stay within ~1.3x of disarmed).
 //
-// Usage: obs_overhead [repetitions]   (default 3)
+// The bench runs the same trial grid (nine apps x 3 seeds at medium,
+// single thread) per mode per engine and reports wall-clock, per-op
+// cost, and the enabled/disabled ratio; with an output path it also
+// writes the machine-readable BENCH_obs.json.
+//
+// Usage: obs_overhead [repetitions] [output.json]   (default 3, no JSON)
 //
 //===----------------------------------------------------------------------===//
 
+#include "exec/compiled.h"
 #include "harness/trial.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
 #include <vector>
 
 using namespace enerj;
@@ -23,17 +34,23 @@ using namespace enerj::harness;
 
 namespace {
 
-std::vector<Trial> grid(const obs::TelemetryRequest &Obs) {
+std::vector<Trial> grid(const obs::TelemetryRequest &Obs,
+                        exec::ProgramCache *Kernels) {
   std::vector<Trial> Trials;
-  for (const apps::Application *App : apps::allApplications())
+  for (const apps::Application *App : apps::allApplications()) {
+    const exec::CompiledKernel *Kernel =
+        Kernels ? &Kernels->get(App->name(), ApproxLevel::Medium) : nullptr;
     for (int Seed = 1; Seed <= 3; ++Seed) {
       Trial T;
       T.App = App;
       T.Config = FaultConfig::preset(ApproxLevel::Medium);
       T.WorkloadSeed = static_cast<uint64_t>(Seed);
       T.Obs = Obs;
+      T.Kernel = Kernel;
+      T.Kernels = Kernels;
       Trials.push_back(T);
     }
+  }
   return Trials;
 }
 
@@ -42,36 +59,34 @@ struct Mode {
   obs::TelemetryRequest Obs;
 };
 
-} // namespace
+struct Measurement {
+  std::string Mode;
+  double Seconds = 0.0;
+  double NsPerOp = 0.0;
+  double Ratio = 1.0;
+};
 
-int main(int Argc, char **Argv) {
-  int Reps = 3;
-  if (Argc > 1)
-    Reps = std::atoi(Argv[1]);
-  if (Reps < 1)
-    Reps = 1;
-
-  Mode Modes[3];
-  Modes[0].Name = "disabled";
-  Modes[1].Name = "metrics";
-  Modes[1].Obs.Metrics = true;
-  Modes[2].Name = "metrics+trace";
-  Modes[2].Obs.Metrics = true;
-  Modes[2].Obs.Trace = true;
-
-  // One throwaway pass warms allocators and code paths so the first
-  // measured mode is not penalized.
+/// Times every mode of one engine over \p Reps repetitions and prints
+/// the table; Ratio is relative to the engine's own disabled mode.
+std::vector<Measurement> timeEngine(const char *Engine,
+                                    const std::vector<Mode> &Modes, int Reps,
+                                    exec::ProgramCache *Kernels) {
   TrialRunner Runner(1);
-  Runner.run(grid(Modes[0].Obs));
+  // One throwaway pass warms allocators, code paths, and (on the
+  // compiled engine) the one-time kernel lowering, so the first
+  // measured mode is not penalized.
+  Runner.run(grid(Modes[0].Obs, Kernels));
 
-  std::printf("Telemetry overhead: nine apps x 3 seeds at medium, "
-              "%d repetition(s), single thread\n\n", Reps);
-  std::printf("%-14s %12s %14s %12s\n", "mode", "seconds", "ops", "ns/op");
-  std::printf("------------------------------------------------------\n");
+  std::printf("%s engine\n", Engine);
+  std::printf("%-14s %12s %14s %12s %8s\n", "mode", "seconds", "ops",
+              "ns/op", "ratio");
+  std::printf(
+      "---------------------------------------------------------------\n");
 
+  std::vector<Measurement> Out;
   double Baseline = 0.0;
   for (const Mode &M : Modes) {
-    std::vector<Trial> Trials = grid(M.Obs);
+    std::vector<Trial> Trials = grid(M.Obs, Kernels);
     uint64_t Ops = 0;
     auto Start = std::chrono::steady_clock::now();
     for (int Rep = 0; Rep < Reps; ++Rep) {
@@ -81,16 +96,98 @@ int main(int Argc, char **Argv) {
         Ops += R.Stats.Ops.total();
     }
     auto End = std::chrono::steady_clock::now();
-    double Seconds = std::chrono::duration<double>(End - Start).count();
-    double PerOp = Ops ? Seconds / Reps / static_cast<double>(Ops) * 1e9
-                       : 0.0;
-    std::printf("%-14s %12.4f %14llu %12.2f\n", M.Name, Seconds,
-                static_cast<unsigned long long>(Ops * Reps), PerOp);
+    Measurement Row;
+    Row.Mode = M.Name;
+    Row.Seconds = std::chrono::duration<double>(End - Start).count();
+    Row.NsPerOp =
+        Ops ? Row.Seconds / Reps / static_cast<double>(Ops) * 1e9 : 0.0;
     if (Baseline == 0.0)
-      Baseline = Seconds;
-    else
-      std::printf("%-14s %11.2fx relative to disabled\n", "",
-                  Seconds / Baseline);
+      Baseline = Row.Seconds;
+    Row.Ratio = Baseline > 0.0 ? Row.Seconds / Baseline : 1.0;
+    std::printf("%-14s %12.4f %14llu %12.2f %7.2fx\n", M.Name, Row.Seconds,
+                static_cast<unsigned long long>(Ops * Reps), Row.NsPerOp,
+                Row.Ratio);
+    Out.push_back(Row);
   }
+  std::printf("\n");
+  return Out;
+}
+
+void renderEngineJson(std::ofstream &Out, const char *Engine,
+                      const std::vector<Measurement> &Rows, bool Last) {
+  Out << "    {\n      \"engine\": \"" << Engine << "\",\n"
+      << "      \"modes\": [\n";
+  char Buffer[256];
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "        {\"mode\": \"%s\", \"seconds\": %.4f, "
+                  "\"nsPerOp\": %.2f, \"ratio\": %.4f}%s\n",
+                  Rows[I].Mode.c_str(), Rows[I].Seconds, Rows[I].NsPerOp,
+                  Rows[I].Ratio, I + 1 < Rows.size() ? "," : "");
+    Out << Buffer;
+  }
+  Out << "      ]\n    }" << (Last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Reps = 3;
+  std::string OutPath;
+  if (Argc > 1)
+    Reps = std::atoi(Argv[1]);
+  if (Reps < 1)
+    Reps = 1;
+  if (Argc > 2)
+    OutPath = Argv[2];
+
+  std::vector<Mode> InterpModes(4);
+  InterpModes[0].Name = "disabled";
+  InterpModes[1].Name = "metrics";
+  InterpModes[1].Obs.Metrics = true;
+  InterpModes[2].Name = "metrics+trace";
+  InterpModes[2].Obs.Metrics = true;
+  InterpModes[2].Obs.Trace = true;
+  // What `eval --journal-dir` arms: the structured trace alone.
+  InterpModes[3].Name = "journal";
+  InterpModes[3].Obs.Trace = true;
+
+  // The compiled engine's metrics ride the batched fault injector and
+  // its trace carries the harness/fault markers the journal needs.
+  std::vector<Mode> CompiledModes(3);
+  CompiledModes[0].Name = "disabled";
+  CompiledModes[1].Name = "metrics";
+  CompiledModes[1].Obs.Metrics = true;
+  CompiledModes[2].Name = "journal";
+  CompiledModes[2].Obs.Trace = true;
+
+  std::printf("Telemetry overhead: nine apps x 3 seeds at medium, "
+              "%d repetition(s), single thread\n\n",
+              Reps);
+
+  std::vector<Measurement> Interp =
+      timeEngine("interp", InterpModes, Reps, nullptr);
+
+  exec::ProgramCache Kernels(std::string(ENERJ_FEJ_DIR) + "/isa");
+  std::vector<Measurement> Compiled =
+      timeEngine("compiled", CompiledModes, Reps, &Kernels);
+
+  if (OutPath.empty())
+    return 0;
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "obs_overhead: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  Out << "{\n  \"tool\": \"obs_overhead\",\n  \"version\": 1,\n"
+      << "  \"reps\": " << Reps << ",\n"
+      << "  \"trialsPerMode\": 27,\n"
+      << "  \"engines\": [\n";
+  renderEngineJson(Out, "interp", Interp, false);
+  renderEngineJson(Out, "compiled", Compiled, true);
+  Out << "  ]\n}\n";
+  Out.close();
+  std::printf("wrote %s\n", OutPath.c_str());
   return 0;
 }

@@ -25,6 +25,8 @@
 //                    [--op-budget M] [--output-bound B] [--no-degrade]
 //                    [--metrics] [--json] [--exec-mode interp|compiled]
 //                    [--power-trace file|preset] [--checkpoint policy]
+//                    [--journal-dir d] [--journal-sample N] [--progress]
+//                    [--ledger file]
 //                                      run the Section 6 evaluation grid
 //                                      on the parallel trial runner; the
 //                                      resilience flags arm the QoS SLO,
@@ -35,7 +37,26 @@
 //                                      --power-trace meters every trial
 //                                      against an intermittent supply
 //                                      with checkpoint/restore accounting
-//                                      (JSON schema v5)
+//                                      (JSON schema v5); --journal-dir
+//                                      captures flight-recorder journals
+//                                      (all non-ok trials, sampled ok
+//                                      trials); --progress heartbeats on
+//                                      stderr; --ledger appends one
+//                                      manifest line to a JSONL run
+//                                      ledger
+//   fenerj_tool replay <journal> [--blame]
+//                                      re-execute a captured journal and
+//                                      verify the digest bitwise;
+//                                      --blame ranks the journaled fault
+//                                      sites by QoS damage via forced-
+//                                      precise counterfactual replay
+//   fenerj_tool runs list <ledger.jsonl>
+//   fenerj_tool runs diff <ledger.jsonl> <a> <b>
+//   fenerj_tool runs check <ledger.jsonl> --baseline <file>
+//                                      cross-run comparison over the run
+//                                      ledger; check gates QoS / energy /
+//                                      throughput against a committed
+//                                      baseline's thresholds
 //   fenerj_tool profile <app> [--level L] [--seeds N] [--threads N]
 //                      [--top K] [--no-qos-delta] [--trace out.json]
 //                      [--json]
@@ -60,13 +81,18 @@
 #include "isa/assembler.h"
 #include "isa/machine.h"
 #include "isa/verifier.h"
+#include "obs/journal.h"
+#include "obs/json_mini.h"
+#include "obs/ledger.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -443,6 +469,7 @@ int optMode(int Argc, char **Argv) {
 int boundMode(int Argc, char **Argv) {
   const char *File = Argv[2];
   bool Json = false, PerSite = false;
+  std::string LedgerPath;
   enerj::ApproxLevel Level = enerj::ApproxLevel::Medium;
   for (int Arg = 3; Arg < Argc; ++Arg) {
     std::string Flag = Argv[Arg];
@@ -457,6 +484,12 @@ int boundMode(int Argc, char **Argv) {
       Json = true;
     } else if (Flag == "--per-site") {
       PerSite = true;
+    } else if (Flag == "--ledger") {
+      LedgerPath = NextValue();
+      if (LedgerPath.empty()) {
+        std::fprintf(stderr, "--ledger needs a file path\n");
+        return 2;
+      }
     } else if (Flag == "--level") {
       std::string Name = NextValue();
       bool Found = false;
@@ -534,15 +567,23 @@ int boundMode(int Argc, char **Argv) {
 
   enerj::FaultRates Rates =
       enerj::FaultRates::of(enerj::FaultConfig::preset(Level));
+  auto Started = std::chrono::steady_clock::now();
   enerj::analysis::reliability::ReliabilityReport Report =
       enerj::analysis::reliability::analyzeProgram(*Binary, Rates);
+  double ElapsedSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    Started)
+          .count();
 
   auto Fmt = [](double Value) {
     char Buffer[48];
     std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
     return std::string(Buffer);
   };
-  if (Json) {
+  // The JSON payload is also the ledger's grid digest, so build it in
+  // text mode too.
+  std::string PayloadJson;
+  {
     std::ostringstream Out;
     Out << "{\"tool\": \"fenerj-bound\", \"version\": 1, \"file\": \""
         << File << "\", \"level\": \"" << enerj::approxLevelName(Level)
@@ -568,9 +609,32 @@ int boundMode(int Argc, char **Argv) {
           << "\", \"bound\": " << Fmt(S.Bound)
           << ", \"visits\": " << S.Visits << "}";
     }
-    Out << "]}\n";
-    std::fputs(Out.str().c_str(), stdout);
-    return 0;
+    Out << "]}";
+    PayloadJson = Out.str();
+  }
+  auto AppendLedger = [&]() -> bool {
+    if (LedgerPath.empty())
+      return true;
+    enerj::obs::LedgerEntry Entry;
+    Entry.Command = "bound";
+    Entry.PayloadVersion = 1;
+    Entry.ConfigSummary = std::string("bound file=") + File +
+                          " level=" + enerj::approxLevelName(Level);
+    Entry.ConfigHash = enerj::obs::json::fnv1a(Entry.ConfigSummary);
+    Entry.GridDigest = enerj::obs::json::fnv1a(PayloadJson);
+    Entry.Apps = 1;
+    Entry.Levels = 1;
+    Entry.ElapsedSec = ElapsedSec;
+    std::string Error;
+    if (!enerj::obs::appendLedgerLine(LedgerPath, Entry, &Error)) {
+      std::fprintf(stderr, "--ledger: %s\n", Error.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (Json) {
+    std::fputs((PayloadJson + "\n").c_str(), stdout);
+    return AppendLedger() ? 0 : 1;
   }
 
   std::ostringstream Out;
@@ -612,7 +676,7 @@ int boundMode(int Argc, char **Argv) {
     }
   }
   std::fputs(Out.str().c_str(), stdout);
-  return 0;
+  return AppendLedger() ? 0 : 1;
 }
 
 int infer(int Argc, char **Argv) {
@@ -733,6 +797,7 @@ int profile(int Argc, char **Argv) {
   }
   bool Json = false;
   std::string TracePath;
+  std::string LedgerPath;
   for (int Arg = 3; Arg < Argc; ++Arg) {
     std::string Flag = Argv[Arg];
     auto NextValue = [&]() -> std::string {
@@ -749,6 +814,12 @@ int profile(int Argc, char **Argv) {
     } else if (Flag == "--trace") {
       TracePath = NextValue();
       Options.Trace = true;
+    } else if (Flag == "--ledger") {
+      LedgerPath = NextValue();
+      if (LedgerPath.empty()) {
+        std::fprintf(stderr, "--ledger needs a file path\n");
+        return 2;
+      }
     } else if (Flag == "--level") {
       std::string Name = NextValue();
       bool Found = false;
@@ -796,7 +867,12 @@ int profile(int Argc, char **Argv) {
       return 2;
     }
   }
+  auto Started = std::chrono::steady_clock::now();
   enerj::obs::ProfileResult Result = enerj::obs::runProfile(Options);
+  double ElapsedSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    Started)
+          .count();
   if (!TracePath.empty()) {
     std::string Trace = enerj::obs::renderChromeTrace(
         Result.Seed1.Trace, Result.Seed1.Metrics, Result.App->name());
@@ -812,10 +888,41 @@ int profile(int Argc, char **Argv) {
       return 1;
     }
   }
+  std::string PayloadJson = enerj::obs::renderProfileJson(Result);
   std::string Rendered =
-      Json ? enerj::obs::renderProfileJson(Result) + "\n"
-           : enerj::obs::renderProfileText(Result);
+      Json ? PayloadJson + "\n" : enerj::obs::renderProfileText(Result);
   std::fputs(Rendered.c_str(), stdout);
+  if (!LedgerPath.empty()) {
+    enerj::obs::LedgerEntry Entry;
+    Entry.Command = "profile";
+    Entry.PayloadVersion = 1;
+    Entry.ConfigSummary = std::string("profile app=") + Result.App->name() +
+                          " level=" +
+                          enerj::approxLevelName(Result.Config.Level) +
+                          " seeds=" + std::to_string(Result.Seeds) +
+                          " topK=" + std::to_string(Result.TopK) +
+                          (Options.QosDelta ? " qosDelta=on"
+                                            : " qosDelta=off");
+    Entry.ConfigHash = enerj::obs::json::fnv1a(Entry.ConfigSummary);
+    Entry.GridDigest = enerj::obs::json::fnv1a(PayloadJson);
+    Entry.Apps = 1;
+    Entry.Levels = 1;
+    Entry.Seeds = Result.Seeds;
+    Entry.Trials = static_cast<uint64_t>(Result.Seeds);
+    Entry.Outcomes.Ok = static_cast<uint64_t>(Result.Seeds);
+    Entry.QosMean = Result.Qos.Mean;
+    Entry.EnergyMean = Result.Energy.TotalFactor;
+    Entry.EffectiveEnergyMean = Result.Energy.TotalFactor;
+    Entry.ElapsedSec = ElapsedSec;
+    Entry.TrialsPerSec =
+        ElapsedSec > 0.0 ? static_cast<double>(Entry.Trials) / ElapsedSec
+                         : 0.0;
+    std::string Error;
+    if (!enerj::obs::appendLedgerLine(LedgerPath, Entry, &Error)) {
+      std::fprintf(stderr, "--ledger: %s\n", Error.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -823,6 +930,8 @@ int eval(int Argc, char **Argv) {
   enerj::harness::EvalOptions Options;
   bool Json = false;
   bool SawCheckpoint = false;
+  std::string JournalDir;
+  std::string LedgerPath;
   for (int Arg = 2; Arg < Argc; ++Arg) {
     std::string Flag = Argv[Arg];
     auto NextValue = [&]() -> std::string {
@@ -988,6 +1097,31 @@ int eval(int Argc, char **Argv) {
       }
       Options.Power.Checkpoint = std::move(*Policy);
       SawCheckpoint = true;
+    } else if (Flag == "--journal-dir") {
+      JournalDir = NextValue();
+      if (JournalDir.empty()) {
+        std::fprintf(stderr, "--journal-dir needs a directory\n");
+        return 2;
+      }
+      Options.Journal = true;
+    } else if (Flag == "--journal-sample") {
+      long long Every = 0;
+      if (!parseInt(NextValue(), Every) || Every < 0 || Every > 1000000) {
+        std::fprintf(stderr,
+                     "--journal-sample needs a non-negative ok-trial "
+                     "stride, 0 = non-ok only (got '%s')\n",
+                     Argv[Arg]);
+        return 2;
+      }
+      Options.JournalOkSampleEvery = static_cast<int>(Every);
+    } else if (Flag == "--progress") {
+      Options.Progress = true;
+    } else if (Flag == "--ledger") {
+      LedgerPath = NextValue();
+      if (LedgerPath.empty()) {
+        std::fprintf(stderr, "--ledger needs a file path\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown eval flag '%s'\n", Flag.c_str());
       return 2;
@@ -1001,17 +1135,320 @@ int eval(int Argc, char **Argv) {
   }
   Options.KernelDir = std::string(ENERJ_FEJ_DIR) + "/isa";
   enerj::harness::EvalResult Result;
+  auto Started = std::chrono::steady_clock::now();
   try {
     Result = enerj::harness::runEval(Options);
   } catch (const std::exception &E) {
     std::fprintf(stderr, "eval failed: %s\n", E.what());
     return 1;
   }
-  std::string Rendered = Json
-                             ? enerj::harness::renderEvalJson(Result) + "\n"
-                             : enerj::harness::renderEvalText(Result);
+  double ElapsedSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    Started)
+          .count();
+  // The payload JSON feeds the ledger's grid digest even in text mode;
+  // render it once.
+  std::string PayloadJson = enerj::harness::renderEvalJson(Result);
+  std::string Rendered =
+      Json ? PayloadJson + "\n" : enerj::harness::renderEvalText(Result);
   std::fputs(Rendered.c_str(), stdout);
+  if (!JournalDir.empty()) {
+    std::error_code DirError;
+    std::filesystem::create_directories(JournalDir, DirError);
+    std::string Error;
+    std::vector<std::string> Written =
+        enerj::obs::writeJournals(Result, JournalDir, &Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "--journal-dir: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[journal] %zu journal(s) written to %s\n",
+                 Written.size(), JournalDir.c_str());
+  }
+  if (!LedgerPath.empty()) {
+    std::string Error;
+    if (!enerj::obs::appendLedgerLine(
+            LedgerPath,
+            enerj::obs::ledgerEntryForEval(Result, PayloadJson, ElapsedSec),
+            &Error)) {
+      std::fprintf(stderr, "--ledger: %s\n", Error.c_str());
+      return 1;
+    }
+  }
   return 0;
+}
+
+int replayMode(int Argc, char **Argv) {
+  bool Blame = false;
+  const char *File = nullptr;
+  for (int Arg = 2; Arg < Argc; ++Arg) {
+    std::string Flag = Argv[Arg];
+    if (Flag == "--blame") {
+      Blame = true;
+    } else if (!Flag.empty() && Flag[0] == '-') {
+      std::fprintf(stderr, "unknown replay flag '%s'\n", Flag.c_str());
+      return 2;
+    } else if (!File) {
+      File = Argv[Arg];
+    } else {
+      std::fprintf(stderr, "replay takes exactly one journal file\n");
+      return 2;
+    }
+  }
+  if (!File) {
+    std::fprintf(stderr,
+                 "usage: fenerj_tool replay <journal.json> [--blame]\n");
+    return 2;
+  }
+  bool Ok = true;
+  std::string Text = readFile(File, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", File);
+    return 1;
+  }
+  enerj::obs::Journal J;
+  std::string Error;
+  if (!enerj::obs::parseJournalJson(Text, &J, &Error)) {
+    std::fprintf(stderr, "%s: %s\n", File, Error.c_str());
+    return 1;
+  }
+  try {
+    if (Blame) {
+      std::vector<enerj::obs::BlameRow> Rows = enerj::obs::blameJournal(J);
+      std::fputs(enerj::obs::renderBlameText(J, Rows).c_str(), stdout);
+      return 0;
+    }
+    enerj::obs::ReplayResult R = enerj::obs::replayJournal(
+        J, std::string(ENERJ_FEJ_DIR) + "/isa");
+    if (R.Match) {
+      std::printf("replay: match\n  digest %s\n", R.RecordedJson.c_str());
+      return 0;
+    }
+    std::printf("replay: MISMATCH\n  recorded %s\n  replayed %s\n",
+                R.RecordedJson.c_str(), R.ReplayedJson.c_str());
+    return 1;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "replay failed: %s\n", E.what());
+    return 1;
+  }
+}
+
+int runsUsage() {
+  std::fprintf(
+      stderr,
+      "usage: fenerj_tool runs list <ledger.jsonl>\n"
+      "       fenerj_tool runs diff <ledger.jsonl> <a> <b>\n"
+      "       fenerj_tool runs check <ledger.jsonl> --baseline <file>\n"
+      "       (entry indexes are 0-based; negative counts from the end)\n");
+  return 2;
+}
+
+/// Parses a "0x"-prefixed 16-digit hash spelling (the ledger's hash
+/// format) strictly.
+bool parseHex64(const std::string &Text, uint64_t &Out) {
+  if (Text.size() < 3 || Text[0] != '0' || Text[1] != 'x')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str() + 2, &End, 16);
+  return errno == 0 && End && *End == '\0';
+}
+
+int runsMode(int Argc, char **Argv) {
+  if (Argc < 4)
+    return runsUsage();
+  std::string Sub = Argv[2];
+  const char *Path = Argv[3];
+  std::vector<enerj::obs::LedgerEntry> Entries;
+  std::string Error;
+  if (!enerj::obs::readLedger(Path, &Entries, &Error)) {
+    std::fprintf(stderr, "runs: %s\n", Error.c_str());
+    return 1;
+  }
+  auto Hash = [](uint64_t Value) {
+    char Buffer[24];
+    std::snprintf(Buffer, sizeof(Buffer), "0x%016llx",
+                  static_cast<unsigned long long>(Value));
+    return std::string(Buffer);
+  };
+  if (Sub == "list") {
+    if (Argc != 4)
+      return runsUsage();
+    std::printf("%4s %-8s %-18s %8s %8s %12s %12s %12s\n", "idx", "command",
+                "configHash", "trials", "ok", "qosMean", "effEnergy",
+                "trials/s");
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      const enerj::obs::LedgerEntry &E = Entries[I];
+      std::printf("%4zu %-8s %-18s %8llu %8llu %12.6g %12.6g %12.6g\n", I,
+                  E.Command.c_str(), Hash(E.ConfigHash).c_str(),
+                  static_cast<unsigned long long>(E.Trials),
+                  static_cast<unsigned long long>(E.Outcomes.Ok), E.QosMean,
+                  E.EffectiveEnergyMean, E.TrialsPerSec);
+    }
+    return 0;
+  }
+  if (Sub == "diff") {
+    if (Argc != 6)
+      return runsUsage();
+    auto Resolve = [&](const char *Text, size_t &Out) -> bool {
+      long long Index = 0;
+      if (!parseInt(Text, Index))
+        return false;
+      if (Index < 0)
+        Index += static_cast<long long>(Entries.size());
+      if (Index < 0 || Index >= static_cast<long long>(Entries.size()))
+        return false;
+      Out = static_cast<size_t>(Index);
+      return true;
+    };
+    size_t IndexA = 0, IndexB = 0;
+    if (!Resolve(Argv[4], IndexA) || !Resolve(Argv[5], IndexB)) {
+      std::fprintf(stderr,
+                   "runs diff: bad entry index (ledger has %zu entries)\n",
+                   Entries.size());
+      return 2;
+    }
+    const enerj::obs::LedgerEntry &A = Entries[IndexA];
+    const enerj::obs::LedgerEntry &B = Entries[IndexB];
+    std::printf("== runs diff [%zu] vs [%zu] ==\n", IndexA, IndexB);
+    std::printf("  %-22s %s | %s\n", "command", A.Command.c_str(),
+                B.Command.c_str());
+    std::printf("  %-22s %s | %s  %s\n", "configHash",
+                Hash(A.ConfigHash).c_str(), Hash(B.ConfigHash).c_str(),
+                A.ConfigHash == B.ConfigHash ? "(same config)"
+                                             : "(DIFFERENT config)");
+    std::printf("  %-22s %s | %s  %s\n", "gridDigest",
+                Hash(A.GridDigest).c_str(), Hash(B.GridDigest).c_str(),
+                A.GridDigest == B.GridDigest ? "(bitwise-identical payload)"
+                                             : "(payload differs)");
+    std::printf("  %-22s %llu | %llu\n", "trials",
+                static_cast<unsigned long long>(A.Trials),
+                static_cast<unsigned long long>(B.Trials));
+    auto Tally = [&](const char *Name, uint64_t ValueA, uint64_t ValueB) {
+      std::printf("  %-22s %llu | %llu\n", Name,
+                  static_cast<unsigned long long>(ValueA),
+                  static_cast<unsigned long long>(ValueB));
+    };
+    Tally("outcomes.ok", A.Outcomes.Ok, B.Outcomes.Ok);
+    Tally("outcomes.sloViolated", A.Outcomes.SloViolated,
+          B.Outcomes.SloViolated);
+    Tally("outcomes.aborted", A.Outcomes.Aborted, B.Outcomes.Aborted);
+    Tally("outcomes.retried", A.Outcomes.Retried, B.Outcomes.Retried);
+    Tally("outcomes.degraded", A.Outcomes.Degraded, B.Outcomes.Degraded);
+    Tally("outcomes.powerFailed", A.Outcomes.PowerFailed,
+          B.Outcomes.PowerFailed);
+    auto Metric = [&](const char *Name, double ValueA, double ValueB) {
+      std::printf("  %-22s %.17g | %.17g  (%+.3g)\n", Name, ValueA, ValueB,
+                  ValueB - ValueA);
+    };
+    Metric("qosMean", A.QosMean, B.QosMean);
+    Metric("energyMean", A.EnergyMean, B.EnergyMean);
+    Metric("effectiveEnergyMean", A.EffectiveEnergyMean,
+           B.EffectiveEnergyMean);
+    Metric("trialsPerSec", A.TrialsPerSec, B.TrialsPerSec);
+    return 0;
+  }
+  if (Sub == "check") {
+    if (Argc != 6 || std::string(Argv[4]) != "--baseline")
+      return runsUsage();
+    bool Ok = true;
+    std::string Text = readFile(Argv[5], Ok);
+    if (!Ok) {
+      std::fprintf(stderr, "runs check: cannot read '%s'\n", Argv[5]);
+      return 1;
+    }
+    enerj::obs::json::Value Doc;
+    if (!enerj::obs::json::parse(Text, &Doc, &Error) || !Doc.isObject()) {
+      std::fprintf(stderr, "runs check: %s: %s\n", Argv[5],
+                   Error.empty() ? "baseline is not a JSON object"
+                                 : Error.c_str());
+      return 1;
+    }
+    std::string Command = "eval";
+    if (const enerj::obs::json::Value *V = Doc.find("command"))
+      if (V->isString())
+        Command = V->Text;
+    bool HaveHash = false;
+    uint64_t WantHash = 0;
+    if (const enerj::obs::json::Value *V = Doc.find("configHash")) {
+      if (!V->isString() || !parseHex64(V->Text, WantHash)) {
+        std::fprintf(stderr,
+                     "runs check: baseline configHash must be a 0x hash\n");
+        return 1;
+      }
+      HaveHash = true;
+    }
+    // The baseline gates the *latest* comparable run: the last ledger
+    // entry with the baseline's command (and configHash, when pinned).
+    const enerj::obs::LedgerEntry *Entry = nullptr;
+    size_t EntryIndex = 0;
+    for (size_t I = 0; I < Entries.size(); ++I)
+      if (Entries[I].Command == Command &&
+          (!HaveHash || Entries[I].ConfigHash == WantHash)) {
+        Entry = &Entries[I];
+        EntryIndex = I;
+      }
+    if (!Entry) {
+      std::fprintf(stderr,
+                   "runs check: no ledger entry matches the baseline "
+                   "(command '%s'%s)\n",
+                   Command.c_str(),
+                   HaveHash ? " with the pinned configHash" : "");
+      return 1;
+    }
+    std::printf("== runs check: entry [%zu] (%s, configHash %s) vs %s ==\n",
+                EntryIndex, Entry->Command.c_str(),
+                Hash(Entry->ConfigHash).c_str(), Argv[5]);
+    int Failures = 0;
+    if (const enerj::obs::json::Value *V = Doc.find("gridDigest")) {
+      uint64_t Want = 0;
+      if (!V->isString() || !parseHex64(V->Text, Want)) {
+        std::fprintf(stderr,
+                     "runs check: baseline gridDigest must be a 0x hash\n");
+        return 1;
+      }
+      bool Pass = Entry->GridDigest == Want;
+      std::printf("  %-4s %-24s %s %s %s\n", Pass ? "ok" : "FAIL",
+                  "gridDigest", Hash(Entry->GridDigest).c_str(),
+                  Pass ? "==" : "!=", Hash(Want).c_str());
+      if (!Pass)
+        ++Failures;
+    }
+    auto Gate = [&](const char *Name, double Have, double Bound, bool Pass,
+                    const char *Relation) {
+      std::printf("  %-4s %-24s %.17g %s %.17g\n", Pass ? "ok" : "FAIL",
+                  Name, Have, Relation, Bound);
+      if (!Pass)
+        ++Failures;
+    };
+    auto Threshold = [&](const char *Key, double &Out) -> bool {
+      const enerj::obs::json::Value *V = Doc.find(Key);
+      if (!V || !V->isNumber())
+        return false;
+      Out = V->asDouble();
+      return true;
+    };
+    double Bound = 0.0;
+    if (Threshold("qosMeanMax", Bound))
+      Gate("qosMean", Entry->QosMean, Bound, Entry->QosMean <= Bound, "<=");
+    if (Threshold("energyMeanMax", Bound))
+      Gate("energyMean", Entry->EnergyMean, Bound,
+           Entry->EnergyMean <= Bound, "<=");
+    if (Threshold("effectiveEnergyMeanMax", Bound))
+      Gate("effectiveEnergyMean", Entry->EffectiveEnergyMean, Bound,
+           Entry->EffectiveEnergyMean <= Bound, "<=");
+    if (Threshold("trialsPerSecMin", Bound))
+      Gate("trialsPerSec", Entry->TrialsPerSec, Bound,
+           Entry->TrialsPerSec >= Bound, ">=");
+    if (Failures) {
+      std::printf("runs check: %d gate(s) FAILED\n", Failures);
+      return 1;
+    }
+    std::printf("runs check: all gates passed\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown runs subcommand '%s'\n", Sub.c_str());
+  return runsUsage();
 }
 
 std::string readFile(const char *Path, bool &Ok) {
@@ -1044,6 +1481,7 @@ int usage() {
                "optimized assembly)\n"
                "       fenerj_tool bound <file.fej|file.isa> [--level L] "
                "[--json] [--per-site]\n"
+               "                       [--ledger f]\n"
                "                      (static reliability bounds: P(output "
                "bitwise-exact) lower\n"
                "                       bounds for the optimized binary at "
@@ -1070,6 +1508,9 @@ int usage() {
                "                        [--exec-mode interp|compiled]\n"
                "                        [--power-trace file|preset] "
                "[--checkpoint policy]\n"
+               "                        [--journal-dir d] [--journal-sample "
+               "N] [--progress]\n"
+               "                        [--ledger file]\n"
                "                      (the Section 6 evaluation grid on "
                "the parallel trial runner;\n"
                "                       --slo/--max-retries/--op-budget arm "
@@ -1088,11 +1529,34 @@ int usage() {
                "                       trace file), JSON schema v5; "
                "--checkpoint none|periodic:N|\n"
                "                       preregion sets the checkpoint "
-               "policy)\n"
+               "policy;\n"
+               "                       --journal-dir captures replayable "
+               "flight-recorder journals\n"
+               "                       (every non-ok trial, every "
+               "--journal-sample'th ok trial);\n"
+               "                       --progress heartbeats on stderr; "
+               "--ledger appends one\n"
+               "                       manifest line to a JSONL run "
+               "ledger)\n"
+               "       fenerj_tool replay <journal.json> [--blame]\n"
+               "                      (re-execute a captured journal and "
+               "verify its digest\n"
+               "                       bitwise; --blame ranks journaled "
+               "fault sites by QoS damage\n"
+               "                       via forced-precise counterfactual "
+               "replay)\n"
+               "       fenerj_tool runs list <ledger.jsonl>\n"
+               "       fenerj_tool runs diff <ledger.jsonl> <a> <b>\n"
+               "       fenerj_tool runs check <ledger.jsonl> --baseline "
+               "<file>\n"
+               "                      (cross-run comparison over the run "
+               "ledger; check gates\n"
+               "                       QoS / energy / throughput against a "
+               "baseline's thresholds)\n"
                "       fenerj_tool profile <app> [--level L] [--seeds N] "
                "[--threads N] [--top K]\n"
                "                           [--no-qos-delta] [--trace "
-               "out.json] [--json]\n"
+               "out.json] [--json] [--ledger f]\n"
                "                      (per-site energy/fault attribution "
                "with forced-precise QoS\n"
                "                       deltas; --trace exports a "
@@ -1110,6 +1574,10 @@ int main(int Argc, char **Argv) {
     return profile(Argc, Argv);
   if (Argc >= 2 && std::string(Argv[1]) == "infer")
     return infer(Argc, Argv);
+  if (Argc >= 2 && std::string(Argv[1]) == "replay")
+    return replayMode(Argc, Argv);
+  if (Argc >= 2 && std::string(Argv[1]) == "runs")
+    return runsMode(Argc, Argv);
   if (Argc >= 2 && std::string(Argv[1]) == "demo") {
     std::printf("--- demo program ---\n%s--- check ---\n", DemoProgram);
     if (check(DemoProgram))

@@ -4,6 +4,9 @@
 
 #include "exec/compiled.h"
 
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 
@@ -99,6 +102,10 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
       for (int Seed = 1; Seed <= Result.Seeds; ++Seed) {
         Trial T{App, Config, static_cast<uint64_t>(Seed)};
         T.Obs.Metrics = Options.Metrics;
+        // The flight recorder rides on the structured trace, which never
+        // perturbs the measured run — QoS/energy/outcomes (and the eval
+        // JSON) are byte-identical with journaling on or off.
+        T.Obs.Trace = Options.Journal;
         T.Kernel = Kernel;
         T.Kernels = Kernels ? &*Kernels : nullptr;
         T.Power = Result.PowerArmed ? &Result.Power : nullptr;
@@ -106,8 +113,45 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
       }
     }
 
+  // The heartbeat is stderr-only telemetry: a throttled line with the
+  // completion count, rate, ETA, and running outcome tallies. It reads
+  // results in completion order, which is scheduling-dependent — but it
+  // only counts and tallies, so even the heartbeat's final line is
+  // deterministic; nothing downstream consumes it either way.
+  TrialRunner::ProgressFn Progress;
+  resilience::OutcomeCounts Tally;
+  auto Started = std::chrono::steady_clock::now();
+  auto LastBeat = Started - std::chrono::hours(1);
+  if (Options.Progress) {
+    size_t Total = Trials.size();
+    int SeedsPerCell = Result.Seeds;
+    Progress = [&Tally, &Started, &LastBeat, Total,
+                SeedsPerCell](size_t Done, const TrialResult &Last) {
+      Tally.add(Last.Outcome);
+      auto Now = std::chrono::steady_clock::now();
+      if (Done != Total &&
+          Now - LastBeat < std::chrono::milliseconds(500))
+        return;
+      LastBeat = Now;
+      double Elapsed = std::chrono::duration<double>(Now - Started).count();
+      double Rate = Elapsed > 0.0 ? static_cast<double>(Done) / Elapsed : 0.0;
+      double Eta = Rate > 0.0 ? static_cast<double>(Total - Done) / Rate : 0.0;
+      std::fprintf(
+          stderr,
+          "[eval] %zu/%zu trials, %zu/%zu cells, %.1f trials/s, eta %.1fs | "
+          "ok %" PRIu64 " sloViolated %" PRIu64 " aborted %" PRIu64
+          " retried %" PRIu64 " degraded %" PRIu64 " powerFailed %" PRIu64
+          "\n",
+          Done, Total, Done / static_cast<size_t>(SeedsPerCell),
+          Total / static_cast<size_t>(SeedsPerCell), Rate, Eta, Tally.Ok,
+          Tally.SloViolated, Tally.Aborted, Tally.Retried, Tally.Degraded,
+          Tally.PowerFailed);
+    };
+  }
+
   TrialRunner Runner(Options.Threads);
-  std::vector<TrialResult> TrialResults = Runner.run(Trials, Options.Policy);
+  std::vector<TrialResult> TrialResults =
+      Runner.run(Trials, Options.Policy, Progress);
 
   size_t Index = 0;
   for (const apps::Application *App : Result.Apps)
@@ -121,6 +165,23 @@ EvalResult enerj::harness::runEval(const EvalOptions &Options) {
       Effective.reserve(Result.Seeds);
       for (int Seed = 1; Seed <= Result.Seeds; ++Seed, ++Index) {
         const TrialResult &T = TrialResults[Index];
+        if (Options.Journal) {
+          // Always keep the postmortems; sample the healthy trials on a
+          // fixed seed stride so every cell keeps at least seed 1.
+          bool Sampled =
+              Options.JournalOkSampleEvery > 0 &&
+              (Seed - 1) % Options.JournalOkSampleEvery == 0;
+          if (T.Outcome != resilience::TrialOutcome::Ok || Sampled) {
+            TrialRecord Record;
+            Record.AppName = App->name();
+            Record.Level = Level;
+            Record.WorkloadSeed = static_cast<uint64_t>(Seed);
+            Record.Config = Trials[Index].Config;
+            Record.Obs = Trials[Index].Obs;
+            Record.Result = T;
+            Result.Journaled.push_back(std::move(Record));
+          }
+        }
         Qos.push_back(T.QosError);
         Energy.push_back(T.Energy.TotalFactor);
         Effective.push_back(T.EffectiveEnergyFactor);

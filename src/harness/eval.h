@@ -76,6 +76,35 @@ struct EvalOptions {
   /// top-level "power" echo and per-cell power counters.
   env::PowerEnv Power;
   bool PowerArmed = false;
+  /// Arm the flight recorder: every trial runs with the structured trace
+  /// attached, and EvalResult::Journaled carries a TrialRecord for every
+  /// non-Ok trial plus a deterministic sample of Ok trials. Off by
+  /// default — the disarmed grid (and its JSON) is byte-identical to the
+  /// recorder-less harness; arming never perturbs measured results
+  /// (telemetry is zero-perturbation) and never changes the eval JSON.
+  bool Journal = false;
+  /// Ok-trial sampling stride: seeds with (seed - 1) % stride == 0 are
+  /// journaled even when the trial ends Ok, so every cell keeps at least
+  /// its seed-1 record. <= 0 journals non-Ok trials only.
+  int JournalOkSampleEvery = 8;
+  /// Emit a stderr heartbeat (trials done, trials/sec, ETA, running
+  /// outcome tallies) while the grid runs. Purely cosmetic: stdout and
+  /// every aggregate are byte-identical with the flag on or off.
+  bool Progress = false;
+};
+
+/// One journaled trial, copied out at the trial boundary: everything the
+/// flight recorder needs to rebuild and re-execute the trial without the
+/// grid that produced it. Selection is by (app, level, seed) identity,
+/// so the record set — like every harness aggregate — is a pure function
+/// of the options, independent of thread count.
+struct TrialRecord {
+  std::string AppName;
+  ApproxLevel Level = ApproxLevel::None;
+  uint64_t WorkloadSeed = 1;
+  FaultConfig Config;          ///< The trial's full fault configuration.
+  obs::TelemetryRequest Obs;   ///< The telemetry the trial ran with.
+  TrialResult Result;          ///< The recorded outcome, timeline included.
 };
 
 /// One (application, level) cell of the grid.
@@ -117,6 +146,10 @@ struct EvalResult {
   env::PowerEnv Power;       ///< The environment the grid ran under.
   bool PowerArmed = false;   ///< Render the power blocks (version 5).
   std::vector<EvalCell> Cells;
+  /// Flight-recorder captures (empty unless EvalOptions::Journal): every
+  /// non-Ok trial plus the Ok sample, in grid (app-major, level-minor,
+  /// seed-ascending) order.
+  std::vector<TrialRecord> Journaled;
 
   /// The cell for (\p App, \p Level); null if not in the grid.
   const EvalCell *cell(const apps::Application &App, ApproxLevel Level) const;

@@ -10,6 +10,7 @@
 #include <array>
 #include <atomic>
 #include <exception>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -60,6 +61,14 @@ void accumulatePower(env::PowerStats &Total, const env::PowerStats &A) {
   Total.Survived = A.Survived;
 }
 
+/// Trace-event kind of one power-meter event.
+obs::TraceEventKind powerEventKind(env::PowerEventKind Kind) {
+  return Kind == env::PowerEventKind::Loss ? obs::TraceEventKind::PowerLoss
+         : Kind == env::PowerEventKind::Checkpoint
+             ? obs::TraceEventKind::Checkpoint
+             : obs::TraceEventKind::Restore;
+}
+
 Attempt runAttempt(const apps::Application &App, const FaultConfig &Config,
                    uint64_t WorkloadSeed, const obs::TelemetryRequest &Obs,
                    const env::PowerEnv *Power) {
@@ -78,12 +87,8 @@ Attempt runAttempt(const apps::Application &App, const FaultConfig &Config,
     Meter.emplace(*Power, RunConfig);
     if (Tel && Obs.Trace)
       Meter->Events = [&Tel](env::PowerEventKind Kind, uint64_t At) {
-        obs::TraceEventKind Mapped =
-            Kind == env::PowerEventKind::Loss ? obs::TraceEventKind::PowerLoss
-            : Kind == env::PowerEventKind::Checkpoint
-                ? obs::TraceEventKind::Checkpoint
-                : obs::TraceEventKind::Restore;
-        Tel->Trace.push({At, At, Mapped, obs::OpKind::PreciseInt, 0});
+        Tel->Trace.push(
+            {At, At, powerEventKind(Kind), obs::OpKind::PreciseInt, 0});
       };
     Sim.attachPowerMeter(&*Meter);
   }
@@ -173,13 +178,28 @@ void collectAttemptTrace(TrialResult &Result, const Attempt &A,
 /// precise reference, so no second execution is needed. The stats are
 /// priced through the same energy model as the interpreter path.
 TrialResult runCompiled(const Trial &T) {
+  TrialResult Result;
+  // The same harness markers the interpreter path brackets its attempts
+  // with: a journal of a compiled trial carries the attempt/power
+  // timeline even though the FastMachine's batched injector has no
+  // per-fault events.
+  if (T.Obs.Trace)
+    Result.Trace.push_back(
+        {0,
+         {0, static_cast<uint64_t>(T.Config.Level),
+          obs::TraceEventKind::AttemptBegin, obs::OpKind::PreciseInt, 0}});
   std::optional<env::PowerMeter> Meter;
-  if (T.Power)
+  if (T.Power) {
     Meter.emplace(*T.Power, T.Config);
+    if (T.Obs.Trace)
+      Meter->Events = [&Result](env::PowerEventKind Kind, uint64_t At) {
+        Result.Trace.push_back(
+            {0, {At, At, powerEventKind(Kind), obs::OpKind::PreciseInt, 0}});
+      };
+  }
   exec::CompiledTrialResult R = exec::runCompiledTrial(
       *T.Kernel, T.Config, T.WorkloadSeed, T.Obs.Metrics,
       BlockMode::Batched, Meter ? &*Meter : nullptr);
-  TrialResult Result;
   Result.FinalLevel = T.Config.Level;
   Result.QosError = R.QosError;
   Result.Stats = R.Stats;
@@ -201,6 +221,17 @@ TrialResult runCompiled(const Trial &T) {
   }
   if (T.Obs.Metrics)
     Result.Metrics = std::move(R.Metrics);
+  if (T.Obs.Trace) {
+    bool Accepted = Result.Outcome == resilience::TrialOutcome::Ok;
+    if (R.Trapped)
+      Result.Trace.push_back({0,
+                              {R.Cycles, R.Cycles, obs::TraceEventKind::Abort,
+                               obs::OpKind::PreciseInt, 0}});
+    Result.Trace.push_back(
+        {0,
+         {R.Cycles, Accepted ? 1u : 0u, obs::TraceEventKind::AttemptEnd,
+          obs::OpKind::PreciseInt, 0}});
+  }
   return Result;
 }
 
@@ -285,9 +316,32 @@ TrialResult runCompiledResilient(const Trial &T,
       if (Retry > 0)
         AttemptConfig.Seed =
             mixSeed(Config.Seed, static_cast<uint64_t>(Retry));
+      // The same marker shape (and attempt indices) as the interpreter
+      // recovery loop, so journals read identically across engines.
+      if (Retry > 0 && T.Obs.Trace)
+        Result.Trace.push_back({Attempts,
+                                {0, static_cast<uint64_t>(Retry),
+                                 obs::TraceEventKind::Retry,
+                                 obs::OpKind::PreciseInt, 0}});
+      if (T.Obs.Trace)
+        Result.Trace.push_back(
+            {Attempts,
+             {0, static_cast<uint64_t>(AttemptConfig.Level),
+              obs::TraceEventKind::AttemptBegin, obs::OpKind::PreciseInt,
+              0}});
       std::optional<env::PowerMeter> Meter;
-      if (T.Power)
+      if (T.Power) {
         Meter.emplace(*T.Power, AttemptConfig);
+        if (T.Obs.Trace) {
+          int AttemptIndex = Attempts;
+          Meter->Events = [&Result, AttemptIndex](env::PowerEventKind Kind,
+                                                  uint64_t At) {
+            Result.Trace.push_back({AttemptIndex,
+                                    {At, At, powerEventKind(Kind),
+                                     obs::OpKind::PreciseInt, 0}});
+          };
+        }
+      }
       exec::CompiledTrialResult R = exec::runCompiledTrial(
           *Kernel, AttemptConfig, T.WorkloadSeed, T.Obs.Metrics,
           BlockMode::Batched, Meter ? &*Meter : nullptr, Policy.OpBudget);
@@ -311,6 +365,17 @@ TrialResult runCompiledResilient(const Trial &T,
         Result.Metrics = std::move(R.Metrics);
       bool Accepted =
           !R.Trapped && !PowerDead && Result.QosError <= Policy.Slo;
+      if (T.Obs.Trace) {
+        if (R.Trapped)
+          Result.Trace.push_back({Attempts - 1,
+                                  {R.Cycles, R.Cycles,
+                                   obs::TraceEventKind::Abort,
+                                   obs::OpKind::PreciseInt, 0}});
+        Result.Trace.push_back({Attempts - 1,
+                                {R.Cycles, Accepted ? 1u : 0u,
+                                 obs::TraceEventKind::AttemptEnd,
+                                 obs::OpKind::PreciseInt, 0}});
+      }
       if (Accepted) {
         Result.Outcome = LadderSteps > 0
                              ? resilience::TrialOutcome::Degraded
@@ -479,27 +544,46 @@ std::vector<TrialResult> TrialRunner::run(
 std::vector<TrialResult> TrialRunner::run(
     const std::vector<Trial> &Trials,
     const resilience::ResiliencePolicy &Policy) const {
+  return run(Trials, Policy, ProgressFn());
+}
+
+std::vector<TrialResult> TrialRunner::run(
+    const std::vector<Trial> &Trials,
+    const resilience::ResiliencePolicy &Policy,
+    const ProgressFn &Progress) const {
   std::vector<TrialResult> Results(Trials.size());
   unsigned Workers = Threads;
   if (Workers > Trials.size())
     Workers = static_cast<unsigned>(Trials.size());
 
   if (Workers <= 1) {
-    for (size_t I = 0; I < Trials.size(); ++I)
+    for (size_t I = 0; I < Trials.size(); ++I) {
       Results[I] = runContained(Trials[I], Policy);
+      if (Progress)
+        Progress(I + 1, Results[I]);
+    }
     return Results;
   }
 
   // Lock-free work queue: one atomic ticket counter; each worker owns the
   // disjoint result slots of the trials it claims, so no further
-  // synchronization is needed until join.
+  // synchronization is needed until join. Progress notification is the
+  // one exception: a mutex serializes observer calls and the Done count,
+  // keeping the hot path untouched when no observer is attached.
   std::atomic<size_t> Next{0};
-  auto Worker = [&Trials, &Results, &Next, &Policy]() {
+  std::mutex ProgressMutex;
+  size_t Done = 0;
+  auto Worker = [&Trials, &Results, &Next, &Policy, &Progress,
+                 &ProgressMutex, &Done]() {
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Trials.size())
         return;
       Results[I] = runContained(Trials[I], Policy);
+      if (Progress) {
+        std::lock_guard<std::mutex> Lock(ProgressMutex);
+        Progress(++Done, Results[I]);
+      }
     }
   };
 

@@ -49,6 +49,7 @@
 #include "resilience/policy.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -165,6 +166,21 @@ public:
   std::vector<TrialResult>
   run(const std::vector<Trial> &Trials,
       const resilience::ResiliencePolicy &Policy) const;
+
+  /// Completion observer: called once per finished trial with the number
+  /// of trials completed so far and that trial's result. Calls are
+  /// serialized (never concurrent) but arrive in *completion* order, not
+  /// trial order — an observer that only counts and tallies outcomes sees
+  /// a deterministic multiset either way. The observer has no way to
+  /// influence results; the returned vector stays a pure function of the
+  /// trial list.
+  using ProgressFn = std::function<void(size_t Done, const TrialResult &Last)>;
+
+  /// Same, notifying \p Progress (when non-null) after every trial.
+  std::vector<TrialResult>
+  run(const std::vector<Trial> &Trials,
+      const resilience::ResiliencePolicy &Policy,
+      const ProgressFn &Progress) const;
 
 private:
   unsigned Threads;

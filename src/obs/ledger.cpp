@@ -1,0 +1,282 @@
+//===- obs/ledger.cpp - Append-only cross-run manifest --------------------===//
+
+#include "obs/ledger.h"
+
+#include "obs/json_mini.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace enerj;
+using namespace enerj::obs;
+using namespace enerj::obs::json;
+
+namespace {
+
+/// The canonical configuration text an eval grid hashes to. Flag order
+/// is fixed and thread count deliberately absent (it cannot change any
+/// result); two grids with the same summary are comparable runs.
+std::string evalConfigSummary(const harness::EvalResult &Result) {
+  std::string Out = "eval exec=";
+  Out += harness::execModeName(Result.Exec);
+  Out += " seeds=";
+  appendI64(Out, Result.Seeds);
+  Out += " apps=";
+  for (size_t A = 0; A < Result.Apps.size(); ++A) {
+    if (A)
+      Out += ",";
+    Out += Result.Apps[A]->name();
+  }
+  Out += " levels=";
+  for (size_t L = 0; L < Result.Levels.size(); ++L) {
+    if (L)
+      Out += ",";
+    Out += approxLevelName(Result.Levels[L]);
+  }
+  if (Result.Policy.Enabled) {
+    Out += " policy=slo:";
+    appendDouble(Out, Result.Policy.Slo);
+    Out += ",outputBound:";
+    appendDouble(Out, Result.Policy.OutputAbsBound);
+    Out += ",maxRetries:";
+    appendI64(Out, Result.Policy.MaxRetries);
+    Out += ",opBudget:";
+    appendU64(Out, Result.Policy.OpBudget);
+    Out += ",degrade:";
+    appendBool(Out, Result.Policy.Degrade);
+  } else {
+    Out += " policy=off";
+  }
+  Out += Result.MetricsCollected ? " metrics=on" : " metrics=off";
+  if (Result.PowerArmed) {
+    Out += " power=";
+    Out += Result.Power.Trace.Name;
+    Out += ",checkpoint:";
+    Out += Result.Power.Checkpoint.Spec;
+  } else {
+    Out += " power=off";
+  }
+  return Out;
+}
+
+/// The payload schema version the eval renderer would emit — the same
+/// expression renderEvalJson versions its document with.
+int evalPayloadVersion(const harness::EvalResult &Result) {
+  return Result.PowerArmed        ? 5
+         : Result.EchoExecMode    ? 4
+         : Result.MetricsCollected ? 3
+                                   : 2;
+}
+
+} // namespace
+
+LedgerEntry enerj::obs::ledgerEntryForEval(const harness::EvalResult &Result,
+                                           const std::string &PayloadJson,
+                                           double ElapsedSec) {
+  LedgerEntry Entry;
+  Entry.Command = "eval";
+  Entry.PayloadVersion = evalPayloadVersion(Result);
+  Entry.ConfigSummary = evalConfigSummary(Result);
+  Entry.ConfigHash = fnv1a(Entry.ConfigSummary);
+  Entry.GridDigest = fnv1a(PayloadJson);
+  Entry.Apps = Result.Apps.size();
+  Entry.Levels = Result.Levels.size();
+  Entry.Seeds = Result.Seeds;
+  Entry.Trials = Entry.Apps * Entry.Levels * static_cast<uint64_t>(Result.Seeds);
+  double QosSum = 0.0, EnergySum = 0.0, EffectiveSum = 0.0;
+  for (const harness::EvalCell &Cell : Result.Cells) {
+    Entry.Outcomes.Ok += Cell.Outcomes.Ok;
+    Entry.Outcomes.SloViolated += Cell.Outcomes.SloViolated;
+    Entry.Outcomes.Aborted += Cell.Outcomes.Aborted;
+    Entry.Outcomes.Retried += Cell.Outcomes.Retried;
+    Entry.Outcomes.Degraded += Cell.Outcomes.Degraded;
+    Entry.Outcomes.PowerFailed += Cell.Outcomes.PowerFailed;
+    QosSum += Cell.Qos.Mean;
+    EnergySum += Cell.EnergyFactor.Mean;
+    EffectiveSum += Cell.EffectiveEnergy.Mean;
+  }
+  if (!Result.Cells.empty()) {
+    double Cells = static_cast<double>(Result.Cells.size());
+    Entry.QosMean = QosSum / Cells;
+    Entry.EnergyMean = EnergySum / Cells;
+    Entry.EffectiveEnergyMean = EffectiveSum / Cells;
+  }
+  Entry.ElapsedSec = ElapsedSec;
+  Entry.TrialsPerSec =
+      ElapsedSec > 0.0 ? static_cast<double>(Entry.Trials) / ElapsedSec : 0.0;
+  return Entry;
+}
+
+std::string enerj::obs::renderLedgerLine(const LedgerEntry &Entry) {
+  std::string Out;
+  Out += "{\"tool\":\"enerj-ledger\",\"version\":1,\"command\":\"";
+  appendEscaped(Out, Entry.Command);
+  Out += "\",\"payloadVersion\":";
+  appendI64(Out, Entry.PayloadVersion);
+  Out += ",\"configHash\":\"";
+  appendHex64(Out, Entry.ConfigHash);
+  Out += "\",\"configSummary\":\"";
+  appendEscaped(Out, Entry.ConfigSummary);
+  Out += "\",\"gridDigest\":\"";
+  appendHex64(Out, Entry.GridDigest);
+  Out += "\",\"apps\":";
+  appendU64(Out, Entry.Apps);
+  Out += ",\"levels\":";
+  appendU64(Out, Entry.Levels);
+  Out += ",\"seeds\":";
+  appendI64(Out, Entry.Seeds);
+  Out += ",\"trials\":";
+  appendU64(Out, Entry.Trials);
+  Out += ",\"outcomes\":{\"ok\":";
+  appendU64(Out, Entry.Outcomes.Ok);
+  Out += ",\"sloViolated\":";
+  appendU64(Out, Entry.Outcomes.SloViolated);
+  Out += ",\"aborted\":";
+  appendU64(Out, Entry.Outcomes.Aborted);
+  Out += ",\"retried\":";
+  appendU64(Out, Entry.Outcomes.Retried);
+  Out += ",\"degraded\":";
+  appendU64(Out, Entry.Outcomes.Degraded);
+  Out += ",\"powerFailed\":";
+  appendU64(Out, Entry.Outcomes.PowerFailed);
+  Out += "},\"qosMean\":";
+  appendDouble(Out, Entry.QosMean);
+  Out += ",\"energyMean\":";
+  appendDouble(Out, Entry.EnergyMean);
+  Out += ",\"effectiveEnergyMean\":";
+  appendDouble(Out, Entry.EffectiveEnergyMean);
+  Out += ",\"elapsedSec\":";
+  appendDouble(Out, Entry.ElapsedSec);
+  Out += ",\"trialsPerSec\":";
+  appendDouble(Out, Entry.TrialsPerSec);
+  Out += "}";
+  return Out;
+}
+
+namespace {
+
+struct ParseFail {
+  std::string Message;
+};
+
+const Value &member(const Value &Obj, const char *Key, Value::Kind Kind) {
+  const Value *V = Obj.find(Key);
+  if (!V)
+    throw ParseFail{std::string("missing key \"") + Key + "\""};
+  if (V->K != Kind)
+    throw ParseFail{std::string("key \"") + Key + "\" has the wrong type"};
+  return *V;
+}
+
+uint64_t hexOf(const Value &Obj, const char *Key) {
+  const std::string &Text = member(Obj, Key, Value::Kind::String).Text;
+  if (Text.size() < 3 || Text[0] != '0' || Text[1] != 'x')
+    throw ParseFail{std::string("key \"") + Key + "\" is not a 0x hash"};
+  return std::strtoull(Text.c_str() + 2, nullptr, 16);
+}
+
+} // namespace
+
+bool enerj::obs::parseLedgerLine(const std::string &Line, LedgerEntry *Out,
+                                 std::string *Error) {
+  Value Doc;
+  if (!parse(Line, &Doc, Error))
+    return false;
+  try {
+    if (!Doc.isObject())
+      throw ParseFail{"ledger line is not a JSON object"};
+    if (member(Doc, "tool", Value::Kind::String).Text != "enerj-ledger")
+      throw ParseFail{"not an enerj-ledger line"};
+    if (member(Doc, "version", Value::Kind::Number).asI64() != 1)
+      throw ParseFail{"unsupported ledger schema version"};
+
+    LedgerEntry Entry;
+    Entry.Command = member(Doc, "command", Value::Kind::String).Text;
+    Entry.PayloadVersion = static_cast<int>(
+        member(Doc, "payloadVersion", Value::Kind::Number).asI64());
+    Entry.ConfigHash = hexOf(Doc, "configHash");
+    Entry.ConfigSummary =
+        member(Doc, "configSummary", Value::Kind::String).Text;
+    Entry.GridDigest = hexOf(Doc, "gridDigest");
+    Entry.Apps = member(Doc, "apps", Value::Kind::Number).asU64();
+    Entry.Levels = member(Doc, "levels", Value::Kind::Number).asU64();
+    Entry.Seeds =
+        static_cast<int>(member(Doc, "seeds", Value::Kind::Number).asI64());
+    Entry.Trials = member(Doc, "trials", Value::Kind::Number).asU64();
+    const Value &Outcomes = member(Doc, "outcomes", Value::Kind::Object);
+    Entry.Outcomes.Ok = member(Outcomes, "ok", Value::Kind::Number).asU64();
+    Entry.Outcomes.SloViolated =
+        member(Outcomes, "sloViolated", Value::Kind::Number).asU64();
+    Entry.Outcomes.Aborted =
+        member(Outcomes, "aborted", Value::Kind::Number).asU64();
+    Entry.Outcomes.Retried =
+        member(Outcomes, "retried", Value::Kind::Number).asU64();
+    Entry.Outcomes.Degraded =
+        member(Outcomes, "degraded", Value::Kind::Number).asU64();
+    Entry.Outcomes.PowerFailed =
+        member(Outcomes, "powerFailed", Value::Kind::Number).asU64();
+    Entry.QosMean = member(Doc, "qosMean", Value::Kind::Number).asDouble();
+    Entry.EnergyMean =
+        member(Doc, "energyMean", Value::Kind::Number).asDouble();
+    Entry.EffectiveEnergyMean =
+        member(Doc, "effectiveEnergyMean", Value::Kind::Number).asDouble();
+    Entry.ElapsedSec =
+        member(Doc, "elapsedSec", Value::Kind::Number).asDouble();
+    Entry.TrialsPerSec =
+        member(Doc, "trialsPerSec", Value::Kind::Number).asDouble();
+    *Out = std::move(Entry);
+    return true;
+  } catch (const ParseFail &F) {
+    if (Error)
+      *Error = F.Message;
+    return false;
+  }
+}
+
+bool enerj::obs::appendLedgerLine(const std::string &Path,
+                                  const LedgerEntry &Entry,
+                                  std::string *Error) {
+  std::ofstream File(Path, std::ios::app);
+  if (!File) {
+    if (Error)
+      *Error = "cannot open ledger '" + Path + "' for append";
+    return false;
+  }
+  File << renderLedgerLine(Entry) << "\n";
+  if (!File) {
+    if (Error)
+      *Error = "append to ledger '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool enerj::obs::readLedger(const std::string &Path,
+                            std::vector<LedgerEntry> *Out,
+                            std::string *Error) {
+  std::ifstream File(Path);
+  if (!File) {
+    if (Error)
+      *Error = "cannot open ledger '" + Path + "'";
+    return false;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(File, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    LedgerEntry Entry;
+    std::string LineError;
+    if (!parseLedgerLine(Line, &Entry, &LineError)) {
+      if (Error) {
+        std::ostringstream Message;
+        Message << Path << ":" << LineNo << ": " << LineError;
+        *Error = Message.str();
+      }
+      return false;
+    }
+    Out->push_back(std::move(Entry));
+  }
+  return true;
+}

@@ -1,0 +1,84 @@
+//===- obs/ledger.h - Append-only cross-run manifest ------------*- C++ -*-===//
+//
+// Part of the EnerJ reproduction. MIT licensed; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run ledger behind `fenerj_tool --ledger` and `fenerj_tool runs`:
+/// an append-only JSONL manifest with one line per eval / profile /
+/// bound invocation — the configuration's FNV-1a hash and summary, the
+/// payload schema version, the FNV-1a digest of the rendered payload
+/// JSON, outcome tallies, grid-level QoS/energy means, and throughput.
+///
+/// The deterministic columns (configHash, gridDigest, tallies, means)
+/// let `runs diff` pinpoint *what* changed between two invocations and
+/// `runs check` gate a fresh run against a committed baseline's
+/// thresholds; elapsedSec/trialsPerSec are honest wall-clock telemetry
+/// and the one deliberately non-deterministic part of the line (the
+/// regression baselines therefore bound them with headroom or not at
+/// all). The ledger never rewrites history: append is the only write.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ENERJ_OBS_LEDGER_H
+#define ENERJ_OBS_LEDGER_H
+
+#include "harness/eval.h"
+
+#include <string>
+#include <vector>
+
+namespace enerj {
+namespace obs {
+
+/// One ledger line (enerj-ledger schema version 1).
+struct LedgerEntry {
+  std::string Command;    ///< "eval", "profile", or "bound".
+  int PayloadVersion = 0; ///< Schema version of the payload JSON.
+  uint64_t ConfigHash = 0; ///< fnv1a(ConfigSummary).
+  std::string ConfigSummary; ///< Canonical flag-order config text.
+  uint64_t GridDigest = 0; ///< fnv1a of the payload JSON bytes.
+  uint64_t Apps = 0;
+  uint64_t Levels = 0;
+  int Seeds = 0;
+  uint64_t Trials = 0;
+  resilience::OutcomeCounts Outcomes;
+  double QosMean = 0.0;             ///< Mean of per-cell QoS means.
+  double EnergyMean = 0.0;          ///< Mean of per-cell energy means.
+  double EffectiveEnergyMean = 0.0; ///< With re-execution charged.
+  double ElapsedSec = 0.0;          ///< Wall clock (non-deterministic).
+  double TrialsPerSec = 0.0;
+};
+
+/// The ledger entry of one completed eval grid: every deterministic
+/// column derived from \p Result and \p PayloadJson (the rendered eval
+/// JSON whose bytes GridDigest fingerprints); timing from \p ElapsedSec.
+LedgerEntry ledgerEntryForEval(const harness::EvalResult &Result,
+                               const std::string &PayloadJson,
+                               double ElapsedSec);
+
+/// Renders \p Entry as one JSONL line (no trailing newline): stable key
+/// order, %.17g doubles, hashes as 0x-prefixed 16-digit hex.
+std::string renderLedgerLine(const LedgerEntry &Entry);
+
+/// Parses one ledger line. Returns false and fills \p Error (when
+/// non-null) on malformed JSON or an unknown schema version.
+bool parseLedgerLine(const std::string &Line, LedgerEntry *Out,
+                     std::string *Error);
+
+/// Appends \p Entry to the JSONL file at \p Path (creating it if
+/// needed). The one write the ledger supports.
+bool appendLedgerLine(const std::string &Path, const LedgerEntry &Entry,
+                      std::string *Error);
+
+/// Reads every line of the ledger at \p Path, oldest first. Blank lines
+/// are ignored; a malformed line fails the whole read (a corrupt
+/// manifest should be noticed, not skipped).
+bool readLedger(const std::string &Path, std::vector<LedgerEntry> *Out,
+                std::string *Error);
+
+} // namespace obs
+} // namespace enerj
+
+#endif // ENERJ_OBS_LEDGER_H

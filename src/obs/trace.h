@@ -22,6 +22,7 @@
 
 #include "obs/metrics.h"
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -74,6 +75,10 @@ public:
   }
 
   void push(const TraceEvent &E) {
+    if (Cap == 0) { // Degenerate ring: shed everything, count it.
+      ++NumDropped;
+      return;
+    }
     if (Ring.size() < Cap) {
       Ring.push_back(E);
       return;
@@ -87,9 +92,15 @@ public:
   size_t capacity() const { return Cap; }
   uint64_t dropped() const { return NumDropped; }
 
-  /// The I-th surviving event in chronological order.
+  /// The I-th surviving event in chronological order. \p I must be
+  /// < size(): indexing an empty ring is a contract violation (the old
+  /// `% Ring.size()` spelling divided by zero on it).
   const TraceEvent &event(size_t I) const {
-    return Ring[(Head + I) % Ring.size()];
+    assert(I < Ring.size() && "event index into an empty or short ring");
+    size_t Pos = Head + I;
+    if (Pos >= Ring.size())
+      Pos -= Ring.size();
+    return Ring[Pos];
   }
 
   /// All surviving events, oldest first.

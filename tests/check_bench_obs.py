@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Gate the flight recorder's overhead against the committed baseline.
+
+bench/obs_overhead writes BENCH_obs.json with the armed/disarmed
+wall-clock ratio of every telemetry mode on both engines. This script
+compares a fresh measurement against bench/BENCH_obs.json and fails if
+journaling (the telemetry `eval --journal-dir` arms: the structured
+trace) has grown expensive:
+
+  * the "journal" ratio must stay <= ~1.3x disarmed on each engine —
+    enforced as an absolute ceiling of 1.35 (a little headroom over the
+    documented 1.3x target for measurement noise), and
+  * it must stay within 1.25x of the committed baseline ratio, so a
+    gradual slide is caught even while the absolute ceiling holds.
+    Whichever bound is looser wins: CI machines are noisy, and the gate
+    exists to catch a journaling hot-path regression, not scheduler
+    jitter.
+
+Usage: check_bench_obs.py <fresh.json> <baseline.json>
+Exits 0 on success, 1 with a diagnostic on regression.
+"""
+
+import json
+import sys
+
+ABSOLUTE_CEILING = 1.35
+BASELINE_SLACK = 1.25
+
+
+def fail(message):
+    print(f"check_bench_obs: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    if doc.get("tool") != "obs_overhead":
+        fail(f"{path}: tool is {doc.get('tool')!r}, expected 'obs_overhead'")
+    if doc.get("version") != 1:
+        fail(f"{path}: version is {doc.get('version')!r}, expected 1")
+    if not isinstance(doc.get("engines"), list) or not doc["engines"]:
+        fail(f"{path}: engines: empty or not a list")
+    return doc
+
+
+def ratios(doc, path):
+    """{engine: {mode: ratio}} with sanity checks."""
+    table = {}
+    for engine in doc["engines"]:
+        name = engine.get("engine")
+        if name not in ("interp", "compiled"):
+            fail(f"{path}: unknown engine {name!r}")
+        modes = {}
+        for row in engine.get("modes", []):
+            if not isinstance(row.get("ratio"), (int, float)):
+                fail(f"{path}: {name}/{row.get('mode')!r}: ratio not a number")
+            if row.get("seconds", 0) <= 0:
+                fail(f"{path}: {name}/{row.get('mode')!r}: "
+                     f"non-positive seconds")
+            modes[row["mode"]] = row["ratio"]
+        for required in ("disabled", "journal"):
+            if required not in modes:
+                fail(f"{path}: {name}: missing mode {required!r}")
+        table[name] = modes
+    return table
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_bench_obs.py <fresh.json> <baseline.json>")
+    fresh = ratios(load(sys.argv[1]), sys.argv[1])
+    baseline = ratios(load(sys.argv[2]), sys.argv[2])
+
+    for engine, modes in fresh.items():
+        if engine not in baseline:
+            fail(f"baseline has no {engine!r} engine")
+        ceiling = max(ABSOLUTE_CEILING,
+                      baseline[engine]["journal"] * BASELINE_SLACK)
+        measured = modes["journal"]
+        if measured > ceiling:
+            fail(f"{engine}: journal ratio {measured:.2f}x exceeds the gate "
+                 f"{ceiling:.2f}x (baseline "
+                 f"{baseline[engine]['journal']:.2f}x, absolute ceiling "
+                 f"{ABSOLUTE_CEILING}x)")
+        print(f"check_bench_obs: {engine}: journal {measured:.2f}x <= "
+              f"{ceiling:.2f}x")
+
+    print("check_bench_obs: OK (journaling overhead within the gate on "
+          "both engines)")
+
+
+if __name__ == "__main__":
+    main()

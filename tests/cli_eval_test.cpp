@@ -11,8 +11,10 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <gtest/gtest.h>
 #include <string>
+#include <vector>
 
 #ifndef ENERJ_FENERJ_TOOL
 #error "ENERJ_FENERJ_TOOL must point at the fenerj_tool binary"
@@ -42,6 +44,25 @@ int runTool(const std::string &Args, std::string &Output) {
 int runTool(const std::string &Args) {
   std::string Discard;
   return runTool(Args, Discard);
+}
+
+/// Like runTool, but captures ONLY stdout (stderr to /dev/null) — for
+/// pinning that cosmetic stderr channels never leak into the document.
+int runToolStdout(const std::string &Args, std::string &Output) {
+  std::string Command = std::string("\"") + ENERJ_FENERJ_TOOL + "\" " +
+                        Args + " 2>/dev/null";
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  Output.clear();
+  std::array<char, 4096> Buffer;
+  size_t Read;
+  while ((Read = fread(Buffer.data(), 1, Buffer.size(), Pipe)) > 0)
+    Output.append(Buffer.data(), Read);
+  int Status = pclose(Pipe);
+  if (Status == -1)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
 }
 
 } // namespace
@@ -292,6 +313,79 @@ TEST(CliEval, PowerTraceAcceptsTheCommittedCorpus) {
   EXPECT_NE(Output.find(Path), std::string::npos);
   EXPECT_NE(Output.find("\"checkpoint\":\"periodic:2000\""),
             std::string::npos);
+}
+
+TEST(CliEval, ProgressNeverTouchesStdout) {
+  // The heartbeat is stderr-only cosmetics: the eval JSON on stdout is
+  // byte-identical with the flag on or off, and the heartbeat itself
+  // lands on stderr.
+  const std::string Grid =
+      "eval --apps montecarlo,fft --levels mild --seeds 3 --json";
+  std::string Plain, WithProgress;
+  ASSERT_EQ(runToolStdout(Grid, Plain), 0);
+  ASSERT_EQ(runToolStdout(Grid + " --progress", WithProgress), 0);
+  EXPECT_EQ(Plain, WithProgress);
+
+  std::string Merged;
+  ASSERT_EQ(runTool(Grid + " --progress", Merged), 0);
+  EXPECT_NE(Merged.find("[eval]"), std::string::npos);
+  EXPECT_EQ(WithProgress.find("[eval]"), std::string::npos);
+}
+
+TEST(CliEval, JournalDirCapturesReplayableJournals) {
+  std::string Dir = ::testing::TempDir() + "cli_eval_journals";
+  std::string Setup = "rm -rf '" + Dir + "'";
+  ASSERT_EQ(std::system(Setup.c_str()), 0);
+  // Journaling must not change the document on stdout either.
+  const std::string Grid =
+      "eval --apps montecarlo --levels mild --seeds 2 --json";
+  std::string Plain, Journaled;
+  ASSERT_EQ(runToolStdout(Grid, Plain), 0);
+  ASSERT_EQ(runToolStdout(Grid + " --journal-dir " + Dir +
+                              " --journal-sample 1",
+                          Journaled),
+            0);
+  EXPECT_EQ(Plain, Journaled);
+
+  // Both seeds captured; each replays with exit 0.
+  for (const char *Name : {"montecarlo-mild-interp-seed1.journal.json",
+                           "montecarlo-mild-interp-seed2.journal.json"}) {
+    std::string Output;
+    EXPECT_EQ(runTool("replay " + Dir + "/" + Name, Output), 0);
+    EXPECT_NE(Output.find("replay: match"), std::string::npos);
+  }
+  std::string Teardown = "rm -rf '" + Dir + "'";
+  EXPECT_EQ(std::system(Teardown.c_str()), 0);
+}
+
+TEST(CliEval, RejectsMalformedJournalAndLedgerFlags) {
+  EXPECT_EQ(runTool("eval --seeds 1 --journal-dir"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --journal-sample abc"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --journal-sample -1"), 2);
+  EXPECT_EQ(runTool("eval --seeds 1 --ledger"), 2);
+}
+
+TEST(CliEval, LedgerAppendsOneLinePerInvocation) {
+  std::string Path = ::testing::TempDir() + "cli_eval_ledger.jsonl";
+  std::remove(Path.c_str());
+  const std::string Grid =
+      "eval --apps montecarlo --levels mild --seeds 2 --ledger " + Path;
+  ASSERT_EQ(runTool(Grid), 0);
+  ASSERT_EQ(runTool(Grid), 0);
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  std::vector<std::string> Digests;
+  while (std::getline(In, Line)) {
+    EXPECT_EQ(Line.compare(0, 22, "{\"tool\":\"enerj-ledger\""), 0);
+    size_t At = Line.find("\"gridDigest\":\"");
+    ASSERT_NE(At, std::string::npos);
+    Digests.push_back(Line.substr(At, 33));
+  }
+  ASSERT_EQ(Digests.size(), 2u);
+  // The deterministic grid digest repeats across identical reruns.
+  EXPECT_EQ(Digests[0], Digests[1]);
+  std::remove(Path.c_str());
 }
 
 TEST(CliEval, PolicyFlagsReachTheReport) {

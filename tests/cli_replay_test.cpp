@@ -1,0 +1,212 @@
+//===- tests/cli_replay_test.cpp - replay / runs CLI contract -------------===//
+//
+// Black-box tests of the flight-recorder CLI surface: `replay` verifies
+// a captured journal bitwise (exit 0) and flags tampering (exit 1),
+// `replay --blame` renders the counterfactual ranking, and `runs`
+// lists, diffs, and gates the run ledger — including the regression
+// path, where a doctored baseline must fail the check with exit 1 while
+// an honest rerun passes.
+//
+//===----------------------------------------------------------------------===//
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#ifndef ENERJ_FENERJ_TOOL
+#error "ENERJ_FENERJ_TOOL must point at the fenerj_tool binary"
+#endif
+
+namespace {
+
+int runTool(const std::string &Args, std::string &Output) {
+  std::string Command =
+      std::string("\"") + ENERJ_FENERJ_TOOL + "\" " + Args + " 2>&1";
+  FILE *Pipe = popen(Command.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  Output.clear();
+  std::array<char, 4096> Buffer;
+  size_t Read;
+  while ((Read = fread(Buffer.data(), 1, Buffer.size(), Pipe)) > 0)
+    Output.append(Buffer.data(), Read);
+  int Status = pclose(Pipe);
+  if (Status == -1)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+int runTool(const std::string &Args) {
+  std::string Discard;
+  return runTool(Args, Discard);
+}
+
+/// A scratch directory seeded with journals and a two-entry ledger,
+/// shared by the suite (capture is deterministic, so building it once
+/// is safe).
+class CliReplay : public ::testing::Test {
+protected:
+  static std::string Dir;
+  static std::string Ledger;
+
+  static void SetUpTestSuite() {
+    // ctest runs each TEST_F in its own process, in parallel; the
+    // scratch directory must be per-process or the fixtures race.
+    Dir = ::testing::TempDir() + "cli_replay_scratch_" +
+          std::to_string(static_cast<long>(getpid()));
+    Ledger = Dir + "/ledger.jsonl";
+    ASSERT_EQ(std::system(("rm -rf '" + Dir + "' && mkdir -p '" + Dir +
+                           "'")
+                              .c_str()),
+              0);
+    // Seed 1 is sampled; seed 2's sloViolated trial is always captured.
+    ASSERT_EQ(runTool("eval --apps sor --levels aggressive --seeds 2 "
+                      "--slo 0.05 --max-retries 1 --no-degrade "
+                      "--journal-dir " +
+                      Dir + " --ledger " + Ledger),
+              0);
+    ASSERT_EQ(runTool("eval --apps montecarlo --levels mild --seeds 2 "
+                      "--ledger " +
+                      Ledger),
+              0);
+  }
+
+  static void TearDownTestSuite() {
+    std::system(("rm -rf '" + Dir + "'").c_str());
+  }
+
+  static std::string journalPath() {
+    return Dir + "/sor-aggressive-interp-seed1.journal.json";
+  }
+};
+
+std::string CliReplay::Dir;
+std::string CliReplay::Ledger;
+
+} // namespace
+
+TEST_F(CliReplay, ReplayVerifiesACapturedJournal) {
+  std::string Output;
+  EXPECT_EQ(runTool("replay " + journalPath(), Output), 0);
+  EXPECT_NE(Output.find("replay: match"), std::string::npos);
+  EXPECT_NE(Output.find("\"outcome\":\"sloViolated\""), std::string::npos);
+}
+
+TEST_F(CliReplay, ReplayFlagsATamperedJournal) {
+  // Doctor the recorded QoS: the re-execution must disagree, print both
+  // digests, and exit nonzero.
+  std::ifstream In(journalPath());
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+  size_t At = Text.find("\"digest\":{\"qos\":");
+  ASSERT_NE(At, std::string::npos);
+  Text.replace(At + 16, 0, "4"); // Prepend a digit to the QoS number.
+  std::string Tampered = Dir + "/tampered.journal.json";
+  {
+    std::ofstream Out(Tampered, std::ios::trunc);
+    Out << Text;
+  }
+  std::string Output;
+  EXPECT_EQ(runTool("replay " + Tampered, Output), 1);
+  EXPECT_NE(Output.find("replay: MISMATCH"), std::string::npos);
+  EXPECT_NE(Output.find("recorded"), std::string::npos);
+  EXPECT_NE(Output.find("replayed"), std::string::npos);
+}
+
+TEST_F(CliReplay, ReplayRejectsGarbageInput) {
+  std::string Bad = Dir + "/not_a_journal.json";
+  {
+    std::ofstream Out(Bad, std::ios::trunc);
+    Out << "{\"tool\":\"other\"}\n";
+  }
+  std::string Output;
+  EXPECT_EQ(runTool("replay " + Bad, Output), 1);
+  EXPECT_EQ(runTool("replay " + Dir + "/nosuchfile.json", Output), 1);
+  EXPECT_EQ(runTool("replay", Output), 2);
+  EXPECT_EQ(runTool("replay --frobnicate " + journalPath(), Output), 2);
+}
+
+TEST_F(CliReplay, BlameRanksTheJournaledFaultSites) {
+  std::string Output;
+  EXPECT_EQ(runTool("replay " + journalPath() + " --blame", Output), 0);
+  EXPECT_NE(Output.find("blame:"), std::string::npos);
+  EXPECT_NE(Output.find("qosDelta"), std::string::npos);
+  EXPECT_NE(Output.find("sweeps"), std::string::npos);
+}
+
+TEST_F(CliReplay, RunsListShowsEveryLedgerEntry) {
+  std::string Output;
+  EXPECT_EQ(runTool("runs list " + Ledger, Output), 0);
+  EXPECT_NE(Output.find("configHash"), std::string::npos);
+  // Two invocations -> entries 0 and 1.
+  EXPECT_NE(Output.find("   0 eval"), std::string::npos);
+  EXPECT_NE(Output.find("   1 eval"), std::string::npos);
+}
+
+TEST_F(CliReplay, RunsDiffComparesTwoEntries) {
+  std::string Output;
+  EXPECT_EQ(runTool("runs diff " + Ledger + " 0 -1", Output), 0);
+  EXPECT_NE(Output.find("DIFFERENT config"), std::string::npos);
+  EXPECT_NE(Output.find("qosMean"), std::string::npos);
+  EXPECT_EQ(runTool("runs diff " + Ledger + " 0 7", Output), 2);
+  EXPECT_NE(Output.find("bad entry index"), std::string::npos);
+}
+
+TEST_F(CliReplay, RunsCheckPassesAnHonestBaseline) {
+  std::string Baseline = Dir + "/baseline.json";
+  {
+    std::ofstream Out(Baseline, std::ios::trunc);
+    Out << "{\"command\":\"eval\",\"qosMeanMax\":1.0,"
+           "\"effectiveEnergyMeanMax\":2.0,\"trialsPerSecMin\":0.0001}\n";
+  }
+  std::string Output;
+  EXPECT_EQ(runTool("runs check " + Ledger + " --baseline " + Baseline,
+                    Output),
+            0);
+  EXPECT_NE(Output.find("all gates passed"), std::string::npos);
+}
+
+TEST_F(CliReplay, RunsCheckFlagsAnInjectedQosRegression) {
+  // An impossible QoS ceiling simulates a regression: the check must
+  // name the failing gate and exit 1.
+  std::string Baseline = Dir + "/regression.json";
+  {
+    std::ofstream Out(Baseline, std::ios::trunc);
+    Out << "{\"command\":\"eval\",\"qosMeanMax\":-1.0}\n";
+  }
+  std::string Output;
+  EXPECT_EQ(runTool("runs check " + Ledger + " --baseline " + Baseline,
+                    Output),
+            1);
+  EXPECT_NE(Output.find("FAIL qosMean"), std::string::npos);
+  EXPECT_NE(Output.find("FAILED"), std::string::npos);
+}
+
+TEST_F(CliReplay, RunsCheckRequiresAMatchingEntry) {
+  std::string Baseline = Dir + "/orphan.json";
+  {
+    std::ofstream Out(Baseline, std::ios::trunc);
+    Out << "{\"command\":\"profile\",\"qosMeanMax\":1.0}\n";
+  }
+  std::string Output;
+  EXPECT_EQ(runTool("runs check " + Ledger + " --baseline " + Baseline,
+                    Output),
+            1);
+  EXPECT_NE(Output.find("no ledger entry matches"), std::string::npos);
+}
+
+TEST_F(CliReplay, RunsRejectsMalformedInvocations) {
+  EXPECT_EQ(runTool("runs"), 2);
+  EXPECT_EQ(runTool("runs list"), 2);
+  EXPECT_EQ(runTool("runs frob " + Ledger), 2);
+  EXPECT_EQ(runTool("runs diff " + Ledger + " 0"), 2);
+  EXPECT_EQ(runTool("runs check " + Ledger), 2);
+  std::string Output;
+  EXPECT_EQ(runTool("runs list " + Dir + "/nosuchledger.jsonl", Output), 1);
+}

@@ -12,6 +12,7 @@
 
 #include "harness/eval.h"
 #include "harness/trial.h"
+#include "obs/journal.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 
@@ -318,6 +319,67 @@ TEST(TrialRunnerDeterminism, PowerArmedEvalJsonIdenticalAcrossThreadCounts) {
       EXPECT_EQ(OneThread, Render(Hardware, Exec, Policy));
     }
   }
+}
+
+TEST(TrialRunnerDeterminism, JournalCaptureByteIdenticalAcrossThreadCounts) {
+  // The flight recorder inherits the determinism contract end to end:
+  // which trials are captured, in what order, and every byte of each
+  // rendered journal — provenance, timeline, digest — is identical at
+  // 1, 4, and hardware threads, on both engines, with a policy armed so
+  // non-ok capture paths execute too.
+  auto RenderAll = [](unsigned Threads, ExecMode Exec) {
+    EvalOptions Options;
+    Options.Apps = {apps::findApplication("fft"),
+                    apps::findApplication("sor")};
+    Options.Levels = {ApproxLevel::Medium, ApproxLevel::Aggressive};
+    Options.Seeds = 3;
+    Options.Threads = Threads;
+    Options.Exec = Exec;
+    if (Exec == ExecMode::Compiled)
+      Options.KernelDir = std::string(ENERJ_FEJ_DIR) + "/isa";
+    Options.Journal = true;
+    Options.JournalOkSampleEvery = 2;
+    Options.Policy.Enabled = true;
+    Options.Policy.Slo = 0.05;
+    Options.Policy.MaxRetries = 1;
+    EvalResult Grid = runEval(Options);
+    std::string All;
+    for (const TrialRecord &Record : Grid.Journaled) {
+      obs::Journal J = obs::buildJournal(Grid, Record);
+      All += obs::journalFileName(J) + "\n" + obs::renderJournalJson(J) +
+             "\n";
+    }
+    return All;
+  };
+
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  for (ExecMode Exec : {ExecMode::Interp, ExecMode::Compiled}) {
+    SCOPED_TRACE(Exec == ExecMode::Interp ? "interp" : "compiled");
+    std::string OneThread = RenderAll(1, Exec);
+    EXPECT_FALSE(OneThread.empty());
+    EXPECT_EQ(OneThread, RenderAll(4, Exec));
+    EXPECT_EQ(OneThread, RenderAll(Hardware, Exec));
+  }
+}
+
+TEST(TrialRunnerDeterminism, JournalingNeverPerturbsTheEvalJson) {
+  // Arming the flight recorder (and the stderr heartbeat's observer)
+  // must leave the eval document byte-identical: capture rides on the
+  // zero-perturbation trace channel and the progress callback only
+  // *observes* completed trials.
+  EvalOptions Options;
+  Options.Apps = {apps::findApplication("montecarlo")};
+  Options.Levels = {ApproxLevel::Medium};
+  Options.Seeds = 4;
+  Options.Threads = 4;
+  std::string Plain = renderEvalJson(runEval(Options));
+  Options.Journal = true;
+  Options.JournalOkSampleEvery = 1;
+  Options.Progress = true;
+  std::string Armed = renderEvalJson(runEval(Options));
+  EXPECT_EQ(Plain, Armed);
 }
 
 TEST(TrialRunnerDeterminism, CellAggregationMatchesSerialMean) {

@@ -1,0 +1,158 @@
+//===- tests/journal_replay_test.cpp - Replay faithfulness matrix ---------===//
+//
+// The flight recorder's acceptance matrix: every journal captured over
+// the full evaluation grid — all nine apps at {none, medium, aggressive}
+// on BOTH engines — replays to a bitwise-identical digest (QoS double,
+// energy factors, outcome, final level, op/storage mix, power counters),
+// and journals survive the render -> parse round trip before replay, so
+// what is verified is the on-disk artifact, not the in-memory object.
+//
+// The special-outcome trials ride the same contract: an sloViolated, a
+// degraded, and a powerFailed trial each capture and replay faithfully.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/eval.h"
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#ifndef ENERJ_FEJ_DIR
+#error "ENERJ_FEJ_DIR must point at the examples/fej corpus"
+#endif
+
+using namespace enerj;
+using namespace enerj::obs;
+
+namespace {
+
+std::string kernelDir() { return std::string(ENERJ_FEJ_DIR) + "/isa"; }
+
+/// Captures every trial of \p Options (stride-1 sampling), round-trips
+/// each journal through its JSON rendering, replays it, and expects a
+/// bitwise digest match.
+void expectFaithfulReplay(harness::EvalOptions Options,
+                          size_t ExpectedJournals) {
+  Options.Journal = true;
+  Options.JournalOkSampleEvery = 1;
+  if (Options.Exec == harness::ExecMode::Compiled)
+    Options.KernelDir = kernelDir();
+  harness::EvalResult Grid = harness::runEval(Options);
+  ASSERT_EQ(Grid.Journaled.size(), ExpectedJournals);
+  for (const harness::TrialRecord &Record : Grid.Journaled) {
+    Journal Built = buildJournal(Grid, Record);
+    SCOPED_TRACE(journalFileName(Built));
+    std::string Text = renderJournalJson(Built);
+    Journal J;
+    std::string Error;
+    ASSERT_TRUE(parseJournalJson(Text, &J, &Error)) << Error;
+    ReplayResult R = replayJournal(J, kernelDir());
+    EXPECT_TRUE(R.Match) << "recorded " << R.RecordedJson << "\nreplayed "
+                         << R.ReplayedJson;
+  }
+}
+
+} // namespace
+
+TEST(JournalReplay, FullInterpGridReplaysBitwise) {
+  // 9 apps x {none, medium, aggressive} x 1 seed on the interpreter.
+  harness::EvalOptions Options;
+  Options.Seeds = 1;
+  expectFaithfulReplay(Options,
+                       apps::allApplications().size() *
+                           harness::evalLevels().size());
+}
+
+TEST(JournalReplay, FullCompiledGridReplaysBitwise) {
+  // The same grid on the compiled engine: replay reconstructs a local
+  // program cache from the journal's provenance alone.
+  harness::EvalOptions Options;
+  Options.Seeds = 1;
+  Options.Exec = harness::ExecMode::Compiled;
+  Options.EchoExecMode = true;
+  expectFaithfulReplay(Options,
+                       apps::allApplications().size() *
+                           harness::evalLevels().size());
+}
+
+TEST(JournalReplay, SloViolatedTrialsReplayBitwise) {
+  // A tight SLO with no degradation rung leaves the violation in place:
+  // the journal records attempts, retries, and the final sloViolated
+  // verdict, and replay must walk the same ladder.
+  harness::EvalOptions Options;
+  Options.Apps = {apps::findApplication("sor")};
+  Options.Levels = {ApproxLevel::Aggressive};
+  Options.Seeds = 2;
+  Options.Policy.Enabled = true;
+  Options.Policy.Slo = 0.05;
+  Options.Policy.MaxRetries = 1;
+  Options.Policy.Degrade = false;
+  expectFaithfulReplay(Options, 2);
+
+  Options.Journal = true;
+  Options.JournalOkSampleEvery = 1;
+  harness::EvalResult Grid = harness::runEval(Options);
+  ASSERT_FALSE(Grid.Journaled.empty());
+  EXPECT_EQ(Grid.Journaled[0].Result.Outcome,
+            resilience::TrialOutcome::SloViolated);
+}
+
+TEST(JournalReplay, DegradedTrialsReplayBitwise) {
+  // With the ladder armed, the same trials degrade instead; the journal
+  // records the final (lower) level and replay lands on it bitwise.
+  harness::EvalOptions Options;
+  Options.Apps = {apps::findApplication("sor")};
+  Options.Levels = {ApproxLevel::Aggressive};
+  Options.Seeds = 2;
+  Options.Policy.Enabled = true;
+  Options.Policy.Slo = 0.05;
+  Options.Policy.MaxRetries = 0;
+  expectFaithfulReplay(Options, 2);
+
+  Options.Journal = true;
+  Options.JournalOkSampleEvery = 1;
+  harness::EvalResult Grid = harness::runEval(Options);
+  ASSERT_FALSE(Grid.Journaled.empty());
+  EXPECT_EQ(Grid.Journaled[0].Result.Outcome,
+            resilience::TrialOutcome::Degraded);
+}
+
+TEST(JournalReplay, PowerFailedTrialsReplayBitwise) {
+  // A starving supply with no checkpoints kills every trial; the journal
+  // carries the power environment (trace spec, checkpoint policy) and
+  // replay re-meters the same brownout schedule.
+  harness::EvalOptions Options;
+  Options.Apps = {apps::findApplication("sor")};
+  Options.Levels = {ApproxLevel::Aggressive};
+  Options.Seeds = 2;
+  Options.PowerArmed = true;
+  Options.Power.Trace = *env::PowerTraceSpec::preset("steady:0.5", nullptr);
+  expectFaithfulReplay(Options, 2);
+
+  Options.Journal = true;
+  Options.JournalOkSampleEvery = 1;
+  harness::EvalResult Grid = harness::runEval(Options);
+  ASSERT_FALSE(Grid.Journaled.empty());
+  EXPECT_EQ(Grid.Journaled[0].Result.Outcome,
+            resilience::TrialOutcome::PowerFailed);
+}
+
+TEST(JournalReplay, CheckpointedPowerTrialsReplayBitwise) {
+  // Checkpoint/restore accounting (losses, checkpoints, re-executed
+  // ops) is part of the digest; a harvest supply with periodic
+  // checkpoints must replay its exact recovery history, on both engines.
+  for (harness::ExecMode Exec :
+       {harness::ExecMode::Interp, harness::ExecMode::Compiled}) {
+    SCOPED_TRACE(Exec == harness::ExecMode::Interp ? "interp" : "compiled");
+    harness::EvalOptions Options;
+    Options.Apps = {apps::findApplication("fft")};
+    Options.Levels = {ApproxLevel::Medium};
+    Options.Seeds = 2;
+    Options.Exec = Exec;
+    Options.PowerArmed = true;
+    Options.Power.Trace = *env::PowerTraceSpec::preset("harvest", nullptr);
+    Options.Power.Checkpoint =
+        *env::CheckpointPolicy::parse("periodic:2000", nullptr);
+    expectFaithfulReplay(Options, 2);
+  }
+}

@@ -1,0 +1,245 @@
+//===- tests/obs_journal_test.cpp - Flight-recorder journal contract ------===//
+//
+// Unit tests of the trial journal: the digest rendering is canonical
+// (pinned bytes), build -> render -> parse round-trips losslessly,
+// capture selection follows the documented sampling rule, replay
+// reproduces the recorded digest bitwise on both engines, a tampered
+// digest is detected, and blame ranks the journaled fault sites by
+// forced-precise QoS delta.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/eval.h"
+#include "obs/journal.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#ifndef ENERJ_FEJ_DIR
+#error "ENERJ_FEJ_DIR must point at the examples/fej corpus"
+#endif
+
+using namespace enerj;
+using namespace enerj::obs;
+
+namespace {
+
+std::string kernelDir() { return std::string(ENERJ_FEJ_DIR) + "/isa"; }
+
+/// One journaling eval grid. Sampling stride 1 captures every trial.
+harness::EvalResult journaledGrid(const char *App, ApproxLevel Level,
+                                  int Seeds,
+                                  harness::ExecMode Exec =
+                                      harness::ExecMode::Interp) {
+  harness::EvalOptions Options;
+  Options.Apps = {apps::findApplication(App)};
+  Options.Levels = {Level};
+  Options.Seeds = Seeds;
+  Options.Journal = true;
+  Options.JournalOkSampleEvery = 1;
+  Options.Exec = Exec;
+  if (Exec == harness::ExecMode::Compiled)
+    Options.KernelDir = kernelDir();
+  return harness::runEval(Options);
+}
+
+} // namespace
+
+TEST(ObsJournal, DigestJsonIsCanonical) {
+  JournalDigest D;
+  D.Qos = 0.5;
+  D.Energy = 0.75;
+  D.EffectiveEnergy = 1.5;
+  D.Outcome = resilience::TrialOutcome::Degraded;
+  D.FinalLevel = ApproxLevel::Mild;
+  D.Attempts = 3;
+  D.ClockCycles = 42;
+  D.PreciseInt = 1;
+  D.ApproxInt = 2;
+  D.PreciseFp = 3;
+  D.ApproxFp = 4;
+  D.TimingErrors = 5;
+  D.SramPrecise = 6.0;
+  D.SramApprox = 7.0;
+  D.DramPrecise = 8.0;
+  D.DramApprox = 9.0;
+  D.PowerLosses = 10;
+  D.PowerCheckpoints = 11;
+  D.PowerReExecutedOps = 12;
+  D.PowerSurvived = false;
+  EXPECT_EQ(renderDigestJson(D),
+            "{\"qos\":0.5,\"energy\":0.75,\"effectiveEnergy\":1.5,"
+            "\"outcome\":\"degraded\",\"finalLevel\":\"mild\","
+            "\"attempts\":3,\"clockCycles\":42,"
+            "\"ops\":{\"preciseInt\":1,\"approxInt\":2,\"preciseFp\":3,"
+            "\"approxFp\":4,\"timingErrors\":5},"
+            "\"storage\":{\"sramPrecise\":6,\"sramApprox\":7,"
+            "\"dramPrecise\":8,\"dramApprox\":9},"
+            "\"power\":{\"losses\":10,\"checkpoints\":11,"
+            "\"reExecutedOps\":12,\"survived\":false}}");
+}
+
+TEST(ObsJournal, CaptureFollowsTheSamplingRule) {
+  // Stride 1: every ok trial is captured. Stride 0: only non-ok trials
+  // (none in a plain grid).
+  harness::EvalResult All = journaledGrid("montecarlo", ApproxLevel::Mild, 3);
+  EXPECT_EQ(All.Journaled.size(), 3u);
+
+  harness::EvalOptions Options;
+  Options.Apps = {apps::findApplication("montecarlo")};
+  Options.Levels = {ApproxLevel::Mild};
+  Options.Seeds = 3;
+  Options.Journal = true;
+  Options.JournalOkSampleEvery = 0;
+  EXPECT_TRUE(harness::runEval(Options).Journaled.empty());
+
+  // The default stride samples seed 1, 9, 17, ... of each cell.
+  Options.JournalOkSampleEvery = 8;
+  Options.Seeds = 10;
+  harness::EvalResult Sampled = harness::runEval(Options);
+  ASSERT_EQ(Sampled.Journaled.size(), 2u);
+  EXPECT_EQ(Sampled.Journaled[0].WorkloadSeed, 1u);
+  EXPECT_EQ(Sampled.Journaled[1].WorkloadSeed, 9u);
+}
+
+TEST(ObsJournal, BuildRenderParseRoundTrip) {
+  harness::EvalResult Grid = journaledGrid("sor", ApproxLevel::Medium, 2);
+  ASSERT_EQ(Grid.Journaled.size(), 2u);
+  for (const harness::TrialRecord &Record : Grid.Journaled) {
+    Journal J = buildJournal(Grid, Record);
+    EXPECT_EQ(J.App, "sor");
+    EXPECT_EQ(J.Config.Level, ApproxLevel::Medium);
+    EXPECT_FALSE(J.Timeline.empty());
+    std::string Text = renderJournalJson(J);
+
+    Journal Parsed;
+    std::string Error;
+    ASSERT_TRUE(parseJournalJson(Text, &Parsed, &Error)) << Error;
+    // Lossless: the reparsed journal renders to the same bytes.
+    EXPECT_EQ(renderJournalJson(Parsed), Text);
+    EXPECT_EQ(Parsed.WorkloadSeed, Record.WorkloadSeed);
+    EXPECT_EQ(Parsed.Config.Seed, Record.Config.Seed);
+    EXPECT_EQ(Parsed.Timeline.size(), J.Timeline.size());
+    EXPECT_EQ(renderDigestJson(Parsed.Digest), renderDigestJson(J.Digest));
+  }
+}
+
+TEST(ObsJournal, FileNamesEncodeTheTrialIdentity) {
+  harness::EvalResult Grid = journaledGrid("fft", ApproxLevel::Aggressive, 2);
+  ASSERT_EQ(Grid.Journaled.size(), 2u);
+  EXPECT_EQ(journalFileName(buildJournal(Grid, Grid.Journaled[0])),
+            "fft-aggressive-interp-seed1.journal.json");
+  EXPECT_EQ(journalFileName(buildJournal(Grid, Grid.Journaled[1])),
+            "fft-aggressive-interp-seed2.journal.json");
+}
+
+TEST(ObsJournal, WriteJournalsWritesEveryCapturedRecord) {
+  harness::EvalResult Grid = journaledGrid("fft", ApproxLevel::Medium, 2);
+  std::string Dir = ::testing::TempDir() + "obs_journal_write";
+  std::string Cleanup = "rm -rf '" + Dir + "' && mkdir -p '" + Dir + "'";
+  ASSERT_EQ(std::system(Cleanup.c_str()), 0);
+  std::string Error;
+  std::vector<std::string> Paths = writeJournals(Grid, Dir, &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  ASSERT_EQ(Paths.size(), 2u);
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << Path;
+    std::string Line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(In, Line)));
+    Journal Parsed;
+    EXPECT_TRUE(parseJournalJson(Line, &Parsed, &Error)) << Error;
+  }
+}
+
+TEST(ObsJournal, ParseRejectsForeignAndMalformedDocuments) {
+  Journal J;
+  std::string Error;
+  EXPECT_FALSE(parseJournalJson("", &J, &Error));
+  EXPECT_FALSE(parseJournalJson("{", &J, &Error));
+  EXPECT_FALSE(parseJournalJson("[]", &J, &Error));
+  EXPECT_FALSE(parseJournalJson("{\"tool\":\"other\",\"version\":1}", &J,
+                                &Error));
+  EXPECT_FALSE(parseJournalJson(
+      "{\"tool\":\"enerj-journal\",\"version\":99}", &J, &Error));
+  EXPECT_NE(Error.find("version"), std::string::npos);
+  // A well-formed header with a missing body is still an error, not a
+  // zero-filled journal.
+  EXPECT_FALSE(parseJournalJson(
+      "{\"tool\":\"enerj-journal\",\"version\":1}", &J, &Error));
+}
+
+TEST(ObsJournal, ReplayReproducesTheInterpDigestBitwise) {
+  harness::EvalResult Grid = journaledGrid("montecarlo",
+                                           ApproxLevel::Aggressive, 2);
+  ASSERT_EQ(Grid.Journaled.size(), 2u);
+  for (const harness::TrialRecord &Record : Grid.Journaled) {
+    Journal J = buildJournal(Grid, Record);
+    ReplayResult R = replayJournal(J, kernelDir());
+    EXPECT_TRUE(R.Match) << "recorded " << R.RecordedJson << "\nreplayed "
+                         << R.ReplayedJson;
+  }
+}
+
+TEST(ObsJournal, ReplayReproducesTheCompiledDigestBitwise) {
+  harness::EvalResult Grid = journaledGrid("fft", ApproxLevel::Medium, 2,
+                                           harness::ExecMode::Compiled);
+  ASSERT_EQ(Grid.Journaled.size(), 2u);
+  for (const harness::TrialRecord &Record : Grid.Journaled) {
+    Journal J = buildJournal(Grid, Record);
+    EXPECT_EQ(J.Exec, harness::ExecMode::Compiled);
+    ReplayResult R = replayJournal(J, kernelDir());
+    EXPECT_TRUE(R.Match) << "recorded " << R.RecordedJson << "\nreplayed "
+                         << R.ReplayedJson;
+  }
+}
+
+TEST(ObsJournal, ReplayDetectsATamperedDigest) {
+  harness::EvalResult Grid = journaledGrid("fft", ApproxLevel::Medium, 1);
+  ASSERT_EQ(Grid.Journaled.size(), 1u);
+  Journal J = buildJournal(Grid, Grid.Journaled[0]);
+  J.Digest.Qos += 0.125; // Bit-level lie about the recorded outcome.
+  ReplayResult R = replayJournal(J, kernelDir());
+  EXPECT_FALSE(R.Match);
+  EXPECT_NE(R.RecordedJson, R.ReplayedJson);
+}
+
+TEST(ObsJournal, ReplayThrowsOnUnreconstructableProvenance) {
+  harness::EvalResult Grid = journaledGrid("fft", ApproxLevel::Medium, 1);
+  ASSERT_EQ(Grid.Journaled.size(), 1u);
+  Journal J = buildJournal(Grid, Grid.Journaled[0]);
+  J.App = "nosuchapp";
+  EXPECT_THROW(replayJournal(J, kernelDir()), std::runtime_error);
+}
+
+TEST(ObsJournal, BlameRanksFaultSitesByQosDamage) {
+  // sor at aggressive faults in its region(s); every distinct journaled
+  // fault site gets a forced-precise counterfactual row, sorted by the
+  // QoS delta (damage) descending.
+  harness::EvalResult Grid = journaledGrid("sor", ApproxLevel::Aggressive, 1);
+  ASSERT_EQ(Grid.Journaled.size(), 1u);
+  Journal J = buildJournal(Grid, Grid.Journaled[0]);
+  std::vector<BlameRow> Rows = blameJournal(J);
+  ASSERT_FALSE(Rows.empty());
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    EXPECT_FALSE(Rows[I].Region.empty());
+    EXPECT_GT(Rows[I].Faults, 0u);
+    if (I) {
+      EXPECT_GE(Rows[I - 1].QosDelta, Rows[I].QosDelta);
+    }
+  }
+  // The table renderer mentions every ranked region.
+  std::string Table = renderBlameText(J, Rows);
+  for (const BlameRow &Row : Rows)
+    EXPECT_NE(Table.find(Row.Region), std::string::npos);
+}
+
+TEST(ObsJournal, BlameIsInterpreterOnly) {
+  harness::EvalResult Grid = journaledGrid("fft", ApproxLevel::Medium, 1,
+                                           harness::ExecMode::Compiled);
+  ASSERT_EQ(Grid.Journaled.size(), 1u);
+  Journal J = buildJournal(Grid, Grid.Journaled[0]);
+  EXPECT_THROW(blameJournal(J), std::runtime_error);
+}

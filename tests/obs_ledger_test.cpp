@@ -1,0 +1,130 @@
+//===- tests/obs_ledger_test.cpp - Run-ledger manifest contract -----------===//
+//
+// Unit tests of the append-only run ledger: the rendered line is stable
+// JSON that round-trips through the parser, the eval entry derives every
+// deterministic column from the grid (and only elapsed/throughput from
+// the wall clock), append never rewrites earlier lines, and a corrupt
+// line fails the whole read with its line number.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/eval.h"
+#include "obs/json_mini.h"
+#include "obs/ledger.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace enerj;
+using namespace enerj::obs;
+
+namespace {
+
+harness::EvalResult smallGrid() {
+  harness::EvalOptions Options;
+  Options.Apps = {apps::findApplication("montecarlo")};
+  Options.Levels = {ApproxLevel::Mild};
+  Options.Seeds = 2;
+  return harness::runEval(Options);
+}
+
+LedgerEntry sampleEntry() {
+  harness::EvalResult Grid = smallGrid();
+  return ledgerEntryForEval(Grid, harness::renderEvalJson(Grid), 2.0);
+}
+
+} // namespace
+
+TEST(ObsLedger, EvalEntryDerivesFromTheGrid) {
+  harness::EvalResult Grid = smallGrid();
+  std::string Payload = harness::renderEvalJson(Grid);
+  LedgerEntry Entry = ledgerEntryForEval(Grid, Payload, 2.0);
+  EXPECT_EQ(Entry.Command, "eval");
+  EXPECT_EQ(Entry.PayloadVersion, 2);
+  EXPECT_EQ(Entry.Apps, 1u);
+  EXPECT_EQ(Entry.Levels, 1u);
+  EXPECT_EQ(Entry.Seeds, 2);
+  EXPECT_EQ(Entry.Trials, 2u);
+  EXPECT_EQ(Entry.Outcomes.Ok, 2u);
+  EXPECT_EQ(Entry.GridDigest, json::fnv1a(Payload));
+  EXPECT_EQ(Entry.ConfigHash, json::fnv1a(Entry.ConfigSummary));
+  EXPECT_NE(Entry.ConfigSummary.find("apps=montecarlo"), std::string::npos);
+  EXPECT_NE(Entry.ConfigSummary.find("levels=mild"), std::string::npos);
+  // Thread count is deliberately absent: it can never change a result,
+  // so it must not fork the config hash.
+  EXPECT_EQ(Entry.ConfigSummary.find("threads"), std::string::npos);
+  EXPECT_EQ(Entry.ElapsedSec, 2.0);
+  EXPECT_EQ(Entry.TrialsPerSec, 1.0);
+}
+
+TEST(ObsLedger, DeterministicColumnsAreReproducible) {
+  // Two identical grids produce identical hashes and digests; only the
+  // wall-clock columns may differ.
+  harness::EvalResult A = smallGrid();
+  harness::EvalResult B = smallGrid();
+  LedgerEntry EntryA = ledgerEntryForEval(A, harness::renderEvalJson(A), 1.0);
+  LedgerEntry EntryB = ledgerEntryForEval(B, harness::renderEvalJson(B), 9.0);
+  EXPECT_EQ(EntryA.ConfigHash, EntryB.ConfigHash);
+  EXPECT_EQ(EntryA.GridDigest, EntryB.GridDigest);
+  EXPECT_EQ(EntryA.QosMean, EntryB.QosMean);
+  EXPECT_NE(EntryA.ElapsedSec, EntryB.ElapsedSec);
+}
+
+TEST(ObsLedger, LineRoundTripsThroughTheParser) {
+  LedgerEntry Entry = sampleEntry();
+  std::string Line = renderLedgerLine(Entry);
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  EXPECT_EQ(Line.compare(0, 22, "{\"tool\":\"enerj-ledger\""), 0);
+  LedgerEntry Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseLedgerLine(Line, &Parsed, &Error)) << Error;
+  // Lossless: the reparsed entry renders to the same bytes.
+  EXPECT_EQ(renderLedgerLine(Parsed), Line);
+  EXPECT_EQ(Parsed.ConfigHash, Entry.ConfigHash);
+  EXPECT_EQ(Parsed.GridDigest, Entry.GridDigest);
+  EXPECT_EQ(Parsed.Outcomes.Ok, Entry.Outcomes.Ok);
+}
+
+TEST(ObsLedger, ParseRejectsForeignLines) {
+  LedgerEntry Entry;
+  std::string Error;
+  EXPECT_FALSE(parseLedgerLine("", &Entry, &Error));
+  EXPECT_FALSE(parseLedgerLine("not json", &Entry, &Error));
+  EXPECT_FALSE(parseLedgerLine("{\"tool\":\"other\"}", &Entry, &Error));
+  EXPECT_FALSE(parseLedgerLine(
+      "{\"tool\":\"enerj-ledger\",\"version\":2}", &Entry, &Error));
+  EXPECT_NE(Error.find("version"), std::string::npos);
+}
+
+TEST(ObsLedger, AppendOnlyAndOldestFirst) {
+  std::string Path = ::testing::TempDir() + "obs_ledger_append.jsonl";
+  std::remove(Path.c_str());
+  LedgerEntry First = sampleEntry();
+  LedgerEntry Second = First;
+  Second.Command = "profile";
+  std::string Error;
+  ASSERT_TRUE(appendLedgerLine(Path, First, &Error)) << Error;
+  ASSERT_TRUE(appendLedgerLine(Path, Second, &Error)) << Error;
+  std::vector<LedgerEntry> Entries;
+  ASSERT_TRUE(readLedger(Path, &Entries, &Error)) << Error;
+  ASSERT_EQ(Entries.size(), 2u);
+  EXPECT_EQ(Entries[0].Command, "eval");
+  EXPECT_EQ(Entries[1].Command, "profile");
+  std::remove(Path.c_str());
+}
+
+TEST(ObsLedger, CorruptLineFailsTheWholeReadWithItsLineNumber) {
+  std::string Path = ::testing::TempDir() + "obs_ledger_corrupt.jsonl";
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << renderLedgerLine(sampleEntry()) << "\n";
+    Out << "\n"; // Blank lines are fine.
+    Out << "{\"tool\":\"enerj-ledger\",truncated gibberish\n";
+  }
+  std::vector<LedgerEntry> Entries;
+  std::string Error;
+  EXPECT_FALSE(readLedger(Path, &Entries, &Error));
+  EXPECT_NE(Error.find(":3:"), std::string::npos) << Error;
+  std::remove(Path.c_str());
+}

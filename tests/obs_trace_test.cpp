@@ -62,6 +62,56 @@ TEST(ObsTrace, RingKeepsNewestAndCountsDropped) {
   EXPECT_EQ(Events[2].Kind, TraceEventKind::Fault);
 }
 
+TEST(ObsTrace, EmptyRingDrainsNothing) {
+  // drain() on a freshly constructed (empty) ring must return no events
+  // and never touch event() — the historical `% Ring.size()` indexing
+  // divided by zero here.
+  TraceBuffer Ring(4);
+  EXPECT_EQ(Ring.size(), 0u);
+  EXPECT_EQ(Ring.capacity(), 4u);
+  EXPECT_EQ(Ring.dropped(), 0u);
+  EXPECT_TRUE(Ring.drain().empty());
+
+  // A zero-capacity ring is degenerate but must also stay safe: every
+  // push is shed immediately and drain stays empty.
+  TraceBuffer Zero(0);
+  Zero.push(event(1, TraceEventKind::Fault, 1));
+  EXPECT_EQ(Zero.size(), 0u);
+  EXPECT_TRUE(Zero.drain().empty());
+}
+
+TEST(ObsTrace, ExactlyFullRingIsChronological) {
+  // size == capacity with no overwrite yet: Head is still 0 and event(I)
+  // must be the I-th push.
+  TraceBuffer Ring(3);
+  for (uint64_t I = 0; I < 3; ++I)
+    Ring.push(event(I, TraceEventKind::RegionEnter));
+  EXPECT_EQ(Ring.size(), Ring.capacity());
+  EXPECT_EQ(Ring.dropped(), 0u);
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_EQ(Ring.event(I).At, I);
+  std::vector<TraceEvent> Events = Ring.drain();
+  ASSERT_EQ(Events.size(), 3u);
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].At, I);
+}
+
+TEST(ObsTrace, WrappedRingStaysChronological) {
+  // Wrap the ring more than a full lap: only the newest `capacity`
+  // events survive, oldest first, and the shed count is exact.
+  TraceBuffer Ring(4);
+  for (uint64_t I = 0; I < 11; ++I)
+    Ring.push(event(I, TraceEventKind::RegionEnter));
+  EXPECT_EQ(Ring.size(), 4u);
+  EXPECT_EQ(Ring.dropped(), 7u);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(Ring.event(I).At, 7 + I);
+  std::vector<TraceEvent> Events = Ring.drain();
+  ASSERT_EQ(Events.size(), 4u);
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].At, 7 + I);
+}
+
 TEST(ObsTrace, KindNamesAreStable) {
   EXPECT_STREQ(traceEventKindName(TraceEventKind::RegionEnter),
                "regionEnter");

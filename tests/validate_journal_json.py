@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate a trial journal against schema v1.
+
+`fenerj_tool eval --journal-dir <d>` writes one single-line JSON
+document per captured trial — the flight record that `fenerj_tool
+replay` re-executes. This script checks structure, key presence, key
+order, and basic invariants of one journal read from stdin (or from the
+paths given as arguments). Deliberately does NOT compare digest values:
+QoS numbers depend on libm, so value goldens would be platform-fragile.
+The byte-level contract (replay must reproduce the digest bitwise)
+lives in tests/journal_replay_test.cpp and the `replay` smoke; this
+script is the CI gate that real tool output still matches the
+documented schema (docs/OBSERVABILITY.md).
+
+Usage: validate_journal_json.py [journal.json ...]   (stdin when none)
+Exits 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+TOP_KEYS = ["tool", "version", "app", "engine", "level", "mode",
+            "workloadSeed", "configSeed", "mixedSeed", "config", "obs",
+            "policy", "power", "regions", "timeline", "timelineDropped",
+            "digest"]
+CONFIG_KEYS = ["dram", "sram", "fpWidth", "timing", "cyclesPerSecond",
+               "cacheLineBytes", "opBudget", "overrides"]
+OVERRIDE_KEYS = ["dramFlipPerSecond", "sramReadUpset", "sramWriteFailure",
+                 "timingError", "floatMantissa", "doubleMantissa"]
+OBS_KEYS = ["metrics", "trace", "traceCapacity"]
+POLICY_KEYS = ["enabled", "slo", "outputBound", "maxRetries", "opBudget",
+               "degrade"]
+POWER_KEYS = ["armed", "trace", "checkpoint"]
+EVENT_KEYS = ["attempt", "at", "kind", "op", "arg", "region"]
+DIGEST_KEYS = ["qos", "energy", "effectiveEnergy", "outcome", "finalLevel",
+               "attempts", "clockCycles", "ops", "storage", "power"]
+DIGEST_OPS_KEYS = ["preciseInt", "approxInt", "preciseFp", "approxFp",
+                   "timingErrors"]
+DIGEST_STORAGE_KEYS = ["sramPrecise", "sramApprox", "dramPrecise",
+                       "dramApprox"]
+DIGEST_POWER_KEYS = ["losses", "checkpoints", "reExecutedOps", "survived"]
+ENGINES = {"interp", "compiled"}
+LEVELS = {"none", "mild", "medium", "aggressive"}
+OUTCOMES = {"ok", "sloViolated", "aborted", "retried", "degraded",
+            "powerFailed"}
+EVENT_KINDS = {"regionEnter", "regionExit", "fault", "attemptBegin",
+               "attemptEnd", "retry", "degrade", "abort", "powerLoss",
+               "checkpoint", "restore"}
+
+
+def fail(message):
+    print(f"validate_journal_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect_keys(obj, keys, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected an object, got {type(obj).__name__}")
+    if list(obj.keys()) != keys:
+        fail(f"{where}: keys {list(obj.keys())} != expected {keys}")
+
+
+def expect_count(obj, key, where):
+    if not isinstance(obj[key], int) or obj[key] < 0:
+        fail(f"{where}.{key}: not a non-negative integer")
+
+
+def validate(doc, where):
+    expect_keys(doc, TOP_KEYS, where)
+    if doc["tool"] != "enerj-journal":
+        fail(f"{where}: tool is {doc['tool']!r}, expected 'enerj-journal'")
+    if doc["version"] != 1:
+        fail(f"{where}: version is {doc['version']!r}, expected 1")
+    if not isinstance(doc["app"], str) or not doc["app"]:
+        fail(f"{where}.app: not a non-empty string")
+    if doc["engine"] not in ENGINES:
+        fail(f"{where}.engine: unknown engine {doc['engine']!r}")
+    if doc["level"] not in LEVELS:
+        fail(f"{where}.level: unknown level {doc['level']!r}")
+    for key in ("workloadSeed", "configSeed", "mixedSeed",
+                "timelineDropped"):
+        expect_count(doc, key, where)
+    if doc["workloadSeed"] < 1:
+        fail(f"{where}.workloadSeed: must be >= 1")
+
+    expect_keys(doc["config"], CONFIG_KEYS, f"{where}.config")
+    expect_keys(doc["config"]["overrides"], OVERRIDE_KEYS,
+                f"{where}.config.overrides")
+    expect_keys(doc["obs"], OBS_KEYS, f"{where}.obs")
+    if doc["obs"]["trace"] is not True:
+        fail(f"{where}.obs.trace: a journal records a traced trial")
+    expect_keys(doc["policy"], POLICY_KEYS, f"{where}.policy")
+    expect_keys(doc["power"], POWER_KEYS, f"{where}.power")
+
+    if not isinstance(doc["regions"], list) or not all(
+            isinstance(r, str) and r for r in doc["regions"]):
+        fail(f"{where}.regions: not a list of non-empty strings")
+
+    if not isinstance(doc["timeline"], list):
+        fail(f"{where}.timeline: not a list")
+    last_at = {}
+    for index, event in enumerate(doc["timeline"]):
+        ew = f"{where}.timeline[{index}]"
+        expect_keys(event, EVENT_KEYS, ew)
+        for key in ("attempt", "at", "arg", "region"):
+            expect_count(event, key, ew)
+        if event["kind"] not in EVENT_KINDS:
+            fail(f"{ew}.kind: unknown kind {event['kind']!r}")
+        if event["region"] >= len(doc["regions"]):
+            fail(f"{ew}.region: index {event['region']} out of range for "
+                 f"{len(doc['regions'])} region(s)")
+        # Timestamps are the logical clock: nondecreasing per attempt.
+        attempt = event["attempt"]
+        if event["at"] < last_at.get(attempt, 0):
+            fail(f"{ew}: timestamp {event['at']} goes backwards within "
+                 f"attempt {attempt}")
+        last_at[attempt] = event["at"]
+
+    digest = doc["digest"]
+    dw = f"{where}.digest"
+    expect_keys(digest, DIGEST_KEYS, dw)
+    for key in ("qos", "energy", "effectiveEnergy"):
+        if not isinstance(digest[key], (int, float)):
+            fail(f"{dw}.{key}: not a number")
+    if digest["outcome"] not in OUTCOMES:
+        fail(f"{dw}.outcome: unknown outcome {digest['outcome']!r}")
+    if digest["finalLevel"] not in LEVELS:
+        fail(f"{dw}.finalLevel: unknown level {digest['finalLevel']!r}")
+    expect_count(digest, "attempts", dw)
+    if digest["attempts"] < 1:
+        fail(f"{dw}.attempts: must be >= 1")
+    expect_count(digest, "clockCycles", dw)
+    expect_keys(digest["ops"], DIGEST_OPS_KEYS, f"{dw}.ops")
+    for key in DIGEST_OPS_KEYS:
+        expect_count(digest["ops"], key, f"{dw}.ops")
+    expect_keys(digest["storage"], DIGEST_STORAGE_KEYS, f"{dw}.storage")
+    for key in DIGEST_STORAGE_KEYS:
+        if not isinstance(digest["storage"][key], (int, float)) or \
+                digest["storage"][key] < 0:
+            fail(f"{dw}.storage.{key}: not a non-negative number")
+    expect_keys(digest["power"], DIGEST_POWER_KEYS, f"{dw}.power")
+    for key in ("losses", "checkpoints", "reExecutedOps"):
+        expect_count(digest["power"], key, f"{dw}.power")
+    if not isinstance(digest["power"]["survived"], bool):
+        fail(f"{dw}.power.survived: not a bool")
+
+    print(f"validate_journal_json: OK ({where}: {doc['app']}/"
+          f"{doc['level']}/{doc['engine']} seed {doc['workloadSeed']}, "
+          f"{len(doc['timeline'])} event(s), outcome "
+          f"{digest['outcome']!r})")
+
+
+def load(text, where):
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as err:
+        fail(f"{where}: not valid JSON: {err}")
+
+
+def main():
+    paths = sys.argv[1:]
+    if not paths:
+        validate(load(sys.stdin.read(), "stdin"), "stdin")
+        return
+    for path in paths:
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as err:
+            fail(f"{path}: {err}")
+        validate(load(text, path), path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a run-ledger manifest against line schema v1.
+
+`fenerj_tool eval|profile|bound --ledger <f>` appends one single-line
+JSON record per invocation; `fenerj_tool runs` lists, diffs, and gates
+the file. This script checks every line of a ledger: structure, key
+presence, key order, and the cross-field invariants (outcome tallies sum
+to trials, trials = apps x levels x seeds for eval entries, throughput =
+trials / elapsed). Value goldens are deliberately avoided — the
+deterministic columns are pinned bitwise by tests/obs_ledger_test.cpp;
+this script is the CI gate that real tool output still matches the
+documented schema (docs/OBSERVABILITY.md).
+
+Usage: validate_ledger_jsonl.py <ledger.jsonl>   (or stdin when no args)
+Exits 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+TOP_KEYS = ["tool", "version", "command", "payloadVersion", "configHash",
+            "configSummary", "gridDigest", "apps", "levels", "seeds",
+            "trials", "outcomes", "qosMean", "energyMean",
+            "effectiveEnergyMean", "elapsedSec", "trialsPerSec"]
+OUTCOME_KEYS = ["ok", "sloViolated", "aborted", "retried", "degraded",
+                "powerFailed"]
+COMMANDS = {"eval", "profile", "bound"}
+
+
+def fail(message):
+    print(f"validate_ledger_jsonl: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect_hex64(value, where):
+    if not isinstance(value, str) or not value.startswith("0x"):
+        fail(f"{where}: not a 0x-prefixed hex string: {value!r}")
+    try:
+        int(value, 16)
+    except ValueError:
+        fail(f"{where}: not parseable hex: {value!r}")
+
+
+def validate_line(line, where):
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as err:
+        fail(f"{where}: not valid JSON: {err}")
+    if not isinstance(doc, dict):
+        fail(f"{where}: expected an object")
+    if list(doc.keys()) != TOP_KEYS:
+        fail(f"{where}: keys {list(doc.keys())} != expected {TOP_KEYS}")
+    if doc["tool"] != "enerj-ledger":
+        fail(f"{where}: tool is {doc['tool']!r}, expected 'enerj-ledger'")
+    if doc["version"] != 1:
+        fail(f"{where}: version is {doc['version']!r}, expected 1")
+    if doc["command"] not in COMMANDS:
+        fail(f"{where}: unknown command {doc['command']!r}")
+    expect_hex64(doc["configHash"], f"{where}.configHash")
+    expect_hex64(doc["gridDigest"], f"{where}.gridDigest")
+    if not isinstance(doc["configSummary"], str) or not doc["configSummary"]:
+        fail(f"{where}.configSummary: not a non-empty string")
+    if not doc["configSummary"].startswith(doc["command"]):
+        fail(f"{where}.configSummary: does not start with the command name")
+    for key in ("payloadVersion", "apps", "levels", "seeds", "trials"):
+        if not isinstance(doc[key], int) or doc[key] < 0:
+            fail(f"{where}.{key}: not a non-negative integer")
+    outcomes = doc["outcomes"]
+    if not isinstance(outcomes, dict) or list(outcomes.keys()) != \
+            OUTCOME_KEYS:
+        fail(f"{where}.outcomes: keys != expected {OUTCOME_KEYS}")
+    for key in OUTCOME_KEYS:
+        if not isinstance(outcomes[key], int) or outcomes[key] < 0:
+            fail(f"{where}.outcomes.{key}: not a non-negative integer")
+    if sum(outcomes.values()) != doc["trials"]:
+        fail(f"{where}: outcomes sum to {sum(outcomes.values())}, not "
+             f"trials={doc['trials']}")
+    if doc["command"] == "eval" and \
+            doc["trials"] != doc["apps"] * doc["levels"] * doc["seeds"]:
+        fail(f"{where}: trials {doc['trials']} != apps x levels x seeds")
+    for key in ("qosMean", "energyMean", "effectiveEnergyMean",
+                "elapsedSec", "trialsPerSec"):
+        if not isinstance(doc[key], (int, float)):
+            fail(f"{where}.{key}: not a number")
+    if doc["elapsedSec"] > 0 and doc["trials"] > 0:
+        expected = doc["trials"] / doc["elapsedSec"]
+        if abs(doc["trialsPerSec"] - expected) > 1e-6 * max(1.0, expected):
+            fail(f"{where}: trialsPerSec {doc['trialsPerSec']} != "
+                 f"trials/elapsedSec {expected}")
+    return doc
+
+
+def main():
+    if len(sys.argv) > 2:
+        fail("usage: validate_ledger_jsonl.py [ledger.jsonl]")
+    if len(sys.argv) == 2:
+        try:
+            with open(sys.argv[1]) as handle:
+                text = handle.read()
+        except OSError as err:
+            fail(f"{sys.argv[1]}: {err}")
+        name = sys.argv[1]
+    else:
+        text = sys.stdin.read()
+        name = "stdin"
+
+    entries = 0
+    commands = {}
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        doc = validate_line(line, f"{name}:{number}")
+        entries += 1
+        commands[doc["command"]] = commands.get(doc["command"], 0) + 1
+    if entries == 0:
+        fail(f"{name}: no ledger entries")
+    tally = ", ".join(f"{k}={v}" for k, v in sorted(commands.items()))
+    print(f"validate_ledger_jsonl: OK ({entries} entr(y/ies): {tally})")
+
+
+if __name__ == "__main__":
+    main()
